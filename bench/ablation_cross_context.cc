@@ -1,0 +1,91 @@
+// Ablation A2 — the paper's §7 future work: instead of omitting citation
+// edges that cross context boundaries, weight them (unrelated < related <
+// in-context). Does the weighted variant fix any of the citation score
+// function's accuracy deficit?
+#include "bench/bench_common.h"
+
+#include "context/citation_prestige.h"
+#include "context/cross_context_prestige.h"
+
+namespace ctxrank::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  eval::WorldConfig config = ParseConfig(argc, argv);
+  config.build_pattern_set = false;
+  const auto world = BuildWorldOrDie(config);
+
+  const eval::AcAnswerSetBuilder ac(world->tc(), world->fts(),
+                                    world->graph());
+  eval::QueryGeneratorOptions qopts;
+  qopts.min_context_size = config.min_context_size;
+  const auto queries = eval::GenerateQueries(world->onto(), world->tc(),
+                                             world->text_set(), qopts);
+
+  struct Variant {
+    std::string name;
+    context::PrestigeScores scores;
+  };
+  std::vector<Variant> variants;
+  variants.push_back(
+      {"hard-restriction (paper §3.1)",
+       context::PrestigeScores(world->text_set_citation_scores())});
+
+  for (const auto& [name, unrelated, related] :
+       std::vector<std::tuple<std::string, double, double>>{
+           {"weighted u=0.1 r=0.5", 0.1, 0.5},
+           {"weighted u=0.3 r=0.7", 0.3, 0.7},
+           {"uniform   u=1.0 r=1.0", 1.0, 1.0}}) {
+    context::CrossContextOptions opts;
+    opts.unrelated_weight = unrelated;
+    opts.related_weight = related;
+    auto r = context::ComputeCrossContextCitationPrestige(
+        world->onto(), world->text_set(), world->graph(), opts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "cross-context failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    variants.push_back({name, std::move(r).value()});
+  }
+
+  eval::Table table({"variant", "avg prec t=0.15", "avg prec t=0.25",
+                     "avg SD", "top10% overlap vs text fn"});
+  const auto contexts =
+      world->text_set().ContextsWithAtLeast(config.min_context_size);
+  for (const auto& v : variants) {
+    const context::ContextSearchEngine engine(world->tc(), world->onto(),
+                                              world->text_set(), v.scores);
+    const auto rows =
+        PrecisionVsThreshold(engine, ac, queries, {0.15, 0.25});
+    double sd = 0, overlap = 0;
+    int n_sd = 0, n_ov = 0;
+    for (ontology::TermId t : contexts) {
+      if (v.scores.HasScores(t)) {
+        sd += eval::NormalizedSeparabilitySd(v.scores.Scores(t));
+        ++n_sd;
+      }
+      if (v.scores.HasScores(t) &&
+          world->text_set_text_scores().HasScores(t)) {
+        const size_t k = std::max<size_t>(
+            1, world->text_set().Members(t).size() / 10);
+        overlap += eval::TopKOverlapRatio(
+            v.scores.Scores(t), world->text_set_text_scores().Scores(t), k);
+        ++n_ov;
+      }
+    }
+    table.AddRow({v.name, eval::Table::Cell(rows[0].avg, 3),
+                  eval::Table::Cell(rows[1].avg, 3),
+                  eval::Table::Cell(n_sd ? sd / n_sd : 0.0, 2),
+                  eval::Table::Cell(n_ov ? overlap / n_ov : 0.0, 3)});
+  }
+  std::printf(
+      "Ablation A2 — cross-context citation weighting (§7 future work)\n%s",
+      table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ctxrank::bench
+
+int main(int argc, char** argv) { return ctxrank::bench::Run(argc, argv); }

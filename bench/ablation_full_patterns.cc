@@ -1,0 +1,101 @@
+// Ablation A4 — the paper's §4 simplification, quantified. The experiments
+// in the paper used a *simplified* pattern variant: middle tuples only, no
+// side-/middle-joined extended patterns. This library implements the full
+// §3.3 machinery, so we can measure what the simplification cost:
+//   simplified  — middle tuples only (paper's experimental setup);
+//   +surround   — middle tuples with left/right window similarity in M;
+//   full        — extended patterns AND surrounding-window matching.
+#include "bench/bench_common.h"
+
+#include "context/pattern_prestige.h"
+
+namespace ctxrank::bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  context::PatternAssignmentOptions options;
+};
+
+int Run(int argc, char** argv) {
+  eval::WorldConfig config = ParseConfig(argc, argv);
+  config.build_text_set = false;
+  config.build_pattern_set = false;  // Variants are built per hand below.
+  const auto world = BuildWorldOrDie(config);
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"simplified (paper §4)", {}};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"+surround matching", {}};
+    v.options.matcher.middle_only = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"full (+extended patterns)", {}};
+    v.options.builder.build_extended = true;
+    v.options.builder.max_extended_patterns = 15;
+    v.options.matcher.middle_only = false;
+    variants.push_back(v);
+  }
+
+  const eval::AcAnswerSetBuilder ac(world->tc(), world->fts(),
+                                    world->graph());
+
+  eval::Table table({"variant", "contexts>=min", "avg members",
+                     "avg prec t=0.20", "avg prec t=0.35", "avg SD"});
+  for (const Variant& v : variants) {
+    auto pa = context::BuildPatternBasedAssignment(world->tc(),
+                                                   world->onto(), v.options);
+    if (!pa.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", v.name,
+                   pa.status().ToString().c_str());
+      return 1;
+    }
+    auto scores = context::ComputePatternPrestige(world->onto(), pa.value());
+    if (!scores.ok()) return 1;
+
+    eval::QueryGeneratorOptions qopts;
+    qopts.min_context_size = config.min_context_size;
+    const auto queries = eval::GenerateQueries(
+        world->onto(), world->tc(), pa.value().assignment, qopts);
+    const context::ContextSearchEngine engine(world->tc(), world->onto(),
+                                              pa.value().assignment,
+                                              scores.value());
+    const auto rows = PrecisionVsThreshold(engine, ac, queries,
+                                           {0.20, 0.35});
+    const auto contexts = pa.value().assignment.ContextsWithAtLeast(
+        config.min_context_size);
+    double members = 0, sd = 0;
+    int n_sd = 0;
+    for (ontology::TermId t : contexts) {
+      members += static_cast<double>(
+          pa.value().assignment.Members(t).size());
+      if (scores.value().HasScores(t)) {
+        sd += eval::NormalizedSeparabilitySd(scores.value().Scores(t));
+        ++n_sd;
+      }
+    }
+    table.AddRow({v.name, std::to_string(contexts.size()),
+                  eval::Table::Cell(
+                      contexts.empty()
+                          ? 0.0
+                          : members / static_cast<double>(contexts.size()),
+                      1),
+                  eval::Table::Cell(rows[0].avg, 3),
+                  eval::Table::Cell(rows[1].avg, 3),
+                  eval::Table::Cell(n_sd ? sd / n_sd : 0.0, 2)});
+  }
+  std::printf(
+      "Ablation A4 — simplified (paper §4) vs full §3.3 pattern "
+      "machinery\n%s",
+      table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ctxrank::bench
+
+int main(int argc, char** argv) { return ctxrank::bench::Run(argc, argv); }

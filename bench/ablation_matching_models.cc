@@ -1,0 +1,84 @@
+// Ablation A5 — the matching component of the relevancy combination. The
+// paper combines prestige with a TF-IDF-cosine text_matching_score; this
+// ablation swaps in Okapi BM25 (squashed to [0,1]) to check whether the
+// paper's conclusions depend on the retrieval model generation.
+#include "bench/bench_common.h"
+
+#include "text/bm25.h"
+
+namespace ctxrank::bench {
+namespace {
+
+/// BM25 scores are unbounded; squash rank-preservingly to [0,1) so they
+/// combine with prestige like a cosine does.
+double Squash(double s) { return s / (s + 4.0); }
+
+int Run(int argc, char** argv) {
+  eval::WorldConfig config = ParseConfig(argc, argv);
+  config.build_pattern_set = false;
+  const auto world = BuildWorldOrDie(config);
+
+  // BM25 index over full papers.
+  text::Bm25Index bm25;
+  for (corpus::PaperId p = 0; p < world->tc().size(); ++p) {
+    bm25.Add(p, world->tc().AllTokens(p));
+  }
+  bm25.Finalize();
+
+  const eval::AcAnswerSetBuilder ac(world->tc(), world->fts(),
+                                    world->graph());
+  eval::QueryGeneratorOptions qopts;
+  qopts.min_context_size = config.min_context_size;
+  const auto queries = eval::GenerateQueries(world->onto(), world->tc(),
+                                             world->text_set(), qopts);
+  const context::ContextSearchEngine engine(world->tc(), world->onto(),
+                                            world->text_set(),
+                                            world->text_set_text_scores());
+  const context::RelevancyWeights weights;
+
+  // For each query: context-based candidate set from the engine's own
+  // selection, then two rankings over the same candidates — cosine
+  // matching (the engine's native R) vs BM25 matching (recombined here).
+  const std::vector<double> thresholds = {0.10, 0.20, 0.30};
+  std::vector<std::vector<double>> prec_cos(thresholds.size());
+  std::vector<std::vector<double>> prec_bm25(thresholds.size());
+  for (const auto& q : queries) {
+    const auto answer = ac.Build(q.text);
+    if (answer.empty()) continue;
+    const auto hits = engine.Search(q.text);
+    const auto query_ids = world->tc().analyzer().AnalyzeToKnownIds(
+        q.text, world->tc().vocabulary());
+    for (size_t ti = 0; ti < thresholds.size(); ++ti) {
+      std::vector<corpus::PaperId> cos_set, bm_set;
+      for (const auto& h : hits) {
+        if (h.relevancy >= thresholds[ti]) cos_set.push_back(h.paper);
+        const double r_bm = weights.prestige * h.prestige +
+                            weights.matching *
+                                Squash(bm25.Score(query_ids, h.paper));
+        if (r_bm >= thresholds[ti]) bm_set.push_back(h.paper);
+      }
+      prec_cos[ti].push_back(eval::Precision(cos_set, answer));
+      prec_bm25[ti].push_back(eval::Precision(bm_set, answer));
+    }
+  }
+
+  eval::Table table({"t", "avg prec cosine", "avg prec bm25",
+                     "med prec cosine", "med prec bm25"});
+  for (size_t ti = 0; ti < thresholds.size(); ++ti) {
+    table.AddRow({eval::Table::Cell(thresholds[ti], 2),
+                  eval::Table::Cell(Mean(prec_cos[ti]), 3),
+                  eval::Table::Cell(Mean(prec_bm25[ti]), 3),
+                  eval::Table::Cell(Median(prec_cos[ti]), 3),
+                  eval::Table::Cell(Median(prec_bm25[ti]), 3)});
+  }
+  std::printf(
+      "Ablation A5 — TF-IDF cosine vs BM25 as the matching component "
+      "(text prestige, text-based set)\n%s",
+      table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ctxrank::bench
+
+int main(int argc, char** argv) { return ctxrank::bench::Run(argc, argv); }

@@ -1,0 +1,104 @@
+// Ablation A3 — channel weights in the §3.2 text score function: how much
+// do the author-overlap and reference-similarity channels add on top of
+// the four TF-IDF section cosines, and which single channel carries the
+// score?
+#include "bench/bench_common.h"
+
+#include "context/text_prestige.h"
+
+namespace ctxrank::bench {
+namespace {
+
+context::TextPrestigeOptions SectionsOnly() {
+  context::TextPrestigeOptions o;
+  o.author_weight = 0.0;
+  o.reference_weight = 0.0;
+  return o;
+}
+
+int Run(int argc, char** argv) {
+  eval::WorldConfig config = ParseConfig(argc, argv);
+  config.build_pattern_set = false;
+  const auto world = BuildWorldOrDie(config);
+
+  const eval::AcAnswerSetBuilder ac(world->tc(), world->fts(),
+                                    world->graph());
+  eval::QueryGeneratorOptions qopts;
+  qopts.min_context_size = config.min_context_size;
+  const auto queries = eval::GenerateQueries(world->onto(), world->tc(),
+                                             world->text_set(), qopts);
+
+  struct Variant {
+    std::string name;
+    context::TextPrestigeOptions options;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"full (all channels)", {}});
+  variants.push_back({"sections only", SectionsOnly()});
+  {
+    context::TextPrestigeOptions o;
+    o.author_weight = 0.0;
+    variants.push_back({"no authors", o});
+  }
+  {
+    context::TextPrestigeOptions o;
+    o.reference_weight = 0.0;
+    variants.push_back({"no references", o});
+  }
+  {
+    context::TextPrestigeOptions o = SectionsOnly();
+    for (double& w : o.section_weights) w = 0.0;
+    o.section_weights[0] = 1.0;  // Title only.
+    variants.push_back({"title only", o});
+  }
+  {
+    context::TextPrestigeOptions o = SectionsOnly();
+    for (double& w : o.section_weights) w = 0.0;
+    o.section_weights[2] = 1.0;  // Body only.
+    variants.push_back({"body only", o});
+  }
+  {
+    context::TextPrestigeOptions o;
+    for (double& w : o.section_weights) w = 0.0;
+    o.author_weight = 0.5;
+    o.reference_weight = 0.5;
+    variants.push_back({"authors+references only", o});
+  }
+
+  eval::Table table({"variant", "avg prec t=0.15", "avg prec t=0.25",
+                     "avg SD"});
+  const auto contexts =
+      world->text_set().ContextsWithAtLeast(config.min_context_size);
+  for (const auto& v : variants) {
+    auto scores = context::ComputeTextPrestige(
+        world->onto(), world->text_set(), world->tc(), world->graph(),
+        world->authors(), v.options);
+    if (!scores.ok()) {
+      std::fprintf(stderr, "text prestige failed: %s\n",
+                   scores.status().ToString().c_str());
+      return 1;
+    }
+    const context::ContextSearchEngine engine(
+        world->tc(), world->onto(), world->text_set(), scores.value());
+    const auto rows =
+        PrecisionVsThreshold(engine, ac, queries, {0.15, 0.25});
+    double sd = 0;
+    int n = 0;
+    for (ontology::TermId t : contexts) {
+      if (!scores.value().HasScores(t)) continue;
+      sd += eval::NormalizedSeparabilitySd(scores.value().Scores(t));
+      ++n;
+    }
+    table.AddRow({v.name, eval::Table::Cell(rows[0].avg, 3),
+                  eval::Table::Cell(rows[1].avg, 3),
+                  eval::Table::Cell(n ? sd / n : 0.0, 2)});
+  }
+  std::printf("Ablation A3 — text prestige channel ablation\n%s",
+              table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ctxrank::bench
+
+int main(int argc, char** argv) { return ctxrank::bench::Run(argc, argv); }

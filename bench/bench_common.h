@@ -1,0 +1,124 @@
+// Shared scaffolding for the figure-reproduction benches: world
+// construction with a scale switch, and the precision-vs-threshold
+// experiment used by Figures 5.1 and 5.2.
+#ifndef CTXRANK_BENCH_BENCH_COMMON_H_
+#define CTXRANK_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "context/search_engine.h"
+#include "eval/ac_answer_set.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/query_generator.h"
+#include "eval/table.h"
+
+namespace ctxrank::bench {
+
+/// Scale selection: pass "--small" (or set CTXRANK_BENCH_SCALE=small) for a
+/// fast sanity-check run; the default reproduces at full experiment scale.
+inline eval::WorldConfig ParseConfig(int argc, char** argv) {
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) small = true;
+  }
+  const char* env = std::getenv("CTXRANK_BENCH_SCALE");
+  if (env != nullptr && std::string(env) == "small") small = true;
+  return small ? eval::WorldConfig::Small() : eval::WorldConfig::Default();
+}
+
+inline std::unique_ptr<eval::World> BuildWorldOrDie(
+    const eval::WorldConfig& config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = eval::World::Build(config);
+  if (!r.ok()) {
+    std::fprintf(stderr, "world build failed: %s\n",
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  std::printf("[world: %zu terms, %zu papers, built in %.1fs]\n",
+              r.value()->onto().size(), r.value()->corpus().size(),
+              dt.count());
+  return std::move(r).value();
+}
+
+struct PrecisionRow {
+  double threshold;
+  double avg;
+  double median;
+};
+
+/// The §5.1 precision experiment: run every query through the engine, take
+/// the papers whose relevancy passes each threshold t, score precision
+/// against the query's AC-answer set. Queries whose AC-answer set is empty
+/// are skipped (no ground truth); queries returning nothing at t count as
+/// precision 0, exactly as in the paper.
+inline std::vector<PrecisionRow> PrecisionVsThreshold(
+    const context::ContextSearchEngine& engine,
+    const eval::AcAnswerSetBuilder& ac,
+    const std::vector<eval::EvalQuery>& queries,
+    const std::vector<double>& thresholds) {
+  // Pre-run every query once; thresholds then just slice the hit lists.
+  struct QueryRun {
+    std::vector<context::SearchHit> hits;
+    std::vector<corpus::PaperId> answer;
+  };
+  std::vector<QueryRun> runs;
+  for (const auto& q : queries) {
+    QueryRun run;
+    run.answer = ac.Build(q.text);
+    if (run.answer.empty()) continue;
+    run.hits = engine.Search(q.text);
+    runs.push_back(std::move(run));
+  }
+  std::vector<PrecisionRow> rows;
+  for (double t : thresholds) {
+    std::vector<double> precisions;
+    for (const auto& run : runs) {
+      std::vector<corpus::PaperId> above;
+      for (const auto& h : run.hits) {
+        if (h.relevancy >= t) above.push_back(h.paper);
+      }
+      precisions.push_back(eval::Precision(above, run.answer));
+    }
+    rows.push_back({t, Mean(precisions), Median(precisions)});
+  }
+  return rows;
+}
+
+/// Renders the two-function comparison table for Figures 5.1/5.2.
+inline void PrintPrecisionFigure(const char* figure_name, const char* fn_a,
+                                 const char* fn_b,
+                                 const std::vector<PrecisionRow>& a,
+                                 const std::vector<PrecisionRow>& b) {
+  eval::Table table({"t", std::string("avg-") + fn_a,
+                     std::string("med-") + fn_a, std::string("avg-") + fn_b,
+                     std::string("med-") + fn_b});
+  for (size_t i = 0; i < a.size(); ++i) {
+    table.AddRow({eval::Table::Cell(a[i].threshold, 2),
+                  eval::Table::Cell(a[i].avg, 3),
+                  eval::Table::Cell(a[i].median, 3),
+                  eval::Table::Cell(b[i].avg, 3),
+                  eval::Table::Cell(b[i].median, 3)});
+  }
+  std::printf("%s\n%s", figure_name, table.ToString().c_str());
+}
+
+inline const std::vector<double>& DefaultThresholds() {
+  static const auto& kThresholds = *new std::vector<double>{
+      0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50};
+  return kThresholds;
+}
+
+}  // namespace ctxrank::bench
+
+#endif  // CTXRANK_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,172 @@
+// P1 — google-benchmark microbenchmarks for the hot paths: text analysis,
+// TF-IDF, similarity kernels, per-context PageRank, pattern matching, and
+// end-to-end query latency.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "context/search_engine.h"
+#include "corpus/corpus_generator.h"
+#include "corpus/full_text_search.h"
+#include "eval/experiment.h"
+#include "graph/pagerank.h"
+#include "ontology/ontology_generator.h"
+#include "pattern/pattern_matcher.h"
+#include "pattern/phrase_miner.h"
+#include "text/analyzer.h"
+#include "text/porter_stemmer.h"
+
+namespace ctxrank {
+namespace {
+
+const eval::World& SharedWorld() {
+  static const eval::World* const world = [] {
+    auto r = eval::World::Build(eval::WorldConfig::Small());
+    if (!r.ok()) std::abort();
+    return r.value().release();
+  }();
+  return *world;
+}
+
+std::string SampleText() {
+  const auto& w = SharedWorld();
+  return w.corpus().paper(42).abstract_text + " " +
+         w.corpus().paper(42).body;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  const text::Tokenizer tokenizer;
+  const std::string text = SampleText();
+  size_t tokens = 0;
+  for (auto _ : state) {
+    tokens += tokenizer.Tokenize(text).size();
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_PorterStem(benchmark::State& state) {
+  const std::vector<std::string> words = {
+      "transcription", "regulation",  "phosphorylation", "binding",
+      "activities",    "biosynthesis", "degradation",    "signaling"};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::PorterStem(words[i++ % words.size()]));
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_AnalyzeFullPipeline(benchmark::State& state) {
+  const text::Analyzer analyzer;
+  const std::string text = SampleText();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.Analyze(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_AnalyzeFullPipeline);
+
+void BM_TfIdfTransform(benchmark::State& state) {
+  const auto& w = SharedWorld();
+  const auto tokens = w.tc().AllTokens(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.tc().tfidf().Transform(tokens));
+  }
+}
+BENCHMARK(BM_TfIdfTransform);
+
+void BM_SparseCosine(benchmark::State& state) {
+  const auto& w = SharedWorld();
+  const auto& a = w.tc().FullVector(10);
+  const auto& b = w.tc().FullVector(20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Cosine(b));
+  }
+}
+BENCHMARK(BM_SparseCosine);
+
+void BM_ContextPageRank(benchmark::State& state) {
+  const auto& w = SharedWorld();
+  // Largest context in the text set.
+  ontology::TermId biggest = 0;
+  for (ontology::TermId t = 0; t < w.onto().size(); ++t) {
+    if (w.text_set().Members(t).size() >
+        w.text_set().Members(biggest).size()) {
+      biggest = t;
+    }
+  }
+  const graph::InducedSubgraph sub(w.graph(), w.text_set().Members(biggest));
+  for (auto _ : state) {
+    auto r = graph::ComputePageRank(sub);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["nodes"] = static_cast<double>(sub.size());
+  state.counters["edges"] = static_cast<double>(sub.num_edges());
+}
+BENCHMARK(BM_ContextPageRank);
+
+void BM_PhraseMining(benchmark::State& state) {
+  const auto& w = SharedWorld();
+  std::vector<std::vector<text::TermId>> docs;
+  for (corpus::PaperId p = 0; p < 5; ++p) docs.push_back(w.tc().AllTokens(p));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pattern::MineFrequentPhrases(docs));
+  }
+}
+BENCHMARK(BM_PhraseMining);
+
+void BM_PatternScorePaper(benchmark::State& state) {
+  const auto& w = SharedWorld();
+  // First term with patterns.
+  const auto& pr = w.pattern_result();
+  ontology::TermId term = 0;
+  for (ontology::TermId t = 0; t < w.onto().size(); ++t) {
+    if (!pr.patterns[t].empty()) {
+      term = t;
+      break;
+    }
+  }
+  const pattern::PatternMatcher matcher(w.tc());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.ScorePaper(pr.patterns[term], 42));
+  }
+}
+BENCHMARK(BM_PatternScorePaper);
+
+void BM_FullTextQuery(benchmark::State& state) {
+  const auto& w = SharedWorld();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.fts().Search("kinase signaling pathway",
+                                            0.05));
+  }
+}
+BENCHMARK(BM_FullTextQuery);
+
+void BM_ContextSearchQuery(benchmark::State& state) {
+  const auto& w = SharedWorld();
+  static const context::ContextSearchEngine& engine =
+      *new context::ContextSearchEngine(w.tc(), w.onto(), w.text_set(),
+                                        w.text_set_text_scores());
+  const std::string query = w.onto().term(w.onto().size() / 2).name;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Search(query));
+  }
+}
+BENCHMARK(BM_ContextSearchQuery);
+
+void BM_AuthorSimilarity(benchmark::State& state) {
+  const auto& w = SharedWorld();
+  const auto& a = w.corpus().paper(10);
+  const auto& b = w.corpus().paper(20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.authors().Similarity(a, b));
+  }
+}
+BENCHMARK(BM_AuthorSimilarity);
+
+}  // namespace
+}  // namespace ctxrank
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// P2 — wall-clock breakdown of the offline pipeline stages at experiment
+// scale: where does preprocessing time go? (The paper's two offline tasks
+// — context assignment and prestige computation — dominate; this bench
+// shows by how much.)
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "context/citation_prestige.h"
+#include "context/text_prestige.h"
+#include "eval/table.h"
+
+namespace ctxrank::bench {
+namespace {
+
+class StageTimer {
+ public:
+  explicit StageTimer(eval::Table* table) : table_(table) {}
+
+  template <typename Fn>
+  auto Time(const char* stage, Fn&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = fn();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    table_->AddRow({stage, eval::Table::Cell(dt.count(), 2) + "s"});
+    return result;
+  }
+
+ private:
+  eval::Table* table_;
+};
+
+int Run(int argc, char** argv) {
+  const eval::WorldConfig config = ParseConfig(argc, argv);
+  eval::Table table({"stage", "wall time"});
+  StageTimer timer(&table);
+
+  auto onto = timer.Time("generate ontology", [&] {
+    auto r = ontology::GenerateOntology(config.ontology);
+    if (!r.ok()) std::abort();
+    return std::move(r).value();
+  });
+  auto corpus = timer.Time("generate corpus", [&] {
+    auto r = corpus::GenerateCorpus(onto, config.corpus);
+    if (!r.ok()) std::abort();
+    return std::move(r).value();
+  });
+  auto tc = timer.Time("analyze text (tokenize + TF-IDF + postings)", [&] {
+    return std::make_unique<corpus::TokenizedCorpus>(corpus);
+  });
+  auto fts = timer.Time("build full-text index", [&] {
+    return std::make_unique<corpus::FullTextSearch>(*tc);
+  });
+  auto graph = timer.Time("build citation graph", [&] {
+    return std::make_unique<graph::CitationGraph>(corpus);
+  });
+  auto authors = timer.Time("build co-authorship index", [&] {
+    return std::make_unique<context::AuthorSimilarity>(corpus);
+  });
+  auto text_set = timer.Time("task 1a: text-based assignment", [&] {
+    auto r = context::BuildTextBasedAssignment(*tc, onto, *fts,
+                                               config.text_assignment);
+    if (!r.ok()) std::abort();
+    return std::move(r).value();
+  });
+  auto pattern_result = timer.Time("task 1b: pattern-based assignment "
+                                   "(mine + score + match)", [&] {
+    auto r = context::BuildPatternBasedAssignment(*tc, onto,
+                                                  config.pattern_assignment);
+    if (!r.ok()) std::abort();
+    return std::move(r).value();
+  });
+  timer.Time("task 2a: citation prestige (per-context PageRank)", [&] {
+    auto r = context::ComputeCitationPrestige(onto, text_set, *graph,
+                                              config.citation);
+    if (!r.ok()) std::abort();
+    return 0;
+  });
+  timer.Time("task 2b: text prestige (6-channel similarity)", [&] {
+    auto r = context::ComputeTextPrestige(onto, text_set, *tc, *graph,
+                                          *authors, config.text);
+    if (!r.ok()) std::abort();
+    return 0;
+  });
+  timer.Time("task 2c: pattern prestige (hierarchy combine)", [&] {
+    auto r = context::ComputePatternPrestige(onto, pattern_result,
+                                             config.pattern);
+    if (!r.ok()) std::abort();
+    return 0;
+  });
+  std::printf("P2 — offline pipeline stage timings (%zu terms, %zu "
+              "papers)\n%s",
+              onto.size(), corpus.size(), table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ctxrank::bench
+
+int main(int argc, char** argv) { return ctxrank::bench::Run(argc, argv); }

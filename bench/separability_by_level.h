@@ -1,0 +1,62 @@
+// Shared driver for Figures 5.5-5.7: score-distribution separability per
+// context level (3/5/7) for one prestige function on one context paper
+// set.
+#ifndef CTXRANK_BENCH_SEPARABILITY_BY_LEVEL_H_
+#define CTXRANK_BENCH_SEPARABILITY_BY_LEVEL_H_
+
+#include "bench/bench_common.h"
+
+namespace ctxrank::bench {
+
+/// Prints the per-level SD histogram table plus per-level average SD, and
+/// returns the per-level averages (indexed as given in `levels`).
+inline std::vector<double> PrintSeparabilityByLevel(
+    const char* figure_name, const ontology::Ontology& onto,
+    const context::ContextAssignment& assignment,
+    const context::PrestigeScores& scores, size_t min_size,
+    const std::vector<int>& levels = {3, 5, 7}) {
+  constexpr size_t kBuckets = 8;
+  constexpr double kWidth = 5.0;
+  std::vector<std::vector<double>> hist(levels.size(),
+                                        std::vector<double>(kBuckets, 0.0));
+  std::vector<double> totals(levels.size(), 0.0);
+  std::vector<double> sums(levels.size(), 0.0);
+  for (size_t li = 0; li < levels.size(); ++li) {
+    for (ontology::TermId t : assignment.ContextsWithAtLeast(min_size)) {
+      if (onto.term(t).level != levels[li]) continue;
+      if (!scores.HasScores(t)) continue;
+      const double sd = eval::NormalizedSeparabilitySd(scores.Scores(t));
+      size_t b = static_cast<size_t>(sd / kWidth);
+      if (b >= kBuckets) b = kBuckets - 1;
+      hist[li][b] += 1.0;
+      totals[li] += 1.0;
+      sums[li] += sd;
+    }
+  }
+  std::vector<std::string> header = {"SD range"};
+  for (int level : levels) header.push_back("level " + std::to_string(level));
+  eval::Table table(header);
+  for (size_t b = 0; b < kBuckets; ++b) {
+    std::vector<std::string> row = {
+        eval::Table::Cell(kWidth * static_cast<double>(b), 0) + "-" +
+        eval::Table::Cell(kWidth * static_cast<double>(b + 1), 0)};
+    for (size_t li = 0; li < levels.size(); ++li) {
+      const double pct =
+          totals[li] > 0 ? 100.0 * hist[li][b] / totals[li] : 0.0;
+      row.push_back(eval::Table::Cell(pct, 1) + "%");
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n%s\n", figure_name, table.ToString().c_str());
+  std::vector<double> averages(levels.size(), 0.0);
+  for (size_t li = 0; li < levels.size(); ++li) {
+    averages[li] = totals[li] > 0 ? sums[li] / totals[li] : 0.0;
+    std::printf("[level %d: %d contexts, avg SD %.2f]\n", levels[li],
+                static_cast<int>(totals[li]), averages[li]);
+  }
+  return averages;
+}
+
+}  // namespace ctxrank::bench
+
+#endif  // CTXRANK_BENCH_SEPARABILITY_BY_LEVEL_H_

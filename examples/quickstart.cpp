@@ -1,0 +1,99 @@
+// Quickstart: the whole context-based search pipeline in one file.
+//
+//   1. build (or load) an ontology — the context hierarchy;
+//   2. build a corpus of papers;
+//   3. assign papers to contexts and compute prestige scores;
+//   4. search: route the query to contexts, rank by
+//      R = w_p * prestige + w_m * match, merge.
+//
+// Run:  ./quickstart "kinase signaling"
+#include <cstdio>
+#include <string>
+
+#include "context/assignment_builders.h"
+#include "context/search_engine.h"
+#include "context/text_prestige.h"
+#include "corpus/corpus_generator.h"
+#include "corpus/full_text_search.h"
+#include "corpus/tokenized_corpus.h"
+#include "graph/citation_graph.h"
+#include "ontology/ontology_generator.h"
+
+namespace ctxrank {
+namespace {
+
+int Run(int argc, char** argv) {
+  const std::string query = argc > 1 ? argv[1] : "kinase signaling pathway";
+
+  // 1. A GO-like ontology of ~150 terms (use ontology::LoadOboFile to read
+  //    a real OBO subset instead).
+  ontology::OntologyGeneratorOptions onto_opts;
+  onto_opts.max_terms = 150;
+  auto onto = ontology::GenerateOntology(onto_opts);
+  if (!onto.ok()) {
+    std::fprintf(stderr, "ontology: %s\n", onto.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. A synthetic full-text corpus over it (use corpus::LoadCorpus for a
+  //    saved corpus).
+  corpus::CorpusGeneratorOptions corpus_opts;
+  corpus_opts.num_papers = 2000;
+  auto papers = corpus::GenerateCorpus(onto.value(), corpus_opts);
+  if (!papers.ok()) {
+    std::fprintf(stderr, "corpus: %s\n", papers.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Analyze text once, build the supporting structures...
+  const corpus::TokenizedCorpus tc(papers.value());
+  const corpus::FullTextSearch fts(tc);
+  const graph::CitationGraph graph(papers.value());
+  const context::AuthorSimilarity authors(papers.value());
+
+  // ...assign papers to contexts (text-based strategy, §4 of the paper)...
+  auto assignment =
+      context::BuildTextBasedAssignment(tc, onto.value(), fts);
+  if (!assignment.ok()) {
+    std::fprintf(stderr, "assignment: %s\n",
+                 assignment.status().ToString().c_str());
+    return 1;
+  }
+
+  // ...and compute text-based prestige (swap in ComputeCitationPrestige or
+  // ComputePatternPrestige to rank with the other score functions).
+  auto prestige = context::ComputeTextPrestige(
+      onto.value(), assignment.value(), tc, graph, authors);
+  if (!prestige.ok()) {
+    std::fprintf(stderr, "prestige: %s\n",
+                 prestige.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Search.
+  const context::ContextSearchEngine engine(tc, onto.value(),
+                                            assignment.value(),
+                                            prestige.value());
+  std::printf("query: \"%s\"\n\nrouted to contexts:\n", query.c_str());
+  for (const auto& cm : engine.SelectContexts(query, 5, 1e-9)) {
+    std::printf("  [%.3f] %s (level %d, %zu papers)\n", cm.score,
+                onto.value().term(cm.term).name.c_str(),
+                onto.value().term(cm.term).level,
+                assignment.value().Members(cm.term).size());
+  }
+  std::printf("\ntop results:\n");
+  const auto hits = engine.Search(query);
+  for (size_t i = 0; i < hits.size() && i < 10; ++i) {
+    const auto& h = hits[i];
+    std::printf("  %2zu. R=%.3f (prestige %.3f, match %.3f)  \"%s\"\n",
+                i + 1, h.relevancy, h.prestige, h.match,
+                papers.value().paper(h.paper).title.c_str());
+  }
+  if (hits.empty()) std::printf("  (no results)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ctxrank
+
+int main(int argc, char** argv) { return ctxrank::Run(argc, argv); }

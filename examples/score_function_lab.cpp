@@ -1,0 +1,108 @@
+// Score-function lab: the paper's §5 analysis on a single context, up
+// close. Builds the full experimental world, picks a mid-level context,
+// and shows how the three prestige functions rank the *same* papers —
+// their top-10 lists, pairwise top-k overlap and separability — so you can
+// see the citation function's sparse-graph degeneracy with your own eyes.
+//
+// Run:  ./score_function_lab            (picks a context automatically)
+//       ./score_function_lab "dna binding"   (term-name substring)
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "graph/citation_graph.h"
+
+namespace ctxrank {
+namespace {
+
+int Run(int argc, char** argv) {
+  auto config = eval::WorldConfig::Small();
+  auto world_result = eval::World::Build(config);
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "world: %s\n",
+                 world_result.status().ToString().c_str());
+    return 1;
+  }
+  const eval::World& w = *world_result.value();
+
+  // Pick the target context: by substring match if given, else the largest
+  // mid-level context that all three functions scored.
+  ontology::TermId target = ontology::kInvalidTerm;
+  const std::string needle = argc > 1 ? argv[1] : "";
+  size_t best_size = 0;
+  for (ontology::TermId t = 0; t < w.onto().size(); ++t) {
+    if (!w.pattern_set_citation_scores().HasScores(t) ||
+        !w.pattern_set_text_scores().HasScores(t) ||
+        !w.pattern_set_pattern_scores().HasScores(t)) {
+      continue;
+    }
+    if (!needle.empty()) {
+      if (w.onto().term(t).name.find(needle) != std::string::npos) {
+        target = t;
+        break;
+      }
+      continue;
+    }
+    const int level = w.onto().term(t).level;
+    if (level < 3 || level > 5) continue;
+    if (w.pattern_set().Members(t).size() > best_size) {
+      best_size = w.pattern_set().Members(t).size();
+      target = t;
+    }
+  }
+  if (target == ontology::kInvalidTerm) {
+    std::fprintf(stderr, "no matching context found\n");
+    return 1;
+  }
+
+  const auto& members = w.pattern_set().Members(target);
+  std::printf("context: \"%s\" (level %d, %zu papers)\n",
+              w.onto().term(target).name.c_str(),
+              w.onto().term(target).level, members.size());
+  const graph::InducedSubgraph sub(w.graph(), members);
+  std::printf("citation subgraph: %zu nodes, %zu edges, density %.4f\n\n",
+              sub.size(), sub.num_edges(), sub.Density());
+
+  struct Fn {
+    const char* name;
+    const context::PrestigeScores* scores;
+  };
+  const Fn fns[] = {
+      {"citation", &w.pattern_set_citation_scores()},
+      {"text", &w.pattern_set_text_scores()},
+      {"pattern", &w.pattern_set_pattern_scores()},
+  };
+
+  for (const Fn& fn : fns) {
+    const auto& scores = fn.scores->Scores(target);
+    std::printf("--- %s-based prestige: separability SD %.2f, %zu unique "
+                "values over %zu papers ---\n",
+                fn.name, eval::NormalizedSeparabilitySd(scores),
+                eval::UniqueScoreCount(scores, 1e-12), scores.size());
+    const auto top = eval::TopKWithTies(scores, 5);
+    for (size_t rank = 0; rank < top.size() && rank < 5; ++rank) {
+      const corpus::PaperId p = members[top[rank]];
+      std::printf("  %zu. [%.4f] %s\n", rank + 1, scores[top[rank]],
+                  w.corpus().paper(p).title.c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("pairwise top-10%% overlap (paper §2):\n");
+  const size_t k = std::max<size_t>(1, members.size() / 10);
+  for (size_t a = 0; a < 3; ++a) {
+    for (size_t b = a + 1; b < 3; ++b) {
+      std::printf("  %s vs %s: %.3f\n", fns[a].name, fns[b].name,
+                  eval::TopKOverlapRatio(fns[a].scores->Scores(target),
+                                         fns[b].scores->Scores(target), k));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ctxrank
+
+int main(int argc, char** argv) { return ctxrank::Run(argc, argv); }

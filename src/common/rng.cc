@@ -1,0 +1,163 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace ctxrank {
+
+namespace {
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire's nearly-divisionless method with rejection for exactness.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
+
+double Rng::NextGaussian() {
+  if (has_gauss_) {
+    has_gauss_ = false;
+    return gauss_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  gauss_ = r * std::sin(theta);
+  has_gauss_ = true;
+  return r * std::cos(theta);
+}
+
+size_t Rng::NextZipf(size_t n, double s) {
+  if (n <= 1) return 0;
+  // Rejection-inversion (Hormann & Derflinger) is overkill here; corpus
+  // generation samples at most a few million values, so the classic
+  // rejection sampler over the harmonic envelope is fast enough and exact.
+  // Draw rank r in [1, n] with P(r) proportional to r^-s.
+  const double b = std::pow(2.0, s - 1.0);
+  while (true) {
+    const double u = NextDouble();
+    const double v = NextDouble();
+    const double x = std::floor(std::pow(u, -1.0 / (s - 1.0 == 0.0 ? 1e-9 : s - 1.0)));
+    // For s == 1 the inversion above degenerates; fall back to simple CDF walk
+    // for tiny n in that case.
+    if (s <= 1.0 + 1e-12) {
+      // CDF-walk: O(n) but only taken for s ~= 1 with small n in practice.
+      double norm = 0.0;
+      for (size_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(i, s);
+      double target = u * norm, acc = 0.0;
+      for (size_t i = 1; i <= n; ++i) {
+        acc += 1.0 / std::pow(i, s);
+        if (acc >= target) return i - 1;
+      }
+      return n - 1;
+    }
+    if (x < 1.0 || x > static_cast<double>(n)) continue;
+    const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<size_t>(x) - 1;
+    }
+  }
+}
+
+int Rng::NextPoisson(double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda > 30.0) {
+    // Normal approximation with continuity correction.
+    const double v = NextGaussian() * std::sqrt(lambda) + lambda + 0.5;
+    return v < 0.0 ? 0 : static_cast<int>(v);
+  }
+  const double limit = std::exp(-lambda);
+  double prod = NextDouble();
+  int k = 0;
+  while (prod > limit) {
+    prod *= NextDouble();
+    ++k;
+  }
+  return k;
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return weights.size();
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    acc += weights[i];
+    if (acc >= target) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  std::vector<size_t> out;
+  if (k >= n) {
+    out.resize(n);
+    for (size_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  out.reserve(k);
+  // Floyd's algorithm would need a set; for the corpus-generation sizes here
+  // a partial Fisher-Yates over an index array is simpler and O(n).
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + NextBounded(n - i);
+    std::swap(idx[i], idx[j]);
+    out.push_back(idx[i]);
+  }
+  return out;
+}
+
+Rng Rng::Fork(uint64_t stream_id) const {
+  SplitMix64 sm(s_[0] ^ (stream_id * 0x9e3779b97f4a7c15ULL) ^ s_[3]);
+  return Rng(sm.Next());
+}
+
+}  // namespace ctxrank

@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation for reproducible synthetic
+// corpora and experiments. We avoid std::mt19937 + std::distributions because
+// their output is not guaranteed identical across standard library
+// implementations; all sampling here is implemented from first principles.
+#ifndef CTXRANK_COMMON_RNG_H_
+#define CTXRANK_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ctxrank {
+
+/// \brief SplitMix64: tiny, fast generator used for seeding and hashing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief Xoshiro256** — the workhorse generator. Deterministic across
+/// platforms, 2^256-1 period, passes BigCrush.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Zipf-distributed rank in [0, n) with exponent s (s > 0). Used for
+  /// skewed vocabulary and author-productivity sampling.
+  size_t NextZipf(size_t n, double s);
+
+  /// Poisson-distributed count with mean `lambda` (Knuth's algorithm for
+  /// small lambda, normal approximation above 30).
+  int NextPoisson(double lambda);
+
+  /// Samples an index proportionally to the non-negative `weights`.
+  /// Returns weights.size() if all weights are zero.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    if (v.empty()) return;
+    for (size_t i = v.size() - 1; i > 0; --i) {
+      size_t j = NextBounded(i + 1);
+      std::swap(v[i], v[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k >= n returns all of [0,n)).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator; stable given the same stream id.
+  Rng Fork(uint64_t stream_id) const;
+
+ private:
+  uint64_t s_[4];
+  // Cached second Box-Muller deviate.
+  bool has_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace ctxrank
+
+#endif  // CTXRANK_COMMON_RNG_H_

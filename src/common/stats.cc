@@ -1,0 +1,93 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace ctxrank {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  if (n % 2 == 1) return v[n / 2];
+  return 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+double Min(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::min_element(v.begin(), v.end());
+}
+
+double Max(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+}
+
+void MinMaxNormalize(std::vector<double>& v) {
+  if (v.empty()) return;
+  const double lo = Min(v), hi = Max(v);
+  const double span = hi - lo;
+  if (span <= 0.0) {
+    std::fill(v.begin(), v.end(), 0.0);
+    return;
+  }
+  for (double& x : v) x = (x - lo) / span;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {}
+
+void Histogram::Add(double v) {
+  if (counts_.empty() || width_ <= 0.0) return;
+  double pos = (v - lo_) / width_;
+  long bucket = static_cast<long>(std::floor(pos));
+  if (bucket < 0) bucket = 0;
+  if (bucket >= static_cast<long>(counts_.size())) {
+    bucket = static_cast<long>(counts_.size()) - 1;
+  }
+  ++counts_[static_cast<size_t>(bucket)];
+  ++total_;
+}
+
+void Histogram::AddAll(const std::vector<double>& vs) {
+  for (double v : vs) Add(v);
+}
+
+double Histogram::Percent(size_t bucket) const {
+  if (total_ == 0) return 0.0;
+  return 100.0 * static_cast<double>(counts_[bucket]) /
+         static_cast<double>(total_);
+}
+
+double Histogram::BucketLow(size_t bucket) const {
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    out += FormatDouble(BucketLow(b), 2) + "-" +
+           FormatDouble(BucketLow(b) + width_, 2) + ": " +
+           std::to_string(counts_[b]) + " (" + FormatDouble(Percent(b), 1) +
+           "%)\n";
+  }
+  return out;
+}
+
+}  // namespace ctxrank

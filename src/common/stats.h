@@ -1,0 +1,59 @@
+// Descriptive statistics and histogram helpers used by the evaluation
+// harness (separability standard deviations, precision aggregates).
+#ifndef CTXRANK_COMMON_STATS_H_
+#define CTXRANK_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ctxrank {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& v);
+
+/// Median (average of middle two for even sizes); 0 for an empty input.
+double Median(std::vector<double> v);
+
+/// Population standard deviation; 0 for fewer than 2 elements.
+double StdDev(const std::vector<double>& v);
+
+/// Minimum / maximum; 0 for an empty input.
+double Min(const std::vector<double>& v);
+double Max(const std::vector<double>& v);
+
+/// Rescales values to [0, 1] in place. A constant vector maps to all-zeros
+/// (so "every paper got the same score" is visible to separability metrics).
+void MinMaxNormalize(std::vector<double>& v);
+
+/// \brief Fixed-range equal-width histogram over [lo, hi]. Values outside
+/// the range are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double v);
+  void AddAll(const std::vector<double>& vs);
+
+  size_t bucket_count() const { return counts_.size(); }
+  size_t count(size_t bucket) const { return counts_[bucket]; }
+  size_t total() const { return total_; }
+
+  /// Percentage of samples in `bucket` (0 if empty histogram).
+  double Percent(size_t bucket) const;
+
+  /// Lower edge of `bucket`.
+  double BucketLow(size_t bucket) const;
+
+  /// Renders "lo-hi: count (pct%)" lines for logging.
+  std::string ToString() const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace ctxrank
+
+#endif  // CTXRANK_COMMON_STATS_H_

@@ -1,0 +1,45 @@
+// Small string helpers shared across the library.
+#ifndef CTXRANK_COMMON_STRING_UTIL_H_
+#define CTXRANK_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ctxrank {
+
+/// Splits `s` on the single character `sep`. Empty fields are kept, so
+/// "a,,b" -> {"a", "", "b"}. An empty input yields one empty field.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on any run of ASCII whitespace; never yields empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing (locale-independent).
+std::string ToLower(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double v, int digits);
+
+/// Parses a non-negative decimal integer. Returns false (leaving *out
+/// untouched) on empty input, non-digits, or overflow. Never throws —
+/// the std::stoul family throws on malformed input, which is unusable in
+/// parsers fed untrusted files.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+/// Parses a floating-point value; false on malformed input. Never throws.
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace ctxrank
+
+#endif  // CTXRANK_COMMON_STRING_UTIL_H_

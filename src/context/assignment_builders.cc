@@ -1,0 +1,195 @@
+#include "context/assignment_builders.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace ctxrank::context {
+
+namespace {
+
+using corpus::TokenizedCorpus;
+using ontology::Ontology;
+
+/// Evidence paper closest to the centroid of the evidence set.
+corpus::PaperId PickRepresentative(const TokenizedCorpus& tc,
+                                   const std::vector<PaperId>& evidence) {
+  if (evidence.empty()) return corpus::kInvalidPaper;
+  text::SparseVector centroid;
+  for (PaperId p : evidence) {
+    centroid.AddScaled(tc.FullVector(p), 1.0);
+  }
+  centroid.L2Normalize();
+  PaperId best = evidence.front();
+  double best_sim = -1.0;
+  for (PaperId p : evidence) {
+    const double sim = centroid.Cosine(tc.FullVector(p));
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<ContextAssignment> BuildTextBasedAssignment(
+    const TokenizedCorpus& tc, const Ontology& onto,
+    const corpus::FullTextSearch& search,
+    const TextAssignmentOptions& options) {
+  if (!onto.finalized()) {
+    return Status::FailedPrecondition("ontology not finalized");
+  }
+  ContextAssignment assignment(onto.size(), tc.size());
+  for (TermId term = 0; term < onto.size(); ++term) {
+    const auto& evidence = tc.corpus().Evidence(term);
+    if (evidence.empty()) continue;
+    const PaperId rep = PickRepresentative(tc, evidence);
+    assignment.SetRepresentative(term, rep);
+    // Members: similar to the representative.
+    std::vector<PaperId> members;
+    for (const corpus::FullTextHit& hit :
+         search.Search(tc.FullVector(rep), options.member_threshold)) {
+      members.push_back(hit.paper);
+      if (members.size() >= options.max_members) break;
+    }
+    members.insert(members.end(), evidence.begin(), evidence.end());
+    assignment.SetMembers(term, std::move(members));
+  }
+  return assignment;
+}
+
+TermNameStats::TermNameStats(const Ontology& onto, const TokenizedCorpus& tc)
+    : num_terms_(onto.size()) {
+  name_words_.resize(onto.size());
+  for (TermId t = 0; t < onto.size(); ++t) {
+    name_words_[t] = tc.analyzer().AnalyzeToKnownIds(onto.term(t).name,
+                                                     tc.vocabulary());
+    std::vector<text::TermId> unique = name_words_[t];
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    for (text::TermId w : unique) {
+      if (w >= counts_.size()) counts_.resize(w + 1, 0);
+      ++counts_[w];
+    }
+  }
+}
+
+double TermNameStats::NameFrequency(text::TermId word) const {
+  if (num_terms_ == 0 || word >= counts_.size()) return 0.0;
+  return static_cast<double>(counts_[word]) /
+         static_cast<double>(num_terms_);
+}
+
+Result<PatternAssignmentResult> BuildPatternBasedAssignment(
+    const TokenizedCorpus& tc, const Ontology& onto,
+    const PatternAssignmentOptions& options) {
+  if (!onto.finalized()) {
+    return Status::FailedPrecondition("ontology not finalized");
+  }
+  PatternAssignmentResult result{
+      ContextAssignment(onto.size(), tc.size()),
+      std::vector<std::vector<pattern::Pattern>>(onto.size()),
+      std::vector<TermId>(onto.size(), ontology::kInvalidTerm),
+      std::vector<std::unordered_map<PaperId, double>>(onto.size())};
+
+  const TermNameStats stats(onto, tc);
+  const pattern::PatternMatcher matcher(tc, options.matcher);
+  const double corpus_size = static_cast<double>(tc.size());
+
+  // Pass 1: per-term pattern construction, scoring and direct matching.
+  std::vector<std::vector<PaperId>> own_members(onto.size());
+  for (TermId term = 0; term < onto.size(); ++term) {
+    const auto& evidence = tc.corpus().Evidence(term);
+    if (!evidence.empty()) {
+      result.assignment.SetRepresentative(term,
+                                          PickRepresentative(tc, evidence));
+      std::vector<std::vector<text::TermId>> training;
+      training.reserve(evidence.size());
+      for (PaperId p : evidence) training.push_back(tc.AllTokens(p));
+      std::vector<pattern::Pattern> patterns = pattern::BuildPatterns(
+          training, stats.NameWords(term), options.builder);
+      // Score: coverage over the DB; selectivity over this term's name
+      // words only.
+      std::unordered_set<text::TermId> ctx_words(
+          stats.NameWords(term).begin(), stats.NameWords(term).end());
+      const pattern::PatternScorer scorer(
+          [&tc, corpus_size](const std::vector<text::TermId>& middle) {
+            std::vector<text::TermId> unique = middle;
+            std::sort(unique.begin(), unique.end());
+            unique.erase(std::unique(unique.begin(), unique.end()),
+                         unique.end());
+            const size_t n = tc.PapersContainingAll(unique).size();
+            return corpus_size == 0.0
+                       ? 1.0
+                       : static_cast<double>(n) / corpus_size;
+          },
+          [&stats, &ctx_words](text::TermId w) {
+            return ctx_words.count(w) > 0 ? stats.Selectivity(w) : 0.0;
+          });
+      scorer.ScoreAll(patterns);
+      // Direct members: candidates whose pattern-match score passes. The
+      // raw scores are cached for the pattern prestige function, which
+      // combines them across the hierarchy (max over descendants, §3).
+      std::vector<PaperId> members;
+      auto& scores = result.raw_scores[term];
+      for (PaperId p : matcher.CandidatePapers(patterns)) {
+        const double s = matcher.ScorePaper(patterns, p);
+        if (s >= options.min_match_score) {
+          members.push_back(p);
+          scores.emplace(p, s);
+          if (members.size() >= options.max_members) break;
+        }
+      }
+      own_members[term] = std::move(members);
+      result.patterns[term] = std::move(patterns);
+      result.pattern_source[term] = term;
+    }
+  }
+
+  // Pass 2: roll descendants' papers up into ancestors (paper §4).
+  std::vector<std::vector<PaperId>> rolled(onto.size());
+  for (TermId term = 0; term < onto.size(); ++term) {
+    std::vector<PaperId> all = own_members[term];
+    for (TermId d : onto.Descendants(term)) {
+      all.insert(all.end(), own_members[d].begin(), own_members[d].end());
+    }
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    rolled[term] = std::move(all);
+  }
+
+  // Pass 3: empty contexts inherit the closest non-empty ancestor's paper
+  // set, damped by RateOfDecay (paper §4).
+  for (TermId term = 0; term < onto.size(); ++term) {
+    if (!rolled[term].empty()) {
+      result.assignment.SetMembers(term, rolled[term]);
+      continue;
+    }
+    // BFS up the parents for the nearest non-empty ancestor.
+    std::deque<TermId> queue(onto.term(term).parents.begin(),
+                             onto.term(term).parents.end());
+    std::unordered_set<TermId> seen(queue.begin(), queue.end());
+    TermId found = ontology::kInvalidTerm;
+    while (!queue.empty()) {
+      const TermId u = queue.front();
+      queue.pop_front();
+      if (!rolled[u].empty()) {
+        found = u;
+        break;
+      }
+      for (TermId p : onto.term(u).parents) {
+        if (seen.insert(p).second) queue.push_back(p);
+      }
+    }
+    if (found == ontology::kInvalidTerm) continue;  // Whole branch empty.
+    result.assignment.SetMembers(term, rolled[found]);
+    result.assignment.SetInherited(term, found,
+                                   onto.RateOfDecay(found, term));
+    result.pattern_source[term] = result.pattern_source[found];
+  }
+  return result;
+}
+
+}  // namespace ctxrank::context

@@ -1,0 +1,105 @@
+// Builders for the paper's two experimental context paper sets (§4):
+//  * text-based — papers similar to the context's representative paper;
+//  * pattern-based — simplified pattern matching (middle tuples only, no
+//    extended patterns), descendant papers rolled up into ancestors, and
+//    empty contexts inheriting the closest ancestor's paper set with an
+//    information-content RateOfDecay.
+#ifndef CTXRANK_CONTEXT_ASSIGNMENT_BUILDERS_H_
+#define CTXRANK_CONTEXT_ASSIGNMENT_BUILDERS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "context/context_assignment.h"
+#include "corpus/full_text_search.h"
+#include "corpus/tokenized_corpus.h"
+#include "ontology/ontology.h"
+#include "pattern/pattern.h"
+#include "pattern/pattern_builder.h"
+#include "pattern/pattern_matcher.h"
+#include "pattern/pattern_scorer.h"
+
+namespace ctxrank::context {
+
+struct TextAssignmentOptions {
+  /// Cosine threshold for membership relative to the representative paper.
+  double member_threshold = 0.12;
+  /// Cap on members per context (top by similarity).
+  size_t max_members = 800;
+};
+
+/// Builds the text-based context paper set. For every context with
+/// evidence papers: the representative is the evidence paper closest to the
+/// evidence centroid; members are all papers whose full-text cosine with
+/// the representative passes the threshold (evidence papers always
+/// included). Contexts without evidence stay empty.
+Result<ContextAssignment> BuildTextBasedAssignment(
+    const corpus::TokenizedCorpus& tc, const ontology::Ontology& onto,
+    const corpus::FullTextSearch& search,
+    const TextAssignmentOptions& options = {});
+
+struct PatternAssignmentOptions {
+  pattern::PatternBuilderOptions builder;
+  pattern::PatternMatcherOptions matcher;
+  /// Minimum pattern-match score for membership.
+  double min_match_score = 1e-9;
+  /// Cap on members per context before roll-up.
+  size_t max_members = 2000;
+
+  PatternAssignmentOptions() {
+    // Paper §4's simplified variant: middle tuples only, no extended
+    // patterns.
+    builder.build_extended = false;
+    matcher.middle_only = true;
+  }
+};
+
+/// Pattern-based assignment plus the per-term scored pattern sets (needed
+/// again by the pattern prestige function).
+struct PatternAssignmentResult {
+  ContextAssignment assignment;
+  /// Scored patterns per term (empty for terms with no evidence).
+  std::vector<std::vector<pattern::Pattern>> patterns;
+  /// For inherited contexts: the term whose patterns effectively apply.
+  std::vector<TermId> pattern_source;
+  /// Raw pattern-match scores per term for the papers its own patterns
+  /// matched (keyed by paper). The pattern prestige function combines
+  /// these across the hierarchy.
+  std::vector<std::unordered_map<PaperId, double>> raw_scores;
+};
+
+Result<PatternAssignmentResult> BuildPatternBasedAssignment(
+    const corpus::TokenizedCorpus& tc, const ontology::Ontology& onto,
+    const PatternAssignmentOptions& options = {});
+
+/// Word-selectivity statistics over ontology term names: used by the
+/// pattern scorer's TotalTermScore (selectivity = 1 - fraction of term
+/// names containing the word).
+class TermNameStats {
+ public:
+  TermNameStats(const ontology::Ontology& onto,
+                const corpus::TokenizedCorpus& tc);
+
+  /// Analyzed (stemmed, vocabulary-interned) words of a term's name.
+  const std::vector<text::TermId>& NameWords(TermId term) const {
+    return name_words_[term];
+  }
+
+  /// Fraction of term names containing `word`, in [0, 1].
+  double NameFrequency(text::TermId word) const;
+
+  /// 1 - NameFrequency(word): rare name words are highly selective.
+  double Selectivity(text::TermId word) const {
+    return 1.0 - NameFrequency(word);
+  }
+
+ private:
+  std::vector<std::vector<text::TermId>> name_words_;
+  std::vector<uint32_t> counts_;  // Indexed by text::TermId.
+  size_t num_terms_ = 0;
+};
+
+}  // namespace ctxrank::context
+
+#endif  // CTXRANK_CONTEXT_ASSIGNMENT_BUILDERS_H_

@@ -1,0 +1,65 @@
+#include "context/author_similarity.h"
+
+#include <algorithm>
+
+namespace ctxrank::context {
+
+AuthorSimilarity::AuthorSimilarity(const corpus::Corpus& corpus,
+                                   Options options)
+    : options_(options) {
+  for (const corpus::Paper& p : corpus.papers()) {
+    for (size_t i = 0; i < p.authors.size(); ++i) {
+      for (size_t j = i + 1; j < p.authors.size(); ++j) {
+        coauthor_pairs_.insert(PairKey(p.authors[i], p.authors[j]));
+      }
+    }
+  }
+}
+
+double AuthorSimilarity::Level0(const corpus::Paper& a,
+                                const corpus::Paper& b) const {
+  if (a.authors.empty() || b.authors.empty()) return 0.0;
+  // Author lists are sorted by the corpus invariants.
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.authors.size() && j < b.authors.size()) {
+    if (a.authors[i] == b.authors[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a.authors[i] < b.authors[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = a.authors.size() + b.authors.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double AuthorSimilarity::Level1(const corpus::Paper& a,
+                                const corpus::Paper& b) const {
+  if (a.authors.empty() || b.authors.empty()) return 0.0;
+  size_t pairs = 0, linked = 0;
+  for (corpus::AuthorId x : a.authors) {
+    for (corpus::AuthorId y : b.authors) {
+      if (x == y) continue;
+      ++pairs;
+      if (AreCoauthors(x, y)) ++linked;
+    }
+  }
+  if (pairs == 0) return 0.0;
+  return static_cast<double>(linked) / static_cast<double>(pairs);
+}
+
+double AuthorSimilarity::Similarity(const corpus::Paper& a,
+                                    const corpus::Paper& b) const {
+  return options_.level0_weight * Level0(a, b) +
+         options_.level1_weight * Level1(a, b);
+}
+
+bool AuthorSimilarity::AreCoauthors(corpus::AuthorId x,
+                                    corpus::AuthorId y) const {
+  return coauthor_pairs_.count(PairKey(x, y)) > 0;
+}
+
+}  // namespace ctxrank::context

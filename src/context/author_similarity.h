@@ -1,0 +1,54 @@
+// Author-overlap similarity (paper §3.2, from Al-Hamdani [7]):
+//   SimAuthors = L0Weight * SimLevel0 + L1Weight * SimLevel1
+// Level-0: the two papers share authors. Level-1: an author of one paper
+// has co-written some third paper with an author of the other.
+#ifndef CTXRANK_CONTEXT_AUTHOR_SIMILARITY_H_
+#define CTXRANK_CONTEXT_AUTHOR_SIMILARITY_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "corpus/corpus.h"
+
+namespace ctxrank::context {
+
+struct AuthorSimilarityOptions {
+  double level0_weight = 0.7;
+  double level1_weight = 0.3;
+};
+
+/// \brief Precomputed co-authorship index over a corpus.
+class AuthorSimilarity {
+ public:
+  using Options = AuthorSimilarityOptions;
+
+  explicit AuthorSimilarity(const corpus::Corpus& corpus,
+                            Options options = {});
+
+  /// Jaccard overlap of the two papers' author lists.
+  double Level0(const corpus::Paper& a, const corpus::Paper& b) const;
+
+  /// Fraction of cross author pairs (one from each paper, distinct) that
+  /// co-authored any paper in the corpus.
+  double Level1(const corpus::Paper& a, const corpus::Paper& b) const;
+
+  /// Weighted combination per the paper's formula.
+  double Similarity(const corpus::Paper& a, const corpus::Paper& b) const;
+
+  /// True if `x` and `y` have co-authored any paper.
+  bool AreCoauthors(corpus::AuthorId x, corpus::AuthorId y) const;
+
+ private:
+  static uint64_t PairKey(corpus::AuthorId x, corpus::AuthorId y) {
+    if (x > y) std::swap(x, y);
+    return (static_cast<uint64_t>(x) << 32) | y;
+  }
+
+  Options options_;
+  std::unordered_set<uint64_t> coauthor_pairs_;
+};
+
+}  // namespace ctxrank::context
+
+#endif  // CTXRANK_CONTEXT_AUTHOR_SIMILARITY_H_

@@ -1,0 +1,35 @@
+#include "context/citation_prestige.h"
+
+#include <algorithm>
+
+namespace ctxrank::context {
+
+Result<PrestigeScores> ComputeCitationPrestige(
+    const ontology::Ontology& onto, const ContextAssignment& assignment,
+    const graph::CitationGraph& graph,
+    const CitationPrestigeOptions& options) {
+  PrestigeScores scores(assignment.num_terms());
+  for (TermId term = 0; term < assignment.num_terms(); ++term) {
+    const auto& members = assignment.Members(term);
+    if (members.empty()) continue;
+    // InducedSubgraph sorts members; ContextAssignment stores them sorted,
+    // so subgraph local id i corresponds to members[i].
+    const graph::InducedSubgraph sub(graph, members);
+    if (options.algorithm == CitationAlgorithm::kPageRank) {
+      auto pr = graph::ComputePageRank(sub, options.pagerank);
+      if (!pr.ok()) return pr.status();
+      scores.Set(term, std::move(pr).value().scores);
+    } else {
+      auto hits = graph::ComputeHits(sub, options.hits);
+      if (!hits.ok()) return hits.status();
+      scores.Set(term, std::move(hits).value().authority);
+    }
+  }
+  if (options.normalize_per_context) NormalizePerContext(scores);
+  if (options.hierarchical_max) {
+    ApplyHierarchicalMax(onto, assignment, scores);
+  }
+  return scores;
+}
+
+}  // namespace ctxrank::context

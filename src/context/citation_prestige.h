@@ -1,0 +1,49 @@
+// Citation-based prestige (paper §3.1): PageRank over the citation
+// subgraph induced by each context's member papers. Only intra-context
+// citation edges participate — a citation from outside the context must
+// not boost a paper's standing inside it.
+#ifndef CTXRANK_CONTEXT_CITATION_PRESTIGE_H_
+#define CTXRANK_CONTEXT_CITATION_PRESTIGE_H_
+
+#include "common/status.h"
+#include "context/context_assignment.h"
+#include "context/prestige.h"
+#include "graph/citation_graph.h"
+#include "graph/hits.h"
+#include "graph/pagerank.h"
+
+namespace ctxrank::context {
+
+/// Which link-analysis algorithm scores the context subgraph. The paper
+/// implements PageRank (§3.1) after citing prior work that found HITS
+/// authority and PageRank highly correlated on literature graphs; both are
+/// available here (bench/ablation_pagerank_variants re-checks the claim).
+enum class CitationAlgorithm {
+  kPageRank,
+  kHitsAuthority,
+};
+
+struct CitationPrestigeOptions {
+  CitationAlgorithm algorithm = CitationAlgorithm::kPageRank;
+  graph::PageRankOptions pagerank;
+  graph::HitsOptions hits;
+  /// Apply the §3 hierarchy max rule after scoring.
+  bool hierarchical_max = true;
+  /// Min-max normalize scores within each context. Off by default: the
+  /// relevancy combination (§3) uses the raw PageRank magnitudes — on the
+  /// sparse per-context subgraphs they are small, which is exactly the
+  /// citation function's weakness the paper measures. The separability
+  /// analysis (§5.2) normalizes as a *view* via NormalizePerContext.
+  bool normalize_per_context = false;
+};
+
+/// Computes citation prestige for every context in `assignment`. Contexts
+/// with no members get no scores.
+Result<PrestigeScores> ComputeCitationPrestige(
+    const ontology::Ontology& onto, const ContextAssignment& assignment,
+    const graph::CitationGraph& graph,
+    const CitationPrestigeOptions& options = {});
+
+}  // namespace ctxrank::context
+
+#endif  // CTXRANK_CONTEXT_CITATION_PRESTIGE_H_

@@ -1,0 +1,33 @@
+#include "context/context_assignment.h"
+
+#include <algorithm>
+
+namespace ctxrank::context {
+
+void ContextAssignment::SetMembers(TermId term, std::vector<PaperId> papers) {
+  std::sort(papers.begin(), papers.end());
+  papers.erase(std::unique(papers.begin(), papers.end()), papers.end());
+  // Rebuild the reverse index entries for this term.
+  for (PaperId p : members_[term]) {
+    auto& ctxs = contexts_of_[p];
+    ctxs.erase(std::remove(ctxs.begin(), ctxs.end(), term), ctxs.end());
+  }
+  for (PaperId p : papers) contexts_of_[p].push_back(term);
+  members_[term] = std::move(papers);
+}
+
+bool ContextAssignment::Contains(TermId term, PaperId paper) const {
+  const auto& m = members_[term];
+  return std::binary_search(m.begin(), m.end(), paper);
+}
+
+std::vector<TermId> ContextAssignment::ContextsWithAtLeast(
+    size_t min_size) const {
+  std::vector<TermId> out;
+  for (TermId t = 0; t < members_.size(); ++t) {
+    if (members_[t].size() >= min_size) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace ctxrank::context

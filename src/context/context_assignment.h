@@ -1,0 +1,76 @@
+// Paper-to-context assignment (task 1 of the paper's five-task pipeline):
+// which papers belong to which ontology-term context, how each context's
+// paper set was obtained, and the per-context representative paper.
+#ifndef CTXRANK_CONTEXT_CONTEXT_ASSIGNMENT_H_
+#define CTXRANK_CONTEXT_CONTEXT_ASSIGNMENT_H_
+
+#include <vector>
+
+#include "corpus/paper.h"
+#include "ontology/ontology.h"
+
+namespace ctxrank::context {
+
+using corpus::PaperId;
+using ontology::TermId;
+
+/// \brief Membership of papers in contexts plus assignment provenance.
+/// Built by the assignment builders in assignment.h; immutable afterwards.
+class ContextAssignment {
+ public:
+  explicit ContextAssignment(size_t num_terms, size_t num_papers)
+      : members_(num_terms),
+        representatives_(num_terms, corpus::kInvalidPaper),
+        inherited_from_(num_terms, ontology::kInvalidTerm),
+        decay_(num_terms, 1.0),
+        contexts_of_(num_papers) {}
+
+  size_t num_terms() const { return members_.size(); }
+  size_t num_papers() const { return contexts_of_.size(); }
+
+  /// Sets the member papers of `term` (sorted, unique enforced here).
+  void SetMembers(TermId term, std::vector<PaperId> papers);
+
+  /// Papers assigned to `term`.
+  const std::vector<PaperId>& Members(TermId term) const {
+    return members_[term];
+  }
+
+  /// Contexts containing `paper`.
+  const std::vector<TermId>& ContextsOf(PaperId paper) const {
+    return contexts_of_[paper];
+  }
+
+  bool Contains(TermId term, PaperId paper) const;
+
+  /// Representative paper of `term` (text-based sets), or kInvalidPaper.
+  PaperId Representative(TermId term) const { return representatives_[term]; }
+  void SetRepresentative(TermId term, PaperId paper) {
+    representatives_[term] = paper;
+  }
+
+  /// When a context had no matching papers and inherited its closest
+  /// ancestor's paper set (pattern-based sets, paper §4), records the
+  /// ancestor and the RateOfDecay damping to apply to prestige scores.
+  TermId InheritedFrom(TermId term) const { return inherited_from_[term]; }
+  double DecayFactor(TermId term) const { return decay_[term]; }
+  void SetInherited(TermId term, TermId ancestor, double decay) {
+    inherited_from_[term] = ancestor;
+    decay_[term] = decay;
+  }
+
+  /// Contexts with at least `min_size` members — the paper excludes small
+  /// contexts (<= 100 papers on the 72k corpus) from all experiments.
+  std::vector<TermId> ContextsWithAtLeast(size_t min_size) const;
+
+ private:
+  std::vector<std::vector<PaperId>> members_;
+  std::vector<PaperId> representatives_;
+  std::vector<TermId> inherited_from_;
+  std::vector<double> decay_;
+  std::vector<std::vector<TermId>> contexts_of_;
+};
+
+}  // namespace ctxrank::context
+
+#endif  // CTXRANK_CONTEXT_CONTEXT_ASSIGNMENT_H_

@@ -1,0 +1,165 @@
+#include "context/context_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ctxrank::context {
+
+namespace {
+
+std::string FormatScore(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Status SaveAssignment(const ContextAssignment& assignment,
+                      const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  f << "ctxrank-assignment v1\n";
+  f << "terms " << assignment.num_terms() << "\n";
+  f << "papers " << assignment.num_papers() << "\n";
+  for (TermId t = 0; t < assignment.num_terms(); ++t) {
+    const auto& members = assignment.Members(t);
+    if (members.empty() &&
+        assignment.Representative(t) == corpus::kInvalidPaper &&
+        assignment.InheritedFrom(t) == ontology::kInvalidTerm) {
+      continue;
+    }
+    f << "term " << t << "\n";
+    if (!members.empty()) {
+      f << "M";
+      for (PaperId p : members) f << ' ' << p;
+      f << "\n";
+    }
+    if (assignment.Representative(t) != corpus::kInvalidPaper) {
+      f << "R " << assignment.Representative(t) << "\n";
+    }
+    if (assignment.InheritedFrom(t) != ontology::kInvalidTerm) {
+      f << "I " << assignment.InheritedFrom(t) << ' '
+        << FormatScore(assignment.DecayFactor(t)) << "\n";
+    }
+  }
+  return f.good() ? Status::OK() : Status::IoError("write failed: " + path);
+}
+
+Result<ContextAssignment> LoadAssignment(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  std::string line;
+  if (!std::getline(f, line) || Trim(line) != "ctxrank-assignment v1") {
+    return Status::InvalidArgument("bad assignment header in " + path);
+  }
+  size_t terms = 0, papers = 0;
+  if (!(f >> line >> terms) || line != "terms") {
+    return Status::InvalidArgument("missing terms count");
+  }
+  if (!(f >> line >> papers) || line != "papers") {
+    return Status::InvalidArgument("missing papers count");
+  }
+  std::getline(f, line);  // Consume end of line.
+  ContextAssignment assignment(terms, papers);
+  TermId current = ontology::kInvalidTerm;
+  while (std::getline(f, line)) {
+    const std::string_view lv = Trim(line);
+    if (lv.empty()) continue;
+    const auto fields = SplitWhitespace(lv);
+    uint64_t parsed = 0;
+    if (fields[0] == "term") {
+      if (fields.size() != 2 || !ParseUint64(fields[1], &parsed)) {
+        return Status::InvalidArgument("bad term line");
+      }
+      current = static_cast<TermId>(parsed);
+      if (current >= terms) {
+        return Status::InvalidArgument("term id out of range");
+      }
+    } else if (current == ontology::kInvalidTerm) {
+      return Status::InvalidArgument("record before first term: " +
+                                     std::string(lv));
+    } else if (fields[0] == "M") {
+      std::vector<PaperId> members;
+      members.reserve(fields.size() - 1);
+      for (size_t i = 1; i < fields.size(); ++i) {
+        if (!ParseUint64(fields[i], &parsed) || parsed >= papers) {
+          return Status::InvalidArgument("paper id out of range");
+        }
+        members.push_back(static_cast<PaperId>(parsed));
+      }
+      assignment.SetMembers(current, std::move(members));
+    } else if (fields[0] == "R" && fields.size() == 2) {
+      if (!ParseUint64(fields[1], &parsed)) {
+        return Status::InvalidArgument("bad representative line");
+      }
+      assignment.SetRepresentative(current, static_cast<PaperId>(parsed));
+    } else if (fields[0] == "I" && fields.size() == 3) {
+      double decay = 0.0;
+      if (!ParseUint64(fields[1], &parsed) ||
+          !ParseDouble(fields[2], &decay)) {
+        return Status::InvalidArgument("bad inheritance line");
+      }
+      assignment.SetInherited(current, static_cast<TermId>(parsed), decay);
+    } else {
+      return Status::InvalidArgument("unparsable line: " + std::string(lv));
+    }
+  }
+  return assignment;
+}
+
+Status SavePrestige(const PrestigeScores& scores, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  f << "ctxrank-prestige v1\n";
+  f << "terms " << scores.num_terms() << "\n";
+  for (TermId t = 0; t < scores.num_terms(); ++t) {
+    if (!scores.HasScores(t)) continue;
+    f << t;
+    for (double v : scores.Scores(t)) f << ' ' << FormatScore(v);
+    f << "\n";
+  }
+  return f.good() ? Status::OK() : Status::IoError("write failed: " + path);
+}
+
+Result<PrestigeScores> LoadPrestige(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  std::string line;
+  if (!std::getline(f, line) || Trim(line) != "ctxrank-prestige v1") {
+    return Status::InvalidArgument("bad prestige header in " + path);
+  }
+  size_t terms = 0;
+  if (!(f >> line >> terms) || line != "terms") {
+    return Status::InvalidArgument("missing terms count");
+  }
+  std::getline(f, line);
+  PrestigeScores scores(terms);
+  while (std::getline(f, line)) {
+    const std::string_view lv = Trim(line);
+    if (lv.empty()) continue;
+    const auto fields = SplitWhitespace(lv);
+    uint64_t parsed = 0;
+    if (!ParseUint64(fields[0], &parsed) || parsed >= terms) {
+      return Status::InvalidArgument("term id out of range");
+    }
+    const auto term = static_cast<TermId>(parsed);
+    std::vector<double> values;
+    values.reserve(fields.size() - 1);
+    for (size_t i = 1; i < fields.size(); ++i) {
+      double v = 0.0;
+      if (!ParseDouble(fields[i], &v)) {
+        return Status::InvalidArgument("bad score value");
+      }
+      values.push_back(v);
+    }
+    scores.Set(term, std::move(values));
+  }
+  return scores;
+}
+
+}  // namespace ctxrank::context

@@ -1,0 +1,32 @@
+// Persistence for the expensive precomputed artifacts — context
+// assignments and prestige scores — so the paper's two query-independent
+// preprocessing steps (assign papers to contexts, compute prestige) can be
+// run once and reloaded by later sessions.
+#ifndef CTXRANK_CONTEXT_CONTEXT_IO_H_
+#define CTXRANK_CONTEXT_CONTEXT_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "context/context_assignment.h"
+#include "context/prestige.h"
+
+namespace ctxrank::context {
+
+/// Serializes an assignment (members, representatives, inheritance).
+Status SaveAssignment(const ContextAssignment& assignment,
+                      const std::string& path);
+
+/// Loads an assignment saved by SaveAssignment. `num_papers` must match
+/// the corpus the assignment was built over.
+Result<ContextAssignment> LoadAssignment(const std::string& path);
+
+/// Serializes prestige scores (per-term score vectors).
+Status SavePrestige(const PrestigeScores& scores, const std::string& path);
+
+/// Loads prestige scores saved by SavePrestige.
+Result<PrestigeScores> LoadPrestige(const std::string& path);
+
+}  // namespace ctxrank::context
+
+#endif  // CTXRANK_CONTEXT_CONTEXT_IO_H_

@@ -1,0 +1,110 @@
+#include "context/cross_context_prestige.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ctxrank::context {
+
+namespace {
+
+/// All terms hierarchically related to `c` (ancestors, descendants, self).
+std::unordered_set<TermId> RelatedTerms(const ontology::Ontology& onto,
+                                        TermId c) {
+  std::unordered_set<TermId> related;
+  related.insert(c);
+  for (TermId a : onto.Ancestors(c)) related.insert(a);
+  for (TermId d : onto.Descendants(c)) related.insert(d);
+  return related;
+}
+
+}  // namespace
+
+Result<PrestigeScores> ComputeCrossContextCitationPrestige(
+    const ontology::Ontology& onto, const ContextAssignment& assignment,
+    const graph::CitationGraph& graph, const CrossContextOptions& options) {
+  if (options.pagerank.d <= 0.0 || options.pagerank.d >= 1.0) {
+    return Status::InvalidArgument("PageRank d must be in (0, 1)");
+  }
+  PrestigeScores scores(assignment.num_terms());
+  for (TermId term = 0; term < assignment.num_terms(); ++term) {
+    const auto& members = assignment.Members(term);
+    if (members.empty()) continue;
+    const std::unordered_set<TermId> related = RelatedTerms(onto, term);
+    // Node set: members plus their one-hop citation neighborhood.
+    std::unordered_map<corpus::PaperId, uint32_t> local;
+    std::vector<corpus::PaperId> nodes;
+    auto intern = [&](corpus::PaperId p) {
+      auto [it, added] = local.emplace(p, nodes.size());
+      if (added) nodes.push_back(p);
+      return it->second;
+    };
+    for (PaperId m : members) intern(m);
+    const size_t num_members = nodes.size();
+    for (PaperId m : members) {
+      for (PaperId n : graph.OutNeighbors(m)) intern(n);
+      for (PaperId n : graph.InNeighbors(m)) intern(n);
+    }
+    const size_t n = nodes.size();
+    // Weight of a paper as an edge endpoint relative to this context.
+    auto endpoint_weight = [&](uint32_t local_id) {
+      if (local_id < num_members) return options.in_context_weight;
+      for (TermId c : assignment.ContextsOf(nodes[local_id])) {
+        if (related.count(c) > 0) return options.related_weight;
+      }
+      return options.unrelated_weight;
+    };
+    // Build weighted adjacency among the node set. An edge's weight is the
+    // smaller of its endpoints' context affinities (an edge is only as
+    // trustworthy as its least-related endpoint).
+    std::vector<std::vector<std::pair<uint32_t, double>>> adj(n);
+    std::vector<double> out_weight(n, 0.0);
+    for (uint32_t u = 0; u < n; ++u) {
+      for (PaperId dst : graph.OutNeighbors(nodes[u])) {
+        auto it = local.find(dst);
+        if (it == local.end()) continue;
+        const double w =
+            std::min(endpoint_weight(u), endpoint_weight(it->second));
+        if (w <= 0.0) continue;
+        adj[u].push_back({it->second, w});
+        out_weight[u] += w;
+      }
+    }
+    // Weighted power iteration.
+    const double d = options.pagerank.d;
+    const double inv_n = 1.0 / static_cast<double>(n);
+    std::vector<double> cur(n, inv_n), next(n);
+    for (int iter = 0; iter < options.pagerank.max_iterations; ++iter) {
+      std::fill(next.begin(), next.end(), 0.0);
+      double dangling = 0.0;
+      for (uint32_t u = 0; u < n; ++u) {
+        if (adj[u].empty()) {
+          dangling += cur[u];
+          continue;
+        }
+        const double base = (1.0 - d) * cur[u] / out_weight[u];
+        for (const auto& [v, w] : adj[u]) next[v] += base * w;
+      }
+      const double teleport = d * inv_n + (1.0 - d) * dangling * inv_n;
+      for (double& x : next) x += teleport;
+      double delta = 0.0;
+      for (size_t i = 0; i < n; ++i) delta += std::fabs(next[i] - cur[i]);
+      cur.swap(next);
+      if (delta < options.pagerank.tolerance) break;
+    }
+    // Only members receive scores in this context.
+    std::vector<double> member_scores(members.size());
+    for (size_t i = 0; i < members.size(); ++i) {
+      member_scores[i] = cur[local.at(members[i])];
+    }
+    scores.Set(term, std::move(member_scores));
+  }
+  if (options.normalize_per_context) NormalizePerContext(scores);
+  if (options.hierarchical_max) {
+    ApplyHierarchicalMax(onto, assignment, scores);
+  }
+  return scores;
+}
+
+}  // namespace ctxrank::context

@@ -1,0 +1,44 @@
+// The paper's §7 future-work variant, implemented as an extension: instead
+// of *omitting* citation edges that cross a context boundary, weight them —
+// smallest weight when the citing paper's contexts are unrelated to the
+// target context, higher when hierarchically related, highest for edges
+// inside the context. Evaluated against the hard-restriction baseline in
+// bench/ablation_cross_context.
+#ifndef CTXRANK_CONTEXT_CROSS_CONTEXT_PRESTIGE_H_
+#define CTXRANK_CONTEXT_CROSS_CONTEXT_PRESTIGE_H_
+
+#include "common/status.h"
+#include "context/context_assignment.h"
+#include "context/prestige.h"
+#include "graph/citation_graph.h"
+#include "graph/pagerank.h"
+
+namespace ctxrank::context {
+
+struct CrossContextOptions {
+  /// Edge weight when the external endpoint shares no hierarchically
+  /// related context with the target context.
+  double unrelated_weight = 0.1;
+  /// Edge weight when the external endpoint resides in an ancestor or
+  /// descendant of the target context.
+  double related_weight = 0.5;
+  /// Weight of intra-context edges ("highest" in §7).
+  double in_context_weight = 1.0;
+  graph::PageRankOptions pagerank;
+  bool hierarchical_max = true;
+  /// See CitationPrestigeOptions::normalize_per_context.
+  bool normalize_per_context = false;
+};
+
+/// Weighted-PageRank citation prestige including cross-context edges.
+/// External papers participate as score donors only: a member's score may
+/// be boosted by citations from outside, but non-members receive no score
+/// in this context.
+Result<PrestigeScores> ComputeCrossContextCitationPrestige(
+    const ontology::Ontology& onto, const ContextAssignment& assignment,
+    const graph::CitationGraph& graph,
+    const CrossContextOptions& options = {});
+
+}  // namespace ctxrank::context
+
+#endif  // CTXRANK_CONTEXT_CROSS_CONTEXT_PRESTIGE_H_

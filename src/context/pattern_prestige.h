@@ -1,0 +1,36 @@
+// Pattern-based prestige (paper §3.3): Score(P) = sum over matching
+// patterns of pattern confidence times matching strength, combined across
+// the hierarchy (a paper rolled up from a descendant context keeps its
+// best descendant score, §3/§4) and damped by RateOfDecay for contexts
+// that inherited an ancestor's paper set.
+#ifndef CTXRANK_CONTEXT_PATTERN_PRESTIGE_H_
+#define CTXRANK_CONTEXT_PATTERN_PRESTIGE_H_
+
+#include "common/status.h"
+#include "context/assignment_builders.h"
+#include "context/prestige.h"
+
+namespace ctxrank::context {
+
+struct PatternPrestigeOptions {
+  /// Apply the §3 hierarchy max rule after scoring (off by default: the
+  /// raw-score combination below already takes the max over descendants).
+  bool hierarchical_max = false;
+  /// Min-max normalize within each context (off: scores are squashed to
+  /// [0, 1) via s/(1+s), preserving ranking while staying comparable to
+  /// the text-matching cosine in the relevancy combination).
+  bool normalize_per_context = false;
+};
+
+/// Computes pattern prestige for every context of a pattern-based
+/// assignment. A member paper's raw score in context c is the max of its
+/// cached pattern-match scores over c and c's descendants; inherited
+/// contexts score with the inherited source's sets, multiplied by the
+/// recorded RateOfDecay.
+Result<PrestigeScores> ComputePatternPrestige(
+    const ontology::Ontology& onto, const PatternAssignmentResult& pa,
+    const PatternPrestigeOptions& options = {});
+
+}  // namespace ctxrank::context
+
+#endif  // CTXRANK_CONTEXT_PATTERN_PRESTIGE_H_

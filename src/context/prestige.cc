@@ -1,0 +1,75 @@
+#include "context/prestige.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace ctxrank::context {
+
+std::string PrestigeKindName(PrestigeKind kind) {
+  switch (kind) {
+    case PrestigeKind::kCitation: return "citation";
+    case PrestigeKind::kText: return "text";
+    case PrestigeKind::kPattern: return "pattern";
+  }
+  return "unknown";
+}
+
+double PrestigeScores::ScoreOf(const ContextAssignment& assignment,
+                               TermId term, PaperId paper) const {
+  const auto& members = assignment.Members(term);
+  const auto it = std::lower_bound(members.begin(), members.end(), paper);
+  if (it == members.end() || *it != paper) return 0.0;
+  const size_t idx = static_cast<size_t>(it - members.begin());
+  if (idx >= scores_[term].size()) return 0.0;
+  return scores_[term][idx];
+}
+
+void ApplyHierarchicalMax(const ontology::Ontology& onto,
+                          const ContextAssignment& assignment,
+                          PrestigeScores& scores) {
+  // Process ancestors using each context's descendant closure. Scores are
+  // read from a frozen copy so the rule applies to the original values
+  // (max over {c} ∪ descendants), not to already-lifted ones — lifting
+  // twice would propagate scores across unrelated branches.
+  std::vector<std::vector<double>> frozen(scores.num_terms());
+  for (TermId t = 0; t < scores.num_terms(); ++t) {
+    frozen[t] = scores.Scores(t);
+  }
+  for (TermId t = 0; t < scores.num_terms(); ++t) {
+    if (frozen[t].empty()) continue;
+    const std::vector<TermId> descendants = onto.Descendants(t);
+    if (descendants.empty()) continue;
+    std::vector<double> lifted = frozen[t];
+    const auto& members = assignment.Members(t);
+    for (TermId d : descendants) {
+      if (frozen[d].empty()) continue;
+      const auto& dmembers = assignment.Members(d);
+      // Both member lists are sorted: merge-walk them.
+      size_t i = 0, j = 0;
+      while (i < members.size() && j < dmembers.size()) {
+        if (members[i] == dmembers[j]) {
+          lifted[i] = std::max(lifted[i], frozen[d][j]);
+          ++i;
+          ++j;
+        } else if (members[i] < dmembers[j]) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+    }
+    scores.Set(t, std::move(lifted));
+  }
+}
+
+void NormalizePerContext(PrestigeScores& scores) {
+  for (TermId t = 0; t < scores.num_terms(); ++t) {
+    if (!scores.HasScores(t)) continue;
+    std::vector<double> v = scores.Scores(t);
+    MinMaxNormalize(v);
+    scores.Set(t, std::move(v));
+  }
+}
+
+}  // namespace ctxrank::context

@@ -1,0 +1,68 @@
+// Prestige scores (task 2 of the paper's pipeline — the subject of the
+// paper): per-context paper importance, computed by one of three score
+// functions (citation-, text-, pattern-based) and stored aligned with the
+// context's member list.
+#ifndef CTXRANK_CONTEXT_PRESTIGE_H_
+#define CTXRANK_CONTEXT_PRESTIGE_H_
+
+#include <string>
+#include <vector>
+
+#include "context/context_assignment.h"
+#include "ontology/ontology.h"
+
+namespace ctxrank::context {
+
+enum class PrestigeKind {
+  kCitation = 0,
+  kText = 1,
+  kPattern = 2,
+};
+
+std::string PrestigeKindName(PrestigeKind kind);
+
+/// \brief Prestige scores for every context: scores_[term][i] is the score
+/// of assignment.Members(term)[i]. Scores are min-max normalized to [0, 1]
+/// within each context (so they are comparable with the text-matching score
+/// in the relevancy combination and across contexts after hierarchy
+/// roll-up).
+class PrestigeScores {
+ public:
+  explicit PrestigeScores(size_t num_terms) : scores_(num_terms) {}
+
+  size_t num_terms() const { return scores_.size(); }
+
+  /// `scores` must be aligned with the term's member vector.
+  void Set(TermId term, std::vector<double> scores) {
+    scores_[term] = std::move(scores);
+  }
+
+  const std::vector<double>& Scores(TermId term) const {
+    return scores_[term];
+  }
+
+  /// True if the function assigned scores to this context at all (e.g.
+  /// text scores exist only for contexts with a representative, §4).
+  bool HasScores(TermId term) const { return !scores_[term].empty(); }
+
+  /// Score of `paper` in `term`, or 0 if absent.
+  double ScoreOf(const ContextAssignment& assignment, TermId term,
+                 PaperId paper) const;
+
+ private:
+  std::vector<std::vector<double>> scores_;
+};
+
+/// Applies the paper's hierarchy rule (§3): a paper residing in context c
+/// and in c's descendants takes the *max* of its scores there. Operates in
+/// place; contexts without scores are skipped.
+void ApplyHierarchicalMax(const ontology::Ontology& onto,
+                          const ContextAssignment& assignment,
+                          PrestigeScores& scores);
+
+/// Min-max normalizes every context's score vector in place.
+void NormalizePerContext(PrestigeScores& scores);
+
+}  // namespace ctxrank::context
+
+#endif  // CTXRANK_CONTEXT_PRESTIGE_H_

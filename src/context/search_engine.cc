@@ -1,0 +1,110 @@
+#include "context/search_engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "ontology/semantic_similarity.h"
+
+namespace ctxrank::context {
+
+ContextSearchEngine::ContextSearchEngine(const corpus::TokenizedCorpus& tc,
+                                         const ontology::Ontology& onto,
+                                         const ContextAssignment& assignment,
+                                         const PrestigeScores& prestige)
+    : tc_(&tc), onto_(&onto), assignment_(&assignment), prestige_(&prestige) {
+  name_vectors_.reserve(onto.size());
+  for (TermId t = 0; t < onto.size(); ++t) {
+    const auto ids =
+        tc.analyzer().AnalyzeToKnownIds(onto.term(t).name, tc.vocabulary());
+    name_vectors_.push_back(tc.tfidf().TransformQuery(ids));
+  }
+}
+
+std::vector<ContextMatch> ContextSearchEngine::SelectContexts(
+    std::string_view query, size_t max_contexts, double min_score) const {
+  const auto ids =
+      tc_->analyzer().AnalyzeToKnownIds(query, tc_->vocabulary());
+  const text::SparseVector qv = tc_->tfidf().TransformQuery(ids);
+  std::vector<ContextMatch> matches;
+  for (TermId t = 0; t < onto_->size(); ++t) {
+    if (assignment_->Members(t).empty()) continue;
+    const double score = qv.Cosine(name_vectors_[t]);
+    if (score >= min_score && score > 0.0) matches.push_back({t, score});
+  }
+  std::sort(matches.begin(), matches.end(),
+            [this](const ContextMatch& a, const ContextMatch& b) {
+              if (a.score != b.score) return a.score > b.score;
+              // More specific (deeper) contexts first on ties.
+              const int la = onto_->term(a.term).level;
+              const int lb = onto_->term(b.term).level;
+              if (la != lb) return la > lb;
+              return a.term < b.term;
+            });
+  if (matches.size() > max_contexts) matches.resize(max_contexts);
+  return matches;
+}
+
+double ContextSearchEngine::Relevancy(const text::SparseVector& query_vec,
+                                      TermId context, PaperId paper,
+                                      const RelevancyWeights& weights) const {
+  const double prestige =
+      prestige_->ScoreOf(*assignment_, context, paper);
+  const double match = query_vec.Cosine(tc_->FullVector(paper));
+  return weights.prestige * prestige + weights.matching * match;
+}
+
+std::vector<SearchHit> ContextSearchEngine::Search(
+    std::string_view query, const SearchOptions& options) const {
+  const auto ids =
+      tc_->analyzer().AnalyzeToKnownIds(query, tc_->vocabulary());
+  const text::SparseVector qv = tc_->tfidf().TransformQuery(ids);
+  std::vector<ContextMatch> contexts =
+      SelectContexts(query, options.max_contexts, options.min_context_score);
+  if (options.semantic_expansion > 0) {
+    std::unordered_map<TermId, double> extra;
+    for (const ContextMatch& cm : contexts) {
+      for (TermId t : ontology::MostSimilarTerms(
+               *onto_, cm.term, options.semantic_expansion)) {
+        if (assignment_->Members(t).empty()) continue;
+        const double score =
+            cm.score * ontology::LinSimilarity(*onto_, cm.term, t);
+        auto it = extra.find(t);
+        if (it == extra.end() || score > it->second) extra[t] = score;
+      }
+    }
+    for (const ContextMatch& cm : contexts) extra.erase(cm.term);
+    for (const auto& [t, score] : extra) {
+      if (score >= options.min_context_score) contexts.push_back({t, score});
+    }
+  }
+  // Merge: a paper found in several selected contexts keeps its best
+  // relevancy.
+  std::unordered_map<PaperId, SearchHit> merged;
+  for (const ContextMatch& cm : contexts) {
+    if (!prestige_->HasScores(cm.term)) continue;
+    const auto& members = assignment_->Members(cm.term);
+    const auto& scores = prestige_->Scores(cm.term);
+    for (size_t i = 0; i < members.size(); ++i) {
+      const double match = qv.Cosine(tc_->FullVector(members[i]));
+      const double prestige = i < scores.size() ? scores[i] : 0.0;
+      const double r = options.weights.prestige * prestige +
+                       options.weights.matching * match;
+      if (r < options.min_relevancy) continue;
+      auto it = merged.find(members[i]);
+      if (it == merged.end() || r > it->second.relevancy) {
+        merged[members[i]] = {members[i], r, cm.term, prestige, match};
+      }
+    }
+  }
+  std::vector<SearchHit> hits;
+  hits.reserve(merged.size());
+  for (auto& [paper, hit] : merged) hits.push_back(hit);
+  std::sort(hits.begin(), hits.end(), [](const SearchHit& a,
+                                         const SearchHit& b) {
+    if (a.relevancy != b.relevancy) return a.relevancy > b.relevancy;
+    return a.paper < b.paper;
+  });
+  return hits;
+}
+
+}  // namespace ctxrank::context

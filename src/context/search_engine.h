@@ -1,0 +1,88 @@
+// Context-based search (tasks 3-5 of the paper's pipeline): select the
+// contexts relevant to a keyword query, search within them, rank each
+// context's papers by relevancy
+//   R(p, q, c) = w_prestige * Prestige(p, c) + w_matching * Match(p, q),
+// and merge per-context result lists into one output.
+#ifndef CTXRANK_CONTEXT_SEARCH_ENGINE_H_
+#define CTXRANK_CONTEXT_SEARCH_ENGINE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "context/context_assignment.h"
+#include "context/prestige.h"
+#include "corpus/tokenized_corpus.h"
+#include "ontology/ontology.h"
+
+namespace ctxrank::context {
+
+struct RelevancyWeights {
+  double prestige = 0.4;
+  double matching = 0.6;
+};
+
+struct SearchOptions {
+  /// How many contexts a query is routed to.
+  size_t max_contexts = 5;
+  /// Minimum query/term-name overlap for a context to be selectable.
+  double min_context_score = 1e-9;
+  /// Papers below this relevancy are dropped from the output.
+  double min_relevancy = 0.0;
+  RelevancyWeights weights;
+  /// Semantic expansion: for each lexically selected context, also search
+  /// its most Lin-similar contexts (Resnik/Lin over the ontology,
+  /// reference [13]). 0 disables expansion. Expanded contexts inherit the
+  /// seed's match score scaled by the Lin similarity.
+  size_t semantic_expansion = 0;
+};
+
+struct ContextMatch {
+  TermId term;
+  double score;
+};
+
+struct SearchHit {
+  PaperId paper;
+  /// Merged relevancy (max over the selected contexts containing it).
+  double relevancy;
+  /// Context that produced the winning relevancy.
+  TermId context;
+  double prestige;
+  double match;
+};
+
+/// \brief The end-to-end context-based search engine over one assignment
+/// and one prestige function. All referenced objects must outlive it.
+class ContextSearchEngine {
+ public:
+  ContextSearchEngine(const corpus::TokenizedCorpus& tc,
+                      const ontology::Ontology& onto,
+                      const ContextAssignment& assignment,
+                      const PrestigeScores& prestige);
+
+  /// Task 3: contexts ranked by query/term-name match (TF-IDF cosine over
+  /// term names, specific contexts preferred on ties).
+  std::vector<ContextMatch> SelectContexts(std::string_view query,
+                                           size_t max_contexts,
+                                           double min_score) const;
+
+  /// Tasks 4+5: full search. Hits are sorted by descending relevancy.
+  std::vector<SearchHit> Search(std::string_view query,
+                                const SearchOptions& options = {}) const;
+
+  /// Relevancy of one paper for an already-built query vector.
+  double Relevancy(const text::SparseVector& query_vec, TermId context,
+                   PaperId paper, const RelevancyWeights& weights) const;
+
+ private:
+  const corpus::TokenizedCorpus* tc_;
+  const ontology::Ontology* onto_;
+  const ContextAssignment* assignment_;
+  const PrestigeScores* prestige_;
+  /// TF-IDF vectors of every term name (for context selection).
+  std::vector<text::SparseVector> name_vectors_;
+};
+
+}  // namespace ctxrank::context
+
+#endif  // CTXRANK_CONTEXT_SEARCH_ENGINE_H_

@@ -1,0 +1,56 @@
+#include "context/text_prestige.h"
+
+#include "graph/citation_similarity.h"
+
+namespace ctxrank::context {
+
+double TextPairSimilarity(const corpus::TokenizedCorpus& tc,
+                          const graph::CitationGraph& graph,
+                          const AuthorSimilarity& authors,
+                          const TextPrestigeOptions& options, PaperId a,
+                          PaperId b) {
+  double sim = 0.0;
+  for (int s = 0; s < corpus::kNumTextSections; ++s) {
+    if (options.section_weights[s] == 0.0) continue;
+    sim += options.section_weights[s] *
+           tc.SectionVector(a, static_cast<corpus::Section>(s))
+               .Cosine(tc.SectionVector(b, static_cast<corpus::Section>(s)));
+  }
+  if (options.author_weight != 0.0) {
+    sim += options.author_weight *
+           authors.Similarity(tc.corpus().paper(a), tc.corpus().paper(b));
+  }
+  if (options.reference_weight != 0.0) {
+    sim += options.reference_weight *
+           graph::CitationSimilarity(graph, a, b, options.bib_weight);
+  }
+  return sim;
+}
+
+Result<PrestigeScores> ComputeTextPrestige(
+    const ontology::Ontology& onto, const ContextAssignment& assignment,
+    const corpus::TokenizedCorpus& tc, const graph::CitationGraph& graph,
+    const AuthorSimilarity& authors,
+    const TextPrestigeOptions& options) {
+  PrestigeScores scores(assignment.num_terms());
+  for (TermId term = 0; term < assignment.num_terms(); ++term) {
+    const PaperId rep = assignment.Representative(term);
+    if (rep == corpus::kInvalidPaper) continue;
+    const auto& members = assignment.Members(term);
+    if (members.empty()) continue;
+    std::vector<double> s;
+    s.reserve(members.size());
+    for (PaperId p : members) {
+      s.push_back(
+          TextPairSimilarity(tc, graph, authors, options, p, rep));
+    }
+    scores.Set(term, std::move(s));
+  }
+  if (options.normalize_per_context) NormalizePerContext(scores);
+  if (options.hierarchical_max) {
+    ApplyHierarchicalMax(onto, assignment, scores);
+  }
+  return scores;
+}
+
+}  // namespace ctxrank::context

@@ -1,0 +1,55 @@
+// Text-based prestige (paper §3.2): similarity between each member paper
+// and the context's representative paper, summed over weighted channels —
+// title, abstract, body, index terms (TF-IDF cosines), authors
+// (Level-0/Level-1 overlap) and references (bibliographic coupling +
+// co-citation).
+#ifndef CTXRANK_CONTEXT_TEXT_PRESTIGE_H_
+#define CTXRANK_CONTEXT_TEXT_PRESTIGE_H_
+
+#include "common/status.h"
+#include "context/author_similarity.h"
+#include "context/context_assignment.h"
+#include "context/prestige.h"
+#include "corpus/tokenized_corpus.h"
+#include "graph/citation_graph.h"
+
+namespace ctxrank::context {
+
+struct TextPrestigeOptions {
+  /// Channel weights i in {title, abstract, body, index terms}.
+  double section_weights[corpus::kNumTextSections] = {0.20, 0.20, 0.20,
+                                                      0.10};
+  /// Weight of the author channel (SimAuthors).
+  double author_weight = 0.15;
+  /// Weight of the reference channel (SimReferences).
+  double reference_weight = 0.15;
+  /// Level-0/Level-1 author-overlap weights.
+  AuthorSimilarity::Options author;
+  /// BibWeight in SimReferences = BibWeight*bib + (1-BibWeight)*cocitation.
+  double bib_weight = 0.5;
+  /// Apply the §3 hierarchy max rule after scoring.
+  bool hierarchical_max = true;
+  /// Min-max normalize within each context (off: raw weighted similarity,
+  /// naturally in [0, 1], feeds the relevancy combination directly).
+  bool normalize_per_context = false;
+};
+
+/// Computes text prestige for every context that has a representative
+/// paper; other contexts get no scores (exactly the paper's situation in
+/// §4, where text scores exist only for the 5,632 contexts with
+/// representatives).
+Result<PrestigeScores> ComputeTextPrestige(
+    const ontology::Ontology& onto, const ContextAssignment& assignment,
+    const corpus::TokenizedCorpus& tc, const graph::CitationGraph& graph,
+    const AuthorSimilarity& authors, const TextPrestigeOptions& options = {});
+
+/// The §3.2 channel sum for one paper pair (exposed for tests/ablations).
+double TextPairSimilarity(const corpus::TokenizedCorpus& tc,
+                          const graph::CitationGraph& graph,
+                          const AuthorSimilarity& authors,
+                          const TextPrestigeOptions& options, PaperId a,
+                          PaperId b);
+
+}  // namespace ctxrank::context
+
+#endif  // CTXRANK_CONTEXT_TEXT_PRESTIGE_H_

@@ -1,0 +1,39 @@
+#include "corpus/corpus.h"
+
+#include <unordered_set>
+
+namespace ctxrank::corpus {
+
+Status Corpus::Add(Paper paper) {
+  if (paper.id != papers_.size()) {
+    return Status::InvalidArgument("paper id must equal corpus size");
+  }
+  std::unordered_set<PaperId> seen;
+  for (PaperId ref : paper.references) {
+    if (ref >= paper.id) {
+      return Status::InvalidArgument(
+          "paper " + std::to_string(paper.id) + " cites non-earlier paper " +
+          std::to_string(ref));
+    }
+    if (!seen.insert(ref).second) {
+      return Status::InvalidArgument("duplicate reference in paper " +
+                                     std::to_string(paper.id));
+    }
+  }
+  papers_.push_back(std::move(paper));
+  return Status::OK();
+}
+
+void Corpus::AddEvidence(ontology::TermId term, PaperId paper) {
+  if (term >= evidence_.size()) evidence_.resize(term + 1);
+  evidence_[term].push_back(paper);
+}
+
+const std::vector<PaperId>& Corpus::Evidence(ontology::TermId term) const {
+  // Leaked singleton: statics must be trivially destructible (style guide).
+  static const auto& kEmpty = *new std::vector<PaperId>();
+  if (term >= evidence_.size()) return kEmpty;
+  return evidence_[term];
+}
+
+}  // namespace ctxrank::corpus

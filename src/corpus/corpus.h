@@ -1,0 +1,54 @@
+// Container for the paper database plus the per-term evidence (training)
+// paper designation that drives representative-paper selection and pattern
+// mining.
+#ifndef CTXRANK_CORPUS_CORPUS_H_
+#define CTXRANK_CORPUS_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/paper.h"
+#include "ontology/ontology.h"
+
+namespace ctxrank::corpus {
+
+/// \brief The paper database. Papers are added in id order; references may
+/// point only to already-added papers (citations flow backward in time, as
+/// in a real literature corpus).
+class Corpus {
+ public:
+  Corpus() = default;
+
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+
+  /// Appends `paper`; its id must equal size() and its references must all
+  /// be < id (no citing the future) and duplicate-free.
+  Status Add(Paper paper);
+
+  size_t size() const { return papers_.size(); }
+  const Paper& paper(PaperId id) const { return papers_[id]; }
+  const std::vector<Paper>& papers() const { return papers_; }
+
+  /// Marks `paper` as an annotation-evidence (training) paper for `term`
+  /// — the substitute for GO evidence annotations (DESIGN.md §1).
+  void AddEvidence(ontology::TermId term, PaperId paper);
+
+  /// Evidence papers directly annotated to `term` (not rolled up).
+  const std::vector<PaperId>& Evidence(ontology::TermId term) const;
+
+  size_t num_authors() const { return num_authors_; }
+  void set_num_authors(size_t n) { num_authors_ = n; }
+
+ private:
+  std::vector<Paper> papers_;
+  std::vector<std::vector<PaperId>> evidence_;  // Indexed by term id.
+  size_t num_authors_ = 0;
+};
+
+}  // namespace ctxrank::corpus
+
+#endif  // CTXRANK_CORPUS_CORPUS_H_

@@ -1,0 +1,363 @@
+#include "corpus/corpus_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "corpus/word_pool.h"
+#include "text/stopwords.h"
+
+namespace ctxrank::corpus {
+
+namespace {
+
+using ontology::Ontology;
+using ontology::TermId;
+
+/// Per-term generation state.
+struct Topic {
+  std::vector<std::string> own_words;     // Name words + specific words.
+  std::vector<std::string> phrases;       // Fixed multi-word phrases.
+  std::vector<TermId> relatives;          // Parents, children, siblings.
+  std::vector<AuthorId> community;        // Author pool.
+  std::vector<PaperId> papers;            // Papers with this primary topic.
+  int evidence_count = 0;
+};
+
+class Generator {
+ public:
+  Generator(const Ontology& onto, const CorpusGeneratorOptions& opt)
+      : onto_(onto), opt_(opt), rng_(opt.seed),
+        background_(opt.background_vocabulary, rng_) {}
+
+  Result<Corpus> Run() {
+    BuildTopics();
+    BuildTopicWeights();
+    descendant_cache_.resize(onto_.size());
+    Corpus corpus;
+    corpus.set_num_authors(opt_.num_authors);
+    // Preferential-attachment endpoint multiset: one entry per paper plus
+    // one per received citation.
+    endpoint_pool_.reserve(opt_.num_papers * 4);
+    for (PaperId id = 0; id < opt_.num_papers; ++id) {
+      Paper p = MakePaper(id);
+      // Evidence designation before Add so the id is final.
+      const TermId primary = p.true_topics.front();
+      if (topics_[primary].evidence_count < opt_.evidence_per_term) {
+        corpus.AddEvidence(primary, id);
+        ++topics_[primary].evidence_count;
+      }
+      topics_[primary].papers.push_back(id);
+      endpoint_pool_.push_back(id);
+      for (PaperId ref : p.references) endpoint_pool_.push_back(ref);
+      CTXRANK_RETURN_NOT_OK(corpus.Add(std::move(p)));
+    }
+    return corpus;
+  }
+
+ private:
+  void BuildTopics() {
+    const size_t n = onto_.size();
+    topics_.resize(n);
+    size_t next_specific = 0;
+    // A dedicated slice of pseudo-words per term. General (upper-level)
+    // terms cover broader subject matter, so their vocabularies are
+    // larger: breadth grows logarithmically with the descendant count.
+    // This is why a single representative paper characterizes an
+    // upper-level context poorly (the paper's §5.2 explanation for text
+    // separability worsening toward the root).
+    std::vector<int> words_per_term(n);
+    size_t total_specific = 0;
+    for (TermId t = 0; t < n; ++t) {
+      const double breadth =
+          1.0 + 0.5 * std::log2(1.0 + static_cast<double>(
+                                          onto_.DescendantCount(t)));
+      words_per_term[t] = static_cast<int>(
+          static_cast<double>(opt_.specific_words_per_term) * breadth);
+      total_specific += static_cast<size_t>(words_per_term[t]);
+    }
+    specific_pool_ = std::make_unique<WordPool>(total_specific, rng_);
+    for (TermId t = 0; t < n; ++t) {
+      Topic& topic = topics_[t];
+      // Name words (minus tiny connectives the tokenizer would keep).
+      for (const std::string& w :
+           SplitWhitespace(ToLower(onto_.term(t).name))) {
+        if (w.size() < 2 || text::IsStopword(w)) continue;
+        topic.own_words.push_back(w);
+      }
+      for (int k = 0; k < words_per_term[t]; ++k) {
+        topic.own_words.push_back(specific_pool_->word(next_specific++));
+      }
+      // Fixed phrases: 2-3 own words in a stable order.
+      for (int ph = 0; ph < opt_.phrases_per_term; ++ph) {
+        const int len = 2 + static_cast<int>(rng_.NextBounded(2));
+        std::string phrase;
+        for (int w = 0; w < len; ++w) {
+          if (w > 0) phrase += ' ';
+          phrase += topic.own_words[rng_.NextBounded(topic.own_words.size())];
+        }
+        topic.phrases.push_back(std::move(phrase));
+      }
+      // Relatives: parents, children, siblings.
+      const auto& term = onto_.term(t);
+      std::unordered_set<TermId> rel;
+      for (TermId p : term.parents) {
+        rel.insert(p);
+        for (TermId sib : onto_.term(p).children) {
+          if (sib != t) rel.insert(sib);
+        }
+      }
+      for (TermId c : term.children) rel.insert(c);
+      topic.relatives.assign(rel.begin(), rel.end());
+      std::sort(topic.relatives.begin(), topic.relatives.end());
+    }
+    // Author communities: children inherit about half the parent community.
+    for (TermId t = 0; t < n; ++t) {
+      Topic& topic = topics_[t];
+      const auto& parents = onto_.term(t).parents;
+      std::unordered_set<AuthorId> pool;
+      for (TermId p : parents) {
+        const auto& pc = topics_[p].community;  // Parents have smaller ids
+                                                // only in generated
+                                                // ontologies; guard anyway.
+        for (AuthorId a : pc) {
+          if (rng_.NextBernoulli(0.5)) pool.insert(a);
+        }
+      }
+      while (pool.size() < static_cast<size_t>(opt_.community_size)) {
+        pool.insert(static_cast<AuthorId>(rng_.NextBounded(opt_.num_authors)));
+      }
+      topic.community.assign(pool.begin(), pool.end());
+      std::sort(topic.community.begin(), topic.community.end());
+    }
+  }
+
+  void BuildTopicWeights() {
+    topic_weights_.resize(onto_.size());
+    for (TermId t = 0; t < onto_.size(); ++t) {
+      const int level = onto_.term(t).level;
+      topic_weights_[t] =
+          std::exp(-opt_.level_decay * static_cast<double>(level - 1));
+    }
+  }
+
+  std::string SampleTopicWord(TermId t) {
+    if (rng_.NextBernoulli(opt_.ancestor_word_rate)) {
+      const auto& parents = onto_.term(t).parents;
+      if (!parents.empty()) {
+        const TermId anc = parents[rng_.NextBounded(parents.size())];
+        const auto& words = topics_[anc].own_words;
+        if (!words.empty()) return words[rng_.NextBounded(words.size())];
+      }
+    }
+    // Within the current paper's primary topic, write in the paper's
+    // dialect (synthetic synonymy; see CorpusGeneratorOptions).
+    if (!current_dialect_.empty() && t == current_dialect_topic_) {
+      return current_dialect_[rng_.NextBounded(current_dialect_.size())];
+    }
+    const auto& words = topics_[t].own_words;
+    return words[rng_.NextBounded(words.size())];
+  }
+
+  std::string SampleBackgroundWord() {
+    return background_.word(background_.size() -
+                            1 - rng_.NextZipf(background_.size(), 1.07));
+  }
+
+  /// Writes `len` tokens of topical prose, planting each topic phrase
+  /// `phrase_reps` times at random positions.
+  std::string WriteSection(const std::vector<TermId>& topic_mix, int len,
+                           int phrase_reps) {
+    std::vector<std::string> tokens;
+    tokens.reserve(static_cast<size_t>(len) + 8);
+    for (int i = 0; i < len; ++i) {
+      const TermId t = topic_mix[rng_.NextBounded(topic_mix.size())];
+      if (rng_.NextBernoulli(opt_.topic_word_rate)) {
+        tokens.push_back(SampleTopicWord(t));
+      } else {
+        tokens.push_back(SampleBackgroundWord());
+      }
+    }
+    // Plant phrases (kept contiguous so the pattern miner can find them).
+    for (TermId t : topic_mix) {
+      const auto& phrases = topics_[t].phrases;
+      for (int r = 0; r < phrase_reps; ++r) {
+        if (phrases.empty()) break;
+        const std::string& phrase =
+            phrases[rng_.NextBounded(phrases.size())];
+        const size_t pos = rng_.NextBounded(tokens.size() + 1);
+        tokens.insert(tokens.begin() + static_cast<long>(pos), phrase);
+      }
+    }
+    return Join(tokens, " ");
+  }
+
+  Paper MakePaper(PaperId id) {
+    Paper p;
+    p.id = id;
+    // --- topics ---
+    const size_t primary_idx = rng_.NextWeighted(topic_weights_);
+    const TermId primary = static_cast<TermId>(
+        primary_idx >= onto_.size() ? 0 : primary_idx);
+    p.true_topics.push_back(primary);
+    // Draw this paper's dialect for its primary topic.
+    current_dialect_topic_ = primary;
+    current_dialect_.clear();
+    const auto& vocab = topics_[primary].own_words;
+    const size_t dialect_size = std::max<size_t>(
+        2, static_cast<size_t>(opt_.dialect_fraction *
+                               static_cast<double>(vocab.size())));
+    if (dialect_size >= vocab.size()) {
+      current_dialect_ = vocab;
+    } else {
+      for (size_t idx : rng_.SampleWithoutReplacement(vocab.size(),
+                                                      dialect_size)) {
+        current_dialect_.push_back(vocab[idx]);
+      }
+    }
+    if (rng_.NextBernoulli(opt_.second_topic_prob)) {
+      TermId second = primary;
+      if (rng_.NextBernoulli(opt_.related_second_topic_prob) &&
+          !topics_[primary].relatives.empty()) {
+        const auto& rel = topics_[primary].relatives;
+        second = rel[rng_.NextBounded(rel.size())];
+      } else {
+        second = static_cast<TermId>(rng_.NextBounded(onto_.size()));
+      }
+      if (second != primary) p.true_topics.push_back(second);
+    }
+    // --- text ---
+    // Primary topic dominates the mixture 3:1.
+    std::vector<TermId> mix = {primary, primary, primary};
+    if (p.true_topics.size() > 1) mix.push_back(p.true_topics[1]);
+    p.title = WriteSection({primary}, opt_.title_len, 1);
+    p.abstract_text = WriteSection(mix, opt_.abstract_len, 2);
+    p.body = WriteSection(mix, opt_.body_len, 3);
+    {
+      std::vector<std::string> index;
+      const int n_index = opt_.index_terms_len;
+      for (int i = 0; i < n_index; ++i) {
+        const TermId t = mix[rng_.NextBounded(mix.size())];
+        index.push_back(SampleTopicWord(t));
+      }
+      p.index_terms = Join(index, " ");
+    }
+    // --- authors ---
+    const int n_auth = static_cast<int>(
+        rng_.NextInt(opt_.min_authors_per_paper, opt_.max_authors_per_paper));
+    std::unordered_set<AuthorId> authors;
+    const auto& community = topics_[primary].community;
+    while (static_cast<int>(authors.size()) < n_auth) {
+      if (!community.empty() && rng_.NextBernoulli(0.85)) {
+        authors.insert(community[rng_.NextBounded(community.size())]);
+      } else {
+        authors.insert(
+            static_cast<AuthorId>(rng_.NextBounded(opt_.num_authors)));
+      }
+    }
+    p.authors.assign(authors.begin(), authors.end());
+    std::sort(p.authors.begin(), p.authors.end());
+    // --- references ---
+    if (id > 0) {
+      const bool is_review = rng_.NextBernoulli(opt_.review_prob);
+      const double mean = is_review
+                              ? opt_.mean_references * opt_.review_reference_factor
+                              : opt_.mean_references;
+      const int n_refs = rng_.NextPoisson(mean);
+      std::unordered_set<PaperId> refs;
+      for (int r = 0; r < n_refs; ++r) {
+        const PaperId ref = is_review ? SampleReviewReference(id, primary)
+                                      : SampleReference(id, primary);
+        if (ref != kInvalidPaper) refs.insert(ref);
+      }
+      p.references.assign(refs.begin(), refs.end());
+      std::sort(p.references.begin(), p.references.end());
+    }
+    return p;
+  }
+
+  /// Review papers survey a topic: they cite across the topic's own and
+  /// descendant subtopic literatures (no pool-size saturation — surveying
+  /// a small literature exhaustively is exactly what reviews do).
+  PaperId SampleReviewReference(PaperId id, TermId primary) {
+    if (descendant_cache_[primary].empty()) {
+      descendant_cache_[primary] = onto_.Descendants(primary);
+      descendant_cache_[primary].push_back(primary);
+    }
+    const auto& subtopics = descendant_cache_[primary];
+    // A few attempts to find a populated subtopic pool.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const TermId t = subtopics[rng_.NextBounded(subtopics.size())];
+      const auto& pool = topics_[t].papers;
+      if (!pool.empty()) return pool[rng_.NextBounded(pool.size())];
+    }
+    return static_cast<PaperId>(rng_.NextBounded(id));
+  }
+
+  PaperId SampleReference(PaperId id, TermId primary) {
+    const double roll = rng_.NextDouble();
+    if (roll < opt_.cite_same_topic) {
+      // A small same-topic literature cannot fill a reference list: the
+      // chance of citing inside the topic saturates with pool size. This
+      // is what leaves deep (small) contexts with sparse citation
+      // subgraphs — the effect the paper's §5 analysis hinges on.
+      const auto& pool = topics_[primary].papers;
+      const double saturation =
+          std::min(1.0, static_cast<double>(pool.size()) / 50.0);
+      if (!pool.empty() && rng_.NextBernoulli(saturation)) {
+        return pool[rng_.NextBounded(pool.size())];
+      }
+    } else if (roll < opt_.cite_same_topic + opt_.cite_related_topic) {
+      const auto& rel = topics_[primary].relatives;
+      if (!rel.empty()) {
+        const TermId t = rel[rng_.NextBounded(rel.size())];
+        const auto& pool = topics_[t].papers;
+        if (!pool.empty()) return pool[rng_.NextBounded(pool.size())];
+      }
+    } else if (roll < opt_.cite_same_topic + opt_.cite_related_topic +
+                          opt_.cite_preferential) {
+      if (!endpoint_pool_.empty()) {
+        return endpoint_pool_[rng_.NextBounded(endpoint_pool_.size())];
+      }
+    }
+    // Fallback / uniform leakage across the whole earlier corpus.
+    return static_cast<PaperId>(rng_.NextBounded(id));
+  }
+
+  const Ontology& onto_;
+  const CorpusGeneratorOptions& opt_;
+  Rng rng_;
+  WordPool background_;
+  std::unique_ptr<WordPool> specific_pool_;
+  std::vector<Topic> topics_;
+  std::vector<double> topic_weights_;
+  std::vector<PaperId> endpoint_pool_;
+  // Dialect of the paper currently being generated.
+  TermId current_dialect_topic_ = 0;
+  std::vector<std::string> current_dialect_;
+  // Lazily filled per-term descendant lists for review citation sampling.
+  std::vector<std::vector<TermId>> descendant_cache_;
+};
+
+}  // namespace
+
+Result<Corpus> GenerateCorpus(const ontology::Ontology& onto,
+                              const CorpusGeneratorOptions& options) {
+  if (!onto.finalized() || onto.size() == 0) {
+    return Status::FailedPrecondition("ontology must be finalized/non-empty");
+  }
+  if (options.num_papers == 0) {
+    return Status::InvalidArgument("num_papers must be positive");
+  }
+  if (options.min_authors_per_paper < 1 ||
+      options.max_authors_per_paper < options.min_authors_per_paper) {
+    return Status::InvalidArgument("bad author count range");
+  }
+  Generator gen(onto, options);
+  return gen.Run();
+}
+
+}  // namespace ctxrank::corpus

@@ -1,0 +1,179 @@
+#include <cstdlib>
+#include "corpus/corpus_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ctxrank::corpus {
+
+namespace {
+
+// Section texts contain no newlines/tabs by construction, but sanitize on
+// write so the format stays line-oriented for any input.
+std::string Sanitize(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c == '\n' || c == '\t' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+template <typename T>
+std::string JoinIds(const std::vector<T>& ids) {
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(ids[i]);
+  }
+  return out;
+}
+
+template <typename T>
+Result<std::vector<T>> ParseIds(std::string_view s) {
+  std::vector<T> out;
+  for (const std::string& tok : SplitWhitespace(s)) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad id token: " + tok);
+    }
+    out.push_back(static_cast<T>(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  f << "ctxrank-corpus v1\n";
+  f << "papers " << corpus.size() << "\n";
+  f << "authors " << corpus.num_authors() << "\n";
+  for (const Paper& p : corpus.papers()) {
+    f << "paper " << p.id << "\n";
+    f << "T " << Sanitize(p.title) << "\n";
+    f << "A " << Sanitize(p.abstract_text) << "\n";
+    f << "B " << Sanitize(p.body) << "\n";
+    f << "I " << Sanitize(p.index_terms) << "\n";
+    f << "U " << JoinIds(p.authors) << "\n";
+    f << "R " << JoinIds(p.references) << "\n";
+    f << "G " << JoinIds(p.true_topics) << "\n";
+  }
+  // Evidence: term -> papers, one line per term that has any.
+  // Term ids are bounded by the ontology; we do not persist the ontology
+  // here, so scan a generous range via the papers' topic ids.
+  ontology::TermId max_term = 0;
+  for (const Paper& p : corpus.papers()) {
+    for (ontology::TermId t : p.true_topics) max_term = std::max(max_term, t);
+  }
+  for (ontology::TermId t = 0; t <= max_term; ++t) {
+    const auto& ev = corpus.Evidence(t);
+    if (ev.empty()) continue;
+    f << "evidence " << t << " " << JoinIds(ev) << "\n";
+  }
+  return f.good() ? Status::OK() : Status::IoError("write failed: " + path);
+}
+
+Result<Corpus> LoadCorpus(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  std::string line;
+  if (!std::getline(f, line) || Trim(line) != "ctxrank-corpus v1") {
+    return Status::InvalidArgument("bad corpus header in " + path);
+  }
+  Corpus corpus;
+  size_t expected_papers = 0;
+  Paper current;
+  bool have_paper = false;
+
+  auto flush = [&]() -> Status {
+    if (!have_paper) return Status::OK();
+    have_paper = false;
+    return corpus.Add(std::move(current));
+  };
+
+  while (std::getline(f, line)) {
+    std::string_view lv = Trim(line);
+    if (lv.empty()) continue;
+    uint64_t parsed = 0;
+    if (StartsWith(lv, "papers ")) {
+      if (!ParseUint64(Trim(lv.substr(7)), &parsed)) {
+        return Status::InvalidArgument("bad papers count");
+      }
+      expected_papers = parsed;
+    } else if (StartsWith(lv, "authors ")) {
+      if (!ParseUint64(Trim(lv.substr(8)), &parsed)) {
+        return Status::InvalidArgument("bad authors count");
+      }
+      corpus.set_num_authors(parsed);
+    } else if (StartsWith(lv, "paper ")) {
+      CTXRANK_RETURN_NOT_OK(flush());
+      if (!ParseUint64(Trim(lv.substr(6)), &parsed)) {
+        return Status::InvalidArgument("bad paper id");
+      }
+      current = Paper{};
+      current.id = static_cast<PaperId>(parsed);
+      have_paper = true;
+    } else if (StartsWith(lv, "evidence ")) {
+      CTXRANK_RETURN_NOT_OK(flush());
+      auto fields = SplitWhitespace(lv.substr(9));
+      if (fields.empty() || !ParseUint64(fields[0], &parsed)) {
+        return Status::InvalidArgument("bad evidence line");
+      }
+      const auto term = static_cast<ontology::TermId>(parsed);
+      for (size_t i = 1; i < fields.size(); ++i) {
+        if (!ParseUint64(fields[i], &parsed)) {
+          return Status::InvalidArgument("bad evidence paper id");
+        }
+        corpus.AddEvidence(term, static_cast<PaperId>(parsed));
+      }
+    } else if ((lv.size() == 1 || (lv.size() >= 2 && lv[1] == ' ')) &&
+               have_paper) {
+      // A record line may have an empty payload ("R" for a paper with no
+      // references) since trailing whitespace is trimmed.
+      const std::string_view value = lv.size() >= 2 ? lv.substr(2) : "";
+      switch (lv[0]) {
+        case 'T': current.title = std::string(value); break;
+        case 'A': current.abstract_text = std::string(value); break;
+        case 'B': current.body = std::string(value); break;
+        case 'I': current.index_terms = std::string(value); break;
+        case 'U': {
+          auto ids = ParseIds<AuthorId>(value);
+          if (!ids.ok()) return ids.status();
+          current.authors = std::move(ids).value();
+          break;
+        }
+        case 'R': {
+          auto ids = ParseIds<PaperId>(value);
+          if (!ids.ok()) return ids.status();
+          current.references = std::move(ids).value();
+          break;
+        }
+        case 'G': {
+          auto ids = ParseIds<ontology::TermId>(value);
+          if (!ids.ok()) return ids.status();
+          current.true_topics = std::move(ids).value();
+          break;
+        }
+        default:
+          return Status::InvalidArgument("unknown record line: " +
+                                         std::string(lv));
+      }
+    } else {
+      return Status::InvalidArgument("unparsable line: " + std::string(lv));
+    }
+  }
+  CTXRANK_RETURN_NOT_OK(flush());
+  if (corpus.size() != expected_papers) {
+    return Status::InvalidArgument("corpus truncated: expected " +
+                                   std::to_string(expected_papers) +
+                                   " papers, got " +
+                                   std::to_string(corpus.size()));
+  }
+  return corpus;
+}
+
+}  // namespace ctxrank::corpus

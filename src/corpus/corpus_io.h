@@ -1,0 +1,21 @@
+// Line-oriented corpus serialization so generated corpora can be saved and
+// reloaded (e.g. to rerun experiments without regeneration).
+#ifndef CTXRANK_CORPUS_CORPUS_IO_H_
+#define CTXRANK_CORPUS_CORPUS_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+
+namespace ctxrank::corpus {
+
+/// Serializes the corpus (papers, evidence designations) to `path`.
+Status SaveCorpus(const Corpus& corpus, const std::string& path);
+
+/// Loads a corpus written by SaveCorpus.
+Result<Corpus> LoadCorpus(const std::string& path);
+
+}  // namespace ctxrank::corpus
+
+#endif  // CTXRANK_CORPUS_CORPUS_IO_H_

@@ -1,0 +1,31 @@
+#include "corpus/full_text_search.h"
+
+namespace ctxrank::corpus {
+
+FullTextSearch::FullTextSearch(const TokenizedCorpus& tc) : tc_(&tc) {
+  for (PaperId p = 0; p < tc.size(); ++p) {
+    index_.Add(p, tc.FullVector(p));
+  }
+}
+
+text::SparseVector FullTextSearch::QueryVector(std::string_view query) const {
+  const std::vector<text::TermId> ids =
+      tc_->analyzer().AnalyzeToKnownIds(query, tc_->vocabulary());
+  return tc_->tfidf().TransformQuery(ids);
+}
+
+std::vector<FullTextHit> FullTextSearch::Search(std::string_view query,
+                                                double min_score) const {
+  return Search(QueryVector(query), min_score);
+}
+
+std::vector<FullTextHit> FullTextSearch::Search(
+    const text::SparseVector& query, double min_score) const {
+  std::vector<FullTextHit> hits;
+  for (const text::ScoredDoc& d : index_.Search(query, min_score)) {
+    hits.push_back({d.doc, d.score});
+  }
+  return hits;
+}
+
+}  // namespace ctxrank::corpus

@@ -1,0 +1,45 @@
+// Baseline keyword search over the whole corpus: plain TF-IDF cosine
+// retrieval with a threshold — the paper's stand-in for a PubMed-style
+// keyword engine, used for the AC-answer-set seed search and as the
+// no-context baseline in the output-reduction experiment.
+#ifndef CTXRANK_CORPUS_FULL_TEXT_SEARCH_H_
+#define CTXRANK_CORPUS_FULL_TEXT_SEARCH_H_
+
+#include <string_view>
+#include <vector>
+
+#include "corpus/tokenized_corpus.h"
+#include "text/inverted_index.h"
+
+namespace ctxrank::corpus {
+
+struct FullTextHit {
+  PaperId paper;
+  double score;  // Cosine similarity in [0, 1].
+};
+
+/// \brief Inverted-index cosine search over full paper vectors.
+class FullTextSearch {
+ public:
+  /// `tc` must outlive this object.
+  explicit FullTextSearch(const TokenizedCorpus& tc);
+
+  /// Papers with cosine(query, paper) >= min_score, best first.
+  std::vector<FullTextHit> Search(std::string_view query,
+                                  double min_score) const;
+
+  /// Same, for an already-built query vector.
+  std::vector<FullTextHit> Search(const text::SparseVector& query,
+                                  double min_score) const;
+
+  /// Builds the TF-IDF query vector for raw query text.
+  text::SparseVector QueryVector(std::string_view query) const;
+
+ private:
+  const TokenizedCorpus* tc_;
+  text::InvertedIndex index_;
+};
+
+}  // namespace ctxrank::corpus
+
+#endif  // CTXRANK_CORPUS_FULL_TEXT_SEARCH_H_

@@ -1,0 +1,60 @@
+// The publication record: the unit the whole system ranks.
+#ifndef CTXRANK_CORPUS_PAPER_H_
+#define CTXRANK_CORPUS_PAPER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ontology/ontology.h"
+
+namespace ctxrank::corpus {
+
+using PaperId = uint32_t;
+using AuthorId = uint32_t;
+
+inline constexpr PaperId kInvalidPaper = UINT32_MAX;
+
+/// Text sections of a paper; the text-based prestige function weighs each
+/// channel separately (paper §3.2).
+enum class Section : int {
+  kTitle = 0,
+  kAbstract = 1,
+  kBody = 2,
+  kIndexTerms = 3,
+};
+
+inline constexpr int kNumTextSections = 4;
+
+/// \brief A full-text publication. Plain data carrier (struct per style
+/// guide); invariants (id consistency, reference validity) are enforced by
+/// Corpus.
+struct Paper {
+  PaperId id = kInvalidPaper;
+  std::string title;
+  std::string abstract_text;
+  std::string body;
+  std::string index_terms;
+  std::vector<AuthorId> authors;
+  /// Outgoing citations (papers in this paper's reference list).
+  std::vector<PaperId> references;
+  /// Generator ground truth: ontology terms this paper is about. The search
+  /// system never reads this; evaluation uses it only indirectly through
+  /// evidence-paper designation.
+  std::vector<ontology::TermId> true_topics;
+
+  const std::string& SectionText(Section s) const {
+    switch (s) {
+      case Section::kTitle: return title;
+      case Section::kAbstract: return abstract_text;
+      case Section::kBody: return body;
+      case Section::kIndexTerms: return index_terms;
+    }
+    return title;  // Unreachable.
+  }
+};
+
+}  // namespace ctxrank::corpus
+
+#endif  // CTXRANK_CORPUS_PAPER_H_

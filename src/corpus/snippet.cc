@@ -1,0 +1,68 @@
+#include "corpus/snippet.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace ctxrank::corpus {
+
+SnippetGenerator::SnippetGenerator(const TokenizedCorpus& tc,
+                                   SnippetOptions options)
+    : tc_(&tc), options_(std::move(options)) {}
+
+std::string SnippetGenerator::Generate(std::string_view query,
+                                       PaperId paper) const {
+  // Stems of the query terms.
+  const auto query_ids =
+      tc_->analyzer().AnalyzeToKnownIds(query, tc_->vocabulary());
+  const std::unordered_set<text::TermId> wanted(query_ids.begin(),
+                                                query_ids.end());
+  // Surface words of the section, each mapped to its stem id (or invalid).
+  const std::string& raw =
+      tc_->corpus().paper(paper).SectionText(options_.section);
+  const std::vector<std::string> words = SplitWhitespace(raw);
+  std::vector<bool> is_match(words.size(), false);
+  if (!wanted.empty()) {
+    for (size_t i = 0; i < words.size(); ++i) {
+      const auto ids =
+          tc_->analyzer().AnalyzeToKnownIds(words[i], tc_->vocabulary());
+      for (text::TermId id : ids) {
+        if (wanted.count(id) > 0) {
+          is_match[i] = true;
+          break;
+        }
+      }
+    }
+  }
+  // Best window: most matches (ties: earliest).
+  const size_t w = std::min<size_t>(
+      words.size(), static_cast<size_t>(std::max(1, options_.window)));
+  size_t best_start = 0;
+  int best_count = -1;
+  int count = 0;
+  for (size_t i = 0; i < words.size(); ++i) {
+    count += is_match[i] ? 1 : 0;
+    if (i >= w) count -= is_match[i - w] ? 1 : 0;
+    if (i + 1 >= w && count > best_count) {
+      best_count = count;
+      best_start = i + 1 - w;
+    }
+  }
+  if (words.empty()) return "";
+  std::string out;
+  if (best_start > 0) out += "... ";
+  for (size_t i = best_start; i < std::min(words.size(), best_start + w);
+       ++i) {
+    if (i > best_start) out += ' ';
+    if (is_match[i] && !options_.highlight_open.empty()) {
+      out += options_.highlight_open + words[i] + options_.highlight_close;
+    } else {
+      out += words[i];
+    }
+  }
+  if (best_start + w < words.size()) out += " ...";
+  return out;
+}
+
+}  // namespace ctxrank::corpus

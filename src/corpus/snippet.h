@@ -1,0 +1,43 @@
+// Query-focused snippets for search results: the contiguous window of a
+// paper's text that best covers the query's (stemmed) terms, returned as
+// the original surface words.
+#ifndef CTXRANK_CORPUS_SNIPPET_H_
+#define CTXRANK_CORPUS_SNIPPET_H_
+
+#include <string>
+#include <string_view>
+
+#include "corpus/tokenized_corpus.h"
+
+namespace ctxrank::corpus {
+
+struct SnippetOptions {
+  /// Window length in (surface) words.
+  int window = 16;
+  /// Section scanned for the window; the title is prepended regardless.
+  Section section = Section::kAbstract;
+  /// Marker placed around query-term matches ("" disables highlighting).
+  std::string highlight_open = "[";
+  std::string highlight_close = "]";
+};
+
+/// \brief Builds snippets from raw section text against analyzed queries.
+class SnippetGenerator {
+ public:
+  /// `tc` must outlive this object.
+  explicit SnippetGenerator(const TokenizedCorpus& tc,
+                            SnippetOptions options = {});
+
+  /// The best window of `paper`'s configured section for `query` — the
+  /// window containing the most distinct query stems, matches highlighted.
+  /// Falls back to the section's opening words when nothing matches.
+  std::string Generate(std::string_view query, PaperId paper) const;
+
+ private:
+  const TokenizedCorpus* tc_;
+  SnippetOptions options_;
+};
+
+}  // namespace ctxrank::corpus
+
+#endif  // CTXRANK_CORPUS_SNIPPET_H_

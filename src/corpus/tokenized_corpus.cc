@@ -1,0 +1,120 @@
+#include "corpus/tokenized_corpus.h"
+
+#include <algorithm>
+
+namespace ctxrank::corpus {
+
+TokenizedCorpus::TokenizedCorpus(const Corpus& corpus,
+                                 text::AnalyzerOptions analyzer_options)
+    : corpus_(&corpus), analyzer_(analyzer_options) {
+  const size_t n = corpus.size();
+  sections_.resize(n);
+  for (PaperId p = 0; p < n; ++p) {
+    const Paper& paper = corpus.paper(p);
+    for (int s = 0; s < kNumTextSections; ++s) {
+      sections_[p][static_cast<size_t>(s)] = analyzer_.AnalyzeToIds(
+          paper.SectionText(static_cast<Section>(s)), vocab_);
+    }
+  }
+  // Fit TF-IDF over full papers.
+  for (PaperId p = 0; p < n; ++p) {
+    tfidf_.AddDocument(AllTokens(p), vocab_.size());
+  }
+  full_vectors_.reserve(n);
+  section_vectors_.resize(n);
+  for (PaperId p = 0; p < n; ++p) {
+    full_vectors_.push_back(tfidf_.Transform(AllTokens(p)));
+    for (int s = 0; s < kNumTextSections; ++s) {
+      section_vectors_[p][static_cast<size_t>(s)] =
+          tfidf_.Transform(sections_[p][static_cast<size_t>(s)]);
+    }
+  }
+  // Per-section sorted unique token sets (phrase-match prefilter).
+  section_sets_.resize(n);
+  for (PaperId p = 0; p < n; ++p) {
+    for (int sec = 0; sec < kNumTextSections; ++sec) {
+      auto& set = section_sets_[p][static_cast<size_t>(sec)];
+      set = sections_[p][static_cast<size_t>(sec)];
+      std::sort(set.begin(), set.end());
+      set.erase(std::unique(set.begin(), set.end()), set.end());
+    }
+  }
+  // Boolean postings over the concatenated text.
+  postings_.resize(vocab_.size());
+  for (PaperId p = 0; p < n; ++p) {
+    std::vector<text::TermId> unique = AllTokens(p);
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    for (text::TermId t : unique) postings_[t].push_back(p);
+  }
+}
+
+std::vector<text::TermId> TokenizedCorpus::AllTokens(PaperId p) const {
+  std::vector<text::TermId> out;
+  size_t total = 0;
+  for (const auto& sec : sections_[p]) total += sec.size();
+  out.reserve(total);
+  for (const auto& sec : sections_[p]) {
+    out.insert(out.end(), sec.begin(), sec.end());
+  }
+  return out;
+}
+
+const std::vector<PaperId>& TokenizedCorpus::Postings(
+    text::TermId term) const {
+  static const auto& kEmpty = *new std::vector<PaperId>();
+  if (term >= postings_.size()) return kEmpty;
+  return postings_[term];
+}
+
+std::vector<PaperId> TokenizedCorpus::PapersContainingAll(
+    const std::vector<text::TermId>& terms) const {
+  if (terms.empty()) return {};
+  // Intersect postings, rarest first.
+  std::vector<const std::vector<PaperId>*> lists;
+  lists.reserve(terms.size());
+  for (text::TermId t : terms) lists.push_back(&Postings(t));
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<PaperId> acc = *lists[0];
+  for (size_t i = 1; i < lists.size() && !acc.empty(); ++i) {
+    std::vector<PaperId> next;
+    std::set_intersection(acc.begin(), acc.end(), lists[i]->begin(),
+                          lists[i]->end(), std::back_inserter(next));
+    acc = std::move(next);
+  }
+  return acc;
+}
+
+bool ContainsPhrase(const std::vector<text::TermId>& tokens,
+                    const std::vector<text::TermId>& phrase) {
+  if (phrase.empty() || tokens.size() < phrase.size()) return false;
+  const size_t limit = tokens.size() - phrase.size();
+  for (size_t i = 0; i <= limit; ++i) {
+    bool match = true;
+    for (size_t j = 0; j < phrase.size(); ++j) {
+      if (tokens[i + j] != phrase[j]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+bool TokenizedCorpus::SectionContainsAllTerms(
+    PaperId p, Section s, const std::vector<text::TermId>& terms) const {
+  const auto& set = section_sets_[p][static_cast<size_t>(s)];
+  for (text::TermId t : terms) {
+    if (!std::binary_search(set.begin(), set.end(), t)) return false;
+  }
+  return true;
+}
+
+bool TokenizedCorpus::SectionContainsPhrase(
+    PaperId p, Section s, const std::vector<text::TermId>& phrase) const {
+  return ContainsPhrase(sections_[p][static_cast<size_t>(s)], phrase);
+}
+
+}  // namespace ctxrank::corpus

@@ -1,0 +1,99 @@
+// One-pass analyzed view of a corpus: per-paper per-section term-id
+// sequences, a shared vocabulary, boolean postings (term -> papers), and a
+// fitted TF-IDF model. Every downstream consumer (prestige functions,
+// pattern mining, search) works from this view so text is analyzed exactly
+// once.
+#ifndef CTXRANK_CORPUS_TOKENIZED_CORPUS_H_
+#define CTXRANK_CORPUS_TOKENIZED_CORPUS_H_
+
+#include <array>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "text/analyzer.h"
+#include "text/sparse_vector.h"
+#include "text/tfidf.h"
+#include "text/vocabulary.h"
+
+namespace ctxrank::corpus {
+
+/// \brief Analyzed corpus. Construction is the only mutating phase; all
+/// accessors are const and thread-safe afterwards.
+class TokenizedCorpus {
+ public:
+  /// Analyzes every section of every paper in `corpus`. The corpus must
+  /// outlive this object (papers are referenced, not copied).
+  explicit TokenizedCorpus(const Corpus& corpus,
+                           text::AnalyzerOptions analyzer_options = {});
+
+  TokenizedCorpus(TokenizedCorpus&&) = default;
+  TokenizedCorpus(const TokenizedCorpus&) = delete;
+  TokenizedCorpus& operator=(const TokenizedCorpus&) = delete;
+
+  const Corpus& corpus() const { return *corpus_; }
+  const text::Vocabulary& vocabulary() const { return vocab_; }
+  const text::Analyzer& analyzer() const { return analyzer_; }
+  const text::TfIdfModel& tfidf() const { return tfidf_; }
+
+  size_t size() const { return sections_.size(); }
+
+  /// Term-id sequence for one section of one paper.
+  const std::vector<text::TermId>& SectionTokens(PaperId p, Section s) const {
+    return sections_[p][static_cast<size_t>(s)];
+  }
+
+  /// All sections of `p` concatenated (title, abstract, body, index terms).
+  std::vector<text::TermId> AllTokens(PaperId p) const;
+
+  /// Normalized TF-IDF vector over the whole paper (all sections).
+  const text::SparseVector& FullVector(PaperId p) const {
+    return full_vectors_[p];
+  }
+
+  /// Normalized TF-IDF vector of one section.
+  const text::SparseVector& SectionVector(PaperId p, Section s) const {
+    return section_vectors_[p][static_cast<size_t>(s)];
+  }
+
+  /// Papers whose concatenated text contains `term` (sorted, unique).
+  const std::vector<PaperId>& Postings(text::TermId term) const;
+
+  /// Papers containing *all* of `terms` (bag semantics). Empty input
+  /// yields an empty result.
+  std::vector<PaperId> PapersContainingAll(
+      const std::vector<text::TermId>& terms) const;
+
+  /// True if section `s` of `p` contains `phrase` as a contiguous
+  /// subsequence.
+  bool SectionContainsPhrase(PaperId p, Section s,
+                             const std::vector<text::TermId>& phrase) const;
+
+  /// True if section `s` of `p` contains every term in `terms` (bag
+  /// semantics; O(|terms| log |section|) via the per-section sorted unique
+  /// token sets). Used as a cheap prefilter before phrase scans.
+  bool SectionContainsAllTerms(PaperId p, Section s,
+                               const std::vector<text::TermId>& terms) const;
+
+ private:
+  const Corpus* corpus_;
+  text::Analyzer analyzer_;
+  text::Vocabulary vocab_;
+  text::TfIdfModel tfidf_;
+  std::vector<std::array<std::vector<text::TermId>, kNumTextSections>>
+      sections_;
+  // Sorted unique token ids per section (prefilter for phrase matching).
+  std::vector<std::array<std::vector<text::TermId>, kNumTextSections>>
+      section_sets_;
+  std::vector<text::SparseVector> full_vectors_;
+  std::vector<std::array<text::SparseVector, kNumTextSections>>
+      section_vectors_;
+  std::vector<std::vector<PaperId>> postings_;  // Indexed by term id.
+};
+
+/// True iff `phrase` occurs contiguously in `tokens`.
+bool ContainsPhrase(const std::vector<text::TermId>& tokens,
+                    const std::vector<text::TermId>& phrase);
+
+}  // namespace ctxrank::corpus
+
+#endif  // CTXRANK_CORPUS_TOKENIZED_CORPUS_H_

@@ -1,0 +1,38 @@
+#include "corpus/word_pool.h"
+
+#include <array>
+#include <string_view>
+#include <unordered_set>
+
+namespace ctxrank::corpus {
+
+namespace {
+
+constexpr std::array<std::string_view, 18> kOnsets = {
+    "b", "d", "f", "g", "k", "l", "m", "n", "p",
+    "r", "s", "t", "v", "z", "br", "tr", "st", "pl",
+};
+constexpr std::array<std::string_view, 6> kVowels = {"a", "e", "i",
+                                                     "o", "u", "ia"};
+constexpr std::array<std::string_view, 8> kCodas = {"", "n", "l", "r",
+                                                    "s", "x", "m", "t"};
+
+}  // namespace
+
+WordPool::WordPool(size_t count, Rng& rng) {
+  std::unordered_set<std::string> seen;
+  words_.reserve(count);
+  while (words_.size() < count) {
+    std::string w;
+    const int syllables = 2 + static_cast<int>(rng.NextBounded(2));
+    for (int s = 0; s < syllables; ++s) {
+      w += kOnsets[rng.NextBounded(kOnsets.size())];
+      w += kVowels[rng.NextBounded(kVowels.size())];
+    }
+    w += kCodas[rng.NextBounded(kCodas.size())];
+    if (w.size() < 4) continue;
+    if (seen.insert(w).second) words_.push_back(std::move(w));
+  }
+}
+
+}  // namespace ctxrank::corpus

@@ -1,0 +1,32 @@
+// Deterministic pseudo-word generation: builds pronounceable, tokenizer-safe
+// vocabulary for the synthetic corpus (background words and per-topic
+// specific words). Words are distinct from English stopwords by
+// construction and survive the text pipeline (all-alpha, length >= 4).
+#ifndef CTXRANK_CORPUS_WORD_POOL_H_
+#define CTXRANK_CORPUS_WORD_POOL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ctxrank::corpus {
+
+/// \brief A pool of unique pseudo-words generated from consonant-vowel
+/// syllables ("zemirol", "kativane", ...).
+class WordPool {
+ public:
+  /// Generates `count` unique words using `rng`.
+  WordPool(size_t count, Rng& rng);
+
+  const std::vector<std::string>& words() const { return words_; }
+  const std::string& word(size_t i) const { return words_[i]; }
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::vector<std::string> words_;
+};
+
+}  // namespace ctxrank::corpus
+
+#endif  // CTXRANK_CORPUS_WORD_POOL_H_

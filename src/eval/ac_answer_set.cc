@@ -1,0 +1,73 @@
+#include "eval/ac_answer_set.h"
+
+#include <algorithm>
+
+#include "graph/pagerank.h"
+
+namespace ctxrank::eval {
+
+AcAnswerSetBuilder::AcAnswerSetBuilder(const corpus::TokenizedCorpus& tc,
+                                       const corpus::FullTextSearch& search,
+                                       const graph::CitationGraph& graph,
+                                       AcAnswerSetOptions options)
+    : tc_(&tc), search_(&search), graph_(&graph), options_(options) {
+  // One global PageRank over the full citation graph.
+  std::vector<corpus::PaperId> all(tc.size());
+  for (corpus::PaperId p = 0; p < tc.size(); ++p) all[p] = p;
+  const graph::InducedSubgraph whole(graph, all);
+  auto pr = graph::ComputePageRank(whole);
+  global_scores_ = pr.ok() ? std::move(pr).value().scores
+                           : std::vector<double>(tc.size(), 0.0);
+  // Quantile cutoff for "high citation score".
+  if (!global_scores_.empty()) {
+    std::vector<double> sorted(global_scores_);
+    std::sort(sorted.begin(), sorted.end());
+    const size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(options_.citation_score_quantile *
+                            static_cast<double>(sorted.size())));
+    score_cutoff_ = sorted[idx];
+  }
+}
+
+std::vector<corpus::PaperId> AcAnswerSetBuilder::Build(
+    std::string_view query) const {
+  // --- seed: high-threshold keyword search ---
+  std::vector<corpus::FullTextHit> seed_hits =
+      search_->Search(query, options_.seed_threshold);
+  if (seed_hits.size() > options_.max_seed) {
+    seed_hits.resize(options_.max_seed);
+  }
+  if (seed_hits.empty()) return {};
+  std::vector<corpus::PaperId> answer;
+  answer.reserve(seed_hits.size());
+  for (const auto& h : seed_hits) answer.push_back(h.paper);
+
+  // --- text-based expansion: centroid of the seed set ---
+  text::SparseVector centroid;
+  for (const auto& h : seed_hits) {
+    centroid.AddScaled(tc_->FullVector(h.paper), 1.0);
+  }
+  centroid.L2Normalize();
+  for (const corpus::FullTextHit& h :
+       search_->Search(centroid, options_.text_expansion_threshold)) {
+    answer.push_back(h.paper);
+  }
+
+  // --- citation expansion: <= 2 hops from the seed set, high global
+  //     citation score ---
+  const std::vector<corpus::PaperId> seeds(answer.begin(),
+                                           answer.begin() +
+                                               static_cast<long>(
+                                                   seed_hits.size()));
+  for (corpus::PaperId p :
+       graph_->ReachableWithin(seeds, options_.citation_hops)) {
+    if (global_scores_[p] >= score_cutoff_) answer.push_back(p);
+  }
+
+  std::sort(answer.begin(), answer.end());
+  answer.erase(std::unique(answer.begin(), answer.end()), answer.end());
+  return answer;
+}
+
+}  // namespace ctxrank::eval

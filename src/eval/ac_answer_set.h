@@ -1,0 +1,64 @@
+// AC(artificially constructed)-answer sets (paper §2): the expert-free
+// ground truth for precision experiments. Seed with a high-threshold
+// keyword search, then expand (a) textually — papers close to the seed
+// centroid — and (b) along citations — papers within two hops of the seed
+// set that carry high global citation scores.
+#ifndef CTXRANK_EVAL_AC_ANSWER_SET_H_
+#define CTXRANK_EVAL_AC_ANSWER_SET_H_
+
+#include <string_view>
+#include <vector>
+
+#include "corpus/full_text_search.h"
+#include "corpus/tokenized_corpus.h"
+#include "graph/citation_graph.h"
+
+namespace ctxrank::eval {
+
+struct AcAnswerSetOptions {
+  /// Threshold of the seed keyword search ("high threshold", §2).
+  double seed_threshold = 0.25;
+  /// Cap on the seed set (strongest matches first).
+  size_t max_seed = 150;
+  /// Cosine-to-centroid threshold for the text-based expansion.
+  double text_expansion_threshold = 0.25;
+  /// Citation expansion hops ("paths of length at most 2", §2).
+  int citation_hops = 2;
+  /// A citation-expanded paper qualifies when its global citation score is
+  /// in the top (1 - quantile) of all papers, e.g. 0.98 keeps the top 2%.
+  /// Must be strict: within two hops of a seed set lies much of any
+  /// citation graph, so a loose cutoff floods the answer set with
+  /// globally popular papers (bench/validate_ac_answers quantifies this).
+  double citation_score_quantile = 0.98;
+};
+
+/// \brief Builds AC-answer sets. Global citation scores (one PageRank over
+/// the full corpus graph) are computed once at construction.
+class AcAnswerSetBuilder {
+ public:
+  AcAnswerSetBuilder(const corpus::TokenizedCorpus& tc,
+                     const corpus::FullTextSearch& search,
+                     const graph::CitationGraph& graph,
+                     AcAnswerSetOptions options = {});
+
+  /// The AC-answer set for `query` (sorted, unique). Empty when even the
+  /// seed search returns nothing.
+  std::vector<corpus::PaperId> Build(std::string_view query) const;
+
+  /// Global (whole-corpus) citation score of a paper, for tests.
+  double GlobalCitationScore(corpus::PaperId p) const {
+    return global_scores_[p];
+  }
+
+ private:
+  const corpus::TokenizedCorpus* tc_;
+  const corpus::FullTextSearch* search_;
+  const graph::CitationGraph* graph_;
+  AcAnswerSetOptions options_;
+  std::vector<double> global_scores_;
+  double score_cutoff_ = 0.0;
+};
+
+}  // namespace ctxrank::eval
+
+#endif  // CTXRANK_EVAL_AC_ANSWER_SET_H_

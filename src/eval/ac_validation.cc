@@ -1,0 +1,63 @@
+#include "eval/ac_validation.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "eval/ir_metrics.h"
+#include "eval/metrics.h"
+
+namespace ctxrank::eval {
+
+std::vector<corpus::PaperId> GroundTruthPapers(
+    const ontology::Ontology& onto, const corpus::Corpus& corpus,
+    ontology::TermId term) {
+  std::unordered_set<ontology::TermId> wanted;
+  wanted.insert(term);
+  for (ontology::TermId d : onto.Descendants(term)) wanted.insert(d);
+  std::vector<corpus::PaperId> out;
+  for (const corpus::Paper& p : corpus.papers()) {
+    for (ontology::TermId t : p.true_topics) {
+      if (wanted.count(t) > 0) {
+        out.push_back(p.id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+AcValidationResult ValidateAcAnswerSets(
+    const ontology::Ontology& onto, const corpus::Corpus& corpus,
+    const AcAnswerSetBuilder& builder,
+    const std::vector<EvalQuery>& queries) {
+  AcValidationResult result;
+  double precision_sum = 0, recall_sum = 0, f1_sum = 0;
+  double ac_size_sum = 0, truth_size_sum = 0;
+  for (const EvalQuery& q : queries) {
+    const auto ac = builder.Build(q.text);
+    if (ac.empty()) {
+      ++result.empty_queries;
+      continue;
+    }
+    const auto truth = GroundTruthPapers(onto, corpus, q.target_term);
+    const double precision = Precision(ac, truth);
+    const double recall = Recall(ac, truth);
+    precision_sum += precision;
+    recall_sum += recall;
+    f1_sum += FScore(precision, recall);
+    ac_size_sum += static_cast<double>(ac.size());
+    truth_size_sum += static_cast<double>(truth.size());
+    ++result.answered_queries;
+  }
+  if (result.answered_queries > 0) {
+    const double n = static_cast<double>(result.answered_queries);
+    result.mean_precision = precision_sum / n;
+    result.mean_recall = recall_sum / n;
+    result.mean_f1 = f1_sum / n;
+    result.mean_ac_size = ac_size_sum / n;
+    result.mean_truth_size = truth_size_sum / n;
+  }
+  return result;
+}
+
+}  // namespace ctxrank::eval

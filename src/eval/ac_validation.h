@@ -1,0 +1,49 @@
+// Validation of the AC-answer-set methodology itself. The paper manually
+// verified AC-answer sets "for some sample queries" (§2); the synthetic
+// corpus lets us do better — every paper carries generator ground-truth
+// topics, so the AC set of a query targeting term t can be scored against
+// the true set of papers about t (or t's descendants).
+#ifndef CTXRANK_EVAL_AC_VALIDATION_H_
+#define CTXRANK_EVAL_AC_VALIDATION_H_
+
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "eval/ac_answer_set.h"
+#include "eval/query_generator.h"
+#include "ontology/ontology.h"
+
+namespace ctxrank::eval {
+
+struct AcValidationResult {
+  /// Queries whose AC set was non-empty (the rest are skipped in the
+  /// paper's experiments as well).
+  size_t answered_queries = 0;
+  size_t empty_queries = 0;
+  /// Mean precision/recall/F1 of AC sets against ground-truth topic
+  /// membership (papers whose true topics include the target term or any
+  /// of its descendants).
+  double mean_precision = 0.0;
+  double mean_recall = 0.0;
+  double mean_f1 = 0.0;
+  /// Mean AC-set / ground-truth-set sizes.
+  double mean_ac_size = 0.0;
+  double mean_truth_size = 0.0;
+};
+
+/// Papers whose generator ground-truth topics include `term` or one of its
+/// descendants (sorted, unique).
+std::vector<corpus::PaperId> GroundTruthPapers(
+    const ontology::Ontology& onto, const corpus::Corpus& corpus,
+    ontology::TermId term);
+
+/// Scores the AC sets produced by `builder` for `queries` against ground
+/// truth.
+AcValidationResult ValidateAcAnswerSets(
+    const ontology::Ontology& onto, const corpus::Corpus& corpus,
+    const AcAnswerSetBuilder& builder,
+    const std::vector<EvalQuery>& queries);
+
+}  // namespace ctxrank::eval
+
+#endif  // CTXRANK_EVAL_AC_VALIDATION_H_

@@ -1,0 +1,92 @@
+#include "eval/analysis.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace ctxrank::eval {
+
+SeparabilitySummary AnalyzeSeparability(
+    const ontology::Ontology& onto,
+    const context::ContextAssignment& assignment,
+    const context::PrestigeScores& scores,
+    const SeparabilityAnalysisOptions& options) {
+  SeparabilitySummary summary;
+  summary.bucket_width = options.bucket_width;
+  std::vector<double> counts(options.buckets, 0.0);
+  std::vector<double> sds;
+  for (ontology::TermId t :
+       assignment.ContextsWithAtLeast(options.min_context_size)) {
+    if (options.level != 0 && onto.term(t).level != options.level) continue;
+    if (!scores.HasScores(t)) continue;
+    const double sd = NormalizedSeparabilitySd(scores.Scores(t));
+    sds.push_back(sd);
+    size_t b = static_cast<size_t>(sd / options.bucket_width);
+    if (b >= options.buckets) b = options.buckets - 1;
+    counts[b] += 1.0;
+  }
+  summary.contexts = sds.size();
+  summary.mean_sd = Mean(sds);
+  summary.median_sd = Median(sds);
+  summary.histogram_pct.resize(options.buckets, 0.0);
+  if (!sds.empty()) {
+    for (size_t b = 0; b < options.buckets; ++b) {
+      summary.histogram_pct[b] =
+          100.0 * counts[b] / static_cast<double>(sds.size());
+    }
+  }
+  return summary;
+}
+
+std::vector<OverlapCell> AnalyzeOverlapByLevel(
+    const ontology::Ontology& onto,
+    const context::ContextAssignment& assignment,
+    const context::PrestigeScores& a, const context::PrestigeScores& b,
+    const std::vector<int>& levels, const std::vector<double>& k_fractions,
+    size_t min_context_size) {
+  std::vector<OverlapCell> cells;
+  for (int level : levels) {
+    for (double kf : k_fractions) {
+      OverlapCell cell;
+      cell.level = level;
+      cell.k_fraction = kf;
+      double sum = 0.0;
+      for (ontology::TermId t :
+           assignment.ContextsWithAtLeast(min_context_size)) {
+        if (onto.term(t).level != level) continue;
+        if (!a.HasScores(t) || !b.HasScores(t)) continue;
+        const size_t size = assignment.Members(t).size();
+        const size_t k = std::max<size_t>(
+            1, static_cast<size_t>(kf * static_cast<double>(size)));
+        sum += TopKOverlapRatio(a.Scores(t), b.Scores(t), k);
+        ++cell.contexts;
+      }
+      if (cell.contexts > 0) {
+        cell.mean_overlap = sum / static_cast<double>(cell.contexts);
+        cells.push_back(cell);
+      }
+    }
+  }
+  return cells;
+}
+
+std::string RenderSeparability(const SeparabilitySummary& summary) {
+  Table table({"SD range", "% contexts"});
+  for (size_t b = 0; b < summary.histogram_pct.size(); ++b) {
+    table.AddRow(
+        {Table::Cell(summary.bucket_width * static_cast<double>(b), 0) +
+             "-" +
+             Table::Cell(summary.bucket_width * static_cast<double>(b + 1),
+                         0),
+         Table::Cell(summary.histogram_pct[b], 1) + "%"});
+  }
+  std::string out = table.ToString();
+  out += "contexts: " + std::to_string(summary.contexts) +
+         ", mean SD: " + Table::Cell(summary.mean_sd, 2) +
+         ", median SD: " + Table::Cell(summary.median_sd, 2) + "\n";
+  return out;
+}
+
+}  // namespace ctxrank::eval

@@ -1,0 +1,66 @@
+// Reusable implementations of the paper's §5 analyses — separability
+// distributions (overall and per level) and pairwise top-k% overlap per
+// level — as library functions, so benches, the CLI and downstream users
+// compute them identically.
+#ifndef CTXRANK_EVAL_ANALYSIS_H_
+#define CTXRANK_EVAL_ANALYSIS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "context/context_assignment.h"
+#include "context/prestige.h"
+#include "ontology/ontology.h"
+
+namespace ctxrank::eval {
+
+struct SeparabilitySummary {
+  /// Contexts that carried scores and passed the size filter.
+  size_t contexts = 0;
+  double mean_sd = 0.0;
+  double median_sd = 0.0;
+  /// Percentage of contexts per SD bucket [0,width), [width,2·width), ...
+  std::vector<double> histogram_pct;
+  double bucket_width = 5.0;
+};
+
+struct SeparabilityAnalysisOptions {
+  size_t min_context_size = 25;
+  size_t buckets = 8;
+  double bucket_width = 5.0;
+  /// Restrict to contexts at exactly this ontology level (0 = all levels).
+  int level = 0;
+};
+
+/// Separability (robust-normalized SD, §5.2) across the contexts of one
+/// score function.
+SeparabilitySummary AnalyzeSeparability(
+    const ontology::Ontology& onto,
+    const context::ContextAssignment& assignment,
+    const context::PrestigeScores& scores,
+    const SeparabilityAnalysisOptions& options = {});
+
+struct OverlapCell {
+  int level = 0;
+  double k_fraction = 0.0;
+  double mean_overlap = 0.0;
+  size_t contexts = 0;
+};
+
+/// Average top-k% overlapping ratio between two score functions per
+/// ontology level (§5.1 / Figure 5.3). Only contexts where *both*
+/// functions have scores participate.
+std::vector<OverlapCell> AnalyzeOverlapByLevel(
+    const ontology::Ontology& onto,
+    const context::ContextAssignment& assignment,
+    const context::PrestigeScores& a, const context::PrestigeScores& b,
+    const std::vector<int>& levels, const std::vector<double>& k_fractions,
+    size_t min_context_size);
+
+/// Renders a SeparabilitySummary histogram as an aligned text table.
+std::string RenderSeparability(const SeparabilitySummary& summary);
+
+}  // namespace ctxrank::eval
+
+#endif  // CTXRANK_EVAL_ANALYSIS_H_

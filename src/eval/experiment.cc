@@ -1,0 +1,96 @@
+#include "eval/experiment.h"
+
+namespace ctxrank::eval {
+
+namespace {
+
+context::TextPrestigeOptions PatternSetTextDefaults() {
+  context::TextPrestigeOptions o;
+  o.hierarchical_max = false;
+  return o;
+}
+
+}  // namespace
+
+WorldConfig WorldConfig::Small() {
+  WorldConfig c;
+  c.text_on_pattern_set = PatternSetTextDefaults();
+  c.ontology.max_terms = 120;
+  c.ontology.max_depth = 7;
+  c.corpus.num_papers = 1200;
+  c.corpus.num_authors = 300;
+  c.corpus.body_len = 120;
+  c.corpus.abstract_len = 60;
+  c.min_context_size = 10;
+  return c;
+}
+
+WorldConfig WorldConfig::Default() {
+  WorldConfig c;
+  c.text_on_pattern_set = PatternSetTextDefaults();
+  c.ontology.max_terms = 450;
+  c.ontology.max_depth = 9;
+  c.ontology.leaf_bias = 0.06;
+  c.ontology.mean_branching = 3.4;
+  c.corpus.num_papers = 6000;
+  c.min_context_size = 25;
+  return c;
+}
+
+Result<std::unique_ptr<World>> World::Build(const WorldConfig& config) {
+  std::unique_ptr<World> w(new World());
+  w->config_ = config;
+  // 1. Ontology.
+  auto onto = ontology::GenerateOntology(config.ontology);
+  if (!onto.ok()) return onto.status();
+  w->onto_ = std::move(onto).value();
+  // 2. Corpus.
+  auto corpus = corpus::GenerateCorpus(w->onto_, config.corpus);
+  if (!corpus.ok()) return corpus.status();
+  w->corpus_ = std::move(corpus).value();
+  // 3. Analyzed views and infrastructure.
+  w->tc_.emplace(w->corpus_);
+  w->fts_.emplace(*w->tc_);
+  w->graph_.emplace(w->corpus_);
+  w->authors_.emplace(w->corpus_);
+  // 4. Text-based context paper set + scores (§4).
+  if (config.build_text_set) {
+    auto text_set = context::BuildTextBasedAssignment(
+        *w->tc_, w->onto_, *w->fts_, config.text_assignment);
+    if (!text_set.ok()) return text_set.status();
+    w->text_set_.emplace(std::move(text_set).value());
+    auto cit = context::ComputeCitationPrestige(w->onto_, *w->text_set_,
+                                                *w->graph_, config.citation);
+    if (!cit.ok()) return cit.status();
+    w->text_set_citation_.emplace(std::move(cit).value());
+    auto txt = context::ComputeTextPrestige(w->onto_, *w->text_set_, *w->tc_,
+                                            *w->graph_, *w->authors_,
+                                            config.text);
+    if (!txt.ok()) return txt.status();
+    w->text_set_text_.emplace(std::move(txt).value());
+  }
+  // 5. Pattern-based context paper set + scores (§4).
+  if (config.build_pattern_set) {
+    auto pat = context::BuildPatternBasedAssignment(*w->tc_, w->onto_,
+                                                    config.pattern_assignment);
+    if (!pat.ok()) return pat.status();
+    w->pattern_result_.emplace(std::move(pat).value());
+    auto cit = context::ComputeCitationPrestige(
+        w->onto_, w->pattern_result_->assignment, *w->graph_,
+        config.citation);
+    if (!cit.ok()) return cit.status();
+    w->pattern_set_citation_.emplace(std::move(cit).value());
+    auto ps = context::ComputePatternPrestige(w->onto_, *w->pattern_result_,
+                                              config.pattern);
+    if (!ps.ok()) return ps.status();
+    w->pattern_set_pattern_.emplace(std::move(ps).value());
+    auto txt = context::ComputeTextPrestige(
+        w->onto_, w->pattern_result_->assignment, *w->tc_, *w->graph_,
+        *w->authors_, config.text_on_pattern_set);
+    if (!txt.ok()) return txt.status();
+    w->pattern_set_text_.emplace(std::move(txt).value());
+  }
+  return w;
+}
+
+}  // namespace ctxrank::eval

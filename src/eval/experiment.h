@@ -1,0 +1,121 @@
+// The experiment "world": one call builds the entire §4 setup — synthetic
+// ontology, synthetic corpus, analyzed views, citation graph, both context
+// paper sets, and every prestige score function — so benches, examples and
+// integration tests share identical machinery.
+#ifndef CTXRANK_EVAL_EXPERIMENT_H_
+#define CTXRANK_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <optional>
+
+#include "common/status.h"
+#include "context/assignment_builders.h"
+#include "context/citation_prestige.h"
+#include "context/pattern_prestige.h"
+#include "context/prestige.h"
+#include "context/text_prestige.h"
+#include "corpus/corpus_generator.h"
+#include "corpus/full_text_search.h"
+#include "corpus/tokenized_corpus.h"
+#include "graph/citation_graph.h"
+#include "ontology/ontology.h"
+#include "ontology/ontology_generator.h"
+
+namespace ctxrank::eval {
+
+struct WorldConfig {
+  ontology::OntologyGeneratorOptions ontology;
+  corpus::CorpusGeneratorOptions corpus;
+  context::TextAssignmentOptions text_assignment;
+  context::PatternAssignmentOptions pattern_assignment;
+  context::CitationPrestigeOptions citation;
+  context::TextPrestigeOptions text;
+  /// Text scores computed *on the pattern-based set* (used by the §5.1
+  /// overlap analysis) stay per-context: the hierarchy max rule belongs to
+  /// each function's own search assignment, and lifting would couple the
+  /// text ranking to the pattern set's roll-up structure.
+  context::TextPrestigeOptions text_on_pattern_set;
+  context::PatternPrestigeOptions pattern;
+  /// Contexts smaller than this are excluded from experiment aggregates
+  /// (the paper's "<= 100 papers on 72k" rule, scaled: ~0.1-0.5% of the
+  /// corpus).
+  size_t min_context_size = 25;
+  /// Build the pattern-based context paper set and its scores.
+  bool build_pattern_set = true;
+  /// Build the text-based context paper set and its scores.
+  bool build_text_set = true;
+
+  /// A small configuration for unit/integration tests (seconds to build).
+  static WorldConfig Small();
+  /// The default experiment scale (a few minutes for the full bench suite).
+  static WorldConfig Default();
+};
+
+/// \brief Everything the experiments touch. Non-movable: internal objects
+/// hold pointers to siblings; create via Build() and keep behind the
+/// returned unique_ptr.
+class World {
+ public:
+  static Result<std::unique_ptr<World>> Build(const WorldConfig& config);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  const WorldConfig& config() const { return config_; }
+  const ontology::Ontology& onto() const { return onto_; }
+  const corpus::Corpus& corpus() const { return corpus_; }
+  const corpus::TokenizedCorpus& tc() const { return *tc_; }
+  const corpus::FullTextSearch& fts() const { return *fts_; }
+  const graph::CitationGraph& graph() const { return *graph_; }
+  const context::AuthorSimilarity& authors() const { return *authors_; }
+
+  // --- text-based context paper set (§4) + its two score functions ---
+  const context::ContextAssignment& text_set() const { return *text_set_; }
+  const context::PrestigeScores& text_set_citation_scores() const {
+    return *text_set_citation_;
+  }
+  const context::PrestigeScores& text_set_text_scores() const {
+    return *text_set_text_;
+  }
+
+  // --- pattern-based context paper set (§4) + its score functions ---
+  const context::ContextAssignment& pattern_set() const {
+    return pattern_result_->assignment;
+  }
+  const context::PatternAssignmentResult& pattern_result() const {
+    return *pattern_result_;
+  }
+  const context::PrestigeScores& pattern_set_citation_scores() const {
+    return *pattern_set_citation_;
+  }
+  const context::PrestigeScores& pattern_set_pattern_scores() const {
+    return *pattern_set_pattern_;
+  }
+  /// Text scores on the pattern set exist only for contexts with a
+  /// representative (paper §4: 5,632 of the contexts).
+  const context::PrestigeScores& pattern_set_text_scores() const {
+    return *pattern_set_text_;
+  }
+
+ private:
+  World() = default;
+
+  WorldConfig config_;
+  ontology::Ontology onto_;
+  corpus::Corpus corpus_;
+  std::optional<corpus::TokenizedCorpus> tc_;
+  std::optional<corpus::FullTextSearch> fts_;
+  std::optional<graph::CitationGraph> graph_;
+  std::optional<context::AuthorSimilarity> authors_;
+  std::optional<context::ContextAssignment> text_set_;
+  std::optional<context::PrestigeScores> text_set_citation_;
+  std::optional<context::PrestigeScores> text_set_text_;
+  std::optional<context::PatternAssignmentResult> pattern_result_;
+  std::optional<context::PrestigeScores> pattern_set_citation_;
+  std::optional<context::PrestigeScores> pattern_set_pattern_;
+  std::optional<context::PrestigeScores> pattern_set_text_;
+};
+
+}  // namespace ctxrank::eval
+
+#endif  // CTXRANK_EVAL_EXPERIMENT_H_

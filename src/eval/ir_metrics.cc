@@ -1,0 +1,41 @@
+#include "eval/ir_metrics.h"
+
+#include <unordered_set>
+
+namespace ctxrank::eval {
+
+double Recall(const std::vector<corpus::PaperId>& results,
+              const std::vector<corpus::PaperId>& answer_set) {
+  if (answer_set.empty()) return 0.0;
+  const std::unordered_set<corpus::PaperId> truth(answer_set.begin(),
+                                                  answer_set.end());
+  size_t hits = 0;
+  for (corpus::PaperId p : results) {
+    if (truth.count(p) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double FScore(double precision, double recall, double beta) {
+  const double b2 = beta * beta;
+  const double denom = b2 * precision + recall;
+  if (denom <= 0.0) return 0.0;
+  return (1.0 + b2) * precision * recall / denom;
+}
+
+double AveragePrecision(const std::vector<corpus::PaperId>& ranked_results,
+                        const std::vector<corpus::PaperId>& answer_set) {
+  if (answer_set.empty()) return 0.0;
+  const std::unordered_set<corpus::PaperId> truth(answer_set.begin(),
+                                                  answer_set.end());
+  size_t hits = 0;
+  double sum = 0.0;
+  for (size_t rank = 0; rank < ranked_results.size(); ++rank) {
+    if (truth.count(ranked_results[rank]) == 0) continue;
+    ++hits;
+    sum += static_cast<double>(hits) / static_cast<double>(rank + 1);
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+}  // namespace ctxrank::eval

@@ -1,0 +1,29 @@
+// Classic IR metrics beyond the paper's precision: recall (the paper's §2
+// discusses and deliberately drops it — implemented here so the trade-off
+// can be measured), F-score, and rank-aware average precision.
+#ifndef CTXRANK_EVAL_IR_METRICS_H_
+#define CTXRANK_EVAL_IR_METRICS_H_
+
+#include <vector>
+
+#include "corpus/paper.h"
+
+namespace ctxrank::eval {
+
+/// Recall_t = |S_t ∩ R_t| / |R_t|. 0 for an empty answer set.
+double Recall(const std::vector<corpus::PaperId>& results,
+              const std::vector<corpus::PaperId>& answer_set);
+
+/// F_beta score from precision and recall (beta = 1 by default). 0 when
+/// both are 0.
+double FScore(double precision, double recall, double beta = 1.0);
+
+/// Average precision of a *ranked* result list against an answer set:
+/// mean of precision@rank over the ranks holding relevant papers, divided
+/// by |answer set| (standard AP). 0 for an empty answer set.
+double AveragePrecision(const std::vector<corpus::PaperId>& ranked_results,
+                        const std::vector<corpus::PaperId>& answer_set);
+
+}  // namespace ctxrank::eval
+
+#endif  // CTXRANK_EVAL_IR_METRICS_H_

@@ -1,0 +1,114 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/stats.h"
+
+namespace ctxrank::eval {
+
+double Precision(const std::vector<PaperId>& results,
+                 const std::vector<PaperId>& answer_set) {
+  if (results.empty()) return 0.0;
+  const std::unordered_set<PaperId> truth(answer_set.begin(),
+                                          answer_set.end());
+  size_t hits = 0;
+  for (PaperId p : results) {
+    if (truth.count(p) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(results.size());
+}
+
+std::vector<size_t> TopKWithTies(const std::vector<double>& scores,
+                                 size_t k) {
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  if (k == 0 || order.empty()) return {};
+  if (k >= order.size()) return order;
+  const double kth = scores[order[k - 1]];
+  size_t end = k;
+  while (end < order.size() && scores[order[end]] == kth) ++end;
+  order.resize(end);
+  return order;
+}
+
+double TopKOverlapRatio(const std::vector<double>& scores1,
+                        const std::vector<double>& scores2, size_t k) {
+  if (k == 0 || scores1.empty() || scores1.size() != scores2.size()) {
+    return 0.0;
+  }
+  const std::vector<size_t> top1 = TopKWithTies(scores1, k);
+  const std::vector<size_t> top2 = TopKWithTies(scores2, k);
+  std::unordered_set<size_t> set1(top1.begin(), top1.end());
+  size_t inter = 0;
+  for (size_t i : top2) {
+    if (set1.count(i) > 0) ++inter;
+  }
+  // Ties widen the sets; the paper then divides by the smaller set size
+  // instead of k.
+  const size_t denom =
+      (top1.size() > k || top2.size() > k)
+          ? std::min(top1.size(), top2.size())
+          : k;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(inter) / static_cast<double>(denom);
+}
+
+double SeparabilitySd(const std::vector<double>& scores, size_t ranges) {
+  if (scores.empty() || ranges == 0) return 0.0;
+  std::vector<size_t> counts(ranges, 0);
+  for (double s : scores) {
+    double clamped = std::clamp(s, 0.0, 1.0);
+    size_t bucket = static_cast<size_t>(clamped * static_cast<double>(ranges));
+    if (bucket >= ranges) bucket = ranges - 1;  // s == 1.0 case.
+    ++counts[bucket];
+  }
+  const double expected = 100.0 / static_cast<double>(ranges);
+  double acc = 0.0;
+  for (size_t c : counts) {
+    const double pct = 100.0 * static_cast<double>(c) /
+                       static_cast<double>(scores.size());
+    acc += (pct - expected) * (pct - expected);
+  }
+  return std::sqrt(acc / static_cast<double>(ranges));
+}
+
+double NormalizedSeparabilitySd(const std::vector<double>& scores,
+                                size_t ranges) {
+  // Robust [0,1] mapping: the span is [min, 95th percentile] with the top
+  // tail clamped to 1. A plain min-max would let a single outlier (a
+  // representative's self-similarity, a citation hub) crush the whole
+  // distribution into the first range and saturate the SD.
+  std::vector<double> copy(scores);
+  if (copy.empty()) return 0.0;
+  std::vector<double> sorted(copy);
+  std::sort(sorted.begin(), sorted.end());
+  const double lo = sorted.front();
+  const double hi = sorted[static_cast<size_t>(
+      0.95 * static_cast<double>(sorted.size() - 1))];
+  if (hi <= lo) {
+    MinMaxNormalize(copy);
+  } else {
+    for (double& x : copy) {
+      x = std::clamp((x - lo) / (hi - lo), 0.0, 1.0);
+    }
+  }
+  return SeparabilitySd(copy, ranges);
+}
+
+size_t UniqueScoreCount(const std::vector<double>& scores, double epsilon) {
+  std::vector<double> sorted(scores);
+  std::sort(sorted.begin(), sorted.end());
+  size_t unique = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i == 0 || sorted[i] - sorted[i - 1] > epsilon) ++unique;
+  }
+  return unique;
+}
+
+}  // namespace ctxrank::eval

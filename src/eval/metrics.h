@@ -1,0 +1,57 @@
+// Evaluation metrics from the paper's §2 and §5.2: precision against an
+// answer set, the tie-aware top-k% overlapping ratio between two score
+// functions, and the separability standard deviation of a context's score
+// distribution.
+#ifndef CTXRANK_EVAL_METRICS_H_
+#define CTXRANK_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "corpus/paper.h"
+
+namespace ctxrank::eval {
+
+using corpus::PaperId;
+
+/// Precision_t = |S_t ∩ R_t| / |S_t| (paper §2). `results` is S_t (the
+/// papers the search returned at threshold t), `answer_set` is R_t; both
+/// orders are irrelevant. Returns 0 when `results` is empty (the paper
+/// counts such queries as precision 0, which is what drags the average
+/// down at high t — see the Fig 5.1 discussion).
+double Precision(const std::vector<PaperId>& results,
+                 const std::vector<PaperId>& answer_set);
+
+/// Top-k overlapping ratio between two score functions over the same
+/// context (paper §2). `scores1`/`scores2` are aligned: element i of both
+/// scores the same paper. `k` is an absolute count (the paper's
+/// experiments use k = ceil(k% * context size)). Tie rule: every paper
+/// tying the k-th score enters the top set, and the denominator becomes
+/// min(|top1|, |top2|) when either set exceeds k.
+double TopKOverlapRatio(const std::vector<double>& scores1,
+                        const std::vector<double>& scores2, size_t k);
+
+/// Indices of the top-k scores including all ties with the k-th value.
+std::vector<size_t> TopKWithTies(const std::vector<double>& scores, size_t k);
+
+/// Separability standard deviation (paper §5.2): scores (already min-max
+/// normalized to [0,1]) are divided into `ranges` equal ranges; the SD of
+/// the per-range percentage around the uniform expectation 100/ranges is
+/// returned. 0 is perfect separability; large values mean mass collapsed
+/// into few ranges (e.g. many identical scores).
+double SeparabilitySd(const std::vector<double>& scores, size_t ranges = 10);
+
+/// SeparabilitySd over a min-max normalized copy of `scores` — the §5.2
+/// analysis view ("assume papers in every context receive scores between
+/// [0, 1]") applied to raw prestige scores.
+double NormalizedSeparabilitySd(const std::vector<double>& scores,
+                                size_t ranges = 10);
+
+/// Number of distinct score values (PageRank on sparse subgraphs produces
+/// few; the paper's §5.2 explanation for poor citation separability).
+size_t UniqueScoreCount(const std::vector<double>& scores,
+                        double epsilon = 1e-12);
+
+}  // namespace ctxrank::eval
+
+#endif  // CTXRANK_EVAL_METRICS_H_

@@ -1,0 +1,50 @@
+#include "eval/query_generator.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ctxrank::eval {
+
+std::vector<EvalQuery> GenerateQueries(
+    const ontology::Ontology& onto, const corpus::TokenizedCorpus& tc,
+    const context::ContextAssignment& assignment,
+    const QueryGeneratorOptions& options) {
+  Rng rng(options.seed);
+  // Candidate targets: populated, deep-enough contexts.
+  std::vector<ontology::TermId> candidates;
+  for (ontology::TermId t = 0; t < onto.size(); ++t) {
+    if (onto.term(t).level < options.min_level) continue;
+    if (assignment.Members(t).size() < options.min_context_size) continue;
+    candidates.push_back(t);
+  }
+  std::vector<EvalQuery> queries;
+  if (candidates.empty()) return queries;
+  rng.Shuffle(candidates);
+  for (size_t qi = 0; queries.size() < options.num_queries; ++qi) {
+    if (qi >= candidates.size() * 4) break;  // Give up after a few passes.
+    const ontology::TermId term = candidates[qi % candidates.size()];
+    // Paraphrase: random subset of the term-name words...
+    std::vector<std::string> words;
+    for (const std::string& w : SplitWhitespace(onto.term(term).name)) {
+      if (rng.NextBernoulli(options.name_word_keep)) words.push_back(w);
+    }
+    // ...plus a few words from the term's evidence-paper titles (topical
+    // vocabulary a human searcher would use).
+    const auto& evidence = tc.corpus().Evidence(term);
+    for (int e = 0; e < options.extra_words && !evidence.empty(); ++e) {
+      const corpus::PaperId p = evidence[rng.NextBounded(evidence.size())];
+      const auto title_words =
+          SplitWhitespace(tc.corpus().paper(p).title);
+      if (!title_words.empty()) {
+        words.push_back(title_words[rng.NextBounded(title_words.size())]);
+      }
+    }
+    if (words.empty()) continue;
+    rng.Shuffle(words);
+    queries.push_back({Join(words, " "), term});
+  }
+  return queries;
+}
+
+}  // namespace ctxrank::eval

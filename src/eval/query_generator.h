@@ -1,0 +1,49 @@
+// Evaluation query synthesis — the substitute for the paper's ~120 search
+// terms taken from non-GO classification systems (TIGR roles) manually
+// mapped to GO terms (§5.1). Queries are paraphrases of ontology term
+// names: related to, but not identical with, the context labels, exactly
+// the relationship the TIGR->GO mapping provides.
+#ifndef CTXRANK_EVAL_QUERY_GENERATOR_H_
+#define CTXRANK_EVAL_QUERY_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "context/context_assignment.h"
+#include "corpus/tokenized_corpus.h"
+#include "ontology/ontology.h"
+
+namespace ctxrank::eval {
+
+struct EvalQuery {
+  std::string text;
+  /// The GO term this query targets (its TIGR-role mapping, so to speak).
+  ontology::TermId target_term;
+};
+
+struct QueryGeneratorOptions {
+  uint64_t seed = 99;
+  size_t num_queries = 120;
+  /// Only target contexts with at least this many assigned papers.
+  size_t min_context_size = 20;
+  /// Only target terms at this level or deeper (root labels are useless
+  /// queries).
+  int min_level = 2;
+  /// Probability each term-name word enters the query.
+  double name_word_keep = 0.85;
+  /// Extra words drawn from the target's evidence-paper titles. TIGR role
+  /// descriptions are a sentence long, so queries carry several topical
+  /// words beyond the GO term itself.
+  int extra_words = 4;
+};
+
+/// Generates paraphrase queries over the contexts of `assignment`.
+std::vector<EvalQuery> GenerateQueries(
+    const ontology::Ontology& onto, const corpus::TokenizedCorpus& tc,
+    const context::ContextAssignment& assignment,
+    const QueryGeneratorOptions& options = {});
+
+}  // namespace ctxrank::eval
+
+#endif  // CTXRANK_EVAL_QUERY_GENERATOR_H_

@@ -1,0 +1,29 @@
+// Fixed-width text tables for the bench binaries' figure/table output.
+#ifndef CTXRANK_EVAL_TABLE_H_
+#define CTXRANK_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace ctxrank::eval {
+
+/// \brief Accumulates rows of string cells and renders an aligned table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `digits` decimals.
+  static std::string Cell(double v, int digits = 3);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ctxrank::eval
+
+#endif  // CTXRANK_EVAL_TABLE_H_

@@ -1,0 +1,115 @@
+#include "graph/citation_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace ctxrank::graph {
+
+CitationGraph::CitationGraph(const corpus::Corpus& corpus) {
+  std::vector<std::pair<PaperId, PaperId>> edges;
+  for (const corpus::Paper& p : corpus.papers()) {
+    for (PaperId ref : p.references) edges.emplace_back(p.id, ref);
+  }
+  num_nodes_ = corpus.size();
+  BuildCsr(edges);
+}
+
+CitationGraph::CitationGraph(
+    size_t num_nodes, const std::vector<std::pair<PaperId, PaperId>>& edges)
+    : num_nodes_(num_nodes) {
+  BuildCsr(edges);
+}
+
+void CitationGraph::BuildCsr(
+    const std::vector<std::pair<PaperId, PaperId>>& edges) {
+  out_offsets_.assign(num_nodes_ + 1, 0);
+  in_offsets_.assign(num_nodes_ + 1, 0);
+  for (const auto& [src, dst] : edges) {
+    ++out_offsets_[src + 1];
+    ++in_offsets_[dst + 1];
+  }
+  for (size_t i = 1; i <= num_nodes_; ++i) {
+    out_offsets_[i] += out_offsets_[i - 1];
+    in_offsets_[i] += in_offsets_[i - 1];
+  }
+  out_edges_.resize(edges.size());
+  in_edges_.resize(edges.size());
+  std::vector<size_t> out_pos(out_offsets_.begin(), out_offsets_.end() - 1);
+  std::vector<size_t> in_pos(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (const auto& [src, dst] : edges) {
+    out_edges_[out_pos[src]++] = dst;
+    in_edges_[in_pos[dst]++] = src;
+  }
+}
+
+std::vector<PaperId> CitationGraph::OutNeighbors(PaperId p) const {
+  return {out_edges_.begin() + static_cast<long>(out_offsets_[p]),
+          out_edges_.begin() + static_cast<long>(out_offsets_[p + 1])};
+}
+
+std::vector<PaperId> CitationGraph::InNeighbors(PaperId p) const {
+  return {in_edges_.begin() + static_cast<long>(in_offsets_[p]),
+          in_edges_.begin() + static_cast<long>(in_offsets_[p + 1])};
+}
+
+std::vector<PaperId> CitationGraph::ReachableWithin(
+    const std::vector<PaperId>& seeds, int max_hops) const {
+  std::vector<int> dist(num_nodes_, -1);
+  std::deque<PaperId> queue;
+  for (PaperId s : seeds) {
+    if (s < num_nodes_ && dist[s] < 0) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  std::vector<PaperId> out;
+  while (!queue.empty()) {
+    const PaperId u = queue.front();
+    queue.pop_front();
+    if (dist[u] >= max_hops) continue;
+    auto visit = [&](PaperId v) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        out.push_back(v);
+        queue.push_back(v);
+      }
+    };
+    for (size_t i = out_offsets_[u]; i < out_offsets_[u + 1]; ++i) {
+      visit(out_edges_[i]);
+    }
+    for (size_t i = in_offsets_[u]; i < in_offsets_[u + 1]; ++i) {
+      visit(in_edges_[i]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+InducedSubgraph::InducedSubgraph(const CitationGraph& graph,
+                                 const std::vector<PaperId>& members)
+    : members_(members) {
+  std::sort(members_.begin(), members_.end());
+  std::unordered_map<PaperId, uint32_t> local;
+  local.reserve(members_.size());
+  for (uint32_t i = 0; i < members_.size(); ++i) local.emplace(members_[i], i);
+  out_adj_.resize(members_.size());
+  for (uint32_t i = 0; i < members_.size(); ++i) {
+    for (PaperId dst : graph.OutNeighbors(members_[i])) {
+      auto it = local.find(dst);
+      if (it != local.end()) {
+        out_adj_[i].push_back(it->second);
+        ++num_edges_;
+      }
+    }
+  }
+}
+
+double InducedSubgraph::Density() const {
+  const size_t n = members_.size();
+  if (n < 2) return 0.0;
+  return static_cast<double>(num_edges_) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+}  // namespace ctxrank::graph

@@ -1,0 +1,85 @@
+// Citation graph over the corpus, with forward (references) and reverse
+// (cited-by) adjacency, plus induced-subgraph extraction for per-context
+// score computation (the paper restricts citation prestige to edges inside
+// one context, §3.1).
+#ifndef CTXRANK_GRAPH_CITATION_GRAPH_H_
+#define CTXRANK_GRAPH_CITATION_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+
+namespace ctxrank::graph {
+
+using corpus::PaperId;
+
+/// \brief Immutable CSR-style citation graph. Node ids are PaperIds.
+class CitationGraph {
+ public:
+  /// Builds from a corpus (edge p -> q for each q in p's references).
+  explicit CitationGraph(const corpus::Corpus& corpus);
+
+  /// Builds from explicit edge lists; `num_nodes` bounds both endpoints.
+  CitationGraph(size_t num_nodes,
+                const std::vector<std::pair<PaperId, PaperId>>& edges);
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return out_edges_.size(); }
+
+  /// Papers cited by `p`.
+  std::vector<PaperId> OutNeighbors(PaperId p) const;
+  /// Papers citing `p`.
+  std::vector<PaperId> InNeighbors(PaperId p) const;
+
+  size_t OutDegree(PaperId p) const { return out_offsets_[p + 1] - out_offsets_[p]; }
+  size_t InDegree(PaperId p) const { return in_offsets_[p + 1] - in_offsets_[p]; }
+
+  /// All papers reachable from any of `seeds` following citation edges in
+  /// either direction, up to `max_hops` hops (excluding the seeds
+  /// themselves). Used by the AC-answer-set citation expansion, which the
+  /// paper limits to paths of length <= 2.
+  std::vector<PaperId> ReachableWithin(const std::vector<PaperId>& seeds,
+                                       int max_hops) const;
+
+ private:
+  void BuildCsr(const std::vector<std::pair<PaperId, PaperId>>& edges);
+
+  size_t num_nodes_ = 0;
+  std::vector<size_t> out_offsets_;
+  std::vector<PaperId> out_edges_;
+  std::vector<size_t> in_offsets_;
+  std::vector<PaperId> in_edges_;
+};
+
+/// \brief The citation subgraph induced by a set of papers, with local
+/// dense ids [0, n). This is what per-context PageRank runs on.
+class InducedSubgraph {
+ public:
+  /// `members` must be duplicate-free.
+  InducedSubgraph(const CitationGraph& graph,
+                  const std::vector<PaperId>& members);
+
+  size_t size() const { return members_.size(); }
+  const std::vector<PaperId>& members() const { return members_; }
+  PaperId ToGlobal(size_t local) const { return members_[local]; }
+
+  /// Local out-adjacency (edges whose both endpoints are members).
+  const std::vector<std::vector<uint32_t>>& out_adj() const { return out_adj_; }
+
+  size_t num_edges() const { return num_edges_; }
+
+  /// Edge density |E| / (n*(n-1)); 0 for n < 2. The paper's sparseness
+  /// argument for citation-score inaccuracy is about exactly this quantity.
+  double Density() const;
+
+ private:
+  std::vector<PaperId> members_;
+  std::vector<std::vector<uint32_t>> out_adj_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace ctxrank::graph
+
+#endif  // CTXRANK_GRAPH_CITATION_GRAPH_H_

@@ -1,0 +1,46 @@
+#include "graph/citation_similarity.h"
+
+#include <algorithm>
+
+namespace ctxrank::graph {
+
+namespace {
+
+double SortedJaccard(std::vector<PaperId> x, std::vector<PaperId> y) {
+  if (x.empty() || y.empty()) return 0.0;
+  std::sort(x.begin(), x.end());
+  std::sort(y.begin(), y.end());
+  size_t i = 0, j = 0, inter = 0;
+  while (i < x.size() && j < y.size()) {
+    if (x[i] == y[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (x[i] < y[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = x.size() + y.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+double BibliographicCoupling(const CitationGraph& graph, PaperId a,
+                             PaperId b) {
+  return SortedJaccard(graph.OutNeighbors(a), graph.OutNeighbors(b));
+}
+
+double CoCitation(const CitationGraph& graph, PaperId a, PaperId b) {
+  return SortedJaccard(graph.InNeighbors(a), graph.InNeighbors(b));
+}
+
+double CitationSimilarity(const CitationGraph& graph, PaperId a, PaperId b,
+                          double bib_weight) {
+  return bib_weight * BibliographicCoupling(graph, a, b) +
+         (1.0 - bib_weight) * CoCitation(graph, a, b);
+}
+
+}  // namespace ctxrank::graph

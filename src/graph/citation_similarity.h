@@ -1,0 +1,26 @@
+// Citation-derived paper-pair similarity: bibliographic coupling (Kessler
+// 1963) and co-citation (Small 1973), combined per the paper's §3.2
+// SimReferences = BibWeight*Sim_bib + (1-BibWeight)*Sim_coc.
+#ifndef CTXRANK_GRAPH_CITATION_SIMILARITY_H_
+#define CTXRANK_GRAPH_CITATION_SIMILARITY_H_
+
+#include "graph/citation_graph.h"
+
+namespace ctxrank::graph {
+
+/// Bibliographic coupling: Jaccard overlap of the two papers' reference
+/// lists (papers citing the same literature are similar). In [0, 1].
+double BibliographicCoupling(const CitationGraph& graph, PaperId a, PaperId b);
+
+/// Co-citation: Jaccard overlap of the sets of papers citing a and b
+/// (papers cited together are similar). In [0, 1].
+double CoCitation(const CitationGraph& graph, PaperId a, PaperId b);
+
+/// SimReferences(a, b) = bib_weight * coupling + (1 - bib_weight) *
+/// co-citation. `bib_weight` in [0, 1].
+double CitationSimilarity(const CitationGraph& graph, PaperId a, PaperId b,
+                          double bib_weight);
+
+}  // namespace ctxrank::graph
+
+#endif  // CTXRANK_GRAPH_CITATION_SIMILARITY_H_

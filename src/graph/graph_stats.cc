@@ -1,0 +1,99 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ctxrank::graph {
+
+namespace {
+
+/// Union-find over local ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+  size_t SizeOf(size_t x) { return size_[Find(x)]; }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+};
+
+double Gini(std::vector<size_t> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  double cum = 0.0, weighted = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * static_cast<double>(values[i]);
+    cum += static_cast<double>(values[i]);
+  }
+  if (cum == 0.0) return 0.0;
+  return (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+}
+
+}  // namespace
+
+SubgraphStats ComputeSubgraphStats(const InducedSubgraph& subgraph) {
+  SubgraphStats stats;
+  stats.nodes = subgraph.size();
+  stats.edges = subgraph.num_edges();
+  stats.density = subgraph.Density();
+  if (stats.nodes == 0) return stats;
+
+  const auto& adj = subgraph.out_adj();
+  std::vector<size_t> in_degree(stats.nodes, 0);
+  std::vector<bool> touched(stats.nodes, false);
+  DisjointSets components(stats.nodes);
+  for (size_t u = 0; u < stats.nodes; ++u) {
+    for (uint32_t v : adj[u]) {
+      ++in_degree[v];
+      touched[u] = touched[v] = true;
+      components.Union(u, v);
+    }
+  }
+  size_t isolated = 0, in_sum = 0;
+  for (size_t u = 0; u < stats.nodes; ++u) {
+    if (!touched[u]) ++isolated;
+    in_sum += in_degree[u];
+    stats.max_in_degree = std::max(stats.max_in_degree, in_degree[u]);
+  }
+  stats.isolated_fraction =
+      static_cast<double>(isolated) / static_cast<double>(stats.nodes);
+  stats.mean_in_degree =
+      static_cast<double>(in_sum) / static_cast<double>(stats.nodes);
+  // Components.
+  std::vector<bool> seen_root(stats.nodes, false);
+  for (size_t u = 0; u < stats.nodes; ++u) {
+    const size_t root = components.Find(u);
+    if (!seen_root[root]) {
+      seen_root[root] = true;
+      ++stats.weak_components;
+      stats.largest_component =
+          std::max(stats.largest_component, components.SizeOf(root));
+    }
+  }
+  stats.in_degree_gini = Gini(in_degree);
+  return stats;
+}
+
+}  // namespace ctxrank::graph

@@ -1,0 +1,39 @@
+// Structural statistics of citation (sub)graphs: the quantities behind the
+// paper's "sparse citation graph" diagnosis — degree distributions, the
+// share of isolated papers, weakly connected components, and degree
+// concentration.
+#ifndef CTXRANK_GRAPH_GRAPH_STATS_H_
+#define CTXRANK_GRAPH_GRAPH_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/citation_graph.h"
+
+namespace ctxrank::graph {
+
+struct SubgraphStats {
+  size_t nodes = 0;
+  size_t edges = 0;
+  /// |E| / (n·(n-1)).
+  double density = 0.0;
+  /// Fraction of nodes with no intra-subgraph edge in either direction.
+  double isolated_fraction = 0.0;
+  /// Mean / max in-degree.
+  double mean_in_degree = 0.0;
+  size_t max_in_degree = 0;
+  /// Number of weakly connected components (isolated nodes count).
+  size_t weak_components = 0;
+  /// Size of the largest weakly connected component.
+  size_t largest_component = 0;
+  /// Gini coefficient of the in-degree distribution (0 = perfectly even,
+  /// -> 1 = one hub absorbs everything).
+  double in_degree_gini = 0.0;
+};
+
+/// Computes all statistics in one pass over the subgraph.
+SubgraphStats ComputeSubgraphStats(const InducedSubgraph& subgraph);
+
+}  // namespace ctxrank::graph
+
+#endif  // CTXRANK_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,66 @@
+#include "graph/hits.h"
+
+#include <cmath>
+
+namespace ctxrank::graph {
+
+namespace {
+
+void L2Normalize(std::vector<double>& v) {
+  double norm = 0.0;
+  for (double x : v) norm += x * x;
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (double& x : v) x /= norm;
+  }
+}
+
+}  // namespace
+
+Result<HitsResult> ComputeHits(const InducedSubgraph& subgraph,
+                               const HitsOptions& options) {
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  const size_t n = subgraph.size();
+  HitsResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+  const auto& adj = subgraph.out_adj();
+  std::vector<double> auth(n, 1.0), hub(n, 1.0);
+  std::vector<double> new_auth(n), new_hub(n);
+  L2Normalize(auth);
+  L2Normalize(hub);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Authority of v = sum of hub scores of papers citing v.
+    std::fill(new_auth.begin(), new_auth.end(), 0.0);
+    for (size_t u = 0; u < n; ++u) {
+      for (uint32_t v : adj[u]) new_auth[v] += hub[u];
+    }
+    L2Normalize(new_auth);
+    // Hub of u = sum of authority scores of papers u cites.
+    std::fill(new_hub.begin(), new_hub.end(), 0.0);
+    for (size_t u = 0; u < n; ++u) {
+      for (uint32_t v : adj[u]) new_hub[u] += new_auth[v];
+    }
+    L2Normalize(new_hub);
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      delta += std::fabs(new_auth[i] - auth[i]) + std::fabs(new_hub[i] - hub[i]);
+    }
+    auth.swap(new_auth);
+    hub.swap(new_hub);
+    result.iterations = iter + 1;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.authority = std::move(auth);
+  result.hub = std::move(hub);
+  return result;
+}
+
+}  // namespace ctxrank::graph

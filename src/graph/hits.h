@@ -1,0 +1,33 @@
+// Kleinberg's HITS (paper §3.1 discusses it as the alternative to PageRank;
+// prior work found the two highly correlated on literature graphs — our
+// ablation bench re-checks that claim on the synthetic corpus).
+#ifndef CTXRANK_GRAPH_HITS_H_
+#define CTXRANK_GRAPH_HITS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/citation_graph.h"
+
+namespace ctxrank::graph {
+
+struct HitsOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-9;
+};
+
+struct HitsResult {
+  /// L2-normalized authority and hub scores per local node id.
+  std::vector<double> authority;
+  std::vector<double> hub;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Runs HITS on an induced context subgraph.
+Result<HitsResult> ComputeHits(const InducedSubgraph& subgraph,
+                               const HitsOptions& options = {});
+
+}  // namespace ctxrank::graph
+
+#endif  // CTXRANK_GRAPH_HITS_H_

@@ -1,0 +1,70 @@
+#include "graph/pagerank.h"
+
+#include <cmath>
+
+namespace ctxrank::graph {
+
+Result<PageRankResult> ComputePageRank(const InducedSubgraph& subgraph,
+                                       const PageRankOptions& options) {
+  if (options.d <= 0.0 || options.d >= 1.0) {
+    return Status::InvalidArgument("PageRank d must be in (0, 1)");
+  }
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  const size_t n = subgraph.size();
+  PageRankResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+  const auto& adj = subgraph.out_adj();
+  const double inv_n = 1.0 / static_cast<double>(n);
+  std::vector<double> cur(n, inv_n), next(n, 0.0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling_mass = 0.0;
+    for (size_t u = 0; u < n; ++u) {
+      if (adj[u].empty()) {
+        dangling_mass += cur[u];
+        continue;
+      }
+      // Row-normalized citation matrix M: each out-edge carries 1/outdeg.
+      const double share =
+          (1.0 - options.d) * cur[u] / static_cast<double>(adj[u].size());
+      for (uint32_t v : adj[u]) next[v] += share;
+    }
+    if (options.redistribute_dangling) {
+      const double share = (1.0 - options.d) * dangling_mass * inv_n;
+      for (double& x : next) x += share;
+    }
+    // Teleport term E.
+    double total = 0.0;
+    for (double x : cur) total += x;
+    const double teleport =
+        options.teleport == TeleportVariant::kE1Constant
+            ? options.d * inv_n       // E1 = d (normalized per node).
+            : options.d * total * inv_n;  // E2 = (d/N) * sum(P_i).
+    for (double& x : next) x += teleport;
+    // Convergence check (L1).
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) delta += std::fabs(next[i] - cur[i]);
+    cur.swap(next);
+    result.iterations = iter + 1;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  // Sum-normalize so scores are comparable across contexts of different
+  // sizes before the per-context min-max normalization downstream.
+  double total = 0.0;
+  for (double x : cur) total += x;
+  if (total > 0.0) {
+    for (double& x : cur) x /= total;
+  }
+  result.scores = std::move(cur);
+  return result;
+}
+
+}  // namespace ctxrank::graph

@@ -1,0 +1,50 @@
+// The paper's citation-based prestige core: PageRank restricted to one
+// context's citation subgraph, P_{i+1} = (1-d) M^T P_i + E, with the two
+// teleport formulations the paper mentions (§3.1).
+#ifndef CTXRANK_GRAPH_PAGERANK_H_
+#define CTXRANK_GRAPH_PAGERANK_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/citation_graph.h"
+
+namespace ctxrank::graph {
+
+/// Teleport ("hidden citation link") formulation, paper §3.1.
+enum class TeleportVariant {
+  /// E1 = d: constant teleport mass added to every node.
+  kE1Constant,
+  /// E2 = (d/N)[1_N]P_i: teleport mass proportional to the current total
+  /// score (keeps the vector sum-normalized when P_0 sums to 1).
+  kE2Proportional,
+};
+
+struct PageRankOptions {
+  /// Probability of following a citation (the paper's (1-d) multiplies M^T,
+  /// so `d` here is the probability of jumping to a random paper).
+  double d = 0.15;
+  TeleportVariant teleport = TeleportVariant::kE2Proportional;
+  int max_iterations = 100;
+  /// L1 convergence threshold.
+  double tolerance = 1e-9;
+  /// Dangling nodes (no outgoing citations inside the context) donate their
+  /// mass uniformly when true; otherwise their mass decays into teleport.
+  bool redistribute_dangling = true;
+};
+
+struct PageRankResult {
+  /// Score per local node id, sum-normalized to 1.
+  std::vector<double> scores;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Runs PageRank on an induced context subgraph. Returns InvalidArgument
+/// for bad options; an empty subgraph yields an empty score vector.
+Result<PageRankResult> ComputePageRank(const InducedSubgraph& subgraph,
+                                       const PageRankOptions& options = {});
+
+}  // namespace ctxrank::graph
+
+#endif  // CTXRANK_GRAPH_PAGERANK_H_

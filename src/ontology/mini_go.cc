@@ -1,0 +1,88 @@
+#include "ontology/mini_go.h"
+
+#include <cassert>
+
+namespace ctxrank::ontology {
+
+Ontology MakeMiniGo() {
+  Ontology onto;
+  struct Spec {
+    const char* acc;
+    const char* name;
+    const char* parent1;  // accession or nullptr
+    const char* parent2;
+  };
+  // Level structure mirrors the paper's §5.2 worked example around
+  // "RNA polymerase II transcription factor activity" (called X there).
+  static const Spec kSpecs[] = {
+      {"GO:0003674", "molecular function", nullptr, nullptr},
+      {"GO:0008150", "biological process", nullptr, nullptr},
+      {"GO:0005488", "binding", "GO:0003674", nullptr},
+      {"GO:0003824", "catalytic activity", "GO:0003674", nullptr},
+      {"GO:0030528", "transcription regulator activity", "GO:0003674",
+       nullptr},
+      {"GO:0003676", "nucleic acid binding", "GO:0005488", nullptr},
+      {"GO:0003677", "dna binding", "GO:0003676", nullptr},
+      {"GO:0003723", "rna binding", "GO:0003676", nullptr},
+      {"GO:0016740", "transferase activity", "GO:0003824", nullptr},
+      {"GO:0016301", "kinase activity", "GO:0016740", nullptr},
+      {"GO:0004672", "protein kinase activity", "GO:0016301", nullptr},
+      {"GO:0004674", "protein serine threonine kinase activity",
+       "GO:0004672", nullptr},
+      {"GO:0003700", "transcription factor activity", "GO:0030528",
+       "GO:0003677"},
+      {"GO:0003702", "rna polymerase ii transcription factor activity",
+       "GO:0003700", nullptr},
+      // X's four children, quoted in the paper.
+      {"GO:0016251", "general rna polymerase ii transcription factor "
+                     "activity", "GO:0003702", nullptr},
+      {"GO:0016252", "nonspecific rna polymerase ii transcription factor "
+                     "activity", "GO:0003702", nullptr},
+      {"GO:0003705", "rna polymerase ii transcription factor activity "
+                     "enhancer binding", "GO:0003702", nullptr},
+      {"GO:0003704", "specific rna polymerase ii transcription factor "
+                     "activity", "GO:0003702", nullptr},
+      // X's siblings, quoted in the paper.
+      {"GO:0003712", "transcription cofactor activity", "GO:0003700",
+       nullptr},
+      {"GO:0003711", "transcription elongation regulator activity",
+       "GO:0003700", nullptr},
+      // Biological-process branch for breadth.
+      {"GO:0008152", "metabolism", "GO:0008150", nullptr},
+      {"GO:0006139", "nucleic acid metabolism", "GO:0008152", nullptr},
+      {"GO:0006350", "transcription", "GO:0006139", nullptr},
+      {"GO:0006351", "transcription dna dependent", "GO:0006350", nullptr},
+      {"GO:0006355", "regulation of transcription", "GO:0006350", nullptr},
+      {"GO:0045941", "positive regulation of transcription", "GO:0006355",
+       nullptr},
+      {"GO:0016481", "negative regulation of transcription", "GO:0006355",
+       nullptr},
+      {"GO:0006260", "dna replication", "GO:0006139", nullptr},
+      {"GO:0006281", "dna repair", "GO:0006139", nullptr},
+      {"GO:0006412", "protein biosynthesis", "GO:0008152", nullptr},
+      {"GO:0006457", "protein folding", "GO:0008152", nullptr},
+      {"GO:0016310", "phosphorylation", "GO:0008152", nullptr},
+      {"GO:0006468", "protein amino acid phosphorylation", "GO:0016310",
+       nullptr},
+  };
+  for (const Spec& s : kSpecs) {
+    onto.AddTerm(s.acc, s.name);
+  }
+  for (const Spec& s : kSpecs) {
+    const TermId child = onto.FindByAccession(s.acc);
+    for (const char* parent : {s.parent1, s.parent2}) {
+      if (parent == nullptr) continue;
+      const TermId p = onto.FindByAccession(parent);
+      assert(p != kInvalidTerm);
+      const Status st = onto.AddIsA(child, p);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+  const Status st = onto.Finalize();
+  assert(st.ok());
+  (void)st;
+  return onto;
+}
+
+}  // namespace ctxrank::ontology

@@ -1,0 +1,16 @@
+// A small curated GO fragment (transcription / molecular-function flavoured,
+// including the paper's §5.2 example "RNA polymerase II transcription factor
+// activity" and its four children) used by examples and tests.
+#ifndef CTXRANK_ONTOLOGY_MINI_GO_H_
+#define CTXRANK_ONTOLOGY_MINI_GO_H_
+
+#include "ontology/ontology.h"
+
+namespace ctxrank::ontology {
+
+/// Builds and finalizes the ~30-term mini ontology. Never fails.
+Ontology MakeMiniGo();
+
+}  // namespace ctxrank::ontology
+
+#endif  // CTXRANK_ONTOLOGY_MINI_GO_H_

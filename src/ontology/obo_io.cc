@@ -1,0 +1,121 @@
+#include "ontology/obo_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace ctxrank::ontology {
+
+std::string WriteObo(const Ontology& onto) {
+  std::string out;
+  out += "format-version: 1.2\n";
+  for (const Term& t : onto.terms()) {
+    out += "\n[Term]\n";
+    out += "id: " + t.accession + "\n";
+    out += "name: " + t.name + "\n";
+    for (TermId p : t.parents) {
+      out += "is_a: " + onto.term(p).accession + " ! " + onto.term(p).name +
+             "\n";
+    }
+  }
+  return out;
+}
+
+Result<Ontology> ParseObo(std::string_view content) {
+  Ontology onto;
+  std::unordered_map<std::string, TermId> by_accession;
+  struct PendingEdge {
+    TermId child;
+    std::string parent_accession;
+  };
+  std::vector<PendingEdge> edges;
+
+  bool in_term = false;
+  std::string cur_id, cur_name;
+  std::vector<std::string> cur_parents;
+
+  auto flush_term = [&]() -> Status {
+    if (!in_term) return Status::OK();
+    if (cur_id.empty()) {
+      return Status::InvalidArgument("[Term] stanza without id");
+    }
+    if (by_accession.count(cur_id) > 0) {
+      return Status::InvalidArgument("duplicate term id " + cur_id);
+    }
+    const TermId id = onto.AddTerm(cur_id, cur_name);
+    by_accession.emplace(cur_id, id);
+    for (std::string& p : cur_parents) {
+      edges.push_back({id, std::move(p)});
+    }
+    cur_id.clear();
+    cur_name.clear();
+    cur_parents.clear();
+    in_term = false;
+    return Status::OK();
+  };
+
+  size_t pos = 0;
+  while (pos <= content.size()) {
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string_view::npos) eol = content.size();
+    std::string_view line = Trim(content.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line.empty() || line[0] == '!') continue;
+    if (line == "[Term]") {
+      CTXRANK_RETURN_NOT_OK(flush_term());
+      in_term = true;
+      continue;
+    }
+    if (line[0] == '[') {  // Other stanza types ([Typedef] etc.): skip.
+      CTXRANK_RETURN_NOT_OK(flush_term());
+      continue;
+    }
+    if (!in_term) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    const std::string_view key = Trim(line.substr(0, colon));
+    std::string_view value = Trim(line.substr(colon + 1));
+    // Strip trailing "! comment".
+    const size_t bang = value.find('!');
+    if (bang != std::string_view::npos) value = Trim(value.substr(0, bang));
+    if (key == "id") {
+      cur_id = std::string(value);
+    } else if (key == "name") {
+      cur_name = std::string(value);
+    } else if (key == "is_a") {
+      cur_parents.emplace_back(value);
+    }
+  }
+  CTXRANK_RETURN_NOT_OK(flush_term());
+
+  for (const PendingEdge& e : edges) {
+    auto it = by_accession.find(e.parent_accession);
+    if (it == by_accession.end()) {
+      return Status::InvalidArgument("is_a references unknown term " +
+                                     e.parent_accession);
+    }
+    CTXRANK_RETURN_NOT_OK(onto.AddIsA(e.child, it->second));
+  }
+  CTXRANK_RETURN_NOT_OK(onto.Finalize());
+  return onto;
+}
+
+Status WriteOboFile(const Ontology& onto, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  f << WriteObo(onto);
+  return f.good() ? Status::OK() : Status::IoError("write failed: " + path);
+}
+
+Result<Ontology> LoadOboFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ParseObo(ss.str());
+}
+
+}  // namespace ctxrank::ontology

@@ -1,0 +1,28 @@
+// Minimal OBO-flavoured flat-file reader/writer so ontologies can be
+// persisted and real GO subsets can be loaded. Supports the [Term] stanza
+// subset: id, name, is_a (by accession).
+#ifndef CTXRANK_ONTOLOGY_OBO_IO_H_
+#define CTXRANK_ONTOLOGY_OBO_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "ontology/ontology.h"
+
+namespace ctxrank::ontology {
+
+/// Serializes to OBO-like text ([Term] stanzas, parents as `is_a:` lines).
+std::string WriteObo(const Ontology& onto);
+
+/// Parses OBO-like text produced by WriteObo (or a hand-written subset) and
+/// finalizes the resulting ontology.
+Result<Ontology> ParseObo(std::string_view content);
+
+/// File variants.
+Status WriteOboFile(const Ontology& onto, const std::string& path);
+Result<Ontology> LoadOboFile(const std::string& path);
+
+}  // namespace ctxrank::ontology
+
+#endif  // CTXRANK_ONTOLOGY_OBO_IO_H_

@@ -1,0 +1,232 @@
+#include "ontology/ontology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_set>
+
+namespace ctxrank::ontology {
+
+TermId Ontology::AddTerm(std::string accession, std::string name) {
+  const TermId id = static_cast<TermId>(terms_.size());
+  Term t;
+  t.id = id;
+  t.accession = std::move(accession);
+  t.name = std::move(name);
+  terms_.push_back(std::move(t));
+  finalized_ = false;
+  return id;
+}
+
+Status Ontology::AddIsA(TermId child, TermId parent) {
+  if (child >= terms_.size() || parent >= terms_.size()) {
+    return Status::InvalidArgument("is-a edge references unknown term");
+  }
+  if (child == parent) {
+    return Status::InvalidArgument("self is-a edge on " +
+                                   terms_[child].accession);
+  }
+  terms_[child].parents.push_back(parent);
+  terms_[parent].children.push_back(child);
+  finalized_ = false;
+  return Status::OK();
+}
+
+Status Ontology::Finalize() {
+  finalized_ = false;
+  // Unique accessions.
+  {
+    std::unordered_set<std::string> seen;
+    for (const Term& t : terms_) {
+      if (!seen.insert(t.accession).second) {
+        return Status::InvalidArgument("duplicate accession " + t.accession);
+      }
+    }
+  }
+  // Dedup parallel edges.
+  for (Term& t : terms_) {
+    std::sort(t.parents.begin(), t.parents.end());
+    t.parents.erase(std::unique(t.parents.begin(), t.parents.end()),
+                    t.parents.end());
+    std::sort(t.children.begin(), t.children.end());
+    t.children.erase(std::unique(t.children.begin(), t.children.end()),
+                     t.children.end());
+  }
+  // Roots and cycle check via Kahn topological sort (parents before
+  // children).
+  roots_.clear();
+  std::vector<size_t> pending_parents(terms_.size());
+  for (const Term& t : terms_) {
+    pending_parents[t.id] = t.parents.size();
+    if (t.parents.empty()) roots_.push_back(t.id);
+  }
+  if (roots_.empty() && !terms_.empty()) {
+    return Status::InvalidArgument("ontology has no root term");
+  }
+  std::deque<TermId> queue(roots_.begin(), roots_.end());
+  std::vector<TermId> topo_order;
+  topo_order.reserve(terms_.size());
+  // Levels: 1 for roots, else 1 + min parent level (shortest path).
+  std::vector<int> level(terms_.size(), 0);
+  for (TermId r : roots_) level[r] = 1;
+  while (!queue.empty()) {
+    const TermId u = queue.front();
+    queue.pop_front();
+    topo_order.push_back(u);
+    for (TermId c : terms_[u].children) {
+      // Shortest-path level: parents precede children in topo order, so the
+      // final value is the minimum over all parents.
+      if (level[c] == 0) {
+        level[c] = level[u] + 1;
+      } else {
+        level[c] = std::min(level[c], level[u] + 1);
+      }
+      if (--pending_parents[c] == 0) queue.push_back(c);
+    }
+  }
+  if (topo_order.size() != terms_.size()) {
+    return Status::InvalidArgument("ontology DAG contains a cycle");
+  }
+  max_level_ = 0;
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    terms_[i].level = level[i];
+    max_level_ = std::max(max_level_, level[i]);
+  }
+  // Descendant counts: |union of descendant sets| computed in reverse
+  // topological order with bitsets for exactness on multi-parent DAGs.
+  const size_t n = terms_.size();
+  const size_t words = (n + 63) / 64;
+  std::vector<std::vector<uint64_t>> closure(n,
+                                             std::vector<uint64_t>(words, 0));
+  descendant_counts_.assign(n, 0);
+  for (auto it = topo_order.rbegin(); it != topo_order.rend(); ++it) {
+    const TermId u = *it;
+    auto& bits = closure[u];
+    for (TermId c : terms_[u].children) {
+      bits[c / 64] |= 1ULL << (c % 64);
+      const auto& cb = closure[c];
+      for (size_t w = 0; w < words; ++w) bits[w] |= cb[w];
+    }
+    size_t count = 0;
+    for (uint64_t w : bits) count += static_cast<size_t>(__builtin_popcountll(w));
+    descendant_counts_[u] = count;
+  }
+  // Information content.
+  information_content_.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double p = (static_cast<double>(descendant_counts_[i]) + 1.0) /
+                     static_cast<double>(n);
+    information_content_[i] = std::log(1.0 / p);
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+TermId Ontology::FindByAccession(std::string_view accession) const {
+  for (const Term& t : terms_) {
+    if (t.accession == accession) return t.id;
+  }
+  return kInvalidTerm;
+}
+
+TermId Ontology::FindByName(std::string_view name) const {
+  for (const Term& t : terms_) {
+    if (t.name == name) return t.id;
+  }
+  return kInvalidTerm;
+}
+
+std::vector<TermId> Ontology::Descendants(TermId id) const {
+  std::vector<TermId> out;
+  std::vector<bool> seen(terms_.size(), false);
+  std::deque<TermId> queue;
+  for (TermId c : terms_[id].children) {
+    if (!seen[c]) {
+      seen[c] = true;
+      queue.push_back(c);
+    }
+  }
+  while (!queue.empty()) {
+    const TermId u = queue.front();
+    queue.pop_front();
+    out.push_back(u);
+    for (TermId c : terms_[u].children) {
+      if (!seen[c]) {
+        seen[c] = true;
+        queue.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<TermId> Ontology::Ancestors(TermId id) const {
+  std::vector<TermId> out;
+  std::vector<bool> seen(terms_.size(), false);
+  std::deque<TermId> queue;
+  for (TermId p : terms_[id].parents) {
+    if (!seen[p]) {
+      seen[p] = true;
+      queue.push_back(p);
+    }
+  }
+  while (!queue.empty()) {
+    const TermId u = queue.front();
+    queue.pop_front();
+    out.push_back(u);
+    for (TermId p : terms_[u].parents) {
+      if (!seen[p]) {
+        seen[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+bool Ontology::IsAncestorOrSelf(TermId anc, TermId desc) const {
+  if (anc == desc) return true;
+  // Walk up from `desc`; ontologies are shallow so this is fast.
+  std::vector<bool> seen(terms_.size(), false);
+  std::deque<TermId> queue;
+  queue.push_back(desc);
+  seen[desc] = true;
+  while (!queue.empty()) {
+    const TermId u = queue.front();
+    queue.pop_front();
+    for (TermId p : terms_[u].parents) {
+      if (p == anc) return true;
+      if (!seen[p]) {
+        seen[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+  return false;
+}
+
+double Ontology::RelativeSize(TermId id) const {
+  return (static_cast<double>(descendant_counts_[id]) + 1.0) /
+         static_cast<double>(terms_.size());
+}
+
+double Ontology::InformationContent(TermId id) const {
+  return information_content_[id];
+}
+
+double Ontology::RateOfDecay(TermId ancestor, TermId descendant) const {
+  const double i_desc = InformationContent(descendant);
+  if (i_desc <= 0.0 || ancestor == descendant) return 1.0;
+  const double i_anc = InformationContent(ancestor);
+  return i_anc / i_desc;
+}
+
+std::vector<TermId> Ontology::TermsAtLevel(int level) const {
+  std::vector<TermId> out;
+  for (const Term& t : terms_) {
+    if (t.level == level) out.push_back(t.id);
+  }
+  return out;
+}
+
+}  // namespace ctxrank::ontology

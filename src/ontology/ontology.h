@@ -1,0 +1,114 @@
+// A Gene-Ontology-like term hierarchy: a rooted DAG of terms with is-a
+// edges. Contexts in the paper are exactly these terms; the search system
+// needs term levels, ancestor/descendant closures, and Resnik-style
+// information content.
+#ifndef CTXRANK_ONTOLOGY_ONTOLOGY_H_
+#define CTXRANK_ONTOLOGY_ONTOLOGY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ctxrank::ontology {
+
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTerm = UINT32_MAX;
+
+/// \brief One ontology term ("context" in the paper's vocabulary).
+struct Term {
+  TermId id = kInvalidTerm;
+  /// Stable accession like "GO:0003700".
+  std::string accession;
+  /// Human-readable name, e.g. "RNA polymerase II transcription factor
+  /// activity". Term-name words seed the pattern-based score function.
+  std::string name;
+  std::vector<TermId> parents;
+  std::vector<TermId> children;
+  /// 1 + shortest is-a distance to a root; the paper's "Level 1 = root".
+  int level = 0;
+};
+
+/// \brief Immutable term DAG with precomputed levels, descendant counts and
+/// information content. Construct via AddTerm/AddIsA then Finalize().
+class Ontology {
+ public:
+  Ontology() = default;
+
+  Ontology(Ontology&&) = default;
+  Ontology& operator=(Ontology&&) = default;
+  Ontology(const Ontology&) = delete;
+  Ontology& operator=(const Ontology&) = delete;
+
+  /// Adds a term; returns its id. Accessions must be unique (checked in
+  /// Finalize).
+  TermId AddTerm(std::string accession, std::string name);
+
+  /// Declares `child` is-a `parent`. Both must be valid ids.
+  Status AddIsA(TermId child, TermId parent);
+
+  /// Validates (unique accessions, acyclicity, ids in range), computes
+  /// levels, descendant counts and information content. Must be called
+  /// before any query below; returns an error and leaves the ontology
+  /// unusable on invalid input.
+  Status Finalize();
+
+  bool finalized() const { return finalized_; }
+  size_t size() const { return terms_.size(); }
+  const Term& term(TermId id) const { return terms_[id]; }
+  const std::vector<Term>& terms() const { return terms_; }
+
+  /// Id for an accession, or kInvalidTerm.
+  TermId FindByAccession(std::string_view accession) const;
+  /// Id for an exact name, or kInvalidTerm.
+  TermId FindByName(std::string_view name) const;
+
+  const std::vector<TermId>& roots() const { return roots_; }
+
+  /// All proper descendants of `id` (excluding `id`), unordered.
+  std::vector<TermId> Descendants(TermId id) const;
+  /// All proper ancestors of `id` (excluding `id`), unordered.
+  std::vector<TermId> Ancestors(TermId id) const;
+  /// True if `anc` == `desc` or `anc` is a proper ancestor of `desc`.
+  bool IsAncestorOrSelf(TermId anc, TermId desc) const;
+
+  /// Number of proper descendants (precomputed).
+  size_t DescendantCount(TermId id) const { return descendant_counts_[id]; }
+
+  /// Relative size p(C) = (#descendants + 1) / #terms. The paper defines
+  /// p(C) with the bare descendant count, which is 0 for leaves and makes
+  /// I(C) infinite; we include the term itself (the standard Resnik
+  /// convention) so leaves get the maximal *finite* information content.
+  double RelativeSize(TermId id) const;
+
+  /// Information content I(C) = log(1 / p(C)).
+  double InformationContent(TermId id) const;
+
+  /// RateOfDecay(anc, desc) = I(anc) / I(desc), the paper's damping factor
+  /// for papers inherited from an ancestor context. In [0, 1] whenever
+  /// `anc` is a true ancestor (ancestors are less informative). Returns 1
+  /// when anc == desc or I(desc) == 0.
+  double RateOfDecay(TermId ancestor, TermId descendant) const;
+
+  /// Terms at exactly `level` (level 1 = roots).
+  std::vector<TermId> TermsAtLevel(int level) const;
+
+  /// Maximum level present.
+  int max_level() const { return max_level_; }
+
+ private:
+  std::vector<Term> terms_;
+  std::vector<TermId> roots_;
+  std::vector<size_t> descendant_counts_;
+  std::vector<double> information_content_;
+  int max_level_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace ctxrank::ontology
+
+#endif  // CTXRANK_ONTOLOGY_ONTOLOGY_H_

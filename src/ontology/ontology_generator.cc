@@ -1,0 +1,147 @@
+#include "ontology/ontology_generator.h"
+
+#include <array>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace ctxrank::ontology {
+
+namespace {
+
+// Genomics-flavoured lexicon. Child names are built by prefixing modifiers
+// or substituting heads, mimicking how GO specializes term names.
+constexpr std::array<std::string_view, 24> kHeads = {
+    "activity",     "binding",     "transport",    "signaling",
+    "regulation",   "biogenesis",  "assembly",     "localization",
+    "metabolism",   "catabolism",  "biosynthesis", "repair",
+    "replication",  "transcription", "translation", "splicing",
+    "folding",      "degradation", "secretion",    "adhesion",
+    "differentiation", "proliferation", "apoptosis", "phosphorylation",
+};
+
+constexpr std::array<std::string_view, 28> kEntities = {
+    "protein",     "dna",        "rna",        "mrna",
+    "trna",        "chromatin",  "histone",    "kinase",
+    "phosphatase", "polymerase", "helicase",   "ligase",
+    "receptor",    "channel",    "membrane",   "ribosome",
+    "nucleotide",  "peptide",    "lipid",      "glucose",
+    "calcium",     "zinc",       "ubiquitin",  "proteasome",
+    "telomere",    "centromere", "spindle",    "cytoskeleton",
+};
+
+constexpr std::array<std::string_view, 20> kModifiers = {
+    "positive",      "negative",    "nuclear",     "mitochondrial",
+    "cytoplasmic",   "extracellular", "intracellular", "transmembrane",
+    "early",         "late",        "general",     "specific",
+    "alternative",   "constitutive", "inducible",  "basal",
+    "embryonic",     "somatic",     "oxidative",   "hydrolytic",
+};
+
+std::string Accession(size_t n) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "SGO:%07zu", n);
+  return buf;
+}
+
+}  // namespace
+
+Result<Ontology> GenerateOntology(const OntologyGeneratorOptions& options) {
+  if (options.num_roots <= 0) {
+    return Status::InvalidArgument("num_roots must be positive");
+  }
+  if (options.max_depth < 1) {
+    return Status::InvalidArgument("max_depth must be >= 1");
+  }
+  Rng rng(options.seed);
+  Ontology onto;
+  std::unordered_set<std::string> used_names;
+
+  struct Pending {
+    TermId id;
+    int depth;
+  };
+  std::deque<Pending> frontier;
+
+  auto make_root_name = [&](int i) {
+    std::string name = std::string(kEntities[static_cast<size_t>(i) % kEntities.size()]) +
+                       " " + std::string(kHeads[static_cast<size_t>(i) % kHeads.size()]);
+    return name;
+  };
+
+  for (int r = 0; r < options.num_roots; ++r) {
+    std::string name = make_root_name(r);
+    while (!used_names.insert(name).second) name += " process";
+    const TermId id = onto.AddTerm(Accession(onto.size()), name);
+    frontier.push_back({id, 1});
+  }
+
+  // Breadth-first growth so every level fills before the cap hits.
+  while (!frontier.empty() && onto.size() < options.max_terms) {
+    const Pending cur = frontier.front();
+    frontier.pop_front();
+    if (cur.depth >= options.max_depth) continue;
+    const double leaf_prob =
+        options.leaf_bias * static_cast<double>(cur.depth);
+    if (cur.depth > 1 && rng.NextBernoulli(leaf_prob)) continue;
+    // Branching decays with depth: deeper contexts are smaller (paper §1).
+    const double mean =
+        options.mean_branching * (1.0 - 0.06 * static_cast<double>(cur.depth));
+    int n_children = 1 + rng.NextPoisson(mean > 0.5 ? mean - 1.0 : 0.0);
+    for (int c = 0; c < n_children && onto.size() < options.max_terms; ++c) {
+      // Derive the child name from the parent name, GO-style.
+      const std::string& parent_name = onto.term(cur.id).name;
+      std::string name;
+      const int kind = static_cast<int>(rng.NextBounded(4));
+      switch (kind) {
+        case 0:  // modifier prefix: "nuclear <parent>"
+          name = std::string(kModifiers[rng.NextBounded(kModifiers.size())]) +
+                 " " + parent_name;
+          break;
+        case 1:  // entity prefix: "histone <parent>"
+          name = std::string(kEntities[rng.NextBounded(kEntities.size())]) +
+                 " " + parent_name;
+          break;
+        case 2:  // "regulation of <parent>"
+          name = std::string(kHeads[rng.NextBounded(kHeads.size())]) +
+                 " of " + parent_name;
+          break;
+        default:  // entity + new head, keeping one parent word
+          name = std::string(kEntities[rng.NextBounded(kEntities.size())]) +
+                 " " + std::string(kHeads[rng.NextBounded(kHeads.size())]);
+          break;
+      }
+      // Keep names bounded: GO names rarely exceed ~8 words.
+      if (SplitWhitespace(name).size() > 8) {
+        name = std::string(kModifiers[rng.NextBounded(kModifiers.size())]) +
+               " " + std::string(kEntities[rng.NextBounded(kEntities.size())]) +
+               " " + std::string(kHeads[rng.NextBounded(kHeads.size())]);
+      }
+      if (!used_names.insert(name).second) continue;  // Skip duplicate names.
+      const TermId child = onto.AddTerm(Accession(onto.size()), name);
+      Status st = onto.AddIsA(child, cur.id);
+      if (!st.ok()) return st;
+      // Occasional second parent from the already-generated pool, at a
+      // strictly shallower depth to preserve acyclicity.
+      if (rng.NextBernoulli(options.multi_parent_prob) && child > 0) {
+        const TermId other = static_cast<TermId>(rng.NextBounded(child));
+        if (other != cur.id && !onto.term(other).name.empty()) {
+          // AddIsA(child, other) cannot create a cycle: `other` predates
+          // `child` and edges always point old -> new.
+          st = onto.AddIsA(child, other);
+          if (!st.ok()) return st;
+        }
+      }
+      frontier.push_back({child, cur.depth + 1});
+    }
+  }
+
+  Status st = onto.Finalize();
+  if (!st.ok()) return st;
+  return onto;
+}
+
+}  // namespace ctxrank::ontology

@@ -1,0 +1,41 @@
+// Synthetic GO-like ontology generation. Substitutes for the real Gene
+// Ontology (see DESIGN.md §1): produces a rooted DAG whose term names are
+// multi-word phrases built from a genomics lexicon, with child names derived
+// from parent names the way GO specializes terms ("transcription factor
+// activity" -> "RNA polymerase II transcription factor activity"). This
+// lexical structure is what the paper's pattern-based score function feeds
+// on, so the generator preserves it deliberately.
+#ifndef CTXRANK_ONTOLOGY_ONTOLOGY_GENERATOR_H_
+#define CTXRANK_ONTOLOGY_ONTOLOGY_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ontology/ontology.h"
+
+namespace ctxrank::ontology {
+
+struct OntologyGeneratorOptions {
+  uint64_t seed = 42;
+  /// Number of root terms (GO has 3: BP, MF, CC).
+  int num_roots = 3;
+  /// Maximum depth (paper's experiments use levels 3/5/7, so >= 8).
+  int max_depth = 8;
+  /// Expected number of children of a non-leaf term; decays with depth.
+  double mean_branching = 3.0;
+  /// Probability a term is a leaf, grows linearly with depth toward 1.
+  double leaf_bias = 0.12;
+  /// Probability a non-root term gets a second parent (GO is a DAG).
+  double multi_parent_prob = 0.08;
+  /// Hard cap on total terms; generation stops growing when reached.
+  size_t max_terms = 600;
+};
+
+/// Generates a finalized ontology. Returns an error only if the options are
+/// degenerate (e.g. no roots).
+Result<Ontology> GenerateOntology(const OntologyGeneratorOptions& options);
+
+}  // namespace ctxrank::ontology
+
+#endif  // CTXRANK_ONTOLOGY_ONTOLOGY_GENERATOR_H_

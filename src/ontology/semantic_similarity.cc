@@ -1,0 +1,62 @@
+#include "ontology/semantic_similarity.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ctxrank::ontology {
+
+TermId MostInformativeCommonAncestor(const Ontology& onto, TermId a,
+                                     TermId b) {
+  if (a == b) return a;
+  std::vector<TermId> anc_a = onto.Ancestors(a);
+  anc_a.push_back(a);
+  std::vector<TermId> anc_b = onto.Ancestors(b);
+  anc_b.push_back(b);
+  const std::unordered_set<TermId> set_b(anc_b.begin(), anc_b.end());
+  TermId best = kInvalidTerm;
+  double best_ic = -1.0;
+  for (TermId t : anc_a) {
+    if (set_b.count(t) == 0) continue;
+    const double ic = onto.InformationContent(t);
+    if (ic > best_ic || (ic == best_ic && t < best)) {
+      best_ic = ic;
+      best = t;
+    }
+  }
+  return best;
+}
+
+double ResnikSimilarity(const Ontology& onto, TermId a, TermId b) {
+  const TermId mica = MostInformativeCommonAncestor(onto, a, b);
+  if (mica == kInvalidTerm) return 0.0;
+  return onto.InformationContent(mica);
+}
+
+double LinSimilarity(const Ontology& onto, TermId a, TermId b) {
+  const double denom =
+      onto.InformationContent(a) + onto.InformationContent(b);
+  if (denom <= 0.0) return 0.0;
+  return 2.0 * ResnikSimilarity(onto, a, b) / denom;
+}
+
+std::vector<TermId> MostSimilarTerms(const Ontology& onto, TermId seed,
+                                     size_t k) {
+  std::vector<std::pair<double, TermId>> scored;
+  scored.reserve(onto.size());
+  for (TermId t = 0; t < onto.size(); ++t) {
+    if (t == seed) continue;
+    const double sim = LinSimilarity(onto, seed, t);
+    if (sim > 0.0) scored.push_back({sim, t});
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& x, const auto& y) {
+    if (x.first != y.first) return x.first > y.first;
+    return x.second < y.second;
+  });
+  if (scored.size() > k) scored.resize(k);
+  std::vector<TermId> out;
+  out.reserve(scored.size());
+  for (const auto& [sim, t] : scored) out.push_back(t);
+  return out;
+}
+
+}  // namespace ctxrank::ontology

@@ -1,0 +1,35 @@
+// Information-content semantic similarity between ontology terms
+// (Resnik, IJCAI 1995 — the paper's reference [13] — plus Lin's
+// normalized variant). Used to expand context selection to semantically
+// close contexts and to analyze how related two contexts are.
+#ifndef CTXRANK_ONTOLOGY_SEMANTIC_SIMILARITY_H_
+#define CTXRANK_ONTOLOGY_SEMANTIC_SIMILARITY_H_
+
+#include <vector>
+
+#include "ontology/ontology.h"
+
+namespace ctxrank::ontology {
+
+/// The common ancestor of `a` and `b` with the highest information
+/// content (the "most informative common ancestor"). Returns kInvalidTerm
+/// when the terms share no ancestor (different roots).
+TermId MostInformativeCommonAncestor(const Ontology& onto, TermId a,
+                                     TermId b);
+
+/// Resnik similarity: I(MICA). 0 when the only shared ancestor is an
+/// uninformative root; 0 when no ancestor is shared.
+double ResnikSimilarity(const Ontology& onto, TermId a, TermId b);
+
+/// Lin similarity: 2·I(MICA) / (I(a) + I(b)), in [0, 1]. 1 for a == b
+/// (when I(a) > 0); 0 when nothing is shared.
+double LinSimilarity(const Ontology& onto, TermId a, TermId b);
+
+/// The `k` terms most Lin-similar to `seed` (excluding `seed`), best
+/// first; ties broken by ascending term id.
+std::vector<TermId> MostSimilarTerms(const Ontology& onto, TermId seed,
+                                     size_t k);
+
+}  // namespace ctxrank::ontology
+
+#endif  // CTXRANK_ONTOLOGY_SEMANTIC_SIMILARITY_H_

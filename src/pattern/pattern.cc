@@ -1,0 +1,26 @@
+#include "pattern/pattern.h"
+
+namespace ctxrank::pattern {
+
+std::string PatternToString(const Pattern& pattern,
+                            const text::Vocabulary& vocab) {
+  std::string out = "{";
+  for (size_t i = 0; i < pattern.left.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += vocab.term(pattern.left[i]);
+  }
+  out += "} [";
+  for (size_t i = 0; i < pattern.middle.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += vocab.term(pattern.middle[i]);
+  }
+  out += "] {";
+  for (size_t i = 0; i < pattern.right.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += vocab.term(pattern.right[i]);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace ctxrank::pattern

@@ -1,0 +1,63 @@
+// Textual patterns (paper §3.3 and its reference [4], "Annotating Genes
+// Using Textual Patterns"): a pattern is a three-tuple <left, middle,
+// right> where `middle` is a sequence of significant-term words and
+// left/right are the word sets observed around it in training papers.
+// Extended patterns are built by joining regular patterns.
+#ifndef CTXRANK_PATTERN_PATTERN_H_
+#define CTXRANK_PATTERN_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace ctxrank::pattern {
+
+enum class PatternKind {
+  kRegular = 0,
+  kSideJoined = 1,
+  kMiddleJoined = 2,
+};
+
+/// Composition of the middle tuple (paper §3.3, MiddleTypeScore): ordered
+/// by increasing score.
+enum class MiddleType {
+  /// Only frequent (mined) terms — "high".
+  kFrequentOnly = 0,
+  /// Only words from the context term's name — "higher".
+  kContextOnly = 1,
+  /// Both frequent and context-term words — "highest".
+  kMixed = 2,
+};
+
+struct Pattern {
+  PatternKind kind = PatternKind::kRegular;
+  /// Word *set* to the left of the middle (sorted, unique term ids).
+  std::vector<text::TermId> left;
+  /// Word *sequence* forming the significant term.
+  std::vector<text::TermId> middle;
+  /// Word *set* to the right of the middle (sorted, unique).
+  std::vector<text::TermId> right;
+  MiddleType middle_type = MiddleType::kFrequentOnly;
+  /// Occurrences of the middle tuple across the training papers.
+  int occurrence_freq = 0;
+  /// Number of distinct training papers containing the middle tuple.
+  int paper_freq = 0;
+  /// Confidence score (assigned by PatternScorer).
+  double score = 0.0;
+  /// For middle-joined patterns: the two degrees of overlap.
+  double doo1 = 0.0;
+  double doo2 = 0.0;
+  /// For extended patterns: indices of the component regular patterns
+  /// within the same pattern vector (-1 for regular patterns).
+  int component1 = -1;
+  int component2 = -1;
+};
+
+/// Renders a pattern as "{left} [middle words] {right}" for debugging.
+std::string PatternToString(const Pattern& pattern,
+                            const text::Vocabulary& vocab);
+
+}  // namespace ctxrank::pattern
+
+#endif  // CTXRANK_PATTERN_PATTERN_H_

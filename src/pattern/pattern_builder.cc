@@ -1,0 +1,220 @@
+#include "pattern/pattern_builder.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+namespace ctxrank::pattern {
+
+namespace {
+
+using Phrase = std::vector<text::TermId>;
+
+std::vector<text::TermId> SortedUnique(std::vector<text::TermId> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+/// Set intersection size for sorted unique vectors.
+size_t IntersectionSize(const std::vector<text::TermId>& a,
+                        const std::vector<text::TermId>& b) {
+  size_t i = 0, j = 0, n = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++n;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return n;
+}
+
+MiddleType ClassifyMiddle(const Phrase& middle,
+                          const std::unordered_set<text::TermId>& ctx_words) {
+  bool has_ctx = false, has_other = false;
+  for (text::TermId w : middle) {
+    if (ctx_words.count(w) > 0) {
+      has_ctx = true;
+    } else {
+      has_other = true;
+    }
+  }
+  if (has_ctx && has_other) return MiddleType::kMixed;
+  if (has_ctx) return MiddleType::kContextOnly;
+  return MiddleType::kFrequentOnly;
+}
+
+}  // namespace
+
+std::vector<Pattern> BuildPatterns(
+    const std::vector<std::vector<text::TermId>>& training_docs,
+    const std::vector<text::TermId>& context_term_words,
+    const PatternBuilderOptions& options) {
+  std::vector<Pattern> patterns;
+  if (training_docs.empty()) return patterns;
+
+  // --- significant terms: context term words + mined frequent phrases ---
+  std::vector<Phrase> significant;
+  if (!context_term_words.empty()) {
+    // The full term-name sequence and each individual name word.
+    significant.push_back(context_term_words);
+    for (text::TermId w : context_term_words) significant.push_back({w});
+  }
+  const std::vector<MinedPhrase> mined =
+      MineFrequentPhrases(training_docs, options.miner);
+  for (const MinedPhrase& m : mined) {
+    // Unigrams mined from prose are too unselective to anchor a pattern on
+    // their own unless they also appear in the context term.
+    if (m.words.size() >= 2) significant.push_back(m.words);
+  }
+  std::sort(significant.begin(), significant.end());
+  significant.erase(std::unique(significant.begin(), significant.end()),
+                    significant.end());
+
+  const std::unordered_set<text::TermId> ctx_words(
+      context_term_words.begin(), context_term_words.end());
+
+  // --- regular patterns: one per distinct middle tuple, with left/right
+  //     accumulated from every occurrence window ---
+  struct Accum {
+    std::set<text::TermId> left, right;
+    int occurrences = 0;
+    int papers = 0;
+  };
+  std::map<Phrase, Accum> accums;
+  const size_t w = static_cast<size_t>(options.window);
+  for (const auto& doc : training_docs) {
+    for (const Phrase& sig : significant) {
+      if (sig.empty() || doc.size() < sig.size()) continue;
+      bool found = false;
+      for (size_t i = 0; i + sig.size() <= doc.size(); ++i) {
+        if (!std::equal(sig.begin(), sig.end(),
+                        doc.begin() + static_cast<long>(i))) {
+          continue;
+        }
+        found = true;
+        Accum& acc = accums[sig];
+        ++acc.occurrences;
+        const size_t lo = i >= w ? i - w : 0;
+        for (size_t k = lo; k < i; ++k) acc.left.insert(doc[k]);
+        const size_t hi = std::min(doc.size(), i + sig.size() + w);
+        for (size_t k = i + sig.size(); k < hi; ++k) acc.right.insert(doc[k]);
+      }
+      if (found) ++accums[sig].papers;
+    }
+  }
+  for (auto& [middle, acc] : accums) {
+    Pattern p;
+    p.kind = PatternKind::kRegular;
+    p.middle = middle;
+    p.left.assign(acc.left.begin(), acc.left.end());
+    p.right.assign(acc.right.begin(), acc.right.end());
+    p.middle_type = ClassifyMiddle(middle, ctx_words);
+    p.occurrence_freq = acc.occurrences;
+    p.paper_freq = acc.papers;
+    patterns.push_back(std::move(p));
+  }
+  // Keep the most supported regular patterns.
+  std::sort(patterns.begin(), patterns.end(),
+            [](const Pattern& a, const Pattern& b) {
+              if (a.paper_freq != b.paper_freq) {
+                return a.paper_freq > b.paper_freq;
+              }
+              if (a.occurrence_freq != b.occurrence_freq) {
+                return a.occurrence_freq > b.occurrence_freq;
+              }
+              return a.middle < b.middle;
+            });
+  if (patterns.size() > static_cast<size_t>(options.max_regular_patterns)) {
+    patterns.resize(static_cast<size_t>(options.max_regular_patterns));
+  }
+
+  if (!options.build_extended) return patterns;
+
+  // --- extended patterns (joins over the regular set) ---
+  const size_t n_regular = patterns.size();
+  std::vector<Pattern> extended;
+  size_t side_count = 0, middle_count = 0;
+  for (size_t i = 0; i < n_regular; ++i) {
+    for (size_t j = 0; j < n_regular; ++j) {
+      if (i == j) continue;
+      Pattern joined;
+      if (side_count < static_cast<size_t>(options.max_extended_patterns) &&
+          TrySideJoin(patterns[i], patterns[j], &joined)) {
+        joined.component1 = static_cast<int>(i);
+        joined.component2 = static_cast<int>(j);
+        extended.push_back(joined);
+        ++side_count;
+      }
+      if (middle_count < static_cast<size_t>(options.max_extended_patterns) &&
+          TryMiddleJoin(patterns[i], patterns[j], &joined)) {
+        joined.component1 = static_cast<int>(i);
+        joined.component2 = static_cast<int>(j);
+        extended.push_back(joined);
+        ++middle_count;
+      }
+    }
+  }
+  patterns.insert(patterns.end(), extended.begin(), extended.end());
+  return patterns;
+}
+
+bool TrySideJoin(const Pattern& p1, const Pattern& p2, Pattern* out) {
+  if (p1.middle == p2.middle) return false;
+  if (IntersectionSize(p1.right, p2.left) == 0) return false;
+  Pattern p;
+  p.kind = PatternKind::kSideJoined;
+  p.left = p1.left;
+  p.middle = p1.middle;
+  p.middle.insert(p.middle.end(), p2.middle.begin(), p2.middle.end());
+  p.right = p2.right;
+  p.middle_type = p1.middle_type == p2.middle_type
+                      ? p1.middle_type
+                      : MiddleType::kMixed;
+  p.occurrence_freq = std::min(p1.occurrence_freq, p2.occurrence_freq);
+  p.paper_freq = std::min(p1.paper_freq, p2.paper_freq);
+  *out = std::move(p);
+  return true;
+}
+
+bool TryMiddleJoin(const Pattern& p1, const Pattern& p2, Pattern* out) {
+  if (p1.middle == p2.middle) return false;
+  // Overlap between P1's middle and P2's surrounding word sets.
+  const std::vector<text::TermId> m1 = SortedUnique(p1.middle);
+  const std::vector<text::TermId> m2 = SortedUnique(p2.middle);
+  std::vector<text::TermId> p2_sides = p2.left;
+  p2_sides.insert(p2_sides.end(), p2.right.begin(), p2.right.end());
+  p2_sides = SortedUnique(std::move(p2_sides));
+  const size_t o1 = IntersectionSize(m1, p2_sides);
+  if (o1 == 0) return false;
+  std::vector<text::TermId> p1_sides = p1.left;
+  p1_sides.insert(p1_sides.end(), p1.right.begin(), p1.right.end());
+  p1_sides = SortedUnique(std::move(p1_sides));
+  const size_t o2 = IntersectionSize(m2, p1_sides);
+  Pattern p;
+  p.kind = PatternKind::kMiddleJoined;
+  p.left = p1.left;
+  p.middle = p1.middle;
+  p.middle.insert(p.middle.end(), p2.middle.begin(), p2.middle.end());
+  p.right = p2.right;
+  p.middle_type = p1.middle_type == p2.middle_type
+                      ? p1.middle_type
+                      : MiddleType::kMixed;
+  p.occurrence_freq = std::min(p1.occurrence_freq, p2.occurrence_freq);
+  p.paper_freq = std::min(p1.paper_freq, p2.paper_freq);
+  // DegreeOfOverlap: fraction of each middle included in the other
+  // pattern's side tuples (paper §3.3 / ref [4]).
+  p.doo1 = static_cast<double>(o1) / static_cast<double>(m1.size());
+  p.doo2 = m2.empty() ? 0.0
+                      : static_cast<double>(o2) / static_cast<double>(m2.size());
+  *out = std::move(p);
+  return true;
+}
+
+}  // namespace ctxrank::pattern

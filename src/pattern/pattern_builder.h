@@ -1,0 +1,50 @@
+// Builds a context's pattern set from its training (evidence) papers:
+// regular patterns around every significant-term occurrence, then
+// side-joined and middle-joined extended patterns (paper §3.3 / ref [4]).
+#ifndef CTXRANK_PATTERN_PATTERN_BUILDER_H_
+#define CTXRANK_PATTERN_PATTERN_BUILDER_H_
+
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "pattern/phrase_miner.h"
+#include "text/vocabulary.h"
+
+namespace ctxrank::pattern {
+
+struct PatternBuilderOptions {
+  /// Words captured on each side of a significant-term occurrence.
+  int window = 2;
+  PhraseMinerOptions miner;
+  /// Cap on regular patterns kept (by paper frequency).
+  int max_regular_patterns = 60;
+  /// Cap on extended patterns of each kind.
+  int max_extended_patterns = 30;
+  /// Build side-/middle-joined patterns (the paper's simplified
+  /// experimental variant turns this off, §4).
+  bool build_extended = true;
+};
+
+/// \brief Constructs patterns for one context.
+///
+/// `context_term_words`: analyzed words of the ontology term name — one
+/// significant term per §3.3 source (i). `training_docs`: analyzed token
+/// sequences of the context's evidence papers — mined for frequent phrases,
+/// §3.3 source (ii).
+std::vector<Pattern> BuildPatterns(
+    const std::vector<std::vector<text::TermId>>& training_docs,
+    const std::vector<text::TermId>& context_term_words,
+    const PatternBuilderOptions& options = {});
+
+/// Joins two regular patterns side-by-side when P1.right overlaps P2.left:
+/// <L1, M1·M2, R2>. Returns false if there is no overlap.
+bool TrySideJoin(const Pattern& p1, const Pattern& p2, Pattern* out);
+
+/// Joins two patterns when P1's middle overlaps P2's left/right word sets:
+/// <L1, M1·M2, R2> with DegreeOfOverlap factors recorded. Returns false if
+/// there is no overlap.
+bool TryMiddleJoin(const Pattern& p1, const Pattern& p2, Pattern* out);
+
+}  // namespace ctxrank::pattern
+
+#endif  // CTXRANK_PATTERN_PATTERN_BUILDER_H_

@@ -1,0 +1,134 @@
+#include "pattern/pattern_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace ctxrank::pattern {
+
+namespace {
+
+using corpus::PaperId;
+using corpus::Section;
+
+/// Jaccard overlap of a pattern side tuple (sorted unique) with an observed
+/// window (arbitrary vector).
+double SideSimilarity(const std::vector<text::TermId>& side,
+                      std::vector<text::TermId> observed) {
+  if (side.empty() && observed.empty()) return 1.0;
+  if (side.empty() || observed.empty()) return 0.0;
+  std::sort(observed.begin(), observed.end());
+  observed.erase(std::unique(observed.begin(), observed.end()),
+                 observed.end());
+  size_t i = 0, j = 0, inter = 0;
+  while (i < side.size() && j < observed.size()) {
+    if (side[i] == observed[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (side[i] < observed[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = side.size() + observed.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+PatternMatcher::PatternMatcher(const corpus::TokenizedCorpus& tc,
+                               PatternMatcherOptions options)
+    : tc_(&tc), options_(options) {}
+
+std::vector<PatternMatch> PatternMatcher::Match(
+    const std::vector<Pattern>& patterns, PaperId paper) const {
+  std::vector<PatternMatch> matches;
+  const size_t w = static_cast<size_t>(options_.window);
+  for (size_t pi = 0; pi < patterns.size(); ++pi) {
+    const Pattern& pt = patterns[pi];
+    if (pt.middle.empty()) continue;
+    double best = 0.0;
+    Section best_section = Section::kTitle;
+    for (int s = 0; s < corpus::kNumTextSections; ++s) {
+      const auto& tokens =
+          tc_->SectionTokens(paper, static_cast<Section>(s));
+      if (tokens.size() < pt.middle.size()) continue;
+      // Cheap bag-of-words prefilter: a section missing any middle word
+      // cannot contain the phrase, and most sections miss.
+      if (!tc_->SectionContainsAllTerms(paper, static_cast<Section>(s),
+                                        pt.middle)) {
+        continue;
+      }
+      const size_t limit = tokens.size() - pt.middle.size();
+      size_t found = SIZE_MAX;
+      int occurrences = 0;
+      for (size_t i = 0; i <= limit; ++i) {
+        if (std::equal(pt.middle.begin(), pt.middle.end(),
+                       tokens.begin() + static_cast<long>(i))) {
+          if (found == SIZE_MAX) found = i;
+          ++occurrences;
+        }
+      }
+      if (found == SIZE_MAX) continue;
+      // Matching strength grows with repeated occurrences but saturates:
+      // a pattern seen three times in the abstract is stronger evidence
+      // than once, but thirty mentions are not ten times stronger.
+      double strength = options_.section_weights[s] *
+                        (1.0 - std::exp(-static_cast<double>(occurrences) /
+                                        2.0));
+      if (!options_.middle_only) {
+        // Blend in surrounding agreement.
+        std::vector<text::TermId> obs_left(
+            tokens.begin() +
+                static_cast<long>(found >= w ? found - w : 0),
+            tokens.begin() + static_cast<long>(found));
+        const size_t after = found + pt.middle.size();
+        std::vector<text::TermId> obs_right(
+            tokens.begin() + static_cast<long>(after),
+            tokens.begin() +
+                static_cast<long>(std::min(tokens.size(), after + w)));
+        const double sim =
+            0.5 * (SideSimilarity(pt.left, std::move(obs_left)) +
+                   SideSimilarity(pt.right, std::move(obs_right)));
+        strength *= (1.0 + options_.surround_weight * sim) /
+                    (1.0 + options_.surround_weight);
+      }
+      if (strength > best) {
+        best = strength;
+        best_section = static_cast<Section>(s);
+      }
+    }
+    if (best > 0.0) matches.push_back({pi, best_section, best});
+  }
+  return matches;
+}
+
+double PatternMatcher::ScorePaper(const std::vector<Pattern>& patterns,
+                                  PaperId paper) const {
+  double score = 0.0;
+  for (const PatternMatch& m : Match(patterns, paper)) {
+    score += patterns[m.pattern_index].score * m.strength;
+  }
+  return score;
+}
+
+std::vector<PaperId> PatternMatcher::CandidatePapers(
+    const std::vector<Pattern>& patterns) const {
+  std::unordered_set<PaperId> candidates;
+  for (const Pattern& pt : patterns) {
+    if (pt.middle.empty()) continue;
+    std::vector<text::TermId> unique = pt.middle;
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    for (PaperId p : tc_->PapersContainingAll(unique)) {
+      candidates.insert(p);
+    }
+  }
+  std::vector<PaperId> out(candidates.begin(), candidates.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ctxrank::pattern

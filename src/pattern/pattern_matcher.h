@@ -1,0 +1,67 @@
+// Pattern-to-paper matching and the pattern-based paper score
+// Score(P) = sum over matching patterns pt of Score(pt) * M(P, pt), where
+// the matching strength M depends on (1) the section the match occurs in
+// and (2) the similarity between the pattern's surroundings and the
+// observed surroundings (paper §3.3).
+#ifndef CTXRANK_PATTERN_PATTERN_MATCHER_H_
+#define CTXRANK_PATTERN_PATTERN_MATCHER_H_
+
+#include <vector>
+
+#include "corpus/tokenized_corpus.h"
+#include "pattern/pattern.h"
+
+namespace ctxrank::pattern {
+
+struct PatternMatcherOptions {
+  /// Weight of a match found in each section (title, abstract, body, index
+  /// terms). Title and curated index terms carry more signal than prose.
+  double section_weights[corpus::kNumTextSections] = {1.0, 0.7, 0.4, 0.9};
+  /// Simplified matching (paper §4's experimental variant): only the middle
+  /// tuple is matched and M reduces to the section weight. When false, the
+  /// observed left/right windows are compared to the pattern's tuples and
+  /// blended into M.
+  bool middle_only = true;
+  /// Window used to read observed surroundings when middle_only == false.
+  int window = 2;
+  /// Relative weight of surrounding similarity vs the middle match when
+  /// middle_only == false: M = w_s * (middle + sim) with sim in [0, 1].
+  double surround_weight = 0.5;
+};
+
+struct PatternMatch {
+  size_t pattern_index;
+  corpus::Section section;
+  /// Matching strength M(P, pt).
+  double strength;
+};
+
+/// \brief Matches a context's scored pattern set against papers.
+class PatternMatcher {
+ public:
+  /// `tc` must outlive the matcher.
+  PatternMatcher(const corpus::TokenizedCorpus& tc,
+                 PatternMatcherOptions options = {});
+
+  /// All pattern matches in `paper` (strongest section per pattern).
+  std::vector<PatternMatch> Match(const std::vector<Pattern>& patterns,
+                                  corpus::PaperId paper) const;
+
+  /// Pattern-based paper score: sum of Score(pt) * M(P, pt).
+  double ScorePaper(const std::vector<Pattern>& patterns,
+                    corpus::PaperId paper) const;
+
+  /// Candidate papers that could match any pattern in `patterns`
+  /// (postings intersection on middle words; supersedes a full corpus
+  /// scan). Sorted, unique.
+  std::vector<corpus::PaperId> CandidatePapers(
+      const std::vector<Pattern>& patterns) const;
+
+ private:
+  const corpus::TokenizedCorpus* tc_;
+  PatternMatcherOptions options_;
+};
+
+}  // namespace ctxrank::pattern
+
+#endif  // CTXRANK_PATTERN_PATTERN_MATCHER_H_

@@ -1,0 +1,57 @@
+#include "pattern/pattern_scorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace ctxrank::pattern {
+
+PatternScorer::PatternScorer(CoverageFn coverage, SelectivityFn selectivity,
+                             PatternScorerOptions options)
+    : coverage_(std::move(coverage)),
+      selectivity_(std::move(selectivity)),
+      options_(options) {}
+
+double PatternScorer::ScoreRegular(const Pattern& pattern) const {
+  const double middle_type_score =
+      options_.middle_type_scores[static_cast<int>(pattern.middle_type)];
+  // TotalTermScore: sum of selectivities of the context-term words in the
+  // middle. Selectivity is supplied per word; non-context words contribute
+  // 0 by the provider's contract.
+  double total_term_score = 0.0;
+  for (text::TermId w : pattern.middle) total_term_score += selectivity_(w);
+  // Frequencies are log-damped: the paper's raw counts explode for large
+  // training sets; log1p keeps the ordering while bounding the magnitude.
+  const double freq_score =
+      options_.c * (std::log1p(pattern.occurrence_freq) +
+                    std::log1p(pattern.paper_freq));
+  const double base = middle_type_score + total_term_score + freq_score;
+  double coverage = coverage_(pattern.middle);
+  coverage = std::clamp(coverage, 1e-6, 1.0);
+  return base * std::pow(1.0 / coverage, options_.t);
+}
+
+void PatternScorer::ScoreAll(std::vector<Pattern>& patterns) const {
+  for (Pattern& p : patterns) {
+    if (p.kind == PatternKind::kRegular) p.score = ScoreRegular(p);
+  }
+  for (Pattern& p : patterns) {
+    if (p.kind == PatternKind::kRegular) continue;
+    double s1 = 0.0, s2 = 0.0;
+    if (p.component1 >= 0 &&
+        p.component1 < static_cast<int>(patterns.size())) {
+      s1 = patterns[static_cast<size_t>(p.component1)].score;
+    }
+    if (p.component2 >= 0 &&
+        p.component2 < static_cast<int>(patterns.size())) {
+      s2 = patterns[static_cast<size_t>(p.component2)].score;
+    }
+    if (p.kind == PatternKind::kSideJoined) {
+      p.score = (s1 + s2) * (s1 + s2);
+    } else {
+      p.score = p.doo1 * s1 + p.doo2 * s2;
+    }
+  }
+}
+
+}  // namespace ctxrank::pattern

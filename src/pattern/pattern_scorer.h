@@ -1,0 +1,62 @@
+// Pattern confidence scoring (paper §3.3):
+//   RegularPatternScore = BaseScore * (1/PaperCoverage)^t
+//   BaseScore = MiddleTypeScore + TotalTermScore
+//             + c * (PatternOccFreq + PatternPaperFreq)
+//   Score(side-joined)   = (Score(P1) + Score(P2))^2
+//   Score(middle-joined) = DOO1*Score(P1) + DOO2*Score(P2)
+#ifndef CTXRANK_PATTERN_PATTERN_SCORER_H_
+#define CTXRANK_PATTERN_PATTERN_SCORER_H_
+
+#include <functional>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace ctxrank::pattern {
+
+struct PatternScorerOptions {
+  /// Middle-type scores: frequent-only ("high"), context-only ("higher"),
+  /// mixed ("highest").
+  double middle_type_scores[3] = {1.0, 2.0, 3.0};
+  /// Coverage exponent t.
+  double t = 0.5;
+  /// Frequency weight c.
+  double c = 0.1;
+};
+
+/// Reports the fraction of database papers containing a middle tuple
+/// (PaperCoverage). Must return a value in (0, 1]; 0/absent is clamped.
+using CoverageFn =
+    std::function<double(const std::vector<text::TermId>& middle)>;
+
+/// Reports the selectivity of a context-term word: 1 minus the fraction of
+/// ontology term names containing the word (rare words are selective).
+using SelectivityFn = std::function<double(text::TermId word)>;
+
+/// \brief Assigns `score` to every pattern in place. Regular patterns are
+/// scored first; extended patterns are then scored from the *component*
+/// scores, which we approximate by scoring their halves as regular patterns
+/// whose statistics were recorded at join time.
+class PatternScorer {
+ public:
+  PatternScorer(CoverageFn coverage, SelectivityFn selectivity,
+                PatternScorerOptions options = {});
+
+  /// Scores one regular pattern (kind must be kRegular).
+  double ScoreRegular(const Pattern& pattern) const;
+
+  /// Scores all patterns in place. Regular patterns are scored directly;
+  /// extended patterns combine their components' scores via the recorded
+  /// component indices (components always precede joins in the vector
+  /// BuildPatterns emits).
+  void ScoreAll(std::vector<Pattern>& patterns) const;
+
+ private:
+  CoverageFn coverage_;
+  SelectivityFn selectivity_;
+  PatternScorerOptions options_;
+};
+
+}  // namespace ctxrank::pattern
+
+#endif  // CTXRANK_PATTERN_PATTERN_SCORER_H_

@@ -1,0 +1,108 @@
+#include "pattern/phrase_miner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ctxrank::pattern {
+
+namespace {
+
+using Phrase = std::vector<text::TermId>;
+
+struct Counts {
+  int support = 0;
+  int occurrences = 0;
+};
+
+/// Counts every contiguous k-gram of `doc` that passes `keep`.
+void CountKGrams(const std::vector<Phrase>& documents, size_t k,
+                 const std::set<Phrase>& candidates,
+                 std::map<Phrase, Counts>& counts) {
+  Phrase gram(k);
+  for (const Phrase& doc : documents) {
+    std::set<Phrase> seen_in_doc;
+    if (doc.size() < k) continue;
+    for (size_t i = 0; i + k <= doc.size(); ++i) {
+      std::copy(doc.begin() + static_cast<long>(i),
+                doc.begin() + static_cast<long>(i + k), gram.begin());
+      if (!candidates.empty() && candidates.count(gram) == 0) continue;
+      Counts& c = counts[gram];
+      ++c.occurrences;
+      if (seen_in_doc.insert(gram).second) ++c.support;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<MinedPhrase> MineFrequentPhrases(
+    const std::vector<std::vector<text::TermId>>& documents,
+    const PhraseMinerOptions& options) {
+  std::vector<MinedPhrase> result;
+  if (documents.empty() || options.min_support <= 0) return result;
+
+  auto keep_top = [&](std::map<Phrase, Counts>& counts) {
+    // Prune below min_support, then keep the strongest per level.
+    std::vector<std::pair<Phrase, Counts>> kept;
+    for (const auto& [phrase, c] : counts) {
+      if (c.support >= options.min_support) kept.emplace_back(phrase, c);
+    }
+    if (kept.size() > static_cast<size_t>(options.max_phrases_per_length)) {
+      std::partial_sort(
+          kept.begin(),
+          kept.begin() + options.max_phrases_per_length, kept.end(),
+          [](const auto& a, const auto& b) {
+            if (a.second.support != b.second.support) {
+              return a.second.support > b.second.support;
+            }
+            return a.first < b.first;
+          });
+      kept.resize(static_cast<size_t>(options.max_phrases_per_length));
+    }
+    return kept;
+  };
+
+  // Level 1: frequent unigrams.
+  std::map<Phrase, Counts> counts;
+  CountKGrams(documents, 1, {}, counts);
+  auto frequent = keep_top(counts);
+  for (const auto& [phrase, c] : frequent) {
+    result.push_back({phrase, c.support, c.occurrences});
+  }
+
+  // Levels 2..max: apriori join — candidate (k+1)-grams whose k-prefix and
+  // k-suffix are both frequent k-grams.
+  for (int k = 1; k < options.max_phrase_length && !frequent.empty(); ++k) {
+    std::set<Phrase> freq_set;
+    for (const auto& [phrase, c] : frequent) freq_set.insert(phrase);
+    std::set<Phrase> candidates;
+    for (const auto& [a, ca] : frequent) {
+      for (const auto& [b, cb] : frequent) {
+        // Join a and b when a's tail (k-1) equals b's head (k-1).
+        if (k > 1 && !std::equal(a.begin() + 1, a.end(), b.begin(),
+                                 b.end() - 1)) {
+          continue;
+        }
+        Phrase cand = a;
+        cand.push_back(b.back());
+        // Apriori pruning: every k-subsequence must be frequent; for
+        // contiguous phrases only prefix and suffix matter.
+        Phrase suffix(cand.begin() + 1, cand.end());
+        if (freq_set.count(suffix) == 0) continue;
+        candidates.insert(std::move(cand));
+      }
+    }
+    if (candidates.empty()) break;
+    std::map<Phrase, Counts> next_counts;
+    CountKGrams(documents, static_cast<size_t>(k) + 1, candidates,
+                next_counts);
+    frequent = keep_top(next_counts);
+    for (const auto& [phrase, c] : frequent) {
+      result.push_back({phrase, c.support, c.occurrences});
+    }
+  }
+  return result;
+}
+
+}  // namespace ctxrank::pattern

@@ -1,0 +1,39 @@
+// Apriori-style frequent phrase mining (paper §3.3 cites Agrawal &
+// Srikant's apriori [5]): finds contiguous word sequences frequent in a
+// context's training papers. These "significant terms", together with the
+// context term's own words, become pattern middle tuples.
+#ifndef CTXRANK_PATTERN_PHRASE_MINER_H_
+#define CTXRANK_PATTERN_PHRASE_MINER_H_
+
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace ctxrank::pattern {
+
+struct PhraseMinerOptions {
+  /// Minimum number of training papers a phrase must occur in.
+  int min_support = 2;
+  /// Longest phrase mined.
+  int max_phrase_length = 4;
+  /// Keep at most this many phrases per length (by support).
+  int max_phrases_per_length = 40;
+};
+
+struct MinedPhrase {
+  std::vector<text::TermId> words;  // Contiguous sequence.
+  int support = 0;                  // Distinct training papers containing it.
+  int occurrences = 0;              // Total occurrences across papers.
+};
+
+/// Mines frequent contiguous phrases from `documents` (each a token-id
+/// sequence, typically one training paper's text). Classic apriori
+/// level-wise search: frequent k-phrases are extended by one token only if
+/// both their k-prefixes and k-suffixes are frequent.
+std::vector<MinedPhrase> MineFrequentPhrases(
+    const std::vector<std::vector<text::TermId>>& documents,
+    const PhraseMinerOptions& options = {});
+
+}  // namespace ctxrank::pattern
+
+#endif  // CTXRANK_PATTERN_PHRASE_MINER_H_

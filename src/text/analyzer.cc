@@ -1,0 +1,39 @@
+#include "text/analyzer.h"
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+
+namespace ctxrank::text {
+
+Analyzer::Analyzer(AnalyzerOptions options)
+    : tokenizer_(options.tokenizer), options_(options) {}
+
+std::vector<std::string> Analyzer::Analyze(std::string_view str) const {
+  std::vector<std::string> out;
+  for (std::string& token : tokenizer_.Tokenize(str)) {
+    if (options_.remove_stopwords && IsStopword(token)) continue;
+    out.push_back(options_.stem ? PorterStem(token) : std::move(token));
+  }
+  return out;
+}
+
+std::vector<TermId> Analyzer::AnalyzeToIds(std::string_view str,
+                                           Vocabulary& vocab) const {
+  std::vector<TermId> ids;
+  for (const std::string& token : Analyze(str)) {
+    ids.push_back(vocab.GetOrAdd(token));
+  }
+  return ids;
+}
+
+std::vector<TermId> Analyzer::AnalyzeToKnownIds(
+    std::string_view str, const Vocabulary& vocab) const {
+  std::vector<TermId> ids;
+  for (const std::string& token : Analyze(str)) {
+    const TermId id = vocab.Lookup(token);
+    if (id != kInvalidTermId) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace ctxrank::text

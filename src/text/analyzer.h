@@ -1,0 +1,46 @@
+// The analysis pipeline: tokenize -> drop stopwords -> Porter-stem ->
+// intern into a shared vocabulary.
+#ifndef CTXRANK_TEXT_ANALYZER_H_
+#define CTXRANK_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace ctxrank::text {
+
+struct AnalyzerOptions {
+  TokenizerOptions tokenizer;
+  bool remove_stopwords = true;
+  bool stem = true;
+};
+
+/// \brief Turns raw text into stemmed token strings or interned term ids.
+/// Thread-compatible: Analyze() is const; AnalyzeToIds() mutates the
+/// vocabulary it was given and must be externally synchronized.
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {});
+
+  /// Full pipeline to token strings (stemmed, stopword-free).
+  std::vector<std::string> Analyze(std::string_view str) const;
+
+  /// Full pipeline; interns tokens in `vocab` (growing it).
+  std::vector<TermId> AnalyzeToIds(std::string_view str,
+                                   Vocabulary& vocab) const;
+
+  /// Full pipeline; looks tokens up in a frozen `vocab`, dropping unknowns.
+  std::vector<TermId> AnalyzeToKnownIds(std::string_view str,
+                                        const Vocabulary& vocab) const;
+
+ private:
+  Tokenizer tokenizer_;
+  AnalyzerOptions options_;
+};
+
+}  // namespace ctxrank::text
+
+#endif  // CTXRANK_TEXT_ANALYZER_H_

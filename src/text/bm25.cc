@@ -1,0 +1,95 @@
+#include "text/bm25.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace ctxrank::text {
+
+Bm25Index::Bm25Index(Bm25Options options) : options_(options) {}
+
+void Bm25Index::Add(DocId doc, const std::vector<TermId>& terms) {
+  const uint32_t dense = static_cast<uint32_t>(doc_len_.size());
+  doc_len_.push_back(static_cast<uint32_t>(terms.size()));
+  doc_ids_.push_back(doc);
+  if (doc >= doc_index_of_.size()) doc_index_of_.resize(doc + 1, 0);
+  doc_index_of_[doc] = dense + 1;
+  std::unordered_map<TermId, uint32_t> tf;
+  for (TermId t : terms) ++tf[t];
+  for (const auto& [term, count] : tf) {
+    if (term >= postings_.size()) postings_.resize(term + 1);
+    postings_[term].push_back({doc, count});
+  }
+  finalized_ = false;
+}
+
+void Bm25Index::Finalize() {
+  double total = 0.0;
+  for (uint32_t len : doc_len_) total += len;
+  avg_len_ = doc_len_.empty()
+                 ? 0.0
+                 : total / static_cast<double>(doc_len_.size());
+  // Score() binary-searches postings by doc id; Add() order is arbitrary.
+  for (auto& list : postings_) {
+    std::sort(list.begin(), list.end(),
+              [](const Posting& a, const Posting& b) { return a.doc < b.doc; });
+  }
+  finalized_ = true;
+}
+
+double Bm25Index::TermDocScore(TermId term, uint32_t tf, DocId doc) const {
+  const double n = static_cast<double>(doc_len_.size());
+  const double df = static_cast<double>(postings_[term].size());
+  // Lucene-style idf: log(1 + (n - df + 0.5)/(df + 0.5)) — strictly
+  // positive, so very common terms still contribute (a little) instead of
+  // vanishing, which matters in small corpora.
+  const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+  const double len = static_cast<double>(
+      doc_len_[doc_index_of_[doc] - 1]);
+  const double denom =
+      tf + options_.k1 *
+               (1.0 - options_.b + options_.b * len / std::max(1.0, avg_len_));
+  return idf * (tf * (options_.k1 + 1.0)) / denom;
+}
+
+std::vector<ScoredDoc> Bm25Index::Search(const std::vector<TermId>& query,
+                                         double min_score) const {
+  std::vector<ScoredDoc> out;
+  if (!finalized_) return out;
+  std::unordered_map<DocId, double> acc;
+  for (TermId term : query) {
+    if (term >= postings_.size()) continue;
+    for (const Posting& p : postings_[term]) {
+      acc[p.doc] += TermDocScore(term, p.tf, p.doc);
+    }
+  }
+  out.reserve(acc.size());
+  for (const auto& [doc, score] : acc) {
+    if (score > min_score) out.push_back({doc, score});
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  return out;
+}
+
+double Bm25Index::Score(const std::vector<TermId>& query, DocId doc) const {
+  if (!finalized_ || doc >= doc_index_of_.size() || doc_index_of_[doc] == 0) {
+    return 0.0;
+  }
+  double score = 0.0;
+  for (TermId term : query) {
+    if (term >= postings_.size()) continue;
+    const auto& list = postings_[term];
+    const auto it = std::lower_bound(
+        list.begin(), list.end(), doc,
+        [](const Posting& p, DocId d) { return p.doc < d; });
+    if (it != list.end() && it->doc == doc) {
+      score += TermDocScore(term, it->tf, doc);
+    }
+  }
+  return score;
+}
+
+}  // namespace ctxrank::text

@@ -1,0 +1,65 @@
+// Okapi BM25 ranked retrieval — a modern alternative to the paper's
+// cosine/TF-IDF matching score, provided so the relevancy combination can
+// be evaluated with a stronger text-matching component
+// (bench/ablation_matching_models).
+#ifndef CTXRANK_TEXT_BM25_H_
+#define CTXRANK_TEXT_BM25_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "text/inverted_index.h"
+#include "text/vocabulary.h"
+
+namespace ctxrank::text {
+
+struct Bm25Options {
+  /// Term-frequency saturation.
+  double k1 = 1.2;
+  /// Document-length normalization strength.
+  double b = 0.75;
+};
+
+/// \brief BM25 index over term-id documents. Add every document, then
+/// Finalize(), then Search().
+class Bm25Index {
+ public:
+  explicit Bm25Index(Bm25Options options = {});
+
+  /// Adds a document (term ids with repetitions) under external id `doc`.
+  void Add(DocId doc, const std::vector<TermId>& terms);
+
+  /// Computes idf values and length normalization. Must be called once
+  /// after all Add() calls; Search() before Finalize() returns nothing.
+  void Finalize();
+
+  /// BM25 scores for `query` (term ids), best first, scores > min_score.
+  std::vector<ScoredDoc> Search(const std::vector<TermId>& query,
+                                double min_score = 0.0) const;
+
+  /// BM25 score of one document for `query` (0 when unknown doc).
+  double Score(const std::vector<TermId>& query, DocId doc) const;
+
+  size_t num_documents() const { return doc_len_.size(); }
+  double average_doc_length() const { return avg_len_; }
+
+ private:
+  struct Posting {
+    DocId doc;
+    uint32_t tf;
+  };
+
+  double TermDocScore(TermId term, uint32_t tf, DocId doc) const;
+
+  Bm25Options options_;
+  std::vector<std::vector<Posting>> postings_;  // By term id.
+  std::vector<uint32_t> doc_len_;               // By dense doc index.
+  std::vector<DocId> doc_ids_;                  // Dense index -> external.
+  std::vector<uint32_t> doc_index_of_;          // External -> dense (+1).
+  double avg_len_ = 0.0;
+  bool finalized_ = false;
+};
+
+}  // namespace ctxrank::text
+
+#endif  // CTXRANK_TEXT_BM25_H_

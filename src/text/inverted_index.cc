@@ -1,0 +1,45 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ctxrank::text {
+
+void InvertedIndex::Add(DocId doc, const SparseVector& vec) {
+  ++num_documents_;
+  for (const auto& e : vec.entries()) {
+    if (e.term >= postings_.size()) postings_.resize(e.term + 1);
+    postings_[e.term].push_back({doc, e.weight});
+  }
+}
+
+std::vector<ScoredDoc> InvertedIndex::Search(const SparseVector& query,
+                                             double min_score) const {
+  std::unordered_map<DocId, double> acc;
+  for (const auto& qe : query.entries()) {
+    if (qe.term >= postings_.size()) continue;
+    for (const Posting& p : postings_[qe.term]) {
+      acc[p.doc] += qe.weight * p.weight;
+    }
+  }
+  std::vector<ScoredDoc> out;
+  out.reserve(acc.size());
+  for (const auto& [doc, score] : acc) {
+    if (score >= min_score) out.push_back({doc, score});
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  return out;
+}
+
+std::vector<ScoredDoc> InvertedIndex::SearchTopK(const SparseVector& query,
+                                                 size_t k,
+                                                 double min_score) const {
+  std::vector<ScoredDoc> all = Search(query, min_score);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace ctxrank::text

@@ -1,0 +1,54 @@
+// Inverted index with TF-IDF postings for ranked retrieval.
+#ifndef CTXRANK_TEXT_INVERTED_INDEX_H_
+#define CTXRANK_TEXT_INVERTED_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "text/sparse_vector.h"
+#include "text/vocabulary.h"
+
+namespace ctxrank::text {
+
+using DocId = uint32_t;
+
+struct ScoredDoc {
+  DocId doc;
+  double score;
+};
+
+/// \brief Term -> (doc, weight) postings built from normalized document
+/// vectors. Because both document vectors and queries are L2-normalized,
+/// the accumulated dot product equals cosine similarity.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Adds a document with the given external id. Ids may be sparse but
+  /// postings memory is proportional to nnz only.
+  void Add(DocId doc, const SparseVector& vec);
+
+  /// Documents scoring >= `min_score` against `query`, sorted by descending
+  /// score (ties broken by ascending doc id for determinism).
+  std::vector<ScoredDoc> Search(const SparseVector& query,
+                                double min_score) const;
+
+  /// Top `k` documents (after threshold filtering with `min_score`).
+  std::vector<ScoredDoc> SearchTopK(const SparseVector& query, size_t k,
+                                    double min_score = 0.0) const;
+
+  size_t num_documents() const { return num_documents_; }
+
+ private:
+  struct Posting {
+    DocId doc;
+    double weight;
+  };
+  std::vector<std::vector<Posting>> postings_;  // Indexed by term id.
+  size_t num_documents_ = 0;
+};
+
+}  // namespace ctxrank::text
+
+#endif  // CTXRANK_TEXT_INVERTED_INDEX_H_

@@ -1,0 +1,233 @@
+#include "text/porter_stemmer.h"
+
+#include <array>
+
+namespace ctxrank::text {
+
+namespace {
+
+// Implementation closely follows Porter's original description. The word is
+// held in a mutable buffer `b` with logical end `k` (inclusive index of last
+// character), mirroring the reference implementation's structure.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string_view word) : b_(word), k_(word.size() - 1) {}
+
+  std::string Run() {
+    if (b_.size() <= 2) return b_;
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    return b_.substr(0, k_ + 1);
+  }
+
+ private:
+  bool IsConsonant(size_t i) const {
+    switch (b_[i]) {
+      case 'a': case 'e': case 'i': case 'o': case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the stem b_[0..j]: number of VC sequences.
+  int Measure(size_t j) const {
+    int n = 0;
+    size_t i = 0;
+    while (true) {
+      if (i > j) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem(size_t j) const {
+    for (size_t i = 0; i <= j; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonant(size_t j) const {
+    if (j < 1) return false;
+    if (b_[j] != b_[j - 1]) return false;
+    return IsConsonant(j);
+  }
+
+  // cvc at i-2..i, where the final c is not w, x or y.
+  bool Cvc(size_t i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    const char ch = b_[i];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool EndsWith(std::string_view suffix) {
+    const size_t len = suffix.size();
+    if (len > k_ + 1) return false;
+    if (b_.compare(k_ + 1 - len, len, suffix) != 0) return false;
+    j_ = k_ - len;  // May wrap when suffix == whole word; guarded by callers
+                    // via Measure(j_) which only runs when j_ is valid.
+    return len <= k_;  // Require a non-empty stem remainder.
+  }
+
+  void SetTo(std::string_view s) {
+    b_.resize(j_ + 1);
+    b_.append(s);
+    k_ = b_.size() - 1;
+  }
+
+  void ReplaceSuffix(std::string_view s) {
+    if (Measure(j_) > 0) SetTo(s);
+  }
+
+  // Step 1ab: plurals and -ed/-ing.
+  void Step1ab() {
+    if (b_[k_] == 's') {
+      if (EndsWith("sses")) {
+        k_ -= 2;
+      } else if (EndsWith("ies")) {
+        SetTo("i");
+      } else if (k_ >= 1 && b_[k_ - 1] != 's') {
+        --k_;
+      }
+    }
+    if (EndsWith("eed")) {
+      if (Measure(j_) > 0) --k_;
+    } else if ((EndsWith("ed") || EndsWith("ing")) && VowelInStem(j_)) {
+      k_ = j_;
+      b_.resize(k_ + 1);
+      if (EndsWith("at")) {
+        SetTo("ate");
+      } else if (EndsWith("bl")) {
+        SetTo("ble");
+      } else if (EndsWith("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        const char ch = b_[k_];
+        if (ch != 'l' && ch != 's' && ch != 'z') {
+          --k_;
+          b_.resize(k_ + 1);
+        }
+      } else if (Measure(k_) == 1 && Cvc(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+    b_.resize(k_ + 1);
+  }
+
+  // Step 1c: y -> i when there is another vowel in the stem.
+  void Step1c() {
+    if (b_[k_] == 'y' && k_ >= 1 && VowelInStem(k_ - 1)) b_[k_] = 'i';
+  }
+
+  // Step 2: double suffices mapped to single ones when m > 0.
+  void Step2() {
+    struct Rule { std::string_view from, to; };
+    static constexpr std::array<Rule, 21> kRules = {{
+        {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+        {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+        {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+        {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+        {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+        {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+        {"iviti", "ive"},   {"biliti", "ble"},  {"logi", "log"},
+    }};
+    for (const Rule& r : kRules) {
+      if (EndsWith(r.from)) {
+        ReplaceSuffix(r.to);
+        return;
+      }
+    }
+  }
+
+  // Step 3: -icate, -ful, -ness etc.
+  void Step3() {
+    struct Rule { std::string_view from, to; };
+    static constexpr std::array<Rule, 7> kRules = {{
+        {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+        {"ical", "ic"},  {"ful", ""},   {"ness", ""},
+    }};
+    for (const Rule& r : kRules) {
+      if (EndsWith(r.from)) {
+        ReplaceSuffix(r.to);
+        return;
+      }
+    }
+  }
+
+  // Step 4: drop -ant, -ence, etc. when m > 1.
+  void Step4() {
+    static constexpr std::array<std::string_view, 19> kSuffixes = {
+        "al",   "ance", "ence", "er",   "ic",   "able", "ible",
+        "ant",  "ement","ment", "ent",  "ou",   "ism",  "ate",
+        "iti",  "ous",  "ive",  "ize",  "ion",
+    };
+    for (std::string_view s : kSuffixes) {
+      if (EndsWith(s)) {
+        if (s == "ion") {
+          // -ion only drops after s or t.
+          if (!(j_ + 1 >= 1 && (b_[j_] == 's' || b_[j_] == 't'))) continue;
+        }
+        if (Measure(j_) > 1) {
+          k_ = j_;
+          b_.resize(k_ + 1);
+        }
+        return;
+      }
+    }
+  }
+
+  // Step 5: remove final -e and reduce -ll when m > 1.
+  void Step5() {
+    j_ = k_;
+    if (b_[k_] == 'e') {
+      const int a = Measure(k_ - 1 <= k_ ? k_ - 1 : 0);
+      if (a > 1 || (a == 1 && !Cvc(k_ - 1))) {
+        --k_;
+        b_.resize(k_ + 1);
+      }
+    }
+    if (b_[k_] == 'l' && DoubleConsonant(k_) && Measure(k_) > 1) {
+      --k_;
+      b_.resize(k_ + 1);
+    }
+  }
+
+  std::string b_;
+  size_t k_;       // Index of last character.
+  size_t j_ = 0;   // Index of last character of the stem before a suffix.
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  return Stemmer(word).Run();
+}
+
+}  // namespace ctxrank::text

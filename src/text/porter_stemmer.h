@@ -1,0 +1,19 @@
+// Porter stemming algorithm (M.F. Porter, 1980), the classic suffix-stripping
+// stemmer used by the TF-IDF model of Salton's "Automatic Text Processing"
+// lineage the paper builds on.
+#ifndef CTXRANK_TEXT_PORTER_STEMMER_H_
+#define CTXRANK_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace ctxrank::text {
+
+/// Returns the Porter stem of `word`. `word` must be lower-case ASCII;
+/// words shorter than 3 characters are returned unchanged (per the original
+/// algorithm's guard).
+std::string PorterStem(std::string_view word);
+
+}  // namespace ctxrank::text
+
+#endif  // CTXRANK_TEXT_PORTER_STEMMER_H_

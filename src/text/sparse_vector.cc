@@ -1,0 +1,102 @@
+#include "text/sparse_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ctxrank::text {
+
+SparseVector SparseVector::FromUnsorted(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.term < b.term; });
+  SparseVector v;
+  v.entries_.reserve(entries.size());
+  for (const Entry& e : entries) {
+    if (!v.entries_.empty() && v.entries_.back().term == e.term) {
+      v.entries_.back().weight += e.weight;
+    } else {
+      v.entries_.push_back(e);
+    }
+  }
+  std::erase_if(v.entries_, [](const Entry& e) { return e.weight == 0.0; });
+  return v;
+}
+
+SparseVector SparseVector::FromCounts(
+    const std::vector<std::pair<TermId, double>>& counts) {
+  std::vector<Entry> entries;
+  entries.reserve(counts.size());
+  for (const auto& [term, count] : counts) entries.push_back({term, count});
+  return FromUnsorted(std::move(entries));
+}
+
+double SparseVector::WeightOf(TermId term) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), term,
+      [](const Entry& e, TermId t) { return e.term < t; });
+  if (it != entries_.end() && it->term == term) return it->weight;
+  return 0.0;
+}
+
+double SparseVector::Dot(const SparseVector& other) const {
+  double acc = 0.0;
+  size_t i = 0, j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    const TermId a = entries_[i].term, b = other.entries_[j].term;
+    if (a == b) {
+      acc += entries_[i].weight * other.entries_[j].weight;
+      ++i;
+      ++j;
+    } else if (a < b) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return acc;
+}
+
+double SparseVector::Norm() const {
+  double acc = 0.0;
+  for (const Entry& e : entries_) acc += e.weight * e.weight;
+  return std::sqrt(acc);
+}
+
+double SparseVector::Cosine(const SparseVector& other) const {
+  const double n1 = Norm(), n2 = other.Norm();
+  if (n1 <= 0.0 || n2 <= 0.0) return 0.0;
+  return Dot(other) / (n1 * n2);
+}
+
+void SparseVector::Scale(double factor) {
+  for (Entry& e : entries_) e.weight *= factor;
+}
+
+void SparseVector::L2Normalize() {
+  const double n = Norm();
+  if (n > 0.0) Scale(1.0 / n);
+}
+
+void SparseVector::AddScaled(const SparseVector& other, double factor) {
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  size_t i = 0, j = 0;
+  while (i < entries_.size() || j < other.entries_.size()) {
+    if (j >= other.entries_.size() ||
+        (i < entries_.size() && entries_[i].term < other.entries_[j].term)) {
+      merged.push_back(entries_[i++]);
+    } else if (i >= entries_.size() ||
+               other.entries_[j].term < entries_[i].term) {
+      merged.push_back({other.entries_[j].term,
+                        other.entries_[j].weight * factor});
+      ++j;
+    } else {
+      merged.push_back({entries_[i].term,
+                        entries_[i].weight + other.entries_[j].weight * factor});
+      ++i;
+      ++j;
+    }
+  }
+  entries_ = std::move(merged);
+}
+
+}  // namespace ctxrank::text

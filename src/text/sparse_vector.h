@@ -1,0 +1,60 @@
+// Sparse term-weight vectors: the unit of all text similarity computation.
+#ifndef CTXRANK_TEXT_SPARSE_VECTOR_H_
+#define CTXRANK_TEXT_SPARSE_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace ctxrank::text {
+
+/// \brief Immutable-ish sparse vector stored as (term id, weight) pairs
+/// sorted by term id. Dot products and cosines run in O(nnz1 + nnz2).
+class SparseVector {
+ public:
+  struct Entry {
+    TermId term;
+    double weight;
+  };
+
+  SparseVector() = default;
+
+  /// Builds from possibly-unsorted, possibly-duplicated entries; duplicate
+  /// term ids are summed, zero weights dropped.
+  static SparseVector FromUnsorted(std::vector<Entry> entries);
+
+  /// Builds from term counts keyed by id.
+  static SparseVector FromCounts(const std::vector<std::pair<TermId, double>>& counts);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t nnz() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Weight of `term`, 0 if absent. O(log nnz).
+  double WeightOf(TermId term) const;
+
+  double Dot(const SparseVector& other) const;
+  double Norm() const;
+
+  /// Cosine similarity; 0 if either vector has zero norm.
+  double Cosine(const SparseVector& other) const;
+
+  /// Scales all weights in place.
+  void Scale(double factor);
+
+  /// Normalizes to unit L2 norm in place (no-op on the zero vector).
+  void L2Normalize();
+
+  /// Accumulates `other * factor` into this vector (used for centroids).
+  void AddScaled(const SparseVector& other, double factor);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ctxrank::text
+
+#endif  // CTXRANK_TEXT_SPARSE_VECTOR_H_

@@ -1,0 +1,64 @@
+#include "text/stopwords.h"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+namespace ctxrank::text {
+
+namespace {
+
+constexpr auto kStopwords = std::to_array<std::string_view>({
+    "a",         "about",   "above",    "after",   "again",    "against",
+    "all",       "am",      "an",       "and",     "any",      "are",
+    "aren",      "as",      "at",       "be",      "because",  "been",
+    "before",    "being",   "below",    "between", "both",     "but",
+    "by",        "can",     "cannot",   "could",   "couldn",   "did",
+    "didn",      "do",      "does",     "doesn",   "doing",    "don",
+    "down",      "during",  "each",     "et",      "etc",      "few",
+    "for",       "from",    "further",  "had",     "hadn",     "has",
+    "hasn",      "have",    "haven",    "having",  "he",       "her",
+    "here",      "hers",    "herself",  "him",     "himself",  "his",
+    "how",       "however", "i",        "if",      "in",       "into",
+    "is",        "isn",     "it",       "its",     "itself",   "let",
+    "may",       "me",      "might",    "more",    "most",     "must",
+    "mustn",     "my",      "myself",   "no",      "nor",      "not",
+    "of",        "off",     "on",       "once",    "only",     "or",
+    "other",     "ought",   "our",      "ours",    "ourselves","out",
+    "over",      "own",     "same",     "shall",   "shan",     "she",
+    "should",    "shouldn", "so",       "some",    "such",     "than",
+    "that",      "the",     "their",    "theirs",  "them",     "themselves",
+    "then",      "there",   "therefore","these",   "they",     "this",
+    "those",     "through", "thus",     "to",      "too",      "under",
+    "until",     "up",      "upon",     "us",      "very",     "was",
+    "wasn",      "we",      "were",     "weren",   "what",     "when",
+    "where",     "whether", "which",    "while",   "who",      "whom",
+    "why",       "will",    "with",     "within",  "without",  "won",
+    "would",     "wouldn",  "you",      "your",    "yours",    "yourself",
+    "yourselves","also",    "among",    "although","based",    "besides",
+    "came",      "come",    "e",        "g",       "furthermore","hence",
+    "ie",        "indeed",  "moreover", "nevertheless","onto", "per",
+    "respectively","since", "toward",   "towards", "via",      "whereas",
+});
+
+// Sorted copy built once at first use (function-local static; the array is
+// trivially destructible so this satisfies the static-storage rules).
+const std::array<std::string_view, kStopwords.size()>& SortedStopwords() {
+  static const std::array<std::string_view, kStopwords.size()> sorted = [] {
+    auto copy = kStopwords;
+    std::sort(copy.begin(), copy.end());
+    return copy;
+  }();
+  return sorted;
+}
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  const auto& sorted = SortedStopwords();
+  return std::binary_search(sorted.begin(), sorted.end(), word);
+}
+
+size_t StopwordCount() { return kStopwords.size(); }
+
+}  // namespace ctxrank::text

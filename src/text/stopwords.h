@@ -1,0 +1,18 @@
+// Standard English stopword list (SMART-derived subset) used before TF-IDF
+// weighting and pattern mining.
+#ifndef CTXRANK_TEXT_STOPWORDS_H_
+#define CTXRANK_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace ctxrank::text {
+
+/// True if `word` (already lower-cased) is an English stopword.
+bool IsStopword(std::string_view word);
+
+/// Number of words in the built-in stopword list (for tests).
+size_t StopwordCount();
+
+}  // namespace ctxrank::text
+
+#endif  // CTXRANK_TEXT_STOPWORDS_H_

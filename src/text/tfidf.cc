@@ -1,0 +1,52 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace ctxrank::text {
+
+void TfIdfModel::Fit(const std::vector<std::vector<TermId>>& documents,
+                     size_t vocab_size) {
+  df_.assign(vocab_size, 0);
+  num_documents_ = 0;
+  for (const auto& doc : documents) AddDocument(doc, vocab_size);
+}
+
+void TfIdfModel::AddDocument(const std::vector<TermId>& doc_terms,
+                             size_t vocab_size) {
+  if (df_.size() < vocab_size) df_.resize(vocab_size, 0);
+  ++num_documents_;
+  // Count each term once per document.
+  std::vector<TermId> unique(doc_terms);
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  for (TermId t : unique) {
+    if (t < df_.size()) ++df_[t];
+  }
+}
+
+double TfIdfModel::Idf(TermId term) const {
+  const size_t df = DocumentFrequency(term);
+  if (df == 0 || num_documents_ == 0) return 0.0;
+  return std::log(static_cast<double>(num_documents_) /
+                  static_cast<double>(df));
+}
+
+SparseVector TfIdfModel::Transform(
+    const std::vector<TermId>& doc_terms) const {
+  std::unordered_map<TermId, double> tf;
+  for (TermId t : doc_terms) tf[t] += 1.0;
+  std::vector<SparseVector::Entry> entries;
+  entries.reserve(tf.size());
+  for (const auto& [term, count] : tf) {
+    const double idf = Idf(term);
+    if (idf <= 0.0) continue;
+    entries.push_back({term, (1.0 + std::log(count)) * idf});
+  }
+  SparseVector v = SparseVector::FromUnsorted(std::move(entries));
+  v.L2Normalize();
+  return v;
+}
+
+}  // namespace ctxrank::text

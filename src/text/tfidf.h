@@ -1,0 +1,53 @@
+// TF-IDF weighting (Salton's "Automatic Text Processing" model, the paper's
+// reference [6]): weight = (1 + log tf) * log(N / df), L2-normalized.
+#ifndef CTXRANK_TEXT_TFIDF_H_
+#define CTXRANK_TEXT_TFIDF_H_
+
+#include <vector>
+
+#include "text/sparse_vector.h"
+#include "text/vocabulary.h"
+
+namespace ctxrank::text {
+
+/// \brief Document-frequency model fit over a corpus of term-id documents;
+/// transforms documents and queries into normalized TF-IDF vectors.
+class TfIdfModel {
+ public:
+  TfIdfModel() = default;
+
+  /// Counts document frequencies. Each inner vector is one document's term
+  /// ids (with repetitions). `vocab_size` must cover every id present.
+  void Fit(const std::vector<std::vector<TermId>>& documents,
+           size_t vocab_size);
+
+  /// Incremental alternative to Fit: register documents one at a time, then
+  /// call FinishFit(). Useful when the corpus does not fit a single vector.
+  void AddDocument(const std::vector<TermId>& doc_terms, size_t vocab_size);
+  void FinishFit() {}  // Present for API symmetry; df counting is online.
+
+  /// TF-IDF vector for a document, L2-normalized ("ltc" weighting).
+  /// Terms with df == 0 (never seen in Fit) are ignored.
+  SparseVector Transform(const std::vector<TermId>& doc_terms) const;
+
+  /// Same weighting applied to a query.
+  SparseVector TransformQuery(const std::vector<TermId>& query_terms) const {
+    return Transform(query_terms);
+  }
+
+  size_t num_documents() const { return num_documents_; }
+  size_t DocumentFrequency(TermId term) const {
+    return term < df_.size() ? df_[term] : 0;
+  }
+
+  /// log(N / df) for `term`; 0 for unseen terms.
+  double Idf(TermId term) const;
+
+ private:
+  std::vector<uint32_t> df_;
+  size_t num_documents_ = 0;
+};
+
+}  // namespace ctxrank::text
+
+#endif  // CTXRANK_TEXT_TFIDF_H_

@@ -1,0 +1,38 @@
+// Locale-independent word tokenizer for English scientific text.
+#ifndef CTXRANK_TEXT_TOKENIZER_H_
+#define CTXRANK_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ctxrank::text {
+
+struct TokenizerOptions {
+  /// Drop tokens shorter than this many characters.
+  size_t min_token_length = 2;
+  /// Drop tokens that consist only of digits.
+  bool drop_numeric = true;
+  /// Lower-case all tokens.
+  bool lowercase = true;
+};
+
+/// \brief Splits text into word tokens. A token is a maximal run of ASCII
+/// letters/digits; hyphens and apostrophes inside a word are treated as
+/// separators ("gene-ontology" -> "gene", "ontology"), matching the
+/// bag-of-words treatment in the paper's TF-IDF model.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  std::vector<std::string> Tokenize(std::string_view str) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace ctxrank::text
+
+#endif  // CTXRANK_TEXT_TOKENIZER_H_

@@ -1,0 +1,49 @@
+// Term interning: maps stemmed word strings to dense 32-bit term ids.
+#ifndef CTXRANK_TEXT_VOCABULARY_H_
+#define CTXRANK_TEXT_VOCABULARY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ctxrank::text {
+
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTermId = UINT32_MAX;
+
+/// \brief Bidirectional term <-> id mapping. Ids are assigned densely in
+/// insertion order, so they can index vectors directly.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  // Movable but not copyable: a vocabulary is shared by reference across the
+  // pipeline and accidental copies would silently fork the id space.
+  Vocabulary(Vocabulary&&) = default;
+  Vocabulary& operator=(Vocabulary&&) = default;
+  Vocabulary(const Vocabulary&) = delete;
+  Vocabulary& operator=(const Vocabulary&) = delete;
+
+  /// Returns the id for `term`, interning it if new.
+  TermId GetOrAdd(std::string_view term);
+
+  /// Returns the id for `term`, or kInvalidTermId if absent.
+  TermId Lookup(std::string_view term) const;
+
+  /// Returns the term string for `id`; `id` must be < size().
+  const std::string& term(TermId id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace ctxrank::text
+
+#endif  // CTXRANK_TEXT_VOCABULARY_H_

@@ -1,0 +1,195 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace ctxrank {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Rng rng(5);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(29);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(31);
+  for (double lambda : {0.5, 3.0, 12.0, 50.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.NextPoisson(lambda);
+    EXPECT_NEAR(sum / n, lambda, lambda * 0.05 + 0.05) << "lambda=" << lambda;
+  }
+}
+
+TEST(RngTest, PoissonZeroLambda) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextPoisson(0.0), 0);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(41);
+  const size_t n = 100;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.NextZipf(n, 1.2)];
+  // Rank 0 must dominate rank 50.
+  EXPECT_GT(counts[0], counts[50] * 5);
+  // All samples in range (vector indexing would have crashed otherwise).
+  int total = 0;
+  for (int c : counts) total += c;
+  EXPECT_EQ(total, 50000);
+}
+
+TEST(RngTest, ZipfSingleElement) {
+  Rng rng(43);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.NextZipf(1, 1.1), 0u);
+}
+
+TEST(RngTest, WeightedSamplingProportions) {
+  Rng rng(47);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const size_t idx = rng.NextWeighted(weights);
+    ASSERT_LT(idx, 3u);
+    ++counts[idx];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(RngTest, WeightedAllZeroReturnsSize) {
+  Rng rng(53);
+  EXPECT_EQ(rng.NextWeighted({0.0, 0.0}), 2u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(59);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementUnique) {
+  Rng rng(61);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> s(sample.begin(), sample.end());
+  EXPECT_EQ(s.size(), 30u);
+  for (size_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementAllWhenKTooLarge) {
+  Rng rng(67);
+  const auto sample = rng.SampleWithoutReplacement(5, 10);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(RngTest, ForkIndependentStreams) {
+  Rng rng(71);
+  Rng f1 = rng.Fork(1), f2 = rng.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (f1.Next() == f2.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const uint64_t first = sm.Next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(first, sm2.Next());
+  EXPECT_NE(first, sm.Next());
+}
+
+}  // namespace
+}  // namespace ctxrank

@@ -1,0 +1,104 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ctxrank {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({-1, 1}), 0.0);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 2, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({5}), 5.0);
+}
+
+TEST(StatsTest, StdDevKnownValue) {
+  // Population SD of {2, 4, 4, 4, 5, 5, 7, 9} is 2.
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(StdDev({1}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+}
+
+TEST(StatsTest, MinMax) {
+  EXPECT_DOUBLE_EQ(Min({3, -1, 2}), -1.0);
+  EXPECT_DOUBLE_EQ(Max({3, -1, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(Min({}), 0.0);
+  EXPECT_DOUBLE_EQ(Max({}), 0.0);
+}
+
+TEST(StatsTest, MinMaxNormalizeSpansUnitInterval) {
+  std::vector<double> v = {10, 20, 30};
+  MinMaxNormalize(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.5);
+  EXPECT_DOUBLE_EQ(v[2], 1.0);
+}
+
+TEST(StatsTest, MinMaxNormalizeConstantVectorGoesToZero) {
+  std::vector<double> v = {5, 5, 5};
+  MinMaxNormalize(v);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(StatsTest, MinMaxNormalizeEmptyIsNoop) {
+  std::vector<double> v;
+  MinMaxNormalize(v);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(HistogramTest, CountsFallInRightBuckets) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(9.5);
+  h.Add(5.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(5.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(HistogramTest, UpperEdgeGoesToLastBucket) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(1.0);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(HistogramTest, PercentSumsTo100) {
+  Histogram h(0.0, 1.0, 5);
+  h.AddAll({0.1, 0.3, 0.5, 0.7, 0.9});
+  double total = 0.0;
+  for (size_t b = 0; b < h.bucket_count(); ++b) total += h.Percent(b);
+  EXPECT_NEAR(total, 100.0, 1e-9);
+}
+
+TEST(HistogramTest, BucketLowEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.BucketLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BucketLow(4), 8.0);
+}
+
+TEST(HistogramTest, ToStringContainsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(0.25);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("1 (100.0%)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ctxrank

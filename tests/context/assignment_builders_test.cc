@@ -1,0 +1,185 @@
+// Text- and pattern-based context paper set construction (paper §4) over a
+// small generated world.
+#include "context/assignment_builders.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus_generator.h"
+#include "ontology/ontology_generator.h"
+
+namespace ctxrank::context {
+namespace {
+
+class AssignmentBuildersTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ontology::OntologyGeneratorOptions oopts;
+    oopts.max_terms = 60;
+    oopts.max_depth = 6;
+    auto o = ontology::GenerateOntology(oopts);
+    ASSERT_TRUE(o.ok());
+    onto_ = new ontology::Ontology(std::move(o).value());
+    corpus::CorpusGeneratorOptions copts;
+    copts.num_papers = 500;
+    copts.num_authors = 120;
+    auto c = corpus::GenerateCorpus(*onto_, copts);
+    ASSERT_TRUE(c.ok());
+    corpus_ = new corpus::Corpus(std::move(c).value());
+    tc_ = new corpus::TokenizedCorpus(*corpus_);
+    fts_ = new corpus::FullTextSearch(*tc_);
+  }
+  static const ontology::Ontology* onto_;
+  static const corpus::Corpus* corpus_;
+  static const corpus::TokenizedCorpus* tc_;
+  static const corpus::FullTextSearch* fts_;
+};
+
+const ontology::Ontology* AssignmentBuildersTest::onto_ = nullptr;
+const corpus::Corpus* AssignmentBuildersTest::corpus_ = nullptr;
+const corpus::TokenizedCorpus* AssignmentBuildersTest::tc_ = nullptr;
+const corpus::FullTextSearch* AssignmentBuildersTest::fts_ = nullptr;
+
+TEST_F(AssignmentBuildersTest, TextAssignmentPopulatesEvidenceContexts) {
+  auto r = BuildTextBasedAssignment(*tc_, *onto_, *fts_);
+  ASSERT_TRUE(r.ok());
+  const ContextAssignment& a = r.value();
+  for (ontology::TermId t = 0; t < onto_->size(); ++t) {
+    const auto& ev = corpus_->Evidence(t);
+    if (ev.empty()) {
+      EXPECT_TRUE(a.Members(t).empty());
+      EXPECT_EQ(a.Representative(t), corpus::kInvalidPaper);
+      continue;
+    }
+    EXPECT_NE(a.Representative(t), corpus::kInvalidPaper);
+    // Representative is one of the evidence papers.
+    EXPECT_NE(std::find(ev.begin(), ev.end(), a.Representative(t)),
+              ev.end());
+    // Evidence papers are always members.
+    for (corpus::PaperId p : ev) EXPECT_TRUE(a.Contains(t, p));
+  }
+}
+
+TEST_F(AssignmentBuildersTest, TextAssignmentThresholdMonotone) {
+  TextAssignmentOptions loose, strict;
+  loose.member_threshold = 0.05;
+  strict.member_threshold = 0.5;
+  auto rl = BuildTextBasedAssignment(*tc_, *onto_, *fts_, loose);
+  auto rs = BuildTextBasedAssignment(*tc_, *onto_, *fts_, strict);
+  ASSERT_TRUE(rl.ok() && rs.ok());
+  size_t loose_total = 0, strict_total = 0;
+  for (ontology::TermId t = 0; t < onto_->size(); ++t) {
+    loose_total += rl.value().Members(t).size();
+    strict_total += rs.value().Members(t).size();
+  }
+  EXPECT_GE(loose_total, strict_total);
+}
+
+TEST_F(AssignmentBuildersTest, TextAssignmentMaxMembersCap) {
+  TextAssignmentOptions opts;
+  opts.member_threshold = 0.0;
+  opts.max_members = 5;
+  auto r = BuildTextBasedAssignment(*tc_, *onto_, *fts_, opts);
+  ASSERT_TRUE(r.ok());
+  for (ontology::TermId t = 0; t < onto_->size(); ++t) {
+    // Evidence is appended after the cap, so allow cap + evidence.
+    EXPECT_LE(r.value().Members(t).size(),
+              5u + corpus_->Evidence(t).size());
+  }
+}
+
+TEST_F(AssignmentBuildersTest, PatternAssignmentRollsUpDescendants) {
+  auto r = BuildPatternBasedAssignment(*tc_, *onto_);
+  ASSERT_TRUE(r.ok());
+  const auto& pa = r.value();
+  // Hierarchy roll-up: every member of a child context must appear in
+  // each of its parents (children's papers were merged upward, §4).
+  for (ontology::TermId t = 0; t < onto_->size(); ++t) {
+    if (pa.assignment.InheritedFrom(t) != ontology::kInvalidTerm) continue;
+    for (ontology::TermId parent : onto_->term(t).parents) {
+      if (pa.assignment.InheritedFrom(parent) != ontology::kInvalidTerm) {
+        continue;
+      }
+      for (corpus::PaperId p : pa.assignment.Members(t)) {
+        EXPECT_TRUE(pa.assignment.Contains(parent, p))
+            << "paper " << p << " in term " << t << " missing from parent "
+            << parent;
+      }
+    }
+  }
+}
+
+TEST_F(AssignmentBuildersTest, PatternAssignmentInheritanceIsDamped) {
+  auto r = BuildPatternBasedAssignment(*tc_, *onto_);
+  ASSERT_TRUE(r.ok());
+  const auto& pa = r.value();
+  for (ontology::TermId t = 0; t < onto_->size(); ++t) {
+    const ontology::TermId src = pa.assignment.InheritedFrom(t);
+    if (src == ontology::kInvalidTerm) continue;
+    // Inherited from a true ancestor, with decay in [0, 1].
+    EXPECT_TRUE(onto_->IsAncestorOrSelf(src, t));
+    EXPECT_GE(pa.assignment.DecayFactor(t), 0.0);
+    EXPECT_LE(pa.assignment.DecayFactor(t), 1.0);
+    // Members copied from the source.
+    EXPECT_EQ(pa.assignment.Members(t), pa.assignment.Members(src));
+  }
+}
+
+TEST_F(AssignmentBuildersTest, PatternAssignmentBuildsScoredPatterns) {
+  auto r = BuildPatternBasedAssignment(*tc_, *onto_);
+  ASSERT_TRUE(r.ok());
+  const auto& pa = r.value();
+  size_t with_patterns = 0;
+  for (ontology::TermId t = 0; t < onto_->size(); ++t) {
+    if (pa.patterns[t].empty()) continue;
+    ++with_patterns;
+    for (const auto& pt : pa.patterns[t]) {
+      EXPECT_FALSE(pt.middle.empty());
+      EXPECT_GE(pt.score, 0.0);
+      // Simplified variant: no extended patterns (paper §4).
+      EXPECT_EQ(pt.kind, pattern::PatternKind::kRegular);
+    }
+  }
+  EXPECT_GT(with_patterns, 0u);
+}
+
+TEST_F(AssignmentBuildersTest, PatternRawScoresCoverMatchedMembers) {
+  auto r = BuildPatternBasedAssignment(*tc_, *onto_);
+  ASSERT_TRUE(r.ok());
+  const auto& pa = r.value();
+  for (ontology::TermId t = 0; t < onto_->size(); ++t) {
+    for (const auto& [paper, score] : pa.raw_scores[t]) {
+      EXPECT_GT(score, 0.0);
+      EXPECT_LT(paper, corpus_->size());
+    }
+  }
+}
+
+TEST_F(AssignmentBuildersTest, TermNameStats) {
+  TermNameStats stats(*onto_, *tc_);
+  // Every term has analyzed name words.
+  size_t nonempty = 0;
+  for (ontology::TermId t = 0; t < onto_->size(); ++t) {
+    if (!stats.NameWords(t).empty()) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, onto_->size());
+  // Frequency is a valid fraction, and rare words are more selective.
+  const auto& words0 = stats.NameWords(0);
+  ASSERT_FALSE(words0.empty());
+  for (text::TermId w : words0) {
+    const double f = stats.NameFrequency(w);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    EXPECT_NEAR(stats.Selectivity(w), 1.0 - f, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(stats.NameFrequency(text::kInvalidTermId - 1), 0.0);
+}
+
+TEST_F(AssignmentBuildersTest, UnfinalizedOntologyRejected) {
+  ontology::Ontology bad;
+  bad.AddTerm("T:0", "x");
+  EXPECT_FALSE(BuildTextBasedAssignment(*tc_, bad, *fts_).ok());
+  EXPECT_FALSE(BuildPatternBasedAssignment(*tc_, bad).ok());
+}
+
+}  // namespace
+}  // namespace ctxrank::context

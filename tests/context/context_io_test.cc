@@ -1,0 +1,97 @@
+#include "context/context_io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace ctxrank::context {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(AssignmentIoTest, RoundTrip) {
+  ContextAssignment a(4, 20);
+  a.SetMembers(0, {1, 5, 9});
+  a.SetMembers(2, {3});
+  a.SetRepresentative(0, 5);
+  a.SetInherited(3, 0, 0.42);
+  const std::string path = TempPath("assignment.txt");
+  ASSERT_TRUE(SaveAssignment(a, path).ok());
+  auto r = LoadAssignment(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ContextAssignment& b = r.value();
+  EXPECT_EQ(b.num_terms(), 4u);
+  EXPECT_EQ(b.num_papers(), 20u);
+  EXPECT_EQ(b.Members(0), a.Members(0));
+  EXPECT_EQ(b.Members(2), a.Members(2));
+  EXPECT_TRUE(b.Members(1).empty());
+  EXPECT_EQ(b.Representative(0), 5u);
+  EXPECT_EQ(b.Representative(1), corpus::kInvalidPaper);
+  EXPECT_EQ(b.InheritedFrom(3), 0u);
+  EXPECT_DOUBLE_EQ(b.DecayFactor(3), 0.42);
+  // Reverse index restored too.
+  EXPECT_EQ(b.ContextsOf(5), (std::vector<ontology::TermId>{0}));
+}
+
+TEST(AssignmentIoTest, RejectsBadHeader) {
+  const std::string path = TempPath("bad_assignment.txt");
+  {
+    std::ofstream f(path);
+    f << "something else\n";
+  }
+  EXPECT_FALSE(LoadAssignment(path).ok());
+}
+
+TEST(AssignmentIoTest, RejectsOutOfRangeIds) {
+  const std::string path = TempPath("oor_assignment.txt");
+  {
+    std::ofstream f(path);
+    f << "ctxrank-assignment v1\nterms 2\npapers 5\nterm 7\nM 1\n";
+  }
+  EXPECT_FALSE(LoadAssignment(path).ok());
+  {
+    std::ofstream f(path);
+    f << "ctxrank-assignment v1\nterms 2\npapers 5\nterm 0\nM 99\n";
+  }
+  EXPECT_FALSE(LoadAssignment(path).ok());
+}
+
+TEST(AssignmentIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadAssignment("/nonexistent/a.txt").ok());
+}
+
+TEST(PrestigeIoTest, RoundTripPreservesExactValues) {
+  PrestigeScores s(3);
+  s.Set(0, {0.1, 1.0 / 3.0, 0.999999999999});
+  s.Set(2, {0.0});
+  const std::string path = TempPath("prestige.txt");
+  ASSERT_TRUE(SavePrestige(s, path).ok());
+  auto r = LoadPrestige(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_terms(), 3u);
+  ASSERT_TRUE(r.value().HasScores(0));
+  EXPECT_FALSE(r.value().HasScores(1));
+  ASSERT_EQ(r.value().Scores(0).size(), 3u);
+  // %.17g round-trips doubles exactly.
+  EXPECT_EQ(r.value().Scores(0)[1], 1.0 / 3.0);
+  EXPECT_EQ(r.value().Scores(2), (std::vector<double>{0.0}));
+}
+
+TEST(PrestigeIoTest, RejectsBadInput) {
+  const std::string path = TempPath("bad_prestige.txt");
+  {
+    std::ofstream f(path);
+    f << "wrong\n";
+  }
+  EXPECT_FALSE(LoadPrestige(path).ok());
+  {
+    std::ofstream f(path);
+    f << "ctxrank-prestige v1\nterms 1\n5 0.5\n";  // Term 5 out of range.
+  }
+  EXPECT_FALSE(LoadPrestige(path).ok());
+}
+
+}  // namespace
+}  // namespace ctxrank::context

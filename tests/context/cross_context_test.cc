@@ -1,0 +1,147 @@
+// Focused tests for the §7 cross-context weighted citation prestige and
+// the HITS-authority citation variant.
+#include <gtest/gtest.h>
+
+#include "context/citation_prestige.h"
+#include "context/cross_context_prestige.h"
+#include "corpus/corpus.h"
+#include "graph/citation_graph.h"
+
+namespace ctxrank::context {
+namespace {
+
+using corpus::PaperId;
+
+// Ontology: root(0) -> a(1), b(2); a -> a_child(3).
+ontology::Ontology MakeOntology() {
+  ontology::Ontology o;
+  const auto root = o.AddTerm("T:0", "root");
+  const auto a = o.AddTerm("T:1", "branch a");
+  const auto b = o.AddTerm("T:2", "branch b");
+  const auto ac = o.AddTerm("T:3", "child of a");
+  EXPECT_TRUE(o.AddIsA(a, root).ok());
+  EXPECT_TRUE(o.AddIsA(b, root).ok());
+  EXPECT_TRUE(o.AddIsA(ac, a).ok());
+  EXPECT_TRUE(o.Finalize().ok());
+  return o;
+}
+
+class CrossContextTest : public ::testing::Test {
+ protected:
+  CrossContextTest()
+      : onto_(MakeOntology()),
+        // Papers: 0,1 in context a; 2,3 in b; 4 in a_child.
+        // Edges: 1->0 (inside a), 3->2 (inside b), 3->0 (b cites a),
+        //        4->0 (a_child cites a).
+        graph_(5, {{1, 0}, {3, 2}, {3, 0}, {4, 0}}),
+        assignment_(onto_.size(), 5) {
+    assignment_.SetMembers(1, {0, 1});
+    assignment_.SetMembers(2, {2, 3});
+    assignment_.SetMembers(3, {4});
+  }
+  ontology::Ontology onto_;
+  graph::CitationGraph graph_;
+  ContextAssignment assignment_;
+};
+
+TEST_F(CrossContextTest, ScoresOnlyMembers) {
+  auto r = ComputeCrossContextCitationPrestige(onto_, assignment_, graph_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Scores(1).size(), 2u);
+  EXPECT_EQ(r.value().Scores(2).size(), 2u);
+  EXPECT_EQ(r.value().Scores(3).size(), 1u);
+  EXPECT_FALSE(r.value().HasScores(0));  // No members.
+}
+
+TEST_F(CrossContextTest, CrossContextCitationBoostsTarget) {
+  // Paper 0 receives two external citations (one from related context 3,
+  // one from unrelated context 2) on top of the internal one. Under the
+  // hard restriction its prestige in context 1 sees only 1->0; under the
+  // weighted variant the external citations add mass, so paper 0's lead
+  // over paper 1 must grow.
+  CitationPrestigeOptions hard_opts;
+  hard_opts.hierarchical_max = false;
+  auto hard = ComputeCitationPrestige(onto_, assignment_, graph_, hard_opts);
+  CrossContextOptions soft_opts;
+  soft_opts.hierarchical_max = false;
+  auto soft = ComputeCrossContextCitationPrestige(onto_, assignment_,
+                                                  graph_, soft_opts);
+  ASSERT_TRUE(hard.ok() && soft.ok());
+  const double hard_gap = hard.value().ScoreOf(assignment_, 1, 0) -
+                          hard.value().ScoreOf(assignment_, 1, 1);
+  const double soft_gap = soft.value().ScoreOf(assignment_, 1, 0) -
+                          soft.value().ScoreOf(assignment_, 1, 1);
+  EXPECT_GT(hard_gap, 0.0);
+  EXPECT_GT(soft_gap, hard_gap);
+}
+
+TEST_F(CrossContextTest, RelatedEdgesOutweighUnrelatedOnes) {
+  // With unrelated weight 0, context 1 only feels the related (a_child)
+  // citation; with related weight 0 as well it degenerates toward the
+  // hard restriction.
+  CrossContextOptions no_unrelated;
+  no_unrelated.unrelated_weight = 0.0;
+  no_unrelated.related_weight = 1.0;
+  no_unrelated.hierarchical_max = false;
+  auto r1 = ComputeCrossContextCitationPrestige(onto_, assignment_, graph_,
+                                                no_unrelated);
+  CrossContextOptions none;
+  none.unrelated_weight = 0.0;
+  none.related_weight = 0.0;
+  none.hierarchical_max = false;
+  auto r2 = ComputeCrossContextCitationPrestige(onto_, assignment_, graph_,
+                                                none);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  // Paper 0's boost under "related only" exceeds the fully-restricted one.
+  EXPECT_GE(r1.value().ScoreOf(assignment_, 1, 0),
+            r2.value().ScoreOf(assignment_, 1, 0));
+}
+
+TEST_F(CrossContextTest, UniformWeightsKeepMembersScored) {
+  CrossContextOptions uniform;
+  uniform.unrelated_weight = 1.0;
+  uniform.related_weight = 1.0;
+  auto r = ComputeCrossContextCitationPrestige(onto_, assignment_, graph_,
+                                               uniform);
+  ASSERT_TRUE(r.ok());
+  for (double v : r.value().Scores(1)) EXPECT_GT(v, 0.0);
+}
+
+TEST_F(CrossContextTest, HitsVariantRanksAuthority) {
+  CitationPrestigeOptions opts;
+  opts.algorithm = CitationAlgorithm::kHitsAuthority;
+  opts.hierarchical_max = false;
+  auto r = ComputeCitationPrestige(onto_, assignment_, graph_, opts);
+  ASSERT_TRUE(r.ok());
+  // Paper 0 is the only cited paper inside context 1 -> top authority.
+  EXPECT_GT(r.value().ScoreOf(assignment_, 1, 0),
+            r.value().ScoreOf(assignment_, 1, 1));
+}
+
+TEST_F(CrossContextTest, HitsAndPageRankAgreeOnTopPaper) {
+  CitationPrestigeOptions pr_opts, hits_opts;
+  pr_opts.hierarchical_max = hits_opts.hierarchical_max = false;
+  hits_opts.algorithm = CitationAlgorithm::kHitsAuthority;
+  auto pr = ComputeCitationPrestige(onto_, assignment_, graph_, pr_opts);
+  auto hits = ComputeCitationPrestige(onto_, assignment_, graph_, hits_opts);
+  ASSERT_TRUE(pr.ok() && hits.ok());
+  for (ontology::TermId t : {1u, 2u}) {
+    const auto& ps = pr.value().Scores(t);
+    const auto& hs = hits.value().Scores(t);
+    const size_t pr_top = static_cast<size_t>(
+        std::max_element(ps.begin(), ps.end()) - ps.begin());
+    const size_t hits_top = static_cast<size_t>(
+        std::max_element(hs.begin(), hs.end()) - hs.begin());
+    EXPECT_EQ(pr_top, hits_top) << "context " << t;
+  }
+}
+
+TEST_F(CrossContextTest, HitsVariantRejectsBadOptions) {
+  CitationPrestigeOptions opts;
+  opts.algorithm = CitationAlgorithm::kHitsAuthority;
+  opts.hits.max_iterations = 0;
+  EXPECT_FALSE(ComputeCitationPrestige(onto_, assignment_, graph_, opts).ok());
+}
+
+}  // namespace
+}  // namespace ctxrank::context

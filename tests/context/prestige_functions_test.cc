@@ -1,0 +1,247 @@
+// The three prestige score functions + author similarity + the §7
+// cross-context extension, on a small hand-built world.
+#include <gtest/gtest.h>
+
+#include "context/author_similarity.h"
+#include "context/citation_prestige.h"
+#include "context/cross_context_prestige.h"
+#include "context/pattern_prestige.h"
+#include "context/text_prestige.h"
+#include "corpus/tokenized_corpus.h"
+#include "graph/citation_graph.h"
+
+namespace ctxrank::context {
+namespace {
+
+using corpus::Paper;
+using corpus::PaperId;
+
+// Two-context ontology: root(0) with children kinase(1) and repair(2).
+ontology::Ontology MakeOntology() {
+  ontology::Ontology o;
+  const auto root = o.AddTerm("T:0", "molecular function");
+  const auto kin = o.AddTerm("T:1", "kinase activity");
+  const auto rep = o.AddTerm("T:2", "repair process");
+  EXPECT_TRUE(o.AddIsA(kin, root).ok());
+  EXPECT_TRUE(o.AddIsA(rep, root).ok());
+  EXPECT_TRUE(o.Finalize().ok());
+  return o;
+}
+
+// Papers 0-2: repair topic (1,2 cite hub 0); papers 3-6: kinase topic
+// (4,5,6 cite hub 3); paper 6 also cites 0 across the context boundary.
+corpus::Corpus MakeCorpus() {
+  corpus::Corpus c;
+  auto add = [&](PaperId id, const char* title, const char* body,
+                 std::vector<corpus::AuthorId> authors,
+                 std::vector<PaperId> refs) {
+    Paper p;
+    p.id = id;
+    p.title = title;
+    p.abstract_text = title;
+    p.body = body;
+    p.index_terms = "";
+    p.authors = std::move(authors);
+    p.references = std::move(refs);
+    EXPECT_TRUE(c.Add(std::move(p)).ok());
+  };
+  add(0, "dna repair process", "repair of dna damage repair process", {6, 7},
+      {});
+  add(1, "repair enzymes", "enzymes driving the repair process", {7, 8},
+      {0});
+  add(2, "damage repair checkpoints", "checkpoint control of repair process",
+      {8}, {0});
+  add(3, "kinase activity assay", "kinase phosphorylation cascade kinase",
+      {1, 2}, {});
+  add(4, "kinase signaling", "kinase activity downstream signaling", {2, 3},
+      {3});
+  add(5, "protein kinase domains", "kinase domains fold kinase activity",
+      {1, 4}, {3});
+  add(6, "kinase inhibitors", "inhibitors of kinase activity", {5},
+      {0, 3});
+  c.AddEvidence(1, 3);
+  c.AddEvidence(2, 0);
+  return c;
+}
+
+class PrestigeFunctionsTest : public ::testing::Test {
+ protected:
+  PrestigeFunctionsTest()
+      : onto_(MakeOntology()),
+        corpus_(MakeCorpus()),
+        tc_(corpus_),
+        graph_(corpus_),
+        authors_(corpus_),
+        assignment_(onto_.size(), corpus_.size()) {
+    assignment_.SetMembers(1, {3, 4, 5, 6});
+    assignment_.SetMembers(2, {0, 1, 2});
+    assignment_.SetMembers(0, {0, 1, 2, 3, 4, 5, 6});
+    assignment_.SetRepresentative(1, 3);
+    assignment_.SetRepresentative(2, 0);
+  }
+  ontology::Ontology onto_;
+  corpus::Corpus corpus_;
+  corpus::TokenizedCorpus tc_;
+  graph::CitationGraph graph_;
+  AuthorSimilarity authors_;
+  ContextAssignment assignment_;
+};
+
+TEST_F(PrestigeFunctionsTest, CitationPrestigeRanksHubHighest) {
+  auto r = ComputeCitationPrestige(onto_, assignment_, graph_);
+  ASSERT_TRUE(r.ok());
+  const auto& s = r.value();
+  // Paper 3 is the kinase context's citation hub -> top raw PageRank.
+  EXPECT_GT(s.ScoreOf(assignment_, 1, 3), s.ScoreOf(assignment_, 1, 4));
+  EXPECT_GT(s.ScoreOf(assignment_, 1, 3), s.ScoreOf(assignment_, 1, 5));
+  EXPECT_GT(s.ScoreOf(assignment_, 1, 3), s.ScoreOf(assignment_, 1, 6));
+  // Paper 0 dominates the repair context.
+  EXPECT_GT(s.ScoreOf(assignment_, 2, 0), s.ScoreOf(assignment_, 2, 1));
+  EXPECT_GT(s.ScoreOf(assignment_, 2, 0), s.ScoreOf(assignment_, 2, 2));
+}
+
+TEST_F(PrestigeFunctionsTest, CitationPrestigeScoresAreNormalized) {
+  auto r = ComputeCitationPrestige(onto_, assignment_, graph_);
+  ASSERT_TRUE(r.ok());
+  for (ontology::TermId t = 0; t < onto_.size(); ++t) {
+    for (double v : r.value().Scores(t)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST_F(PrestigeFunctionsTest, CitationIgnoresCrossContextEdges) {
+  // Paper 0 is cited from kinase-context paper 6, but within the repair
+  // context only edges 1->0, 2->0 exist. Removing paper 6's cross edge
+  // must not change repair-context scores: compute on a graph without it.
+  auto r_full = ComputeCitationPrestige(onto_, assignment_, graph_);
+  ASSERT_TRUE(r_full.ok());
+  // Rebuild graph without the 6->0 edge.
+  std::vector<std::pair<PaperId, PaperId>> edges;
+  for (const Paper& p : corpus_.papers()) {
+    for (PaperId ref : p.references) {
+      if (!(p.id == 6 && ref == 0)) edges.emplace_back(p.id, ref);
+    }
+  }
+  graph::CitationGraph pruned(corpus_.size(), edges);
+  auto r_pruned = ComputeCitationPrestige(onto_, assignment_, pruned);
+  ASSERT_TRUE(r_pruned.ok());
+  // Context 2 (repair) scores identical with/without the cross edge —
+  // context 0 contains both papers so scores there may differ.
+  for (PaperId p : assignment_.Members(2)) {
+    EXPECT_DOUBLE_EQ(r_full.value().ScoreOf(assignment_, 2, p),
+                     r_pruned.value().ScoreOf(assignment_, 2, p));
+  }
+}
+
+TEST_F(PrestigeFunctionsTest, TextPrestigeRepresentativeScoresTop) {
+  auto r = ComputeTextPrestige(onto_, assignment_, tc_, graph_, authors_);
+  ASSERT_TRUE(r.ok());
+  const auto& scores = r.value().Scores(1);
+  const auto& members = assignment_.Members(1);
+  // The representative (paper 3) scores highest in its own context.
+  size_t best = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[best]) best = i;
+  }
+  EXPECT_EQ(members[best], 3u);
+}
+
+TEST_F(PrestigeFunctionsTest, TextPrestigeOnlyForContextsWithRep) {
+  ContextAssignment a2(onto_.size(), corpus_.size());
+  a2.SetMembers(1, {3, 4});
+  // No representative set.
+  auto r = ComputeTextPrestige(onto_, a2, tc_, graph_, authors_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().HasScores(1));
+}
+
+TEST_F(PrestigeFunctionsTest, TextPairSimilaritySymmetricChannels) {
+  TextPrestigeOptions opts;
+  const double ab =
+      TextPairSimilarity(tc_, graph_, authors_, opts, 4, 5);
+  const double ba =
+      TextPairSimilarity(tc_, graph_, authors_, opts, 5, 4);
+  EXPECT_NEAR(ab, ba, 1e-12);
+}
+
+TEST_F(PrestigeFunctionsTest, TextChannelsComposeLinearly) {
+  TextPrestigeOptions only_text;
+  only_text.author_weight = 0.0;
+  only_text.reference_weight = 0.0;
+  TextPrestigeOptions only_authors;
+  for (double& w : only_authors.section_weights) w = 0.0;
+  only_authors.reference_weight = 0.0;
+  TextPrestigeOptions both = only_text;
+  both.author_weight = only_authors.author_weight;
+  const double t = TextPairSimilarity(tc_, graph_, authors_, only_text, 4, 5);
+  const double a =
+      TextPairSimilarity(tc_, graph_, authors_, only_authors, 4, 5);
+  const double combined =
+      TextPairSimilarity(tc_, graph_, authors_, both, 4, 5);
+  EXPECT_NEAR(combined, t + a, 1e-12);
+}
+
+TEST_F(PrestigeFunctionsTest, AuthorLevel0Overlap) {
+  // Papers 4 {2,3} and 5 {1,4}: no shared authors -> L0 = 0.
+  EXPECT_DOUBLE_EQ(authors_.Level0(corpus_.paper(4), corpus_.paper(5)), 0.0);
+  // Papers 3 {1,2} and 4 {2,3}: share author 2 -> 1/3.
+  EXPECT_NEAR(authors_.Level0(corpus_.paper(3), corpus_.paper(4)),
+              1.0 / 3.0, 1e-12);
+}
+
+TEST_F(PrestigeFunctionsTest, AuthorLevel1CoauthorBridges) {
+  // Authors 1 and 2 co-wrote paper 3; 2 and 3 co-wrote paper 4, etc.
+  EXPECT_TRUE(authors_.AreCoauthors(1, 2));
+  EXPECT_TRUE(authors_.AreCoauthors(2, 3));
+  EXPECT_FALSE(authors_.AreCoauthors(3, 6));
+  // Level-1 between papers 3 {1,2} and 5 {1,4}: pairs (1,4),(2,1),(2,4):
+  // coauthors: (1,4) yes (paper 5), (2,1) yes (paper 3), (2,4) no -> 2/3.
+  EXPECT_NEAR(authors_.Level1(corpus_.paper(3), corpus_.paper(5)),
+              2.0 / 3.0, 1e-12);
+}
+
+TEST_F(PrestigeFunctionsTest, AuthorSimilarityWeighted) {
+  AuthorSimilarity::Options opts;
+  opts.level0_weight = 1.0;
+  opts.level1_weight = 0.0;
+  AuthorSimilarity l0_only(corpus_, opts);
+  EXPECT_NEAR(l0_only.Similarity(corpus_.paper(3), corpus_.paper(4)),
+              l0_only.Level0(corpus_.paper(3), corpus_.paper(4)), 1e-12);
+}
+
+TEST_F(PrestigeFunctionsTest, CrossContextBoostsExternallyCitedPaper) {
+  // Paper 0 receives a cross-context citation from paper 6. Under the
+  // hard restriction papers 0,1,2 only see intra-context edges; with the
+  // §7 weighting the extra citation should not *hurt* paper 0.
+  CitationPrestigeOptions hard;
+  hard.hierarchical_max = false;
+  auto baseline = ComputeCitationPrestige(onto_, assignment_, graph_, hard);
+  CrossContextOptions soft;
+  soft.hierarchical_max = false;
+  auto weighted =
+      ComputeCrossContextCitationPrestige(onto_, assignment_, graph_, soft);
+  ASSERT_TRUE(baseline.ok() && weighted.ok());
+  // Paper 0 stays the top paper of the repair context in both.
+  for (PaperId other : {1u, 2u}) {
+    EXPECT_GT(baseline.value().ScoreOf(assignment_, 2, 0),
+              baseline.value().ScoreOf(assignment_, 2, other));
+    EXPECT_GT(weighted.value().ScoreOf(assignment_, 2, 0),
+              weighted.value().ScoreOf(assignment_, 2, other));
+  }
+  // Every member still gets a normalized score.
+  EXPECT_EQ(weighted.value().Scores(2).size(),
+            assignment_.Members(2).size());
+}
+
+TEST_F(PrestigeFunctionsTest, CrossContextRejectsBadOptions) {
+  CrossContextOptions opts;
+  opts.pagerank.d = 2.0;
+  EXPECT_FALSE(
+      ComputeCrossContextCitationPrestige(onto_, assignment_, graph_, opts)
+          .ok());
+}
+
+}  // namespace
+}  // namespace ctxrank::context

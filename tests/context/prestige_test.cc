@@ -1,0 +1,163 @@
+// PrestigeScores container, hierarchy max rule, normalization.
+#include "context/prestige.h"
+
+#include <gtest/gtest.h>
+
+namespace ctxrank::context {
+namespace {
+
+// Ontology: 0 -> 1 -> 2 (chain).
+ontology::Ontology MakeChainOntology() {
+  ontology::Ontology o;
+  const auto root = o.AddTerm("T:0", "root");
+  const auto mid = o.AddTerm("T:1", "mid");
+  const auto leaf = o.AddTerm("T:2", "leaf");
+  EXPECT_TRUE(o.AddIsA(mid, root).ok());
+  EXPECT_TRUE(o.AddIsA(leaf, mid).ok());
+  EXPECT_TRUE(o.Finalize().ok());
+  return o;
+}
+
+TEST(PrestigeScoresTest, ScoreOfLooksUpByPaper) {
+  ContextAssignment a(2, 10);
+  a.SetMembers(0, {3, 5, 7});
+  PrestigeScores s(2);
+  s.Set(0, {0.1, 0.2, 0.3});
+  EXPECT_DOUBLE_EQ(s.ScoreOf(a, 0, 3), 0.1);
+  EXPECT_DOUBLE_EQ(s.ScoreOf(a, 0, 5), 0.2);
+  EXPECT_DOUBLE_EQ(s.ScoreOf(a, 0, 7), 0.3);
+  EXPECT_DOUBLE_EQ(s.ScoreOf(a, 0, 4), 0.0);   // Not a member.
+  EXPECT_DOUBLE_EQ(s.ScoreOf(a, 1, 3), 0.0);   // Context unscored.
+}
+
+TEST(PrestigeScoresTest, HasScores) {
+  PrestigeScores s(2);
+  EXPECT_FALSE(s.HasScores(0));
+  s.Set(0, {1.0});
+  EXPECT_TRUE(s.HasScores(0));
+  EXPECT_FALSE(s.HasScores(1));
+}
+
+TEST(PrestigeScoresTest, NameForEveryKind) {
+  EXPECT_EQ(PrestigeKindName(PrestigeKind::kCitation), "citation");
+  EXPECT_EQ(PrestigeKindName(PrestigeKind::kText), "text");
+  EXPECT_EQ(PrestigeKindName(PrestigeKind::kPattern), "pattern");
+}
+
+TEST(NormalizePerContextTest, EachContextSpansUnitInterval) {
+  PrestigeScores s(2);
+  s.Set(0, {2.0, 4.0, 6.0});
+  s.Set(1, {10.0, 10.0});
+  NormalizePerContext(s);
+  EXPECT_DOUBLE_EQ(s.Scores(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.Scores(0)[1], 0.5);
+  EXPECT_DOUBLE_EQ(s.Scores(0)[2], 1.0);
+  // Constant context collapses to zero.
+  EXPECT_DOUBLE_EQ(s.Scores(1)[0], 0.0);
+}
+
+TEST(HierarchicalMaxTest, PaperTakesMaxOverDescendants) {
+  ontology::Ontology o = MakeChainOntology();
+  ContextAssignment a(3, 10);
+  // Paper 4 lives in all three contexts.
+  a.SetMembers(0, {4, 5});
+  a.SetMembers(1, {4});
+  a.SetMembers(2, {4});
+  PrestigeScores s(3);
+  s.Set(0, {0.2, 0.9});
+  s.Set(1, {0.5});
+  s.Set(2, {0.8});
+  ApplyHierarchicalMax(o, a, s);
+  // In root context, paper 4's score lifts to its leaf score 0.8.
+  EXPECT_DOUBLE_EQ(s.ScoreOf(a, 0, 4), 0.8);
+  // Mid context lifts to 0.8 too (leaf is its descendant).
+  EXPECT_DOUBLE_EQ(s.ScoreOf(a, 1, 4), 0.8);
+  // Leaf unchanged.
+  EXPECT_DOUBLE_EQ(s.ScoreOf(a, 2, 4), 0.8);
+  // Paper 5 only in root: untouched.
+  EXPECT_DOUBLE_EQ(s.ScoreOf(a, 0, 5), 0.9);
+}
+
+TEST(HierarchicalMaxTest, HigherAncestorScoreSurvives) {
+  ontology::Ontology o = MakeChainOntology();
+  ContextAssignment a(3, 10);
+  a.SetMembers(0, {4});
+  a.SetMembers(2, {4});
+  PrestigeScores s(3);
+  s.Set(0, {0.9});
+  s.Set(2, {0.1});
+  ApplyHierarchicalMax(o, a, s);
+  EXPECT_DOUBLE_EQ(s.ScoreOf(a, 0, 4), 0.9);  // max(0.9, 0.1).
+  EXPECT_DOUBLE_EQ(s.ScoreOf(a, 2, 4), 0.1);  // Descendant not lifted up.
+}
+
+TEST(HierarchicalMaxTest, UsesOriginalScoresNotLiftedOnes) {
+  // Chain 0 -> 1 -> 2. Paper in all three. Leaf score highest.
+  // After the rule, mid = max(mid, leaf); root = max(root, mid_orig,
+  // leaf) — but root must not double-apply a mid that was already lifted
+  // (same outcome for max, but the frozen-read implementation is what
+  // guarantees it; this is the regression test).
+  ontology::Ontology o = MakeChainOntology();
+  ContextAssignment a(3, 10);
+  a.SetMembers(0, {4});
+  a.SetMembers(1, {4});
+  a.SetMembers(2, {4});
+  PrestigeScores s(3);
+  s.Set(0, {0.3});
+  s.Set(1, {0.1});
+  s.Set(2, {0.7});
+  ApplyHierarchicalMax(o, a, s);
+  EXPECT_DOUBLE_EQ(s.ScoreOf(a, 0, 4), 0.7);
+  EXPECT_DOUBLE_EQ(s.ScoreOf(a, 1, 4), 0.7);
+}
+
+TEST(HierarchicalMaxTest, UnscoredDescendantsSkipped) {
+  ontology::Ontology o = MakeChainOntology();
+  ContextAssignment a(3, 10);
+  a.SetMembers(0, {4});
+  a.SetMembers(2, {4});
+  PrestigeScores s(3);
+  s.Set(0, {0.5});
+  // Context 2 has members but no scores.
+  ApplyHierarchicalMax(o, a, s);
+  EXPECT_DOUBLE_EQ(s.ScoreOf(a, 0, 4), 0.5);
+}
+
+TEST(ContextAssignmentTest, MembershipBasics) {
+  ContextAssignment a(2, 5);
+  a.SetMembers(0, {3, 1, 3});  // Unsorted with duplicate.
+  EXPECT_EQ(a.Members(0), (std::vector<corpus::PaperId>{1, 3}));
+  EXPECT_TRUE(a.Contains(0, 1));
+  EXPECT_FALSE(a.Contains(0, 2));
+  EXPECT_EQ(a.ContextsOf(1), (std::vector<ontology::TermId>{0}));
+  EXPECT_TRUE(a.ContextsOf(0).empty());
+}
+
+TEST(ContextAssignmentTest, ResettingMembersUpdatesReverseIndex) {
+  ContextAssignment a(2, 5);
+  a.SetMembers(0, {1, 2});
+  a.SetMembers(0, {2, 3});
+  EXPECT_TRUE(a.ContextsOf(1).empty());
+  EXPECT_EQ(a.ContextsOf(3), (std::vector<ontology::TermId>{0}));
+}
+
+TEST(ContextAssignmentTest, InheritanceMetadata) {
+  ContextAssignment a(3, 5);
+  EXPECT_EQ(a.InheritedFrom(1), ontology::kInvalidTerm);
+  EXPECT_DOUBLE_EQ(a.DecayFactor(1), 1.0);
+  a.SetInherited(1, 0, 0.4);
+  EXPECT_EQ(a.InheritedFrom(1), 0u);
+  EXPECT_DOUBLE_EQ(a.DecayFactor(1), 0.4);
+}
+
+TEST(ContextAssignmentTest, ContextsWithAtLeast) {
+  ContextAssignment a(3, 10);
+  a.SetMembers(0, {1, 2, 3});
+  a.SetMembers(1, {1});
+  EXPECT_EQ(a.ContextsWithAtLeast(2), (std::vector<ontology::TermId>{0}));
+  EXPECT_EQ(a.ContextsWithAtLeast(1).size(), 2u);
+  EXPECT_EQ(a.ContextsWithAtLeast(0).size(), 3u);
+}
+
+}  // namespace
+}  // namespace ctxrank::context

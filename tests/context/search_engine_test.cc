@@ -1,0 +1,180 @@
+// Context selection, relevancy combination, search and merging (the
+// paper's tasks 3-5).
+#include "context/search_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "context/prestige.h"
+#include "corpus/tokenized_corpus.h"
+
+namespace ctxrank::context {
+namespace {
+
+using corpus::Paper;
+using corpus::PaperId;
+
+ontology::Ontology MakeOntology() {
+  ontology::Ontology o;
+  const auto root = o.AddTerm("T:0", "molecular function");
+  const auto kin = o.AddTerm("T:1", "kinase signaling");
+  const auto rep = o.AddTerm("T:2", "dna repair");
+  const auto deep = o.AddTerm("T:3", "protein kinase signaling");
+  EXPECT_TRUE(o.AddIsA(kin, root).ok());
+  EXPECT_TRUE(o.AddIsA(rep, root).ok());
+  EXPECT_TRUE(o.AddIsA(deep, kin).ok());
+  EXPECT_TRUE(o.Finalize().ok());
+  return o;
+}
+
+corpus::Corpus MakeCorpus() {
+  corpus::Corpus c;
+  auto add = [&](PaperId id, const char* text) {
+    Paper p;
+    p.id = id;
+    p.title = text;
+    p.abstract_text = text;
+    p.body = text;
+    p.index_terms = "";
+    EXPECT_TRUE(c.Add(std::move(p)).ok());
+  };
+  add(0, "kinase signaling cascade");
+  add(1, "kinase signaling inhibitor");
+  add(2, "dna repair enzyme");
+  add(3, "dna repair checkpoint");
+  add(4, "protein kinase signaling pathway");
+  return c;
+}
+
+class SearchEngineTest : public ::testing::Test {
+ protected:
+  SearchEngineTest()
+      : onto_(MakeOntology()),
+        corpus_(MakeCorpus()),
+        tc_(corpus_),
+        assignment_(onto_.size(), corpus_.size()),
+        prestige_(onto_.size()) {
+    assignment_.SetMembers(1, {0, 1, 4});
+    assignment_.SetMembers(2, {2, 3});
+    assignment_.SetMembers(3, {4});
+    prestige_.Set(1, {1.0, 0.2, 0.6});  // Members sorted: 0, 1, 4.
+    prestige_.Set(2, {0.9, 0.1});
+    prestige_.Set(3, {1.0});
+    engine_ = std::make_unique<ContextSearchEngine>(tc_, onto_, assignment_,
+                                                    prestige_);
+  }
+  ontology::Ontology onto_;
+  corpus::Corpus corpus_;
+  corpus::TokenizedCorpus tc_;
+  ContextAssignment assignment_;
+  PrestigeScores prestige_;
+  std::unique_ptr<ContextSearchEngine> engine_;
+};
+
+TEST_F(SearchEngineTest, SelectContextsMatchesTermNames) {
+  const auto matches = engine_->SelectContexts("kinase signaling", 10, 0.0);
+  ASSERT_GE(matches.size(), 2u);
+  // Both kinase contexts match; dna repair does not.
+  for (const auto& m : matches) EXPECT_NE(m.term, 2u);
+}
+
+TEST_F(SearchEngineTest, DeeperContextWinsTies) {
+  // "protein kinase signaling" matches term 3 exactly; term 3 (level 3)
+  // must rank above term 1 (level 2).
+  const auto matches =
+      engine_->SelectContexts("protein kinase signaling", 10, 0.0);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].term, 3u);
+}
+
+TEST_F(SearchEngineTest, SelectContextsHonorsCap) {
+  EXPECT_LE(engine_->SelectContexts("kinase signaling", 1, 0.0).size(), 1u);
+}
+
+TEST_F(SearchEngineTest, EmptyContextsNeverSelected) {
+  // Context 0 (root) has no members.
+  const auto matches = engine_->SelectContexts("molecular function", 10, 0.0);
+  for (const auto& m : matches) EXPECT_NE(m.term, 0u);
+}
+
+TEST_F(SearchEngineTest, SearchReturnsRankedHits) {
+  SearchOptions opts;
+  const auto hits = engine_->Search("kinase signaling", opts);
+  ASSERT_FALSE(hits.empty());
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].relevancy, hits[i].relevancy);
+  }
+  // Only kinase-context papers are in the output.
+  for (const auto& h : hits) {
+    EXPECT_TRUE(h.paper == 0 || h.paper == 1 || h.paper == 4);
+  }
+}
+
+TEST_F(SearchEngineTest, PrestigeBreaksTextTies) {
+  // Papers 0 and 1 match "kinase signaling" equally well textually, but
+  // paper 0 has prestige 1.0 vs 0.2.
+  SearchOptions opts;
+  const auto hits = engine_->Search("kinase signaling", opts);
+  ASSERT_GE(hits.size(), 2u);
+  size_t pos0 = 99, pos1 = 99;
+  for (size_t i = 0; i < hits.size(); ++i) {
+    if (hits[i].paper == 0) pos0 = i;
+    if (hits[i].paper == 1) pos1 = i;
+  }
+  ASSERT_NE(pos0, 99u);
+  ASSERT_NE(pos1, 99u);
+  EXPECT_LT(pos0, pos1);
+}
+
+TEST_F(SearchEngineTest, WeightsShiftRanking) {
+  // With matching weight 0 the ranking is pure prestige.
+  SearchOptions opts;
+  opts.weights.prestige = 1.0;
+  opts.weights.matching = 0.0;
+  const auto hits = engine_->Search("kinase signaling", opts);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].paper, 0u);
+  EXPECT_DOUBLE_EQ(hits[0].relevancy, 1.0);
+}
+
+TEST_F(SearchEngineTest, MinRelevancyFilters) {
+  SearchOptions opts;
+  opts.min_relevancy = 0.99;
+  const auto strict = engine_->Search("kinase signaling", opts);
+  opts.min_relevancy = 0.0;
+  const auto loose = engine_->Search("kinase signaling", opts);
+  EXPECT_LE(strict.size(), loose.size());
+}
+
+TEST_F(SearchEngineTest, MergeKeepsBestContextPerPaper) {
+  // Paper 4 is in contexts 1 (prestige 0.6) and 3 (prestige 1.0); after
+  // merging it must carry its best relevancy.
+  SearchOptions opts;
+  opts.weights.prestige = 1.0;
+  opts.weights.matching = 0.0;
+  const auto hits = engine_->Search("protein kinase signaling", opts);
+  for (const auto& h : hits) {
+    if (h.paper == 4) {
+      EXPECT_EQ(h.context, 3u);
+      EXPECT_DOUBLE_EQ(h.relevancy, 1.0);
+    }
+  }
+}
+
+TEST_F(SearchEngineTest, UnknownQueryReturnsNothing) {
+  EXPECT_TRUE(engine_->Search("zebrafish behavior").empty());
+}
+
+TEST_F(SearchEngineTest, RelevancyFormula) {
+  const auto ids = tc_.analyzer().AnalyzeToKnownIds("kinase signaling",
+                                                    tc_.vocabulary());
+  const auto qv = tc_.tfidf().TransformQuery(ids);
+  RelevancyWeights w;
+  w.prestige = 0.4;
+  w.matching = 0.6;
+  const double r = engine_->Relevancy(qv, 1, 0, w);
+  const double match = qv.Cosine(tc_.FullVector(0));
+  EXPECT_NEAR(r, 0.4 * 1.0 + 0.6 * match, 1e-12);
+}
+
+}  // namespace
+}  // namespace ctxrank::context

@@ -1,0 +1,115 @@
+// Semantic context expansion in search (Lin-similarity based).
+#include <gtest/gtest.h>
+
+#include "context/search_engine.h"
+#include "corpus/tokenized_corpus.h"
+
+namespace ctxrank::context {
+namespace {
+
+using corpus::Paper;
+using corpus::PaperId;
+
+// root -> "kinase activity"(1) -> {"protein kinase"(2), "lipid kinase"(3)}
+// and an unrelated branch root -> "membrane transport"(4).
+ontology::Ontology MakeOntology() {
+  ontology::Ontology o;
+  const auto root = o.AddTerm("T:0", "molecular function");
+  const auto kin = o.AddTerm("T:1", "kinase activity");
+  const auto prot = o.AddTerm("T:2", "protein kinase activity");
+  const auto lipid = o.AddTerm("T:3", "lipid kinase activity");
+  const auto mem = o.AddTerm("T:4", "membrane transport");
+  EXPECT_TRUE(o.AddIsA(kin, root).ok());
+  EXPECT_TRUE(o.AddIsA(prot, kin).ok());
+  EXPECT_TRUE(o.AddIsA(lipid, kin).ok());
+  EXPECT_TRUE(o.AddIsA(mem, root).ok());
+  EXPECT_TRUE(o.Finalize().ok());
+  return o;
+}
+
+corpus::Corpus MakeCorpus() {
+  corpus::Corpus c;
+  auto add = [&](PaperId id, const char* text) {
+    Paper p;
+    p.id = id;
+    p.title = text;
+    p.abstract_text = text;
+    p.body = text;
+    EXPECT_TRUE(c.Add(std::move(p)).ok());
+  };
+  add(0, "protein kinase activity cascade");
+  add(1, "lipid kinase activity in membranes");
+  add(2, "membrane transport channels");
+  return c;
+}
+
+class SemanticExpansionTest : public ::testing::Test {
+ protected:
+  SemanticExpansionTest()
+      : onto_(MakeOntology()),
+        corpus_(MakeCorpus()),
+        tc_(corpus_),
+        assignment_(onto_.size(), corpus_.size()),
+        prestige_(onto_.size()) {
+    assignment_.SetMembers(2, {0});
+    assignment_.SetMembers(3, {1});
+    assignment_.SetMembers(4, {2});
+    prestige_.Set(2, {0.8});
+    prestige_.Set(3, {0.8});
+    prestige_.Set(4, {0.8});
+    engine_ = std::make_unique<ContextSearchEngine>(tc_, onto_, assignment_,
+                                                    prestige_);
+  }
+  ontology::Ontology onto_;
+  corpus::Corpus corpus_;
+  corpus::TokenizedCorpus tc_;
+  ContextAssignment assignment_;
+  PrestigeScores prestige_;
+  std::unique_ptr<ContextSearchEngine> engine_;
+};
+
+TEST_F(SemanticExpansionTest, ExpansionPullsInSiblingContext) {
+  // "protein kinase" lexically selects context 2 only (paper 0). With
+  // semantic expansion, the Lin-similar sibling context 3 (lipid kinase)
+  // joins, surfacing paper 1.
+  SearchOptions narrow;
+  narrow.max_contexts = 1;
+  const auto base = engine_->Search("protein kinase activity", narrow);
+  bool base_has_lipid = false;
+  for (const auto& h : base) base_has_lipid |= (h.paper == 1);
+  EXPECT_FALSE(base_has_lipid);
+
+  SearchOptions expanded = narrow;
+  expanded.semantic_expansion = 2;
+  const auto wide = engine_->Search("protein kinase activity", expanded);
+  bool wide_has_lipid = false;
+  for (const auto& h : wide) wide_has_lipid |= (h.paper == 1);
+  EXPECT_TRUE(wide_has_lipid);
+  EXPECT_GT(wide.size(), base.size());
+}
+
+TEST_F(SemanticExpansionTest, ExpansionStaysInBranch) {
+  // The unrelated membrane-transport context shares only the root with
+  // the kinase contexts (I(root) = 0 here), so expansion never brings in
+  // paper 2.
+  SearchOptions expanded;
+  expanded.max_contexts = 1;
+  expanded.semantic_expansion = 3;
+  const auto hits = engine_->Search("protein kinase activity", expanded);
+  for (const auto& h : hits) EXPECT_NE(h.paper, 2u);
+}
+
+TEST_F(SemanticExpansionTest, ZeroExpansionIsDefaultBehavior) {
+  SearchOptions a, b;
+  b.semantic_expansion = 0;
+  const auto ha = engine_->Search("protein kinase activity", a);
+  const auto hb = engine_->Search("protein kinase activity", b);
+  ASSERT_EQ(ha.size(), hb.size());
+  for (size_t i = 0; i < ha.size(); ++i) {
+    EXPECT_EQ(ha[i].paper, hb[i].paper);
+    EXPECT_DOUBLE_EQ(ha[i].relevancy, hb[i].relevancy);
+  }
+}
+
+}  // namespace
+}  // namespace ctxrank::context

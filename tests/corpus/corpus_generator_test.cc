@@ -1,0 +1,205 @@
+#include "corpus/corpus_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ontology/ontology_generator.h"
+
+namespace ctxrank::corpus {
+namespace {
+
+class CorpusGeneratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ontology::OntologyGeneratorOptions oopts;
+    oopts.max_terms = 80;
+    auto o = ontology::GenerateOntology(oopts);
+    ASSERT_TRUE(o.ok());
+    onto_ = new ontology::Ontology(std::move(o).value());
+    CorpusGeneratorOptions copts;
+    copts.num_papers = 600;
+    copts.num_authors = 150;
+    auto c = GenerateCorpus(*onto_, copts);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    corpus_ = new Corpus(std::move(c).value());
+    options_ = copts;
+  }
+  // Leaked intentionally (test-suite lifetime).
+  static const ontology::Ontology* onto_;
+  static const Corpus* corpus_;
+  static CorpusGeneratorOptions options_;
+};
+
+const ontology::Ontology* CorpusGeneratorTest::onto_ = nullptr;
+const Corpus* CorpusGeneratorTest::corpus_ = nullptr;
+CorpusGeneratorOptions CorpusGeneratorTest::options_;
+
+TEST_F(CorpusGeneratorTest, GeneratesRequestedCount) {
+  EXPECT_EQ(corpus_->size(), 600u);
+  EXPECT_EQ(corpus_->num_authors(), 150u);
+}
+
+TEST_F(CorpusGeneratorTest, PapersAreWellFormed) {
+  for (const Paper& p : corpus_->papers()) {
+    EXPECT_FALSE(p.title.empty());
+    EXPECT_FALSE(p.abstract_text.empty());
+    EXPECT_FALSE(p.body.empty());
+    EXPECT_FALSE(p.index_terms.empty());
+    EXPECT_GE(p.authors.size(),
+              static_cast<size_t>(options_.min_authors_per_paper));
+    EXPECT_LE(p.authors.size(),
+              static_cast<size_t>(options_.max_authors_per_paper));
+    ASSERT_FALSE(p.true_topics.empty());
+    for (auto t : p.true_topics) EXPECT_LT(t, onto_->size());
+    for (PaperId r : p.references) EXPECT_LT(r, p.id);
+  }
+}
+
+TEST_F(CorpusGeneratorTest, EvidenceCapRespectedAndConsistent) {
+  for (ontology::TermId t = 0; t < onto_->size(); ++t) {
+    const auto& ev = corpus_->Evidence(t);
+    EXPECT_LE(ev.size(), static_cast<size_t>(options_.evidence_per_term));
+    for (PaperId p : ev) {
+      // Evidence papers really are about the term.
+      EXPECT_EQ(corpus_->paper(p).true_topics.front(), t);
+    }
+  }
+}
+
+TEST_F(CorpusGeneratorTest, MostTermsHaveEvidence) {
+  size_t with_evidence = 0;
+  for (ontology::TermId t = 0; t < onto_->size(); ++t) {
+    if (!corpus_->Evidence(t).empty()) ++with_evidence;
+  }
+  EXPECT_GT(with_evidence, onto_->size() / 2);
+}
+
+TEST_F(CorpusGeneratorTest, CitationsPreferSameTopic) {
+  size_t same = 0, total = 0;
+  for (const Paper& p : corpus_->papers()) {
+    for (PaperId r : p.references) {
+      ++total;
+      if (corpus_->paper(r).true_topics.front() == p.true_topics.front()) {
+        ++same;
+      }
+    }
+  }
+  ASSERT_GT(total, 0u);
+  // The default mixture deliberately keeps citations noisy (the paper's
+  // §5.1 diagnosis) and saturates same-topic citation by pool size, so the
+  // absolute share is modest — but it must still far exceed the uniform
+  // baseline of 1/num_terms.
+  const double rate = static_cast<double>(same) / static_cast<double>(total);
+  const double uniform_rate = 1.0 / static_cast<double>(onto_->size());
+  EXPECT_GT(rate, 3.0 * uniform_rate);
+}
+
+TEST_F(CorpusGeneratorTest, SomeCitationsLeakAcrossContexts) {
+  size_t cross = 0;
+  for (const Paper& p : corpus_->papers()) {
+    for (PaperId r : p.references) {
+      if (corpus_->paper(r).true_topics.front() != p.true_topics.front()) {
+        ++cross;
+      }
+    }
+  }
+  // The paper's citation-sparseness observation requires cross-context
+  // citations to exist.
+  EXPECT_GT(cross, 0u);
+}
+
+TEST_F(CorpusGeneratorTest, TopicPopularityDecaysWithLevel) {
+  std::vector<size_t> papers_at_level(16, 0);
+  std::vector<size_t> terms_at_level(16, 0);
+  for (const Paper& p : corpus_->papers()) {
+    const int lvl = onto_->term(p.true_topics.front()).level;
+    ++papers_at_level[static_cast<size_t>(lvl)];
+  }
+  for (const auto& t : onto_->terms()) {
+    ++terms_at_level[static_cast<size_t>(t.level)];
+  }
+  // Papers per term must shrink from level 2 to the deepest level.
+  const int deep = onto_->max_level();
+  ASSERT_GT(terms_at_level[2], 0u);
+  ASSERT_GT(terms_at_level[static_cast<size_t>(deep)], 0u);
+  const double shallow_rate =
+      static_cast<double>(papers_at_level[2]) / terms_at_level[2];
+  const double deep_rate =
+      static_cast<double>(papers_at_level[static_cast<size_t>(deep)]) /
+      terms_at_level[static_cast<size_t>(deep)];
+  EXPECT_GT(shallow_rate, deep_rate);
+}
+
+TEST_F(CorpusGeneratorTest, AuthorsClusterByTopic) {
+  // Two papers on the same topic share authors far more often than two
+  // papers on different topics.
+  size_t same_topic_pairs = 0, same_topic_shared = 0;
+  size_t diff_topic_pairs = 0, diff_topic_shared = 0;
+  const size_t n = corpus_->size();
+  for (PaperId a = 0; a < n; a += 7) {
+    for (PaperId b = a + 1; b < n; b += 13) {
+      const auto& pa = corpus_->paper(a);
+      const auto& pb = corpus_->paper(b);
+      bool shared = false;
+      for (AuthorId x : pa.authors) {
+        for (AuthorId y : pb.authors) {
+          if (x == y) shared = true;
+        }
+      }
+      if (pa.true_topics.front() == pb.true_topics.front()) {
+        ++same_topic_pairs;
+        same_topic_shared += shared ? 1 : 0;
+      } else {
+        ++diff_topic_pairs;
+        diff_topic_shared += shared ? 1 : 0;
+      }
+    }
+  }
+  ASSERT_GT(same_topic_pairs, 0u);
+  ASSERT_GT(diff_topic_pairs, 0u);
+  EXPECT_GT(
+      static_cast<double>(same_topic_shared) / same_topic_pairs,
+      static_cast<double>(diff_topic_shared) / diff_topic_pairs);
+}
+
+TEST(CorpusGeneratorOptionsTest, DeterministicForSeed) {
+  ontology::OntologyGeneratorOptions oopts;
+  oopts.max_terms = 30;
+  auto o = ontology::GenerateOntology(oopts);
+  ASSERT_TRUE(o.ok());
+  CorpusGeneratorOptions copts;
+  copts.num_papers = 50;
+  auto a = GenerateCorpus(o.value(), copts);
+  auto b = GenerateCorpus(o.value(), copts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (PaperId i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.value().paper(i).title, b.value().paper(i).title);
+    EXPECT_EQ(a.value().paper(i).references, b.value().paper(i).references);
+  }
+}
+
+TEST(CorpusGeneratorOptionsTest, RejectsBadOptions) {
+  ontology::OntologyGeneratorOptions oopts;
+  oopts.max_terms = 20;
+  auto o = ontology::GenerateOntology(oopts);
+  ASSERT_TRUE(o.ok());
+  CorpusGeneratorOptions c;
+  c.num_papers = 0;
+  EXPECT_FALSE(GenerateCorpus(o.value(), c).ok());
+  c.num_papers = 10;
+  c.min_authors_per_paper = 3;
+  c.max_authors_per_paper = 2;
+  EXPECT_FALSE(GenerateCorpus(o.value(), c).ok());
+}
+
+TEST(CorpusGeneratorOptionsTest, RejectsUnfinalizedOntology) {
+  ontology::Ontology o;
+  o.AddTerm("T:0", "x");
+  CorpusGeneratorOptions c;
+  c.num_papers = 5;
+  EXPECT_FALSE(GenerateCorpus(o, c).ok());
+}
+
+}  // namespace
+}  // namespace ctxrank::corpus

@@ -1,0 +1,149 @@
+// Corpus container, WordPool, corpus IO round-trip.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/rng.h"
+#include "corpus/corpus.h"
+#include "corpus/corpus_io.h"
+#include "corpus/word_pool.h"
+#include "text/stopwords.h"
+
+namespace ctxrank::corpus {
+namespace {
+
+Paper MakePaper(PaperId id, std::vector<PaperId> refs = {}) {
+  Paper p;
+  p.id = id;
+  p.title = "title " + std::to_string(id);
+  p.abstract_text = "abstract text";
+  p.body = "body text body";
+  p.index_terms = "index terms";
+  p.authors = {1, 2};
+  p.references = std::move(refs);
+  p.true_topics = {0};
+  return p;
+}
+
+TEST(CorpusTest, AddInOrder) {
+  Corpus c;
+  EXPECT_TRUE(c.Add(MakePaper(0)).ok());
+  EXPECT_TRUE(c.Add(MakePaper(1, {0})).ok());
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.paper(1).references, (std::vector<PaperId>{0}));
+}
+
+TEST(CorpusTest, RejectsWrongId) {
+  Corpus c;
+  EXPECT_FALSE(c.Add(MakePaper(5)).ok());
+}
+
+TEST(CorpusTest, RejectsForwardCitation) {
+  Corpus c;
+  ASSERT_TRUE(c.Add(MakePaper(0)).ok());
+  EXPECT_FALSE(c.Add(MakePaper(1, {1})).ok());  // Self.
+  EXPECT_FALSE(c.Add(MakePaper(1, {7})).ok());  // Future.
+}
+
+TEST(CorpusTest, RejectsDuplicateReference) {
+  Corpus c;
+  ASSERT_TRUE(c.Add(MakePaper(0)).ok());
+  EXPECT_FALSE(c.Add(MakePaper(1, {0, 0})).ok());
+}
+
+TEST(CorpusTest, EvidenceTracking) {
+  Corpus c;
+  ASSERT_TRUE(c.Add(MakePaper(0)).ok());
+  c.AddEvidence(3, 0);
+  c.AddEvidence(3, 0);
+  EXPECT_EQ(c.Evidence(3).size(), 2u);
+  EXPECT_TRUE(c.Evidence(99).empty());
+  EXPECT_TRUE(c.Evidence(0).empty());
+}
+
+TEST(CorpusTest, SectionTextAccessor) {
+  const Paper p = MakePaper(0);
+  EXPECT_EQ(p.SectionText(Section::kTitle), p.title);
+  EXPECT_EQ(p.SectionText(Section::kAbstract), p.abstract_text);
+  EXPECT_EQ(p.SectionText(Section::kBody), p.body);
+  EXPECT_EQ(p.SectionText(Section::kIndexTerms), p.index_terms);
+}
+
+TEST(WordPoolTest, GeneratesUniqueWellFormedWords) {
+  Rng rng(1);
+  WordPool pool(500, rng);
+  EXPECT_EQ(pool.size(), 500u);
+  std::set<std::string> seen;
+  for (const std::string& w : pool.words()) {
+    EXPECT_GE(w.size(), 4u) << w;
+    for (char c : w) EXPECT_TRUE(c >= 'a' && c <= 'z') << w;
+    EXPECT_FALSE(text::IsStopword(w)) << w;
+    EXPECT_TRUE(seen.insert(w).second) << "duplicate " << w;
+  }
+}
+
+TEST(WordPoolTest, DeterministicGivenRngState) {
+  Rng r1(9), r2(9);
+  WordPool a(50, r1), b(50, r2);
+  EXPECT_EQ(a.words(), b.words());
+}
+
+TEST(CorpusIoTest, RoundTrip) {
+  Corpus c;
+  ASSERT_TRUE(c.Add(MakePaper(0)).ok());
+  ASSERT_TRUE(c.Add(MakePaper(1, {0})).ok());
+  Paper p2 = MakePaper(2, {0, 1});
+  p2.true_topics = {3, 7};
+  ASSERT_TRUE(c.Add(std::move(p2)).ok());
+  c.set_num_authors(10);
+  c.AddEvidence(3, 0);
+  c.AddEvidence(7, 1);
+
+  const std::string path = ::testing::TempDir() + "/corpus.txt";
+  ASSERT_TRUE(SaveCorpus(c, path).ok());
+  auto r = LoadCorpus(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Corpus& c2 = r.value();
+  ASSERT_EQ(c2.size(), 3u);
+  EXPECT_EQ(c2.num_authors(), 10u);
+  for (PaperId i = 0; i < 3; ++i) {
+    EXPECT_EQ(c2.paper(i).title, c.paper(i).title);
+    EXPECT_EQ(c2.paper(i).abstract_text, c.paper(i).abstract_text);
+    EXPECT_EQ(c2.paper(i).body, c.paper(i).body);
+    EXPECT_EQ(c2.paper(i).index_terms, c.paper(i).index_terms);
+    EXPECT_EQ(c2.paper(i).authors, c.paper(i).authors);
+    EXPECT_EQ(c2.paper(i).references, c.paper(i).references);
+    EXPECT_EQ(c2.paper(i).true_topics, c.paper(i).true_topics);
+  }
+  EXPECT_EQ(c2.Evidence(3), (std::vector<PaperId>{0}));
+  EXPECT_EQ(c2.Evidence(7), (std::vector<PaperId>{1}));
+}
+
+TEST(CorpusIoTest, RejectsBadHeader) {
+  const std::string path = ::testing::TempDir() + "/bad.txt";
+  {
+    std::ofstream f(path);
+    f << "not a corpus\n";
+  }
+  EXPECT_FALSE(LoadCorpus(path).ok());
+}
+
+TEST(CorpusIoTest, MalformedNumericsRejectedNotThrown) {
+  const std::string path = ::testing::TempDir() + "/malformed.txt";
+  for (const char* body :
+       {"papers xyz\n", "authors -3\n", "paper abc\n",
+        "papers 1\npaper 0\nU 1 2z\n", "evidence foo 1\n"}) {
+    std::ofstream f(path);
+    f << "ctxrank-corpus v1\n" << body;
+    f.close();
+    auto r = LoadCorpus(path);
+    EXPECT_FALSE(r.ok()) << body;
+  }
+}
+
+TEST(CorpusIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadCorpus("/nonexistent/corpus.txt").ok());
+}
+
+}  // namespace
+}  // namespace ctxrank::corpus

@@ -1,0 +1,96 @@
+#include "corpus/snippet.h"
+
+#include <gtest/gtest.h>
+
+namespace ctxrank::corpus {
+namespace {
+
+Corpus MakeCorpus() {
+  Corpus c;
+  Paper p;
+  p.id = 0;
+  p.title = "kinase signaling study";
+  p.abstract_text =
+      "background words fill the opening of this abstract and then the "
+      "kinase cascade appears with signaling downstream effects before "
+      "more filler closes the text";
+  p.body = "irrelevant body";
+  p.index_terms = "";
+  EXPECT_TRUE(c.Add(std::move(p)).ok());
+  Paper q;
+  q.id = 1;
+  q.title = "unrelated";
+  q.abstract_text = "completely different topic about membranes";
+  q.body = "";
+  q.index_terms = "";
+  EXPECT_TRUE(c.Add(std::move(q)).ok());
+  return c;
+}
+
+class SnippetTest : public ::testing::Test {
+ protected:
+  SnippetTest() : corpus_(MakeCorpus()), tc_(corpus_) {}
+  Corpus corpus_;
+  TokenizedCorpus tc_;
+};
+
+TEST_F(SnippetTest, WindowCoversQueryTerms) {
+  SnippetOptions opts;
+  opts.window = 8;
+  SnippetGenerator gen(tc_, opts);
+  const std::string s = gen.Generate("kinase signaling", 0);
+  EXPECT_NE(s.find("[kinase]"), std::string::npos) << s;
+  EXPECT_NE(s.find("[signaling]"), std::string::npos) << s;
+}
+
+TEST_F(SnippetTest, EllipsisMarksTruncation) {
+  SnippetOptions opts;
+  opts.window = 6;
+  SnippetGenerator gen(tc_, opts);
+  const std::string s = gen.Generate("kinase", 0);
+  // The match is mid-abstract: both sides truncated.
+  EXPECT_EQ(s.rfind("... ", 0), 0u) << s;
+  EXPECT_EQ(s.find(" ...", s.size() - 4), s.size() - 4) << s;
+}
+
+TEST_F(SnippetTest, StemmedMatching) {
+  SnippetGenerator gen(tc_);
+  // Query "signals" stems like "signaling" -> highlighted.
+  const std::string s = gen.Generate("signals", 0);
+  EXPECT_NE(s.find("[signaling]"), std::string::npos) << s;
+}
+
+TEST_F(SnippetTest, NoMatchFallsBackToOpening) {
+  SnippetOptions opts;
+  opts.window = 4;
+  SnippetGenerator gen(tc_, opts);
+  const std::string s = gen.Generate("zebrafish", 0);
+  EXPECT_EQ(s.rfind("background words", 0), 0u) << s;
+}
+
+TEST_F(SnippetTest, HighlightingCanBeDisabled) {
+  SnippetOptions opts;
+  opts.highlight_open = "";
+  opts.highlight_close = "";
+  SnippetGenerator gen(tc_, opts);
+  const std::string s = gen.Generate("kinase", 0);
+  EXPECT_EQ(s.find('['), std::string::npos);
+  EXPECT_NE(s.find("kinase"), std::string::npos);
+}
+
+TEST_F(SnippetTest, ShortSectionReturnedWhole) {
+  SnippetGenerator gen(tc_);
+  const std::string s = gen.Generate("membranes", 1);
+  EXPECT_EQ(s, "completely different topic about [membranes]");
+}
+
+TEST_F(SnippetTest, TitleSectionOption) {
+  SnippetOptions opts;
+  opts.section = Section::kTitle;
+  SnippetGenerator gen(tc_, opts);
+  const std::string s = gen.Generate("kinase", 0);
+  EXPECT_EQ(s, "[kinase] signaling study");
+}
+
+}  // namespace
+}  // namespace ctxrank::corpus

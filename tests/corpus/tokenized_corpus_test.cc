@@ -1,0 +1,155 @@
+// TokenizedCorpus + FullTextSearch over a small hand-written corpus.
+#include <gtest/gtest.h>
+
+#include "corpus/full_text_search.h"
+#include "corpus/tokenized_corpus.h"
+
+namespace ctxrank::corpus {
+namespace {
+
+Corpus MakeCorpus() {
+  Corpus c;
+  auto add = [&](PaperId id, const char* title, const char* abs,
+                 const char* body, const char* index,
+                 std::vector<PaperId> refs) {
+    Paper p;
+    p.id = id;
+    p.title = title;
+    p.abstract_text = abs;
+    p.body = body;
+    p.index_terms = index;
+    p.authors = {id};
+    p.references = std::move(refs);
+    EXPECT_TRUE(c.Add(std::move(p)).ok());
+  };
+  add(0, "protein kinase signaling", "kinase phosphorylates the protein",
+      "the kinase cascade drives signaling of the cell", "kinase signaling",
+      {});
+  add(1, "dna repair pathways", "dna damage triggers repair",
+      "repair of dna breaks requires ligase", "dna repair", {0});
+  add(2, "kinase inhibitors", "inhibitors block the kinase",
+      "small molecule inhibitors of kinase signaling", "kinase inhibitor",
+      {0, 1});
+  return c;
+}
+
+class TokenizedCorpusTest : public ::testing::Test {
+ protected:
+  TokenizedCorpusTest() : corpus_(MakeCorpus()), tc_(corpus_) {}
+  Corpus corpus_;
+  TokenizedCorpus tc_;
+};
+
+TEST_F(TokenizedCorpusTest, SizeAndVocabulary) {
+  EXPECT_EQ(tc_.size(), 3u);
+  EXPECT_GT(tc_.vocabulary().size(), 5u);
+  // Stopwords never enter the vocabulary.
+  EXPECT_EQ(tc_.vocabulary().Lookup("the"), text::kInvalidTermId);
+}
+
+TEST_F(TokenizedCorpusTest, SectionTokensAreStemmedIds) {
+  const auto& title = tc_.SectionTokens(0, Section::kTitle);
+  EXPECT_EQ(title.size(), 3u);  // protein kinase signaling -> 3 tokens.
+  const text::TermId kinase = tc_.vocabulary().Lookup("kinas");  // stem
+  EXPECT_NE(kinase, text::kInvalidTermId);
+  EXPECT_EQ(title[1], kinase);
+}
+
+TEST_F(TokenizedCorpusTest, AllTokensConcatenatesSections) {
+  size_t total = 0;
+  for (int s = 0; s < kNumTextSections; ++s) {
+    total += tc_.SectionTokens(0, static_cast<Section>(s)).size();
+  }
+  EXPECT_EQ(tc_.AllTokens(0).size(), total);
+}
+
+TEST_F(TokenizedCorpusTest, FullVectorsAreUnitNorm) {
+  for (PaperId p = 0; p < tc_.size(); ++p) {
+    EXPECT_NEAR(tc_.FullVector(p).Norm(), 1.0, 1e-9) << p;
+  }
+}
+
+TEST_F(TokenizedCorpusTest, SimilarPapersScoreHigher) {
+  // Papers 0 and 2 are both kinase papers; paper 1 is about DNA repair.
+  const double kin = tc_.FullVector(0).Cosine(tc_.FullVector(2));
+  const double cross = tc_.FullVector(0).Cosine(tc_.FullVector(1));
+  EXPECT_GT(kin, cross);
+}
+
+TEST_F(TokenizedCorpusTest, PostingsListPapers) {
+  const text::TermId kinase = tc_.vocabulary().Lookup("kinas");
+  ASSERT_NE(kinase, text::kInvalidTermId);
+  EXPECT_EQ(tc_.Postings(kinase), (std::vector<PaperId>{0, 2}));
+  EXPECT_TRUE(tc_.Postings(999999).empty());
+}
+
+TEST_F(TokenizedCorpusTest, PapersContainingAll) {
+  const text::TermId kinase = tc_.vocabulary().Lookup("kinas");
+  const text::TermId inhib = tc_.vocabulary().Lookup("inhibitor");
+  ASSERT_NE(kinase, text::kInvalidTermId);
+  ASSERT_NE(inhib, text::kInvalidTermId);
+  EXPECT_EQ(tc_.PapersContainingAll({kinase, inhib}),
+            (std::vector<PaperId>{2}));
+  EXPECT_TRUE(tc_.PapersContainingAll({}).empty());
+}
+
+TEST_F(TokenizedCorpusTest, ContainsPhraseDetectsAdjacency) {
+  const text::TermId kinase = tc_.vocabulary().Lookup("kinas");
+  const text::TermId signal = tc_.vocabulary().Lookup("signal");
+  ASSERT_NE(signal, text::kInvalidTermId);
+  // "kinase signaling" contiguous in paper 0's title.
+  EXPECT_TRUE(tc_.SectionContainsPhrase(0, Section::kTitle,
+                                        {kinase, signal}));
+  // Reversed order is not a phrase there.
+  EXPECT_FALSE(tc_.SectionContainsPhrase(0, Section::kTitle,
+                                         {signal, kinase}));
+}
+
+TEST_F(TokenizedCorpusTest, SectionContainsAllTerms) {
+  const text::TermId kinase = tc_.vocabulary().Lookup("kinas");
+  const text::TermId signal = tc_.vocabulary().Lookup("signal");
+  const text::TermId dna = tc_.vocabulary().Lookup("dna");
+  ASSERT_NE(kinase, text::kInvalidTermId);
+  ASSERT_NE(dna, text::kInvalidTermId);
+  EXPECT_TRUE(tc_.SectionContainsAllTerms(0, Section::kTitle,
+                                          {kinase, signal}));
+  EXPECT_FALSE(tc_.SectionContainsAllTerms(0, Section::kTitle,
+                                           {kinase, dna}));
+  // Empty term list is vacuously contained.
+  EXPECT_TRUE(tc_.SectionContainsAllTerms(0, Section::kTitle, {}));
+}
+
+TEST(ContainsPhraseTest, EdgeCases) {
+  EXPECT_FALSE(ContainsPhrase({1, 2, 3}, {}));
+  EXPECT_FALSE(ContainsPhrase({1}, {1, 2}));
+  EXPECT_TRUE(ContainsPhrase({1, 2, 3}, {1, 2, 3}));
+  EXPECT_TRUE(ContainsPhrase({0, 1, 2, 3}, {2, 3}));
+  EXPECT_FALSE(ContainsPhrase({1, 3, 2}, {1, 2}));
+}
+
+TEST_F(TokenizedCorpusTest, FullTextSearchFindsRelevantPapers) {
+  FullTextSearch fts(tc_);
+  const auto hits = fts.Search("kinase signaling", 0.01);
+  ASSERT_GE(hits.size(), 2u);
+  // Both kinase papers beat the DNA paper.
+  EXPECT_TRUE(hits[0].paper == 0 || hits[0].paper == 2);
+  for (const auto& h : hits) {
+    EXPECT_GE(h.score, 0.01);
+    EXPECT_LE(h.score, 1.0 + 1e-9);
+  }
+}
+
+TEST_F(TokenizedCorpusTest, FullTextSearchThreshold) {
+  FullTextSearch fts(tc_);
+  const auto all = fts.Search("kinase", 0.0);
+  const auto strict = fts.Search("kinase", 0.5);
+  EXPECT_LE(strict.size(), all.size());
+}
+
+TEST_F(TokenizedCorpusTest, FullTextSearchUnknownQueryEmpty) {
+  FullTextSearch fts(tc_);
+  EXPECT_TRUE(fts.Search("zzzquux", 0.0).empty());
+}
+
+}  // namespace
+}  // namespace ctxrank::corpus

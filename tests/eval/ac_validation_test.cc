@@ -1,0 +1,95 @@
+#include "eval/ac_validation.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus_generator.h"
+#include "corpus/full_text_search.h"
+#include "graph/citation_graph.h"
+#include "ontology/ontology_generator.h"
+
+namespace ctxrank::eval {
+namespace {
+
+TEST(GroundTruthPapersTest, IncludesDescendantTopics) {
+  ontology::Ontology onto;
+  const auto root = onto.AddTerm("T:0", "root");
+  const auto mid = onto.AddTerm("T:1", "mid");
+  const auto leaf = onto.AddTerm("T:2", "leaf");
+  ASSERT_TRUE(onto.AddIsA(mid, root).ok());
+  ASSERT_TRUE(onto.AddIsA(leaf, mid).ok());
+  ASSERT_TRUE(onto.Finalize().ok());
+  corpus::Corpus c;
+  auto add = [&](corpus::PaperId id, std::vector<ontology::TermId> topics) {
+    corpus::Paper p;
+    p.id = id;
+    p.title = "t";
+    p.true_topics = std::move(topics);
+    ASSERT_TRUE(c.Add(std::move(p)).ok());
+  };
+  add(0, {mid});
+  add(1, {leaf});
+  add(2, {root});
+  EXPECT_EQ(GroundTruthPapers(onto, c, mid),
+            (std::vector<corpus::PaperId>{0, 1}));
+  EXPECT_EQ(GroundTruthPapers(onto, c, leaf),
+            (std::vector<corpus::PaperId>{1}));
+  EXPECT_EQ(GroundTruthPapers(onto, c, root).size(), 3u);
+}
+
+TEST(AcValidationTest, EndToEndOnGeneratedWorld) {
+  ontology::OntologyGeneratorOptions oopts;
+  oopts.max_terms = 60;
+  auto onto = ontology::GenerateOntology(oopts);
+  ASSERT_TRUE(onto.ok());
+  corpus::CorpusGeneratorOptions copts;
+  copts.num_papers = 500;
+  auto corpus = corpus::GenerateCorpus(onto.value(), copts);
+  ASSERT_TRUE(corpus.ok());
+  const corpus::TokenizedCorpus tc(corpus.value());
+  const corpus::FullTextSearch fts(tc);
+  const graph::CitationGraph graph(corpus.value());
+  const AcAnswerSetBuilder builder(tc, fts, graph);
+
+  // Queries directly from term names targeting known terms.
+  std::vector<EvalQuery> queries;
+  for (ontology::TermId t = 0; t < onto.value().size() && queries.size() < 20;
+       ++t) {
+    if (onto.value().term(t).level < 2) continue;
+    queries.push_back({onto.value().term(t).name, t});
+  }
+  const auto r =
+      ValidateAcAnswerSets(onto.value(), corpus.value(), builder, queries);
+  EXPECT_EQ(r.answered_queries + r.empty_queries, queries.size());
+  ASSERT_GT(r.answered_queries, 0u);
+  // AC sets must be far better than chance: random sets of equal size
+  // would hit ~|truth|/|corpus| precision (a few percent).
+  EXPECT_GT(r.mean_precision, 0.10);
+  EXPECT_GT(r.mean_recall, 0.05);
+  EXPECT_GT(r.mean_f1, 0.05);
+  EXPECT_GT(r.mean_ac_size, 0.0);
+  EXPECT_GT(r.mean_truth_size, 0.0);
+}
+
+TEST(AcValidationTest, EmptyQueriesCounted) {
+  ontology::OntologyGeneratorOptions oopts;
+  oopts.max_terms = 20;
+  auto onto = ontology::GenerateOntology(oopts);
+  ASSERT_TRUE(onto.ok());
+  corpus::CorpusGeneratorOptions copts;
+  copts.num_papers = 100;
+  auto corpus = corpus::GenerateCorpus(onto.value(), copts);
+  ASSERT_TRUE(corpus.ok());
+  const corpus::TokenizedCorpus tc(corpus.value());
+  const corpus::FullTextSearch fts(tc);
+  const graph::CitationGraph graph(corpus.value());
+  const AcAnswerSetBuilder builder(tc, fts, graph);
+  const std::vector<EvalQuery> queries = {{"zzzz qqqq wwww", 0}};
+  const auto r =
+      ValidateAcAnswerSets(onto.value(), corpus.value(), builder, queries);
+  EXPECT_EQ(r.answered_queries, 0u);
+  EXPECT_EQ(r.empty_queries, 1u);
+  EXPECT_DOUBLE_EQ(r.mean_precision, 0.0);
+}
+
+}  // namespace
+}  // namespace ctxrank::eval

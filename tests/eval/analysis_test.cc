@@ -1,0 +1,116 @@
+#include "eval/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace ctxrank::eval {
+namespace {
+
+// Chain ontology 0 -> 1 -> 2 (levels 1, 2, 3).
+ontology::Ontology MakeChain() {
+  ontology::Ontology o;
+  const auto a = o.AddTerm("T:0", "root");
+  const auto b = o.AddTerm("T:1", "mid");
+  const auto c = o.AddTerm("T:2", "leaf");
+  EXPECT_TRUE(o.AddIsA(b, a).ok());
+  EXPECT_TRUE(o.AddIsA(c, b).ok());
+  EXPECT_TRUE(o.Finalize().ok());
+  return o;
+}
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  AnalysisTest() : onto_(MakeChain()), assignment_(3, 40), scores_(3) {
+    // Context 0: 10 members, spread scores. Context 1: 10 members, all
+    // identical scores (worst separability). Context 2: too small.
+    std::vector<corpus::PaperId> m0, m1;
+    std::vector<double> s0, s1;
+    for (corpus::PaperId p = 0; p < 10; ++p) {
+      m0.push_back(p);
+      s0.push_back(0.05 + 0.1 * static_cast<double>(p));
+      m1.push_back(20 + p);
+      s1.push_back(0.5);
+    }
+    assignment_.SetMembers(0, m0);
+    assignment_.SetMembers(1, m1);
+    assignment_.SetMembers(2, {39});
+    scores_.Set(0, s0);
+    scores_.Set(1, s1);
+    scores_.Set(2, {1.0});
+  }
+  ontology::Ontology onto_;
+  context::ContextAssignment assignment_;
+  context::PrestigeScores scores_;
+};
+
+TEST_F(AnalysisTest, SeparabilityCountsAndFilters) {
+  SeparabilityAnalysisOptions opts;
+  opts.min_context_size = 5;
+  const auto summary =
+      AnalyzeSeparability(onto_, assignment_, scores_, opts);
+  EXPECT_EQ(summary.contexts, 2u);  // Context 2 filtered by size.
+  // Context 0 is perfectly uniform (SD 0); context 1 degenerate (SD 30).
+  EXPECT_GT(summary.mean_sd, 10.0);
+  EXPECT_LT(summary.mean_sd, 20.0);
+  // Histogram percentages sum to 100.
+  double total = 0.0;
+  for (double pct : summary.histogram_pct) total += pct;
+  EXPECT_NEAR(total, 100.0, 1e-9);
+}
+
+TEST_F(AnalysisTest, SeparabilityLevelFilter) {
+  SeparabilityAnalysisOptions opts;
+  opts.min_context_size = 5;
+  opts.level = 1;
+  const auto root_only =
+      AnalyzeSeparability(onto_, assignment_, scores_, opts);
+  EXPECT_EQ(root_only.contexts, 1u);
+  // Context 0 is uniform; the robust p95 normalization clamps the top
+  // tail, so the SD is small but not exactly 0.
+  EXPECT_LT(root_only.mean_sd, 6.0);
+  opts.level = 2;
+  const auto mid_only =
+      AnalyzeSeparability(onto_, assignment_, scores_, opts);
+  EXPECT_EQ(mid_only.contexts, 1u);
+  EXPECT_NEAR(mid_only.mean_sd, 30.0, 1e-9);  // Degenerate: all ties.
+}
+
+TEST_F(AnalysisTest, SeparabilityEmptyWhenNothingQualifies) {
+  SeparabilityAnalysisOptions opts;
+  opts.min_context_size = 100;
+  const auto summary =
+      AnalyzeSeparability(onto_, assignment_, scores_, opts);
+  EXPECT_EQ(summary.contexts, 0u);
+  EXPECT_DOUBLE_EQ(summary.mean_sd, 0.0);
+}
+
+TEST_F(AnalysisTest, OverlapByLevel) {
+  // Second score function: reversed ranking in context 0, identical in 1.
+  context::PrestigeScores other(3);
+  std::vector<double> rev;
+  for (int i = 9; i >= 0; --i) rev.push_back(0.05 + 0.1 * i);
+  other.Set(0, rev);
+  other.Set(1, std::vector<double>(10, 0.5));
+  const auto cells = AnalyzeOverlapByLevel(onto_, assignment_, scores_,
+                                           other, {1, 2}, {0.2}, 5);
+  ASSERT_EQ(cells.size(), 2u);
+  // Level 1 (context 0): top-20% = top-2; reversed ranking -> 0 overlap.
+  EXPECT_EQ(cells[0].level, 1);
+  EXPECT_DOUBLE_EQ(cells[0].mean_overlap, 0.0);
+  // Level 2 (context 1): all scores tie -> both top sets widen to all
+  // papers -> full overlap.
+  EXPECT_EQ(cells[1].level, 2);
+  EXPECT_DOUBLE_EQ(cells[1].mean_overlap, 1.0);
+}
+
+TEST_F(AnalysisTest, RenderSeparabilityContainsSummary) {
+  SeparabilityAnalysisOptions opts;
+  opts.min_context_size = 5;
+  const std::string out = RenderSeparability(
+      AnalyzeSeparability(onto_, assignment_, scores_, opts));
+  EXPECT_NE(out.find("contexts: 2"), std::string::npos);
+  EXPECT_NE(out.find("mean SD"), std::string::npos);
+  EXPECT_NE(out.find("%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ctxrank::eval

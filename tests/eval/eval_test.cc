@@ -1,0 +1,152 @@
+// AC-answer sets, query generation, table rendering.
+#include <gtest/gtest.h>
+
+#include "eval/ac_answer_set.h"
+#include "eval/query_generator.h"
+#include "eval/table.h"
+
+#include "context/assignment_builders.h"
+#include "corpus/corpus_generator.h"
+#include "ontology/ontology_generator.h"
+
+namespace ctxrank::eval {
+namespace {
+
+class EvalTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ontology::OntologyGeneratorOptions oopts;
+    oopts.max_terms = 50;
+    auto o = ontology::GenerateOntology(oopts);
+    ASSERT_TRUE(o.ok());
+    onto_ = new ontology::Ontology(std::move(o).value());
+    corpus::CorpusGeneratorOptions copts;
+    copts.num_papers = 400;
+    copts.num_authors = 100;
+    auto c = corpus::GenerateCorpus(*onto_, copts);
+    ASSERT_TRUE(c.ok());
+    corpus_ = new corpus::Corpus(std::move(c).value());
+    tc_ = new corpus::TokenizedCorpus(*corpus_);
+    fts_ = new corpus::FullTextSearch(*tc_);
+    graph_ = new graph::CitationGraph(*corpus_);
+    auto a = context::BuildTextBasedAssignment(*tc_, *onto_, *fts_);
+    ASSERT_TRUE(a.ok());
+    assignment_ = new context::ContextAssignment(std::move(a).value());
+  }
+  static const ontology::Ontology* onto_;
+  static const corpus::Corpus* corpus_;
+  static const corpus::TokenizedCorpus* tc_;
+  static const corpus::FullTextSearch* fts_;
+  static const graph::CitationGraph* graph_;
+  static const context::ContextAssignment* assignment_;
+};
+
+const ontology::Ontology* EvalTest::onto_ = nullptr;
+const corpus::Corpus* EvalTest::corpus_ = nullptr;
+const corpus::TokenizedCorpus* EvalTest::tc_ = nullptr;
+const corpus::FullTextSearch* EvalTest::fts_ = nullptr;
+const graph::CitationGraph* EvalTest::graph_ = nullptr;
+const context::ContextAssignment* EvalTest::assignment_ = nullptr;
+
+TEST_F(EvalTest, AcAnswerSetContainsSeedHits) {
+  AcAnswerSetBuilder builder(*tc_, *fts_, *graph_);
+  // Use an actual paper title: guaranteed seed matches.
+  const std::string query = corpus_->paper(10).title;
+  const auto answer = builder.Build(query);
+  ASSERT_FALSE(answer.empty());
+  // The queried paper itself must be in the answer set.
+  EXPECT_TRUE(std::binary_search(answer.begin(), answer.end(), 10u));
+}
+
+TEST_F(EvalTest, AcAnswerSetExpandsBeyondSeeds) {
+  const AcAnswerSetOptions opts;
+  AcAnswerSetBuilder builder(*tc_, *fts_, *graph_, opts);
+  const std::string query = corpus_->paper(10).title;
+  size_t seeds = fts_->Search(query, opts.seed_threshold).size();
+  seeds = std::min(seeds, opts.max_seed);
+  ASSERT_GT(seeds, 0u);
+  const auto answer = builder.Build(query);
+  EXPECT_GT(answer.size(), seeds);  // Text + citation expansion added.
+}
+
+TEST_F(EvalTest, AcAnswerSetEmptyForNonsenseQuery) {
+  AcAnswerSetBuilder builder(*tc_, *fts_, *graph_);
+  EXPECT_TRUE(builder.Build("qqqq wwww zzzz").empty());
+}
+
+TEST_F(EvalTest, AcAnswerSetSortedUnique) {
+  AcAnswerSetBuilder builder(*tc_, *fts_, *graph_);
+  const auto answer = builder.Build(corpus_->paper(3).title);
+  for (size_t i = 1; i < answer.size(); ++i) {
+    EXPECT_LT(answer[i - 1], answer[i]);
+  }
+}
+
+TEST_F(EvalTest, GlobalCitationScoresPositive) {
+  AcAnswerSetBuilder builder(*tc_, *fts_, *graph_);
+  double total = 0.0;
+  for (corpus::PaperId p = 0; p < corpus_->size(); ++p) {
+    EXPECT_GT(builder.GlobalCitationScore(p), 0.0);
+    total += builder.GlobalCitationScore(p);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST_F(EvalTest, QueryGeneratorProducesTargetedQueries) {
+  QueryGeneratorOptions opts;
+  opts.num_queries = 40;
+  opts.min_context_size = 5;
+  const auto queries = GenerateQueries(*onto_, *tc_, *assignment_, opts);
+  ASSERT_FALSE(queries.empty());
+  EXPECT_LE(queries.size(), 40u);
+  for (const auto& q : queries) {
+    EXPECT_FALSE(q.text.empty());
+    ASSERT_LT(q.target_term, onto_->size());
+    // Targets are populated contexts at level >= min_level.
+    EXPECT_GE(assignment_->Members(q.target_term).size(), 5u);
+    EXPECT_GE(onto_->term(q.target_term).level, opts.min_level);
+  }
+}
+
+TEST_F(EvalTest, QueryGeneratorDeterministic) {
+  QueryGeneratorOptions opts;
+  opts.num_queries = 10;
+  opts.min_context_size = 5;
+  const auto a = GenerateQueries(*onto_, *tc_, *assignment_, opts);
+  const auto b = GenerateQueries(*onto_, *tc_, *assignment_, opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].text, b[i].text);
+    EXPECT_EQ(a[i].target_term, b[i].target_term);
+  }
+}
+
+TEST_F(EvalTest, QueryGeneratorRespectsMinLevel) {
+  QueryGeneratorOptions opts;
+  opts.min_level = 3;
+  opts.min_context_size = 1;
+  const auto queries = GenerateQueries(*onto_, *tc_, *assignment_, opts);
+  for (const auto& q : queries) {
+    EXPECT_GE(onto_->term(q.target_term).level, 3);
+  }
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", Table::Cell(1.23456, 2)});
+  t.AddRow({"a-much-longer-name", Table::Cell(0.5, 2)});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("a-much-longer-name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"x"});
+  EXPECT_NO_THROW(t.ToString());
+}
+
+}  // namespace
+}  // namespace ctxrank::eval

@@ -1,0 +1,63 @@
+#include "eval/ir_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ctxrank::eval {
+namespace {
+
+TEST(RecallTest, Basics) {
+  EXPECT_DOUBLE_EQ(Recall({1, 2}, {1, 2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(Recall({1, 2, 3, 4}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(Recall({}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(Recall({1}, {}), 0.0);
+}
+
+TEST(RecallTest, PrecisionRecallTradeoff) {
+  // A strict result set: higher precision, lower recall — the trade-off
+  // the paper's §2 argues about.
+  const std::vector<corpus::PaperId> truth = {1, 2, 3, 4, 5, 6};
+  const std::vector<corpus::PaperId> strict = {1, 2};
+  const std::vector<corpus::PaperId> broad = {1, 2, 3, 4, 9, 10, 11, 12};
+  EXPECT_GT(Recall(broad, truth), Recall(strict, truth));
+}
+
+TEST(FScoreTest, HarmonicMean) {
+  EXPECT_DOUBLE_EQ(FScore(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(FScore(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(FScore(0.0, 0.0), 0.0);
+  EXPECT_NEAR(FScore(0.5, 1.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(FScoreTest, BetaWeighting) {
+  // beta > 1 favors recall; beta < 1 favors precision.
+  const double p = 0.9, r = 0.3;
+  EXPECT_LT(FScore(p, r, 2.0), FScore(p, r, 0.5));
+}
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({1, 2, 3}, {1, 2, 3}), 1.0);
+}
+
+TEST(AveragePrecisionTest, RelevantLastScoresLow) {
+  // One relevant paper at rank 4 of 4: AP = (1/4)/1.
+  EXPECT_DOUBLE_EQ(AveragePrecision({9, 8, 7, 1}, {1}), 0.25);
+}
+
+TEST(AveragePrecisionTest, OrderingMatters) {
+  const std::vector<corpus::PaperId> truth = {1, 2};
+  EXPECT_GT(AveragePrecision({1, 2, 9, 8}, truth),
+            AveragePrecision({9, 8, 1, 2}, truth));
+}
+
+TEST(AveragePrecisionTest, MissedRelevantPenalized) {
+  // Only one of two relevant retrieved -> AP <= 0.5.
+  EXPECT_LE(AveragePrecision({1, 9}, {1, 2}), 0.5);
+}
+
+TEST(AveragePrecisionTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision({1}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace ctxrank::eval

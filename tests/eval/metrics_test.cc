@@ -1,0 +1,123 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ctxrank::eval {
+namespace {
+
+TEST(PrecisionTest, Basics) {
+  EXPECT_DOUBLE_EQ(Precision({1, 2, 3, 4}, {1, 2}), 0.5);
+  EXPECT_DOUBLE_EQ(Precision({1, 2}, {1, 2, 3, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(Precision({5, 6}, {1, 2}), 0.0);
+}
+
+TEST(PrecisionTest, EmptyResultsIsZero) {
+  // The paper counts queries returning nothing as precision 0 (§5.1).
+  EXPECT_DOUBLE_EQ(Precision({}, {1, 2}), 0.0);
+}
+
+TEST(PrecisionTest, EmptyAnswerSetIsZero) {
+  EXPECT_DOUBLE_EQ(Precision({1}, {}), 0.0);
+}
+
+TEST(TopKWithTiesTest, PlainTopK) {
+  const auto top = TopKWithTies({0.9, 0.1, 0.5, 0.7}, 2);
+  EXPECT_EQ(top, (std::vector<size_t>{0, 3}));
+}
+
+TEST(TopKWithTiesTest, TiesAtBoundaryIncluded) {
+  // Scores: 0.9, 0.5, 0.5, 0.5, 0.1. k=2 -> kth score 0.5 -> all three
+  // 0.5s included (paper §2 tie rule).
+  const auto top = TopKWithTies({0.9, 0.5, 0.5, 0.5, 0.1}, 2);
+  EXPECT_EQ(top.size(), 4u);
+}
+
+TEST(TopKWithTiesTest, KLargerThanSize) {
+  const auto top = TopKWithTies({0.3, 0.1}, 10);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(TopKWithTiesTest, KZero) {
+  EXPECT_TRUE(TopKWithTies({0.3}, 0).empty());
+}
+
+TEST(TopKOverlapTest, IdenticalScoresGiveFullOverlap) {
+  const std::vector<double> s = {0.9, 0.1, 0.5, 0.7, 0.3};
+  EXPECT_DOUBLE_EQ(TopKOverlapRatio(s, s, 2), 1.0);
+}
+
+TEST(TopKOverlapTest, DisjointTopsGiveZero) {
+  const std::vector<double> s1 = {1.0, 0.9, 0.1, 0.1};
+  const std::vector<double> s2 = {0.1, 0.1, 1.0, 0.9};
+  EXPECT_DOUBLE_EQ(TopKOverlapRatio(s1, s2, 2), 0.0);
+}
+
+TEST(TopKOverlapTest, PartialOverlap) {
+  const std::vector<double> s1 = {1.0, 0.9, 0.1, 0.0};
+  const std::vector<double> s2 = {1.0, 0.1, 0.9, 0.0};
+  // Top-2 of s1 = {0,1}; of s2 = {0,2}; overlap 1/2.
+  EXPECT_DOUBLE_EQ(TopKOverlapRatio(s1, s2, 2), 0.5);
+}
+
+TEST(TopKOverlapTest, TieWideningChangesDenominator) {
+  // s1 top-2 has a 3-way tie -> |top1| = 4; s2 has exact top-2.
+  const std::vector<double> s1 = {0.9, 0.5, 0.5, 0.5};
+  const std::vector<double> s2 = {0.9, 0.8, 0.1, 0.1};
+  // top1 = {0,1,2,3}, top2 = {0,1}; inter = 2; denom = min(4,2) = 2.
+  EXPECT_DOUBLE_EQ(TopKOverlapRatio(s1, s2, 2), 1.0);
+}
+
+TEST(TopKOverlapTest, MismatchedSizesRejected) {
+  EXPECT_DOUBLE_EQ(TopKOverlapRatio({0.1}, {0.1, 0.2}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(TopKOverlapRatio({}, {}, 1), 0.0);
+}
+
+TEST(SeparabilitySdTest, PerfectlyUniformIsZero) {
+  // 10 scores hitting each of 10 ranges once.
+  std::vector<double> scores;
+  for (int i = 0; i < 10; ++i) scores.push_back(0.05 + 0.1 * i);
+  EXPECT_NEAR(SeparabilitySd(scores, 10), 0.0, 1e-9);
+}
+
+TEST(SeparabilitySdTest, AllIdenticalScoresIsWorstCase) {
+  const std::vector<double> scores(100, 0.5);
+  // All mass in one bucket: pct vector is (0,...,100,...,0) around mean 10
+  // -> SD = sqrt((90^2 + 9*10^2)/10) = sqrt(900) = 30.
+  EXPECT_NEAR(SeparabilitySd(scores, 10), 30.0, 1e-9);
+}
+
+TEST(SeparabilitySdTest, MoreSpreadMeansLowerSd) {
+  std::vector<double> spread, collapsed;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    spread.push_back(rng.NextDouble());
+    collapsed.push_back(0.4 + 0.01 * rng.NextDouble());
+  }
+  EXPECT_LT(SeparabilitySd(spread), SeparabilitySd(collapsed));
+}
+
+TEST(SeparabilitySdTest, BoundaryValuesLandInBuckets) {
+  // 0.0 and 1.0 must not crash or create phantom buckets.
+  EXPECT_GE(SeparabilitySd({0.0, 1.0, 0.5}), 0.0);
+}
+
+TEST(SeparabilitySdTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(SeparabilitySd({}), 0.0);
+  EXPECT_DOUBLE_EQ(SeparabilitySd({0.5}, 0), 0.0);
+}
+
+TEST(UniqueScoreCountTest, CountsDistinctValues) {
+  EXPECT_EQ(UniqueScoreCount({0.1, 0.1, 0.2, 0.3, 0.3}), 3u);
+  EXPECT_EQ(UniqueScoreCount({}), 0u);
+  EXPECT_EQ(UniqueScoreCount({0.5}), 1u);
+}
+
+TEST(UniqueScoreCountTest, EpsilonMergesNearbyValues) {
+  EXPECT_EQ(UniqueScoreCount({0.1, 0.1 + 1e-15}, 1e-12), 1u);
+  EXPECT_EQ(UniqueScoreCount({0.1, 0.2}, 0.5), 1u);
+}
+
+}  // namespace
+}  // namespace ctxrank::eval

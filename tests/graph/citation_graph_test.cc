@@ -1,0 +1,104 @@
+#include "graph/citation_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ctxrank::graph {
+namespace {
+
+// 0 <- 1 <- 2, 0 <- 2, 3 isolated.
+CitationGraph MakeChain() {
+  return CitationGraph(4, {{1, 0}, {2, 1}, {2, 0}});
+}
+
+TEST(CitationGraphTest, DegreesAndNeighbors) {
+  CitationGraph g = MakeChain();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.OutDegree(2), 2u);
+  EXPECT_EQ(g.InDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(0), 0u);
+  EXPECT_EQ(g.InDegree(3), 0u);
+  auto out2 = g.OutNeighbors(2);
+  std::sort(out2.begin(), out2.end());
+  EXPECT_EQ(out2, (std::vector<PaperId>{0, 1}));
+  EXPECT_EQ(g.InNeighbors(1), (std::vector<PaperId>{2}));
+}
+
+TEST(CitationGraphTest, BuildFromCorpus) {
+  corpus::Corpus c;
+  for (corpus::PaperId id = 0; id < 3; ++id) {
+    corpus::Paper p;
+    p.id = id;
+    p.title = "t";
+    if (id == 2) p.references = {0, 1};
+    ASSERT_TRUE(c.Add(std::move(p)).ok());
+  }
+  CitationGraph g(c);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+}
+
+TEST(CitationGraphTest, ReachableWithinRespectsHops) {
+  // Path: 4 -> 3 -> 2 -> 1 -> 0 (each cites the previous).
+  CitationGraph g(5, {{4, 3}, {3, 2}, {2, 1}, {1, 0}});
+  auto one = g.ReachableWithin({2}, 1);
+  EXPECT_EQ(one, (std::vector<PaperId>{1, 3}));  // Both directions.
+  auto two = g.ReachableWithin({2}, 2);
+  EXPECT_EQ(two, (std::vector<PaperId>{0, 1, 3, 4}));
+}
+
+TEST(CitationGraphTest, ReachableExcludesSeeds) {
+  CitationGraph g(3, {{1, 0}, {2, 1}});
+  auto r = g.ReachableWithin({0, 1, 2}, 2);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(CitationGraphTest, ReachableZeroHops) {
+  CitationGraph g = MakeChain();
+  EXPECT_TRUE(g.ReachableWithin({0}, 0).empty());
+}
+
+TEST(InducedSubgraphTest, KeepsOnlyInternalEdges) {
+  CitationGraph g = MakeChain();
+  InducedSubgraph sub(g, {0, 2});
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.num_edges(), 1u);  // Only 2 -> 0 survives.
+  // Local ids follow the sorted member order: members = {0, 2}.
+  EXPECT_EQ(sub.ToGlobal(0), 0u);
+  EXPECT_EQ(sub.ToGlobal(1), 2u);
+  ASSERT_EQ(sub.out_adj()[1].size(), 1u);
+  EXPECT_EQ(sub.out_adj()[1][0], 0u);
+  EXPECT_TRUE(sub.out_adj()[0].empty());
+}
+
+TEST(InducedSubgraphTest, MembersGetSorted) {
+  CitationGraph g = MakeChain();
+  InducedSubgraph sub(g, {2, 0, 1});
+  EXPECT_EQ(sub.members(), (std::vector<PaperId>{0, 1, 2}));
+  EXPECT_EQ(sub.num_edges(), 3u);
+}
+
+TEST(InducedSubgraphTest, Density) {
+  CitationGraph g = MakeChain();
+  InducedSubgraph full(g, {0, 1, 2});
+  // 3 edges over 3*2 ordered pairs.
+  EXPECT_DOUBLE_EQ(full.Density(), 0.5);
+  InducedSubgraph single(g, {3});
+  EXPECT_DOUBLE_EQ(single.Density(), 0.0);
+  InducedSubgraph empty(g, {});
+  EXPECT_DOUBLE_EQ(empty.Density(), 0.0);
+}
+
+TEST(InducedSubgraphTest, CrossContextEdgesVanish) {
+  // The §3.1 requirement: citations from papers outside the context must
+  // not appear in the context's subgraph.
+  CitationGraph g(4, {{3, 0}, {1, 0}});
+  InducedSubgraph sub(g, {0, 1});
+  EXPECT_EQ(sub.num_edges(), 1u);  // 3 -> 0 dropped, 1 -> 0 kept.
+}
+
+}  // namespace
+}  // namespace ctxrank::graph

@@ -1,0 +1,72 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace ctxrank::graph {
+namespace {
+
+TEST(GraphStatsTest, EmptySubgraph) {
+  CitationGraph g(0, {});
+  const auto stats = ComputeSubgraphStats(InducedSubgraph(g, {}));
+  EXPECT_EQ(stats.nodes, 0u);
+  EXPECT_EQ(stats.edges, 0u);
+  EXPECT_EQ(stats.weak_components, 0u);
+}
+
+TEST(GraphStatsTest, IsolatedNodesOnly) {
+  CitationGraph g(4, {});
+  const auto stats =
+      ComputeSubgraphStats(InducedSubgraph(g, {0, 1, 2, 3}));
+  EXPECT_EQ(stats.nodes, 4u);
+  EXPECT_DOUBLE_EQ(stats.isolated_fraction, 1.0);
+  EXPECT_EQ(stats.weak_components, 4u);
+  EXPECT_EQ(stats.largest_component, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_in_degree, 0.0);
+  EXPECT_DOUBLE_EQ(stats.in_degree_gini, 0.0);
+}
+
+TEST(GraphStatsTest, StarGraph) {
+  // 1, 2, 3 all cite 0.
+  CitationGraph g(4, {{1, 0}, {2, 0}, {3, 0}});
+  const auto stats =
+      ComputeSubgraphStats(InducedSubgraph(g, {0, 1, 2, 3}));
+  EXPECT_EQ(stats.edges, 3u);
+  EXPECT_DOUBLE_EQ(stats.isolated_fraction, 0.0);
+  EXPECT_EQ(stats.weak_components, 1u);
+  EXPECT_EQ(stats.largest_component, 4u);
+  EXPECT_EQ(stats.max_in_degree, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_in_degree, 0.75);
+  // One node holds every in-edge: high concentration.
+  EXPECT_GT(stats.in_degree_gini, 0.7);
+}
+
+TEST(GraphStatsTest, TwoComponentsAndIsolated) {
+  // Component {0,1}, component {2,3}, isolated {4}.
+  CitationGraph g(5, {{1, 0}, {3, 2}});
+  const auto stats =
+      ComputeSubgraphStats(InducedSubgraph(g, {0, 1, 2, 3, 4}));
+  EXPECT_EQ(stats.weak_components, 3u);
+  EXPECT_EQ(stats.largest_component, 2u);
+  EXPECT_NEAR(stats.isolated_fraction, 0.2, 1e-12);
+}
+
+TEST(GraphStatsTest, EvenDegreesHaveLowGini) {
+  // Perfect cycle of citations among earlier papers is impossible (ids
+  // must decrease), so use an explicit edge list on the subgraph level:
+  // 1->0, 2->1, 3->2, 0 has in 1, 1 has in 1, 2 has in 1, 3 has in 0.
+  CitationGraph g(4, {{1, 0}, {2, 1}, {3, 2}});
+  const auto stats =
+      ComputeSubgraphStats(InducedSubgraph(g, {0, 1, 2, 3}));
+  EXPECT_LT(stats.in_degree_gini, 0.3);
+}
+
+TEST(GraphStatsTest, SubgraphRestrictsEdges) {
+  CitationGraph g(4, {{1, 0}, {2, 0}, {3, 0}});
+  const auto stats = ComputeSubgraphStats(InducedSubgraph(g, {0, 1}));
+  EXPECT_EQ(stats.nodes, 2u);
+  EXPECT_EQ(stats.edges, 1u);
+  EXPECT_EQ(stats.weak_components, 1u);
+}
+
+}  // namespace
+}  // namespace ctxrank::graph

@@ -1,0 +1,86 @@
+// HITS and citation-based similarity (coupling / co-citation).
+#include <gtest/gtest.h>
+
+#include "graph/citation_similarity.h"
+#include "graph/hits.h"
+
+namespace ctxrank::graph {
+namespace {
+
+TEST(HitsTest, AuthoritiesAndHubsSeparate) {
+  // 1, 2 cite both 0 and 3: 1,2 are hubs; 0,3 are authorities.
+  CitationGraph g(4, {{1, 0}, {1, 3}, {2, 0}, {2, 3}});
+  auto r = ComputeHits(InducedSubgraph(g, {0, 1, 2, 3}));
+  ASSERT_TRUE(r.ok());
+  const auto& auth = r.value().authority;
+  const auto& hub = r.value().hub;
+  EXPECT_GT(auth[0], auth[1]);
+  EXPECT_GT(auth[3], auth[2]);
+  EXPECT_GT(hub[1], hub[0]);
+  EXPECT_GT(hub[2], hub[3]);
+  EXPECT_TRUE(r.value().converged);
+}
+
+TEST(HitsTest, EmptyGraph) {
+  CitationGraph g(0, {});
+  auto r = ComputeHits(InducedSubgraph(g, {}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().authority.empty());
+}
+
+TEST(HitsTest, ScoresAreL2Normalized) {
+  CitationGraph g(3, {{1, 0}, {2, 0}, {2, 1}});
+  auto r = ComputeHits(InducedSubgraph(g, {0, 1, 2}));
+  ASSERT_TRUE(r.ok());
+  double a2 = 0.0, h2 = 0.0;
+  for (double x : r.value().authority) a2 += x * x;
+  for (double x : r.value().hub) h2 += x * x;
+  EXPECT_NEAR(a2, 1.0, 1e-9);
+  EXPECT_NEAR(h2, 1.0, 1e-9);
+}
+
+TEST(HitsTest, RejectsBadOptions) {
+  CitationGraph g(1, {});
+  HitsOptions opts;
+  opts.max_iterations = 0;
+  EXPECT_FALSE(ComputeHits(InducedSubgraph(g, {0}), opts).ok());
+}
+
+TEST(HitsTest, PageRankCorrelatesWithAuthority) {
+  // Prior work [11] found HITS authority and PageRank highly correlated on
+  // literature graphs; sanity-check the direction on a small star.
+  CitationGraph g(5, {{1, 0}, {2, 0}, {3, 0}, {4, 1}});
+  InducedSubgraph sub(g, {0, 1, 2, 3, 4});
+  auto hits = ComputeHits(sub);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_GT(hits.value().authority[0], hits.value().authority[1]);
+  EXPECT_GT(hits.value().authority[1], hits.value().authority[2]);
+}
+
+TEST(CitationSimilarityTest, BibliographicCoupling) {
+  // 2 and 3 share reference 0; 3 also cites 1.
+  CitationGraph g(4, {{2, 0}, {3, 0}, {3, 1}});
+  EXPECT_DOUBLE_EQ(BibliographicCoupling(g, 2, 3), 0.5);  // {0} / {0,1}.
+  EXPECT_DOUBLE_EQ(BibliographicCoupling(g, 2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(BibliographicCoupling(g, 0, 1), 0.0);  // No refs.
+}
+
+TEST(CitationSimilarityTest, CoCitation) {
+  // 2 cites both 0 and 1 -> 0 and 1 are co-cited.
+  CitationGraph g(4, {{2, 0}, {2, 1}, {3, 0}});
+  EXPECT_DOUBLE_EQ(CoCitation(g, 0, 1), 0.5);  // {2} / {2,3}.
+  EXPECT_DOUBLE_EQ(CoCitation(g, 1, 3), 0.0);
+}
+
+TEST(CitationSimilarityTest, CombinedWeighting) {
+  CitationGraph g(4, {{2, 0}, {3, 0}, {3, 1}});
+  const double bib = BibliographicCoupling(g, 2, 3);
+  const double coc = CoCitation(g, 2, 3);
+  EXPECT_DOUBLE_EQ(CitationSimilarity(g, 2, 3, 1.0), bib);
+  EXPECT_DOUBLE_EQ(CitationSimilarity(g, 2, 3, 0.0), coc);
+  EXPECT_DOUBLE_EQ(CitationSimilarity(g, 2, 3, 0.5),
+                   0.5 * bib + 0.5 * coc);
+}
+
+}  // namespace
+}  // namespace ctxrank::graph

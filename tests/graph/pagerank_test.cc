@@ -1,0 +1,161 @@
+#include "graph/pagerank.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace ctxrank::graph {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  CitationGraph g(0, {});
+  InducedSubgraph sub(g, {});
+  auto r = ComputePageRank(sub);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().scores.empty());
+  EXPECT_TRUE(r.value().converged);
+}
+
+TEST(PageRankTest, SingleNode) {
+  CitationGraph g(1, {});
+  InducedSubgraph sub(g, {0});
+  auto r = ComputePageRank(sub);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().scores.size(), 1u);
+  EXPECT_NEAR(r.value().scores[0], 1.0, 1e-9);
+}
+
+TEST(PageRankTest, CitedPaperOutranksCiter) {
+  // 1 and 2 both cite 0.
+  CitationGraph g(3, {{1, 0}, {2, 0}});
+  InducedSubgraph sub(g, {0, 1, 2});
+  auto r = ComputePageRank(sub);
+  ASSERT_TRUE(r.ok());
+  const auto& s = r.value().scores;
+  EXPECT_GT(s[0], s[1]);
+  EXPECT_GT(s[0], s[2]);
+  EXPECT_NEAR(s[1], s[2], 1e-9);  // Symmetric citers.
+}
+
+TEST(PageRankTest, ScoresSumToOne) {
+  Rng rng(3);
+  std::vector<std::pair<PaperId, PaperId>> edges;
+  const size_t n = 50;
+  for (int i = 0; i < 200; ++i) {
+    const PaperId a = static_cast<PaperId>(rng.NextBounded(n));
+    const PaperId b = static_cast<PaperId>(rng.NextBounded(n));
+    if (a != b) edges.emplace_back(a, b);
+  }
+  CitationGraph g(n, edges);
+  std::vector<PaperId> all(n);
+  for (PaperId i = 0; i < n; ++i) all[i] = i;
+  InducedSubgraph sub(g, all);
+  for (TeleportVariant variant :
+       {TeleportVariant::kE1Constant, TeleportVariant::kE2Proportional}) {
+    PageRankOptions opts;
+    opts.teleport = variant;
+    auto r = ComputePageRank(sub, opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NEAR(Sum(r.value().scores), 1.0, 1e-9);
+    EXPECT_TRUE(r.value().converged);
+  }
+}
+
+TEST(PageRankTest, TransitivePrestigeFlows) {
+  // Chain 3 -> 2 -> 1 -> 0: prestige accumulates toward 0.
+  CitationGraph g(4, {{3, 2}, {2, 1}, {1, 0}});
+  std::vector<PaperId> all = {0, 1, 2, 3};
+  auto r = ComputePageRank(InducedSubgraph(g, all));
+  ASSERT_TRUE(r.ok());
+  const auto& s = r.value().scores;
+  EXPECT_GT(s[0], s[1]);
+  EXPECT_GT(s[1], s[2]);
+  EXPECT_GT(s[2], s[3]);
+}
+
+TEST(PageRankTest, PrestigiousCiterConfersMorePrestige) {
+  // 10 papers cite 0; 0 cites 1; nothing cites 2 except paper 3.
+  std::vector<std::pair<PaperId, PaperId>> edges;
+  for (PaperId i = 4; i < 14; ++i) edges.emplace_back(i, 0);
+  edges.emplace_back(0, 1);
+  edges.emplace_back(3, 2);
+  CitationGraph g(14, edges);
+  std::vector<PaperId> all(14);
+  for (PaperId i = 0; i < 14; ++i) all[i] = i;
+  auto r = ComputePageRank(InducedSubgraph(g, all));
+  ASSERT_TRUE(r.ok());
+  // 1 is cited once but by the most prestigious paper; 2 is cited once by
+  // a nobody.
+  EXPECT_GT(r.value().scores[1], r.value().scores[2]);
+}
+
+TEST(PageRankTest, DanglingNodesHandled) {
+  // All mass flows into 0, which cites nothing.
+  CitationGraph g(2, {{1, 0}});
+  auto r = ComputePageRank(InducedSubgraph(g, {0, 1}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(Sum(r.value().scores), 1.0, 1e-9);
+  EXPECT_GT(r.value().scores[0], r.value().scores[1]);
+}
+
+TEST(PageRankTest, NoEdgesGivesUniform) {
+  CitationGraph g(4, {});
+  auto r = ComputePageRank(InducedSubgraph(g, {0, 1, 2, 3}));
+  ASSERT_TRUE(r.ok());
+  for (double s : r.value().scores) EXPECT_NEAR(s, 0.25, 1e-9);
+}
+
+TEST(PageRankTest, E1AndE2AgreeOnRanking) {
+  CitationGraph g(5, {{1, 0}, {2, 0}, {3, 2}, {4, 2}, {2, 1}});
+  InducedSubgraph sub(g, {0, 1, 2, 3, 4});
+  PageRankOptions e1, e2;
+  e1.teleport = TeleportVariant::kE1Constant;
+  e2.teleport = TeleportVariant::kE2Proportional;
+  auto r1 = ComputePageRank(sub, e1);
+  auto r2 = ComputePageRank(sub, e2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  // Same ordering of nodes by score.
+  for (size_t a = 0; a < 5; ++a) {
+    for (size_t b = 0; b < 5; ++b) {
+      EXPECT_EQ(r1.value().scores[a] > r1.value().scores[b],
+                r2.value().scores[a] > r2.value().scores[b]);
+    }
+  }
+}
+
+TEST(PageRankTest, HigherDampingFlattens) {
+  CitationGraph g(3, {{1, 0}, {2, 0}});
+  InducedSubgraph sub(g, {0, 1, 2});
+  PageRankOptions lo, hi;
+  lo.d = 0.05;
+  hi.d = 0.9;
+  auto rl = ComputePageRank(sub, lo);
+  auto rh = ComputePageRank(sub, hi);
+  ASSERT_TRUE(rl.ok() && rh.ok());
+  // With d near 1, scores approach uniform; spread shrinks.
+  const double spread_lo = rl.value().scores[0] - rl.value().scores[1];
+  const double spread_hi = rh.value().scores[0] - rh.value().scores[1];
+  EXPECT_GT(spread_lo, spread_hi);
+}
+
+TEST(PageRankTest, RejectsBadOptions) {
+  CitationGraph g(1, {});
+  InducedSubgraph sub(g, {0});
+  PageRankOptions opts;
+  opts.d = 0.0;
+  EXPECT_FALSE(ComputePageRank(sub, opts).ok());
+  opts.d = 1.0;
+  EXPECT_FALSE(ComputePageRank(sub, opts).ok());
+  opts.d = 0.15;
+  opts.max_iterations = 0;
+  EXPECT_FALSE(ComputePageRank(sub, opts).ok());
+}
+
+}  // namespace
+}  // namespace ctxrank::graph

@@ -1,0 +1,89 @@
+// Bit-exact determinism: the entire experiment world — generators,
+// assignments, prestige scores — must be identical across two builds with
+// the same configuration. Guards against hidden iteration-order or
+// uninitialized-state nondeterminism anywhere in the pipeline.
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+
+namespace ctxrank::eval {
+namespace {
+
+TEST(DeterminismTest, WorldsAreBitIdenticalAcrossBuilds) {
+  WorldConfig config = WorldConfig::Small();
+  // Shrink further: this test builds twice.
+  config.ontology.max_terms = 60;
+  config.corpus.num_papers = 500;
+  auto r1 = World::Build(config);
+  auto r2 = World::Build(config);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  const World& a = *r1.value();
+  const World& b = *r2.value();
+
+  // Ontology.
+  ASSERT_EQ(a.onto().size(), b.onto().size());
+  for (ontology::TermId t = 0; t < a.onto().size(); ++t) {
+    EXPECT_EQ(a.onto().term(t).name, b.onto().term(t).name);
+    EXPECT_EQ(a.onto().term(t).parents, b.onto().term(t).parents);
+  }
+  // Corpus.
+  ASSERT_EQ(a.corpus().size(), b.corpus().size());
+  for (corpus::PaperId p = 0; p < a.corpus().size(); ++p) {
+    EXPECT_EQ(a.corpus().paper(p).body, b.corpus().paper(p).body);
+    EXPECT_EQ(a.corpus().paper(p).references,
+              b.corpus().paper(p).references);
+  }
+  // Assignments and scores, bit-exact.
+  for (ontology::TermId t = 0; t < a.onto().size(); ++t) {
+    EXPECT_EQ(a.text_set().Members(t), b.text_set().Members(t));
+    EXPECT_EQ(a.pattern_set().Members(t), b.pattern_set().Members(t));
+    EXPECT_EQ(a.text_set().Representative(t),
+              b.text_set().Representative(t));
+    EXPECT_EQ(a.text_set_citation_scores().Scores(t),
+              b.text_set_citation_scores().Scores(t));
+    EXPECT_EQ(a.text_set_text_scores().Scores(t),
+              b.text_set_text_scores().Scores(t));
+    EXPECT_EQ(a.pattern_set_pattern_scores().Scores(t),
+              b.pattern_set_pattern_scores().Scores(t));
+  }
+}
+
+TEST(DeterminismTest, SeedChangesEverything) {
+  WorldConfig c1 = WorldConfig::Small();
+  c1.ontology.max_terms = 60;
+  c1.corpus.num_papers = 300;
+  WorldConfig c2 = c1;
+  c2.corpus.seed += 1;
+  auto r1 = World::Build(c1);
+  auto r2 = World::Build(c2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  bool any_diff = false;
+  for (corpus::PaperId p = 0; p < 300 && !any_diff; ++p) {
+    any_diff = r1.value()->corpus().paper(p).title !=
+               r2.value()->corpus().paper(p).title;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorldConfigTest, PartialBuildsSkipExpensiveSets) {
+  WorldConfig config = WorldConfig::Small();
+  config.ontology.max_terms = 40;
+  config.corpus.num_papers = 200;
+  config.build_pattern_set = false;
+  auto r = World::Build(config);
+  ASSERT_TRUE(r.ok());
+  // Text-set artifacts exist and are usable.
+  EXPECT_GT(r.value()->text_set().ContextsWithAtLeast(1).size(), 0u);
+  EXPECT_GT(r.value()->tc().size(), 0u);
+}
+
+TEST(WorldConfigTest, PresetsAreDistinct) {
+  const WorldConfig small = WorldConfig::Small();
+  const WorldConfig full = WorldConfig::Default();
+  EXPECT_LT(small.corpus.num_papers, full.corpus.num_papers);
+  EXPECT_LT(small.ontology.max_terms, full.ontology.max_terms);
+  EXPECT_LT(small.min_context_size, full.min_context_size);
+}
+
+}  // namespace
+}  // namespace ctxrank::eval

@@ -1,0 +1,198 @@
+// Parameterized property sweeps across randomly generated instances:
+// serialization round-trips, metric bounds and symmetries, PageRank
+// invariants under relabeling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+
+#include "common/rng.h"
+#include "corpus/corpus_generator.h"
+#include "corpus/corpus_io.h"
+#include "eval/metrics.h"
+#include "graph/pagerank.h"
+#include "ontology/obo_io.h"
+#include "ontology/ontology_generator.h"
+
+namespace ctxrank {
+namespace {
+
+class PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertyTest, GeneratedCorpusRoundTripsThroughDisk) {
+  ontology::OntologyGeneratorOptions oopts;
+  oopts.seed = GetParam();
+  oopts.max_terms = 25;
+  auto onto = ontology::GenerateOntology(oopts);
+  ASSERT_TRUE(onto.ok());
+  corpus::CorpusGeneratorOptions copts;
+  copts.seed = GetParam() * 31;
+  copts.num_papers = 60;
+  copts.num_authors = 40;
+  auto c = corpus::GenerateCorpus(onto.value(), copts);
+  ASSERT_TRUE(c.ok());
+  const std::string path = ::testing::TempDir() + "/prop_corpus_" +
+                           std::to_string(GetParam()) + ".txt";
+  ASSERT_TRUE(corpus::SaveCorpus(c.value(), path).ok());
+  auto back = corpus::LoadCorpus(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), c.value().size());
+  for (corpus::PaperId p = 0; p < c.value().size(); ++p) {
+    EXPECT_EQ(back.value().paper(p).title, c.value().paper(p).title);
+    EXPECT_EQ(back.value().paper(p).references,
+              c.value().paper(p).references);
+    EXPECT_EQ(back.value().paper(p).authors, c.value().paper(p).authors);
+  }
+}
+
+TEST_P(PropertyTest, GeneratedOntologyRoundTripsThroughObo) {
+  ontology::OntologyGeneratorOptions opts;
+  opts.seed = GetParam() * 7;
+  opts.max_terms = 40;
+  auto onto = ontology::GenerateOntology(opts);
+  ASSERT_TRUE(onto.ok());
+  auto back = ontology::ParseObo(ontology::WriteObo(onto.value()));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), onto.value().size());
+  for (ontology::TermId t = 0; t < onto.value().size(); ++t) {
+    EXPECT_EQ(back.value().term(t).parents, onto.value().term(t).parents);
+    EXPECT_EQ(back.value().term(t).level, onto.value().term(t).level);
+    EXPECT_EQ(back.value().DescendantCount(t),
+              onto.value().DescendantCount(t));
+  }
+}
+
+TEST_P(PropertyTest, PageRankInvariantUnderRelabeling) {
+  Rng rng(GetParam() * 13 + 1);
+  const size_t n = 30;
+  std::vector<std::pair<graph::PaperId, graph::PaperId>> edges;
+  for (int e = 0; e < 80; ++e) {
+    const auto a = static_cast<graph::PaperId>(rng.NextBounded(n));
+    const auto b = static_cast<graph::PaperId>(rng.NextBounded(n));
+    if (a != b) edges.emplace_back(a, b);
+  }
+  // Relabel nodes with a random permutation.
+  std::vector<graph::PaperId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  std::vector<std::pair<graph::PaperId, graph::PaperId>> relabeled;
+  for (const auto& [a, b] : edges) relabeled.emplace_back(perm[a], perm[b]);
+
+  graph::CitationGraph g1(n, edges), g2(n, relabeled);
+  std::vector<graph::PaperId> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  auto r1 = graph::ComputePageRank(graph::InducedSubgraph(g1, all));
+  auto r2 = graph::ComputePageRank(graph::InducedSubgraph(g2, all));
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(r1.value().scores[i], r2.value().scores[perm[i]], 1e-8);
+  }
+}
+
+TEST_P(PropertyTest, PageRankScoresNonNegativeAndNormalized) {
+  Rng rng(GetParam() * 17 + 3);
+  const size_t n = 20 + rng.NextBounded(40);
+  std::vector<std::pair<graph::PaperId, graph::PaperId>> edges;
+  const int num_edges = static_cast<int>(rng.NextBounded(120));
+  for (int e = 0; e < num_edges; ++e) {
+    const auto a = static_cast<graph::PaperId>(rng.NextBounded(n));
+    const auto b = static_cast<graph::PaperId>(rng.NextBounded(n));
+    if (a != b) edges.emplace_back(a, b);
+  }
+  graph::CitationGraph g(n, edges);
+  std::vector<graph::PaperId> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  auto r = graph::ComputePageRank(graph::InducedSubgraph(g, all));
+  ASSERT_TRUE(r.ok());
+  double total = 0.0;
+  for (double s : r.value().scores) {
+    EXPECT_GE(s, 0.0);
+    total += s;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(PropertyTest, TopKOverlapBoundsAndIdentity) {
+  Rng rng(GetParam() * 23 + 5);
+  const size_t n = 5 + rng.NextBounded(60);
+  std::vector<double> s1(n), s2(n);
+  for (size_t i = 0; i < n; ++i) {
+    s1[i] = rng.NextDouble();
+    s2[i] = rng.NextBounded(4) == 0 ? s1[i] : rng.NextDouble();
+  }
+  for (size_t k = 1; k <= n; k += 7) {
+    const double self = eval::TopKOverlapRatio(s1, s1, k);
+    EXPECT_NEAR(self, 1.0, 1e-12);
+    const double ab = eval::TopKOverlapRatio(s1, s2, k);
+    const double ba = eval::TopKOverlapRatio(s2, s1, k);
+    EXPECT_NEAR(ab, ba, 1e-12);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(PropertyTest, SeparabilitySdBounds) {
+  Rng rng(GetParam() * 29 + 7);
+  const size_t n = 1 + rng.NextBounded(200);
+  std::vector<double> scores(n);
+  for (double& s : scores) s = rng.NextDouble();
+  const double sd = eval::SeparabilitySd(scores, 10);
+  // Worst case: all mass in one of 10 ranges -> 30.
+  EXPECT_GE(sd, 0.0);
+  EXPECT_LE(sd, 30.0 + 1e-9);
+  // Robust view obeys the same bounds on arbitrary raw magnitudes.
+  for (double& s : scores) s *= 1000.0;
+  const double robust = eval::NormalizedSeparabilitySd(scores, 10);
+  EXPECT_GE(robust, 0.0);
+  EXPECT_LE(robust, 30.0 + 1e-9);
+}
+
+TEST_P(PropertyTest, PrecisionRecallBounds) {
+  Rng rng(GetParam() * 37 + 11);
+  std::vector<corpus::PaperId> results, truth;
+  for (int i = 0; i < 30; ++i) {
+    if (rng.NextBernoulli(0.5)) {
+      results.push_back(static_cast<corpus::PaperId>(rng.NextBounded(40)));
+    }
+    if (rng.NextBernoulli(0.5)) {
+      truth.push_back(static_cast<corpus::PaperId>(rng.NextBounded(40)));
+    }
+  }
+  const double p = eval::Precision(results, truth);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST_P(PropertyTest, ParsersNeverCrashOnGarbage) {
+  // Feed random bytes to every text parser: they must return a Status,
+  // never crash or hang.
+  Rng rng(GetParam() * 41 + 13);
+  std::string garbage;
+  const size_t len = rng.NextBounded(4000);
+  for (size_t i = 0; i < len; ++i) {
+    garbage.push_back(static_cast<char>(rng.NextBounded(96) + 32));
+    if (rng.NextBernoulli(0.05)) garbage.push_back('\n');
+  }
+  (void)ontology::ParseObo(garbage);
+  const std::string path = ::testing::TempDir() + "/garbage_" +
+                           std::to_string(GetParam()) + ".txt";
+  {
+    std::ofstream f(path);
+    f << garbage;
+  }
+  (void)corpus::LoadCorpus(path);
+  // Structured-looking garbage: valid headers, broken bodies.
+  {
+    std::ofstream f(path);
+    f << "ctxrank-corpus v1\npapers 3\nauthors 1\npaper 0\n" << garbage;
+  }
+  (void)corpus::LoadCorpus(path);
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ctxrank

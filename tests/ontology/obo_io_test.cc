@@ -1,0 +1,108 @@
+// OBO round-trip and parser robustness, plus the mini-GO fixture.
+#include <gtest/gtest.h>
+
+#include "ontology/mini_go.h"
+#include "ontology/obo_io.h"
+#include "ontology/ontology_generator.h"
+
+namespace ctxrank::ontology {
+namespace {
+
+TEST(OboIoTest, RoundTripPreservesStructure) {
+  OntologyGeneratorOptions opts;
+  opts.max_terms = 60;
+  auto gen = GenerateOntology(opts);
+  ASSERT_TRUE(gen.ok());
+  const std::string text = WriteObo(gen.value());
+  auto parsed = ParseObo(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Ontology& a = gen.value();
+  const Ontology& b = parsed.value();
+  ASSERT_EQ(a.size(), b.size());
+  for (TermId t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a.term(t).accession, b.term(t).accession);
+    EXPECT_EQ(a.term(t).name, b.term(t).name);
+    EXPECT_EQ(a.term(t).parents, b.term(t).parents);
+    EXPECT_EQ(a.term(t).level, b.term(t).level);
+  }
+}
+
+TEST(OboIoTest, ParsesHandWrittenSubset) {
+  const char* kObo = R"(format-version: 1.2
+
+[Term]
+id: GO:0001
+name: alpha
+
+[Term]
+id: GO:0002
+name: beta thing
+is_a: GO:0001 ! alpha
+
+! a comment line
+[Typedef]
+id: part_of
+
+[Term]
+id: GO:0003
+name: gamma
+is_a: GO:0002
+)";
+  auto r = ParseObo(kObo);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Ontology& o = r.value();
+  EXPECT_EQ(o.size(), 3u);
+  EXPECT_EQ(o.term(o.FindByAccession("GO:0002")).name, "beta thing");
+  EXPECT_EQ(o.term(o.FindByAccession("GO:0003")).level, 3);
+}
+
+TEST(OboIoTest, UnknownParentRejected) {
+  const char* kObo = "[Term]\nid: GO:1\nname: x\nis_a: GO:999\n";
+  EXPECT_FALSE(ParseObo(kObo).ok());
+}
+
+TEST(OboIoTest, DuplicateIdRejected) {
+  const char* kObo =
+      "[Term]\nid: GO:1\nname: x\n\n[Term]\nid: GO:1\nname: y\n";
+  EXPECT_FALSE(ParseObo(kObo).ok());
+}
+
+TEST(OboIoTest, MissingIdRejected) {
+  EXPECT_FALSE(ParseObo("[Term]\nname: anonymous\n").ok());
+}
+
+TEST(OboIoTest, FileRoundTrip) {
+  Ontology o = MakeMiniGo();
+  const std::string path = ::testing::TempDir() + "/mini.obo";
+  ASSERT_TRUE(WriteOboFile(o, path).ok());
+  auto r = LoadOboFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), o.size());
+}
+
+TEST(OboIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadOboFile("/nonexistent/path.obo").ok());
+}
+
+TEST(MiniGoTest, StructureMatchesPaperExample) {
+  Ontology o = MakeMiniGo();
+  EXPECT_TRUE(o.finalized());
+  EXPECT_EQ(o.roots().size(), 2u);
+  // The paper's X = "RNA polymerase II transcription factor activity" has
+  // four children and at least two siblings.
+  const TermId x = o.FindByAccession("GO:0003702");
+  ASSERT_NE(x, kInvalidTerm);
+  EXPECT_EQ(o.term(x).children.size(), 4u);
+  const TermId parent = o.term(x).parents[0];
+  EXPECT_GE(o.term(parent).children.size(), 3u);  // X + >= 2 siblings.
+}
+
+TEST(MiniGoTest, TranscriptionFactorActivityIsMultiParent) {
+  Ontology o = MakeMiniGo();
+  const TermId tfa = o.FindByAccession("GO:0003700");
+  ASSERT_NE(tfa, kInvalidTerm);
+  EXPECT_EQ(o.term(tfa).parents.size(), 2u);  // DAG, not a tree.
+}
+
+}  // namespace
+}  // namespace ctxrank::ontology

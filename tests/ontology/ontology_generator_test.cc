@@ -1,0 +1,128 @@
+#include "ontology/ontology_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+namespace ctxrank::ontology {
+namespace {
+
+TEST(OntologyGeneratorTest, GeneratesFinalizedOntology) {
+  OntologyGeneratorOptions opts;
+  opts.max_terms = 100;
+  auto r = GenerateOntology(opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Ontology& o = r.value();
+  EXPECT_TRUE(o.finalized());
+  EXPECT_LE(o.size(), 100u);
+  EXPECT_GE(o.size(), 20u);  // Should come close to the cap.
+}
+
+TEST(OntologyGeneratorTest, DeterministicForSeed) {
+  OntologyGeneratorOptions opts;
+  opts.max_terms = 80;
+  auto a = GenerateOntology(opts);
+  auto b = GenerateOntology(opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (TermId t = 0; t < a.value().size(); ++t) {
+    EXPECT_EQ(a.value().term(t).name, b.value().term(t).name);
+    EXPECT_EQ(a.value().term(t).parents, b.value().term(t).parents);
+  }
+}
+
+TEST(OntologyGeneratorTest, SeedChangesStructure) {
+  OntologyGeneratorOptions a, b;
+  a.max_terms = b.max_terms = 80;
+  b.seed = a.seed + 1;
+  auto ra = GenerateOntology(a);
+  auto rb = GenerateOntology(b);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  bool any_diff = ra.value().size() != rb.value().size();
+  for (TermId t = 0; !any_diff && t < ra.value().size(); ++t) {
+    any_diff = ra.value().term(t).name != rb.value().term(t).name;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(OntologyGeneratorTest, RespectsRootCount) {
+  OntologyGeneratorOptions opts;
+  opts.num_roots = 5;
+  opts.max_terms = 60;
+  auto r = GenerateOntology(opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().roots().size(), 5u);
+}
+
+TEST(OntologyGeneratorTest, RespectsMaxDepth) {
+  OntologyGeneratorOptions opts;
+  opts.max_depth = 4;
+  opts.max_terms = 200;
+  auto r = GenerateOntology(opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.value().max_level(), 4);
+}
+
+TEST(OntologyGeneratorTest, ReachesExperimentDepth) {
+  // The paper's experiments slice levels 3/5/7; the default generator must
+  // populate them.
+  OntologyGeneratorOptions opts;
+  opts.max_terms = 500;
+  auto r = GenerateOntology(opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().TermsAtLevel(3).empty());
+  EXPECT_FALSE(r.value().TermsAtLevel(5).empty());
+  EXPECT_FALSE(r.value().TermsAtLevel(7).empty());
+}
+
+TEST(OntologyGeneratorTest, NamesAreMultiWordAndBounded) {
+  OntologyGeneratorOptions opts;
+  opts.max_terms = 150;
+  auto r = GenerateOntology(opts);
+  ASSERT_TRUE(r.ok());
+  for (const Term& t : r.value().terms()) {
+    const auto words = SplitWhitespace(t.name);
+    EXPECT_GE(words.size(), 2u) << t.name;
+    EXPECT_LE(words.size(), 8u) << t.name;
+  }
+}
+
+TEST(OntologyGeneratorTest, ChildNamesShareParentVocabularyOften) {
+  OntologyGeneratorOptions opts;
+  opts.max_terms = 200;
+  auto r = GenerateOntology(opts);
+  ASSERT_TRUE(r.ok());
+  const Ontology& o = r.value();
+  int share = 0, total = 0;
+  for (const Term& t : o.terms()) {
+    if (t.parents.empty()) continue;
+    ++total;
+    const auto child_words = SplitWhitespace(t.name);
+    const auto parent_words = SplitWhitespace(o.term(t.parents[0]).name);
+    for (const auto& w : child_words) {
+      bool found = false;
+      for (const auto& pw : parent_words) {
+        if (w == pw) found = true;
+      }
+      if (found) {
+        ++share;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(total, 0);
+  // GO-style name derivation: most children reuse a parent word.
+  EXPECT_GT(static_cast<double>(share) / total, 0.5);
+}
+
+TEST(OntologyGeneratorTest, RejectsDegenerateOptions) {
+  OntologyGeneratorOptions opts;
+  opts.num_roots = 0;
+  EXPECT_FALSE(GenerateOntology(opts).ok());
+  opts.num_roots = 1;
+  opts.max_depth = 0;
+  EXPECT_FALSE(GenerateOntology(opts).ok());
+}
+
+}  // namespace
+}  // namespace ctxrank::ontology

@@ -1,0 +1,182 @@
+#include "ontology/ontology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace ctxrank::ontology {
+namespace {
+
+// Small diamond DAG: root (level 1) with children a and b (level 2),
+// which share child c (level 3); c has child d (level 4).
+Ontology MakeDiamond() {
+  Ontology o;
+  const TermId root = o.AddTerm("T:0", "root process");
+  const TermId a = o.AddTerm("T:1", "alpha branch");
+  const TermId b = o.AddTerm("T:2", "beta branch");
+  const TermId c = o.AddTerm("T:3", "gamma merge");
+  const TermId d = o.AddTerm("T:4", "delta leaf");
+  EXPECT_TRUE(o.AddIsA(a, root).ok());
+  EXPECT_TRUE(o.AddIsA(b, root).ok());
+  EXPECT_TRUE(o.AddIsA(c, a).ok());
+  EXPECT_TRUE(o.AddIsA(c, b).ok());
+  EXPECT_TRUE(o.AddIsA(d, c).ok());
+  EXPECT_TRUE(o.Finalize().ok());
+  return o;
+}
+
+TEST(OntologyTest, SizesAndLookup) {
+  Ontology o = MakeDiamond();
+  EXPECT_EQ(o.size(), 5u);
+  EXPECT_TRUE(o.finalized());
+  EXPECT_EQ(o.FindByAccession("T:3"), 3u);
+  EXPECT_EQ(o.FindByAccession("nope"), kInvalidTerm);
+  EXPECT_EQ(o.FindByName("delta leaf"), 4u);
+  EXPECT_EQ(o.FindByName("nope"), kInvalidTerm);
+}
+
+TEST(OntologyTest, RootsAndLevels) {
+  Ontology o = MakeDiamond();
+  ASSERT_EQ(o.roots().size(), 1u);
+  EXPECT_EQ(o.roots()[0], 0u);
+  EXPECT_EQ(o.term(0).level, 1);
+  EXPECT_EQ(o.term(1).level, 2);
+  EXPECT_EQ(o.term(2).level, 2);
+  EXPECT_EQ(o.term(3).level, 3);
+  EXPECT_EQ(o.term(4).level, 4);
+  EXPECT_EQ(o.max_level(), 4);
+}
+
+TEST(OntologyTest, LevelIsShortestPath) {
+  Ontology o;
+  const TermId root = o.AddTerm("T:0", "root");
+  const TermId mid = o.AddTerm("T:1", "mid");
+  const TermId leaf = o.AddTerm("T:2", "leaf");
+  ASSERT_TRUE(o.AddIsA(mid, root).ok());
+  ASSERT_TRUE(o.AddIsA(leaf, mid).ok());
+  ASSERT_TRUE(o.AddIsA(leaf, root).ok());  // Shortcut edge.
+  ASSERT_TRUE(o.Finalize().ok());
+  EXPECT_EQ(o.term(leaf).level, 2);  // Via shortcut, not 3.
+}
+
+TEST(OntologyTest, DescendantsAndAncestors) {
+  Ontology o = MakeDiamond();
+  auto desc = o.Descendants(0);
+  std::sort(desc.begin(), desc.end());
+  EXPECT_EQ(desc, (std::vector<TermId>{1, 2, 3, 4}));
+  auto anc = o.Ancestors(4);
+  std::sort(anc.begin(), anc.end());
+  EXPECT_EQ(anc, (std::vector<TermId>{0, 1, 2, 3}));
+  EXPECT_TRUE(o.Descendants(4).empty());
+  EXPECT_TRUE(o.Ancestors(0).empty());
+}
+
+TEST(OntologyTest, DescendantCountHandlesDiamondWithoutDoubleCounting) {
+  Ontology o = MakeDiamond();
+  EXPECT_EQ(o.DescendantCount(0), 4u);
+  EXPECT_EQ(o.DescendantCount(1), 2u);  // c and d, counted once.
+  EXPECT_EQ(o.DescendantCount(3), 1u);
+  EXPECT_EQ(o.DescendantCount(4), 0u);
+}
+
+TEST(OntologyTest, IsAncestorOrSelf) {
+  Ontology o = MakeDiamond();
+  EXPECT_TRUE(o.IsAncestorOrSelf(0, 4));
+  EXPECT_TRUE(o.IsAncestorOrSelf(1, 3));
+  EXPECT_TRUE(o.IsAncestorOrSelf(2, 3));
+  EXPECT_TRUE(o.IsAncestorOrSelf(3, 3));
+  EXPECT_FALSE(o.IsAncestorOrSelf(4, 0));
+  EXPECT_FALSE(o.IsAncestorOrSelf(1, 2));
+}
+
+TEST(OntologyTest, InformationContentDecreasesTowardRoot) {
+  Ontology o = MakeDiamond();
+  EXPECT_LT(o.InformationContent(0), o.InformationContent(1));
+  EXPECT_LT(o.InformationContent(1), o.InformationContent(4));
+  // Leaf: p = 1/5 -> I = log 5.
+  EXPECT_NEAR(o.InformationContent(4), std::log(5.0), 1e-12);
+  // Root: p = 5/5 = 1 -> I = 0.
+  EXPECT_NEAR(o.InformationContent(0), 0.0, 1e-12);
+}
+
+TEST(OntologyTest, RateOfDecayProperties) {
+  Ontology o = MakeDiamond();
+  const double r = o.RateOfDecay(1, 4);
+  EXPECT_GT(r, 0.0);
+  EXPECT_LT(r, 1.0);
+  EXPECT_DOUBLE_EQ(o.RateOfDecay(3, 3), 1.0);
+  // Root has I == 0 so decay to any descendant is 0 (fully uninformative).
+  EXPECT_DOUBLE_EQ(o.RateOfDecay(0, 4), 0.0);
+}
+
+TEST(OntologyTest, TermsAtLevel) {
+  Ontology o = MakeDiamond();
+  auto l2 = o.TermsAtLevel(2);
+  std::sort(l2.begin(), l2.end());
+  EXPECT_EQ(l2, (std::vector<TermId>{1, 2}));
+  EXPECT_TRUE(o.TermsAtLevel(9).empty());
+}
+
+TEST(OntologyTest, CycleDetected) {
+  Ontology o;
+  const TermId a = o.AddTerm("T:0", "a");
+  const TermId b = o.AddTerm("T:1", "b");
+  // Both have parents -> no root.
+  ASSERT_TRUE(o.AddIsA(a, b).ok());
+  ASSERT_TRUE(o.AddIsA(b, a).ok());
+  EXPECT_FALSE(o.Finalize().ok());
+}
+
+TEST(OntologyTest, CycleBelowRootDetected) {
+  Ontology o;
+  const TermId r = o.AddTerm("T:0", "root");
+  const TermId a = o.AddTerm("T:1", "a");
+  const TermId b = o.AddTerm("T:2", "b");
+  ASSERT_TRUE(o.AddIsA(a, r).ok());
+  ASSERT_TRUE(o.AddIsA(b, a).ok());
+  ASSERT_TRUE(o.AddIsA(a, b).ok());
+  EXPECT_FALSE(o.Finalize().ok());
+}
+
+TEST(OntologyTest, DuplicateAccessionRejected) {
+  Ontology o;
+  o.AddTerm("T:0", "x");
+  o.AddTerm("T:0", "y");
+  EXPECT_FALSE(o.Finalize().ok());
+}
+
+TEST(OntologyTest, SelfEdgeRejected) {
+  Ontology o;
+  const TermId a = o.AddTerm("T:0", "a");
+  EXPECT_FALSE(o.AddIsA(a, a).ok());
+}
+
+TEST(OntologyTest, EdgeToUnknownTermRejected) {
+  Ontology o;
+  const TermId a = o.AddTerm("T:0", "a");
+  EXPECT_FALSE(o.AddIsA(a, 42).ok());
+}
+
+TEST(OntologyTest, ParallelEdgesDeduplicated) {
+  Ontology o;
+  const TermId r = o.AddTerm("T:0", "root");
+  const TermId a = o.AddTerm("T:1", "a");
+  ASSERT_TRUE(o.AddIsA(a, r).ok());
+  ASSERT_TRUE(o.AddIsA(a, r).ok());
+  ASSERT_TRUE(o.Finalize().ok());
+  EXPECT_EQ(o.term(a).parents.size(), 1u);
+  EXPECT_EQ(o.term(r).children.size(), 1u);
+  EXPECT_EQ(o.DescendantCount(r), 1u);
+}
+
+TEST(OntologyTest, MultipleRoots) {
+  Ontology o;
+  o.AddTerm("T:0", "root one");
+  o.AddTerm("T:1", "root two");
+  ASSERT_TRUE(o.Finalize().ok());
+  EXPECT_EQ(o.roots().size(), 2u);
+}
+
+}  // namespace
+}  // namespace ctxrank::ontology

@@ -1,0 +1,116 @@
+#include "ontology/semantic_similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "ontology/mini_go.h"
+
+namespace ctxrank::ontology {
+namespace {
+
+// Diamond with two roots:
+//   r1 -> a -> c, d ;  r1 -> b -> c ;  r2 (separate root) -> e
+Ontology MakeFixture() {
+  Ontology o;
+  const TermId r1 = o.AddTerm("T:0", "root one");
+  const TermId a = o.AddTerm("T:1", "a");
+  const TermId b = o.AddTerm("T:2", "b");
+  const TermId c = o.AddTerm("T:3", "c");
+  const TermId d = o.AddTerm("T:4", "d");
+  const TermId r2 = o.AddTerm("T:5", "root two");
+  const TermId e = o.AddTerm("T:6", "e");
+  EXPECT_TRUE(o.AddIsA(a, r1).ok());
+  EXPECT_TRUE(o.AddIsA(b, r1).ok());
+  EXPECT_TRUE(o.AddIsA(c, a).ok());
+  EXPECT_TRUE(o.AddIsA(c, b).ok());
+  EXPECT_TRUE(o.AddIsA(d, a).ok());
+  EXPECT_TRUE(o.AddIsA(e, r2).ok());
+  EXPECT_TRUE(o.Finalize().ok());
+  return o;
+}
+
+TEST(SemanticSimilarityTest, MicaOfSelfIsSelf) {
+  Ontology o = MakeFixture();
+  EXPECT_EQ(MostInformativeCommonAncestor(o, 3, 3), 3u);
+}
+
+TEST(SemanticSimilarityTest, MicaOfSiblingsIsParent) {
+  Ontology o = MakeFixture();
+  // c and d share ancestor a (and root r1); a is more informative.
+  EXPECT_EQ(MostInformativeCommonAncestor(o, 3, 4), 1u);
+}
+
+TEST(SemanticSimilarityTest, MicaAcrossRootsIsInvalid) {
+  Ontology o = MakeFixture();
+  EXPECT_EQ(MostInformativeCommonAncestor(o, 3, 6), kInvalidTerm);
+  EXPECT_DOUBLE_EQ(ResnikSimilarity(o, 3, 6), 0.0);
+  EXPECT_DOUBLE_EQ(LinSimilarity(o, 3, 6), 0.0);
+}
+
+TEST(SemanticSimilarityTest, AncestorDescendantUsesAncestor) {
+  Ontology o = MakeFixture();
+  EXPECT_EQ(MostInformativeCommonAncestor(o, 1, 3), 1u);
+  EXPECT_DOUBLE_EQ(ResnikSimilarity(o, 1, 3), o.InformationContent(1));
+}
+
+TEST(SemanticSimilarityTest, LinBounds) {
+  Ontology o = MakeFixture();
+  for (TermId a = 0; a < o.size(); ++a) {
+    for (TermId b = 0; b < o.size(); ++b) {
+      const double lin = LinSimilarity(o, a, b);
+      EXPECT_GE(lin, 0.0);
+      EXPECT_LE(lin, 1.0 + 1e-12);
+      EXPECT_NEAR(lin, LinSimilarity(o, b, a), 1e-12);  // Symmetry.
+    }
+  }
+}
+
+TEST(SemanticSimilarityTest, LinOfSelfIsOneForInformativeTerms) {
+  Ontology o = MakeFixture();
+  EXPECT_NEAR(LinSimilarity(o, 3, 3), 1.0, 1e-12);  // Leaf.
+  // With two roots, even r1 is informative (covers 5 of 7 terms).
+  EXPECT_NEAR(LinSimilarity(o, 0, 0), 1.0, 1e-12);
+}
+
+TEST(SemanticSimilarityTest, AllCoveringRootIsUninformative) {
+  // Single root covering everything: I(root) = 0, so Lin degenerates.
+  Ontology o;
+  const TermId root = o.AddTerm("T:0", "root");
+  const TermId leaf = o.AddTerm("T:1", "leaf");
+  ASSERT_TRUE(o.AddIsA(leaf, root).ok());
+  ASSERT_TRUE(o.Finalize().ok());
+  EXPECT_DOUBLE_EQ(LinSimilarity(o, root, root), 0.0);
+  EXPECT_DOUBLE_EQ(ResnikSimilarity(o, root, leaf), 0.0);
+}
+
+TEST(SemanticSimilarityTest, CloserTermsScoreHigher) {
+  Ontology o = MakeFixture();
+  // Siblings under a (c, d) are closer than cross-branch (d under a vs b).
+  EXPECT_GT(LinSimilarity(o, 3, 4), LinSimilarity(o, 4, 2));
+}
+
+TEST(SemanticSimilarityTest, MostSimilarTermsOrdering) {
+  Ontology o = MakeFixture();
+  const auto similar = MostSimilarTerms(o, 4, 3);
+  ASSERT_FALSE(similar.empty());
+  // d's nearest term is its parent a or sibling c — never the foreign
+  // branch e.
+  for (TermId t : similar) EXPECT_NE(t, 6u);
+  // Scores are non-increasing.
+  for (size_t i = 1; i < similar.size(); ++i) {
+    EXPECT_GE(LinSimilarity(o, 4, similar[i - 1]),
+              LinSimilarity(o, 4, similar[i]));
+  }
+}
+
+TEST(SemanticSimilarityTest, MiniGoExample) {
+  Ontology o = MakeMiniGo();
+  const TermId x = o.FindByAccession("GO:0003702");       // RNA pol II TF.
+  const TermId general = o.FindByAccession("GO:0016251");  // A child of X.
+  const TermId cofactor = o.FindByAccession("GO:0003712");  // Sibling of X.
+  ASSERT_NE(x, kInvalidTerm);
+  // X's child is semantically closer to X than X's sibling is.
+  EXPECT_GT(LinSimilarity(o, x, general), LinSimilarity(o, x, cofactor));
+}
+
+}  // namespace
+}  // namespace ctxrank::ontology

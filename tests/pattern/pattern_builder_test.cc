@@ -1,0 +1,207 @@
+#include "pattern/pattern_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ctxrank::pattern {
+namespace {
+
+using Doc = std::vector<text::TermId>;
+
+const Pattern* FindMiddle(const std::vector<Pattern>& patterns,
+                          const std::vector<text::TermId>& middle,
+                          PatternKind kind = PatternKind::kRegular) {
+  for (const auto& p : patterns) {
+    if (p.kind == kind && p.middle == middle) return &p;
+  }
+  return nullptr;
+}
+
+TEST(PatternBuilderTest, ContextWordsBecomePatterns) {
+  // Context term = words {100, 101}; docs mention them.
+  const std::vector<Doc> docs = {{1, 100, 101, 2}, {3, 100, 101, 4}};
+  PatternBuilderOptions opts;
+  opts.miner.min_support = 2;
+  const auto patterns = BuildPatterns(docs, {100, 101}, opts);
+  const Pattern* full = FindMiddle(patterns, {100, 101});
+  ASSERT_NE(full, nullptr);
+  EXPECT_EQ(full->middle_type, MiddleType::kContextOnly);
+  EXPECT_EQ(full->paper_freq, 2);
+  EXPECT_EQ(full->occurrence_freq, 2);
+  // Left/right windows captured.
+  EXPECT_EQ(full->left, (std::vector<text::TermId>{1, 3}));
+  EXPECT_EQ(full->right, (std::vector<text::TermId>{2, 4}));
+}
+
+TEST(PatternBuilderTest, MinedPhrasesBecomeFrequentPatterns) {
+  const std::vector<Doc> docs = {{7, 8, 1}, {7, 8, 2}, {0, 7, 8}};
+  PatternBuilderOptions opts;
+  opts.miner.min_support = 2;
+  const auto patterns = BuildPatterns(docs, {100}, opts);
+  const Pattern* mined = FindMiddle(patterns, {7, 8});
+  ASSERT_NE(mined, nullptr);
+  EXPECT_EQ(mined->middle_type, MiddleType::kFrequentOnly);
+  EXPECT_EQ(mined->paper_freq, 3);
+}
+
+TEST(PatternBuilderTest, MixedMiddleClassified) {
+  // Mined phrase that contains context word 100 -> kMixed.
+  const std::vector<Doc> docs = {{100, 8, 1}, {100, 8, 2}, {3, 100, 8}};
+  PatternBuilderOptions opts;
+  opts.miner.min_support = 2;
+  const auto patterns = BuildPatterns(docs, {100}, opts);
+  const Pattern* mixed = FindMiddle(patterns, {100, 8});
+  ASSERT_NE(mixed, nullptr);
+  EXPECT_EQ(mixed->middle_type, MiddleType::kMixed);
+}
+
+TEST(PatternBuilderTest, WindowBoundsRespected) {
+  const std::vector<Doc> docs = {{1, 2, 3, 100, 4, 5, 6},
+                                 {1, 2, 3, 100, 4, 5, 6}};
+  PatternBuilderOptions opts;
+  opts.window = 2;
+  opts.miner.min_support = 2;
+  const auto patterns = BuildPatterns(docs, {100}, opts);
+  const Pattern* p = FindMiddle(patterns, {100});
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->left, (std::vector<text::TermId>{2, 3}));
+  EXPECT_EQ(p->right, (std::vector<text::TermId>{4, 5}));
+}
+
+TEST(PatternBuilderTest, OccurrenceAtDocumentEdges) {
+  const std::vector<Doc> docs = {{100, 1}, {2, 100}};
+  PatternBuilderOptions opts;
+  opts.miner.min_support = 2;
+  const auto patterns = BuildPatterns(docs, {100}, opts);
+  const Pattern* p = FindMiddle(patterns, {100});
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->occurrence_freq, 2);
+  EXPECT_EQ(p->left, (std::vector<text::TermId>{2}));
+  EXPECT_EQ(p->right, (std::vector<text::TermId>{1}));
+}
+
+TEST(PatternBuilderTest, EmptyTrainingDocsYieldNothing) {
+  EXPECT_TRUE(BuildPatterns({}, {100}, {}).empty());
+}
+
+TEST(PatternBuilderTest, MaxRegularCapEnforced) {
+  std::vector<Doc> docs(3);
+  for (text::TermId w = 0; w < 50; ++w) {
+    docs[0].push_back(w);
+    docs[1].push_back(w);
+    docs[2].push_back(w);
+  }
+  PatternBuilderOptions opts;
+  opts.miner.min_support = 2;
+  opts.max_regular_patterns = 10;
+  opts.build_extended = false;
+  const auto patterns = BuildPatterns(docs, {0, 1}, opts);
+  EXPECT_LE(patterns.size(), 10u);
+}
+
+TEST(SideJoinTest, JoinsOnRightLeftOverlap) {
+  Pattern p1, p2;
+  p1.middle = {1};
+  p1.left = {10};
+  p1.right = {20, 21};
+  p1.occurrence_freq = 5;
+  p1.paper_freq = 3;
+  p2.middle = {2};
+  p2.left = {21, 30};
+  p2.right = {40};
+  p2.occurrence_freq = 4;
+  p2.paper_freq = 2;
+  Pattern joined;
+  ASSERT_TRUE(TrySideJoin(p1, p2, &joined));
+  EXPECT_EQ(joined.kind, PatternKind::kSideJoined);
+  EXPECT_EQ(joined.middle, (std::vector<text::TermId>{1, 2}));
+  EXPECT_EQ(joined.left, p1.left);
+  EXPECT_EQ(joined.right, p2.right);
+  EXPECT_EQ(joined.occurrence_freq, 4);  // min.
+  EXPECT_EQ(joined.paper_freq, 2);       // min.
+}
+
+TEST(SideJoinTest, NoOverlapNoJoin) {
+  Pattern p1, p2;
+  p1.middle = {1};
+  p1.right = {20};
+  p2.middle = {2};
+  p2.left = {30};
+  Pattern joined;
+  EXPECT_FALSE(TrySideJoin(p1, p2, &joined));
+}
+
+TEST(SideJoinTest, IdenticalMiddlesNotJoined) {
+  Pattern p1, p2;
+  p1.middle = p2.middle = {1};
+  p1.right = {5};
+  p2.left = {5};
+  Pattern joined;
+  EXPECT_FALSE(TrySideJoin(p1, p2, &joined));
+}
+
+TEST(MiddleJoinTest, JoinsOnMiddleSideOverlap) {
+  Pattern p1, p2;
+  p1.middle = {1, 2};   // 2 overlaps p2's left.
+  p1.left = {9};
+  p1.right = {11};
+  p2.middle = {3};
+  p2.left = {2};
+  p2.right = {12};
+  Pattern joined;
+  ASSERT_TRUE(TryMiddleJoin(p1, p2, &joined));
+  EXPECT_EQ(joined.kind, PatternKind::kMiddleJoined);
+  EXPECT_DOUBLE_EQ(joined.doo1, 0.5);  // |{2}| / |{1,2}|.
+  EXPECT_DOUBLE_EQ(joined.doo2, 0.0);  // p2.middle {3} not in p1 sides.
+}
+
+TEST(MiddleJoinTest, BothDirectionsOfOverlapMeasured) {
+  Pattern p1, p2;
+  p1.middle = {1};
+  p1.left = {3};
+  p2.middle = {3};
+  p2.right = {1};
+  Pattern joined;
+  ASSERT_TRUE(TryMiddleJoin(p1, p2, &joined));
+  EXPECT_DOUBLE_EQ(joined.doo1, 1.0);
+  EXPECT_DOUBLE_EQ(joined.doo2, 1.0);
+}
+
+TEST(PatternBuilderTest, ExtendedPatternsRecordComponents) {
+  // Construct docs so that two different middles occur with overlapping
+  // windows.
+  const std::vector<Doc> docs = {{100, 5, 200, 6}, {100, 5, 200, 6},
+                                 {7, 100, 5, 200}};
+  PatternBuilderOptions opts;
+  opts.miner.min_support = 2;
+  opts.build_extended = true;
+  const auto patterns = BuildPatterns(docs, {100, 200}, opts);
+  bool found_extended = false;
+  for (const auto& p : patterns) {
+    if (p.kind == PatternKind::kRegular) continue;
+    found_extended = true;
+    ASSERT_GE(p.component1, 0);
+    ASSERT_GE(p.component2, 0);
+    EXPECT_LT(static_cast<size_t>(p.component1), patterns.size());
+    EXPECT_LT(static_cast<size_t>(p.component2), patterns.size());
+    EXPECT_EQ(patterns[static_cast<size_t>(p.component1)].kind,
+              PatternKind::kRegular);
+  }
+  EXPECT_TRUE(found_extended);
+}
+
+TEST(PatternToStringTest, RendersReadably) {
+  text::Vocabulary v;
+  const auto a = v.GetOrAdd("alpha");
+  const auto b = v.GetOrAdd("beta");
+  const auto c = v.GetOrAdd("gamma");
+  Pattern p;
+  p.left = {a};
+  p.middle = {b};
+  p.right = {c};
+  EXPECT_EQ(PatternToString(p, v), "{alpha} [beta] {gamma}");
+}
+
+}  // namespace
+}  // namespace ctxrank::pattern

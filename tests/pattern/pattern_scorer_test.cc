@@ -1,0 +1,132 @@
+#include "pattern/pattern_scorer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ctxrank::pattern {
+namespace {
+
+Pattern Regular(std::vector<text::TermId> middle, MiddleType type,
+                int occ = 1, int papers = 1) {
+  Pattern p;
+  p.kind = PatternKind::kRegular;
+  p.middle = std::move(middle);
+  p.middle_type = type;
+  p.occurrence_freq = occ;
+  p.paper_freq = papers;
+  return p;
+}
+
+PatternScorer MakeScorer(double coverage = 0.5,
+                         PatternScorerOptions opts = {}) {
+  return PatternScorer(
+      [coverage](const std::vector<text::TermId>&) { return coverage; },
+      [](text::TermId w) { return w >= 100 ? 0.8 : 0.0; }, opts);
+}
+
+TEST(PatternScorerTest, MiddleTypeOrdering) {
+  // Same stats, different middle types: frequent < context < mixed.
+  const PatternScorer scorer = MakeScorer();
+  const double f =
+      scorer.ScoreRegular(Regular({1}, MiddleType::kFrequentOnly));
+  const double c =
+      scorer.ScoreRegular(Regular({1}, MiddleType::kContextOnly));
+  const double m = scorer.ScoreRegular(Regular({1}, MiddleType::kMixed));
+  EXPECT_LT(f, c);
+  EXPECT_LT(c, m);
+}
+
+TEST(PatternScorerTest, SelectiveContextWordsScoreHigher) {
+  const PatternScorer scorer = MakeScorer();
+  // Word 100 has selectivity 0.8; word 1 has 0.
+  const double with_ctx =
+      scorer.ScoreRegular(Regular({100}, MiddleType::kContextOnly));
+  const double without =
+      scorer.ScoreRegular(Regular({1}, MiddleType::kContextOnly));
+  EXPECT_GT(with_ctx, without);
+}
+
+TEST(PatternScorerTest, RareMiddlesOutscoreUbiquitousOnes) {
+  // PaperCoverage enters as (1/coverage)^t.
+  const PatternScorer rare = MakeScorer(0.01);
+  const PatternScorer common = MakeScorer(1.0);
+  const Pattern p = Regular({1}, MiddleType::kContextOnly);
+  EXPECT_GT(rare.ScoreRegular(p), common.ScoreRegular(p));
+}
+
+TEST(PatternScorerTest, CoverageExponentT) {
+  PatternScorerOptions t0, t1;
+  t0.t = 0.0;
+  t1.t = 1.0;
+  const Pattern p = Regular({1}, MiddleType::kContextOnly);
+  const double base = MakeScorer(0.1, t0).ScoreRegular(p);
+  const double amplified = MakeScorer(0.1, t1).ScoreRegular(p);
+  EXPECT_NEAR(amplified, base * 10.0, 1e-9);
+}
+
+TEST(PatternScorerTest, FrequencyTermGrows) {
+  const PatternScorer scorer = MakeScorer();
+  const double lo = scorer.ScoreRegular(
+      Regular({1}, MiddleType::kContextOnly, 1, 1));
+  const double hi = scorer.ScoreRegular(
+      Regular({1}, MiddleType::kContextOnly, 50, 10));
+  EXPECT_GT(hi, lo);
+}
+
+TEST(PatternScorerTest, ZeroCoverageClamped) {
+  const PatternScorer scorer = MakeScorer(0.0);
+  const double s =
+      scorer.ScoreRegular(Regular({1}, MiddleType::kContextOnly));
+  EXPECT_TRUE(std::isfinite(s));
+  EXPECT_GT(s, 0.0);
+}
+
+TEST(PatternScorerTest, ScoreAllSideJoinedIsSquaredSum) {
+  std::vector<Pattern> patterns;
+  patterns.push_back(Regular({1}, MiddleType::kContextOnly));
+  patterns.push_back(Regular({2}, MiddleType::kContextOnly));
+  Pattern side;
+  side.kind = PatternKind::kSideJoined;
+  side.middle = {1, 2};
+  side.component1 = 0;
+  side.component2 = 1;
+  patterns.push_back(side);
+  const PatternScorer scorer = MakeScorer();
+  scorer.ScoreAll(patterns);
+  const double s1 = patterns[0].score, s2 = patterns[1].score;
+  EXPECT_NEAR(patterns[2].score, (s1 + s2) * (s1 + s2), 1e-9);
+}
+
+TEST(PatternScorerTest, ScoreAllMiddleJoinedIsDooWeighted) {
+  std::vector<Pattern> patterns;
+  patterns.push_back(Regular({1}, MiddleType::kContextOnly));
+  patterns.push_back(Regular({2}, MiddleType::kFrequentOnly));
+  Pattern mid;
+  mid.kind = PatternKind::kMiddleJoined;
+  mid.middle = {1, 2};
+  mid.component1 = 0;
+  mid.component2 = 1;
+  mid.doo1 = 0.5;
+  mid.doo2 = 0.25;
+  patterns.push_back(mid);
+  const PatternScorer scorer = MakeScorer();
+  scorer.ScoreAll(patterns);
+  EXPECT_NEAR(patterns[2].score,
+              0.5 * patterns[0].score + 0.25 * patterns[1].score, 1e-9);
+}
+
+TEST(PatternScorerTest, ExtendedWithMissingComponentsScoresZero) {
+  std::vector<Pattern> patterns;
+  Pattern orphan;
+  orphan.kind = PatternKind::kSideJoined;
+  orphan.middle = {1};
+  orphan.component1 = -1;
+  orphan.component2 = -1;
+  patterns.push_back(orphan);
+  MakeScorer().ScoreAll(patterns);
+  EXPECT_DOUBLE_EQ(patterns[0].score, 0.0);
+}
+
+}  // namespace
+}  // namespace ctxrank::pattern

@@ -1,0 +1,131 @@
+#include "pattern/phrase_miner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ctxrank::pattern {
+namespace {
+
+using Doc = std::vector<text::TermId>;
+
+const MinedPhrase* Find(const std::vector<MinedPhrase>& phrases,
+                        const std::vector<text::TermId>& words) {
+  for (const auto& p : phrases) {
+    if (p.words == words) return &p;
+  }
+  return nullptr;
+}
+
+TEST(PhraseMinerTest, FindsFrequentUnigrams) {
+  const std::vector<Doc> docs = {{1, 2, 3}, {1, 4, 5}, {1, 2}};
+  PhraseMinerOptions opts;
+  opts.min_support = 2;
+  const auto phrases = MineFrequentPhrases(docs, opts);
+  const MinedPhrase* one = Find(phrases, {1});
+  ASSERT_NE(one, nullptr);
+  EXPECT_EQ(one->support, 3);
+  EXPECT_EQ(one->occurrences, 3);
+  const MinedPhrase* two = Find(phrases, {2});
+  ASSERT_NE(two, nullptr);
+  EXPECT_EQ(two->support, 2);
+  EXPECT_EQ(Find(phrases, {4}), nullptr);  // Support 1 < 2.
+}
+
+TEST(PhraseMinerTest, FindsContiguousBigrams) {
+  const std::vector<Doc> docs = {{7, 8, 1}, {2, 7, 8}, {7, 9, 8}};
+  PhraseMinerOptions opts;
+  opts.min_support = 2;
+  const auto phrases = MineFrequentPhrases(docs, opts);
+  const MinedPhrase* bigram = Find(phrases, {7, 8});
+  ASSERT_NE(bigram, nullptr);        // Contiguous in docs 0, 1.
+  EXPECT_EQ(bigram->support, 2);     // Doc 2 has 7 and 8 but not adjacent.
+}
+
+TEST(PhraseMinerTest, ExtendsToTrigrams) {
+  const std::vector<Doc> docs = {{1, 2, 3, 9}, {0, 1, 2, 3}, {1, 2, 3}};
+  PhraseMinerOptions opts;
+  opts.min_support = 3;
+  const auto phrases = MineFrequentPhrases(docs, opts);
+  EXPECT_NE(Find(phrases, {1, 2, 3}), nullptr);
+}
+
+TEST(PhraseMinerTest, MaxLengthRespected) {
+  const std::vector<Doc> docs = {{1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}};
+  PhraseMinerOptions opts;
+  opts.min_support = 2;
+  opts.max_phrase_length = 3;
+  const auto phrases = MineFrequentPhrases(docs, opts);
+  for (const auto& p : phrases) EXPECT_LE(p.words.size(), 3u);
+  EXPECT_NE(Find(phrases, {1, 2, 3}), nullptr);
+  EXPECT_EQ(Find(phrases, {1, 2, 3, 4}), nullptr);
+}
+
+TEST(PhraseMinerTest, OccurrencesCountRepeats) {
+  const std::vector<Doc> docs = {{5, 5, 5}, {5}};
+  PhraseMinerOptions opts;
+  opts.min_support = 2;
+  const auto phrases = MineFrequentPhrases(docs, opts);
+  const MinedPhrase* p = Find(phrases, {5});
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->support, 2);
+  EXPECT_EQ(p->occurrences, 4);
+}
+
+TEST(PhraseMinerTest, CapPerLengthKeepsStrongest) {
+  std::vector<Doc> docs;
+  // 30 words, each in 2 docs; word 0 in all 5.
+  for (int d = 0; d < 5; ++d) {
+    Doc doc = {0};
+    for (text::TermId w = 1; w <= 30; ++w) {
+      if (static_cast<int>(w % 5) == d || static_cast<int>((w + 1) % 5) == d) {
+        doc.push_back(w);
+      }
+    }
+    docs.push_back(doc);
+  }
+  PhraseMinerOptions opts;
+  opts.min_support = 2;
+  opts.max_phrases_per_length = 5;
+  opts.max_phrase_length = 1;
+  const auto phrases = MineFrequentPhrases(docs, opts);
+  EXPECT_LE(phrases.size(), 5u);
+  EXPECT_NE(Find(phrases, {0}), nullptr);  // The strongest survives.
+}
+
+TEST(PhraseMinerTest, EmptyInputsHandled) {
+  EXPECT_TRUE(MineFrequentPhrases({}, {}).empty());
+  PhraseMinerOptions opts;
+  opts.min_support = 0;
+  EXPECT_TRUE(MineFrequentPhrases({{1, 2}}, opts).empty());
+  const std::vector<Doc> empty_docs = {{}, {}};
+  EXPECT_TRUE(MineFrequentPhrases(empty_docs, {}).empty());
+}
+
+TEST(PhraseMinerTest, AprioriMonotonicity) {
+  // Property: every frequent phrase's support <= support of each of its
+  // sub-phrases (downward closure).
+  const std::vector<Doc> docs = {
+      {1, 2, 3, 4}, {1, 2, 3}, {2, 3, 4}, {1, 2}, {3, 4, 1, 2}};
+  PhraseMinerOptions opts;
+  opts.min_support = 2;
+  const auto phrases = MineFrequentPhrases(docs, opts);
+  for (const auto& p : phrases) {
+    if (p.words.size() < 2) continue;
+    const std::vector<text::TermId> prefix(p.words.begin(),
+                                           p.words.end() - 1);
+    const std::vector<text::TermId> suffix(p.words.begin() + 1,
+                                           p.words.end());
+    const MinedPhrase* pre = Find(phrases, prefix);
+    const MinedPhrase* suf = Find(phrases, suffix);
+    if (pre != nullptr) {
+      EXPECT_LE(p.support, pre->support);
+    }
+    if (suf != nullptr) {
+      EXPECT_LE(p.support, suf->support);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ctxrank::pattern

@@ -1,0 +1,96 @@
+#include "text/bm25.h"
+
+#include <gtest/gtest.h>
+
+namespace ctxrank::text {
+namespace {
+
+class Bm25Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Term 0: rare (doc 10 only); term 1: common (all docs); term 2:
+    // moderately common.
+    index_.Add(10, {0, 1, 2});
+    index_.Add(20, {1, 2, 2, 2});
+    index_.Add(30, {1});
+    index_.Finalize();
+  }
+  Bm25Index index_;
+};
+
+TEST_F(Bm25Test, BasicRetrieval) {
+  const auto hits = index_.Search({0});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc, 10u);
+  EXPECT_GT(hits[0].score, 0.0);
+}
+
+TEST_F(Bm25Test, UbiquitousTermScoresLow) {
+  // Term 1 appears in every document: tiny but positive idf (Lucene
+  // formulation), far below a rare term's contribution.
+  const auto hits = index_.Search({1});
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_GT(index_.Score({0}, 10), 3.0 * hits[0].score);
+}
+
+TEST_F(Bm25Test, RareTermBeatsCommonTerm) {
+  // Doc 10 has the rare term; doc 20 only the moderately common one.
+  const auto hits = index_.Search({0, 2});
+  ASSERT_GE(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc, 10u);
+}
+
+TEST_F(Bm25Test, TermFrequencySaturates) {
+  // Doc 20 has tf(2) = 3 vs doc 10's tf(2) = 1, but scores grow sublinearly.
+  const double s10 = index_.Score({2}, 10);
+  const double s20 = index_.Score({2}, 20);
+  EXPECT_GT(s20, s10);
+  EXPECT_LT(s20, 3.0 * s10);
+}
+
+TEST_F(Bm25Test, ScoreMatchesSearch) {
+  const auto hits = index_.Search({0, 2});
+  for (const auto& h : hits) {
+    EXPECT_NEAR(index_.Score({0, 2}, h.doc), h.score, 1e-12);
+  }
+}
+
+TEST_F(Bm25Test, UnknownDocAndTermScoreZero) {
+  EXPECT_DOUBLE_EQ(index_.Score({0}, 999), 0.0);
+  EXPECT_DOUBLE_EQ(index_.Score({12345}, 10), 0.0);
+  EXPECT_TRUE(index_.Search({12345}).empty());
+}
+
+TEST_F(Bm25Test, SearchBeforeFinalizeEmpty) {
+  Bm25Index fresh;
+  fresh.Add(1, {0});
+  EXPECT_TRUE(fresh.Search({0}).empty());
+}
+
+TEST_F(Bm25Test, AverageLength) {
+  EXPECT_NEAR(index_.average_doc_length(), (3 + 4 + 1) / 3.0, 1e-12);
+  EXPECT_EQ(index_.num_documents(), 3u);
+}
+
+TEST(Bm25OptionsTest, LengthNormalizationPenalizesLongDocs) {
+  // Same tf, different lengths: with b = 1 the longer doc scores lower;
+  // with b = 0 they tie.
+  Bm25Options full;
+  full.b = 1.0;
+  Bm25Index norm(full);
+  norm.Add(0, {5, 1, 1, 1, 1, 1, 1, 1});
+  norm.Add(1, {5, 2});
+  norm.Finalize();
+  EXPECT_GT(norm.Score({5}, 1), norm.Score({5}, 0));
+
+  Bm25Options off;
+  off.b = 0.0;
+  Bm25Index flat(off);
+  flat.Add(0, {5, 1, 1, 1, 1, 1, 1, 1});
+  flat.Add(1, {5, 2});
+  flat.Finalize();
+  EXPECT_NEAR(flat.Score({5}, 1), flat.Score({5}, 0), 1e-12);
+}
+
+}  // namespace
+}  // namespace ctxrank::text

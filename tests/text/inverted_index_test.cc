@@ -1,0 +1,81 @@
+#include "text/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace ctxrank::text {
+namespace {
+
+SparseVector Vec(std::vector<SparseVector::Entry> e) {
+  auto v = SparseVector::FromUnsorted(std::move(e));
+  v.L2Normalize();
+  return v;
+}
+
+class InvertedIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index_.Add(10, Vec({{0, 1.0}, {1, 1.0}}));
+    index_.Add(20, Vec({{1, 1.0}, {2, 1.0}}));
+    index_.Add(30, Vec({{3, 1.0}}));
+  }
+  InvertedIndex index_;
+};
+
+TEST_F(InvertedIndexTest, CountsDocuments) {
+  EXPECT_EQ(index_.num_documents(), 3u);
+}
+
+TEST_F(InvertedIndexTest, FindsMatchingDocs) {
+  const auto hits = index_.Search(Vec({{1, 1.0}}), 0.0);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].score, hits[1].score);
+}
+
+TEST_F(InvertedIndexTest, ScoreEqualsCosine) {
+  const auto q = Vec({{0, 1.0}, {1, 1.0}});
+  const auto hits = index_.Search(q, 0.0);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].doc, 10u);
+  EXPECT_NEAR(hits[0].score, 1.0, 1e-12);  // Identical normalized vector.
+}
+
+TEST_F(InvertedIndexTest, ThresholdFilters) {
+  const auto q = Vec({{0, 1.0}, {1, 1.0}});
+  // doc 20 scores 0.5 against q; doc 10 scores 1.0.
+  const auto hits = index_.Search(q, 0.9);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc, 10u);
+}
+
+TEST_F(InvertedIndexTest, NoMatchForUnknownTerm) {
+  EXPECT_TRUE(index_.Search(Vec({{99, 1.0}}), 0.0).empty());
+}
+
+TEST_F(InvertedIndexTest, TopKTruncates) {
+  const auto hits = index_.SearchTopK(Vec({{1, 1.0}}), 1);
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST_F(InvertedIndexTest, ResultsSortedByScoreThenDoc) {
+  const auto hits = index_.Search(Vec({{1, 1.0}}), 0.0);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_LT(hits[0].doc, hits[1].doc);  // Equal scores -> ascending doc id.
+}
+
+TEST(InvertedIndexEdgeTest, EmptyIndexAndEmptyQuery) {
+  InvertedIndex idx;
+  EXPECT_TRUE(idx.Search(Vec({{0, 1.0}}), 0.0).empty());
+  idx.Add(1, Vec({{0, 1.0}}));
+  EXPECT_TRUE(idx.Search(SparseVector(), 0.0).empty());
+}
+
+TEST(InvertedIndexEdgeTest, SparseDocIdsWork) {
+  InvertedIndex idx;
+  idx.Add(1000000, Vec({{5, 2.0}}));
+  const auto hits = idx.Search(Vec({{5, 1.0}}), 0.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc, 1000000u);
+}
+
+}  // namespace
+}  // namespace ctxrank::text

@@ -1,0 +1,89 @@
+#include "text/porter_stemmer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ctxrank::text {
+namespace {
+
+struct StemCase {
+  const char* word;
+  const char* stem;
+};
+
+class PorterStemmerParamTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemmerParamTest, MatchesReferenceStem) {
+  const StemCase& c = GetParam();
+  EXPECT_EQ(PorterStem(c.word), c.stem) << "word=" << c.word;
+}
+
+// Reference pairs from Porter's published vocabulary examples.
+INSTANTIATE_TEST_SUITE_P(
+    ReferenceVocabulary, PorterStemmerParamTest,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"hesitanci", "hesit"},
+        StemCase{"digitizer", "digit"}, StemCase{"conformabli", "conform"},
+        StemCase{"radicalli", "radic"}, StemCase{"differentli", "differ"},
+        StemCase{"vileli", "vile"}, StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"},
+        StemCase{"predication", "predic"}, StemCase{"operator", "oper"},
+        StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"}, StemCase{"hopefulness", "hope"},
+        StemCase{"callousness", "callous"}, StemCase{"formaliti", "formal"},
+        StemCase{"sensitiviti", "sensit"}, StemCase{"sensibiliti", "sensibl"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electriciti", "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"gyroscopic", "gyroscop"},
+        StemCase{"adjustable", "adjust"}, StemCase{"defensible", "defens"},
+        StemCase{"irritant", "irrit"}, StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"}, StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"}, StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"homologous", "homolog"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize", "bowdler"},
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST(PorterStemmerTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("at"), "at");
+  EXPECT_EQ(PorterStem("be"), "be");
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(PorterStemmerTest, IdempotentOnCommonStems) {
+  for (const char* w : {"transcript", "bind", "regul", "activ"}) {
+    const std::string once = PorterStem(w);
+    EXPECT_EQ(PorterStem(once), once) << w;
+  }
+}
+
+TEST(PorterStemmerTest, DomainWordsCollapseTogether) {
+  EXPECT_EQ(PorterStem("binding"), PorterStem("bind"));
+  EXPECT_EQ(PorterStem("regulation"), PorterStem("regulate"));
+  EXPECT_EQ(PorterStem("activation"), PorterStem("activate"));
+}
+
+}  // namespace
+}  // namespace ctxrank::text

@@ -1,0 +1,150 @@
+#include "text/sparse_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ctxrank::text {
+namespace {
+
+TEST(SparseVectorTest, FromUnsortedSortsAndMerges) {
+  auto v = SparseVector::FromUnsorted({{5, 1.0}, {2, 2.0}, {5, 3.0}});
+  ASSERT_EQ(v.nnz(), 2u);
+  EXPECT_EQ(v.entries()[0].term, 2u);
+  EXPECT_DOUBLE_EQ(v.entries()[0].weight, 2.0);
+  EXPECT_EQ(v.entries()[1].term, 5u);
+  EXPECT_DOUBLE_EQ(v.entries()[1].weight, 4.0);
+}
+
+TEST(SparseVectorTest, ZeroWeightsDropped) {
+  auto v = SparseVector::FromUnsorted({{1, 1.0}, {1, -1.0}, {2, 0.0}});
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SparseVectorTest, WeightOf) {
+  auto v = SparseVector::FromUnsorted({{3, 1.5}, {7, 2.5}});
+  EXPECT_DOUBLE_EQ(v.WeightOf(3), 1.5);
+  EXPECT_DOUBLE_EQ(v.WeightOf(7), 2.5);
+  EXPECT_DOUBLE_EQ(v.WeightOf(4), 0.0);
+}
+
+TEST(SparseVectorTest, DotDisjointIsZero) {
+  auto a = SparseVector::FromUnsorted({{1, 1.0}, {3, 2.0}});
+  auto b = SparseVector::FromUnsorted({{2, 5.0}, {4, 7.0}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 0.0);
+}
+
+TEST(SparseVectorTest, DotOverlap) {
+  auto a = SparseVector::FromUnsorted({{1, 2.0}, {3, 3.0}});
+  auto b = SparseVector::FromUnsorted({{3, 4.0}, {9, 1.0}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 12.0);
+  EXPECT_DOUBLE_EQ(b.Dot(a), 12.0);  // Symmetry.
+}
+
+TEST(SparseVectorTest, NormAndNormalize) {
+  auto v = SparseVector::FromUnsorted({{0, 3.0}, {1, 4.0}});
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  v.L2Normalize();
+  EXPECT_NEAR(v.Norm(), 1.0, 1e-12);
+}
+
+TEST(SparseVectorTest, NormalizeZeroVectorIsNoop) {
+  SparseVector v;
+  v.L2Normalize();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SparseVectorTest, CosineSelfIsOne) {
+  auto v = SparseVector::FromUnsorted({{1, 0.5}, {9, 2.0}});
+  EXPECT_NEAR(v.Cosine(v), 1.0, 1e-12);
+}
+
+TEST(SparseVectorTest, CosineWithZeroVectorIsZero) {
+  auto v = SparseVector::FromUnsorted({{1, 1.0}});
+  SparseVector zero;
+  EXPECT_DOUBLE_EQ(v.Cosine(zero), 0.0);
+}
+
+TEST(SparseVectorTest, ScaleMultipliesWeights) {
+  auto v = SparseVector::FromUnsorted({{1, 2.0}});
+  v.Scale(2.5);
+  EXPECT_DOUBLE_EQ(v.WeightOf(1), 5.0);
+}
+
+TEST(SparseVectorTest, AddScaledMergesTerms) {
+  auto a = SparseVector::FromUnsorted({{1, 1.0}, {2, 1.0}});
+  auto b = SparseVector::FromUnsorted({{2, 1.0}, {3, 1.0}});
+  a.AddScaled(b, 2.0);
+  EXPECT_DOUBLE_EQ(a.WeightOf(1), 1.0);
+  EXPECT_DOUBLE_EQ(a.WeightOf(2), 3.0);
+  EXPECT_DOUBLE_EQ(a.WeightOf(3), 2.0);
+}
+
+TEST(SparseVectorTest, AddScaledIntoEmpty) {
+  SparseVector a;
+  auto b = SparseVector::FromUnsorted({{4, 2.0}});
+  a.AddScaled(b, 0.5);
+  EXPECT_DOUBLE_EQ(a.WeightOf(4), 1.0);
+}
+
+TEST(SparseVectorTest, FromCountsMatchesFromUnsorted) {
+  const auto a = SparseVector::FromCounts({{3, 2.0}, {1, 1.0}, {3, 1.0}});
+  const auto b =
+      SparseVector::FromUnsorted({{3, 2.0}, {1, 1.0}, {3, 1.0}});
+  ASSERT_EQ(a.nnz(), b.nnz());
+  EXPECT_DOUBLE_EQ(a.WeightOf(3), 3.0);
+  EXPECT_DOUBLE_EQ(a.WeightOf(1), 1.0);
+}
+
+// Property sweep: cosine is bounded and symmetric on random vectors.
+class SparseVectorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SparseVectorPropertyTest, CosineBoundedAndSymmetric) {
+  Rng rng(GetParam());
+  auto random_vec = [&]() {
+    std::vector<SparseVector::Entry> entries;
+    const size_t n = 1 + rng.NextBounded(20);
+    for (size_t i = 0; i < n; ++i) {
+      entries.push_back({static_cast<TermId>(rng.NextBounded(30)),
+                         rng.NextDouble() * 4.0 - 2.0});
+    }
+    return SparseVector::FromUnsorted(std::move(entries));
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = random_vec();
+    const auto b = random_vec();
+    const double c1 = a.Cosine(b), c2 = b.Cosine(a);
+    EXPECT_NEAR(c1, c2, 1e-12);
+    EXPECT_LE(std::fabs(c1), 1.0 + 1e-9);
+  }
+}
+
+TEST_P(SparseVectorPropertyTest, DotMatchesDenseComputation) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> da(40, 0.0), db(40, 0.0);
+    std::vector<SparseVector::Entry> ea, eb;
+    for (int i = 0; i < 15; ++i) {
+      const TermId t1 = static_cast<TermId>(rng.NextBounded(40));
+      const TermId t2 = static_cast<TermId>(rng.NextBounded(40));
+      const double w1 = rng.NextDouble(), w2 = rng.NextDouble();
+      da[t1] += w1;
+      ea.push_back({t1, w1});
+      db[t2] += w2;
+      eb.push_back({t2, w2});
+    }
+    const auto a = SparseVector::FromUnsorted(std::move(ea));
+    const auto b = SparseVector::FromUnsorted(std::move(eb));
+    double expected = 0.0;
+    for (size_t i = 0; i < 40; ++i) expected += da[i] * db[i];
+    EXPECT_NEAR(a.Dot(b), expected, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseVectorPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace ctxrank::text

@@ -1,0 +1,104 @@
+// Tests for stopwords, Vocabulary, Analyzer.
+#include <gtest/gtest.h>
+
+#include "text/analyzer.h"
+#include "text/stopwords.h"
+#include "text/vocabulary.h"
+
+namespace ctxrank::text {
+namespace {
+
+TEST(StopwordsTest, CommonWordsAreStopwords) {
+  for (const char* w : {"the", "and", "of", "is", "a", "with", "however"}) {
+    EXPECT_TRUE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, ContentWordsAreNot) {
+  for (const char* w : {"gene", "protein", "transcription", "kinase"}) {
+    EXPECT_FALSE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, CaseSensitiveLowerOnly) {
+  // The contract is lower-case input; "The" is not in the list.
+  EXPECT_FALSE(IsStopword("The"));
+}
+
+TEST(StopwordsTest, CountMatchesList) { EXPECT_EQ(StopwordCount(), 180u); }
+
+TEST(VocabularyTest, InternsAndLooksUp) {
+  Vocabulary v;
+  const TermId a = v.GetOrAdd("alpha");
+  const TermId b = v.GetOrAdd("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.GetOrAdd("alpha"), a);
+  EXPECT_EQ(v.Lookup("alpha"), a);
+  EXPECT_EQ(v.Lookup("gamma"), kInvalidTermId);
+  EXPECT_EQ(v.term(a), "alpha");
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(VocabularyTest, DenseIdsInInsertionOrder) {
+  Vocabulary v;
+  EXPECT_EQ(v.GetOrAdd("x"), 0u);
+  EXPECT_EQ(v.GetOrAdd("y"), 1u);
+  EXPECT_EQ(v.GetOrAdd("z"), 2u);
+}
+
+TEST(AnalyzerTest, FullPipeline) {
+  Analyzer a;
+  // "the" is a stopword; "binding" stems to "bind".
+  EXPECT_EQ(a.Analyze("the binding of proteins"),
+            (std::vector<std::string>{"bind", "protein"}));
+}
+
+TEST(AnalyzerTest, NoStemmingOption) {
+  AnalyzerOptions opts;
+  opts.stem = false;
+  Analyzer a(opts);
+  EXPECT_EQ(a.Analyze("binding proteins"),
+            (std::vector<std::string>{"binding", "proteins"}));
+}
+
+TEST(AnalyzerTest, KeepStopwordsOption) {
+  AnalyzerOptions opts;
+  opts.remove_stopwords = false;
+  opts.stem = false;
+  Analyzer a(opts);
+  EXPECT_EQ(a.Analyze("the gene"),
+            (std::vector<std::string>{"the", "gene"}));
+}
+
+TEST(AnalyzerTest, AnalyzeToIdsGrowsVocabulary) {
+  Analyzer a;
+  Vocabulary v;
+  const auto ids = a.AnalyzeToIds("protein binding protein", v);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], ids[2]);  // Same word interned to the same id.
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(AnalyzerTest, AnalyzeToKnownIdsDropsUnknowns) {
+  Analyzer a;
+  Vocabulary v;
+  a.AnalyzeToIds("protein binding", v);
+  const auto ids = a.AnalyzeToKnownIds("protein kinase", v);
+  EXPECT_EQ(ids.size(), 1u);  // "kinase" unknown, dropped.
+}
+
+TEST(AnalyzerTest, QueryAndDocumentAgree) {
+  // The same surface word in a query and a document must map to the same
+  // term id — the invariant search correctness depends on.
+  Analyzer a;
+  Vocabulary v;
+  const auto doc = a.AnalyzeToIds("transcriptional regulation", v);
+  const auto query = a.AnalyzeToKnownIds("regulation transcriptional", v);
+  ASSERT_EQ(doc.size(), 2u);
+  ASSERT_EQ(query.size(), 2u);
+  EXPECT_EQ(doc[0], query[1]);
+  EXPECT_EQ(doc[1], query[0]);
+}
+
+}  // namespace
+}  // namespace ctxrank::text

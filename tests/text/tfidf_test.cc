@@ -1,0 +1,87 @@
+#include "text/tfidf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ctxrank::text {
+namespace {
+
+TEST(TfIdfTest, DocumentFrequencies) {
+  TfIdfModel m;
+  m.Fit({{0, 1, 1}, {1, 2}, {2}}, 3);
+  EXPECT_EQ(m.num_documents(), 3u);
+  EXPECT_EQ(m.DocumentFrequency(0), 1u);
+  EXPECT_EQ(m.DocumentFrequency(1), 2u);  // Repetition counts once per doc.
+  EXPECT_EQ(m.DocumentFrequency(2), 2u);
+  EXPECT_EQ(m.DocumentFrequency(99), 0u);
+}
+
+TEST(TfIdfTest, IdfValues) {
+  TfIdfModel m;
+  m.Fit({{0}, {0, 1}}, 2);
+  EXPECT_NEAR(m.Idf(0), 0.0, 1e-12);              // In every doc.
+  EXPECT_NEAR(m.Idf(1), std::log(2.0), 1e-12);    // In half.
+  EXPECT_DOUBLE_EQ(m.Idf(7), 0.0);                // Unseen.
+}
+
+TEST(TfIdfTest, TransformIsUnitNorm) {
+  TfIdfModel m;
+  m.Fit({{0, 1}, {1, 2}, {0, 2}, {3}}, 4);
+  const auto v = m.Transform({0, 1, 1, 3});
+  EXPECT_NEAR(v.Norm(), 1.0, 1e-12);
+}
+
+TEST(TfIdfTest, UbiquitousTermsVanish) {
+  TfIdfModel m;
+  m.Fit({{0, 1}, {0, 2}, {0, 3}}, 4);
+  const auto v = m.Transform({0, 1});
+  EXPECT_DOUBLE_EQ(v.WeightOf(0), 0.0);  // df == N -> idf 0 -> dropped.
+  EXPECT_GT(v.WeightOf(1), 0.0);
+}
+
+TEST(TfIdfTest, RareTermsOutweighCommonOnes) {
+  TfIdfModel m;
+  // Term 1 in 4 docs, term 2 in 1 doc.
+  m.Fit({{1}, {1}, {1}, {1, 2}, {3}}, 4);
+  const auto v = m.Transform({1, 2});
+  EXPECT_GT(v.WeightOf(2), v.WeightOf(1));
+}
+
+TEST(TfIdfTest, LogTfDampening) {
+  TfIdfModel m;
+  m.Fit({{1}, {2}}, 3);
+  const auto once = m.Transform({1});
+  const auto thrice = m.Transform({1, 1, 1});
+  // Both normalize to the same single-term unit vector.
+  EXPECT_NEAR(once.Cosine(thrice), 1.0, 1e-12);
+}
+
+TEST(TfIdfTest, EmptyDocumentTransformsToEmpty) {
+  TfIdfModel m;
+  m.Fit({{0}}, 1);
+  EXPECT_TRUE(m.Transform({}).empty());
+}
+
+TEST(TfIdfTest, IncrementalAddMatchesBatchFit) {
+  TfIdfModel batch, inc;
+  const std::vector<std::vector<TermId>> docs = {{0, 1}, {1, 2}, {0, 2, 3}};
+  batch.Fit(docs, 4);
+  for (const auto& d : docs) inc.AddDocument(d, 4);
+  for (TermId t = 0; t < 4; ++t) {
+    EXPECT_EQ(batch.DocumentFrequency(t), inc.DocumentFrequency(t));
+  }
+  EXPECT_EQ(batch.num_documents(), inc.num_documents());
+}
+
+TEST(TfIdfTest, SimilarDocsScoreHigherThanDissimilar) {
+  TfIdfModel m;
+  m.Fit({{0, 1, 2}, {0, 1, 3}, {4, 5, 6}, {7}}, 8);
+  const auto a = m.Transform({0, 1, 2});
+  const auto b = m.Transform({0, 1, 3});
+  const auto c = m.Transform({4, 5, 6});
+  EXPECT_GT(a.Cosine(b), a.Cosine(c));
+}
+
+}  // namespace
+}  // namespace ctxrank::text

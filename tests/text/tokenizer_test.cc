@@ -1,0 +1,94 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ctxrank::text {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnum) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("gene-ontology search!"),
+            (std::vector<std::string>{"gene", "ontology", "search"}));
+}
+
+TEST(TokenizerTest, Lowercases) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("DNA Binding"),
+            (std::vector<std::string>{"dna", "binding"}));
+}
+
+TEST(TokenizerTest, DropsShortTokens) {
+  Tokenizer t;  // min length 2.
+  EXPECT_EQ(t.Tokenize("a bc d ef"),
+            (std::vector<std::string>{"bc", "ef"}));
+}
+
+TEST(TokenizerTest, DropsPureNumbers) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("p53 1234 2x"),
+            (std::vector<std::string>{"p53", "2x"}));
+}
+
+TEST(TokenizerTest, KeepNumbersWhenConfigured) {
+  TokenizerOptions opts;
+  opts.drop_numeric = false;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("1234"), (std::vector<std::string>{"1234"}));
+}
+
+TEST(TokenizerTest, NoLowercaseWhenDisabled) {
+  TokenizerOptions opts;
+  opts.lowercase = false;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("DNA"), (std::vector<std::string>{"DNA"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("!@# $%").empty());
+}
+
+TEST(TokenizerTest, ApostropheSplits) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("protein's"),
+            (std::vector<std::string>{"protein"}));
+}
+
+TEST(TokenizerTest, MinLengthOption) {
+  TokenizerOptions opts;
+  opts.min_token_length = 4;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("dna gene binding"),
+            (std::vector<std::string>{"gene", "binding"}));
+}
+
+TEST(TokenizerTest, NonAsciiBytesActAsSeparators) {
+  Tokenizer t;
+  // UTF-8 multibyte sequences are not ASCII alnum: they split tokens but
+  // never crash or corrupt neighbors.
+  const auto tokens = t.Tokenize("gene\xc3\xa9ontology caf\xc3\xa9 dna");
+  // "gene" and "ontology" split at the multibyte char; "caf" survives,
+  // "dna" intact.
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "gene"), tokens.end());
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "ontology"),
+            tokens.end());
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "dna"), tokens.end());
+}
+
+TEST(TokenizerTest, DeterministicAcrossCalls) {
+  Tokenizer t;
+  const char* text = "Protein Kinase-B phosphorylates 42 targets";
+  EXPECT_EQ(t.Tokenize(text), t.Tokenize(text));
+}
+
+TEST(TokenizerTest, LongRunsOfSeparators) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("a----------b!!!???cd"),
+            (std::vector<std::string>{"cd"}));
+}
+
+}  // namespace
+}  // namespace ctxrank::text

@@ -1,0 +1,322 @@
+// ctxrank — command-line front end for the library. Implements the
+// paper's offline/online split as a workflow on disk:
+//
+//   ctxrank generate --out DIR [--terms 300] [--papers 5000] [--seed 7]
+//       Generate a synthetic ontology + corpus and save them.
+//   ctxrank index --data DIR [--set text|pattern]
+//       Run the two query-independent preprocessing steps (assign papers
+//       to contexts, compute prestige scores) and save the artifacts.
+//   ctxrank search --data DIR --query "..." [--set text|pattern]
+//                  [--function text|citation|pattern] [--top 10]
+//       Context-based search against a saved index.
+//   ctxrank info --data DIR
+//       Dataset statistics.
+//   ctxrank analyze --data DIR [--set text|pattern]
+//       The paper's §5 separability analysis over a saved index.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "context/assignment_builders.h"
+#include "context/citation_prestige.h"
+#include "context/context_io.h"
+#include "context/pattern_prestige.h"
+#include "context/search_engine.h"
+#include "context/text_prestige.h"
+#include "eval/analysis.h"
+#include "corpus/corpus_generator.h"
+#include "corpus/corpus_io.h"
+#include "corpus/full_text_search.h"
+#include "corpus/snippet.h"
+#include "corpus/tokenized_corpus.h"
+#include "graph/citation_graph.h"
+#include "ontology/obo_io.h"
+#include "ontology/ontology_generator.h"
+
+namespace ctxrank::cli {
+namespace {
+
+/// Minimal --flag value parser; positional args are rejected.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+        ok_ = false;
+        return;
+      }
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  bool ok() const { return ok_; }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    uint64_t parsed = 0;
+    return ParseUint64(it->second, &parsed) ? static_cast<long>(parsed)
+                                            : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ctxrank <generate|index|search|info|analyze> "
+               "[--flag value]...\n"
+               "  generate --out DIR [--terms N] [--papers N] [--seed N]\n"
+               "  index    --data DIR [--set text|pattern]\n"
+               "  search   --data DIR --query Q [--set text|pattern]\n"
+               "           [--function text|citation|pattern] [--top N]\n"
+               "  info     --data DIR\n"
+               "  analyze  --data DIR [--set text|pattern] "
+               "[--min-context N]\n");
+  return 2;
+}
+
+struct Dataset {
+  ontology::Ontology onto;
+  corpus::Corpus corpus;
+};
+
+Result<Dataset> LoadDataset(const std::string& dir) {
+  auto onto = ontology::LoadOboFile(dir + "/ontology.obo");
+  if (!onto.ok()) return onto.status();
+  auto corpus = corpus::LoadCorpus(dir + "/corpus.txt");
+  if (!corpus.ok()) return corpus.status();
+  Dataset d{std::move(onto).value(), std::move(corpus).value()};
+  return d;
+}
+
+int Generate(const Args& args) {
+  const std::string out = args.Get("out", "");
+  if (out.empty()) return Usage();
+  ontology::OntologyGeneratorOptions onto_opts;
+  onto_opts.max_terms = static_cast<size_t>(args.GetInt("terms", 300));
+  onto_opts.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  auto onto = ontology::GenerateOntology(onto_opts);
+  if (!onto.ok()) return Fail(onto.status());
+  corpus::CorpusGeneratorOptions corpus_opts;
+  corpus_opts.num_papers = static_cast<size_t>(args.GetInt("papers", 5000));
+  corpus_opts.seed = static_cast<uint64_t>(args.GetInt("seed", 42)) + 1;
+  auto corpus = corpus::GenerateCorpus(onto.value(), corpus_opts);
+  if (!corpus.ok()) return Fail(corpus.status());
+  Status st = ontology::WriteOboFile(onto.value(), out + "/ontology.obo");
+  if (!st.ok()) return Fail(st);
+  st = corpus::SaveCorpus(corpus.value(), out + "/corpus.txt");
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %zu terms and %zu papers to %s\n", onto.value().size(),
+              corpus.value().size(), out.c_str());
+  return 0;
+}
+
+int Index(const Args& args) {
+  const std::string dir = args.Get("data", "");
+  if (dir.empty()) return Usage();
+  const std::string set = args.Get("set", "text");
+  auto data = LoadDataset(dir);
+  if (!data.ok()) return Fail(data.status());
+  const corpus::TokenizedCorpus tc(data.value().corpus);
+  const graph::CitationGraph graph(data.value().corpus);
+  std::printf("analyzed %zu papers (%zu vocabulary terms)\n", tc.size(),
+              tc.vocabulary().size());
+
+  if (set == "text") {
+    const corpus::FullTextSearch fts(tc);
+    auto assignment = context::BuildTextBasedAssignment(
+        tc, data.value().onto, fts);
+    if (!assignment.ok()) return Fail(assignment.status());
+    Status st = context::SaveAssignment(assignment.value(),
+                                        dir + "/text_assignment.txt");
+    if (!st.ok()) return Fail(st);
+    const context::AuthorSimilarity authors(data.value().corpus);
+    auto text = context::ComputeTextPrestige(
+        data.value().onto, assignment.value(), tc, graph, authors);
+    if (!text.ok()) return Fail(text.status());
+    st = context::SavePrestige(text.value(), dir + "/text_prestige_text.txt");
+    if (!st.ok()) return Fail(st);
+    auto cit = context::ComputeCitationPrestige(data.value().onto,
+                                                assignment.value(), graph);
+    if (!cit.ok()) return Fail(cit.status());
+    st = context::SavePrestige(cit.value(),
+                               dir + "/text_prestige_citation.txt");
+    if (!st.ok()) return Fail(st);
+    std::printf("indexed text-based context paper set (%zu contexts with "
+                "members)\n",
+                assignment.value().ContextsWithAtLeast(1).size());
+  } else if (set == "pattern") {
+    auto pa = context::BuildPatternBasedAssignment(tc, data.value().onto);
+    if (!pa.ok()) return Fail(pa.status());
+    Status st = context::SaveAssignment(pa.value().assignment,
+                                        dir + "/pattern_assignment.txt");
+    if (!st.ok()) return Fail(st);
+    auto pattern = context::ComputePatternPrestige(data.value().onto,
+                                                   pa.value());
+    if (!pattern.ok()) return Fail(pattern.status());
+    st = context::SavePrestige(pattern.value(),
+                               dir + "/pattern_prestige_pattern.txt");
+    if (!st.ok()) return Fail(st);
+    auto cit = context::ComputeCitationPrestige(
+        data.value().onto, pa.value().assignment, graph);
+    if (!cit.ok()) return Fail(cit.status());
+    st = context::SavePrestige(cit.value(),
+                               dir + "/pattern_prestige_citation.txt");
+    if (!st.ok()) return Fail(st);
+    std::printf("indexed pattern-based context paper set (%zu contexts "
+                "with members)\n",
+                pa.value().assignment.ContextsWithAtLeast(1).size());
+  } else {
+    return Usage();
+  }
+  return 0;
+}
+
+int Search(const Args& args) {
+  const std::string dir = args.Get("data", "");
+  const std::string query = args.Get("query", "");
+  if (dir.empty() || query.empty()) return Usage();
+  const std::string set = args.Get("set", "text");
+  const std::string function = args.Get("function", "text");
+  const size_t top = static_cast<size_t>(args.GetInt("top", 10));
+
+  auto data = LoadDataset(dir);
+  if (!data.ok()) return Fail(data.status());
+  const corpus::TokenizedCorpus tc(data.value().corpus);
+
+  auto assignment =
+      context::LoadAssignment(dir + "/" + set + "_assignment.txt");
+  if (!assignment.ok()) return Fail(assignment.status());
+  auto prestige = context::LoadPrestige(dir + "/" + set + "_prestige_" +
+                                        function + ".txt");
+  if (!prestige.ok()) return Fail(prestige.status());
+
+  const context::ContextSearchEngine engine(
+      tc, data.value().onto, assignment.value(), prestige.value());
+  std::printf("query \"%s\" [%s set, %s prestige]\n", query.c_str(),
+              set.c_str(), function.c_str());
+  for (const auto& cm : engine.SelectContexts(query, 5, 1e-9)) {
+    std::printf("  context [%.3f] %s\n", cm.score,
+                data.value().onto.term(cm.term).name.c_str());
+  }
+  const auto hits = engine.Search(query);
+  std::printf("%zu results\n", hits.size());
+  const corpus::SnippetGenerator snippets(tc);
+  for (size_t i = 0; i < hits.size() && i < top; ++i) {
+    std::printf("%3zu. R=%.3f (prestige %.3f, match %.3f)  %s\n", i + 1,
+                hits[i].relevancy, hits[i].prestige, hits[i].match,
+                data.value().corpus.paper(hits[i].paper).title.c_str());
+    std::printf("     %s\n", snippets.Generate(query, hits[i].paper).c_str());
+  }
+  return 0;
+}
+
+int Info(const Args& args) {
+  const std::string dir = args.Get("data", "");
+  if (dir.empty()) return Usage();
+  auto data = LoadDataset(dir);
+  if (!data.ok()) return Fail(data.status());
+  const ontology::Ontology& onto = data.value().onto;
+  const corpus::Corpus& corpus = data.value().corpus;
+  std::printf("ontology: %zu terms, %zu roots, max level %d\n", onto.size(),
+              onto.roots().size(), onto.max_level());
+  for (int level = 1; level <= onto.max_level(); ++level) {
+    std::printf("  level %d: %zu terms\n", level,
+                onto.TermsAtLevel(level).size());
+  }
+  size_t refs = 0, evidence_terms = 0;
+  for (const corpus::Paper& p : corpus.papers()) refs += p.references.size();
+  for (ontology::TermId t = 0; t < onto.size(); ++t) {
+    if (!corpus.Evidence(t).empty()) ++evidence_terms;
+  }
+  std::printf("corpus: %zu papers, %zu citations (%.1f refs/paper), %zu "
+              "authors, evidence for %zu terms\n",
+              corpus.size(), refs,
+              corpus.size() ? static_cast<double>(refs) /
+                                  static_cast<double>(corpus.size())
+                            : 0.0,
+              corpus.num_authors(), evidence_terms);
+  return 0;
+}
+
+int Analyze(const Args& args) {
+  const std::string dir = args.Get("data", "");
+  if (dir.empty()) return Usage();
+  const std::string set = args.Get("set", "text");
+  auto data = LoadDataset(dir);
+  if (!data.ok()) return Fail(data.status());
+  auto assignment =
+      context::LoadAssignment(dir + "/" + set + "_assignment.txt");
+  if (!assignment.ok()) return Fail(assignment.status());
+
+  const std::vector<std::string> functions =
+      set == "text" ? std::vector<std::string>{"text", "citation"}
+                    : std::vector<std::string>{"pattern", "citation"};
+  std::vector<context::PrestigeScores> loaded;
+  for (const std::string& fn : functions) {
+    auto prestige = context::LoadPrestige(dir + "/" + set + "_prestige_" +
+                                          fn + ".txt");
+    if (!prestige.ok()) return Fail(prestige.status());
+    loaded.push_back(std::move(prestige).value());
+  }
+
+  eval::SeparabilityAnalysisOptions opts;
+  opts.min_context_size =
+      static_cast<size_t>(args.GetInt("min-context", 25));
+  for (size_t i = 0; i < functions.size(); ++i) {
+    std::printf("--- separability, %s prestige (%s set) ---\n%s\n",
+                functions[i].c_str(), set.c_str(),
+                eval::RenderSeparability(
+                    eval::AnalyzeSeparability(data.value().onto,
+                                              assignment.value(), loaded[i],
+                                              opts))
+                    .c_str());
+  }
+  // Pairwise overlap per level for the loaded pair.
+  const auto cells = eval::AnalyzeOverlapByLevel(
+      data.value().onto, assignment.value(), loaded[0], loaded[1],
+      {3, 5, 7}, {0.10}, opts.min_context_size);
+  std::printf("--- top-10%% overlap, %s vs %s ---\n", functions[0].c_str(),
+              functions[1].c_str());
+  for (const auto& cell : cells) {
+    std::printf("  level %d: %.3f over %zu contexts\n", cell.level,
+                cell.mean_overlap, cell.contexts);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  if (!args.ok()) return Usage();
+  if (command == "generate") return Generate(args);
+  if (command == "index") return Index(args);
+  if (command == "search") return Search(args);
+  if (command == "info") return Info(args);
+  if (command == "analyze") return Analyze(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace ctxrank::cli
+
+int main(int argc, char** argv) { return ctxrank::cli::Main(argc, argv); }
