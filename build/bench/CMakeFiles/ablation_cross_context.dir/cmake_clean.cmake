@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cross_context.dir/ablation_cross_context.cc.o"
+  "CMakeFiles/ablation_cross_context.dir/ablation_cross_context.cc.o.d"
+  "ablation_cross_context"
+  "ablation_cross_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cross_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_cross_context.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_full_patterns.dir/ablation_full_patterns.cc.o"
+  "CMakeFiles/ablation_full_patterns.dir/ablation_full_patterns.cc.o.d"
+  "ablation_full_patterns"
+  "ablation_full_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_full_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_matching_models.dir/ablation_matching_models.cc.o"
+  "CMakeFiles/ablation_matching_models.dir/ablation_matching_models.cc.o.d"
+  "ablation_matching_models"
+  "ablation_matching_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_matching_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

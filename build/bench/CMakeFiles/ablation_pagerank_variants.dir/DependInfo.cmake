@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_pagerank_variants.cc" "bench/CMakeFiles/ablation_pagerank_variants.dir/ablation_pagerank_variants.cc.o" "gcc" "bench/CMakeFiles/ablation_pagerank_variants.dir/ablation_pagerank_variants.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/ctxrank_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/context/CMakeFiles/ctxrank_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/ctxrank_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ctxrank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/ctxrank_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/ctxrank_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ctxrank_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ctxrank_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pagerank_variants.dir/ablation_pagerank_variants.cc.o"
+  "CMakeFiles/ablation_pagerank_variants.dir/ablation_pagerank_variants.cc.o.d"
+  "ablation_pagerank_variants"
+  "ablation_pagerank_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pagerank_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

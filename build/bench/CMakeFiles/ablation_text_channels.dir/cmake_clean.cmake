@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_text_channels.dir/ablation_text_channels.cc.o"
+  "CMakeFiles/ablation_text_channels.dir/ablation_text_channels.cc.o.d"
+  "ablation_text_channels"
+  "ablation_text_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_text_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

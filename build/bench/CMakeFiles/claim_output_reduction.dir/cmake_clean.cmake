@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_output_reduction.dir/claim_output_reduction.cc.o"
+  "CMakeFiles/claim_output_reduction.dir/claim_output_reduction.cc.o.d"
+  "claim_output_reduction"
+  "claim_output_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_output_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

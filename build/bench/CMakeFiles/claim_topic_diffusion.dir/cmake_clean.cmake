@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_topic_diffusion.dir/claim_topic_diffusion.cc.o"
+  "CMakeFiles/claim_topic_diffusion.dir/claim_topic_diffusion.cc.o.d"
+  "claim_topic_diffusion"
+  "claim_topic_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_topic_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for claim_topic_diffusion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_1_precision_textset.dir/fig5_1_precision_textset.cc.o"
+  "CMakeFiles/fig5_1_precision_textset.dir/fig5_1_precision_textset.cc.o.d"
+  "fig5_1_precision_textset"
+  "fig5_1_precision_textset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_1_precision_textset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_1_precision_textset.
+# This may be replaced when dependencies are built.

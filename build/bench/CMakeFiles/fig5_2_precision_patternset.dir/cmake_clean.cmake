@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_2_precision_patternset.dir/fig5_2_precision_patternset.cc.o"
+  "CMakeFiles/fig5_2_precision_patternset.dir/fig5_2_precision_patternset.cc.o.d"
+  "fig5_2_precision_patternset"
+  "fig5_2_precision_patternset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_2_precision_patternset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_2_precision_patternset.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_3_topk_overlap.dir/fig5_3_topk_overlap.cc.o"
+  "CMakeFiles/fig5_3_topk_overlap.dir/fig5_3_topk_overlap.cc.o.d"
+  "fig5_3_topk_overlap"
+  "fig5_3_topk_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_3_topk_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_4_separability_overall.dir/fig5_4_separability_overall.cc.o"
+  "CMakeFiles/fig5_4_separability_overall.dir/fig5_4_separability_overall.cc.o.d"
+  "fig5_4_separability_overall"
+  "fig5_4_separability_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_4_separability_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

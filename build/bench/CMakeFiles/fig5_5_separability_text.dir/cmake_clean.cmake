@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_5_separability_text.dir/fig5_5_separability_text.cc.o"
+  "CMakeFiles/fig5_5_separability_text.dir/fig5_5_separability_text.cc.o.d"
+  "fig5_5_separability_text"
+  "fig5_5_separability_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_5_separability_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

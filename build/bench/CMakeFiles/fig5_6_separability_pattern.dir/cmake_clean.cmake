@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_6_separability_pattern.dir/fig5_6_separability_pattern.cc.o"
+  "CMakeFiles/fig5_6_separability_pattern.dir/fig5_6_separability_pattern.cc.o.d"
+  "fig5_6_separability_pattern"
+  "fig5_6_separability_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_6_separability_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

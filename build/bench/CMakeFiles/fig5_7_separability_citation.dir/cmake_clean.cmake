@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_7_separability_citation.dir/fig5_7_separability_citation.cc.o"
+  "CMakeFiles/fig5_7_separability_citation.dir/fig5_7_separability_citation.cc.o.d"
+  "fig5_7_separability_citation"
+  "fig5_7_separability_citation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_7_separability_citation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_7_separability_citation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_stages.dir/perf_stages.cc.o"
+  "CMakeFiles/perf_stages.dir/perf_stages.cc.o.d"
+  "perf_stages"
+  "perf_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_ac_answers.dir/validate_ac_answers.cc.o"
+  "CMakeFiles/validate_ac_answers.dir/validate_ac_answers.cc.o.d"
+  "validate_ac_answers"
+  "validate_ac_answers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_ac_answers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for validate_ac_answers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gene_annotator.dir/gene_annotator.cpp.o"
+  "CMakeFiles/gene_annotator.dir/gene_annotator.cpp.o.d"
+  "gene_annotator"
+  "gene_annotator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gene_annotator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gene_annotator.
+# This may be replaced when dependencies are built.

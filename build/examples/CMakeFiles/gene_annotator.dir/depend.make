@@ -1,0 +1,2 @@
+# Empty dependencies file for gene_annotator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/literature_explorer.dir/literature_explorer.cpp.o"
+  "CMakeFiles/literature_explorer.dir/literature_explorer.cpp.o.d"
+  "literature_explorer"
+  "literature_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/literature_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

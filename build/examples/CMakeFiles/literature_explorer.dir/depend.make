@@ -1,0 +1,2 @@
+# Empty dependencies file for literature_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/score_function_lab.dir/score_function_lab.cpp.o"
+  "CMakeFiles/score_function_lab.dir/score_function_lab.cpp.o.d"
+  "score_function_lab"
+  "score_function_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/score_function_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

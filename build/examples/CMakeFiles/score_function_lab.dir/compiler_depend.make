@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for score_function_lab.
+# This may be replaced when dependencies are built.

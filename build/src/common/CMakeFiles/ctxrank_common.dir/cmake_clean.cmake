@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctxrank_common.dir/rng.cc.o"
+  "CMakeFiles/ctxrank_common.dir/rng.cc.o.d"
+  "CMakeFiles/ctxrank_common.dir/stats.cc.o"
+  "CMakeFiles/ctxrank_common.dir/stats.cc.o.d"
+  "CMakeFiles/ctxrank_common.dir/status.cc.o"
+  "CMakeFiles/ctxrank_common.dir/status.cc.o.d"
+  "CMakeFiles/ctxrank_common.dir/string_util.cc.o"
+  "CMakeFiles/ctxrank_common.dir/string_util.cc.o.d"
+  "libctxrank_common.a"
+  "libctxrank_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctxrank_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libctxrank_common.a"
+)

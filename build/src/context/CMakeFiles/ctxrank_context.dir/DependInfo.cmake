@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/context/assignment_builders.cc" "src/context/CMakeFiles/ctxrank_context.dir/assignment_builders.cc.o" "gcc" "src/context/CMakeFiles/ctxrank_context.dir/assignment_builders.cc.o.d"
+  "/root/repo/src/context/author_similarity.cc" "src/context/CMakeFiles/ctxrank_context.dir/author_similarity.cc.o" "gcc" "src/context/CMakeFiles/ctxrank_context.dir/author_similarity.cc.o.d"
+  "/root/repo/src/context/citation_prestige.cc" "src/context/CMakeFiles/ctxrank_context.dir/citation_prestige.cc.o" "gcc" "src/context/CMakeFiles/ctxrank_context.dir/citation_prestige.cc.o.d"
+  "/root/repo/src/context/context_assignment.cc" "src/context/CMakeFiles/ctxrank_context.dir/context_assignment.cc.o" "gcc" "src/context/CMakeFiles/ctxrank_context.dir/context_assignment.cc.o.d"
+  "/root/repo/src/context/context_io.cc" "src/context/CMakeFiles/ctxrank_context.dir/context_io.cc.o" "gcc" "src/context/CMakeFiles/ctxrank_context.dir/context_io.cc.o.d"
+  "/root/repo/src/context/cross_context_prestige.cc" "src/context/CMakeFiles/ctxrank_context.dir/cross_context_prestige.cc.o" "gcc" "src/context/CMakeFiles/ctxrank_context.dir/cross_context_prestige.cc.o.d"
+  "/root/repo/src/context/pattern_prestige.cc" "src/context/CMakeFiles/ctxrank_context.dir/pattern_prestige.cc.o" "gcc" "src/context/CMakeFiles/ctxrank_context.dir/pattern_prestige.cc.o.d"
+  "/root/repo/src/context/prestige.cc" "src/context/CMakeFiles/ctxrank_context.dir/prestige.cc.o" "gcc" "src/context/CMakeFiles/ctxrank_context.dir/prestige.cc.o.d"
+  "/root/repo/src/context/search_engine.cc" "src/context/CMakeFiles/ctxrank_context.dir/search_engine.cc.o" "gcc" "src/context/CMakeFiles/ctxrank_context.dir/search_engine.cc.o.d"
+  "/root/repo/src/context/text_prestige.cc" "src/context/CMakeFiles/ctxrank_context.dir/text_prestige.cc.o" "gcc" "src/context/CMakeFiles/ctxrank_context.dir/text_prestige.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ctxrank_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ctxrank_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/ctxrank_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/ctxrank_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ctxrank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/ctxrank_pattern.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

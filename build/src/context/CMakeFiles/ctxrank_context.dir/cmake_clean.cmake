@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctxrank_context.dir/assignment_builders.cc.o"
+  "CMakeFiles/ctxrank_context.dir/assignment_builders.cc.o.d"
+  "CMakeFiles/ctxrank_context.dir/author_similarity.cc.o"
+  "CMakeFiles/ctxrank_context.dir/author_similarity.cc.o.d"
+  "CMakeFiles/ctxrank_context.dir/citation_prestige.cc.o"
+  "CMakeFiles/ctxrank_context.dir/citation_prestige.cc.o.d"
+  "CMakeFiles/ctxrank_context.dir/context_assignment.cc.o"
+  "CMakeFiles/ctxrank_context.dir/context_assignment.cc.o.d"
+  "CMakeFiles/ctxrank_context.dir/context_io.cc.o"
+  "CMakeFiles/ctxrank_context.dir/context_io.cc.o.d"
+  "CMakeFiles/ctxrank_context.dir/cross_context_prestige.cc.o"
+  "CMakeFiles/ctxrank_context.dir/cross_context_prestige.cc.o.d"
+  "CMakeFiles/ctxrank_context.dir/pattern_prestige.cc.o"
+  "CMakeFiles/ctxrank_context.dir/pattern_prestige.cc.o.d"
+  "CMakeFiles/ctxrank_context.dir/prestige.cc.o"
+  "CMakeFiles/ctxrank_context.dir/prestige.cc.o.d"
+  "CMakeFiles/ctxrank_context.dir/search_engine.cc.o"
+  "CMakeFiles/ctxrank_context.dir/search_engine.cc.o.d"
+  "CMakeFiles/ctxrank_context.dir/text_prestige.cc.o"
+  "CMakeFiles/ctxrank_context.dir/text_prestige.cc.o.d"
+  "libctxrank_context.a"
+  "libctxrank_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctxrank_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

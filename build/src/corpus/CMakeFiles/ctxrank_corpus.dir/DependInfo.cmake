@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/corpus.cc" "src/corpus/CMakeFiles/ctxrank_corpus.dir/corpus.cc.o" "gcc" "src/corpus/CMakeFiles/ctxrank_corpus.dir/corpus.cc.o.d"
+  "/root/repo/src/corpus/corpus_generator.cc" "src/corpus/CMakeFiles/ctxrank_corpus.dir/corpus_generator.cc.o" "gcc" "src/corpus/CMakeFiles/ctxrank_corpus.dir/corpus_generator.cc.o.d"
+  "/root/repo/src/corpus/corpus_io.cc" "src/corpus/CMakeFiles/ctxrank_corpus.dir/corpus_io.cc.o" "gcc" "src/corpus/CMakeFiles/ctxrank_corpus.dir/corpus_io.cc.o.d"
+  "/root/repo/src/corpus/full_text_search.cc" "src/corpus/CMakeFiles/ctxrank_corpus.dir/full_text_search.cc.o" "gcc" "src/corpus/CMakeFiles/ctxrank_corpus.dir/full_text_search.cc.o.d"
+  "/root/repo/src/corpus/snippet.cc" "src/corpus/CMakeFiles/ctxrank_corpus.dir/snippet.cc.o" "gcc" "src/corpus/CMakeFiles/ctxrank_corpus.dir/snippet.cc.o.d"
+  "/root/repo/src/corpus/tokenized_corpus.cc" "src/corpus/CMakeFiles/ctxrank_corpus.dir/tokenized_corpus.cc.o" "gcc" "src/corpus/CMakeFiles/ctxrank_corpus.dir/tokenized_corpus.cc.o.d"
+  "/root/repo/src/corpus/word_pool.cc" "src/corpus/CMakeFiles/ctxrank_corpus.dir/word_pool.cc.o" "gcc" "src/corpus/CMakeFiles/ctxrank_corpus.dir/word_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ctxrank_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/ctxrank_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ctxrank_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

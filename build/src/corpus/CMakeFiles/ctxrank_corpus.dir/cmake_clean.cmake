@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctxrank_corpus.dir/corpus.cc.o"
+  "CMakeFiles/ctxrank_corpus.dir/corpus.cc.o.d"
+  "CMakeFiles/ctxrank_corpus.dir/corpus_generator.cc.o"
+  "CMakeFiles/ctxrank_corpus.dir/corpus_generator.cc.o.d"
+  "CMakeFiles/ctxrank_corpus.dir/corpus_io.cc.o"
+  "CMakeFiles/ctxrank_corpus.dir/corpus_io.cc.o.d"
+  "CMakeFiles/ctxrank_corpus.dir/full_text_search.cc.o"
+  "CMakeFiles/ctxrank_corpus.dir/full_text_search.cc.o.d"
+  "CMakeFiles/ctxrank_corpus.dir/snippet.cc.o"
+  "CMakeFiles/ctxrank_corpus.dir/snippet.cc.o.d"
+  "CMakeFiles/ctxrank_corpus.dir/tokenized_corpus.cc.o"
+  "CMakeFiles/ctxrank_corpus.dir/tokenized_corpus.cc.o.d"
+  "CMakeFiles/ctxrank_corpus.dir/word_pool.cc.o"
+  "CMakeFiles/ctxrank_corpus.dir/word_pool.cc.o.d"
+  "libctxrank_corpus.a"
+  "libctxrank_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctxrank_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

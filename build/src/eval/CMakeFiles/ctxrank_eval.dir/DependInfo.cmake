@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/ac_answer_set.cc" "src/eval/CMakeFiles/ctxrank_eval.dir/ac_answer_set.cc.o" "gcc" "src/eval/CMakeFiles/ctxrank_eval.dir/ac_answer_set.cc.o.d"
+  "/root/repo/src/eval/ac_validation.cc" "src/eval/CMakeFiles/ctxrank_eval.dir/ac_validation.cc.o" "gcc" "src/eval/CMakeFiles/ctxrank_eval.dir/ac_validation.cc.o.d"
+  "/root/repo/src/eval/analysis.cc" "src/eval/CMakeFiles/ctxrank_eval.dir/analysis.cc.o" "gcc" "src/eval/CMakeFiles/ctxrank_eval.dir/analysis.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/eval/CMakeFiles/ctxrank_eval.dir/experiment.cc.o" "gcc" "src/eval/CMakeFiles/ctxrank_eval.dir/experiment.cc.o.d"
+  "/root/repo/src/eval/ir_metrics.cc" "src/eval/CMakeFiles/ctxrank_eval.dir/ir_metrics.cc.o" "gcc" "src/eval/CMakeFiles/ctxrank_eval.dir/ir_metrics.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/ctxrank_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/ctxrank_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/query_generator.cc" "src/eval/CMakeFiles/ctxrank_eval.dir/query_generator.cc.o" "gcc" "src/eval/CMakeFiles/ctxrank_eval.dir/query_generator.cc.o.d"
+  "/root/repo/src/eval/table.cc" "src/eval/CMakeFiles/ctxrank_eval.dir/table.cc.o" "gcc" "src/eval/CMakeFiles/ctxrank_eval.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ctxrank_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ctxrank_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/ctxrank_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/ctxrank_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ctxrank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/ctxrank_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/context/CMakeFiles/ctxrank_context.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctxrank_eval.dir/ac_answer_set.cc.o"
+  "CMakeFiles/ctxrank_eval.dir/ac_answer_set.cc.o.d"
+  "CMakeFiles/ctxrank_eval.dir/ac_validation.cc.o"
+  "CMakeFiles/ctxrank_eval.dir/ac_validation.cc.o.d"
+  "CMakeFiles/ctxrank_eval.dir/analysis.cc.o"
+  "CMakeFiles/ctxrank_eval.dir/analysis.cc.o.d"
+  "CMakeFiles/ctxrank_eval.dir/experiment.cc.o"
+  "CMakeFiles/ctxrank_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/ctxrank_eval.dir/ir_metrics.cc.o"
+  "CMakeFiles/ctxrank_eval.dir/ir_metrics.cc.o.d"
+  "CMakeFiles/ctxrank_eval.dir/metrics.cc.o"
+  "CMakeFiles/ctxrank_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/ctxrank_eval.dir/query_generator.cc.o"
+  "CMakeFiles/ctxrank_eval.dir/query_generator.cc.o.d"
+  "CMakeFiles/ctxrank_eval.dir/table.cc.o"
+  "CMakeFiles/ctxrank_eval.dir/table.cc.o.d"
+  "libctxrank_eval.a"
+  "libctxrank_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctxrank_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

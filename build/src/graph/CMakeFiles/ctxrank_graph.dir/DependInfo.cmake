@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/citation_graph.cc" "src/graph/CMakeFiles/ctxrank_graph.dir/citation_graph.cc.o" "gcc" "src/graph/CMakeFiles/ctxrank_graph.dir/citation_graph.cc.o.d"
+  "/root/repo/src/graph/citation_similarity.cc" "src/graph/CMakeFiles/ctxrank_graph.dir/citation_similarity.cc.o" "gcc" "src/graph/CMakeFiles/ctxrank_graph.dir/citation_similarity.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/graph/CMakeFiles/ctxrank_graph.dir/graph_stats.cc.o" "gcc" "src/graph/CMakeFiles/ctxrank_graph.dir/graph_stats.cc.o.d"
+  "/root/repo/src/graph/hits.cc" "src/graph/CMakeFiles/ctxrank_graph.dir/hits.cc.o" "gcc" "src/graph/CMakeFiles/ctxrank_graph.dir/hits.cc.o.d"
+  "/root/repo/src/graph/pagerank.cc" "src/graph/CMakeFiles/ctxrank_graph.dir/pagerank.cc.o" "gcc" "src/graph/CMakeFiles/ctxrank_graph.dir/pagerank.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ctxrank_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/ctxrank_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/ctxrank_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ctxrank_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

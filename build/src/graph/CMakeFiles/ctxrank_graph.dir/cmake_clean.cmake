@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctxrank_graph.dir/citation_graph.cc.o"
+  "CMakeFiles/ctxrank_graph.dir/citation_graph.cc.o.d"
+  "CMakeFiles/ctxrank_graph.dir/citation_similarity.cc.o"
+  "CMakeFiles/ctxrank_graph.dir/citation_similarity.cc.o.d"
+  "CMakeFiles/ctxrank_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/ctxrank_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/ctxrank_graph.dir/hits.cc.o"
+  "CMakeFiles/ctxrank_graph.dir/hits.cc.o.d"
+  "CMakeFiles/ctxrank_graph.dir/pagerank.cc.o"
+  "CMakeFiles/ctxrank_graph.dir/pagerank.cc.o.d"
+  "libctxrank_graph.a"
+  "libctxrank_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctxrank_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

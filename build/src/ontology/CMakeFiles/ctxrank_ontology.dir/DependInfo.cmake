@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ontology/mini_go.cc" "src/ontology/CMakeFiles/ctxrank_ontology.dir/mini_go.cc.o" "gcc" "src/ontology/CMakeFiles/ctxrank_ontology.dir/mini_go.cc.o.d"
+  "/root/repo/src/ontology/obo_io.cc" "src/ontology/CMakeFiles/ctxrank_ontology.dir/obo_io.cc.o" "gcc" "src/ontology/CMakeFiles/ctxrank_ontology.dir/obo_io.cc.o.d"
+  "/root/repo/src/ontology/ontology.cc" "src/ontology/CMakeFiles/ctxrank_ontology.dir/ontology.cc.o" "gcc" "src/ontology/CMakeFiles/ctxrank_ontology.dir/ontology.cc.o.d"
+  "/root/repo/src/ontology/ontology_generator.cc" "src/ontology/CMakeFiles/ctxrank_ontology.dir/ontology_generator.cc.o" "gcc" "src/ontology/CMakeFiles/ctxrank_ontology.dir/ontology_generator.cc.o.d"
+  "/root/repo/src/ontology/semantic_similarity.cc" "src/ontology/CMakeFiles/ctxrank_ontology.dir/semantic_similarity.cc.o" "gcc" "src/ontology/CMakeFiles/ctxrank_ontology.dir/semantic_similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ctxrank_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctxrank_ontology.dir/mini_go.cc.o"
+  "CMakeFiles/ctxrank_ontology.dir/mini_go.cc.o.d"
+  "CMakeFiles/ctxrank_ontology.dir/obo_io.cc.o"
+  "CMakeFiles/ctxrank_ontology.dir/obo_io.cc.o.d"
+  "CMakeFiles/ctxrank_ontology.dir/ontology.cc.o"
+  "CMakeFiles/ctxrank_ontology.dir/ontology.cc.o.d"
+  "CMakeFiles/ctxrank_ontology.dir/ontology_generator.cc.o"
+  "CMakeFiles/ctxrank_ontology.dir/ontology_generator.cc.o.d"
+  "CMakeFiles/ctxrank_ontology.dir/semantic_similarity.cc.o"
+  "CMakeFiles/ctxrank_ontology.dir/semantic_similarity.cc.o.d"
+  "libctxrank_ontology.a"
+  "libctxrank_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctxrank_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pattern/pattern.cc" "src/pattern/CMakeFiles/ctxrank_pattern.dir/pattern.cc.o" "gcc" "src/pattern/CMakeFiles/ctxrank_pattern.dir/pattern.cc.o.d"
+  "/root/repo/src/pattern/pattern_builder.cc" "src/pattern/CMakeFiles/ctxrank_pattern.dir/pattern_builder.cc.o" "gcc" "src/pattern/CMakeFiles/ctxrank_pattern.dir/pattern_builder.cc.o.d"
+  "/root/repo/src/pattern/pattern_matcher.cc" "src/pattern/CMakeFiles/ctxrank_pattern.dir/pattern_matcher.cc.o" "gcc" "src/pattern/CMakeFiles/ctxrank_pattern.dir/pattern_matcher.cc.o.d"
+  "/root/repo/src/pattern/pattern_scorer.cc" "src/pattern/CMakeFiles/ctxrank_pattern.dir/pattern_scorer.cc.o" "gcc" "src/pattern/CMakeFiles/ctxrank_pattern.dir/pattern_scorer.cc.o.d"
+  "/root/repo/src/pattern/phrase_miner.cc" "src/pattern/CMakeFiles/ctxrank_pattern.dir/phrase_miner.cc.o" "gcc" "src/pattern/CMakeFiles/ctxrank_pattern.dir/phrase_miner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ctxrank_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ctxrank_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/ctxrank_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/ctxrank_ontology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctxrank_pattern.dir/pattern.cc.o"
+  "CMakeFiles/ctxrank_pattern.dir/pattern.cc.o.d"
+  "CMakeFiles/ctxrank_pattern.dir/pattern_builder.cc.o"
+  "CMakeFiles/ctxrank_pattern.dir/pattern_builder.cc.o.d"
+  "CMakeFiles/ctxrank_pattern.dir/pattern_matcher.cc.o"
+  "CMakeFiles/ctxrank_pattern.dir/pattern_matcher.cc.o.d"
+  "CMakeFiles/ctxrank_pattern.dir/pattern_scorer.cc.o"
+  "CMakeFiles/ctxrank_pattern.dir/pattern_scorer.cc.o.d"
+  "CMakeFiles/ctxrank_pattern.dir/phrase_miner.cc.o"
+  "CMakeFiles/ctxrank_pattern.dir/phrase_miner.cc.o.d"
+  "libctxrank_pattern.a"
+  "libctxrank_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctxrank_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

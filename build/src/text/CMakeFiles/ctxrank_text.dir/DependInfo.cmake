@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/analyzer.cc" "src/text/CMakeFiles/ctxrank_text.dir/analyzer.cc.o" "gcc" "src/text/CMakeFiles/ctxrank_text.dir/analyzer.cc.o.d"
+  "/root/repo/src/text/bm25.cc" "src/text/CMakeFiles/ctxrank_text.dir/bm25.cc.o" "gcc" "src/text/CMakeFiles/ctxrank_text.dir/bm25.cc.o.d"
+  "/root/repo/src/text/inverted_index.cc" "src/text/CMakeFiles/ctxrank_text.dir/inverted_index.cc.o" "gcc" "src/text/CMakeFiles/ctxrank_text.dir/inverted_index.cc.o.d"
+  "/root/repo/src/text/porter_stemmer.cc" "src/text/CMakeFiles/ctxrank_text.dir/porter_stemmer.cc.o" "gcc" "src/text/CMakeFiles/ctxrank_text.dir/porter_stemmer.cc.o.d"
+  "/root/repo/src/text/sparse_vector.cc" "src/text/CMakeFiles/ctxrank_text.dir/sparse_vector.cc.o" "gcc" "src/text/CMakeFiles/ctxrank_text.dir/sparse_vector.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "src/text/CMakeFiles/ctxrank_text.dir/stopwords.cc.o" "gcc" "src/text/CMakeFiles/ctxrank_text.dir/stopwords.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/text/CMakeFiles/ctxrank_text.dir/tfidf.cc.o" "gcc" "src/text/CMakeFiles/ctxrank_text.dir/tfidf.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/ctxrank_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/ctxrank_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/text/CMakeFiles/ctxrank_text.dir/vocabulary.cc.o" "gcc" "src/text/CMakeFiles/ctxrank_text.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ctxrank_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctxrank_text.dir/analyzer.cc.o"
+  "CMakeFiles/ctxrank_text.dir/analyzer.cc.o.d"
+  "CMakeFiles/ctxrank_text.dir/bm25.cc.o"
+  "CMakeFiles/ctxrank_text.dir/bm25.cc.o.d"
+  "CMakeFiles/ctxrank_text.dir/inverted_index.cc.o"
+  "CMakeFiles/ctxrank_text.dir/inverted_index.cc.o.d"
+  "CMakeFiles/ctxrank_text.dir/porter_stemmer.cc.o"
+  "CMakeFiles/ctxrank_text.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/ctxrank_text.dir/sparse_vector.cc.o"
+  "CMakeFiles/ctxrank_text.dir/sparse_vector.cc.o.d"
+  "CMakeFiles/ctxrank_text.dir/stopwords.cc.o"
+  "CMakeFiles/ctxrank_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/ctxrank_text.dir/tfidf.cc.o"
+  "CMakeFiles/ctxrank_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/ctxrank_text.dir/tokenizer.cc.o"
+  "CMakeFiles/ctxrank_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/ctxrank_text.dir/vocabulary.cc.o"
+  "CMakeFiles/ctxrank_text.dir/vocabulary.cc.o.d"
+  "libctxrank_text.a"
+  "libctxrank_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctxrank_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

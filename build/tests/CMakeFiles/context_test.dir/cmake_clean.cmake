@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_test.dir/context/assignment_builders_test.cc.o"
+  "CMakeFiles/context_test.dir/context/assignment_builders_test.cc.o.d"
+  "CMakeFiles/context_test.dir/context/context_io_test.cc.o"
+  "CMakeFiles/context_test.dir/context/context_io_test.cc.o.d"
+  "CMakeFiles/context_test.dir/context/cross_context_test.cc.o"
+  "CMakeFiles/context_test.dir/context/cross_context_test.cc.o.d"
+  "CMakeFiles/context_test.dir/context/prestige_functions_test.cc.o"
+  "CMakeFiles/context_test.dir/context/prestige_functions_test.cc.o.d"
+  "CMakeFiles/context_test.dir/context/prestige_test.cc.o"
+  "CMakeFiles/context_test.dir/context/prestige_test.cc.o.d"
+  "CMakeFiles/context_test.dir/context/search_engine_test.cc.o"
+  "CMakeFiles/context_test.dir/context/search_engine_test.cc.o.d"
+  "CMakeFiles/context_test.dir/context/semantic_expansion_test.cc.o"
+  "CMakeFiles/context_test.dir/context/semantic_expansion_test.cc.o.d"
+  "context_test"
+  "context_test.pdb"
+  "context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

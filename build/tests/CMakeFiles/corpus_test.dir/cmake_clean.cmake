@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_test.dir/corpus/corpus_generator_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus/corpus_generator_test.cc.o.d"
+  "CMakeFiles/corpus_test.dir/corpus/corpus_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus/corpus_test.cc.o.d"
+  "CMakeFiles/corpus_test.dir/corpus/snippet_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus/snippet_test.cc.o.d"
+  "CMakeFiles/corpus_test.dir/corpus/tokenized_corpus_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus/tokenized_corpus_test.cc.o.d"
+  "corpus_test"
+  "corpus_test.pdb"
+  "corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

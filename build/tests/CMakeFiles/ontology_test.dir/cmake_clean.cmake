@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ontology_test.dir/ontology/obo_io_test.cc.o"
+  "CMakeFiles/ontology_test.dir/ontology/obo_io_test.cc.o.d"
+  "CMakeFiles/ontology_test.dir/ontology/ontology_generator_test.cc.o"
+  "CMakeFiles/ontology_test.dir/ontology/ontology_generator_test.cc.o.d"
+  "CMakeFiles/ontology_test.dir/ontology/ontology_test.cc.o"
+  "CMakeFiles/ontology_test.dir/ontology/ontology_test.cc.o.d"
+  "CMakeFiles/ontology_test.dir/ontology/semantic_similarity_test.cc.o"
+  "CMakeFiles/ontology_test.dir/ontology/semantic_similarity_test.cc.o.d"
+  "ontology_test"
+  "ontology_test.pdb"
+  "ontology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ontology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

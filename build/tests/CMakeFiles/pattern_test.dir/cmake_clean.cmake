@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_test.dir/pattern/pattern_builder_test.cc.o"
+  "CMakeFiles/pattern_test.dir/pattern/pattern_builder_test.cc.o.d"
+  "CMakeFiles/pattern_test.dir/pattern/pattern_matcher_test.cc.o"
+  "CMakeFiles/pattern_test.dir/pattern/pattern_matcher_test.cc.o.d"
+  "CMakeFiles/pattern_test.dir/pattern/pattern_scorer_test.cc.o"
+  "CMakeFiles/pattern_test.dir/pattern/pattern_scorer_test.cc.o.d"
+  "CMakeFiles/pattern_test.dir/pattern/phrase_miner_test.cc.o"
+  "CMakeFiles/pattern_test.dir/pattern/phrase_miner_test.cc.o.d"
+  "pattern_test"
+  "pattern_test.pdb"
+  "pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

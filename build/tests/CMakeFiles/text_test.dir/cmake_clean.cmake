@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_test.dir/text/bm25_test.cc.o"
+  "CMakeFiles/text_test.dir/text/bm25_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/inverted_index_test.cc.o"
+  "CMakeFiles/text_test.dir/text/inverted_index_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/porter_stemmer_test.cc.o"
+  "CMakeFiles/text_test.dir/text/porter_stemmer_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/sparse_vector_test.cc.o"
+  "CMakeFiles/text_test.dir/text/sparse_vector_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/text_pipeline_test.cc.o"
+  "CMakeFiles/text_test.dir/text/text_pipeline_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/tfidf_test.cc.o"
+  "CMakeFiles/text_test.dir/text/tfidf_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/tokenizer_test.cc.o"
+  "CMakeFiles/text_test.dir/text/tokenizer_test.cc.o.d"
+  "text_test"
+  "text_test.pdb"
+  "text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

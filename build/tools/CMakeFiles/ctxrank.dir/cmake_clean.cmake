@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctxrank.dir/ctxrank_cli.cc.o"
+  "CMakeFiles/ctxrank.dir/ctxrank_cli.cc.o.d"
+  "ctxrank"
+  "ctxrank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctxrank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
