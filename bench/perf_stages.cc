@@ -1,97 +1,113 @@
 // P2 — wall-clock breakdown of the offline pipeline stages at experiment
 // scale: where does preprocessing time go? (The paper's two offline tasks
 // — context assignment and prestige computation — dominate; this bench
-// shows by how much.)
+// shows by how much.) A second pass sweeps thread counts over the
+// parallelized stages — corpus text synthesis and the three per-context
+// prestige engines — and reports per-stage speedup vs. the single-thread
+// baseline.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "common/stage_timer.h"
 #include "context/citation_prestige.h"
+#include "context/pattern_prestige.h"
 #include "context/text_prestige.h"
 #include "eval/table.h"
 
 namespace ctxrank::bench {
 namespace {
 
-class StageTimer {
- public:
-  explicit StageTimer(eval::Table* table) : table_(table) {}
+double Seconds(const std::chrono::steady_clock::time_point& t0) {
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  return dt.count();
+}
 
-  template <typename Fn>
-  auto Time(const char* stage, Fn&& fn) {
-    const auto t0 = std::chrono::steady_clock::now();
-    auto result = fn();
-    const std::chrono::duration<double> dt =
-        std::chrono::steady_clock::now() - t0;
-    table_->AddRow({stage, eval::Table::Cell(dt.count(), 2) + "s"});
-    return result;
-  }
-
- private:
-  eval::Table* table_;
-};
+template <typename Fn>
+double TimeStage(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return Seconds(t0);
+}
 
 int Run(int argc, char** argv) {
-  const eval::WorldConfig config = ParseConfig(argc, argv);
-  eval::Table table({"stage", "wall time"});
-  StageTimer timer(&table);
+  eval::WorldConfig config = ParseConfig(argc, argv);
+  StageTimer timer;
+  config.stage_timer = &timer;
+  // Thread counts to sweep over the parallel stages (comma-free simple
+  // flag: --threads-max N sweeps 1,2,...,N doubling).
+  size_t threads_max = 4;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--threads-max") == 0) {
+      threads_max = static_cast<size_t>(std::atol(argv[i + 1]));
+    }
+  }
 
-  auto onto = timer.Time("generate ontology", [&] {
-    auto r = ontology::GenerateOntology(config.ontology);
-    if (!r.ok()) std::abort();
-    return std::move(r).value();
-  });
-  auto corpus = timer.Time("generate corpus", [&] {
-    auto r = corpus::GenerateCorpus(onto, config.corpus);
-    if (!r.ok()) std::abort();
-    return std::move(r).value();
-  });
-  auto tc = timer.Time("analyze text (tokenize + TF-IDF + postings)", [&] {
-    return std::make_unique<corpus::TokenizedCorpus>(corpus);
-  });
-  auto fts = timer.Time("build full-text index", [&] {
-    return std::make_unique<corpus::FullTextSearch>(*tc);
-  });
-  auto graph = timer.Time("build citation graph", [&] {
-    return std::make_unique<graph::CitationGraph>(corpus);
-  });
-  auto authors = timer.Time("build co-authorship index", [&] {
-    return std::make_unique<context::AuthorSimilarity>(corpus);
-  });
-  auto text_set = timer.Time("task 1a: text-based assignment", [&] {
-    auto r = context::BuildTextBasedAssignment(*tc, onto, *fts,
-                                               config.text_assignment);
-    if (!r.ok()) std::abort();
-    return std::move(r).value();
-  });
-  auto pattern_result = timer.Time("task 1b: pattern-based assignment "
-                                   "(mine + score + match)", [&] {
-    auto r = context::BuildPatternBasedAssignment(*tc, onto,
-                                                  config.pattern_assignment);
-    if (!r.ok()) std::abort();
-    return std::move(r).value();
-  });
-  timer.Time("task 2a: citation prestige (per-context PageRank)", [&] {
-    auto r = context::ComputeCitationPrestige(onto, text_set, *graph,
-                                              config.citation);
-    if (!r.ok()) std::abort();
-    return 0;
-  });
-  timer.Time("task 2b: text prestige (6-channel similarity)", [&] {
-    auto r = context::ComputeTextPrestige(onto, text_set, *tc, *graph,
-                                          *authors, config.text);
-    if (!r.ok()) std::abort();
-    return 0;
-  });
-  timer.Time("task 2c: pattern prestige (hierarchy combine)", [&] {
-    auto r = context::ComputePatternPrestige(onto, pattern_result,
-                                             config.pattern);
-    if (!r.ok()) std::abort();
-    return 0;
-  });
+  auto world = BuildWorldOrDie(config);
   std::printf("P2 — offline pipeline stage timings (%zu terms, %zu "
-              "papers)\n%s",
-              onto.size(), corpus.size(), table.ToString().c_str());
+              "papers, single-threaded)\n%s\n",
+              world->onto().size(), world->corpus().size(),
+              timer.ToString().c_str());
+
+  // Thread sweep over the parallel stages against the already-built world.
+  std::vector<size_t> counts;
+  for (size_t t = 1; t <= threads_max; t *= 2) counts.push_back(t);
+  std::vector<std::string> header = {"stage (seconds)"};
+  for (size_t t : counts) header.push_back("threads=" + std::to_string(t));
+  eval::Table sweep(header);
+  std::vector<std::vector<double>> rows(4);
+  for (size_t t : counts) {
+    rows[0].push_back(TimeStage([&] {
+      corpus::CorpusGeneratorOptions o = config.corpus;
+      o.num_threads = t;
+      auto r = corpus::GenerateCorpus(world->onto(), o);
+      if (!r.ok()) std::abort();
+    }));
+    rows[1].push_back(TimeStage([&] {
+      context::CitationPrestigeOptions o = config.citation;
+      o.num_threads = t;
+      auto r = context::ComputeCitationPrestige(world->onto(),
+                                                world->text_set(),
+                                                world->graph(), o);
+      if (!r.ok()) std::abort();
+    }));
+    rows[2].push_back(TimeStage([&] {
+      context::TextPrestigeOptions o = config.text;
+      o.num_threads = t;
+      auto r = context::ComputeTextPrestige(world->onto(), world->text_set(),
+                                            world->tc(), world->graph(),
+                                            world->authors(), o);
+      if (!r.ok()) std::abort();
+    }));
+    rows[3].push_back(TimeStage([&] {
+      context::PatternPrestigeOptions o = config.pattern;
+      o.num_threads = t;
+      auto r = context::ComputePatternPrestige(world->onto(),
+                                               world->pattern_result(), o);
+      if (!r.ok()) std::abort();
+    }));
+  }
+  const char* stage_names[] = {"corpus text synthesis", "citation prestige",
+                               "text prestige", "pattern prestige"};
+  for (size_t s = 0; s < 4; ++s) {
+    std::vector<std::string> cells = {stage_names[s]};
+    for (size_t c = 0; c < counts.size(); ++c) {
+      const double speedup = rows[s][0] / std::max(rows[s][c], 1e-9);
+      cells.push_back(eval::Table::Cell(rows[s][c], 2) + " (" +
+                      eval::Table::Cell(speedup, 1) + "x)");
+    }
+    sweep.AddRow(cells);
+  }
+  std::printf("P2 — thread sweep on the parallel stages "
+              "(seconds, speedup vs threads=1; %zu hardware threads)\n%s",
+              static_cast<size_t>(std::thread::hardware_concurrency()),
+              sweep.ToString().c_str());
   return 0;
 }
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the test suite with ThreadSanitizer and runs the tests that
+# exercise the parallel engine. Usage: scripts/verify_tsan.sh [build-dir]
+#
+# TSan instruments every thread interaction, so this runs a focused subset
+# (thread pool + parallel determinism regressions) rather than the full
+# suite; extend the filter if you add new parallel stages.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-tsan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCTXRANK_SANITIZE=thread
+cmake --build "${build_dir}" -j --target common_test context_test
+
+echo "== thread pool under TSan =="
+"${build_dir}/tests/common_test" \
+  --gtest_filter='ThreadPool*:ParallelFor*:ResolveNumThreads*'
+
+echo "== parallel determinism regressions under TSan =="
+"${build_dir}/tests/context_test" --gtest_filter='ParallelPrestige*'
+
+echo "TSan verification passed."

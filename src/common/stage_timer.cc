@@ -1,0 +1,98 @@
+#include "common/stage_timer.h"
+
+#include <ctime>
+
+#include "common/string_util.h"
+
+namespace ctxrank {
+
+namespace {
+
+// Process-wide CPU time (all threads), seconds. CLOCK_PROCESS_CPUTIME_ID is
+// POSIX; std::clock() is the portable fallback with coarser resolution.
+double ProcessCpuSeconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+std::string FormatSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%8.3fs", s);
+  return buf;
+}
+
+}  // namespace
+
+StageTimer::Scope::Scope(StageTimer* timer, size_t index)
+    : timer_(timer),
+      index_(index),
+      wall_start_(std::chrono::steady_clock::now()),
+      cpu_start_(ProcessCpuSeconds()) {}
+
+StageTimer::Scope::Scope(Scope&& other) noexcept
+    : timer_(other.timer_),
+      index_(other.index_),
+      wall_start_(other.wall_start_),
+      cpu_start_(other.cpu_start_) {
+  other.timer_ = nullptr;
+}
+
+StageTimer::Scope::~Scope() {
+  if (timer_ == nullptr) return;
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start_;
+  timer_->Record(index_, wall.count(), ProcessCpuSeconds() - cpu_start_);
+}
+
+StageTimer::Scope StageTimer::Time(std::string stage) {
+  return Scope(this, IndexOf(std::move(stage)));
+}
+
+size_t StageTimer::IndexOf(std::string stage) {
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i].name == stage) return i;
+  }
+  stages_.push_back({std::move(stage), 0.0, 0.0, 0});
+  return stages_.size() - 1;
+}
+
+void StageTimer::Record(size_t index, double wall_seconds,
+                        double cpu_seconds) {
+  Stage& s = stages_[index];
+  s.wall_seconds += wall_seconds;
+  s.cpu_seconds += cpu_seconds;
+  ++s.calls;
+}
+
+std::string StageTimer::ToString() const {
+  size_t width = 5;  // "stage"
+  for (const Stage& s : stages_) width = std::max(width, s.name.size());
+  std::string out;
+  out += PadRight("stage", width) + "  |     wall |      cpu | cpu/wall | calls\n";
+  out += std::string(width, '-') +
+         "--+----------+----------+----------+------\n";
+  double total_wall = 0.0, total_cpu = 0.0;
+  for (const Stage& s : stages_) {
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%8.2f",
+                  s.wall_seconds > 0.0 ? s.cpu_seconds / s.wall_seconds : 0.0);
+    char calls[32];
+    std::snprintf(calls, sizeof(calls), "%5d", s.calls);
+    out += PadRight(s.name, width) + "  |" + FormatSeconds(s.wall_seconds) +
+           " |" + FormatSeconds(s.cpu_seconds) + " | " + ratio + " | " +
+           calls + "\n";
+    total_wall += s.wall_seconds;
+    total_cpu += s.cpu_seconds;
+  }
+  out += PadRight("total", width) + "  |" + FormatSeconds(total_wall) + " |" +
+         FormatSeconds(total_cpu) + " |          |\n";
+  return out;
+}
+
+}  // namespace ctxrank

@@ -1,0 +1,70 @@
+// Lightweight pipeline instrumentation: RAII scope timers that aggregate
+// wall-clock and process-CPU time per named stage. With the parallel
+// prestige engines, cpu/wall > 1 on a stage is the direct observable for
+// "the pool is actually working" — perf_stages and the CLI both dump it.
+#ifndef CTXRANK_COMMON_STAGE_TIMER_H_
+#define CTXRANK_COMMON_STAGE_TIMER_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ctxrank {
+
+/// \brief Aggregates per-stage timings. Not thread-safe: time stages from
+/// one driver thread (the stages themselves may be internally parallel —
+/// that is what the CPU column measures). Stages keep first-use order;
+/// timing the same stage name again accumulates into its row.
+class StageTimer {
+ public:
+  struct Stage {
+    std::string name;
+    double wall_seconds = 0.0;
+    double cpu_seconds = 0.0;
+    int calls = 0;
+  };
+
+  /// \brief RAII scope: records the enclosed wall/CPU interval into the
+  /// owning timer when destroyed. Move-only.
+  class Scope {
+   public:
+    Scope(StageTimer* timer, size_t index);
+    Scope(Scope&& other) noexcept;
+    Scope& operator=(Scope&&) = delete;
+    Scope(const Scope&) = delete;
+    ~Scope();
+
+   private:
+    StageTimer* timer_;  // Null after move-from.
+    size_t index_;
+    std::chrono::steady_clock::time_point wall_start_;
+    double cpu_start_;
+  };
+
+  /// Starts timing `stage`; stops when the returned Scope dies.
+  Scope Time(std::string stage);
+
+  /// Times a callable and passes through its result.
+  template <typename Fn>
+  auto Time(std::string stage, Fn&& fn) {
+    const Scope scope = Time(std::move(stage));
+    return std::forward<Fn>(fn)();
+  }
+
+  const std::vector<Stage>& stages() const { return stages_; }
+
+  /// Renders an aligned table: stage | wall | cpu | cpu/wall | calls.
+  std::string ToString() const;
+
+ private:
+  friend class Scope;
+  size_t IndexOf(std::string stage);
+  void Record(size_t index, double wall_seconds, double cpu_seconds);
+
+  std::vector<Stage> stages_;
+};
+
+}  // namespace ctxrank
+
+#endif  // CTXRANK_COMMON_STAGE_TIMER_H_

@@ -96,4 +96,10 @@ std::string FormatDouble(double v, int digits) {
   return buf;
 }
 
+std::string PadRight(std::string_view s, size_t width) {
+  std::string out(s);
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
 }  // namespace ctxrank

@@ -31,6 +31,9 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 /// Formats a double with `digits` digits after the decimal point.
 std::string FormatDouble(double v, int digits);
 
+/// Pads `s` with trailing spaces to at least `width` characters.
+std::string PadRight(std::string_view s, size_t width);
+
 /// Parses a non-negative decimal integer. Returns false (leaving *out
 /// untouched) on empty input, non-digits, or overflow. Never throws —
 /// the std::stoul family throws on malformed input, which is unusable in

@@ -1,0 +1,112 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace ctxrank {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+    all_done_.notify_all();
+  }
+}
+
+size_t ResolveNumThreads(size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body,
+                 const ParallelForOptions& options) {
+  if (n == 0) return;
+  const size_t grain = std::max<size_t>(1, options.grain);
+  size_t threads = ResolveNumThreads(options.num_threads);
+  // One chunk per thread, but never chunks smaller than the grain.
+  threads = std::min(threads, (n + grain - 1) / grain);
+  if (threads <= 1) {
+    body(0, n);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto run_chunk = [&](size_t begin, size_t end) {
+    try {
+      body(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  // Static partition: chunk c covers [c*base + min(c, extra), ...) so sizes
+  // differ by at most one and boundaries depend only on (n, threads).
+  const size_t base = n / threads;
+  const size_t extra = n % threads;
+  auto chunk_begin = [&](size_t c) { return c * base + std::min(c, extra); };
+
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<ThreadPool> transient;
+  if (pool == nullptr) {
+    // The calling thread runs chunk 0, so threads-1 workers suffice.
+    transient = std::make_unique<ThreadPool>(threads - 1);
+    pool = transient.get();
+  }
+  for (size_t c = 1; c < threads; ++c) {
+    pool->Submit(
+        [&, c] { run_chunk(chunk_begin(c), chunk_begin(c + 1)); });
+  }
+  run_chunk(chunk_begin(0), chunk_begin(1));
+  pool->Wait();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ctxrank

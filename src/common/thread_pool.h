@@ -1,0 +1,92 @@
+// Deterministic data parallelism for the per-context pipeline stages.
+//
+// The prestige engines run an independent link-analysis or similarity job
+// per context over *read-only* shared inputs (graph, tokenized corpus,
+// assignment), writing into pre-sized per-context result slots. That shape
+// needs no work stealing: `ParallelFor` splits the index range into one
+// contiguous chunk per thread (static partitioning — cache-friendly, no
+// shared counters on the hot path) and runs the chunks on a `ThreadPool`.
+// Because every iteration owns its output slot and chunks never overlap,
+// results are bitwise identical for any thread count.
+#ifndef CTXRANK_COMMON_THREAD_POOL_H_
+#define CTXRANK_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ctxrank {
+
+/// \brief Fixed-size pool of worker threads draining a FIFO task queue.
+/// Submission and waiting are thread-safe; tasks must not themselves call
+/// Submit/Wait on the same pool (no nested parallelism — the per-context
+/// loops are flat). Destruction waits for all submitted tasks.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks run in submission order per worker pickup;
+  /// exceptions escaping a task terminate (wrap fallible work yourself —
+  /// ParallelFor does).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished running.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // Queued + currently running tasks.
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+struct ParallelForOptions {
+  /// Number of threads to use. 0 = std::thread::hardware_concurrency();
+  /// 1 = run inline on the calling thread (no pool, no locking).
+  size_t num_threads = 1;
+  /// Minimum iterations per chunk; ranges smaller than this run inline.
+  /// Raise it when iterations are tiny so chunk overhead stays amortized.
+  size_t grain = 1;
+  /// Optional pool to reuse across calls (e.g. one pool per pipeline).
+  /// When null and more than one thread is needed, a transient pool is
+  /// created for the call. The chunk layout — hence the output — does not
+  /// depend on which pool runs the chunks.
+  ThreadPool* pool = nullptr;
+};
+
+/// Resolves a user-facing thread-count option: 0 maps to the hardware
+/// concurrency (at least 1), anything else passes through.
+size_t ResolveNumThreads(size_t requested);
+
+/// \brief Runs `body(begin, end)` over a static partition of [0, n) into
+/// contiguous chunks, at most one per thread. Blocks until every chunk has
+/// finished. The first exception thrown by any chunk is rethrown on the
+/// calling thread (remaining chunks still run to completion, so shared
+/// outputs stay in a defined state).
+///
+/// Determinism contract: chunk boundaries depend only on (n, num_threads,
+/// grain), and chunks are disjoint — a body that writes only to slots
+/// derived from its indices produces bitwise-identical output for every
+/// thread count, including the inline path.
+void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body,
+                 const ParallelForOptions& options = {});
+
+}  // namespace ctxrank
+
+#endif  // CTXRANK_COMMON_THREAD_POOL_H_

@@ -2,28 +2,51 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace ctxrank::context {
 
 Result<PrestigeScores> ComputeCitationPrestige(
     const ontology::Ontology& onto, const ContextAssignment& assignment,
     const graph::CitationGraph& graph,
     const CitationPrestigeOptions& options) {
-  PrestigeScores scores(assignment.num_terms());
-  for (TermId term = 0; term < assignment.num_terms(); ++term) {
-    const auto& members = assignment.Members(term);
-    if (members.empty()) continue;
-    // InducedSubgraph sorts members; ContextAssignment stores them sorted,
-    // so subgraph local id i corresponds to members[i].
-    const graph::InducedSubgraph sub(graph, members);
-    if (options.algorithm == CitationAlgorithm::kPageRank) {
-      auto pr = graph::ComputePageRank(sub, options.pagerank);
-      if (!pr.ok()) return pr.status();
-      scores.Set(term, std::move(pr).value().scores);
-    } else {
-      auto hits = graph::ComputeHits(sub, options.hits);
-      if (!hits.ok()) return hits.status();
-      scores.Set(term, std::move(hits).value().authority);
-    }
+  const size_t num_terms = assignment.num_terms();
+  PrestigeScores scores(num_terms);
+  // One independent link-analysis job per context over the shared read-only
+  // graph; each term owns its score slot (and error slot), so the fan-out
+  // is race-free and the result is identical for any thread count.
+  std::vector<Status> errors(num_terms);
+  ParallelFor(
+      num_terms,
+      [&](size_t begin, size_t end) {
+        for (TermId term = begin; term < end; ++term) {
+          const auto& members = assignment.Members(term);
+          if (members.empty()) continue;
+          // InducedSubgraph sorts members; ContextAssignment stores them
+          // sorted, so subgraph local id i corresponds to members[i].
+          const graph::InducedSubgraph sub(graph, members);
+          if (options.algorithm == CitationAlgorithm::kPageRank) {
+            auto pr = graph::ComputePageRank(sub, options.pagerank);
+            if (!pr.ok()) {
+              errors[term] = pr.status();
+              continue;
+            }
+            scores.Set(term, std::move(pr).value().scores);
+          } else {
+            auto hits = graph::ComputeHits(sub, options.hits);
+            if (!hits.ok()) {
+              errors[term] = hits.status();
+              continue;
+            }
+            scores.Set(term, std::move(hits).value().authority);
+          }
+        }
+      },
+      {.num_threads = options.num_threads});
+  // Report the lowest-term error so the failure surface is deterministic
+  // too (all terms share the same options, so errors agree in practice).
+  for (const Status& st : errors) {
+    if (!st.ok()) return st;
   }
   if (options.normalize_per_context) NormalizePerContext(scores);
   if (options.hierarchical_max) {

@@ -35,6 +35,9 @@ struct CitationPrestigeOptions {
   /// citation function's weakness the paper measures. The separability
   /// analysis (§5.2) normalizes as a *view* via NormalizePerContext.
   bool normalize_per_context = false;
+  /// Threads for the per-context fan-out (0 = hardware concurrency,
+  /// 1 = single-threaded). Output is bitwise identical for any value.
+  size_t num_threads = 1;
 };
 
 /// Computes citation prestige for every context in `assignment`. Contexts

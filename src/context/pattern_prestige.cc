@@ -4,51 +4,72 @@
 #include <cmath>
 
 #include "common/stats.h"
+#include "common/thread_pool.h"
 
 namespace ctxrank::context {
+
+namespace {
+
+/// Scores one context from the shared read-only assignment result. Pure:
+/// touches nothing but `onto`, `pa` and its own locals, so the per-term
+/// fan-out below is race-free.
+std::vector<double> ScoreContext(const ontology::Ontology& onto,
+                                 const PatternAssignmentResult& pa,
+                                 TermId term) {
+  const ContextAssignment& assignment = pa.assignment;
+  const auto& members = assignment.Members(term);
+  // The contexts whose raw pattern scores apply: the scoring base is the
+  // term itself unless its paper set was inherited from an ancestor.
+  const TermId base = assignment.InheritedFrom(term) == ontology::kInvalidTerm
+                          ? term
+                          : assignment.InheritedFrom(term);
+  std::vector<TermId> sources = onto.Descendants(base);
+  sources.push_back(base);
+  // Drop sources with no cached scores.
+  std::erase_if(sources, [&](TermId s) { return pa.raw_scores[s].empty(); });
+  std::vector<double> s(members.size(), 0.0);
+  for (size_t i = 0; i < members.size(); ++i) {
+    double best = 0.0;
+    for (TermId src : sources) {
+      const auto& cache = pa.raw_scores[src];
+      auto it = cache.find(members[i]);
+      if (it != cache.end()) best = std::max(best, it->second);
+    }
+    s[i] = best;
+  }
+  // Raw pattern scores are heavy-tailed sums of pattern confidences;
+  // squash to [0, 1) with the rank-preserving s/(m + s), anchoring the
+  // context's median positive score at 0.5 so the distribution is
+  // usable in the relevancy combination, then damp inherited contexts
+  // by RateOfDecay.
+  std::vector<double> positive;
+  for (double v : s) {
+    if (v > 0.0) positive.push_back(v);
+  }
+  const double median = Median(positive);
+  const double anchor = median > 0.0 ? median : 1.0;
+  const double decay = assignment.DecayFactor(term);
+  for (double& v : s) v = v / (anchor + v) * decay;
+  return s;
+}
+
+}  // namespace
 
 Result<PrestigeScores> ComputePatternPrestige(
     const ontology::Ontology& onto, const PatternAssignmentResult& pa,
     const PatternPrestigeOptions& options) {
   const ContextAssignment& assignment = pa.assignment;
-  PrestigeScores scores(assignment.num_terms());
-  for (TermId term = 0; term < assignment.num_terms(); ++term) {
-    const auto& members = assignment.Members(term);
-    if (members.empty()) continue;
-    // The contexts whose raw pattern scores apply: the scoring base is the
-    // term itself unless its paper set was inherited from an ancestor.
-    const TermId base = assignment.InheritedFrom(term) == ontology::kInvalidTerm
-                            ? term
-                            : assignment.InheritedFrom(term);
-    std::vector<TermId> sources = onto.Descendants(base);
-    sources.push_back(base);
-    // Drop sources with no cached scores.
-    std::erase_if(sources, [&](TermId s) { return pa.raw_scores[s].empty(); });
-    std::vector<double> s(members.size(), 0.0);
-    for (size_t i = 0; i < members.size(); ++i) {
-      double best = 0.0;
-      for (TermId src : sources) {
-        const auto& cache = pa.raw_scores[src];
-        auto it = cache.find(members[i]);
-        if (it != cache.end()) best = std::max(best, it->second);
-      }
-      s[i] = best;
-    }
-    // Raw pattern scores are heavy-tailed sums of pattern confidences;
-    // squash to [0, 1) with the rank-preserving s/(m + s), anchoring the
-    // context's median positive score at 0.5 so the distribution is
-    // usable in the relevancy combination, then damp inherited contexts
-    // by RateOfDecay.
-    std::vector<double> positive;
-    for (double v : s) {
-      if (v > 0.0) positive.push_back(v);
-    }
-    const double median = Median(positive);
-    const double anchor = median > 0.0 ? median : 1.0;
-    const double decay = assignment.DecayFactor(term);
-    for (double& v : s) v = v / (anchor + v) * decay;
-    scores.Set(term, std::move(s));
-  }
+  const size_t num_terms = assignment.num_terms();
+  PrestigeScores scores(num_terms);
+  ParallelFor(
+      num_terms,
+      [&](size_t begin, size_t end) {
+        for (TermId term = begin; term < end; ++term) {
+          if (assignment.Members(term).empty()) continue;
+          scores.Set(term, ScoreContext(onto, pa, term));
+        }
+      },
+      {.num_threads = options.num_threads});
   if (options.normalize_per_context) NormalizePerContext(scores);
   if (options.hierarchical_max) {
     ApplyHierarchicalMax(onto, assignment, scores);

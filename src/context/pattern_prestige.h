@@ -20,6 +20,9 @@ struct PatternPrestigeOptions {
   /// [0, 1) via s/(1+s), preserving ranking while staying comparable to
   /// the text-matching cosine in the relevancy combination).
   bool normalize_per_context = false;
+  /// Threads for the per-context fan-out (0 = hardware concurrency,
+  /// 1 = single-threaded). Output is bitwise identical for any value.
+  size_t num_threads = 1;
 };
 
 /// Computes pattern prestige for every context of a pattern-based

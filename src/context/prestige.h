@@ -32,7 +32,10 @@ class PrestigeScores {
 
   size_t num_terms() const { return scores_.size(); }
 
-  /// `scores` must be aligned with the term's member vector.
+  /// `scores` must be aligned with the term's member vector. The outer
+  /// vector is pre-sized at construction, so concurrent Set calls on
+  /// *distinct* terms are race-free — the parallel prestige engines write
+  /// one slot per context this way.
   void Set(TermId term, std::vector<double> scores) {
     scores_[term] = std::move(scores);
   }

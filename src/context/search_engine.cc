@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
 #include "ontology/semantic_similarity.h"
 
 namespace ctxrank::context {
@@ -21,14 +22,27 @@ ContextSearchEngine::ContextSearchEngine(const corpus::TokenizedCorpus& tc,
 }
 
 std::vector<ContextMatch> ContextSearchEngine::SelectContexts(
-    std::string_view query, size_t max_contexts, double min_score) const {
+    std::string_view query, size_t max_contexts, double min_score,
+    size_t num_threads) const {
   const auto ids =
       tc_->analyzer().AnalyzeToKnownIds(query, tc_->vocabulary());
   const text::SparseVector qv = tc_->tfidf().TransformQuery(ids);
+  // Parallel scan writes each term's score into its own slot; the filter
+  // below runs sequentially in term order, so the ranking is identical for
+  // any thread count. Term-name cosines are tiny — use a coarse grain.
+  std::vector<double> term_scores(onto_->size(), 0.0);
+  ParallelFor(
+      onto_->size(),
+      [&](size_t begin, size_t end) {
+        for (TermId t = begin; t < end; ++t) {
+          if (assignment_->Members(t).empty()) continue;
+          term_scores[t] = qv.Cosine(name_vectors_[t]);
+        }
+      },
+      {.num_threads = num_threads, .grain = 256});
   std::vector<ContextMatch> matches;
   for (TermId t = 0; t < onto_->size(); ++t) {
-    if (assignment_->Members(t).empty()) continue;
-    const double score = qv.Cosine(name_vectors_[t]);
+    const double score = term_scores[t];
     if (score >= min_score && score > 0.0) matches.push_back({t, score});
   }
   std::sort(matches.begin(), matches.end(),
@@ -59,7 +73,8 @@ std::vector<SearchHit> ContextSearchEngine::Search(
       tc_->analyzer().AnalyzeToKnownIds(query, tc_->vocabulary());
   const text::SparseVector qv = tc_->tfidf().TransformQuery(ids);
   std::vector<ContextMatch> contexts =
-      SelectContexts(query, options.max_contexts, options.min_context_score);
+      SelectContexts(query, options.max_contexts, options.min_context_score,
+                     options.num_threads);
   if (options.semantic_expansion > 0) {
     std::unordered_map<TermId, double> extra;
     for (const ContextMatch& cm : contexts) {
@@ -77,22 +92,39 @@ std::vector<SearchHit> ContextSearchEngine::Search(
       if (score >= options.min_context_score) contexts.push_back({t, score});
     }
   }
-  // Merge: a paper found in several selected contexts keeps its best
-  // relevancy.
+  // Per-context scoring (the TF-IDF match cosine per member paper is the
+  // query-time hot loop) fans out over contexts; each context fills its
+  // own candidate slot from the shared read-only views.
+  std::vector<std::vector<SearchHit>> per_context(contexts.size());
+  ParallelFor(
+      contexts.size(),
+      [&](size_t begin, size_t end) {
+        for (size_t c = begin; c < end; ++c) {
+          const ContextMatch& cm = contexts[c];
+          if (!prestige_->HasScores(cm.term)) continue;
+          const auto& members = assignment_->Members(cm.term);
+          const auto& scores = prestige_->Scores(cm.term);
+          std::vector<SearchHit>& out = per_context[c];
+          for (size_t i = 0; i < members.size(); ++i) {
+            const double match = qv.Cosine(tc_->FullVector(members[i]));
+            const double prestige = i < scores.size() ? scores[i] : 0.0;
+            const double r = options.weights.prestige * prestige +
+                             options.weights.matching * match;
+            if (r < options.min_relevancy) continue;
+            out.push_back({members[i], r, cm.term, prestige, match});
+          }
+        }
+      },
+      {.num_threads = options.num_threads});
+  // Merge sequentially in selection order: a paper found in several
+  // selected contexts keeps its best relevancy (first context wins ties,
+  // exactly as the single-threaded loop did).
   std::unordered_map<PaperId, SearchHit> merged;
-  for (const ContextMatch& cm : contexts) {
-    if (!prestige_->HasScores(cm.term)) continue;
-    const auto& members = assignment_->Members(cm.term);
-    const auto& scores = prestige_->Scores(cm.term);
-    for (size_t i = 0; i < members.size(); ++i) {
-      const double match = qv.Cosine(tc_->FullVector(members[i]));
-      const double prestige = i < scores.size() ? scores[i] : 0.0;
-      const double r = options.weights.prestige * prestige +
-                       options.weights.matching * match;
-      if (r < options.min_relevancy) continue;
-      auto it = merged.find(members[i]);
-      if (it == merged.end() || r > it->second.relevancy) {
-        merged[members[i]] = {members[i], r, cm.term, prestige, match};
+  for (const std::vector<SearchHit>& candidates : per_context) {
+    for (const SearchHit& hit : candidates) {
+      auto it = merged.find(hit.paper);
+      if (it == merged.end() || hit.relevancy > it->second.relevancy) {
+        merged[hit.paper] = hit;
       }
     }
   }

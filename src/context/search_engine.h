@@ -34,6 +34,11 @@ struct SearchOptions {
   /// reference [13]). 0 disables expansion. Expanded contexts inherit the
   /// seed's match score scaled by the Lin similarity.
   size_t semantic_expansion = 0;
+  /// Threads for context selection and per-context scoring (0 = hardware
+  /// concurrency, 1 = single-threaded). Hits are bitwise identical for any
+  /// value: per-context candidate lists are computed in parallel into
+  /// per-context slots and merged sequentially in selection order.
+  size_t num_threads = 1;
 };
 
 struct ContextMatch {
@@ -61,10 +66,13 @@ class ContextSearchEngine {
                       const PrestigeScores& prestige);
 
   /// Task 3: contexts ranked by query/term-name match (TF-IDF cosine over
-  /// term names, specific contexts preferred on ties).
+  /// term names, specific contexts preferred on ties). `num_threads`
+  /// parallelizes the per-term scoring scan (same contract as
+  /// SearchOptions::num_threads).
   std::vector<ContextMatch> SelectContexts(std::string_view query,
                                            size_t max_contexts,
-                                           double min_score) const;
+                                           double min_score,
+                                           size_t num_threads = 1) const;
 
   /// Tasks 4+5: full search. Hits are sorted by descending relevancy.
   std::vector<SearchHit> Search(std::string_view query,

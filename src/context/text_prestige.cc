@@ -1,5 +1,6 @@
 #include "context/text_prestige.h"
 
+#include "common/thread_pool.h"
 #include "graph/citation_similarity.h"
 
 namespace ctxrank::context {
@@ -32,20 +33,28 @@ Result<PrestigeScores> ComputeTextPrestige(
     const corpus::TokenizedCorpus& tc, const graph::CitationGraph& graph,
     const AuthorSimilarity& authors,
     const TextPrestigeOptions& options) {
-  PrestigeScores scores(assignment.num_terms());
-  for (TermId term = 0; term < assignment.num_terms(); ++term) {
-    const PaperId rep = assignment.Representative(term);
-    if (rep == corpus::kInvalidPaper) continue;
-    const auto& members = assignment.Members(term);
-    if (members.empty()) continue;
-    std::vector<double> s;
-    s.reserve(members.size());
-    for (PaperId p : members) {
-      s.push_back(
-          TextPairSimilarity(tc, graph, authors, options, p, rep));
-    }
-    scores.Set(term, std::move(s));
-  }
+  const size_t num_terms = assignment.num_terms();
+  PrestigeScores scores(num_terms);
+  // Member-vs-representative similarity is pure over the shared read-only
+  // views (tc, graph, authors); each term writes only its own score slot.
+  ParallelFor(
+      num_terms,
+      [&](size_t begin, size_t end) {
+        for (TermId term = begin; term < end; ++term) {
+          const PaperId rep = assignment.Representative(term);
+          if (rep == corpus::kInvalidPaper) continue;
+          const auto& members = assignment.Members(term);
+          if (members.empty()) continue;
+          std::vector<double> s;
+          s.reserve(members.size());
+          for (PaperId p : members) {
+            s.push_back(
+                TextPairSimilarity(tc, graph, authors, options, p, rep));
+          }
+          scores.Set(term, std::move(s));
+        }
+      },
+      {.num_threads = options.num_threads});
   if (options.normalize_per_context) NormalizePerContext(scores);
   if (options.hierarchical_max) {
     ApplyHierarchicalMax(onto, assignment, scores);

@@ -32,6 +32,9 @@ struct TextPrestigeOptions {
   /// Min-max normalize within each context (off: raw weighted similarity,
   /// naturally in [0, 1], feeds the relevancy combination directly).
   bool normalize_per_context = false;
+  /// Threads for the per-context fan-out (0 = hardware concurrency,
+  /// 1 = single-threaded). Output is bitwise identical for any value.
+  size_t num_threads = 1;
 };
 
 /// Computes text prestige for every context that has a representative

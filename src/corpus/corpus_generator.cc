@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "corpus/word_pool.h"
 #include "text/stopwords.h"
 
@@ -27,6 +28,17 @@ struct Topic {
   int evidence_count = 0;
 };
 
+/// Everything the parallel text pass needs for one paper. Fixed by the
+/// sequential structural pass, including a private RNG stream derived from
+/// (seed, paper id) only — so section text is identical for any thread
+/// count and independent of generation order.
+struct TextPlan {
+  TermId primary = 0;
+  std::vector<TermId> mix;                // Topic mixture for prose.
+  std::vector<std::string> dialect;       // This paper's primary-topic dialect.
+  Rng rng = Rng(0);
+};
+
 class Generator {
  public:
   Generator(const Ontology& onto, const CorpusGeneratorOptions& opt)
@@ -42,18 +54,37 @@ class Generator {
     // Preferential-attachment endpoint multiset: one entry per paper plus
     // one per received citation.
     endpoint_pool_.reserve(opt_.num_papers * 4);
+    // Phase 1 (sequential): structural sampling. Topics, authors and
+    // references must be drawn in paper order — citation sampling reads
+    // the pools earlier papers grew — so this stays on the main RNG
+    // stream.
+    std::vector<Paper> papers(opt_.num_papers);
+    std::vector<TextPlan> plans(opt_.num_papers);
     for (PaperId id = 0; id < opt_.num_papers; ++id) {
-      Paper p = MakePaper(id);
-      // Evidence designation before Add so the id is final.
-      const TermId primary = p.true_topics.front();
+      papers[id] = MakeStructure(id, &plans[id]);
+      const TermId primary = papers[id].true_topics.front();
       if (topics_[primary].evidence_count < opt_.evidence_per_term) {
         corpus.AddEvidence(primary, id);
         ++topics_[primary].evidence_count;
       }
       topics_[primary].papers.push_back(id);
       endpoint_pool_.push_back(id);
-      for (PaperId ref : p.references) endpoint_pool_.push_back(ref);
-      CTXRANK_RETURN_NOT_OK(corpus.Add(std::move(p)));
+      for (PaperId ref : papers[id].references) endpoint_pool_.push_back(ref);
+    }
+    // Phase 2 (parallel): section text. Each paper's plan carries its own
+    // RNG stream keyed by (seed, id) and the topic state is read-only now,
+    // so the fan-out is race-free and the corpus is bitwise identical for
+    // any thread count.
+    ParallelFor(
+        opt_.num_papers,
+        [&](size_t begin, size_t end) {
+          for (PaperId id = begin; id < end; ++id) {
+            WriteText(&papers[id], &plans[id]);
+          }
+        },
+        {.num_threads = opt_.num_threads});
+    for (PaperId id = 0; id < opt_.num_papers; ++id) {
+      CTXRANK_RETURN_NOT_OK(corpus.Add(std::move(papers[id])));
     }
     return corpus;
   }
@@ -144,41 +175,45 @@ class Generator {
     }
   }
 
-  std::string SampleTopicWord(TermId t) {
-    if (rng_.NextBernoulli(opt_.ancestor_word_rate)) {
+  /// Sampling helpers for the text pass: read-only over the topic tables,
+  /// all randomness from the plan's private stream.
+  std::string SampleTopicWord(TermId t, const TextPlan& plan,
+                              Rng& rng) const {
+    if (rng.NextBernoulli(opt_.ancestor_word_rate)) {
       const auto& parents = onto_.term(t).parents;
       if (!parents.empty()) {
-        const TermId anc = parents[rng_.NextBounded(parents.size())];
+        const TermId anc = parents[rng.NextBounded(parents.size())];
         const auto& words = topics_[anc].own_words;
-        if (!words.empty()) return words[rng_.NextBounded(words.size())];
+        if (!words.empty()) return words[rng.NextBounded(words.size())];
       }
     }
-    // Within the current paper's primary topic, write in the paper's
-    // dialect (synthetic synonymy; see CorpusGeneratorOptions).
-    if (!current_dialect_.empty() && t == current_dialect_topic_) {
-      return current_dialect_[rng_.NextBounded(current_dialect_.size())];
+    // Within the paper's primary topic, write in the paper's dialect
+    // (synthetic synonymy; see CorpusGeneratorOptions).
+    if (!plan.dialect.empty() && t == plan.primary) {
+      return plan.dialect[rng.NextBounded(plan.dialect.size())];
     }
     const auto& words = topics_[t].own_words;
-    return words[rng_.NextBounded(words.size())];
+    return words[rng.NextBounded(words.size())];
   }
 
-  std::string SampleBackgroundWord() {
+  std::string SampleBackgroundWord(Rng& rng) const {
     return background_.word(background_.size() -
-                            1 - rng_.NextZipf(background_.size(), 1.07));
+                            1 - rng.NextZipf(background_.size(), 1.07));
   }
 
   /// Writes `len` tokens of topical prose, planting each topic phrase
   /// `phrase_reps` times at random positions.
   std::string WriteSection(const std::vector<TermId>& topic_mix, int len,
-                           int phrase_reps) {
+                           int phrase_reps, const TextPlan& plan,
+                           Rng& rng) const {
     std::vector<std::string> tokens;
     tokens.reserve(static_cast<size_t>(len) + 8);
     for (int i = 0; i < len; ++i) {
-      const TermId t = topic_mix[rng_.NextBounded(topic_mix.size())];
-      if (rng_.NextBernoulli(opt_.topic_word_rate)) {
-        tokens.push_back(SampleTopicWord(t));
+      const TermId t = topic_mix[rng.NextBounded(topic_mix.size())];
+      if (rng.NextBernoulli(opt_.topic_word_rate)) {
+        tokens.push_back(SampleTopicWord(t, plan, rng));
       } else {
-        tokens.push_back(SampleBackgroundWord());
+        tokens.push_back(SampleBackgroundWord(rng));
       }
     }
     // Plant phrases (kept contiguous so the pattern miner can find them).
@@ -187,15 +222,18 @@ class Generator {
       for (int r = 0; r < phrase_reps; ++r) {
         if (phrases.empty()) break;
         const std::string& phrase =
-            phrases[rng_.NextBounded(phrases.size())];
-        const size_t pos = rng_.NextBounded(tokens.size() + 1);
+            phrases[rng.NextBounded(phrases.size())];
+        const size_t pos = rng.NextBounded(tokens.size() + 1);
         tokens.insert(tokens.begin() + static_cast<long>(pos), phrase);
       }
     }
     return Join(tokens, " ");
   }
 
-  Paper MakePaper(PaperId id) {
+  /// Structural half of paper generation: topics, dialect, authors and
+  /// references, all on the sequential main RNG stream. Fills `plan` with
+  /// what the parallel text pass needs.
+  Paper MakeStructure(PaperId id, TextPlan* plan) {
     Paper p;
     p.id = id;
     // --- topics ---
@@ -204,18 +242,17 @@ class Generator {
         primary_idx >= onto_.size() ? 0 : primary_idx);
     p.true_topics.push_back(primary);
     // Draw this paper's dialect for its primary topic.
-    current_dialect_topic_ = primary;
-    current_dialect_.clear();
+    plan->primary = primary;
     const auto& vocab = topics_[primary].own_words;
     const size_t dialect_size = std::max<size_t>(
         2, static_cast<size_t>(opt_.dialect_fraction *
                                static_cast<double>(vocab.size())));
     if (dialect_size >= vocab.size()) {
-      current_dialect_ = vocab;
+      plan->dialect = vocab;
     } else {
       for (size_t idx : rng_.SampleWithoutReplacement(vocab.size(),
                                                       dialect_size)) {
-        current_dialect_.push_back(vocab[idx]);
+        plan->dialect.push_back(vocab[idx]);
       }
     }
     if (rng_.NextBernoulli(opt_.second_topic_prob)) {
@@ -229,22 +266,15 @@ class Generator {
       }
       if (second != primary) p.true_topics.push_back(second);
     }
-    // --- text ---
-    // Primary topic dominates the mixture 3:1.
-    std::vector<TermId> mix = {primary, primary, primary};
-    if (p.true_topics.size() > 1) mix.push_back(p.true_topics[1]);
-    p.title = WriteSection({primary}, opt_.title_len, 1);
-    p.abstract_text = WriteSection(mix, opt_.abstract_len, 2);
-    p.body = WriteSection(mix, opt_.body_len, 3);
-    {
-      std::vector<std::string> index;
-      const int n_index = opt_.index_terms_len;
-      for (int i = 0; i < n_index; ++i) {
-        const TermId t = mix[rng_.NextBounded(mix.size())];
-        index.push_back(SampleTopicWord(t));
-      }
-      p.index_terms = Join(index, " ");
-    }
+    // Primary topic dominates the prose mixture 3:1.
+    plan->mix = {primary, primary, primary};
+    if (p.true_topics.size() > 1) plan->mix.push_back(p.true_topics[1]);
+    // Per-paper text stream keyed by (seed, id) only — SplitMix64
+    // avalanches the combination so neighbouring ids decorrelate.
+    plan->rng = Rng(SplitMix64(opt_.seed ^
+                               (0x9e3779b97f4a7c15ULL *
+                                (static_cast<uint64_t>(id) + 1)))
+                        .Next());
     // --- authors ---
     const int n_auth = static_cast<int>(
         rng_.NextInt(opt_.min_authors_per_paper, opt_.max_authors_per_paper));
@@ -277,6 +307,22 @@ class Generator {
       std::sort(p.references.begin(), p.references.end());
     }
     return p;
+  }
+
+  /// Text half of paper generation: runs on the plan's private RNG stream
+  /// against read-only topic state; safe to fan out across papers.
+  void WriteText(Paper* p, TextPlan* plan) const {
+    Rng& rng = plan->rng;
+    p->title = WriteSection({plan->primary}, opt_.title_len, 1, *plan, rng);
+    p->abstract_text =
+        WriteSection(plan->mix, opt_.abstract_len, 2, *plan, rng);
+    p->body = WriteSection(plan->mix, opt_.body_len, 3, *plan, rng);
+    std::vector<std::string> index;
+    for (int i = 0; i < opt_.index_terms_len; ++i) {
+      const TermId t = plan->mix[rng.NextBounded(plan->mix.size())];
+      index.push_back(SampleTopicWord(t, *plan, rng));
+    }
+    p->index_terms = Join(index, " ");
   }
 
   /// Review papers survey a topic: they cite across the topic's own and
@@ -335,9 +381,6 @@ class Generator {
   std::vector<Topic> topics_;
   std::vector<double> topic_weights_;
   std::vector<PaperId> endpoint_pool_;
-  // Dialect of the paper currently being generated.
-  TermId current_dialect_topic_ = 0;
-  std::vector<std::string> current_dialect_;
   // Lazily filled per-term descendant lists for review citation sampling.
   std::vector<std::vector<TermId>> descendant_cache_;
 };

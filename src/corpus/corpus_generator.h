@@ -29,6 +29,12 @@ namespace ctxrank::corpus {
 struct CorpusGeneratorOptions {
   uint64_t seed = 7;
   size_t num_papers = 8000;
+  /// Threads for the section-text pass (0 = hardware concurrency, 1 =
+  /// single-threaded). Structural sampling (topics, authors, citations)
+  /// stays sequential — citation pools grow paper by paper — but each
+  /// paper's prose comes from a private RNG stream keyed by (seed, id),
+  /// so the generated corpus is bitwise identical for any thread count.
+  size_t num_threads = 1;
 
   // --- topic model ---
   /// Topic-specific pseudo-words per term.

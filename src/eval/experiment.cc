@@ -1,5 +1,7 @@
 #include "eval/experiment.h"
 
+#include <optional>
+
 namespace ctxrank::eval {
 
 namespace {
@@ -10,7 +12,23 @@ context::TextPrestigeOptions PatternSetTextDefaults() {
   return o;
 }
 
+/// Optionally-armed stage scope: times the enclosing block when the config
+/// carries a StageTimer, does nothing otherwise.
+std::optional<StageTimer::Scope> TimeStage(StageTimer* timer,
+                                           const char* stage) {
+  if (timer == nullptr) return std::nullopt;
+  return timer->Time(stage);
+}
+
 }  // namespace
+
+void WorldConfig::SetNumThreads(size_t num_threads) {
+  corpus.num_threads = num_threads;
+  citation.num_threads = num_threads;
+  text.num_threads = num_threads;
+  text_on_pattern_set.num_threads = num_threads;
+  pattern.num_threads = num_threads;
+}
 
 WorldConfig WorldConfig::Small() {
   WorldConfig c;
@@ -38,57 +56,88 @@ WorldConfig WorldConfig::Default() {
 }
 
 Result<std::unique_ptr<World>> World::Build(const WorldConfig& config) {
+  StageTimer* timer = config.stage_timer;
   std::unique_ptr<World> w(new World());
   w->config_ = config;
   // 1. Ontology.
-  auto onto = ontology::GenerateOntology(config.ontology);
-  if (!onto.ok()) return onto.status();
-  w->onto_ = std::move(onto).value();
+  {
+    auto t = TimeStage(timer, "generate ontology");
+    auto onto = ontology::GenerateOntology(config.ontology);
+    if (!onto.ok()) return onto.status();
+    w->onto_ = std::move(onto).value();
+  }
   // 2. Corpus.
-  auto corpus = corpus::GenerateCorpus(w->onto_, config.corpus);
-  if (!corpus.ok()) return corpus.status();
-  w->corpus_ = std::move(corpus).value();
+  {
+    auto t = TimeStage(timer, "generate corpus");
+    auto corpus = corpus::GenerateCorpus(w->onto_, config.corpus);
+    if (!corpus.ok()) return corpus.status();
+    w->corpus_ = std::move(corpus).value();
+  }
   // 3. Analyzed views and infrastructure.
-  w->tc_.emplace(w->corpus_);
-  w->fts_.emplace(*w->tc_);
-  w->graph_.emplace(w->corpus_);
-  w->authors_.emplace(w->corpus_);
+  {
+    auto t = TimeStage(timer, "analyze corpus (tokenize + index + graph)");
+    w->tc_.emplace(w->corpus_);
+    w->fts_.emplace(*w->tc_);
+    w->graph_.emplace(w->corpus_);
+    w->authors_.emplace(w->corpus_);
+  }
   // 4. Text-based context paper set + scores (§4).
   if (config.build_text_set) {
-    auto text_set = context::BuildTextBasedAssignment(
-        *w->tc_, w->onto_, *w->fts_, config.text_assignment);
-    if (!text_set.ok()) return text_set.status();
-    w->text_set_.emplace(std::move(text_set).value());
-    auto cit = context::ComputeCitationPrestige(w->onto_, *w->text_set_,
-                                                *w->graph_, config.citation);
-    if (!cit.ok()) return cit.status();
-    w->text_set_citation_.emplace(std::move(cit).value());
-    auto txt = context::ComputeTextPrestige(w->onto_, *w->text_set_, *w->tc_,
-                                            *w->graph_, *w->authors_,
-                                            config.text);
-    if (!txt.ok()) return txt.status();
-    w->text_set_text_.emplace(std::move(txt).value());
+    {
+      auto t = TimeStage(timer, "task 1a: text-based assignment");
+      auto text_set = context::BuildTextBasedAssignment(
+          *w->tc_, w->onto_, *w->fts_, config.text_assignment);
+      if (!text_set.ok()) return text_set.status();
+      w->text_set_.emplace(std::move(text_set).value());
+    }
+    {
+      auto t = TimeStage(timer, "task 2a: citation prestige (text set)");
+      auto cit = context::ComputeCitationPrestige(
+          w->onto_, *w->text_set_, *w->graph_, config.citation);
+      if (!cit.ok()) return cit.status();
+      w->text_set_citation_.emplace(std::move(cit).value());
+    }
+    {
+      auto t = TimeStage(timer, "task 2b: text prestige (text set)");
+      auto txt = context::ComputeTextPrestige(w->onto_, *w->text_set_,
+                                              *w->tc_, *w->graph_,
+                                              *w->authors_, config.text);
+      if (!txt.ok()) return txt.status();
+      w->text_set_text_.emplace(std::move(txt).value());
+    }
   }
   // 5. Pattern-based context paper set + scores (§4).
   if (config.build_pattern_set) {
-    auto pat = context::BuildPatternBasedAssignment(*w->tc_, w->onto_,
-                                                    config.pattern_assignment);
-    if (!pat.ok()) return pat.status();
-    w->pattern_result_.emplace(std::move(pat).value());
-    auto cit = context::ComputeCitationPrestige(
-        w->onto_, w->pattern_result_->assignment, *w->graph_,
-        config.citation);
-    if (!cit.ok()) return cit.status();
-    w->pattern_set_citation_.emplace(std::move(cit).value());
-    auto ps = context::ComputePatternPrestige(w->onto_, *w->pattern_result_,
-                                              config.pattern);
-    if (!ps.ok()) return ps.status();
-    w->pattern_set_pattern_.emplace(std::move(ps).value());
-    auto txt = context::ComputeTextPrestige(
-        w->onto_, w->pattern_result_->assignment, *w->tc_, *w->graph_,
-        *w->authors_, config.text_on_pattern_set);
-    if (!txt.ok()) return txt.status();
-    w->pattern_set_text_.emplace(std::move(txt).value());
+    {
+      auto t = TimeStage(timer, "task 1b: pattern-based assignment");
+      auto pat = context::BuildPatternBasedAssignment(
+          *w->tc_, w->onto_, config.pattern_assignment);
+      if (!pat.ok()) return pat.status();
+      w->pattern_result_.emplace(std::move(pat).value());
+    }
+    {
+      auto t = TimeStage(timer, "task 2a: citation prestige (pattern set)");
+      auto cit = context::ComputeCitationPrestige(
+          w->onto_, w->pattern_result_->assignment, *w->graph_,
+          config.citation);
+      if (!cit.ok()) return cit.status();
+      w->pattern_set_citation_.emplace(std::move(cit).value());
+    }
+    {
+      auto t = TimeStage(timer, "task 2c: pattern prestige (pattern set)");
+      auto ps = context::ComputePatternPrestige(
+          w->onto_, *w->pattern_result_, config.pattern);
+      if (!ps.ok()) return ps.status();
+      w->pattern_set_pattern_.emplace(std::move(ps).value());
+    }
+    {
+      auto t = TimeStage(timer, "task 2b: text prestige (pattern set)");
+      auto txt = context::ComputeTextPrestige(
+          w->onto_, w->pattern_result_->assignment, *w->tc_, *w->graph_,
+          *w->authors_, config.text_on_pattern_set);
+      if (!txt.ok()) return txt.status();
+      w->pattern_set_text_.emplace(std::move(txt).value());
+    }
   }
   return w;
 }

@@ -8,6 +8,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/stage_timer.h"
 #include "common/status.h"
 #include "context/assignment_builders.h"
 #include "context/citation_prestige.h"
@@ -44,6 +45,14 @@ struct WorldConfig {
   bool build_pattern_set = true;
   /// Build the text-based context paper set and its scores.
   bool build_text_set = true;
+  /// When set, World::Build records per-stage wall/CPU time here (the
+  /// timer must outlive the Build call; World does not own it).
+  StageTimer* stage_timer = nullptr;
+
+  /// Sets the thread count of every parallel stage at once (corpus text
+  /// pass and the three prestige engines). 0 = hardware concurrency.
+  /// Results are bitwise identical for any value (see docs/PERFORMANCE.md).
+  void SetNumThreads(size_t num_threads);
 
   /// A small configuration for unit/integration tests (seconds to build).
   static WorldConfig Small();

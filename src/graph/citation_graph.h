@@ -16,6 +16,12 @@ namespace ctxrank::graph {
 using corpus::PaperId;
 
 /// \brief Immutable CSR-style citation graph. Node ids are PaperIds.
+///
+/// Thread-safety: construction is the only mutating phase. Every accessor
+/// is const, touches no hidden mutable state, and allocates only locals —
+/// any number of threads may read one graph concurrently (the parallel
+/// prestige engines build per-context InducedSubgraphs from one shared
+/// instance).
 class CitationGraph {
  public:
   /// Builds from a corpus (edge p -> q for each q in p's references).
@@ -55,6 +61,9 @@ class CitationGraph {
 
 /// \brief The citation subgraph induced by a set of papers, with local
 /// dense ids [0, n). This is what per-context PageRank runs on.
+/// Construction only reads the source graph, so subgraphs for different
+/// contexts can be extracted concurrently; after construction the object
+/// is immutable like CitationGraph.
 class InducedSubgraph {
  public:
   /// `members` must be duplicate-free.

@@ -8,6 +8,10 @@
 
 namespace ctxrank::graph {
 
+// All three similarities are pure functions over a const graph — safe for
+// concurrent callers sharing one CitationGraph (the parallel text-prestige
+// engine's reference channel).
+
 /// Bibliographic coupling: Jaccard overlap of the two papers' reference
 /// lists (papers citing the same literature are similar). In [0, 1].
 double BibliographicCoupling(const CitationGraph& graph, PaperId a, PaperId b);

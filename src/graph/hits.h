@@ -24,7 +24,8 @@ struct HitsResult {
   bool converged = false;
 };
 
-/// Runs HITS on an induced context subgraph.
+/// Runs HITS on an induced context subgraph. Pure over its const inputs —
+/// safe to call concurrently on different subgraphs.
 Result<HitsResult> ComputeHits(const InducedSubgraph& subgraph,
                                const HitsOptions& options = {});
 

@@ -42,6 +42,9 @@ struct PageRankResult {
 
 /// Runs PageRank on an induced context subgraph. Returns InvalidArgument
 /// for bad options; an empty subgraph yields an empty score vector.
+/// Pure over its const inputs (no global or hidden state) — safe to call
+/// concurrently on different subgraphs, which the parallel per-context
+/// citation-prestige engine relies on.
 Result<PageRankResult> ComputePageRank(const InducedSubgraph& subgraph,
                                        const PageRankOptions& options = {});
 

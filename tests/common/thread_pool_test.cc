@@ -1,0 +1,164 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace ctxrank {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ResolveNumThreadsTest, ZeroMapsToHardwareConcurrency) {
+  EXPECT_GE(ResolveNumThreads(0), 1u);
+  EXPECT_EQ(ResolveNumThreads(1), 1u);
+  EXPECT_EQ(ResolveNumThreads(7), 7u);
+}
+
+// Every index in [0, n) must be visited exactly once, whatever the thread
+// count or grain.
+void CheckCoverage(size_t n, size_t threads, size_t grain) {
+  std::vector<std::atomic<int>> visits(n);
+  for (auto& v : visits) v.store(0);
+  ParallelFor(
+      n,
+      [&](size_t begin, size_t end) {
+        ASSERT_LE(begin, end);
+        ASSERT_LE(end, n);
+        for (size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+      },
+      {.num_threads = threads, .grain = grain});
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  CheckCoverage(0, 4, 1);     // Empty range: body never runs.
+  CheckCoverage(1, 4, 1);     // n < threads.
+  CheckCoverage(3, 8, 1);     // n < threads, odd.
+  CheckCoverage(5, 4, 16);    // n < grain: single inline chunk.
+  CheckCoverage(97, 4, 1);    // Uneven split.
+  CheckCoverage(100, 3, 7);   // Grain-limited chunk count.
+  CheckCoverage(64, 0, 1);    // num_threads = 0 -> hardware concurrency.
+}
+
+TEST(ParallelForTest, InlinePathUsesCallingThread) {
+  const auto caller = std::this_thread::get_id();
+  std::thread::id body_thread;
+  ParallelFor(
+      10, [&](size_t, size_t) { body_thread = std::this_thread::get_id(); },
+      {.num_threads = 1});
+  EXPECT_EQ(body_thread, caller);
+}
+
+TEST(ParallelForTest, ResultsIdenticalAcrossThreadCounts) {
+  const size_t n = 1000;
+  auto run = [&](size_t threads) {
+    std::vector<double> out(n, 0.0);
+    ParallelFor(
+        n,
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            out[i] = static_cast<double>(i) * 0.25 + 1.0;
+          }
+        },
+        {.num_threads = threads});
+    return out;
+  };
+  const std::vector<double> baseline = run(1);
+  EXPECT_EQ(baseline, run(2));
+  EXPECT_EQ(baseline, run(3));
+  EXPECT_EQ(baseline, run(8));
+  EXPECT_EQ(baseline, run(0));
+}
+
+TEST(ParallelForTest, PropagatesExceptionFromWorkerChunk) {
+  EXPECT_THROW(
+      ParallelFor(
+          100,
+          [&](size_t begin, size_t) {
+            if (begin > 0) throw std::runtime_error("worker boom");
+          },
+          {.num_threads = 4}),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, PropagatesExceptionFromCallerChunk) {
+  EXPECT_THROW(
+      ParallelFor(
+          100,
+          [&](size_t begin, size_t) {
+            if (begin == 0) throw std::runtime_error("caller boom");
+          },
+          {.num_threads = 4}),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, OtherChunksStillRunWhenOneThrows) {
+  std::vector<std::atomic<int>> visits(100);
+  for (auto& v : visits) v.store(0);
+  try {
+    ParallelFor(
+        100,
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+          if (begin == 0) throw std::runtime_error("boom");
+        },
+        {.num_threads = 4});
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  for (size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ReusesProvidedPool) {
+  ThreadPool pool(3);
+  std::vector<int> out(50, 0);
+  for (int round = 0; round < 4; ++round) {
+    ParallelFor(
+        out.size(),
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) out[i] += 1;
+        },
+        {.num_threads = 4, .pool = &pool});
+  }
+  for (int v : out) EXPECT_EQ(v, 4);
+}
+
+}  // namespace
+}  // namespace ctxrank

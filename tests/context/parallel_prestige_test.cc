@@ -1,0 +1,168 @@
+// The parallel-engine determinism contract: every num_threads-aware stage
+// (the three prestige functions, search, corpus text synthesis) must
+// produce bitwise-identical output for any thread count. Guards the
+// disjoint-slot / fixed-merge-order design documented in
+// docs/PERFORMANCE.md.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "context/citation_prestige.h"
+#include "context/pattern_prestige.h"
+#include "context/search_engine.h"
+#include "context/text_prestige.h"
+#include "corpus/corpus_generator.h"
+#include "eval/experiment.h"
+
+namespace ctxrank::context {
+namespace {
+
+// One shared small world for the whole suite: prestige inputs (graph,
+// tokenized corpus, assignments) are read-only, so every test can reuse it.
+class ParallelPrestigeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::WorldConfig config = eval::WorldConfig::Small();
+    config.ontology.max_terms = 60;
+    config.corpus.num_papers = 500;
+    auto r = eval::World::Build(config);
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    world_ = r.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  static const eval::World& world() { return *world_; }
+
+  static void ExpectIdentical(const PrestigeScores& a,
+                              const PrestigeScores& b) {
+    ASSERT_EQ(a.num_terms(), b.num_terms());
+    for (ontology::TermId t = 0; t < a.num_terms(); ++t) {
+      EXPECT_EQ(a.Scores(t), b.Scores(t)) << "term " << t;
+    }
+  }
+
+  static eval::World* world_;
+};
+
+eval::World* ParallelPrestigeTest::world_ = nullptr;
+
+TEST_F(ParallelPrestigeTest, CitationPrestigeIdenticalAcrossThreadCounts) {
+  CitationPrestigeOptions opts;
+  opts.num_threads = 1;
+  auto base = ComputeCitationPrestige(world().onto(), world().text_set(),
+                                      world().graph(), opts);
+  ASSERT_TRUE(base.ok());
+  for (size_t threads : {2u, 8u, 0u}) {
+    opts.num_threads = threads;
+    auto r = ComputeCitationPrestige(world().onto(), world().text_set(),
+                                     world().graph(), opts);
+    ASSERT_TRUE(r.ok()) << "threads=" << threads;
+    ExpectIdentical(base.value(), r.value());
+  }
+}
+
+TEST_F(ParallelPrestigeTest, TextPrestigeIdenticalAcrossThreadCounts) {
+  TextPrestigeOptions opts;
+  opts.num_threads = 1;
+  auto base =
+      ComputeTextPrestige(world().onto(), world().text_set(), world().tc(),
+                          world().graph(), world().authors(), opts);
+  ASSERT_TRUE(base.ok());
+  for (size_t threads : {2u, 8u}) {
+    opts.num_threads = threads;
+    auto r =
+        ComputeTextPrestige(world().onto(), world().text_set(), world().tc(),
+                            world().graph(), world().authors(), opts);
+    ASSERT_TRUE(r.ok()) << "threads=" << threads;
+    ExpectIdentical(base.value(), r.value());
+  }
+}
+
+TEST_F(ParallelPrestigeTest, PatternPrestigeIdenticalAcrossThreadCounts) {
+  PatternPrestigeOptions opts;
+  opts.num_threads = 1;
+  auto base =
+      ComputePatternPrestige(world().onto(), world().pattern_result(), opts);
+  ASSERT_TRUE(base.ok());
+  for (size_t threads : {2u, 8u}) {
+    opts.num_threads = threads;
+    auto r =
+        ComputePatternPrestige(world().onto(), world().pattern_result(), opts);
+    ASSERT_TRUE(r.ok()) << "threads=" << threads;
+    ExpectIdentical(base.value(), r.value());
+  }
+}
+
+TEST_F(ParallelPrestigeTest, CorpusGenerationIdenticalAcrossThreadCounts) {
+  corpus::CorpusGeneratorOptions opts = world().config().corpus;
+  opts.num_papers = 300;
+  opts.num_threads = 1;
+  auto base = corpus::GenerateCorpus(world().onto(), opts);
+  ASSERT_TRUE(base.ok());
+  for (size_t threads : {2u, 8u}) {
+    opts.num_threads = threads;
+    auto r = corpus::GenerateCorpus(world().onto(), opts);
+    ASSERT_TRUE(r.ok()) << "threads=" << threads;
+    ASSERT_EQ(base.value().size(), r.value().size());
+    for (corpus::PaperId p = 0; p < base.value().size(); ++p) {
+      const corpus::Paper& a = base.value().paper(p);
+      const corpus::Paper& b = r.value().paper(p);
+      EXPECT_EQ(a.title, b.title) << "paper " << p;
+      EXPECT_EQ(a.abstract_text, b.abstract_text) << "paper " << p;
+      EXPECT_EQ(a.body, b.body) << "paper " << p;
+      EXPECT_EQ(a.index_terms, b.index_terms) << "paper " << p;
+      EXPECT_EQ(a.authors, b.authors) << "paper " << p;
+      EXPECT_EQ(a.references, b.references) << "paper " << p;
+    }
+  }
+}
+
+TEST_F(ParallelPrestigeTest, SearchHitsIdenticalAcrossThreadCounts) {
+  ContextSearchEngine engine(world().tc(), world().onto(), world().text_set(),
+                             world().text_set_citation_scores());
+  // A query built from real term names so several contexts match.
+  const std::string query = world().onto().term(1).name + " " +
+                            world().onto().term(2).name;
+  SearchOptions opts;
+  opts.max_contexts = 8;
+  opts.num_threads = 1;
+  const auto base = engine.Search(query, opts);
+  const auto base_contexts = engine.SelectContexts(
+      query, opts.max_contexts, opts.min_context_score, /*num_threads=*/1);
+  EXPECT_FALSE(base.empty());
+  for (size_t threads : {2u, 8u}) {
+    opts.num_threads = threads;
+    const auto hits = engine.Search(query, opts);
+    ASSERT_EQ(base.size(), hits.size()) << "threads=" << threads;
+    for (size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(base[i].paper, hits[i].paper) << "hit " << i;
+      EXPECT_EQ(base[i].relevancy, hits[i].relevancy) << "hit " << i;
+      EXPECT_EQ(base[i].context, hits[i].context) << "hit " << i;
+      EXPECT_EQ(base[i].prestige, hits[i].prestige) << "hit " << i;
+      EXPECT_EQ(base[i].match, hits[i].match) << "hit " << i;
+    }
+    const auto contexts = engine.SelectContexts(
+        query, opts.max_contexts, opts.min_context_score, threads);
+    ASSERT_EQ(base_contexts.size(), contexts.size());
+    for (size_t i = 0; i < contexts.size(); ++i) {
+      EXPECT_EQ(base_contexts[i].term, contexts[i].term);
+      EXPECT_EQ(base_contexts[i].score, contexts[i].score);
+    }
+  }
+}
+
+TEST_F(ParallelPrestigeTest, WorldConfigSetNumThreadsPropagates) {
+  eval::WorldConfig config;
+  config.SetNumThreads(4);
+  EXPECT_EQ(config.corpus.num_threads, 4u);
+  EXPECT_EQ(config.citation.num_threads, 4u);
+  EXPECT_EQ(config.text.num_threads, 4u);
+  EXPECT_EQ(config.text_on_pattern_set.num_threads, 4u);
+  EXPECT_EQ(config.pattern.num_threads, 4u);
+}
+
+}  // namespace
+}  // namespace ctxrank::context

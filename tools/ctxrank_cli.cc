@@ -16,9 +16,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/stage_timer.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "context/assignment_builders.h"
@@ -84,12 +86,19 @@ int Usage() {
                "usage: ctxrank <generate|index|search|info|analyze> "
                "[--flag value]...\n"
                "  generate --out DIR [--terms N] [--papers N] [--seed N]\n"
-               "  index    --data DIR [--set text|pattern]\n"
+               "           [--threads N] [--timings 1]\n"
+               "  index    --data DIR [--set text|pattern] [--threads N]\n"
+               "           [--timings 1]\n"
                "  search   --data DIR --query Q [--set text|pattern]\n"
                "           [--function text|citation|pattern] [--top N]\n"
                "  info     --data DIR\n"
                "  analyze  --data DIR [--set text|pattern] "
-               "[--min-context N]\n");
+               "[--min-context N]\n"
+               "common flags:\n"
+               "  --threads N   parallelize corpus text synthesis and the\n"
+               "                prestige engines (0 = all cores; output is\n"
+               "                identical for any value)\n"
+               "  --timings 1   print a per-stage wall/CPU time table\n");
   return 2;
 }
 
@@ -107,18 +116,31 @@ Result<Dataset> LoadDataset(const std::string& dir) {
   return d;
 }
 
+/// Prints the stage table when `--timings 1` was passed.
+void MaybePrintTimings(const Args& args, const StageTimer& timer) {
+  if (args.GetInt("timings", 0) != 0) {
+    std::printf("%s", timer.ToString().c_str());
+  }
+}
+
 int Generate(const Args& args) {
   const std::string out = args.Get("out", "");
   if (out.empty()) return Usage();
+  StageTimer timer;
   ontology::OntologyGeneratorOptions onto_opts;
   onto_opts.max_terms = static_cast<size_t>(args.GetInt("terms", 300));
   onto_opts.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
-  auto onto = ontology::GenerateOntology(onto_opts);
+  auto onto = timer.Time("generate ontology", [&] {
+    return ontology::GenerateOntology(onto_opts);
+  });
   if (!onto.ok()) return Fail(onto.status());
   corpus::CorpusGeneratorOptions corpus_opts;
   corpus_opts.num_papers = static_cast<size_t>(args.GetInt("papers", 5000));
   corpus_opts.seed = static_cast<uint64_t>(args.GetInt("seed", 42)) + 1;
-  auto corpus = corpus::GenerateCorpus(onto.value(), corpus_opts);
+  corpus_opts.num_threads = static_cast<size_t>(args.GetInt("threads", 1));
+  auto corpus = timer.Time("generate corpus", [&] {
+    return corpus::GenerateCorpus(onto.value(), corpus_opts);
+  });
   if (!corpus.ok()) return Fail(corpus.status());
   Status st = ontology::WriteOboFile(onto.value(), out + "/ontology.obo");
   if (!st.ok()) return Fail(st);
@@ -126,6 +148,7 @@ int Generate(const Args& args) {
   if (!st.ok()) return Fail(st);
   std::printf("wrote %zu terms and %zu papers to %s\n", onto.value().size(),
               corpus.value().size(), out.c_str());
+  MaybePrintTimings(args, timer);
   return 0;
 }
 
@@ -133,29 +156,43 @@ int Index(const Args& args) {
   const std::string dir = args.Get("data", "");
   if (dir.empty()) return Usage();
   const std::string set = args.Get("set", "text");
-  auto data = LoadDataset(dir);
+  const size_t threads = static_cast<size_t>(args.GetInt("threads", 1));
+  StageTimer timer;
+  auto data = timer.Time("load dataset", [&] { return LoadDataset(dir); });
   if (!data.ok()) return Fail(data.status());
+  std::optional<StageTimer::Scope> analyze(timer.Time("analyze corpus"));
   const corpus::TokenizedCorpus tc(data.value().corpus);
   const graph::CitationGraph graph(data.value().corpus);
+  analyze.reset();
   std::printf("analyzed %zu papers (%zu vocabulary terms)\n", tc.size(),
               tc.vocabulary().size());
 
+  context::CitationPrestigeOptions citation_opts;
+  citation_opts.num_threads = threads;
   if (set == "text") {
     const corpus::FullTextSearch fts(tc);
-    auto assignment = context::BuildTextBasedAssignment(
-        tc, data.value().onto, fts);
+    auto assignment = timer.Time("text-based assignment", [&] {
+      return context::BuildTextBasedAssignment(tc, data.value().onto, fts);
+    });
     if (!assignment.ok()) return Fail(assignment.status());
     Status st = context::SaveAssignment(assignment.value(),
                                         dir + "/text_assignment.txt");
     if (!st.ok()) return Fail(st);
     const context::AuthorSimilarity authors(data.value().corpus);
-    auto text = context::ComputeTextPrestige(
-        data.value().onto, assignment.value(), tc, graph, authors);
+    context::TextPrestigeOptions text_opts;
+    text_opts.num_threads = threads;
+    auto text = timer.Time("text prestige", [&] {
+      return context::ComputeTextPrestige(data.value().onto,
+                                          assignment.value(), tc, graph,
+                                          authors, text_opts);
+    });
     if (!text.ok()) return Fail(text.status());
     st = context::SavePrestige(text.value(), dir + "/text_prestige_text.txt");
     if (!st.ok()) return Fail(st);
-    auto cit = context::ComputeCitationPrestige(data.value().onto,
-                                                assignment.value(), graph);
+    auto cit = timer.Time("citation prestige", [&] {
+      return context::ComputeCitationPrestige(
+          data.value().onto, assignment.value(), graph, citation_opts);
+    });
     if (!cit.ok()) return Fail(cit.status());
     st = context::SavePrestige(cit.value(),
                                dir + "/text_prestige_citation.txt");
@@ -164,19 +201,27 @@ int Index(const Args& args) {
                 "members)\n",
                 assignment.value().ContextsWithAtLeast(1).size());
   } else if (set == "pattern") {
-    auto pa = context::BuildPatternBasedAssignment(tc, data.value().onto);
+    auto pa = timer.Time("pattern-based assignment", [&] {
+      return context::BuildPatternBasedAssignment(tc, data.value().onto);
+    });
     if (!pa.ok()) return Fail(pa.status());
     Status st = context::SaveAssignment(pa.value().assignment,
                                         dir + "/pattern_assignment.txt");
     if (!st.ok()) return Fail(st);
-    auto pattern = context::ComputePatternPrestige(data.value().onto,
-                                                   pa.value());
+    context::PatternPrestigeOptions pattern_opts;
+    pattern_opts.num_threads = threads;
+    auto pattern = timer.Time("pattern prestige", [&] {
+      return context::ComputePatternPrestige(data.value().onto, pa.value(),
+                                             pattern_opts);
+    });
     if (!pattern.ok()) return Fail(pattern.status());
     st = context::SavePrestige(pattern.value(),
                                dir + "/pattern_prestige_pattern.txt");
     if (!st.ok()) return Fail(st);
-    auto cit = context::ComputeCitationPrestige(
-        data.value().onto, pa.value().assignment, graph);
+    auto cit = timer.Time("citation prestige", [&] {
+      return context::ComputeCitationPrestige(
+          data.value().onto, pa.value().assignment, graph, citation_opts);
+    });
     if (!cit.ok()) return Fail(cit.status());
     st = context::SavePrestige(cit.value(),
                                dir + "/pattern_prestige_citation.txt");
@@ -187,6 +232,7 @@ int Index(const Args& args) {
   } else {
     return Usage();
   }
+  MaybePrintTimings(args, timer);
   return 0;
 }
 
