@@ -1,0 +1,209 @@
+// P3 — query-serving performance: QPS and latency percentiles for the
+// context search fast path. Compares the brute-force exact scan against
+// the impact-ordered pruned path (cold and warm cache) at k=20, verifies
+// the two paths return bitwise-identical rankings on every query, and
+// measures batch throughput via SearchMany. Optionally writes the numbers
+// as JSON (--json FILE) for the committed BENCH_queries.json baseline.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/stats.h"
+#include "eval/table.h"
+
+namespace ctxrank::bench {
+namespace {
+
+constexpr size_t kTopK = 20;
+
+struct ModeStats {
+  std::string name;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Runs every query once through `engine` with `options`, timing each call.
+ModeStats TimeQueries(const std::string& name,
+                      const context::ContextSearchEngine& engine,
+                      const std::vector<eval::EvalQuery>& queries,
+                      const context::SearchOptions& options) {
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(queries.size());
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (const auto& q : queries) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto hits = engine.Search(q.text, options);
+    const std::chrono::duration<double, std::milli> dt =
+        std::chrono::steady_clock::now() - t0;
+    latencies_ms.push_back(dt.count());
+    (void)hits;
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall0;
+  ModeStats stats;
+  stats.name = name;
+  stats.qps = wall.count() > 0.0
+                  ? static_cast<double>(queries.size()) / wall.count()
+                  : 0.0;
+  stats.p50_ms = Percentile(latencies_ms, 50.0);
+  stats.p95_ms = Percentile(latencies_ms, 95.0);
+  stats.p99_ms = Percentile(latencies_ms, 99.0);
+  return stats;
+}
+
+bool SameHits(const std::vector<context::SearchHit>& a,
+              const std::vector<context::SearchHit>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].paper != b[i].paper || a[i].relevancy != b[i].relevancy ||
+        a[i].context != b[i].context || a[i].prestige != b[i].prestige ||
+        a[i].match != b[i].match) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void WriteJson(const std::string& path, const eval::WorldConfig& config,
+               size_t num_queries, const std::vector<ModeStats>& modes,
+               double speedup, double batch_qps, size_t batch_threads,
+               bool identity_ok, size_t index_postings) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"bench\": \"perf_queries\",\n";
+  out << "  \"scale\": \"" << (config.corpus.num_papers < 5000 ? "small"
+                                                               : "default")
+      << "\",\n";
+  out << "  \"num_queries\": " << num_queries << ",\n";
+  out << "  \"top_k\": " << kTopK << ",\n";
+  out << "  \"index_postings\": " << index_postings << ",\n";
+  out << "  \"identity_exact_vs_pruned\": " << (identity_ok ? "true" : "false")
+      << ",\n";
+  out << "  \"modes\": [\n";
+  for (size_t i = 0; i < modes.size(); ++i) {
+    const ModeStats& m = modes[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"qps\": %.1f, \"p50_ms\": %.3f, "
+                  "\"p95_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                  m.name.c_str(), m.qps, m.p50_ms, m.p95_ms, m.p99_ms,
+                  i + 1 < modes.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                "  \"speedup_pruned_cold_vs_exact\": %.2f,\n"
+                "  \"batch_threads\": %zu,\n"
+                "  \"batch_qps\": %.1f\n",
+                speedup, batch_threads, batch_qps);
+  out << tail << "}\n";
+}
+
+int Run(int argc, char** argv) {
+  const eval::WorldConfig config = ParseConfig(argc, argv);
+  std::string json_path;
+  size_t batch_threads = 4;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--batch-threads") == 0) {
+      batch_threads = static_cast<size_t>(std::atol(argv[i + 1]));
+    }
+  }
+  auto world = BuildWorldOrDie(config);
+
+  const auto build0 = std::chrono::steady_clock::now();
+  context::ContextSearchEngine::EngineOptions engine_options;
+  engine_options.num_threads = batch_threads;
+  context::ContextSearchEngine engine(world->tc(), world->onto(),
+                                      world->text_set(),
+                                      world->text_set_text_scores(),
+                                      engine_options);
+  const std::chrono::duration<double> build_dt =
+      std::chrono::steady_clock::now() - build0;
+  std::printf("[engine: %zu index postings, built in %.2fs]\n",
+              engine.index_postings(), build_dt.count());
+
+  const auto queries = eval::GenerateQueries(world->onto(), world->tc(),
+                                             world->text_set());
+  std::printf("[%zu queries, k=%zu]\n", queries.size(), kTopK);
+
+  context::SearchOptions exact_opts;
+  exact_opts.top_k = kTopK;
+  exact_opts.exact_scan = true;
+  context::SearchOptions pruned_opts;
+  pruned_opts.top_k = kTopK;
+
+  // Exactness gate first: the fast path must be bitwise identical to the
+  // brute scan on every query before its speed means anything.
+  bool identity_ok = true;
+  for (const auto& q : queries) {
+    if (!SameHits(engine.Search(q.text, exact_opts),
+                  engine.Search(q.text, pruned_opts))) {
+      identity_ok = false;
+      std::printf("IDENTITY MISMATCH on query \"%s\"\n", q.text.c_str());
+    }
+  }
+  std::printf("exact-vs-pruned identity: %s\n", identity_ok ? "OK" : "FAIL");
+
+  std::vector<ModeStats> modes;
+  modes.push_back(TimeQueries("exact_scan", engine, queries, exact_opts));
+  modes.push_back(TimeQueries("pruned_cold", engine, queries, pruned_opts));
+  engine.EnableQueryCache(4096);
+  // Prime, then measure the warm pass.
+  TimeQueries("warmup", engine, queries, pruned_opts);
+  modes.push_back(TimeQueries("pruned_warm", engine, queries, pruned_opts));
+  const auto cache_stats = engine.query_cache_stats();
+
+  // Batch throughput: SearchMany fans queries out over the pool; bypass
+  // the (now fully warm) cache so this measures computation, not lookups.
+  context::SearchOptions batch_opts = pruned_opts;
+  batch_opts.bypass_cache = true;
+  batch_opts.num_threads = batch_threads;
+  std::vector<std::string> texts;
+  texts.reserve(queries.size());
+  for (const auto& q : queries) texts.push_back(q.text);
+  const auto batch0 = std::chrono::steady_clock::now();
+  const auto batch_results = engine.SearchMany(texts, batch_opts);
+  const std::chrono::duration<double> batch_dt =
+      std::chrono::steady_clock::now() - batch0;
+  const double batch_qps =
+      batch_dt.count() > 0.0
+          ? static_cast<double>(batch_results.size()) / batch_dt.count()
+          : 0.0;
+
+  eval::Table table({"mode", "qps", "p50 ms", "p95 ms", "p99 ms"});
+  for (const ModeStats& m : modes) {
+    table.AddRow({m.name, eval::Table::Cell(m.qps, 1),
+                  eval::Table::Cell(m.p50_ms, 3),
+                  eval::Table::Cell(m.p95_ms, 3),
+                  eval::Table::Cell(m.p99_ms, 3)});
+  }
+  std::printf("P3 — query serving at k=%zu (single query thread)\n%s", kTopK,
+              table.ToString().c_str());
+  const double speedup = modes[0].qps > 0.0 ? modes[1].qps / modes[0].qps : 0;
+  std::printf("pruned-vs-exact speedup: %.2fx\n", speedup);
+  std::printf("cache: %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses));
+  std::printf("batch SearchMany (%zu threads, cache bypassed): %.1f qps\n",
+              batch_threads, batch_qps);
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, config, queries.size(), modes, speedup, batch_qps,
+              batch_threads, identity_ok, engine.index_postings());
+    std::printf("[wrote %s]\n", json_path.c_str());
+  }
+  return identity_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ctxrank::bench
+
+int main(int argc, char** argv) { return ctxrank::bench::Run(argc, argv); }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the test suite with AddressSanitizer + UndefinedBehaviorSanitizer
+# and runs the query-serving fast-path tests (impact indexes, pruned
+# search, LRU cache) plus their neighbors under it.
+# Usage: scripts/verify_asan.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-asan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCTXRANK_SANITIZE=address,undefined
+cmake --build "${build_dir}" -j --target common_test text_test context_test
+
+echo "== LRU cache under ASan/UBSan =="
+"${build_dir}/tests/common_test" --gtest_filter='LruCache*'
+
+echo "== inverted + impact indexes under ASan/UBSan =="
+"${build_dir}/tests/text_test" --gtest_filter='InvertedIndex*:ImpactIndex*'
+
+echo "== query fast path under ASan/UBSan =="
+"${build_dir}/tests/context_test" --gtest_filter='QueryFastPath*:SearchEngine*'
+
+echo "ASan/UBSan verification passed."

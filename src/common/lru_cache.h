@@ -1,0 +1,130 @@
+// Sharded LRU cache for read-mostly serving paths (the query result
+// cache in front of ContextSearchEngine). Each shard owns an independent
+// mutex + recency list + hash map, so concurrent lookups from the batch
+// search fan-out contend only when two keys land in the same shard.
+#ifndef CTXRANK_COMMON_LRU_CACHE_H_
+#define CTXRANK_COMMON_LRU_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ctxrank {
+
+/// Running hit/miss counters of an LruCache (totals across all shards).
+struct LruCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+/// \brief Fixed-capacity least-recently-used cache, sharded by key hash.
+/// Get and Put are thread-safe (per-shard locking) and O(1) expected.
+/// Value should be cheap to copy — cache large payloads behind a
+/// shared_ptr.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across
+  /// `num_shards` (each shard holds at least one entry). Both are clamped
+  /// to at least 1.
+  explicit LruCache(size_t capacity, size_t num_shards = 1) {
+    if (num_shards == 0) num_shards = 1;
+    if (capacity == 0) capacity = 1;
+    if (num_shards > capacity) num_shards = capacity;
+    const size_t per_shard = (capacity + num_shards - 1) / num_shards;
+    shards_.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+  }
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Returns the cached value and marks it most-recently-used, or nullopt.
+  std::optional<Value> Get(const Key& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++shard.misses;
+      return std::nullopt;
+    }
+    ++shard.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts or overwrites `key`, marking it most-recently-used; evicts the
+  /// shard's least-recently-used entry when the shard is full.
+  void Put(const Key& key, Value value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      it->second->second = std::move(value);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    if (shard.lru.size() >= shard.capacity) {
+      shard.map.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+    }
+    shard.lru.emplace_front(key, std::move(value));
+    shard.map.emplace(key, shard.lru.begin());
+  }
+
+  /// Total live entries across shards.
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      n += shard->lru.size();
+    }
+    return n;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+
+  LruCacheStats stats() const {
+    LruCacheStats s;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      s.hits += shard->hits;
+      s.misses += shard->misses;
+    }
+    return s;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(size_t cap) : capacity(cap) {}
+    mutable std::mutex mu;
+    // Front = most recently used. The map points into the list, so splice
+    // (which preserves iterators) is the only reordering operation.
+    std::list<std::pair<Key, Value>> lru;
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash>
+        map;
+    size_t capacity;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return *shards_[hasher_(key) % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Hash hasher_;
+};
+
+}  // namespace ctxrank
+
+#endif  // CTXRANK_COMMON_LRU_CACHE_H_

@@ -38,6 +38,16 @@ double Max(const std::vector<double>& v) {
   return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
 }
 
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(v.size())));
+  if (rank > 0) --rank;  // ceil(pn) in 1-based ranks -> 0-based index.
+  std::nth_element(v.begin(), v.begin() + rank, v.end());
+  return v[rank];
+}
+
 void MinMaxNormalize(std::vector<double>& v) {
   if (v.empty()) return;
   const double lo = Min(v), hi = Max(v);

@@ -22,6 +22,11 @@ double StdDev(const std::vector<double>& v);
 double Min(const std::vector<double>& v);
 double Max(const std::vector<double>& v);
 
+/// Nearest-rank percentile: the smallest element such that at least
+/// p percent of the sample is <= it (p in [0, 100]; p = 50 is the lower
+/// median, p = 100 the maximum). 0 for an empty input.
+double Percentile(std::vector<double> v, double p);
+
 /// Rescales values to [0, 1] in place. A constant vector maps to all-zeros
 /// (so "every paper got the same score" is visible to separability metrics).
 void MinMaxNormalize(std::vector<double>& v);

@@ -1,50 +1,241 @@
 #include "context/search_engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <numeric>
 #include <unordered_map>
 
 #include "common/thread_pool.h"
 #include "ontology/semantic_similarity.h"
 
 namespace ctxrank::context {
+namespace {
+
+// Absolute slack added to every dot-product upper bound before comparing
+// against the pruning threshold. The fast path accumulates the same
+// products as SparseVector::Dot in a different order, so the two sums can
+// differ by floating-point reassociation error — bounded by
+// nnz * eps * sum|q_t * w_t| <~ 1e-13 for normalized TF-IDF vectors. 1e-9
+// is orders of magnitude above that and orders of magnitude below any
+// meaningful relevancy difference, so pruning stays provably safe without
+// costing selectivity.
+constexpr double kUbSlack = 1e-9;
+
+void SortHits(std::vector<SearchHit>& hits) {
+  std::sort(hits.begin(), hits.end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.relevancy != b.relevancy) return a.relevancy > b.relevancy;
+              return a.paper < b.paper;
+            });
+}
+
+/// Exact cache key: analyzed query term ids (sorted — TF-IDF weighting is
+/// bag-of-words, so word order never changes the result) plus the raw bit
+/// patterns of every result-affecting option. num_threads and bypass_cache
+/// are excluded: results are thread-count invariant by contract.
+std::string CacheKey(std::vector<text::TermId> ids,
+                     const SearchOptions& options) {
+  std::sort(ids.begin(), ids.end());
+  std::string key;
+  key.reserve(ids.size() * sizeof(text::TermId) + 8 * sizeof(uint64_t));
+  const auto put = [&key](const void* p, size_t n) {
+    key.append(static_cast<const char*>(p), n);
+  };
+  for (const text::TermId id : ids) put(&id, sizeof(id));
+  const uint64_t ints[] = {options.max_contexts, options.semantic_expansion,
+                           options.top_k,
+                           static_cast<uint64_t>(options.exact_scan)};
+  put(ints, sizeof(ints));
+  const double doubles[] = {options.min_context_score, options.min_relevancy,
+                            options.weights.prestige,
+                            options.weights.matching};
+  put(doubles, sizeof(doubles));
+  return key;
+}
+
+}  // namespace
+
+/// \brief Deduplicating hit merger with an adaptive top-k pruning
+/// threshold. Emit() applies the reference path's merge rule (a paper
+/// keeps its best relevancy; on exact ties the earlier context wins
+/// because replacement requires a strict improvement). theta() is the
+/// pruning threshold: the maximum of min_relevancy and a monotonically
+/// tightening lower bound on the k-th best merged relevancy. The bound is
+/// recomputed lazily (amortized O(1) per emit) and is always <= the true
+/// k-th best, so pruning `ub < theta()` can never drop a top-k paper.
+class ContextSearchEngine::TopKMerger {
+ public:
+  TopKMerger(size_t k, double min_relevancy) : k_(k), theta_(min_relevancy) {}
+
+  double theta() const { return theta_; }
+
+  /// Raises theta to an externally proven lower bound on the final k-th
+  /// best relevancy (no-op when k is 0 — nothing is truncated then).
+  void SeedThreshold(double bound) {
+    if (k_ > 0) theta_ = std::max(theta_, bound);
+  }
+
+  void Emit(const SearchHit& hit) {
+    auto [it, inserted] = merged_.try_emplace(hit.paper, hit);
+    if (!inserted) {
+      if (!(hit.relevancy > it->second.relevancy)) return;
+      it->second = hit;
+    }
+    ++dirty_;
+    if (k_ > 0 && merged_.size() >= k_ &&
+        dirty_ >= std::max(k_, merged_.size() / 4)) {
+      Refresh();
+    }
+  }
+
+  /// Tightens theta to the current k-th best merged relevancy (no-op when
+  /// fewer than k papers have been merged, when k is 0 = unbounded, or
+  /// when nothing was emitted since the last refresh).
+  void Refresh() {
+    if (k_ == 0 || merged_.size() < k_ || dirty_ == 0) return;
+    dirty_ = 0;
+    buf_.clear();
+    buf_.reserve(merged_.size());
+    for (const auto& [paper, hit] : merged_) buf_.push_back(hit.relevancy);
+    std::nth_element(buf_.begin(), buf_.begin() + (k_ - 1), buf_.end(),
+                     std::greater<double>());
+    theta_ = std::max(theta_, buf_[k_ - 1]);
+  }
+
+  /// Final ranking: relevancy desc, paper asc, truncated to k (0 = all).
+  std::vector<SearchHit> Finish() {
+    std::vector<SearchHit> hits;
+    hits.reserve(merged_.size());
+    for (auto& [paper, hit] : merged_) hits.push_back(hit);
+    SortHits(hits);
+    if (k_ > 0 && hits.size() > k_) hits.resize(k_);
+    return hits;
+  }
+
+ private:
+  size_t k_;
+  double theta_;
+  size_t dirty_ = 0;
+  std::unordered_map<PaperId, SearchHit> merged_;
+  std::vector<double> buf_;
+};
 
 ContextSearchEngine::ContextSearchEngine(const corpus::TokenizedCorpus& tc,
                                          const ontology::Ontology& onto,
                                          const ContextAssignment& assignment,
-                                         const PrestigeScores& prestige)
+                                         const PrestigeScores& prestige,
+                                         const EngineOptions& engine_options)
     : tc_(&tc), onto_(&onto), assignment_(&assignment), prestige_(&prestige) {
-  name_vectors_.reserve(onto.size());
+  name_vectors_.resize(onto.size());
+  ParallelFor(
+      onto.size(),
+      [&](size_t begin, size_t end) {
+        for (TermId t = begin; t < end; ++t) {
+          const auto ids = tc.analyzer().AnalyzeToKnownIds(onto.term(t).name,
+                                                           tc.vocabulary());
+          name_vectors_[t] = tc.tfidf().TransformQuery(ids);
+        }
+      },
+      {.num_threads = engine_options.num_threads, .grain = 64});
+  // Routing index over the name vectors. Ascending t, and each vector's
+  // entries are ascending by vocabulary term, so every per-vocabulary-term
+  // postings list ends up sorted by ontology term — the accumulation in
+  // SelectContextsFromVector then adds products in exactly the order
+  // SparseVector::Dot would.
+  name_norms_.resize(onto.size());
   for (TermId t = 0; t < onto.size(); ++t) {
-    const auto ids =
-        tc.analyzer().AnalyzeToKnownIds(onto.term(t).name, tc.vocabulary());
-    name_vectors_.push_back(tc.tfidf().TransformQuery(ids));
+    name_norms_[t] = name_vectors_[t].Norm();
+    for (const auto& e : name_vectors_[t].entries()) {
+      if (e.term >= name_postings_.size()) name_postings_.resize(e.term + 1);
+      name_postings_[e.term].push_back({t, e.weight});
+    }
+  }
+  if (!engine_options.build_query_index) return;
+  // Per-context impact-ordered indexes: one slot per term, each built
+  // independently from read-only views — same determinism shape as the
+  // prestige engines, so the build parallelizes freely.
+  context_index_.resize(assignment.num_terms());
+  ParallelFor(
+      assignment.num_terms(),
+      [&](size_t begin, size_t end) {
+        for (TermId t = begin; t < end; ++t) {
+          const auto& members = assignment.Members(t);
+          if (members.size() < engine_options.index_min_members) continue;
+          if (!prestige.HasScores(t)) continue;
+          ContextIndex& ci = context_index_[t];
+          for (const PaperId p : members) ci.index.Add(tc.FullVector(p));
+          ci.index.Finalize();
+          const auto& scores = prestige.Scores(t);
+          const auto prestige_of = [&scores](uint32_t i) {
+            return i < scores.size() ? scores[i] : 0.0;
+          };
+          ci.by_prestige.resize(members.size());
+          std::iota(ci.by_prestige.begin(), ci.by_prestige.end(), 0u);
+          std::sort(ci.by_prestige.begin(), ci.by_prestige.end(),
+                    [&prestige_of](uint32_t a, uint32_t b) {
+                      const double sa = prestige_of(a), sb = prestige_of(b);
+                      if (sa != sb) return sa > sb;
+                      return a < b;
+                    });
+          ci.max_prestige =
+              ci.by_prestige.empty() ? 0.0 : prestige_of(ci.by_prestige[0]);
+          ci.built = true;
+        }
+      },
+      {.num_threads = engine_options.num_threads});
+  for (const ContextIndex& ci : context_index_) {
+    if (!ci.built) continue;
+    index_postings_ += ci.index.total_postings();
+    max_indexed_members_ =
+        std::max(max_indexed_members_, ci.index.num_documents());
   }
 }
 
 std::vector<ContextMatch> ContextSearchEngine::SelectContexts(
     std::string_view query, size_t max_contexts, double min_score,
     size_t num_threads) const {
-  const auto ids =
-      tc_->analyzer().AnalyzeToKnownIds(query, tc_->vocabulary());
-  const text::SparseVector qv = tc_->tfidf().TransformQuery(ids);
-  // Parallel scan writes each term's score into its own slot; the filter
-  // below runs sequentially in term order, so the ranking is identical for
-  // any thread count. Term-name cosines are tiny — use a coarse grain.
-  std::vector<double> term_scores(onto_->size(), 0.0);
-  ParallelFor(
-      onto_->size(),
-      [&](size_t begin, size_t end) {
-        for (TermId t = begin; t < end; ++t) {
-          if (assignment_->Members(t).empty()) continue;
-          term_scores[t] = qv.Cosine(name_vectors_[t]);
-        }
-      },
-      {.num_threads = num_threads, .grain = 256});
+  const auto ids = tc_->analyzer().AnalyzeToKnownIds(query, tc_->vocabulary());
+  return SelectContextsFromVector(tc_->tfidf().TransformQuery(ids),
+                                  max_contexts, min_score, num_threads);
+}
+
+std::vector<ContextMatch> ContextSearchEngine::SelectContextsFromVector(
+    const text::SparseVector& qv, size_t max_contexts, double min_score,
+    size_t num_threads) const {
+  (void)num_threads;  // Kept for API stability; the sparse scan is so much
+                      // faster than the old parallel dense scan that
+                      // fanning it out would only add overhead.
+  // Sparse scan via the routing index: only ontology terms sharing at
+  // least one query word accumulate a dot product, in the same ascending
+  // vocabulary-term order SparseVector::Dot uses — so the scores below are
+  // bitwise identical to the dense qv.Cosine(name_vectors_[t]) scan, and
+  // terms never touched would have scored exactly 0 (filtered anyway).
+  // Thread-local scratch: reset sparsely (via `scored`) before returning,
+  // so repeated queries pay no per-call zeroing of the dense array.
+  static thread_local std::vector<double> dot;
+  static thread_local std::vector<TermId> scored;
+  if (dot.size() < onto_->size()) dot.resize(onto_->size(), 0.0);
+  scored.clear();
+  for (const auto& qe : qv.entries()) {
+    if (qe.term >= name_postings_.size()) continue;
+    for (const auto& [t, w] : name_postings_[qe.term]) {
+      if (dot[t] == 0.0) scored.push_back(t);
+      dot[t] += qe.weight * w;
+    }
+  }
+  const double qnorm = qv.Norm();
   std::vector<ContextMatch> matches;
-  for (TermId t = 0; t < onto_->size(); ++t) {
-    const double score = term_scores[t];
+  for (const TermId t : scored) {
+    if (assignment_->Members(t).empty()) continue;
+    const double nnorm = name_norms_[t];
+    const double score =
+        (qnorm <= 0.0 || nnorm <= 0.0) ? 0.0 : dot[t] / (qnorm * nnorm);
     if (score >= min_score && score > 0.0) matches.push_back({t, score});
   }
+  for (const TermId t : scored) dot[t] = 0.0;  // Restore the all-zero state.
   std::sort(matches.begin(), matches.end(),
             [this](const ContextMatch& a, const ContextMatch& b) {
               if (a.score != b.score) return a.score > b.score;
@@ -61,25 +252,21 @@ std::vector<ContextMatch> ContextSearchEngine::SelectContexts(
 double ContextSearchEngine::Relevancy(const text::SparseVector& query_vec,
                                       TermId context, PaperId paper,
                                       const RelevancyWeights& weights) const {
-  const double prestige =
-      prestige_->ScoreOf(*assignment_, context, paper);
+  const double prestige = prestige_->ScoreOf(*assignment_, context, paper);
   const double match = query_vec.Cosine(tc_->FullVector(paper));
   return weights.prestige * prestige + weights.matching * match;
 }
 
-std::vector<SearchHit> ContextSearchEngine::Search(
-    std::string_view query, const SearchOptions& options) const {
-  const auto ids =
-      tc_->analyzer().AnalyzeToKnownIds(query, tc_->vocabulary());
-  const text::SparseVector qv = tc_->tfidf().TransformQuery(ids);
-  std::vector<ContextMatch> contexts =
-      SelectContexts(query, options.max_contexts, options.min_context_score,
-                     options.num_threads);
+std::vector<ContextMatch> ContextSearchEngine::RouteQuery(
+    const text::SparseVector& qv, const SearchOptions& options) const {
+  std::vector<ContextMatch> contexts = SelectContextsFromVector(
+      qv, options.max_contexts, options.min_context_score,
+      options.num_threads);
   if (options.semantic_expansion > 0) {
     std::unordered_map<TermId, double> extra;
     for (const ContextMatch& cm : contexts) {
-      for (TermId t : ontology::MostSimilarTerms(
-               *onto_, cm.term, options.semantic_expansion)) {
+      for (TermId t : ontology::MostSimilarTerms(*onto_, cm.term,
+                                                 options.semantic_expansion)) {
         if (assignment_->Members(t).empty()) continue;
         const double score =
             cm.score * ontology::LinSimilarity(*onto_, cm.term, t);
@@ -92,6 +279,12 @@ std::vector<SearchHit> ContextSearchEngine::Search(
       if (score >= options.min_context_score) contexts.push_back({t, score});
     }
   }
+  return contexts;
+}
+
+std::vector<SearchHit> ContextSearchEngine::ExactScan(
+    const text::SparseVector& qv, const std::vector<ContextMatch>& contexts,
+    const SearchOptions& options) const {
   // Per-context scoring (the TF-IDF match cosine per member paper is the
   // query-time hot loop) fans out over contexts; each context fills its
   // own candidate slot from the shared read-only views.
@@ -131,12 +324,303 @@ std::vector<SearchHit> ContextSearchEngine::Search(
   std::vector<SearchHit> hits;
   hits.reserve(merged.size());
   for (auto& [paper, hit] : merged) hits.push_back(hit);
-  std::sort(hits.begin(), hits.end(), [](const SearchHit& a,
-                                         const SearchHit& b) {
-    if (a.relevancy != b.relevancy) return a.relevancy > b.relevancy;
-    return a.paper < b.paper;
-  });
+  SortHits(hits);
   return hits;
+}
+
+// The pruned fast path, per context.
+//
+// Bound derivation (see also docs/PERFORMANCE.md): both document vectors
+// and the query are fixed, so for paper p at member position i with
+// prestige s_i,
+//   R(p) = w_p * s_i + w_m * dot(q, d_i) / (||q|| * ||d_i||).
+// With non-negative weights (enforced by the dispatch in SearchVector),
+//   R(p) <= w_p * max_prestige(c) + w_m * dot_ub / (||q|| * min_norm(c))
+// for any valid dot-product upper bound dot_ub:
+//   * before touching the context: dot_ub = sum_t q_t * max_weight(t, c)
+//     over the query's terms (per-term max-weight metadata);
+//   * for a paper first seen at an impact-ordered posting of term j with
+//     weight w: dot_ub = q_j * w + rest(j+1), where rest() is the suffix
+//     of the per-term bounds in processing order (earlier terms
+//     contributed nothing — the paper was not in the accumulator);
+//   * after accumulation: dot_ub = acc_i (its own partial dot).
+// Untouched papers have dot exactly 0, so their relevancy is computed in
+// O(1) and the prestige-descending member order turns the threshold into
+// a break condition.
+void ContextSearchEngine::ScanContext(const text::SparseVector& qv,
+                                      double query_norm, TermId term,
+                                      const SearchOptions& options,
+                                      Scratch& scratch,
+                                      TopKMerger& merger) const {
+  if (!prestige_->HasScores(term)) return;
+  const auto& members = assignment_->Members(term);
+  const auto& scores = prestige_->Scores(term);
+  const double wp = options.weights.prestige;
+  const double wm = options.weights.matching;
+  const ContextIndex* ci =
+      term < context_index_.size() ? &context_index_[term] : nullptr;
+  if (ci == nullptr || !ci->built) {
+    // Small or unindexed context: exact member scan (identical expression
+    // to the reference path), filtered by the current threshold.
+    const double theta = merger.theta();
+    for (size_t i = 0; i < members.size(); ++i) {
+      const double match = qv.Cosine(tc_->FullVector(members[i]));
+      const double prestige = i < scores.size() ? scores[i] : 0.0;
+      const double r = wp * prestige + wm * match;
+      if (r < options.min_relevancy || r < theta) continue;
+      merger.Emit({members[i], r, term, prestige, match});
+    }
+    return;
+  }
+
+  // Threshold seed: the k papers with the best prestige in this context
+  // each have true relevancy >= wp * prestige (wm and the match are
+  // non-negative), so the k-th of those values is a valid lower bound on
+  // the final k-th best relevancy — pruning bites from the first context.
+  const auto prestige_of = [&scores](uint32_t i) {
+    return i < scores.size() ? scores[i] : 0.0;
+  };
+  if (options.top_k > 0 && ci->by_prestige.size() >= options.top_k) {
+    merger.SeedThreshold(wp *
+                         prestige_of(ci->by_prestige[options.top_k - 1]));
+  }
+
+  const double denom = query_norm * ci->index.min_positive_norm();
+  const double inv_denom = denom > 0.0 ? 1.0 / denom : 0.0;
+  const auto match_ub = [inv_denom](double dot_ub) {
+    return (dot_ub + kUbSlack) * inv_denom + kUbSlack;
+  };
+
+  // Query terms present in this context, in ascending vocabulary-term
+  // order (qv entries are sorted): a candidate accumulated from its first
+  // occurrence then collects products in exactly SparseVector::Dot's merge
+  // order, so its final accumulator IS the exact dot product. rest[j] is
+  // the per-term upper-bound suffix used for admission pruning.
+  std::vector<text::SparseVector::Entry>& qterms = scratch.qterms;
+  std::vector<double>& rest = scratch.rest;
+  qterms.clear();
+  rest.clear();
+  for (const auto& qe : qv.entries()) {
+    const double mw = ci->index.MaxWeight(qe.term);
+    if (mw > 0.0) {
+      qterms.push_back({qe.term, qe.weight});
+      rest.push_back(qe.weight * mw);
+    }
+  }
+  rest.push_back(0.0);
+  for (size_t j = qterms.size(); j-- > 0;) rest[j] += rest[j + 1];
+
+  // Whole-context skip: not even a paper with maximal prestige and every
+  // query term at its context-max weight can reach the threshold.
+  if (wp * ci->max_prestige + wm * match_ub(rest[0]) < merger.theta()) return;
+
+  // Term-at-a-time accumulation over the impact-ordered postings. Every
+  // candidate admitted before the first admission failure (clean_count
+  // prefix of `touched`) has a complete, merge-ordered dot product;
+  // candidates admitted after one may have missed earlier contributions —
+  // but only if they already failed an admission check, which proves their
+  // total relevancy below the (monotone) threshold, so the loose rescore
+  // below can never emit a wrong result for them.
+  std::vector<double>& acc = scratch.acc;
+  std::vector<uint32_t>& touched = scratch.touched;
+  size_t clean_count = std::numeric_limits<size_t>::max();
+  for (size_t j = 0; j < qterms.size(); ++j) {
+    const double qw = qterms[j].weight;
+    const double theta = merger.theta();
+    // rest[j] is the best dot bound any candidate *first admitted at this
+    // term* could have (its max posting weight plus the full remaining
+    // suffix). If even that cannot reach theta, no posting of this term
+    // can admit — skip the whole impact-ordered list and add the term's
+    // contribution to the (few) already-admitted papers by direct forward
+    // lookup instead. The looked-up weight is the same double the posting
+    // stores and lands at the same ascending-term position in the
+    // accumulation, so accumulators stay bitwise equal to the list scan.
+    // The suffixes shrink with j and theta never loosens, so once this
+    // fires with nothing admitted yet, no later term can admit either.
+    if (wp * ci->max_prestige + wm * match_ub(rest[j]) < theta) {
+      if (touched.empty()) break;
+      for (const uint32_t i : touched) {
+        const double w = tc_->FullVector(members[i]).WeightOf(qterms[j].term);
+        if (w != 0.0) acc[i] += qw * w;
+      }
+      continue;
+    }
+    const auto& postings = ci->index.PostingsOf(qterms[j].term);
+    bool admit = true;
+    for (const auto& p : postings) {
+      const double contrib = qw * p.weight;
+      if (acc[p.doc] != 0.0) {
+        acc[p.doc] += contrib;
+        continue;
+      }
+      if (!admit) continue;
+      if (wp * ci->max_prestige + wm * match_ub(contrib + rest[j + 1]) >=
+          theta) {
+        acc[p.doc] = contrib;
+        touched.push_back(p.doc);
+        continue;
+      }
+      // Impact order: every later posting of this term has a smaller
+      // bound, so the whole tail is barred from admission. Keep walking
+      // only to update papers admitted via earlier terms.
+      admit = false;
+      clean_count = std::min(clean_count, touched.size());
+      if (touched.empty()) break;
+    }
+  }
+
+  // Exact rescoring of the accumulator survivors, in ascending member
+  // position for determinism. Clean candidates finish their cosine from
+  // the accumulator with the same floating-point expression
+  // SparseVector::Cosine uses; possibly-incomplete ones recompute it.
+  const size_t num_touched = touched.size();
+  std::sort(touched.begin(),
+            touched.begin() + std::min(clean_count, num_touched));
+  std::sort(touched.begin() + std::min(clean_count, num_touched),
+            touched.end());
+  merger.Refresh();
+  for (size_t idx = 0; idx < num_touched; ++idx) {
+    const uint32_t i = touched[idx];
+    const double prestige = prestige_of(i);
+    double match;
+    if (idx < clean_count) {
+      const double dnorm = ci->index.NormOf(i);
+      match = (query_norm <= 0.0 || dnorm <= 0.0)
+                  ? 0.0
+                  : acc[i] / (query_norm * dnorm);
+    } else {
+      if (wp * prestige + wm * match_ub(acc[i]) < merger.theta()) continue;
+      match = qv.Cosine(tc_->FullVector(members[i]));
+    }
+    const double r = wp * prestige + wm * match;
+    if (r >= options.min_relevancy && r >= merger.theta()) {
+      merger.Emit({members[i], r, term, prestige, match});
+    }
+  }
+
+  // Zero-match members: dot(q, d) is exactly 0, so R = w_p * s_i +
+  // w_m * 0.0 bitwise-matches the reference path without touching the
+  // document vector. The prestige-descending order makes the threshold a
+  // break condition — this is where `w_p * max_prestige + w_m *
+  // upper_match < theta` prunes whole member tails.
+  merger.Refresh();
+  for (const uint32_t i : ci->by_prestige) {
+    const double prestige = i < scores.size() ? scores[i] : 0.0;
+    const double r = wp * prestige + wm * 0.0;
+    if (r < options.min_relevancy || r < merger.theta()) break;
+    if (acc[i] != 0.0) continue;  // Touched: handled by the rescore loop.
+    merger.Emit({members[i], r, term, prestige, 0.0});
+  }
+
+  // Reset the shared accumulator for the next context.
+  for (const uint32_t i : touched) acc[i] = 0.0;
+  touched.clear();
+}
+
+std::vector<SearchHit> ContextSearchEngine::PrunedScan(
+    const text::SparseVector& qv, const std::vector<ContextMatch>& contexts,
+    const SearchOptions& options) const {
+  const double query_norm = qv.Norm();
+  TopKMerger merger(options.top_k, options.min_relevancy);
+  // Per-thread scratch: ScanContext restores the all-zero / empty invariant
+  // before returning, so reuse across queries costs no per-query memset.
+  // Grow-only resize keeps the invariant when engines of different sizes
+  // share a thread.
+  static thread_local Scratch scratch;
+  if (scratch.acc.size() < max_indexed_members_) {
+    scratch.acc.resize(max_indexed_members_, 0.0);
+  }
+  // Seed theta from every selected context before scanning any: context
+  // c's k-th best `wp * prestige` is a lower bound on the final k-th best
+  // relevancy (its k best-prestige members are k distinct papers whose
+  // merged relevancy can only be higher), and the bound holds no matter
+  // where c sits in the scan order — so the first context scanned already
+  // prunes against the strongest seed any context can offer.
+  if (options.top_k > 0) {
+    const double wp = options.weights.prestige;
+    for (const ContextMatch& cm : contexts) {
+      if (cm.term >= context_index_.size()) continue;
+      const ContextIndex& ci = context_index_[cm.term];
+      if (!ci.built || ci.by_prestige.size() < options.top_k) continue;
+      const auto& scores = prestige_->Scores(cm.term);
+      const uint32_t i = ci.by_prestige[options.top_k - 1];
+      merger.SeedThreshold(wp * (i < scores.size() ? scores[i] : 0.0));
+    }
+  }
+  // Sequential in selection order: the threshold tightened by one context
+  // prunes the next (parallelism across queries comes from SearchMany).
+  for (const ContextMatch& cm : contexts) {
+    merger.Refresh();
+    ScanContext(qv, query_norm, cm.term, options, scratch, merger);
+  }
+  return merger.Finish();
+}
+
+std::vector<SearchHit> ContextSearchEngine::SearchVector(
+    const text::SparseVector& qv, const SearchOptions& options) const {
+  const std::vector<ContextMatch> contexts = RouteQuery(qv, options);
+  // The pruning bounds assume non-negative weights; fall back to the
+  // reference path for exotic weight settings.
+  const bool exact = options.exact_scan || options.weights.prestige < 0.0 ||
+                     options.weights.matching < 0.0;
+  if (exact) {
+    std::vector<SearchHit> hits = ExactScan(qv, contexts, options);
+    if (options.top_k > 0 && hits.size() > options.top_k) {
+      hits.resize(options.top_k);
+    }
+    return hits;
+  }
+  return PrunedScan(qv, contexts, options);
+}
+
+std::vector<SearchHit> ContextSearchEngine::Search(
+    std::string_view query, const SearchOptions& options) const {
+  const auto ids = tc_->analyzer().AnalyzeToKnownIds(query, tc_->vocabulary());
+  const text::SparseVector qv = tc_->tfidf().TransformQuery(ids);
+  if (query_cache_ == nullptr || options.bypass_cache) {
+    return SearchVector(qv, options);
+  }
+  const std::string key = CacheKey(ids, options);
+  if (auto cached = query_cache_->Get(key)) return **cached;
+  std::vector<SearchHit> hits = SearchVector(qv, options);
+  query_cache_->Put(
+      key, std::make_shared<const std::vector<SearchHit>>(hits));
+  return hits;
+}
+
+std::vector<SearchHit> ContextSearchEngine::SearchTopK(
+    std::string_view query, size_t k, const SearchOptions& options) const {
+  SearchOptions topk_options = options;
+  topk_options.top_k = k;
+  return Search(query, topk_options);
+}
+
+std::vector<std::vector<SearchHit>> ContextSearchEngine::SearchMany(
+    const std::vector<std::string>& queries,
+    const SearchOptions& options) const {
+  std::vector<std::vector<SearchHit>> results(queries.size());
+  // One query per slot; inner work runs single-threaded (no nested
+  // parallelism on the shared pool), so fan-out is across queries only.
+  SearchOptions per_query = options;
+  per_query.num_threads = 1;
+  ParallelFor(
+      queries.size(),
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          results[i] = Search(queries[i], per_query);
+        }
+      },
+      {.num_threads = options.num_threads});
+  return results;
+}
+
+void ContextSearchEngine::EnableQueryCache(size_t capacity,
+                                           size_t num_shards) {
+  query_cache_ = std::make_unique<QueryResultCache>(capacity, num_shards);
+}
+
+LruCacheStats ContextSearchEngine::query_cache_stats() const {
+  return query_cache_ != nullptr ? query_cache_->stats() : LruCacheStats{};
 }
 
 }  // namespace ctxrank::context

@@ -3,16 +3,31 @@
 // context's papers by relevancy
 //   R(p, q, c) = w_prestige * Prestige(p, c) + w_matching * Match(p, q),
 // and merge per-context result lists into one output.
+//
+// Two serving paths produce bitwise-identical results:
+//   * the exact scan (SearchOptions::exact_scan) scores every member of
+//     every selected context against the query — the reference
+//     implementation;
+//   * the default fast path serves from per-context impact-ordered
+//     inverted indexes with max-score pruning, only ever computing the
+//     exact relevancy (same floating-point expression as the scan) for
+//     papers that can still reach the current top-k threshold.
+// An optional sharded LRU cache fronts both paths, and SearchMany fans a
+// query batch out over the thread pool.
 #ifndef CTXRANK_CONTEXT_SEARCH_ENGINE_H_
 #define CTXRANK_CONTEXT_SEARCH_ENGINE_H_
 
+#include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "context/context_assignment.h"
 #include "context/prestige.h"
 #include "corpus/tokenized_corpus.h"
 #include "ontology/ontology.h"
+#include "text/impact_index.h"
 
 namespace ctxrank::context {
 
@@ -37,8 +52,20 @@ struct SearchOptions {
   /// Threads for context selection and per-context scoring (0 = hardware
   /// concurrency, 1 = single-threaded). Hits are bitwise identical for any
   /// value: per-context candidate lists are computed in parallel into
-  /// per-context slots and merged sequentially in selection order.
+  /// per-context slots and merged sequentially in selection order. (The
+  /// pruned top-k path is sequential by design — its threshold tightens
+  /// across contexts — so batch parallelism comes from SearchMany.)
   size_t num_threads = 1;
+  /// Keep only the `top_k` best hits (relevancy desc, paper id asc —
+  /// identical to the full ranking's truncated prefix). 0 = return all.
+  /// The fast path uses this as its pruning threshold source.
+  size_t top_k = 0;
+  /// Force the brute-force reference path (score every member of every
+  /// selected context). Results are bitwise identical either way; this
+  /// exists for A/B verification in tests and benches.
+  bool exact_scan = false;
+  /// Skip the query result cache for this call (cold-path benchmarks).
+  bool bypass_cache = false;
 };
 
 struct ContextMatch {
@@ -58,12 +85,34 @@ struct SearchHit {
 
 /// \brief The end-to-end context-based search engine over one assignment
 /// and one prestige function. All referenced objects must outlive it.
+/// Query-side methods are const and thread-safe (the optional query cache
+/// is internally sharded and locked).
 class ContextSearchEngine {
  public:
+  struct EngineOptions {
+    /// Threads for construction-time work (term-name vectors and the
+    /// per-context impact indexes). Same 0/1/k semantics as elsewhere.
+    size_t num_threads = 1;
+    /// Build the per-context impact-ordered indexes that back the pruned
+    /// fast path. When false, the fast path falls back to exact member
+    /// scans per context (still correct, no index memory).
+    bool build_query_index = true;
+    /// Contexts with fewer members than this are not indexed — a brute
+    /// scan over a handful of members is cheaper than postings bookkeeping.
+    size_t index_min_members = 16;
+  };
+
   ContextSearchEngine(const corpus::TokenizedCorpus& tc,
                       const ontology::Ontology& onto,
                       const ContextAssignment& assignment,
-                      const PrestigeScores& prestige);
+                      const PrestigeScores& prestige,
+                      const EngineOptions& engine_options);
+
+  ContextSearchEngine(const corpus::TokenizedCorpus& tc,
+                      const ontology::Ontology& onto,
+                      const ContextAssignment& assignment,
+                      const PrestigeScores& prestige)
+      : ContextSearchEngine(tc, onto, assignment, prestige, EngineOptions{}) {}
 
   /// Task 3: contexts ranked by query/term-name match (TF-IDF cosine over
   /// term names, specific contexts preferred on ties). `num_threads`
@@ -74,21 +123,125 @@ class ContextSearchEngine {
                                            double min_score,
                                            size_t num_threads = 1) const;
 
-  /// Tasks 4+5: full search. Hits are sorted by descending relevancy.
+  /// Tasks 4+5: full search. Hits are sorted by descending relevancy
+  /// (ties: ascending paper id) and truncated to `options.top_k` when set.
   std::vector<SearchHit> Search(std::string_view query,
                                 const SearchOptions& options = {}) const;
+
+  /// Top-k convenience wrapper: Search with `options.top_k = k`.
+  std::vector<SearchHit> SearchTopK(std::string_view query, size_t k,
+                                    const SearchOptions& options = {}) const;
+
+  /// Evaluates a query batch, fanning out over `options.num_threads`
+  /// (0 = hardware concurrency). Result slot i is bitwise identical to
+  /// Search(queries[i], options) regardless of the thread count.
+  std::vector<std::vector<SearchHit>> SearchMany(
+      const std::vector<std::string>& queries,
+      const SearchOptions& options = {}) const;
 
   /// Relevancy of one paper for an already-built query vector.
   double Relevancy(const text::SparseVector& query_vec, TermId context,
                    PaperId paper, const RelevancyWeights& weights) const;
 
+  /// Enables the sharded LRU query result cache (capacity in entries).
+  /// Keyed by the analyzed query (sorted term ids — case, stopwords and
+  /// word order do not fragment the cache) plus a fingerprint of every
+  /// result-affecting option; `num_threads` is deliberately excluded
+  /// because results are thread-count invariant. Replaces any previous
+  /// cache and resets the stats.
+  void EnableQueryCache(size_t capacity, size_t num_shards = 8);
+  void DisableQueryCache() { query_cache_.reset(); }
+  bool query_cache_enabled() const { return query_cache_ != nullptr; }
+  /// Hit/miss counters since EnableQueryCache (zeros when disabled).
+  LruCacheStats query_cache_stats() const;
+
+  /// Total postings across the per-context impact indexes (telemetry).
+  size_t index_postings() const { return index_postings_; }
+
  private:
+  /// Per-context serving structures for the pruned fast path.
+  struct ContextIndex {
+    text::ImpactOrderedIndex index;  // Over members' full vectors.
+    /// Member positions sorted by descending prestige (ties: ascending
+    /// position) — the impact order of the prestige term, used to emit
+    /// zero-match members until the threshold cuts the tail.
+    std::vector<uint32_t> by_prestige;
+    double max_prestige = 0.0;
+    bool built = false;  // False -> exact member scan for this context.
+  };
+
+  /// Reusable per-query scratch (accumulator sized to the largest indexed
+  /// context); one instance per thread, never shared. Invariant between
+  /// contexts and between queries: `acc` is all zeros and `touched` is
+  /// empty — every ScanContext call restores it before returning, which is
+  /// what lets a thread reuse the buffers without a per-query memset.
+  struct Scratch {
+    std::vector<double> acc;       // Dot-product accumulator, 0 = untouched.
+    std::vector<uint32_t> touched; // Member positions with acc > 0.
+    /// Per-context query-term views (term, weight) and upper-bound
+    /// suffixes, reused to avoid per-context allocations.
+    std::vector<text::SparseVector::Entry> qterms;
+    std::vector<double> rest;
+  };
+
+  /// Dedup merge + adaptive top-k threshold (see search_engine.cc).
+  class TopKMerger;
+
+  /// SelectContexts against a pre-analyzed query vector (Search builds the
+  /// vector once and routes + scores from it — no double tokenization).
+  std::vector<ContextMatch> SelectContextsFromVector(
+      const text::SparseVector& qv, size_t max_contexts, double min_score,
+      size_t num_threads) const;
+
+  /// Context routing shared by both paths: lexical selection + optional
+  /// semantic expansion, in deterministic order.
+  std::vector<ContextMatch> RouteQuery(const text::SparseVector& qv,
+                                       const SearchOptions& options) const;
+
+  /// Full search against a pre-analyzed query; dispatches to the exact
+  /// scan or the pruned fast path and applies the top-k truncation.
+  std::vector<SearchHit> SearchVector(const text::SparseVector& qv,
+                                      const SearchOptions& options) const;
+
+  /// The brute-force reference path (scores every member).
+  std::vector<SearchHit> ExactScan(const text::SparseVector& qv,
+                                   const std::vector<ContextMatch>& contexts,
+                                   const SearchOptions& options) const;
+
+  /// Impact-ordered fast path; bitwise identical to ExactScan.
+  std::vector<SearchHit> PrunedScan(const text::SparseVector& qv,
+                                    const std::vector<ContextMatch>& contexts,
+                                    const SearchOptions& options) const;
+
+  /// Emits every candidate of one context whose relevancy could reach the
+  /// merger's live threshold (and is >= options.min_relevancy), with exact
+  /// scores. See search_engine.cc for the pruning-bound derivation.
+  void ScanContext(const text::SparseVector& qv, double query_norm,
+                   TermId term, const SearchOptions& options,
+                   Scratch& scratch, TopKMerger& merger) const;
+
   const corpus::TokenizedCorpus* tc_;
   const ontology::Ontology* onto_;
   const ContextAssignment* assignment_;
   const PrestigeScores* prestige_;
   /// TF-IDF vectors of every term name (for context selection).
   std::vector<text::SparseVector> name_vectors_;
+  /// Routing index: vocabulary term -> (ontology term, name weight), so
+  /// context selection only touches terms sharing a query word instead of
+  /// scanning every name vector. Scores are bitwise identical to the dense
+  /// cosine scan (same summation order, precomputed identical norms).
+  std::vector<std::vector<std::pair<TermId, double>>> name_postings_;
+  /// name_vectors_[t].Norm(), precomputed once.
+  std::vector<double> name_norms_;
+  /// Per-term serving indexes (entry t covers assignment term t).
+  std::vector<ContextIndex> context_index_;
+  size_t index_postings_ = 0;
+  size_t max_indexed_members_ = 0;
+
+  using QueryResultCache =
+      LruCache<std::string, std::shared_ptr<const std::vector<SearchHit>>>;
+  /// Mutable: Search() is logically const; the cache locks internally.
+  mutable std::unique_ptr<QueryResultCache> query_cache_;
 };
 
 }  // namespace ctxrank::context

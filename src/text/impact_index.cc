@@ -1,0 +1,43 @@
+#include "text/impact_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ctxrank::text {
+
+uint32_t ImpactOrderedIndex::Add(const SparseVector& vec) {
+  assert(!finalized_);
+  const uint32_t doc = static_cast<uint32_t>(num_documents_++);
+  for (const auto& e : vec.entries()) {
+    if (e.term >= postings_.size()) postings_.resize(e.term + 1);
+    postings_[e.term].push_back({doc, e.weight});
+    ++total_postings_;
+  }
+  const double norm = vec.Norm();
+  norms_.push_back(norm);
+  if (norm > 0.0) {
+    min_positive_norm_ =
+        seen_positive_norm_ ? std::min(min_positive_norm_, norm) : norm;
+    seen_positive_norm_ = true;
+  }
+  return doc;
+}
+
+void ImpactOrderedIndex::Finalize() {
+  for (auto& list : postings_) {
+    std::sort(list.begin(), list.end(),
+              [](const Posting& a, const Posting& b) {
+                if (a.weight != b.weight) return a.weight > b.weight;
+                return a.doc < b.doc;
+              });
+  }
+  finalized_ = true;
+}
+
+const std::vector<ImpactOrderedIndex::Posting>& ImpactOrderedIndex::PostingsOf(
+    TermId term) const {
+  static const std::vector<Posting> kEmpty;
+  return term < postings_.size() ? postings_[term] : kEmpty;
+}
+
+}  // namespace ctxrank::text

@@ -1,0 +1,86 @@
+// Impact-ordered postings for top-k pruned ranked retrieval (max-score /
+// WAND family). Unlike InvertedIndex, whose postings follow insertion
+// order, every postings list here is sorted by descending weight so a
+// scorer walking it can stop admitting new candidates as soon as the
+// per-term score bound falls below its current top-k threshold.
+#ifndef CTXRANK_TEXT_IMPACT_INDEX_H_
+#define CTXRANK_TEXT_IMPACT_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "text/sparse_vector.h"
+#include "text/vocabulary.h"
+
+namespace ctxrank::text {
+
+/// \brief Term -> (doc, weight) postings sorted by descending weight, with
+/// per-term max-weight metadata and the minimum positive document norm.
+/// Documents get sequential local ids (0, 1, ...) in Add order, so the
+/// caller can keep per-doc side data (prestige, external ids) in plain
+/// arrays indexed the same way.
+///
+/// The pruning contract: for any query q and document d,
+///   dot(q, d) <= sum over query terms t of q_t * MaxWeight(t), and
+///   cosine(q, d) <= dot_upper / (||q|| * min_positive_norm()),
+/// so a scorer that tracks these bounds can skip documents (or whole
+/// postings tails) that provably cannot reach a score threshold.
+class ImpactOrderedIndex {
+ public:
+  struct Posting {
+    uint32_t doc;
+    double weight;
+  };
+
+  ImpactOrderedIndex() = default;
+
+  /// Adds the next document (local id = number of prior Add calls) and
+  /// returns that id. Must not be called after Finalize().
+  uint32_t Add(const SparseVector& vec);
+
+  /// Sorts every postings list by descending weight (ties: ascending doc
+  /// id, for determinism). Required before any query-side accessor.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+  size_t num_documents() const { return num_documents_; }
+  size_t num_terms() const { return postings_.size(); }
+
+  /// Total postings across all terms (memory/telemetry).
+  size_t total_postings() const { return total_postings_; }
+
+  /// Impact-ordered postings of `term`; empty for terms never seen.
+  const std::vector<Posting>& PostingsOf(TermId term) const;
+
+  /// Largest weight in `term`'s postings; 0 for terms never seen.
+  double MaxWeight(TermId term) const {
+    return term < postings_.size() && !postings_[term].empty()
+               ? postings_[term].front().weight
+               : 0.0;
+  }
+
+  /// Smallest positive L2 norm among added documents (1.0 when no document
+  /// has a positive norm) — the denominator bound that converts a
+  /// dot-product upper bound into a cosine upper bound.
+  double min_positive_norm() const { return min_positive_norm_; }
+
+  /// L2 norm of document `doc`, exactly as SparseVector::Norm() returned
+  /// it at Add time — so a scorer holding a complete accumulated dot
+  /// product can finish the cosine with the same bits as
+  /// SparseVector::Cosine.
+  double NormOf(uint32_t doc) const { return norms_[doc]; }
+
+ private:
+  std::vector<std::vector<Posting>> postings_;  // Indexed by term id.
+  std::vector<double> norms_;                   // Indexed by doc id.
+  size_t num_documents_ = 0;
+  size_t total_postings_ = 0;
+  double min_positive_norm_ = 1.0;
+  bool seen_positive_norm_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace ctxrank::text
+
+#endif  // CTXRANK_TEXT_IMPACT_INDEX_H_

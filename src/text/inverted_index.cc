@@ -37,9 +37,39 @@ std::vector<ScoredDoc> InvertedIndex::Search(const SparseVector& query,
 std::vector<ScoredDoc> InvertedIndex::SearchTopK(const SparseVector& query,
                                                  size_t k,
                                                  double min_score) const {
-  std::vector<ScoredDoc> all = Search(query, min_score);
-  if (all.size() > k) all.resize(k);
-  return all;
+  if (k == 0) return {};
+  std::unordered_map<DocId, double> acc;
+  for (const auto& qe : query.entries()) {
+    if (qe.term >= postings_.size()) continue;
+    for (const Posting& p : postings_[qe.term]) {
+      acc[p.doc] += qe.weight * p.weight;
+    }
+  }
+  // Bounded min-heap instead of scoring-then-full-sort: `better` is the
+  // final output order (descending score, ascending doc id on ties), and
+  // the heap keeps the k best under it with the worst element on top.
+  const auto better = [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  };
+  std::vector<ScoredDoc> heap;
+  heap.reserve(k + 1);
+  for (const auto& [doc, score] : acc) {
+    if (score < min_score) continue;
+    const ScoredDoc cand{doc, score};
+    if (heap.size() < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), better);
+    } else if (better(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), better);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), better);
+    }
+  }
+  // With `better` as the strict weak order, sort_heap leaves the best
+  // candidate first — exactly the Search() output order.
+  std::sort_heap(heap.begin(), heap.end(), better);
+  return heap;
 }
 
 }  // namespace ctxrank::text

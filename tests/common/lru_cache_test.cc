@@ -1,0 +1,134 @@
+#include "common/lru_cache.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ctxrank {
+namespace {
+
+TEST(LruCacheTest, PutThenGet) {
+  LruCache<std::string, int> cache(4);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  auto a = cache.Get("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 1);
+  auto b = cache.Get("b");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, 2);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, MissReturnsNullopt) {
+  LruCache<std::string, int> cache(4);
+  EXPECT_FALSE(cache.Get("nope").has_value());
+}
+
+TEST(LruCacheTest, PutUpdatesExistingKey) {
+  LruCache<std::string, int> cache(4);
+  cache.Put("a", 1);
+  cache.Put("a", 7);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.Get("a"), 7);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);  // Evicts 1 (oldest, never touched again).
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(*cache.Get(2), 20);
+  EXPECT_EQ(*cache.Get(3), 30);
+}
+
+TEST(LruCacheTest, GetRefreshesRecency) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_TRUE(cache.Get(1).has_value());  // 1 becomes MRU; 2 is now LRU.
+  cache.Put(3, 30);                       // Evicts 2, not 1.
+  EXPECT_EQ(*cache.Get(1), 10);
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_EQ(*cache.Get(3), 30);
+}
+
+TEST(LruCacheTest, PutRefreshesRecency) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // Update moves 1 to MRU; 2 is now LRU.
+  cache.Put(3, 30);  // Evicts 2.
+  EXPECT_EQ(*cache.Get(1), 11);
+  EXPECT_FALSE(cache.Get(2).has_value());
+}
+
+TEST(LruCacheTest, CapacityClampedToOne) {
+  LruCache<int, int> cache(0);
+  cache.Put(1, 10);
+  EXPECT_EQ(*cache.Get(1), 10);
+  cache.Put(2, 20);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, ShardsPartitionKeys) {
+  LruCache<int, int> cache(64, 8);
+  EXPECT_EQ(cache.num_shards(), 8u);
+  for (int i = 0; i < 64; ++i) cache.Put(i, i * 2);
+  size_t present = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (cache.Get(i).has_value()) ++present;
+  }
+  // Per-shard capacities can clip unevenly-hashed keys, but most survive.
+  EXPECT_GE(present, 32u);
+}
+
+TEST(LruCacheTest, NumShardsClampedToCapacity) {
+  LruCache<int, int> cache(2, 16);
+  EXPECT_LE(cache.num_shards(), 2u);
+}
+
+TEST(LruCacheTest, StatsCountHitsAndMisses) {
+  LruCache<std::string, int> cache(4);
+  cache.Put("a", 1);
+  (void)cache.Get("a");
+  (void)cache.Get("a");
+  (void)cache.Get("miss");
+  const LruCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(LruCacheTest, EvictedKeyCountsAsMiss) {
+  LruCache<int, int> cache(1);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  (void)cache.Get(1);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(LruCacheTest, ConcurrentMixedAccessIsSafe) {
+  LruCache<int, int> cache(128, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const int key = (t * 37 + i) % 256;
+        if (i % 3 == 0) {
+          cache.Put(key, key);
+        } else if (auto v = cache.Get(key)) {
+          EXPECT_EQ(*v, key);  // Values are keyed, never torn.
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const LruCacheStats stats = cache.stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace ctxrank

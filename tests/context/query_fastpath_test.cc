@@ -1,0 +1,383 @@
+// The query fast path's exactness contract: the impact-ordered pruned
+// path must return bitwise-identical hits (papers, relevancies, winning
+// contexts, prestige and match components) to the brute-force exact scan,
+// for any corpus, weights, cutoffs, k and thread count. Plus the query
+// result cache behaviors layered on top.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "context/context_assignment.h"
+#include "context/prestige.h"
+#include "context/search_engine.h"
+#include "corpus/corpus.h"
+#include "corpus/tokenized_corpus.h"
+#include "ontology/ontology.h"
+
+namespace ctxrank::context {
+namespace {
+
+using corpus::Paper;
+using corpus::PaperId;
+
+/// A randomized world: word pool, papers over it, an ontology whose term
+/// names reuse pool words (so queries actually route), random context
+/// memberships and prestige scores — including deliberately missing and
+/// truncated score vectors to exercise those guards.
+struct RandomWorld {
+  ontology::Ontology onto;
+  corpus::Corpus corpus;
+  std::unique_ptr<corpus::TokenizedCorpus> tc;
+  std::unique_ptr<ContextAssignment> assignment;
+  std::unique_ptr<PrestigeScores> prestige;
+  std::vector<std::string> words;
+
+  std::string RandomQuery(Rng& rng) {
+    std::string q;
+    const size_t n = 2 + rng.NextBounded(5);
+    for (size_t i = 0; i < n; ++i) {
+      if (!q.empty()) q += ' ';
+      q += words[rng.NextBounded(words.size())];
+    }
+    return q;
+  }
+};
+
+RandomWorld MakeRandomWorld(uint64_t seed, size_t num_papers = 120,
+                            size_t num_terms = 16) {
+  RandomWorld w;
+  Rng rng(seed);
+  for (size_t i = 0; i < 40; ++i) {
+    w.words.push_back("alpha" + std::to_string(i));
+  }
+  for (PaperId p = 0; p < num_papers; ++p) {
+    std::string text;
+    const size_t n = 5 + rng.NextBounded(20);
+    for (size_t i = 0; i < n; ++i) {
+      if (!text.empty()) text += ' ';
+      text += w.words[rng.NextBounded(w.words.size())];
+    }
+    Paper paper;
+    paper.id = p;
+    paper.title = text.substr(0, text.find(' '));
+    paper.abstract_text = text;
+    paper.body = text;
+    EXPECT_TRUE(w.corpus.Add(std::move(paper)).ok());
+  }
+  std::vector<ontology::TermId> ids;
+  for (size_t t = 0; t < num_terms; ++t) {
+    std::string name = w.words[rng.NextBounded(w.words.size())];
+    const size_t extra = rng.NextBounded(3);
+    for (size_t i = 0; i < extra; ++i) {
+      name += ' ';
+      name += w.words[rng.NextBounded(w.words.size())];
+    }
+    ids.push_back(w.onto.AddTerm("T:" + std::to_string(t), name));
+  }
+  for (size_t t = 1; t < num_terms; ++t) {
+    EXPECT_TRUE(w.onto.AddIsA(ids[t], ids[rng.NextBounded(t)]).ok());
+  }
+  EXPECT_TRUE(w.onto.Finalize().ok());
+  w.tc = std::make_unique<corpus::TokenizedCorpus>(w.corpus);
+  w.assignment =
+      std::make_unique<ContextAssignment>(w.onto.size(), w.corpus.size());
+  w.prestige = std::make_unique<PrestigeScores>(w.onto.size());
+  for (size_t t = 1; t < num_terms; ++t) {
+    std::vector<PaperId> members;
+    for (PaperId p = 0; p < num_papers; ++p) {
+      if (rng.NextDouble() < 0.3) members.push_back(p);
+    }
+    if (members.empty()) continue;
+    w.assignment->SetMembers(ids[t], members);
+    if (t % 5 == 0) continue;  // Some contexts have no prestige at all.
+    size_t n = members.size();
+    if (t % 4 == 0 && n > 2) n -= 2;  // Some score vectors are short.
+    std::vector<double> scores;
+    for (size_t i = 0; i < n; ++i) scores.push_back(rng.NextDouble());
+    w.prestige->Set(ids[t], scores);
+  }
+  return w;
+}
+
+void ExpectBitwiseEqual(const std::vector<SearchHit>& exact,
+                        const std::vector<SearchHit>& fast,
+                        const std::string& label) {
+  ASSERT_EQ(exact.size(), fast.size()) << label;
+  for (size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(exact[i].paper, fast[i].paper) << label << " hit " << i;
+    // EQ, not NEAR: the contract is bitwise identity.
+    EXPECT_EQ(exact[i].relevancy, fast[i].relevancy) << label << " hit " << i;
+    EXPECT_EQ(exact[i].context, fast[i].context) << label << " hit " << i;
+    EXPECT_EQ(exact[i].prestige, fast[i].prestige) << label << " hit " << i;
+    EXPECT_EQ(exact[i].match, fast[i].match) << label << " hit " << i;
+  }
+}
+
+ContextSearchEngine::EngineOptions IndexedEngineOptions() {
+  ContextSearchEngine::EngineOptions o;
+  // Low threshold so the small test contexts actually build indexes.
+  o.index_min_members = 4;
+  return o;
+}
+
+TEST(QueryFastPathTest, PrunedMatchesExactAcrossOptionGrid) {
+  RandomWorld w = MakeRandomWorld(7);
+  const ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                                   IndexedEngineOptions());
+  const RelevancyWeights kWeights[] = {
+      {0.4, 0.6}, {1.0, 0.0}, {0.0, 1.0}, {0.7, 0.3}};
+  const double kMinRelevancy[] = {0.0, 0.15};
+  const size_t kTopK[] = {1, 10, 10000};
+  Rng rng(21);
+  for (int qi = 0; qi < 8; ++qi) {
+    const std::string query = w.RandomQuery(rng);
+    for (const auto& weights : kWeights) {
+      for (const double min_relevancy : kMinRelevancy) {
+        for (const size_t k : kTopK) {
+          SearchOptions opts;
+          opts.weights = weights;
+          opts.min_relevancy = min_relevancy;
+          opts.top_k = k;
+          SearchOptions exact_opts = opts;
+          exact_opts.exact_scan = true;
+          const std::string label =
+              query + " wp=" + std::to_string(weights.prestige) +
+              " minr=" + std::to_string(min_relevancy) +
+              " k=" + std::to_string(k);
+          ExpectBitwiseEqual(engine.Search(query, exact_opts),
+                             engine.Search(query, opts), label);
+        }
+      }
+    }
+  }
+}
+
+TEST(QueryFastPathTest, PrunedMatchesExactUnbounded) {
+  // top_k = 0 (return everything) still has to agree hit-for-hit.
+  RandomWorld w = MakeRandomWorld(11);
+  const ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                                   IndexedEngineOptions());
+  Rng rng(5);
+  for (int qi = 0; qi < 6; ++qi) {
+    const std::string query = w.RandomQuery(rng);
+    SearchOptions opts;
+    SearchOptions exact_opts;
+    exact_opts.exact_scan = true;
+    ExpectBitwiseEqual(engine.Search(query, exact_opts),
+                       engine.Search(query, opts), query);
+  }
+}
+
+TEST(QueryFastPathTest, PrunedMatchesExactWithSemanticExpansion) {
+  RandomWorld w = MakeRandomWorld(13);
+  const ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                                   IndexedEngineOptions());
+  Rng rng(31);
+  for (int qi = 0; qi < 6; ++qi) {
+    const std::string query = w.RandomQuery(rng);
+    SearchOptions opts;
+    opts.semantic_expansion = 2;
+    opts.top_k = 10;
+    SearchOptions exact_opts = opts;
+    exact_opts.exact_scan = true;
+    ExpectBitwiseEqual(engine.Search(query, exact_opts),
+                       engine.Search(query, opts), query);
+  }
+}
+
+TEST(QueryFastPathTest, ThreadCountNeverChangesResults) {
+  RandomWorld w = MakeRandomWorld(17);
+  const ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                                   IndexedEngineOptions());
+  Rng rng(9);
+  for (int qi = 0; qi < 4; ++qi) {
+    const std::string query = w.RandomQuery(rng);
+    for (const bool exact : {false, true}) {
+      SearchOptions base;
+      base.exact_scan = exact;
+      base.top_k = 10;
+      const auto reference = engine.Search(query, base);
+      for (const size_t threads : {3u, 0u}) {
+        SearchOptions opts = base;
+        opts.num_threads = threads;
+        ExpectBitwiseEqual(reference, engine.Search(query, opts),
+                           query + " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(QueryFastPathTest, UnindexedEngineStillExact) {
+  // build_query_index = false: the fast path degrades to per-context exact
+  // scans with threshold filtering — results must not move.
+  RandomWorld w = MakeRandomWorld(23);
+  ContextSearchEngine::EngineOptions no_index;
+  no_index.build_query_index = false;
+  const ContextSearchEngine plain(*w.tc, w.onto, *w.assignment, *w.prestige,
+                                  no_index);
+  EXPECT_EQ(plain.index_postings(), 0u);
+  Rng rng(41);
+  for (int qi = 0; qi < 6; ++qi) {
+    const std::string query = w.RandomQuery(rng);
+    SearchOptions opts;
+    opts.top_k = 10;
+    SearchOptions exact_opts = opts;
+    exact_opts.exact_scan = true;
+    ExpectBitwiseEqual(plain.Search(query, exact_opts),
+                       plain.Search(query, opts), query);
+  }
+}
+
+TEST(QueryFastPathTest, NegativeWeightsFallBackToExact) {
+  RandomWorld w = MakeRandomWorld(29);
+  const ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                                   IndexedEngineOptions());
+  Rng rng(3);
+  const std::string query = w.RandomQuery(rng);
+  SearchOptions opts;
+  opts.weights.matching = -0.5;  // Pruning bounds would be invalid.
+  opts.top_k = 5;
+  SearchOptions exact_opts = opts;
+  exact_opts.exact_scan = true;
+  ExpectBitwiseEqual(engine.Search(query, exact_opts),
+                     engine.Search(query, opts), query);
+}
+
+TEST(QueryFastPathTest, SearchTopKEqualsTruncatedSearch) {
+  RandomWorld w = MakeRandomWorld(37);
+  const ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                                   IndexedEngineOptions());
+  Rng rng(15);
+  const std::string query = w.RandomQuery(rng);
+  auto full = engine.Search(query);
+  const auto top5 = engine.SearchTopK(query, 5);
+  if (full.size() > 5) full.resize(5);
+  ExpectBitwiseEqual(full, top5, query);
+}
+
+TEST(QueryFastPathTest, SearchManyMatchesSequentialSearch) {
+  RandomWorld w = MakeRandomWorld(43);
+  const ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                                   IndexedEngineOptions());
+  Rng rng(27);
+  std::vector<std::string> queries;
+  for (int i = 0; i < 12; ++i) queries.push_back(w.RandomQuery(rng));
+  SearchOptions opts;
+  opts.top_k = 10;
+  opts.num_threads = 3;
+  const auto batch = engine.SearchMany(queries, opts);
+  ASSERT_EQ(batch.size(), queries.size());
+  SearchOptions single = opts;
+  single.num_threads = 1;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectBitwiseEqual(engine.Search(queries[i], single), batch[i],
+                       queries[i]);
+  }
+}
+
+TEST(QueryFastPathTest, CacheHitReturnsIdenticalResults) {
+  RandomWorld w = MakeRandomWorld(47);
+  ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                             IndexedEngineOptions());
+  engine.EnableQueryCache(16);
+  Rng rng(33);
+  const std::string query = w.RandomQuery(rng);
+  const auto first = engine.Search(query);
+  const auto second = engine.Search(query);
+  ExpectBitwiseEqual(first, second, query);
+  const auto stats = engine.query_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(QueryFastPathTest, CacheKeyIsWordOrderInvariant) {
+  // TF-IDF scoring is bag-of-words; permuted queries must share an entry.
+  RandomWorld w = MakeRandomWorld(53);
+  ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                             IndexedEngineOptions());
+  engine.EnableQueryCache(16);
+  const std::string a = w.words[1] + " " + w.words[2] + " " + w.words[3];
+  const std::string b = w.words[3] + " " + w.words[1] + " " + w.words[2];
+  const auto first = engine.Search(a);
+  const auto second = engine.Search(b);
+  ExpectBitwiseEqual(first, second, a + " vs " + b);
+  EXPECT_EQ(engine.query_cache_stats().hits, 1u);
+}
+
+TEST(QueryFastPathTest, OptionFingerprintSeparatesCacheEntries) {
+  RandomWorld w = MakeRandomWorld(59);
+  ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                             IndexedEngineOptions());
+  engine.EnableQueryCache(16);
+  Rng rng(51);
+  const std::string query = w.RandomQuery(rng);
+  SearchOptions a;
+  a.top_k = 5;
+  SearchOptions b;
+  b.top_k = 7;  // Different result-affecting option -> different entry.
+  (void)engine.Search(query, a);
+  (void)engine.Search(query, b);
+  EXPECT_EQ(engine.query_cache_stats().misses, 2u);
+  EXPECT_EQ(engine.query_cache_stats().hits, 0u);
+  // num_threads is excluded from the fingerprint: same results either way.
+  SearchOptions c = a;
+  c.num_threads = 3;
+  (void)engine.Search(query, c);
+  EXPECT_EQ(engine.query_cache_stats().hits, 1u);
+}
+
+TEST(QueryFastPathTest, BypassCacheSkipsLookupsAndStores) {
+  RandomWorld w = MakeRandomWorld(61);
+  ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                             IndexedEngineOptions());
+  engine.EnableQueryCache(16);
+  Rng rng(61);
+  const std::string query = w.RandomQuery(rng);
+  SearchOptions opts;
+  opts.bypass_cache = true;
+  (void)engine.Search(query, opts);
+  (void)engine.Search(query, opts);
+  const auto stats = engine.query_cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(QueryFastPathTest, DisableQueryCacheDropsEntries) {
+  RandomWorld w = MakeRandomWorld(67);
+  ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                             IndexedEngineOptions());
+  EXPECT_FALSE(engine.query_cache_enabled());
+  engine.EnableQueryCache(16);
+  EXPECT_TRUE(engine.query_cache_enabled());
+  engine.DisableQueryCache();
+  EXPECT_FALSE(engine.query_cache_enabled());
+  EXPECT_EQ(engine.query_cache_stats().hits, 0u);
+}
+
+TEST(QueryFastPathTest, ManyRandomWorldsAgree) {
+  // Broad sweep: fresh corpus + fresh queries per seed, default options
+  // grid kept small so the whole sweep stays fast.
+  for (const uint64_t seed : {101u, 202u, 303u, 404u}) {
+    RandomWorld w = MakeRandomWorld(seed, 80, 12);
+    const ContextSearchEngine engine(*w.tc, w.onto, *w.assignment,
+                                     *w.prestige, IndexedEngineOptions());
+    Rng rng(seed ^ 0xABCDEF);
+    for (int qi = 0; qi < 5; ++qi) {
+      const std::string query = w.RandomQuery(rng);
+      SearchOptions opts;
+      opts.top_k = 1 + rng.NextBounded(30);
+      opts.min_relevancy = rng.NextDouble() * 0.2;
+      SearchOptions exact_opts = opts;
+      exact_opts.exact_scan = true;
+      ExpectBitwiseEqual(engine.Search(query, exact_opts),
+                         engine.Search(query, opts),
+                         "seed=" + std::to_string(seed) + " " + query);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ctxrank::context

@@ -1,0 +1,76 @@
+#include "text/impact_index.h"
+
+#include <gtest/gtest.h>
+
+namespace ctxrank::text {
+namespace {
+
+SparseVector Vec(std::vector<SparseVector::Entry> e) {
+  return SparseVector::FromUnsorted(std::move(e));
+}
+
+TEST(ImpactIndexTest, AssignsSequentialDocIds) {
+  ImpactOrderedIndex idx;
+  EXPECT_EQ(idx.Add(Vec({{0, 1.0}})), 0u);
+  EXPECT_EQ(idx.Add(Vec({{0, 2.0}})), 1u);
+  EXPECT_EQ(idx.Add(Vec({{1, 1.0}})), 2u);
+  EXPECT_EQ(idx.num_documents(), 3u);
+  EXPECT_EQ(idx.total_postings(), 3u);
+}
+
+TEST(ImpactIndexTest, PostingsSortedByDescendingWeight) {
+  ImpactOrderedIndex idx;
+  idx.Add(Vec({{0, 0.2}}));
+  idx.Add(Vec({{0, 0.9}}));
+  idx.Add(Vec({{0, 0.5}}));
+  idx.Finalize();
+  const auto& postings = idx.PostingsOf(0);
+  ASSERT_EQ(postings.size(), 3u);
+  EXPECT_EQ(postings[0].doc, 1u);
+  EXPECT_EQ(postings[1].doc, 2u);
+  EXPECT_EQ(postings[2].doc, 0u);
+  EXPECT_DOUBLE_EQ(idx.MaxWeight(0), 0.9);
+}
+
+TEST(ImpactIndexTest, EqualWeightsTieBreakByAscendingDoc) {
+  ImpactOrderedIndex idx;
+  idx.Add(Vec({{0, 0.5}}));
+  idx.Add(Vec({{0, 0.5}}));
+  idx.Finalize();
+  const auto& postings = idx.PostingsOf(0);
+  ASSERT_EQ(postings.size(), 2u);
+  EXPECT_EQ(postings[0].doc, 0u);
+  EXPECT_EQ(postings[1].doc, 1u);
+}
+
+TEST(ImpactIndexTest, UnknownTermIsEmptyWithZeroMaxWeight) {
+  ImpactOrderedIndex idx;
+  idx.Add(Vec({{0, 1.0}}));
+  idx.Finalize();
+  EXPECT_TRUE(idx.PostingsOf(42).empty());
+  EXPECT_DOUBLE_EQ(idx.MaxWeight(42), 0.0);
+}
+
+TEST(ImpactIndexTest, TracksMinPositiveNormAndPerDocNorms) {
+  ImpactOrderedIndex idx;
+  idx.Add(Vec({{0, 3.0}, {1, 4.0}}));  // Norm 5.
+  idx.Add(Vec({{0, 0.6}, {1, 0.8}}));  // Norm 1.
+  idx.Add(SparseVector());             // Norm 0 — excluded from the min.
+  idx.Finalize();
+  EXPECT_DOUBLE_EQ(idx.min_positive_norm(), 1.0);
+  EXPECT_DOUBLE_EQ(idx.NormOf(0), 5.0);
+  EXPECT_DOUBLE_EQ(idx.NormOf(1), 1.0);
+  EXPECT_DOUBLE_EQ(idx.NormOf(2), 0.0);
+}
+
+TEST(ImpactIndexTest, EmptyIndexDefaults) {
+  ImpactOrderedIndex idx;
+  idx.Finalize();
+  EXPECT_EQ(idx.num_documents(), 0u);
+  EXPECT_EQ(idx.total_postings(), 0u);
+  EXPECT_DOUBLE_EQ(idx.min_positive_norm(), 1.0);
+  EXPECT_TRUE(idx.finalized());
+}
+
+}  // namespace
+}  // namespace ctxrank::text

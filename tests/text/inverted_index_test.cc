@@ -1,5 +1,7 @@
 #include "text/inverted_index.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 namespace ctxrank::text {
@@ -60,6 +62,31 @@ TEST_F(InvertedIndexTest, ResultsSortedByScoreThenDoc) {
   const auto hits = index_.Search(Vec({{1, 1.0}}), 0.0);
   ASSERT_EQ(hits.size(), 2u);
   EXPECT_LT(hits[0].doc, hits[1].doc);  // Equal scores -> ascending doc id.
+}
+
+TEST_F(InvertedIndexTest, TopKKeepsLowestDocIdOnTies) {
+  // Docs 10 and 20 score identically for term 1; the bounded heap must
+  // keep the ascending-doc-id winner, exactly like the full sort did.
+  const auto hits = index_.SearchTopK(Vec({{1, 1.0}}), 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc, 10u);
+}
+
+TEST_F(InvertedIndexTest, TopKIsPrefixOfFullSearch) {
+  const auto full = index_.Search(Vec({{0, 0.3}, {1, 0.5}, {3, 0.4}}), 0.0);
+  for (size_t k = 1; k <= full.size() + 1; ++k) {
+    const auto topk =
+        index_.SearchTopK(Vec({{0, 0.3}, {1, 0.5}, {3, 0.4}}), k);
+    ASSERT_EQ(topk.size(), std::min(k, full.size())) << "k=" << k;
+    for (size_t i = 0; i < topk.size(); ++i) {
+      EXPECT_EQ(topk[i].doc, full[i].doc) << "k=" << k;
+      EXPECT_EQ(topk[i].score, full[i].score) << "k=" << k;
+    }
+  }
+}
+
+TEST_F(InvertedIndexTest, TopKZeroReturnsNothing) {
+  EXPECT_TRUE(index_.SearchTopK(Vec({{1, 1.0}}), 0).empty());
 }
 
 TEST(InvertedIndexEdgeTest, EmptyIndexAndEmptyQuery) {

@@ -15,6 +15,7 @@
 //       The paper's §5 separability analysis over a saved index.
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <string>
@@ -91,6 +92,8 @@ int Usage() {
                "           [--timings 1]\n"
                "  search   --data DIR --query Q [--set text|pattern]\n"
                "           [--function text|citation|pattern] [--top N]\n"
+               "           [--topk K] [--exact 1] [--cache N]\n"
+               "           [--batch FILE] [--threads N]\n"
                "  info     --data DIR\n"
                "  analyze  --data DIR [--set text|pattern] "
                "[--min-context N]\n"
@@ -239,10 +242,19 @@ int Index(const Args& args) {
 int Search(const Args& args) {
   const std::string dir = args.Get("data", "");
   const std::string query = args.Get("query", "");
-  if (dir.empty() || query.empty()) return Usage();
+  const std::string batch_file = args.Get("batch", "");
+  if (dir.empty() || (query.empty() && batch_file.empty())) return Usage();
   const std::string set = args.Get("set", "text");
   const std::string function = args.Get("function", "text");
   const size_t top = static_cast<size_t>(args.GetInt("top", 10));
+  const size_t threads = static_cast<size_t>(args.GetInt("threads", 1));
+
+  context::SearchOptions options;
+  options.top_k = static_cast<size_t>(args.GetInt("topk", 0));
+  options.exact_scan = args.GetInt("exact", 0) != 0;
+  options.num_threads = threads;
+  const size_t cache_capacity =
+      static_cast<size_t>(args.GetInt("cache", 0));
 
   auto data = LoadDataset(dir);
   if (!data.ok()) return Fail(data.status());
@@ -255,15 +267,48 @@ int Search(const Args& args) {
                                         function + ".txt");
   if (!prestige.ok()) return Fail(prestige.status());
 
-  const context::ContextSearchEngine engine(
-      tc, data.value().onto, assignment.value(), prestige.value());
+  context::ContextSearchEngine::EngineOptions engine_options;
+  engine_options.num_threads = threads;
+  engine_options.build_query_index = !options.exact_scan;
+  context::ContextSearchEngine engine(tc, data.value().onto,
+                                      assignment.value(), prestige.value(),
+                                      engine_options);
+  if (cache_capacity > 0) engine.EnableQueryCache(cache_capacity);
+
+  if (!batch_file.empty()) {
+    // Batch mode: one query per line, fanned out over the thread pool.
+    std::ifstream in(batch_file);
+    if (!in) return Fail(Status::NotFound("cannot open " + batch_file));
+    std::vector<std::string> queries;
+    for (std::string line; std::getline(in, line);) {
+      if (!line.empty()) queries.push_back(line);
+    }
+    const auto results = engine.SearchMany(queries, options);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::printf("%4zu hits  %s\n", results[i].size(), queries[i].c_str());
+      for (size_t j = 0; j < results[i].size() && j < top; ++j) {
+        std::printf("      R=%.3f  %s\n", results[i][j].relevancy,
+                    data.value()
+                        .corpus.paper(results[i][j].paper)
+                        .title.c_str());
+      }
+    }
+    if (engine.query_cache_enabled()) {
+      const auto stats = engine.query_cache_stats();
+      std::printf("cache: %llu hits, %llu misses\n",
+                  static_cast<unsigned long long>(stats.hits),
+                  static_cast<unsigned long long>(stats.misses));
+    }
+    return 0;
+  }
+
   std::printf("query \"%s\" [%s set, %s prestige]\n", query.c_str(),
               set.c_str(), function.c_str());
   for (const auto& cm : engine.SelectContexts(query, 5, 1e-9)) {
     std::printf("  context [%.3f] %s\n", cm.score,
                 data.value().onto.term(cm.term).name.c_str());
   }
-  const auto hits = engine.Search(query);
+  const auto hits = engine.Search(query, options);
   std::printf("%zu results\n", hits.size());
   const corpus::SnippetGenerator snippets(tc);
   for (size_t i = 0; i < hits.size() && i < top; ++i) {
