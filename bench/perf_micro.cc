@@ -110,7 +110,10 @@ BENCHMARK(BM_ContextPageRank);
 void BM_PhraseMining(benchmark::State& state) {
   const auto& w = SharedWorld();
   std::vector<std::vector<text::TermId>> docs;
-  for (corpus::PaperId p = 0; p < 5; ++p) docs.push_back(w.tc().AllTokens(p));
+  for (corpus::PaperId p = 0; p < 5; ++p) {
+    const auto tok = w.tc().AllTokens(p);
+    docs.emplace_back(tok.begin(), tok.end());
+  }
   for (auto _ : state) {
     benchmark::DoNotOptimize(pattern::MineFrequentPhrases(docs));
   }

@@ -1,0 +1,192 @@
+// P4 — serving snapshot: save cost, cold-start (load-to-first-query)
+// latency and resident memory versus rebuilding the serving state from the
+// corpus, plus the bitwise-identity gate between the loaded and the
+// freshly built engine. Optionally writes the numbers as JSON (--json
+// FILE) for the committed BENCH_snapshot.json baseline.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/snapshot.h"
+
+namespace ctxrank::bench {
+namespace {
+
+constexpr size_t kTopK = 20;
+
+/// Current and peak resident set, from /proc/self/status (kB -> MB).
+struct RssSample {
+  double current_mb = 0.0;
+  double peak_mb = 0.0;
+};
+
+RssSample ReadRss() {
+  RssSample s;
+  std::ifstream f("/proc/self/status");
+  std::string line;
+  while (std::getline(f, line)) {
+    double kb = 0.0;
+    if (std::sscanf(line.c_str(), "VmRSS: %lf kB", &kb) == 1) {
+      s.current_mb = kb / 1024.0;
+    } else if (std::sscanf(line.c_str(), "VmHWM: %lf kB", &kb) == 1) {
+      s.peak_mb = kb / 1024.0;
+    }
+  }
+  return s;
+}
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool SameHits(const std::vector<context::SearchHit>& a,
+              const std::vector<context::SearchHit>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].paper != b[i].paper || a[i].relevancy != b[i].relevancy ||
+        a[i].context != b[i].context || a[i].prestige != b[i].prestige ||
+        a[i].match != b[i].match) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  const eval::WorldConfig config = ParseConfig(argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+  auto world = BuildWorldOrDie(config);
+  const auto queries = eval::GenerateQueries(world->onto(), world->tc(),
+                                             world->text_set());
+  context::SearchOptions opts;
+  opts.top_k = kTopK;
+
+  // Reference engine over the world's own tokenized corpus (the engine the
+  // snapshot is written from).
+  context::ContextSearchEngine::EngineOptions engine_options;
+  engine_options.num_threads = 0;
+  const context::ContextSearchEngine engine(world->tc(), world->onto(),
+                                            world->text_set(),
+                                            world->text_set_text_scores(),
+                                            engine_options);
+
+  // Rebuild path: what serving cold-start costs without a snapshot —
+  // re-analyze the corpus (tokenize, TF-IDF, vectors, postings), rebuild
+  // the impact indexes, then answer one query.
+  const RssSample rss_before_rebuild = ReadRss();
+  const auto rebuild0 = std::chrono::steady_clock::now();
+  const corpus::TokenizedCorpus rebuilt_tc(world->corpus());
+  const context::ContextSearchEngine rebuilt_engine(
+      rebuilt_tc, world->onto(), world->text_set(),
+      world->text_set_text_scores(), engine_options);
+  const auto rebuilt_first = rebuilt_engine.Search(queries[0].text, opts);
+  const double rebuild_ms = MsSince(rebuild0);
+  const RssSample rss_after_rebuild = ReadRss();
+
+  // Save.
+  const std::string snap_path = "/tmp/ctxrank_perf_snapshot.snap";
+  const auto save0 = std::chrono::steady_clock::now();
+  const Status save_status = serve::SaveSnapshot(*world, engine, snap_path);
+  const double save_ms = MsSince(save0);
+  if (!save_status.ok()) {
+    std::fprintf(stderr, "save failed: %s\n",
+                 save_status.ToString().c_str());
+    return 1;
+  }
+  std::ifstream fsize(snap_path, std::ios::binary | std::ios::ate);
+  const long long snapshot_bytes = static_cast<long long>(fsize.tellg());
+
+  // Load path: mmap + checksum validation + view assembly + one query.
+  const RssSample rss_before_load = ReadRss();
+  const auto load0 = std::chrono::steady_clock::now();
+  auto snap = serve::ServingSnapshot::Load(snap_path);
+  if (!snap.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", snap.status().ToString().c_str());
+    return 1;
+  }
+  const auto loaded_first = snap.value()->engine().Search(queries[0].text, opts);
+  const double load_ms = MsSince(load0);
+  const RssSample rss_after_load = ReadRss();
+
+  // Identity gate: loaded engine must reproduce the built engine bit for
+  // bit on every query, with and without top-k truncation.
+  bool identity = SameHits(rebuilt_first, loaded_first);
+  context::SearchOptions full = opts;
+  full.top_k = 0;
+  for (const auto& q : queries) {
+    if (!SameHits(engine.Search(q.text, opts),
+                  snap.value()->engine().Search(q.text, opts)) ||
+        !SameHits(engine.Search(q.text, full),
+                  snap.value()->engine().Search(q.text, full))) {
+      identity = false;
+      std::printf("IDENTITY MISMATCH on query \"%s\"\n", q.text.c_str());
+    }
+  }
+
+  const double speedup = load_ms > 0.0 ? rebuild_ms / load_ms : 0.0;
+  const double rss_rebuild_mb =
+      rss_after_rebuild.current_mb - rss_before_rebuild.current_mb;
+  const double rss_load_mb =
+      rss_after_load.current_mb - rss_before_load.current_mb;
+
+  std::printf("P4 — serving snapshot (%zu papers, %zu postings)\n",
+              world->corpus().size(), engine.index_postings());
+  std::printf("  snapshot size:           %.1f MB\n",
+              static_cast<double>(snapshot_bytes) / (1024.0 * 1024.0));
+  std::printf("  save:                    %.1f ms\n", save_ms);
+  std::printf("  rebuild to first query:  %.1f ms (+%.1f MB RSS)\n",
+              rebuild_ms, rss_rebuild_mb);
+  std::printf("  load to first query:     %.1f ms (+%.1f MB RSS)\n", load_ms,
+              rss_load_mb);
+  std::printf("  load vs rebuild:         %.1fx faster\n", speedup);
+  std::printf("  identity loaded==built:  %s  (%zu queries)\n",
+              identity ? "OK" : "FAIL", queries.size());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"bench\": \"perf_snapshot\",\n"
+        "  \"scale\": \"%s\",\n"
+        "  \"num_papers\": %zu,\n"
+        "  \"vocab_terms\": %zu,\n"
+        "  \"index_postings\": %zu,\n"
+        "  \"num_queries\": %zu,\n"
+        "  \"snapshot_bytes\": %lld,\n"
+        "  \"save_ms\": %.1f,\n"
+        "  \"rebuild_to_first_query_ms\": %.1f,\n"
+        "  \"load_to_first_query_ms\": %.1f,\n"
+        "  \"load_vs_rebuild_speedup\": %.1f,\n"
+        "  \"rss_delta_rebuild_mb\": %.1f,\n"
+        "  \"rss_delta_load_mb\": %.1f,\n"
+        "  \"peak_rss_mb\": %.1f,\n"
+        "  \"identity_loaded_vs_built\": %s\n"
+        "}\n",
+        config.corpus.num_papers < 5000 ? "small" : "default",
+        world->corpus().size(), world->tc().vocabulary().size(),
+        engine.index_postings(), queries.size(), snapshot_bytes, save_ms,
+        rebuild_ms, load_ms, speedup, rss_rebuild_mb, rss_load_mb,
+        rss_after_load.peak_mb, identity ? "true" : "false");
+    out << buf;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  std::remove(snap_path.c_str());
+  return identity ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ctxrank::bench
+
+int main(int argc, char** argv) { return ctxrank::bench::Run(argc, argv); }

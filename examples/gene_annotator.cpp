@@ -51,7 +51,10 @@ int Run(int argc, char** argv) {
     // Mine patterns from the term's evidence papers. Full variant: with
     // extended (side-/middle-joined) patterns.
     std::vector<std::vector<text::TermId>> training;
-    for (corpus::PaperId p : evidence) training.push_back(tc.AllTokens(p));
+    for (corpus::PaperId p : evidence) {
+      const auto tok = tc.AllTokens(p);
+      training.emplace_back(tok.begin(), tok.end());
+    }
     pattern::PatternBuilderOptions build_opts;
     build_opts.build_extended = true;
     auto patterns = pattern::BuildPatterns(training, stats.NameWords(term),

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Builds the test suite with AddressSanitizer + UndefinedBehaviorSanitizer
 # and runs the query-serving fast-path tests (impact indexes, pruned
-# search, LRU cache) plus their neighbors under it.
+# search, LRU cache) plus their neighbors under it, and the snapshot
+# save/load round-trip (mmap-backed views make lifetime bugs ASan bait).
 # Usage: scripts/verify_asan.sh [build-dir]
 set -euo pipefail
 
@@ -9,7 +10,7 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build-asan}"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCTXRANK_SANITIZE=address,undefined
-cmake --build "${build_dir}" -j --target common_test text_test context_test
+cmake --build "${build_dir}" -j --target common_test text_test context_test serve_test
 
 echo "== LRU cache under ASan/UBSan =="
 "${build_dir}/tests/common_test" --gtest_filter='LruCache*'
@@ -19,5 +20,8 @@ echo "== inverted + impact indexes under ASan/UBSan =="
 
 echo "== query fast path under ASan/UBSan =="
 "${build_dir}/tests/context_test" --gtest_filter='QueryFastPath*:SearchEngine*'
+
+echo "== snapshot save/load round-trip under ASan/UBSan =="
+"${build_dir}/tests/serve_test"
 
 echo "ASan/UBSan verification passed."

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# End-to-end check of the serving snapshot through the CLI: generate a
+# small dataset, index it, save a snapshot, load it back, and diff the
+# output of `search --snapshot` against `search --data` — the two must be
+# byte-identical (the snapshot promises bitwise-equal scores).
+# Usage: scripts/verify_snapshot.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+cli="${build_dir}/tools/ctxrank"
+
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j --target ctxrank
+
+work="$(mktemp -d)"
+trap 'rm -rf "${work}"' EXIT
+
+echo "== generate + index a small dataset =="
+mkdir -p "${work}/data"
+"${cli}" generate --out "${work}/data" --terms 60 --papers 400 --seed 7
+"${cli}" index --data "${work}/data"
+
+echo "== snapshot save =="
+"${cli}" snapshot save --data "${work}/data" --out "${work}/serving.snap"
+
+# Real term names from the generated ontology make non-empty queries.
+mapfile -t queries < <(grep '^name:' "${work}/data/ontology.obo" \
+  | sed 's/^name: //' | head -3)
+
+echo "== snapshot load (stats + smoke query) =="
+"${cli}" snapshot load --snapshot "${work}/serving.snap" \
+  --query "${queries[0]}"
+
+echo "== search --snapshot must match search --data byte for byte =="
+for q in "${queries[@]}"; do
+  # Compare the ranked hits and the result count. The header (names the
+  # source) and the snippet lines (need the full corpus text, which the
+  # snapshot deliberately omits) differ by design; ranks, R/prestige/
+  # match scores, and titles must be byte-identical.
+  "${cli}" search --data "${work}/data" --query "${q}" \
+    | grep -E '^ *[0-9]+\. R=|results' > "${work}/from_data.txt"
+  "${cli}" search --snapshot "${work}/serving.snap" --query "${q}" \
+    | grep -E '^ *[0-9]+\. R=|results' > "${work}/from_snap.txt"
+  if ! diff -u "${work}/from_data.txt" "${work}/from_snap.txt"; then
+    echo "MISMATCH for query '${q}'" >&2
+    exit 1
+  fi
+  if ! grep -q "results" "${work}/from_snap.txt"; then
+    echo "unexpected output for query '${q}'" >&2
+    exit 1
+  fi
+done
+
+echo "== corrupted snapshot must be rejected =="
+cp "${work}/serving.snap" "${work}/corrupt.snap"
+# Flip one byte in the middle of the payload.
+size=$(stat -c %s "${work}/corrupt.snap")
+printf '\xff' | dd of="${work}/corrupt.snap" bs=1 seek=$((size / 2)) \
+  count=1 conv=notrunc status=none
+if "${cli}" snapshot load --snapshot "${work}/corrupt.snap" 2>/dev/null; then
+  echo "corrupted snapshot was accepted" >&2
+  exit 1
+fi
+
+echo "Snapshot verification passed."

@@ -1,0 +1,110 @@
+// The ownership seam for the serving snapshot: an array that either owns
+// its elements (a std::vector built at construction time) or views
+// immutable external storage (an mmap'd snapshot section). Read access is
+// uniform via span(); the distinction only matters at construction.
+#ifndef CTXRANK_COMMON_ARRAY_VIEW_H_
+#define CTXRANK_COMMON_ARRAY_VIEW_H_
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ctxrank {
+
+/// \brief Either a heap-owned std::vector<T> or a non-owning span over
+/// storage someone else keeps alive (the snapshot's mmap region). Copies
+/// deep-copy owned storage and alias viewed storage; moves are cheap in
+/// both modes (a moved vector keeps its heap buffer address, so the view
+/// stays valid).
+template <typename T>
+class VecOrSpan {
+ public:
+  VecOrSpan() = default;
+
+  explicit VecOrSpan(std::vector<T> owned)
+      : owned_(std::move(owned)), view_(owned_), owning_(true) {}
+
+  explicit VecOrSpan(std::span<const T> view) : view_(view), owning_(false) {}
+
+  VecOrSpan(const VecOrSpan& other) { *this = other; }
+  VecOrSpan& operator=(const VecOrSpan& other) {
+    if (this == &other) return *this;
+    owning_ = other.owning_;
+    if (owning_) {
+      owned_ = other.owned_;
+      view_ = owned_;
+    } else {
+      owned_.clear();
+      view_ = other.view_;
+    }
+    return *this;
+  }
+
+  VecOrSpan(VecOrSpan&& other) noexcept { *this = std::move(other); }
+  VecOrSpan& operator=(VecOrSpan&& other) noexcept {
+    if (this == &other) return *this;
+    owning_ = other.owning_;
+    owned_ = std::move(other.owned_);
+    // The moved vector keeps its buffer, so other.view_ still points at it.
+    view_ = other.view_;
+    other.owned_.clear();
+    other.view_ = {};
+    other.owning_ = false;
+    return *this;
+  }
+
+  /// Replaces the contents with an owned vector.
+  void SetOwned(std::vector<T> owned) {
+    owned_ = std::move(owned);
+    view_ = owned_;
+    owning_ = true;
+  }
+
+  /// Replaces the contents with a non-owning view.
+  void SetView(std::span<const T> view) {
+    owned_.clear();
+    view_ = view;
+    owning_ = false;
+  }
+
+  std::span<const T> span() const { return view_; }
+  auto begin() const { return view_.begin(); }
+  auto end() const { return view_.end(); }
+  const T* data() const { return view_.data(); }
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+  const T& operator[](size_t i) const { return view_[i]; }
+
+  bool owning() const { return owning_; }
+
+  /// Mutable access to the owned vector; must not be called in view mode.
+  std::vector<T>& mutable_vector() {
+    assert(owning_);
+    return owned_;
+  }
+
+  /// Re-syncs the view after mutating the owned vector (resize etc.).
+  void SyncView() {
+    assert(owning_);
+    view_ = owned_;
+  }
+
+ private:
+  std::vector<T> owned_;
+  std::span<const T> view_;
+  bool owning_ = true;
+};
+
+/// Materializes a span as an owned vector (handy for tests and for code
+/// that must outlive the viewed storage).
+template <typename T>
+std::vector<std::remove_cv_t<T>> ToVector(std::span<T> s) {
+  return std::vector<std::remove_cv_t<T>>(s.begin(), s.end());
+}
+
+}  // namespace ctxrank
+
+#endif  // CTXRANK_COMMON_ARRAY_VIEW_H_

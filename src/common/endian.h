@@ -1,0 +1,116 @@
+// Fixed-width little-endian encoding helpers — the single place that
+// defines how multi-byte integers and doubles are laid out in ctxrank's
+// binary formats (the serving snapshot in particular). Byte-shift based,
+// so the encoded bytes are identical on any host endianness; compilers
+// reduce them to single moves on little-endian targets.
+#ifndef CTXRANK_COMMON_ENDIAN_H_
+#define CTXRANK_COMMON_ENDIAN_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace ctxrank {
+
+inline void StoreLE16(unsigned char* p, uint16_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+}
+
+inline void StoreLE32(unsigned char* p, uint32_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+  p[2] = static_cast<unsigned char>(v >> 16);
+  p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+inline void StoreLE64(unsigned char* p, uint64_t v) {
+  StoreLE32(p, static_cast<uint32_t>(v));
+  StoreLE32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+/// Stores the IEEE-754 bit pattern of `v` little-endian (bit-exact round
+/// trip, including NaN payloads and signed zeros).
+inline void StoreLEDouble(unsigned char* p, double v) {
+  StoreLE64(p, std::bit_cast<uint64_t>(v));
+}
+
+inline uint16_t LoadLE16(const unsigned char* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+inline uint32_t LoadLE32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline uint64_t LoadLE64(const unsigned char* p) {
+  return static_cast<uint64_t>(LoadLE32(p)) |
+         (static_cast<uint64_t>(LoadLE32(p + 4)) << 32);
+}
+
+inline double LoadLEDouble(const unsigned char* p) {
+  return std::bit_cast<double>(LoadLE64(p));
+}
+
+// char-pointer overloads (file buffers are usually char/std::byte).
+inline void StoreLE32(char* p, uint32_t v) {
+  StoreLE32(reinterpret_cast<unsigned char*>(p), v);
+}
+inline void StoreLE64(char* p, uint64_t v) {
+  StoreLE64(reinterpret_cast<unsigned char*>(p), v);
+}
+inline void StoreLEDouble(char* p, double v) {
+  StoreLEDouble(reinterpret_cast<unsigned char*>(p), v);
+}
+inline uint32_t LoadLE32(const char* p) {
+  return LoadLE32(reinterpret_cast<const unsigned char*>(p));
+}
+inline uint64_t LoadLE64(const char* p) {
+  return LoadLE64(reinterpret_cast<const unsigned char*>(p));
+}
+inline double LoadLEDouble(const char* p) {
+  return LoadLEDouble(reinterpret_cast<const unsigned char*>(p));
+}
+
+inline void AppendLE32(std::string& out, uint32_t v) {
+  char buf[4];
+  StoreLE32(buf, v);
+  out.append(buf, sizeof(buf));
+}
+
+inline void AppendLE64(std::string& out, uint64_t v) {
+  char buf[8];
+  StoreLE64(buf, v);
+  out.append(buf, sizeof(buf));
+}
+
+inline void AppendLEDouble(std::string& out, double v) {
+  AppendLE64(out, std::bit_cast<uint64_t>(v));
+}
+
+/// True when the running host stores integers and doubles little-endian —
+/// the precondition for the snapshot loader's zero-copy reinterpretation
+/// of mmap'd arrays.
+inline bool HostIsLittleEndian() {
+  return std::endian::native == std::endian::little;
+}
+
+/// FNV-1a 64-bit hash — the snapshot's per-section checksum. Not
+/// cryptographic; detects truncation and bit corruption.
+inline uint64_t Fnv1a64(const void* data, size_t size,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace ctxrank
+
+#endif  // CTXRANK_COMMON_ENDIAN_H_

@@ -1,0 +1,40 @@
+// Read-only memory-mapped file (RAII). The snapshot loader maps the file
+// once and serves query structures directly out of the mapping.
+#ifndef CTXRANK_COMMON_MMAP_FILE_H_
+#define CTXRANK_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ctxrank {
+
+/// \brief A read-only mapping of a whole file. Movable, not copyable; the
+/// mapping lives until destruction. An empty file maps to data() == nullptr
+/// with size() == 0.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  static Result<MmapFile> Open(const std::string& path);
+
+  const char* data() const { return static_cast<const char*>(data_); }
+  size_t size() const { return size_; }
+  bool mapped() const { return data_ != nullptr; }
+
+ private:
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace ctxrank
+
+#endif  // CTXRANK_COMMON_MMAP_FILE_H_

@@ -107,7 +107,10 @@ Result<PatternAssignmentResult> BuildPatternBasedAssignment(
                                           PickRepresentative(tc, evidence));
       std::vector<std::vector<text::TermId>> training;
       training.reserve(evidence.size());
-      for (PaperId p : evidence) training.push_back(tc.AllTokens(p));
+      for (PaperId p : evidence) {
+        const std::span<const text::TermId> tok = tc.AllTokens(p);
+        training.emplace_back(tok.begin(), tok.end());
+      }
       std::vector<pattern::Pattern> patterns = pattern::BuildPatterns(
           training, stats.NameWords(term), options.builder);
       // Score: coverage over the DB; selectivity over this term's name

@@ -4,7 +4,26 @@
 
 namespace ctxrank::context {
 
+ContextAssignment ContextAssignment::FromView(
+    std::span<const uint64_t> members_offsets,
+    std::span<const PaperId> members,
+    std::span<const uint64_t> contexts_offsets,
+    std::span<const TermId> contexts, std::span<const PaperId> representatives,
+    std::span<const TermId> inherited_from, std::span<const double> decay) {
+  ContextAssignment a;
+  a.view_mode_ = true;
+  a.members_offsets_ = members_offsets;
+  a.members_view_ = members;
+  a.contexts_offsets_ = contexts_offsets;
+  a.contexts_view_ = contexts;
+  a.representatives_view_ = representatives;
+  a.inherited_view_ = inherited_from;
+  a.decay_view_ = decay;
+  return a;
+}
+
 void ContextAssignment::SetMembers(TermId term, std::vector<PaperId> papers) {
+  assert(!view_mode_ && "SetMembers on a frozen snapshot assignment");
   std::sort(papers.begin(), papers.end());
   papers.erase(std::unique(papers.begin(), papers.end()), papers.end());
   // Rebuild the reverse index entries for this term.
@@ -17,15 +36,16 @@ void ContextAssignment::SetMembers(TermId term, std::vector<PaperId> papers) {
 }
 
 bool ContextAssignment::Contains(TermId term, PaperId paper) const {
-  const auto& m = members_[term];
+  const std::span<const PaperId> m = Members(term);
   return std::binary_search(m.begin(), m.end(), paper);
 }
 
 std::vector<TermId> ContextAssignment::ContextsWithAtLeast(
     size_t min_size) const {
   std::vector<TermId> out;
-  for (TermId t = 0; t < members_.size(); ++t) {
-    if (members_[t].size() >= min_size) out.push_back(t);
+  const size_t terms = num_terms();
+  for (TermId t = 0; t < terms; ++t) {
+    if (Members(t).size() >= min_size) out.push_back(t);
   }
   return out;
 }

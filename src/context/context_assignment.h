@@ -4,6 +4,8 @@
 #ifndef CTXRANK_CONTEXT_CONTEXT_ASSIGNMENT_H_
 #define CTXRANK_CONTEXT_CONTEXT_ASSIGNMENT_H_
 
+#include <cassert>
+#include <span>
 #include <vector>
 
 #include "corpus/paper.h"
@@ -16,6 +18,10 @@ using ontology::TermId;
 
 /// \brief Membership of papers in contexts plus assignment provenance.
 /// Built by the assignment builders in assignment.h; immutable afterwards.
+///
+/// Built assignments own per-term heap vectors; snapshot-loaded ones view
+/// flat CSR arrays in the mmap region (FromView). The read API is
+/// identical; the Set* mutators are owned-mode only.
 class ContextAssignment {
  public:
   explicit ContextAssignment(size_t num_terms, size_t num_papers)
@@ -25,36 +31,72 @@ class ContextAssignment {
         decay_(num_terms, 1.0),
         contexts_of_(num_papers) {}
 
-  size_t num_terms() const { return members_.size(); }
-  size_t num_papers() const { return contexts_of_.size(); }
+  /// Wraps frozen CSR storage owned elsewhere. `members_offsets` has
+  /// num_terms + 1 entries into `members`; `contexts_offsets` has
+  /// num_papers + 1 entries into `contexts`; the per-term arrays have
+  /// num_terms entries each.
+  static ContextAssignment FromView(
+      std::span<const uint64_t> members_offsets,
+      std::span<const PaperId> members,
+      std::span<const uint64_t> contexts_offsets,
+      std::span<const TermId> contexts,
+      std::span<const PaperId> representatives,
+      std::span<const TermId> inherited_from, std::span<const double> decay);
+
+  size_t num_terms() const {
+    return view_mode_ ? (members_offsets_.empty() ? 0
+                                                  : members_offsets_.size() - 1)
+                      : members_.size();
+  }
+  size_t num_papers() const {
+    return view_mode_ ? (contexts_offsets_.empty()
+                             ? 0
+                             : contexts_offsets_.size() - 1)
+                      : contexts_of_.size();
+  }
 
   /// Sets the member papers of `term` (sorted, unique enforced here).
+  /// Owned mode only.
   void SetMembers(TermId term, std::vector<PaperId> papers);
 
-  /// Papers assigned to `term`.
-  const std::vector<PaperId>& Members(TermId term) const {
-    return members_[term];
+  /// Papers assigned to `term` (sorted, unique).
+  std::span<const PaperId> Members(TermId term) const {
+    if (!view_mode_) return members_[term];
+    return members_view_.subspan(
+        members_offsets_[term],
+        members_offsets_[term + 1] - members_offsets_[term]);
   }
 
   /// Contexts containing `paper`.
-  const std::vector<TermId>& ContextsOf(PaperId paper) const {
-    return contexts_of_[paper];
+  std::span<const TermId> ContextsOf(PaperId paper) const {
+    if (!view_mode_) return contexts_of_[paper];
+    return contexts_view_.subspan(
+        contexts_offsets_[paper],
+        contexts_offsets_[paper + 1] - contexts_offsets_[paper]);
   }
 
   bool Contains(TermId term, PaperId paper) const;
 
   /// Representative paper of `term` (text-based sets), or kInvalidPaper.
-  PaperId Representative(TermId term) const { return representatives_[term]; }
+  PaperId Representative(TermId term) const {
+    return view_mode_ ? representatives_view_[term] : representatives_[term];
+  }
   void SetRepresentative(TermId term, PaperId paper) {
+    assert(!view_mode_);
     representatives_[term] = paper;
   }
 
   /// When a context had no matching papers and inherited its closest
   /// ancestor's paper set (pattern-based sets, paper §4), records the
   /// ancestor and the RateOfDecay damping to apply to prestige scores.
-  TermId InheritedFrom(TermId term) const { return inherited_from_[term]; }
-  double DecayFactor(TermId term) const { return decay_[term]; }
+  TermId InheritedFrom(TermId term) const {
+    return view_mode_ ? inherited_view_[term] : inherited_from_[term];
+  }
+  double DecayFactor(TermId term) const {
+    return view_mode_ ? decay_view_[term] : decay_[term];
+  }
   void SetInherited(TermId term, TermId ancestor, double decay) {
+    assert(!view_mode_);
     inherited_from_[term] = ancestor;
     decay_[term] = decay;
   }
@@ -64,11 +106,22 @@ class ContextAssignment {
   std::vector<TermId> ContextsWithAtLeast(size_t min_size) const;
 
  private:
+  ContextAssignment() = default;
+
   std::vector<std::vector<PaperId>> members_;
   std::vector<PaperId> representatives_;
   std::vector<TermId> inherited_from_;
   std::vector<double> decay_;
   std::vector<std::vector<TermId>> contexts_of_;
+  // View mode (snapshot-backed).
+  bool view_mode_ = false;
+  std::span<const uint64_t> members_offsets_;
+  std::span<const PaperId> members_view_;
+  std::span<const uint64_t> contexts_offsets_;
+  std::span<const TermId> contexts_view_;
+  std::span<const PaperId> representatives_view_;
+  std::span<const TermId> inherited_view_;
+  std::span<const double> decay_view_;
 };
 
 }  // namespace ctxrank::context

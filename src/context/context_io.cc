@@ -67,16 +67,24 @@ Result<ContextAssignment> LoadAssignment(const std::string& path) {
   std::getline(f, line);  // Consume end of line.
   ContextAssignment assignment(terms, papers);
   TermId current = ontology::kInvalidTerm;
+  // The writer only emits a "term" line when at least one record follows,
+  // so an empty block means the file was cut right after a term header.
+  size_t current_records = 0;
   while (std::getline(f, line)) {
     const std::string_view lv = Trim(line);
     if (lv.empty()) continue;
     const auto fields = SplitWhitespace(lv);
     uint64_t parsed = 0;
     if (fields[0] == "term") {
+      if (current != ontology::kInvalidTerm && current_records == 0) {
+        return Status::InvalidArgument("term block without records "
+                                       "(truncated file?)");
+      }
       if (fields.size() != 2 || !ParseUint64(fields[1], &parsed)) {
         return Status::InvalidArgument("bad term line");
       }
       current = static_cast<TermId>(parsed);
+      current_records = 0;
       if (current >= terms) {
         return Status::InvalidArgument("term id out of range");
       }
@@ -93,21 +101,28 @@ Result<ContextAssignment> LoadAssignment(const std::string& path) {
         members.push_back(static_cast<PaperId>(parsed));
       }
       assignment.SetMembers(current, std::move(members));
+      ++current_records;
     } else if (fields[0] == "R" && fields.size() == 2) {
-      if (!ParseUint64(fields[1], &parsed)) {
+      if (!ParseUint64(fields[1], &parsed) || parsed >= papers) {
         return Status::InvalidArgument("bad representative line");
       }
       assignment.SetRepresentative(current, static_cast<PaperId>(parsed));
+      ++current_records;
     } else if (fields[0] == "I" && fields.size() == 3) {
       double decay = 0.0;
-      if (!ParseUint64(fields[1], &parsed) ||
+      if (!ParseUint64(fields[1], &parsed) || parsed >= terms ||
           !ParseDouble(fields[2], &decay)) {
         return Status::InvalidArgument("bad inheritance line");
       }
       assignment.SetInherited(current, static_cast<TermId>(parsed), decay);
+      ++current_records;
     } else {
       return Status::InvalidArgument("unparsable line: " + std::string(lv));
     }
+  }
+  if (current != ontology::kInvalidTerm && current_records == 0) {
+    return Status::InvalidArgument("term block without records "
+                                   "(truncated file?)");
   }
   return assignment;
 }
@@ -148,6 +163,12 @@ Result<PrestigeScores> LoadPrestige(const std::string& path) {
       return Status::InvalidArgument("term id out of range");
     }
     const auto term = static_cast<TermId>(parsed);
+    if (fields.size() < 2) {
+      // The writer only emits lines for contexts with scores; a bare term
+      // id means the value list was cut off.
+      return Status::InvalidArgument("prestige line without scores "
+                                     "(truncated file?)");
+    }
     std::vector<double> values;
     values.reserve(fields.size() - 1);
     for (size_t i = 1; i < fields.size(); ++i) {

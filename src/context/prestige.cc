@@ -15,14 +15,24 @@ std::string PrestigeKindName(PrestigeKind kind) {
   return "unknown";
 }
 
+PrestigeScores PrestigeScores::FromView(std::span<const uint64_t> offsets,
+                                        std::span<const double> values) {
+  PrestigeScores scores;
+  scores.view_mode_ = true;
+  scores.offsets_ = offsets;
+  scores.values_ = values;
+  return scores;
+}
+
 double PrestigeScores::ScoreOf(const ContextAssignment& assignment,
                                TermId term, PaperId paper) const {
-  const auto& members = assignment.Members(term);
+  const std::span<const PaperId> members = assignment.Members(term);
   const auto it = std::lower_bound(members.begin(), members.end(), paper);
   if (it == members.end() || *it != paper) return 0.0;
   const size_t idx = static_cast<size_t>(it - members.begin());
-  if (idx >= scores_[term].size()) return 0.0;
-  return scores_[term][idx];
+  const std::span<const double> scores = Scores(term);
+  if (idx >= scores.size()) return 0.0;
+  return scores[idx];
 }
 
 void ApplyHierarchicalMax(const ontology::Ontology& onto,
@@ -34,17 +44,18 @@ void ApplyHierarchicalMax(const ontology::Ontology& onto,
   // twice would propagate scores across unrelated branches.
   std::vector<std::vector<double>> frozen(scores.num_terms());
   for (TermId t = 0; t < scores.num_terms(); ++t) {
-    frozen[t] = scores.Scores(t);
+    const std::span<const double> s = scores.Scores(t);
+    frozen[t].assign(s.begin(), s.end());
   }
   for (TermId t = 0; t < scores.num_terms(); ++t) {
     if (frozen[t].empty()) continue;
     const std::vector<TermId> descendants = onto.Descendants(t);
     if (descendants.empty()) continue;
     std::vector<double> lifted = frozen[t];
-    const auto& members = assignment.Members(t);
+    const std::span<const PaperId> members = assignment.Members(t);
     for (TermId d : descendants) {
       if (frozen[d].empty()) continue;
-      const auto& dmembers = assignment.Members(d);
+      const std::span<const PaperId> dmembers = assignment.Members(d);
       // Both member lists are sorted: merge-walk them.
       size_t i = 0, j = 0;
       while (i < members.size() && j < dmembers.size()) {
@@ -66,7 +77,8 @@ void ApplyHierarchicalMax(const ontology::Ontology& onto,
 void NormalizePerContext(PrestigeScores& scores) {
   for (TermId t = 0; t < scores.num_terms(); ++t) {
     if (!scores.HasScores(t)) continue;
-    std::vector<double> v = scores.Scores(t);
+    const std::span<const double> s = scores.Scores(t);
+    std::vector<double> v(s.begin(), s.end());
     MinMaxNormalize(v);
     scores.Set(t, std::move(v));
   }

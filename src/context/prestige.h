@@ -5,6 +5,8 @@
 #ifndef CTXRANK_CONTEXT_PRESTIGE_H_
 #define CTXRANK_CONTEXT_PRESTIGE_H_
 
+#include <cassert>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,39 +23,60 @@ enum class PrestigeKind {
 
 std::string PrestigeKindName(PrestigeKind kind);
 
-/// \brief Prestige scores for every context: scores_[term][i] is the score
+/// \brief Prestige scores for every context: Scores(term)[i] is the score
 /// of assignment.Members(term)[i]. Scores are min-max normalized to [0, 1]
 /// within each context (so they are comparable with the text-matching score
 /// in the relevancy combination and across contexts after hierarchy
 /// roll-up).
+///
+/// Storage is either per-context heap vectors (built by the prestige
+/// engines via Set) or a flat CSR view over a serving snapshot's mmap
+/// region (FromView); the read API is identical.
 class PrestigeScores {
  public:
   explicit PrestigeScores(size_t num_terms) : scores_(num_terms) {}
 
-  size_t num_terms() const { return scores_.size(); }
+  /// Wraps frozen CSR storage owned elsewhere: `offsets` has num_terms + 1
+  /// entries indexing into `values`; an empty range means the context has
+  /// no scores. Set must not be called on the result.
+  static PrestigeScores FromView(std::span<const uint64_t> offsets,
+                                 std::span<const double> values);
+
+  size_t num_terms() const {
+    return view_mode_ ? (offsets_.empty() ? 0 : offsets_.size() - 1)
+                      : scores_.size();
+  }
 
   /// `scores` must be aligned with the term's member vector. The outer
   /// vector is pre-sized at construction, so concurrent Set calls on
   /// *distinct* terms are race-free — the parallel prestige engines write
-  /// one slot per context this way.
+  /// one slot per context this way. Owned mode only.
   void Set(TermId term, std::vector<double> scores) {
+    assert(!view_mode_ && "Set on a frozen snapshot PrestigeScores");
     scores_[term] = std::move(scores);
   }
 
-  const std::vector<double>& Scores(TermId term) const {
-    return scores_[term];
+  std::span<const double> Scores(TermId term) const {
+    if (!view_mode_) return scores_[term];
+    return values_.subspan(offsets_[term], offsets_[term + 1] - offsets_[term]);
   }
 
   /// True if the function assigned scores to this context at all (e.g.
   /// text scores exist only for contexts with a representative, §4).
-  bool HasScores(TermId term) const { return !scores_[term].empty(); }
+  bool HasScores(TermId term) const { return !Scores(term).empty(); }
 
   /// Score of `paper` in `term`, or 0 if absent.
   double ScoreOf(const ContextAssignment& assignment, TermId term,
                  PaperId paper) const;
 
  private:
+  PrestigeScores() = default;
+
   std::vector<std::vector<double>> scores_;
+  // View mode (snapshot-backed).
+  bool view_mode_ = false;
+  std::span<const uint64_t> offsets_;
+  std::span<const double> values_;
 };
 
 /// Applies the paper's hierarchy rule (§3): a paper residing in context c

@@ -129,29 +129,44 @@ ContextSearchEngine::ContextSearchEngine(const corpus::TokenizedCorpus& tc,
                                          const PrestigeScores& prestige,
                                          const EngineOptions& engine_options)
     : tc_(&tc), onto_(&onto), assignment_(&assignment), prestige_(&prestige) {
-  name_vectors_.resize(onto.size());
+  // Term-name TF-IDF vectors, needed only while building the routing index.
+  std::vector<text::SparseVector> name_vectors(onto.size());
   ParallelFor(
       onto.size(),
       [&](size_t begin, size_t end) {
         for (TermId t = begin; t < end; ++t) {
           const auto ids = tc.analyzer().AnalyzeToKnownIds(onto.term(t).name,
                                                            tc.vocabulary());
-          name_vectors_[t] = tc.tfidf().TransformQuery(ids);
+          name_vectors[t] = tc.tfidf().TransformQuery(ids);
         }
       },
       {.num_threads = engine_options.num_threads, .grain = 64});
-  // Routing index over the name vectors. Ascending t, and each vector's
-  // entries are ascending by vocabulary term, so every per-vocabulary-term
-  // postings list ends up sorted by ontology term — the accumulation in
-  // SelectContextsFromVector then adds products in exactly the order
-  // SparseVector::Dot would.
-  name_norms_.resize(onto.size());
-  for (TermId t = 0; t < onto.size(); ++t) {
-    name_norms_[t] = name_vectors_[t].Norm();
-    for (const auto& e : name_vectors_[t].entries()) {
-      if (e.term >= name_postings_.size()) name_postings_.resize(e.term + 1);
-      name_postings_[e.term].push_back({t, e.weight});
+  // Routing index over the name vectors, flattened to CSR keyed by
+  // vocabulary term. Ascending t, and each vector's entries are ascending
+  // by vocabulary term, so every per-vocabulary-term run ends up sorted by
+  // ontology term — the accumulation in SelectContextsFromVector then adds
+  // products in exactly the order SparseVector::Dot would.
+  {
+    std::vector<double> norms(onto.size());
+    std::vector<std::vector<text::SparseVector::Entry>> lists(
+        tc.vocabulary().size());
+    for (TermId t = 0; t < onto.size(); ++t) {
+      norms[t] = name_vectors[t].Norm();
+      for (const auto& e : name_vectors[t].entries()) {
+        lists[e.term].push_back({t, e.weight});
+      }
     }
+    std::vector<uint64_t> offsets;
+    std::vector<text::SparseVector::Entry> entries;
+    offsets.reserve(lists.size() + 1);
+    offsets.push_back(0);
+    for (const auto& list : lists) {
+      entries.insert(entries.end(), list.begin(), list.end());
+      offsets.push_back(entries.size());
+    }
+    name_norms_.SetOwned(std::move(norms));
+    routing_offsets_.SetOwned(std::move(offsets));
+    routing_entries_.SetOwned(std::move(entries));
   }
   if (!engine_options.build_query_index) return;
   // Per-context impact-ordered indexes: one slot per term, each built
@@ -172,16 +187,17 @@ ContextSearchEngine::ContextSearchEngine(const corpus::TokenizedCorpus& tc,
           const auto prestige_of = [&scores](uint32_t i) {
             return i < scores.size() ? scores[i] : 0.0;
           };
-          ci.by_prestige.resize(members.size());
-          std::iota(ci.by_prestige.begin(), ci.by_prestige.end(), 0u);
-          std::sort(ci.by_prestige.begin(), ci.by_prestige.end(),
+          std::vector<uint32_t> by_prestige(members.size());
+          std::iota(by_prestige.begin(), by_prestige.end(), 0u);
+          std::sort(by_prestige.begin(), by_prestige.end(),
                     [&prestige_of](uint32_t a, uint32_t b) {
                       const double sa = prestige_of(a), sb = prestige_of(b);
                       if (sa != sb) return sa > sb;
                       return a < b;
                     });
           ci.max_prestige =
-              ci.by_prestige.empty() ? 0.0 : prestige_of(ci.by_prestige[0]);
+              by_prestige.empty() ? 0.0 : prestige_of(by_prestige[0]);
+          ci.by_prestige.SetOwned(std::move(by_prestige));
           ci.built = true;
         }
       },
@@ -220,10 +236,14 @@ std::vector<ContextMatch> ContextSearchEngine::SelectContextsFromVector(
   if (dot.size() < onto_->size()) dot.resize(onto_->size(), 0.0);
   scored.clear();
   for (const auto& qe : qv.entries()) {
-    if (qe.term >= name_postings_.size()) continue;
-    for (const auto& [t, w] : name_postings_[qe.term]) {
-      if (dot[t] == 0.0) scored.push_back(t);
-      dot[t] += qe.weight * w;
+    if (qe.term + 1 >= routing_offsets_.size()) continue;
+    const std::span<const text::SparseVector::Entry> run =
+        routing_entries_.span().subspan(
+            routing_offsets_[qe.term],
+            routing_offsets_[qe.term + 1] - routing_offsets_[qe.term]);
+    for (const auto& e : run) {
+      if (dot[e.term] == 0.0) scored.push_back(e.term);
+      dot[e.term] += qe.weight * e.weight;
     }
   }
   const double qnorm = qv.Norm();

@@ -22,12 +22,17 @@
 #include <string_view>
 #include <vector>
 
+#include "common/array_view.h"
 #include "common/lru_cache.h"
 #include "context/context_assignment.h"
 #include "context/prestige.h"
 #include "corpus/tokenized_corpus.h"
 #include "ontology/ontology.h"
 #include "text/impact_index.h"
+
+namespace ctxrank::serve {
+struct SnapshotAccess;
+}  // namespace ctxrank::serve
 
 namespace ctxrank::context {
 
@@ -159,13 +164,16 @@ class ContextSearchEngine {
   size_t index_postings() const { return index_postings_; }
 
  private:
+  ContextSearchEngine() = default;  // Snapshot assembly.
+  friend struct ctxrank::serve::SnapshotAccess;
+
   /// Per-context serving structures for the pruned fast path.
   struct ContextIndex {
     text::ImpactOrderedIndex index;  // Over members' full vectors.
     /// Member positions sorted by descending prestige (ties: ascending
     /// position) — the impact order of the prestige term, used to emit
     /// zero-match members until the threshold cuts the tail.
-    std::vector<uint32_t> by_prestige;
+    VecOrSpan<uint32_t> by_prestige;
     double max_prestige = 0.0;
     bool built = false;  // False -> exact member scan for this context.
   };
@@ -220,19 +228,20 @@ class ContextSearchEngine {
                    TermId term, const SearchOptions& options,
                    Scratch& scratch, TopKMerger& merger) const;
 
-  const corpus::TokenizedCorpus* tc_;
-  const ontology::Ontology* onto_;
-  const ContextAssignment* assignment_;
-  const PrestigeScores* prestige_;
-  /// TF-IDF vectors of every term name (for context selection).
-  std::vector<text::SparseVector> name_vectors_;
-  /// Routing index: vocabulary term -> (ontology term, name weight), so
-  /// context selection only touches terms sharing a query word instead of
-  /// scanning every name vector. Scores are bitwise identical to the dense
-  /// cosine scan (same summation order, precomputed identical norms).
-  std::vector<std::vector<std::pair<TermId, double>>> name_postings_;
-  /// name_vectors_[t].Norm(), precomputed once.
-  std::vector<double> name_norms_;
+  const corpus::TokenizedCorpus* tc_ = nullptr;
+  const ontology::Ontology* onto_ = nullptr;
+  const ContextAssignment* assignment_ = nullptr;
+  const PrestigeScores* prestige_ = nullptr;
+  /// Routing index, CSR keyed by vocabulary term: entry {ontology term,
+  /// name-vector weight}. Context selection only touches ontology terms
+  /// sharing a query word instead of scanning every name vector; scores
+  /// are bitwise identical to the dense cosine scan (same summation order,
+  /// precomputed identical norms). The per-vocabulary-term runs are sorted
+  /// by ascending ontology term.
+  VecOrSpan<uint64_t> routing_offsets_;  // vocabulary size + 1 entries.
+  VecOrSpan<text::SparseVector::Entry> routing_entries_;
+  /// Norm of each ontology term's name vector, precomputed once.
+  VecOrSpan<double> name_norms_;
   /// Per-term serving indexes (entry t covers assignment term t).
   std::vector<ContextIndex> context_index_;
   size_t index_postings_ = 0;

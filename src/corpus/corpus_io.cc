@@ -1,7 +1,7 @@
-#include <cstdlib>
 #include "corpus/corpus_io.h"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -30,14 +30,19 @@ std::string JoinIds(const std::vector<T>& ids) {
   return out;
 }
 
+// Strict unsigned parse: rejects signs, whitespace, garbage suffixes and
+// values that do not fit in T (strtoul silently accepted "-5" as a huge
+// wrapped value and truncated on the narrowing cast).
 template <typename T>
 Result<std::vector<T>> ParseIds(std::string_view s) {
   std::vector<T> out;
   for (const std::string& tok : SplitWhitespace(s)) {
-    char* end = nullptr;
-    const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
-    if (end == tok.c_str() || *end != '\0') {
+    uint64_t v = 0;
+    if (!ParseUint64(tok, &v)) {
       return Status::InvalidArgument("bad id token: " + tok);
+    }
+    if (v > std::numeric_limits<T>::max()) {
+      return Status::InvalidArgument("id out of range: " + tok);
     }
     out.push_back(static_cast<T>(v));
   }
@@ -88,9 +93,30 @@ Result<Corpus> LoadCorpus(const std::string& path) {
   size_t expected_papers = 0;
   Paper current;
   bool have_paper = false;
+  // Every saved paper carries exactly the seven record lines T A B I U R G;
+  // a missing one means the file was cut mid-paper.
+  uint32_t seen_records = 0;
+  constexpr uint32_t kAllRecords = 0x7f;
+  const auto record_bit = [](char tag) -> uint32_t {
+    switch (tag) {
+      case 'T': return 1u << 0;
+      case 'A': return 1u << 1;
+      case 'B': return 1u << 2;
+      case 'I': return 1u << 3;
+      case 'U': return 1u << 4;
+      case 'R': return 1u << 5;
+      case 'G': return 1u << 6;
+      default: return 0;
+    }
+  };
 
   auto flush = [&]() -> Status {
     if (!have_paper) return Status::OK();
+    if (seen_records != kAllRecords) {
+      return Status::InvalidArgument(
+          "paper " + std::to_string(current.id) +
+          " is missing record lines (truncated file?)");
+    }
     have_paper = false;
     return corpus.Add(std::move(current));
   };
@@ -117,6 +143,7 @@ Result<Corpus> LoadCorpus(const std::string& path) {
       current = Paper{};
       current.id = static_cast<PaperId>(parsed);
       have_paper = true;
+      seen_records = 0;
     } else if (StartsWith(lv, "evidence ")) {
       CTXRANK_RETURN_NOT_OK(flush());
       auto fields = SplitWhitespace(lv.substr(9));
@@ -125,7 +152,8 @@ Result<Corpus> LoadCorpus(const std::string& path) {
       }
       const auto term = static_cast<ontology::TermId>(parsed);
       for (size_t i = 1; i < fields.size(); ++i) {
-        if (!ParseUint64(fields[i], &parsed)) {
+        if (!ParseUint64(fields[i], &parsed) ||
+            (expected_papers > 0 && parsed >= expected_papers)) {
           return Status::InvalidArgument("bad evidence paper id");
         }
         corpus.AddEvidence(term, static_cast<PaperId>(parsed));
@@ -135,6 +163,7 @@ Result<Corpus> LoadCorpus(const std::string& path) {
       // A record line may have an empty payload ("R" for a paper with no
       // references) since trailing whitespace is trimmed.
       const std::string_view value = lv.size() >= 2 ? lv.substr(2) : "";
+      seen_records |= record_bit(lv[0]);
       switch (lv[0]) {
         case 'T': current.title = std::string(value); break;
         case 'A': current.abstract_text = std::string(value); break;

@@ -6,15 +6,27 @@ namespace ctxrank::corpus {
 
 TokenizedCorpus::TokenizedCorpus(const Corpus& corpus,
                                  text::AnalyzerOptions analyzer_options)
-    : corpus_(&corpus), analyzer_(analyzer_options) {
-  const size_t n = corpus.size();
-  sections_.resize(n);
-  for (PaperId p = 0; p < n; ++p) {
-    const Paper& paper = corpus.paper(p);
-    for (int s = 0; s < kNumTextSections; ++s) {
-      sections_[p][static_cast<size_t>(s)] = analyzer_.AnalyzeToIds(
-          paper.SectionText(static_cast<Section>(s)), vocab_);
+    : corpus_(&corpus), analyzer_(analyzer_options), num_papers_(corpus.size()) {
+  const size_t n = num_papers_;
+  // Analyze every section into one flat token array with a CSR offsets
+  // table (slot p * 4 + s). A paper's sections are adjacent, so AllTokens
+  // is a slice of the same array.
+  {
+    std::vector<uint64_t> offsets;
+    std::vector<text::TermId> tokens;
+    offsets.reserve(n * kNumTextSections + 1);
+    offsets.push_back(0);
+    for (PaperId p = 0; p < n; ++p) {
+      const Paper& paper = corpus.paper(p);
+      for (int s = 0; s < kNumTextSections; ++s) {
+        const std::vector<text::TermId> ids = analyzer_.AnalyzeToIds(
+            paper.SectionText(static_cast<Section>(s)), vocab_);
+        tokens.insert(tokens.end(), ids.begin(), ids.end());
+        offsets.push_back(tokens.size());
+      }
     }
+    section_offsets_.SetOwned(std::move(offsets));
+    tokens_.SetOwned(std::move(tokens));
   }
   // Fit TF-IDF over full papers.
   for (PaperId p = 0; p < n; ++p) {
@@ -26,68 +38,76 @@ TokenizedCorpus::TokenizedCorpus(const Corpus& corpus,
     full_vectors_.push_back(tfidf_.Transform(AllTokens(p)));
     for (int s = 0; s < kNumTextSections; ++s) {
       section_vectors_[p][static_cast<size_t>(s)] =
-          tfidf_.Transform(sections_[p][static_cast<size_t>(s)]);
+          tfidf_.Transform(SectionTokens(p, static_cast<Section>(s)));
     }
   }
-  // Per-section sorted unique token sets (phrase-match prefilter).
-  section_sets_.resize(n);
-  for (PaperId p = 0; p < n; ++p) {
-    for (int sec = 0; sec < kNumTextSections; ++sec) {
-      auto& set = section_sets_[p][static_cast<size_t>(sec)];
-      set = sections_[p][static_cast<size_t>(sec)];
-      std::sort(set.begin(), set.end());
-      set.erase(std::unique(set.begin(), set.end()), set.end());
+  // Per-section sorted unique token sets (phrase-match prefilter), same
+  // CSR slot scheme as the token array.
+  {
+    std::vector<uint64_t> offsets;
+    std::vector<text::TermId> set_tokens;
+    offsets.reserve(n * kNumTextSections + 1);
+    offsets.push_back(0);
+    std::vector<text::TermId> scratch;
+    for (PaperId p = 0; p < n; ++p) {
+      for (int s = 0; s < kNumTextSections; ++s) {
+        const std::span<const text::TermId> sec =
+            SectionTokens(p, static_cast<Section>(s));
+        scratch.assign(sec.begin(), sec.end());
+        std::sort(scratch.begin(), scratch.end());
+        scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                      scratch.end());
+        set_tokens.insert(set_tokens.end(), scratch.begin(), scratch.end());
+        offsets.push_back(set_tokens.size());
+      }
     }
+    set_offsets_.SetOwned(std::move(offsets));
+    set_tokens_.SetOwned(std::move(set_tokens));
   }
-  // Boolean postings over the concatenated text.
-  postings_.resize(vocab_.size());
-  for (PaperId p = 0; p < n; ++p) {
-    std::vector<text::TermId> unique = AllTokens(p);
-    std::sort(unique.begin(), unique.end());
-    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
-    for (text::TermId t : unique) postings_[t].push_back(p);
+  // Boolean postings over the concatenated text, flattened term-major.
+  {
+    std::vector<std::vector<PaperId>> lists(vocab_.size());
+    for (PaperId p = 0; p < n; ++p) {
+      const std::span<const text::TermId> all = AllTokens(p);
+      std::vector<text::TermId> unique(all.begin(), all.end());
+      std::sort(unique.begin(), unique.end());
+      unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+      for (text::TermId t : unique) lists[t].push_back(p);
+    }
+    std::vector<uint64_t> offsets;
+    std::vector<PaperId> papers;
+    offsets.reserve(lists.size() + 1);
+    offsets.push_back(0);
+    for (const auto& list : lists) {
+      papers.insert(papers.end(), list.begin(), list.end());
+      offsets.push_back(papers.size());
+    }
+    postings_offsets_.SetOwned(std::move(offsets));
+    postings_papers_.SetOwned(std::move(papers));
   }
-}
-
-std::vector<text::TermId> TokenizedCorpus::AllTokens(PaperId p) const {
-  std::vector<text::TermId> out;
-  size_t total = 0;
-  for (const auto& sec : sections_[p]) total += sec.size();
-  out.reserve(total);
-  for (const auto& sec : sections_[p]) {
-    out.insert(out.end(), sec.begin(), sec.end());
-  }
-  return out;
-}
-
-const std::vector<PaperId>& TokenizedCorpus::Postings(
-    text::TermId term) const {
-  static const auto& kEmpty = *new std::vector<PaperId>();
-  if (term >= postings_.size()) return kEmpty;
-  return postings_[term];
 }
 
 std::vector<PaperId> TokenizedCorpus::PapersContainingAll(
     const std::vector<text::TermId>& terms) const {
   if (terms.empty()) return {};
   // Intersect postings, rarest first.
-  std::vector<const std::vector<PaperId>*> lists;
+  std::vector<std::span<const PaperId>> lists;
   lists.reserve(terms.size());
-  for (text::TermId t : terms) lists.push_back(&Postings(t));
+  for (text::TermId t : terms) lists.push_back(Postings(t));
   std::sort(lists.begin(), lists.end(),
-            [](const auto* a, const auto* b) { return a->size() < b->size(); });
-  std::vector<PaperId> acc = *lists[0];
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  std::vector<PaperId> acc(lists[0].begin(), lists[0].end());
   for (size_t i = 1; i < lists.size() && !acc.empty(); ++i) {
     std::vector<PaperId> next;
-    std::set_intersection(acc.begin(), acc.end(), lists[i]->begin(),
-                          lists[i]->end(), std::back_inserter(next));
+    std::set_intersection(acc.begin(), acc.end(), lists[i].begin(),
+                          lists[i].end(), std::back_inserter(next));
     acc = std::move(next);
   }
   return acc;
 }
 
-bool ContainsPhrase(const std::vector<text::TermId>& tokens,
-                    const std::vector<text::TermId>& phrase) {
+bool ContainsPhrase(std::span<const text::TermId> tokens,
+                    std::span<const text::TermId> phrase) {
   if (phrase.empty() || tokens.size() < phrase.size()) return false;
   const size_t limit = tokens.size() - phrase.size();
   for (size_t i = 0; i <= limit; ++i) {
@@ -105,7 +125,7 @@ bool ContainsPhrase(const std::vector<text::TermId>& tokens,
 
 bool TokenizedCorpus::SectionContainsAllTerms(
     PaperId p, Section s, const std::vector<text::TermId>& terms) const {
-  const auto& set = section_sets_[p][static_cast<size_t>(s)];
+  const std::span<const text::TermId> set = SectionSet(p, s);
   for (text::TermId t : terms) {
     if (!std::binary_search(set.begin(), set.end(), t)) return false;
   }
@@ -114,7 +134,7 @@ bool TokenizedCorpus::SectionContainsAllTerms(
 
 bool TokenizedCorpus::SectionContainsPhrase(
     PaperId p, Section s, const std::vector<text::TermId>& phrase) const {
-  return ContainsPhrase(sections_[p][static_cast<size_t>(s)], phrase);
+  return ContainsPhrase(SectionTokens(p, s), phrase);
 }
 
 }  // namespace ctxrank::corpus

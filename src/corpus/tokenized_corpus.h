@@ -7,18 +7,32 @@
 #define CTXRANK_CORPUS_TOKENIZED_CORPUS_H_
 
 #include <array>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
+#include "common/array_view.h"
 #include "corpus/corpus.h"
 #include "text/analyzer.h"
 #include "text/sparse_vector.h"
 #include "text/tfidf.h"
 #include "text/vocabulary.h"
 
+namespace ctxrank::serve {
+struct SnapshotAccess;
+}  // namespace ctxrank::serve
+
 namespace ctxrank::corpus {
 
 /// \brief Analyzed corpus. Construction is the only mutating phase; all
 /// accessors are const and thread-safe afterwards.
+///
+/// All token/posting storage is a flat CSR layout (an offsets table into
+/// one contiguous id array) held through common::VecOrSpan — heap-owned
+/// when analyzed from a Corpus, mmap-backed when reconstructed from a
+/// serving snapshot (serve::SnapshotAccess). A snapshot-backed instance
+/// has no Corpus behind it: corpus() must not be called, and the
+/// per-section TF-IDF vectors (a preprocessing-only artifact) are absent.
 class TokenizedCorpus {
  public:
   /// Analyzes every section of every paper in `corpus`. The corpus must
@@ -30,33 +44,52 @@ class TokenizedCorpus {
   TokenizedCorpus(const TokenizedCorpus&) = delete;
   TokenizedCorpus& operator=(const TokenizedCorpus&) = delete;
 
+  /// The backing corpus; only valid for instances analyzed from one (not
+  /// for snapshot-backed instances, which serve queries without raw text).
   const Corpus& corpus() const { return *corpus_; }
+  bool has_corpus() const { return corpus_ != nullptr; }
   const text::Vocabulary& vocabulary() const { return vocab_; }
   const text::Analyzer& analyzer() const { return analyzer_; }
   const text::TfIdfModel& tfidf() const { return tfidf_; }
 
-  size_t size() const { return sections_.size(); }
+  size_t size() const { return num_papers_; }
 
   /// Term-id sequence for one section of one paper.
-  const std::vector<text::TermId>& SectionTokens(PaperId p, Section s) const {
-    return sections_[p][static_cast<size_t>(s)];
+  std::span<const text::TermId> SectionTokens(PaperId p, Section s) const {
+    const size_t slot =
+        static_cast<size_t>(p) * kNumTextSections + static_cast<size_t>(s);
+    return tokens_.span().subspan(section_offsets_[slot],
+                                  section_offsets_[slot + 1] -
+                                      section_offsets_[slot]);
   }
 
   /// All sections of `p` concatenated (title, abstract, body, index terms).
-  std::vector<text::TermId> AllTokens(PaperId p) const;
+  /// The sections are contiguous in storage, so this is a zero-copy view.
+  std::span<const text::TermId> AllTokens(PaperId p) const {
+    const size_t base = static_cast<size_t>(p) * kNumTextSections;
+    return tokens_.span().subspan(
+        section_offsets_[base],
+        section_offsets_[base + kNumTextSections] - section_offsets_[base]);
+  }
 
   /// Normalized TF-IDF vector over the whole paper (all sections).
   const text::SparseVector& FullVector(PaperId p) const {
     return full_vectors_[p];
   }
 
-  /// Normalized TF-IDF vector of one section.
+  /// Normalized TF-IDF vector of one section (absent on snapshot-backed
+  /// instances — a preprocessing-only artifact).
   const text::SparseVector& SectionVector(PaperId p, Section s) const {
     return section_vectors_[p][static_cast<size_t>(s)];
   }
 
   /// Papers whose concatenated text contains `term` (sorted, unique).
-  const std::vector<PaperId>& Postings(text::TermId term) const;
+  std::span<const PaperId> Postings(text::TermId term) const {
+    if (term + 1 >= postings_offsets_.size()) return {};
+    return postings_papers_.span().subspan(
+        postings_offsets_[term],
+        postings_offsets_[term + 1] - postings_offsets_[term]);
+  }
 
   /// Papers containing *all* of `terms` (bag semantics). Empty input
   /// yields an empty result.
@@ -75,24 +108,46 @@ class TokenizedCorpus {
                                const std::vector<text::TermId>& terms) const;
 
  private:
-  const Corpus* corpus_;
+  TokenizedCorpus() = default;  // Snapshot assembly (serve::SnapshotAccess).
+  friend struct ctxrank::serve::SnapshotAccess;
+
+  /// Sorted unique token ids of one section (phrase-match prefilter).
+  std::span<const text::TermId> SectionSet(PaperId p, Section s) const {
+    const size_t slot =
+        static_cast<size_t>(p) * kNumTextSections + static_cast<size_t>(s);
+    return set_tokens_.span().subspan(
+        set_offsets_[slot], set_offsets_[slot + 1] - set_offsets_[slot]);
+  }
+
+  const Corpus* corpus_ = nullptr;
   text::Analyzer analyzer_;
   text::Vocabulary vocab_;
   text::TfIdfModel tfidf_;
-  std::vector<std::array<std::vector<text::TermId>, kNumTextSections>>
-      sections_;
-  // Sorted unique token ids per section (prefilter for phrase matching).
-  std::vector<std::array<std::vector<text::TermId>, kNumTextSections>>
-      section_sets_;
+  size_t num_papers_ = 0;
+  /// Token CSR: slot p * 4 + s delimits section s of paper p; a paper's
+  /// four sections are contiguous, so AllTokens is a slice too.
+  VecOrSpan<uint64_t> section_offsets_;  // num_papers * 4 + 1 entries.
+  VecOrSpan<text::TermId> tokens_;
+  /// Sorted unique token ids per section, same slot scheme.
+  VecOrSpan<uint64_t> set_offsets_;
+  VecOrSpan<text::TermId> set_tokens_;
   std::vector<text::SparseVector> full_vectors_;
   std::vector<std::array<text::SparseVector, kNumTextSections>>
       section_vectors_;
-  std::vector<std::vector<PaperId>> postings_;  // Indexed by term id.
+  /// Boolean postings CSR, indexed by term id.
+  VecOrSpan<uint64_t> postings_offsets_;  // vocabulary size + 1 entries.
+  VecOrSpan<PaperId> postings_papers_;
 };
 
 /// True iff `phrase` occurs contiguously in `tokens`.
-bool ContainsPhrase(const std::vector<text::TermId>& tokens,
-                    const std::vector<text::TermId>& phrase);
+bool ContainsPhrase(std::span<const text::TermId> tokens,
+                    std::span<const text::TermId> phrase);
+inline bool ContainsPhrase(std::initializer_list<text::TermId> tokens,
+                           std::initializer_list<text::TermId> phrase) {
+  return ContainsPhrase(
+      std::span<const text::TermId>(tokens.begin(), tokens.size()),
+      std::span<const text::TermId>(phrase.begin(), phrase.size()));
+}
 
 }  // namespace ctxrank::corpus
 

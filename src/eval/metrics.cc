@@ -20,7 +20,7 @@ double Precision(const std::vector<PaperId>& results,
   return static_cast<double>(hits) / static_cast<double>(results.size());
 }
 
-std::vector<size_t> TopKWithTies(const std::vector<double>& scores,
+std::vector<size_t> TopKWithTies(std::span<const double> scores,
                                  size_t k) {
   std::vector<size_t> order(scores.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -37,8 +37,8 @@ std::vector<size_t> TopKWithTies(const std::vector<double>& scores,
   return order;
 }
 
-double TopKOverlapRatio(const std::vector<double>& scores1,
-                        const std::vector<double>& scores2, size_t k) {
+double TopKOverlapRatio(std::span<const double> scores1,
+                        std::span<const double> scores2, size_t k) {
   if (k == 0 || scores1.empty() || scores1.size() != scores2.size()) {
     return 0.0;
   }
@@ -78,13 +78,13 @@ double SeparabilitySd(const std::vector<double>& scores, size_t ranges) {
   return std::sqrt(acc / static_cast<double>(ranges));
 }
 
-double NormalizedSeparabilitySd(const std::vector<double>& scores,
+double NormalizedSeparabilitySd(std::span<const double> scores,
                                 size_t ranges) {
   // Robust [0,1] mapping: the span is [min, 95th percentile] with the top
   // tail clamped to 1. A plain min-max would let a single outlier (a
   // representative's self-similarity, a citation hub) crush the whole
   // distribution into the first range and saturate the SD.
-  std::vector<double> copy(scores);
+  std::vector<double> copy(scores.begin(), scores.end());
   if (copy.empty()) return 0.0;
   std::vector<double> sorted(copy);
   std::sort(sorted.begin(), sorted.end());
@@ -101,8 +101,8 @@ double NormalizedSeparabilitySd(const std::vector<double>& scores,
   return SeparabilitySd(copy, ranges);
 }
 
-size_t UniqueScoreCount(const std::vector<double>& scores, double epsilon) {
-  std::vector<double> sorted(scores);
+size_t UniqueScoreCount(std::span<const double> scores, double epsilon) {
+  std::vector<double> sorted(scores.begin(), scores.end());
   std::sort(sorted.begin(), sorted.end());
   size_t unique = 0;
   for (size_t i = 0; i < sorted.size(); ++i) {

@@ -6,6 +6,8 @@
 #define CTXRANK_EVAL_METRICS_H_
 
 #include <cstddef>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "corpus/paper.h"
@@ -28,11 +30,25 @@ double Precision(const std::vector<PaperId>& results,
 /// experiments use k = ceil(k% * context size)). Tie rule: every paper
 /// tying the k-th score enters the top set, and the denominator becomes
 /// min(|top1|, |top2|) when either set exceeds k.
-double TopKOverlapRatio(const std::vector<double>& scores1,
-                        const std::vector<double>& scores2, size_t k);
+double TopKOverlapRatio(std::span<const double> scores1,
+                        std::span<const double> scores2, size_t k);
+inline double TopKOverlapRatio(std::initializer_list<double> scores1,
+                               std::initializer_list<double> scores2,
+                               size_t k) {
+  return TopKOverlapRatio(std::span<const double>(scores1.begin(),
+                                                  scores1.size()),
+                          std::span<const double>(scores2.begin(),
+                                                  scores2.size()),
+                          k);
+}
 
 /// Indices of the top-k scores including all ties with the k-th value.
-std::vector<size_t> TopKWithTies(const std::vector<double>& scores, size_t k);
+std::vector<size_t> TopKWithTies(std::span<const double> scores, size_t k);
+inline std::vector<size_t> TopKWithTies(std::initializer_list<double> scores,
+                                        size_t k) {
+  return TopKWithTies(std::span<const double>(scores.begin(), scores.size()),
+                      k);
+}
 
 /// Separability standard deviation (paper §5.2): scores (already min-max
 /// normalized to [0,1]) are divided into `ranges` equal ranges; the SD of
@@ -44,13 +60,19 @@ double SeparabilitySd(const std::vector<double>& scores, size_t ranges = 10);
 /// SeparabilitySd over a min-max normalized copy of `scores` — the §5.2
 /// analysis view ("assume papers in every context receive scores between
 /// [0, 1]") applied to raw prestige scores.
-double NormalizedSeparabilitySd(const std::vector<double>& scores,
+double NormalizedSeparabilitySd(std::span<const double> scores,
                                 size_t ranges = 10);
 
 /// Number of distinct score values (PageRank on sparse subgraphs produces
 /// few; the paper's §5.2 explanation for poor citation separability).
-size_t UniqueScoreCount(const std::vector<double>& scores,
+size_t UniqueScoreCount(std::span<const double> scores,
                         double epsilon = 1e-12);
+inline size_t UniqueScoreCount(std::initializer_list<double> scores,
+                               double epsilon = 1e-12) {
+  return UniqueScoreCount(std::span<const double>(scores.begin(),
+                                                  scores.size()),
+                          epsilon);
+}
 
 }  // namespace ctxrank::eval
 

@@ -87,8 +87,8 @@ std::vector<PaperId> CitationGraph::ReachableWithin(
 }
 
 InducedSubgraph::InducedSubgraph(const CitationGraph& graph,
-                                 const std::vector<PaperId>& members)
-    : members_(members) {
+                                 std::span<const PaperId> members)
+    : members_(members.begin(), members.end()) {
   std::sort(members_.begin(), members_.end());
   std::unordered_map<PaperId, uint32_t> local;
   local.reserve(members_.size());

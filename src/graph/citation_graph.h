@@ -7,6 +7,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "corpus/corpus.h"
@@ -68,7 +70,11 @@ class InducedSubgraph {
  public:
   /// `members` must be duplicate-free.
   InducedSubgraph(const CitationGraph& graph,
-                  const std::vector<PaperId>& members);
+                  std::span<const PaperId> members);
+  InducedSubgraph(const CitationGraph& graph,
+                  std::initializer_list<PaperId> members)
+      : InducedSubgraph(graph, std::span<const PaperId>(members.begin(),
+                                                        members.size())) {}
 
   size_t size() const { return members_.size(); }
   const std::vector<PaperId>& members() const { return members_; }

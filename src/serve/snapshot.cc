@@ -1,0 +1,1052 @@
+#include "serve/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <functional>
+#include <numeric>
+#include <type_traits>
+#include <utility>
+
+#include "common/endian.h"
+#include "common/thread_pool.h"
+#include "eval/experiment.h"
+
+namespace ctxrank::serve {
+namespace {
+
+// Section kinds. Values are part of the on-disk format: never renumber,
+// only append.
+enum class SectionKind : uint32_t {
+  kMeta = 0,
+  kVocabBlob = 1,
+  kVocabOffsets = 2,
+  kVocabSorted = 3,
+  kTfIdfDf = 4,
+  kTokenOffsets = 5,
+  kTokens = 6,
+  kSetOffsets = 7,
+  kSetTokens = 8,
+  kPostingsOffsets = 9,
+  kPostingsPapers = 10,
+  kForwardOffsets = 11,
+  kForwardEntries = 12,
+  kMembersOffsets = 13,
+  kMembers = 14,
+  kContextsOffsets = 15,
+  kContexts = 16,
+  kRepresentatives = 17,
+  kInheritedFrom = 18,
+  kDecay = 19,
+  kPrestigeOffsets = 20,
+  kPrestigeValues = 21,
+  kRoutingOffsets = 22,
+  kRoutingEntries = 23,
+  kNameNorms = 24,
+  kCiBuilt = 25,
+  kCiMaxPrestige = 26,
+  kCiMinNorm = 27,
+  kCiTermOffsetsOuter = 28,
+  kCiTermOffsets = 29,
+  kCiDocsOuter = 30,
+  kCiNorms = 31,
+  kCiByPrestige = 32,
+  kCiPostings = 33,
+  kOntoAccessionBlob = 34,
+  kOntoAccessionOffsets = 35,
+  kOntoNameBlob = 36,
+  kOntoNameOffsets = 37,
+  kOntoParentsOffsets = 38,
+  kOntoParents = 39,
+  kTitleBlob = 40,
+  kTitleOffsets = 41,
+};
+
+constexpr size_t kHeaderBytes = 32;       // magic + version + endian + n + size
+constexpr size_t kTableEntryBytes = 40;   // kind + pad + offset + size + count
+                                          // + checksum
+
+// Meta section: 12 little-endian u64 slots.
+constexpr size_t kMetaWords = 12;
+constexpr size_t kMetaNumPapers = 0;
+constexpr size_t kMetaVocabSize = 1;
+constexpr size_t kMetaOntoTerms = 2;
+constexpr size_t kMetaAssignmentTerms = 3;
+constexpr size_t kMetaTfIdfDocs = 4;
+constexpr size_t kMetaIndexPostings = 5;
+constexpr size_t kMetaMaxIndexedMembers = 6;
+constexpr size_t kMetaMinTokenLength = 7;
+constexpr size_t kMetaFlags = 8;
+constexpr size_t kMetaHasTitles = 9;
+// Slots 10, 11 reserved (written as 0).
+constexpr uint64_t kFlagDropNumeric = 1u << 0;
+constexpr uint64_t kFlagLowercase = 1u << 1;
+constexpr uint64_t kFlagRemoveStopwords = 1u << 2;
+constexpr uint64_t kFlagStem = 1u << 3;
+
+size_t AlignUp(size_t v, size_t align) {
+  return (v + align - 1) / align * align;
+}
+
+/// Serializes a plain little-endian numeric array by copy. Only valid for
+/// padding-free scalar types on a little-endian host (the save path is
+/// gated on HostIsLittleEndian()).
+template <typename T>
+std::string RawBytes(std::span<const T> s) {
+  static_assert(std::is_arithmetic_v<T>);
+  std::string out(s.size_bytes(), '\0');
+  if (!s.empty()) std::memcpy(out.data(), s.data(), s.size_bytes());
+  return out;
+}
+
+/// One 16-byte record: u32 id, 4 bytes of zero padding, f64 weight. The
+/// padding is written explicitly so section bytes (and checksums) never
+/// depend on uninitialized struct padding.
+void AppendRecord(std::string& out, uint32_t id, double weight) {
+  char buf[16] = {};
+  StoreLE32(buf, id);
+  StoreLEDouble(buf + 8, weight);
+  out.append(buf, sizeof(buf));
+}
+
+std::string EntryRecords(std::span<const text::SparseVector::Entry> entries) {
+  std::string out;
+  out.reserve(entries.size() * 16);
+  for (const auto& e : entries) AppendRecord(out, e.term, e.weight);
+  return out;
+}
+
+std::string PostingRecords(
+    std::span<const text::ImpactOrderedIndex::Posting> postings) {
+  std::string out;
+  out.reserve(postings.size() * 16);
+  for (const auto& p : postings) AppendRecord(out, p.doc, p.weight);
+  return out;
+}
+
+struct SectionPlan {
+  SectionKind kind;
+  uint64_t count = 0;  // Element count (record count for record sections).
+  std::function<std::string()> build;
+};
+
+struct SectionBlob {
+  SectionKind kind;
+  uint64_t count = 0;
+  uint64_t offset = 0;
+  uint64_t checksum = 0;
+  std::string payload;
+};
+
+Status WriteAt(int fd, const char* data, size_t size, uint64_t offset,
+               const std::string& path) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::pwrite(fd, data + done, size - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write failed for '" + path +
+                             "': " + std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// A parsed section-table entry pointing into the mapping.
+struct SectionView {
+  const char* data = nullptr;
+  uint64_t size = 0;
+  uint64_t count = 0;
+  bool present = false;
+};
+
+class SectionMap {
+ public:
+  void Add(uint32_t kind, SectionView view) {
+    if (kind >= views_.size()) views_.resize(kind + 1);
+    views_[kind] = view;
+  }
+
+  const SectionView* Find(SectionKind kind) const {
+    const size_t k = static_cast<size_t>(kind);
+    if (k >= views_.size() || !views_[k].present) return nullptr;
+    return &views_[k];
+  }
+
+  /// Typed view of a required section; checks presence, element size and
+  /// alignment, and (when `expected_count` >= 0) the element count.
+  template <typename T>
+  Result<std::span<const T>> Span(SectionKind kind,
+                                  int64_t expected_count = -1) const {
+    const SectionView* v = Find(kind);
+    if (v == nullptr) {
+      return Status::InvalidArgument(
+          "snapshot: missing section " +
+          std::to_string(static_cast<uint32_t>(kind)));
+    }
+    if (v->size != v->count * sizeof(T)) {
+      return Status::InvalidArgument(
+          "snapshot: section " + std::to_string(static_cast<uint32_t>(kind)) +
+          " byte size " + std::to_string(v->size) +
+          " does not match count " + std::to_string(v->count));
+    }
+    if (reinterpret_cast<uintptr_t>(v->data) % alignof(T) != 0) {
+      return Status::InvalidArgument(
+          "snapshot: section " + std::to_string(static_cast<uint32_t>(kind)) +
+          " is misaligned");
+    }
+    if (expected_count >= 0 &&
+        v->count != static_cast<uint64_t>(expected_count)) {
+      return Status::InvalidArgument(
+          "snapshot: section " + std::to_string(static_cast<uint32_t>(kind)) +
+          " has " + std::to_string(v->count) + " elements, expected " +
+          std::to_string(expected_count));
+    }
+    return std::span<const T>(reinterpret_cast<const T*>(v->data), v->count);
+  }
+
+ private:
+  std::vector<SectionView> views_;
+};
+
+/// Prefix-sum offsets (n + 1 entries) for a per-item size callback.
+template <typename SizeFn>
+std::vector<uint64_t> PrefixOffsets(size_t n, SizeFn size_of) {
+  std::vector<uint64_t> offsets;
+  offsets.reserve(n + 1);
+  offsets.push_back(0);
+  for (size_t i = 0; i < n; ++i) {
+    offsets.push_back(offsets.back() + size_of(i));
+  }
+  return offsets;
+}
+
+}  // namespace
+
+Status SnapshotAccess::Save(const SnapshotInputs& in, const std::string& path,
+                            size_t num_threads) {
+  if (in.tc == nullptr || in.onto == nullptr || in.assignment == nullptr ||
+      in.prestige == nullptr || in.engine == nullptr) {
+    return Status::InvalidArgument(
+        "SaveSnapshot: tc, onto, assignment, prestige and engine are all "
+        "required");
+  }
+  if (!HostIsLittleEndian()) {
+    return Status::FailedPrecondition(
+        "SaveSnapshot requires a little-endian host (the format stores "
+        "little-endian arrays for zero-copy loading)");
+  }
+  const corpus::TokenizedCorpus& tc = *in.tc;
+  const ontology::Ontology& onto = *in.onto;
+  const context::ContextAssignment& assignment = *in.assignment;
+  const context::PrestigeScores& prestige = *in.prestige;
+  const context::ContextSearchEngine& engine = *in.engine;
+
+  const size_t num_papers = tc.size();
+  const size_t vocab_size = tc.vocabulary().size();
+  const size_t num_terms = assignment.num_terms();
+  const text::AnalyzerOptions& aopt = tc.analyzer().options();
+
+  // Per-context impact-index postings are concatenated into one global
+  // array; each context's offsets are rebased by its start so they become
+  // absolute positions (ImpactOrderedIndex::FromView serves them as-is).
+  std::vector<uint64_t> ci_bases(num_terms, 0);
+  uint64_t ci_total_postings = 0;
+  uint64_t ci_total_offsets = 0;
+  uint64_t ci_total_docs = 0;
+  for (size_t t = 0; t < num_terms; ++t) {
+    const auto& ci = engine.context_index_[t];
+    if (!ci.built) continue;
+    ci_bases[t] = ci_total_postings;
+    ci_total_postings += ci.index.postings_span().size();
+    ci_total_offsets += ci.index.offsets_span().size();
+    ci_total_docs += ci.index.norms_span().size();
+  }
+
+  std::vector<SectionPlan> plans;
+  plans.reserve(48);
+  const auto add = [&plans](SectionKind kind, uint64_t count,
+                            std::function<std::string()> build) {
+    plans.push_back({kind, count, std::move(build)});
+  };
+
+  add(SectionKind::kMeta, kMetaWords, [&] {
+    uint64_t words[kMetaWords] = {};
+    words[kMetaNumPapers] = num_papers;
+    words[kMetaVocabSize] = vocab_size;
+    words[kMetaOntoTerms] = onto.size();
+    words[kMetaAssignmentTerms] = num_terms;
+    words[kMetaTfIdfDocs] = tc.tfidf().num_documents();
+    words[kMetaIndexPostings] = engine.index_postings_;
+    words[kMetaMaxIndexedMembers] = engine.max_indexed_members_;
+    words[kMetaMinTokenLength] = aopt.tokenizer.min_token_length;
+    words[kMetaFlags] = (aopt.tokenizer.drop_numeric ? kFlagDropNumeric : 0) |
+                        (aopt.tokenizer.lowercase ? kFlagLowercase : 0) |
+                        (aopt.remove_stopwords ? kFlagRemoveStopwords : 0) |
+                        (aopt.stem ? kFlagStem : 0);
+    words[kMetaHasTitles] = in.corpus != nullptr ? 1 : 0;
+    std::string out;
+    out.reserve(sizeof(words));
+    for (uint64_t w : words) AppendLE64(out, w);
+    return out;
+  });
+
+  // --- vocabulary ---
+  add(SectionKind::kVocabBlob, 0, [&] {
+    std::string blob;
+    for (text::TermId t = 0; t < vocab_size; ++t) {
+      blob.append(tc.vocabulary().term(t));
+    }
+    return blob;
+  });
+  add(SectionKind::kVocabOffsets, vocab_size + 1, [&] {
+    const auto offsets = PrefixOffsets(vocab_size, [&](size_t t) {
+      return tc.vocabulary().term(static_cast<text::TermId>(t)).size();
+    });
+    return RawBytes<uint64_t>(offsets);
+  });
+  add(SectionKind::kVocabSorted, vocab_size, [&] {
+    std::vector<text::TermId> sorted(vocab_size);
+    std::iota(sorted.begin(), sorted.end(), 0u);
+    std::sort(sorted.begin(), sorted.end(),
+              [&](text::TermId a, text::TermId b) {
+                return tc.vocabulary().term(a) < tc.vocabulary().term(b);
+              });
+    return RawBytes<text::TermId>(sorted);
+  });
+  add(SectionKind::kTfIdfDf, vocab_size, [&] {
+    std::vector<uint32_t> df(vocab_size);
+    for (text::TermId t = 0; t < vocab_size; ++t) {
+      df[t] = static_cast<uint32_t>(tc.tfidf().DocumentFrequency(t));
+    }
+    return RawBytes<uint32_t>(df);
+  });
+
+  // --- analyzed sections (already flat CSR inside TokenizedCorpus) ---
+  add(SectionKind::kTokenOffsets, tc.section_offsets_.size(),
+      [&] { return RawBytes(tc.section_offsets_.span()); });
+  add(SectionKind::kTokens, tc.tokens_.size(),
+      [&] { return RawBytes(tc.tokens_.span()); });
+  add(SectionKind::kSetOffsets, tc.set_offsets_.size(),
+      [&] { return RawBytes(tc.set_offsets_.span()); });
+  add(SectionKind::kSetTokens, tc.set_tokens_.size(),
+      [&] { return RawBytes(tc.set_tokens_.span()); });
+  add(SectionKind::kPostingsOffsets, tc.postings_offsets_.size(),
+      [&] { return RawBytes(tc.postings_offsets_.span()); });
+  add(SectionKind::kPostingsPapers, tc.postings_papers_.size(),
+      [&] { return RawBytes(tc.postings_papers_.span()); });
+
+  // --- forward TF-IDF vectors ---
+  uint64_t forward_entries = 0;
+  for (size_t p = 0; p < num_papers; ++p) {
+    forward_entries += tc.full_vectors_[p].nnz();
+  }
+  add(SectionKind::kForwardOffsets, num_papers + 1, [&] {
+    const auto offsets = PrefixOffsets(
+        num_papers, [&](size_t p) { return tc.full_vectors_[p].nnz(); });
+    return RawBytes<uint64_t>(offsets);
+  });
+  add(SectionKind::kForwardEntries, forward_entries, [&] {
+    std::string out;
+    out.reserve(forward_entries * 16);
+    for (size_t p = 0; p < num_papers; ++p) {
+      for (const auto& e : tc.full_vectors_[p].entries()) {
+        AppendRecord(out, e.term, e.weight);
+      }
+    }
+    return out;
+  });
+
+  // --- assignment ---
+  uint64_t members_total = 0;
+  for (size_t t = 0; t < num_terms; ++t) {
+    members_total += assignment.Members(static_cast<ontology::TermId>(t)).size();
+  }
+  add(SectionKind::kMembersOffsets, num_terms + 1, [&] {
+    const auto offsets = PrefixOffsets(num_terms, [&](size_t t) {
+      return assignment.Members(static_cast<ontology::TermId>(t)).size();
+    });
+    return RawBytes<uint64_t>(offsets);
+  });
+  add(SectionKind::kMembers, members_total, [&] {
+    std::string out;
+    out.reserve(members_total * sizeof(corpus::PaperId));
+    for (size_t t = 0; t < num_terms; ++t) {
+      out += RawBytes(assignment.Members(static_cast<ontology::TermId>(t)));
+    }
+    return out;
+  });
+  const size_t num_assignment_papers = assignment.num_papers();
+  uint64_t contexts_total = 0;
+  for (size_t p = 0; p < num_assignment_papers; ++p) {
+    contexts_total +=
+        assignment.ContextsOf(static_cast<corpus::PaperId>(p)).size();
+  }
+  add(SectionKind::kContextsOffsets, num_assignment_papers + 1, [&] {
+    const auto offsets = PrefixOffsets(num_assignment_papers, [&](size_t p) {
+      return assignment.ContextsOf(static_cast<corpus::PaperId>(p)).size();
+    });
+    return RawBytes<uint64_t>(offsets);
+  });
+  add(SectionKind::kContexts, contexts_total, [&] {
+    std::string out;
+    out.reserve(contexts_total * sizeof(ontology::TermId));
+    for (size_t p = 0; p < num_assignment_papers; ++p) {
+      out += RawBytes(assignment.ContextsOf(static_cast<corpus::PaperId>(p)));
+    }
+    return out;
+  });
+  add(SectionKind::kRepresentatives, num_terms, [&] {
+    std::vector<corpus::PaperId> reps(num_terms);
+    for (size_t t = 0; t < num_terms; ++t) {
+      reps[t] = assignment.Representative(static_cast<ontology::TermId>(t));
+    }
+    return RawBytes<corpus::PaperId>(reps);
+  });
+  add(SectionKind::kInheritedFrom, num_terms, [&] {
+    std::vector<ontology::TermId> inh(num_terms);
+    for (size_t t = 0; t < num_terms; ++t) {
+      inh[t] = assignment.InheritedFrom(static_cast<ontology::TermId>(t));
+    }
+    return RawBytes<ontology::TermId>(inh);
+  });
+  add(SectionKind::kDecay, num_terms, [&] {
+    std::vector<double> decay(num_terms);
+    for (size_t t = 0; t < num_terms; ++t) {
+      decay[t] = assignment.DecayFactor(static_cast<ontology::TermId>(t));
+    }
+    return RawBytes<double>(decay);
+  });
+
+  // --- prestige (CSR aligned with the members CSR) ---
+  uint64_t prestige_total = 0;
+  for (size_t t = 0; t < num_terms; ++t) {
+    prestige_total += prestige.Scores(static_cast<ontology::TermId>(t)).size();
+  }
+  add(SectionKind::kPrestigeOffsets, num_terms + 1, [&] {
+    const auto offsets = PrefixOffsets(num_terms, [&](size_t t) {
+      return prestige.Scores(static_cast<ontology::TermId>(t)).size();
+    });
+    return RawBytes<uint64_t>(offsets);
+  });
+  add(SectionKind::kPrestigeValues, prestige_total, [&] {
+    std::string out;
+    out.reserve(prestige_total * sizeof(double));
+    for (size_t t = 0; t < num_terms; ++t) {
+      out += RawBytes(prestige.Scores(static_cast<ontology::TermId>(t)));
+    }
+    return out;
+  });
+
+  // --- context routing index ---
+  add(SectionKind::kRoutingOffsets, engine.routing_offsets_.size(),
+      [&] { return RawBytes(engine.routing_offsets_.span()); });
+  add(SectionKind::kRoutingEntries, engine.routing_entries_.size(),
+      [&] { return EntryRecords(engine.routing_entries_.span()); });
+  add(SectionKind::kNameNorms, engine.name_norms_.size(),
+      [&] { return RawBytes(engine.name_norms_.span()); });
+
+  // --- per-context impact-ordered indexes ---
+  add(SectionKind::kCiBuilt, num_terms, [&] {
+    std::string out(num_terms, '\0');
+    for (size_t t = 0; t < num_terms; ++t) {
+      out[t] = engine.context_index_[t].built ? 1 : 0;
+    }
+    return out;
+  });
+  add(SectionKind::kCiMaxPrestige, num_terms, [&] {
+    std::vector<double> v(num_terms, 0.0);
+    for (size_t t = 0; t < num_terms; ++t) {
+      v[t] = engine.context_index_[t].max_prestige;
+    }
+    return RawBytes<double>(v);
+  });
+  add(SectionKind::kCiMinNorm, num_terms, [&] {
+    std::vector<double> v(num_terms, 1.0);
+    for (size_t t = 0; t < num_terms; ++t) {
+      if (engine.context_index_[t].built) {
+        v[t] = engine.context_index_[t].index.min_positive_norm();
+      }
+    }
+    return RawBytes<double>(v);
+  });
+  add(SectionKind::kCiTermOffsetsOuter, num_terms + 1, [&] {
+    const auto offsets = PrefixOffsets(num_terms, [&](size_t t) -> size_t {
+      const auto& ci = engine.context_index_[t];
+      return ci.built ? ci.index.offsets_span().size() : 0;
+    });
+    return RawBytes<uint64_t>(offsets);
+  });
+  add(SectionKind::kCiTermOffsets, ci_total_offsets, [&] {
+    std::string out;
+    out.reserve(ci_total_offsets * sizeof(uint64_t));
+    std::vector<uint64_t> rebased;
+    for (size_t t = 0; t < num_terms; ++t) {
+      const auto& ci = engine.context_index_[t];
+      if (!ci.built) continue;
+      const auto local = ci.index.offsets_span();
+      rebased.assign(local.begin(), local.end());
+      for (uint64_t& o : rebased) o += ci_bases[t];
+      out += RawBytes<uint64_t>(rebased);
+    }
+    return out;
+  });
+  add(SectionKind::kCiDocsOuter, num_terms + 1, [&] {
+    const auto offsets = PrefixOffsets(num_terms, [&](size_t t) -> size_t {
+      const auto& ci = engine.context_index_[t];
+      return ci.built ? ci.index.norms_span().size() : 0;
+    });
+    return RawBytes<uint64_t>(offsets);
+  });
+  add(SectionKind::kCiNorms, ci_total_docs, [&] {
+    std::string out;
+    out.reserve(ci_total_docs * sizeof(double));
+    for (size_t t = 0; t < num_terms; ++t) {
+      const auto& ci = engine.context_index_[t];
+      if (ci.built) out += RawBytes(ci.index.norms_span());
+    }
+    return out;
+  });
+  add(SectionKind::kCiByPrestige, ci_total_docs, [&] {
+    std::string out;
+    out.reserve(ci_total_docs * sizeof(uint32_t));
+    for (size_t t = 0; t < num_terms; ++t) {
+      const auto& ci = engine.context_index_[t];
+      if (ci.built) out += RawBytes(ci.by_prestige.span());
+    }
+    return out;
+  });
+  add(SectionKind::kCiPostings, ci_total_postings, [&] {
+    std::string out;
+    out.reserve(ci_total_postings * 16);
+    for (size_t t = 0; t < num_terms; ++t) {
+      const auto& ci = engine.context_index_[t];
+      if (ci.built) out += PostingRecords(ci.index.postings_span());
+    }
+    return out;
+  });
+
+  // --- ontology (tiny; rebuilt on the heap at load) ---
+  add(SectionKind::kOntoAccessionBlob, 0, [&] {
+    std::string blob;
+    for (const auto& term : onto.terms()) blob += term.accession;
+    return blob;
+  });
+  add(SectionKind::kOntoAccessionOffsets, onto.size() + 1, [&] {
+    const auto offsets = PrefixOffsets(
+        onto.size(), [&](size_t t) { return onto.terms()[t].accession.size(); });
+    return RawBytes<uint64_t>(offsets);
+  });
+  add(SectionKind::kOntoNameBlob, 0, [&] {
+    std::string blob;
+    for (const auto& term : onto.terms()) blob += term.name;
+    return blob;
+  });
+  add(SectionKind::kOntoNameOffsets, onto.size() + 1, [&] {
+    const auto offsets = PrefixOffsets(
+        onto.size(), [&](size_t t) { return onto.terms()[t].name.size(); });
+    return RawBytes<uint64_t>(offsets);
+  });
+  uint64_t parents_total = 0;
+  for (const auto& term : onto.terms()) parents_total += term.parents.size();
+  add(SectionKind::kOntoParentsOffsets, onto.size() + 1, [&] {
+    const auto offsets = PrefixOffsets(
+        onto.size(), [&](size_t t) { return onto.terms()[t].parents.size(); });
+    return RawBytes<uint64_t>(offsets);
+  });
+  add(SectionKind::kOntoParents, parents_total, [&] {
+    std::string out;
+    out.reserve(parents_total * sizeof(ontology::TermId));
+    for (const auto& term : onto.terms()) {
+      out += RawBytes<ontology::TermId>(term.parents);
+    }
+    return out;
+  });
+
+  // --- titles (optional; needs the raw corpus) ---
+  if (in.corpus != nullptr) {
+    const corpus::Corpus& corpus = *in.corpus;
+    add(SectionKind::kTitleBlob, 0, [&corpus, num_papers] {
+      std::string blob;
+      for (size_t p = 0; p < num_papers; ++p) {
+        blob += corpus.paper(static_cast<corpus::PaperId>(p)).title;
+      }
+      return blob;
+    });
+    add(SectionKind::kTitleOffsets, num_papers + 1, [&corpus, num_papers] {
+      const auto offsets = PrefixOffsets(num_papers, [&corpus](size_t p) {
+        return corpus.paper(static_cast<corpus::PaperId>(p)).title.size();
+      });
+      return RawBytes<uint64_t>(offsets);
+    });
+  }
+
+  // Serialize and checksum every section in parallel.
+  std::vector<SectionBlob> sections(plans.size());
+  ParallelFor(
+      plans.size(),
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          sections[i].kind = plans[i].kind;
+          sections[i].payload = plans[i].build();
+          sections[i].count = plans[i].count != 0 || sections[i].payload.empty()
+                                  ? plans[i].count
+                                  : sections[i].payload.size();
+          sections[i].checksum =
+              Fnv1a64(sections[i].payload.data(), sections[i].payload.size());
+        }
+      },
+      {.num_threads = num_threads, .grain = 1});
+
+  // Layout: header, table, then 64-byte-aligned sections.
+  uint64_t cursor = AlignUp(kHeaderBytes + sections.size() * kTableEntryBytes,
+                            kSnapshotAlignment);
+  for (SectionBlob& s : sections) {
+    s.offset = cursor;
+    cursor = AlignUp(cursor + s.payload.size(), kSnapshotAlignment);
+  }
+  const uint64_t total_size = cursor;
+
+  std::string header;
+  header.reserve(kHeaderBytes + sections.size() * kTableEntryBytes);
+  header.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  AppendLE32(header, kSnapshotVersion);
+  AppendLE32(header, kSnapshotEndianMarker);
+  AppendLE64(header, sections.size());
+  AppendLE64(header, total_size);
+  for (const SectionBlob& s : sections) {
+    AppendLE32(header, static_cast<uint32_t>(s.kind));
+    AppendLE32(header, 0);  // Reserved.
+    AppendLE64(header, s.offset);
+    AppendLE64(header, s.payload.size());
+    AppendLE64(header, s.count);
+    AppendLE64(header, s.checksum);
+  }
+
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot create '" + path +
+                           "': " + std::strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(total_size)) != 0) {
+    const Status st = Status::IoError("cannot size '" + path +
+                                      "': " + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  // Write sections in parallel (pwrite is position-independent), then the
+  // header last so a torn save never carries a valid magic + table.
+  std::vector<Status> errors(sections.size());
+  ParallelFor(
+      sections.size(),
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          errors[i] = WriteAt(fd, sections[i].payload.data(),
+                              sections[i].payload.size(), sections[i].offset,
+                              path);
+        }
+      },
+      {.num_threads = num_threads, .grain = 1});
+  for (const Status& st : errors) {
+    if (!st.ok()) {
+      ::close(fd);
+      return st;
+    }
+  }
+  const Status header_status = WriteAt(fd, header.data(), header.size(), 0,
+                                       path);
+  if (!header_status.ok()) {
+    ::close(fd);
+    return header_status;
+  }
+  ::fsync(fd);
+  ::close(fd);
+  return Status::OK();
+}
+
+Status SaveSnapshot(const SnapshotInputs& inputs, const std::string& path,
+                    size_t num_threads) {
+  return SnapshotAccess::Save(inputs, path, num_threads);
+}
+
+Status SaveSnapshot(const eval::World& world,
+                    const context::ContextSearchEngine& engine,
+                    const std::string& path, size_t num_threads) {
+  SnapshotInputs inputs;
+  inputs.tc = &world.tc();
+  inputs.onto = &world.onto();
+  inputs.assignment = &world.text_set();
+  inputs.prestige = &world.text_set_text_scores();
+  inputs.engine = &engine;
+  inputs.corpus = &world.corpus();
+  return SaveSnapshot(inputs, path, num_threads);
+}
+
+Result<std::unique_ptr<ServingSnapshot>> SnapshotAccess::Load(
+    const std::string& path, size_t num_threads) {
+  if (!HostIsLittleEndian()) {
+    return Status::FailedPrecondition(
+        "snapshot loading requires a little-endian host");
+  }
+  auto mapped = MmapFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  std::unique_ptr<ServingSnapshot> snap(new ServingSnapshot());
+  snap->file_ = std::move(mapped).value();
+  const char* base = snap->file_.data();
+  const uint64_t file_size = snap->file_.size();
+
+  if (file_size < kHeaderBytes) {
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "': file too small for a header (" +
+                                   std::to_string(file_size) + " bytes)");
+  }
+  if (std::memcmp(base, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "': bad magic (not a ctxrank snapshot)");
+  }
+  const uint32_t version = LoadLE32(base + 8);
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "': format version " + std::to_string(version) +
+        " is not supported (expected " + std::to_string(kSnapshotVersion) +
+        ")");
+  }
+  const uint32_t endian = LoadLE32(base + 12);
+  if (endian != kSnapshotEndianMarker) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "': endianness marker mismatch");
+  }
+  const uint64_t num_sections = LoadLE64(base + 16);
+  const uint64_t declared_size = LoadLE64(base + 24);
+  if (declared_size != file_size) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "': declared size " +
+        std::to_string(declared_size) + " does not match file size " +
+        std::to_string(file_size) + " (truncated or padded file)");
+  }
+  if (kHeaderBytes + num_sections * kTableEntryBytes > file_size) {
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "': section table exceeds the file");
+  }
+
+  SectionMap map;
+  struct RawEntry {
+    uint64_t offset, size, checksum;
+    uint32_t kind;
+  };
+  std::vector<RawEntry> entries(num_sections);
+  for (uint64_t i = 0; i < num_sections; ++i) {
+    const char* e = base + kHeaderBytes + i * kTableEntryBytes;
+    RawEntry& re = entries[i];
+    re.kind = LoadLE32(e);
+    re.offset = LoadLE64(e + 8);
+    re.size = LoadLE64(e + 16);
+    const uint64_t count = LoadLE64(e + 24);
+    re.checksum = LoadLE64(e + 32);
+    if (re.offset % kSnapshotAlignment != 0 || re.offset > file_size ||
+        re.size > file_size - re.offset) {
+      return Status::InvalidArgument(
+          "snapshot '" + path + "': section " + std::to_string(re.kind) +
+          " extends past the end of the file (truncated?)");
+    }
+    map.Add(re.kind, {base + re.offset, re.size, count, true});
+  }
+
+  // Checksum every section (in parallel; this is the only full read of the
+  // cold file and doubles as page-in).
+  std::vector<uint8_t> bad(num_sections, 0);
+  ParallelFor(
+      num_sections,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const RawEntry& re = entries[i];
+          if (Fnv1a64(base + re.offset, re.size) != re.checksum) bad[i] = 1;
+        }
+      },
+      {.num_threads = num_threads, .grain = 1});
+  for (uint64_t i = 0; i < num_sections; ++i) {
+    if (bad[i]) {
+      return Status::InvalidArgument(
+          "snapshot '" + path + "': checksum mismatch in section " +
+          std::to_string(entries[i].kind) + " (corrupted file)");
+    }
+  }
+
+#define CTXRANK_ASSIGN_OR_RETURN(decl, expr) \
+  auto decl##_result = (expr);               \
+  if (!decl##_result.ok()) return decl##_result.status(); \
+  auto decl = std::move(decl##_result).value()
+
+  CTXRANK_ASSIGN_OR_RETURN(
+      meta, map.Span<uint64_t>(SectionKind::kMeta, kMetaWords));
+  const size_t num_papers = meta[kMetaNumPapers];
+  const size_t vocab_size = meta[kMetaVocabSize];
+  const size_t onto_terms = meta[kMetaOntoTerms];
+  const size_t num_terms = meta[kMetaAssignmentTerms];
+
+  // --- ontology: tiny, rebuilt on the heap (AddTerm/AddIsA/Finalize is
+  // deterministic, so Lin similarities and levels match the saved build) ---
+  CTXRANK_ASSIGN_OR_RETURN(acc_blob,
+                           map.Span<char>(SectionKind::kOntoAccessionBlob));
+  CTXRANK_ASSIGN_OR_RETURN(
+      acc_offsets,
+      map.Span<uint64_t>(SectionKind::kOntoAccessionOffsets, onto_terms + 1));
+  CTXRANK_ASSIGN_OR_RETURN(name_blob,
+                           map.Span<char>(SectionKind::kOntoNameBlob));
+  CTXRANK_ASSIGN_OR_RETURN(
+      name_offsets,
+      map.Span<uint64_t>(SectionKind::kOntoNameOffsets, onto_terms + 1));
+  CTXRANK_ASSIGN_OR_RETURN(
+      parents_offsets,
+      map.Span<uint64_t>(SectionKind::kOntoParentsOffsets, onto_terms + 1));
+  CTXRANK_ASSIGN_OR_RETURN(parents,
+                           map.Span<ontology::TermId>(SectionKind::kOntoParents));
+  const auto blob_slice = [](std::span<const char> blob,
+                             std::span<const uint64_t> offsets,
+                             size_t i) -> Result<std::string_view> {
+    if (offsets[i] > offsets[i + 1] || offsets[i + 1] > blob.size()) {
+      return Status::InvalidArgument(
+          "snapshot: string table offsets out of range");
+    }
+    return std::string_view(blob.data() + offsets[i],
+                            offsets[i + 1] - offsets[i]);
+  };
+  for (size_t t = 0; t < onto_terms; ++t) {
+    CTXRANK_ASSIGN_OR_RETURN(acc, blob_slice(acc_blob, acc_offsets, t));
+    CTXRANK_ASSIGN_OR_RETURN(name, blob_slice(name_blob, name_offsets, t));
+    snap->onto_.AddTerm(std::string(acc), std::string(name));
+  }
+  if (parents_offsets[onto_terms] != parents.size()) {
+    return Status::InvalidArgument(
+        "snapshot: ontology parent table does not match its offsets");
+  }
+  for (size_t t = 0; t < onto_terms; ++t) {
+    for (uint64_t i = parents_offsets[t]; i < parents_offsets[t + 1]; ++i) {
+      if (parents[i] >= onto_terms) {
+        return Status::InvalidArgument("snapshot: parent term id out of range");
+      }
+      CTXRANK_RETURN_NOT_OK(
+          snap->onto_.AddIsA(static_cast<ontology::TermId>(t), parents[i]));
+    }
+  }
+  CTXRANK_RETURN_NOT_OK(snap->onto_.Finalize());
+
+  // --- tokenized corpus (zero-copy views) ---
+  CTXRANK_ASSIGN_OR_RETURN(vocab_blob, map.Span<char>(SectionKind::kVocabBlob));
+  CTXRANK_ASSIGN_OR_RETURN(
+      vocab_offsets,
+      map.Span<uint64_t>(SectionKind::kVocabOffsets, vocab_size + 1));
+  CTXRANK_ASSIGN_OR_RETURN(
+      vocab_sorted, map.Span<text::TermId>(SectionKind::kVocabSorted,
+                                           vocab_size));
+  if (!vocab_offsets.empty() && vocab_offsets.back() != vocab_blob.size()) {
+    return Status::InvalidArgument(
+        "snapshot: vocabulary blob does not match its offsets");
+  }
+  CTXRANK_ASSIGN_OR_RETURN(
+      df, map.Span<uint32_t>(SectionKind::kTfIdfDf, vocab_size));
+  CTXRANK_ASSIGN_OR_RETURN(
+      token_offsets,
+      map.Span<uint64_t>(SectionKind::kTokenOffsets,
+                         num_papers * corpus::kNumTextSections + 1));
+  CTXRANK_ASSIGN_OR_RETURN(tokens, map.Span<text::TermId>(SectionKind::kTokens));
+  CTXRANK_ASSIGN_OR_RETURN(
+      set_offsets, map.Span<uint64_t>(SectionKind::kSetOffsets,
+                                      num_papers * corpus::kNumTextSections + 1));
+  CTXRANK_ASSIGN_OR_RETURN(set_tokens,
+                           map.Span<text::TermId>(SectionKind::kSetTokens));
+  CTXRANK_ASSIGN_OR_RETURN(
+      bool_offsets,
+      map.Span<uint64_t>(SectionKind::kPostingsOffsets, vocab_size + 1));
+  CTXRANK_ASSIGN_OR_RETURN(
+      bool_papers, map.Span<corpus::PaperId>(SectionKind::kPostingsPapers));
+  CTXRANK_ASSIGN_OR_RETURN(
+      forward_offsets,
+      map.Span<uint64_t>(SectionKind::kForwardOffsets, num_papers + 1));
+  CTXRANK_ASSIGN_OR_RETURN(
+      forward_entries,
+      map.Span<text::SparseVector::Entry>(SectionKind::kForwardEntries));
+  if (token_offsets.back() != tokens.size() ||
+      set_offsets.back() != set_tokens.size() ||
+      bool_offsets.back() != bool_papers.size() ||
+      forward_offsets.back() != forward_entries.size()) {
+    return Status::InvalidArgument(
+        "snapshot: a CSR section does not match its offsets table "
+        "(truncated or corrupted file)");
+  }
+
+  text::AnalyzerOptions aopt;
+  aopt.tokenizer.min_token_length = meta[kMetaMinTokenLength];
+  aopt.tokenizer.drop_numeric = (meta[kMetaFlags] & kFlagDropNumeric) != 0;
+  aopt.tokenizer.lowercase = (meta[kMetaFlags] & kFlagLowercase) != 0;
+  aopt.remove_stopwords = (meta[kMetaFlags] & kFlagRemoveStopwords) != 0;
+  aopt.stem = (meta[kMetaFlags] & kFlagStem) != 0;
+
+  corpus::TokenizedCorpus tc;
+  tc.corpus_ = nullptr;
+  tc.analyzer_ = text::Analyzer(aopt);
+  tc.vocab_ = text::Vocabulary::FromView(vocab_blob, vocab_offsets,
+                                         vocab_sorted);
+  tc.tfidf_ = text::TfIdfModel::FromView(df, meta[kMetaTfIdfDocs]);
+  tc.num_papers_ = num_papers;
+  tc.section_offsets_.SetView(token_offsets);
+  tc.tokens_.SetView(tokens);
+  tc.set_offsets_.SetView(set_offsets);
+  tc.set_tokens_.SetView(set_tokens);
+  tc.postings_offsets_.SetView(bool_offsets);
+  tc.postings_papers_.SetView(bool_papers);
+  tc.full_vectors_.reserve(num_papers);
+  for (size_t p = 0; p < num_papers; ++p) {
+    tc.full_vectors_.push_back(text::SparseVector::FromView(
+        forward_entries.subspan(forward_offsets[p],
+                                forward_offsets[p + 1] - forward_offsets[p])));
+  }
+  snap->tc_.emplace(std::move(tc));
+
+  // --- assignment + prestige (zero-copy views) ---
+  CTXRANK_ASSIGN_OR_RETURN(
+      members_offsets,
+      map.Span<uint64_t>(SectionKind::kMembersOffsets, num_terms + 1));
+  CTXRANK_ASSIGN_OR_RETURN(members,
+                           map.Span<corpus::PaperId>(SectionKind::kMembers));
+  CTXRANK_ASSIGN_OR_RETURN(
+      contexts_offsets,
+      map.Span<uint64_t>(SectionKind::kContextsOffsets, num_papers + 1));
+  CTXRANK_ASSIGN_OR_RETURN(contexts,
+                           map.Span<ontology::TermId>(SectionKind::kContexts));
+  CTXRANK_ASSIGN_OR_RETURN(
+      representatives,
+      map.Span<corpus::PaperId>(SectionKind::kRepresentatives, num_terms));
+  CTXRANK_ASSIGN_OR_RETURN(
+      inherited, map.Span<ontology::TermId>(SectionKind::kInheritedFrom,
+                                            num_terms));
+  CTXRANK_ASSIGN_OR_RETURN(decay,
+                           map.Span<double>(SectionKind::kDecay, num_terms));
+  CTXRANK_ASSIGN_OR_RETURN(
+      prestige_offsets,
+      map.Span<uint64_t>(SectionKind::kPrestigeOffsets, num_terms + 1));
+  CTXRANK_ASSIGN_OR_RETURN(prestige_values,
+                           map.Span<double>(SectionKind::kPrestigeValues));
+  if (members_offsets.back() != members.size() ||
+      contexts_offsets.back() != contexts.size() ||
+      prestige_offsets.back() != prestige_values.size()) {
+    return Status::InvalidArgument(
+        "snapshot: assignment/prestige CSR does not match its offsets "
+        "(truncated or corrupted file)");
+  }
+  snap->assignment_.emplace(context::ContextAssignment::FromView(
+      members_offsets, members, contexts_offsets, contexts, representatives,
+      inherited, decay));
+  snap->prestige_.emplace(
+      context::PrestigeScores::FromView(prestige_offsets, prestige_values));
+
+  // --- search engine (routing index + per-context impact indexes) ---
+  CTXRANK_ASSIGN_OR_RETURN(
+      routing_offsets,
+      map.Span<uint64_t>(SectionKind::kRoutingOffsets, vocab_size + 1));
+  CTXRANK_ASSIGN_OR_RETURN(
+      routing_entries,
+      map.Span<text::SparseVector::Entry>(SectionKind::kRoutingEntries));
+  CTXRANK_ASSIGN_OR_RETURN(
+      name_norms, map.Span<double>(SectionKind::kNameNorms, onto_terms));
+  CTXRANK_ASSIGN_OR_RETURN(ci_built,
+                           map.Span<uint8_t>(SectionKind::kCiBuilt, num_terms));
+  CTXRANK_ASSIGN_OR_RETURN(
+      ci_max_prestige,
+      map.Span<double>(SectionKind::kCiMaxPrestige, num_terms));
+  CTXRANK_ASSIGN_OR_RETURN(
+      ci_min_norm, map.Span<double>(SectionKind::kCiMinNorm, num_terms));
+  CTXRANK_ASSIGN_OR_RETURN(
+      ci_term_outer,
+      map.Span<uint64_t>(SectionKind::kCiTermOffsetsOuter, num_terms + 1));
+  CTXRANK_ASSIGN_OR_RETURN(ci_term_offsets,
+                           map.Span<uint64_t>(SectionKind::kCiTermOffsets));
+  CTXRANK_ASSIGN_OR_RETURN(
+      ci_docs_outer,
+      map.Span<uint64_t>(SectionKind::kCiDocsOuter, num_terms + 1));
+  CTXRANK_ASSIGN_OR_RETURN(ci_norms, map.Span<double>(SectionKind::kCiNorms));
+  CTXRANK_ASSIGN_OR_RETURN(ci_by_prestige,
+                           map.Span<uint32_t>(SectionKind::kCiByPrestige));
+  CTXRANK_ASSIGN_OR_RETURN(
+      ci_postings,
+      map.Span<text::ImpactOrderedIndex::Posting>(SectionKind::kCiPostings));
+  if (routing_offsets.back() != routing_entries.size() ||
+      ci_term_outer.back() != ci_term_offsets.size() ||
+      ci_docs_outer.back() != ci_norms.size() ||
+      ci_docs_outer.back() != ci_by_prestige.size()) {
+    return Status::InvalidArgument(
+        "snapshot: engine CSR sections do not match their offsets "
+        "(truncated or corrupted file)");
+  }
+
+  context::ContextSearchEngine engine;
+  engine.tc_ = &*snap->tc_;
+  engine.onto_ = &snap->onto_;
+  engine.assignment_ = &*snap->assignment_;
+  engine.prestige_ = &*snap->prestige_;
+  engine.routing_offsets_.SetView(routing_offsets);
+  engine.routing_entries_.SetView(routing_entries);
+  engine.name_norms_.SetView(name_norms);
+  engine.index_postings_ = meta[kMetaIndexPostings];
+  engine.max_indexed_members_ = meta[kMetaMaxIndexedMembers];
+  engine.context_index_.resize(num_terms);
+  for (size_t t = 0; t < num_terms; ++t) {
+    if (!ci_built[t]) continue;
+    auto& ci = engine.context_index_[t];
+    const auto offsets_run = ci_term_offsets.subspan(
+        ci_term_outer[t], ci_term_outer[t + 1] - ci_term_outer[t]);
+    if (offsets_run.empty() ||
+        offsets_run.back() > ci_postings.size() ||
+        offsets_run.front() > offsets_run.back()) {
+      return Status::InvalidArgument(
+          "snapshot: impact index offsets out of range for context " +
+          std::to_string(t));
+    }
+    const auto norms_run = ci_norms.subspan(
+        ci_docs_outer[t], ci_docs_outer[t + 1] - ci_docs_outer[t]);
+    ci.index = text::ImpactOrderedIndex::FromView(offsets_run, ci_postings,
+                                                  norms_run, ci_min_norm[t]);
+    ci.by_prestige.SetView(ci_by_prestige.subspan(
+        ci_docs_outer[t], ci_docs_outer[t + 1] - ci_docs_outer[t]));
+    ci.max_prestige = ci_max_prestige[t];
+    ci.built = true;
+  }
+  snap->engine_.emplace(std::move(engine));
+
+  // --- titles (optional) ---
+  if (meta[kMetaHasTitles] != 0) {
+    CTXRANK_ASSIGN_OR_RETURN(title_blob,
+                             map.Span<char>(SectionKind::kTitleBlob));
+    CTXRANK_ASSIGN_OR_RETURN(
+        title_offsets,
+        map.Span<uint64_t>(SectionKind::kTitleOffsets, num_papers + 1));
+    if (title_offsets.back() != title_blob.size()) {
+      return Status::InvalidArgument(
+          "snapshot: title blob does not match its offsets");
+    }
+    snap->title_blob_ = title_blob;
+    snap->title_offsets_ = title_offsets;
+  }
+
+#undef CTXRANK_ASSIGN_OR_RETURN
+  return snap;
+}
+
+Result<std::unique_ptr<ServingSnapshot>> ServingSnapshot::Load(
+    const std::string& path, size_t num_threads) {
+  return SnapshotAccess::Load(path, num_threads);
+}
+
+std::string_view ServingSnapshot::title(corpus::PaperId p) const {
+  if (title_offsets_.empty() || p + 1 >= title_offsets_.size()) return {};
+  return std::string_view(title_blob_.data() + title_offsets_[p],
+                          title_offsets_[p + 1] - title_offsets_[p]);
+}
+
+}  // namespace ctxrank::serve

@@ -1,0 +1,125 @@
+// The serving snapshot: one relocatable binary file holding every artifact
+// needed to answer queries — vocabulary, analyzed sections, TF-IDF model,
+// forward vectors, per-context impact-ordered postings, the context routing
+// index, prestige scores and assignment tables — laid out as flat,
+// alignment-padded little-endian arrays so the loader can mmap the file
+// and point the serving structures at it zero-copy.
+//
+// File layout (format version 1, see docs/PERFORMANCE.md for details):
+//   [header: magic "CTXSNAP1", version u32, endian marker u32,
+//    section count u64, total file size u64]
+//   [section table: {kind u32, reserved u32, offset u64, byte size u64,
+//    element count u64, FNV-1a64 checksum u64} per section]
+//   [sections, each 64-byte aligned]
+// Everything is little-endian on disk; the zero-copy load path therefore
+// requires a little-endian host (checked at save and load).
+#ifndef CTXRANK_SERVE_SNAPSHOT_H_
+#define CTXRANK_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mmap_file.h"
+#include "common/status.h"
+#include "context/search_engine.h"
+#include "corpus/tokenized_corpus.h"
+#include "ontology/ontology.h"
+
+namespace ctxrank::eval {
+class World;
+}  // namespace ctxrank::eval
+
+namespace ctxrank::serve {
+
+inline constexpr char kSnapshotMagic[8] = {'C', 'T', 'X', 'S',
+                                           'N', 'A', 'P', '1'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotEndianMarker = 0x01020304;
+inline constexpr size_t kSnapshotAlignment = 64;
+
+/// \brief Everything SaveSnapshot serializes. All pointers must be
+/// non-null except `corpus` (titles are then omitted and loaded results
+/// render without them). The engine must have been built over exactly
+/// these components.
+struct SnapshotInputs {
+  const corpus::TokenizedCorpus* tc = nullptr;
+  const ontology::Ontology* onto = nullptr;
+  const context::ContextAssignment* assignment = nullptr;
+  const context::PrestigeScores* prestige = nullptr;
+  const context::ContextSearchEngine* engine = nullptr;
+  const corpus::Corpus* corpus = nullptr;  // Optional: paper titles.
+};
+
+/// Serializes a complete serving state into `path`. Sections are
+/// serialized and written concurrently (`num_threads`: 0 = hardware
+/// concurrency, 1 = sequential). The file is written atomically enough
+/// for local use: a partial write leaves a file the loader rejects.
+Status SaveSnapshot(const SnapshotInputs& inputs, const std::string& path,
+                    size_t num_threads = 0);
+
+/// Convenience: snapshots a built World's text-based context set with its
+/// text prestige scores plus a search engine over them.
+Status SaveSnapshot(const eval::World& world,
+                    const context::ContextSearchEngine& engine,
+                    const std::string& path, size_t num_threads = 0);
+
+/// \brief A query-ready serving state backed by an mmap'd snapshot file.
+/// The heavy arrays (postings, forward vectors, tokens, scores, routing
+/// index) are served directly out of the mapping; only inherently
+/// pointer-shaped structures (the ontology DAG, per-paper vector headers)
+/// are rebuilt on the heap. Non-movable — the engine holds pointers into
+/// sibling members — so Load returns it behind a unique_ptr.
+class ServingSnapshot {
+ public:
+  /// Maps `path`, validates magic / version / endianness / section bounds
+  /// and every section checksum (in parallel), and assembles the serving
+  /// structures. Any mismatch yields a descriptive error and no snapshot.
+  static Result<std::unique_ptr<ServingSnapshot>> Load(
+      const std::string& path, size_t num_threads = 0);
+
+  ServingSnapshot(const ServingSnapshot&) = delete;
+  ServingSnapshot& operator=(const ServingSnapshot&) = delete;
+
+  const context::ContextSearchEngine& engine() const { return *engine_; }
+  const corpus::TokenizedCorpus& tc() const { return *tc_; }
+  const ontology::Ontology& onto() const { return onto_; }
+  const context::ContextAssignment& assignment() const { return *assignment_; }
+  const context::PrestigeScores& prestige() const { return *prestige_; }
+
+  size_t num_papers() const { return tc_->size(); }
+  bool has_titles() const { return !title_offsets_.empty(); }
+  /// Title of paper `p` ("" when the snapshot was saved without a corpus).
+  std::string_view title(corpus::PaperId p) const;
+
+ private:
+  friend struct SnapshotAccess;
+  ServingSnapshot() = default;
+
+  MmapFile file_;
+  ontology::Ontology onto_;
+  std::optional<corpus::TokenizedCorpus> tc_;
+  std::optional<context::ContextAssignment> assignment_;
+  std::optional<context::PrestigeScores> prestige_;
+  std::optional<context::ContextSearchEngine> engine_;
+  std::span<const char> title_blob_;
+  std::span<const uint64_t> title_offsets_;
+};
+
+/// \brief Private-member bridge between the snapshot reader/writer and the
+/// serving classes (declared a friend by TokenizedCorpus and
+/// ContextSearchEngine). Keeps the view-assembly surface out of their
+/// public APIs.
+struct SnapshotAccess {
+  static Status Save(const SnapshotInputs& inputs, const std::string& path,
+                     size_t num_threads);
+  static Result<std::unique_ptr<ServingSnapshot>> Load(const std::string& path,
+                                                       size_t num_threads);
+};
+
+}  // namespace ctxrank::serve
+
+#endif  // CTXRANK_SERVE_SNAPSHOT_H_

@@ -36,6 +36,8 @@ class Analyzer {
   std::vector<TermId> AnalyzeToKnownIds(std::string_view str,
                                         const Vocabulary& vocab) const;
 
+  const AnalyzerOptions& options() const { return options_; }
+
  private:
   Tokenizer tokenizer_;
   AnalyzerOptions options_;

@@ -8,7 +8,7 @@ namespace ctxrank::text {
 
 Bm25Index::Bm25Index(Bm25Options options) : options_(options) {}
 
-void Bm25Index::Add(DocId doc, const std::vector<TermId>& terms) {
+void Bm25Index::Add(DocId doc, std::span<const TermId> terms) {
   const uint32_t dense = static_cast<uint32_t>(doc_len_.size());
   doc_len_.push_back(static_cast<uint32_t>(terms.size()));
   doc_ids_.push_back(doc);

@@ -6,6 +6,8 @@
 #define CTXRANK_TEXT_BM25_H_
 
 #include <cstddef>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "text/inverted_index.h"
@@ -27,7 +29,10 @@ class Bm25Index {
   explicit Bm25Index(Bm25Options options = {});
 
   /// Adds a document (term ids with repetitions) under external id `doc`.
-  void Add(DocId doc, const std::vector<TermId>& terms);
+  void Add(DocId doc, std::span<const TermId> terms);
+  void Add(DocId doc, std::initializer_list<TermId> terms) {
+    Add(doc, std::span<const TermId>(terms.begin(), terms.size()));
+  }
 
   /// Computes idf values and length normalization. Must be called once
   /// after all Add() calls; Search() before Finalize() returns nothing.

@@ -5,16 +5,33 @@
 
 namespace ctxrank::text {
 
+ImpactOrderedIndex ImpactOrderedIndex::FromView(
+    std::span<const uint64_t> offsets, std::span<const Posting> postings,
+    std::span<const double> norms, double min_positive_norm) {
+  ImpactOrderedIndex index;
+  index.offsets_.SetView(offsets);
+  index.postings_.SetView(postings);
+  index.norms_.SetView(norms);
+  index.total_postings_ =
+      offsets.empty() ? 0 : static_cast<size_t>(offsets.back() - offsets.front());
+  index.min_positive_norm_ = min_positive_norm;
+  index.seen_positive_norm_ = true;
+  index.finalized_ = true;
+  return index;
+}
+
 uint32_t ImpactOrderedIndex::Add(const SparseVector& vec) {
   assert(!finalized_);
-  const uint32_t doc = static_cast<uint32_t>(num_documents_++);
+  std::vector<double>& norms = norms_.mutable_vector();
+  const uint32_t doc = static_cast<uint32_t>(norms.size());
   for (const auto& e : vec.entries()) {
-    if (e.term >= postings_.size()) postings_.resize(e.term + 1);
-    postings_[e.term].push_back({doc, e.weight});
+    if (e.term >= build_postings_.size()) build_postings_.resize(e.term + 1);
+    build_postings_[e.term].push_back({doc, e.weight});
     ++total_postings_;
   }
   const double norm = vec.Norm();
-  norms_.push_back(norm);
+  norms.push_back(norm);
+  norms_.SyncView();
   if (norm > 0.0) {
     min_positive_norm_ =
         seen_positive_norm_ ? std::min(min_positive_norm_, norm) : norm;
@@ -24,20 +41,25 @@ uint32_t ImpactOrderedIndex::Add(const SparseVector& vec) {
 }
 
 void ImpactOrderedIndex::Finalize() {
-  for (auto& list : postings_) {
+  std::vector<uint64_t> offsets;
+  offsets.reserve(build_postings_.size() + 1);
+  std::vector<Posting> flat;
+  flat.reserve(total_postings_);
+  offsets.push_back(0);
+  for (auto& list : build_postings_) {
     std::sort(list.begin(), list.end(),
               [](const Posting& a, const Posting& b) {
                 if (a.weight != b.weight) return a.weight > b.weight;
                 return a.doc < b.doc;
               });
+    flat.insert(flat.end(), list.begin(), list.end());
+    offsets.push_back(flat.size());
   }
+  build_postings_.clear();
+  build_postings_.shrink_to_fit();
+  offsets_.SetOwned(std::move(offsets));
+  postings_.SetOwned(std::move(flat));
   finalized_ = true;
-}
-
-const std::vector<ImpactOrderedIndex::Posting>& ImpactOrderedIndex::PostingsOf(
-    TermId term) const {
-  static const std::vector<Posting> kEmpty;
-  return term < postings_.size() ? postings_[term] : kEmpty;
 }
 
 }  // namespace ctxrank::text

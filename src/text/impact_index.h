@@ -8,8 +8,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/array_view.h"
 #include "text/sparse_vector.h"
 #include "text/vocabulary.h"
 
@@ -20,6 +22,14 @@ namespace ctxrank::text {
 /// Documents get sequential local ids (0, 1, ...) in Add order, so the
 /// caller can keep per-doc side data (prestige, external ids) in plain
 /// arrays indexed the same way.
+///
+/// After Finalize() the index is a flat CSR layout — a term-offsets array
+/// into one contiguous postings array plus a per-doc norms array — stored
+/// either on the heap (built via Add/Finalize) or as views over a serving
+/// snapshot's mmap region (FromView). The view constructor also accepts
+/// offsets that index into a *shared* postings array covering many
+/// indexes, so a snapshot can concatenate every context's postings into
+/// one section.
 ///
 /// The pruning contract: for any query q and document d,
 ///   dot(q, d) <= sum over query terms t of q_t * MaxWeight(t), and
@@ -32,32 +42,53 @@ class ImpactOrderedIndex {
     uint32_t doc;
     double weight;
   };
+  // The snapshot stores postings as 16-byte records (u32 doc, 4 bytes of
+  // zero padding, f64 weight, little-endian) and reinterprets them on
+  // load; these assertions pin the layout that relies on.
+  static_assert(sizeof(Posting) == 16, "Posting must be a 16-byte record");
+  static_assert(alignof(Posting) == 8, "Posting must be 8-byte aligned");
 
   ImpactOrderedIndex() = default;
+
+  /// Wraps finalized storage owned elsewhere. `offsets` has num_terms + 1
+  /// entries indexing into `postings` (absolute positions, so `postings`
+  /// may be a shared super-array); `norms` has one entry per document.
+  static ImpactOrderedIndex FromView(std::span<const uint64_t> offsets,
+                                     std::span<const Posting> postings,
+                                     std::span<const double> norms,
+                                     double min_positive_norm);
 
   /// Adds the next document (local id = number of prior Add calls) and
   /// returns that id. Must not be called after Finalize().
   uint32_t Add(const SparseVector& vec);
 
   /// Sorts every postings list by descending weight (ties: ascending doc
-  /// id, for determinism). Required before any query-side accessor.
+  /// id, for determinism) and flattens them into the CSR layout. Required
+  /// before any query-side accessor.
   void Finalize();
 
   bool finalized() const { return finalized_; }
-  size_t num_documents() const { return num_documents_; }
-  size_t num_terms() const { return postings_.size(); }
+  size_t num_documents() const { return norms_.size(); }
+  size_t num_terms() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
 
   /// Total postings across all terms (memory/telemetry).
   size_t total_postings() const { return total_postings_; }
 
   /// Impact-ordered postings of `term`; empty for terms never seen.
-  const std::vector<Posting>& PostingsOf(TermId term) const;
+  std::span<const Posting> PostingsOf(TermId term) const {
+    if (term + 1 >= offsets_.size()) return {};
+    return postings_.span().subspan(offsets_[term],
+                                    offsets_[term + 1] - offsets_[term]);
+  }
 
   /// Largest weight in `term`'s postings; 0 for terms never seen.
   double MaxWeight(TermId term) const {
-    return term < postings_.size() && !postings_[term].empty()
-               ? postings_[term].front().weight
-               : 0.0;
+    if (term + 1 >= offsets_.size() || offsets_[term] == offsets_[term + 1]) {
+      return 0.0;
+    }
+    return postings_[offsets_[term]].weight;
   }
 
   /// Smallest positive L2 norm among added documents (1.0 when no document
@@ -71,10 +102,19 @@ class ImpactOrderedIndex {
   /// SparseVector::Cosine.
   double NormOf(uint32_t doc) const { return norms_[doc]; }
 
+  /// CSR internals, exposed for the snapshot writer. Offsets index into
+  /// postings_span() (absolute; zero-based for heap-built indexes).
+  std::span<const uint64_t> offsets_span() const { return offsets_.span(); }
+  std::span<const Posting> postings_span() const { return postings_.span(); }
+  std::span<const double> norms_span() const { return norms_.span(); }
+
  private:
-  std::vector<std::vector<Posting>> postings_;  // Indexed by term id.
-  std::vector<double> norms_;                   // Indexed by doc id.
-  size_t num_documents_ = 0;
+  // Build-time staging (owned mode, cleared by Finalize).
+  std::vector<std::vector<Posting>> build_postings_;
+  // Finalized CSR storage.
+  VecOrSpan<uint64_t> offsets_;  // num_terms + 1 entries.
+  VecOrSpan<Posting> postings_;
+  VecOrSpan<double> norms_;  // Indexed by doc id.
   size_t total_postings_ = 0;
   double min_positive_norm_ = 1.0;
   bool seen_positive_norm_ = false;

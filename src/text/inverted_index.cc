@@ -1,11 +1,24 @@
 #include "text/inverted_index.h"
 
 #include <algorithm>
+#include <cassert>
 #include <unordered_map>
 
 namespace ctxrank::text {
 
+InvertedIndex InvertedIndex::FromView(std::span<const uint64_t> offsets,
+                                      std::span<const Posting> postings,
+                                      size_t num_documents) {
+  InvertedIndex index;
+  index.view_mode_ = true;
+  index.view_offsets_ = offsets;
+  index.view_postings_ = postings;
+  index.num_documents_ = num_documents;
+  return index;
+}
+
 void InvertedIndex::Add(DocId doc, const SparseVector& vec) {
+  assert(!view_mode_ && "Add on a frozen snapshot inverted index");
   ++num_documents_;
   for (const auto& e : vec.entries()) {
     if (e.term >= postings_.size()) postings_.resize(e.term + 1);
@@ -17,8 +30,7 @@ std::vector<ScoredDoc> InvertedIndex::Search(const SparseVector& query,
                                              double min_score) const {
   std::unordered_map<DocId, double> acc;
   for (const auto& qe : query.entries()) {
-    if (qe.term >= postings_.size()) continue;
-    for (const Posting& p : postings_[qe.term]) {
+    for (const Posting& p : ListOf(qe.term)) {
       acc[p.doc] += qe.weight * p.weight;
     }
   }
@@ -40,8 +52,7 @@ std::vector<ScoredDoc> InvertedIndex::SearchTopK(const SparseVector& query,
   if (k == 0) return {};
   std::unordered_map<DocId, double> acc;
   for (const auto& qe : query.entries()) {
-    if (qe.term >= postings_.size()) continue;
-    for (const Posting& p : postings_[qe.term]) {
+    for (const Posting& p : ListOf(qe.term)) {
       acc[p.doc] += qe.weight * p.weight;
     }
   }

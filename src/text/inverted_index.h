@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "text/sparse_vector.h"
@@ -21,12 +22,31 @@ struct ScoredDoc {
 /// \brief Term -> (doc, weight) postings built from normalized document
 /// vectors. Because both document vectors and queries are L2-normalized,
 /// the accumulated dot product equals cosine similarity.
+///
+/// Postings either grow on the heap via Add (owned mode) or view a flat
+/// CSR layout owned elsewhere (FromView — the serving snapshot seam);
+/// queries behave identically in both modes.
 class InvertedIndex {
  public:
+  struct Posting {
+    DocId doc;
+    double weight;
+  };
+  // Snapshot record layout (u32 doc, 4 bytes zero padding, f64 weight LE).
+  static_assert(sizeof(Posting) == 16, "Posting must be a 16-byte record");
+  static_assert(alignof(Posting) == 8, "Posting must be 8-byte aligned");
+
   InvertedIndex() = default;
 
+  /// Wraps a frozen CSR postings layout owned elsewhere: `offsets` has
+  /// num_terms + 1 entries indexing into `postings`. Add must not be
+  /// called on the result.
+  static InvertedIndex FromView(std::span<const uint64_t> offsets,
+                                std::span<const Posting> postings,
+                                size_t num_documents);
+
   /// Adds a document with the given external id. Ids may be sparse but
-  /// postings memory is proportional to nnz only.
+  /// postings memory is proportional to nnz only. Owned mode only.
   void Add(DocId doc, const SparseVector& vec);
 
   /// Documents scoring >= `min_score` against `query`, sorted by descending
@@ -41,12 +61,23 @@ class InvertedIndex {
   size_t num_documents() const { return num_documents_; }
 
  private:
-  struct Posting {
-    DocId doc;
-    double weight;
-  };
+  /// Postings of `term` regardless of storage mode.
+  std::span<const Posting> ListOf(TermId term) const {
+    if (view_mode_) {
+      if (term + 1 >= view_offsets_.size()) return {};
+      return view_postings_.subspan(
+          view_offsets_[term], view_offsets_[term + 1] - view_offsets_[term]);
+    }
+    if (term >= postings_.size()) return {};
+    return postings_[term];
+  }
+
   std::vector<std::vector<Posting>> postings_;  // Indexed by term id.
   size_t num_documents_ = 0;
+  // View mode (snapshot-backed).
+  bool view_mode_ = false;
+  std::span<const uint64_t> view_offsets_;
+  std::span<const Posting> view_postings_;
 };
 
 }  // namespace ctxrank::text

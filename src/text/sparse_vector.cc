@@ -8,16 +8,18 @@ namespace ctxrank::text {
 SparseVector SparseVector::FromUnsorted(std::vector<Entry> entries) {
   std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) { return a.term < b.term; });
-  SparseVector v;
-  v.entries_.reserve(entries.size());
+  std::vector<Entry> merged;
+  merged.reserve(entries.size());
   for (const Entry& e : entries) {
-    if (!v.entries_.empty() && v.entries_.back().term == e.term) {
-      v.entries_.back().weight += e.weight;
+    if (!merged.empty() && merged.back().term == e.term) {
+      merged.back().weight += e.weight;
     } else {
-      v.entries_.push_back(e);
+      merged.push_back(e);
     }
   }
-  std::erase_if(v.entries_, [](const Entry& e) { return e.weight == 0.0; });
+  std::erase_if(merged, [](const Entry& e) { return e.weight == 0.0; });
+  SparseVector v;
+  v.entries_.SetOwned(std::move(merged));
   return v;
 }
 
@@ -29,24 +31,41 @@ SparseVector SparseVector::FromCounts(
   return FromUnsorted(std::move(entries));
 }
 
+SparseVector SparseVector::FromView(std::span<const Entry> entries) {
+  SparseVector v;
+  v.entries_.SetView(entries);
+  return v;
+}
+
+std::vector<SparseVector::Entry>& SparseVector::MutableEntries() {
+  if (!entries_.owning()) {
+    const std::span<const Entry> view = entries_.span();
+    entries_.SetOwned(std::vector<Entry>(view.begin(), view.end()));
+  }
+  return entries_.mutable_vector();
+}
+
 double SparseVector::WeightOf(TermId term) const {
+  const std::span<const Entry> entries = entries_.span();
   auto it = std::lower_bound(
-      entries_.begin(), entries_.end(), term,
+      entries.begin(), entries.end(), term,
       [](const Entry& e, TermId t) { return e.term < t; });
-  if (it != entries_.end() && it->term == term) return it->weight;
+  if (it != entries.end() && it->term == term) return it->weight;
   return 0.0;
 }
 
 double SparseVector::Dot(const SparseVector& other) const {
+  const std::span<const Entry> a = entries_.span();
+  const std::span<const Entry> b = other.entries_.span();
   double acc = 0.0;
   size_t i = 0, j = 0;
-  while (i < entries_.size() && j < other.entries_.size()) {
-    const TermId a = entries_[i].term, b = other.entries_[j].term;
-    if (a == b) {
-      acc += entries_[i].weight * other.entries_[j].weight;
+  while (i < a.size() && j < b.size()) {
+    const TermId ta = a[i].term, tb = b[j].term;
+    if (ta == tb) {
+      acc += a[i].weight * b[j].weight;
       ++i;
       ++j;
-    } else if (a < b) {
+    } else if (ta < tb) {
       ++i;
     } else {
       ++j;
@@ -57,7 +76,7 @@ double SparseVector::Dot(const SparseVector& other) const {
 
 double SparseVector::Norm() const {
   double acc = 0.0;
-  for (const Entry& e : entries_) acc += e.weight * e.weight;
+  for (const Entry& e : entries_.span()) acc += e.weight * e.weight;
   return std::sqrt(acc);
 }
 
@@ -68,7 +87,8 @@ double SparseVector::Cosine(const SparseVector& other) const {
 }
 
 void SparseVector::Scale(double factor) {
-  for (Entry& e : entries_) e.weight *= factor;
+  for (Entry& e : MutableEntries()) e.weight *= factor;
+  entries_.SyncView();
 }
 
 void SparseVector::L2Normalize() {
@@ -77,26 +97,24 @@ void SparseVector::L2Normalize() {
 }
 
 void SparseVector::AddScaled(const SparseVector& other, double factor) {
+  const std::span<const Entry> a = entries_.span();
+  const std::span<const Entry> b = other.entries();
   std::vector<Entry> merged;
-  merged.reserve(entries_.size() + other.entries_.size());
+  merged.reserve(a.size() + b.size());
   size_t i = 0, j = 0;
-  while (i < entries_.size() || j < other.entries_.size()) {
-    if (j >= other.entries_.size() ||
-        (i < entries_.size() && entries_[i].term < other.entries_[j].term)) {
-      merged.push_back(entries_[i++]);
-    } else if (i >= entries_.size() ||
-               other.entries_[j].term < entries_[i].term) {
-      merged.push_back({other.entries_[j].term,
-                        other.entries_[j].weight * factor});
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size() || (i < a.size() && a[i].term < b[j].term)) {
+      merged.push_back(a[i++]);
+    } else if (i >= a.size() || b[j].term < a[i].term) {
+      merged.push_back({b[j].term, b[j].weight * factor});
       ++j;
     } else {
-      merged.push_back({entries_[i].term,
-                        entries_[i].weight + other.entries_[j].weight * factor});
+      merged.push_back({a[i].term, a[i].weight + b[j].weight * factor});
       ++i;
       ++j;
     }
   }
-  entries_ = std::move(merged);
+  entries_.SetOwned(std::move(merged));
 }
 
 }  // namespace ctxrank::text

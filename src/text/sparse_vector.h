@@ -4,21 +4,33 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
+#include "common/array_view.h"
 #include "text/vocabulary.h"
 
 namespace ctxrank::text {
 
 /// \brief Immutable-ish sparse vector stored as (term id, weight) pairs
 /// sorted by term id. Dot products and cosines run in O(nnz1 + nnz2).
+///
+/// Storage is either heap-owned or a view over external storage (the
+/// serving snapshot's mmap'd forward-vector section — see
+/// common/array_view.h). Mutating a view-backed vector first materializes
+/// an owned copy, so the API stays uniform.
 class SparseVector {
  public:
   struct Entry {
     TermId term;
     double weight;
   };
+  // The snapshot stores entries as 16-byte records (u32 term, 4 bytes of
+  // zero padding, f64 weight, little-endian) and reinterprets them as
+  // Entry on load; these assertions pin the in-memory layout it relies on.
+  static_assert(sizeof(Entry) == 16, "Entry must be a 16-byte record");
+  static_assert(alignof(Entry) == 8, "Entry must be 8-byte aligned");
 
   SparseVector() = default;
 
@@ -29,7 +41,12 @@ class SparseVector {
   /// Builds from term counts keyed by id.
   static SparseVector FromCounts(const std::vector<std::pair<TermId, double>>& counts);
 
-  const std::vector<Entry>& entries() const { return entries_; }
+  /// Wraps entries owned elsewhere (must stay alive and already be sorted
+  /// by term id, duplicate- and zero-free — the snapshot writer guarantees
+  /// this because it serializes vectors that already held the invariant).
+  static SparseVector FromView(std::span<const Entry> entries);
+
+  std::span<const Entry> entries() const { return entries_.span(); }
   size_t nnz() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
@@ -52,7 +69,10 @@ class SparseVector {
   void AddScaled(const SparseVector& other, double factor);
 
  private:
-  std::vector<Entry> entries_;
+  /// Copies viewed storage into owned storage so mutation is safe.
+  std::vector<Entry>& MutableEntries();
+
+  VecOrSpan<Entry> entries_;
 };
 
 }  // namespace ctxrank::text

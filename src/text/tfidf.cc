@@ -1,29 +1,41 @@
 #include "text/tfidf.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <unordered_map>
 
 namespace ctxrank::text {
 
+TfIdfModel TfIdfModel::FromView(std::span<const uint32_t> df,
+                                size_t num_documents) {
+  TfIdfModel m;
+  m.df_.SetView(df);
+  m.num_documents_ = num_documents;
+  return m;
+}
+
 void TfIdfModel::Fit(const std::vector<std::vector<TermId>>& documents,
                      size_t vocab_size) {
-  df_.assign(vocab_size, 0);
+  df_.SetOwned(std::vector<uint32_t>(vocab_size, 0));
   num_documents_ = 0;
   for (const auto& doc : documents) AddDocument(doc, vocab_size);
 }
 
-void TfIdfModel::AddDocument(const std::vector<TermId>& doc_terms,
+void TfIdfModel::AddDocument(std::span<const TermId> doc_terms,
                              size_t vocab_size) {
-  if (df_.size() < vocab_size) df_.resize(vocab_size, 0);
+  assert(df_.owning() && "AddDocument on a frozen snapshot TF-IDF model");
+  std::vector<uint32_t>& df = df_.mutable_vector();
+  if (df.size() < vocab_size) df.resize(vocab_size, 0);
   ++num_documents_;
   // Count each term once per document.
-  std::vector<TermId> unique(doc_terms);
+  std::vector<TermId> unique(doc_terms.begin(), doc_terms.end());
   std::sort(unique.begin(), unique.end());
   unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
   for (TermId t : unique) {
-    if (t < df_.size()) ++df_[t];
+    if (t < df.size()) ++df[t];
   }
+  df_.SyncView();
 }
 
 double TfIdfModel::Idf(TermId term) const {
@@ -33,8 +45,7 @@ double TfIdfModel::Idf(TermId term) const {
                   static_cast<double>(df));
 }
 
-SparseVector TfIdfModel::Transform(
-    const std::vector<TermId>& doc_terms) const {
+SparseVector TfIdfModel::Transform(std::span<const TermId> doc_terms) const {
   std::unordered_map<TermId, double> tf;
   for (TermId t : doc_terms) tf[t] += 1.0;
   std::vector<SparseVector::Entry> entries;

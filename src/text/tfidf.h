@@ -3,8 +3,11 @@
 #ifndef CTXRANK_TEXT_TFIDF_H_
 #define CTXRANK_TEXT_TFIDF_H_
 
+#include <initializer_list>
+#include <span>
 #include <vector>
 
+#include "common/array_view.h"
 #include "text/sparse_vector.h"
 #include "text/vocabulary.h"
 
@@ -12,9 +15,16 @@ namespace ctxrank::text {
 
 /// \brief Document-frequency model fit over a corpus of term-id documents;
 /// transforms documents and queries into normalized TF-IDF vectors.
+/// The document-frequency table either lives on the heap (Fit/AddDocument)
+/// or views snapshot storage (FromView); transform behavior is identical.
 class TfIdfModel {
  public:
   TfIdfModel() = default;
+
+  /// Wraps a frozen df table owned elsewhere (snapshot storage). Fit and
+  /// AddDocument must not be called on the result.
+  static TfIdfModel FromView(std::span<const uint32_t> df,
+                             size_t num_documents);
 
   /// Counts document frequencies. Each inner vector is one document's term
   /// ids (with repetitions). `vocab_size` must cover every id present.
@@ -23,15 +33,20 @@ class TfIdfModel {
 
   /// Incremental alternative to Fit: register documents one at a time, then
   /// call FinishFit(). Useful when the corpus does not fit a single vector.
-  void AddDocument(const std::vector<TermId>& doc_terms, size_t vocab_size);
+  void AddDocument(std::span<const TermId> doc_terms, size_t vocab_size);
   void FinishFit() {}  // Present for API symmetry; df counting is online.
 
   /// TF-IDF vector for a document, L2-normalized ("ltc" weighting).
   /// Terms with df == 0 (never seen in Fit) are ignored.
-  SparseVector Transform(const std::vector<TermId>& doc_terms) const;
+  SparseVector Transform(std::span<const TermId> doc_terms) const;
+
+  SparseVector Transform(std::initializer_list<TermId> doc_terms) const {
+    return Transform(std::span<const TermId>(doc_terms.begin(),
+                                             doc_terms.size()));
+  }
 
   /// Same weighting applied to a query.
-  SparseVector TransformQuery(const std::vector<TermId>& query_terms) const {
+  SparseVector TransformQuery(std::span<const TermId> query_terms) const {
     return Transform(query_terms);
   }
 
@@ -44,7 +59,7 @@ class TfIdfModel {
   double Idf(TermId term) const;
 
  private:
-  std::vector<uint32_t> df_;
+  VecOrSpan<uint32_t> df_;
   size_t num_documents_ = 0;
 };
 

@@ -1,8 +1,23 @@
 #include "text/vocabulary.h"
 
+#include <algorithm>
+#include <cassert>
+
 namespace ctxrank::text {
 
+Vocabulary Vocabulary::FromView(std::span<const char> blob,
+                                std::span<const uint64_t> offsets,
+                                std::span<const TermId> sorted) {
+  Vocabulary v;
+  v.view_mode_ = true;
+  v.blob_ = blob;
+  v.offsets_ = offsets;
+  v.sorted_ = sorted;
+  return v;
+}
+
 TermId Vocabulary::GetOrAdd(std::string_view term) {
+  assert(!view_mode_ && "GetOrAdd on a frozen snapshot vocabulary");
   auto it = index_.find(std::string(term));
   if (it != index_.end()) return it->second;
   const TermId id = static_cast<TermId>(terms_.size());
@@ -12,8 +27,15 @@ TermId Vocabulary::GetOrAdd(std::string_view term) {
 }
 
 TermId Vocabulary::Lookup(std::string_view term) const {
-  auto it = index_.find(std::string(term));
-  return it == index_.end() ? kInvalidTermId : it->second;
+  if (!view_mode_) {
+    auto it = index_.find(std::string(term));
+    return it == index_.end() ? kInvalidTermId : it->second;
+  }
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), term,
+      [this](TermId id, std::string_view t) { return this->term(id) < t; });
+  if (it != sorted_.end() && this->term(*it) == term) return *it;
+  return kInvalidTermId;
 }
 
 }  // namespace ctxrank::text

@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -17,6 +18,14 @@ inline constexpr TermId kInvalidTermId = UINT32_MAX;
 
 /// \brief Bidirectional term <-> id mapping. Ids are assigned densely in
 /// insertion order, so they can index vectors directly.
+///
+/// Two storage modes share the read API:
+///   * owned (default): interned strings plus a hash index; GetOrAdd grows
+///     the id space.
+///   * view (FromView): term bytes live in an external blob (the serving
+///     snapshot's mmap region) addressed by an offsets table, and Lookup
+///     binary-searches a precomputed lexicographic permutation. The
+///     vocabulary is frozen — GetOrAdd must not be called.
 class Vocabulary {
  public:
   Vocabulary() = default;
@@ -28,20 +37,43 @@ class Vocabulary {
   Vocabulary(const Vocabulary&) = delete;
   Vocabulary& operator=(const Vocabulary&) = delete;
 
-  /// Returns the id for `term`, interning it if new.
+  /// Wraps external storage: `offsets` has size() + 1 entries delimiting
+  /// each term's bytes in `blob` (term i = blob[offsets[i], offsets[i+1])),
+  /// and `sorted` is the term-id permutation ordered by term string. All
+  /// three must outlive the returned vocabulary.
+  static Vocabulary FromView(std::span<const char> blob,
+                             std::span<const uint64_t> offsets,
+                             std::span<const TermId> sorted);
+
+  /// Returns the id for `term`, interning it if new. Owned mode only.
   TermId GetOrAdd(std::string_view term);
 
   /// Returns the id for `term`, or kInvalidTermId if absent.
   TermId Lookup(std::string_view term) const;
 
   /// Returns the term string for `id`; `id` must be < size().
-  const std::string& term(TermId id) const { return terms_[id]; }
+  std::string_view term(TermId id) const {
+    if (!view_mode_) return terms_[id];
+    return std::string_view(blob_.data() + offsets_[id],
+                            offsets_[id + 1] - offsets_[id]);
+  }
 
-  size_t size() const { return terms_.size(); }
+  size_t size() const {
+    return view_mode_ ? (offsets_.empty() ? 0 : offsets_.size() - 1)
+                      : terms_.size();
+  }
+
+  bool view_mode() const { return view_mode_; }
 
  private:
+  // Owned mode.
   std::unordered_map<std::string, TermId> index_;
   std::vector<std::string> terms_;
+  // View mode.
+  bool view_mode_ = false;
+  std::span<const char> blob_;
+  std::span<const uint64_t> offsets_;
+  std::span<const TermId> sorted_;
 };
 
 }  // namespace ctxrank::text

@@ -1,0 +1,127 @@
+// Fixed-width little-endian encode/decode helpers and the FNV-1a64
+// checksum that back every ctxrank binary format.
+#include "common/endian.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace ctxrank {
+namespace {
+
+TEST(EndianTest, StoreLE16ByteOrder) {
+  unsigned char buf[2];
+  StoreLE16(buf, 0x1234);
+  EXPECT_EQ(buf[0], 0x34);
+  EXPECT_EQ(buf[1], 0x12);
+  EXPECT_EQ(LoadLE16(buf), 0x1234);
+}
+
+TEST(EndianTest, StoreLE32ByteOrder) {
+  unsigned char buf[4];
+  StoreLE32(buf, 0x01020304u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[1], 0x03);
+  EXPECT_EQ(buf[2], 0x02);
+  EXPECT_EQ(buf[3], 0x01);
+  EXPECT_EQ(LoadLE32(buf), 0x01020304u);
+}
+
+TEST(EndianTest, StoreLE64ByteOrder) {
+  unsigned char buf[8];
+  StoreLE64(buf, 0x0102030405060708ULL);
+  EXPECT_EQ(buf[0], 0x08);
+  EXPECT_EQ(buf[7], 0x01);
+  EXPECT_EQ(LoadLE64(buf), 0x0102030405060708ULL);
+}
+
+TEST(EndianTest, RoundTripsExtremes) {
+  unsigned char buf[8];
+  for (uint32_t v : {0u, 1u, 0x7fffffffu, 0xffffffffu}) {
+    StoreLE32(buf, v);
+    EXPECT_EQ(LoadLE32(buf), v);
+  }
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, UINT64_MAX,
+                     uint64_t{0x8000000000000000ULL}}) {
+    StoreLE64(buf, v);
+    EXPECT_EQ(LoadLE64(buf), v);
+  }
+}
+
+TEST(EndianTest, DoubleRoundTripIsBitExact) {
+  unsigned char buf[8];
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           -1e308,
+                           std::numeric_limits<double>::min(),
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::infinity()};
+  for (double v : values) {
+    StoreLEDouble(buf, v);
+    EXPECT_EQ(std::bit_cast<uint64_t>(LoadLEDouble(buf)),
+              std::bit_cast<uint64_t>(v));
+  }
+  // NaN payload survives (value comparison would fail, bits must match).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  StoreLEDouble(buf, nan);
+  EXPECT_TRUE(std::isnan(LoadLEDouble(buf)));
+  EXPECT_EQ(std::bit_cast<uint64_t>(LoadLEDouble(buf)),
+            std::bit_cast<uint64_t>(nan));
+}
+
+TEST(EndianTest, CharOverloadsMatchUnsignedOverloads) {
+  char cbuf[8];
+  unsigned char ubuf[8];
+  StoreLE64(cbuf, 0xdeadbeefcafef00dULL);
+  StoreLE64(ubuf, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(std::memcmp(cbuf, ubuf, 8), 0);
+  EXPECT_EQ(LoadLE64(cbuf), LoadLE64(ubuf));
+}
+
+TEST(EndianTest, AppendHelpersGrowString) {
+  std::string out;
+  AppendLE32(out, 0x01020304u);
+  AppendLE64(out, 0x05060708090a0b0cULL);
+  AppendLEDouble(out, 2.5);
+  ASSERT_EQ(out.size(), 20u);
+  EXPECT_EQ(LoadLE32(out.data()), 0x01020304u);
+  EXPECT_EQ(LoadLE64(out.data() + 4), 0x05060708090a0b0cULL);
+  EXPECT_EQ(LoadLEDouble(out.data() + 12), 2.5);
+}
+
+TEST(EndianTest, Fnv1a64KnownVectors) {
+  // Standard FNV-1a 64 test vectors.
+  EXPECT_EQ(Fnv1a64("", 0), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a", 1), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar", 6), 0x85944171f73967e8ULL);
+}
+
+TEST(EndianTest, Fnv1a64DetectsSingleBitFlip) {
+  std::string data(256, '\0');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i);
+  const uint64_t clean = Fnv1a64(data.data(), data.size());
+  data[100] ^= 0x01;
+  EXPECT_NE(Fnv1a64(data.data(), data.size()), clean);
+}
+
+TEST(EndianTest, Fnv1a64SeedChaining) {
+  // Hashing in two chunks with seed chaining equals one-shot hashing.
+  const std::string data = "the quick brown fox";
+  const uint64_t one_shot = Fnv1a64(data.data(), data.size());
+  const uint64_t first = Fnv1a64(data.data(), 7);
+  EXPECT_EQ(Fnv1a64(data.data() + 7, data.size() - 7, first), one_shot);
+}
+
+TEST(EndianTest, HostEndiannessIsDetected) {
+  const uint32_t probe = 0x01020304u;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(&probe);
+  EXPECT_EQ(HostIsLittleEndian(), bytes[0] == 0x04);
+}
+
+}  // namespace
+}  // namespace ctxrank

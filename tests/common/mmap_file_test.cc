@@ -1,0 +1,62 @@
+// Read-only mmap wrapper used by the snapshot loader.
+#include "common/mmap_file.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <utility>
+
+namespace ctxrank {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(MmapFileTest, MapsFileContents) {
+  const std::string path = TempPath("mmap_basic.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "hello mmap";
+  }
+  auto r = MmapFile::Open(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const MmapFile& file = r.value();
+  ASSERT_TRUE(file.mapped());
+  EXPECT_EQ(std::string(file.data(), file.size()), "hello mmap");
+}
+
+TEST(MmapFileTest, EmptyFileMapsToNull) {
+  const std::string path = TempPath("mmap_empty.bin");
+  { std::ofstream f(path, std::ios::binary); }
+  auto r = MmapFile::Open(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().size(), 0u);
+  EXPECT_FALSE(r.value().mapped());
+}
+
+TEST(MmapFileTest, MissingFileFails) {
+  auto r = MmapFile::Open("/nonexistent/file.bin");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("cannot open"), std::string::npos);
+}
+
+TEST(MmapFileTest, MoveTransfersOwnership) {
+  const std::string path = TempPath("mmap_move.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "payload";
+  }
+  auto r = MmapFile::Open(path);
+  ASSERT_TRUE(r.ok());
+  MmapFile a = std::move(r).value();
+  const char* data = a.data();
+  MmapFile b = std::move(a);
+  EXPECT_EQ(b.data(), data);
+  EXPECT_EQ(b.size(), 7u);
+  EXPECT_FALSE(a.mapped());  // NOLINT(bugprone-use-after-move): deliberate.
+}
+
+}  // namespace
+}  // namespace ctxrank

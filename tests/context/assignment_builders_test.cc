@@ -1,11 +1,14 @@
 // Text- and pattern-based context paper set construction (paper §4) over a
 // small generated world.
+#include "common/array_view.h"
 #include "context/assignment_builders.h"
 
 #include <gtest/gtest.h>
 
 #include "corpus/corpus_generator.h"
 #include "ontology/ontology_generator.h"
+
+using ctxrank::ToVector;
 
 namespace ctxrank::context {
 namespace {
@@ -120,7 +123,8 @@ TEST_F(AssignmentBuildersTest, PatternAssignmentInheritanceIsDamped) {
     EXPECT_GE(pa.assignment.DecayFactor(t), 0.0);
     EXPECT_LE(pa.assignment.DecayFactor(t), 1.0);
     // Members copied from the source.
-    EXPECT_EQ(pa.assignment.Members(t), pa.assignment.Members(src));
+    EXPECT_EQ(ToVector(pa.assignment.Members(t)),
+              ToVector(pa.assignment.Members(src)));
   }
 }
 

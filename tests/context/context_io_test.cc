@@ -1,8 +1,11 @@
+#include "common/array_view.h"
 #include "context/context_io.h"
 
 #include <gtest/gtest.h>
 
 #include <fstream>
+
+using ctxrank::ToVector;
 
 namespace ctxrank::context {
 namespace {
@@ -24,15 +27,15 @@ TEST(AssignmentIoTest, RoundTrip) {
   const ContextAssignment& b = r.value();
   EXPECT_EQ(b.num_terms(), 4u);
   EXPECT_EQ(b.num_papers(), 20u);
-  EXPECT_EQ(b.Members(0), a.Members(0));
-  EXPECT_EQ(b.Members(2), a.Members(2));
+  EXPECT_EQ(ToVector(b.Members(0)), ToVector(a.Members(0)));
+  EXPECT_EQ(ToVector(b.Members(2)), ToVector(a.Members(2)));
   EXPECT_TRUE(b.Members(1).empty());
   EXPECT_EQ(b.Representative(0), 5u);
   EXPECT_EQ(b.Representative(1), corpus::kInvalidPaper);
   EXPECT_EQ(b.InheritedFrom(3), 0u);
   EXPECT_DOUBLE_EQ(b.DecayFactor(3), 0.42);
   // Reverse index restored too.
-  EXPECT_EQ(b.ContextsOf(5), (std::vector<ontology::TermId>{0}));
+  EXPECT_EQ(ToVector(b.ContextsOf(5)), (std::vector<ontology::TermId>{0}));
 }
 
 TEST(AssignmentIoTest, RejectsBadHeader) {
@@ -76,7 +79,79 @@ TEST(PrestigeIoTest, RoundTripPreservesExactValues) {
   ASSERT_EQ(r.value().Scores(0).size(), 3u);
   // %.17g round-trips doubles exactly.
   EXPECT_EQ(r.value().Scores(0)[1], 1.0 / 3.0);
-  EXPECT_EQ(r.value().Scores(2), (std::vector<double>{0.0}));
+  EXPECT_EQ(ToVector(r.value().Scores(2)), (std::vector<double>{0.0}));
+}
+
+TEST(AssignmentIoTest, RejectsEmptyFile) {
+  const std::string path = TempPath("empty_assignment.txt");
+  { std::ofstream f(path); }
+  EXPECT_FALSE(LoadAssignment(path).ok());
+}
+
+TEST(AssignmentIoTest, RejectsMissingCounts) {
+  const std::string path = TempPath("headeronly_assignment.txt");
+  {
+    std::ofstream f(path);
+    f << "ctxrank-assignment v1\n";
+  }
+  auto r = LoadAssignment(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("terms"), std::string::npos);
+}
+
+TEST(AssignmentIoTest, RejectsTermBlockCutAfterHeader) {
+  // A "term" line with no records only happens when the tail was lost —
+  // the writer always emits at least one record per block.
+  const std::string path = TempPath("cut_assignment.txt");
+  {
+    std::ofstream f(path);
+    f << "ctxrank-assignment v1\nterms 3\npapers 5\nterm 0\nM 1 2\nterm 1\n";
+  }
+  auto r = LoadAssignment(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("truncated"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(AssignmentIoTest, RejectsGarbageContent) {
+  const std::string path = TempPath("garbage_assignment.txt");
+  {
+    std::ofstream f(path);
+    f << "ctxrank-assignment v1\nterms 2\npapers 5\nterm 0\nM 1\n\x01\x02 x\n";
+  }
+  EXPECT_FALSE(LoadAssignment(path).ok());
+}
+
+TEST(AssignmentIoTest, RejectsOutOfRangeRepresentativeAndParent) {
+  const std::string path = TempPath("oor_rep_assignment.txt");
+  {
+    std::ofstream f(path);
+    f << "ctxrank-assignment v1\nterms 2\npapers 5\nterm 0\nR 9\n";
+  }
+  EXPECT_FALSE(LoadAssignment(path).ok());
+  {
+    std::ofstream f(path);
+    f << "ctxrank-assignment v1\nterms 2\npapers 5\nterm 0\nI 4 0.5\n";
+  }
+  EXPECT_FALSE(LoadAssignment(path).ok());
+}
+
+TEST(PrestigeIoTest, RejectsEmptyFile) {
+  const std::string path = TempPath("empty_prestige.txt");
+  { std::ofstream f(path); }
+  EXPECT_FALSE(LoadPrestige(path).ok());
+}
+
+TEST(PrestigeIoTest, RejectsScoreLineCutAfterTermId) {
+  const std::string path = TempPath("cut_prestige.txt");
+  {
+    std::ofstream f(path);
+    f << "ctxrank-prestige v1\nterms 3\n0 0.5 0.25\n2\n";
+  }
+  auto r = LoadPrestige(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("truncated"), std::string::npos)
+      << r.status().ToString();
 }
 
 TEST(PrestigeIoTest, RejectsBadInput) {

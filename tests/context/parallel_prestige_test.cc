@@ -7,12 +7,15 @@
 
 #include <memory>
 
+#include "common/array_view.h"
 #include "context/citation_prestige.h"
 #include "context/pattern_prestige.h"
 #include "context/search_engine.h"
 #include "context/text_prestige.h"
 #include "corpus/corpus_generator.h"
 #include "eval/experiment.h"
+
+using ctxrank::ToVector;
 
 namespace ctxrank::context {
 namespace {
@@ -40,7 +43,7 @@ class ParallelPrestigeTest : public ::testing::Test {
                               const PrestigeScores& b) {
     ASSERT_EQ(a.num_terms(), b.num_terms());
     for (ontology::TermId t = 0; t < a.num_terms(); ++t) {
-      EXPECT_EQ(a.Scores(t), b.Scores(t)) << "term " << t;
+      EXPECT_EQ(ToVector(a.Scores(t)), ToVector(b.Scores(t))) << "term " << t;
     }
   }
 

@@ -1,7 +1,10 @@
 // PrestigeScores container, hierarchy max rule, normalization.
+#include "common/array_view.h"
 #include "context/prestige.h"
 
 #include <gtest/gtest.h>
+
+using ctxrank::ToVector;
 
 namespace ctxrank::context {
 namespace {
@@ -126,10 +129,10 @@ TEST(HierarchicalMaxTest, UnscoredDescendantsSkipped) {
 TEST(ContextAssignmentTest, MembershipBasics) {
   ContextAssignment a(2, 5);
   a.SetMembers(0, {3, 1, 3});  // Unsorted with duplicate.
-  EXPECT_EQ(a.Members(0), (std::vector<corpus::PaperId>{1, 3}));
+  EXPECT_EQ(ToVector(a.Members(0)), (std::vector<corpus::PaperId>{1, 3}));
   EXPECT_TRUE(a.Contains(0, 1));
   EXPECT_FALSE(a.Contains(0, 2));
-  EXPECT_EQ(a.ContextsOf(1), (std::vector<ontology::TermId>{0}));
+  EXPECT_EQ(ToVector(a.ContextsOf(1)), (std::vector<ontology::TermId>{0}));
   EXPECT_TRUE(a.ContextsOf(0).empty());
 }
 
@@ -138,7 +141,7 @@ TEST(ContextAssignmentTest, ResettingMembersUpdatesReverseIndex) {
   a.SetMembers(0, {1, 2});
   a.SetMembers(0, {2, 3});
   EXPECT_TRUE(a.ContextsOf(1).empty());
-  EXPECT_EQ(a.ContextsOf(3), (std::vector<ontology::TermId>{0}));
+  EXPECT_EQ(ToVector(a.ContextsOf(3)), (std::vector<ontology::TermId>{0}));
 }
 
 TEST(ContextAssignmentTest, InheritanceMetadata) {

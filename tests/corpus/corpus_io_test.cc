@@ -1,0 +1,120 @@
+// LoadCorpus hardening: empty, truncated and garbage files must produce
+// descriptive Status errors instead of crashing or silently truncating.
+#include "corpus/corpus_io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace ctxrank::corpus {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  f << content;
+}
+
+// One complete, valid single-paper corpus file.
+std::string ValidCorpus() {
+  return "ctxrank-corpus v1\n"
+         "papers 1\n"
+         "authors 3\n"
+         "paper 0\n"
+         "T some title\n"
+         "A some abstract\n"
+         "B some body\n"
+         "I index terms\n"
+         "U 0 2\n"
+         "R\n"
+         "G 1\n";
+}
+
+TEST(CorpusIoTest, LoadsValidFile) {
+  const std::string path = TempPath("valid_corpus.txt");
+  WriteFile(path, ValidCorpus());
+  auto r = LoadCorpus(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value().paper(0).title, "some title");
+  EXPECT_EQ(r.value().paper(0).authors, (std::vector<AuthorId>{0, 2}));
+  EXPECT_TRUE(r.value().paper(0).references.empty());
+}
+
+TEST(CorpusIoTest, RejectsMissingFile) {
+  EXPECT_FALSE(LoadCorpus("/nonexistent/corpus.txt").ok());
+}
+
+TEST(CorpusIoTest, RejectsEmptyFile) {
+  const std::string path = TempPath("empty_corpus.txt");
+  WriteFile(path, "");
+  auto r = LoadCorpus(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("header"), std::string::npos);
+}
+
+TEST(CorpusIoTest, RejectsGarbageContent) {
+  const std::string path = TempPath("garbage_corpus.txt");
+  WriteFile(path, "\x7f\x45\x4c\x46 not a corpus at all\n\x01\x02\x03\n");
+  EXPECT_FALSE(LoadCorpus(path).ok());
+}
+
+TEST(CorpusIoTest, RejectsFileCutMidPaper) {
+  // Drop the last two record lines of the paper: the loader must flag the
+  // incomplete record set rather than accept a half-read paper.
+  std::string cut = ValidCorpus();
+  cut.resize(cut.find("U 0 2"));
+  const std::string path = TempPath("cut_corpus.txt");
+  WriteFile(path, cut);
+  auto r = LoadCorpus(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("truncated"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CorpusIoTest, RejectsCountMismatch) {
+  std::string content = ValidCorpus();
+  content.replace(content.find("papers 1"), 8, "papers 5");
+  const std::string path = TempPath("mismatch_corpus.txt");
+  WriteFile(path, content);
+  auto r = LoadCorpus(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("truncated"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CorpusIoTest, RejectsNegativeIdToken) {
+  std::string content = ValidCorpus();
+  content.replace(content.find("U 0 2"), 5, "U -5 2");
+  const std::string path = TempPath("negid_corpus.txt");
+  WriteFile(path, content);
+  auto r = LoadCorpus(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("bad id token"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CorpusIoTest, RejectsOverflowingIdToken) {
+  std::string content = ValidCorpus();
+  content.replace(content.find("U 0 2"), 5, "U 99999999999 2");
+  const std::string path = TempPath("overflow_corpus.txt");
+  WriteFile(path, content);
+  auto r = LoadCorpus(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("out of range"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CorpusIoTest, RejectsEvidencePaperOutOfRange) {
+  std::string content = ValidCorpus();
+  content += "evidence 1 7\n";
+  const std::string path = TempPath("evidence_corpus.txt");
+  WriteFile(path, content);
+  EXPECT_FALSE(LoadCorpus(path).ok());
+}
+
+}  // namespace
+}  // namespace ctxrank::corpus

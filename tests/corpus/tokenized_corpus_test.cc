@@ -1,8 +1,11 @@
 // TokenizedCorpus + FullTextSearch over a small hand-written corpus.
 #include <gtest/gtest.h>
 
+#include "common/array_view.h"
 #include "corpus/full_text_search.h"
 #include "corpus/tokenized_corpus.h"
+
+using ctxrank::ToVector;
 
 namespace ctxrank::corpus {
 namespace {
@@ -79,7 +82,7 @@ TEST_F(TokenizedCorpusTest, SimilarPapersScoreHigher) {
 TEST_F(TokenizedCorpusTest, PostingsListPapers) {
   const text::TermId kinase = tc_.vocabulary().Lookup("kinas");
   ASSERT_NE(kinase, text::kInvalidTermId);
-  EXPECT_EQ(tc_.Postings(kinase), (std::vector<PaperId>{0, 2}));
+  EXPECT_EQ(ToVector(tc_.Postings(kinase)), (std::vector<PaperId>{0, 2}));
   EXPECT_TRUE(tc_.Postings(999999).empty());
 }
 

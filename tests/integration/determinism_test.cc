@@ -4,7 +4,10 @@
 // uninitialized-state nondeterminism anywhere in the pipeline.
 #include <gtest/gtest.h>
 
+#include "common/array_view.h"
 #include "eval/experiment.h"
+
+using ctxrank::ToVector;
 
 namespace ctxrank::eval {
 namespace {
@@ -35,16 +38,18 @@ TEST(DeterminismTest, WorldsAreBitIdenticalAcrossBuilds) {
   }
   // Assignments and scores, bit-exact.
   for (ontology::TermId t = 0; t < a.onto().size(); ++t) {
-    EXPECT_EQ(a.text_set().Members(t), b.text_set().Members(t));
-    EXPECT_EQ(a.pattern_set().Members(t), b.pattern_set().Members(t));
+    EXPECT_EQ(ToVector(a.text_set().Members(t)),
+              ToVector(b.text_set().Members(t)));
+    EXPECT_EQ(ToVector(a.pattern_set().Members(t)),
+              ToVector(b.pattern_set().Members(t)));
     EXPECT_EQ(a.text_set().Representative(t),
               b.text_set().Representative(t));
-    EXPECT_EQ(a.text_set_citation_scores().Scores(t),
-              b.text_set_citation_scores().Scores(t));
-    EXPECT_EQ(a.text_set_text_scores().Scores(t),
-              b.text_set_text_scores().Scores(t));
-    EXPECT_EQ(a.pattern_set_pattern_scores().Scores(t),
-              b.pattern_set_pattern_scores().Scores(t));
+    EXPECT_EQ(ToVector(a.text_set_citation_scores().Scores(t)),
+              ToVector(b.text_set_citation_scores().Scores(t)));
+    EXPECT_EQ(ToVector(a.text_set_text_scores().Scores(t)),
+              ToVector(b.text_set_text_scores().Scores(t)));
+    EXPECT_EQ(ToVector(a.pattern_set_pattern_scores().Scores(t)),
+              ToVector(b.pattern_set_pattern_scores().Scores(t)));
   }
 }
 

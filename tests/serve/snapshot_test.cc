@@ -1,0 +1,320 @@
+// Snapshot save/load: bitwise-identical serving, integrity validation
+// (magic/version/truncation/checksums) and property sweeps across random
+// corpora, thread counts and top_k.
+#include "serve/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "context/search_engine.h"
+#include "corpus/tokenized_corpus.h"
+#include "eval/experiment.h"
+
+namespace ctxrank::serve {
+namespace {
+
+using context::ContextSearchEngine;
+using context::SearchHit;
+using context::SearchOptions;
+using corpus::Paper;
+using corpus::PaperId;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Exact comparison: scores must be the same IEEE-754 bits, not just close.
+void ExpectBitIdentical(const std::vector<SearchHit>& a,
+                        const std::vector<SearchHit>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].paper, b[i].paper) << "hit " << i;
+    EXPECT_EQ(a[i].context, b[i].context) << "hit " << i;
+    EXPECT_EQ(std::bit_cast<uint64_t>(a[i].relevancy),
+              std::bit_cast<uint64_t>(b[i].relevancy))
+        << "hit " << i;
+    EXPECT_EQ(std::bit_cast<uint64_t>(a[i].prestige),
+              std::bit_cast<uint64_t>(b[i].prestige))
+        << "hit " << i;
+    EXPECT_EQ(std::bit_cast<uint64_t>(a[i].match),
+              std::bit_cast<uint64_t>(b[i].match))
+        << "hit " << i;
+  }
+}
+
+ontology::Ontology MakeOntology() {
+  ontology::Ontology o;
+  const auto root = o.AddTerm("T:0", "molecular function");
+  const auto kin = o.AddTerm("T:1", "kinase signaling");
+  const auto rep = o.AddTerm("T:2", "dna repair");
+  const auto deep = o.AddTerm("T:3", "protein kinase signaling");
+  EXPECT_TRUE(o.AddIsA(kin, root).ok());
+  EXPECT_TRUE(o.AddIsA(rep, root).ok());
+  EXPECT_TRUE(o.AddIsA(deep, kin).ok());
+  EXPECT_TRUE(o.Finalize().ok());
+  return o;
+}
+
+corpus::Corpus MakeCorpus() {
+  corpus::Corpus c;
+  auto add = [&](PaperId id, const char* text) {
+    Paper p;
+    p.id = id;
+    p.title = text;
+    p.abstract_text = text;
+    p.body = text;
+    EXPECT_TRUE(c.Add(std::move(p)).ok());
+  };
+  add(0, "kinase signaling cascade");
+  add(1, "kinase signaling inhibitor");
+  add(2, "dna repair enzyme");
+  add(3, "dna repair checkpoint");
+  add(4, "protein kinase signaling pathway");
+  return c;
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  SnapshotTest()
+      : onto_(MakeOntology()),
+        corpus_(MakeCorpus()),
+        tc_(corpus_),
+        assignment_(onto_.size(), corpus_.size()),
+        prestige_(onto_.size()) {
+    assignment_.SetMembers(1, {0, 1, 4});
+    assignment_.SetMembers(2, {2, 3});
+    assignment_.SetMembers(3, {4});
+    prestige_.Set(1, {1.0, 0.2, 0.6});
+    prestige_.Set(2, {0.9, 0.1});
+    prestige_.Set(3, {1.0});
+    // index_min_members = 2 so the fixture exercises both built (indexed)
+    // and unbuilt (exact-scan) contexts in one snapshot.
+    ContextSearchEngine::EngineOptions eopts;
+    eopts.index_min_members = 2;
+    engine_ = std::make_unique<ContextSearchEngine>(tc_, onto_, assignment_,
+                                                    prestige_, eopts);
+  }
+
+  SnapshotInputs Inputs(bool with_corpus = true) const {
+    SnapshotInputs in;
+    in.tc = &tc_;
+    in.onto = &onto_;
+    in.assignment = &assignment_;
+    in.prestige = &prestige_;
+    in.engine = engine_.get();
+    in.corpus = with_corpus ? &corpus_ : nullptr;
+    return in;
+  }
+
+  std::string Path(const char* name) const {
+    return ::testing::TempDir() + "/" + name + ".snap";
+  }
+
+  ontology::Ontology onto_;
+  corpus::Corpus corpus_;
+  corpus::TokenizedCorpus tc_;
+  context::ContextAssignment assignment_;
+  context::PrestigeScores prestige_;
+  std::unique_ptr<ContextSearchEngine> engine_;
+};
+
+TEST_F(SnapshotTest, RoundTripSearchIsBitwiseIdentical) {
+  const std::string path = Path("roundtrip");
+  ASSERT_TRUE(SaveSnapshot(Inputs(), path).ok());
+  auto loaded = ServingSnapshot::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ServingSnapshot& snap = *loaded.value();
+
+  const std::vector<std::string> queries = {
+      "kinase signaling", "dna repair", "protein kinase signaling pathway",
+      "enzyme checkpoint", "unrelated words"};
+  std::vector<SearchOptions> variants(4);
+  variants[1].top_k = 2;
+  variants[2].exact_scan = true;
+  variants[3].semantic_expansion = 1;
+  for (const auto& q : queries) {
+    for (const auto& opts : variants) {
+      ExpectBitIdentical(engine_->Search(q, opts),
+                         snap.engine().Search(q, opts));
+    }
+  }
+}
+
+TEST_F(SnapshotTest, LoadedStateMatchesBuiltState) {
+  const std::string path = Path("state");
+  ASSERT_TRUE(SaveSnapshot(Inputs(), path).ok());
+  auto loaded = ServingSnapshot::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ServingSnapshot& snap = *loaded.value();
+
+  EXPECT_EQ(snap.num_papers(), tc_.size());
+  EXPECT_EQ(snap.tc().vocabulary().size(), tc_.vocabulary().size());
+  for (text::TermId t = 0; t < tc_.vocabulary().size(); ++t) {
+    EXPECT_EQ(snap.tc().vocabulary().term(t), tc_.vocabulary().term(t));
+    EXPECT_EQ(snap.tc().vocabulary().Lookup(tc_.vocabulary().term(t)), t);
+  }
+  EXPECT_EQ(snap.onto().size(), onto_.size());
+  for (ontology::TermId t = 0; t < onto_.size(); ++t) {
+    EXPECT_EQ(snap.onto().term(t).name, onto_.term(t).name);
+    EXPECT_EQ(snap.onto().term(t).parents, onto_.term(t).parents);
+  }
+  EXPECT_EQ(snap.engine().index_postings(), engine_->index_postings());
+  ASSERT_TRUE(snap.has_titles());
+  for (PaperId p = 0; p < corpus_.size(); ++p) {
+    EXPECT_EQ(snap.title(p), corpus_.paper(p).title);
+  }
+}
+
+TEST_F(SnapshotTest, SavingWithoutCorpusOmitsTitles) {
+  const std::string path = Path("notitles");
+  ASSERT_TRUE(SaveSnapshot(Inputs(/*with_corpus=*/false), path).ok());
+  auto loaded = ServingSnapshot::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded.value()->has_titles());
+  EXPECT_EQ(loaded.value()->title(0), "");
+  ExpectBitIdentical(engine_->Search("kinase signaling"),
+                     loaded.value()->engine().Search("kinase signaling"));
+}
+
+TEST_F(SnapshotTest, RejectsNullInputs) {
+  SnapshotInputs in = Inputs();
+  in.engine = nullptr;
+  EXPECT_FALSE(SaveSnapshot(in, Path("null")).ok());
+}
+
+TEST_F(SnapshotTest, RejectsMissingFile) {
+  auto loaded = ServingSnapshot::Load(Path("does_not_exist"));
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(SnapshotTest, RejectsFileSmallerThanHeader) {
+  const std::string path = Path("tiny");
+  WriteFile(path, "short");
+  auto loaded = ServingSnapshot::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("too small"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotTest, RejectsBadMagic) {
+  const std::string path = Path("magic");
+  ASSERT_TRUE(SaveSnapshot(Inputs(), path).ok());
+  std::string bytes = ReadFile(path);
+  bytes[0] = 'X';
+  WriteFile(path, bytes);
+  auto loaded = ServingSnapshot::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("magic"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotTest, RejectsWrongVersion) {
+  const std::string path = Path("version");
+  ASSERT_TRUE(SaveSnapshot(Inputs(), path).ok());
+  std::string bytes = ReadFile(path);
+  bytes[8] = 99;  // Version field (little-endian u32 at offset 8).
+  WriteFile(path, bytes);
+  auto loaded = ServingSnapshot::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotTest, RejectsTruncatedFile) {
+  const std::string path = Path("truncated");
+  ASSERT_TRUE(SaveSnapshot(Inputs(), path).ok());
+  std::string bytes = ReadFile(path);
+  bytes.resize(bytes.size() - 100);
+  WriteFile(path, bytes);
+  auto loaded = ServingSnapshot::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("size"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotTest, RejectsCorruptedSectionByte) {
+  const std::string path = Path("corrupt");
+  ASSERT_TRUE(SaveSnapshot(Inputs(), path).ok());
+  std::string bytes = ReadFile(path);
+  bytes[bytes.size() / 2] ^= 0x5a;
+  WriteFile(path, bytes);
+  auto loaded = ServingSnapshot::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotTest, RejectsTamperedChecksumEntry) {
+  const std::string path = Path("badsum");
+  ASSERT_TRUE(SaveSnapshot(Inputs(), path).ok());
+  std::string bytes = ReadFile(path);
+  // First section-table entry's checksum field: header (32) + kind/reserved/
+  // offset/size/count (32).
+  bytes[32 + 32] ^= 0xff;
+  WriteFile(path, bytes);
+  auto loaded = ServingSnapshot::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+// Property sweep: random worlds x save/load thread counts x top_k — the
+// loaded engine must reproduce the built engine's results bit for bit.
+class SnapshotPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SnapshotPropertyTest, SaveLoadSearchBitwiseIdenticalToBuild) {
+  const uint64_t seed = GetParam();
+  eval::WorldConfig config = eval::WorldConfig::Small();
+  config.build_pattern_set = false;
+  config.ontology.seed = seed;
+  config.corpus.seed = seed * 31 + 7;
+  auto world = eval::World::Build(config);
+  ASSERT_TRUE(world.ok()) << world.status().ToString();
+  const eval::World& w = *world.value();
+
+  ContextSearchEngine::EngineOptions eopts;
+  eopts.num_threads = 1 + seed % 4;
+  eopts.index_min_members = 4;
+  const ContextSearchEngine engine(w.tc(), w.onto(), w.text_set(),
+                                   w.text_set_text_scores(), eopts);
+
+  const std::string path = ::testing::TempDir() + "/prop_snapshot_" +
+                           std::to_string(seed) + ".snap";
+  const size_t save_threads = seed % 3;  // 0 = hardware, 1, 2.
+  ASSERT_TRUE(SaveSnapshot(w, engine, path, save_threads).ok());
+  auto loaded = ServingSnapshot::Load(path, (seed + 1) % 3);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ServingSnapshot& snap = *loaded.value();
+
+  std::vector<std::string> queries;
+  for (ontology::TermId t = 0; t < w.onto().size() && queries.size() < 8;
+       t += 3) {
+    queries.push_back(w.onto().term(t).name);
+  }
+  for (const auto& q : queries) {
+    for (size_t top_k : {size_t{0}, size_t{3}, size_t{10}}) {
+      SearchOptions opts;
+      opts.top_k = top_k;
+      opts.semantic_expansion = seed % 2;
+      ExpectBitIdentical(engine.Search(q, opts), snap.engine().Search(q, opts));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotPropertyTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace ctxrank::serve

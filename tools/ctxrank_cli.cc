@@ -13,6 +13,13 @@
 //       Dataset statistics.
 //   ctxrank analyze --data DIR [--set text|pattern]
 //       The paper's §5 separability analysis over a saved index.
+//   ctxrank snapshot save --data DIR [--set text|pattern]
+//                  [--function text|citation|pattern] [--out FILE]
+//       Build the serving state and write one mmap-able binary snapshot.
+//   ctxrank snapshot load --snapshot FILE [--query "..."]
+//       Validate + load a snapshot (zero-copy) and print its stats.
+//   ctxrank search --snapshot FILE --query "..."
+//       Serve the query from a snapshot instead of rebuilding the index.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -39,6 +46,7 @@
 #include "graph/citation_graph.h"
 #include "ontology/obo_io.h"
 #include "ontology/ontology_generator.h"
+#include "serve/snapshot.h"
 
 namespace ctxrank::cli {
 namespace {
@@ -46,8 +54,8 @@ namespace {
 /// Minimal --flag value parser; positional args are rejected.
 class Args {
  public:
-  Args(int argc, char** argv) {
-    for (int i = 2; i < argc; ++i) {
+  Args(int argc, char** argv, int start = 2) {
+    for (int i = start; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
         ok_ = false;
@@ -94,9 +102,15 @@ int Usage() {
                "           [--function text|citation|pattern] [--top N]\n"
                "           [--topk K] [--exact 1] [--cache N]\n"
                "           [--batch FILE] [--threads N]\n"
+               "  search   --snapshot FILE --query Q [--top N] [--topk K]\n"
+               "           [--batch FILE] [--threads N]\n"
                "  info     --data DIR\n"
                "  analyze  --data DIR [--set text|pattern] "
                "[--min-context N]\n"
+               "  snapshot save --data DIR [--set text|pattern]\n"
+               "           [--function text|citation|pattern] [--out FILE]\n"
+               "           [--threads N]\n"
+               "  snapshot load --snapshot FILE [--query Q] [--threads N]\n"
                "common flags:\n"
                "  --threads N   parallelize corpus text synthesis and the\n"
                "                prestige engines (0 = all cores; output is\n"
@@ -239,11 +253,70 @@ int Index(const Args& args) {
   return 0;
 }
 
-int Search(const Args& args) {
-  const std::string dir = args.Get("data", "");
+/// `search --snapshot FILE`: serves queries from a saved snapshot —
+/// zero-copy load, no corpus re-analysis, no index rebuild. Titles come
+/// from the snapshot; snippets need the raw corpus text and are skipped.
+int SearchFromSnapshot(const Args& args, const std::string& snap_path) {
   const std::string query = args.Get("query", "");
   const std::string batch_file = args.Get("batch", "");
-  if (dir.empty() || (query.empty() && batch_file.empty())) return Usage();
+  const size_t top = static_cast<size_t>(args.GetInt("top", 10));
+  context::SearchOptions options;
+  options.top_k = static_cast<size_t>(args.GetInt("topk", 0));
+  options.num_threads = static_cast<size_t>(args.GetInt("threads", 1));
+
+  auto snap = serve::ServingSnapshot::Load(
+      snap_path, static_cast<size_t>(args.GetInt("threads", 0)));
+  if (!snap.ok()) return Fail(snap.status());
+  const serve::ServingSnapshot& s = *snap.value();
+  const auto title = [&s](corpus::PaperId p) {
+    return s.has_titles() ? std::string(s.title(p))
+                          : "paper " + std::to_string(p);
+  };
+
+  if (!batch_file.empty()) {
+    std::ifstream in(batch_file);
+    if (!in) return Fail(Status::NotFound("cannot open " + batch_file));
+    std::vector<std::string> queries;
+    for (std::string line; std::getline(in, line);) {
+      if (!line.empty()) queries.push_back(line);
+    }
+    const auto results = s.engine().SearchMany(queries, options);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::printf("%4zu hits  %s\n", results[i].size(), queries[i].c_str());
+      for (size_t j = 0; j < results[i].size() && j < top; ++j) {
+        std::printf("      R=%.3f  %s\n", results[i][j].relevancy,
+                    title(results[i][j].paper).c_str());
+      }
+    }
+    return 0;
+  }
+
+  std::printf("query \"%s\" [snapshot %s]\n", query.c_str(),
+              snap_path.c_str());
+  for (const auto& cm : s.engine().SelectContexts(query, 5, 1e-9)) {
+    std::printf("  context [%.3f] %s\n", cm.score,
+                s.onto().term(cm.term).name.c_str());
+  }
+  const auto hits = s.engine().Search(query, options);
+  std::printf("%zu results\n", hits.size());
+  for (size_t i = 0; i < hits.size() && i < top; ++i) {
+    std::printf("%3zu. R=%.3f (prestige %.3f, match %.3f)  %s\n", i + 1,
+                hits[i].relevancy, hits[i].prestige, hits[i].match,
+                title(hits[i].paper).c_str());
+  }
+  return 0;
+}
+
+int Search(const Args& args) {
+  const std::string dir = args.Get("data", "");
+  const std::string snap_path = args.Get("snapshot", "");
+  const std::string query = args.Get("query", "");
+  const std::string batch_file = args.Get("batch", "");
+  if ((dir.empty() && snap_path.empty()) ||
+      (query.empty() && batch_file.empty())) {
+    return Usage();
+  }
+  if (!snap_path.empty()) return SearchFromSnapshot(args, snap_path);
   const std::string set = args.Get("set", "text");
   const std::string function = args.Get("function", "text");
   const size_t top = static_cast<size_t>(args.GetInt("top", 10));
@@ -394,9 +467,92 @@ int Analyze(const Args& args) {
   return 0;
 }
 
+/// `snapshot save`: loads the text artifacts of `index`, builds the
+/// serving engine once, and persists everything as one binary snapshot.
+int SnapshotSave(const Args& args) {
+  const std::string dir = args.Get("data", "");
+  if (dir.empty()) return Usage();
+  const std::string set = args.Get("set", "text");
+  const std::string function = args.Get("function", "text");
+  const std::string out =
+      args.Get("out", dir + "/" + set + "_" + function + ".snap");
+  const size_t threads = static_cast<size_t>(args.GetInt("threads", 0));
+
+  auto data = LoadDataset(dir);
+  if (!data.ok()) return Fail(data.status());
+  const corpus::TokenizedCorpus tc(data.value().corpus);
+  auto assignment =
+      context::LoadAssignment(dir + "/" + set + "_assignment.txt");
+  if (!assignment.ok()) return Fail(assignment.status());
+  auto prestige = context::LoadPrestige(dir + "/" + set + "_prestige_" +
+                                        function + ".txt");
+  if (!prestige.ok()) return Fail(prestige.status());
+
+  context::ContextSearchEngine::EngineOptions engine_options;
+  engine_options.num_threads = threads;
+  const context::ContextSearchEngine engine(tc, data.value().onto,
+                                            assignment.value(),
+                                            prestige.value(), engine_options);
+  serve::SnapshotInputs inputs;
+  inputs.tc = &tc;
+  inputs.onto = &data.value().onto;
+  inputs.assignment = &assignment.value();
+  inputs.prestige = &prestige.value();
+  inputs.engine = &engine;
+  inputs.corpus = &data.value().corpus;
+  const Status st = serve::SaveSnapshot(inputs, out, threads);
+  if (!st.ok()) return Fail(st);
+  std::ifstream f(out, std::ios::binary | std::ios::ate);
+  std::printf("wrote snapshot %s (%lld bytes, %zu papers, %zu postings)\n",
+              out.c_str(), static_cast<long long>(f.tellg()), tc.size(),
+              engine.index_postings());
+  return 0;
+}
+
+/// `snapshot load`: validates + loads a snapshot and prints what it serves
+/// (plus an optional smoke query).
+int SnapshotLoad(const Args& args) {
+  const std::string path = args.Get("snapshot", "");
+  if (path.empty()) return Usage();
+  auto snap = serve::ServingSnapshot::Load(
+      path, static_cast<size_t>(args.GetInt("threads", 0)));
+  if (!snap.ok()) return Fail(snap.status());
+  const serve::ServingSnapshot& s = *snap.value();
+  size_t contexts = 0;
+  for (ontology::TermId t = 0; t < s.assignment().num_terms(); ++t) {
+    if (!s.assignment().Members(t).empty()) ++contexts;
+  }
+  std::printf("snapshot %s: %zu papers, %zu vocabulary terms, %zu ontology "
+              "terms, %zu contexts with members, %zu index postings, "
+              "titles: %s\n",
+              path.c_str(), s.num_papers(), s.tc().vocabulary().size(),
+              s.onto().size(), contexts, s.engine().index_postings(),
+              s.has_titles() ? "yes" : "no");
+  const std::string query = args.Get("query", "");
+  if (!query.empty()) {
+    const auto hits = s.engine().SearchTopK(query, 5);
+    std::printf("query \"%s\": %zu hits\n", query.c_str(), hits.size());
+    for (const auto& h : hits) {
+      std::printf("  R=%.3f  %s\n", h.relevancy,
+                  s.has_titles() ? std::string(s.title(h.paper)).c_str()
+                                 : std::to_string(h.paper).c_str());
+    }
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "snapshot") {
+    if (argc < 3) return Usage();
+    const std::string sub = argv[2];
+    const Args args(argc, argv, 3);
+    if (!args.ok()) return Usage();
+    if (sub == "save") return SnapshotSave(args);
+    if (sub == "load") return SnapshotLoad(args);
+    return Usage();
+  }
   const Args args(argc, argv);
   if (!args.ok()) return Usage();
   if (command == "generate") return Generate(args);
