@@ -21,7 +21,10 @@ echo "== inverted + impact indexes under ASan/UBSan =="
 echo "== query fast path under ASan/UBSan =="
 "${build_dir}/tests/context_test" --gtest_filter='QueryFastPath*:SearchEngine*'
 
-echo "== snapshot save/load round-trip under ASan/UBSan =="
+echo "== deadline degradation + admission shedding under ASan/UBSan =="
+"${build_dir}/tests/context_test" --gtest_filter='ResilientSearch*'
+
+echo "== snapshot round-trip, supervisor, fault sweep under ASan/UBSan =="
 "${build_dir}/tests/serve_test"
 
 echo "ASan/UBSan verification passed."

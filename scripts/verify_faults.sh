@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds the resilience suites with AddressSanitizer + UndefinedBehavior-
+# Sanitizer and runs every fault-injection test under them: the injector's
+# own unit tests, the mmap/snapshot fault points, the deadline/degradation
+# search tests, the snapshot supervisor (last-good fallback, retry loop,
+# watcher), and the full fault sweep (attack every registered point, then
+# seed-driven random failure storms). A fault that corrupts memory instead
+# of degrading gracefully dies loudly here rather than silently in prod.
+# Usage: scripts/verify_faults.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-asan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCTXRANK_SANITIZE=address,undefined
+cmake --build "${build_dir}" -j --target common_test context_test serve_test
+
+echo "== fault injector, deadline, admission limiter under ASan/UBSan =="
+"${build_dir}/tests/common_test" \
+  --gtest_filter='FaultInjection*:Deadline*:AdmissionLimiter*:MmapFile*'
+
+echo "== deadline degradation + admission shedding under ASan/UBSan =="
+"${build_dir}/tests/context_test" --gtest_filter='ResilientSearch*'
+
+echo "== snapshot supervisor + fault sweep under ASan/UBSan =="
+"${build_dir}/tests/serve_test" --gtest_filter='Supervisor*:FaultSweep*'
+
+echo "Fault-injection verification passed."

@@ -11,13 +11,19 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build-tsan}"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCTXRANK_SANITIZE=thread
-cmake --build "${build_dir}" -j --target common_test context_test
+cmake --build "${build_dir}" -j --target common_test context_test serve_test
 
-echo "== thread pool under TSan =="
+echo "== thread pool + concurrent caches/injector/limiter under TSan =="
 "${build_dir}/tests/common_test" \
-  --gtest_filter='ThreadPool*:ParallelFor*:ResolveNumThreads*'
+  --gtest_filter='ThreadPool*:ParallelFor*:ResolveNumThreads*:LruCache*:FaultInjection*:AdmissionLimiter*'
 
 echo "== parallel determinism regressions under TSan =="
 "${build_dir}/tests/context_test" --gtest_filter='ParallelPrestige*'
+
+echo "== deadline degradation across threads under TSan =="
+"${build_dir}/tests/context_test" --gtest_filter='ResilientSearch*'
+
+echo "== snapshot supervisor swaps vs concurrent readers under TSan =="
+"${build_dir}/tests/serve_test" --gtest_filter='Supervisor*'
 
 echo "TSan verification passed."

@@ -1,0 +1,90 @@
+// Bounded in-flight admission control for the batch query path. A plain
+// counting semaphore with deadline-aware acquisition: SearchMany acquires
+// one permit per in-flight query, so a burst larger than the configured
+// limit queues instead of oversubscribing — and with a deadline set, a
+// query that cannot be admitted in time is shed with kResourceExhausted
+// instead of waiting forever.
+#ifndef CTXRANK_COMMON_ADMISSION_LIMITER_H_
+#define CTXRANK_COMMON_ADMISSION_LIMITER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "common/deadline.h"
+
+namespace ctxrank {
+
+class AdmissionLimiter {
+ public:
+  /// `limit` concurrent permits (clamped to at least 1).
+  explicit AdmissionLimiter(size_t limit) : limit_(limit == 0 ? 1 : limit) {}
+
+  AdmissionLimiter(const AdmissionLimiter&) = delete;
+  AdmissionLimiter& operator=(const AdmissionLimiter&) = delete;
+
+  /// Acquires a permit, waiting until one frees up. With an armed deadline,
+  /// gives up at expiry; returns whether the permit was granted.
+  bool Acquire(const Deadline& deadline = Deadline()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!deadline.armed()) {
+      released_.wait(lock, [this] { return in_flight_ < limit_; });
+    } else if (!released_.wait_until(lock, deadline.when(), [this] {
+                 return in_flight_ < limit_;
+               })) {
+      return false;
+    }
+    ++in_flight_;
+    return true;
+  }
+
+  /// Non-blocking acquire.
+  bool TryAcquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_flight_ >= limit_) return false;
+    ++in_flight_;
+    return true;
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+    released_.notify_one();
+  }
+
+  size_t limit() const { return limit_; }
+
+  size_t in_flight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return in_flight_;
+  }
+
+  /// RAII permit: releases on destruction iff the acquire succeeded.
+  class Permit {
+   public:
+    Permit(AdmissionLimiter& limiter, const Deadline& deadline)
+        : limiter_(limiter), granted_(limiter.Acquire(deadline)) {}
+    ~Permit() {
+      if (granted_) limiter_.Release();
+    }
+    Permit(const Permit&) = delete;
+    Permit& operator=(const Permit&) = delete;
+    bool granted() const { return granted_; }
+
+   private:
+    AdmissionLimiter& limiter_;
+    bool granted_;
+  };
+
+ private:
+  const size_t limit_;
+  mutable std::mutex mu_;
+  std::condition_variable released_;
+  size_t in_flight_ = 0;
+};
+
+}  // namespace ctxrank
+
+#endif  // CTXRANK_COMMON_ADMISSION_LIMITER_H_

@@ -1,0 +1,101 @@
+// Monotonic time budget for query serving. A Deadline is either unset
+// (never expires — the default, and the zero-overhead path: expired() is a
+// single bool test) or an absolute point on the steady clock. The search
+// path checks it at context granularity and on pruning-block boundaries
+// and degrades gracefully instead of blocking past the budget.
+#ifndef CTXRANK_COMMON_DEADLINE_H_
+#define CTXRANK_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+namespace ctxrank {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unset: armed() is false and expired() is always false.
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds from now (ms == 0 is already expired —
+  /// useful for "shed all load" and for deterministic tests).
+  static Deadline AfterMs(uint64_t ms) {
+    return Deadline(Clock::now() + std::chrono::milliseconds(ms));
+  }
+
+  /// Expires at an absolute steady-clock point (shared across a batch).
+  static Deadline At(Clock::time_point when) { return Deadline(when); }
+
+  /// Never expires, but armed() — for call sites that require a deadline.
+  static Deadline Infinite() { return Deadline(Clock::time_point::max()); }
+
+  bool armed() const { return armed_; }
+
+  /// True iff a set deadline has passed. An unset deadline never expires
+  /// and costs no clock read to check. An armed one costs a coarse-clock
+  /// read (a vDSO page read, no TSC access) while the expiry point is
+  /// still far, and an exact steady-clock read from there on — the
+  /// verdict always comes from the precise clock whenever it could
+  /// possibly be "expired".
+  bool expired() const {
+    if (!armed_) return false;
+    armed_checks_.fetch_add(1, std::memory_order_relaxed);
+#if defined(CLOCK_MONOTONIC_COARSE)
+    // The coarse clock shares the monotonic epoch but only advances on
+    // scheduler ticks, so it may lag the precise clock by one tick. A
+    // verdict of "still comfortably early" (beyond any plausible tick
+    // length) is therefore trustworthy; anything closer falls through.
+    timespec ts;
+    if (clock_gettime(CLOCK_MONOTONIC_COARSE, &ts) == 0) {
+      const Clock::time_point coarse{
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::seconds(ts.tv_sec) +
+              std::chrono::nanoseconds(ts.tv_nsec))};
+      if (coarse + kCoarseSlack < when_) return false;
+    }
+#endif
+    return Clock::now() >= when_;
+  }
+
+  /// Milliseconds left (0 when expired; a large value when unset).
+  int64_t remaining_ms() const {
+    if (!armed_) return INT64_MAX;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        when_ - Clock::now());
+    return left.count() < 0 ? 0 : left.count();
+  }
+
+  /// The absolute expiry point; only meaningful when armed().
+  Clock::time_point when() const { return when_; }
+
+  /// Process-wide count of armed expired() checks (each one is a clock
+  /// read). The unarmed path never touches it, so a query with no
+  /// deadline stays a bool test; the armed path pays one relaxed
+  /// increment beside a clock read it does anyway. The bench's overhead
+  /// guard multiplies this exact count by the measured per-check cost —
+  /// wall-clock A/B at sub-1% resolution is hopeless on shared VMs.
+  static uint64_t armed_checks() {
+    return armed_checks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Upper bound on how far CLOCK_MONOTONIC_COARSE may trail the precise
+  // clock (one scheduler tick: 4 ms at HZ=250, 20 ms at HZ=50), with a
+  // wide margin so an exotic kernel config cannot turn the shortcut into
+  // a late deadline.
+  static constexpr std::chrono::milliseconds kCoarseSlack{100};
+
+  inline static std::atomic<uint64_t> armed_checks_{0};
+
+  explicit Deadline(Clock::time_point when) : when_(when), armed_(true) {}
+
+  Clock::time_point when_{};
+  bool armed_ = false;
+};
+
+}  // namespace ctxrank
+
+#endif  // CTXRANK_COMMON_DEADLINE_H_

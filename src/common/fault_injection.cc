@@ -1,0 +1,186 @@
+#include "common/fault_injection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace ctxrank::fault {
+namespace {
+
+uint64_t Fnv1a(const char* s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string Describe(const char* point, uint64_t hit, StatusCode code,
+                     const std::string& message) {
+  std::string out = "injected ";
+  out += StatusCodeToString(code);
+  out += " fault at '";
+  out += point;
+  out += "' (hit ";
+  out += std::to_string(hit);
+  out += ")";
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm() { armed_.store(true, std::memory_order_relaxed); }
+
+void FaultInjector::StartRecording() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  hits_.clear();
+  injected_failures_ = 0;
+  random_mode_ = false;
+  Arm();
+}
+
+void FaultInjector::FailNth(const std::string& point, uint64_t nth,
+                            StatusCode code, const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back({Rule::Kind::kFail, point, nth, nth, code, message, 0,
+                    SIZE_MAX});
+  Arm();
+}
+
+void FaultInjector::FailFrom(const std::string& point, uint64_t nth,
+                             StatusCode code, const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back({Rule::Kind::kFail, point, nth, UINT64_MAX, code, message,
+                    0, SIZE_MAX});
+  Arm();
+}
+
+void FaultInjector::FailRandom(uint64_t seed, double probability,
+                               StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  random_mode_ = true;
+  random_seed_ = seed;
+  random_probability_ = std::clamp(probability, 0.0, 1.0);
+  random_code_ = code;
+  Arm();
+}
+
+void FaultInjector::StallFrom(const std::string& point, uint64_t nth,
+                              uint64_t ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back({Rule::Kind::kStall, point, nth, UINT64_MAX,
+                    StatusCode::kOk, "", ms, SIZE_MAX});
+  Arm();
+}
+
+void FaultInjector::TruncateIoNth(const std::string& point, uint64_t nth,
+                                  size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back({Rule::Kind::kTruncateIo, point, nth, nth,
+                    StatusCode::kOk, "", 0, max_bytes});
+  Arm();
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+  rules_.clear();
+  hits_.clear();
+  injected_failures_ = 0;
+  random_mode_ = false;
+}
+
+std::vector<std::string> FaultInjector::SeenPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> points;
+  points.reserve(hits_.size());
+  for (const auto& [point, count] : hits_) points.push_back(point);
+  return points;  // std::map iteration is already sorted.
+}
+
+uint64_t FaultInjector::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(point);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+uint64_t FaultInjector::InjectedFailures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_failures_;
+}
+
+uint64_t FaultInjector::RecordHit(const std::string& point) {
+  return ++hits_[point];
+}
+
+Status FaultInjector::OnPoint(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+  const uint64_t hit = RecordHit(point);
+  for (const Rule& rule : rules_) {
+    if (rule.kind != Rule::Kind::kFail || rule.point != point) continue;
+    if (hit < rule.first_hit || hit > rule.last_hit) continue;
+    ++injected_failures_;
+    return Status(rule.code, Describe(point, hit, rule.code, rule.message));
+  }
+  if (random_mode_ && random_probability_ > 0.0) {
+    // Mix (seed, point, per-point hit index): the decision for hit i of a
+    // point never depends on other points or on thread interleaving.
+    SplitMix64 mix(random_seed_ ^ (Fnv1a(point) + 0x9e3779b97f4a7c15ULL * hit));
+    const double draw =
+        static_cast<double>(mix.Next() >> 11) * 0x1.0p-53;
+    if (draw < random_probability_) {
+      ++injected_failures_;
+      return Status(random_code_,
+                    Describe(point, hit, random_code_, "seed-driven"));
+    }
+  }
+  return Status::OK();
+}
+
+void FaultInjector::OnStall(const char* point) {
+  uint64_t stall_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!armed_.load(std::memory_order_relaxed)) return;
+    const uint64_t hit = RecordHit(point);
+    for (const Rule& rule : rules_) {
+      if (rule.kind != Rule::Kind::kStall || rule.point != point) continue;
+      if (hit < rule.first_hit || hit > rule.last_hit) continue;
+      stall_ms = std::max(stall_ms, rule.stall_ms);
+    }
+  }
+  if (stall_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  }
+}
+
+size_t FaultInjector::OnIo(const char* point, size_t requested) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return requested;
+  const uint64_t hit = RecordHit(point);
+  size_t allowed = requested;
+  for (const Rule& rule : rules_) {
+    if (rule.kind != Rule::Kind::kTruncateIo || rule.point != point) continue;
+    if (hit < rule.first_hit || hit > rule.last_hit) continue;
+    allowed = std::min(allowed, rule.max_bytes);
+  }
+  return allowed;
+}
+
+}  // namespace ctxrank::fault

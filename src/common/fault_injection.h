@@ -1,0 +1,151 @@
+// Deterministic fault injection for resilience tests. Production code
+// marks its failure-prone spots with named injection points:
+//
+//   CTXRANK_RETURN_NOT_OK(fault::MaybeFail("snapshot/save/pwrite"));
+//   fault::MaybeStall("search/scan_context");
+//   n = ::pwrite(fd, p, fault::MaybeTruncateIo("snapshot/save/pwrite", n), o);
+//
+// When the singleton injector is disarmed (the default, including all of
+// production) every hook is a single relaxed atomic load — no locks, no
+// strings, no clock reads. Tests arm it with seed-driven rules:
+//
+//   * StartRecording()            — pass-through mode that registers every
+//                                   point reached (drives the sweep tests);
+//   * FailNth(point, n, code)     — the n-th hit of `point` returns a
+//                                   descriptive error Status;
+//   * FailRandom(seed, p, code)   — every hit fails with probability p,
+//                                   reproducible from (seed, point,
+//                                   per-point hit index) alone, so a seed
+//                                   sweep explores distinct deterministic
+//                                   failure patterns;
+//   * StallFrom(point, n, ms)     — hits n, n+1, ... sleep `ms` (drives
+//                                   deadline-degradation tests);
+//   * TruncateIoNth(point, n, b)  — the n-th I/O at `point` transfers at
+//                                   most b bytes (short read/write).
+//
+// The injector is a process-wide singleton; tests that arm it must not run
+// concurrently with other armed tests (gtest runs tests sequentially in
+// one binary, which is exactly the supported setup).
+#ifndef CTXRANK_COMMON_FAULT_INJECTION_H_
+#define CTXRANK_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ctxrank::fault {
+
+class FaultInjector {
+ public:
+  /// The process-wide injector.
+  static FaultInjector& Instance();
+
+  /// True when any mode (recording or failing) is active. Relaxed load —
+  /// this is the only cost the hooks pay in production.
+  static bool Armed() { return armed_.load(std::memory_order_relaxed); }
+
+  /// Pass-through mode: nothing fails, but every point reached is
+  /// registered (see SeenPoints). Clears previous rules and counters.
+  void StartRecording();
+
+  /// Arms a deterministic failure: the `nth` hit (1-based) of `point`
+  /// returns Status(code, ...). Multiple rules may be armed at once.
+  void FailNth(const std::string& point, uint64_t nth,
+               StatusCode code = StatusCode::kIoError,
+               const std::string& message = "");
+
+  /// Arms a deterministic failure for every hit of `point` from `nth` on.
+  void FailFrom(const std::string& point, uint64_t nth,
+                StatusCode code = StatusCode::kIoError,
+                const std::string& message = "");
+
+  /// Arms seed-driven random failures at every point: each hit fails with
+  /// probability `probability`, decided by mixing (seed, point name,
+  /// per-point hit index) — the same seed always yields the same failure
+  /// pattern for the same workload, regardless of thread interleaving.
+  void FailRandom(uint64_t seed, double probability,
+                  StatusCode code = StatusCode::kIoError);
+
+  /// Arms a stall: hits `nth`, `nth`+1, ... of `point` sleep for `ms`.
+  void StallFrom(const std::string& point, uint64_t nth, uint64_t ms);
+
+  /// Arms a short transfer: the `nth` I/O at `point` moves at most
+  /// `max_bytes` (the caller's retry loop must finish the rest).
+  void TruncateIoNth(const std::string& point, uint64_t nth,
+                     size_t max_bytes);
+
+  /// Disarms everything and clears rules, counters, and the registry.
+  void Disarm();
+
+  /// Every point name hit while armed (sorted). The fault-sweep tests
+  /// record a healthy run first, then attack each seen point in turn.
+  std::vector<std::string> SeenPoints() const;
+
+  /// Hits of one point since the last arm/Disarm.
+  uint64_t HitCount(const std::string& point) const;
+
+  /// Total failures injected since the last arm/Disarm.
+  uint64_t InjectedFailures() const;
+
+  // --- hook backends (called via the inline wrappers below) ---
+  Status OnPoint(const char* point);
+  void OnStall(const char* point);
+  size_t OnIo(const char* point, size_t requested);
+
+ private:
+  FaultInjector() = default;
+
+  struct Rule {
+    enum class Kind { kFail, kStall, kTruncateIo };
+    Kind kind = Kind::kFail;
+    std::string point;  // Empty = matches every point (random mode only).
+    uint64_t first_hit = 1;
+    uint64_t last_hit = UINT64_MAX;
+    StatusCode code = StatusCode::kIoError;
+    std::string message;
+    uint64_t stall_ms = 0;
+    size_t max_bytes = SIZE_MAX;
+  };
+
+  /// Bumps the hit counter and returns the 1-based index of this hit.
+  uint64_t RecordHit(const std::string& point);
+  void Arm();
+
+  static std::atomic<bool> armed_;
+
+  mutable std::mutex mu_;
+  std::vector<Rule> rules_;
+  std::map<std::string, uint64_t> hits_;
+  uint64_t injected_failures_ = 0;
+  bool random_mode_ = false;
+  uint64_t random_seed_ = 0;
+  double random_probability_ = 0.0;
+  StatusCode random_code_ = StatusCode::kIoError;
+};
+
+/// Returns OK, or the armed failure for this hit of `point`.
+inline Status MaybeFail(const char* point) {
+  if (!FaultInjector::Armed()) return Status::OK();
+  return FaultInjector::Instance().OnPoint(point);
+}
+
+/// Sleeps when a stall is armed for this hit of `point`.
+inline void MaybeStall(const char* point) {
+  if (FaultInjector::Armed()) FaultInjector::Instance().OnStall(point);
+}
+
+/// Caps an I/O transfer size when a short read/write is armed.
+inline size_t MaybeTruncateIo(const char* point, size_t requested) {
+  if (!FaultInjector::Armed()) return requested;
+  return FaultInjector::Instance().OnIo(point, requested);
+}
+
+}  // namespace ctxrank::fault
+
+#endif  // CTXRANK_COMMON_FAULT_INJECTION_H_

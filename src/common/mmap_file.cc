@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault_injection.h"
+
 namespace ctxrank {
 
 MmapFile::~MmapFile() {
@@ -25,6 +27,7 @@ MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
 }
 
 Result<MmapFile> MmapFile::Open(const std::string& path) {
+  CTXRANK_RETURN_NOT_OK(fault::MaybeFail("mmap/open"));
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return Status::IoError("cannot open " + path + ": " +
@@ -36,13 +39,25 @@ Result<MmapFile> MmapFile::Open(const std::string& path) {
     ::close(fd);
     return Status::IoError("cannot stat " + path + ": " + std::strerror(err));
   }
+  // open(O_RDONLY) on a directory succeeds, but mmap would fail with a
+  // cryptic ENODEV — reject it up front with a readable message.
+  if (S_ISDIR(st.st_mode)) {
+    ::close(fd);
+    return Status::IoError("cannot mmap " + path + ": is a directory");
+  }
   MmapFile file;
   file.size_ = static_cast<size_t>(st.st_size);
+  // mmap(len = 0) fails with EINVAL, so an empty file is served as a valid
+  // empty view: data() == nullptr, size() == 0, mapped() == false.
   if (file.size_ > 0) {
-    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    const Status injected = fault::MaybeFail("mmap/map");
+    void* addr = injected.ok() ? ::mmap(nullptr, file.size_, PROT_READ,
+                                        MAP_PRIVATE, fd, 0)
+                               : MAP_FAILED;
     if (addr == MAP_FAILED) {
       const int err = errno;
       ::close(fd);
+      if (!injected.ok()) return injected;
       return Status::IoError("cannot mmap " + path + ": " +
                              std::strerror(err));
     }

@@ -2,9 +2,7 @@
 
 namespace ctxrank {
 
-namespace {
-
-const char* CodeName(StatusCode code) {
+const char* StatusCodeToString(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -22,15 +20,17 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }
 
-}  // namespace
-
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeToString(code_);
   if (!message_.empty()) {
     out += ": ";
     out += message_;

@@ -19,7 +19,12 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
+
+/// Canonical name of a code, e.g. "IoError" ("OK" for kOk).
+const char* StatusCodeToString(StatusCode code);
 
 /// \brief Outcome of a fallible operation: a code plus a human-readable
 /// message. `Status::OK()` carries no message and is cheap to copy.
@@ -50,6 +55,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

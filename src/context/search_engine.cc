@@ -8,6 +8,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "ontology/semantic_similarity.h"
 
@@ -304,16 +305,25 @@ std::vector<ContextMatch> ContextSearchEngine::RouteQuery(
 
 std::vector<SearchHit> ContextSearchEngine::ExactScan(
     const text::SparseVector& qv, const std::vector<ContextMatch>& contexts,
-    const SearchOptions& options) const {
+    const SearchOptions& options, const Deadline& deadline,
+    std::vector<TermId>* skipped) const {
   // Per-context scoring (the TF-IDF match cosine per member paper is the
   // query-time hot loop) fans out over contexts; each context fills its
-  // own candidate slot from the shared read-only views.
+  // own candidate slot from the shared read-only views. The deadline is
+  // checked at context granularity: an expired budget skips the remaining
+  // contexts of the chunk (flagged, never silently).
   std::vector<std::vector<SearchHit>> per_context(contexts.size());
+  std::vector<uint8_t> skipped_flags(contexts.size(), 0);
   ParallelFor(
       contexts.size(),
       [&](size_t begin, size_t end) {
         for (size_t c = begin; c < end; ++c) {
           const ContextMatch& cm = contexts[c];
+          if (deadline.expired()) {
+            skipped_flags[c] = 1;
+            continue;
+          }
+          fault::MaybeStall("search/scan_context");
           if (!prestige_->HasScores(cm.term)) continue;
           const auto& members = assignment_->Members(cm.term);
           const auto& scores = prestige_->Scores(cm.term);
@@ -329,6 +339,11 @@ std::vector<SearchHit> ContextSearchEngine::ExactScan(
         }
       },
       {.num_threads = options.num_threads});
+  if (skipped != nullptr) {
+    for (size_t c = 0; c < contexts.size(); ++c) {
+      if (skipped_flags[c]) skipped->push_back(contexts[c].term);
+    }
+  }
   // Merge sequentially in selection order: a paper found in several
   // selected contexts keeps its best relevancy (first context wins ties,
   // exactly as the single-threaded loop did).
@@ -367,12 +382,14 @@ std::vector<SearchHit> ContextSearchEngine::ExactScan(
 // Untouched papers have dot exactly 0, so their relevancy is computed in
 // O(1) and the prestige-descending member order turns the threshold into
 // a break condition.
-void ContextSearchEngine::ScanContext(const text::SparseVector& qv,
+bool ContextSearchEngine::ScanContext(const text::SparseVector& qv,
                                       double query_norm, TermId term,
                                       const SearchOptions& options,
+                                      const Deadline& deadline,
                                       Scratch& scratch,
                                       TopKMerger& merger) const {
-  if (!prestige_->HasScores(term)) return;
+  fault::MaybeStall("search/scan_context");
+  if (!prestige_->HasScores(term)) return true;
   const auto& members = assignment_->Members(term);
   const auto& scores = prestige_->Scores(term);
   const double wp = options.weights.prestige;
@@ -381,16 +398,19 @@ void ContextSearchEngine::ScanContext(const text::SparseVector& qv,
       term < context_index_.size() ? &context_index_[term] : nullptr;
   if (ci == nullptr || !ci->built) {
     // Small or unindexed context: exact member scan (identical expression
-    // to the reference path), filtered by the current threshold.
+    // to the reference path), filtered by the current threshold. Every
+    // emitted hit is independently exact, so a deadline hit mid-scan keeps
+    // what was emitted and reports the context as not fully scanned.
     const double theta = merger.theta();
     for (size_t i = 0; i < members.size(); ++i) {
+      if ((i & 2047u) == 0u && deadline.expired()) return false;
       const double match = qv.Cosine(tc_->FullVector(members[i]));
       const double prestige = i < scores.size() ? scores[i] : 0.0;
       const double r = wp * prestige + wm * match;
       if (r < options.min_relevancy || r < theta) continue;
       merger.Emit({members[i], r, term, prestige, match});
     }
-    return;
+    return true;
   }
 
   // Threshold seed: the k papers with the best prestige in this context
@@ -432,7 +452,9 @@ void ContextSearchEngine::ScanContext(const text::SparseVector& qv,
 
   // Whole-context skip: not even a paper with maximal prestige and every
   // query term at its context-max weight can reach the threshold.
-  if (wp * ci->max_prestige + wm * match_ub(rest[0]) < merger.theta()) return;
+  if (wp * ci->max_prestige + wm * match_ub(rest[0]) < merger.theta()) {
+    return true;
+  }
 
   // Term-at-a-time accumulation over the impact-ordered postings. Every
   // candidate admitted before the first admission failure (clean_count
@@ -445,6 +467,17 @@ void ContextSearchEngine::ScanContext(const text::SparseVector& qv,
   std::vector<uint32_t>& touched = scratch.touched;
   size_t clean_count = std::numeric_limits<size_t>::max();
   for (size_t j = 0; j < qterms.size(); ++j) {
+    // Pruning-block boundary (every other one: a block is microseconds,
+    // so skipping alternate checks costs one block of granularity and
+    // halves the clock reads): abandoning between terms leaves incomplete
+    // accumulators, so roll the whole context back (nothing was emitted
+    // yet — emission happens after accumulation) and restore the all-zero
+    // scratch invariant. The merger keeps only prior, exact contexts.
+    if ((j & 1u) == 0u && deadline.expired()) {
+      for (const uint32_t i : touched) acc[i] = 0.0;
+      touched.clear();
+      return false;
+    }
     const double qw = qterms[j].weight;
     const double theta = merger.theta();
     // rest[j] is the best dot bound any candidate *first admitted at this
@@ -535,11 +568,13 @@ void ContextSearchEngine::ScanContext(const text::SparseVector& qv,
   // Reset the shared accumulator for the next context.
   for (const uint32_t i : touched) acc[i] = 0.0;
   touched.clear();
+  return true;
 }
 
 std::vector<SearchHit> ContextSearchEngine::PrunedScan(
     const text::SparseVector& qv, const std::vector<ContextMatch>& contexts,
-    const SearchOptions& options) const {
+    const SearchOptions& options, const Deadline& deadline,
+    std::vector<TermId>* skipped) const {
   const double query_norm = qv.Norm();
   TopKMerger merger(options.top_k, options.min_relevancy);
   // Per-thread scratch: ScanContext restores the all-zero / empty invariant
@@ -569,43 +604,92 @@ std::vector<SearchHit> ContextSearchEngine::PrunedScan(
   }
   // Sequential in selection order: the threshold tightened by one context
   // prunes the next (parallelism across queries comes from SearchMany).
-  for (const ContextMatch& cm : contexts) {
-    merger.Refresh();
-    ScanContext(qv, query_norm, cm.term, options, scratch, merger);
+  // One upfront check catches a budget that was spent before we got here;
+  // past that, ScanContext's pruning-block checks are the only clock
+  // reads — it returns false exactly when the deadline fired, which skips
+  // every remaining context without even entering it (entering costs real
+  // work: a stalled I/O analog would bill one stall per context).
+  size_t first_skipped = contexts.size();
+  if (deadline.expired()) {
+    first_skipped = 0;
+  } else {
+    for (size_t c = 0; c < contexts.size(); ++c) {
+      merger.Refresh();
+      if (!ScanContext(qv, query_norm, contexts[c].term, options, deadline,
+                       scratch, merger)) {
+        first_skipped = c;
+        break;
+      }
+    }
+  }
+  if (skipped != nullptr) {
+    for (size_t c = first_skipped; c < contexts.size(); ++c) {
+      skipped->push_back(contexts[c].term);
+    }
   }
   return merger.Finish();
 }
 
-std::vector<SearchHit> ContextSearchEngine::SearchVector(
-    const text::SparseVector& qv, const SearchOptions& options) const {
+SearchResponse ContextSearchEngine::SearchVector(
+    const text::SparseVector& qv, const SearchOptions& options,
+    const Deadline& deadline) const {
+  SearchResponse response;
   const std::vector<ContextMatch> contexts = RouteQuery(qv, options);
   // The pruning bounds assume non-negative weights; fall back to the
   // reference path for exotic weight settings.
   const bool exact = options.exact_scan || options.weights.prestige < 0.0 ||
                      options.weights.matching < 0.0;
   if (exact) {
-    std::vector<SearchHit> hits = ExactScan(qv, contexts, options);
-    if (options.top_k > 0 && hits.size() > options.top_k) {
-      hits.resize(options.top_k);
+    response.hits = ExactScan(qv, contexts, options, deadline,
+                              &response.skipped_contexts);
+    if (options.top_k > 0 && response.hits.size() > options.top_k) {
+      response.hits.resize(options.top_k);
     }
-    return hits;
+  } else {
+    response.hits = PrunedScan(qv, contexts, options, deadline,
+                               &response.skipped_contexts);
   }
-  return PrunedScan(qv, contexts, options);
+  response.degraded = !response.skipped_contexts.empty();
+  return response;
+}
+
+SearchResponse ContextSearchEngine::SearchOne(std::string_view query,
+                                              const SearchOptions& options,
+                                              const Deadline& deadline) const {
+  const auto ids = tc_->analyzer().AnalyzeToKnownIds(query, tc_->vocabulary());
+  const text::SparseVector qv = tc_->tfidf().TransformQuery(ids);
+  if (query_cache_ == nullptr || options.bypass_cache) {
+    return SearchVector(qv, options, deadline);
+  }
+  // The key deliberately excludes the deadline: a cached entry is always a
+  // complete, exact result, valid for any time budget.
+  const std::string key = CacheKey(ids, options);
+  if (auto cached = query_cache_->Get(key)) {
+    SearchResponse response;
+    response.hits = **cached;
+    return response;
+  }
+  SearchResponse response = SearchVector(qv, options, deadline);
+  // Degraded results are best-effort, not canonical — never cache them,
+  // or a transient overload would poison later unconstrained queries.
+  if (!response.degraded) {
+    query_cache_->Put(
+        key, std::make_shared<const std::vector<SearchHit>>(response.hits));
+  }
+  return response;
+}
+
+SearchResponse ContextSearchEngine::SearchEx(
+    std::string_view query, const SearchOptions& options) const {
+  const Deadline deadline = options.deadline_ms > 0
+                                ? Deadline::AfterMs(options.deadline_ms)
+                                : Deadline();
+  return SearchOne(query, options, deadline);
 }
 
 std::vector<SearchHit> ContextSearchEngine::Search(
     std::string_view query, const SearchOptions& options) const {
-  const auto ids = tc_->analyzer().AnalyzeToKnownIds(query, tc_->vocabulary());
-  const text::SparseVector qv = tc_->tfidf().TransformQuery(ids);
-  if (query_cache_ == nullptr || options.bypass_cache) {
-    return SearchVector(qv, options);
-  }
-  const std::string key = CacheKey(ids, options);
-  if (auto cached = query_cache_->Get(key)) return **cached;
-  std::vector<SearchHit> hits = SearchVector(qv, options);
-  query_cache_->Put(
-      key, std::make_shared<const std::vector<SearchHit>>(hits));
-  return hits;
+  return SearchEx(query, options).hits;
 }
 
 std::vector<SearchHit> ContextSearchEngine::SearchTopK(
@@ -615,10 +699,10 @@ std::vector<SearchHit> ContextSearchEngine::SearchTopK(
   return Search(query, topk_options);
 }
 
-std::vector<std::vector<SearchHit>> ContextSearchEngine::SearchMany(
+std::vector<SearchResponse> ContextSearchEngine::SearchManyEx(
     const std::vector<std::string>& queries,
     const SearchOptions& options) const {
-  std::vector<std::vector<SearchHit>> results(queries.size());
+  std::vector<SearchResponse> results(queries.size());
   // One query per slot; inner work runs single-threaded (no nested
   // parallelism on the shared pool), so fan-out is across queries only.
   SearchOptions per_query = options;
@@ -627,11 +711,47 @@ std::vector<std::vector<SearchHit>> ContextSearchEngine::SearchMany(
       queries.size(),
       [&](size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
-          results[i] = Search(queries[i], per_query);
+          // The per-query clock starts when the slot starts, so time spent
+          // waiting for admission counts against the query's budget.
+          const Deadline deadline = per_query.deadline_ms > 0
+                                        ? Deadline::AfterMs(per_query.deadline_ms)
+                                        : Deadline();
+          if (admission_ != nullptr) {
+            AdmissionLimiter::Permit permit(*admission_, deadline);
+            if (!permit.granted()) {
+              results[i].status = Status::ResourceExhausted(
+                  "admission limit reached before deadline (" +
+                  std::to_string(admission_->limit()) + " in flight)");
+              results[i].degraded = true;
+              continue;
+            }
+            results[i] = SearchOne(queries[i], per_query, deadline);
+          } else {
+            results[i] = SearchOne(queries[i], per_query, deadline);
+          }
         }
       },
       {.num_threads = options.num_threads});
   return results;
+}
+
+std::vector<std::vector<SearchHit>> ContextSearchEngine::SearchMany(
+    const std::vector<std::string>& queries,
+    const SearchOptions& options) const {
+  std::vector<SearchResponse> responses = SearchManyEx(queries, options);
+  std::vector<std::vector<SearchHit>> results(responses.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    results[i] = std::move(responses[i].hits);
+  }
+  return results;
+}
+
+void ContextSearchEngine::SetAdmissionLimit(size_t max_in_flight) {
+  if (max_in_flight == 0) {
+    admission_.reset();
+    return;
+  }
+  admission_ = std::make_unique<AdmissionLimiter>(max_in_flight);
 }
 
 void ContextSearchEngine::EnableQueryCache(size_t capacity,

@@ -22,8 +22,11 @@
 #include <string_view>
 #include <vector>
 
+#include "common/admission_limiter.h"
 #include "common/array_view.h"
+#include "common/deadline.h"
 #include "common/lru_cache.h"
+#include "common/status.h"
 #include "context/context_assignment.h"
 #include "context/prestige.h"
 #include "corpus/tokenized_corpus.h"
@@ -71,6 +74,14 @@ struct SearchOptions {
   bool exact_scan = false;
   /// Skip the query result cache for this call (cold-path benchmarks).
   bool bypass_cache = false;
+  /// Per-query time budget in milliseconds; 0 = unlimited. When the budget
+  /// runs out mid-query, the engine stops scanning further contexts and
+  /// returns the hits collected so far with SearchResponse::degraded set
+  /// and the unscanned contexts listed — every returned score is still
+  /// exact; only the candidate set may be incomplete. With the budget
+  /// never hit, results are bitwise identical to deadline-free calls (and
+  /// the deadline does not fragment the result cache).
+  uint64_t deadline_ms = 0;
 };
 
 struct ContextMatch {
@@ -86,6 +97,19 @@ struct SearchHit {
   TermId context;
   double prestige;
   double match;
+};
+
+/// \brief Search result plus degradation metadata. `hits` always carries
+/// exact scores; `degraded` means the deadline cut the scan short, so the
+/// hit set is best-effort (a subset of the full answer) and
+/// `skipped_contexts` lists every selected context that was not fully
+/// scanned. `status` is non-OK only when the query produced no answer at
+/// all (e.g. shed by the admission limiter with kResourceExhausted).
+struct SearchResponse {
+  std::vector<SearchHit> hits;
+  Status status;
+  bool degraded = false;
+  std::vector<TermId> skipped_contexts;
 };
 
 /// \brief The end-to-end context-based search engine over one assignment
@@ -130,8 +154,15 @@ class ContextSearchEngine {
 
   /// Tasks 4+5: full search. Hits are sorted by descending relevancy
   /// (ties: ascending paper id) and truncated to `options.top_k` when set.
+  /// Degradation-blind convenience wrapper over SearchEx.
   std::vector<SearchHit> Search(std::string_view query,
                                 const SearchOptions& options = {}) const;
+
+  /// Full search with degradation metadata (see SearchResponse). With no
+  /// deadline set the response is never degraded and `hits` is bitwise
+  /// identical to Search().
+  SearchResponse SearchEx(std::string_view query,
+                          const SearchOptions& options = {}) const;
 
   /// Top-k convenience wrapper: Search with `options.top_k = k`.
   std::vector<SearchHit> SearchTopK(std::string_view query, size_t k,
@@ -143,6 +174,23 @@ class ContextSearchEngine {
   std::vector<std::vector<SearchHit>> SearchMany(
       const std::vector<std::string>& queries,
       const SearchOptions& options = {}) const;
+
+  /// SearchMany with per-query degradation metadata. Each query gets its
+  /// own `options.deadline_ms` budget, measured from the moment its slot
+  /// starts (admission wait included). When an admission limit is set
+  /// (SetAdmissionLimit), a query that cannot be admitted before its
+  /// deadline is shed with kResourceExhausted instead of blocking forever.
+  std::vector<SearchResponse> SearchManyEx(
+      const std::vector<std::string>& queries,
+      const SearchOptions& options = {}) const;
+
+  /// Bounds concurrently executing queries across SearchMany/SearchManyEx
+  /// calls (admission control for overload). 0 removes the limit. Not
+  /// thread-safe against in-flight queries — configure at startup.
+  void SetAdmissionLimit(size_t max_in_flight);
+  size_t admission_limit() const {
+    return admission_ != nullptr ? admission_->limit() : 0;
+  }
 
   /// Relevancy of one paper for an already-built query vector.
   double Relevancy(const text::SparseVector& query_vec, TermId context,
@@ -206,27 +254,46 @@ class ContextSearchEngine {
   std::vector<ContextMatch> RouteQuery(const text::SparseVector& qv,
                                        const SearchOptions& options) const;
 
+  /// One query end to end (analysis, cache, scan) against an already
+  /// ticking deadline; the worker behind SearchEx and SearchManyEx slots.
+  SearchResponse SearchOne(std::string_view query,
+                           const SearchOptions& options,
+                           const Deadline& deadline) const;
+
   /// Full search against a pre-analyzed query; dispatches to the exact
   /// scan or the pruned fast path and applies the top-k truncation.
-  std::vector<SearchHit> SearchVector(const text::SparseVector& qv,
-                                      const SearchOptions& options) const;
+  SearchResponse SearchVector(const text::SparseVector& qv,
+                              const SearchOptions& options,
+                              const Deadline& deadline) const;
 
-  /// The brute-force reference path (scores every member).
+  /// The brute-force reference path (scores every member). Contexts whose
+  /// scan did not start before the deadline are appended to `skipped`.
   std::vector<SearchHit> ExactScan(const text::SparseVector& qv,
                                    const std::vector<ContextMatch>& contexts,
-                                   const SearchOptions& options) const;
+                                   const SearchOptions& options,
+                                   const Deadline& deadline,
+                                   std::vector<TermId>* skipped) const;
 
-  /// Impact-ordered fast path; bitwise identical to ExactScan.
+  /// Impact-ordered fast path; bitwise identical to ExactScan when the
+  /// deadline is not hit. Skipped / abandoned contexts go to `skipped`.
   std::vector<SearchHit> PrunedScan(const text::SparseVector& qv,
                                     const std::vector<ContextMatch>& contexts,
-                                    const SearchOptions& options) const;
+                                    const SearchOptions& options,
+                                    const Deadline& deadline,
+                                    std::vector<TermId>* skipped) const;
 
   /// Emits every candidate of one context whose relevancy could reach the
   /// merger's live threshold (and is >= options.min_relevancy), with exact
   /// scores. See search_engine.cc for the pruning-bound derivation.
-  void ScanContext(const text::SparseVector& qv, double query_norm,
+  /// Returns false when the deadline expired mid-context: the indexed path
+  /// then rolls its partial accumulation back (nothing was emitted), the
+  /// unindexed fallback keeps the exactly-scored hits emitted so far —
+  /// either way every emitted score stays exact and the context counts as
+  /// not fully scanned.
+  bool ScanContext(const text::SparseVector& qv, double query_norm,
                    TermId term, const SearchOptions& options,
-                   Scratch& scratch, TopKMerger& merger) const;
+                   const Deadline& deadline, Scratch& scratch,
+                   TopKMerger& merger) const;
 
   const corpus::TokenizedCorpus* tc_ = nullptr;
   const ontology::Ontology* onto_ = nullptr;
@@ -251,6 +318,8 @@ class ContextSearchEngine {
       LruCache<std::string, std::shared_ptr<const std::vector<SearchHit>>>;
   /// Mutable: Search() is logically const; the cache locks internally.
   mutable std::unique_ptr<QueryResultCache> query_cache_;
+  /// Optional in-flight admission limiter (see SetAdmissionLimit).
+  std::unique_ptr<AdmissionLimiter> admission_;
 };
 
 }  // namespace ctxrank::context

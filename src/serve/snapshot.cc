@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "common/endian.h"
+#include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "eval/experiment.h"
 
@@ -144,9 +145,14 @@ struct SectionBlob {
 
 Status WriteAt(int fd, const char* data, size_t size, uint64_t offset,
                const std::string& path) {
+  CTXRANK_RETURN_NOT_OK(fault::MaybeFail("snapshot/pwrite"));
+  // An injected short write drops the tail of this call silently — the
+  // bytes a kernel-level partial write would leave unwritten before a
+  // crash. The loader's checksums must catch the gap.
+  const size_t to_write = fault::MaybeTruncateIo("snapshot/pwrite_io", size);
   size_t done = 0;
-  while (done < size) {
-    const ssize_t n = ::pwrite(fd, data + done, size - done,
+  while (done < to_write) {
+    const ssize_t n = ::pwrite(fd, data + done, to_write - done,
                                static_cast<off_t>(offset + done));
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -629,16 +635,20 @@ Status SnapshotAccess::Save(const SnapshotInputs& in, const std::string& path,
     AppendLE64(header, s.checksum);
   }
 
+  CTXRANK_RETURN_NOT_OK(fault::MaybeFail("snapshot/save/open"));
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     return Status::IoError("cannot create '" + path +
                            "': " + std::strerror(errno));
   }
-  if (::ftruncate(fd, static_cast<off_t>(total_size)) != 0) {
-    const Status st = Status::IoError("cannot size '" + path +
-                                      "': " + std::strerror(errno));
+  if (const Status st = fault::MaybeFail("snapshot/save/truncate");
+      !st.ok() || ::ftruncate(fd, static_cast<off_t>(total_size)) != 0) {
+    const Status out = !st.ok()
+                           ? st
+                           : Status::IoError("cannot size '" + path + "': " +
+                                             std::strerror(errno));
     ::close(fd);
-    return st;
+    return out;
   }
   // Write sections in parallel (pwrite is position-independent), then the
   // header last so a torn save never carries a valid magic + table.
@@ -664,6 +674,10 @@ Status SnapshotAccess::Save(const SnapshotInputs& in, const std::string& path,
   if (!header_status.ok()) {
     ::close(fd);
     return header_status;
+  }
+  if (const Status st = fault::MaybeFail("snapshot/save/fsync"); !st.ok()) {
+    ::close(fd);
+    return st;
   }
   ::fsync(fd);
   ::close(fd);
@@ -694,6 +708,9 @@ Result<std::unique_ptr<ServingSnapshot>> SnapshotAccess::Load(
     return Status::FailedPrecondition(
         "snapshot loading requires a little-endian host");
   }
+  // Covers the whole load attempt: a transient failure here is what the
+  // SnapshotSupervisor's retry-with-backoff path exercises.
+  CTXRANK_RETURN_NOT_OK(fault::MaybeFail("snapshot/load"));
   auto mapped = MmapFile::Open(path);
   if (!mapped.ok()) return mapped.status();
   std::unique_ptr<ServingSnapshot> snap(new ServingSnapshot());

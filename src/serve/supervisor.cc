@@ -1,0 +1,177 @@
+#include "serve/supervisor.h"
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+
+namespace ctxrank::serve {
+namespace {
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+SnapshotSupervisor::SnapshotSupervisor(Options options)
+    : options_(std::move(options)) {}
+
+SnapshotSupervisor::~SnapshotSupervisor() { StopWatching(); }
+
+SnapshotSupervisor::FileIdentity SnapshotSupervisor::StatIdentity(
+    const std::string& path) {
+  FileIdentity id;
+  struct stat st{};
+  if (!fault::MaybeFail("supervisor/stat").ok()) return id;
+  if (::stat(path.c_str(), &st) != 0) return id;
+  id.inode = static_cast<uint64_t>(st.st_ino);
+  id.size = static_cast<uint64_t>(st.st_size);
+  id.mtime_ns = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                static_cast<int64_t>(st.st_mtim.tv_nsec);
+  id.exists = true;
+  return id;
+}
+
+bool SnapshotSupervisor::BackoffSleep(size_t attempt, uint64_t salt) {
+  // Capped exponential: initial * 2^attempt, saturating at backoff_max_ms.
+  uint64_t delay = options_.backoff_initial_ms;
+  for (size_t i = 0; i < attempt && delay < options_.backoff_max_ms; ++i) {
+    delay *= 2;
+  }
+  if (delay > options_.backoff_max_ms) delay = options_.backoff_max_ms;
+  // Deterministic jitter in [0, delay/2]: decorrelates replicas retrying
+  // the same broken file while staying reproducible under a fixed seed.
+  SplitMix64 mix(options_.jitter_seed ^ salt ^
+                 (0x9e3779b97f4a7c15ULL * (attempt + 1)));
+  delay += mix.Next() % (delay / 2 + 1);
+  std::unique_lock<std::mutex> lock(mu_);
+  // wait_for returns true when the predicate (shutdown) fired.
+  return !wake_.wait_for(lock, std::chrono::milliseconds(delay),
+                         [this] { return stop_; });
+}
+
+Status SnapshotSupervisor::Reload(const std::string& path) {
+  // Serialize whole reload cycles without blocking readers or stats: mu_ is
+  // only taken for the brief swap/bookkeeping windows.
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  const uint64_t salt = Fnv1a(path);
+  Status status;
+  for (size_t attempt = 0;; ++attempt) {
+    auto result = ServingSnapshot::Load(path, options_.num_threads);
+    if (result.ok()) {
+      std::shared_ptr<const ServingSnapshot> fresh(
+          std::move(result).value().release());
+      std::lock_guard<std::mutex> lock(mu_);
+      // The swap is a shared_ptr store: in-flight readers keep their
+      // reference to the old snapshot; it dies with its last reader.
+      current_ = std::move(fresh);
+      ++stats_.generation;
+      stats_.current_path = path;
+      stats_.last_error.clear();
+      return Status::OK();
+    }
+    status = result.status();
+    // Only I/O errors are worth retrying: the file may be mid-copy or a
+    // transient fault. A validation failure (bad magic, checksum mismatch)
+    // is permanent for this file state — retrying would reload the same
+    // bytes.
+    const bool transient = status.code() == StatusCode::kIoError;
+    if (!transient || attempt >= options_.max_retries) break;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.retries;
+    }
+    if (!BackoffSleep(attempt, salt)) break;  // Shutdown requested.
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.failed_reloads;
+  stats_.last_error = status.ToString();
+  return status;
+}
+
+std::shared_ptr<const ServingSnapshot> SnapshotSupervisor::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+Status SnapshotSupervisor::StartWatching(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (watcher_.joinable()) {
+    return Status::FailedPrecondition("already watching " + watch_path_);
+  }
+  watch_path_ = path;
+  stop_ = false;
+  forced_ = true;  // Examine the file immediately, not after one interval.
+  has_attempted_ = false;
+  watcher_ = std::thread([this] { WatchLoop(); });
+  return Status::OK();
+}
+
+void SnapshotSupervisor::StopWatching() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!watcher_.joinable()) return;
+    stop_ = true;
+    to_join = std::move(watcher_);
+  }
+  wake_.notify_all();
+  to_join.join();
+}
+
+void SnapshotSupervisor::TriggerReload() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    forced_ = true;
+  }
+  wake_.notify_all();
+}
+
+bool SnapshotSupervisor::watching() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return watcher_.joinable();
+}
+
+SnapshotSupervisor::Stats SnapshotSupervisor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SnapshotSupervisor::WatchLoop() {
+  const auto interval = std::chrono::milliseconds(options_.watch_interval_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    wake_.wait_for(lock, interval, [this] { return stop_ || forced_; });
+    if (stop_) break;
+    const bool forced = std::exchange(forced_, false);
+    const std::string path = watch_path_;
+    lock.unlock();
+    const FileIdentity id = StatIdentity(path);
+    bool attempt = false;
+    {
+      std::lock_guard<std::mutex> state_lock(mu_);
+      // Reload when the file changed since the last attempt (success or
+      // failure) or when explicitly triggered. Remembering failed states
+      // keeps the watcher from hot-looping on a persistently bad file.
+      attempt = id.exists &&
+                (forced || !has_attempted_ || !(id == last_attempted_));
+      if (attempt) {
+        last_attempted_ = id;
+        has_attempted_ = true;
+      }
+    }
+    if (attempt) Reload(path);
+    lock.lock();
+  }
+}
+
+}  // namespace ctxrank::serve

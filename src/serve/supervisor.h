@@ -1,0 +1,147 @@
+// Hot-reload supervisor for serving snapshots with last-good fallback.
+//
+// The supervisor owns the currently served ServingSnapshot behind an
+// atomically swappable shared_ptr (RCU-style: readers grab a reference and
+// keep serving off it even while a newer snapshot is being swapped in; the
+// old snapshot is destroyed when its last in-flight reader drops the
+// reference). Reload loads and fully validates a candidate file off the
+// serving path and only swaps it in once Load has accepted it — a corrupt
+// or truncated file therefore never reaches queries: the previous
+// ("last-good") snapshot keeps serving and the failure is recorded.
+//
+// Failure policy:
+//   - kIoError is treated as transient (file mid-copy, interrupted write,
+//     injected fault) and retried with capped exponential backoff plus
+//     deterministic jitter.
+//   - Any other code (kInvalidArgument = corruption/format mismatch) is
+//     permanent for that file state: fail immediately, keep last-good.
+//
+// An optional watcher thread polls the file's identity (inode, size,
+// mtime) and triggers a reload when it changes. A failed attempt remembers
+// the file state it failed on, so the watcher does not hot-loop on a bad
+// file — it waits for the file to change again (or an explicit
+// TriggerReload).
+//
+// See docs/RELIABILITY.md for the full state machine.
+#ifndef CTXRANK_SERVE_SUPERVISOR_H_
+#define CTXRANK_SERVE_SUPERVISOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "serve/snapshot.h"
+
+namespace ctxrank::serve {
+
+class SnapshotSupervisor {
+ public:
+  struct Options {
+    /// Load parallelism (0 = hardware concurrency).
+    size_t num_threads = 0;
+    /// Retries after the initial attempt for transient (kIoError) failures.
+    size_t max_retries = 3;
+    /// First backoff delay; doubles per retry up to `backoff_max_ms`.
+    uint64_t backoff_initial_ms = 10;
+    uint64_t backoff_max_ms = 1000;
+    /// Seed for the deterministic jitter added to each backoff delay.
+    uint64_t jitter_seed = 0;
+    /// Poll interval of the watcher thread.
+    uint64_t watch_interval_ms = 200;
+  };
+
+  struct Stats {
+    /// Successful swaps since construction (0 = nothing loaded yet).
+    uint64_t generation = 0;
+    /// Reload calls that exhausted retries or hit a permanent error.
+    uint64_t failed_reloads = 0;
+    /// Transient-failure retry attempts across all reloads.
+    uint64_t retries = 0;
+    /// Status message of the most recent failure ("" if none).
+    std::string last_error;
+    /// Path of the currently served snapshot ("" if none).
+    std::string current_path;
+  };
+
+  SnapshotSupervisor() : SnapshotSupervisor(Options()) {}
+  explicit SnapshotSupervisor(Options options);
+  ~SnapshotSupervisor();
+
+  SnapshotSupervisor(const SnapshotSupervisor&) = delete;
+  SnapshotSupervisor& operator=(const SnapshotSupervisor&) = delete;
+
+  /// Loads and validates `path`, retrying transient failures, and swaps it
+  /// in as the served snapshot on success. On failure the previously served
+  /// snapshot (if any) stays in place and the error is both returned and
+  /// recorded in stats(). Thread-safe; concurrent reloads serialize.
+  Status Reload(const std::string& path);
+
+  /// The currently served snapshot, or nullptr before the first successful
+  /// Reload. The returned reference stays valid (and the snapshot alive)
+  /// for as long as the caller holds it, even across later swaps.
+  std::shared_ptr<const ServingSnapshot> current() const;
+
+  /// Starts a background thread that polls `path` and reloads when the
+  /// file's identity (inode, size, mtime) changes. Does not require the
+  /// file to exist yet — it is picked up once it appears.
+  Status StartWatching(const std::string& path);
+
+  /// Stops the watcher thread (no-op when not watching). Idempotent.
+  void StopWatching();
+
+  /// Wakes the watcher to re-examine the file immediately, bypassing both
+  /// the poll interval and the failed-state memory. No-op when not
+  /// watching.
+  void TriggerReload();
+
+  bool watching() const;
+  Stats stats() const;
+
+ private:
+  struct FileIdentity {
+    uint64_t inode = 0;
+    uint64_t size = 0;
+    int64_t mtime_ns = 0;
+    bool exists = false;
+    bool operator==(const FileIdentity&) const = default;
+  };
+
+  static FileIdentity StatIdentity(const std::string& path);
+
+  /// One full reload attempt cycle (initial try + transient retries).
+  /// Returns the final status and updates stats/current under mu_.
+  Status ReloadLocked(const std::string& path,
+                      std::unique_lock<std::mutex>& lock);
+
+  /// Sleeps for the backoff delay of `attempt`, waking early on shutdown.
+  /// Returns false when shutdown was requested.
+  bool BackoffSleep(size_t attempt, uint64_t salt);
+
+  void WatchLoop();
+
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  std::shared_ptr<const ServingSnapshot> current_;
+  Stats stats_;
+
+  // Watcher state (guarded by mu_).
+  std::thread watcher_;
+  std::string watch_path_;
+  bool stop_ = false;
+  bool forced_ = false;
+  FileIdentity last_attempted_;
+  bool has_attempted_ = false;
+
+  // Serializes Reload bodies without holding mu_ during the (slow) load.
+  std::mutex reload_mu_;
+};
+
+}  // namespace ctxrank::serve
+
+#endif  // CTXRANK_SERVE_SUPERVISOR_H_

@@ -1,0 +1,104 @@
+// Bounded in-flight admission: permits cap concurrency, deadline-aware
+// acquisition sheds instead of waiting forever, and the RAII permit
+// releases exactly when granted.
+#include "common/admission_limiter.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ctxrank {
+namespace {
+
+TEST(AdmissionLimiterTest, TryAcquireRespectsLimit) {
+  AdmissionLimiter limiter(2);
+  EXPECT_EQ(limiter.limit(), 2u);
+  EXPECT_TRUE(limiter.TryAcquire());
+  EXPECT_TRUE(limiter.TryAcquire());
+  EXPECT_FALSE(limiter.TryAcquire());
+  limiter.Release();
+  EXPECT_TRUE(limiter.TryAcquire());
+  limiter.Release();
+  limiter.Release();
+  EXPECT_EQ(limiter.in_flight(), 0u);
+}
+
+TEST(AdmissionLimiterTest, ZeroLimitClampsToOne) {
+  AdmissionLimiter limiter(0);
+  EXPECT_EQ(limiter.limit(), 1u);
+  EXPECT_TRUE(limiter.TryAcquire());
+  EXPECT_FALSE(limiter.TryAcquire());
+  limiter.Release();
+}
+
+TEST(AdmissionLimiterTest, ExpiredDeadlineShedsWhenFull) {
+  AdmissionLimiter limiter(1);
+  ASSERT_TRUE(limiter.TryAcquire());
+  EXPECT_FALSE(limiter.Acquire(Deadline::AfterMs(0)));
+  limiter.Release();
+  // With a free permit the deadline is irrelevant.
+  EXPECT_TRUE(limiter.Acquire(Deadline::AfterMs(0)));
+  limiter.Release();
+}
+
+TEST(AdmissionLimiterTest, AcquireWaitsForRelease) {
+  AdmissionLimiter limiter(1);
+  ASSERT_TRUE(limiter.TryAcquire());
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    EXPECT_TRUE(limiter.Acquire());
+    acquired.store(true);
+    limiter.Release();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  limiter.Release();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(AdmissionLimiterTest, PermitRaiiReleases) {
+  AdmissionLimiter limiter(1);
+  {
+    AdmissionLimiter::Permit permit(limiter, Deadline());
+    EXPECT_TRUE(permit.granted());
+    EXPECT_EQ(limiter.in_flight(), 1u);
+    AdmissionLimiter::Permit rejected(limiter, Deadline::AfterMs(0));
+    EXPECT_FALSE(rejected.granted());
+  }
+  // Both permits destroyed: only the granted one released.
+  EXPECT_EQ(limiter.in_flight(), 0u);
+  EXPECT_TRUE(limiter.TryAcquire());
+  limiter.Release();
+}
+
+TEST(AdmissionLimiterTest, ConcurrencyNeverExceedsLimit) {
+  constexpr size_t kLimit = 3;
+  AdmissionLimiter limiter(kLimit);
+  std::atomic<size_t> concurrent{0};
+  std::atomic<size_t> peak{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 12; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        AdmissionLimiter::Permit permit(limiter, Deadline());
+        ASSERT_TRUE(permit.granted());
+        const size_t now = concurrent.fetch_add(1) + 1;
+        size_t seen = peak.load();
+        while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::yield();
+        concurrent.fetch_sub(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(peak.load(), kLimit);
+  EXPECT_GE(peak.load(), 1u);
+  EXPECT_EQ(limiter.in_flight(), 0u);
+}
+
+}  // namespace
+}  // namespace ctxrank

@@ -1,0 +1,61 @@
+// Deadline semantics: unset deadlines never expire (and never read the
+// clock), armed ones expire exactly once their time point passes.
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ctxrank {
+namespace {
+
+TEST(DeadlineTest, DefaultIsUnarmedAndNeverExpires) {
+  const Deadline d;
+  EXPECT_FALSE(d.armed());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), INT64_MAX);
+}
+
+TEST(DeadlineTest, InfiniteIsArmedButNeverExpires) {
+  const Deadline d = Deadline::Infinite();
+  EXPECT_TRUE(d.armed());
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotExpired) {
+  const Deadline d = Deadline::AfterMs(60'000);
+  EXPECT_TRUE(d.armed());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_ms(), 0);
+  EXPECT_LE(d.remaining_ms(), 60'000);
+}
+
+TEST(DeadlineTest, PastDeadlineExpired) {
+  const Deadline d = Deadline::At(Deadline::Clock::now() -
+                                  std::chrono::milliseconds(1));
+  EXPECT_TRUE(d.armed());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), 0);
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresImmediately) {
+  const Deadline d = Deadline::AfterMs(0);
+  EXPECT_TRUE(d.armed());
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(DeadlineTest, ExpiresAfterSleepingPastIt) {
+  const Deadline d = Deadline::AfterMs(5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), 0);
+}
+
+TEST(DeadlineTest, CopyKeepsTheSameTimePoint) {
+  const Deadline a = Deadline::AfterMs(60'000);
+  const Deadline b = a;
+  EXPECT_EQ(a.when(), b.when());
+}
+
+}  // namespace
+}  // namespace ctxrank

@@ -1,0 +1,144 @@
+// The deterministic fault injector itself: disarmed pass-through, nth-hit
+// and ranged failures, reproducible random mode, stalls, short I/O, and
+// the recording registry the sweep tests build on.
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace ctxrank::fault {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Disarm(); }
+};
+
+TEST_F(FaultInjectionTest, DisarmedIsPassThrough) {
+  EXPECT_FALSE(FaultInjector::Armed());
+  EXPECT_TRUE(MaybeFail("any/point").ok());
+  EXPECT_EQ(MaybeTruncateIo("any/point", 123), 123u);
+  MaybeStall("any/point");  // Must not sleep or crash.
+  EXPECT_EQ(FaultInjector::Instance().HitCount("any/point"), 0u);
+}
+
+TEST_F(FaultInjectionTest, FailNthFailsExactlyThatHit) {
+  FaultInjector::Instance().FailNth("io/read", 2, StatusCode::kIoError,
+                                    "boom");
+  EXPECT_TRUE(MaybeFail("io/read").ok());
+  const Status st = MaybeFail("io/read");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("io/read"), std::string::npos);
+  EXPECT_NE(st.message().find("boom"), std::string::npos);
+  EXPECT_TRUE(MaybeFail("io/read").ok());
+  EXPECT_EQ(FaultInjector::Instance().InjectedFailures(), 1u);
+  // Other points are untouched.
+  EXPECT_TRUE(MaybeFail("io/write").ok());
+}
+
+TEST_F(FaultInjectionTest, FailFromFailsEveryLaterHit) {
+  FaultInjector::Instance().FailFrom("net/send", 3);
+  EXPECT_TRUE(MaybeFail("net/send").ok());
+  EXPECT_TRUE(MaybeFail("net/send").ok());
+  EXPECT_FALSE(MaybeFail("net/send").ok());
+  EXPECT_FALSE(MaybeFail("net/send").ok());
+  EXPECT_EQ(FaultInjector::Instance().InjectedFailures(), 2u);
+}
+
+TEST_F(FaultInjectionTest, FailNthCustomCode) {
+  FaultInjector::Instance().FailNth("q/admit", 1,
+                                    StatusCode::kResourceExhausted);
+  EXPECT_EQ(MaybeFail("q/admit").code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(FaultInjectionTest, RandomModeIsReproducible) {
+  const auto run = [](uint64_t seed) {
+    FaultInjector::Instance().Disarm();
+    FaultInjector::Instance().FailRandom(seed, 0.5);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) pattern.push_back(!MaybeFail("p/x").ok());
+    return pattern;
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  const auto c = run(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // 2^-64 flake odds: distinct seeds, distinct patterns.
+}
+
+TEST_F(FaultInjectionTest, RandomModeProbabilityZeroAndOne) {
+  FaultInjector::Instance().FailRandom(7, 0.0);
+  for (int i = 0; i < 32; ++i) EXPECT_TRUE(MaybeFail("p/never").ok());
+  FaultInjector::Instance().Disarm();
+  FaultInjector::Instance().FailRandom(7, 1.0);
+  for (int i = 0; i < 32; ++i) EXPECT_FALSE(MaybeFail("p/always").ok());
+}
+
+TEST_F(FaultInjectionTest, StallFromSleeps) {
+  FaultInjector::Instance().StallFrom("slow/stage", 1, 30);
+  const auto start = std::chrono::steady_clock::now();
+  MaybeStall("slow/stage");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            25);
+}
+
+TEST_F(FaultInjectionTest, TruncateIoCapsOneTransfer) {
+  FaultInjector::Instance().TruncateIoNth("disk/write", 2, 10);
+  EXPECT_EQ(MaybeTruncateIo("disk/write", 100), 100u);
+  EXPECT_EQ(MaybeTruncateIo("disk/write", 100), 10u);
+  EXPECT_EQ(MaybeTruncateIo("disk/write", 100), 100u);
+  // Requests below the cap pass through unchanged.
+  FaultInjector::Instance().Disarm();
+  FaultInjector::Instance().TruncateIoNth("disk/write", 1, 10);
+  EXPECT_EQ(MaybeTruncateIo("disk/write", 4), 4u);
+}
+
+TEST_F(FaultInjectionTest, RecordingRegistersSeenPoints) {
+  FaultInjector::Instance().StartRecording();
+  EXPECT_TRUE(MaybeFail("b/second").ok());
+  EXPECT_TRUE(MaybeFail("a/first").ok());
+  EXPECT_TRUE(MaybeFail("b/second").ok());
+  MaybeStall("c/stall");
+  EXPECT_EQ(MaybeTruncateIo("d/io", 8), 8u);
+  const auto seen = FaultInjector::Instance().SeenPoints();
+  EXPECT_EQ(seen, (std::vector<std::string>{"a/first", "b/second", "c/stall",
+                                            "d/io"}));
+  EXPECT_EQ(FaultInjector::Instance().HitCount("b/second"), 2u);
+  EXPECT_EQ(FaultInjector::Instance().InjectedFailures(), 0u);
+}
+
+TEST_F(FaultInjectionTest, DisarmClearsEverything) {
+  FaultInjector::Instance().FailNth("x/y", 1);
+  EXPECT_FALSE(MaybeFail("x/y").ok());
+  FaultInjector::Instance().Disarm();
+  EXPECT_FALSE(FaultInjector::Armed());
+  EXPECT_TRUE(MaybeFail("x/y").ok());
+  EXPECT_EQ(FaultInjector::Instance().HitCount("x/y"), 0u);
+  EXPECT_EQ(FaultInjector::Instance().InjectedFailures(), 0u);
+  EXPECT_TRUE(FaultInjector::Instance().SeenPoints().empty());
+}
+
+TEST_F(FaultInjectionTest, ConcurrentHitsInjectExactlyOnce) {
+  FaultInjector::Instance().FailNth("mt/point", 50);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        if (!MaybeFail("mt/point").ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 1);
+  EXPECT_EQ(FaultInjector::Instance().HitCount("mt/point"), 200u);
+}
+
+}  // namespace
+}  // namespace ctxrank::fault

@@ -1,5 +1,6 @@
 #include "common/lru_cache.h"
 
+#include <atomic>
 #include <string>
 #include <thread>
 #include <vector>
@@ -128,6 +129,36 @@ TEST(LruCacheTest, ConcurrentMixedAccessIsSafe) {
   for (auto& th : threads) th.join();
   const LruCacheStats stats = cache.stats();
   EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+TEST(LruCacheTest, ConcurrentCountersStayConsistent) {
+  // Capacity far below the keyspace so Put continuously evicts while Get
+  // races it; every Get must land in exactly one of hits/misses.
+  LruCache<int, int> cache(32, 4);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  std::atomic<uint64_t> total_gets{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &total_gets, t] {
+      uint64_t gets = 0;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int key = (t * 131 + i * 7) % 512;
+        if ((i & 1) == 0) {
+          cache.Put(key, key * 3);
+        } else {
+          ++gets;
+          if (auto v = cache.Get(key)) EXPECT_EQ(*v, key * 3);
+        }
+      }
+      total_gets.fetch_add(gets);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const LruCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, total_gets.load());
+  EXPECT_GT(stats.misses, 0u);  // The tiny cache must have evicted.
+  EXPECT_LE(cache.size(), 32u);
 }
 
 }  // namespace

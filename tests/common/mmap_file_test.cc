@@ -7,6 +7,8 @@
 #include <string>
 #include <utility>
 
+#include "common/fault_injection.h"
+
 namespace ctxrank {
 namespace {
 
@@ -40,6 +42,58 @@ TEST(MmapFileTest, MissingFileFails) {
   auto r = MmapFile::Open("/nonexistent/file.bin");
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.status().message().find("cannot open"), std::string::npos);
+}
+
+TEST(MmapFileTest, EmptyFileViewIsSafeToUse) {
+  // Regression: the empty view must behave like a zero-length buffer, not
+  // a trap — data() is null, size() is zero, and destruction/move of the
+  // unmapped object must not call munmap.
+  const std::string path = TempPath("mmap_empty_use.bin");
+  { std::ofstream f(path, std::ios::binary); }
+  auto r = MmapFile::Open(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  MmapFile file = std::move(r).value();
+  EXPECT_EQ(file.data(), nullptr);
+  EXPECT_EQ(file.size(), 0u);
+  MmapFile moved = std::move(file);
+  EXPECT_EQ(moved.size(), 0u);
+  EXPECT_FALSE(moved.mapped());
+}
+
+TEST(MmapFileTest, DirectoryIsRejectedWithClearError) {
+  auto r = MmapFile::Open(::testing::TempDir());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_NE(r.status().message().find("is a directory"), std::string::npos);
+}
+
+TEST(MmapFileTest, InjectedOpenFaultSurfacesAsStatus) {
+  const std::string path = TempPath("mmap_fault_open.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "payload";
+  }
+  fault::FaultInjector::Instance().FailNth("mmap/open", 1);
+  const auto failed = MmapFile::Open(path);
+  fault::FaultInjector::Instance().Disarm();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+  // The same call succeeds once disarmed — no sticky state.
+  EXPECT_TRUE(MmapFile::Open(path).ok());
+}
+
+TEST(MmapFileTest, InjectedMapFaultSurfacesAsStatus) {
+  const std::string path = TempPath("mmap_fault_map.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "payload";
+  }
+  fault::FaultInjector::Instance().FailNth("mmap/map", 1);
+  const auto failed = MmapFile::Open(path);
+  fault::FaultInjector::Instance().Disarm();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+  EXPECT_TRUE(MmapFile::Open(path).ok());
 }
 
 TEST(MmapFileTest, MoveTransfersOwnership) {

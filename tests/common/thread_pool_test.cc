@@ -41,6 +41,52 @@ TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
   EXPECT_EQ(count.load(), 1);
 }
 
+TEST(ThreadPoolTest, TasksSubmittingTasksFinishBeforeWaitReturns) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&pool, &count] {
+      count.fetch_add(1);
+      // Submitted before the parent decrements in_flight, so Wait cannot
+      // observe zero between parent and child.
+      pool.Submit([&count] { count.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingSubmissions) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // No Wait: destruction itself must run everything already submitted.
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmissionChainDuringShutdownIsDrained) {
+  std::atomic<int> depth{0};
+  {
+    // Declared before the pool so it outlives the destructor's drain.
+    std::function<void(int)> link;
+    ThreadPool pool(1);
+    // Each link submits the next from inside a running task; the chain is
+    // still growing when the destructor starts shutting the pool down.
+    link = [&](int remaining) {
+      depth.fetch_add(1);
+      if (remaining > 0) {
+        pool.Submit([&link, remaining] { link(remaining - 1); });
+      }
+    };
+    pool.Submit([&link] { link(40); });
+  }
+  EXPECT_EQ(depth.load(), 41);
+}
+
 TEST(ResolveNumThreadsTest, ZeroMapsToHardwareConcurrency) {
   EXPECT_GE(ResolveNumThreads(0), 1u);
   EXPECT_EQ(ResolveNumThreads(1), 1u);

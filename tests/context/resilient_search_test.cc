@@ -1,0 +1,296 @@
+// The graceful-degradation contract of the query path: an unreachable
+// deadline changes nothing (bitwise), an expiring one yields best-effort
+// hits plus an explicit degraded marker and skipped-context list, degraded
+// results never enter the cache, and the admission limiter sheds with
+// kResourceExhausted instead of queueing past the budget.
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "context/context_assignment.h"
+#include "context/prestige.h"
+#include "context/search_engine.h"
+#include "corpus/corpus.h"
+#include "corpus/tokenized_corpus.h"
+#include "ontology/ontology.h"
+
+namespace ctxrank::context {
+namespace {
+
+using corpus::Paper;
+using corpus::PaperId;
+
+/// A randomized world mirroring the fast-path tests: papers over a small
+/// word pool, ontology term names reusing pool words so queries route,
+/// random memberships and prestige.
+struct RandomWorld {
+  ontology::Ontology onto;
+  corpus::Corpus corpus;
+  std::unique_ptr<corpus::TokenizedCorpus> tc;
+  std::unique_ptr<ContextAssignment> assignment;
+  std::unique_ptr<PrestigeScores> prestige;
+  std::vector<std::string> words;
+
+  std::string RandomQuery(Rng& rng) {
+    std::string q;
+    const size_t n = 2 + rng.NextBounded(4);
+    for (size_t i = 0; i < n; ++i) {
+      if (!q.empty()) q += ' ';
+      q += words[rng.NextBounded(words.size())];
+    }
+    return q;
+  }
+};
+
+RandomWorld MakeRandomWorld(uint64_t seed, size_t num_papers = 100,
+                            size_t num_terms = 14) {
+  RandomWorld w;
+  Rng rng(seed);
+  for (size_t i = 0; i < 30; ++i) {
+    w.words.push_back("gamma" + std::to_string(i));
+  }
+  for (PaperId p = 0; p < num_papers; ++p) {
+    std::string text;
+    const size_t n = 5 + rng.NextBounded(15);
+    for (size_t i = 0; i < n; ++i) {
+      if (!text.empty()) text += ' ';
+      text += w.words[rng.NextBounded(w.words.size())];
+    }
+    Paper paper;
+    paper.id = p;
+    paper.title = text.substr(0, text.find(' '));
+    paper.abstract_text = text;
+    paper.body = text;
+    EXPECT_TRUE(w.corpus.Add(std::move(paper)).ok());
+  }
+  std::vector<ontology::TermId> ids;
+  for (size_t t = 0; t < num_terms; ++t) {
+    std::string name = w.words[rng.NextBounded(w.words.size())];
+    if (rng.NextBounded(2) != 0) {
+      name += ' ';
+      name += w.words[rng.NextBounded(w.words.size())];
+    }
+    ids.push_back(w.onto.AddTerm("T:" + std::to_string(t), name));
+  }
+  for (size_t t = 1; t < num_terms; ++t) {
+    EXPECT_TRUE(w.onto.AddIsA(ids[t], ids[rng.NextBounded(t)]).ok());
+  }
+  EXPECT_TRUE(w.onto.Finalize().ok());
+  w.tc = std::make_unique<corpus::TokenizedCorpus>(w.corpus);
+  w.assignment =
+      std::make_unique<ContextAssignment>(w.onto.size(), w.corpus.size());
+  w.prestige = std::make_unique<PrestigeScores>(w.onto.size());
+  for (size_t t = 1; t < num_terms; ++t) {
+    std::vector<PaperId> members;
+    for (PaperId p = 0; p < num_papers; ++p) {
+      if (rng.NextDouble() < 0.35) members.push_back(p);
+    }
+    if (members.empty()) continue;
+    w.assignment->SetMembers(ids[t], members);
+    std::vector<double> scores;
+    for (size_t i = 0; i < members.size(); ++i) {
+      scores.push_back(rng.NextDouble());
+    }
+    w.prestige->Set(ids[t], scores);
+  }
+  return w;
+}
+
+ContextSearchEngine::EngineOptions IndexedEngineOptions() {
+  ContextSearchEngine::EngineOptions o;
+  o.index_min_members = 4;
+  return o;
+}
+
+void ExpectBitwiseEqual(const std::vector<SearchHit>& a,
+                        const std::vector<SearchHit>& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].paper, b[i].paper) << label << " hit " << i;
+    EXPECT_EQ(a[i].relevancy, b[i].relevancy) << label << " hit " << i;
+    EXPECT_EQ(a[i].context, b[i].context) << label << " hit " << i;
+    EXPECT_EQ(a[i].prestige, b[i].prestige) << label << " hit " << i;
+    EXPECT_EQ(a[i].match, b[i].match) << label << " hit " << i;
+  }
+}
+
+class ResilientSearchTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::FaultInjector::Instance().Disarm(); }
+};
+
+// The identity half of the contract: arming a deadline that is never hit
+// must not change a single bit of any result, across seeds, scan paths,
+// thread counts and k.
+TEST_F(ResilientSearchTest, UnreachableDeadlineIsBitwiseIdentical) {
+  for (const uint64_t seed : {3u, 7u, 11u}) {
+    RandomWorld w = MakeRandomWorld(seed);
+    const ContextSearchEngine engine(*w.tc, w.onto, *w.assignment,
+                                     *w.prestige, IndexedEngineOptions());
+    Rng rng(seed * 17);
+    for (int qi = 0; qi < 6; ++qi) {
+      const std::string query = w.RandomQuery(rng);
+      for (const bool exact : {false, true}) {
+        for (const size_t threads : {size_t{1}, size_t{4}}) {
+          for (const size_t k : {size_t{0}, size_t{5}}) {
+            SearchOptions base;
+            base.exact_scan = exact;
+            base.num_threads = threads;
+            base.top_k = k;
+            SearchOptions timed = base;
+            timed.deadline_ms = 3'600'000;  // One hour: never expires.
+            const SearchResponse plain = engine.SearchEx(query, base);
+            const SearchResponse bounded = engine.SearchEx(query, timed);
+            const std::string label =
+                "seed=" + std::to_string(seed) + " q=\"" + query +
+                "\" exact=" + std::to_string(exact) +
+                " threads=" + std::to_string(threads) +
+                " k=" + std::to_string(k);
+            EXPECT_FALSE(plain.degraded) << label;
+            EXPECT_FALSE(bounded.degraded) << label;
+            EXPECT_TRUE(bounded.status.ok()) << label;
+            EXPECT_TRUE(bounded.skipped_contexts.empty()) << label;
+            ExpectBitwiseEqual(plain.hits, bounded.hits, label);
+          }
+        }
+      }
+    }
+  }
+}
+
+// The degradation half: with per-context stalls armed and a budget smaller
+// than one stall, the response must come back degraded — explicit flag,
+// named skipped contexts, OK status — and every returned hit must be an
+// exact score no better than the unconstrained run's score for that paper.
+TEST_F(ResilientSearchTest, StallPlusTightDeadlineDegradesGracefully) {
+  RandomWorld w = MakeRandomWorld(5);
+  const ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                                   IndexedEngineOptions());
+  Rng rng(99);
+  for (const bool exact : {false, true}) {
+    // A query that routes to at least two contexts so something can be
+    // both served and skipped.
+    std::string query;
+    for (int tries = 0; tries < 200; ++tries) {
+      query = w.RandomQuery(rng);
+      if (engine.SelectContexts(query, 5, 1e-9).size() >= 2) break;
+    }
+    ASSERT_GE(engine.SelectContexts(query, 5, 1e-9).size(), 2u);
+
+    SearchOptions options;
+    options.exact_scan = exact;
+    const SearchResponse full = engine.SearchEx(query, options);
+    ASSERT_FALSE(full.degraded);
+
+    fault::FaultInjector::Instance().StallFrom("search/scan_context", 1, 40);
+    SearchOptions bounded = options;
+    bounded.deadline_ms = 1;
+    const SearchResponse degraded = engine.SearchEx(query, bounded);
+    fault::FaultInjector::Instance().Disarm();
+
+    EXPECT_TRUE(degraded.degraded) << "exact=" << exact;
+    EXPECT_TRUE(degraded.status.ok()) << degraded.status.ToString();
+    EXPECT_FALSE(degraded.skipped_contexts.empty()) << "exact=" << exact;
+    // Best-effort hits are never *better* than the complete answer: each
+    // paper's degraded relevancy is bounded by its full-run relevancy
+    // (equal when the winning context was scanned before the cutoff).
+    std::map<PaperId, double> full_scores;
+    for (const SearchHit& h : full.hits) full_scores[h.paper] = h.relevancy;
+    for (const SearchHit& h : degraded.hits) {
+      auto it = full_scores.find(h.paper);
+      ASSERT_NE(it, full_scores.end())
+          << "degraded hit for paper " << h.paper
+          << " absent from the complete run (exact=" << exact << ")";
+      EXPECT_LE(h.relevancy, it->second) << "paper " << h.paper;
+    }
+  }
+}
+
+TEST_F(ResilientSearchTest, DegradedResultsAreNeverCached) {
+  RandomWorld w = MakeRandomWorld(9);
+  ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                             IndexedEngineOptions());
+  engine.EnableQueryCache(64);
+  Rng rng(123);
+  std::string query;
+  for (int tries = 0; tries < 200; ++tries) {
+    query = w.RandomQuery(rng);
+    if (!engine.SelectContexts(query, 5, 1e-9).empty()) break;
+  }
+  ASSERT_FALSE(engine.SelectContexts(query, 5, 1e-9).empty());
+
+  SearchOptions reference_options;
+  reference_options.bypass_cache = true;
+  const SearchResponse reference = engine.SearchEx(query, reference_options);
+
+  fault::FaultInjector::Instance().StallFrom("search/scan_context", 1, 40);
+  SearchOptions bounded;
+  bounded.deadline_ms = 1;
+  const SearchResponse degraded = engine.SearchEx(query, bounded);
+  fault::FaultInjector::Instance().Disarm();
+  ASSERT_TRUE(degraded.degraded);
+
+  // A poisoned cache would replay the partial hits here; the contract is
+  // that the unconstrained follow-up gets the complete answer.
+  const SearchResponse after = engine.SearchEx(query, SearchOptions());
+  EXPECT_FALSE(after.degraded);
+  ExpectBitwiseEqual(reference.hits, after.hits, "post-degradation");
+}
+
+TEST_F(ResilientSearchTest, AdmissionLimiterShedsWithResourceExhausted) {
+  RandomWorld w = MakeRandomWorld(13);
+  ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                             IndexedEngineOptions());
+  engine.SetAdmissionLimit(1);
+  EXPECT_EQ(engine.admission_limit(), 1u);
+  Rng rng(7);
+  std::string query;
+  for (int tries = 0; tries < 200; ++tries) {
+    query = w.RandomQuery(rng);
+    if (!engine.SelectContexts(query, 5, 1e-9).empty()) break;
+  }
+  ASSERT_FALSE(engine.SelectContexts(query, 5, 1e-9).empty());
+
+  // Every admitted query stalls well past everyone else's budget, so with
+  // a single permit the rest of the batch must be shed, not queued.
+  fault::FaultInjector::Instance().StallFrom("search/scan_context", 1, 150);
+  SearchOptions options;
+  options.deadline_ms = 20;
+  options.num_threads = 8;
+  const std::vector<std::string> queries(8, query);
+  const auto responses = engine.SearchManyEx(queries, options);
+  fault::FaultInjector::Instance().Disarm();
+
+  ASSERT_EQ(responses.size(), queries.size());
+  size_t shed = 0;
+  for (const SearchResponse& r : responses) {
+    if (r.status.ok()) continue;
+    EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted)
+        << r.status.ToString();
+    EXPECT_TRUE(r.degraded);
+    EXPECT_TRUE(r.hits.empty());
+    ++shed;
+  }
+  EXPECT_GE(shed, 1u);
+  EXPECT_LT(shed, queries.size());  // Someone must have been admitted.
+
+  // The limiter releases its permits: an unconstrained batch afterwards
+  // is complete and identical to the single-query answer.
+  engine.SetAdmissionLimit(0);
+  const auto clean = engine.SearchManyEx(queries, SearchOptions());
+  for (const SearchResponse& r : clean) {
+    EXPECT_TRUE(r.status.ok());
+    EXPECT_FALSE(r.degraded);
+    ExpectBitwiseEqual(engine.Search(query, SearchOptions()), r.hits,
+                       "post-shed batch");
+  }
+}
+
+}  // namespace
+}  // namespace ctxrank::context

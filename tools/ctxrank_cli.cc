@@ -20,9 +20,19 @@
 //       Validate + load a snapshot (zero-copy) and print its stats.
 //   ctxrank search --snapshot FILE --query "..."
 //       Serve the query from a snapshot instead of rebuilding the index.
+//   ctxrank serve --snapshot FILE [--watch 1]
+//       Long-running query loop over stdin with snapshot hot-reload:
+//       the supervisor keeps serving the last good snapshot if the file
+//       is replaced with a corrupt one.
+//
+// Exit codes map the library's StatusCode so scripts can react to the
+// failure class: 0 ok, 2 usage, 3 invalid argument, 4 not found,
+// 5 already exists, 6 out of range, 7 failed precondition, 8 internal,
+// 9 I/O error, 10 deadline exceeded, 11 resource exhausted.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <optional>
 #include <string>
@@ -47,6 +57,7 @@
 #include "ontology/obo_io.h"
 #include "ontology/ontology_generator.h"
 #include "serve/snapshot.h"
+#include "serve/supervisor.h"
 
 namespace ctxrank::cli {
 namespace {
@@ -85,14 +96,43 @@ class Args {
   bool ok_ = true;
 };
 
+/// Maps a StatusCode onto a stable process exit code (see the file
+/// comment); 1 is deliberately unused so "generic failure" from wrappers
+/// stays distinguishable from a classified library error.
+int ExitCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 3;
+    case StatusCode::kNotFound:
+      return 4;
+    case StatusCode::kAlreadyExists:
+      return 5;
+    case StatusCode::kOutOfRange:
+      return 6;
+    case StatusCode::kFailedPrecondition:
+      return 7;
+    case StatusCode::kInternal:
+      return 8;
+    case StatusCode::kIoError:
+      return 9;
+    case StatusCode::kDeadlineExceeded:
+      return 10;
+    case StatusCode::kResourceExhausted:
+      return 11;
+  }
+  return 8;
+}
+
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  return ExitCode(status.code());
 }
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: ctxrank <generate|index|search|info|analyze> "
+               "usage: ctxrank <generate|index|search|info|analyze|serve> "
                "[--flag value]...\n"
                "  generate --out DIR [--terms N] [--papers N] [--seed N]\n"
                "           [--threads N] [--timings 1]\n"
@@ -101,9 +141,9 @@ int Usage() {
                "  search   --data DIR --query Q [--set text|pattern]\n"
                "           [--function text|citation|pattern] [--top N]\n"
                "           [--topk K] [--exact 1] [--cache N]\n"
-               "           [--batch FILE] [--threads N]\n"
+               "           [--batch FILE] [--threads N] [--deadline-ms N]\n"
                "  search   --snapshot FILE --query Q [--top N] [--topk K]\n"
-               "           [--batch FILE] [--threads N]\n"
+               "           [--batch FILE] [--threads N] [--deadline-ms N]\n"
                "  info     --data DIR\n"
                "  analyze  --data DIR [--set text|pattern] "
                "[--min-context N]\n"
@@ -111,12 +151,41 @@ int Usage() {
                "           [--function text|citation|pattern] [--out FILE]\n"
                "           [--threads N]\n"
                "  snapshot load --snapshot FILE [--query Q] [--threads N]\n"
+               "  serve    --snapshot FILE [--watch 1] [--watch-ms N]\n"
+               "           [--top N] [--topk K] [--deadline-ms N]\n"
+               "           [--retries N] [--backoff-ms N] [--threads N]\n"
+               "           (queries from stdin; :reload :stats :quit)\n"
                "common flags:\n"
-               "  --threads N   parallelize corpus text synthesis and the\n"
-               "                prestige engines (0 = all cores; output is\n"
-               "                identical for any value)\n"
-               "  --timings 1   print a per-stage wall/CPU time table\n");
+               "  --threads N      parallelize corpus text synthesis and\n"
+               "                   the prestige engines (0 = all cores;\n"
+               "                   output is identical for any value)\n"
+               "  --timings 1      print a per-stage wall/CPU time table\n"
+               "  --deadline-ms N  per-query time budget; on expiry the\n"
+               "                   query returns best-effort results and\n"
+               "                   reports the skipped contexts\n"
+               "exit codes: 0 ok, 2 usage, 3 invalid argument, 4 not "
+               "found,\n"
+               "  5 already exists, 6 out of range, 7 failed precondition,\n"
+               "  8 internal, 9 I/O error, 10 deadline exceeded,\n"
+               "  11 resource exhausted\n");
   return 2;
+}
+
+/// One-line stderr note when a response came back degraded (deadline hit
+/// or admission rejection) so best-effort output is never mistaken for a
+/// complete result.
+void ReportDegraded(const context::SearchResponse& response,
+                    const std::string& query) {
+  if (!response.degraded) return;
+  if (!response.status.ok()) {
+    std::fprintf(stderr, "degraded: \"%s\": %s\n", query.c_str(),
+                 response.status.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr,
+               "degraded: \"%s\": deadline hit, %zu context(s) skipped; "
+               "results are best-effort\n",
+               query.c_str(), response.skipped_contexts.size());
 }
 
 struct Dataset {
@@ -263,6 +332,7 @@ int SearchFromSnapshot(const Args& args, const std::string& snap_path) {
   context::SearchOptions options;
   options.top_k = static_cast<size_t>(args.GetInt("topk", 0));
   options.num_threads = static_cast<size_t>(args.GetInt("threads", 1));
+  options.deadline_ms = static_cast<uint64_t>(args.GetInt("deadline-ms", 0));
 
   auto snap = serve::ServingSnapshot::Load(
       snap_path, static_cast<size_t>(args.GetInt("threads", 0)));
@@ -280,12 +350,14 @@ int SearchFromSnapshot(const Args& args, const std::string& snap_path) {
     for (std::string line; std::getline(in, line);) {
       if (!line.empty()) queries.push_back(line);
     }
-    const auto results = s.engine().SearchMany(queries, options);
+    const auto results = s.engine().SearchManyEx(queries, options);
     for (size_t i = 0; i < queries.size(); ++i) {
-      std::printf("%4zu hits  %s\n", results[i].size(), queries[i].c_str());
-      for (size_t j = 0; j < results[i].size() && j < top; ++j) {
-        std::printf("      R=%.3f  %s\n", results[i][j].relevancy,
-                    title(results[i][j].paper).c_str());
+      ReportDegraded(results[i], queries[i]);
+      std::printf("%4zu hits  %s\n", results[i].hits.size(),
+                  queries[i].c_str());
+      for (size_t j = 0; j < results[i].hits.size() && j < top; ++j) {
+        std::printf("      R=%.3f  %s\n", results[i].hits[j].relevancy,
+                    title(results[i].hits[j].paper).c_str());
       }
     }
     return 0;
@@ -297,7 +369,9 @@ int SearchFromSnapshot(const Args& args, const std::string& snap_path) {
     std::printf("  context [%.3f] %s\n", cm.score,
                 s.onto().term(cm.term).name.c_str());
   }
-  const auto hits = s.engine().Search(query, options);
+  const auto response = s.engine().SearchEx(query, options);
+  ReportDegraded(response, query);
+  const auto& hits = response.hits;
   std::printf("%zu results\n", hits.size());
   for (size_t i = 0; i < hits.size() && i < top; ++i) {
     std::printf("%3zu. R=%.3f (prestige %.3f, match %.3f)  %s\n", i + 1,
@@ -326,6 +400,7 @@ int Search(const Args& args) {
   options.top_k = static_cast<size_t>(args.GetInt("topk", 0));
   options.exact_scan = args.GetInt("exact", 0) != 0;
   options.num_threads = threads;
+  options.deadline_ms = static_cast<uint64_t>(args.GetInt("deadline-ms", 0));
   const size_t cache_capacity =
       static_cast<size_t>(args.GetInt("cache", 0));
 
@@ -356,13 +431,15 @@ int Search(const Args& args) {
     for (std::string line; std::getline(in, line);) {
       if (!line.empty()) queries.push_back(line);
     }
-    const auto results = engine.SearchMany(queries, options);
+    const auto results = engine.SearchManyEx(queries, options);
     for (size_t i = 0; i < queries.size(); ++i) {
-      std::printf("%4zu hits  %s\n", results[i].size(), queries[i].c_str());
-      for (size_t j = 0; j < results[i].size() && j < top; ++j) {
-        std::printf("      R=%.3f  %s\n", results[i][j].relevancy,
+      ReportDegraded(results[i], queries[i]);
+      std::printf("%4zu hits  %s\n", results[i].hits.size(),
+                  queries[i].c_str());
+      for (size_t j = 0; j < results[i].hits.size() && j < top; ++j) {
+        std::printf("      R=%.3f  %s\n", results[i].hits[j].relevancy,
                     data.value()
-                        .corpus.paper(results[i][j].paper)
+                        .corpus.paper(results[i].hits[j].paper)
                         .title.c_str());
       }
     }
@@ -381,7 +458,9 @@ int Search(const Args& args) {
     std::printf("  context [%.3f] %s\n", cm.score,
                 data.value().onto.term(cm.term).name.c_str());
   }
-  const auto hits = engine.Search(query, options);
+  const auto response = engine.SearchEx(query, options);
+  ReportDegraded(response, query);
+  const auto& hits = response.hits;
   std::printf("%zu results\n", hits.size());
   const corpus::SnippetGenerator snippets(tc);
   for (size_t i = 0; i < hits.size() && i < top; ++i) {
@@ -541,6 +620,82 @@ int SnapshotLoad(const Args& args) {
   return 0;
 }
 
+/// `serve`: a long-running query loop over stdin, backed by the
+/// hot-reload supervisor. With `--watch 1` a background thread picks up
+/// snapshot file replacements automatically; a corrupt replacement keeps
+/// the last good snapshot serving. Lines starting with ':' are commands
+/// (:reload — reload now; :stats — supervisor counters; :quit).
+int Serve(const Args& args) {
+  const std::string path = args.Get("snapshot", "");
+  if (path.empty()) return Usage();
+  serve::SnapshotSupervisor::Options sup_opts;
+  sup_opts.num_threads = static_cast<size_t>(args.GetInt("threads", 0));
+  sup_opts.max_retries = static_cast<size_t>(args.GetInt("retries", 3));
+  sup_opts.backoff_initial_ms =
+      static_cast<uint64_t>(args.GetInt("backoff-ms", 10));
+  sup_opts.watch_interval_ms =
+      static_cast<uint64_t>(args.GetInt("watch-ms", 200));
+  serve::SnapshotSupervisor supervisor(sup_opts);
+  // The initial load must succeed — there is no last-good to fall back to.
+  const Status first = supervisor.Reload(path);
+  if (!first.ok()) return Fail(first);
+  if (args.GetInt("watch", 0) != 0) {
+    const Status st = supervisor.StartWatching(path);
+    if (!st.ok()) return Fail(st);
+  }
+
+  context::SearchOptions options;
+  options.top_k = static_cast<size_t>(args.GetInt("topk", 0));
+  options.num_threads = 1;
+  options.deadline_ms = static_cast<uint64_t>(args.GetInt("deadline-ms", 0));
+  const size_t top = static_cast<size_t>(args.GetInt("top", 10));
+
+  std::printf("serving %s (%zu papers)%s; :reload :stats :quit\n",
+              path.c_str(), supervisor.current()->num_papers(),
+              supervisor.watching() ? ", watching for changes" : "");
+  for (std::string line; std::getline(std::cin, line);) {
+    if (line.empty()) continue;
+    if (line == ":quit") break;
+    if (line == ":reload") {
+      const Status st = supervisor.Reload(path);
+      if (st.ok()) {
+        std::printf("reloaded (generation %llu)\n",
+                    static_cast<unsigned long long>(
+                        supervisor.stats().generation));
+      } else {
+        std::fprintf(stderr, "reload failed, still serving last good "
+                             "snapshot: %s\n",
+                     st.ToString().c_str());
+      }
+      continue;
+    }
+    if (line == ":stats") {
+      const auto stats = supervisor.stats();
+      std::printf("generation %llu, failed reloads %llu, retries %llu%s%s\n",
+                  static_cast<unsigned long long>(stats.generation),
+                  static_cast<unsigned long long>(stats.failed_reloads),
+                  static_cast<unsigned long long>(stats.retries),
+                  stats.last_error.empty() ? "" : ", last error: ",
+                  stats.last_error.c_str());
+      continue;
+    }
+    // Pin the snapshot for this query: a concurrent hot-swap cannot pull
+    // the data out from under it.
+    const auto snap = supervisor.current();
+    const auto response = snap->engine().SearchEx(line, options);
+    ReportDegraded(response, line);
+    std::printf("%zu results\n", response.hits.size());
+    for (size_t i = 0; i < response.hits.size() && i < top; ++i) {
+      const auto& h = response.hits[i];
+      std::printf("%3zu. R=%.3f  %s\n", i + 1, h.relevancy,
+                  snap->has_titles()
+                      ? std::string(snap->title(h.paper)).c_str()
+                      : ("paper " + std::to_string(h.paper)).c_str());
+    }
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -558,6 +713,7 @@ int Main(int argc, char** argv) {
   if (command == "generate") return Generate(args);
   if (command == "index") return Index(args);
   if (command == "search") return Search(args);
+  if (command == "serve") return Serve(args);
   if (command == "info") return Info(args);
   if (command == "analyze") return Analyze(args);
   return Usage();
