@@ -15,6 +15,7 @@
 
 #include "bench/bench_common.h"
 #include "common/deadline.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "eval/table.h"
 
@@ -60,17 +61,39 @@ ModeStats TimeQueries(const std::string& name,
   return stats;
 }
 
+/// Steal-proof baseline query cost: per-query minimum across passes, so
+/// hypervisor steal can only be excluded, never averaged in. Biased *low*,
+/// which biases any overhead fraction built on it high — the conservative
+/// direction for a guard. Returns mean-of-minima seconds per query.
+double MinQueryCostS(const context::ContextSearchEngine& engine,
+                     const std::vector<eval::EvalQuery>& queries,
+                     const context::SearchOptions& options) {
+  std::vector<double> best(queries.size(),
+                           std::numeric_limits<double>::infinity());
+  constexpr int kPasses = 10;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto response = engine.SearchEx(queries[i].text, options);
+      (void)response;
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - t0;
+      best[i] = std::min(best[i], dt.count());
+    }
+  }
+  double min_total = 0.0;
+  for (const double b : best) min_total += b;
+  return min_total / static_cast<double>(queries.size());
+}
+
 /// Deadline guard: the plumbing must be (near) free. A wall-clock A/B of
 /// a sub-1% effect is hopeless on a shared 1-vCPU VM (an A/A control run
 /// of this bench read anywhere from -5% to +16%), so the guard is built
 /// from three robust measurements instead:
 ///   1. armed checks per query — an exact count from Deadline's counter
 ///      (a no-deadline query makes zero, by construction);
-///   2. cost of one armed check — a tight loop, min over repetitions, so
-///      hypervisor steal can only be excluded, never averaged in;
-///   3. baseline query cost — per-query minimum across passes, again
-///      steal-proof and biased *low*, which biases the overhead fraction
-///      high (the conservative direction for a guard).
+///   2. cost of one armed check — a tight loop, min over repetitions;
+///   3. baseline query cost — the steal-proof MinQueryCostS above.
 /// Returns checks_per_query * check_cost / min_query_time.
 double MeasureDeadlineOverhead(const context::ContextSearchEngine& engine,
                                const std::vector<eval::EvalQuery>& queries,
@@ -101,31 +124,93 @@ double MeasureDeadlineOverhead(const context::ContextSearchEngine& engine,
     const std::chrono::duration<double> dt =
         std::chrono::steady_clock::now() - t0;
     check_cost_s = std::min(check_cost_s, dt.count() / kChecks);
+    (void)sink;
   }
 
-  // 3. Steal-proof baseline: sum of per-query minima across passes.
-  std::vector<double> best(queries.size(),
-                           std::numeric_limits<double>::infinity());
-  constexpr int kPasses = 10;
-  for (int pass = 0; pass < kPasses; ++pass) {
-    for (size_t i = 0; i < queries.size(); ++i) {
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto response = engine.SearchEx(queries[i].text, options);
-      (void)response;
-      const std::chrono::duration<double> dt =
-          std::chrono::steady_clock::now() - t0;
-      best[i] = std::min(best[i], dt.count());
-    }
-  }
-  double min_total = 0.0;
-  for (const double b : best) min_total += b;
-  if (min_total <= 0.0) return 0.0;
-  const double per_query = min_total / static_cast<double>(queries.size());
+  const double per_query = MinQueryCostS(engine, queries, options);
+  if (per_query <= 0.0) return 0.0;
   std::printf(
       "deadline guard: %.1f armed checks/query x %.1f ns/check over %.1f us "
       "min query\n",
       checks_per_query, check_cost_s * 1e9, per_query * 1e6);
   return checks_per_query * check_cost_s / per_query;
+}
+
+/// Metrics guard: the disarmed serving instrumentation (counters + latency
+/// histogram, trace off) must stay under 1% on the pruned path. Same
+/// deterministic construction as the deadline guard:
+///   1. metric ops per query — exact deltas of SumCounters (counter value
+///      delta is an upper bound on Increment calls; Increment(0) is a
+///      no-op so nothing is undercounted) and SumHistogramCounts (exactly
+///      one per Observe), over a disarmed bypass-cache sweep;
+///   2. per-op costs — tight loops over Counter::Increment,
+///      Histogram::Observe and the two steady_clock reads SearchOne makes
+///      for the latency histogram, min over repetitions;
+///   3. baseline query cost — the same steal-proof MinQueryCostS.
+double MeasureMetricsOverhead(const context::ContextSearchEngine& engine,
+                              const std::vector<eval::EvalQuery>& queries,
+                              context::SearchOptions options) {
+  options.bypass_cache = true;
+  auto& registry = obs::MetricsRegistry::Instance();
+
+  // 1. Exact op counts over a disarmed sweep.
+  const uint64_t counters0 = registry.SumCounters();
+  const uint64_t observes0 = registry.SumHistogramCounts();
+  for (const auto& q : queries) {
+    const auto response = engine.SearchEx(q.text, options);
+    (void)response;
+  }
+  const double n = static_cast<double>(queries.size());
+  const double counter_ops =
+      static_cast<double>(registry.SumCounters() - counters0) / n;
+  const double observes =
+      static_cast<double>(registry.SumHistogramCounts() - observes0) / n;
+  // SearchOne reads the clock twice per query for the latency histogram
+  // (start + end); the trace-off path makes no other timing calls.
+  constexpr double kClockReadsPerQuery = 2.0;
+
+  // 2. Tight-loop per-op minima on scratch metrics (same sharded layout,
+  // same thread — matches the contention-free hot path).
+  obs::Counter scratch_counter;
+  obs::Histogram scratch_hist(obs::LatencyBucketsUs());
+  double inc_cost_s = std::numeric_limits<double>::infinity();
+  double observe_cost_s = std::numeric_limits<double>::infinity();
+  double clock_cost_s = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 5; ++rep) {
+    constexpr int kOps = 200'000;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kOps; ++i) scratch_counter.Increment();
+    std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    inc_cost_s = std::min(inc_cost_s, dt.count() / kOps);
+
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kOps; ++i) {
+      // Vary the value so the bucket probe walks a realistic distance.
+      scratch_hist.Observe(static_cast<double>((i * 37) % 100000));
+    }
+    dt = std::chrono::steady_clock::now() - t0;
+    observe_cost_s = std::min(observe_cost_s, dt.count() / kOps);
+
+    volatile int64_t sink = 0;
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kOps; ++i) {
+      sink = std::chrono::steady_clock::now().time_since_epoch().count();
+    }
+    dt = std::chrono::steady_clock::now() - t0;
+    clock_cost_s = std::min(clock_cost_s, dt.count() / kOps);
+    (void)sink;
+  }
+
+  const double per_query = MinQueryCostS(engine, queries, options);
+  if (per_query <= 0.0) return 0.0;
+  const double cost_s = counter_ops * inc_cost_s + observes * observe_cost_s +
+                        kClockReadsPerQuery * clock_cost_s;
+  std::printf(
+      "metrics guard: %.1f counter ops x %.1f ns + %.1f observes x %.1f ns "
+      "+ %.0f clock reads x %.1f ns over %.1f us min query\n",
+      counter_ops, inc_cost_s * 1e9, observes, observe_cost_s * 1e9,
+      kClockReadsPerQuery, clock_cost_s * 1e9, per_query * 1e6);
+  return cost_s / per_query;
 }
 
 bool SameHits(const std::vector<context::SearchHit>& a,
@@ -145,7 +230,7 @@ void WriteJson(const std::string& path, const eval::WorldConfig& config,
                size_t num_queries, const std::vector<ModeStats>& modes,
                double speedup, double batch_qps, size_t batch_threads,
                bool identity_ok, size_t index_postings,
-               double deadline_overhead) {
+               double deadline_overhead, double metrics_overhead) {
   std::ofstream out(path);
   out << "{\n";
   out << "  \"bench\": \"perf_queries\",\n";
@@ -173,9 +258,11 @@ void WriteJson(const std::string& path, const eval::WorldConfig& config,
   std::snprintf(tail, sizeof(tail),
                 "  \"speedup_pruned_cold_vs_exact\": %.2f,\n"
                 "  \"deadline_overhead_pct\": %.3f,\n"
+                "  \"metrics_overhead_pct\": %.3f,\n"
                 "  \"batch_threads\": %zu,\n"
                 "  \"batch_qps\": %.1f\n",
-                speedup, deadline_overhead * 100.0, batch_threads, batch_qps);
+                speedup, deadline_overhead * 100.0, metrics_overhead * 100.0,
+                batch_threads, batch_qps);
   out << tail << "}\n";
 }
 
@@ -276,13 +363,22 @@ int Run(int argc, char** argv) {
   std::printf("deadline guard overhead (never-hit deadline, pruned path): %+.3f%% %s\n",
               deadline_overhead * 100.0, overhead_ok ? "OK" : "FAIL (>1%)");
 
+  // Guard: the disarmed observability layer (serving counters + latency
+  // histogram, no trace) must also cost under 1% on the pruned path.
+  const double metrics_overhead =
+      MeasureMetricsOverhead(engine, queries, pruned_opts);
+  const bool metrics_ok = metrics_overhead < 0.01;
+  std::printf("metrics guard overhead (disarmed instrumentation, pruned "
+              "path): %+.3f%% %s\n",
+              metrics_overhead * 100.0, metrics_ok ? "OK" : "FAIL (>1%)");
+
   if (!json_path.empty()) {
     WriteJson(json_path, config, queries.size(), modes, speedup, batch_qps,
               batch_threads, identity_ok, engine.index_postings(),
-              deadline_overhead);
+              deadline_overhead, metrics_overhead);
     std::printf("[wrote %s]\n", json_path.c_str());
   }
-  return identity_ok && overhead_ok ? 0 : 1;
+  return identity_ok && overhead_ok && metrics_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -12,8 +12,9 @@ build_dir="${1:-${repo_root}/build-asan}"
 cmake -B "${build_dir}" -S "${repo_root}" -DCTXRANK_SANITIZE=address,undefined
 cmake --build "${build_dir}" -j --target common_test text_test context_test serve_test
 
-echo "== LRU cache under ASan/UBSan =="
-"${build_dir}/tests/common_test" --gtest_filter='LruCache*'
+echo "== LRU cache + metrics registry under ASan/UBSan =="
+"${build_dir}/tests/common_test" \
+  --gtest_filter='LruCache*:Counter*:Gauge*:Histogram*:MetricsRegistry*'
 
 echo "== inverted + impact indexes under ASan/UBSan =="
 "${build_dir}/tests/text_test" --gtest_filter='InvertedIndex*:ImpactIndex*'
@@ -21,8 +22,8 @@ echo "== inverted + impact indexes under ASan/UBSan =="
 echo "== query fast path under ASan/UBSan =="
 "${build_dir}/tests/context_test" --gtest_filter='QueryFastPath*:SearchEngine*'
 
-echo "== deadline degradation + admission shedding under ASan/UBSan =="
-"${build_dir}/tests/context_test" --gtest_filter='ResilientSearch*'
+echo "== deadline degradation + admission shedding + traces under ASan/UBSan =="
+"${build_dir}/tests/context_test" --gtest_filter='ResilientSearch*:QueryTrace*'
 
 echo "== snapshot round-trip, supervisor, fault sweep under ASan/UBSan =="
 "${build_dir}/tests/serve_test"

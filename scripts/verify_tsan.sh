@@ -13,15 +13,15 @@ build_dir="${1:-${repo_root}/build-tsan}"
 cmake -B "${build_dir}" -S "${repo_root}" -DCTXRANK_SANITIZE=thread
 cmake --build "${build_dir}" -j --target common_test context_test serve_test
 
-echo "== thread pool + concurrent caches/injector/limiter under TSan =="
+echo "== thread pool + concurrent caches/injector/limiter/metrics under TSan =="
 "${build_dir}/tests/common_test" \
-  --gtest_filter='ThreadPool*:ParallelFor*:ResolveNumThreads*:LruCache*:FaultInjection*:AdmissionLimiter*'
+  --gtest_filter='ThreadPool*:ParallelFor*:ResolveNumThreads*:LruCache*:FaultInjection*:AdmissionLimiter*:Counter*:Gauge*:Histogram*:MetricsRegistry*'
 
 echo "== parallel determinism regressions under TSan =="
 "${build_dir}/tests/context_test" --gtest_filter='ParallelPrestige*'
 
-echo "== deadline degradation across threads under TSan =="
-"${build_dir}/tests/context_test" --gtest_filter='ResilientSearch*'
+echo "== deadline degradation + trace/shed propagation across threads under TSan =="
+"${build_dir}/tests/context_test" --gtest_filter='ResilientSearch*:QueryTrace*'
 
 echo "== snapshot supervisor swaps vs concurrent readers under TSan =="
 "${build_dir}/tests/serve_test" --gtest_filter='Supervisor*'

@@ -3,15 +3,23 @@
 // one permit per in-flight query, so a burst larger than the configured
 // limit queues instead of oversubscribing — and with a deadline set, a
 // query that cannot be admitted in time is shed with kResourceExhausted
-// instead of waiting forever.
+// instead of waiting forever. A query whose deadline has *already*
+// expired is shed up front, deterministically — admission must not depend
+// on whether a permit happens to be free at that instant.
+//
+// Instrumented (see docs/OBSERVABILITY.md): ctxrank_admission_in_flight
+// gauge, ctxrank_admission_shed_total counter, and the
+// ctxrank_admission_wait_us histogram of time spent blocked in Acquire.
 #ifndef CTXRANK_COMMON_ADMISSION_LIMITER_H_
 #define CTXRANK_COMMON_ADMISSION_LIMITER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
 
 #include "common/deadline.h"
+#include "common/metrics.h"
 
 namespace ctxrank {
 
@@ -24,25 +32,44 @@ class AdmissionLimiter {
   AdmissionLimiter& operator=(const AdmissionLimiter&) = delete;
 
   /// Acquires a permit, waiting until one frees up. With an armed deadline,
-  /// gives up at expiry; returns whether the permit was granted.
+  /// gives up at expiry; returns whether the permit was granted. An armed
+  /// deadline that has already expired sheds immediately — even when a
+  /// permit is free — so "too late" queries fail the same way under any
+  /// load instead of slipping through on a lucky free slot.
   bool Acquire(const Deadline& deadline = Deadline()) {
+    if (deadline.armed() && deadline.expired()) {
+      Metrics().shed.Increment();
+      return false;
+    }
+    const auto wait0 = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> lock(mu_);
     if (!deadline.armed()) {
       released_.wait(lock, [this] { return in_flight_ < limit_; });
     } else if (!released_.wait_until(lock, deadline.when(), [this] {
                  return in_flight_ < limit_;
                })) {
+      lock.unlock();
+      Metrics().shed.Increment();
       return false;
     }
     ++in_flight_;
+    lock.unlock();
+    Metrics().in_flight.Add(1);
+    Metrics().wait_us.Observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - wait0)
+            .count());
     return true;
   }
 
   /// Non-blocking acquire.
   bool TryAcquire() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (in_flight_ >= limit_) return false;
-    ++in_flight_;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (in_flight_ >= limit_) return false;
+      ++in_flight_;
+    }
+    Metrics().in_flight.Add(1);
     return true;
   }
 
@@ -51,6 +78,7 @@ class AdmissionLimiter {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
     }
+    Metrics().in_flight.Sub(1);
     released_.notify_one();
   }
 
@@ -79,6 +107,22 @@ class AdmissionLimiter {
   };
 
  private:
+  struct MetricsRefs {
+    obs::Gauge& in_flight;
+    obs::Counter& shed;
+    obs::Histogram& wait_us;
+  };
+
+  static MetricsRefs& Metrics() {
+    static MetricsRefs refs{
+        obs::MetricsRegistry::Instance().GetGauge("ctxrank_admission_in_flight"),
+        obs::MetricsRegistry::Instance().GetCounter(
+            "ctxrank_admission_shed_total"),
+        obs::MetricsRegistry::Instance().GetHistogram(
+            "ctxrank_admission_wait_us", obs::LatencyBucketsUs())};
+    return refs;
+  }
+
   const size_t limit_;
   mutable std::mutex mu_;
   std::condition_variable released_;

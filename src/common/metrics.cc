@@ -1,0 +1,209 @@
+#include "common/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ctxrank::obs {
+namespace {
+
+/// Renders a bucket bound the way Prometheus expects ("+Inf" spelled out,
+/// no trailing zeros otherwise).
+std::string BoundLabel(double bound) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", bound);
+  return buf;
+}
+
+}  // namespace
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (Shard& s : shards_) {
+    s.buckets = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1, 0);
+  for (const Shard& s : shards_) {
+    for (size_t b = 0; b < counts.size(); ++b) {
+      counts[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const uint64_t c : BucketCounts()) total += c;
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const Shard& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+const std::vector<double>& LatencyBucketsUs() {
+  static const std::vector<double> buckets = {
+      10,     25,     50,     100,     250,     500,     1000,    2500,
+      5000,   10000,  25000,  50000,   100000,  250000,  500000,  1000000};
+  return buckets;
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  // Leaked deliberately: threads finishing after main's locals unwind
+  // (pool workers, the snapshot watcher) may still bump metrics.
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>(bounds)).first;
+  }
+  return *it->second;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[160];
+  for (const auto& [name, counter] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    std::snprintf(line, sizeof(line), "%s %" PRIu64 "\n", name.c_str(),
+                  counter->Value());
+    out += line;
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    std::snprintf(line, sizeof(line), "%s %" PRId64 "\n", name.c_str(),
+                  gauge->Value());
+    out += line;
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out += "# TYPE " + name + " histogram\n";
+    const std::vector<uint64_t> counts = hist->BucketCounts();
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < counts.size(); ++b) {
+      cumulative += counts[b];
+      const std::string le =
+          b < hist->bounds().size() ? BoundLabel(hist->bounds()[b]) : "+Inf";
+      std::snprintf(line, sizeof(line), "%s_bucket{le=\"%s\"} %" PRIu64 "\n",
+                    name.c_str(), le.c_str(), cumulative);
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), "%s_sum %.6f\n%s_count %" PRIu64 "\n",
+                  name.c_str(), hist->Sum(), name.c_str(), cumulative);
+    out += line;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  char buf[160];
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %" PRIu64,
+                  first ? "" : ",", name.c_str(), counter->Value());
+    out += buf;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %" PRId64,
+                  first ? "" : ",", name.c_str(), gauge->Value());
+    out += buf;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const std::vector<uint64_t> counts = hist->BucketCounts();
+    uint64_t cumulative = 0;
+    std::string buckets;
+    for (size_t b = 0; b < counts.size(); ++b) {
+      cumulative += counts[b];
+      const std::string le =
+          b < hist->bounds().size() ? BoundLabel(hist->bounds()[b]) : "+Inf";
+      std::snprintf(buf, sizeof(buf), "%s{\"le\": \"%s\", \"count\": %" PRIu64
+                    "}", buckets.empty() ? "" : ", ", le.c_str(), cumulative);
+      buckets += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "    \"%s\": {\"count\": %" PRIu64 ", \"sum\": %.6f, "
+                  "\"buckets\": [",
+                  name.c_str(), cumulative, hist->Sum());
+    out += buf;
+    out += buckets + "]}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+uint64_t MetricsRegistry::SumCounters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, counter] : counters_) total += counter->Value();
+  return total;
+}
+
+uint64_t MetricsRegistry::SumHistogramCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, hist] : histograms_) total += hist->TotalCount();
+  return total;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace ctxrank::obs

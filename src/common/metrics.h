@@ -1,0 +1,169 @@
+// ctxrank::obs — low-overhead serving metrics: a process-wide registry of
+// named counters, gauges, and fixed-bucket histograms, exposed as
+// Prometheus-style text and as a JSON dump.
+//
+// Design constraints (see docs/OBSERVABILITY.md):
+//   * Mutations are lock-free relaxed atomics. Counters and histograms are
+//     sharded by thread (cache-line-padded slots) so concurrent queries
+//     never contend on a metric — reads sum the shards.
+//   * Metric objects are registered once and never destroyed; the
+//     references handed out stay valid for the process lifetime, so hot
+//     paths resolve a metric once (function-local static) and pay only the
+//     atomic add per event.
+//   * The registry itself is a leaked singleton: worker threads that
+//     outlive main's locals can still bump metrics safely during shutdown.
+//   * Disarmed-cost guard: bench/perf_queries derives the per-query
+//     instrumentation cost from exact mutation counts (metric value
+//     deltas) times a measured per-op cost — Increment(0)/Add(0) are
+//     no-ops so the delta undercounts nothing.
+#ifndef CTXRANK_COMMON_METRICS_H_
+#define CTXRANK_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ctxrank::obs {
+
+/// Number of per-thread shards in counters and histograms. Threads map to
+/// shards round-robin at first use; 16 slots keep any realistic query
+/// fan-out contention-free while a full read stays a 16-element sum.
+inline constexpr size_t kMetricShards = 16;
+
+/// Round-robin shard index of the calling thread, assigned on first use.
+size_t ThisThreadShard();
+
+/// \brief Monotonically increasing event count, sharded per thread.
+/// Increment is one relaxed fetch_add on the caller's shard; Value sums.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    if (n == 0) return;  // Keeps value deltas an exact mutation count.
+    shards_[ThisThreadShard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Test/bench support: zeroes every shard (not atomic as a whole).
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+/// \brief Instantaneous signed value (queue depth, in-flight queries).
+/// Gauges are low-rate by design, so one atomic slot suffices.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// \brief Fixed-bucket distribution, sharded per thread. `bounds` are
+/// inclusive upper bounds in ascending order; an implicit +Inf bucket
+/// catches the tail. Observe is a linear bucket probe (bounds are short)
+/// plus two relaxed atomic adds on the caller's shard.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value) {
+    size_t b = 0;
+    while (b < bounds_.size() && value > bounds_[b]) ++b;
+    Shard& s = shards_[ThisThreadShard()];
+    s.buckets[b].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts, bounds().size() + 1 entries.
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t TotalCount() const;
+  double Sum() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<uint64_t>> buckets;
+    std::atomic<double> sum{0.0};
+  };
+  const std::vector<double> bounds_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Default latency buckets in microseconds: 10us .. 1s, roughly 1-2.5-5
+/// per decade — wide enough for both the pruned fast path and a stalled
+/// degraded query.
+const std::vector<double>& LatencyBucketsUs();
+
+/// \brief Process-wide metric registry. GetX registers on first use and
+/// returns a reference that stays valid forever (metrics are never
+/// erased); repeated calls with the same name return the same object.
+/// Registration takes a mutex; mutation through the returned reference is
+/// lock-free — resolve once, then mutate.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `bounds` apply only when `name` is first registered; later calls
+  /// return the existing histogram unchanged.
+  Histogram& GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  /// Prometheus text exposition: `# TYPE` lines, cumulative `_bucket{le=}`
+  /// rows plus `_sum`/`_count` per histogram, sorted by name.
+  std::string RenderPrometheus() const;
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, buckets: [{le, count}...]}}}.
+  /// Bucket counts are cumulative, mirroring the text exposition.
+  std::string RenderJson() const;
+
+  /// Sum of every counter's value — with Increment(0) a no-op, the delta
+  /// across a workload is the exact number of counter mutations weighted
+  /// by their increments (an upper bound on atomic ops; the overhead
+  /// guard's conservative direction).
+  uint64_t SumCounters() const;
+  /// Total observations across every histogram (one Observe each).
+  uint64_t SumHistogramCounts() const;
+
+  /// Zeroes every registered metric (tests and benches only — racing
+  /// writers may leave residue; quiesce first).
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ctxrank::obs
+
+#endif  // CTXRANK_COMMON_METRICS_H_

@@ -1,0 +1,83 @@
+// Per-query execution trace for the serving path. A QueryTrace is only
+// allocated when the caller asks for one (SearchOptions::trace) — the
+// disarmed path carries a null pointer and pays a branch, nothing more.
+// The trace answers "which path scored this result": exact vs pruned vs
+// cached vs shed, how many contexts each pruning layer dropped, and where
+// the time went. Schema documented in docs/OBSERVABILITY.md.
+#ifndef CTXRANK_COMMON_QUERY_TRACE_H_
+#define CTXRANK_COMMON_QUERY_TRACE_H_
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+
+namespace ctxrank::obs {
+
+struct QueryTrace {
+  /// Which serving path produced the hits: "pruned" (impact-ordered
+  /// fast path), "exact" (brute-force reference scan), "cached" (query
+  /// result cache hit), or "shed" (rejected by admission control — no
+  /// hits were computed).
+  std::string path;
+  bool cache_hit = false;
+  /// Deadline cut the scan short; `cause` names the detail.
+  bool degraded = false;
+  /// Shed by admission control before any scoring happened.
+  bool shed = false;
+  /// Human-readable degradation/shed cause ("" when the query ran clean).
+  std::string cause;
+
+  /// Context funnel: routing selected `contexts_selected`; of those,
+  /// `contexts_scanned` were fully scored, `contexts_pruned` were skipped
+  /// whole by the top-k threshold bound (no member touched — correct by
+  /// the pruning proof), and `contexts_skipped` were abandoned to the
+  /// deadline (reported in SearchResponse::skipped_contexts too).
+  size_t contexts_selected = 0;
+  size_t contexts_scanned = 0;
+  size_t contexts_pruned = 0;
+  size_t contexts_skipped = 0;
+  size_t hits = 0;
+
+  /// Stage timings, microseconds: query analysis (tokenize + TF-IDF),
+  /// context routing, scan/merge, and end-to-end (including cache probes).
+  double analyze_us = 0.0;
+  double route_us = 0.0;
+  double scan_us = 0.0;
+  double total_us = 0.0;
+
+  /// Two-line human-readable rendering (CLI `--trace`).
+  std::string ToString() const {
+    char buf[384];
+    std::snprintf(
+        buf, sizeof(buf),
+        "trace: path=%s cache=%s degraded=%s hits=%zu%s%s\n"
+        "  contexts: selected=%zu scanned=%zu pruned=%zu skipped=%zu | "
+        "us: analyze=%.1f route=%.1f scan=%.1f total=%.1f\n",
+        path.c_str(), cache_hit ? "hit" : "miss", degraded ? "yes" : "no",
+        hits, cause.empty() ? "" : " cause=", cause.c_str(),
+        contexts_selected, contexts_scanned, contexts_pruned,
+        contexts_skipped, analyze_us, route_us, scan_us, total_us);
+    return buf;
+  }
+
+  /// One-line JSON object (machine consumers; batch `--trace` output).
+  std::string ToJson() const {
+    char buf[448];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"path\": \"%s\", \"cache_hit\": %s, \"degraded\": %s, "
+        "\"shed\": %s, \"cause\": \"%s\", \"contexts_selected\": %zu, "
+        "\"contexts_scanned\": %zu, \"contexts_pruned\": %zu, "
+        "\"contexts_skipped\": %zu, \"hits\": %zu, \"analyze_us\": %.1f, "
+        "\"route_us\": %.1f, \"scan_us\": %.1f, \"total_us\": %.1f}",
+        path.c_str(), cache_hit ? "true" : "false",
+        degraded ? "true" : "false", shed ? "true" : "false", cause.c_str(),
+        contexts_selected, contexts_scanned, contexts_pruned,
+        contexts_skipped, hits, analyze_us, route_us, scan_us, total_us);
+    return buf;
+  }
+};
+
+}  // namespace ctxrank::obs
+
+#endif  // CTXRANK_COMMON_QUERY_TRACE_H_

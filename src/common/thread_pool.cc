@@ -5,7 +5,28 @@
 #include <memory>
 #include <utility>
 
+#include "common/metrics.h"
+
 namespace ctxrank {
+namespace {
+
+/// Pool telemetry, aggregated across every pool in the process (transient
+/// ParallelFor pools included): instantaneous queue depth and the running
+/// count of executed tasks.
+struct PoolMetrics {
+  obs::Gauge& queue_depth;
+  obs::Counter& tasks;
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics m{
+      obs::MetricsRegistry::Instance().GetGauge("ctxrank_threadpool_queue_depth"),
+      obs::MetricsRegistry::Instance().GetCounter(
+          "ctxrank_threadpool_tasks_total")};
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   const size_t n = std::max<size_t>(1, num_threads);
@@ -31,6 +52,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
+  Metrics().queue_depth.Add(1);
   task_ready_.notify_one();
 }
 
@@ -49,7 +71,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    Metrics().queue_depth.Sub(1);
     task();
+    Metrics().tasks.Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

@@ -1,6 +1,7 @@
 #include "context/search_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <functional>
@@ -9,11 +10,57 @@
 #include <unordered_map>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "ontology/semantic_similarity.h"
 
 namespace ctxrank::context {
 namespace {
+
+/// Always-on serving metrics (docs/OBSERVABILITY.md has the catalog).
+/// Resolved once; every per-query update is a relaxed sharded atomic add.
+/// Counters incremented by a per-query tally (contexts_*) skip zero
+/// increments, so value deltas stay an exact mutation count for the
+/// bench's disarmed-overhead guard.
+struct ServingMetrics {
+  obs::Counter& queries;
+  obs::Counter& path_exact;
+  obs::Counter& path_pruned;
+  obs::Counter& path_cached;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Counter& degraded;
+  obs::Counter& shed;
+  obs::Counter& contexts_scanned;
+  obs::Counter& contexts_pruned;
+  obs::Counter& contexts_skipped;
+  obs::Histogram& latency_us;
+};
+
+ServingMetrics& Metrics() {
+  auto& reg = obs::MetricsRegistry::Instance();
+  static ServingMetrics m{
+      reg.GetCounter("ctxrank_search_queries_total"),
+      reg.GetCounter("ctxrank_search_path_exact_total"),
+      reg.GetCounter("ctxrank_search_path_pruned_total"),
+      reg.GetCounter("ctxrank_search_path_cached_total"),
+      reg.GetCounter("ctxrank_search_cache_hits_total"),
+      reg.GetCounter("ctxrank_search_cache_misses_total"),
+      reg.GetCounter("ctxrank_search_degraded_total"),
+      reg.GetCounter("ctxrank_search_shed_total"),
+      reg.GetCounter("ctxrank_search_contexts_scanned_total"),
+      reg.GetCounter("ctxrank_search_contexts_pruned_total"),
+      reg.GetCounter("ctxrank_search_contexts_skipped_total"),
+      reg.GetHistogram("ctxrank_search_latency_us", obs::LatencyBucketsUs())};
+  return m;
+}
+
+using MonoClock = std::chrono::steady_clock;
+
+double MicrosSince(MonoClock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(MonoClock::now() - t0)
+      .count();
+}
 
 // Absolute slack added to every dot-product upper bound before comparing
 // against the pruning threshold. The fast path accumulates the same
@@ -35,8 +82,9 @@ void SortHits(std::vector<SearchHit>& hits) {
 
 /// Exact cache key: analyzed query term ids (sorted — TF-IDF weighting is
 /// bag-of-words, so word order never changes the result) plus the raw bit
-/// patterns of every result-affecting option. num_threads and bypass_cache
-/// are excluded: results are thread-count invariant by contract.
+/// patterns of every result-affecting option. num_threads, bypass_cache
+/// and trace are excluded: results are thread-count invariant by contract
+/// and tracing never changes them.
 std::string CacheKey(std::vector<text::TermId> ids,
                      const SearchOptions& options) {
   std::sort(ids.begin(), ids.end());
@@ -382,14 +430,12 @@ std::vector<SearchHit> ContextSearchEngine::ExactScan(
 // Untouched papers have dot exactly 0, so their relevancy is computed in
 // O(1) and the prestige-descending member order turns the threshold into
 // a break condition.
-bool ContextSearchEngine::ScanContext(const text::SparseVector& qv,
-                                      double query_norm, TermId term,
-                                      const SearchOptions& options,
-                                      const Deadline& deadline,
-                                      Scratch& scratch,
-                                      TopKMerger& merger) const {
+ContextSearchEngine::ScanOutcome ContextSearchEngine::ScanContext(
+    const text::SparseVector& qv, double query_norm, TermId term,
+    const SearchOptions& options, const Deadline& deadline, Scratch& scratch,
+    TopKMerger& merger) const {
   fault::MaybeStall("search/scan_context");
-  if (!prestige_->HasScores(term)) return true;
+  if (!prestige_->HasScores(term)) return ScanOutcome::kScanned;
   const auto& members = assignment_->Members(term);
   const auto& scores = prestige_->Scores(term);
   const double wp = options.weights.prestige;
@@ -403,14 +449,16 @@ bool ContextSearchEngine::ScanContext(const text::SparseVector& qv,
     // what was emitted and reports the context as not fully scanned.
     const double theta = merger.theta();
     for (size_t i = 0; i < members.size(); ++i) {
-      if ((i & 2047u) == 0u && deadline.expired()) return false;
+      if ((i & 2047u) == 0u && deadline.expired()) {
+        return ScanOutcome::kDeadlineExpired;
+      }
       const double match = qv.Cosine(tc_->FullVector(members[i]));
       const double prestige = i < scores.size() ? scores[i] : 0.0;
       const double r = wp * prestige + wm * match;
       if (r < options.min_relevancy || r < theta) continue;
       merger.Emit({members[i], r, term, prestige, match});
     }
-    return true;
+    return ScanOutcome::kScanned;
   }
 
   // Threshold seed: the k papers with the best prestige in this context
@@ -453,7 +501,7 @@ bool ContextSearchEngine::ScanContext(const text::SparseVector& qv,
   // Whole-context skip: not even a paper with maximal prestige and every
   // query term at its context-max weight can reach the threshold.
   if (wp * ci->max_prestige + wm * match_ub(rest[0]) < merger.theta()) {
-    return true;
+    return ScanOutcome::kPruned;
   }
 
   // Term-at-a-time accumulation over the impact-ordered postings. Every
@@ -476,7 +524,7 @@ bool ContextSearchEngine::ScanContext(const text::SparseVector& qv,
     if ((j & 1u) == 0u && deadline.expired()) {
       for (const uint32_t i : touched) acc[i] = 0.0;
       touched.clear();
-      return false;
+      return ScanOutcome::kDeadlineExpired;
     }
     const double qw = qterms[j].weight;
     const double theta = merger.theta();
@@ -568,13 +616,13 @@ bool ContextSearchEngine::ScanContext(const text::SparseVector& qv,
   // Reset the shared accumulator for the next context.
   for (const uint32_t i : touched) acc[i] = 0.0;
   touched.clear();
-  return true;
+  return ScanOutcome::kScanned;
 }
 
 std::vector<SearchHit> ContextSearchEngine::PrunedScan(
     const text::SparseVector& qv, const std::vector<ContextMatch>& contexts,
     const SearchOptions& options, const Deadline& deadline,
-    std::vector<TermId>* skipped) const {
+    std::vector<TermId>* skipped, ScanCounts* counts) const {
   const double query_norm = qv.Norm();
   TopKMerger merger(options.top_k, options.min_relevancy);
   // Per-thread scratch: ScanContext restores the all-zero / empty invariant
@@ -615,10 +663,16 @@ std::vector<SearchHit> ContextSearchEngine::PrunedScan(
   } else {
     for (size_t c = 0; c < contexts.size(); ++c) {
       merger.Refresh();
-      if (!ScanContext(qv, query_norm, contexts[c].term, options, deadline,
-                       scratch, merger)) {
+      const ScanOutcome outcome = ScanContext(
+          qv, query_norm, contexts[c].term, options, deadline, scratch,
+          merger);
+      if (outcome == ScanOutcome::kDeadlineExpired) {
         first_skipped = c;
         break;
+      }
+      if (counts != nullptr) {
+        (outcome == ScanOutcome::kPruned ? counts->pruned : counts->scanned)
+            += 1;
       }
     }
   }
@@ -632,50 +686,113 @@ std::vector<SearchHit> ContextSearchEngine::PrunedScan(
 
 SearchResponse ContextSearchEngine::SearchVector(
     const text::SparseVector& qv, const SearchOptions& options,
-    const Deadline& deadline) const {
+    const Deadline& deadline, obs::QueryTrace* trace) const {
   SearchResponse response;
+  ServingMetrics& m = Metrics();
+  const auto route0 = trace != nullptr ? MonoClock::now()
+                                       : MonoClock::time_point();
   const std::vector<ContextMatch> contexts = RouteQuery(qv, options);
+  if (trace != nullptr) {
+    trace->route_us = MicrosSince(route0);
+    trace->contexts_selected = contexts.size();
+  }
+  const auto scan0 = trace != nullptr ? MonoClock::now()
+                                      : MonoClock::time_point();
   // The pruning bounds assume non-negative weights; fall back to the
   // reference path for exotic weight settings.
   const bool exact = options.exact_scan || options.weights.prestige < 0.0 ||
                      options.weights.matching < 0.0;
+  ScanCounts counts;
   if (exact) {
     response.hits = ExactScan(qv, contexts, options, deadline,
                               &response.skipped_contexts);
     if (options.top_k > 0 && response.hits.size() > options.top_k) {
       response.hits.resize(options.top_k);
     }
+    counts.scanned = contexts.size() - response.skipped_contexts.size();
+    m.path_exact.Increment();
   } else {
     response.hits = PrunedScan(qv, contexts, options, deadline,
-                               &response.skipped_contexts);
+                               &response.skipped_contexts, &counts);
+    m.path_pruned.Increment();
   }
   response.degraded = !response.skipped_contexts.empty();
+  m.contexts_scanned.Increment(counts.scanned);
+  m.contexts_pruned.Increment(counts.pruned);
+  m.contexts_skipped.Increment(response.skipped_contexts.size());
+  if (trace != nullptr) {
+    trace->scan_us = MicrosSince(scan0);
+    trace->path = exact ? "exact" : "pruned";
+    trace->contexts_scanned = counts.scanned;
+    trace->contexts_pruned = counts.pruned;
+    trace->contexts_skipped = response.skipped_contexts.size();
+  }
   return response;
 }
 
 SearchResponse ContextSearchEngine::SearchOne(std::string_view query,
                                               const SearchOptions& options,
                                               const Deadline& deadline) const {
+  ServingMetrics& m = Metrics();
+  m.queries.Increment();
+  const auto start = MonoClock::now();
+  std::shared_ptr<obs::QueryTrace> trace;
+  if (options.trace) trace = std::make_shared<obs::QueryTrace>();
+
   const auto ids = tc_->analyzer().AnalyzeToKnownIds(query, tc_->vocabulary());
   const text::SparseVector qv = tc_->tfidf().TransformQuery(ids);
-  if (query_cache_ == nullptr || options.bypass_cache) {
-    return SearchVector(qv, options, deadline);
+  if (trace != nullptr) trace->analyze_us = MicrosSince(start);
+
+  SearchResponse response;
+  const bool use_cache = query_cache_ != nullptr && !options.bypass_cache;
+  bool from_cache = false;
+  std::string key;
+  if (use_cache) {
+    // The key deliberately excludes the deadline: a cached entry is always
+    // a complete, exact result, valid for any time budget.
+    key = CacheKey(ids, options);
+    if (auto cached = query_cache_->Get(key)) {
+      // A cache hit rebuilds the *full* response, every field explicit:
+      // status OK, not degraded, nothing skipped. Only `hits` comes from
+      // the cache (cached entries are complete by the never-cache-degraded
+      // invariant below), so a hit and a cold run agree on everything but
+      // timing — response fields added later must be populated here too,
+      // not silently zeroed.
+      response.hits = **cached;
+      response.status = Status::OK();
+      response.degraded = false;
+      response.skipped_contexts.clear();
+      from_cache = true;
+      m.cache_hits.Increment();
+      m.path_cached.Increment();
+      if (trace != nullptr) trace->path = "cached";
+    } else {
+      m.cache_misses.Increment();
+    }
   }
-  // The key deliberately excludes the deadline: a cached entry is always a
-  // complete, exact result, valid for any time budget.
-  const std::string key = CacheKey(ids, options);
-  if (auto cached = query_cache_->Get(key)) {
-    SearchResponse response;
-    response.hits = **cached;
-    return response;
+  if (!from_cache) {
+    response = SearchVector(qv, options, deadline, trace.get());
+    // Degraded results are best-effort, not canonical — never cache them,
+    // or a transient overload would poison later unconstrained queries.
+    if (use_cache && !response.degraded) {
+      query_cache_->Put(
+          key, std::make_shared<const std::vector<SearchHit>>(response.hits));
+    }
   }
-  SearchResponse response = SearchVector(qv, options, deadline);
-  // Degraded results are best-effort, not canonical — never cache them,
-  // or a transient overload would poison later unconstrained queries.
-  if (!response.degraded) {
-    query_cache_->Put(
-        key, std::make_shared<const std::vector<SearchHit>>(response.hits));
+  if (response.degraded) m.degraded.Increment();
+  if (trace != nullptr) {
+    trace->cache_hit = from_cache;
+    trace->degraded = response.degraded;
+    if (response.degraded) {
+      trace->cause = "deadline expired; " +
+                     std::to_string(response.skipped_contexts.size()) +
+                     " context(s) not fully scanned";
+    }
+    trace->hits = response.hits.size();
+    trace->total_us = MicrosSince(start);
+    response.trace = std::move(trace);
   }
+  m.latency_us.Observe(MicrosSince(start));
   return response;
 }
 
@@ -719,10 +836,21 @@ std::vector<SearchResponse> ContextSearchEngine::SearchManyEx(
           if (admission_ != nullptr) {
             AdmissionLimiter::Permit permit(*admission_, deadline);
             if (!permit.granted()) {
+              ServingMetrics& m = Metrics();
+              m.queries.Increment();
+              m.shed.Increment();
               results[i].status = Status::ResourceExhausted(
                   "admission limit reached before deadline (" +
                   std::to_string(admission_->limit()) + " in flight)");
               results[i].degraded = true;
+              if (per_query.trace) {
+                auto trace = std::make_shared<obs::QueryTrace>();
+                trace->path = "shed";
+                trace->shed = true;
+                trace->degraded = true;
+                trace->cause = results[i].status.message();
+                results[i].trace = std::move(trace);
+              }
               continue;
             }
             results[i] = SearchOne(queries[i], per_query, deadline);

@@ -26,6 +26,7 @@
 #include "common/array_view.h"
 #include "common/deadline.h"
 #include "common/lru_cache.h"
+#include "common/query_trace.h"
 #include "common/status.h"
 #include "context/context_assignment.h"
 #include "context/prestige.h"
@@ -82,6 +83,11 @@ struct SearchOptions {
   /// never hit, results are bitwise identical to deadline-free calls (and
   /// the deadline does not fragment the result cache).
   uint64_t deadline_ms = 0;
+  /// Attach a per-query obs::QueryTrace to the response (path taken,
+  /// context funnel, stage timings — see docs/OBSERVABILITY.md). Excluded
+  /// from the cache key: tracing never changes results. Off by default;
+  /// the disarmed path carries a null pointer and pays only a branch.
+  bool trace = false;
 };
 
 struct ContextMatch {
@@ -110,6 +116,10 @@ struct SearchResponse {
   Status status;
   bool degraded = false;
   std::vector<TermId> skipped_contexts;
+  /// Execution trace, present iff SearchOptions::trace was set (null
+  /// otherwise — tracing is pay-for-what-you-ask). Shared so responses
+  /// stay cheap to copy.
+  std::shared_ptr<const obs::QueryTrace> trace;
 };
 
 /// \brief The end-to-end context-based search engine over one assignment
@@ -171,6 +181,13 @@ class ContextSearchEngine {
   /// Evaluates a query batch, fanning out over `options.num_threads`
   /// (0 = hardware concurrency). Result slot i is bitwise identical to
   /// Search(queries[i], options) regardless of the thread count.
+  ///
+  /// LOSSY — prefer SearchManyEx. This wrapper discards every
+  /// SearchResponse::status, so a query shed by the admission limiter
+  /// (kResourceExhausted) is indistinguishable from a query with zero
+  /// hits. It survives only for status-blind evaluation harnesses; any
+  /// serving caller (the CLI --batch path included) must consume
+  /// SearchManyEx and surface per-query status.
   std::vector<std::vector<SearchHit>> SearchMany(
       const std::vector<std::string>& queries,
       const SearchOptions& options = {}) const;
@@ -243,6 +260,16 @@ class ContextSearchEngine {
   /// Dedup merge + adaptive top-k threshold (see search_engine.cc).
   class TopKMerger;
 
+  /// How ScanContext left one context: fully scored, skipped whole by the
+  /// pruning bound (no member touched), or abandoned to the deadline.
+  enum class ScanOutcome { kScanned, kPruned, kDeadlineExpired };
+
+  /// Context-funnel tally of one scan, feeding metrics and the trace.
+  struct ScanCounts {
+    size_t scanned = 0;
+    size_t pruned = 0;
+  };
+
   /// SelectContexts against a pre-analyzed query vector (Search builds the
   /// vector once and routes + scores from it — no double tokenization).
   std::vector<ContextMatch> SelectContextsFromVector(
@@ -262,9 +289,12 @@ class ContextSearchEngine {
 
   /// Full search against a pre-analyzed query; dispatches to the exact
   /// scan or the pruned fast path and applies the top-k truncation.
+  /// Fills `trace` (routing, funnel counts, path, stage timings) when
+  /// non-null and bumps the always-on serving counters either way.
   SearchResponse SearchVector(const text::SparseVector& qv,
                               const SearchOptions& options,
-                              const Deadline& deadline) const;
+                              const Deadline& deadline,
+                              obs::QueryTrace* trace) const;
 
   /// The brute-force reference path (scores every member). Contexts whose
   /// scan did not start before the deadline are appended to `skipped`.
@@ -275,25 +305,29 @@ class ContextSearchEngine {
                                    std::vector<TermId>* skipped) const;
 
   /// Impact-ordered fast path; bitwise identical to ExactScan when the
-  /// deadline is not hit. Skipped / abandoned contexts go to `skipped`.
+  /// deadline is not hit. Skipped / abandoned contexts go to `skipped`;
+  /// `counts` tallies the scanned/whole-pruned split.
   std::vector<SearchHit> PrunedScan(const text::SparseVector& qv,
                                     const std::vector<ContextMatch>& contexts,
                                     const SearchOptions& options,
                                     const Deadline& deadline,
-                                    std::vector<TermId>* skipped) const;
+                                    std::vector<TermId>* skipped,
+                                    ScanCounts* counts) const;
 
   /// Emits every candidate of one context whose relevancy could reach the
   /// merger's live threshold (and is >= options.min_relevancy), with exact
   /// scores. See search_engine.cc for the pruning-bound derivation.
-  /// Returns false when the deadline expired mid-context: the indexed path
-  /// then rolls its partial accumulation back (nothing was emitted), the
-  /// unindexed fallback keeps the exactly-scored hits emitted so far —
-  /// either way every emitted score stays exact and the context counts as
-  /// not fully scanned.
-  bool ScanContext(const text::SparseVector& qv, double query_norm,
-                   TermId term, const SearchOptions& options,
-                   const Deadline& deadline, Scratch& scratch,
-                   TopKMerger& merger) const;
+  /// Returns kDeadlineExpired when the deadline fired mid-context: the
+  /// indexed path then rolls its partial accumulation back (nothing was
+  /// emitted), the unindexed fallback keeps the exactly-scored hits
+  /// emitted so far — either way every emitted score stays exact and the
+  /// context counts as not fully scanned. kPruned means the whole-context
+  /// bound proved no member could reach the threshold (zero work done);
+  /// kScanned covers everything else.
+  ScanOutcome ScanContext(const text::SparseVector& qv, double query_norm,
+                          TermId term, const SearchOptions& options,
+                          const Deadline& deadline, Scratch& scratch,
+                          TopKMerger& merger) const;
 
   const corpus::TokenizedCorpus* tc_ = nullptr;
   const ontology::Ontology* onto_ = nullptr;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 
 namespace ctxrank::serve {
@@ -18,6 +19,31 @@ uint64_t Fnv1a(std::string_view s) {
     h *= 1099511628211ULL;
   }
   return h;
+}
+
+/// Reload lifecycle telemetry. The two gauges make "how stale is the
+/// serving snapshot" a first-class signal: generation is the successful
+/// swap count and last_success_walltime_s is the unix time of the latest
+/// swap (0 until one succeeds) — age is computed at display time.
+struct SupervisorMetrics {
+  obs::Counter& attempts;
+  obs::Counter& successes;
+  obs::Counter& failures;
+  obs::Counter& retries;
+  obs::Gauge& generation;
+  obs::Gauge& last_success_walltime_s;
+};
+
+SupervisorMetrics& Metrics() {
+  auto& reg = obs::MetricsRegistry::Instance();
+  static SupervisorMetrics m{
+      reg.GetCounter("ctxrank_snapshot_reload_attempts_total"),
+      reg.GetCounter("ctxrank_snapshot_reload_success_total"),
+      reg.GetCounter("ctxrank_snapshot_reload_failures_total"),
+      reg.GetCounter("ctxrank_snapshot_reload_retries_total"),
+      reg.GetGauge("ctxrank_snapshot_generation"),
+      reg.GetGauge("ctxrank_snapshot_last_success_walltime_s")};
+  return m;
 }
 
 }  // namespace
@@ -63,6 +89,7 @@ Status SnapshotSupervisor::Reload(const std::string& path) {
   // Serialize whole reload cycles without blocking readers or stats: mu_ is
   // only taken for the brief swap/bookkeeping windows.
   std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  Metrics().attempts.Increment();
   const uint64_t salt = Fnv1a(path);
   Status status;
   for (size_t attempt = 0;; ++attempt) {
@@ -70,6 +97,10 @@ Status SnapshotSupervisor::Reload(const std::string& path) {
     if (result.ok()) {
       std::shared_ptr<const ServingSnapshot> fresh(
           std::move(result).value().release());
+      const int64_t now_s =
+          std::chrono::duration_cast<std::chrono::seconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count();
       std::lock_guard<std::mutex> lock(mu_);
       // The swap is a shared_ptr store: in-flight readers keep their
       // reference to the old snapshot; it dies with its last reader.
@@ -77,6 +108,10 @@ Status SnapshotSupervisor::Reload(const std::string& path) {
       ++stats_.generation;
       stats_.current_path = path;
       stats_.last_error.clear();
+      stats_.last_success_unix_s = now_s;
+      Metrics().successes.Increment();
+      Metrics().generation.Set(static_cast<int64_t>(stats_.generation));
+      Metrics().last_success_walltime_s.Set(now_s);
       return Status::OK();
     }
     status = result.status();
@@ -86,12 +121,14 @@ Status SnapshotSupervisor::Reload(const std::string& path) {
     // bytes.
     const bool transient = status.code() == StatusCode::kIoError;
     if (!transient || attempt >= options_.max_retries) break;
+    Metrics().retries.Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.retries;
     }
     if (!BackoffSleep(attempt, salt)) break;  // Shutdown requested.
   }
+  Metrics().failures.Increment();
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.failed_reloads;
   stats_.last_error = status.ToString();

@@ -65,6 +65,9 @@ class SnapshotSupervisor {
     std::string last_error;
     /// Path of the currently served snapshot ("" if none).
     std::string current_path;
+    /// Unix time (seconds) of the last successful swap (0 = none yet);
+    /// serving-snapshot age is current time minus this.
+    int64_t last_success_unix_s = 0;
   };
 
   SnapshotSupervisor() : SnapshotSupervisor(Options()) {}

@@ -38,9 +38,22 @@ TEST(AdmissionLimiterTest, ExpiredDeadlineShedsWhenFull) {
   ASSERT_TRUE(limiter.TryAcquire());
   EXPECT_FALSE(limiter.Acquire(Deadline::AfterMs(0)));
   limiter.Release();
-  // With a free permit the deadline is irrelevant.
-  EXPECT_TRUE(limiter.Acquire(Deadline::AfterMs(0)));
+  // An already-expired deadline sheds even with a free permit: admission
+  // must be deterministic in the deadline, not in permit availability.
+  EXPECT_FALSE(limiter.Acquire(Deadline::AfterMs(0)));
+  EXPECT_EQ(limiter.in_flight(), 0u);
+  // An unarmed deadline still admits immediately.
+  EXPECT_TRUE(limiter.Acquire());
   limiter.Release();
+}
+
+TEST(AdmissionLimiterTest, ExpiredDeadlineShedIsCountedInMetrics) {
+  AdmissionLimiter limiter(1);
+  obs::Counter& shed =
+      obs::MetricsRegistry::Instance().GetCounter("ctxrank_admission_shed_total");
+  const uint64_t before = shed.Value();
+  EXPECT_FALSE(limiter.Acquire(Deadline::AfterMs(0)));
+  EXPECT_EQ(shed.Value(), before + 1);
 }
 
 TEST(AdmissionLimiterTest, AcquireWaitsForRelease) {

@@ -1,0 +1,175 @@
+// ctxrank::obs metrics: sharded counters/histograms stay exact under
+// concurrent mutation, the registry hands out stable identities, and both
+// exposition formats render what was recorded. The concurrency tests are
+// part of the TSan suite (scripts/verify_tsan.sh).
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ctxrank::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, IncrementZeroIsANoOp) {
+  // The bench overhead guard counts counter mutations as value deltas;
+  // Increment(0) must therefore not be an atomic op at all.
+  Counter c;
+  c.Increment(0);
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  Gauge g;
+  g.Set(10);
+  g.Add(5);
+  g.Sub(3);
+  EXPECT_EQ(g.Value(), 12);
+  g.Sub(20);
+  EXPECT_EQ(g.Value(), -8);  // Gauges are signed: transient dips are data.
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({10.0, 100.0});
+  h.Observe(10.0);   // == bound -> first bucket.
+  h.Observe(10.5);   // second bucket.
+  h.Observe(100.0);  // second bucket.
+  h.Observe(1e6);    // +Inf tail.
+  const auto counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(h.TotalCount(), 4u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 10.0 + 10.5 + 100.0 + 1e6);
+  h.Reset();
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentObservesAreExact) {
+  Histogram h(LatencyBucketsUs());
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<double>((t * 37 + i) % 2000));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.TotalCount(), kThreads * kPerThread);
+  uint64_t bucket_total = 0;
+  for (const uint64_t b : h.BucketCounts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameObject) {
+  auto& reg = MetricsRegistry::Instance();
+  Counter& a = reg.GetCounter("metrics_test_identity");
+  Counter& b = reg.GetCounter("metrics_test_identity");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = reg.GetGauge("metrics_test_gauge");
+  Gauge& g2 = reg.GetGauge("metrics_test_gauge");
+  EXPECT_EQ(&g1, &g2);
+  // Histogram bounds only apply on first registration.
+  Histogram& h1 = reg.GetHistogram("metrics_test_hist", {1.0, 2.0});
+  Histogram& h2 = reg.GetHistogram("metrics_test_hist", {99.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  auto& reg = MetricsRegistry::Instance();
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &seen, t] {
+      Counter& c = reg.GetCounter("metrics_test_concurrent_reg");
+      c.Increment();
+      seen[t] = &c;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->Value(), static_cast<uint64_t>(kThreads));
+}
+
+TEST(MetricsRegistryTest, PrometheusRenderContainsRegisteredMetrics) {
+  auto& reg = MetricsRegistry::Instance();
+  reg.GetCounter("metrics_test_render_total").Increment(7);
+  reg.GetGauge("metrics_test_render_gauge").Set(-3);
+  Histogram& h = reg.GetHistogram("metrics_test_render_us", {10.0, 100.0});
+  h.Reset();
+  h.Observe(5.0);
+  h.Observe(50.0);
+  const std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE metrics_test_render_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("metrics_test_render_gauge -3"), std::string::npos);
+  // Cumulative buckets: le="100" already includes the le="10" observation.
+  EXPECT_NE(text.find("metrics_test_render_us_bucket{le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("metrics_test_render_us_bucket{le=\"100\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("metrics_test_render_us_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("metrics_test_render_us_count 2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonRenderIsWellFormedEnough) {
+  auto& reg = MetricsRegistry::Instance();
+  reg.GetCounter("metrics_test_json_total").Increment();
+  const std::string json = reg.RenderJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics_test_json_total\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SumsCoverAllRegisteredMetrics) {
+  auto& reg = MetricsRegistry::Instance();
+  const uint64_t counters_before = reg.SumCounters();
+  const uint64_t observes_before = reg.SumHistogramCounts();
+  reg.GetCounter("metrics_test_sums_a").Increment(3);
+  reg.GetCounter("metrics_test_sums_b").Increment(4);
+  reg.GetHistogram("metrics_test_sums_us", {10.0}).Observe(1.0);
+  EXPECT_EQ(reg.SumCounters(), counters_before + 7);
+  EXPECT_EQ(reg.SumHistogramCounts(), observes_before + 1);
+}
+
+}  // namespace
+}  // namespace ctxrank::obs

@@ -1,0 +1,303 @@
+// Query tracing and status propagation on the serving path: a trace is
+// attached only on request, names the path that produced the hits
+// (exact/pruned/cached/shed), carries the context funnel, and a cache hit
+// rebuilds the full response — not just hits. The saturated-limiter test
+// is the "no silent empties" contract: every shed query surfaces
+// kResourceExhausted, every admitted one has real results.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "context/context_assignment.h"
+#include "context/prestige.h"
+#include "context/search_engine.h"
+#include "corpus/corpus.h"
+#include "corpus/tokenized_corpus.h"
+#include "ontology/ontology.h"
+
+namespace ctxrank::context {
+namespace {
+
+using corpus::Paper;
+using corpus::PaperId;
+
+/// Same randomized world as the resilience tests: papers over a small
+/// word pool, term names reusing pool words so queries route.
+struct RandomWorld {
+  ontology::Ontology onto;
+  corpus::Corpus corpus;
+  std::unique_ptr<corpus::TokenizedCorpus> tc;
+  std::unique_ptr<ContextAssignment> assignment;
+  std::unique_ptr<PrestigeScores> prestige;
+  std::vector<std::string> words;
+
+  std::string RandomQuery(Rng& rng) {
+    std::string q;
+    const size_t n = 2 + rng.NextBounded(4);
+    for (size_t i = 0; i < n; ++i) {
+      if (!q.empty()) q += ' ';
+      q += words[rng.NextBounded(words.size())];
+    }
+    return q;
+  }
+};
+
+RandomWorld MakeRandomWorld(uint64_t seed, size_t num_papers = 100,
+                            size_t num_terms = 14) {
+  RandomWorld w;
+  Rng rng(seed);
+  for (size_t i = 0; i < 30; ++i) {
+    w.words.push_back("gamma" + std::to_string(i));
+  }
+  for (PaperId p = 0; p < num_papers; ++p) {
+    std::string text;
+    const size_t n = 5 + rng.NextBounded(15);
+    for (size_t i = 0; i < n; ++i) {
+      if (!text.empty()) text += ' ';
+      text += w.words[rng.NextBounded(w.words.size())];
+    }
+    Paper paper;
+    paper.id = p;
+    paper.title = text.substr(0, text.find(' '));
+    paper.abstract_text = text;
+    paper.body = text;
+    EXPECT_TRUE(w.corpus.Add(std::move(paper)).ok());
+  }
+  std::vector<ontology::TermId> ids;
+  for (size_t t = 0; t < num_terms; ++t) {
+    std::string name = w.words[rng.NextBounded(w.words.size())];
+    if (rng.NextBounded(2) != 0) {
+      name += ' ';
+      name += w.words[rng.NextBounded(w.words.size())];
+    }
+    ids.push_back(w.onto.AddTerm("T:" + std::to_string(t), name));
+  }
+  for (size_t t = 1; t < num_terms; ++t) {
+    EXPECT_TRUE(w.onto.AddIsA(ids[t], ids[rng.NextBounded(t)]).ok());
+  }
+  EXPECT_TRUE(w.onto.Finalize().ok());
+  w.tc = std::make_unique<corpus::TokenizedCorpus>(w.corpus);
+  w.assignment =
+      std::make_unique<ContextAssignment>(w.onto.size(), w.corpus.size());
+  w.prestige = std::make_unique<PrestigeScores>(w.onto.size());
+  for (size_t t = 1; t < num_terms; ++t) {
+    std::vector<PaperId> members;
+    for (PaperId p = 0; p < num_papers; ++p) {
+      if (rng.NextDouble() < 0.35) members.push_back(p);
+    }
+    if (members.empty()) continue;
+    w.assignment->SetMembers(ids[t], members);
+    std::vector<double> scores;
+    for (size_t i = 0; i < members.size(); ++i) {
+      scores.push_back(rng.NextDouble());
+    }
+    w.prestige->Set(ids[t], scores);
+  }
+  return w;
+}
+
+ContextSearchEngine::EngineOptions IndexedEngineOptions() {
+  ContextSearchEngine::EngineOptions o;
+  o.index_min_members = 4;
+  return o;
+}
+
+/// A query from the world that routes to at least `min_contexts` contexts
+/// and (for the admission tests) returns at least one hit.
+std::string RoutedQuery(const ContextSearchEngine& engine, RandomWorld& w,
+                        Rng& rng, size_t min_contexts = 1) {
+  std::string query;
+  for (int tries = 0; tries < 300; ++tries) {
+    query = w.RandomQuery(rng);
+    if (engine.SelectContexts(query, 5, 1e-9).size() >= min_contexts &&
+        !engine.Search(query, SearchOptions()).empty()) {
+      return query;
+    }
+  }
+  ADD_FAILURE() << "no routed query found";
+  return query;
+}
+
+class QueryTraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::FaultInjector::Instance().Disarm(); }
+};
+
+TEST_F(QueryTraceTest, NoTraceUnlessRequested) {
+  RandomWorld w = MakeRandomWorld(3);
+  const ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                                   IndexedEngineOptions());
+  Rng rng(17);
+  const std::string query = RoutedQuery(engine, w, rng);
+  const SearchResponse plain = engine.SearchEx(query, SearchOptions());
+  EXPECT_EQ(plain.trace, nullptr);
+}
+
+TEST_F(QueryTraceTest, PrunedAndExactPathsAreNamedAndCounted) {
+  RandomWorld w = MakeRandomWorld(3);
+  const ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                                   IndexedEngineOptions());
+  Rng rng(29);
+  const std::string query = RoutedQuery(engine, w, rng, 2);
+  for (const bool exact : {false, true}) {
+    SearchOptions options;
+    options.exact_scan = exact;
+    options.trace = true;
+    options.top_k = 3;  // Give the pruned path a bound worth pruning with.
+    const SearchResponse response = engine.SearchEx(query, options);
+    ASSERT_NE(response.trace, nullptr) << "exact=" << exact;
+    const obs::QueryTrace& t = *response.trace;
+    EXPECT_EQ(t.path, exact ? "exact" : "pruned");
+    EXPECT_FALSE(t.cache_hit);
+    EXPECT_FALSE(t.degraded);
+    EXPECT_FALSE(t.shed);
+    EXPECT_GE(t.contexts_selected, 2u);
+    // The funnel partitions the selected contexts.
+    EXPECT_EQ(t.contexts_scanned + t.contexts_pruned + t.contexts_skipped,
+              t.contexts_selected);
+    EXPECT_EQ(t.contexts_skipped, 0u);
+    if (exact) {
+      EXPECT_EQ(t.contexts_pruned, 0u);
+    }
+    EXPECT_EQ(t.hits, response.hits.size());
+    EXPECT_GE(t.total_us, 0.0);
+    EXPECT_NE(t.ToString().find(exact ? "path=exact" : "path=pruned"),
+              std::string::npos);
+    EXPECT_NE(t.ToJson().find("\"cache_hit\": false"), std::string::npos);
+  }
+}
+
+TEST_F(QueryTraceTest, CachedPathIsTracedAndResponseIsComplete) {
+  RandomWorld w = MakeRandomWorld(9);
+  ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                             IndexedEngineOptions());
+  Rng rng(41);
+  // Pick the query before enabling the cache: the probe searches in
+  // RoutedQuery must not pre-warm the entry the "cold" run is measuring.
+  const std::string query = RoutedQuery(engine, w, rng);
+  engine.EnableQueryCache(64);
+
+  SearchOptions options;
+  options.trace = true;
+  const SearchResponse cold = engine.SearchEx(query, options);
+  ASSERT_NE(cold.trace, nullptr);
+  EXPECT_FALSE(cold.trace->cache_hit);
+
+  const SearchResponse warm = engine.SearchEx(query, options);
+  ASSERT_NE(warm.trace, nullptr);
+  EXPECT_TRUE(warm.trace->cache_hit);
+  EXPECT_EQ(warm.trace->path, "cached");
+  EXPECT_EQ(warm.trace->hits, warm.hits.size());
+
+  // The cache-hit regression: a hit must agree with the cold response on
+  // every field, not just hits — status, degraded, skipped contexts.
+  EXPECT_TRUE(warm.status.ok());
+  EXPECT_EQ(warm.status.code(), cold.status.code());
+  EXPECT_EQ(warm.degraded, cold.degraded);
+  EXPECT_EQ(warm.skipped_contexts, cold.skipped_contexts);
+  ASSERT_EQ(warm.hits.size(), cold.hits.size());
+  for (size_t i = 0; i < warm.hits.size(); ++i) {
+    EXPECT_EQ(warm.hits[i].paper, cold.hits[i].paper);
+    EXPECT_EQ(warm.hits[i].relevancy, cold.hits[i].relevancy);
+    EXPECT_EQ(warm.hits[i].context, cold.hits[i].context);
+    EXPECT_EQ(warm.hits[i].prestige, cold.hits[i].prestige);
+    EXPECT_EQ(warm.hits[i].match, cold.hits[i].match);
+  }
+}
+
+TEST_F(QueryTraceTest, DegradedQueryNamesItsCause) {
+  RandomWorld w = MakeRandomWorld(5);
+  const ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                                   IndexedEngineOptions());
+  Rng rng(99);
+  const std::string query = RoutedQuery(engine, w, rng, 2);
+
+  fault::FaultInjector::Instance().StallFrom("search/scan_context", 1, 40);
+  SearchOptions options;
+  options.trace = true;
+  options.deadline_ms = 1;
+  const SearchResponse response = engine.SearchEx(query, options);
+  fault::FaultInjector::Instance().Disarm();
+
+  ASSERT_TRUE(response.degraded);
+  ASSERT_NE(response.trace, nullptr);
+  const obs::QueryTrace& t = *response.trace;
+  EXPECT_TRUE(t.degraded);
+  EXPECT_FALSE(t.shed);
+  EXPECT_NE(t.cause.find("deadline"), std::string::npos) << t.cause;
+  EXPECT_EQ(t.contexts_skipped, response.skipped_contexts.size());
+  EXPECT_GE(t.contexts_skipped, 1u);
+}
+
+TEST_F(QueryTraceTest, ShedQueriesSurfaceStatusNeverSilentEmpties) {
+  RandomWorld w = MakeRandomWorld(13);
+  ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                             IndexedEngineOptions());
+  engine.SetAdmissionLimit(1);
+  Rng rng(7);
+  // A query with real hits: an OK response with zero hits would be
+  // indistinguishable from a swallowed shed.
+  const std::string query = RoutedQuery(engine, w, rng);
+
+  fault::FaultInjector::Instance().StallFrom("search/scan_context", 1, 150);
+  SearchOptions options;
+  options.deadline_ms = 20;
+  options.num_threads = 8;
+  options.trace = true;
+  const std::vector<std::string> queries(8, query);
+  const auto responses = engine.SearchManyEx(queries, options);
+  fault::FaultInjector::Instance().Disarm();
+
+  ASSERT_EQ(responses.size(), queries.size());
+  size_t shed = 0;
+  for (const SearchResponse& r : responses) {
+    if (!r.status.ok()) {
+      // Shed: explicit kResourceExhausted plus a trace naming the cause.
+      EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted)
+          << r.status.ToString();
+      EXPECT_TRUE(r.degraded);
+      EXPECT_TRUE(r.hits.empty());
+      ASSERT_NE(r.trace, nullptr);
+      EXPECT_TRUE(r.trace->shed);
+      EXPECT_EQ(r.trace->path, "shed");
+      EXPECT_FALSE(r.trace->cause.empty());
+      ++shed;
+    } else if (!r.degraded) {
+      // Admitted and complete: must have the query's real hits. This is
+      // the "no silent empties" half — a shed response mislabeled OK
+      // would show up here as zero hits.
+      EXPECT_FALSE(r.hits.empty());
+    }
+  }
+  EXPECT_GE(shed, 1u);
+  EXPECT_LT(shed, queries.size());
+}
+
+TEST_F(QueryTraceTest, SearchManyIsDocumentedLossyButKeepsHits) {
+  // SearchMany survives as a status-blind wrapper: the hits must match
+  // SearchManyEx even though status/trace are dropped.
+  RandomWorld w = MakeRandomWorld(21);
+  const ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                                   IndexedEngineOptions());
+  Rng rng(55);
+  const std::vector<std::string> queries = {
+      RoutedQuery(engine, w, rng), RoutedQuery(engine, w, rng),
+      RoutedQuery(engine, w, rng)};
+  const auto ex = engine.SearchManyEx(queries, SearchOptions());
+  const auto lossy = engine.SearchMany(queries, SearchOptions());
+  ASSERT_EQ(ex.size(), lossy.size());
+  for (size_t i = 0; i < ex.size(); ++i) {
+    ASSERT_EQ(ex[i].hits.size(), lossy[i].size());
+    for (size_t j = 0; j < lossy[i].size(); ++j) {
+      EXPECT_EQ(ex[i].hits[j].paper, lossy[i][j].paper);
+      EXPECT_EQ(ex[i].hits[j].relevancy, lossy[i][j].relevancy);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ctxrank::context

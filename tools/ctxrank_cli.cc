@@ -30,14 +30,18 @@
 // 5 already exists, 6 out of range, 7 failed precondition, 8 internal,
 // 9 I/O error, 10 deadline exceeded, 11 resource exhausted.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/query_trace.h"
 #include "common/stage_timer.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -142,8 +146,10 @@ int Usage() {
                "           [--function text|citation|pattern] [--top N]\n"
                "           [--topk K] [--exact 1] [--cache N]\n"
                "           [--batch FILE] [--threads N] [--deadline-ms N]\n"
+               "           [--trace 1] [--stats text|json] [--admission N]\n"
                "  search   --snapshot FILE --query Q [--top N] [--topk K]\n"
                "           [--batch FILE] [--threads N] [--deadline-ms N]\n"
+               "           [--trace 1] [--stats text|json]\n"
                "  info     --data DIR\n"
                "  analyze  --data DIR [--set text|pattern] "
                "[--min-context N]\n"
@@ -154,7 +160,9 @@ int Usage() {
                "  serve    --snapshot FILE [--watch 1] [--watch-ms N]\n"
                "           [--top N] [--topk K] [--deadline-ms N]\n"
                "           [--retries N] [--backoff-ms N] [--threads N]\n"
-               "           (queries from stdin; :reload :stats :quit)\n"
+               "           [--trace 1]\n"
+               "           (queries from stdin; :reload :stats :metrics\n"
+               "            :metrics json :quit)\n"
                "common flags:\n"
                "  --threads N      parallelize corpus text synthesis and\n"
                "                   the prestige engines (0 = all cores;\n"
@@ -163,6 +171,10 @@ int Usage() {
                "  --deadline-ms N  per-query time budget; on expiry the\n"
                "                   query returns best-effort results and\n"
                "                   reports the skipped contexts\n"
+               "  --trace 1        attach a per-query execution trace\n"
+               "                   (path, stage timings, context funnel)\n"
+               "  --stats X        dump process metrics after the run\n"
+               "                   (X = text for Prometheus, json)\n"
                "exit codes: 0 ok, 2 usage, 3 invalid argument, 4 not "
                "found,\n"
                "  5 already exists, 6 out of range, 7 failed precondition,\n"
@@ -186,6 +198,51 @@ void ReportDegraded(const context::SearchResponse& response,
                "degraded: \"%s\": deadline hit, %zu context(s) skipped; "
                "results are best-effort\n",
                query.c_str(), response.skipped_contexts.size());
+}
+
+/// Per-query stdout marker for batch output. A shed or degraded query must
+/// be visible in the result stream itself, not only on stderr — "0 hits"
+/// with no marker means the query genuinely matched nothing.
+std::string StatusMarker(const context::SearchResponse& response) {
+  if (!response.status.ok()) {
+    return "  [shed: " +
+           std::string(StatusCodeToString(response.status.code())) + "]";
+  }
+  if (response.degraded) return "  [degraded]";
+  return "";
+}
+
+/// Prints one query's trace line when `--trace 1` was passed.
+void MaybePrintTrace(const context::SearchResponse& response) {
+  if (response.trace == nullptr) return;
+  std::printf("%s", response.trace->ToString().c_str());
+}
+
+/// Shared batch printer: per-query status markers + hits, title lookup
+/// injected by the caller (corpus titles vs snapshot titles).
+void PrintBatchResults(
+    const std::vector<std::string>& queries,
+    const std::vector<context::SearchResponse>& results, size_t top,
+    const std::function<std::string(corpus::PaperId)>& title) {
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ReportDegraded(results[i], queries[i]);
+    std::printf("%4zu hits  %s%s\n", results[i].hits.size(),
+                queries[i].c_str(), StatusMarker(results[i]).c_str());
+    MaybePrintTrace(results[i]);
+    for (size_t j = 0; j < results[i].hits.size() && j < top; ++j) {
+      std::printf("      R=%.3f  %s\n", results[i].hits[j].relevancy,
+                  title(results[i].hits[j].paper).c_str());
+    }
+  }
+}
+
+/// Dumps the process metrics registry when `--stats text|json` was passed.
+void MaybePrintStats(const Args& args) {
+  const std::string mode = args.Get("stats", "");
+  if (mode.empty()) return;
+  auto& registry = obs::MetricsRegistry::Instance();
+  std::printf("%s", mode == "json" ? registry.RenderJson().c_str()
+                                   : registry.RenderPrometheus().c_str());
 }
 
 struct Dataset {
@@ -333,6 +390,7 @@ int SearchFromSnapshot(const Args& args, const std::string& snap_path) {
   options.top_k = static_cast<size_t>(args.GetInt("topk", 0));
   options.num_threads = static_cast<size_t>(args.GetInt("threads", 1));
   options.deadline_ms = static_cast<uint64_t>(args.GetInt("deadline-ms", 0));
+  options.trace = args.GetInt("trace", 0) != 0;
 
   auto snap = serve::ServingSnapshot::Load(
       snap_path, static_cast<size_t>(args.GetInt("threads", 0)));
@@ -351,15 +409,8 @@ int SearchFromSnapshot(const Args& args, const std::string& snap_path) {
       if (!line.empty()) queries.push_back(line);
     }
     const auto results = s.engine().SearchManyEx(queries, options);
-    for (size_t i = 0; i < queries.size(); ++i) {
-      ReportDegraded(results[i], queries[i]);
-      std::printf("%4zu hits  %s\n", results[i].hits.size(),
-                  queries[i].c_str());
-      for (size_t j = 0; j < results[i].hits.size() && j < top; ++j) {
-        std::printf("      R=%.3f  %s\n", results[i].hits[j].relevancy,
-                    title(results[i].hits[j].paper).c_str());
-      }
-    }
+    PrintBatchResults(queries, results, top, title);
+    MaybePrintStats(args);
     return 0;
   }
 
@@ -371,6 +422,7 @@ int SearchFromSnapshot(const Args& args, const std::string& snap_path) {
   }
   const auto response = s.engine().SearchEx(query, options);
   ReportDegraded(response, query);
+  MaybePrintTrace(response);
   const auto& hits = response.hits;
   std::printf("%zu results\n", hits.size());
   for (size_t i = 0; i < hits.size() && i < top; ++i) {
@@ -378,6 +430,7 @@ int SearchFromSnapshot(const Args& args, const std::string& snap_path) {
                 hits[i].relevancy, hits[i].prestige, hits[i].match,
                 title(hits[i].paper).c_str());
   }
+  MaybePrintStats(args);
   return 0;
 }
 
@@ -401,6 +454,7 @@ int Search(const Args& args) {
   options.exact_scan = args.GetInt("exact", 0) != 0;
   options.num_threads = threads;
   options.deadline_ms = static_cast<uint64_t>(args.GetInt("deadline-ms", 0));
+  options.trace = args.GetInt("trace", 0) != 0;
   const size_t cache_capacity =
       static_cast<size_t>(args.GetInt("cache", 0));
 
@@ -422,6 +476,8 @@ int Search(const Args& args) {
                                       assignment.value(), prestige.value(),
                                       engine_options);
   if (cache_capacity > 0) engine.EnableQueryCache(cache_capacity);
+  const size_t admission = static_cast<size_t>(args.GetInt("admission", 0));
+  if (admission > 0) engine.SetAdmissionLimit(admission);
 
   if (!batch_file.empty()) {
     // Batch mode: one query per line, fanned out over the thread pool.
@@ -432,23 +488,16 @@ int Search(const Args& args) {
       if (!line.empty()) queries.push_back(line);
     }
     const auto results = engine.SearchManyEx(queries, options);
-    for (size_t i = 0; i < queries.size(); ++i) {
-      ReportDegraded(results[i], queries[i]);
-      std::printf("%4zu hits  %s\n", results[i].hits.size(),
-                  queries[i].c_str());
-      for (size_t j = 0; j < results[i].hits.size() && j < top; ++j) {
-        std::printf("      R=%.3f  %s\n", results[i].hits[j].relevancy,
-                    data.value()
-                        .corpus.paper(results[i].hits[j].paper)
-                        .title.c_str());
-      }
-    }
+    PrintBatchResults(queries, results, top, [&](corpus::PaperId p) {
+      return data.value().corpus.paper(p).title;
+    });
     if (engine.query_cache_enabled()) {
       const auto stats = engine.query_cache_stats();
       std::printf("cache: %llu hits, %llu misses\n",
                   static_cast<unsigned long long>(stats.hits),
                   static_cast<unsigned long long>(stats.misses));
     }
+    MaybePrintStats(args);
     return 0;
   }
 
@@ -460,6 +509,7 @@ int Search(const Args& args) {
   }
   const auto response = engine.SearchEx(query, options);
   ReportDegraded(response, query);
+  MaybePrintTrace(response);
   const auto& hits = response.hits;
   std::printf("%zu results\n", hits.size());
   const corpus::SnippetGenerator snippets(tc);
@@ -469,6 +519,7 @@ int Search(const Args& args) {
                 data.value().corpus.paper(hits[i].paper).title.c_str());
     std::printf("     %s\n", snippets.Generate(query, hits[i].paper).c_str());
   }
+  MaybePrintStats(args);
   return 0;
 }
 
@@ -648,9 +699,10 @@ int Serve(const Args& args) {
   options.top_k = static_cast<size_t>(args.GetInt("topk", 0));
   options.num_threads = 1;
   options.deadline_ms = static_cast<uint64_t>(args.GetInt("deadline-ms", 0));
+  options.trace = args.GetInt("trace", 0) != 0;
   const size_t top = static_cast<size_t>(args.GetInt("top", 10));
 
-  std::printf("serving %s (%zu papers)%s; :reload :stats :quit\n",
+  std::printf("serving %s (%zu papers)%s; :reload :stats :metrics :quit\n",
               path.c_str(), supervisor.current()->num_papers(),
               supervisor.watching() ? ", watching for changes" : "");
   for (std::string line; std::getline(std::cin, line);) {
@@ -671,12 +723,28 @@ int Serve(const Args& args) {
     }
     if (line == ":stats") {
       const auto stats = supervisor.stats();
-      std::printf("generation %llu, failed reloads %llu, retries %llu%s%s\n",
+      const int64_t now_s =
+          std::chrono::duration_cast<std::chrono::seconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count();
+      const long long age_s =
+          stats.last_success_unix_s > 0
+              ? static_cast<long long>(now_s - stats.last_success_unix_s)
+              : -1;
+      std::printf("generation %llu, failed reloads %llu, retries %llu, "
+                  "snapshot age %llds%s%s\n",
                   static_cast<unsigned long long>(stats.generation),
                   static_cast<unsigned long long>(stats.failed_reloads),
-                  static_cast<unsigned long long>(stats.retries),
+                  static_cast<unsigned long long>(stats.retries), age_s,
                   stats.last_error.empty() ? "" : ", last error: ",
                   stats.last_error.c_str());
+      continue;
+    }
+    if (line == ":metrics" || line == ":metrics json") {
+      auto& registry = obs::MetricsRegistry::Instance();
+      std::printf("%s", line == ":metrics json"
+                            ? registry.RenderJson().c_str()
+                            : registry.RenderPrometheus().c_str());
       continue;
     }
     // Pin the snapshot for this query: a concurrent hot-swap cannot pull
@@ -684,6 +752,7 @@ int Serve(const Args& args) {
     const auto snap = supervisor.current();
     const auto response = snap->engine().SearchEx(line, options);
     ReportDegraded(response, line);
+    MaybePrintTrace(response);
     std::printf("%zu results\n", response.hits.size());
     for (size_t i = 0; i < response.hits.size() && i < top; ++i) {
       const auto& h = response.hits[i];
