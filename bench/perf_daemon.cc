@@ -1,0 +1,585 @@
+// P4 — daemon serving performance: drives ctxrankd's network path (CTXQ1
+// over loopback TCP) with open- and closed-loop load at Zipfian query
+// popularity and compares against the in-process warm engine on the same
+// hardware. Phases:
+//   1. identity gate — wire responses must be bitwise identical to
+//      in-process SearchEx for the same query/options;
+//   2. in-process warm baseline — closed-loop threads on the snapshot
+//      engine (the daemon's ceiling);
+//   3. daemon closed-loop saturation — N connections, each request
+//      back-to-back; QPS + p50/p99/p999;
+//   4. daemon open-loop — paced arrivals at half the measured saturation
+//      rate, latency measured from the *scheduled* send time so queue
+//      buildup is charged to the daemon (no coordinated omission);
+//   5. reload window — closed-loop load while the supervisor hot-swaps
+//      the snapshot repeatedly; every query must come back OK (a shed
+//      would be kResourceExhausted; no admission limit is configured, so
+//      any non-OK response fails the gate).
+// Gate: daemon closed-loop QPS >= 50% of the in-process warm QPS, zero
+// failed (non-shed) queries across the reload window, identity OK.
+// Writes BENCH_daemon.json with --json FILE.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "serve/daemon.h"
+#include "serve/net.h"
+#include "serve/snapshot.h"
+#include "serve/supervisor.h"
+
+namespace ctxrank::bench {
+namespace {
+
+constexpr size_t kTopK = 20;
+constexpr double kZipfS = 1.1;
+
+/// Minimal blocking CTXQ1 client for the load threads.
+class Client {
+ public:
+  explicit Client(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+
+  bool Send(std::string_view bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool ReadResponse(serve::net::WireResponse* out) {
+    for (;;) {
+      const serve::net::Frame f = serve::net::NextFrame(buf_, 64u << 20);
+      if (f.state == serve::net::FrameState::kReady) {
+        auto decoded = serve::net::DecodeSearchResponseBody(f.body);
+        buf_.erase(0, f.consumed);
+        if (!decoded.ok()) return false;
+        *out = std::move(decoded).value();
+        return true;
+      }
+      if (f.state != serve::net::FrameState::kNeedMore) return false;
+      char tmp[16384];
+      const ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+      if (n <= 0) return false;
+      buf_.append(tmp, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+struct LoadStats {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  uint64_t queries = 0;
+  uint64_t failed = 0;      // Transport or non-OK, non-shed responses.
+  uint64_t shed = 0;        // kResourceExhausted responses.
+};
+
+LoadStats Summarize(std::vector<std::vector<double>> per_thread_ms,
+                    double wall_s, uint64_t queries, uint64_t failed,
+                    uint64_t shed) {
+  std::vector<double> all;
+  for (auto& v : per_thread_ms) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  LoadStats s;
+  s.queries = queries;
+  s.failed = failed;
+  s.shed = shed;
+  s.qps = wall_s > 0.0 ? static_cast<double>(queries) / wall_s : 0.0;
+  if (!all.empty()) {
+    s.p50_ms = Percentile(all, 50.0);
+    s.p99_ms = Percentile(all, 99.0);
+    s.p999_ms = Percentile(all, 99.9);
+  }
+  return s;
+}
+
+/// Pre-encoded request frames, Zipf-ranked: index 0 is the most popular
+/// query. Every load phase samples these with rng.NextZipf.
+std::vector<std::string> EncodeFrames(
+    const std::vector<eval::EvalQuery>& queries) {
+  std::vector<std::string> frames;
+  frames.reserve(queries.size());
+  for (const auto& q : queries) {
+    serve::net::WireRequest req;
+    req.query = q.text;
+    req.options.top_k = kTopK;
+    frames.push_back(serve::net::EncodeSearchRequest(req));
+  }
+  return frames;
+}
+
+/// Closed loop: `conns` client threads, each keeping `depth` pipelined
+/// requests on its connection (wrk-style) for `secs` seconds. Latency
+/// samples are batch round-trips — the time until the *last* response of
+/// a batch arrives, i.e. an upper bound on any request in it.
+LoadStats ClosedLoop(uint16_t port, const std::vector<std::string>& frames,
+                     size_t conns, double secs, size_t depth,
+                     uint64_t seed) {
+  std::vector<std::vector<double>> lat(conns);
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> shed{0};
+  const auto wall0 = std::chrono::steady_clock::now();
+  const auto stop_at = wall0 + std::chrono::duration<double>(secs);
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (size_t t = 0; t < conns; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng = Rng(seed).Fork(t);
+      Client client(port);
+      if (!client.ok()) {
+        failed.fetch_add(1);
+        return;
+      }
+      serve::net::WireResponse resp;
+      std::string batch;
+      uint64_t n = 0;
+      while (std::chrono::steady_clock::now() < stop_at) {
+        batch.clear();
+        for (size_t k = 0; k < depth; ++k) {
+          batch += frames[rng.NextZipf(frames.size(), kZipfS)];
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!client.Send(batch)) {
+          failed.fetch_add(1);
+          break;
+        }
+        bool dead = false;
+        for (size_t k = 0; k < depth; ++k) {
+          if (!client.ReadResponse(&resp)) {
+            failed.fetch_add(1);
+            dead = true;
+            break;
+          }
+          if (resp.code == StatusCode::kResourceExhausted) {
+            shed.fetch_add(1);
+          } else if (resp.code != StatusCode::kOk) {
+            failed.fetch_add(1);
+          }
+          ++n;
+        }
+        if (dead) break;
+        const std::chrono::duration<double, std::milli> dt =
+            std::chrono::steady_clock::now() - t0;
+        lat[t].push_back(dt.count());
+      }
+      queries.fetch_add(n);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall0;
+  return Summarize(std::move(lat), wall.count(), queries.load(),
+                   failed.load(), shed.load());
+}
+
+/// Open loop: each thread paces arrivals at rate/conns and charges
+/// latency from the *scheduled* send time — a stalled daemon makes every
+/// subsequent request look slower instead of silently thinning the
+/// arrival stream (coordinated omission).
+LoadStats OpenLoop(uint16_t port, const std::vector<std::string>& frames,
+                   size_t conns, double secs, double rate_qps,
+                   uint64_t seed) {
+  std::vector<std::vector<double>> lat(conns);
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> shed{0};
+  const double interval_s =
+      rate_qps > 0.0 ? static_cast<double>(conns) / rate_qps : 0.0;
+  const auto wall0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (size_t t = 0; t < conns; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng = Rng(seed).Fork(1000 + t);
+      Client client(port);
+      if (!client.ok()) {
+        failed.fetch_add(1);
+        return;
+      }
+      serve::net::WireResponse resp;
+      const auto stop_at = wall0 + std::chrono::duration<double>(secs);
+      auto scheduled = wall0 + std::chrono::duration<double>(
+                                   interval_s * static_cast<double>(t) /
+                                   static_cast<double>(conns));
+      while (scheduled < stop_at) {
+        std::this_thread::sleep_until(scheduled);
+        const auto& frame = frames[rng.NextZipf(frames.size(), kZipfS)];
+        if (!client.Send(frame) || !client.ReadResponse(&resp)) {
+          failed.fetch_add(1);
+          return;
+        }
+        const std::chrono::duration<double, std::milli> dt =
+            std::chrono::steady_clock::now() - scheduled;
+        if (resp.code == StatusCode::kResourceExhausted) {
+          shed.fetch_add(1);
+        } else if (resp.code != StatusCode::kOk) {
+          failed.fetch_add(1);
+        }
+        lat[t].push_back(dt.count());
+        queries.fetch_add(1);
+        scheduled += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(interval_s));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall0;
+  return Summarize(std::move(lat), wall.count(), queries.load(),
+                   failed.load(), shed.load());
+}
+
+/// In-process ceiling: the same closed loop, same Zipf stream, but
+/// calling the snapshot engine directly — what the network layer costs
+/// is the gap between this and the daemon's closed loop.
+double InProcessWarmQps(const serve::ServingSnapshot& snap,
+                        const std::vector<eval::EvalQuery>& queries,
+                        size_t conns, double secs, uint64_t seed) {
+  context::SearchOptions options;
+  options.top_k = kTopK;
+  std::atomic<uint64_t> total{0};
+  const auto wall0 = std::chrono::steady_clock::now();
+  const auto stop_at = wall0 + std::chrono::duration<double>(secs);
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (size_t t = 0; t < conns; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng = Rng(seed).Fork(t);
+      uint64_t n = 0;
+      while (std::chrono::steady_clock::now() < stop_at) {
+        const auto& q = queries[rng.NextZipf(queries.size(), kZipfS)];
+        const auto response = snap.engine().SearchEx(q.text, options);
+        (void)response;
+        ++n;
+      }
+      total.fetch_add(n);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall0;
+  return wall.count() > 0.0
+             ? static_cast<double>(total.load()) / wall.count()
+             : 0.0;
+}
+
+/// Identity gate: wire responses bitwise identical to in-process SearchEx.
+bool WireIdentity(uint16_t port, const serve::ServingSnapshot& snap,
+                  const std::vector<eval::EvalQuery>& queries) {
+  Client client(port);
+  if (!client.ok()) return false;
+  context::SearchOptions options;
+  options.top_k = kTopK;
+  const size_t n = queries.size() < 32 ? queries.size() : 32;
+  for (size_t i = 0; i < n; ++i) {
+    serve::net::WireRequest req;
+    req.query = queries[i].text;
+    req.options = options;
+    serve::net::WireResponse wire;
+    if (!client.Send(serve::net::EncodeSearchRequest(req)) ||
+        !client.ReadResponse(&wire)) {
+      return false;
+    }
+    const context::SearchResponse expected =
+        snap.engine().SearchEx(req.query, options);
+    if (wire.code != expected.status.code() ||
+        wire.degraded != expected.degraded ||
+        wire.hits.size() != expected.hits.size()) {
+      return false;
+    }
+    for (size_t j = 0; j < wire.hits.size(); ++j) {
+      if (wire.hits[j].paper != expected.hits[j].paper ||
+          wire.hits[j].context != expected.hits[j].context ||
+          std::bit_cast<uint64_t>(wire.hits[j].relevancy) !=
+              std::bit_cast<uint64_t>(expected.hits[j].relevancy) ||
+          std::bit_cast<uint64_t>(wire.hits[j].prestige) !=
+              std::bit_cast<uint64_t>(expected.hits[j].prestige) ||
+          std::bit_cast<uint64_t>(wire.hits[j].match) !=
+              std::bit_cast<uint64_t>(expected.hits[j].match)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void PrintStats(const char* name, const LoadStats& s) {
+  std::printf(
+      "%-16s %8.1f qps  p50 %7.3f ms  p99 %7.3f ms  p999 %7.3f ms  "
+      "(%llu queries, %llu failed, %llu shed)\n",
+      name, s.qps, s.p50_ms, s.p99_ms, s.p999_ms,
+      static_cast<unsigned long long>(s.queries),
+      static_cast<unsigned long long>(s.failed),
+      static_cast<unsigned long long>(s.shed));
+}
+
+void WriteJson(const std::string& path, const eval::WorldConfig& config,
+               size_t num_queries, size_t conns, size_t depth,
+               double inproc_qps,
+               const LoadStats& closed_pool, const LoadStats& closed,
+               const LoadStats& closed1, const LoadStats& open,
+               double open_offered_qps,
+               const LoadStats& reload, uint64_t reloads, bool identity_ok,
+               double ratio, bool gate_ok) {
+  std::ofstream out(path);
+  char buf[512];
+  out << "{\n";
+  out << "  \"bench\": \"perf_daemon\",\n";
+  out << "  \"scale\": \"" << (config.corpus.num_papers < 5000 ? "small"
+                                                               : "default")
+      << "\",\n";
+  out << "  \"num_queries\": " << num_queries << ",\n";
+  out << "  \"connections\": " << conns << ",\n";
+  out << "  \"pipeline_depth\": " << depth << ",\n";
+  out << "  \"top_k\": " << kTopK << ",\n";
+  out << "  \"zipf_s\": " << kZipfS << ",\n";
+  std::snprintf(buf, sizeof(buf), "  \"inprocess_warm_qps\": %.1f,\n",
+                inproc_qps);
+  out << buf;
+  const auto emit = [&](const char* name, const LoadStats& s,
+                        const char* extra) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"%s\": {\"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"p999_ms\": %.3f, \"queries\": %llu, \"failed\": %llu, "
+        "\"shed\": %llu%s},\n",
+        name, s.qps, s.p50_ms, s.p99_ms, s.p999_ms,
+        static_cast<unsigned long long>(s.queries),
+        static_cast<unsigned long long>(s.failed),
+        static_cast<unsigned long long>(s.shed), extra);
+    out << buf;
+  };
+  emit("closed_loop_pool", closed_pool, "");
+  emit("closed_loop_inline", closed, "");
+  emit("closed_loop_depth1", closed1, "");
+  std::snprintf(buf, sizeof(buf), ", \"offered_qps\": %.1f",
+                open_offered_qps);
+  {
+    std::string extra = buf;
+    emit("open_loop", open, extra.c_str());
+  }
+  std::snprintf(buf, sizeof(buf), ", \"reloads\": %llu",
+                static_cast<unsigned long long>(reloads));
+  {
+    std::string extra = buf;
+    emit("reload_window", reload, extra.c_str());
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  \"identity_wire_vs_inprocess\": %s,\n"
+                "  \"daemon_vs_inprocess_ratio\": %.3f,\n"
+                "  \"gate_ok\": %s\n",
+                identity_ok ? "true" : "false", ratio,
+                gate_ok ? "true" : "false");
+  out << buf << "}\n";
+}
+
+int Run(int argc, char** argv) {
+  const eval::WorldConfig config = ParseConfig(argc, argv);
+  std::string json_path;
+  size_t conns = 4;
+  size_t depth = 8;
+  double secs = 2.0;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--conns") == 0) {
+      conns = static_cast<size_t>(std::atol(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--pipeline") == 0) {
+      depth = static_cast<size_t>(std::atol(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--secs") == 0) {
+      secs = std::atof(argv[i + 1]);
+    }
+  }
+  if (conns == 0) conns = 1;
+  if (depth == 0) depth = 1;
+  auto world = BuildWorldOrDie(config);
+
+  // Build the engine once and persist the serving snapshot the daemon
+  // will serve — the same artifact flow as production (snapshot save →
+  // ctxrankd).
+  context::ContextSearchEngine engine(world->tc(), world->onto(),
+                                      world->text_set(),
+                                      world->text_set_text_scores());
+  const std::string snap_path =
+      "/tmp/perf_daemon_" + std::to_string(::getpid()) + ".snap";
+  {
+    const Status st = serve::SaveSnapshot(*world, engine, snap_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "snapshot save failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  serve::SnapshotSupervisor::Options sup_opts;
+  sup_opts.on_load = [](serve::ServingSnapshot& snap) {
+    snap.mutable_engine().EnableQueryCache(8192);
+  };
+  serve::SnapshotSupervisor supervisor(sup_opts);
+  if (!supervisor.Reload(snap_path).ok()) {
+    std::fprintf(stderr, "initial snapshot load failed\n");
+    return 1;
+  }
+  const auto snap = supervisor.current();
+
+  const auto start_daemon = [&supervisor](bool inline_execution)
+      -> std::unique_ptr<serve::Daemon> {
+    serve::Daemon::Options opts;
+    opts.port = 0;
+    opts.inline_execution = inline_execution;
+    auto d = std::make_unique<serve::Daemon>(supervisor, opts);
+    const Status st = d->Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "daemon start failed: %s\n",
+                   st.ToString().c_str());
+      return nullptr;
+    }
+    return d;
+  };
+  auto daemon = start_daemon(false);
+  if (daemon == nullptr) return 1;
+  const auto queries = eval::GenerateQueries(world->onto(), world->tc(),
+                                             world->text_set());
+  const auto frames = EncodeFrames(queries);
+  std::printf("[daemon on 127.0.0.1:%u, %zu queries, %zu connections, "
+              "pipeline depth %zu, %.1fs per phase]\n",
+              daemon->port(), queries.size(), conns, depth, secs);
+
+  // Phase 1: identity gate (also warms the cache for the popular head).
+  const bool identity_ok = WireIdentity(daemon->port(), *snap, queries);
+  std::printf("wire-vs-inprocess identity: %s\n",
+              identity_ok ? "OK" : "FAIL");
+
+  // Warm the cache over the full query set so both loops measure the
+  // warm serving path.
+  {
+    context::SearchOptions warm;
+    warm.top_k = kTopK;
+    for (const auto& q : queries) {
+      const auto r = snap->engine().SearchEx(q.text, warm);
+      (void)r;
+    }
+  }
+
+  // Phase 2: in-process ceiling.
+  const double inproc_qps =
+      InProcessWarmQps(*snap, queries, conns, secs, 20260808);
+  std::printf("in-process warm:  %8.1f qps (%zu threads)\n", inproc_qps,
+              conns);
+
+  // Phase 3: daemon closed-loop saturation, both dispatch modes. The
+  // worker-pool mode pays a per-request handoff (eventfd + condvar);
+  // inline mode executes on the reactor thread, the recommended
+  // configuration for cache-hot workloads (docs/OPERATIONS.md).
+  const LoadStats closed_pool =
+      ClosedLoop(daemon->port(), frames, conns, secs, depth, 20260808);
+  PrintStats("closed (pool)", closed_pool);
+  daemon->Stop();
+  daemon = start_daemon(true);
+  if (daemon == nullptr) return 1;
+  const LoadStats closed =
+      ClosedLoop(daemon->port(), frames, conns, secs, depth, 20260808);
+  PrintStats("closed (inline)", closed);
+  // Depth-1 closed loop: per-request round-trip capacity, used to pick
+  // a sustainable open-loop arrival rate (the open loop sends single
+  // requests, so pacing it off the pipelined rate would just measure
+  // queue buildup).
+  const LoadStats closed1 =
+      ClosedLoop(daemon->port(), frames, conns, secs, 1, 20260808);
+  PrintStats("closed (depth 1)", closed1);
+
+  // Phase 4: open loop at half the depth-1 saturation rate.
+  const double offered = closed1.qps * 0.5;
+  const LoadStats open =
+      OpenLoop(daemon->port(), frames, conns, secs, offered, 20260808);
+  PrintStats("daemon open", open);
+  std::printf("open loop offered %.1f qps, achieved %.1f qps\n", offered,
+              open.qps);
+
+  // Phase 5: closed-loop load across a hot-reload window.
+  const uint64_t gen0 = supervisor.stats().generation;
+  std::atomic<bool> reloading{true};
+  std::thread reloader([&] {
+    while (reloading.load()) {
+      if (!supervisor.Reload(snap_path).ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+  const LoadStats reload =
+      ClosedLoop(daemon->port(), frames, conns, secs, depth, 20260809);
+  reloading.store(false);
+  reloader.join();
+  const uint64_t reloads = supervisor.stats().generation - gen0;
+  PrintStats("reload window", reload);
+  std::printf("reloads during window: %llu, failed (non-shed): %llu\n",
+              static_cast<unsigned long long>(reloads),
+              static_cast<unsigned long long>(reload.failed));
+
+  daemon->Stop();
+  ::unlink(snap_path.c_str());
+
+  const double ratio = inproc_qps > 0.0 ? closed.qps / inproc_qps : 0.0;
+  const bool ratio_ok = ratio >= 0.5;
+  const bool reload_ok = reload.failed == 0 && reloads >= 1;
+  std::printf("daemon/in-process ratio: %.2f %s\n", ratio,
+              ratio_ok ? "OK (>=0.5)" : "FAIL (<0.5)");
+  std::printf("reload-window clean: %s\n", reload_ok ? "OK" : "FAIL");
+
+  const bool gate_ok = identity_ok && ratio_ok && reload_ok;
+  if (!json_path.empty()) {
+    WriteJson(json_path, config, queries.size(), conns, depth, inproc_qps,
+              closed_pool, closed, closed1, open, offered, reload, reloads,
+              identity_ok, ratio, gate_ok);
+    std::printf("[wrote %s]\n", json_path.c_str());
+  }
+  return gate_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ctxrank::bench
+
+int main(int argc, char** argv) { return ctxrank::bench::Run(argc, argv); }

@@ -2,7 +2,7 @@
 // context search fast path. Compares the brute-force exact scan against
 // the impact-ordered pruned path (cold and warm cache) at k=20, verifies
 // the two paths return bitwise-identical rankings on every query, and
-// measures batch throughput via SearchMany. Optionally writes the numbers
+// measures batch throughput via SearchManyEx. Optionally writes the numbers
 // as JSON (--json FILE) for the committed BENCH_queries.json baseline.
 #include <algorithm>
 #include <chrono>
@@ -321,7 +321,7 @@ int Run(int argc, char** argv) {
   modes.push_back(TimeQueries("pruned_warm", engine, queries, pruned_opts));
   const auto cache_stats = engine.query_cache_stats();
 
-  // Batch throughput: SearchMany fans queries out over the pool; bypass
+  // Batch throughput: SearchManyEx fans queries out over the pool; bypass
   // the (now fully warm) cache so this measures computation, not lookups.
   context::SearchOptions batch_opts = pruned_opts;
   batch_opts.bypass_cache = true;
@@ -330,7 +330,7 @@ int Run(int argc, char** argv) {
   texts.reserve(queries.size());
   for (const auto& q : queries) texts.push_back(q.text);
   const auto batch0 = std::chrono::steady_clock::now();
-  const auto batch_results = engine.SearchMany(texts, batch_opts);
+  const auto batch_results = engine.SearchManyEx(texts, batch_opts);
   const std::chrono::duration<double> batch_dt =
       std::chrono::steady_clock::now() - batch0;
   const double batch_qps =
@@ -352,7 +352,7 @@ int Run(int argc, char** argv) {
   std::printf("cache: %llu hits / %llu misses\n",
               static_cast<unsigned long long>(cache_stats.hits),
               static_cast<unsigned long long>(cache_stats.misses));
-  std::printf("batch SearchMany (%zu threads, cache bypassed): %.1f qps\n",
+  std::printf("batch SearchManyEx (%zu threads, cache bypassed): %.1f qps\n",
               batch_threads, batch_qps);
 
   // Guard: the deadline plumbing must be free when no deadline is set, and

@@ -25,7 +25,7 @@ echo "== query fast path under ASan/UBSan =="
 echo "== deadline degradation + admission shedding + traces under ASan/UBSan =="
 "${build_dir}/tests/context_test" --gtest_filter='ResilientSearch*:QueryTrace*'
 
-echo "== snapshot round-trip, supervisor, fault sweep under ASan/UBSan =="
+echo "== snapshot round-trip, supervisor, fault sweep, wire codec, daemon reactor under ASan/UBSan =="
 "${build_dir}/tests/serve_test"
 
 echo "ASan/UBSan verification passed."

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# End-to-end check of the network serving daemon: run the daemon/framing
+# test suite, a perf_daemon smoke run (wire-vs-in-process identity gate,
+# reload-under-load gate, throughput ratio gate), and then a real
+# ctxrankd process — generate a dataset, save a snapshot, serve it,
+# probe /healthz, /search and /metrics over HTTP, hot-reload the
+# snapshot under the watcher, and assert a clean SIGTERM shutdown
+# (exit 0). Usage: scripts/verify_daemon.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+cli="${build_dir}/tools/ctxrank"
+daemon="${build_dir}/tools/ctxrankd"
+
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j --target ctxrank ctxrankd serve_test \
+  perf_daemon
+
+echo "== daemon framing/protocol/reactor tests =="
+"${build_dir}/tests/serve_test" --gtest_filter='FrameTest*:HttpTest*:DaemonTest*'
+
+echo "== perf_daemon smoke (identity + reload + ratio gates) =="
+"${build_dir}/bench/perf_daemon" --small --secs 1.0
+
+work="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  [[ -n "${daemon_pid}" ]] && kill -9 "${daemon_pid}" 2>/dev/null || true
+  rm -rf "${work}"
+}
+trap cleanup EXIT
+
+echo "== generate + index + snapshot a small dataset =="
+mkdir -p "${work}/data"
+"${cli}" generate --out "${work}/data" --terms 60 --papers 400 --seed 7
+"${cli}" index --data "${work}/data"
+"${cli}" snapshot save --data "${work}/data" --out "${work}/serving.snap"
+
+echo "== start ctxrankd on an ephemeral port =="
+"${daemon}" --snapshot "${work}/serving.snap" --port 0 --watch 1 \
+  --watch-ms 50 --cache 1024 --deadline-ms 1000 \
+  > "${work}/daemon.out" 2> "${work}/daemon.err" &
+daemon_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  if ! kill -0 "${daemon_pid}" 2>/dev/null; then
+    echo "ctxrankd died during startup:" >&2
+    cat "${work}/daemon.err" >&2
+    exit 1
+  fi
+  port="$(sed -n 's/^ctxrankd listening on [^:]*:\([0-9]*\).*/\1/p' \
+    "${work}/daemon.out")"
+  [[ -n "${port}" ]] && break
+  sleep 0.1
+done
+if [[ -z "${port}" ]]; then
+  echo "ctxrankd never printed its listening line" >&2
+  exit 1
+fi
+echo "daemon up on port ${port} (pid ${daemon_pid})"
+
+http_get() {
+  # Minimal HTTP client on /dev/tcp: prints the full response.
+  exec 3<>"/dev/tcp/127.0.0.1/${port}"
+  printf 'GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n' \
+    "$1" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+
+query="$(grep '^name:' "${work}/data/ontology.obo" | sed 's/^name: //' \
+  | head -1 | tr ' ' '+')"
+
+echo "== /healthz reports a serving snapshot =="
+health="$(http_get /healthz)"
+echo "${health}" | grep -q "200 OK"
+echo "${health}" | grep -q '"ok":true'
+
+echo "== /search returns hits for '${query}' =="
+search="$(http_get "/search?q=${query}&topk=5")"
+echo "${search}" | grep -q "200 OK"
+echo "${search}" | grep -q '"status":"OK"'
+echo "${search}" | grep -q '"hits"'
+
+echo "== /search without q is a 400, unknown path a 404 =="
+http_get "/search" | grep -q "400 Bad Request"
+http_get "/nope" | grep -q "404 Not Found"
+
+echo "== /metrics exposes daemon + engine metrics =="
+metrics="$(http_get /metrics)"
+echo "${metrics}" | grep -q "ctxrankd_requests_total"
+echo "${metrics}" | grep -q "ctxrank_search_latency_us"
+
+echo "== hot reload: atomically replace the snapshot under the watcher =="
+cp "${work}/serving.snap" "${work}/serving.snap.new"
+mv "${work}/serving.snap.new" "${work}/serving.snap"
+reloaded=0
+for _ in $(seq 1 50); do
+  if http_get /healthz | grep -q '"generation":2'; then
+    reloaded=1
+    break
+  fi
+  sleep 0.1
+done
+if [[ "${reloaded}" -ne 1 ]]; then
+  echo "watcher never picked up the replaced snapshot" >&2
+  exit 1
+fi
+http_get "/search?q=${query}&topk=5" | grep -q '"status":"OK"'
+
+echo "== SIGTERM shuts down cleanly with exit 0 =="
+kill -TERM "${daemon_pid}"
+rc=0
+wait "${daemon_pid}" || rc=$?
+daemon_pid=""
+if [[ "${rc}" -ne 0 ]]; then
+  echo "ctxrankd exited with ${rc} on SIGTERM" >&2
+  exit 1
+fi
+
+echo "Daemon verification passed."

@@ -26,4 +26,7 @@ echo "== deadline degradation + trace/shed propagation across threads under TSan
 echo "== snapshot supervisor swaps vs concurrent readers under TSan =="
 "${build_dir}/tests/serve_test" --gtest_filter='Supervisor*'
 
+echo "== daemon reactor/worker/accept thread interactions under TSan =="
+"${build_dir}/tests/serve_test" --gtest_filter='DaemonTest*'
+
 echo "TSan verification passed."

@@ -1,5 +1,5 @@
 // Bounded in-flight admission control for the batch query path. A plain
-// counting semaphore with deadline-aware acquisition: SearchMany acquires
+// counting semaphore with deadline-aware acquisition: SearchManyEx acquires
 // one permit per in-flight query, so a burst larger than the configured
 // limit queues instead of oversubscribing — and with a deadline set, a
 // query that cannot be admitted in time is shed with kResourceExhausted

@@ -651,7 +651,7 @@ std::vector<SearchHit> ContextSearchEngine::PrunedScan(
     }
   }
   // Sequential in selection order: the threshold tightened by one context
-  // prunes the next (parallelism across queries comes from SearchMany).
+  // prunes the next (parallelism across queries comes from SearchManyEx).
   // One upfront check catches a budget that was spent before we got here;
   // past that, ScanContext's pruning-block checks are the only clock
   // reads — it returns false exactly when the deadline fired, which skips
@@ -833,45 +833,46 @@ std::vector<SearchResponse> ContextSearchEngine::SearchManyEx(
           const Deadline deadline = per_query.deadline_ms > 0
                                         ? Deadline::AfterMs(per_query.deadline_ms)
                                         : Deadline();
-          if (admission_ != nullptr) {
-            AdmissionLimiter::Permit permit(*admission_, deadline);
-            if (!permit.granted()) {
-              ServingMetrics& m = Metrics();
-              m.queries.Increment();
-              m.shed.Increment();
-              results[i].status = Status::ResourceExhausted(
-                  "admission limit reached before deadline (" +
-                  std::to_string(admission_->limit()) + " in flight)");
-              results[i].degraded = true;
-              if (per_query.trace) {
-                auto trace = std::make_shared<obs::QueryTrace>();
-                trace->path = "shed";
-                trace->shed = true;
-                trace->degraded = true;
-                trace->cause = results[i].status.message();
-                results[i].trace = std::move(trace);
-              }
-              continue;
-            }
-            results[i] = SearchOne(queries[i], per_query, deadline);
-          } else {
-            results[i] = SearchOne(queries[i], per_query, deadline);
-          }
+          results[i] = SearchGuarded(queries[i], per_query, deadline);
         }
       },
       {.num_threads = options.num_threads});
   return results;
 }
 
-std::vector<std::vector<SearchHit>> ContextSearchEngine::SearchMany(
-    const std::vector<std::string>& queries,
-    const SearchOptions& options) const {
-  std::vector<SearchResponse> responses = SearchManyEx(queries, options);
-  std::vector<std::vector<SearchHit>> results(responses.size());
-  for (size_t i = 0; i < responses.size(); ++i) {
-    results[i] = std::move(responses[i].hits);
+SearchResponse ContextSearchEngine::ShedResponse(std::string detail,
+                                                 bool want_trace) {
+  ServingMetrics& m = Metrics();
+  m.queries.Increment();
+  m.shed.Increment();
+  SearchResponse response;
+  response.status = Status::ResourceExhausted(std::move(detail));
+  response.degraded = true;
+  if (want_trace) {
+    auto trace = std::make_shared<obs::QueryTrace>();
+    trace->path = "shed";
+    trace->shed = true;
+    trace->degraded = true;
+    trace->cause = response.status.message();
+    response.trace = std::move(trace);
   }
-  return results;
+  return response;
+}
+
+SearchResponse ContextSearchEngine::SearchGuarded(
+    std::string_view query, const SearchOptions& options,
+    const Deadline& deadline) const {
+  if (admission_ != nullptr) {
+    AdmissionLimiter::Permit permit(*admission_, deadline);
+    if (!permit.granted()) {
+      return ShedResponse("admission limit reached before deadline (" +
+                              std::to_string(admission_->limit()) +
+                              " in flight)",
+                          options.trace);
+    }
+    return SearchOne(query, options, deadline);
+  }
+  return SearchOne(query, options, deadline);
 }
 
 void ContextSearchEngine::SetAdmissionLimit(size_t max_in_flight) {

@@ -12,8 +12,10 @@
 //     inverted indexes with max-score pruning, only ever computing the
 //     exact relevancy (same floating-point expression as the scan) for
 //     papers that can still reach the current top-k threshold.
-// An optional sharded LRU cache fronts both paths, and SearchMany fans a
-// query batch out over the thread pool.
+// An optional sharded LRU cache fronts both paths, and SearchManyEx fans a
+// query batch out over the thread pool. SearchGuarded is the single-query
+// serving spine (admission + deadline + shed) shared by the batch slots,
+// the CLI REPL, and the ctxrankd network daemon (via serve::RequestContext).
 #ifndef CTXRANK_CONTEXT_SEARCH_ENGINE_H_
 #define CTXRANK_CONTEXT_SEARCH_ENGINE_H_
 
@@ -63,7 +65,7 @@ struct SearchOptions {
   /// value: per-context candidate lists are computed in parallel into
   /// per-context slots and merged sequentially in selection order. (The
   /// pruned top-k path is sequential by design — its threshold tightens
-  /// across contexts — so batch parallelism comes from SearchMany.)
+  /// across contexts — so batch parallelism comes from SearchManyEx.)
   size_t num_threads = 1;
   /// Keep only the `top_k` best hits (relevancy desc, paper id asc —
   /// identical to the full ranking's truncated prefix). 0 = return all.
@@ -178,28 +180,36 @@ class ContextSearchEngine {
   std::vector<SearchHit> SearchTopK(std::string_view query, size_t k,
                                     const SearchOptions& options = {}) const;
 
-  /// Evaluates a query batch, fanning out over `options.num_threads`
-  /// (0 = hardware concurrency). Result slot i is bitwise identical to
-  /// Search(queries[i], options) regardless of the thread count.
+  /// Evaluates a query batch with per-query degradation metadata, fanning
+  /// out over `options.num_threads` (0 = hardware concurrency). Slot i's
+  /// hits are bitwise identical to Search(queries[i], options) regardless
+  /// of the thread count. Each query gets its own `options.deadline_ms`
+  /// budget, measured from the moment its slot starts (admission wait
+  /// included). When an admission limit is set (SetAdmissionLimit), a
+  /// query that cannot be admitted before its deadline is shed with
+  /// kResourceExhausted instead of blocking forever.
   ///
-  /// LOSSY — prefer SearchManyEx. This wrapper discards every
-  /// SearchResponse::status, so a query shed by the admission limiter
-  /// (kResourceExhausted) is indistinguishable from a query with zero
-  /// hits. It survives only for status-blind evaluation harnesses; any
-  /// serving caller (the CLI --batch path included) must consume
-  /// SearchManyEx and surface per-query status.
-  std::vector<std::vector<SearchHit>> SearchMany(
-      const std::vector<std::string>& queries,
-      const SearchOptions& options = {}) const;
-
-  /// SearchMany with per-query degradation metadata. Each query gets its
-  /// own `options.deadline_ms` budget, measured from the moment its slot
-  /// starts (admission wait included). When an admission limit is set
-  /// (SetAdmissionLimit), a query that cannot be admitted before its
-  /// deadline is shed with kResourceExhausted instead of blocking forever.
+  /// (The old SearchMany wrapper — SearchManyEx minus the per-query
+  /// status — was deleted: it made a shed query indistinguishable from a
+  /// query with zero hits. Serving callers must surface status.)
   std::vector<SearchResponse> SearchManyEx(
       const std::vector<std::string>& queries,
       const SearchOptions& options = {}) const;
+
+  /// One admission-guarded query against an externally armed deadline:
+  /// the single-query serving spine behind every SearchManyEx slot, the
+  /// CLI REPL, and the network daemon (serve::RequestContext). When an
+  /// admission limit is set and no permit can be granted before the
+  /// deadline, returns ShedResponse instead of searching.
+  SearchResponse SearchGuarded(std::string_view query,
+                               const SearchOptions& options,
+                               const Deadline& deadline) const;
+
+  /// The canonical shed response: kResourceExhausted status, degraded,
+  /// path="shed" trace when `want_trace`. Bumps the serving counters
+  /// (queries + shed), so daemon-layer admission rejections count exactly
+  /// like engine-layer ones.
+  static SearchResponse ShedResponse(std::string detail, bool want_trace);
 
   /// Bounds concurrently executing queries across SearchMany/SearchManyEx
   /// calls (admission control for overload). 0 removes the limit. Not

@@ -1,0 +1,752 @@
+#include "serve/daemon.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/metrics.h"
+#include "serve/request_context.h"
+
+namespace ctxrank::serve {
+namespace {
+
+/// Daemon-level telemetry (serving-spine metrics — queries, shed,
+/// latency stages — are recorded by the engine underneath; these cover
+/// the network layer itself). See docs/OBSERVABILITY.md.
+struct DaemonMetrics {
+  obs::Gauge& connections_open;
+  obs::Counter& connections_total;
+  obs::Counter& connections_rejected;
+  obs::Counter& requests;
+  obs::Counter& http_requests;
+  obs::Counter& frame_errors;
+  obs::Counter& idle_closed;
+  obs::Counter& bytes_read;
+  obs::Counter& bytes_written;
+  obs::Histogram& request_us;
+};
+
+DaemonMetrics& Metrics() {
+  auto& reg = obs::MetricsRegistry::Instance();
+  static DaemonMetrics m{
+      reg.GetGauge("ctxrankd_connections_open"),
+      reg.GetCounter("ctxrankd_connections_total"),
+      reg.GetCounter("ctxrankd_connections_rejected_total"),
+      reg.GetCounter("ctxrankd_requests_total"),
+      reg.GetCounter("ctxrankd_http_requests_total"),
+      reg.GetCounter("ctxrankd_frame_errors_total"),
+      reg.GetCounter("ctxrankd_idle_closed_total"),
+      reg.GetCounter("ctxrankd_bytes_read_total"),
+      reg.GetCounter("ctxrankd_bytes_written_total"),
+      reg.GetHistogram("ctxrankd_request_us", obs::LatencyBucketsUs())};
+  return m;
+}
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+size_t ParamSizeT(const net::HttpRequest& request, std::string_view key,
+                  size_t fallback) {
+  const std::string_view v = request.Param(key);
+  if (v.empty()) return fallback;
+  size_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc() || ptr != v.data() + v.size()) return fallback;
+  return out;
+}
+
+/// An error SearchResponse frame for protocol-level failures, so a
+/// misbehaving client gets a diagnosable answer instead of a silent
+/// disconnect (where the framing still permits one).
+std::string EncodeErrorFrame(Status status) {
+  context::SearchResponse response;
+  response.status = std::move(status);
+  return net::EncodeSearchResponse(response);
+}
+
+}  // namespace
+
+Daemon::Daemon(SnapshotSupervisor& supervisor, Options options)
+    : supervisor_(supervisor), options_(std::move(options)) {}
+
+Daemon::~Daemon() { Stop(); }
+
+Status Daemon::Start() {
+  if (started_) return Status::FailedPrecondition("daemon already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("unparseable listen address \"" +
+                                   options_.host + "\"");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status st = Errno("bind " + options_.host + ":" +
+                            std::to_string(options_.port));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const Status st = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    const Status st = Errno("epoll_create1/eventfd");
+    Stop();
+    return st;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    const Status st = Errno("epoll_ctl(wake)");
+    Stop();
+    return st;
+  }
+
+  if (options_.max_in_flight > 0) {
+    limiter_ = std::make_unique<AdmissionLimiter>(options_.max_in_flight);
+  }
+  pool_ = std::make_unique<ThreadPool>(ResolveNumThreads(options_.workers));
+
+  stop_.store(false);
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  reactor_thread_ = std::thread([this] { ReactorLoop(); });
+  return Status::OK();
+}
+
+void Daemon::Stop() {
+  if (!started_) {
+    // Start() may have half-initialized fds before failing.
+    for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+      if (*fd >= 0) {
+        ::close(*fd);
+        *fd = -1;
+      }
+    }
+    return;
+  }
+  stop_.store(true);
+  // Unblock the accept thread: shutdown wakes the blocking accept.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  accept_thread_.join();
+  // Wake the reactor; it observes stop_ at the top of its loop.
+  uint64_t v = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &v, sizeof(v));
+  reactor_thread_.join();
+  // Drain in-flight workers before tearing down fds (workers write the
+  // eventfd on completion, so it must stay open until they are done).
+  pool_.reset();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [fd, conn] : conns_) {
+      conn->open = false;
+      ::close(fd);
+    }
+    conns_.clear();
+  }
+  Metrics().connections_open.Set(0);
+  ::close(listen_fd_);
+  ::close(epoll_fd_);
+  ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  started_ = false;
+}
+
+size_t Daemon::open_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
+}
+
+void Daemon::AcceptLoop() {
+  while (!stop_.load()) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (stop_.load()) break;
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN) {
+        continue;
+      }
+      break;  // Listen socket is gone — shutdown in progress.
+    }
+    Metrics().connections_total.Increment();
+    size_t open = 0;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      open = conns_.size();
+    }
+    if (open >= options_.max_connections) {
+      Metrics().connections_rejected.Increment();
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>(fd);
+    conn->last_activity_ms = NowMs();
+    conn->interest = EPOLLIN | EPOLLRDHUP;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_[fd] = conn;
+    }
+    epoll_event ev{};
+    ev.events = conn->interest | EPOLLET;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.erase(fd);
+      ::close(fd);
+      continue;
+    }
+    Metrics().connections_open.Add(1);
+  }
+}
+
+void Daemon::ReactorLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  uint64_t last_idle_scan_ms = NowMs();
+  while (!stop_.load()) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 200);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t ev = events[i].events;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        DrainCompletions();
+        continue;
+      }
+      std::shared_ptr<Conn> conn;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        const auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;  // Closed earlier this batch.
+        conn = it->second;
+      }
+      if ((ev & EPOLLERR) != 0) {
+        CloseConn(conn);
+        continue;
+      }
+      if ((ev & EPOLLIN) != 0) HandleReadable(conn);
+      if (conn->open && (ev & EPOLLOUT) != 0) {
+        FlushWrites(conn);
+        if (conn->open) UpdateBackpressure(conn);
+      }
+      if (conn->open && (ev & (EPOLLRDHUP | EPOLLHUP)) != 0 &&
+          (ev & EPOLLIN) == 0) {
+        // Peer half-closed with no readable data: treat as EOF. (With
+        // EPOLLIN set, HandleReadable already saw the 0-byte read.)
+        HandleReadable(conn);
+      }
+    }
+    const uint64_t now_ms = NowMs();
+    if (now_ms - last_idle_scan_ms >= 500) {
+      ScanIdle(now_ms);
+      last_idle_scan_ms = now_ms;
+    }
+  }
+}
+
+void Daemon::HandleReadable(const std::shared_ptr<Conn>& conn) {
+  if (!conn->open) return;
+  bool eof = false;
+  if (!conn->reading_paused) {
+    char buf[16384];
+    for (;;) {
+      const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->in.append(buf, static_cast<size_t>(n));
+        Metrics().bytes_read.Increment(static_cast<uint64_t>(n));
+        conn->last_activity_ms = NowMs();
+        continue;
+      }
+      if (n == 0) {
+        eof = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      CloseConn(conn);
+      return;
+    }
+  } else {
+    // Backpressured: leave the bytes in the kernel buffer. Re-enabling
+    // EPOLLIN via EPOLL_CTL_MOD re-reports the readiness edge.
+    eof = false;
+  }
+  ParseBuffered(conn);
+  if (!conn->open || !eof) return;
+  // EOF with work still in flight: finish and flush the responses the
+  // peer is (half-close) waiting for, then close. Otherwise close now.
+  bool busy = conn->executing || !conn->pending.empty();
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    busy = busy || !conn->out.empty();
+    if (busy) conn->close_after_flush = true;
+  }
+  if (!busy) {
+    CloseConn(conn);
+  } else {
+    conn->reading_paused = true;
+    SetInterest(conn, conn->interest & ~static_cast<uint32_t>(EPOLLIN));
+  }
+}
+
+void Daemon::ParseBuffered(const std::shared_ptr<Conn>& conn) {
+  if (!conn->open) return;
+  if (conn->proto == Protocol::kUnknown) {
+    if (conn->in.empty()) return;
+    const net::Frame f = net::NextFrame(conn->in, options_.max_frame_bytes);
+    if (f.state == net::FrameState::kBadMagic) {
+      conn->proto = Protocol::kHttp;
+    } else if (conn->in.size() >= net::kFrameMagicBytes) {
+      conn->proto = Protocol::kBinary;
+    } else {
+      return;  // "C".."CTXQ" prefix: need more bytes to decide.
+    }
+  }
+  if (conn->proto == Protocol::kBinary) {
+    ParseBinary(conn);
+  } else {
+    ParseHttp(conn);
+  }
+  if (conn->open) {
+    UpdateBackpressure(conn);
+    MaybeDispatch(conn);
+  }
+}
+
+void Daemon::ParseBinary(const std::shared_ptr<Conn>& conn) {
+  for (;;) {
+    const net::Frame f = net::NextFrame(conn->in, options_.max_frame_bytes);
+    switch (f.state) {
+      case net::FrameState::kNeedMore:
+        return;
+      case net::FrameState::kBadMagic:
+        // Garbage between frames: framing is lost, nothing sane to say.
+        Metrics().frame_errors.Increment();
+        CloseConn(conn);
+        return;
+      case net::FrameState::kBadFrame:
+      case net::FrameState::kOversized:
+        // Header parsed but unusable: report, then drop the connection
+        // (the declared body length cannot be trusted for resync).
+        Metrics().frame_errors.Increment();
+        conn->in.clear();
+        conn->reading_paused = true;
+        SetInterest(conn, conn->interest & ~static_cast<uint32_t>(EPOLLIN));
+        QueueOutput(conn,
+                    EncodeErrorFrame(Status::InvalidArgument(f.error)),
+                    /*close_after=*/true);
+        return;
+      case net::FrameState::kReady:
+        break;
+    }
+    const std::string_view body = f.body;
+    const uint8_t type = f.type;
+    if (type != net::kFrameSearchRequest) {
+      Metrics().frame_errors.Increment();
+      conn->in.clear();
+      conn->reading_paused = true;
+      SetInterest(conn, conn->interest & ~static_cast<uint32_t>(EPOLLIN));
+      QueueOutput(conn,
+                  EncodeErrorFrame(Status::InvalidArgument(
+                      "unexpected frame type " + std::to_string(type) +
+                      " from client (want SearchRequest)")),
+                  /*close_after=*/true);
+      return;
+    }
+    auto decoded = net::DecodeSearchRequestBody(body);
+    conn->in.erase(0, f.consumed);
+    if (!decoded.ok()) {
+      // Framing stayed intact — answer the error and keep the
+      // connection: the next frame may be fine.
+      Metrics().frame_errors.Increment();
+      QueueOutput(conn, EncodeErrorFrame(decoded.status()),
+                  /*close_after=*/false);
+      if (!conn->open) return;
+      continue;
+    }
+    PendingRequest req;
+    req.wire = std::move(decoded).value();
+    req.http = false;
+    conn->pending.push_back(std::move(req));
+  }
+}
+
+void Daemon::ParseHttp(const std::shared_ptr<Conn>& conn) {
+  for (;;) {
+    net::HttpParseResult parsed = net::ParseHttpRequest(conn->in);
+    switch (parsed.state) {
+      case net::HttpParseState::kNeedMore:
+        return;
+      case net::HttpParseState::kTooLarge:
+        QueueOutput(conn,
+                    net::BuildHttpResponse(431, "text/plain",
+                                           parsed.error + "\n", false),
+                    /*close_after=*/true);
+        return;
+      case net::HttpParseState::kBad:
+        QueueOutput(conn,
+                    net::BuildHttpResponse(400, "text/plain",
+                                           parsed.error + "\n", false),
+                    /*close_after=*/true);
+        return;
+      case net::HttpParseState::kReady:
+        break;
+    }
+    conn->in.erase(0, parsed.consumed);
+    const net::HttpRequest& request = parsed.request;
+    const bool keep_alive = request.keep_alive;
+    Metrics().http_requests.Increment();
+    conn->last_activity_ms = NowMs();
+
+    if (request.method != "GET") {
+      QueueOutput(conn,
+                  net::BuildHttpResponse(405, "text/plain",
+                                         "only GET is supported\n",
+                                         keep_alive),
+                  !keep_alive);
+    } else if (request.path == "/metrics") {
+      QueueOutput(conn,
+                  net::BuildHttpResponse(
+                      200, "text/plain; version=0.0.4",
+                      obs::MetricsRegistry::Instance().RenderPrometheus(),
+                      keep_alive),
+                  !keep_alive);
+    } else if (request.path == "/healthz") {
+      const bool ok = supervisor_.current() != nullptr;
+      QueueOutput(conn,
+                  net::BuildHttpResponse(ok ? 200 : 503, "application/json",
+                                         HealthzJson(), keep_alive),
+                  !keep_alive);
+    } else if (request.path == "/search") {
+      const std::string_view q = request.Param("q");
+      if (q.empty()) {
+        QueueOutput(conn,
+                    net::BuildHttpResponse(
+                        400, "text/plain",
+                        "missing required parameter q\n", keep_alive),
+                    !keep_alive);
+      } else {
+        PendingRequest req;
+        req.http = true;
+        req.http_keep_alive = keep_alive;
+        req.wire.query.assign(q);
+        req.wire.options = options_.search;
+        req.wire.options.top_k =
+            ParamSizeT(request, "topk", options_.search.top_k);
+        req.wire.options.max_contexts =
+            ParamSizeT(request, "contexts", options_.search.max_contexts);
+        req.wire.options.deadline_ms = ParamSizeT(
+            request, "deadline_ms", options_.search.deadline_ms);
+        req.wire.options.exact_scan =
+            request.Param("exact", options_.search.exact_scan ? "1" : "0") ==
+            "1";
+        conn->pending.push_back(std::move(req));
+      }
+    } else {
+      QueueOutput(conn,
+                  net::BuildHttpResponse(404, "text/plain",
+                                         "unknown path (have /search, "
+                                         "/metrics, /healthz)\n",
+                                         keep_alive),
+                  !keep_alive);
+    }
+    if (!conn->open) return;
+    if (!keep_alive) {
+      // No point parsing pipelined requests behind a Connection: close.
+      conn->reading_paused = true;
+      SetInterest(conn, conn->interest & ~static_cast<uint32_t>(EPOLLIN));
+      return;
+    }
+  }
+}
+
+void Daemon::MaybeDispatch(const std::shared_ptr<Conn>& conn) {
+  if (!conn->open || conn->executing || conn->pending.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->close_after_flush) return;
+  }
+  if (options_.inline_execution) {
+    // Drain the whole queue on the reactor thread: no handoff, and one
+    // flush covers the batch when the client pipelines. Output growth is
+    // bounded by the pending cap (UpdateBackpressure pauses reads long
+    // before the queue gets deep).
+    while (conn->open && !conn->pending.empty()) {
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (conn->close_after_flush) break;
+      }
+      PendingRequest req = std::move(conn->pending.front());
+      conn->pending.pop_front();
+      Metrics().requests.Increment();
+      RunRequest(conn, std::move(req));
+    }
+    conn->last_activity_ms = NowMs();
+    FlushWrites(conn);
+    if (conn->open) UpdateBackpressure(conn);
+    return;
+  }
+  PendingRequest req = std::move(conn->pending.front());
+  conn->pending.pop_front();
+  conn->executing = true;
+  Metrics().requests.Increment();
+  pool_->Submit([this, conn, req = std::move(req)]() mutable {
+    ExecuteRequest(conn, std::move(req));
+  });
+}
+
+void Daemon::RunRequest(const std::shared_ptr<Conn>& conn,
+                        PendingRequest req) {
+  // Pin the serving snapshot for this request's whole lifetime: a hot
+  // reload swapping the supervisor's pointer cannot pull it out from
+  // under us, and the old snapshot is freed once its last request ends.
+  const std::shared_ptr<const ServingSnapshot> snap = supervisor_.current();
+  context::SearchResponse response;
+  if (snap == nullptr) {
+    response.status =
+        Status::FailedPrecondition("no serving snapshot loaded");
+  } else {
+    RequestContext ctx(std::move(req.wire.query), req.wire.options);
+    response = ctx.Run(snap->engine(), limiter_.get());
+    Metrics().request_us.Observe(ctx.wall_us());
+  }
+
+  std::string encoded;
+  if (req.http) {
+    std::function<std::string_view(corpus::PaperId)> title;
+    if (snap != nullptr && snap->has_titles()) {
+      title = [snap](corpus::PaperId p) { return snap->title(p); };
+    }
+    encoded = net::BuildHttpResponse(
+        net::HttpStatusFor(response.status.code()), "application/json",
+        net::SearchResponseJson(response, title), req.http_keep_alive);
+  } else {
+    encoded = net::EncodeSearchResponse(response);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->out += encoded;
+    if (req.http && !req.http_keep_alive) conn->close_after_flush = true;
+  }
+}
+
+void Daemon::ExecuteRequest(const std::shared_ptr<Conn>& conn,
+                            PendingRequest req) {
+  RunRequest(conn, std::move(req));
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.push_back(conn);
+  }
+  uint64_t v = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &v, sizeof(v));
+}
+
+void Daemon::DrainCompletions() {
+  std::vector<std::shared_ptr<Conn>> done;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    done.swap(completions_);
+  }
+  for (const auto& conn : done) {
+    if (!conn->open) continue;
+    conn->executing = false;
+    conn->last_activity_ms = NowMs();
+    FlushWrites(conn);
+    if (!conn->open) continue;
+    UpdateBackpressure(conn);
+    MaybeDispatch(conn);
+  }
+}
+
+void Daemon::FlushWrites(const std::shared_ptr<Conn>& conn) {
+  if (!conn->open) return;
+  bool fatal = false;
+  bool close_when_drained = false;
+  size_t remaining = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    size_t off = 0;
+    while (off < conn->out.size()) {
+      const ssize_t n = ::send(conn->fd, conn->out.data() + off,
+                               conn->out.size() - off, MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<size_t>(n);
+        Metrics().bytes_written.Increment(static_cast<uint64_t>(n));
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      fatal = true;  // Peer is gone (EPIPE/ECONNRESET/...).
+      break;
+    }
+    conn->out.erase(0, off);
+    remaining = conn->out.size();
+    close_when_drained = conn->close_after_flush;
+  }
+  if (fatal) {
+    CloseConn(conn);
+    return;
+  }
+  if (remaining == 0 && close_when_drained && !conn->executing) {
+    CloseConn(conn);
+    return;
+  }
+  // Arm EPOLLOUT only while bytes wait — otherwise edge-triggered
+  // writability would fire on every loop of an idle-but-writable socket.
+  const uint32_t want =
+      remaining > 0 ? (conn->interest | EPOLLOUT)
+                    : (conn->interest & ~static_cast<uint32_t>(EPOLLOUT));
+  SetInterest(conn, want);
+  if (remaining > 0) conn->last_activity_ms = NowMs();
+}
+
+void Daemon::UpdateBackpressure(const std::shared_ptr<Conn>& conn) {
+  if (!conn->open) return;
+  size_t out_size = 0;
+  bool closing = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    out_size = conn->out.size();
+    closing = conn->close_after_flush;
+  }
+  if (closing) return;  // Reads stay paused on a draining connection.
+  const bool overloaded = out_size > options_.max_output_buffer ||
+                          conn->pending.size() >= 128;
+  if (!conn->reading_paused && overloaded) {
+    conn->reading_paused = true;
+    SetInterest(conn, conn->interest & ~static_cast<uint32_t>(EPOLLIN));
+  } else if (conn->reading_paused && out_size <= options_.max_output_buffer / 2 &&
+             conn->pending.size() < 64) {
+    conn->reading_paused = false;
+    // EPOLL_CTL_MOD re-arms the edge: pending kernel bytes re-report.
+    SetInterest(conn, conn->interest | EPOLLIN);
+  }
+}
+
+void Daemon::SetInterest(const std::shared_ptr<Conn>& conn,
+                         uint32_t interest) {
+  if (!conn->open || conn->interest == interest) return;
+  conn->interest = interest;
+  epoll_event ev{};
+  ev.events = interest | EPOLLET;
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void Daemon::QueueOutput(const std::shared_ptr<Conn>& conn, std::string bytes,
+                         bool close_after) {
+  if (!conn->open) return;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->out += bytes;
+    if (close_after) conn->close_after_flush = true;
+  }
+  FlushWrites(conn);
+}
+
+void Daemon::CloseConn(const std::shared_ptr<Conn>& conn) {
+  if (!conn->open) return;
+  conn->open = false;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    const auto it = conns_.find(conn->fd);
+    if (it != conns_.end() && it->second == conn) conns_.erase(it);
+  }
+  Metrics().connections_open.Sub(1);
+}
+
+void Daemon::ScanIdle(uint64_t now_ms) {
+  if (options_.idle_timeout_ms == 0) return;
+  std::vector<std::shared_ptr<Conn>> victims;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& [fd, conn] : conns_) {
+      if (conn->executing) continue;  // Never idle-close an active query.
+      if (now_ms - conn->last_activity_ms > options_.idle_timeout_ms) {
+        victims.push_back(conn);
+      }
+    }
+  }
+  for (const auto& conn : victims) {
+    Metrics().idle_closed.Increment();
+    CloseConn(conn);
+  }
+}
+
+std::string Daemon::HealthzJson() const {
+  const auto snap = supervisor_.current();
+  const auto stats = supervisor_.stats();
+  const int64_t now_s = std::chrono::duration_cast<std::chrono::seconds>(
+                            std::chrono::system_clock::now().time_since_epoch())
+                            .count();
+  const long long age_s =
+      stats.last_success_unix_s > 0
+          ? static_cast<long long>(now_s - stats.last_success_unix_s)
+          : -1;
+  std::string out = "{\"ok\":";
+  out += snap != nullptr ? "true" : "false";
+  out += ",\"generation\":";
+  out += std::to_string(stats.generation);
+  out += ",\"snapshot_age_s\":";
+  out += std::to_string(age_s);
+  out += ",\"failed_reloads\":";
+  out += std::to_string(stats.failed_reloads);
+  out += ",\"path\":\"";
+  out += net::JsonEscape(stats.current_path);
+  out += "\",\"watching\":";
+  out += supervisor_.watching() ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+}  // namespace ctxrank::serve

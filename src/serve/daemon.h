@@ -1,0 +1,209 @@
+// ctxrankd — the network serving daemon: one accept thread plus one
+// epoll edge-triggered reactor thread over non-blocking sockets, with
+// query execution fanned out to a worker ThreadPool through
+// serve::RequestContext (so the daemon runs the exact deadline /
+// admission / shed spine the REPL and the batch path run).
+//
+// Connection lifecycle (see docs/ARCHITECTURE.md):
+//
+//   accept thread:  accept() → nonblock+TCP_NODELAY → register EPOLLET
+//   reactor:        read until EAGAIN → sniff protocol (CTXQ1 magic vs
+//                   HTTP) → parse complete frames/requests → queue →
+//                   dispatch at most one request per connection to the
+//                   pool (responses stay in request order; pipelined
+//                   requests wait their turn)
+//   worker:         pin the current snapshot → RequestContext::Run →
+//                   encode the response → append to the connection's
+//                   output buffer → signal the reactor via eventfd
+//   reactor:        flush output until EAGAIN; arm EPOLLOUT only while
+//                   bytes remain; apply write backpressure (pause reads
+//                   when a slow consumer lets the output buffer grow
+//                   past the cap, resume on drain); enforce idle
+//                   timeouts; dispatch the next queued request
+//
+// Thread-safety contract per connection: the reactor exclusively owns
+// the input buffer, parser state and dispatch queue; workers only touch
+// the mutex-guarded output buffer and completion queue; sockets are
+// written by the reactor alone. Snapshot hot reloads are invisible here
+// — each request pins the supervisor's current snapshot for its
+// lifetime (RCU), so a swap mid-request cannot invalidate anything.
+#ifndef CTXRANK_SERVE_DAEMON_H_
+#define CTXRANK_SERVE_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/admission_limiter.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "context/search_engine.h"
+#include "serve/net.h"
+#include "serve/supervisor.h"
+
+namespace ctxrank::serve {
+
+class Daemon {
+ public:
+  struct Options {
+    /// Listen address. Default loopback: exposing a ranking daemon to a
+    /// network is an operator decision (docs/OPERATIONS.md).
+    std::string host = "127.0.0.1";
+    /// TCP port; 0 binds an ephemeral port (read it back via port()).
+    uint16_t port = 0;
+    /// Worker threads executing queries (0 = hardware concurrency).
+    size_t workers = 0;
+    /// Execute queries on the reactor thread instead of the worker pool.
+    /// Skips the per-request handoff (eventfd + condvar + two context
+    /// switches), which dominates for cache-hot queries and single-core
+    /// hosts — the Redis model. The tradeoff: a slow query blocks every
+    /// connection, so pair it with per-request deadlines. The worker
+    /// pool is still created for any future use but sees no queries.
+    bool inline_execution = false;
+    /// Daemon-level admission limit on concurrently *executing* queries;
+    /// 0 disables (the engine's own limit, if any, still applies). This
+    /// lives on the daemon, not the engine, so it survives snapshot hot
+    /// reloads.
+    size_t max_in_flight = 0;
+    /// Accepted connections beyond this are closed immediately.
+    size_t max_connections = 1024;
+    /// Connections idle longer than this are closed (0 = never).
+    uint64_t idle_timeout_ms = 60000;
+    /// Binary-protocol frame body cap; oversized frames get an error
+    /// response and the connection is closed.
+    uint32_t max_frame_bytes = net::kDefaultMaxFrameBytes;
+    /// Write-backpressure threshold: once a connection's unflushed
+    /// output exceeds this, its reads are paused until the peer drains.
+    size_t max_output_buffer = 4u << 20;
+    /// Base SearchOptions for HTTP queries (binary requests carry their
+    /// own full options fingerprint). URL parameters override topk /
+    /// contexts / deadline_ms / exact per request.
+    context::SearchOptions search;
+  };
+
+  /// The daemon serves whatever `supervisor` currently holds; hot
+  /// reloads through the supervisor are picked up per-request. The
+  /// supervisor must outlive the daemon.
+  Daemon(SnapshotSupervisor& supervisor, Options options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds, listens and starts the accept/reactor/worker threads.
+  /// Fails (kIoError) when the address cannot be bound.
+  Status Start();
+
+  /// Graceful shutdown: stops accepting, drains in-flight workers,
+  /// closes every connection. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Bound port (valid after Start(); resolves port=0 to the actual
+  /// ephemeral port).
+  uint16_t port() const { return bound_port_; }
+
+  /// Open connections right now (reactor-maintained).
+  size_t open_connections() const;
+
+  /// The daemon's own admission limiter (null when max_in_flight=0).
+  /// Exposed so tests can saturate it deterministically.
+  AdmissionLimiter* admission_limiter_for_test() { return limiter_.get(); }
+
+ private:
+  enum class Protocol : uint8_t { kUnknown, kBinary, kHttp };
+
+  /// One parsed request waiting for a worker slot on its connection.
+  struct PendingRequest {
+    net::WireRequest wire;
+    bool http = false;
+    bool http_keep_alive = true;
+  };
+
+  /// Per-connection state. Ownership split (enforced by convention, the
+  /// reactor being single-threaded): `in`, `pending`, `proto`,
+  /// `executing`, `reading_paused`, `last_activity_ms`, `interest` and
+  /// the fd lifetime belong to the reactor (plus the accept thread
+  /// before registration); `out` and `close_after_flush` are guarded by
+  /// `mu` because workers append encoded responses.
+  struct Conn {
+    explicit Conn(int fd_in) : fd(fd_in) {}
+    const int fd;
+    /// False once CloseConn ran (reactor-only; stale completion entries
+    /// for a recycled fd are detected through this, not the fd value).
+    bool open = true;
+    Protocol proto = Protocol::kUnknown;
+    std::string in;
+    std::deque<PendingRequest> pending;
+    bool executing = false;
+    bool reading_paused = false;
+    uint32_t interest = 0;
+    uint64_t last_activity_ms = 0;
+
+    std::mutex mu;
+    std::string out;
+    bool close_after_flush = false;
+  };
+
+  void AcceptLoop();
+  void ReactorLoop();
+
+  // All of the below run on the reactor thread only.
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  void ParseBuffered(const std::shared_ptr<Conn>& conn);
+  void ParseBinary(const std::shared_ptr<Conn>& conn);
+  void ParseHttp(const std::shared_ptr<Conn>& conn);
+  void MaybeDispatch(const std::shared_ptr<Conn>& conn);
+  void FlushWrites(const std::shared_ptr<Conn>& conn);
+  void UpdateBackpressure(const std::shared_ptr<Conn>& conn);
+  void SetInterest(const std::shared_ptr<Conn>& conn, uint32_t interest);
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  void ScanIdle(uint64_t now_ms);
+  void DrainCompletions();
+  /// Appends bytes to the connection's output (reactor-side enqueue for
+  /// inline responses: /metrics, /healthz, protocol errors).
+  void QueueOutput(const std::shared_ptr<Conn>& conn, std::string bytes,
+                   bool close_after);
+
+  /// Worker-side: executes one request and signals completion.
+  void ExecuteRequest(const std::shared_ptr<Conn>& conn, PendingRequest req);
+  /// The execution core shared by the worker path and inline mode:
+  /// pins the snapshot, runs the request, appends the encoded response
+  /// to the connection's output buffer (under conn->mu). Does NOT
+  /// signal completion or touch the socket.
+  void RunRequest(const std::shared_ptr<Conn>& conn, PendingRequest req);
+
+  /// Inline HTTP endpoints (no engine work).
+  std::string HealthzJson() const;
+
+  SnapshotSupervisor& supervisor_;
+  const Options options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: workers → reactor.
+  uint16_t bound_port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<AdmissionLimiter> limiter_;
+
+  mutable std::mutex conns_mu_;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+
+  std::mutex completions_mu_;
+  std::vector<std::shared_ptr<Conn>> completions_;
+
+  std::thread accept_thread_;
+  std::thread reactor_thread_;
+};
+
+}  // namespace ctxrank::serve
+
+#endif  // CTXRANK_SERVE_DAEMON_H_

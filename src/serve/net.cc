@@ -1,0 +1,534 @@
+#include "serve/net.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/endian.h"
+
+namespace ctxrank::serve::net {
+namespace {
+
+/// Body layout offsets of a SearchRequest (all little-endian).
+constexpr size_t kReqTopK = 0;
+constexpr size_t kReqMaxContexts = 4;
+constexpr size_t kReqDeadlineMs = 8;
+constexpr size_t kReqFlags = 12;
+constexpr size_t kReqSemanticExpansion = 16;
+constexpr size_t kReqReserved = 20;
+constexpr size_t kReqMinRelevancy = 24;
+constexpr size_t kReqWeightPrestige = 32;
+constexpr size_t kReqWeightMatching = 40;
+constexpr size_t kReqMinContextScore = 48;
+constexpr size_t kReqQueryLen = 56;
+static_assert(kReqQueryLen + 4 == kRequestFixedBytes);
+
+/// Body layout offsets of a SearchResponse.
+constexpr size_t kRespStatus = 0;
+constexpr size_t kRespFlags = 4;
+constexpr size_t kRespNumSkipped = 8;
+constexpr size_t kRespNumHits = 12;
+constexpr size_t kRespMessageLen = 16;
+constexpr size_t kRespReserved = 20;
+static_assert(kRespReserved + 4 == kResponseFixedBytes);
+
+constexpr uint32_t kMaxStatusCode =
+    static_cast<uint32_t>(StatusCode::kResourceExhausted);
+
+void AppendFrameHeader(std::string& out, uint8_t type, uint32_t body_len) {
+  out.append(kFrameMagic, kFrameMagicBytes);
+  out.push_back(static_cast<char>(type));
+  char flags[2];
+  StoreLE16(reinterpret_cast<unsigned char*>(flags), 0);
+  out.append(flags, sizeof(flags));
+  AppendLE32(out, body_len);
+}
+
+}  // namespace
+
+Frame NextFrame(std::string_view buf, uint32_t max_frame_bytes) {
+  Frame frame;
+  if (buf.empty()) return frame;  // kNeedMore.
+  // Magic check over however many bytes we have: a wrong byte anywhere in
+  // the first five is a protocol mismatch immediately — no need to wait
+  // for a full header to reject HTTP or garbage.
+  const size_t check = buf.size() < kFrameMagicBytes ? buf.size()
+                                                     : kFrameMagicBytes;
+  if (std::memcmp(buf.data(), kFrameMagic, check) != 0) {
+    frame.state = FrameState::kBadMagic;
+    frame.error = "frame magic mismatch (expected CTXQ1)";
+    return frame;
+  }
+  if (buf.size() < kFrameHeaderBytes) return frame;  // kNeedMore.
+  const uint8_t type = static_cast<uint8_t>(buf[kFrameMagicBytes]);
+  const uint16_t flags = LoadLE16(
+      reinterpret_cast<const unsigned char*>(buf.data() + kFrameMagicBytes +
+                                             1));
+  const uint32_t body_len = LoadLE32(buf.data() + kFrameMagicBytes + 3);
+  if (type != kFrameSearchRequest && type != kFrameSearchResponse) {
+    frame.state = FrameState::kBadFrame;
+    frame.error = "unknown frame type " + std::to_string(type);
+    return frame;
+  }
+  if (flags != 0) {
+    frame.state = FrameState::kBadFrame;
+    frame.error = "nonzero frame flags " + std::to_string(flags) +
+                  " (must be 0 in protocol version 1)";
+    return frame;
+  }
+  if (body_len > max_frame_bytes) {
+    frame.state = FrameState::kOversized;
+    frame.error = "frame body of " + std::to_string(body_len) +
+                  " bytes exceeds the " + std::to_string(max_frame_bytes) +
+                  "-byte limit";
+    return frame;
+  }
+  if (buf.size() < kFrameHeaderBytes + body_len) return frame;  // kNeedMore.
+  frame.state = FrameState::kReady;
+  frame.type = type;
+  frame.body = buf.substr(kFrameHeaderBytes, body_len);
+  frame.consumed = kFrameHeaderBytes + body_len;
+  return frame;
+}
+
+std::string EncodeSearchRequest(const WireRequest& request) {
+  const context::SearchOptions& o = request.options;
+  std::string out;
+  out.reserve(kFrameHeaderBytes + kRequestFixedBytes + request.query.size());
+  AppendFrameHeader(
+      out, kFrameSearchRequest,
+      static_cast<uint32_t>(kRequestFixedBytes + request.query.size()));
+  AppendLE32(out, static_cast<uint32_t>(o.top_k));
+  AppendLE32(out, static_cast<uint32_t>(o.max_contexts));
+  AppendLE32(out, static_cast<uint32_t>(o.deadline_ms));
+  uint32_t flags = 0;
+  if (o.exact_scan) flags |= kRequestExactScan;
+  if (o.bypass_cache) flags |= kRequestBypassCache;
+  AppendLE32(out, flags);
+  AppendLE32(out, static_cast<uint32_t>(o.semantic_expansion));
+  AppendLE32(out, 0);  // Reserved.
+  AppendLEDouble(out, o.min_relevancy);
+  AppendLEDouble(out, o.weights.prestige);
+  AppendLEDouble(out, o.weights.matching);
+  AppendLEDouble(out, o.min_context_score);
+  AppendLE32(out, static_cast<uint32_t>(request.query.size()));
+  out.append(request.query);
+  return out;
+}
+
+Result<WireRequest> DecodeSearchRequestBody(std::string_view body) {
+  if (body.size() < kRequestFixedBytes) {
+    return Status::InvalidArgument(
+        "SearchRequest body truncated: " + std::to_string(body.size()) +
+        " bytes, need at least " + std::to_string(kRequestFixedBytes));
+  }
+  const char* p = body.data();
+  WireRequest request;
+  context::SearchOptions& o = request.options;
+  o.top_k = LoadLE32(p + kReqTopK);
+  o.max_contexts = LoadLE32(p + kReqMaxContexts);
+  o.deadline_ms = LoadLE32(p + kReqDeadlineMs);
+  const uint32_t flags = LoadLE32(p + kReqFlags);
+  if ((flags & ~(kRequestExactScan | kRequestBypassCache)) != 0) {
+    return Status::InvalidArgument("unknown SearchRequest flag bits 0x" +
+                                   [&] {
+                                     char buf[16];
+                                     std::snprintf(buf, sizeof(buf), "%x",
+                                                   flags);
+                                     return std::string(buf);
+                                   }());
+  }
+  o.exact_scan = (flags & kRequestExactScan) != 0;
+  o.bypass_cache = (flags & kRequestBypassCache) != 0;
+  o.semantic_expansion = LoadLE32(p + kReqSemanticExpansion);
+  o.min_relevancy = LoadLEDouble(p + kReqMinRelevancy);
+  o.weights.prestige = LoadLEDouble(p + kReqWeightPrestige);
+  o.weights.matching = LoadLEDouble(p + kReqWeightMatching);
+  o.min_context_score = LoadLEDouble(p + kReqMinContextScore);
+  const uint32_t query_len = LoadLE32(p + kReqQueryLen);
+  if (body.size() != kRequestFixedBytes + query_len) {
+    return Status::InvalidArgument(
+        "SearchRequest body of " + std::to_string(body.size()) +
+        " bytes does not match declared query length " +
+        std::to_string(query_len));
+  }
+  request.query.assign(body.substr(kRequestFixedBytes, query_len));
+  return request;
+}
+
+std::string EncodeSearchResponse(const context::SearchResponse& response) {
+  const std::string& message = response.status.message();
+  const size_t body_len = kResponseFixedBytes +
+                          response.hits.size() * kHitBytes +
+                          response.skipped_contexts.size() * 4 +
+                          message.size();
+  std::string out;
+  out.reserve(kFrameHeaderBytes + body_len);
+  AppendFrameHeader(out, kFrameSearchResponse,
+                    static_cast<uint32_t>(body_len));
+  AppendLE32(out, static_cast<uint32_t>(response.status.code()));
+  AppendLE32(out, response.degraded ? kResponseDegraded : 0);
+  AppendLE32(out, static_cast<uint32_t>(response.skipped_contexts.size()));
+  AppendLE32(out, static_cast<uint32_t>(response.hits.size()));
+  AppendLE32(out, static_cast<uint32_t>(message.size()));
+  AppendLE32(out, 0);  // Reserved.
+  for (const context::SearchHit& h : response.hits) {
+    AppendLE32(out, h.paper);
+    AppendLE32(out, h.context);
+    AppendLEDouble(out, h.relevancy);
+    AppendLEDouble(out, h.prestige);
+    AppendLEDouble(out, h.match);
+  }
+  for (const ontology::TermId t : response.skipped_contexts) {
+    AppendLE32(out, t);
+  }
+  out.append(message);
+  return out;
+}
+
+Result<WireResponse> DecodeSearchResponseBody(std::string_view body) {
+  if (body.size() < kResponseFixedBytes) {
+    return Status::InvalidArgument(
+        "SearchResponse body truncated: " + std::to_string(body.size()) +
+        " bytes, need at least " + std::to_string(kResponseFixedBytes));
+  }
+  const char* p = body.data();
+  const uint32_t status = LoadLE32(p + kRespStatus);
+  if (status > kMaxStatusCode) {
+    return Status::InvalidArgument("unknown status code " +
+                                   std::to_string(status));
+  }
+  const uint32_t flags = LoadLE32(p + kRespFlags);
+  if ((flags & ~kResponseDegraded) != 0) {
+    return Status::InvalidArgument("unknown SearchResponse flag bits");
+  }
+  const uint32_t num_skipped = LoadLE32(p + kRespNumSkipped);
+  const uint32_t num_hits = LoadLE32(p + kRespNumHits);
+  const uint32_t message_len = LoadLE32(p + kRespMessageLen);
+  // Overflow-safe expected-size check: the individual counts are u32 but
+  // the sum is computed in 64 bits.
+  const uint64_t expected = static_cast<uint64_t>(kResponseFixedBytes) +
+                            static_cast<uint64_t>(num_hits) * kHitBytes +
+                            static_cast<uint64_t>(num_skipped) * 4 +
+                            message_len;
+  if (body.size() != expected) {
+    return Status::InvalidArgument(
+        "SearchResponse body of " + std::to_string(body.size()) +
+        " bytes does not match declared contents (" +
+        std::to_string(expected) + " expected)");
+  }
+  WireResponse response;
+  response.code = static_cast<StatusCode>(status);
+  response.degraded = (flags & kResponseDegraded) != 0;
+  response.hits.resize(num_hits);
+  const char* cursor = p + kResponseFixedBytes;
+  for (uint32_t i = 0; i < num_hits; ++i, cursor += kHitBytes) {
+    context::SearchHit& h = response.hits[i];
+    h.paper = LoadLE32(cursor);
+    h.context = LoadLE32(cursor + 4);
+    h.relevancy = LoadLEDouble(cursor + 8);
+    h.prestige = LoadLEDouble(cursor + 16);
+    h.match = LoadLEDouble(cursor + 24);
+  }
+  response.skipped_contexts.resize(num_skipped);
+  for (uint32_t i = 0; i < num_skipped; ++i, cursor += 4) {
+    response.skipped_contexts[i] = LoadLE32(cursor);
+  }
+  response.message.assign(cursor, message_len);
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// HTTP.
+
+std::string_view HttpRequest::Param(std::string_view key,
+                                    std::string_view fallback) const {
+  std::string_view value = fallback;
+  for (const auto& [k, v] : params) {
+    if (k == key) value = v;
+  }
+  return value;
+}
+
+std::string UrlDecode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < in.size()) {
+      const auto hex = [](char h) -> int {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(in[i + 1]);
+      const int lo = hex(in[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back(c);  // Bad escape: keep verbatim.
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string_view TrimSpaces(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] | 0x20, cb = b[i] | 0x20;
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpParseResult ParseHttpRequest(std::string_view buf,
+                                 size_t max_header_bytes) {
+  HttpParseResult result;
+  // Header block terminator — accept bare-LF blank lines too, so shell
+  // probes (`printf 'GET / HTTP/1.0\n\n'`) work against the daemon.
+  size_t end = buf.find("\r\n\r\n");
+  size_t terminator = 4;
+  const size_t lf = buf.find("\n\n");
+  if (lf != std::string_view::npos && (end == std::string_view::npos ||
+                                       lf + 2 < end + 4)) {
+    end = lf;
+    terminator = 2;
+  }
+  if (end == std::string_view::npos) {
+    if (buf.size() > max_header_bytes) {
+      result.state = HttpParseState::kTooLarge;
+      result.error = "request headers exceed " +
+                     std::to_string(max_header_bytes) + " bytes";
+    }
+    return result;  // kNeedMore.
+  }
+  if (end + terminator > max_header_bytes) {
+    result.state = HttpParseState::kTooLarge;
+    result.error = "request headers exceed " +
+                   std::to_string(max_header_bytes) + " bytes";
+    return result;
+  }
+  result.consumed = end + terminator;
+  const std::string_view block = buf.substr(0, end);
+
+  // Request line: METHOD SP TARGET SP HTTP/x.y
+  const size_t line_end = block.find('\n');
+  const std::string_view line = TrimSpaces(
+      line_end == std::string_view::npos ? block : block.substr(0, line_end));
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    result.state = HttpParseState::kBad;
+    result.error = "malformed request line";
+    return result;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = TrimSpaces(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = line.substr(sp2 + 1);
+  if (method.empty() || target.empty() || target.front() != '/' ||
+      !version.starts_with("HTTP/")) {
+    result.state = HttpParseState::kBad;
+    result.error = "malformed request line";
+    return result;
+  }
+  HttpRequest& request = result.request;
+  request.method.assign(method);
+  // HTTP/1.0 defaults to close, 1.1+ to keep-alive.
+  request.keep_alive = version != "HTTP/1.0";
+
+  // Split target into path + query parameters.
+  const size_t qmark = target.find('?');
+  request.path = UrlDecode(target.substr(0, qmark));
+  if (qmark != std::string_view::npos) {
+    std::string_view qs = target.substr(qmark + 1);
+    while (!qs.empty()) {
+      const size_t amp = qs.find('&');
+      const std::string_view pair = qs.substr(0, amp);
+      if (!pair.empty()) {
+        const size_t eq = pair.find('=');
+        request.params.emplace_back(
+            UrlDecode(pair.substr(0, eq)),
+            eq == std::string_view::npos ? ""
+                                         : UrlDecode(pair.substr(eq + 1)));
+      }
+      if (amp == std::string_view::npos) break;
+      qs.remove_prefix(amp + 1);
+    }
+  }
+
+  // Headers: only Connection matters to this server.
+  std::string_view rest =
+      line_end == std::string_view::npos ? "" : block.substr(line_end + 1);
+  while (!rest.empty()) {
+    const size_t nl = rest.find('\n');
+    const std::string_view header =
+        nl == std::string_view::npos ? rest : rest.substr(0, nl);
+    const size_t colon = header.find(':');
+    if (colon != std::string_view::npos) {
+      const std::string_view name = TrimSpaces(header.substr(0, colon));
+      const std::string_view value = TrimSpaces(header.substr(colon + 1));
+      if (EqualsIgnoreCase(name, "connection")) {
+        if (EqualsIgnoreCase(value, "close")) request.keep_alive = false;
+        if (EqualsIgnoreCase(value, "keep-alive")) request.keep_alive = true;
+      }
+    }
+    if (nl == std::string_view::npos) break;
+    rest.remove_prefix(nl + 1);
+  }
+  result.state = HttpParseState::kReady;
+  return result;
+}
+
+int HttpStatusFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    default:
+      return 500;
+  }
+}
+
+namespace {
+
+const char* HttpReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace
+
+std::string BuildHttpResponse(int status, std::string_view content_type,
+                              std::string_view body, bool keep_alive) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += HttpReason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string JsonEscape(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string SearchResponseJson(
+    const context::SearchResponse& response,
+    const std::function<std::string_view(corpus::PaperId)>& title) {
+  std::string out;
+  out.reserve(256 + response.hits.size() * 96);
+  out += "{\"status\":\"";
+  out += StatusCodeToString(response.status.code());
+  out += '"';
+  if (!response.status.message().empty()) {
+    out += ",\"message\":\"";
+    out += JsonEscape(response.status.message());
+    out += '"';
+  }
+  out += ",\"degraded\":";
+  out += response.degraded ? "true" : "false";
+  out += ",\"skipped_contexts\":[";
+  for (size_t i = 0; i < response.skipped_contexts.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(response.skipped_contexts[i]);
+  }
+  out += "],\"hits\":[";
+  char num[40];
+  for (size_t i = 0; i < response.hits.size(); ++i) {
+    const context::SearchHit& h = response.hits[i];
+    if (i > 0) out += ',';
+    out += "{\"paper\":";
+    out += std::to_string(h.paper);
+    out += ",\"relevancy\":";
+    // %.17g round-trips any double exactly through decimal.
+    std::snprintf(num, sizeof(num), "%.17g", h.relevancy);
+    out += num;
+    out += ",\"context\":";
+    out += std::to_string(h.context);
+    out += ",\"prestige\":";
+    std::snprintf(num, sizeof(num), "%.17g", h.prestige);
+    out += num;
+    out += ",\"match\":";
+    std::snprintf(num, sizeof(num), "%.17g", h.match);
+    out += num;
+    if (title) {
+      const std::string_view t = title(h.paper);
+      if (!t.empty()) {
+        out += ",\"title\":\"";
+        out += JsonEscape(t);
+        out += '"';
+      }
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ctxrank::serve::net

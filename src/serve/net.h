@@ -1,0 +1,189 @@
+// Wire protocol for ctxrankd (see docs/PROTOCOL.md for the normative
+// spec). Two protocols share one listening port, distinguished by
+// sniffing the first bytes of a connection:
+//
+//   * CTXQ1 — a length-prefixed little-endian binary protocol. Every
+//     frame is a 12-byte header (magic "CTXQ1", type u8, flags u16,
+//     body_len u32) followed by body_len bytes. Doubles travel as raw
+//     IEEE-754 bit patterns, so a decoded response is bitwise identical
+//     to the in-process SearchResponse it was encoded from.
+//   * HTTP/1.1 — a deliberately minimal GET-only subset backing
+//     /search, /metrics and /healthz for curl and Prometheus.
+//
+// This header is pure codec: parsing and serialization over in-memory
+// buffers, no sockets. The daemon event loop (serve/daemon.h) feeds
+// accumulated connection bytes through NextFrame / ParseHttpRequest and
+// writes back whatever the Encode* functions produce; tests exercise the
+// codec directly for torn-input and corruption cases.
+#ifndef CTXRANK_SERVE_NET_H_
+#define CTXRANK_SERVE_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "context/search_engine.h"
+
+namespace ctxrank::serve::net {
+
+// ---------------------------------------------------------------------------
+// CTXQ1 binary framing.
+
+inline constexpr char kFrameMagic[5] = {'C', 'T', 'X', 'Q', '1'};
+inline constexpr size_t kFrameMagicBytes = sizeof(kFrameMagic);
+inline constexpr size_t kFrameHeaderBytes = 12;
+
+/// Frame types (header byte 5).
+inline constexpr uint8_t kFrameSearchRequest = 1;
+inline constexpr uint8_t kFrameSearchResponse = 2;
+
+/// Default cap on a frame body; a peer announcing a larger body is
+/// answered with an error frame and disconnected before any allocation.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// SearchRequest `flags` bits (mapped onto SearchOptions bools).
+inline constexpr uint32_t kRequestExactScan = 1u << 0;
+inline constexpr uint32_t kRequestBypassCache = 1u << 1;
+
+/// SearchResponse `flags` bits.
+inline constexpr uint32_t kResponseDegraded = 1u << 0;
+
+/// Fixed-size prefix of a SearchRequest body (the options fingerprint);
+/// the query string follows.
+inline constexpr size_t kRequestFixedBytes = 60;
+/// Fixed-size prefix of a SearchResponse body.
+inline constexpr size_t kResponseFixedBytes = 24;
+/// One encoded SearchHit (paper u32, context u32, relevancy/prestige/
+/// match f64).
+inline constexpr size_t kHitBytes = 32;
+
+/// \brief A search request as it travels on the wire: the query string
+/// plus the SearchOptions fields the protocol exposes. Fields without a
+/// wire encoding (num_threads, trace) keep their defaults on decode —
+/// they are serving-side policy, not client-settable.
+struct WireRequest {
+  std::string query;
+  context::SearchOptions options;
+};
+
+/// \brief A decoded SearchResponse frame. Mirrors context::SearchResponse
+/// minus the trace pointer (traces never travel on the wire).
+struct WireResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  bool degraded = false;
+  std::vector<context::SearchHit> hits;
+  std::vector<ontology::TermId> skipped_contexts;
+};
+
+/// Outcome of scanning a connection buffer for the next frame.
+enum class FrameState {
+  kNeedMore,   ///< Incomplete header or body; read more bytes.
+  kReady,      ///< A whole frame is available (`type`, `body`, `consumed`).
+  kBadMagic,   ///< First bytes are not "CTXQ1" — not this protocol.
+  kBadFrame,   ///< Magic matched but the header is invalid (type/flags).
+  kOversized,  ///< body_len exceeds the configured cap.
+};
+
+struct Frame {
+  FrameState state = FrameState::kNeedMore;
+  uint8_t type = 0;
+  /// Body bytes, viewing into the caller's buffer (valid until the caller
+  /// mutates it). Only meaningful in kReady.
+  std::string_view body;
+  /// Bytes to drop from the front of the buffer after handling (header +
+  /// body). Only meaningful in kReady.
+  size_t consumed = 0;
+  std::string error;
+};
+
+/// Scans `buf` (the unconsumed front of a connection's read buffer) for
+/// one complete frame. Never consumes implicitly: on kReady the caller
+/// erases `consumed` bytes after processing `body`. Tolerates torn reads
+/// — any prefix of a valid frame yields kNeedMore.
+Frame NextFrame(std::string_view buf, uint32_t max_frame_bytes);
+
+/// Encodes a complete SearchRequest frame (header + body).
+std::string EncodeSearchRequest(const WireRequest& request);
+
+/// Decodes a SearchRequest frame *body* (as yielded by NextFrame).
+Result<WireRequest> DecodeSearchRequestBody(std::string_view body);
+
+/// Encodes a complete SearchResponse frame from an in-process response.
+/// Double fields are stored as raw IEEE-754 bits: encode→decode is a
+/// bitwise round trip.
+std::string EncodeSearchResponse(const context::SearchResponse& response);
+
+/// Decodes a SearchResponse frame *body*.
+Result<WireResponse> DecodeSearchResponseBody(std::string_view body);
+
+// ---------------------------------------------------------------------------
+// Minimal HTTP/1.1 (GET-only).
+
+struct HttpRequest {
+  std::string method;
+  /// Request path without the query string, e.g. "/search".
+  std::string path;
+  /// Decoded query parameters in order of appearance.
+  std::vector<std::pair<std::string, std::string>> params;
+  /// False when the client sent `Connection: close` (or HTTP/1.0 without
+  /// keep-alive).
+  bool keep_alive = true;
+
+  /// Last value of parameter `key`, or `fallback`.
+  std::string_view Param(std::string_view key,
+                         std::string_view fallback = "") const;
+};
+
+enum class HttpParseState {
+  kNeedMore,  ///< Header terminator not seen yet.
+  kReady,     ///< Parsed one request; erase `consumed` bytes.
+  kBad,       ///< Malformed request line / headers — respond 400 + close.
+  kTooLarge,  ///< Headers exceed the cap — respond 431 + close.
+};
+
+struct HttpParseResult {
+  HttpParseState state = HttpParseState::kNeedMore;
+  HttpRequest request;
+  size_t consumed = 0;
+  std::string error;
+};
+
+/// Parses one request's header block from the front of `buf` (request
+/// bodies are not supported — ctxrankd is GET-only). `max_header_bytes`
+/// bounds the accumulated header size.
+HttpParseResult ParseHttpRequest(std::string_view buf,
+                                 size_t max_header_bytes = 16 * 1024);
+
+/// Percent-decodes a URL component ('+' becomes a space; bad escapes are
+/// passed through verbatim).
+std::string UrlDecode(std::string_view in);
+
+/// Maps a StatusCode onto the HTTP status it is served as (kOk=200,
+/// kInvalidArgument=400, kNotFound=404, kResourceExhausted=429,
+/// kDeadlineExceeded=504, everything else 500).
+int HttpStatusFor(StatusCode code);
+
+/// Serializes a full HTTP/1.1 response with Content-Length and the
+/// matching Connection header.
+std::string BuildHttpResponse(int status, std::string_view content_type,
+                              std::string_view body, bool keep_alive);
+
+/// JSON-escapes a string for embedding between double quotes.
+std::string JsonEscape(std::string_view in);
+
+/// Renders a SearchResponse as the /search JSON document. `title` maps a
+/// paper id to its title ("" omits the field); pass nullptr when the
+/// snapshot has no titles.
+std::string SearchResponseJson(
+    const context::SearchResponse& response,
+    const std::function<std::string_view(corpus::PaperId)>& title);
+
+}  // namespace ctxrank::serve::net
+
+#endif  // CTXRANK_SERVE_NET_H_

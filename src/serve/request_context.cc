@@ -1,0 +1,26 @@
+#include "serve/request_context.h"
+
+namespace ctxrank::serve {
+
+const context::SearchResponse& RequestContext::Run(
+    const context::ContextSearchEngine& engine, AdmissionLimiter* limiter) {
+  if (limiter != nullptr) {
+    AdmissionLimiter::Permit permit(*limiter, deadline_);
+    if (!permit.granted()) {
+      response_ = context::ContextSearchEngine::ShedResponse(
+          "admission limit reached before deadline (" +
+              std::to_string(limiter->limit()) + " in flight)",
+          options_.trace);
+    } else {
+      response_ = engine.SearchGuarded(query_, options_, deadline_);
+    }
+  } else {
+    response_ = engine.SearchGuarded(query_, options_, deadline_);
+  }
+  wall_us_ = std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - start_)
+                 .count();
+  return response_;
+}
+
+}  // namespace ctxrank::serve

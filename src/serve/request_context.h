@@ -1,0 +1,76 @@
+// serve::RequestContext — the per-request serving spine shared by every
+// front end (the stdin REPL, the ctxrankd network daemon, and future
+// shard fan-out paths). One RequestContext is one query's lifetime:
+//
+//   * the Deadline is armed at *construction*, so queue time, admission
+//     wait and (for the daemon) snapshot pinning all count against the
+//     query's budget — exactly the SearchManyEx slot semantics;
+//   * Run() applies admission control (an optional front-end limiter such
+//     as the daemon's, on top of whatever limit the engine itself
+//     carries), executes through ContextSearchEngine::SearchGuarded, and
+//     records the wire-to-wire wall time;
+//   * shed/degraded outcomes surface in the response's status/degraded
+//     fields — a RequestContext never swallows them into empty hit lists.
+//
+// The extraction exists so new entry points cannot fork the deadline /
+// admission / trace / metrics behavior: they construct a RequestContext
+// and everything downstream is the one spine (see docs/ARCHITECTURE.md).
+#ifndef CTXRANK_SERVE_REQUEST_CONTEXT_H_
+#define CTXRANK_SERVE_REQUEST_CONTEXT_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "common/admission_limiter.h"
+#include "common/deadline.h"
+#include "context/search_engine.h"
+
+namespace ctxrank::serve {
+
+class RequestContext {
+ public:
+  /// Arms `options.deadline_ms` from this instant (0 = unlimited). The
+  /// query string is copied: network buffers may be reused while the
+  /// request waits for a worker.
+  RequestContext(std::string query, context::SearchOptions options)
+      : query_(std::move(query)),
+        options_(std::move(options)),
+        deadline_(options_.deadline_ms > 0
+                      ? Deadline::AfterMs(options_.deadline_ms)
+                      : Deadline()),
+        start_(std::chrono::steady_clock::now()) {}
+
+  const std::string& query() const { return query_; }
+  const context::SearchOptions& options() const { return options_; }
+  const Deadline& deadline() const { return deadline_; }
+
+  /// Executes the query. `limiter` is the front end's own admission
+  /// limiter (the daemon's in-flight bound); nullptr means only the
+  /// engine's internal limit (if any) applies. A request that cannot be
+  /// admitted before its deadline gets the canonical shed response —
+  /// kResourceExhausted, degraded, never a silent empty. Call at most
+  /// once.
+  const context::SearchResponse& Run(
+      const context::ContextSearchEngine& engine,
+      AdmissionLimiter* limiter = nullptr);
+
+  /// Result of Run() (default-constructed before it).
+  const context::SearchResponse& response() const { return response_; }
+
+  /// Wall microseconds from construction to the end of Run — the
+  /// front-end-observed request latency, admission wait included.
+  double wall_us() const { return wall_us_; }
+
+ private:
+  std::string query_;
+  context::SearchOptions options_;
+  Deadline deadline_;
+  std::chrono::steady_clock::time_point start_;
+  context::SearchResponse response_;
+  double wall_us_ = 0.0;
+};
+
+}  // namespace ctxrank::serve
+
+#endif  // CTXRANK_SERVE_REQUEST_CONTEXT_H_

@@ -85,6 +85,11 @@ class ServingSnapshot {
   ServingSnapshot& operator=(const ServingSnapshot&) = delete;
 
   const context::ContextSearchEngine& engine() const { return *engine_; }
+  /// Configuration-time engine access (enable the query cache, set an
+  /// admission limit) for SnapshotSupervisor::Options::on_load hooks.
+  /// Must not be called once the snapshot serves concurrent queries —
+  /// those engine setters are not safe against in-flight searches.
+  context::ContextSearchEngine& mutable_engine() { return *engine_; }
   const corpus::TokenizedCorpus& tc() const { return *tc_; }
   const ontology::Ontology& onto() const { return onto_; }
   const context::ContextAssignment& assignment() const { return *assignment_; }

@@ -95,6 +95,9 @@ Status SnapshotSupervisor::Reload(const std::string& path) {
   for (size_t attempt = 0;; ++attempt) {
     auto result = ServingSnapshot::Load(path, options_.num_threads);
     if (result.ok()) {
+      // Configure before publishing: the hook owns the only reference, so
+      // engine setters cannot race an in-flight query.
+      if (options_.on_load) options_.on_load(*result.value());
       std::shared_ptr<const ServingSnapshot> fresh(
           std::move(result).value().release());
       const int64_t now_s =

@@ -28,6 +28,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -52,6 +53,13 @@ class SnapshotSupervisor {
     uint64_t jitter_seed = 0;
     /// Poll interval of the watcher thread.
     uint64_t watch_interval_ms = 200;
+    /// Invoked on every freshly loaded snapshot after validation and
+    /// before it is swapped in to serve — the hook runs off the serving
+    /// path, so engine configuration that is unsafe against in-flight
+    /// queries (EnableQueryCache, SetAdmissionLimit via mutable_engine())
+    /// is safe here. Survives hot reloads: every generation gets the same
+    /// configuration. Null = no-op.
+    std::function<void(ServingSnapshot&)> on_load;
   };
 
   struct Stats {

@@ -268,12 +268,13 @@ TEST(QueryFastPathTest, SearchManyMatchesSequentialSearch) {
   SearchOptions opts;
   opts.top_k = 10;
   opts.num_threads = 3;
-  const auto batch = engine.SearchMany(queries, opts);
+  const auto batch = engine.SearchManyEx(queries, opts);
   ASSERT_EQ(batch.size(), queries.size());
   SearchOptions single = opts;
   single.num_threads = 1;
   for (size_t i = 0; i < queries.size(); ++i) {
-    ExpectBitwiseEqual(engine.Search(queries[i], single), batch[i],
+    EXPECT_TRUE(batch[i].status.ok());
+    ExpectBitwiseEqual(engine.Search(queries[i], single), batch[i].hits,
                        queries[i]);
   }
 }

@@ -277,9 +277,10 @@ TEST_F(QueryTraceTest, ShedQueriesSurfaceStatusNeverSilentEmpties) {
   EXPECT_LT(shed, queries.size());
 }
 
-TEST_F(QueryTraceTest, SearchManyIsDocumentedLossyButKeepsHits) {
-  // SearchMany survives as a status-blind wrapper: the hits must match
-  // SearchManyEx even though status/trace are dropped.
+TEST_F(QueryTraceTest, SearchGuardedMatchesBatchSlot) {
+  // SearchGuarded is the single-query spine behind every SearchManyEx
+  // slot: called directly (as the REPL and daemon do), it must produce
+  // the same hits and status as the batch path.
   RandomWorld w = MakeRandomWorld(21);
   const ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
                                    IndexedEngineOptions());
@@ -287,14 +288,17 @@ TEST_F(QueryTraceTest, SearchManyIsDocumentedLossyButKeepsHits) {
   const std::vector<std::string> queries = {
       RoutedQuery(engine, w, rng), RoutedQuery(engine, w, rng),
       RoutedQuery(engine, w, rng)};
-  const auto ex = engine.SearchManyEx(queries, SearchOptions());
-  const auto lossy = engine.SearchMany(queries, SearchOptions());
-  ASSERT_EQ(ex.size(), lossy.size());
-  for (size_t i = 0; i < ex.size(); ++i) {
-    ASSERT_EQ(ex[i].hits.size(), lossy[i].size());
-    for (size_t j = 0; j < lossy[i].size(); ++j) {
-      EXPECT_EQ(ex[i].hits[j].paper, lossy[i][j].paper);
-      EXPECT_EQ(ex[i].hits[j].relevancy, lossy[i][j].relevancy);
+  const auto batch = engine.SearchManyEx(queries, SearchOptions());
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto single =
+        engine.SearchGuarded(queries[i], SearchOptions(), Deadline());
+    EXPECT_TRUE(single.status.ok());
+    EXPECT_EQ(single.status.code(), batch[i].status.code());
+    ASSERT_EQ(single.hits.size(), batch[i].hits.size());
+    for (size_t j = 0; j < single.hits.size(); ++j) {
+      EXPECT_EQ(single.hits[j].paper, batch[i].hits[j].paper);
+      EXPECT_EQ(single.hits[j].relevancy, batch[i].hits[j].relevancy);
     }
   }
 }

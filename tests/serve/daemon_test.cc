@@ -1,0 +1,611 @@
+// ctxrankd daemon over a loopback socket: wire responses bitwise
+// identical to in-process results, framing edge cases (torn reads,
+// pipelining, bad magic, oversized frames, mid-stream garbage), write
+// backpressure against a slow reader, connection death mid-response,
+// idle timeouts, the HTTP endpoints, shed propagation to the client
+// protocol, and a deterministic framing fuzz loop.
+#include "serve/daemon.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "context/search_engine.h"
+#include "corpus/tokenized_corpus.h"
+#include "serve/net.h"
+#include "serve/snapshot.h"
+#include "serve/supervisor.h"
+
+namespace ctxrank::serve {
+namespace {
+
+using context::ContextSearchEngine;
+using corpus::Paper;
+using corpus::PaperId;
+
+/// Blocking loopback test client with a receive timeout, so a daemon bug
+/// fails the test instead of hanging it.
+class Client {
+ public:
+  explicit Client(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    timeval tv{5, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  bool Send(std::string_view bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads until one complete CTXQ1 response frame decodes (nullopt on
+  /// EOF, timeout, or a framing/decoding error).
+  std::optional<net::WireResponse> ReadResponse() {
+    for (;;) {
+      const net::Frame f = net::NextFrame(buf_, 64u << 20);
+      if (f.state == net::FrameState::kReady) {
+        if (f.type != net::kFrameSearchResponse) return std::nullopt;
+        auto decoded = net::DecodeSearchResponseBody(f.body);
+        buf_.erase(0, f.consumed);
+        if (!decoded.ok()) return std::nullopt;
+        return std::move(decoded).value();
+      }
+      if (f.state != net::FrameState::kNeedMore) return std::nullopt;
+      if (!Fill()) return std::nullopt;
+    }
+  }
+
+  /// Reads one HTTP response (headers + Content-Length body); "" on
+  /// EOF/timeout before a complete response.
+  std::string ReadHttpResponse() {
+    size_t header_end;
+    while ((header_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill()) return "";
+    }
+    size_t content_length = 0;
+    const size_t cl = buf_.find("Content-Length: ");
+    if (cl != std::string::npos && cl < header_end) {
+      content_length = std::strtoul(buf_.c_str() + cl + 16, nullptr, 10);
+    }
+    const size_t total = header_end + 4 + content_length;
+    while (buf_.size() < total) {
+      if (!Fill()) return "";
+    }
+    std::string response = buf_.substr(0, total);
+    buf_.erase(0, total);
+    return response;
+  }
+
+  /// True when the server closes the connection (EOF) within the receive
+  /// timeout.
+  bool ReadEof() {
+    for (;;) {
+      char tmp[4096];
+      const ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;  // Timeout — still open.
+      buf_.append(tmp, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  bool Fill() {
+    char tmp[16384];
+    const ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+    if (n <= 0) return false;
+    buf_.append(tmp, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  DaemonTest() {
+    const auto root = onto_.AddTerm("T:0", "molecular function");
+    const auto kin = onto_.AddTerm("T:1", "kinase signaling");
+    const auto rep = onto_.AddTerm("T:2", "dna repair");
+    EXPECT_TRUE(onto_.AddIsA(kin, root).ok());
+    EXPECT_TRUE(onto_.AddIsA(rep, root).ok());
+    EXPECT_TRUE(onto_.Finalize().ok());
+    auto add = [&](PaperId id, const char* text) {
+      Paper p;
+      p.id = id;
+      p.title = text;
+      p.abstract_text = text;
+      p.body = text;
+      EXPECT_TRUE(corpus_.Add(std::move(p)).ok());
+    };
+    add(0, "kinase signaling cascade");
+    add(1, "kinase signaling inhibitor");
+    add(2, "dna repair enzyme");
+    add(3, "dna repair checkpoint");
+    tc_ = std::make_unique<corpus::TokenizedCorpus>(corpus_);
+    assignment_ = std::make_unique<context::ContextAssignment>(onto_.size(),
+                                                               corpus_.size());
+    prestige_ = std::make_unique<context::PrestigeScores>(onto_.size());
+    assignment_->SetMembers(1, {0, 1});
+    assignment_->SetMembers(2, {2, 3});
+    prestige_->Set(1, {1.0, 0.4});
+    prestige_->Set(2, {0.8, 0.3});
+    engine_ = std::make_unique<ContextSearchEngine>(*tc_, onto_, *assignment_,
+                                                    *prestige_);
+    // Per-process path: ctest runs tests from this binary concurrently,
+    // and rewriting a snapshot another process has mmapped is a SIGBUS.
+    snapshot_path_ = ::testing::TempDir() + "/daemon_test." +
+                     std::to_string(::getpid()) + ".snap";
+    SnapshotInputs in;
+    in.tc = tc_.get();
+    in.onto = &onto_;
+    in.assignment = assignment_.get();
+    in.prestige = prestige_.get();
+    in.engine = engine_.get();
+    in.corpus = &corpus_;
+    EXPECT_TRUE(SaveSnapshot(in, snapshot_path_).ok());
+    EXPECT_TRUE(supervisor_.Reload(snapshot_path_).ok());
+  }
+
+  void TearDown() override {
+    // Unlinking is safe while the supervisor still has the file mmapped.
+    ::unlink(snapshot_path_.c_str());
+  }
+
+  /// Starts a daemon on an ephemeral loopback port.
+  void StartDaemon(Daemon::Options opts = {}) {
+    opts.port = 0;
+    daemon_ = std::make_unique<Daemon>(supervisor_, opts);
+    ASSERT_TRUE(daemon_->Start().ok());
+    ASSERT_NE(daemon_->port(), 0);
+  }
+
+  net::WireRequest Request(std::string query,
+                           context::SearchOptions options = {}) const {
+    net::WireRequest req;
+    req.query = std::move(query);
+    req.options = options;
+    return req;
+  }
+
+  /// The in-process ground truth the wire response must match bitwise.
+  context::SearchResponse Expected(const net::WireRequest& req) const {
+    return supervisor_.current()->engine().SearchEx(req.query, req.options);
+  }
+
+  static void ExpectBitwiseEqual(const net::WireResponse& wire,
+                                 const context::SearchResponse& expected) {
+    EXPECT_EQ(wire.code, expected.status.code());
+    EXPECT_EQ(wire.degraded, expected.degraded);
+    EXPECT_EQ(wire.skipped_contexts, expected.skipped_contexts);
+    ASSERT_EQ(wire.hits.size(), expected.hits.size());
+    for (size_t i = 0; i < wire.hits.size(); ++i) {
+      EXPECT_EQ(wire.hits[i].paper, expected.hits[i].paper);
+      EXPECT_EQ(wire.hits[i].context, expected.hits[i].context);
+      EXPECT_EQ(std::bit_cast<uint64_t>(wire.hits[i].relevancy),
+                std::bit_cast<uint64_t>(expected.hits[i].relevancy));
+      EXPECT_EQ(std::bit_cast<uint64_t>(wire.hits[i].prestige),
+                std::bit_cast<uint64_t>(expected.hits[i].prestige));
+      EXPECT_EQ(std::bit_cast<uint64_t>(wire.hits[i].match),
+                std::bit_cast<uint64_t>(expected.hits[i].match));
+    }
+  }
+
+  ontology::Ontology onto_;
+  corpus::Corpus corpus_;
+  std::unique_ptr<corpus::TokenizedCorpus> tc_;
+  std::unique_ptr<context::ContextAssignment> assignment_;
+  std::unique_ptr<context::PrestigeScores> prestige_;
+  std::unique_ptr<ContextSearchEngine> engine_;
+  std::string snapshot_path_;
+  SnapshotSupervisor supervisor_;
+  std::unique_ptr<Daemon> daemon_;
+};
+
+TEST_F(DaemonTest, StartsAndStopsCleanly) {
+  StartDaemon();
+  EXPECT_EQ(daemon_->open_connections(), 0u);
+  daemon_->Stop();
+  daemon_->Stop();  // Idempotent.
+}
+
+TEST_F(DaemonTest, BinaryResponseBitwiseIdenticalToInProcess) {
+  StartDaemon();
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  // Property sweep: queries × option fingerprints, every response must
+  // be bitwise identical to the in-process engine.
+  const std::vector<std::string> queries = {
+      "kinase signaling", "dna repair", "kinase repair enzyme",
+      "no such terms anywhere"};
+  std::vector<context::SearchOptions> variants(4);
+  variants[1].exact_scan = true;
+  variants[2].top_k = 1;
+  variants[3].max_contexts = 1;
+  variants[3].weights = {0.9, 0.1};
+  for (const auto& q : queries) {
+    for (const auto& o : variants) {
+      const net::WireRequest req = Request(q, o);
+      ASSERT_TRUE(client.Send(net::EncodeSearchRequest(req)));
+      const auto wire = client.ReadResponse();
+      ASSERT_TRUE(wire.has_value()) << q;
+      ExpectBitwiseEqual(*wire, Expected(req));
+    }
+  }
+}
+
+TEST_F(DaemonTest, TornReadsReassemble) {
+  StartDaemon();
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  const net::WireRequest req = Request("kinase signaling");
+  const std::string frame = net::EncodeSearchRequest(req);
+  // One byte at a time, with pauses inside the magic, the header and
+  // the body — the reactor must buffer across arbitrarily torn reads.
+  for (size_t i = 0; i < frame.size(); ++i) {
+    ASSERT_TRUE(client.Send(frame.substr(i, 1)));
+    if (i % 7 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const auto wire = client.ReadResponse();
+  ASSERT_TRUE(wire.has_value());
+  ExpectBitwiseEqual(*wire, Expected(req));
+}
+
+TEST_F(DaemonTest, PipelinedRequestsAnswerInOrder) {
+  StartDaemon();
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  const std::vector<net::WireRequest> reqs = {
+      Request("kinase signaling"), Request("dna repair"),
+      Request("kinase signaling inhibitor")};
+  std::string batch;
+  for (const auto& r : reqs) batch += net::EncodeSearchRequest(r);
+  ASSERT_TRUE(client.Send(batch));  // One write, three frames.
+  for (const auto& r : reqs) {
+    const auto wire = client.ReadResponse();
+    ASSERT_TRUE(wire.has_value());
+    ExpectBitwiseEqual(*wire, Expected(r));
+  }
+}
+
+TEST_F(DaemonTest, InlineExecutionServesIdenticallyAndInOrder) {
+  // Reactor-thread execution (no worker handoff) must be observably
+  // identical: bitwise-equal responses, pipelined order preserved.
+  Daemon::Options opts;
+  opts.inline_execution = true;
+  StartDaemon(opts);
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  const std::vector<net::WireRequest> reqs = {
+      Request("kinase signaling"), Request("dna repair"),
+      Request("molecular function")};
+  std::string batch;
+  for (const auto& r : reqs) batch += net::EncodeSearchRequest(r);
+  ASSERT_TRUE(client.Send(batch));
+  for (const auto& r : reqs) {
+    const auto wire = client.ReadResponse();
+    ASSERT_TRUE(wire.has_value());
+    ExpectBitwiseEqual(*wire, Expected(r));
+  }
+}
+
+TEST_F(DaemonTest, MidStreamGarbageClosesConnection) {
+  StartDaemon();
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  const net::WireRequest req = Request("kinase signaling");
+  ASSERT_TRUE(client.Send(net::EncodeSearchRequest(req)));
+  ASSERT_TRUE(client.ReadResponse().has_value());
+  // The connection is committed to CTXQ1 now; garbage breaks framing
+  // irrecoverably, so the server must drop the connection.
+  ASSERT_TRUE(client.Send("XXXXXXXXXXXXXXXX"));
+  EXPECT_TRUE(client.ReadEof());
+  // The daemon itself is unharmed.
+  Client again(daemon_->port());
+  ASSERT_TRUE(again.ok());
+  ASSERT_TRUE(again.Send(net::EncodeSearchRequest(req)));
+  EXPECT_TRUE(again.ReadResponse().has_value());
+}
+
+TEST_F(DaemonTest, OversizedFrameGetsErrorThenClose) {
+  Daemon::Options opts;
+  opts.max_frame_bytes = 1024;
+  StartDaemon(opts);
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  // Header declaring a 1 MiB body against the 1 KiB cap; rejected from
+  // the header alone, with a diagnosable error frame before the close.
+  std::string header(net::kFrameMagic, net::kFrameMagicBytes);
+  header.push_back(static_cast<char>(net::kFrameSearchRequest));
+  header += std::string("\0\0", 2);
+  header += std::string("\0\0\x10\0", 4);  // body_len = 0x100000.
+  ASSERT_TRUE(client.Send(header));
+  const auto wire = client.ReadResponse();
+  ASSERT_TRUE(wire.has_value());
+  EXPECT_EQ(wire->code, StatusCode::kInvalidArgument);
+  EXPECT_NE(wire->message.find("exceeds"), std::string::npos);
+  EXPECT_TRUE(client.ReadEof());
+}
+
+TEST_F(DaemonTest, MalformedBodyAnsweredWithoutClosing) {
+  StartDaemon();
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  // Valid frame header, body too short to be a request: framing is
+  // intact, so the error comes back and the connection stays usable.
+  std::string frame(net::kFrameMagic, net::kFrameMagicBytes);
+  frame.push_back(static_cast<char>(net::kFrameSearchRequest));
+  frame += std::string("\0\0", 2);
+  frame += std::string("\x04\0\0\0", 4);
+  frame += "oops";
+  ASSERT_TRUE(client.Send(frame));
+  const auto err = client.ReadResponse();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, StatusCode::kInvalidArgument);
+  const net::WireRequest req = Request("dna repair");
+  ASSERT_TRUE(client.Send(net::EncodeSearchRequest(req)));
+  const auto wire = client.ReadResponse();
+  ASSERT_TRUE(wire.has_value());
+  ExpectBitwiseEqual(*wire, Expected(req));
+}
+
+TEST_F(DaemonTest, SlowReaderBackpressureDoesNotDeadlock) {
+  Daemon::Options opts;
+  opts.max_output_buffer = 4096;  // Tiny, so backpressure engages.
+  StartDaemon(opts);
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  // Pipeline many requests without reading a byte: responses pile up
+  // against the client's closed window + the daemon's output cap, which
+  // must pause reads rather than buffer without bound — and resume
+  // cleanly once we finally drain.
+  constexpr size_t kRequests = 200;
+  const net::WireRequest req = Request("kinase signaling");
+  std::string batch;
+  for (size_t i = 0; i < kRequests; ++i) {
+    batch += net::EncodeSearchRequest(req);
+  }
+  ASSERT_TRUE(client.Send(batch));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const context::SearchResponse expected = Expected(req);
+  for (size_t i = 0; i < kRequests; ++i) {
+    const auto wire = client.ReadResponse();
+    ASSERT_TRUE(wire.has_value()) << "response " << i;
+    ExpectBitwiseEqual(*wire, expected);
+  }
+}
+
+TEST_F(DaemonTest, ClientDeathMidResponseSurvived) {
+  StartDaemon();
+  for (int i = 0; i < 10; ++i) {
+    Client client(daemon_->port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(
+        client.Send(net::EncodeSearchRequest(Request("kinase signaling"))));
+    client.Close();  // Gone before (likely mid-) response write.
+  }
+  // Daemon still serves.
+  Client survivor(daemon_->port());
+  ASSERT_TRUE(survivor.ok());
+  const net::WireRequest req = Request("dna repair");
+  ASSERT_TRUE(survivor.Send(net::EncodeSearchRequest(req)));
+  const auto wire = survivor.ReadResponse();
+  ASSERT_TRUE(wire.has_value());
+  ExpectBitwiseEqual(*wire, Expected(req));
+}
+
+TEST_F(DaemonTest, HalfCloseStillGetsResponse) {
+  StartDaemon();
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  const net::WireRequest req = Request("kinase signaling");
+  ASSERT_TRUE(client.Send(net::EncodeSearchRequest(req)));
+  client.ShutdownWrite();  // EOF with a request in flight.
+  const auto wire = client.ReadResponse();
+  ASSERT_TRUE(wire.has_value());
+  ExpectBitwiseEqual(*wire, Expected(req));
+  EXPECT_TRUE(client.ReadEof());
+}
+
+TEST_F(DaemonTest, IdleConnectionsTimeOut) {
+  Daemon::Options opts;
+  opts.idle_timeout_ms = 50;
+  StartDaemon(opts);
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  // The idle scan runs on a ~500ms cadence; EOF must arrive well inside
+  // the client's 5s receive timeout.
+  EXPECT_TRUE(client.ReadEof());
+  // The client can see the close a beat before the reactor erases the
+  // connection from its map — poll rather than assert instantly.
+  for (int i = 0; i < 500 && daemon_->open_connections() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(daemon_->open_connections(), 0u);
+}
+
+TEST_F(DaemonTest, ShedPropagatesToWireProtocol) {
+  Daemon::Options opts;
+  opts.max_in_flight = 1;
+  StartDaemon(opts);
+  // Hold the only permit so the daemon cannot admit anything.
+  AdmissionLimiter* limiter = daemon_->admission_limiter_for_test();
+  ASSERT_NE(limiter, nullptr);
+  ASSERT_TRUE(limiter->TryAcquire());
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  context::SearchOptions options;
+  options.deadline_ms = 50;
+  ASSERT_TRUE(client.Send(
+      net::EncodeSearchRequest(Request("kinase signaling", options))));
+  const auto wire = client.ReadResponse();
+  ASSERT_TRUE(wire.has_value());
+  // Shed is a first-class wire outcome: status + degraded flag, never a
+  // silent empty hit list.
+  EXPECT_EQ(wire->code, StatusCode::kResourceExhausted);
+  EXPECT_TRUE(wire->degraded);
+  EXPECT_FALSE(wire->message.empty());
+  limiter->Release();
+  // With the permit back, the same connection serves normally.
+  const net::WireRequest req = Request("kinase signaling");
+  ASSERT_TRUE(client.Send(net::EncodeSearchRequest(req)));
+  const auto ok = client.ReadResponse();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->code, StatusCode::kOk);
+}
+
+TEST_F(DaemonTest, HttpSearchMetricsHealthz) {
+  StartDaemon();
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  // Keep-alive: several requests over one connection.
+  ASSERT_TRUE(client.Send(
+      "GET /search?q=kinase+signaling&topk=1 HTTP/1.1\r\n\r\n"));
+  std::string r = client.ReadHttpResponse();
+  EXPECT_NE(r.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(r.find("\"status\":\"OK\""), std::string::npos);
+  EXPECT_NE(r.find("\"hits\":[{\"paper\":"), std::string::npos);
+  EXPECT_NE(r.find("\"title\":"), std::string::npos);
+
+  ASSERT_TRUE(client.Send("GET /healthz HTTP/1.1\r\n\r\n"));
+  r = client.ReadHttpResponse();
+  EXPECT_NE(r.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(r.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(r.find("\"generation\":1"), std::string::npos);
+
+  ASSERT_TRUE(client.Send("GET /metrics HTTP/1.1\r\n\r\n"));
+  r = client.ReadHttpResponse();
+  EXPECT_NE(r.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(r.find("ctxrankd_requests_total"), std::string::npos);
+  EXPECT_NE(r.find("ctxrank_search_latency_us"), std::string::npos);
+
+  ASSERT_TRUE(client.Send("GET /nope HTTP/1.1\r\n\r\n"));
+  EXPECT_NE(client.ReadHttpResponse().find("HTTP/1.1 404"),
+            std::string::npos);
+
+  ASSERT_TRUE(client.Send("GET /search HTTP/1.1\r\n\r\n"));
+  EXPECT_NE(client.ReadHttpResponse().find("HTTP/1.1 400"),
+            std::string::npos);
+
+  ASSERT_TRUE(client.Send("POST /search HTTP/1.1\r\n\r\n"));
+  EXPECT_NE(client.ReadHttpResponse().find("HTTP/1.1 405"),
+            std::string::npos);
+
+  // Connection: close is honored after the response.
+  ASSERT_TRUE(client.Send(
+      "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n"));
+  r = client.ReadHttpResponse();
+  EXPECT_NE(r.find("Connection: close"), std::string::npos);
+  EXPECT_TRUE(client.ReadEof());
+}
+
+TEST_F(DaemonTest, HttpMalformedGets400) {
+  StartDaemon();
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.Send("garbage that is not http\r\n\r\n"));
+  EXPECT_NE(client.ReadHttpResponse().find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_TRUE(client.ReadEof());
+}
+
+TEST_F(DaemonTest, ReloadDuringTrafficLosesNoQueries) {
+  StartDaemon();
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  const net::WireRequest req = Request("kinase signaling");
+  const context::SearchResponse expected = Expected(req);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(client.Send(net::EncodeSearchRequest(req)));
+    if (i % 10 == 5) {
+      ASSERT_TRUE(supervisor_.Reload(snapshot_path_).ok());
+    }
+    const auto wire = client.ReadResponse();
+    ASSERT_TRUE(wire.has_value()) << "query " << i;
+    ExpectBitwiseEqual(*wire, expected);
+  }
+  EXPECT_GE(supervisor_.stats().generation, 5u);
+}
+
+TEST_F(DaemonTest, FramingFuzzServerSurvives) {
+  Daemon::Options opts;
+  opts.max_frame_bytes = 64 * 1024;
+  StartDaemon(opts);
+  Rng rng(20260808);
+  for (int round = 0; round < 60; ++round) {
+    Client fuzz(daemon_->port());
+    ASSERT_TRUE(fuzz.ok());
+    std::string garbage;
+    const size_t len = 1 + rng.NextBounded(512);
+    garbage.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    // A third of the rounds lead with valid magic so the fuzz also
+    // exercises the binary header/body validators, not just the sniffer.
+    if (round % 3 == 0) {
+      garbage.replace(0, net::kFrameMagicBytes,
+                      std::string(net::kFrameMagic, net::kFrameMagicBytes));
+    }
+    fuzz.Send(garbage);
+    if (rng.NextBernoulli(0.5)) {
+      fuzz.ShutdownWrite();
+      fuzz.ReadEof();
+    }
+    // Half the connections die abruptly with bytes in flight.
+  }
+  // After the storm: a fresh connection gets a correct answer.
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  const net::WireRequest req = Request("dna repair");
+  ASSERT_TRUE(client.Send(net::EncodeSearchRequest(req)));
+  const auto wire = client.ReadResponse();
+  ASSERT_TRUE(wire.has_value());
+  ExpectBitwiseEqual(*wire, Expected(req));
+}
+
+}  // namespace
+}  // namespace ctxrank::serve

@@ -1,0 +1,283 @@
+// CTXQ1 / HTTP codec unit tests: frame round trips with bitwise double
+// fidelity, torn-input tolerance, corruption rejection, HTTP request
+// parsing (query parameters, URL decoding, keep-alive negotiation) and
+// the StatusCode → HTTP status mapping. Pure in-memory — the socket
+// paths are covered by daemon_test.cc.
+#include "serve/net.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace ctxrank::serve::net {
+namespace {
+
+WireRequest SampleRequest() {
+  WireRequest req;
+  req.query = "kinase signaling";
+  req.options.top_k = 7;
+  req.options.max_contexts = 3;
+  req.options.deadline_ms = 250;
+  req.options.exact_scan = true;
+  req.options.bypass_cache = true;
+  req.options.semantic_expansion = 2;
+  req.options.min_relevancy = 0.125;
+  req.options.weights.prestige = 0.3;
+  req.options.weights.matching = 0.7;
+  req.options.min_context_score = 1e-9;
+  return req;
+}
+
+context::SearchResponse SampleResponse() {
+  context::SearchResponse resp;
+  resp.degraded = true;
+  resp.status = Status::OK();
+  resp.skipped_contexts = {4, 9};
+  context::SearchHit h1{12, 0.875, 3, 0.5, 1.125};
+  // Awkward doubles: denormal, negative zero, and an irrational value
+  // whose decimal rendering would not round-trip by accident.
+  context::SearchHit h2{7, std::numeric_limits<double>::denorm_min(), 1,
+                        -0.0, std::sqrt(2.0)};
+  resp.hits = {h1, h2};
+  return resp;
+}
+
+TEST(FrameTest, RequestRoundTrips) {
+  const WireRequest req = SampleRequest();
+  const std::string frame = EncodeSearchRequest(req);
+  const Frame f = NextFrame(frame, kDefaultMaxFrameBytes);
+  ASSERT_EQ(f.state, FrameState::kReady);
+  EXPECT_EQ(f.type, kFrameSearchRequest);
+  EXPECT_EQ(f.consumed, frame.size());
+  auto decoded = DecodeSearchRequestBody(f.body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const WireRequest& out = decoded.value();
+  EXPECT_EQ(out.query, req.query);
+  EXPECT_EQ(out.options.top_k, req.options.top_k);
+  EXPECT_EQ(out.options.max_contexts, req.options.max_contexts);
+  EXPECT_EQ(out.options.deadline_ms, req.options.deadline_ms);
+  EXPECT_EQ(out.options.exact_scan, req.options.exact_scan);
+  EXPECT_EQ(out.options.bypass_cache, req.options.bypass_cache);
+  EXPECT_EQ(out.options.semantic_expansion, req.options.semantic_expansion);
+  EXPECT_EQ(out.options.min_relevancy, req.options.min_relevancy);
+  EXPECT_EQ(out.options.weights.prestige, req.options.weights.prestige);
+  EXPECT_EQ(out.options.weights.matching, req.options.weights.matching);
+  EXPECT_EQ(out.options.min_context_score, req.options.min_context_score);
+  // Non-wire fields stay at their defaults.
+  EXPECT_FALSE(out.options.trace);
+  EXPECT_EQ(out.options.num_threads, 1u);
+}
+
+TEST(FrameTest, ResponseRoundTripsBitwise) {
+  const context::SearchResponse resp = SampleResponse();
+  const std::string frame = EncodeSearchResponse(resp);
+  const Frame f = NextFrame(frame, kDefaultMaxFrameBytes);
+  ASSERT_EQ(f.state, FrameState::kReady);
+  EXPECT_EQ(f.type, kFrameSearchResponse);
+  auto decoded = DecodeSearchResponseBody(f.body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const WireResponse& out = decoded.value();
+  EXPECT_EQ(out.code, StatusCode::kOk);
+  EXPECT_TRUE(out.degraded);
+  EXPECT_EQ(out.skipped_contexts, resp.skipped_contexts);
+  ASSERT_EQ(out.hits.size(), resp.hits.size());
+  for (size_t i = 0; i < out.hits.size(); ++i) {
+    EXPECT_EQ(out.hits[i].paper, resp.hits[i].paper);
+    EXPECT_EQ(out.hits[i].context, resp.hits[i].context);
+    // Bitwise, not value, equality: -0.0 and denormals must survive.
+    EXPECT_EQ(std::bit_cast<uint64_t>(out.hits[i].relevancy),
+              std::bit_cast<uint64_t>(resp.hits[i].relevancy));
+    EXPECT_EQ(std::bit_cast<uint64_t>(out.hits[i].prestige),
+              std::bit_cast<uint64_t>(resp.hits[i].prestige));
+    EXPECT_EQ(std::bit_cast<uint64_t>(out.hits[i].match),
+              std::bit_cast<uint64_t>(resp.hits[i].match));
+  }
+}
+
+TEST(FrameTest, ErrorResponseCarriesStatusMessage) {
+  context::SearchResponse resp;
+  resp.status = Status::ResourceExhausted("shed: 4 in flight");
+  resp.degraded = true;
+  const std::string frame = EncodeSearchResponse(resp);
+  const Frame f = NextFrame(frame, kDefaultMaxFrameBytes);
+  ASSERT_EQ(f.state, FrameState::kReady);
+  auto decoded = DecodeSearchResponseBody(f.body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded.value().message, "shed: 4 in flight");
+  EXPECT_TRUE(decoded.value().degraded);
+  EXPECT_TRUE(decoded.value().hits.empty());
+}
+
+TEST(FrameTest, EveryPrefixOfAValidFrameNeedsMore) {
+  const std::string frame = EncodeSearchRequest(SampleRequest());
+  for (size_t n = 0; n < frame.size(); ++n) {
+    const Frame f =
+        NextFrame(std::string_view(frame).substr(0, n), kDefaultMaxFrameBytes);
+    EXPECT_EQ(f.state, FrameState::kNeedMore) << "prefix length " << n;
+  }
+}
+
+TEST(FrameTest, TrailingBytesStayUnconsumed) {
+  const std::string one = EncodeSearchRequest(SampleRequest());
+  std::string two = one + one;
+  const Frame f = NextFrame(two, kDefaultMaxFrameBytes);
+  ASSERT_EQ(f.state, FrameState::kReady);
+  EXPECT_EQ(f.consumed, one.size());
+}
+
+TEST(FrameTest, BadMagicDetectedEarly) {
+  EXPECT_EQ(NextFrame("GET /search", kDefaultMaxFrameBytes).state,
+            FrameState::kBadMagic);
+  // "CONNECT" shares the first byte with CTXQ1 but diverges at byte 1.
+  EXPECT_EQ(NextFrame("CONNECT", kDefaultMaxFrameBytes).state,
+            FrameState::kBadMagic);
+  // A true prefix of the magic is indistinguishable from a slow writer.
+  EXPECT_EQ(NextFrame("CTXQ", kDefaultMaxFrameBytes).state,
+            FrameState::kNeedMore);
+  EXPECT_EQ(NextFrame("", kDefaultMaxFrameBytes).state,
+            FrameState::kNeedMore);
+}
+
+TEST(FrameTest, RejectsBadTypeFlagsAndOversize) {
+  std::string frame = EncodeSearchRequest(SampleRequest());
+  std::string bad_type = frame;
+  bad_type[5] = 99;
+  EXPECT_EQ(NextFrame(bad_type, kDefaultMaxFrameBytes).state,
+            FrameState::kBadFrame);
+  std::string bad_flags = frame;
+  bad_flags[6] = 1;
+  EXPECT_EQ(NextFrame(bad_flags, kDefaultMaxFrameBytes).state,
+            FrameState::kBadFrame);
+  // Declared body larger than the cap — rejected from the header alone,
+  // before any body bytes arrive.
+  std::string oversized = frame.substr(0, kFrameHeaderBytes);
+  oversized[8] = '\xff';
+  oversized[9] = '\xff';
+  oversized[10] = '\xff';
+  oversized[11] = '\x7f';
+  EXPECT_EQ(NextFrame(oversized, kDefaultMaxFrameBytes).state,
+            FrameState::kOversized);
+}
+
+TEST(FrameTest, RejectsTruncatedAndLyingBodies) {
+  EXPECT_FALSE(DecodeSearchRequestBody("short").ok());
+  EXPECT_FALSE(DecodeSearchResponseBody("short").ok());
+  // Body whose query_len disagrees with the actual size.
+  const std::string frame = EncodeSearchRequest(SampleRequest());
+  std::string body(frame.substr(kFrameHeaderBytes));
+  body.push_back('x');
+  EXPECT_FALSE(DecodeSearchRequestBody(body).ok());
+  // Response declaring 2^31 hits in a tiny body must not allocate.
+  std::string resp_body(kResponseFixedBytes, '\0');
+  resp_body[12] = '\x00';
+  resp_body[13] = '\x00';
+  resp_body[14] = '\x00';
+  resp_body[15] = '\x80';
+  EXPECT_FALSE(DecodeSearchResponseBody(resp_body).ok());
+}
+
+TEST(FrameTest, RejectsUnknownRequestFlags) {
+  std::string frame = EncodeSearchRequest(SampleRequest());
+  frame[kFrameHeaderBytes + 12] |= 0x80;  // Undefined flag bit.
+  const Frame f = NextFrame(frame, kDefaultMaxFrameBytes);
+  ASSERT_EQ(f.state, FrameState::kReady);
+  EXPECT_FALSE(DecodeSearchRequestBody(f.body).ok());
+}
+
+TEST(HttpTest, ParsesRequestLineAndParams) {
+  const std::string raw =
+      "GET /search?q=kinase+signaling&topk=5&x=a%20b HTTP/1.1\r\n"
+      "Host: localhost\r\n\r\n";
+  const HttpParseResult r = ParseHttpRequest(raw);
+  ASSERT_EQ(r.state, HttpParseState::kReady);
+  EXPECT_EQ(r.consumed, raw.size());
+  EXPECT_EQ(r.request.method, "GET");
+  EXPECT_EQ(r.request.path, "/search");
+  EXPECT_TRUE(r.request.keep_alive);
+  EXPECT_EQ(r.request.Param("q"), "kinase signaling");
+  EXPECT_EQ(r.request.Param("topk"), "5");
+  EXPECT_EQ(r.request.Param("x"), "a b");
+  EXPECT_EQ(r.request.Param("missing", "dflt"), "dflt");
+}
+
+TEST(HttpTest, ConnectionNegotiation) {
+  EXPECT_FALSE(ParseHttpRequest("GET / HTTP/1.0\r\n\r\n")
+                   .request.keep_alive);
+  EXPECT_TRUE(ParseHttpRequest(
+                  "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                  .request.keep_alive);
+  EXPECT_FALSE(ParseHttpRequest(
+                   "GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                   .request.keep_alive);
+  EXPECT_TRUE(
+      ParseHttpRequest("GET / HTTP/1.1\r\n\r\n").request.keep_alive);
+}
+
+TEST(HttpTest, TornAndMalformedInput) {
+  EXPECT_EQ(ParseHttpRequest("GET /sear").state, HttpParseState::kNeedMore);
+  EXPECT_EQ(ParseHttpRequest("GET / HTTP/1.1\r\nHost: x\r\n").state,
+            HttpParseState::kNeedMore);
+  EXPECT_EQ(ParseHttpRequest("garbage\r\n\r\n").state, HttpParseState::kBad);
+  EXPECT_EQ(ParseHttpRequest("GET\r\n\r\n").state, HttpParseState::kBad);
+  const std::string huge = "GET /" + std::string(64 * 1024, 'a');
+  EXPECT_EQ(ParseHttpRequest(huge).state, HttpParseState::kTooLarge);
+}
+
+TEST(HttpTest, BareLfTerminatorAccepted) {
+  const HttpParseResult r = ParseHttpRequest("GET /healthz HTTP/1.0\n\n");
+  ASSERT_EQ(r.state, HttpParseState::kReady);
+  EXPECT_EQ(r.request.path, "/healthz");
+}
+
+TEST(HttpTest, StatusMapping) {
+  EXPECT_EQ(HttpStatusFor(StatusCode::kOk), 200);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kInvalidArgument), 400);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kNotFound), 404);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kResourceExhausted), 429);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kDeadlineExceeded), 504);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kInternal), 500);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kIoError), 500);
+}
+
+TEST(HttpTest, BuildResponseShape) {
+  const std::string r = BuildHttpResponse(200, "application/json", "{}", true);
+  EXPECT_NE(r.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(r.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(r.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_TRUE(r.ends_with("\r\n\r\n{}"));
+  EXPECT_NE(BuildHttpResponse(429, "text/plain", "x", false)
+                .find("Connection: close"),
+            std::string::npos);
+}
+
+TEST(HttpTest, SearchResponseJsonShape) {
+  context::SearchResponse resp;
+  resp.hits = {{3, 0.5, 1, 0.25, 0.75}};
+  resp.skipped_contexts = {2};
+  resp.degraded = true;
+  const std::string json = SearchResponseJson(
+      resp, [](corpus::PaperId) { return std::string_view("A \"quoted\""); });
+  EXPECT_NE(json.find("\"status\":\"OK\""), std::string::npos);
+  EXPECT_NE(json.find("\"degraded\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"skipped_contexts\":[2]"), std::string::npos);
+  EXPECT_NE(json.find("\"paper\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"title\":\"A \\\"quoted\\\"\""), std::string::npos);
+  // No title function → no title field.
+  EXPECT_EQ(SearchResponseJson(resp, nullptr).find("title"),
+            std::string::npos);
+}
+
+TEST(HttpTest, UrlDecodeEdgeCases) {
+  EXPECT_EQ(UrlDecode("a+b%20c"), "a b c");
+  EXPECT_EQ(UrlDecode("%2Fpath%3f"), "/path?");
+  EXPECT_EQ(UrlDecode("bad%zzescape%2"), "bad%zzescape%2");
+  EXPECT_EQ(UrlDecode(""), "");
+}
+
+}  // namespace
+}  // namespace ctxrank::serve::net

@@ -60,6 +60,7 @@
 #include "graph/citation_graph.h"
 #include "ontology/obo_io.h"
 #include "ontology/ontology_generator.h"
+#include "serve/request_context.h"
 #include "serve/snapshot.h"
 #include "serve/supervisor.h"
 
@@ -748,9 +749,12 @@ int Serve(const Args& args) {
       continue;
     }
     // Pin the snapshot for this query: a concurrent hot-swap cannot pull
-    // the data out from under it.
+    // the data out from under it. The RequestContext arms the deadline
+    // here, so snapshot pinning counts against the query budget — the
+    // same spine the ctxrankd daemon runs.
     const auto snap = supervisor.current();
-    const auto response = snap->engine().SearchEx(line, options);
+    serve::RequestContext ctx(line, options);
+    const auto& response = ctx.Run(snap->engine());
     ReportDegraded(response, line);
     MaybePrintTrace(response);
     std::printf("%zu results\n", response.hits.size());

@@ -1,0 +1,190 @@
+// ctxrankd — the network serving daemon. Loads a serving snapshot under
+// the hot-reload supervisor, binds one TCP port speaking both the CTXQ1
+// binary protocol and minimal HTTP (/search, /metrics, /healthz — see
+// docs/PROTOCOL.md), and serves until SIGINT/SIGTERM.
+//
+//   ctxrankd --snapshot FILE [--host A] [--port N] [--watch 1]
+//            [--watch-ms N] [--threads N] [--inline 1] [--admission N]
+//            [--cache N] [--deadline-ms N] [--topk K] [--max-conns N]
+//            [--idle-ms N] [--max-frame-bytes N]
+//
+// Operational behavior (docs/OPERATIONS.md): the initial snapshot load
+// must succeed (there is no last-good to fall back to); after that a
+// corrupt replacement never interrupts serving. Prints one line,
+// "ctxrankd listening on HOST:PORT", once the socket is bound — scrape
+// scripts parse it, especially with --port 0 (ephemeral). Exit codes
+// follow the ctxrank CLI convention (0 ok, 2 usage, then StatusCode
+// mapping: 3 invalid argument, 4 not found, 7 failed precondition,
+// 8 internal, 9 I/O error, ...).
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "serve/daemon.h"
+#include "serve/snapshot.h"
+#include "serve/supervisor.h"
+
+namespace ctxrank::daemon_main {
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void OnSignal(int sig) { g_signal.store(sig); }
+
+/// Same minimal --flag value parser as the ctxrank CLI.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+        ok_ = false;
+        return;
+      }
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  bool ok() const { return ok_; }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  long GetInt(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const long v = std::strtol(it->second.c_str(), &end, 10);
+    return (end != nullptr && *end == '\0') ? v : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int ExitCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 3;
+    case StatusCode::kNotFound: return 4;
+    case StatusCode::kAlreadyExists: return 5;
+    case StatusCode::kOutOfRange: return 6;
+    case StatusCode::kFailedPrecondition: return 7;
+    case StatusCode::kInternal: return 8;
+    case StatusCode::kIoError: return 9;
+    case StatusCode::kDeadlineExceeded: return 10;
+    case StatusCode::kResourceExhausted: return 11;
+  }
+  return 8;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "ctxrankd: error: %s\n", status.ToString().c_str());
+  return ExitCode(status.code());
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ctxrankd --snapshot FILE [--flag value]...\n"
+      "  --snapshot FILE      serving snapshot to load (required)\n"
+      "  --host A             listen address (default 127.0.0.1)\n"
+      "  --port N             TCP port; 0 = ephemeral (default 7878)\n"
+      "  --watch 1            watch the snapshot file and hot-reload\n"
+      "  --watch-ms N         watcher poll interval (default 200)\n"
+      "  --threads N          query worker threads (0 = all cores)\n"
+      "  --inline 1           run queries on the reactor thread (no\n"
+      "                       worker handoff; best for cache-hot loads\n"
+      "                       and single-core hosts — set deadlines)\n"
+      "  --admission N        max concurrently executing queries\n"
+      "                       (0 = unlimited); excess queries queue and\n"
+      "                       shed at their deadline\n"
+      "  --cache N            per-snapshot query result cache entries\n"
+      "                       (0 = off); re-applied on every hot reload\n"
+      "  --deadline-ms N      default per-query budget for HTTP queries\n"
+      "                       (binary requests carry their own)\n"
+      "  --topk K             default top-k for HTTP queries (0 = all)\n"
+      "  --max-conns N        connection cap (default 1024)\n"
+      "  --idle-ms N          idle connection timeout (default 60000,\n"
+      "                       0 = never)\n"
+      "  --max-frame-bytes N  binary frame body cap (default 1 MiB)\n"
+      "exit codes: 0 ok (clean shutdown), 2 usage, else the ctxrank\n"
+      "StatusCode mapping (see ctxrank --help)\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (!args.ok()) return Usage();
+  const std::string path = args.Get("snapshot", "");
+  if (path.empty()) return Usage();
+
+  serve::SnapshotSupervisor::Options sup_opts;
+  sup_opts.num_threads = static_cast<size_t>(args.GetInt("threads", 0));
+  sup_opts.watch_interval_ms =
+      static_cast<uint64_t>(args.GetInt("watch-ms", 200));
+  const size_t cache = static_cast<size_t>(args.GetInt("cache", 0));
+  if (cache > 0) {
+    sup_opts.on_load = [cache](serve::ServingSnapshot& snap) {
+      snap.mutable_engine().EnableQueryCache(cache);
+    };
+  }
+  serve::SnapshotSupervisor supervisor(sup_opts);
+  // The initial load must succeed — there is no last-good to fall back
+  // to. Later reloads that fail leave this snapshot serving.
+  const Status first = supervisor.Reload(path);
+  if (!first.ok()) return Fail(first);
+  if (args.GetInt("watch", 0) != 0) {
+    const Status st = supervisor.StartWatching(path);
+    if (!st.ok()) return Fail(st);
+  }
+
+  serve::Daemon::Options opts;
+  opts.host = args.Get("host", "127.0.0.1");
+  opts.port = static_cast<uint16_t>(args.GetInt("port", 7878));
+  opts.workers = static_cast<size_t>(args.GetInt("threads", 0));
+  opts.inline_execution = args.GetInt("inline", 0) != 0;
+  opts.max_in_flight = static_cast<size_t>(args.GetInt("admission", 0));
+  opts.max_connections = static_cast<size_t>(args.GetInt("max-conns", 1024));
+  opts.idle_timeout_ms = static_cast<uint64_t>(args.GetInt("idle-ms", 60000));
+  opts.max_frame_bytes =
+      static_cast<uint32_t>(args.GetInt("max-frame-bytes", 1 << 20));
+  opts.search.top_k = static_cast<size_t>(args.GetInt("topk", 0));
+  opts.search.deadline_ms =
+      static_cast<uint64_t>(args.GetInt("deadline-ms", 0));
+  opts.search.num_threads = 1;  // Parallelism comes from the worker pool.
+
+  serve::Daemon daemon(supervisor, opts);
+  const Status st = daemon.Start();
+  if (!st.ok()) return Fail(st);
+  std::printf("ctxrankd listening on %s:%u (%zu papers, snapshot %s)\n",
+              opts.host.c_str(), daemon.port(),
+              supervisor.current()->num_papers(), path.c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_signal.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("ctxrankd: caught signal %d, shutting down\n", g_signal.load());
+  daemon.Stop();
+  supervisor.StopWatching();
+  return 0;
+}
+
+}  // namespace
+}  // namespace ctxrank::daemon_main
+
+int main(int argc, char** argv) {
+  return ctxrank::daemon_main::Main(argc, argv);
+}
