@@ -16,6 +16,9 @@ echo "== LRU cache + metrics registry under ASan/UBSan =="
 "${build_dir}/tests/common_test" \
   --gtest_filter='LruCache*:Counter*:Gauge*:Histogram*:MetricsRegistry*'
 
+echo "== SIMD admission kernels (scalar + AVX2 dispatch) under ASan/UBSan =="
+"${build_dir}/tests/common_test" --gtest_filter='*SimdLevelTest*:SimdDispatch*'
+
 echo "== inverted + impact indexes under ASan/UBSan =="
 "${build_dir}/tests/text_test" --gtest_filter='InvertedIndex*:ImpactIndex*'
 

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Perf-correctness gate for the block-max fast path: builds the bench
+# twice — once normally (runtime SIMD dispatch, AVX2 where the host has
+# it) and once with -DCTXRANK_NO_SIMD (compile-time scalar-only) — and
+# runs the perf_queries identity sweep on both. The sweep compares every
+# pruned-path result (term and block pruning) bitwise against the exact
+# reference scan, so a pass here proves the SIMD kernels and the scalar
+# fallback produce identical rankings, scores included.
+# Usage: scripts/verify_perf.sh [queries-per-mode]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+queries="${1:-200}"
+
+run_identity() {
+  local build_dir="$1" label="$2" extra_flags="$3"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS="${extra_flags}" >/dev/null
+  cmake --build "${build_dir}" -j --target perf_queries >/dev/null
+  echo "== identity sweep (${label}) =="
+  local out
+  out="$("${build_dir}/bench/perf_queries" --queries "${queries}")"
+  echo "${out}"
+  # The bench prints "identity: OK ..." only when every pruned result is
+  # bitwise-equal to the exact scan; anything else is a gate failure.
+  if ! grep -q "identity: OK" <<<"${out}"; then
+    echo "FAIL: ${label} build diverged from the exact reference scan" >&2
+    return 1
+  fi
+  if ! grep -q "simd_level=${4}" <<<"${out}"; then
+    echo "FAIL: ${label} build reports the wrong SIMD level" >&2
+    return 1
+  fi
+}
+
+run_identity "${repo_root}/build-perf-simd" "runtime SIMD dispatch" "" \
+  "$(grep -qm1 avx2 /proc/cpuinfo 2>/dev/null && echo avx2 || echo scalar)"
+run_identity "${repo_root}/build-perf-scalar" "CTXRANK_NO_SIMD scalar" \
+  "-DCTXRANK_NO_SIMD" "scalar"
+
+echo "perf verification passed: SIMD and scalar builds are bitwise-identical"
+echo "to the exact scan."

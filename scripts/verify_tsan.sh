@@ -20,6 +20,9 @@ echo "== thread pool + concurrent caches/injector/limiter/metrics under TSan =="
 echo "== parallel determinism regressions under TSan =="
 "${build_dir}/tests/context_test" --gtest_filter='ParallelPrestige*'
 
+echo "== block-max fast path vs parallel batch search under TSan =="
+"${build_dir}/tests/context_test" --gtest_filter='QueryFastPath*'
+
 echo "== deadline degradation + trace/shed propagation across threads under TSan =="
 "${build_dir}/tests/context_test" --gtest_filter='ResilientSearch*:QueryTrace*'
 

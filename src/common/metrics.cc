@@ -192,6 +192,13 @@ uint64_t MetricsRegistry::SumCounters() const {
   return total;
 }
 
+std::map<std::string, uint64_t> MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> values;
+  for (const auto& [name, counter] : counters_) values[name] = counter->Value();
+  return values;
+}
+
 uint64_t MetricsRegistry::SumHistogramCounts() const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;

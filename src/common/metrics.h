@@ -13,9 +13,10 @@
 //   * The registry itself is a leaked singleton: worker threads that
 //     outlive main's locals can still bump metrics safely during shutdown.
 //   * Disarmed-cost guard: bench/perf_queries derives the per-query
-//     instrumentation cost from exact mutation counts (metric value
-//     deltas) times a measured per-op cost — Increment(0)/Add(0) are
-//     no-ops so the delta undercounts nothing.
+//     instrumentation cost from counter update *calls* (counters whose
+//     value changed across a sweep, each bumped at most once per query —
+//     a batched Increment(n) is one atomic add) times a measured per-op
+//     cost; Increment(0)/Add(0) are no-ops so nothing is undercounted.
 #ifndef CTXRANK_COMMON_METRICS_H_
 #define CTXRANK_COMMON_METRICS_H_
 
@@ -148,6 +149,12 @@ class MetricsRegistry {
   /// by their increments (an upper bound on atomic ops; the overhead
   /// guard's conservative direction).
   uint64_t SumCounters() const;
+  /// Name -> value for every registered counter. Bench support: a batched
+  /// Increment(n) is ONE atomic add but n value units, so SumCounters
+  /// deltas overcount update *calls*. Counting counters whose value
+  /// changed across a workload instead gives a tight per-query call bound
+  /// when each serving-path counter is bumped at most once per query.
+  std::map<std::string, uint64_t> CounterValues() const;
   /// Total observations across every histogram (one Observe each).
   uint64_t SumHistogramCounts() const;
 

@@ -38,6 +38,17 @@ struct QueryTrace {
   size_t contexts_skipped = 0;
   size_t hits = 0;
 
+  /// Block-max funnel (block pruning mode only; both stay 0 on the
+  /// per-term fallback and the exact path). Counted across every admitting
+  /// term of every scanned context: `blocks_scanned` postings blocks were
+  /// visited, `blocks_skipped` were rejected by their block max without
+  /// touching a posting. scanned + skipped = total blocks of those terms.
+  size_t blocks_scanned = 0;
+  size_t blocks_skipped = 0;
+  /// SIMD kernel level the block path dispatched to ("avx2" / "scalar");
+  /// "" when the query never entered the block path.
+  std::string simd_level;
+
   /// Stage timings, microseconds: query analysis (tokenize + TF-IDF),
   /// context routing, scan/merge, and end-to-end (including cache probes).
   double analyze_us = 0.0;
@@ -47,33 +58,39 @@ struct QueryTrace {
 
   /// Two-line human-readable rendering (CLI `--trace`).
   std::string ToString() const {
-    char buf[384];
+    char buf[512];
     std::snprintf(
         buf, sizeof(buf),
         "trace: path=%s cache=%s degraded=%s hits=%zu%s%s\n"
         "  contexts: selected=%zu scanned=%zu pruned=%zu skipped=%zu | "
+        "blocks: scanned=%zu skipped=%zu%s%s | "
         "us: analyze=%.1f route=%.1f scan=%.1f total=%.1f\n",
         path.c_str(), cache_hit ? "hit" : "miss", degraded ? "yes" : "no",
         hits, cause.empty() ? "" : " cause=", cause.c_str(),
         contexts_selected, contexts_scanned, contexts_pruned,
-        contexts_skipped, analyze_us, route_us, scan_us, total_us);
+        contexts_skipped, blocks_scanned, blocks_skipped,
+        simd_level.empty() ? "" : " simd=", simd_level.c_str(),
+        analyze_us, route_us, scan_us, total_us);
     return buf;
   }
 
   /// One-line JSON object (machine consumers; batch `--trace` output).
   std::string ToJson() const {
-    char buf[448];
+    char buf[576];
     std::snprintf(
         buf, sizeof(buf),
         "{\"path\": \"%s\", \"cache_hit\": %s, \"degraded\": %s, "
         "\"shed\": %s, \"cause\": \"%s\", \"contexts_selected\": %zu, "
         "\"contexts_scanned\": %zu, \"contexts_pruned\": %zu, "
-        "\"contexts_skipped\": %zu, \"hits\": %zu, \"analyze_us\": %.1f, "
-        "\"route_us\": %.1f, \"scan_us\": %.1f, \"total_us\": %.1f}",
+        "\"contexts_skipped\": %zu, \"blocks_scanned\": %zu, "
+        "\"blocks_skipped\": %zu, \"simd_level\": \"%s\", \"hits\": %zu, "
+        "\"analyze_us\": %.1f, \"route_us\": %.1f, \"scan_us\": %.1f, "
+        "\"total_us\": %.1f}",
         path.c_str(), cache_hit ? "true" : "false",
         degraded ? "true" : "false", shed ? "true" : "false", cause.c_str(),
         contexts_selected, contexts_scanned, contexts_pruned,
-        contexts_skipped, hits, analyze_us, route_us, scan_us, total_us);
+        contexts_skipped, blocks_scanned, blocks_skipped, simd_level.c_str(),
+        hits, analyze_us, route_us, scan_us, total_us);
     return buf;
   }
 };

@@ -1,0 +1,152 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if !defined(CTXRANK_NO_SIMD) && (defined(__x86_64__) || defined(__i386__))
+#define CTXRANK_SIMD_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define CTXRANK_SIMD_HAVE_AVX2 0
+#endif
+
+namespace ctxrank::simd {
+namespace {
+
+Level DetectLevel() {
+#if CTXRANK_SIMD_HAVE_AVX2
+  // Runtime escape hatch: CTXRANK_SIMD=scalar forces the portable kernels
+  // in an AVX2-capable build (verify_perf.sh uses it to A/B one binary).
+  if (const char* env = std::getenv("CTXRANK_SIMD");
+      env != nullptr && std::strcmp(env, "scalar") == 0) {
+    return Level::kScalar;
+  }
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+}
+
+Level DetectedLevel() {
+  static const Level detected = DetectLevel();
+  return detected;
+}
+
+std::atomic<Level> g_forced{Level{-1}};  // -1 sentinel: not forced.
+
+size_t AdmitPrefixScalar(const double* w, size_t stride, size_t n,
+                         const AdmitBound& b) {
+  for (size_t i = 0; i < n; ++i) {
+    if (!b.Admits(w[i * stride])) return i;
+  }
+  return n;
+}
+
+#if CTXRANK_SIMD_HAVE_AVX2
+
+/// Evaluates the admission chain on 4 weight lanes and returns the lane
+/// mask of passing lanes (bit i set <=> lane i admits). Same operation
+/// order as AdmitBound::Admits.
+__attribute__((target("avx2"))) inline int AdmitMask4(__m256d vw,
+                                                      const AdmitBound& b) {
+  const __m256d dot_ub =
+      _mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(b.qw), vw),
+                    _mm256_set1_pd(b.tail));
+  const __m256d slack = _mm256_set1_pd(b.slack);
+  const __m256d match_ub = _mm256_add_pd(
+      _mm256_mul_pd(_mm256_add_pd(dot_ub, slack),
+                    _mm256_set1_pd(b.inv_denom)),
+      slack);
+  const __m256d ub = _mm256_add_pd(
+      _mm256_set1_pd(b.base),
+      _mm256_mul_pd(_mm256_set1_pd(b.wm), match_ub));
+  return _mm256_movemask_pd(
+      _mm256_cmp_pd(ub, _mm256_set1_pd(b.theta), _CMP_GE_OQ));
+}
+
+__attribute__((target("avx2"))) size_t AdmitPrefixAvx2(const double* w,
+                                                       size_t n,
+                                                       const AdmitBound& b) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int mask = AdmitMask4(_mm256_loadu_pd(w + i), b);
+    if (mask != 0xF) {
+      // First failing lane: lowest zero bit of the mask.
+      return i + static_cast<size_t>(__builtin_ctz(~static_cast<unsigned>(mask)));
+    }
+  }
+  for (; i < n; ++i) {
+    if (!b.Admits(w[i])) return i;
+  }
+  return n;
+}
+
+__attribute__((target("avx2"))) size_t AdmitPrefixStridedAvx2(
+    const double* w, size_t stride, size_t n, const AdmitBound& b) {
+  const long long s = static_cast<long long>(stride);
+  const __m256i idx = _mm256_set_epi64x(3 * s, 2 * s, s, 0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vw =
+        _mm256_i64gather_pd(w + i * stride, idx, sizeof(double));
+    const int mask = AdmitMask4(vw, b);
+    if (mask != 0xF) {
+      return i + static_cast<size_t>(__builtin_ctz(~static_cast<unsigned>(mask)));
+    }
+  }
+  for (; i < n; ++i) {
+    if (!b.Admits(w[i * stride])) return i;
+  }
+  return n;
+}
+
+#endif  // CTXRANK_SIMD_HAVE_AVX2
+
+}  // namespace
+
+Level ActiveLevel() {
+  const Level forced = g_forced.load(std::memory_order_relaxed);
+  if (forced != Level{-1}) return forced;
+  return DetectedLevel();
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kScalar:
+    default:
+      return "scalar";
+  }
+}
+
+void ForceLevelForTest(Level level) {
+  // Never force above what the build/CPU can execute.
+  if (level == Level::kAvx2 && DetectedLevel() != Level::kAvx2) {
+    level = DetectedLevel();
+  }
+  g_forced.store(level, std::memory_order_relaxed);
+}
+
+void ResetLevelForTest() {
+  g_forced.store(Level{-1}, std::memory_order_relaxed);
+}
+
+size_t AdmitPrefix(const double* w, size_t n, const AdmitBound& bound) {
+#if CTXRANK_SIMD_HAVE_AVX2
+  if (ActiveLevel() == Level::kAvx2) return AdmitPrefixAvx2(w, n, bound);
+#endif
+  return AdmitPrefixScalar(w, 1, n, bound);
+}
+
+size_t AdmitPrefixStrided(const double* w, size_t stride, size_t n,
+                          const AdmitBound& bound) {
+#if CTXRANK_SIMD_HAVE_AVX2
+  if (ActiveLevel() == Level::kAvx2) {
+    return AdmitPrefixStridedAvx2(w, stride, n, bound);
+  }
+#endif
+  return AdmitPrefixScalar(w, stride, n, bound);
+}
+
+}  // namespace ctxrank::simd

@@ -1,0 +1,87 @@
+// Runtime-dispatched SIMD kernels for the block-max pruned query path.
+//
+// The only vectorized operation the scan loops need is "how long is the
+// prefix of this descending-weight array that still passes the admission
+// bound?" — evaluated over per-block max weights (contiguous doubles) and
+// over the weights of one postings block (16-byte stride). Both kernels
+// have an AVX2 variant and a portable scalar fallback; the variant is
+// picked once per process via cpuid (__builtin_cpu_supports), overridable
+// at runtime with CTXRANK_SIMD=scalar and at compile time with
+// -DCTXRANK_NO_SIMD (which removes the AVX2 code entirely — the build
+// scripts' scalar-fallback configuration).
+//
+// Identity contract: both variants evaluate the same conservative
+// admission bound. They may disagree on the last few ULPs (the compiler is
+// free to contract the scalar chain into FMAs; the intrinsics are not),
+// which can shift the admission boundary by a posting — that is safe by
+// construction, because the bound is an over-estimate with kUbSlack of
+// headroom and every admitted candidate is rescored exactly. Final search
+// results are bitwise identical across kScalar/kAvx2 and across
+// CTXRANK_NO_SIMD builds; only funnel counts may differ microscopically.
+#ifndef CTXRANK_COMMON_SIMD_H_
+#define CTXRANK_COMMON_SIMD_H_
+
+#include <cstddef>
+
+namespace ctxrank::simd {
+
+enum class Level {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// The kernel variant serving this process: the best level the CPU
+/// supports (detected once, thread-safe), unless compiled out
+/// (CTXRANK_NO_SIMD), disabled via the CTXRANK_SIMD=scalar environment
+/// variable, or overridden by ForceLevelForTest.
+Level ActiveLevel();
+
+/// "avx2" / "scalar" (stable strings for metrics + traces).
+const char* LevelName(Level level);
+inline const char* ActiveLevelName() { return LevelName(ActiveLevel()); }
+
+/// Test hook: force a dispatch level. Requests above what the CPU/build
+/// supports are clamped to the detected level. Not thread-safe against
+/// in-flight queries — property tests sweep it between runs.
+void ForceLevelForTest(Level level);
+/// Test hook: back to the auto-detected level.
+void ResetLevelForTest();
+
+/// \brief The pruned scan's admission bound, hoisted per (context, term):
+/// a candidate first seen at a posting of weight w can reach at most
+///   base + wm * ((qw * w + tail + slack) * inv_denom + slack)
+/// (see the bound derivation in search_engine.cc). Admits(w) is the scalar
+/// reference predicate; the kernels below evaluate the same chain 4 lanes
+/// at a time. Monotone in w, so over a descending-weight array the
+/// passing postings form a prefix.
+struct AdmitBound {
+  double base;       // wp * max_prestige(context)
+  double wm;         // matching weight
+  double inv_denom;  // 1 / (||q|| * min_positive_norm), 0 when degenerate
+  double slack;      // kUbSlack
+  double qw;         // query weight of the term being scanned
+  double tail;       // rest[j + 1]: bound suffix of the remaining terms
+  double theta;      // current top-k pruning threshold
+
+  bool Admits(double w) const {
+    const double dot_ub = qw * w + tail;
+    return base + wm * ((dot_ub + slack) * inv_denom + slack) >= theta;
+  }
+};
+
+/// Length of the admission-passing prefix of `w[0..n)`: the first index
+/// whose bound falls below theta (n when every element passes). `w` must
+/// be non-increasing for the result to be a true prefix; the kernel
+/// itself just reports the first failing element.
+size_t AdmitPrefix(const double* w, size_t n, const AdmitBound& bound);
+
+/// Same, over weights embedded in 16-byte posting records: `w` points at
+/// the first weight, consecutive weights are `stride` doubles apart
+/// (stride 2 for ImpactOrderedIndex::Posting). Batched weight loads via
+/// gather on the AVX2 path.
+size_t AdmitPrefixStrided(const double* w, size_t stride, size_t n,
+                          const AdmitBound& bound);
+
+}  // namespace ctxrank::simd
+
+#endif  // CTXRANK_COMMON_SIMD_H_

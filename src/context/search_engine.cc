@@ -11,6 +11,7 @@
 
 #include "common/fault_injection.h"
 #include "common/metrics.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "ontology/semantic_similarity.h"
 
@@ -34,6 +35,10 @@ struct ServingMetrics {
   obs::Counter& contexts_scanned;
   obs::Counter& contexts_pruned;
   obs::Counter& contexts_skipped;
+  obs::Counter& blocks_scanned;
+  obs::Counter& blocks_skipped;
+  obs::Counter& simd_avx2;
+  obs::Counter& simd_scalar;
   obs::Histogram& latency_us;
 };
 
@@ -51,6 +56,10 @@ ServingMetrics& Metrics() {
       reg.GetCounter("ctxrank_search_contexts_scanned_total"),
       reg.GetCounter("ctxrank_search_contexts_pruned_total"),
       reg.GetCounter("ctxrank_search_contexts_skipped_total"),
+      reg.GetCounter("ctxrank_search_blocks_scanned_total"),
+      reg.GetCounter("ctxrank_search_blocks_skipped_total"),
+      reg.GetCounter("ctxrank_simd_dispatch_avx2_total"),
+      reg.GetCounter("ctxrank_simd_dispatch_scalar_total"),
       reg.GetHistogram("ctxrank_search_latency_us", obs::LatencyBucketsUs())};
   return m;
 }
@@ -72,6 +81,13 @@ double MicrosSince(MonoClock::time_point t0) {
 // costing selectivity.
 constexpr double kUbSlack = 1e-9;
 
+// Cost of one forward-lookup update (FullVector pointer chase + binary
+// search over the doc's entries) measured in sequential posting visits —
+// the block path's per-term choice between forward-updating the admitted
+// candidates and walking the barred postings tail update-only. Both sides
+// produce bit-identical accumulators, so this is purely a speed knob.
+constexpr size_t kLookupCostVsPosting = 16;
+
 void SortHits(std::vector<SearchHit>& hits) {
   std::sort(hits.begin(), hits.end(),
             [](const SearchHit& a, const SearchHit& b) {
@@ -82,21 +98,30 @@ void SortHits(std::vector<SearchHit>& hits) {
 
 /// Exact cache key: analyzed query term ids (sorted — TF-IDF weighting is
 /// bag-of-words, so word order never changes the result) plus the raw bit
-/// patterns of every result-affecting option. num_threads, bypass_cache
-/// and trace are excluded: results are thread-count invariant by contract
-/// and tracing never changes them.
+/// patterns of every result-affecting option, plus `engine_fingerprint`
+/// (the engine's block size and the active SIMD dispatch level). Results
+/// are bitwise identical across pruning modes, block sizes and SIMD
+/// levels, but the fingerprint keeps the invariant structural: a hit can
+/// never have been computed under different knobs than the lookup's, so
+/// toggling --pruning/--block-size (or forcing a SIMD level) can never
+/// serve a stale entry even if a future mode breaks strict identity.
+/// num_threads, bypass_cache and trace are excluded: results are
+/// thread-count invariant by contract and tracing never changes them.
 std::string CacheKey(std::vector<text::TermId> ids,
-                     const SearchOptions& options) {
+                     const SearchOptions& options,
+                     uint64_t engine_fingerprint) {
   std::sort(ids.begin(), ids.end());
   std::string key;
-  key.reserve(ids.size() * sizeof(text::TermId) + 8 * sizeof(uint64_t));
+  key.reserve(ids.size() * sizeof(text::TermId) + 10 * sizeof(uint64_t));
   const auto put = [&key](const void* p, size_t n) {
     key.append(static_cast<const char*>(p), n);
   };
   for (const text::TermId id : ids) put(&id, sizeof(id));
   const uint64_t ints[] = {options.max_contexts, options.semantic_expansion,
                            options.top_k,
-                           static_cast<uint64_t>(options.exact_scan)};
+                           static_cast<uint64_t>(options.exact_scan),
+                           static_cast<uint64_t>(options.pruning),
+                           engine_fingerprint};
   put(ints, sizeof(ints));
   const double doubles[] = {options.min_context_score, options.min_relevancy,
                             options.weights.prestige,
@@ -117,7 +142,27 @@ std::string CacheKey(std::vector<text::TermId> ids,
 /// k-th best, so pruning `ub < theta()` can never drop a top-k paper.
 class ContextSearchEngine::TopKMerger {
  public:
-  TopKMerger(size_t k, double min_relevancy) : k_(k), theta_(min_relevancy) {}
+  /// `num_papers` sizes the flat per-paper slot table. Storage is
+  /// thread-local and epoch-stamped: construction bumps the epoch, which
+  /// invalidates every slot in O(1) — no per-query clear, no hashing on
+  /// the emit path. One merger lives per query and queries are sequential
+  /// within a thread (SearchManyEx parallelizes across queries), so the
+  /// slots are never shared.
+  TopKMerger(size_t k, double min_relevancy, size_t num_papers)
+      : k_(k), theta_(min_relevancy), slots_(&TlSlots()) {
+    Slots& s = *slots_;
+    if (s.hits.size() < num_papers) {
+      s.hits.resize(num_papers);
+      s.stamp.resize(num_papers, 0);
+    }
+    if (++s.epoch == 0) {
+      // Epoch wrapped: stale stamps could collide. Reset them all (once
+      // per 2^32 queries on a thread).
+      std::fill(s.stamp.begin(), s.stamp.end(), 0u);
+      s.epoch = 1;
+    }
+    s.active.clear();
+  }
 
   double theta() const { return theta_; }
 
@@ -128,14 +173,20 @@ class ContextSearchEngine::TopKMerger {
   }
 
   void Emit(const SearchHit& hit) {
-    auto [it, inserted] = merged_.try_emplace(hit.paper, hit);
-    if (!inserted) {
-      if (!(hit.relevancy > it->second.relevancy)) return;
-      it->second = hit;
+    Slots& s = *slots_;
+    uint32_t& stamp = s.stamp[hit.paper];
+    if (stamp != s.epoch) {
+      stamp = s.epoch;
+      s.hits[hit.paper] = hit;
+      s.active.push_back(hit.paper);
+    } else {
+      SearchHit& cur = s.hits[hit.paper];
+      if (!(hit.relevancy > cur.relevancy)) return;
+      cur = hit;
     }
     ++dirty_;
-    if (k_ > 0 && merged_.size() >= k_ &&
-        dirty_ >= std::max(k_, merged_.size() / 4)) {
+    if (k_ > 0 && s.active.size() >= k_ &&
+        dirty_ >= std::max(k_, s.active.size() / 4)) {
       Refresh();
     }
   }
@@ -144,11 +195,12 @@ class ContextSearchEngine::TopKMerger {
   /// fewer than k papers have been merged, when k is 0 = unbounded, or
   /// when nothing was emitted since the last refresh).
   void Refresh() {
-    if (k_ == 0 || merged_.size() < k_ || dirty_ == 0) return;
+    Slots& s = *slots_;
+    if (k_ == 0 || s.active.size() < k_ || dirty_ == 0) return;
     dirty_ = 0;
     buf_.clear();
-    buf_.reserve(merged_.size());
-    for (const auto& [paper, hit] : merged_) buf_.push_back(hit.relevancy);
+    buf_.reserve(s.active.size());
+    for (const PaperId p : s.active) buf_.push_back(s.hits[p].relevancy);
     std::nth_element(buf_.begin(), buf_.begin() + (k_ - 1), buf_.end(),
                      std::greater<double>());
     theta_ = std::max(theta_, buf_[k_ - 1]);
@@ -156,19 +208,31 @@ class ContextSearchEngine::TopKMerger {
 
   /// Final ranking: relevancy desc, paper asc, truncated to k (0 = all).
   std::vector<SearchHit> Finish() {
+    Slots& s = *slots_;
     std::vector<SearchHit> hits;
-    hits.reserve(merged_.size());
-    for (auto& [paper, hit] : merged_) hits.push_back(hit);
+    hits.reserve(s.active.size());
+    for (const PaperId p : s.active) hits.push_back(s.hits[p]);
     SortHits(hits);
     if (k_ > 0 && hits.size() > k_) hits.resize(k_);
     return hits;
   }
 
  private:
+  struct Slots {
+    std::vector<SearchHit> hits;    // indexed by paper id
+    std::vector<uint32_t> stamp;    // slot valid iff stamp[p] == epoch
+    std::vector<PaperId> active;    // papers emitted this query
+    uint32_t epoch = 0;
+  };
+  static Slots& TlSlots() {
+    static thread_local Slots slots;
+    return slots;
+  }
+
   size_t k_;
   double theta_;
   size_t dirty_ = 0;
-  std::unordered_map<PaperId, SearchHit> merged_;
+  Slots* slots_;
   std::vector<double> buf_;
 };
 
@@ -231,7 +295,7 @@ ContextSearchEngine::ContextSearchEngine(const corpus::TokenizedCorpus& tc,
           if (!prestige.HasScores(t)) continue;
           ContextIndex& ci = context_index_[t];
           for (const PaperId p : members) ci.index.Add(tc.FullVector(p));
-          ci.index.Finalize();
+          ci.index.Finalize(engine_options.block_size);
           const auto& scores = prestige.Scores(t);
           const auto prestige_of = [&scores](uint32_t i) {
             return i < scores.size() ? scores[i] : 0.0;
@@ -256,6 +320,7 @@ ContextSearchEngine::ContextSearchEngine(const corpus::TokenizedCorpus& tc,
     index_postings_ += ci.index.total_postings();
     max_indexed_members_ =
         std::max(max_indexed_members_, ci.index.num_documents());
+    if (ci.index.has_blocks()) index_block_size_ = ci.index.block_size();
   }
 }
 
@@ -305,16 +370,26 @@ std::vector<ContextMatch> ContextSearchEngine::SelectContextsFromVector(
     if (score >= min_score && score > 0.0) matches.push_back({t, score});
   }
   for (const TermId t : scored) dot[t] = 0.0;  // Restore the all-zero state.
-  std::sort(matches.begin(), matches.end(),
-            [this](const ContextMatch& a, const ContextMatch& b) {
-              if (a.score != b.score) return a.score > b.score;
-              // More specific (deeper) contexts first on ties.
-              const int la = onto_->term(a.term).level;
-              const int lb = onto_->term(b.term).level;
-              if (la != lb) return la > lb;
-              return a.term < b.term;
-            });
-  if (matches.size() > max_contexts) matches.resize(max_contexts);
+  const auto better = [this](const ContextMatch& a, const ContextMatch& b) {
+    if (a.score != b.score) return a.score > b.score;
+    // More specific (deeper) contexts first on ties.
+    const int la = onto_->term(a.term).level;
+    const int lb = onto_->term(b.term).level;
+    if (la != lb) return la > lb;
+    return a.term < b.term;
+  };
+  // Only the top max_contexts survive, and the comparator is a total
+  // order (term id breaks every tie), so a partial sort returns exactly
+  // the prefix a full sort would — at O(n log k) instead of O(n log n),
+  // which matters: every query ranks a few hundred candidate contexts to
+  // keep max_contexts (default 5).
+  if (max_contexts > 0 && matches.size() > max_contexts) {
+    std::partial_sort(matches.begin(), matches.begin() + max_contexts,
+                      matches.end(), better);
+    matches.resize(max_contexts);
+  } else {
+    std::sort(matches.begin(), matches.end(), better);
+  }
   return matches;
 }
 
@@ -433,7 +508,7 @@ std::vector<SearchHit> ContextSearchEngine::ExactScan(
 ContextSearchEngine::ScanOutcome ContextSearchEngine::ScanContext(
     const text::SparseVector& qv, double query_norm, TermId term,
     const SearchOptions& options, const Deadline& deadline, Scratch& scratch,
-    TopKMerger& merger) const {
+    TopKMerger& merger, ScanCounts* counts) const {
   fault::MaybeStall("search/scan_context");
   if (!prestige_->HasScores(term)) return ScanOutcome::kScanned;
   const auto& members = assignment_->Members(term);
@@ -505,15 +580,43 @@ ContextSearchEngine::ScanOutcome ContextSearchEngine::ScanContext(
   }
 
   // Term-at-a-time accumulation over the impact-ordered postings. Every
-  // candidate admitted before the first admission failure (clean_count
-  // prefix of `touched`) has a complete, merge-ordered dot product;
-  // candidates admitted after one may have missed earlier contributions —
-  // but only if they already failed an admission check, which proves their
-  // total relevancy below the (monotone) threshold, so the loose rescore
-  // below can never emit a wrong result for them.
+  // candidate admitted before the first admission-exclusion event
+  // (clean_count prefix of `touched`) has a complete, merge-ordered dot
+  // product; candidates admitted after one may have missed earlier
+  // contributions — but only if they already failed an admission check,
+  // which proves their total relevancy below the (monotone) threshold, so
+  // the loose rescore below can never emit a wrong result for them.
+  //
+  // Two accumulation strategies, selected per context:
+  //   * kTerm (PR-2 baseline; also the fallback for indexes without block
+  //     metadata): posting-at-a-time admission checks, and after the
+  //     admission cut the rest of the list is still walked to update
+  //     already-admitted candidates.
+  //   * kBlock: already-admitted candidates get this term's contribution
+  //     by direct forward lookup *first* (same double, same ascending-term
+  //     position in the accumulation, so accumulators stay bitwise equal
+  //     to the list walk), which frees the postings walk to stop dead at
+  //     the admission cut. The cut itself comes from the per-block max
+  //     weights: the SIMD kernel finds the first block whose max cannot
+  //     admit, blocks past it are skipped without touching their postings,
+  //     and blocks strictly before the boundary admit with no per-posting
+  //     bound checks at all — every posting there outweighs the next
+  //     block's max, which passed. Only the boundary block needs
+  //     per-posting bounds (the strided kernel). Admission differences
+  //     from the term path are impossible in exact arithmetic and safe
+  //     under FP divergence: the bound is conservative either way and
+  //     every admitted candidate is rescored exactly.
   std::vector<double>& acc = scratch.acc;
   std::vector<uint32_t>& touched = scratch.touched;
   size_t clean_count = std::numeric_limits<size_t>::max();
+  const bool use_blocks =
+      options.pruning == PruningMode::kBlock && ci->index.has_blocks();
+  // Touched-doc id range, maintained for the block path's accumulator
+  // skip: an unconditional block whose doc bounds miss [tmin, tmax] cannot
+  // contain an already-admitted doc, so its postings admit with no
+  // accumulator reads at all.
+  uint32_t tmin = std::numeric_limits<uint32_t>::max();
+  uint32_t tmax = 0;
   for (size_t j = 0; j < qterms.size(); ++j) {
     // Pruning-block boundary (every other one: a block is microseconds,
     // so skipping alternate checks costs one block of granularity and
@@ -528,57 +631,191 @@ ContextSearchEngine::ScanOutcome ContextSearchEngine::ScanContext(
     }
     const double qw = qterms[j].weight;
     const double theta = merger.theta();
-    // rest[j] is the best dot bound any candidate *first admitted at this
-    // term* could have (its max posting weight plus the full remaining
-    // suffix). If even that cannot reach theta, no posting of this term
-    // can admit — skip the whole impact-ordered list and add the term's
-    // contribution to the (few) already-admitted papers by direct forward
-    // lookup instead. The looked-up weight is the same double the posting
-    // stores and lands at the same ascending-term position in the
-    // accumulation, so accumulators stay bitwise equal to the list scan.
-    // The suffixes shrink with j and theta never loosens, so once this
-    // fires with nothing admitted yet, no later term can admit either.
-    if (wp * ci->max_prestige + wm * match_ub(rest[j]) < theta) {
-      if (touched.empty()) break;
-      for (const uint32_t i : touched) {
-        const double w = tc_->FullVector(members[i]).WeightOf(qterms[j].term);
-        if (w != 0.0) acc[i] += qw * w;
+    if (!use_blocks) {
+      // rest[j] is the best dot bound any candidate *first admitted at
+      // this term* could have (its max posting weight plus the full
+      // remaining suffix). If even that cannot reach theta, no posting of
+      // this term can admit — skip the whole impact-ordered list and add
+      // the term's contribution to the (few) already-admitted papers by
+      // direct forward lookup instead. The looked-up weight is the same
+      // double the posting stores and lands at the same ascending-term
+      // position in the accumulation, so accumulators stay bitwise equal
+      // to the list scan. The suffixes shrink with j and theta never
+      // loosens, so once this fires with nothing admitted yet, no later
+      // term can admit either.
+      if (wp * ci->max_prestige + wm * match_ub(rest[j]) < theta) {
+        if (touched.empty()) break;
+        for (const uint32_t i : touched) {
+          const double w =
+              tc_->FullVector(members[i]).WeightOf(qterms[j].term);
+          if (w != 0.0) acc[i] += qw * w;
+        }
+        continue;
+      }
+      const auto& postings = ci->index.PostingsOf(qterms[j].term);
+      bool admit = true;
+      for (const auto& p : postings) {
+        const double contrib = qw * p.weight;
+        if (acc[p.doc] != 0.0) {
+          acc[p.doc] += contrib;
+          continue;
+        }
+        if (!admit) continue;
+        if (wp * ci->max_prestige + wm * match_ub(contrib + rest[j + 1]) >=
+            theta) {
+          acc[p.doc] = contrib;
+          touched.push_back(p.doc);
+          continue;
+        }
+        // Impact order: every later posting of this term has a smaller
+        // bound, so the whole tail is barred from admission. Keep walking
+        // only to update papers admitted via earlier terms.
+        admit = false;
+        clean_count = std::min(clean_count, touched.size());
+        if (touched.empty()) break;
       }
       continue;
     }
-    const auto& postings = ci->index.PostingsOf(qterms[j].term);
-    bool admit = true;
-    for (const auto& p : postings) {
-      const double contrib = qw * p.weight;
-      if (acc[p.doc] != 0.0) {
-        acc[p.doc] += contrib;
-        continue;
+    // --- block-max path ---
+    const auto postings = ci->index.PostingsOf(qterms[j].term);
+    const auto blocks = ci->index.BlocksOf(qterms[j].term);
+    const size_t num_blocks = blocks.max_weight.size();
+    const size_t bs = ci->index.block_size();
+    const simd::AdmitBound bound{wp * ci->max_prestige, wm,     inv_denom,
+                                 kUbSlack,              qw,     rest[j + 1],
+                                 theta};
+    // The admission cut at block granularity: per-block maxima are
+    // non-increasing, so the passing blocks are the prefix the kernel
+    // reports. Block 0's bound equals the whole-term rest[j] bound the
+    // term path tests, so pass == 0 subsumes that skip — and with nothing
+    // admitted yet it proves no later term can admit either (suffixes
+    // shrink, theta never loosens).
+    const size_t pass =
+        simd::AdmitPrefix(blocks.max_weight.data(), num_blocks, bound);
+    const size_t prior = touched.size();
+    if (pass == 0 && prior == 0) {
+      if (counts != nullptr) {
+        counts->blocks_skipped += num_blocks;
+        counts->used_block_path = true;
       }
-      if (!admit) continue;
-      if (wp * ci->max_prestige + wm * match_ub(contrib + rest[j + 1]) >=
-          theta) {
-        acc[p.doc] = contrib;
+      break;
+    }
+    // Refine the cut inside the boundary block (the last one whose max
+    // passed): its postings need individual bounds — the strided kernel
+    // batches the weight loads and returns the per-posting prefix.
+    // Everything before `cut` admits, everything from `cut` on is barred
+    // (impact order: weights only shrink).
+    size_t cut = 0;
+    if (pass > 0) {
+      const size_t bstart = (pass - 1) * bs;
+      const size_t bend = std::min(pass * bs, postings.size());
+      cut = bstart + simd::AdmitPrefixStrided(&postings[bstart].weight, 2,
+                                              bend - bstart, bound);
+    }
+    // Already-admitted candidates still need this term's contribution even
+    // though the walk stops at the cut. Two ways to deliver it, chosen by
+    // cost: per-candidate forward lookup (pointer chase + binary search,
+    // ~kLookupCostVsPosting sequential posting visits each) when few
+    // candidates stand against a long barred tail, or walking the barred
+    // tail update-only (the PR-2 pattern) when the candidate set is large
+    // — with whole tail blocks skipped when their doc-id bounds prove
+    // they hold no admitted candidate.
+    size_t tail_visited = 0;
+    if (prior == 0) {
+      // First admitting term: nothing to update, nothing to collide with —
+      // admit the whole admission region without reading the accumulator.
+      for (size_t i = 0; i < cut; ++i) {
+        const auto& p = postings[i];
+        acc[p.doc] = qw * p.weight;
         touched.push_back(p.doc);
-        continue;
       }
-      // Impact order: every later posting of this term has a smaller
-      // bound, so the whole tail is barred from admission. Keep walking
-      // only to update papers admitted via earlier terms.
-      admit = false;
+    } else if (prior * kLookupCostVsPosting < postings.size() - cut) {
+      for (size_t k = 0; k < prior; ++k) {
+        const uint32_t i = touched[k];
+        const double w = tc_->FullVector(members[i]).WeightOf(qterms[j].term);
+        if (w != 0.0) acc[i] += qw * w;
+      }
+      for (size_t b = 0; b < pass; ++b) {
+        const size_t start = b * bs;
+        const size_t end = std::min(std::min(start + bs, postings.size()),
+                                    cut);
+        __builtin_prefetch(postings.data() + end);
+        if (blocks.doc_max[b] < tmin || blocks.doc_min[b] > tmax) {
+          // No admitted candidate in this block (docs are unique within a
+          // list): admit without accumulator reads.
+          for (size_t i = start; i < end; ++i) {
+            const auto& p = postings[i];
+            acc[p.doc] = qw * p.weight;
+            touched.push_back(p.doc);
+          }
+        } else {
+          for (size_t i = start; i < end; ++i) {
+            const auto& p = postings[i];
+            if (acc[p.doc] != 0.0) continue;  // Forward pass covered it.
+            acc[p.doc] = qw * p.weight;
+            touched.push_back(p.doc);
+          }
+        }
+      }
+    } else {
+      // Walk mode: one pass over the admitting blocks does both admission
+      // and updates; the barred tail is walked update-only, minus blocks
+      // provably disjoint from the admitted-candidate doc range.
+      for (size_t b = 0; b < pass; ++b) {
+        const size_t start = b * bs;
+        const size_t end = std::min(start + bs, postings.size());
+        __builtin_prefetch(postings.data() + end);
+        for (size_t i = start; i < end; ++i) {
+          const auto& p = postings[i];
+          if (acc[p.doc] != 0.0) {
+            acc[p.doc] += qw * p.weight;
+          } else if (i < cut) {
+            acc[p.doc] = qw * p.weight;
+            touched.push_back(p.doc);
+          }
+        }
+      }
+      for (size_t b = pass; b < num_blocks; ++b) {
+        if (blocks.doc_max[b] < tmin || blocks.doc_min[b] > tmax) continue;
+        ++tail_visited;
+        const size_t start = b * bs;
+        const size_t end = std::min(start + bs, postings.size());
+        __builtin_prefetch(postings.data() + start + bs);
+        for (size_t i = start; i < end; ++i) {
+          const auto& p = postings[i];
+          if (acc[p.doc] != 0.0) acc[p.doc] += qw * p.weight;
+        }
+      }
+    }
+    if (counts != nullptr) {
+      counts->blocks_scanned += pass + tail_visited;
+      counts->blocks_skipped += num_blocks - pass - tail_visited;
+      counts->used_block_path = true;
+    }
+    if (cut < postings.size()) {
+      // Some postings were excluded from accumulation: candidates admitted
+      // after this point may have missed them (conservative — an excluded
+      // posting whose doc was already admitted costs nothing, its update
+      // came via forward lookup or the tail walk).
       clean_count = std::min(clean_count, touched.size());
-      if (touched.empty()) break;
+    }
+    for (size_t k = prior; k < touched.size(); ++k) {
+      tmin = std::min(tmin, touched[k]);
+      tmax = std::max(tmax, touched[k]);
     }
   }
 
-  // Exact rescoring of the accumulator survivors, in ascending member
-  // position for determinism. Clean candidates finish their cosine from
-  // the accumulator with the same floating-point expression
-  // SparseVector::Cosine uses; possibly-incomplete ones recompute it.
+  // Exact rescoring of the accumulator survivors, in admission order. The
+  // order is free to vary (it differs between the term and block paths):
+  // every emitted score is exact and each paper appears at most once per
+  // context, so the merger's final top-k is order-independent — theta is
+  // a lower bound on the k-th best relevancy no matter when it tightens,
+  // so an order-dependent theta skip can only drop hits that were already
+  // out of the top k. Clean candidates (the admission-order prefix of
+  // `touched`, see clean_count) finish their cosine from the accumulator
+  // with the same floating-point expression SparseVector::Cosine uses;
+  // possibly-incomplete ones recompute it.
   const size_t num_touched = touched.size();
-  std::sort(touched.begin(),
-            touched.begin() + std::min(clean_count, num_touched));
-  std::sort(touched.begin() + std::min(clean_count, num_touched),
-            touched.end());
   merger.Refresh();
   for (size_t idx = 0; idx < num_touched; ++idx) {
     const uint32_t i = touched[idx];
@@ -624,7 +861,7 @@ std::vector<SearchHit> ContextSearchEngine::PrunedScan(
     const SearchOptions& options, const Deadline& deadline,
     std::vector<TermId>* skipped, ScanCounts* counts) const {
   const double query_norm = qv.Norm();
-  TopKMerger merger(options.top_k, options.min_relevancy);
+  TopKMerger merger(options.top_k, options.min_relevancy, tc_->size());
   // Per-thread scratch: ScanContext restores the all-zero / empty invariant
   // before returning, so reuse across queries costs no per-query memset.
   // Grow-only resize keeps the invariant when engines of different sizes
@@ -665,7 +902,7 @@ std::vector<SearchHit> ContextSearchEngine::PrunedScan(
       merger.Refresh();
       const ScanOutcome outcome = ScanContext(
           qv, query_norm, contexts[c].term, options, deadline, scratch,
-          merger);
+          merger, counts);
       if (outcome == ScanOutcome::kDeadlineExpired) {
         first_skipped = c;
         break;
@@ -720,12 +957,23 @@ SearchResponse ContextSearchEngine::SearchVector(
   m.contexts_scanned.Increment(counts.scanned);
   m.contexts_pruned.Increment(counts.pruned);
   m.contexts_skipped.Increment(response.skipped_contexts.size());
+  m.blocks_scanned.Increment(counts.blocks_scanned);
+  m.blocks_skipped.Increment(counts.blocks_skipped);
+  if (counts.used_block_path) {
+    (simd::ActiveLevel() == simd::Level::kAvx2 ? m.simd_avx2 : m.simd_scalar)
+        .Increment();
+  }
   if (trace != nullptr) {
     trace->scan_us = MicrosSince(scan0);
     trace->path = exact ? "exact" : "pruned";
     trace->contexts_scanned = counts.scanned;
     trace->contexts_pruned = counts.pruned;
     trace->contexts_skipped = response.skipped_contexts.size();
+    trace->blocks_scanned = counts.blocks_scanned;
+    trace->blocks_skipped = counts.blocks_skipped;
+    trace->simd_level = counts.used_block_path
+                            ? simd::ActiveLevelName()
+                            : "";
   }
   return response;
 }
@@ -750,7 +998,9 @@ SearchResponse ContextSearchEngine::SearchOne(std::string_view query,
   if (use_cache) {
     // The key deliberately excludes the deadline: a cached entry is always
     // a complete, exact result, valid for any time budget.
-    key = CacheKey(ids, options);
+    key = CacheKey(ids, options,
+                   (static_cast<uint64_t>(index_block_size_) << 8) |
+                       static_cast<uint64_t>(simd::ActiveLevel()));
     if (auto cached = query_cache_->Get(key)) {
       // A cache hit rebuilds the *full* response, every field explicit:
       // status OK, not degraded, nothing skipped. Only `hits` comes from

@@ -47,6 +47,22 @@ struct RelevancyWeights {
   double matching = 0.6;
 };
 
+/// How the fast path prunes a postings list. Both modes produce results
+/// bitwise identical to the exact scan; they differ only in how much work
+/// they skip. kBlock silently degrades to kTerm for indexes without
+/// block-max metadata (pre-block snapshots, block_size 0 builds).
+enum class PruningMode : uint8_t {
+  /// PR-2 baseline: per-term max-weight bound, posting-at-a-time
+  /// admission checks, full-list walks to update admitted candidates.
+  kTerm = 0,
+  /// Block-max: per-block max weights locate the admission boundary via
+  /// SIMD over the compact block-max array, blocks past it are skipped
+  /// whole, blocks before it admit without per-posting bound checks, and
+  /// already-admitted candidates are updated by forward lookup instead of
+  /// walking barred postings tails.
+  kBlock = 1,
+};
+
 struct SearchOptions {
   /// How many contexts a query is routed to.
   size_t max_contexts = 5;
@@ -75,6 +91,10 @@ struct SearchOptions {
   /// selected context). Results are bitwise identical either way; this
   /// exists for A/B verification in tests and benches.
   bool exact_scan = false;
+  /// Pruning strategy for the fast path (ignored under exact_scan).
+  /// Results are bitwise identical across modes; kBlock falls back to
+  /// kTerm per context when the index has no block metadata.
+  PruningMode pruning = PruningMode::kBlock;
   /// Skip the query result cache for this call (cold-path benchmarks).
   bool bypass_cache = false;
   /// Per-query time budget in milliseconds; 0 = unlimited. When the budget
@@ -141,6 +161,9 @@ class ContextSearchEngine {
     /// Contexts with fewer members than this are not indexed — a brute
     /// scan over a handful of members is cheaper than postings bookkeeping.
     size_t index_min_members = 16;
+    /// Postings per block-max block in the impact indexes (0 disables the
+    /// block metadata — the fast path then serves via PruningMode::kTerm).
+    size_t block_size = 128;
   };
 
   ContextSearchEngine(const corpus::TokenizedCorpus& tc,
@@ -238,6 +261,11 @@ class ContextSearchEngine {
   /// Total postings across the per-context impact indexes (telemetry).
   size_t index_postings() const { return index_postings_; }
 
+  /// Postings per block in the impact indexes' block-max metadata; 0 when
+  /// the indexes carry none (block_size 0 builds, pre-block snapshots) —
+  /// PruningMode::kBlock then serves via the per-term fallback.
+  size_t index_block_size() const { return index_block_size_; }
+
  private:
   ContextSearchEngine() = default;  // Snapshot assembly.
   friend struct ctxrank::serve::SnapshotAccess;
@@ -278,6 +306,13 @@ class ContextSearchEngine {
   struct ScanCounts {
     size_t scanned = 0;
     size_t pruned = 0;
+    /// Block funnel (kBlock path only): blocks whose postings were walked
+    /// vs blocks skipped whole by the block-max bound.
+    size_t blocks_scanned = 0;
+    size_t blocks_skipped = 0;
+    /// True when at least one postings list was scanned through the
+    /// block-max kernels (drives the simd_dispatch counters).
+    bool used_block_path = false;
   };
 
   /// SelectContexts against a pre-analyzed query vector (Search builds the
@@ -334,10 +369,11 @@ class ContextSearchEngine {
   /// context counts as not fully scanned. kPruned means the whole-context
   /// bound proved no member could reach the threshold (zero work done);
   /// kScanned covers everything else.
+  /// `counts` (nullable) collects the block funnel of this context.
   ScanOutcome ScanContext(const text::SparseVector& qv, double query_norm,
                           TermId term, const SearchOptions& options,
                           const Deadline& deadline, Scratch& scratch,
-                          TopKMerger& merger) const;
+                          TopKMerger& merger, ScanCounts* counts) const;
 
   const corpus::TokenizedCorpus* tc_ = nullptr;
   const ontology::Ontology* onto_ = nullptr;
@@ -357,6 +393,8 @@ class ContextSearchEngine {
   std::vector<ContextIndex> context_index_;
   size_t index_postings_ = 0;
   size_t max_indexed_members_ = 0;
+  /// Block size shared by every built index (0 = no block metadata).
+  size_t index_block_size_ = 0;
 
   using QueryResultCache =
       LruCache<std::string, std::shared_ptr<const std::vector<SearchHit>>>;

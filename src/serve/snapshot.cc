@@ -18,54 +18,75 @@
 #include "eval/experiment.h"
 
 namespace ctxrank::serve {
+
 namespace {
 
-// Section kinds. Values are part of the on-disk format: never renumber,
-// only append.
-enum class SectionKind : uint32_t {
-  kMeta = 0,
-  kVocabBlob = 1,
-  kVocabOffsets = 2,
-  kVocabSorted = 3,
-  kTfIdfDf = 4,
-  kTokenOffsets = 5,
-  kTokens = 6,
-  kSetOffsets = 7,
-  kSetTokens = 8,
-  kPostingsOffsets = 9,
-  kPostingsPapers = 10,
-  kForwardOffsets = 11,
-  kForwardEntries = 12,
-  kMembersOffsets = 13,
-  kMembers = 14,
-  kContextsOffsets = 15,
-  kContexts = 16,
-  kRepresentatives = 17,
-  kInheritedFrom = 18,
-  kDecay = 19,
-  kPrestigeOffsets = 20,
-  kPrestigeValues = 21,
-  kRoutingOffsets = 22,
-  kRoutingEntries = 23,
-  kNameNorms = 24,
-  kCiBuilt = 25,
-  kCiMaxPrestige = 26,
-  kCiMinNorm = 27,
-  kCiTermOffsetsOuter = 28,
-  kCiTermOffsets = 29,
-  kCiDocsOuter = 30,
-  kCiNorms = 31,
-  kCiByPrestige = 32,
-  kCiPostings = 33,
-  kOntoAccessionBlob = 34,
-  kOntoAccessionOffsets = 35,
-  kOntoNameBlob = 36,
-  kOntoNameOffsets = 37,
-  kOntoParentsOffsets = 38,
-  kOntoParents = 39,
-  kTitleBlob = 40,
-  kTitleOffsets = 41,
+// The append-only section registry (kind ids live in snapshot.h next to
+// the format constants). `required` mirrors what the load path enforces:
+// a missing required section fails the load, a missing optional one
+// degrades its feature.
+constexpr SectionDescriptor kSectionRegistry[] = {
+    {SectionKind::kMeta, "meta", true},
+    {SectionKind::kVocabBlob, "vocab_blob", true},
+    {SectionKind::kVocabOffsets, "vocab_offsets", true},
+    {SectionKind::kVocabSorted, "vocab_sorted", true},
+    {SectionKind::kTfIdfDf, "tfidf_df", true},
+    {SectionKind::kTokenOffsets, "token_offsets", true},
+    {SectionKind::kTokens, "tokens", true},
+    {SectionKind::kSetOffsets, "set_offsets", true},
+    {SectionKind::kSetTokens, "set_tokens", true},
+    {SectionKind::kPostingsOffsets, "postings_offsets", true},
+    {SectionKind::kPostingsPapers, "postings_papers", true},
+    {SectionKind::kForwardOffsets, "forward_offsets", true},
+    {SectionKind::kForwardEntries, "forward_entries", true},
+    {SectionKind::kMembersOffsets, "members_offsets", true},
+    {SectionKind::kMembers, "members", true},
+    {SectionKind::kContextsOffsets, "contexts_offsets", true},
+    {SectionKind::kContexts, "contexts", true},
+    {SectionKind::kRepresentatives, "representatives", true},
+    {SectionKind::kInheritedFrom, "inherited_from", true},
+    {SectionKind::kDecay, "decay", true},
+    {SectionKind::kPrestigeOffsets, "prestige_offsets", true},
+    {SectionKind::kPrestigeValues, "prestige_values", true},
+    {SectionKind::kRoutingOffsets, "routing_offsets", true},
+    {SectionKind::kRoutingEntries, "routing_entries", true},
+    {SectionKind::kNameNorms, "name_norms", true},
+    {SectionKind::kCiBuilt, "ci_built", true},
+    {SectionKind::kCiMaxPrestige, "ci_max_prestige", true},
+    {SectionKind::kCiMinNorm, "ci_min_norm", true},
+    {SectionKind::kCiTermOffsetsOuter, "ci_term_offsets_outer", true},
+    {SectionKind::kCiTermOffsets, "ci_term_offsets", true},
+    {SectionKind::kCiDocsOuter, "ci_docs_outer", true},
+    {SectionKind::kCiNorms, "ci_norms", true},
+    {SectionKind::kCiByPrestige, "ci_by_prestige", true},
+    {SectionKind::kCiPostings, "ci_postings", true},
+    {SectionKind::kOntoAccessionBlob, "onto_accession_blob", true},
+    {SectionKind::kOntoAccessionOffsets, "onto_accession_offsets", true},
+    {SectionKind::kOntoNameBlob, "onto_name_blob", true},
+    {SectionKind::kOntoNameOffsets, "onto_name_offsets", true},
+    {SectionKind::kOntoParentsOffsets, "onto_parents_offsets", true},
+    {SectionKind::kOntoParents, "onto_parents", true},
+    {SectionKind::kTitleBlob, "title_blob", false},
+    {SectionKind::kTitleOffsets, "title_offsets", false},
+    {SectionKind::kCiBlockOffsets, "ci_block_offsets", false},
+    {SectionKind::kCiBlockMax, "ci_block_max", false},
+    {SectionKind::kCiBlockDocMin, "ci_block_doc_min", false},
+    {SectionKind::kCiBlockDocMax, "ci_block_doc_max", false},
 };
+
+}  // namespace
+
+std::span<const SectionDescriptor> SectionRegistry() {
+  return kSectionRegistry;
+}
+
+const char* SectionName(SectionKind kind) {
+  const size_t k = static_cast<size_t>(kind);
+  if (k < std::size(kSectionRegistry)) return kSectionRegistry[k].name;
+  return "unknown";
+}
+
+namespace {
 
 constexpr size_t kHeaderBytes = 32;       // magic + version + endian + n + size
 constexpr size_t kTableEntryBytes = 40;   // kind + pad + offset + size + count
@@ -83,7 +104,10 @@ constexpr size_t kMetaMaxIndexedMembers = 6;
 constexpr size_t kMetaMinTokenLength = 7;
 constexpr size_t kMetaFlags = 8;
 constexpr size_t kMetaHasTitles = 9;
-// Slots 10, 11 reserved (written as 0).
+// Postings per block-max block (0 = no block metadata; pre-block files
+// wrote this slot as reserved 0, which reads back as exactly that).
+constexpr size_t kMetaBlockSize = 10;
+// Slot 11 reserved (written as 0).
 constexpr uint64_t kFlagDropNumeric = 1u << 0;
 constexpr uint64_t kFlagLowercase = 1u << 1;
 constexpr uint64_t kFlagRemoveStopwords = 1u << 2;
@@ -263,16 +287,23 @@ Status SnapshotAccess::Save(const SnapshotInputs& in, const std::string& path,
   // array; each context's offsets are rebased by its start so they become
   // absolute positions (ImpactOrderedIndex::FromView serves them as-is).
   std::vector<uint64_t> ci_bases(num_terms, 0);
+  std::vector<uint64_t> ci_block_bases(num_terms, 0);
   uint64_t ci_total_postings = 0;
   uint64_t ci_total_offsets = 0;
   uint64_t ci_total_docs = 0;
+  uint64_t ci_total_blocks = 0;
+  uint64_t ci_total_block_offsets = 0;
+  const uint64_t block_size = engine.index_block_size_;
   for (size_t t = 0; t < num_terms; ++t) {
     const auto& ci = engine.context_index_[t];
     if (!ci.built) continue;
     ci_bases[t] = ci_total_postings;
+    ci_block_bases[t] = ci_total_blocks;
     ci_total_postings += ci.index.postings_span().size();
     ci_total_offsets += ci.index.offsets_span().size();
     ci_total_docs += ci.index.norms_span().size();
+    ci_total_blocks += ci.index.total_blocks();
+    ci_total_block_offsets += ci.index.block_offsets_span().size();
   }
 
   std::vector<SectionPlan> plans;
@@ -297,6 +328,7 @@ Status SnapshotAccess::Save(const SnapshotInputs& in, const std::string& path,
                         (aopt.remove_stopwords ? kFlagRemoveStopwords : 0) |
                         (aopt.stem ? kFlagStem : 0);
     words[kMetaHasTitles] = in.corpus != nullptr ? 1 : 0;
+    words[kMetaBlockSize] = block_size;
     std::string out;
     out.reserve(sizeof(words));
     for (uint64_t w : words) AppendLE64(out, w);
@@ -538,6 +570,52 @@ Status SnapshotAccess::Save(const SnapshotInputs& in, const std::string& path,
     return out;
   });
 
+  // --- block-max metadata (optional: engines built without a block size
+  // write none, and the loader then serves per-term pruning) ---
+  if (block_size > 0) {
+    add(SectionKind::kCiBlockOffsets, ci_total_block_offsets, [&] {
+      std::string out;
+      out.reserve(ci_total_block_offsets * sizeof(uint64_t));
+      std::vector<uint64_t> rebased;
+      for (size_t t = 0; t < num_terms; ++t) {
+        const auto& ci = engine.context_index_[t];
+        if (!ci.built) continue;
+        const auto local = ci.index.block_offsets_span();
+        rebased.assign(local.begin(), local.end());
+        for (uint64_t& o : rebased) o += ci_block_bases[t];
+        out += RawBytes<uint64_t>(rebased);
+      }
+      return out;
+    });
+    add(SectionKind::kCiBlockMax, ci_total_blocks, [&] {
+      std::string out;
+      out.reserve(ci_total_blocks * sizeof(double));
+      for (size_t t = 0; t < num_terms; ++t) {
+        const auto& ci = engine.context_index_[t];
+        if (ci.built) out += RawBytes(ci.index.block_max_span());
+      }
+      return out;
+    });
+    add(SectionKind::kCiBlockDocMin, ci_total_blocks, [&] {
+      std::string out;
+      out.reserve(ci_total_blocks * sizeof(uint32_t));
+      for (size_t t = 0; t < num_terms; ++t) {
+        const auto& ci = engine.context_index_[t];
+        if (ci.built) out += RawBytes(ci.index.block_doc_min_span());
+      }
+      return out;
+    });
+    add(SectionKind::kCiBlockDocMax, ci_total_blocks, [&] {
+      std::string out;
+      out.reserve(ci_total_blocks * sizeof(uint32_t));
+      for (size_t t = 0; t < num_terms; ++t) {
+        const auto& ci = engine.context_index_[t];
+        if (ci.built) out += RawBytes(ci.index.block_doc_max_span());
+      }
+      return out;
+    });
+  }
+
   // --- ontology (tiny; rebuilt on the heap at load) ---
   add(SectionKind::kOntoAccessionBlob, 0, [&] {
     std::string blob;
@@ -770,9 +848,11 @@ Result<std::unique_ptr<ServingSnapshot>> SnapshotAccess::Load(
         re.size > file_size - re.offset) {
       return Status::InvalidArgument(
           "snapshot '" + path + "': section " + std::to_string(re.kind) +
-          " extends past the end of the file (truncated?)");
+          " (" + SectionName(static_cast<SectionKind>(re.kind)) +
+          ") extends past the end of the file (truncated?)");
     }
     map.Add(re.kind, {base + re.offset, re.size, count, true});
+    if (re.kind < 64) snap->section_presence_ |= uint64_t{1} << re.kind;
   }
 
   // Checksum every section (in parallel; this is the only full read of the
@@ -1002,6 +1082,47 @@ Result<std::unique_ptr<ServingSnapshot>> SnapshotAccess::Load(
         "(truncated or corrupted file)");
   }
 
+  // Block-max metadata: optional sections gating the block pruning fast
+  // path. A writer that records a block size in meta always writes all
+  // four sections, so their absence alongside a nonzero block size is file
+  // damage; a zero block size (every pre-block snapshot wrote slot 10 as
+  // reserved 0) is the legitimate downgrade to per-term pruning.
+  const uint64_t block_size = meta[kMetaBlockSize];
+  std::span<const uint64_t> ci_block_offsets;
+  std::span<const double> ci_block_max;
+  std::span<const uint32_t> ci_block_doc_min;
+  std::span<const uint32_t> ci_block_doc_max;
+  if (block_size > 0) {
+    CTXRANK_ASSIGN_OR_RETURN(
+        block_offsets_s,
+        map.Span<uint64_t>(SectionKind::kCiBlockOffsets,
+                           ci_term_offsets.size()));
+    CTXRANK_ASSIGN_OR_RETURN(block_max_s,
+                             map.Span<double>(SectionKind::kCiBlockMax));
+    CTXRANK_ASSIGN_OR_RETURN(
+        block_dmin_s, map.Span<uint32_t>(SectionKind::kCiBlockDocMin,
+                                         block_max_s.size()));
+    CTXRANK_ASSIGN_OR_RETURN(
+        block_dmax_s, map.Span<uint32_t>(SectionKind::kCiBlockDocMax,
+                                         block_max_s.size()));
+    if (!block_offsets_s.empty() &&
+        block_offsets_s.back() != block_max_s.size()) {
+      return Status::InvalidArgument(
+          "snapshot: block-max CSR does not match its offsets (truncated "
+          "or corrupted file)");
+    }
+    ci_block_offsets = block_offsets_s;
+    ci_block_max = block_max_s;
+    ci_block_doc_min = block_dmin_s;
+    ci_block_doc_max = block_dmax_s;
+  } else {
+    snap->load_notes_ =
+        "block-max sections absent (pre-block snapshot); serving with "
+        "per-term pruning fallback\n";
+    std::fprintf(stderr, "ctxrank: snapshot '%s': %s", path.c_str(),
+                 snap->load_notes_.c_str());
+  }
+
   context::ContextSearchEngine engine;
   engine.tc_ = &*snap->tc_;
   engine.onto_ = &snap->onto_;
@@ -1012,6 +1133,7 @@ Result<std::unique_ptr<ServingSnapshot>> SnapshotAccess::Load(
   engine.name_norms_.SetView(name_norms);
   engine.index_postings_ = meta[kMetaIndexPostings];
   engine.max_indexed_members_ = meta[kMetaMaxIndexedMembers];
+  engine.index_block_size_ = block_size;
   engine.context_index_.resize(num_terms);
   for (size_t t = 0; t < num_terms; ++t) {
     if (!ci_built[t]) continue;
@@ -1027,8 +1149,24 @@ Result<std::unique_ptr<ServingSnapshot>> SnapshotAccess::Load(
     }
     const auto norms_run = ci_norms.subspan(
         ci_docs_outer[t], ci_docs_outer[t + 1] - ci_docs_outer[t]);
-    ci.index = text::ImpactOrderedIndex::FromView(offsets_run, ci_postings,
-                                                  norms_run, ci_min_norm[t]);
+    if (block_size > 0) {
+      const auto boffsets_run = ci_block_offsets.subspan(
+          ci_term_outer[t], ci_term_outer[t + 1] - ci_term_outer[t]);
+      if (boffsets_run.empty() ||
+          boffsets_run.back() > ci_block_max.size() ||
+          boffsets_run.front() > boffsets_run.back()) {
+        return Status::InvalidArgument(
+            "snapshot: block-max offsets out of range for context " +
+            std::to_string(t));
+      }
+      ci.index = text::ImpactOrderedIndex::FromView(
+          offsets_run, ci_postings, norms_run, ci_min_norm[t],
+          {static_cast<size_t>(block_size), boffsets_run, ci_block_max,
+           ci_block_doc_min, ci_block_doc_max});
+    } else {
+      ci.index = text::ImpactOrderedIndex::FromView(offsets_run, ci_postings,
+                                                    norms_run, ci_min_norm[t]);
+    }
     ci.by_prestige.SetView(ci_by_prestige.subspan(
         ci_docs_outer[t], ci_docs_outer[t + 1] - ci_docs_outer[t]));
     ci.max_prestige = ci_max_prestige[t];

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,6 +41,85 @@ inline constexpr char kSnapshotMagic[8] = {'C', 'T', 'X', 'S',
 inline constexpr uint32_t kSnapshotVersion = 1;
 inline constexpr uint32_t kSnapshotEndianMarker = 0x01020304;
 inline constexpr size_t kSnapshotAlignment = 64;
+
+/// Section kinds — the snapshot's section registry. Values are part of the
+/// on-disk format: NEVER renumber, only append. Appending a kind does not
+/// bump the format version: sections are self-describing table entries, an
+/// older loader ignores kinds it does not know, and a newer loader treats
+/// a missing optional section as "feature absent" (see SectionRegistry()
+/// for which kinds are required). That is how format version 1 files
+/// written before the block-max sections existed keep loading: the loader
+/// falls back to per-term pruning and records the downgrade in
+/// ServingSnapshot::load_notes().
+enum class SectionKind : uint32_t {
+  kMeta = 0,
+  kVocabBlob = 1,
+  kVocabOffsets = 2,
+  kVocabSorted = 3,
+  kTfIdfDf = 4,
+  kTokenOffsets = 5,
+  kTokens = 6,
+  kSetOffsets = 7,
+  kSetTokens = 8,
+  kPostingsOffsets = 9,
+  kPostingsPapers = 10,
+  kForwardOffsets = 11,
+  kForwardEntries = 12,
+  kMembersOffsets = 13,
+  kMembers = 14,
+  kContextsOffsets = 15,
+  kContexts = 16,
+  kRepresentatives = 17,
+  kInheritedFrom = 18,
+  kDecay = 19,
+  kPrestigeOffsets = 20,
+  kPrestigeValues = 21,
+  kRoutingOffsets = 22,
+  kRoutingEntries = 23,
+  kNameNorms = 24,
+  kCiBuilt = 25,
+  kCiMaxPrestige = 26,
+  kCiMinNorm = 27,
+  kCiTermOffsetsOuter = 28,
+  kCiTermOffsets = 29,
+  kCiDocsOuter = 30,
+  kCiNorms = 31,
+  kCiByPrestige = 32,
+  kCiPostings = 33,
+  kOntoAccessionBlob = 34,
+  kOntoAccessionOffsets = 35,
+  kOntoNameBlob = 36,
+  kOntoNameOffsets = 37,
+  kOntoParentsOffsets = 38,
+  kOntoParents = 39,
+  kTitleBlob = 40,
+  kTitleOffsets = 41,
+  // Block-max metadata for the per-context impact indexes (optional —
+  // written when the engine was built with a block size, consumed by the
+  // block pruning fast path). Same concatenation/rebase convention as
+  // kCiTermOffsets: per-context runs share kCiTermOffsetsOuter's shape.
+  kCiBlockOffsets = 42,
+  kCiBlockMax = 43,
+  kCiBlockDocMin = 44,
+  kCiBlockDocMax = 45,
+};
+
+/// Registry metadata for one section kind: its stable on-disk id, a
+/// diagnostic name, and whether a loadable snapshot must contain it
+/// (optional sections degrade a feature when absent — titles render empty,
+/// block pruning falls back to per-term bounds).
+struct SectionDescriptor {
+  SectionKind kind;
+  const char* name;
+  bool required;
+};
+
+/// All known section kinds in id order (the append-only registry).
+std::span<const SectionDescriptor> SectionRegistry();
+
+/// Diagnostic name of `kind` ("unknown" for ids past the registry — a
+/// newer writer's section this build does not know).
+const char* SectionName(SectionKind kind);
 
 /// \brief Everything SaveSnapshot serializes. All pointers must be
 /// non-null except `corpus` (titles are then omitted and loaded results
@@ -100,10 +180,22 @@ class ServingSnapshot {
   /// Title of paper `p` ("" when the snapshot was saved without a corpus).
   std::string_view title(corpus::PaperId p) const;
 
+  /// Bitmask of loaded section kinds (bit k set when a section of kind k
+  /// was present in the file; kinds >= 64 are ignored, far beyond the
+  /// registry). Lets callers and tests check which optional features a
+  /// snapshot carries without re-parsing the file.
+  uint64_t section_presence() const { return section_presence_; }
+  /// Human-readable notes from the load (one line per note): currently
+  /// the per-term-pruning downgrade when block-max sections are absent.
+  /// Empty when the snapshot loaded with every optional feature intact.
+  const std::string& load_notes() const { return load_notes_; }
+
  private:
   friend struct SnapshotAccess;
   ServingSnapshot() = default;
 
+  uint64_t section_presence_ = 0;
+  std::string load_notes_;
   MmapFile file_;
   ontology::Ontology onto_;
   std::optional<corpus::TokenizedCorpus> tc_;

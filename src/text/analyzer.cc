@@ -10,10 +10,10 @@ Analyzer::Analyzer(AnalyzerOptions options)
 
 std::vector<std::string> Analyzer::Analyze(std::string_view str) const {
   std::vector<std::string> out;
-  for (std::string& token : tokenizer_.Tokenize(str)) {
-    if (options_.remove_stopwords && IsStopword(token)) continue;
-    out.push_back(options_.stem ? PorterStem(token) : std::move(token));
-  }
+  tokenizer_.ForEachToken(str, [&](const std::string& token) {
+    if (options_.remove_stopwords && IsStopword(token)) return;
+    out.push_back(options_.stem ? PorterStem(token) : token);
+  });
   return out;
 }
 
@@ -28,11 +28,16 @@ std::vector<TermId> Analyzer::AnalyzeToIds(std::string_view str,
 
 std::vector<TermId> Analyzer::AnalyzeToKnownIds(
     std::string_view str, const Vocabulary& vocab) const {
+  // Fused tokenize -> stopword -> stem -> lookup pipeline: no intermediate
+  // token vectors on the per-query hot path. Ids are identical to mapping
+  // Analyze(str) through vocab.Lookup.
   std::vector<TermId> ids;
-  for (const std::string& token : Analyze(str)) {
-    const TermId id = vocab.Lookup(token);
+  tokenizer_.ForEachToken(str, [&](const std::string& token) {
+    if (options_.remove_stopwords && IsStopword(token)) return;
+    const TermId id =
+        vocab.Lookup(options_.stem ? PorterStem(token) : token);
     if (id != kInvalidTermId) ids.push_back(id);
-  }
+  });
   return ids;
 }
 

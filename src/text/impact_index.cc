@@ -8,6 +8,13 @@ namespace ctxrank::text {
 ImpactOrderedIndex ImpactOrderedIndex::FromView(
     std::span<const uint64_t> offsets, std::span<const Posting> postings,
     std::span<const double> norms, double min_positive_norm) {
+  return FromView(offsets, postings, norms, min_positive_norm, BlockView{});
+}
+
+ImpactOrderedIndex ImpactOrderedIndex::FromView(
+    std::span<const uint64_t> offsets, std::span<const Posting> postings,
+    std::span<const double> norms, double min_positive_norm,
+    const BlockView& blocks) {
   ImpactOrderedIndex index;
   index.offsets_.SetView(offsets);
   index.postings_.SetView(postings);
@@ -17,6 +24,13 @@ ImpactOrderedIndex ImpactOrderedIndex::FromView(
   index.min_positive_norm_ = min_positive_norm;
   index.seen_positive_norm_ = true;
   index.finalized_ = true;
+  if (blocks.block_size > 0) {
+    index.block_size_ = blocks.block_size;
+    index.block_offsets_.SetView(blocks.offsets);
+    index.block_max_.SetView(blocks.max_weight);
+    index.block_doc_min_.SetView(blocks.doc_min);
+    index.block_doc_max_.SetView(blocks.doc_max);
+  }
   return index;
 }
 
@@ -40,7 +54,7 @@ uint32_t ImpactOrderedIndex::Add(const SparseVector& vec) {
   return doc;
 }
 
-void ImpactOrderedIndex::Finalize() {
+void ImpactOrderedIndex::Finalize(size_t block_size) {
   std::vector<uint64_t> offsets;
   offsets.reserve(build_postings_.size() + 1);
   std::vector<Posting> flat;
@@ -57,6 +71,39 @@ void ImpactOrderedIndex::Finalize() {
   }
   build_postings_.clear();
   build_postings_.shrink_to_fit();
+  if (block_size > 0) {
+    // Per-term block metadata over the flattened lists. Impact order makes
+    // each block's first posting its max weight; doc bounds are a min/max
+    // sweep. One pass over the postings, O(total / block_size) storage.
+    std::vector<uint64_t> boffsets;
+    boffsets.reserve(offsets.size());
+    std::vector<double> bmax;
+    std::vector<uint32_t> bdmin;
+    std::vector<uint32_t> bdmax;
+    boffsets.push_back(0);
+    for (size_t t = 0; t + 1 < offsets.size(); ++t) {
+      for (uint64_t start = offsets[t]; start < offsets[t + 1];
+           start += block_size) {
+        const uint64_t end =
+            std::min<uint64_t>(start + block_size, offsets[t + 1]);
+        uint32_t dmin = flat[start].doc;
+        uint32_t dmax = flat[start].doc;
+        for (uint64_t i = start + 1; i < end; ++i) {
+          dmin = std::min(dmin, flat[i].doc);
+          dmax = std::max(dmax, flat[i].doc);
+        }
+        bmax.push_back(flat[start].weight);
+        bdmin.push_back(dmin);
+        bdmax.push_back(dmax);
+      }
+      boffsets.push_back(bmax.size());
+    }
+    block_size_ = block_size;
+    block_offsets_.SetOwned(std::move(boffsets));
+    block_max_.SetOwned(std::move(bmax));
+    block_doc_min_.SetOwned(std::move(bdmin));
+    block_doc_max_.SetOwned(std::move(bdmax));
+  }
   offsets_.SetOwned(std::move(offsets));
   postings_.SetOwned(std::move(flat));
   finalized_ = true;

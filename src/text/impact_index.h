@@ -36,6 +36,18 @@ namespace ctxrank::text {
 ///   cosine(q, d) <= dot_upper / (||q|| * min_positive_norm()),
 /// so a scorer that tracks these bounds can skip documents (or whole
 /// postings tails) that provably cannot reach a score threshold.
+///
+/// Block-max metadata (optional, Finalize(block_size) / FromView with a
+/// BlockView): every postings list is chunked into fixed-size blocks of
+/// `block_size` postings (the last block of a list may be short) and each
+/// block records its max weight plus its doc-id bounds. Because lists are
+/// impact-ordered, block b's max weight is its first posting's weight and
+/// the per-block maxima are non-increasing — a scorer can locate the
+/// admission boundary by scanning the compact max array (never touching
+/// the postings), admit everything strictly before the boundary block
+/// without per-posting bound checks (each such posting outweighs the next
+/// block's max, which passed), and use the doc-id bounds to skip
+/// accumulator lookups for blocks disjoint from the touched-doc range.
 class ImpactOrderedIndex {
  public:
   struct Posting {
@@ -48,15 +60,44 @@ class ImpactOrderedIndex {
   static_assert(sizeof(Posting) == 16, "Posting must be a 16-byte record");
   static_assert(alignof(Posting) == 8, "Posting must be 8-byte aligned");
 
+  /// Per-term slices of the block metadata arrays (parallel, one entry
+  /// per block). Empty spans when the index has no blocks.
+  struct TermBlocks {
+    std::span<const double> max_weight;  // Non-increasing across blocks.
+    std::span<const uint32_t> doc_min;
+    std::span<const uint32_t> doc_max;
+  };
+
+  /// Block metadata views over storage owned elsewhere (the snapshot's
+  /// mmap region). `offsets` has num_terms + 1 entries indexing into the
+  /// three parallel block arrays (absolute positions — they may be shared
+  /// super-arrays covering many indexes).
+  struct BlockView {
+    size_t block_size = 0;
+    std::span<const uint64_t> offsets;
+    std::span<const double> max_weight;
+    std::span<const uint32_t> doc_min;
+    std::span<const uint32_t> doc_max;
+  };
+
   ImpactOrderedIndex() = default;
 
   /// Wraps finalized storage owned elsewhere. `offsets` has num_terms + 1
   /// entries indexing into `postings` (absolute positions, so `postings`
   /// may be a shared super-array); `norms` has one entry per document.
+  /// `blocks` attaches block-max metadata; the overload without it (or a
+  /// BlockView with block_size 0, as for pre-block snapshots) leaves the
+  /// index serving without blocks and scorers fall back to the per-term
+  /// max-weight path.
   static ImpactOrderedIndex FromView(std::span<const uint64_t> offsets,
                                      std::span<const Posting> postings,
                                      std::span<const double> norms,
                                      double min_positive_norm);
+  static ImpactOrderedIndex FromView(std::span<const uint64_t> offsets,
+                                     std::span<const Posting> postings,
+                                     std::span<const double> norms,
+                                     double min_positive_norm,
+                                     const BlockView& blocks);
 
   /// Adds the next document (local id = number of prior Add calls) and
   /// returns that id. Must not be called after Finalize().
@@ -64,8 +105,9 @@ class ImpactOrderedIndex {
 
   /// Sorts every postings list by descending weight (ties: ascending doc
   /// id, for determinism) and flattens them into the CSR layout. Required
-  /// before any query-side accessor.
-  void Finalize();
+  /// before any query-side accessor. `block_size` > 0 additionally builds
+  /// the per-block max-weight / doc-bound metadata; 0 skips it.
+  void Finalize(size_t block_size = 0);
 
   bool finalized() const { return finalized_; }
   size_t num_documents() const { return norms_.size(); }
@@ -102,11 +144,46 @@ class ImpactOrderedIndex {
   /// SparseVector::Cosine.
   double NormOf(uint32_t doc) const { return norms_[doc]; }
 
+  /// True when block-max metadata is available (built or viewed).
+  bool has_blocks() const { return block_size_ != 0; }
+  /// Postings per block (0 when the index carries no block metadata).
+  size_t block_size() const { return block_size_; }
+  /// Total blocks across all terms (telemetry / snapshot sizing).
+  size_t total_blocks() const {
+    return block_offsets_.empty() ? 0
+                                  : static_cast<size_t>(
+                                        block_offsets_.span().back() -
+                                        block_offsets_.span().front());
+  }
+
+  /// Block metadata of `term`'s postings list; empty spans for terms
+  /// never seen or when the index has no blocks.
+  TermBlocks BlocksOf(TermId term) const {
+    if (block_size_ == 0 || term + 1 >= block_offsets_.size()) return {};
+    const uint64_t begin = block_offsets_[term];
+    const uint64_t count = block_offsets_[term + 1] - begin;
+    return {block_max_.span().subspan(begin, count),
+            block_doc_min_.span().subspan(begin, count),
+            block_doc_max_.span().subspan(begin, count)};
+  }
+
   /// CSR internals, exposed for the snapshot writer. Offsets index into
   /// postings_span() (absolute; zero-based for heap-built indexes).
   std::span<const uint64_t> offsets_span() const { return offsets_.span(); }
   std::span<const Posting> postings_span() const { return postings_.span(); }
   std::span<const double> norms_span() const { return norms_.span(); }
+  /// Block internals for the snapshot writer (same absolute-offset
+  /// convention as offsets_span; empty when has_blocks() is false).
+  std::span<const uint64_t> block_offsets_span() const {
+    return block_offsets_.span();
+  }
+  std::span<const double> block_max_span() const { return block_max_.span(); }
+  std::span<const uint32_t> block_doc_min_span() const {
+    return block_doc_min_.span();
+  }
+  std::span<const uint32_t> block_doc_max_span() const {
+    return block_doc_max_.span();
+  }
 
  private:
   // Build-time staging (owned mode, cleared by Finalize).
@@ -115,6 +192,13 @@ class ImpactOrderedIndex {
   VecOrSpan<uint64_t> offsets_;  // num_terms + 1 entries.
   VecOrSpan<Posting> postings_;
   VecOrSpan<double> norms_;  // Indexed by doc id.
+  // Block-max metadata (empty when block_size_ == 0): per-term offsets
+  // into three parallel per-block arrays, same CSR shape as offsets_.
+  VecOrSpan<uint64_t> block_offsets_;  // num_terms + 1 entries.
+  VecOrSpan<double> block_max_;
+  VecOrSpan<uint32_t> block_doc_min_;
+  VecOrSpan<uint32_t> block_doc_max_;
+  size_t block_size_ = 0;
   size_t total_postings_ = 0;
   double min_positive_norm_ = 1.0;
   bool seen_positive_norm_ = false;

@@ -1,35 +1,13 @@
 #include "text/tokenizer.h"
 
-#include <cctype>
-
 namespace ctxrank::text {
 
 Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
 
 std::vector<std::string> Tokenizer::Tokenize(std::string_view str) const {
   std::vector<std::string> tokens;
-  std::string current;
-  bool all_digits = true;
-  auto flush = [&] {
-    if (current.size() >= options_.min_token_length &&
-        !(options_.drop_numeric && all_digits)) {
-      tokens.push_back(current);
-    }
-    current.clear();
-    all_digits = true;
-  };
-  for (char raw : str) {
-    const unsigned char c = static_cast<unsigned char>(raw);
-    if (std::isalnum(c)) {
-      if (!std::isdigit(c)) all_digits = false;
-      current.push_back(options_.lowercase
-                            ? static_cast<char>(std::tolower(c))
-                            : raw);
-    } else if (!current.empty()) {
-      flush();
-    }
-  }
-  if (!current.empty()) flush();
+  ForEachToken(str,
+               [&tokens](const std::string& token) { tokens.push_back(token); });
   return tokens;
 }
 

@@ -27,6 +27,42 @@ class Tokenizer {
 
   std::vector<std::string> Tokenize(std::string_view str) const;
 
+  /// Streaming variant of Tokenize: invokes `fn(token)` for each token
+  /// without materializing the token vector. `token` is a reference to a
+  /// buffer reused across tokens — copy it if it must outlive the call.
+  /// Token set, order and contents are identical to Tokenize().
+  template <typename Fn>
+  void ForEachToken(std::string_view str, Fn&& fn) const {
+    std::string current;
+    bool all_digits = true;
+    const auto flush = [&] {
+      if (current.size() >= options_.min_token_length &&
+          !(options_.drop_numeric && all_digits)) {
+        fn(current);
+      }
+      current.clear();
+      all_digits = true;
+    };
+    for (const char raw : str) {
+      const unsigned char c = static_cast<unsigned char>(raw);
+      // Branchless ASCII classification, equivalent to std::isalnum /
+      // std::isdigit / std::tolower in the C locale (all input is ASCII
+      // scientific text; bytes >= 0x80 are separators either way).
+      const bool digit = c >= '0' && c <= '9';
+      const bool upper = c >= 'A' && c <= 'Z';
+      const bool lower = c >= 'a' && c <= 'z';
+      if (digit || upper || lower) {
+        if (!digit) all_digits = false;
+        current.push_back(options_.lowercase && upper
+                              ? static_cast<char>(c - 'A' + 'a')
+                              : raw);
+      } else if (!current.empty()) {
+        flush();
+      }
+    }
+    if (!current.empty()) flush();
+  }
+
   const TokenizerOptions& options() const { return options_; }
 
  private:

@@ -18,7 +18,7 @@ Vocabulary Vocabulary::FromView(std::span<const char> blob,
 
 TermId Vocabulary::GetOrAdd(std::string_view term) {
   assert(!view_mode_ && "GetOrAdd on a frozen snapshot vocabulary");
-  auto it = index_.find(std::string(term));
+  auto it = index_.find(term);
   if (it != index_.end()) return it->second;
   const TermId id = static_cast<TermId>(terms_.size());
   terms_.emplace_back(term);
@@ -28,7 +28,7 @@ TermId Vocabulary::GetOrAdd(std::string_view term) {
 
 TermId Vocabulary::Lookup(std::string_view term) const {
   if (!view_mode_) {
-    auto it = index_.find(std::string(term));
+    auto it = index_.find(term);
     return it == index_.end() ? kInvalidTermId : it->second;
   }
   auto it = std::lower_bound(

@@ -66,8 +66,17 @@ class Vocabulary {
   bool view_mode() const { return view_mode_; }
 
  private:
+  // Heterogeneous lookup: Lookup(string_view) probes without materializing
+  // a std::string key (the query hot path calls it once per token).
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   // Owned mode.
-  std::unordered_map<std::string, TermId> index_;
+  std::unordered_map<std::string, TermId, StringHash, std::equal_to<>> index_;
   std::vector<std::string> terms_;
   // View mode.
   bool view_mode_ = false;

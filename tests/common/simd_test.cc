@@ -1,0 +1,130 @@
+// ctxrank::simd kernels: the AVX2 and scalar AdmitPrefix variants agree
+// with the scalar reference predicate on every boundary position,
+// including stragglers past the last full vector, strided (posting
+// record) layouts, and degenerate bounds. On hosts without AVX2 the
+// forced-level sweeps clamp to scalar and the test still passes — the
+// contract then holds vacuously for the missing variant.
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace ctxrank::simd {
+namespace {
+
+// Reference implementation: first index failing the scalar predicate.
+size_t ReferencePrefix(const std::vector<double>& w, const AdmitBound& b) {
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (!b.Admits(w[i])) return i;
+  }
+  return w.size();
+}
+
+// A bound whose cutoff lands at weight `threshold`: admits w where
+// base + wm * ((qw * w + tail + slack) * inv_denom + slack) >= theta.
+AdmitBound BoundCuttingAt(double threshold) {
+  AdmitBound b;
+  b.base = 0.25;
+  b.wm = 0.5;
+  b.inv_denom = 1.0 / 3.0;
+  b.slack = 1e-9;
+  b.qw = 0.75;
+  b.tail = 0.125;
+  // Solve theta so Admits(threshold) is exactly on the boundary, then
+  // nudge up so `threshold` itself fails.
+  b.theta = b.base +
+            b.wm * ((b.qw * threshold + b.tail + b.slack) * b.inv_denom +
+                    b.slack) +
+            1e-12;
+  return b;
+}
+
+std::vector<double> DescendingWeights(size_t n) {
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = 2.0 - static_cast<double>(i) * (1.5 / static_cast<double>(n + 1));
+  }
+  return w;
+}
+
+class SimdLevelTest : public ::testing::TestWithParam<Level> {
+ protected:
+  void SetUp() override { ForceLevelForTest(GetParam()); }
+  void TearDown() override { ResetLevelForTest(); }
+};
+
+TEST_P(SimdLevelTest, MatchesReferenceOnEveryBoundary) {
+  // Sizes straddle the 4-lane vector width; the boundary sweeps every
+  // position including 0 (nothing admits) and n (everything admits).
+  for (const size_t n : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 15u, 16u, 33u}) {
+    const auto w = DescendingWeights(n);
+    for (size_t cut = 0; cut <= n; ++cut) {
+      // Cut between w[cut-1] and w[cut]: threshold at w[cut] fails it.
+      const AdmitBound b =
+          cut < n ? BoundCuttingAt(w[cut]) : BoundCuttingAt(-1.0);
+      ASSERT_EQ(ReferencePrefix(w, b), cut) << "n=" << n;
+      EXPECT_EQ(AdmitPrefix(w.data(), n, b), cut)
+          << "n=" << n << " level=" << LevelName(ActiveLevel());
+    }
+  }
+}
+
+TEST_P(SimdLevelTest, StridedMatchesContiguous) {
+  for (const size_t n : {0u, 1u, 4u, 6u, 9u, 31u, 64u}) {
+    const auto w = DescendingWeights(n);
+    // Posting-record layout: weights at even double positions.
+    std::vector<double> strided(n * 2, -999.0);
+    for (size_t i = 0; i < n; ++i) strided[i * 2] = w[i];
+    for (size_t cut = 0; cut <= n; ++cut) {
+      const AdmitBound b =
+          cut < n ? BoundCuttingAt(w[cut]) : BoundCuttingAt(-1.0);
+      EXPECT_EQ(AdmitPrefixStrided(strided.data(), 2, n, b),
+                AdmitPrefix(w.data(), n, b))
+          << "n=" << n << " cut=" << cut
+          << " level=" << LevelName(ActiveLevel());
+    }
+  }
+}
+
+TEST_P(SimdLevelTest, DegenerateBounds) {
+  const auto w = DescendingWeights(13);
+  AdmitBound admit_all = BoundCuttingAt(-1.0);
+  EXPECT_EQ(AdmitPrefix(w.data(), w.size(), admit_all), w.size());
+  AdmitBound admit_none = BoundCuttingAt(w[0]);
+  EXPECT_EQ(AdmitPrefix(w.data(), w.size(), admit_none), 0u);
+  // Degenerate denominator (all-zero norms): inv_denom 0 makes the bound
+  // base + wm * slack regardless of weight.
+  AdmitBound degenerate = admit_all;
+  degenerate.inv_denom = 0.0;
+  degenerate.theta = degenerate.base + degenerate.wm * degenerate.slack;
+  EXPECT_EQ(AdmitPrefix(w.data(), w.size(), degenerate), w.size());
+  degenerate.theta += 1e-9;
+  EXPECT_EQ(AdmitPrefix(w.data(), w.size(), degenerate), 0u);
+}
+
+TEST(SimdDispatchTest, ForceLevelClampsAndResets) {
+  const Level detected = ActiveLevel();
+  ForceLevelForTest(Level::kScalar);
+  EXPECT_EQ(ActiveLevel(), Level::kScalar);
+  ForceLevelForTest(Level::kAvx2);
+  // Clamped to what the CPU/build actually supports.
+  EXPECT_LE(static_cast<int>(ActiveLevel()), static_cast<int>(detected));
+  ResetLevelForTest();
+  EXPECT_EQ(ActiveLevel(), detected);
+}
+
+TEST(SimdDispatchTest, LevelNamesAreStable) {
+  EXPECT_STREQ(LevelName(Level::kScalar), "scalar");
+  EXPECT_STREQ(LevelName(Level::kAvx2), "avx2");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, SimdLevelTest,
+                         ::testing::Values(Level::kScalar, Level::kAvx2),
+                         [](const ::testing::TestParamInfo<Level>& info) {
+                           return LevelName(info.param);
+                         });
+
+}  // namespace
+}  // namespace ctxrank::simd

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "context/context_assignment.h"
 #include "context/prestige.h"
 #include "context/search_engine.h"
@@ -378,6 +379,93 @@ TEST(QueryFastPathTest, ManyRandomWorldsAgree) {
                          "seed=" + std::to_string(seed) + " " + query);
     }
   }
+}
+
+TEST(QueryFastPathTest, BlockPathMatchesExactAcrossBlockSizesAndSimdLevels) {
+  // The tentpole sweep: block sizes straddling every list length x both
+  // dispatch levels x both pruning modes, all bitwise-equal to the exact
+  // scan. On hosts without AVX2 the forced level clamps to scalar and the
+  // sweep degenerates to scalar-vs-scalar (still a valid identity check).
+  RandomWorld w = MakeRandomWorld(71);
+  for (const size_t block_size : {1u, 3u, 128u}) {
+    ContextSearchEngine::EngineOptions eo = IndexedEngineOptions();
+    eo.block_size = block_size;
+    const ContextSearchEngine engine(*w.tc, w.onto, *w.assignment,
+                                     *w.prestige, eo);
+    EXPECT_EQ(engine.index_block_size(), block_size);
+    for (const simd::Level level : {simd::Level::kScalar, simd::Level::kAvx2}) {
+      simd::ForceLevelForTest(level);
+      Rng rng(71 ^ block_size);
+      for (int qi = 0; qi < 5; ++qi) {
+        const std::string query = w.RandomQuery(rng);
+        SearchOptions exact_opts;
+        exact_opts.top_k = 10;
+        exact_opts.exact_scan = true;
+        const auto exact = engine.Search(query, exact_opts);
+        for (const PruningMode mode : {PruningMode::kTerm,
+                                       PruningMode::kBlock}) {
+          SearchOptions opts;
+          opts.top_k = 10;
+          opts.pruning = mode;
+          ExpectBitwiseEqual(
+              exact, engine.Search(query, opts),
+              query + " bs=" + std::to_string(block_size) +
+                  " simd=" + simd::LevelName(level) +
+                  (mode == PruningMode::kBlock ? " block" : " term"));
+        }
+      }
+    }
+    simd::ResetLevelForTest();
+  }
+}
+
+TEST(QueryFastPathTest, BlockModeWithoutBlockMetadataFallsBackExactly) {
+  // An engine built with block_size 0 (as after loading a pre-block
+  // snapshot) must serve pruning=kBlock requests via the per-term path.
+  RandomWorld w = MakeRandomWorld(73);
+  ContextSearchEngine::EngineOptions eo = IndexedEngineOptions();
+  eo.block_size = 0;
+  const ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                                   eo);
+  EXPECT_EQ(engine.index_block_size(), 0u);
+  Rng rng(77);
+  for (int qi = 0; qi < 5; ++qi) {
+    const std::string query = w.RandomQuery(rng);
+    SearchOptions exact_opts;
+    exact_opts.top_k = 10;
+    exact_opts.exact_scan = true;
+    SearchOptions opts;
+    opts.top_k = 10;
+    opts.pruning = PruningMode::kBlock;
+    ExpectBitwiseEqual(engine.Search(query, exact_opts),
+                       engine.Search(query, opts), query);
+  }
+}
+
+TEST(QueryFastPathTest, CacheKeySeparatesPruningModes) {
+  // Regression: the result-cache fingerprint must incorporate the pruning
+  // knobs. Results are bitwise identical across modes, but sharing an
+  // entry would let a term-mode result masquerade as a block-mode one
+  // (wrong funnel/trace semantics) — and vice versa after a hot reload
+  // onto an engine with different block structure.
+  RandomWorld w = MakeRandomWorld(79);
+  ContextSearchEngine engine(*w.tc, w.onto, *w.assignment, *w.prestige,
+                             IndexedEngineOptions());
+  engine.EnableQueryCache(16);
+  Rng rng(81);
+  const std::string query = w.RandomQuery(rng);
+  SearchOptions term;
+  term.top_k = 5;
+  term.pruning = PruningMode::kTerm;
+  SearchOptions block = term;
+  block.pruning = PruningMode::kBlock;
+  ExpectBitwiseEqual(engine.Search(query, term), engine.Search(query, block),
+                     query);
+  EXPECT_EQ(engine.query_cache_stats().misses, 2u);
+  EXPECT_EQ(engine.query_cache_stats().hits, 0u);
+  // Same mode again: a genuine hit.
+  (void)engine.Search(query, block);
+  EXPECT_EQ(engine.query_cache_stats().hits, 1u);
 }
 
 }  // namespace

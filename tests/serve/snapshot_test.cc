@@ -7,6 +7,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -263,6 +264,116 @@ TEST_F(SnapshotTest, RejectsTamperedChecksumEntry) {
   // First section-table entry's checksum field: header (32) + kind/reserved/
   // offset/size/count (32).
   bytes[32 + 32] ^= 0xff;
+  WriteFile(path, bytes);
+  auto loaded = ServingSnapshot::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+// The on-disk section table: header is 32 bytes, then one 40-byte entry
+// (kind u32, reserved u32, offset u64, size u64, count u64, checksum u64)
+// per section. Returns the byte offset of `kind`'s payload, or npos.
+size_t FindSectionOffset(const std::string& bytes, SectionKind kind) {
+  uint64_t num_sections = 0;
+  std::memcpy(&num_sections, bytes.data() + 16, sizeof(num_sections));
+  for (uint64_t i = 0; i < num_sections; ++i) {
+    const size_t entry = 32 + i * 40;
+    uint32_t k = 0;
+    std::memcpy(&k, bytes.data() + entry, sizeof(k));
+    if (k == static_cast<uint32_t>(kind)) {
+      uint64_t offset = 0;
+      std::memcpy(&offset, bytes.data() + entry + 8, sizeof(offset));
+      return static_cast<size_t>(offset);
+    }
+  }
+  return std::string::npos;
+}
+
+TEST_F(SnapshotTest, BlockSectionsRoundTripWithBlockSearch) {
+  // An engine with real multi-block lists: block size 2 over the fixture's
+  // short postings. The loaded engine must carry the same block structure
+  // and serve block-pruned queries bit-identically.
+  ContextSearchEngine::EngineOptions eopts;
+  eopts.index_min_members = 2;
+  eopts.block_size = 2;
+  const ContextSearchEngine blocky(tc_, onto_, assignment_, prestige_, eopts);
+  ASSERT_EQ(blocky.index_block_size(), 2u);
+  SnapshotInputs in = Inputs();
+  in.engine = &blocky;
+  const std::string path = Path("blocks");
+  ASSERT_TRUE(SaveSnapshot(in, path).ok());
+  auto loaded = ServingSnapshot::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ServingSnapshot& snap = *loaded.value();
+  EXPECT_EQ(snap.engine().index_block_size(), 2u);
+  EXPECT_TRUE(snap.load_notes().empty()) << snap.load_notes();
+  for (const SectionKind kind :
+       {SectionKind::kCiBlockOffsets, SectionKind::kCiBlockMax,
+        SectionKind::kCiBlockDocMin, SectionKind::kCiBlockDocMax}) {
+    EXPECT_TRUE(snap.section_presence() &
+                (uint64_t{1} << static_cast<uint32_t>(kind)))
+        << SectionName(kind);
+  }
+  for (const char* q : {"kinase signaling", "dna repair", "protein kinase"}) {
+    SearchOptions block_opts;
+    block_opts.pruning = context::PruningMode::kBlock;
+    SearchOptions exact_opts;
+    exact_opts.exact_scan = true;
+    ExpectBitIdentical(blocky.Search(q, block_opts),
+                       snap.engine().Search(q, block_opts));
+    ExpectBitIdentical(snap.engine().Search(q, exact_opts),
+                       snap.engine().Search(q, block_opts));
+  }
+}
+
+TEST_F(SnapshotTest, PreBlockSnapshotLoadsWithPerTermFallback) {
+  // A snapshot written without block metadata (block_size 0 — byte-wise
+  // what every pre-block writer produced) must still load: the engine
+  // serves pruning=kBlock requests via the per-term path and the load
+  // records the downgrade.
+  ContextSearchEngine::EngineOptions eopts;
+  eopts.index_min_members = 2;
+  eopts.block_size = 0;
+  const ContextSearchEngine plain(tc_, onto_, assignment_, prestige_, eopts);
+  ASSERT_EQ(plain.index_block_size(), 0u);
+  SnapshotInputs in = Inputs();
+  in.engine = &plain;
+  const std::string path = Path("preblock");
+  ASSERT_TRUE(SaveSnapshot(in, path).ok());
+  auto loaded = ServingSnapshot::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ServingSnapshot& snap = *loaded.value();
+  EXPECT_EQ(snap.engine().index_block_size(), 0u);
+  EXPECT_NE(snap.load_notes().find("per-term"), std::string::npos)
+      << snap.load_notes();
+  for (const SectionKind kind :
+       {SectionKind::kCiBlockOffsets, SectionKind::kCiBlockMax,
+        SectionKind::kCiBlockDocMin, SectionKind::kCiBlockDocMax}) {
+    EXPECT_FALSE(snap.section_presence() &
+                 (uint64_t{1} << static_cast<uint32_t>(kind)))
+        << SectionName(kind);
+  }
+  for (const char* q : {"kinase signaling", "dna repair"}) {
+    SearchOptions block_opts;
+    block_opts.pruning = context::PruningMode::kBlock;
+    SearchOptions exact_opts;
+    exact_opts.exact_scan = true;
+    ExpectBitIdentical(snap.engine().Search(q, exact_opts),
+                       snap.engine().Search(q, block_opts));
+  }
+}
+
+TEST_F(SnapshotTest, RejectsCorruptedBlockSection) {
+  // Block sections ride the same per-section checksums as every other
+  // section: a flipped byte inside kCiBlockMax must fail the load.
+  const std::string path = Path("badblock");
+  ASSERT_TRUE(SaveSnapshot(Inputs(), path).ok());
+  std::string bytes = ReadFile(path);
+  const size_t offset = FindSectionOffset(bytes, SectionKind::kCiBlockMax);
+  ASSERT_NE(offset, std::string::npos)
+      << "snapshot unexpectedly lacks block sections";
+  bytes[offset] ^= 0x5a;
   WriteFile(path, bytes);
   auto loaded = ServingSnapshot::Load(path);
   ASSERT_FALSE(loaded.ok());

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -30,9 +31,18 @@ std::string ReadFile(const std::string& path) {
                      std::istreambuf_iterator<char>());
 }
 
+/// Atomically replaces `path`: writes a sibling temp file and renames it
+/// over the target, exactly like a production snapshot push. Never write
+/// a watched path in place — the watcher may have the old bytes mmapped
+/// mid-Load, and an in-place truncate yields SIGBUS on the next page
+/// touch (a real flake this helper used to cause under TSan).
 void WriteFile(const std::string& path, const std::string& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  ASSERT_EQ(std::rename(tmp.c_str(), path.c_str()), 0);
 }
 
 /// Spins (up to ~5s) until `pred` holds; returns whether it did.
@@ -80,6 +90,8 @@ class SupervisorTest : public ::testing::Test {
 
   void TearDown() override { fault::FaultInjector::Instance().Disarm(); }
 
+  /// Saves via temp-file + rename so a watcher mid-Load never observes a
+  /// half-written (or momentarily truncated) snapshot at `path`.
   Status Save(const std::string& path) const {
     SnapshotInputs in;
     in.tc = tc_.get();
@@ -88,7 +100,13 @@ class SupervisorTest : public ::testing::Test {
     in.prestige = prestige_.get();
     in.engine = engine_.get();
     in.corpus = &corpus_;
-    return SaveSnapshot(in, path);
+    const std::string tmp = path + ".tmp";
+    Status s = SaveSnapshot(in, tmp);
+    if (!s.ok()) return s;
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      return Status::IoError("rename " + tmp + " -> " + path);
+    }
+    return Status::OK();
   }
 
   std::string Path(const char* name) const {
@@ -197,6 +215,53 @@ TEST_F(SupervisorTest, TransientErrorsExhaustRetriesAndGiveUp) {
   EXPECT_EQ(stats.retries, 2u);  // max_retries from FastOptions.
   EXPECT_EQ(stats.failed_reloads, 1u);
   EXPECT_EQ(supervisor.current(), nullptr);
+}
+
+TEST_F(SupervisorTest, HotSwapBetweenBlockAndPreBlockSnapshots) {
+  // A reload may change the block structure underneath live serving: a
+  // block-max snapshot can replace a pre-block one and vice versa, with
+  // no supervisor involvement beyond the ordinary swap — results must be
+  // identical before and after, per-term fallback included.
+  ContextSearchEngine::EngineOptions eo;
+  eo.index_min_members = 2;
+  eo.block_size = 2;
+  const ContextSearchEngine blocky(*tc_, onto_, *assignment_, *prestige_, eo);
+  eo.block_size = 0;
+  const ContextSearchEngine preblock(*tc_, onto_, *assignment_, *prestige_,
+                                     eo);
+  SnapshotInputs in;
+  in.tc = tc_.get();
+  in.onto = &onto_;
+  in.assignment = assignment_.get();
+  in.prestige = prestige_.get();
+  in.corpus = &corpus_;
+  const std::string block_path = Path("sup_blocky");
+  const std::string plain_path = Path("sup_preblock");
+  in.engine = &blocky;
+  ASSERT_TRUE(SaveSnapshot(in, block_path).ok());
+  in.engine = &preblock;
+  ASSERT_TRUE(SaveSnapshot(in, plain_path).ok());
+
+  SnapshotSupervisor supervisor(FastOptions());
+  ASSERT_TRUE(supervisor.Reload(block_path).ok());
+  ASSERT_EQ(supervisor.current()->engine().index_block_size(), 2u);
+  const auto before = supervisor.current()->engine().Search("kinase signaling");
+  ASSERT_FALSE(before.empty());
+
+  ASSERT_TRUE(supervisor.Reload(plain_path).ok());
+  EXPECT_EQ(supervisor.current()->engine().index_block_size(), 0u);
+  EXPECT_FALSE(supervisor.current()->load_notes().empty());
+  const auto during = supervisor.current()->engine().Search("kinase signaling");
+  ASSERT_EQ(before.size(), during.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].paper, during[i].paper);
+    EXPECT_EQ(before[i].relevancy, during[i].relevancy);
+  }
+
+  ASSERT_TRUE(supervisor.Reload(block_path).ok());
+  EXPECT_EQ(supervisor.current()->engine().index_block_size(), 2u);
+  EXPECT_TRUE(supervisor.current()->load_notes().empty());
+  EXPECT_EQ(supervisor.stats().generation, 3u);
 }
 
 TEST_F(SupervisorTest, WatcherPicksUpFileSurvivesCorruptionThenRecovers) {

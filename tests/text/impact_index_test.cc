@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace ctxrank::text {
 namespace {
 
@@ -70,6 +72,117 @@ TEST(ImpactIndexTest, EmptyIndexDefaults) {
   EXPECT_EQ(idx.total_postings(), 0u);
   EXPECT_DOUBLE_EQ(idx.min_positive_norm(), 1.0);
   EXPECT_TRUE(idx.finalized());
+}
+
+TEST(ImpactIndexBlockTest, FinalizeWithoutBlockSizeHasNoBlocks) {
+  ImpactOrderedIndex idx;
+  idx.Add(Vec({{0, 1.0}}));
+  idx.Finalize();
+  EXPECT_FALSE(idx.has_blocks());
+  EXPECT_EQ(idx.block_size(), 0u);
+  EXPECT_EQ(idx.total_blocks(), 0u);
+  EXPECT_TRUE(idx.BlocksOf(0).max_weight.empty());
+}
+
+TEST(ImpactIndexBlockTest, BlockMaxIsFirstPostingOfEachBlock) {
+  // 7 postings on term 0, block size 3 -> blocks of 3, 3, 1 postings.
+  ImpactOrderedIndex idx;
+  for (int i = 0; i < 7; ++i) {
+    idx.Add(Vec({{0, 0.1 * (7 - i)}}));  // Weights 0.7 .. 0.1, in order.
+  }
+  idx.Finalize(/*block_size=*/3);
+  ASSERT_TRUE(idx.has_blocks());
+  EXPECT_EQ(idx.block_size(), 3u);
+  const auto blocks = idx.BlocksOf(0);
+  ASSERT_EQ(blocks.max_weight.size(), 3u);
+  const auto postings = idx.PostingsOf(0);
+  EXPECT_DOUBLE_EQ(blocks.max_weight[0], postings[0].weight);
+  EXPECT_DOUBLE_EQ(blocks.max_weight[1], postings[3].weight);
+  EXPECT_DOUBLE_EQ(blocks.max_weight[2], postings[6].weight);
+  // Impact order makes per-block maxima non-increasing.
+  EXPECT_GE(blocks.max_weight[0], blocks.max_weight[1]);
+  EXPECT_GE(blocks.max_weight[1], blocks.max_weight[2]);
+}
+
+TEST(ImpactIndexBlockTest, DocBoundsCoverEachBlock) {
+  // Weights chosen so impact order reverses doc order: doc 0 has the
+  // smallest weight. Block size 2 over 5 postings -> blocks 2, 2, 1.
+  ImpactOrderedIndex idx;
+  for (int i = 0; i < 5; ++i) {
+    idx.Add(Vec({{0, 0.1 * (i + 1)}}));
+  }
+  idx.Finalize(/*block_size=*/2);
+  const auto blocks = idx.BlocksOf(0);
+  const auto postings = idx.PostingsOf(0);
+  ASSERT_EQ(blocks.doc_min.size(), 3u);
+  for (size_t b = 0; b < 3; ++b) {
+    const size_t start = b * 2;
+    const size_t end = std::min<size_t>(start + 2, postings.size());
+    uint32_t dmin = postings[start].doc;
+    uint32_t dmax = postings[start].doc;
+    for (size_t i = start; i < end; ++i) {
+      dmin = std::min(dmin, postings[i].doc);
+      dmax = std::max(dmax, postings[i].doc);
+    }
+    EXPECT_EQ(blocks.doc_min[b], dmin) << "block " << b;
+    EXPECT_EQ(blocks.doc_max[b], dmax) << "block " << b;
+  }
+}
+
+TEST(ImpactIndexBlockTest, BlockSizeOneAndOversizedBlocks) {
+  ImpactOrderedIndex one;
+  one.Add(Vec({{0, 0.3}, {1, 0.2}}));
+  one.Add(Vec({{0, 0.1}}));
+  one.Finalize(/*block_size=*/1);
+  EXPECT_EQ(one.BlocksOf(0).max_weight.size(), 2u);  // One block/posting.
+  EXPECT_EQ(one.BlocksOf(1).max_weight.size(), 1u);
+  EXPECT_EQ(one.total_blocks(), 3u);
+
+  ImpactOrderedIndex big;
+  big.Add(Vec({{0, 0.3}}));
+  big.Add(Vec({{0, 0.1}}));
+  big.Finalize(/*block_size=*/128);  // Larger than any list: one block.
+  ASSERT_EQ(big.BlocksOf(0).max_weight.size(), 1u);
+  EXPECT_DOUBLE_EQ(big.BlocksOf(0).max_weight[0], 0.3);
+  EXPECT_EQ(big.BlocksOf(0).doc_min[0], 0u);
+  EXPECT_EQ(big.BlocksOf(0).doc_max[0], 1u);
+}
+
+TEST(ImpactIndexBlockTest, FromViewWithAndWithoutBlocks) {
+  // Build an owned index with blocks, then re-wrap its storage as views —
+  // the snapshot load path in miniature.
+  ImpactOrderedIndex owned;
+  for (int i = 0; i < 9; ++i) {
+    owned.Add(Vec({{0, 0.1 * (9 - i)}, {1, 0.05 * (i + 1)}}));
+  }
+  owned.Finalize(/*block_size=*/4);
+
+  const auto viewed = ImpactOrderedIndex::FromView(
+      owned.offsets_span(), owned.postings_span(), owned.norms_span(),
+      owned.min_positive_norm(),
+      {owned.block_size(), owned.block_offsets_span(), owned.block_max_span(),
+       owned.block_doc_min_span(), owned.block_doc_max_span()});
+  ASSERT_TRUE(viewed.has_blocks());
+  EXPECT_EQ(viewed.block_size(), 4u);
+  EXPECT_EQ(viewed.total_blocks(), owned.total_blocks());
+  for (TermId t = 0; t < 2; ++t) {
+    const auto a = owned.BlocksOf(t);
+    const auto b = viewed.BlocksOf(t);
+    ASSERT_EQ(a.max_weight.size(), b.max_weight.size());
+    for (size_t i = 0; i < a.max_weight.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.max_weight[i], b.max_weight[i]);
+      EXPECT_EQ(a.doc_min[i], b.doc_min[i]);
+      EXPECT_EQ(a.doc_max[i], b.doc_max[i]);
+    }
+  }
+
+  // The 4-arg overload (pre-block snapshots) serves without blocks.
+  const auto plain = ImpactOrderedIndex::FromView(
+      owned.offsets_span(), owned.postings_span(), owned.norms_span(),
+      owned.min_positive_norm());
+  EXPECT_FALSE(plain.has_blocks());
+  EXPECT_TRUE(plain.BlocksOf(0).max_weight.empty());
+  EXPECT_EQ(plain.PostingsOf(0).size(), owned.PostingsOf(0).size());
 }
 
 }  // namespace

@@ -42,6 +42,7 @@
 
 #include "common/metrics.h"
 #include "common/query_trace.h"
+#include "common/simd.h"
 #include "common/stage_timer.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -146,22 +147,24 @@ int Usage() {
                "  search   --data DIR --query Q [--set text|pattern]\n"
                "           [--function text|citation|pattern] [--top N]\n"
                "           [--topk K] [--exact 1] [--cache N]\n"
+               "           [--pruning term|block] [--block-size N]\n"
                "           [--batch FILE] [--threads N] [--deadline-ms N]\n"
                "           [--trace 1] [--stats text|json] [--admission N]\n"
                "  search   --snapshot FILE --query Q [--top N] [--topk K]\n"
-               "           [--batch FILE] [--threads N] [--deadline-ms N]\n"
+               "           [--pruning term|block] [--batch FILE]\n"
+               "           [--threads N] [--deadline-ms N]\n"
                "           [--trace 1] [--stats text|json]\n"
                "  info     --data DIR\n"
                "  analyze  --data DIR [--set text|pattern] "
                "[--min-context N]\n"
                "  snapshot save --data DIR [--set text|pattern]\n"
                "           [--function text|citation|pattern] [--out FILE]\n"
-               "           [--threads N]\n"
+               "           [--threads N] [--block-size N]\n"
                "  snapshot load --snapshot FILE [--query Q] [--threads N]\n"
                "  serve    --snapshot FILE [--watch 1] [--watch-ms N]\n"
                "           [--top N] [--topk K] [--deadline-ms N]\n"
                "           [--retries N] [--backoff-ms N] [--threads N]\n"
-               "           [--trace 1]\n"
+               "           [--trace 1] [--pruning term|block]\n"
                "           (queries from stdin; :reload :stats :metrics\n"
                "            :metrics json :quit)\n"
                "common flags:\n"
@@ -176,6 +179,14 @@ int Usage() {
                "                   (path, stage timings, context funnel)\n"
                "  --stats X        dump process metrics after the run\n"
                "                   (X = text for Prometheus, json)\n"
+               "  --pruning X      pruned-scan strategy: block (default,\n"
+               "                   block-max + SIMD admission) or term\n"
+               "                   (per-term bounds); results are bitwise\n"
+               "                   identical either way\n"
+               "  --block-size N   postings per block-max block at index\n"
+               "                   build (default 128; 0 disables block\n"
+               "                   metadata and block pruning falls back\n"
+               "                   to term pruning)\n"
                "exit codes: 0 ok, 2 usage, 3 invalid argument, 4 not "
                "found,\n"
                "  5 already exists, 6 out of range, 7 failed precondition,\n"
@@ -235,6 +246,14 @@ void PrintBatchResults(
                   title(results[i].hits[j].paper).c_str());
     }
   }
+}
+
+/// Parses `--pruning term|block` (default: block — the block-max fast
+/// path; indexes without block metadata quietly fall back to per-term).
+context::PruningMode ParsePruning(const Args& args) {
+  return args.Get("pruning", "block") == "term"
+             ? context::PruningMode::kTerm
+             : context::PruningMode::kBlock;
 }
 
 /// Dumps the process metrics registry when `--stats text|json` was passed.
@@ -392,6 +411,7 @@ int SearchFromSnapshot(const Args& args, const std::string& snap_path) {
   options.num_threads = static_cast<size_t>(args.GetInt("threads", 1));
   options.deadline_ms = static_cast<uint64_t>(args.GetInt("deadline-ms", 0));
   options.trace = args.GetInt("trace", 0) != 0;
+  options.pruning = ParsePruning(args);
 
   auto snap = serve::ServingSnapshot::Load(
       snap_path, static_cast<size_t>(args.GetInt("threads", 0)));
@@ -456,6 +476,7 @@ int Search(const Args& args) {
   options.num_threads = threads;
   options.deadline_ms = static_cast<uint64_t>(args.GetInt("deadline-ms", 0));
   options.trace = args.GetInt("trace", 0) != 0;
+  options.pruning = ParsePruning(args);
   const size_t cache_capacity =
       static_cast<size_t>(args.GetInt("cache", 0));
 
@@ -473,6 +494,8 @@ int Search(const Args& args) {
   context::ContextSearchEngine::EngineOptions engine_options;
   engine_options.num_threads = threads;
   engine_options.build_query_index = !options.exact_scan;
+  engine_options.block_size =
+      static_cast<size_t>(args.GetInt("block-size", 128));
   context::ContextSearchEngine engine(tc, data.value().onto,
                                       assignment.value(), prestige.value(),
                                       engine_options);
@@ -621,6 +644,8 @@ int SnapshotSave(const Args& args) {
 
   context::ContextSearchEngine::EngineOptions engine_options;
   engine_options.num_threads = threads;
+  engine_options.block_size =
+      static_cast<size_t>(args.GetInt("block-size", 128));
   const context::ContextSearchEngine engine(tc, data.value().onto,
                                             assignment.value(),
                                             prestige.value(), engine_options);
@@ -701,6 +726,7 @@ int Serve(const Args& args) {
   options.num_threads = 1;
   options.deadline_ms = static_cast<uint64_t>(args.GetInt("deadline-ms", 0));
   options.trace = args.GetInt("trace", 0) != 0;
+  options.pruning = ParsePruning(args);
   const size_t top = static_cast<size_t>(args.GetInt("top", 10));
 
   std::printf("serving %s (%zu papers)%s; :reload :stats :metrics :quit\n",
@@ -724,6 +750,14 @@ int Serve(const Args& args) {
     }
     if (line == ":stats") {
       const auto stats = supervisor.stats();
+      auto& reg = obs::MetricsRegistry::Instance();
+      std::printf(
+          "simd %s, blocks scanned %llu, blocks skipped %llu\n",
+          simd::ActiveLevelName(),
+          static_cast<unsigned long long>(
+              reg.GetCounter("ctxrank_search_blocks_scanned_total").Value()),
+          static_cast<unsigned long long>(
+              reg.GetCounter("ctxrank_search_blocks_skipped_total").Value()));
       const int64_t now_s =
           std::chrono::duration_cast<std::chrono::seconds>(
               std::chrono::system_clock::now().time_since_epoch())
