@@ -36,6 +36,7 @@
 #include "bench/bench_common.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "serve/daemon.h"
 #include "serve/net.h"
 #include "serve/snapshot.h"
@@ -108,6 +109,7 @@ class Client {
 struct LoadStats {
   double qps = 0.0;
   double p50_ms = 0.0;
+  double p95_ms = 0.0;
   double p99_ms = 0.0;
   double p999_ms = 0.0;
   uint64_t queries = 0;
@@ -129,6 +131,7 @@ LoadStats Summarize(std::vector<std::vector<double>> per_thread_ms,
   s.qps = wall_s > 0.0 ? static_cast<double>(queries) / wall_s : 0.0;
   if (!all.empty()) {
     s.p50_ms = Percentile(all, 50.0);
+    s.p95_ms = Percentile(all, 95.0);
     s.p99_ms = Percentile(all, 99.0);
     s.p999_ms = Percentile(all, 99.9);
   }
@@ -349,9 +352,9 @@ bool WireIdentity(uint16_t port, const serve::ServingSnapshot& snap,
 
 void PrintStats(const char* name, const LoadStats& s) {
   std::printf(
-      "%-16s %8.1f qps  p50 %7.3f ms  p99 %7.3f ms  p999 %7.3f ms  "
-      "(%llu queries, %llu failed, %llu shed)\n",
-      name, s.qps, s.p50_ms, s.p99_ms, s.p999_ms,
+      "%-16s %8.1f qps  p50 %7.3f ms  p95 %7.3f ms  p99 %7.3f ms  "
+      "p999 %7.3f ms  (%llu queries, %llu failed, %llu shed)\n",
+      name, s.qps, s.p50_ms, s.p95_ms, s.p99_ms, s.p999_ms,
       static_cast<unsigned long long>(s.queries),
       static_cast<unsigned long long>(s.failed),
       static_cast<unsigned long long>(s.shed));
@@ -375,6 +378,7 @@ void WriteJson(const std::string& path, const eval::WorldConfig& config,
   out << "  \"num_queries\": " << num_queries << ",\n";
   out << "  \"connections\": " << conns << ",\n";
   out << "  \"pipeline_depth\": " << depth << ",\n";
+  out << "  \"worker_pool_size\": " << ResolveNumThreads(0) << ",\n";
   out << "  \"top_k\": " << kTopK << ",\n";
   out << "  \"zipf_s\": " << kZipfS << ",\n";
   std::snprintf(buf, sizeof(buf), "  \"inprocess_warm_qps\": %.1f,\n",
@@ -384,10 +388,10 @@ void WriteJson(const std::string& path, const eval::WorldConfig& config,
                         const char* extra) {
     std::snprintf(
         buf, sizeof(buf),
-        "  \"%s\": {\"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
-        "\"p999_ms\": %.3f, \"queries\": %llu, \"failed\": %llu, "
-        "\"shed\": %llu%s},\n",
-        name, s.qps, s.p50_ms, s.p99_ms, s.p999_ms,
+        "  \"%s\": {\"qps\": %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+        "\"p99_ms\": %.3f, \"p999_ms\": %.3f, \"queries\": %llu, "
+        "\"failed\": %llu, \"shed\": %llu%s},\n",
+        name, s.qps, s.p50_ms, s.p95_ms, s.p99_ms, s.p999_ms,
         static_cast<unsigned long long>(s.queries),
         static_cast<unsigned long long>(s.failed),
         static_cast<unsigned long long>(s.shed), extra);

@@ -1,0 +1,322 @@
+// P8 — sharded scatter-gather serving: per-shard-count build, cold-start
+// (load-to-first-query), reload and warm-QPS numbers, the bitwise-identity
+// gate against the monolithic engine, and a fault-injection storm that
+// must degrade (skipped shards) without ever failing a query. Optionally
+// writes the numbers as JSON (--json FILE) for the committed
+// BENCH_shards.json baseline.
+//
+// Gates (exit status 0 iff all hold):
+//   * sharded hits bitwise-identical to the monolithic engine for every
+//     query, pruned and exact, at every shard count;
+//   * load-to-first-query at 8 shards >= 3x faster than at 1 shard
+//     (shards load concurrently, single-threaded each);
+//   * storm: zero non-OK responses under random per-leg faults and a
+//     failed-reload window.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/fault_injection.h"
+#include "serve/sharded_engine.h"
+
+namespace ctxrank::bench {
+namespace {
+
+constexpr size_t kTopK = 20;
+constexpr uint32_t kShardCounts[] = {1, 2, 4, 8};
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool SameHits(const std::vector<context::SearchHit>& a,
+              const std::vector<context::SearchHit>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].paper != b[i].paper || a[i].relevancy != b[i].relevancy ||
+        a[i].context != b[i].context || a[i].prestige != b[i].prestige ||
+        a[i].match != b[i].match) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct ShardRow {
+  uint32_t num_shards = 0;
+  double save_ms = 0.0;
+  double load_to_first_query_ms = 0.0;  // First OK (possibly degraded) reply.
+  double load_all_live_ms = 0.0;        // Every shard live + complete reply.
+  double reload_ms = 0.0;
+  double warm_qps = 0.0;
+  long long snapshot_bytes = 0;
+  bool identity = true;
+  uint64_t storm_queries = 0;
+  uint64_t storm_failed = 0;    // Non-OK responses (gate: must stay 0).
+  uint64_t storm_degraded = 0;  // Responses with skipped shards/contexts.
+};
+
+long long FileBytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  return f ? static_cast<long long>(f.tellg()) : 0;
+}
+
+int Run(int argc, char** argv) {
+  const eval::WorldConfig config = ParseConfig(argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+  auto world = BuildWorldOrDie(config);
+  const auto queries = eval::GenerateQueries(world->onto(), world->tc(),
+                                             world->text_set());
+
+  context::SearchOptions pruned;
+  pruned.top_k = kTopK;
+  context::SearchOptions exact = pruned;
+  exact.exact_scan = true;
+
+  // Monolithic reference engine; its per-query results are computed once
+  // and reused as the identity baseline for every shard count.
+  context::ContextSearchEngine::EngineOptions engine_options;
+  engine_options.num_threads = 0;
+  const context::ContextSearchEngine engine(world->tc(), world->onto(),
+                                            world->text_set(),
+                                            world->text_set_text_scores(),
+                                            engine_options);
+  std::vector<std::vector<context::SearchHit>> ref_pruned, ref_exact;
+  ref_pruned.reserve(queries.size());
+  ref_exact.reserve(queries.size());
+  for (const auto& q : queries) {
+    ref_pruned.push_back(engine.Search(q.text, pruned));
+    ref_exact.push_back(engine.Search(q.text, exact));
+  }
+
+  const std::string base_path = "/tmp/ctxrank_perf_shards.snap";
+  std::vector<ShardRow> rows;
+  bool identity_all = true;
+  uint64_t storm_failed_total = 0;
+
+  for (const uint32_t n : kShardCounts) {
+    ShardRow row;
+    row.num_shards = n;
+
+    // Build + save the shard set from the same engine options as the
+    // reference (identity holds only for like-built indexes).
+    const auto save0 = std::chrono::steady_clock::now();
+    const Status save_status =
+        serve::SaveShardedSnapshot(*world, base_path, n, engine_options);
+    row.save_ms = MsSince(save0);
+    if (!save_status.ok()) {
+      std::fprintf(stderr, "save (%u shards) failed: %s\n", n,
+                   save_status.ToString().c_str());
+      return 1;
+    }
+    for (uint32_t s = 0; s < n; ++s) {
+      row.snapshot_bytes += FileBytes(serve::ShardPath(base_path, s, n));
+    }
+
+    // Cold start, staggered: shards load in order on one background
+    // thread (OpenDetached) and the engine answers the moment the first
+    // shard is live — not-yet-loaded shards surface in skipped_shards,
+    // the same graceful-degradation contract a failed leg uses at
+    // runtime. load_to_first_query is the first OK response (time to
+    // availability, ~1/N of the full load); load_all_live is every shard
+    // live plus one complete response (the monolithic-equivalent point).
+    serve::ShardedEngine::Options sopts;
+    serve::ShardedEngine sharded(sopts);
+    const auto load0 = std::chrono::steady_clock::now();
+    const Status open_status = sharded.OpenDetached(base_path, n);
+    if (!open_status.ok()) {
+      std::fprintf(stderr, "open (%u shards) failed: %s\n", n,
+                   open_status.ToString().c_str());
+      return 1;
+    }
+    for (;;) {
+      const auto first = sharded.SearchEx(queries[0].text, pruned);
+      if (first.status.ok()) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    row.load_to_first_query_ms = MsSince(load0);
+    const Status await_status = sharded.AwaitOpen();
+    const auto complete = sharded.SearchEx(queries[0].text, pruned);
+    row.load_all_live_ms = MsSince(load0);
+    if (!await_status.ok() || !complete.status.ok()) {
+      std::fprintf(stderr, "bring-up (%u shards) failed: %s %s\n", n,
+                   await_status.ToString().c_str(),
+                   complete.status.ToString().c_str());
+      return 1;
+    }
+
+    // Reload (all shards concurrently, same generation discipline as the
+    // daemon's watcher path).
+    const auto reload0 = std::chrono::steady_clock::now();
+    const Status reload_status = sharded.Reload();
+    row.reload_ms = MsSince(reload0);
+    if (!reload_status.ok()) {
+      std::fprintf(stderr, "reload (%u shards) failed: %s\n", n,
+                   reload_status.ToString().c_str());
+      return 1;
+    }
+
+    // Identity gate: every query, pruned and exact, against the
+    // precomputed monolithic baseline.
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const auto rp = sharded.SearchEx(queries[i].text, pruned);
+      const auto re = sharded.SearchEx(queries[i].text, exact);
+      if (!rp.status.ok() || !re.status.ok() ||
+          !SameHits(rp.hits, ref_pruned[i]) ||
+          !SameHits(re.hits, ref_exact[i])) {
+        row.identity = false;
+        std::printf("IDENTITY MISMATCH (%u shards) on query \"%s\"\n", n,
+                    queries[i].text.c_str());
+      }
+    }
+    identity_all = identity_all && row.identity;
+
+    // Warm QPS: closed loop over the query set (merged cache disabled, so
+    // this is real scatter-gather work, not cache hits).
+    const auto warm0 = std::chrono::steady_clock::now();
+    uint64_t done = 0;
+    while (MsSince(warm0) < 500.0) {
+      for (const auto& q : queries) {
+        auto r = sharded.SearchEx(q.text, pruned);
+        if (!r.status.ok()) {
+          std::fprintf(stderr, "warm query failed: %s\n",
+                       r.status.ToString().c_str());
+          return 1;
+        }
+        ++done;
+      }
+    }
+    row.warm_qps = static_cast<double>(done) / (MsSince(warm0) / 1000.0);
+
+    // Degradation storm #1: random per-leg faults. Every response must
+    // stay OK; legs that draw a fault surface as skipped shards.
+    auto& injector = fault::FaultInjector::Instance();
+    for (const uint64_t seed : {11u, 12u, 13u}) {
+      injector.FailRandom(seed, 0.3, StatusCode::kIoError);
+      for (const auto& q : queries) {
+        const auto r = sharded.SearchEx(q.text, pruned);
+        ++row.storm_queries;
+        if (!r.status.ok()) ++row.storm_failed;
+        if (r.degraded || !r.skipped_shards.empty()) ++row.storm_degraded;
+      }
+      injector.Disarm();
+    }
+
+    // Degradation storm #2: a reload window where every shard's load
+    // fails. The engine must keep serving the last-good snapshots, still
+    // bitwise-identical to the baseline.
+    injector.FailFrom("snapshot/load", 1, StatusCode::kIoError);
+    const Status bad_reload = sharded.Reload();
+    injector.Disarm();
+    if (bad_reload.ok()) {
+      std::fprintf(stderr, "expected reload under snapshot/load fault to "
+                           "fail (%u shards)\n", n);
+      return 1;
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const auto r = sharded.SearchEx(queries[i].text, pruned);
+      ++row.storm_queries;
+      if (!r.status.ok() || !SameHits(r.hits, ref_pruned[i])) {
+        ++row.storm_failed;
+      }
+    }
+    storm_failed_total += row.storm_failed;
+
+    for (uint32_t s = 0; s < n; ++s) {
+      std::remove(serve::ShardPath(base_path, s, n).c_str());
+    }
+    rows.push_back(row);
+  }
+
+  const double load_n1 = rows.front().load_to_first_query_ms;
+  const double load_n8 = rows.back().load_to_first_query_ms;
+  const double speedup = load_n8 > 0.0 ? load_n1 / load_n8 : 0.0;
+  const bool speedup_ok = speedup >= 3.0;
+  const bool storm_ok = storm_failed_total == 0;
+  const bool all_ok = identity_all && speedup_ok && storm_ok;
+
+  std::printf("P8 — sharded scatter-gather (%zu papers, %zu queries)\n",
+              world->corpus().size(), queries.size());
+  std::printf("  %-7s %10s %10s %10s %10s %10s %10s %9s\n", "shards",
+              "save ms", "first ms", "live ms", "reload ms", "warm qps",
+              "bytes", "identity");
+  for (const auto& r : rows) {
+    std::printf("  %-7u %10.1f %10.1f %10.1f %10.1f %10.1f %10lld %9s\n",
+                r.num_shards, r.save_ms, r.load_to_first_query_ms,
+                r.load_all_live_ms, r.reload_ms, r.warm_qps,
+                r.snapshot_bytes, r.identity ? "OK" : "FAIL");
+  }
+  uint64_t storm_queries_total = 0, storm_degraded_total = 0;
+  for (const auto& r : rows) {
+    storm_queries_total += r.storm_queries;
+    storm_degraded_total += r.storm_degraded;
+  }
+  std::printf("  load-to-first-query speedup 8 vs 1 shard: %.1fx (%s)\n",
+              speedup, speedup_ok ? "OK, >= 3x" : "FAIL, need >= 3x");
+  std::printf("  storm: %llu queries, %llu failed, %llu degraded (%s)\n",
+              static_cast<unsigned long long>(storm_queries_total),
+              static_cast<unsigned long long>(storm_failed_total),
+              static_cast<unsigned long long>(storm_degraded_total),
+              storm_ok ? "OK, zero failed" : "FAIL");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n";
+    out << "  \"bench\": \"perf_shards\",\n";
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"scale\": \"%s\",\n  \"num_papers\": %zu,\n"
+                  "  \"num_queries\": %zu,\n",
+                  config.corpus.num_papers < 5000 ? "small" : "default",
+                  world->corpus().size(), queries.size());
+    out << buf;
+    out << "  \"shards\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"num_shards\": %u, \"save_ms\": %.1f, "
+          "\"load_to_first_query_ms\": %.1f, \"load_all_live_ms\": %.1f, "
+          "\"reload_ms\": %.1f, "
+          "\"warm_qps\": %.1f, \"snapshot_bytes\": %lld, "
+          "\"identity\": %s, \"storm_queries\": %llu, "
+          "\"storm_failed\": %llu, \"storm_degraded\": %llu}%s\n",
+          r.num_shards, r.save_ms, r.load_to_first_query_ms,
+          r.load_all_live_ms, r.reload_ms,
+          r.warm_qps, r.snapshot_bytes, r.identity ? "true" : "false",
+          static_cast<unsigned long long>(r.storm_queries),
+          static_cast<unsigned long long>(r.storm_failed),
+          static_cast<unsigned long long>(r.storm_degraded),
+          i + 1 < rows.size() ? "," : "");
+      out << buf;
+    }
+    out << "  ],\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"load_speedup_8_vs_1\": %.1f,\n"
+                  "  \"gate_identity\": %s,\n"
+                  "  \"gate_load_speedup_ge_3x\": %s,\n"
+                  "  \"gate_storm_zero_failed\": %s,\n"
+                  "  \"ok\": %s\n}\n",
+                  speedup, identity_all ? "true" : "false",
+                  speedup_ok ? "true" : "false",
+                  storm_ok ? "true" : "false", all_ok ? "true" : "false");
+    out << buf;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ctxrank::bench
+
+int main(int argc, char** argv) { return ctxrank::bench::Run(argc, argv); }

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# One-shot verification ladder: tier-1 ctest, the ASan/UBSan and TSan
+# focused suites, the SIMD perf-identity gate, and the end-to-end daemon
+# check, each as an independent stage with a pass/fail summary table at
+# the end. A stage failure does not stop later stages — you get the full
+# picture in one run — but any failure makes the script exit non-zero.
+# Usage: scripts/verify_all.sh [build-dir]
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+stages=()
+results=()
+seconds=()
+
+run_stage() {
+  local name="$1"
+  shift
+  echo
+  echo "===== ${name} ====="
+  local t0 t1
+  t0=$(date +%s)
+  if "$@"; then
+    results+=("PASS")
+  else
+    results+=("FAIL")
+  fi
+  t1=$(date +%s)
+  stages+=("${name}")
+  seconds+=($((t1 - t0)))
+}
+
+tier1() {
+  cmake -B "${build_dir}" -S "${repo_root}" >/dev/null &&
+    cmake --build "${build_dir}" -j &&
+    ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+}
+
+run_stage "tier-1 ctest"    tier1
+run_stage "verify_asan"     "${repo_root}/scripts/verify_asan.sh"
+run_stage "verify_tsan"     "${repo_root}/scripts/verify_tsan.sh"
+run_stage "verify_perf"     "${repo_root}/scripts/verify_perf.sh"
+run_stage "verify_daemon"   "${repo_root}/scripts/verify_daemon.sh" "${build_dir}"
+
+echo
+echo "===== verify_all summary ====="
+printf '%-16s %-6s %8s\n' "stage" "result" "seconds"
+failed=0
+for i in "${!stages[@]}"; do
+  printf '%-16s %-6s %8s\n' "${stages[$i]}" "${results[$i]}" "${seconds[$i]}"
+  [[ "${results[$i]}" == "FAIL" ]] && failed=1
+done
+exit "${failed}"

@@ -6,6 +6,7 @@
 #ifndef CTXRANK_COMMON_DEADLINE_H_
 #define CTXRANK_COMMON_DEADLINE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -31,6 +32,32 @@ class Deadline {
 
   /// Never expires, but armed() — for call sites that require a deadline.
   static Deadline Infinite() { return Deadline(Clock::time_point::max()); }
+
+  /// Child budget for one leg of a parallel fan-out (the sharded
+  /// scatter-gather): the parent's expiry minus a gather reserve, so every
+  /// leg that finishes inside its slice leaves the coordinator time to
+  /// merge before the caller's budget runs out. Legs run concurrently, so
+  /// they all get the same absolute slice — the reserve is
+  /// `reserve_permille` thousandths of the budget still remaining at call
+  /// time (default 10%), never less than `min_reserve_us`. An unset parent
+  /// yields an unset child (no budget to slice), an already-expired parent
+  /// an already-expired child, and Infinite() passes through unchanged.
+  static Deadline FanOutSlice(const Deadline& parent,
+                              uint64_t reserve_permille = 100,
+                              uint64_t min_reserve_us = 200) {
+    if (!parent.armed()) return Deadline();
+    if (parent.when() == Clock::time_point::max()) return parent;
+    const Clock::time_point now = Clock::now();
+    if (parent.when() <= now) return Deadline(parent.when());
+    const auto remaining = parent.when() - now;
+    const Clock::duration reserve =
+        std::max(std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::microseconds(min_reserve_us)),
+                 remaining * static_cast<int64_t>(reserve_permille) / 1000);
+    // A reserve larger than the remaining budget pins the slice to "now":
+    // legs see an expired deadline and degrade instead of overrunning.
+    return Deadline(reserve >= remaining ? now : parent.when() - reserve);
+  }
 
   bool armed() const { return armed_; }
 

@@ -80,6 +80,16 @@ class LruCache {
     shard.map.emplace(key, shard.lru.begin());
   }
 
+  /// Drops every entry (hit/miss counters are kept). Thread-safe; used to
+  /// invalidate results cached above a hot-swapped snapshot.
+  void Clear() {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->map.clear();
+      shard->lru.clear();
+    }
+  }
+
   /// Total live entries across shards.
   size_t size() const {
     size_t n = 0;

@@ -363,7 +363,7 @@ std::vector<ContextMatch> ContextSearchEngine::SelectContextsFromVector(
   const double qnorm = qv.Norm();
   std::vector<ContextMatch> matches;
   for (const TermId t : scored) {
-    if (assignment_->Members(t).empty()) continue;
+    if (!ContextSelectable(t)) continue;
     const double nnorm = name_norms_[t];
     const double score =
         (qnorm <= 0.0 || nnorm <= 0.0) ? 0.0 : dot[t] / (qnorm * nnorm);
@@ -411,7 +411,7 @@ std::vector<ContextMatch> ContextSearchEngine::RouteQuery(
     for (const ContextMatch& cm : contexts) {
       for (TermId t : ontology::MostSimilarTerms(*onto_, cm.term,
                                                  options.semantic_expansion)) {
-        if (assignment_->Members(t).empty()) continue;
+        if (!ContextSelectable(t)) continue;
         const double score =
             cm.score * ontology::LinSimilarity(*onto_, cm.term, t);
         auto it = extra.find(t);
@@ -924,8 +924,6 @@ std::vector<SearchHit> ContextSearchEngine::PrunedScan(
 SearchResponse ContextSearchEngine::SearchVector(
     const text::SparseVector& qv, const SearchOptions& options,
     const Deadline& deadline, obs::QueryTrace* trace) const {
-  SearchResponse response;
-  ServingMetrics& m = Metrics();
   const auto route0 = trace != nullptr ? MonoClock::now()
                                        : MonoClock::time_point();
   const std::vector<ContextMatch> contexts = RouteQuery(qv, options);
@@ -933,6 +931,15 @@ SearchResponse ContextSearchEngine::SearchVector(
     trace->route_us = MicrosSince(route0);
     trace->contexts_selected = contexts.size();
   }
+  return ScanSelected(qv, contexts, options, deadline, trace);
+}
+
+SearchResponse ContextSearchEngine::ScanSelected(
+    const text::SparseVector& qv, const std::vector<ContextMatch>& contexts,
+    const SearchOptions& options, const Deadline& deadline,
+    obs::QueryTrace* trace) const {
+  SearchResponse response;
+  ServingMetrics& m = Metrics();
   const auto scan0 = trace != nullptr ? MonoClock::now()
                                       : MonoClock::time_point();
   // The pruning bounds assume non-negative weights; fall back to the
@@ -978,6 +985,26 @@ SearchResponse ContextSearchEngine::SearchVector(
   return response;
 }
 
+std::vector<ContextMatch> ContextSearchEngine::RouteQueryText(
+    std::string_view query, const SearchOptions& options) const {
+  const auto ids = tc_->analyzer().AnalyzeToKnownIds(query, tc_->vocabulary());
+  return RouteQuery(tc_->tfidf().TransformQuery(ids), options);
+}
+
+SearchResponse ContextSearchEngine::SearchRouted(
+    std::string_view query, std::span<const ContextMatch> contexts,
+    const SearchOptions& options, const Deadline& deadline) const {
+  // One scatter leg of the sharded fan-out: routing already happened
+  // globally (so local Members() emptiness must not influence selection),
+  // and caching/metrics of the merged result belong to the coordinator —
+  // this path touches neither the query cache nor the per-query counters.
+  const auto ids = tc_->analyzer().AnalyzeToKnownIds(query, tc_->vocabulary());
+  const text::SparseVector qv = tc_->tfidf().TransformQuery(ids);
+  return ScanSelected(qv, std::vector<ContextMatch>(contexts.begin(),
+                                                    contexts.end()),
+                      options, deadline, nullptr);
+}
+
 SearchResponse ContextSearchEngine::SearchOne(std::string_view query,
                                               const SearchOptions& options,
                                               const Deadline& deadline) const {
@@ -1012,6 +1039,7 @@ SearchResponse ContextSearchEngine::SearchOne(std::string_view query,
       response.status = Status::OK();
       response.degraded = false;
       response.skipped_contexts.clear();
+      response.skipped_shards.clear();
       from_cache = true;
       m.cache_hits.Increment();
       m.path_cached.Increment();

@@ -20,6 +20,7 @@
 #define CTXRANK_CONTEXT_SEARCH_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -138,6 +139,12 @@ struct SearchResponse {
   Status status;
   bool degraded = false;
   std::vector<TermId> skipped_contexts;
+  /// Sharded serving only (serve::ShardedEngine): shards whose scatter leg
+  /// contributed nothing — the leg missed its deadline slice entirely or
+  /// failed outright. Always empty on a single-engine response. Every
+  /// context owned by a skipped shard also appears in `skipped_contexts`,
+  /// so the per-context accounting stays complete.
+  std::vector<uint32_t> skipped_shards;
   /// Execution trace, present iff SearchOptions::trace was set (null
   /// otherwise — tracing is pay-for-what-you-ask). Shared so responses
   /// stay cheap to copy.
@@ -218,6 +225,42 @@ class ContextSearchEngine {
   std::vector<SearchResponse> SearchManyEx(
       const std::vector<std::string>& queries,
       const SearchOptions& options = {}) const;
+
+  /// Task 3 with semantic expansion: the full routing step Search performs
+  /// before scanning (lexical selection + optional expansion, deterministic
+  /// order). This is the scatter coordinator's entry point: a
+  /// serve::ShardedEngine routes once on any shard's (identical) routing
+  /// index and fans the selected contexts out via SearchRouted.
+  std::vector<ContextMatch> RouteQueryText(std::string_view query,
+                                           const SearchOptions& options) const;
+
+  /// Scan-only search against an externally routed context list: analyzes
+  /// the query and scores exactly `contexts` (in the given order) without
+  /// routing, caching, or admission. `contexts` must be a subsequence of a
+  /// RouteQueryText result on an engine sharing this one's global
+  /// statistics — the scatter leg primitive behind serve::ShardedEngine.
+  /// Deadline semantics match SearchEx: prefix-consistent skipped_contexts,
+  /// exact scores for everything returned.
+  SearchResponse SearchRouted(std::string_view query,
+                              std::span<const ContextMatch> contexts,
+                              const SearchOptions& options,
+                              const Deadline& deadline) const;
+
+  /// Owner id meaning "no shard owns this context" in a routing-owners map
+  /// (the context has no members anywhere, so routing never selects it).
+  static constexpr uint32_t kNoShardOwner = 0xFFFFFFFFu;
+
+  /// Sharded serving: installs a global context-ownership map (one entry
+  /// per assignment term; kNoShardOwner = globally empty). When set,
+  /// context selection and semantic expansion treat context t as
+  /// selectable iff owners[t] != kNoShardOwner instead of consulting the
+  /// local assignment — a shard's engine then routes exactly like the
+  /// unsharded engine even though its own assignment only holds the
+  /// contexts it owns. The span must outlive the engine (it points into
+  /// the shard's snapshot). Configuration-time only, like EnableQueryCache.
+  void SetRoutingOwners(std::span<const uint32_t> owners) {
+    routing_owners_ = owners;
+  }
 
   /// One admission-guarded query against an externally armed deadline:
   /// the single-query serving spine behind every SearchManyEx slot, the
@@ -341,6 +384,22 @@ class ContextSearchEngine {
                               const Deadline& deadline,
                               obs::QueryTrace* trace) const;
 
+  /// The scan half of SearchVector (exact/pruned dispatch, top-k
+  /// truncation, funnel metrics) over an already routed context list —
+  /// shared by the routed path (SearchRouted) and the local one.
+  SearchResponse ScanSelected(const text::SparseVector& qv,
+                              const std::vector<ContextMatch>& contexts,
+                              const SearchOptions& options,
+                              const Deadline& deadline,
+                              obs::QueryTrace* trace) const;
+
+  /// True when context `t` is eligible for routing: locally non-empty, or
+  /// globally non-empty per the installed routing-owners map (sharding).
+  bool ContextSelectable(TermId t) const {
+    return routing_owners_.empty() ? !assignment_->Members(t).empty()
+                                   : routing_owners_[t] != kNoShardOwner;
+  }
+
   /// The brute-force reference path (scores every member). Contexts whose
   /// scan did not start before the deadline are appended to `skipped`.
   std::vector<SearchHit> ExactScan(const text::SparseVector& qv,
@@ -389,6 +448,9 @@ class ContextSearchEngine {
   VecOrSpan<text::SparseVector::Entry> routing_entries_;
   /// Norm of each ontology term's name vector, precomputed once.
   VecOrSpan<double> name_norms_;
+  /// Optional global ownership map for sharded routing (empty = off); see
+  /// SetRoutingOwners.
+  std::span<const uint32_t> routing_owners_;
   /// Per-term serving indexes (entry t covers assignment term t).
   std::vector<ContextIndex> context_index_;
   size_t index_postings_ = 0;

@@ -16,6 +16,7 @@
 
 #include "common/metrics.h"
 #include "serve/request_context.h"
+#include "serve/sharded_engine.h"
 
 namespace ctxrank::serve {
 namespace {
@@ -85,7 +86,10 @@ std::string EncodeErrorFrame(Status status) {
 }  // namespace
 
 Daemon::Daemon(SnapshotSupervisor& supervisor, Options options)
-    : supervisor_(supervisor), options_(std::move(options)) {}
+    : supervisor_(&supervisor), options_(std::move(options)) {}
+
+Daemon::Daemon(ShardedEngine& engine, Options options)
+    : sharded_(&engine), options_(std::move(options)) {}
 
 Daemon::~Daemon() { Stop(); }
 
@@ -459,7 +463,7 @@ void Daemon::ParseHttp(const std::shared_ptr<Conn>& conn) {
                       keep_alive),
                   !keep_alive);
     } else if (request.path == "/healthz") {
-      const bool ok = supervisor_.current() != nullptr;
+      const bool ok = BackendHealthy();
       QueueOutput(conn,
                   net::BuildHttpResponse(ok ? 200 : 503, "application/json",
                                          HealthzJson(), keep_alive),
@@ -544,26 +548,56 @@ void Daemon::MaybeDispatch(const std::shared_ptr<Conn>& conn) {
 
 void Daemon::RunRequest(const std::shared_ptr<Conn>& conn,
                         PendingRequest req) {
-  // Pin the serving snapshot for this request's whole lifetime: a hot
-  // reload swapping the supervisor's pointer cannot pull it out from
-  // under us, and the old snapshot is freed once its last request ends.
-  const std::shared_ptr<const ServingSnapshot> snap = supervisor_.current();
   context::SearchResponse response;
-  if (snap == nullptr) {
-    response.status =
-        Status::FailedPrecondition("no serving snapshot loaded");
+  std::function<std::string_view(corpus::PaperId)> title;
+  // Pinned snapshots outlive the JSON render below: any title
+  // string_view points into one of them.
+  std::shared_ptr<const ServingSnapshot> snap;
+  std::vector<std::shared_ptr<const ServingSnapshot>> shard_snaps;
+  if (supervisor_ != nullptr) {
+    // Pin the serving snapshot for this request's whole lifetime: a hot
+    // reload swapping the supervisor's pointer cannot pull it out from
+    // under us, and the old snapshot is freed once its last request ends.
+    snap = supervisor_->current();
+    if (snap == nullptr) {
+      response.status =
+          Status::FailedPrecondition("no serving snapshot loaded");
+    } else {
+      RequestContext ctx(std::move(req.wire.query), req.wire.options);
+      response = ctx.Run(snap->engine(), limiter_.get());
+      Metrics().request_us.Observe(ctx.wall_us());
+    }
+    if (req.http && snap != nullptr && snap->has_titles()) {
+      title = [&snap](corpus::PaperId p) { return snap->title(p); };
+    }
   } else {
+    // Sharded backend: the engine pins each shard's snapshot per query
+    // itself, and an all-shards-down fleet answers kFailedPrecondition
+    // from the scatter, so no null check is needed here.
     RequestContext ctx(std::move(req.wire.query), req.wire.options);
-    response = ctx.Run(snap->engine(), limiter_.get());
+    response = ctx.Run(*sharded_, limiter_.get());
     Metrics().request_us.Observe(ctx.wall_us());
+    if (req.http) {
+      for (uint32_t i = 0; i < sharded_->num_shards(); ++i) {
+        auto s = sharded_->shard(i);
+        if (s != nullptr && s->has_titles()) {
+          shard_snaps.push_back(std::move(s));
+        }
+      }
+      if (!shard_snaps.empty()) {
+        title = [&shard_snaps](corpus::PaperId p) -> std::string_view {
+          for (const auto& s : shard_snaps) {
+            const std::string_view t = s->title(p);
+            if (!t.empty()) return t;
+          }
+          return {};
+        };
+      }
+    }
   }
 
   std::string encoded;
   if (req.http) {
-    std::function<std::string_view(corpus::PaperId)> title;
-    if (snap != nullptr && snap->has_titles()) {
-      title = [snap](corpus::PaperId p) { return snap->title(p); };
-    }
     encoded = net::BuildHttpResponse(
         net::HttpStatusFor(response.status.code()), "application/json",
         net::SearchResponseJson(response, title), req.http_keep_alive);
@@ -581,12 +615,24 @@ void Daemon::RunRequest(const std::shared_ptr<Conn>& conn,
 void Daemon::ExecuteRequest(const std::shared_ptr<Conn>& conn,
                             PendingRequest req) {
   RunRequest(conn, std::move(req));
+  bool was_empty = false;
   {
     std::lock_guard<std::mutex> lock(completions_mu_);
+    was_empty = completions_.empty();
     completions_.push_back(conn);
   }
-  uint64_t v = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &v, sizeof(v));
+  // The eventfd is a level signal ("completions pending"), not a count:
+  // only the push that makes the queue non-empty writes it, coalescing
+  // the syscall + epoll wakeup for every completion that lands while the
+  // reactor has not drained yet. Safe against the reactor because it
+  // drains the eventfd BEFORE swapping the queue: a push that observed a
+  // non-empty queue rode an un-consumed wakeup (the queue is emptied
+  // only under completions_mu_, after the drain), and a push after the
+  // swap sees an empty queue and writes its own.
+  if (was_empty) {
+    uint64_t v = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &v, sizeof(v));
+  }
 }
 
 void Daemon::DrainCompletions() {
@@ -723,12 +769,48 @@ void Daemon::ScanIdle(uint64_t now_ms) {
   }
 }
 
+bool Daemon::BackendHealthy() const {
+  if (supervisor_ != nullptr) return supervisor_->current() != nullptr;
+  if (sharded_->num_shards() == 0) return false;
+  for (uint32_t i = 0; i < sharded_->num_shards(); ++i) {
+    if (sharded_->shard(i) == nullptr) return false;
+  }
+  return true;
+}
+
 std::string Daemon::HealthzJson() const {
-  const auto snap = supervisor_.current();
-  const auto stats = supervisor_.stats();
   const int64_t now_s = std::chrono::duration_cast<std::chrono::seconds>(
                             std::chrono::system_clock::now().time_since_epoch())
                             .count();
+  if (sharded_ != nullptr) {
+    // Sharded fleet health: overall ok plus per-shard generation and
+    // failure counters, so a degraded shard is visible from curl.
+    const auto stats = sharded_->stats();
+    uint32_t live = 0;
+    uint64_t failed = 0;
+    std::string generations = "[";
+    for (uint32_t i = 0; i < sharded_->num_shards(); ++i) {
+      if (sharded_->shard(i) != nullptr) ++live;
+      failed += stats[i].failed_reloads;
+      if (i > 0) generations += ',';
+      generations += std::to_string(stats[i].generation);
+    }
+    generations += ']';
+    std::string out = "{\"ok\":";
+    out += BackendHealthy() ? "true" : "false";
+    out += ",\"shards\":";
+    out += std::to_string(sharded_->num_shards());
+    out += ",\"live_shards\":";
+    out += std::to_string(live);
+    out += ",\"generations\":";
+    out += generations;
+    out += ",\"failed_reloads\":";
+    out += std::to_string(failed);
+    out += "}";
+    return out;
+  }
+  const auto snap = supervisor_->current();
+  const auto stats = supervisor_->stats();
   const long long age_s =
       stats.last_success_unix_s > 0
           ? static_cast<long long>(now_s - stats.last_success_unix_s)
@@ -744,7 +826,7 @@ std::string Daemon::HealthzJson() const {
   out += ",\"path\":\"";
   out += net::JsonEscape(stats.current_path);
   out += "\",\"watching\":";
-  out += supervisor_.watching() ? "true" : "false";
+  out += supervisor_->watching() ? "true" : "false";
   out += "}";
   return out;
 }

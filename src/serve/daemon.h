@@ -49,6 +49,8 @@
 
 namespace ctxrank::serve {
 
+class ShardedEngine;
+
 class Daemon {
  public:
   struct Options {
@@ -91,6 +93,14 @@ class Daemon {
   /// reloads through the supervisor are picked up per-request. The
   /// supervisor must outlive the daemon.
   Daemon(SnapshotSupervisor& supervisor, Options options);
+
+  /// Sharded backend: requests run through ShardedEngine's scatter-gather
+  /// instead of a single pinned snapshot (the sharded engine pins its
+  /// shard snapshots per query internally). Everything network-side is
+  /// identical; /healthz reports per-shard liveness. The engine must
+  /// outlive the daemon.
+  Daemon(ShardedEngine& engine, Options options);
+
   ~Daemon();
 
   Daemon(const Daemon&) = delete;
@@ -180,8 +190,13 @@ class Daemon {
 
   /// Inline HTTP endpoints (no engine work).
   std::string HealthzJson() const;
+  /// True when the backend can serve: monolithic = snapshot loaded,
+  /// sharded = every shard has a serving snapshot.
+  bool BackendHealthy() const;
 
-  SnapshotSupervisor& supervisor_;
+  // Exactly one backend is non-null, fixed at construction.
+  SnapshotSupervisor* supervisor_ = nullptr;
+  ShardedEngine* sharded_ = nullptr;
   const Options options_;
 
   int listen_fd_ = -1;

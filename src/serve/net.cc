@@ -28,8 +28,8 @@ constexpr size_t kRespFlags = 4;
 constexpr size_t kRespNumSkipped = 8;
 constexpr size_t kRespNumHits = 12;
 constexpr size_t kRespMessageLen = 16;
-constexpr size_t kRespReserved = 20;
-static_assert(kRespReserved + 4 == kResponseFixedBytes);
+constexpr size_t kRespNumSkippedShards = 20;  // Reserved (0) pre-sharding.
+static_assert(kRespNumSkippedShards + 4 == kResponseFixedBytes);
 
 constexpr uint32_t kMaxStatusCode =
     static_cast<uint32_t>(StatusCode::kResourceExhausted);
@@ -160,6 +160,7 @@ std::string EncodeSearchResponse(const context::SearchResponse& response) {
   const size_t body_len = kResponseFixedBytes +
                           response.hits.size() * kHitBytes +
                           response.skipped_contexts.size() * 4 +
+                          response.skipped_shards.size() * 4 +
                           message.size();
   std::string out;
   out.reserve(kFrameHeaderBytes + body_len);
@@ -170,7 +171,7 @@ std::string EncodeSearchResponse(const context::SearchResponse& response) {
   AppendLE32(out, static_cast<uint32_t>(response.skipped_contexts.size()));
   AppendLE32(out, static_cast<uint32_t>(response.hits.size()));
   AppendLE32(out, static_cast<uint32_t>(message.size()));
-  AppendLE32(out, 0);  // Reserved.
+  AppendLE32(out, static_cast<uint32_t>(response.skipped_shards.size()));
   for (const context::SearchHit& h : response.hits) {
     AppendLE32(out, h.paper);
     AppendLE32(out, h.context);
@@ -180,6 +181,9 @@ std::string EncodeSearchResponse(const context::SearchResponse& response) {
   }
   for (const ontology::TermId t : response.skipped_contexts) {
     AppendLE32(out, t);
+  }
+  for (const uint32_t s : response.skipped_shards) {
+    AppendLE32(out, s);
   }
   out.append(message);
   return out;
@@ -204,11 +208,13 @@ Result<WireResponse> DecodeSearchResponseBody(std::string_view body) {
   const uint32_t num_skipped = LoadLE32(p + kRespNumSkipped);
   const uint32_t num_hits = LoadLE32(p + kRespNumHits);
   const uint32_t message_len = LoadLE32(p + kRespMessageLen);
+  const uint32_t num_skipped_shards = LoadLE32(p + kRespNumSkippedShards);
   // Overflow-safe expected-size check: the individual counts are u32 but
   // the sum is computed in 64 bits.
   const uint64_t expected = static_cast<uint64_t>(kResponseFixedBytes) +
                             static_cast<uint64_t>(num_hits) * kHitBytes +
                             static_cast<uint64_t>(num_skipped) * 4 +
+                            static_cast<uint64_t>(num_skipped_shards) * 4 +
                             message_len;
   if (body.size() != expected) {
     return Status::InvalidArgument(
@@ -232,6 +238,10 @@ Result<WireResponse> DecodeSearchResponseBody(std::string_view body) {
   response.skipped_contexts.resize(num_skipped);
   for (uint32_t i = 0; i < num_skipped; ++i, cursor += 4) {
     response.skipped_contexts[i] = LoadLE32(cursor);
+  }
+  response.skipped_shards.resize(num_skipped_shards);
+  for (uint32_t i = 0; i < num_skipped_shards; ++i, cursor += 4) {
+    response.skipped_shards[i] = LoadLE32(cursor);
   }
   response.message.assign(cursor, message_len);
   return response;
@@ -497,6 +507,11 @@ std::string SearchResponseJson(
   for (size_t i = 0; i < response.skipped_contexts.size(); ++i) {
     if (i > 0) out += ',';
     out += std::to_string(response.skipped_contexts[i]);
+  }
+  out += "],\"skipped_shards\":[";
+  for (size_t i = 0; i < response.skipped_shards.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(response.skipped_shards[i]);
   }
   out += "],\"hits\":[";
   char num[40];

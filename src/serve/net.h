@@ -79,6 +79,12 @@ struct WireResponse {
   bool degraded = false;
   std::vector<context::SearchHit> hits;
   std::vector<ontology::TermId> skipped_contexts;
+  /// Shards that contributed nothing to a sharded-backend response (empty
+  /// for monolithic backends). Wire encoding: the count lives in what was
+  /// the reserved u32 at body offset 20 (always 0 before sharding, so old
+  /// frames decode as "no skipped shards"), the ids follow the skipped
+  /// context ids.
+  std::vector<uint32_t> skipped_shards;
 };
 
 /// Outcome of scanning a connection buffer for the next frame.

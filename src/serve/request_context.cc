@@ -1,22 +1,45 @@
 #include "serve/request_context.h"
 
+#include "serve/sharded_engine.h"
+
 namespace ctxrank::serve {
+namespace {
+
+/// The one admission/shed/deadline spine, generic over the backend
+/// (monolithic engine or sharded scatter-gather). Kept in a template so
+/// the two public overloads cannot drift apart.
+template <typename Backend>
+context::SearchResponse RunOn(const Backend& backend, std::string_view query,
+                              const context::SearchOptions& options,
+                              const Deadline& deadline,
+                              AdmissionLimiter* limiter) {
+  if (limiter != nullptr) {
+    AdmissionLimiter::Permit permit(*limiter, deadline);
+    if (!permit.granted()) {
+      return context::ContextSearchEngine::ShedResponse(
+          "admission limit reached before deadline (" +
+              std::to_string(limiter->limit()) + " in flight)",
+          options.trace);
+    }
+    return backend.SearchGuarded(query, options, deadline);
+  }
+  return backend.SearchGuarded(query, options, deadline);
+}
+
+}  // namespace
 
 const context::SearchResponse& RequestContext::Run(
     const context::ContextSearchEngine& engine, AdmissionLimiter* limiter) {
-  if (limiter != nullptr) {
-    AdmissionLimiter::Permit permit(*limiter, deadline_);
-    if (!permit.granted()) {
-      response_ = context::ContextSearchEngine::ShedResponse(
-          "admission limit reached before deadline (" +
-              std::to_string(limiter->limit()) + " in flight)",
-          options_.trace);
-    } else {
-      response_ = engine.SearchGuarded(query_, options_, deadline_);
-    }
-  } else {
-    response_ = engine.SearchGuarded(query_, options_, deadline_);
-  }
+  response_ = RunOn(engine, query_, options_, deadline_, limiter);
+  wall_us_ = std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - start_)
+                 .count();
+  return response_;
+}
+
+const context::SearchResponse& RequestContext::Run(const ShardedEngine& engine,
+                                                   AdmissionLimiter* limiter) {
+  response_ = RunOn(engine, query_, options_, deadline_, limiter);
   wall_us_ = std::chrono::duration<double, std::micro>(
                  std::chrono::steady_clock::now() - start_)
                  .count();

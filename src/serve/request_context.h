@@ -28,6 +28,8 @@
 
 namespace ctxrank::serve {
 
+class ShardedEngine;
+
 class RequestContext {
  public:
   /// Arms `options.deadline_ms` from this instant (0 = unlimited). The
@@ -54,6 +56,12 @@ class RequestContext {
   const context::SearchResponse& Run(
       const context::ContextSearchEngine& engine,
       AdmissionLimiter* limiter = nullptr);
+
+  /// Same spine over a sharded backend: the scatter-gather engine replaces
+  /// the single ContextSearchEngine, everything else (deadline armed at
+  /// construction, admission, shed semantics, wall-time) is identical.
+  const context::SearchResponse& Run(const ShardedEngine& engine,
+                                     AdmissionLimiter* limiter = nullptr);
 
   /// Result of Run() (default-constructed before it).
   const context::SearchResponse& response() const { return response_; }

@@ -1,0 +1,63 @@
+#include "serve/shard_partition.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ctxrank::serve {
+
+ShardPartition PartitionContexts(const context::ContextAssignment& assignment,
+                                 uint32_t num_shards) {
+  assert(num_shards >= 1);
+  const size_t num_terms = assignment.num_terms();
+  const size_t num_papers = assignment.num_papers();
+
+  ShardPartition p;
+  p.num_shards = num_shards;
+  p.owners.assign(num_terms, kNoShardOwner);
+  p.paper_masks.assign(num_shards, std::vector<uint8_t>(num_papers, 0));
+  p.member_load.assign(num_shards, 0);
+  p.paper_counts.assign(num_shards, 0);
+  p.context_counts.assign(num_shards, 0);
+
+  // Largest contexts placed first: the classic LPT greedy bound keeps the
+  // heaviest shard within 4/3 of optimal, and placing big contexts early
+  // lets the small ones fill the gaps. Every tie (equal member counts,
+  // equal shard loads) breaks toward the smaller id, making the whole
+  // partition a pure function of its inputs.
+  struct Candidate {
+    uint32_t term;
+    uint64_t members;
+  };
+  std::vector<Candidate> order;
+  order.reserve(num_terms);
+  for (size_t t = 0; t < num_terms; ++t) {
+    const size_t n = assignment.Members(static_cast<ontology::TermId>(t)).size();
+    if (n > 0) order.push_back({static_cast<uint32_t>(t), n});
+  }
+  std::sort(order.begin(), order.end(), [](const Candidate& a,
+                                           const Candidate& b) {
+    if (a.members != b.members) return a.members > b.members;
+    return a.term < b.term;
+  });
+
+  for (const Candidate& c : order) {
+    uint32_t best = 0;
+    for (uint32_t s = 1; s < num_shards; ++s) {
+      if (p.member_load[s] < p.member_load[best]) best = s;
+    }
+    p.owners[c.term] = best;
+    p.member_load[best] += c.members;
+    p.context_counts[best] += 1;
+    for (const corpus::PaperId paper :
+         assignment.Members(static_cast<ontology::TermId>(c.term))) {
+      p.paper_masks[best][paper] = 1;
+    }
+  }
+
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    for (const uint8_t bit : p.paper_masks[s]) p.paper_counts[s] += bit;
+  }
+  return p;
+}
+
+}  // namespace ctxrank::serve

@@ -1,0 +1,59 @@
+// Deterministic context-aware corpus partitioner for sharded serving.
+//
+// Sharding unit: the CONTEXT (an ontology term with assigned papers), not
+// the paper. A context's member papers always co-locate on the shard that
+// owns the context — a scatter leg answers its contexts entirely from
+// local data, so the sharded scan is bitwise-identical to the single-shard
+// scan. Papers belonging to several contexts are replicated onto every
+// shard owning one of those contexts; paper ids stay GLOBAL everywhere
+// (no renumbering), which keeps the merged top-k and all wire responses
+// byte-for-byte comparable with the monolithic engine.
+//
+// The partitioner is a greedy balancer: contexts in descending member
+// count (ties: smaller term id first) onto the least-loaded shard (ties:
+// smallest shard id). Pure function of (assignment, num_shards) — the
+// same corpus always partitions the same way, on any host, so snapshot
+// sets built independently are interchangeable.
+#ifndef CTXRANK_SERVE_SHARD_PARTITION_H_
+#define CTXRANK_SERVE_SHARD_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "context/context_assignment.h"
+
+namespace ctxrank::serve {
+
+/// Owner value for contexts with no members anywhere (globally empty):
+/// no shard owns them and routing must never select them. Mirrors
+/// context::ContextSearchEngine::kNoShardOwner.
+inline constexpr uint32_t kNoShardOwner = 0xFFFFFFFFu;
+
+/// \brief A complete deterministic partition of the corpus into shards.
+struct ShardPartition {
+  uint32_t num_shards = 0;
+  /// Owning shard per ontology term (size = assignment.num_terms());
+  /// kNoShardOwner for contexts with no members. Doubles as the global
+  /// routing map: a term is selectable iff its owner is a real shard.
+  std::vector<uint32_t> owners;
+  /// Per-shard paper masks (num_shards × num_papers, 1 = paper present on
+  /// that shard). A paper is present wherever any context containing it
+  /// lives, so masks overlap when contexts share papers.
+  std::vector<std::vector<uint8_t>> paper_masks;
+  /// Per-shard load: total context memberships assigned (the quantity the
+  /// greedy balancer equalizes — it tracks scan cost, not unique papers).
+  std::vector<uint64_t> member_load;
+  /// Per-shard unique-paper counts (popcount of each mask), for reporting.
+  std::vector<uint64_t> paper_counts;
+  /// Per-shard owned-context counts.
+  std::vector<uint64_t> context_counts;
+};
+
+/// Partitions `assignment` into `num_shards` shards. `num_shards` must be
+/// >= 1. Deterministic: depends only on the arguments.
+ShardPartition PartitionContexts(const context::ContextAssignment& assignment,
+                                 uint32_t num_shards);
+
+}  // namespace ctxrank::serve
+
+#endif  // CTXRANK_SERVE_SHARD_PARTITION_H_

@@ -1,0 +1,522 @@
+#include "serve/sharded_engine.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/endian.h"
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "eval/experiment.h"
+#include "serve/snapshot.h"
+
+namespace ctxrank::serve {
+
+namespace {
+
+struct ShardedMetrics {
+  obs::Counter& queries;
+  obs::Counter& legs;
+  obs::Counter& legs_inline;
+  obs::Counter& shards_skipped;
+  obs::Counter& degraded;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Histogram& latency_us;
+};
+
+ShardedMetrics& Metrics() {
+  auto& reg = obs::MetricsRegistry::Instance();
+  static ShardedMetrics m{
+      reg.GetCounter("ctxrank_sharded_queries_total"),
+      reg.GetCounter("ctxrank_sharded_legs_total"),
+      reg.GetCounter("ctxrank_sharded_legs_inline_total"),
+      reg.GetCounter("ctxrank_sharded_shards_skipped_total"),
+      reg.GetCounter("ctxrank_sharded_degraded_total"),
+      reg.GetCounter("ctxrank_sharded_cache_hits_total"),
+      reg.GetCounter("ctxrank_sharded_cache_misses_total"),
+      reg.GetHistogram("ctxrank_sharded_latency_us", obs::LatencyBucketsUs()),
+  };
+  return m;
+}
+
+using MonoClock = std::chrono::steady_clock;
+
+uint64_t MicrosSince(MonoClock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(MonoClock::now() -
+                                                            start)
+          .count());
+}
+
+/// Per-query completion latch: the scatter pool is shared by concurrent
+/// queries, so a coordinator must wait for ITS legs only — ThreadPool::
+/// Wait() (all submitted tasks) would entangle unrelated queries.
+class LegLatch {
+ public:
+  explicit LegLatch(size_t pending) : pending_(pending) {}
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) cv_.notify_all();
+  }
+  void Await() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_;
+};
+
+void AppendU64(std::string& out, uint64_t v) { AppendLE64(out, v); }
+void AppendF64(std::string& out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendLE64(out, bits);
+}
+
+}  // namespace
+
+std::string ShardPath(const std::string& base, uint32_t shard,
+                      uint32_t num_shards) {
+  return base + ".shard" + std::to_string(shard) + "-of-" +
+         std::to_string(num_shards);
+}
+
+Status SaveShardedSnapshot(
+    const corpus::TokenizedCorpus& tc, const ontology::Ontology& onto,
+    const context::ContextAssignment& assignment,
+    const context::PrestigeScores& global_prestige,
+    const corpus::Corpus& corpus, const std::string& base_path,
+    uint32_t num_shards,
+    const context::ContextSearchEngine::EngineOptions& engine_options,
+    size_t num_threads, ShardPartition* out_partition) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("SaveShardedSnapshot: num_shards must be >= 1");
+  }
+  const size_t num_terms = assignment.num_terms();
+  const size_t num_papers = assignment.num_papers();
+
+  ShardPartition partition = PartitionContexts(assignment, num_shards);
+
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    // Restricted per-shard serving state over the GLOBAL corpus: only the
+    // owned contexts carry members and prestige, so the engine builds
+    // impact indexes for exactly the shard's contexts while every paper
+    // id, IDF weight and routing score stays global.
+    context::ContextAssignment restricted(num_terms, num_papers);
+    context::PrestigeScores prestige(num_terms);
+    for (size_t t = 0; t < num_terms; ++t) {
+      if (partition.owners[t] != s) continue;
+      const ontology::TermId term = static_cast<ontology::TermId>(t);
+      const auto members = assignment.Members(term);
+      restricted.SetMembers(
+          term, std::vector<corpus::PaperId>(members.begin(), members.end()));
+      restricted.SetRepresentative(term, assignment.Representative(term));
+      restricted.SetInherited(term, assignment.InheritedFrom(term),
+                              assignment.DecayFactor(term));
+      const auto scores = global_prestige.Scores(term);
+      prestige.Set(term, std::vector<double>(scores.begin(), scores.end()));
+    }
+    context::ContextSearchEngine shard_engine(tc, onto, restricted, prestige,
+                                              engine_options);
+    SnapshotInputs inputs;
+    inputs.tc = &tc;
+    inputs.onto = &onto;
+    inputs.assignment = &restricted;
+    inputs.prestige = &prestige;
+    inputs.engine = &shard_engine;
+    inputs.corpus = &corpus;
+    inputs.paper_mask = partition.paper_masks[s];
+    inputs.shard_owners = partition.owners;
+    inputs.shard_id = s;
+    inputs.num_shards = num_shards;
+    CTXRANK_RETURN_NOT_OK(
+        SaveSnapshot(inputs, ShardPath(base_path, s, num_shards), num_threads));
+  }
+  if (out_partition != nullptr) *out_partition = std::move(partition);
+  return Status::OK();
+}
+
+Status SaveShardedSnapshot(
+    const eval::World& world, const std::string& base_path,
+    uint32_t num_shards,
+    const context::ContextSearchEngine::EngineOptions& engine_options,
+    size_t num_threads, ShardPartition* out_partition) {
+  return SaveShardedSnapshot(world.tc(), world.onto(), world.text_set(),
+                             world.text_set_text_scores(), world.corpus(),
+                             base_path, num_shards, engine_options,
+                             num_threads, out_partition);
+}
+
+ShardedEngine::ShardedEngine() : ShardedEngine(Options()) {}
+
+ShardedEngine::ShardedEngine(Options options) : options_(std::move(options)) {
+  if (options_.cache_capacity > 0) {
+    cache_ = std::make_unique<MergedCache>(options_.cache_capacity);
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  if (loader_.joinable()) loader_.join();
+  StopWatching();
+}
+
+Status ShardedEngine::Open(const std::string& base_path, uint32_t num_shards) {
+  if (!shards_.empty()) {
+    return Status::FailedPrecondition("ShardedEngine::Open: already open");
+  }
+  if (num_shards == 0) {
+    return Status::InvalidArgument("ShardedEngine::Open: num_shards must be >= 1");
+  }
+  base_path_ = base_path;
+  pool_ = std::make_unique<ThreadPool>(ResolveNumThreads(options_.pool_threads));
+  shards_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<SnapshotSupervisor>(options_.supervisor));
+  }
+  // Load all shards concurrently — with the default single-threaded
+  // per-shard load this is where load-to-first-query scales with N.
+  std::vector<Status> statuses(num_shards);
+  LegLatch latch(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    pool_->Submit([this, s, &statuses, &latch, num_shards] {
+      statuses[s] = shards_[s]->Reload(
+          ShardPath(base_path_, s, num_shards));
+      latch.Done();
+    });
+  }
+  latch.Await();
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    if (!statuses[s].ok()) {
+      return Status(statuses[s].code(),
+                    "shard " + std::to_string(s) + ": " +
+                        std::string(statuses[s].message()));
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::OpenDetached(const std::string& base_path,
+                                   uint32_t num_shards) {
+  if (!shards_.empty()) {
+    return Status::FailedPrecondition("ShardedEngine::OpenDetached: already open");
+  }
+  if (num_shards == 0) {
+    return Status::InvalidArgument(
+        "ShardedEngine::OpenDetached: num_shards must be >= 1");
+  }
+  base_path_ = base_path;
+  pool_ = std::make_unique<ThreadPool>(ResolveNumThreads(options_.pool_threads));
+  shards_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<SnapshotSupervisor>(options_.supervisor));
+  }
+  // shards_ is complete before the loader starts, so concurrent queries
+  // only ever observe supervisors flipping from empty to live, in shard
+  // order — the staggered-availability contract.
+  loader_ = std::thread([this, num_shards] {
+    Status first;
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      const Status st =
+          shards_[s]->Reload(ShardPath(base_path_, s, num_shards));
+      if (first.ok() && !st.ok()) {
+        first = Status(st.code(), "shard " + std::to_string(s) + ": " +
+                                      std::string(st.message()));
+      }
+    }
+    const std::lock_guard<std::mutex> lock(open_mu_);
+    open_status_ = first;
+  });
+  return Status::OK();
+}
+
+Status ShardedEngine::AwaitOpen() {
+  if (loader_.joinable()) loader_.join();
+  const std::lock_guard<std::mutex> lock(open_mu_);
+  return open_status_;
+}
+
+Status ShardedEngine::Reload() {
+  if (shards_.empty()) {
+    return Status::FailedPrecondition("ShardedEngine::Reload: not open");
+  }
+  const uint32_t n = num_shards();
+  std::vector<Status> statuses(n);
+  LegLatch latch(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    pool_->Submit([this, s, n, &statuses, &latch] {
+      statuses[s] = shards_[s]->Reload(ShardPath(base_path_, s, n));
+      latch.Done();
+    });
+  }
+  latch.Await();
+  if (cache_ != nullptr) cache_->Clear();
+  for (uint32_t s = 0; s < n; ++s) {
+    if (!statuses[s].ok()) {
+      return Status(statuses[s].code(),
+                    "shard " + std::to_string(s) + ": " +
+                        std::string(statuses[s].message()));
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::StartWatching() {
+  if (shards_.empty()) {
+    return Status::FailedPrecondition("ShardedEngine::StartWatching: not open");
+  }
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    CTXRANK_RETURN_NOT_OK(
+        shards_[s]->StartWatching(ShardPath(base_path_, s, num_shards())));
+  }
+  return Status::OK();
+}
+
+void ShardedEngine::StopWatching() {
+  for (auto& shard : shards_) shard->StopWatching();
+}
+
+void ShardedEngine::TriggerReload() {
+  for (auto& shard : shards_) shard->TriggerReload();
+  if (cache_ != nullptr) cache_->Clear();
+}
+
+std::shared_ptr<const ServingSnapshot> ShardedEngine::shard(uint32_t i) const {
+  return i < shards_.size() ? shards_[i]->current() : nullptr;
+}
+
+std::vector<SnapshotSupervisor::Stats> ShardedEngine::stats() const {
+  std::vector<SnapshotSupervisor::Stats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->stats());
+  return out;
+}
+
+std::string_view ShardedEngine::TitleOf(corpus::PaperId p) const {
+  for (const auto& shard : shards_) {
+    const auto snap = shard->current();
+    if (snap == nullptr) continue;
+    const std::string_view t = snap->title(p);
+    if (!t.empty()) return t;
+  }
+  return {};
+}
+
+context::SearchResponse ShardedEngine::SearchEx(
+    std::string_view query, const context::SearchOptions& options) const {
+  const Deadline deadline = options.deadline_ms > 0
+                                ? Deadline::AfterMs(options.deadline_ms)
+                                : Deadline();
+  return SearchImpl(query, options, deadline);
+}
+
+context::SearchResponse ShardedEngine::SearchGuarded(
+    std::string_view query, const context::SearchOptions& options,
+    const Deadline& deadline) const {
+  return SearchImpl(query, options, deadline);
+}
+
+context::SearchResponse ShardedEngine::SearchImpl(
+    std::string_view query, const context::SearchOptions& options,
+    const Deadline& deadline) const {
+  ShardedMetrics& m = Metrics();
+  m.queries.Increment();
+  const auto start = MonoClock::now();
+  context::SearchResponse response;
+
+  // Pin every shard's serving snapshot for the whole query: reloads may
+  // swap underneath, but these references keep one consistent generation
+  // per shard alive until the gather is done.
+  const uint32_t n = num_shards();
+  std::vector<std::shared_ptr<const ServingSnapshot>> snaps(n);
+  const ServingSnapshot* router = nullptr;
+  for (uint32_t s = 0; s < n; ++s) {
+    snaps[s] = shards_[s]->current();
+    if (router == nullptr && snaps[s] != nullptr) router = snaps[s].get();
+  }
+  if (router == nullptr) {
+    response.status = Status::FailedPrecondition(
+        "sharded engine: no shard has a serving snapshot");
+    return response;
+  }
+
+  // Merged-result cache: raw query + result-affecting options + per-shard
+  // generations (a reload behind any shard invalidates the key). Degraded
+  // results are never cached, mirroring the engine-level cache contract.
+  std::string key;
+  const bool use_cache = cache_ != nullptr && !options.bypass_cache;
+  if (use_cache) {
+    key.assign(query);
+    key.push_back('\0');
+    AppendU64(key, options.max_contexts);
+    AppendU64(key, options.semantic_expansion);
+    AppendU64(key, options.top_k);
+    AppendU64(key, options.exact_scan ? 1 : 0);
+    AppendU64(key, static_cast<uint64_t>(options.pruning));
+    AppendF64(key, options.min_context_score);
+    AppendF64(key, options.min_relevancy);
+    AppendF64(key, options.weights.prestige);
+    AppendF64(key, options.weights.matching);
+    for (const auto& shard : shards_) AppendU64(key, shard->generation());
+    if (auto cached = cache_->Get(key)) {
+      response.hits = **cached;
+      response.status = Status::OK();
+      response.degraded = false;
+      response.skipped_contexts.clear();
+      response.skipped_shards.clear();
+      m.cache_hits.Increment();
+      m.latency_us.Observe(static_cast<double>(MicrosSince(start)));
+      return response;
+    }
+    m.cache_misses.Increment();
+  }
+
+  // Route ONCE, globally: every shard snapshot carries the identical
+  // routing index plus the global ownership map, so any live shard
+  // selects exactly the contexts the monolithic engine would.
+  const std::vector<context::ContextMatch> contexts =
+      router->engine().RouteQueryText(query, options);
+  const std::span<const uint32_t> owners = router->shard_owners();
+
+  // Group the selection by owning shard, preserving global selection
+  // order inside each bucket (each leg is then a subsequence of the
+  // global scan order) and remembering every context's global rank for
+  // the gather tie-break.
+  std::vector<std::vector<context::ContextMatch>> buckets(n);
+  std::unordered_map<ontology::TermId, size_t> global_rank;
+  global_rank.reserve(contexts.size());
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    const ontology::TermId t = contexts[i].term;
+    global_rank.emplace(t, i);
+    uint32_t owner = 0;
+    if (!owners.empty()) {
+      owner = owners[t];
+    } else if (n != 1) {
+      response.status = Status::FailedPrecondition(
+          "sharded engine: snapshot set has no shard-owners map");
+      return response;
+    }
+    if (owner == kNoShardOwner || owner >= n) continue;  // Unroutable.
+    buckets[owner].push_back(contexts[i]);
+  }
+
+  // Scatter: one leg per shard with selected contexts. Legs run
+  // single-threaded (the pool provides cross-leg parallelism; nested
+  // parallelism on a shared pool is forbidden) against an equal absolute
+  // deadline slice that reserves gather time out of the caller's budget.
+  context::SearchOptions leg_options = options;
+  leg_options.num_threads = 1;
+  leg_options.trace = false;
+  const Deadline slice = Deadline::FanOutSlice(
+      deadline, options_.slice_reserve_permille, options_.slice_min_reserve_us);
+
+  struct Leg {
+    uint32_t shard = 0;
+    context::SearchResponse response;
+    bool failed = false;  // Fault/missing-snapshot: no contribution at all.
+  };
+  std::vector<Leg> legs;
+  legs.reserve(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    if (buckets[s].empty()) continue;
+    legs.emplace_back();
+    legs.back().shard = s;
+  }
+  const auto run_leg = [&](Leg& leg) {
+    if (snaps[leg.shard] == nullptr) {
+      leg.failed = true;
+      return;
+    }
+    if (const Status st = fault::MaybeFail("sharded/shard_search"); !st.ok()) {
+      leg.failed = true;
+      return;
+    }
+    leg.response = snaps[leg.shard]->engine().SearchRouted(
+        query, buckets[leg.shard], leg_options, slice);
+    if (!leg.response.status.ok()) leg.failed = true;
+  };
+  m.legs.Increment(legs.size());
+  if (legs.size() == 1) {
+    // Single-shard queries skip the pool hop entirely (the common case
+    // when a query's contexts co-locate, and all of N == 1).
+    m.legs_inline.Increment();
+    run_leg(legs[0]);
+  } else if (!legs.empty()) {
+    LegLatch latch(legs.size());
+    for (Leg& leg : legs) {
+      pool_->Submit([&run_leg, &leg, &latch] {
+        run_leg(leg);
+        latch.Done();
+      });
+    }
+    latch.Await();
+  }
+
+  // Gather. Per-paper winner: maximum relevancy; on exact ties the
+  // context with the LOWEST global selection rank — precisely the hit the
+  // monolithic engine's sequential merger (which only replaces on strict
+  // improvement, scanning in selection order) would have kept.
+  std::unordered_map<corpus::PaperId, context::SearchHit> best;
+  std::vector<ontology::TermId> skipped;
+  for (Leg& leg : legs) {
+    if (leg.failed || (leg.response.hits.empty() &&
+                       leg.response.skipped_contexts.size() ==
+                           buckets[leg.shard].size() &&
+                       !buckets[leg.shard].empty())) {
+      // Contributed nothing: every context of the leg is unscanned.
+      response.skipped_shards.push_back(leg.shard);
+      for (const auto& cm : buckets[leg.shard]) skipped.push_back(cm.term);
+      continue;
+    }
+    for (const ontology::TermId t : leg.response.skipped_contexts) {
+      skipped.push_back(t);
+    }
+    for (const context::SearchHit& hit : leg.response.hits) {
+      auto [it, inserted] = best.emplace(hit.paper, hit);
+      if (inserted) continue;
+      context::SearchHit& cur = it->second;
+      const bool better =
+          hit.relevancy > cur.relevancy ||
+          (hit.relevancy == cur.relevancy &&
+           global_rank[hit.context] < global_rank[cur.context]);
+      if (better) cur = hit;
+    }
+  }
+  response.hits.reserve(best.size());
+  for (const auto& [paper, hit] : best) response.hits.push_back(hit);
+  std::sort(response.hits.begin(), response.hits.end(),
+            [](const context::SearchHit& a, const context::SearchHit& b) {
+              if (a.relevancy != b.relevancy) return a.relevancy > b.relevancy;
+              return a.paper < b.paper;
+            });
+  if (options.top_k > 0 && response.hits.size() > options.top_k) {
+    response.hits.resize(options.top_k);
+  }
+  // Skipped contexts in global selection order (their per-leg order is
+  // already a subsequence of it; cross-leg interleaving is restored here).
+  std::sort(skipped.begin(), skipped.end(),
+            [&](ontology::TermId a, ontology::TermId b) {
+              return global_rank[a] < global_rank[b];
+            });
+  response.skipped_contexts = std::move(skipped);
+  std::sort(response.skipped_shards.begin(), response.skipped_shards.end());
+  response.degraded = !response.skipped_contexts.empty();
+  response.status = Status::OK();
+
+  m.shards_skipped.Increment(response.skipped_shards.size());
+  if (response.degraded) m.degraded.Increment();
+  if (use_cache && !response.degraded) {
+    cache_->Put(key, std::make_shared<const std::vector<context::SearchHit>>(
+                         response.hits));
+  }
+  m.latency_us.Observe(static_cast<double>(MicrosSince(start)));
+  return response;
+}
+
+}  // namespace ctxrank::serve

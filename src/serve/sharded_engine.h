@@ -1,0 +1,186 @@
+// Sharded scatter-gather serving: N per-shard snapshots behind one
+// search API whose results are bitwise-identical to the monolithic
+// engine for any shard count.
+//
+// Partitioning (see shard_partition.h) assigns whole CONTEXTS to shards,
+// so a context's member papers co-locate and a scatter leg answers its
+// contexts entirely from local data. Every shard snapshot keeps the
+// GLOBAL vocabulary, TF-IDF statistics, routing index and paper-id space
+// (non-local papers merely own empty CSR runs), which is what makes the
+// per-leg floating-point work — and therefore the merged ranking —
+// byte-for-byte the same as one big engine's.
+//
+// Query path: route ONCE on any live shard's (identical) routing index,
+// group the selected contexts by owning shard preserving global selection
+// order, scatter one SearchRouted leg per shard onto the engine's thread
+// pool with a per-leg deadline slice (Deadline::FanOutSlice), and gather
+// by max-relevancy with earliest-global-selection-rank tie-breaking —
+// exactly the winner the sequential merger would have kept.
+//
+// Degradation: a leg that misses its slice returns the prefix it finished
+// (its unscanned contexts surface in skipped_contexts); a leg that fails
+// outright or never scans anything puts its shard in skipped_shards. A
+// shard whose reload failed keeps serving its last-good snapshot (per
+// SnapshotSupervisor); a shard with no snapshot at all degrades the
+// response instead of failing it. See docs/SHARDING.md.
+#ifndef CTXRANK_SERVE_SHARDED_ENGINE_H_
+#define CTXRANK_SERVE_SHARDED_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/lru_cache.h"
+#include "common/thread_pool.h"
+#include "context/search_engine.h"
+#include "serve/shard_partition.h"
+#include "serve/supervisor.h"
+
+namespace ctxrank::eval {
+class World;
+}  // namespace ctxrank::eval
+
+namespace ctxrank::serve {
+
+/// Canonical shard file naming: shard `i` of an `n`-shard set built from
+/// base path "corpus.snap" lives at "corpus.snap.shard0-of-4" etc. The
+/// suffix is kept even for n == 1 so a shard set is always recognizable
+/// on disk and never collides with a monolithic snapshot at `base`.
+std::string ShardPath(const std::string& base, uint32_t shard,
+                      uint32_t num_shards);
+
+/// Builds and saves a complete sharded snapshot set: partitions
+/// `assignment` with PartitionContexts, builds one restricted assignment
+/// + prestige + engine per shard (over the global corpus, so all
+/// statistics stay global), and saves the N shard files. `engine_options`
+/// must match the options the reference engine was built with — they
+/// decide the impact-index shape, and identity with the monolithic engine
+/// holds per-leg only when both were built alike. Returns the partition
+/// used (for tests and tooling) via `out_partition` when non-null.
+Status SaveShardedSnapshot(
+    const corpus::TokenizedCorpus& tc, const ontology::Ontology& onto,
+    const context::ContextAssignment& assignment,
+    const context::PrestigeScores& prestige, const corpus::Corpus& corpus,
+    const std::string& base_path, uint32_t num_shards,
+    const context::ContextSearchEngine::EngineOptions& engine_options = {},
+    size_t num_threads = 0, ShardPartition* out_partition = nullptr);
+
+/// Convenience wrapper over an eval::World (text set, text prestige).
+Status SaveShardedSnapshot(
+    const eval::World& world, const std::string& base_path,
+    uint32_t num_shards,
+    const context::ContextSearchEngine::EngineOptions& engine_options = {},
+    size_t num_threads = 0, ShardPartition* out_partition = nullptr);
+
+/// \brief N per-shard supervisors + scatter pool + merged-result cache
+/// behind one SearchEx/SearchGuarded surface. Query methods are const and
+/// thread-safe; Open/Reload/watch configuration is startup-time only.
+class ShardedEngine {
+ public:
+  struct Options {
+    /// Applied to every per-shard SnapshotSupervisor. The default load
+    /// parallelism is 1 (not hardware concurrency): shards load and
+    /// reload CONCURRENTLY with each other, so single-threaded per-shard
+    /// loads keep total thread use bounded and make load time scale down
+    /// near-linearly with shard count.
+    SnapshotSupervisor::Options supervisor = {.num_threads = 1, .on_load = {}};
+    /// Scatter pool size (0 = hardware concurrency). Shared by every
+    /// in-flight query; legs run single-threaded inside it.
+    size_t pool_threads = 0;
+    /// Merged-result LRU cache capacity in entries (0 = disabled). Keyed
+    /// by the raw query string plus an options fingerprint — coarser than
+    /// the per-engine analyzed-term cache (query spelling fragments it),
+    /// which is the accepted price for caching above the scatter.
+    size_t cache_capacity = 0;
+    /// Deadline slice parameters (see Deadline::FanOutSlice): the gather
+    /// reserve as thousandths of the remaining budget, and its floor.
+    uint64_t slice_reserve_permille = 100;
+    uint64_t slice_min_reserve_us = 200;
+  };
+
+  ShardedEngine();
+  explicit ShardedEngine(Options options);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Loads all `num_shards` shard files of the set at `base_path`
+  /// (ShardPath naming), concurrently. Fails if any shard fails its
+  /// initial load — a fleet must start complete; degradation is for
+  /// reloads and runtime, not bring-up. Callable once.
+  Status Open(const std::string& base_path, uint32_t num_shards);
+
+  /// Staggered bring-up: constructs every shard's supervisor immediately,
+  /// then loads the shard files on one background thread in shard order.
+  /// Queries are legal as soon as this returns — they fail
+  /// kFailedPrecondition until the first shard is live, then serve
+  /// degraded (still-loading shards surface in skipped_shards, exactly
+  /// like a failed leg at runtime) and finally complete. Time to the
+  /// first servable query therefore scales ~1/N with shard count even on
+  /// one core — the cold-start win bench/perf_shards measures. Call
+  /// AwaitOpen() before Reload()/StartWatching()/destruction-sensitive
+  /// teardown; Open() remains the all-or-nothing path.
+  Status OpenDetached(const std::string& base_path, uint32_t num_shards);
+
+  /// Blocks until a detached open has attempted every initial load and
+  /// returns the first per-shard error (shards that did load keep
+  /// serving). Idempotent; OK when bring-up used blocking Open().
+  Status AwaitOpen();
+
+  /// Triggers a reload on every shard, concurrently. Shards that fail
+  /// keep serving their last-good snapshot; the first error is returned
+  /// (the rest are in per-shard stats()).
+  Status Reload();
+
+  /// Starts one watcher per shard (supervisor watch_interval_ms cadence).
+  Status StartWatching();
+  void StopWatching();
+  void TriggerReload();
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  /// The currently served snapshot of shard `i` (nullptr before Open).
+  std::shared_ptr<const ServingSnapshot> shard(uint32_t i) const;
+  std::vector<SnapshotSupervisor::Stats> stats() const;
+
+  /// Scatter-gather search; same contract as the engine's SearchEx, with
+  /// SearchResponse::skipped_shards filled on per-shard degradation.
+  context::SearchResponse SearchEx(
+      std::string_view query, const context::SearchOptions& options) const;
+
+  /// SearchEx against an externally armed deadline (the daemon spine).
+  context::SearchResponse SearchGuarded(std::string_view query,
+                                        const context::SearchOptions& options,
+                                        const Deadline& deadline) const;
+
+  /// Title of paper `p` from whichever shard holds it locally ("" when no
+  /// shard does or titles were not saved).
+  std::string_view TitleOf(corpus::PaperId p) const;
+
+ private:
+  using MergedCache =
+      LruCache<std::string,
+               std::shared_ptr<const std::vector<context::SearchHit>>>;
+
+  context::SearchResponse SearchImpl(std::string_view query,
+                                     const context::SearchOptions& options,
+                                     const Deadline& deadline) const;
+
+  Options options_;
+  std::string base_path_;
+  std::vector<std::unique_ptr<SnapshotSupervisor>> shards_;
+  std::unique_ptr<ThreadPool> pool_;
+  mutable std::unique_ptr<MergedCache> cache_;
+  // Detached-open loader thread + its aggregated result.
+  std::thread loader_;
+  std::mutex open_mu_;
+  Status open_status_;
+};
+
+}  // namespace ctxrank::serve
+
+#endif  // CTXRANK_SERVE_SHARDED_ENGINE_H_

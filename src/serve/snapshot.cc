@@ -72,6 +72,7 @@ constexpr SectionDescriptor kSectionRegistry[] = {
     {SectionKind::kCiBlockMax, "ci_block_max", false},
     {SectionKind::kCiBlockDocMin, "ci_block_doc_min", false},
     {SectionKind::kCiBlockDocMax, "ci_block_doc_max", false},
+    {SectionKind::kShardOwners, "shard_owners", false},
 };
 
 }  // namespace
@@ -107,7 +108,9 @@ constexpr size_t kMetaHasTitles = 9;
 // Postings per block-max block (0 = no block metadata; pre-block files
 // wrote this slot as reserved 0, which reads back as exactly that).
 constexpr size_t kMetaBlockSize = 10;
-// Slot 11 reserved (written as 0).
+// Sharded snapshots: (num_shards << 32) | shard_id. Monolithic files wrote
+// this slot as reserved 0, which reads back as "not sharded".
+constexpr size_t kMetaShardInfo = 11;
 constexpr uint64_t kFlagDropNumeric = 1u << 0;
 constexpr uint64_t kFlagLowercase = 1u << 1;
 constexpr uint64_t kFlagRemoveStopwords = 1u << 2;
@@ -283,6 +286,27 @@ Status SnapshotAccess::Save(const SnapshotInputs& in, const std::string& path,
   const size_t num_terms = assignment.num_terms();
   const text::AnalyzerOptions& aopt = tc.analyzer().options();
 
+  // Sharded saves mask out non-local papers' text payload. Paper ids stay
+  // global: every per-paper offsets table keeps its full length, masked
+  // papers just own empty runs, so the loader's table-length validation
+  // and every downstream id are untouched. An empty mask is the plain
+  // (byte-identical) save path.
+  const bool masked = !in.paper_mask.empty();
+  if (masked && in.paper_mask.size() != num_papers) {
+    return Status::InvalidArgument(
+        "SaveSnapshot: paper_mask has " + std::to_string(in.paper_mask.size()) +
+        " entries, corpus has " + std::to_string(num_papers) + " papers");
+  }
+  if (!in.shard_owners.empty() && in.shard_owners.size() != num_terms) {
+    return Status::InvalidArgument(
+        "SaveSnapshot: shard_owners has " +
+        std::to_string(in.shard_owners.size()) + " entries, expected " +
+        std::to_string(num_terms));
+  }
+  const auto included = [&in, masked](size_t p) {
+    return !masked || in.paper_mask[p] != 0;
+  };
+
   // Per-context impact-index postings are concatenated into one global
   // array; each context's offsets are rebased by its start so they become
   // absolute positions (ImpactOrderedIndex::FromView serves them as-is).
@@ -329,6 +353,10 @@ Status SnapshotAccess::Save(const SnapshotInputs& in, const std::string& path,
                         (aopt.stem ? kFlagStem : 0);
     words[kMetaHasTitles] = in.corpus != nullptr ? 1 : 0;
     words[kMetaBlockSize] = block_size;
+    words[kMetaShardInfo] =
+        in.num_shards > 0
+            ? (static_cast<uint64_t>(in.num_shards) << 32) | in.shard_id
+            : 0;
     std::string out;
     out.reserve(sizeof(words));
     for (uint64_t w : words) AppendLE64(out, w);
@@ -367,33 +395,115 @@ Status SnapshotAccess::Save(const SnapshotInputs& in, const std::string& path,
   });
 
   // --- analyzed sections (already flat CSR inside TokenizedCorpus) ---
-  add(SectionKind::kTokenOffsets, tc.section_offsets_.size(),
-      [&] { return RawBytes(tc.section_offsets_.span()); });
-  add(SectionKind::kTokens, tc.tokens_.size(),
-      [&] { return RawBytes(tc.tokens_.span()); });
-  add(SectionKind::kSetOffsets, tc.set_offsets_.size(),
-      [&] { return RawBytes(tc.set_offsets_.span()); });
-  add(SectionKind::kSetTokens, tc.set_tokens_.size(),
-      [&] { return RawBytes(tc.set_tokens_.span()); });
-  add(SectionKind::kPostingsOffsets, tc.postings_offsets_.size(),
-      [&] { return RawBytes(tc.postings_offsets_.span()); });
-  add(SectionKind::kPostingsPapers, tc.postings_papers_.size(),
-      [&] { return RawBytes(tc.postings_papers_.span()); });
+  // The token/set CSRs are p-major (slot = paper * kNumTextSections +
+  // section), so masking a paper empties a contiguous group of slots.
+  const auto masked_slot_total = [&](std::span<const uint64_t> offsets) {
+    uint64_t total = 0;
+    for (size_t slot = 0; slot + 1 < offsets.size(); ++slot) {
+      if (included(slot / corpus::kNumTextSections)) {
+        total += offsets[slot + 1] - offsets[slot];
+      }
+    }
+    return total;
+  };
+  const auto masked_slot_offsets = [&](std::span<const uint64_t> offsets) {
+    const auto out = PrefixOffsets(offsets.size() - 1, [&](size_t slot) {
+      return included(slot / corpus::kNumTextSections)
+                 ? offsets[slot + 1] - offsets[slot]
+                 : 0;
+    });
+    return RawBytes<uint64_t>(out);
+  };
+  const auto masked_slot_payload = [&](std::span<const uint64_t> offsets,
+                                       std::span<const text::TermId> values) {
+    std::string out;
+    for (size_t slot = 0; slot + 1 < offsets.size(); ++slot) {
+      if (!included(slot / corpus::kNumTextSections)) continue;
+      out += RawBytes(values.subspan(offsets[slot],
+                                     offsets[slot + 1] - offsets[slot]));
+    }
+    return out;
+  };
+  if (!masked) {
+    add(SectionKind::kTokenOffsets, tc.section_offsets_.size(),
+        [&] { return RawBytes(tc.section_offsets_.span()); });
+    add(SectionKind::kTokens, tc.tokens_.size(),
+        [&] { return RawBytes(tc.tokens_.span()); });
+    add(SectionKind::kSetOffsets, tc.set_offsets_.size(),
+        [&] { return RawBytes(tc.set_offsets_.span()); });
+    add(SectionKind::kSetTokens, tc.set_tokens_.size(),
+        [&] { return RawBytes(tc.set_tokens_.span()); });
+    add(SectionKind::kPostingsOffsets, tc.postings_offsets_.size(),
+        [&] { return RawBytes(tc.postings_offsets_.span()); });
+    add(SectionKind::kPostingsPapers, tc.postings_papers_.size(),
+        [&] { return RawBytes(tc.postings_papers_.span()); });
+  } else {
+    add(SectionKind::kTokenOffsets, tc.section_offsets_.size(),
+        [&] { return masked_slot_offsets(tc.section_offsets_.span()); });
+    add(SectionKind::kTokens, masked_slot_total(tc.section_offsets_.span()),
+        [&] {
+          return masked_slot_payload(tc.section_offsets_.span(),
+                                     tc.tokens_.span());
+        });
+    add(SectionKind::kSetOffsets, tc.set_offsets_.size(),
+        [&] { return masked_slot_offsets(tc.set_offsets_.span()); });
+    add(SectionKind::kSetTokens, masked_slot_total(tc.set_offsets_.span()),
+        [&] {
+          return masked_slot_payload(tc.set_offsets_.span(),
+                                     tc.set_tokens_.span());
+        });
+    // The boolean postings are a vocab-major CSR of paper ids: keep every
+    // term's run, dropping the entries of non-local papers.
+    uint64_t masked_postings = 0;
+    for (const corpus::PaperId p : tc.postings_papers_.span()) {
+      if (included(p)) ++masked_postings;
+    }
+    add(SectionKind::kPostingsOffsets, tc.postings_offsets_.size(), [&] {
+      const auto orig_off = tc.postings_offsets_.span();
+      const auto papers = tc.postings_papers_.span();
+      const auto out = PrefixOffsets(orig_off.size() - 1, [&](size_t t) {
+        size_t n = 0;
+        for (uint64_t i = orig_off[t]; i < orig_off[t + 1]; ++i) {
+          if (included(papers[i])) ++n;
+        }
+        return n;
+      });
+      return RawBytes<uint64_t>(out);
+    });
+    add(SectionKind::kPostingsPapers, masked_postings,
+        [&, masked_postings] {
+      std::string out;
+      out.reserve(masked_postings * sizeof(corpus::PaperId));
+      std::vector<corpus::PaperId> kept;
+      const auto orig_off = tc.postings_offsets_.span();
+      const auto papers = tc.postings_papers_.span();
+      for (size_t t = 0; t + 1 < orig_off.size(); ++t) {
+        kept.clear();
+        for (uint64_t i = orig_off[t]; i < orig_off[t + 1]; ++i) {
+          if (included(papers[i])) kept.push_back(papers[i]);
+        }
+        out += RawBytes<corpus::PaperId>(kept);
+      }
+      return out;
+    });
+  }
 
-  // --- forward TF-IDF vectors ---
+  // --- forward TF-IDF vectors (masked papers own empty vectors) ---
   uint64_t forward_entries = 0;
   for (size_t p = 0; p < num_papers; ++p) {
-    forward_entries += tc.full_vectors_[p].nnz();
+    if (included(p)) forward_entries += tc.full_vectors_[p].nnz();
   }
   add(SectionKind::kForwardOffsets, num_papers + 1, [&] {
-    const auto offsets = PrefixOffsets(
-        num_papers, [&](size_t p) { return tc.full_vectors_[p].nnz(); });
+    const auto offsets = PrefixOffsets(num_papers, [&](size_t p) -> size_t {
+      return included(p) ? tc.full_vectors_[p].nnz() : 0;
+    });
     return RawBytes<uint64_t>(offsets);
   });
   add(SectionKind::kForwardEntries, forward_entries, [&] {
     std::string out;
     out.reserve(forward_entries * 16);
     for (size_t p = 0; p < num_papers; ++p) {
+      if (!included(p)) continue;
       for (const auto& e : tc.full_vectors_[p].entries()) {
         AppendRecord(out, e.term, e.weight);
       }
@@ -656,19 +766,29 @@ Status SnapshotAccess::Save(const SnapshotInputs& in, const std::string& path,
   // --- titles (optional; needs the raw corpus) ---
   if (in.corpus != nullptr) {
     const corpus::Corpus& corpus = *in.corpus;
-    add(SectionKind::kTitleBlob, 0, [&corpus, num_papers] {
+    add(SectionKind::kTitleBlob, 0, [&corpus, &included, num_papers] {
       std::string blob;
       for (size_t p = 0; p < num_papers; ++p) {
+        if (!included(p)) continue;
         blob += corpus.paper(static_cast<corpus::PaperId>(p)).title;
       }
       return blob;
     });
-    add(SectionKind::kTitleOffsets, num_papers + 1, [&corpus, num_papers] {
-      const auto offsets = PrefixOffsets(num_papers, [&corpus](size_t p) {
-        return corpus.paper(static_cast<corpus::PaperId>(p)).title.size();
+    add(SectionKind::kTitleOffsets, num_papers + 1,
+        [&corpus, &included, num_papers] {
+      const auto offsets = PrefixOffsets(num_papers, [&](size_t p) -> size_t {
+        return included(p)
+                   ? corpus.paper(static_cast<corpus::PaperId>(p)).title.size()
+                   : 0;
       });
       return RawBytes<uint64_t>(offsets);
     });
+  }
+
+  // --- shard ownership map (optional; sharded snapshot sets only) ---
+  if (!in.shard_owners.empty()) {
+    add(SectionKind::kShardOwners, in.shard_owners.size(),
+        [&in] { return RawBytes(in.shard_owners); });
   }
 
   // Serialize and checksum every section in parallel.
@@ -886,6 +1006,14 @@ Result<std::unique_ptr<ServingSnapshot>> SnapshotAccess::Load(
   const size_t vocab_size = meta[kMetaVocabSize];
   const size_t onto_terms = meta[kMetaOntoTerms];
   const size_t num_terms = meta[kMetaAssignmentTerms];
+  snap->shard_id_ = static_cast<uint32_t>(meta[kMetaShardInfo] & 0xFFFFFFFFu);
+  snap->num_shards_ = static_cast<uint32_t>(meta[kMetaShardInfo] >> 32);
+  if (snap->num_shards_ > 0 && snap->shard_id_ >= snap->num_shards_) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "': shard id " +
+        std::to_string(snap->shard_id_) + " out of range for a " +
+        std::to_string(snap->num_shards_) + "-shard set");
+  }
 
   // --- ontology: tiny, rebuilt on the heap (AddTerm/AddIsA/Finalize is
   // deterministic, so Lin similarities and levels match the saved build) ---
@@ -1123,6 +1251,17 @@ Result<std::unique_ptr<ServingSnapshot>> SnapshotAccess::Load(
                  snap->load_notes_.c_str());
   }
 
+  // Shard ownership map (optional). A sharded snapshot routes from the
+  // GLOBAL map, not the local assignment, so context selection on any
+  // single shard is identical to the monolithic engine's — the override
+  // is installed here, before the engine serves its first query.
+  if (map.Find(SectionKind::kShardOwners) != nullptr) {
+    CTXRANK_ASSIGN_OR_RETURN(
+        shard_owners,
+        map.Span<uint32_t>(SectionKind::kShardOwners, num_terms));
+    snap->shard_owners_ = shard_owners;
+  }
+
   context::ContextSearchEngine engine;
   engine.tc_ = &*snap->tc_;
   engine.onto_ = &snap->onto_;
@@ -1131,6 +1270,9 @@ Result<std::unique_ptr<ServingSnapshot>> SnapshotAccess::Load(
   engine.routing_offsets_.SetView(routing_offsets);
   engine.routing_entries_.SetView(routing_entries);
   engine.name_norms_.SetView(name_norms);
+  if (!snap->shard_owners_.empty()) {
+    engine.SetRoutingOwners(snap->shard_owners_);
+  }
   engine.index_postings_ = meta[kMetaIndexPostings];
   engine.max_indexed_members_ = meta[kMetaMaxIndexedMembers];
   engine.index_block_size_ = block_size;

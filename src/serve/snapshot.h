@@ -102,6 +102,11 @@ enum class SectionKind : uint32_t {
   kCiBlockMax = 43,
   kCiBlockDocMin = 44,
   kCiBlockDocMax = 45,
+  // Global context-ownership map for sharded serving (optional — written
+  // by shard snapshot sets): one u32 per ontology term, the owning shard
+  // id or 0xFFFFFFFF for globally-empty contexts. Identical across every
+  // shard of a set, so any one shard can route for the whole fleet.
+  kShardOwners = 46,
 };
 
 /// Registry metadata for one section kind: its stable on-disk id, a
@@ -132,6 +137,20 @@ struct SnapshotInputs {
   const context::PrestigeScores* prestige = nullptr;
   const context::ContextSearchEngine* engine = nullptr;
   const corpus::Corpus* corpus = nullptr;  // Optional: paper titles.
+
+  // Sharded saves only (all default-empty: a plain save is byte-identical
+  // to what it always was). `paper_mask` (num_papers entries, 1 = local)
+  // drops the per-paper text payload of non-local papers — their CSR runs
+  // stay in every offsets table as empty runs, so paper ids remain GLOBAL
+  // and the loader's table-length validation is untouched. The assignment,
+  // prestige and engine must already be restricted to the shard's owned
+  // contexts by the caller. `shard_owners` (one u32 per ontology term, see
+  // SectionKind::kShardOwners) and the shard_id/num_shards meta ride along
+  // so a loaded shard knows its place in the set.
+  std::span<const uint8_t> paper_mask;
+  std::span<const uint32_t> shard_owners;
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 0;
 };
 
 /// Serializes a complete serving state into `path`. Sections are
@@ -190,12 +209,24 @@ class ServingSnapshot {
   /// Empty when the snapshot loaded with every optional feature intact.
   const std::string& load_notes() const { return load_notes_; }
 
+  /// Sharded snapshots: this shard's id and the set size (both 0 for a
+  /// monolithic snapshot), plus the global context-ownership map (empty
+  /// when absent). When present the map is already installed as the
+  /// engine's routing override, so context selection on any one shard
+  /// matches the monolithic engine exactly.
+  uint32_t shard_id() const { return shard_id_; }
+  uint32_t num_shards() const { return num_shards_; }
+  std::span<const uint32_t> shard_owners() const { return shard_owners_; }
+
  private:
   friend struct SnapshotAccess;
   ServingSnapshot() = default;
 
   uint64_t section_presence_ = 0;
   std::string load_notes_;
+  uint32_t shard_id_ = 0;
+  uint32_t num_shards_ = 0;
+  std::span<const uint32_t> shard_owners_;
   MmapFile file_;
   ontology::Ontology onto_;
   std::optional<corpus::TokenizedCorpus> tc_;

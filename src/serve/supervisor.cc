@@ -186,6 +186,11 @@ SnapshotSupervisor::Stats SnapshotSupervisor::stats() const {
   return stats_;
 }
 
+uint64_t SnapshotSupervisor::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.generation;
+}
+
 void SnapshotSupervisor::WatchLoop() {
   const auto interval = std::chrono::milliseconds(options_.watch_interval_ms);
   std::unique_lock<std::mutex> lock(mu_);

@@ -112,6 +112,11 @@ class SnapshotSupervisor {
   bool watching() const;
   Stats stats() const;
 
+  /// stats().generation without copying the full struct — cheap enough
+  /// for per-query cache-key construction (ShardedEngine invalidates its
+  /// merged-result cache whenever any shard's generation moves).
+  uint64_t generation() const;
+
  private:
   struct FileIdentity {
     uint64_t inode = 0;

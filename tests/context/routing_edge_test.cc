@@ -1,0 +1,204 @@
+// Routing-index edge cases: a query matching no context name, a query of
+// nothing but stopwords, and a selectable context with no members must
+// all produce clean empty responses (OK status, no hits, not degraded)
+// on every serving path — exact scan, the pruned fast path, the sharded
+// scatter-gather engine, and the daemon wire protocol.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "context/search_engine.h"
+#include "corpus/tokenized_corpus.h"
+#include "serve/daemon.h"
+#include "serve/net.h"
+#include "serve/sharded_engine.h"
+#include "serve/snapshot.h"
+#include "serve/supervisor.h"
+
+namespace ctxrank::context {
+namespace {
+
+using corpus::Paper;
+using corpus::PaperId;
+
+class RoutingEdgeTest : public ::testing::Test {
+ protected:
+  RoutingEdgeTest() {
+    const auto root = onto_.AddTerm("T:0", "molecular function");
+    const auto kin = onto_.AddTerm("T:1", "kinase signaling");
+    const auto rep = onto_.AddTerm("T:2", "dna repair");
+    const auto rib = onto_.AddTerm("T:3", "ribosome assembly");
+    EXPECT_TRUE(onto_.AddIsA(kin, root).ok());
+    EXPECT_TRUE(onto_.AddIsA(rep, root).ok());
+    EXPECT_TRUE(onto_.AddIsA(rib, root).ok());
+    EXPECT_TRUE(onto_.Finalize().ok());
+    auto add = [&](PaperId id, const char* text) {
+      Paper p;
+      p.id = id;
+      p.title = text;
+      p.abstract_text = text;
+      p.body = text;
+      EXPECT_TRUE(corpus_.Add(std::move(p)).ok());
+    };
+    add(0, "kinase signaling cascade");
+    add(1, "kinase signaling inhibitor");
+    add(2, "dna repair enzyme");
+    add(3, "dna repair checkpoint");
+    tc_ = std::make_unique<corpus::TokenizedCorpus>(corpus_);
+    assignment_ = std::make_unique<ContextAssignment>(onto_.size(),
+                                                      corpus_.size());
+    prestige_ = std::make_unique<PrestigeScores>(onto_.size());
+    assignment_->SetMembers(1, {0, 1});
+    assignment_->SetMembers(2, {2, 3});
+    // Term 3 ("ribosome assembly") stays memberless: its name is in the
+    // routing index's vocabulary only if some paper mentions it — it is
+    // not — and it owns no postings. Queries aimed at it must come back
+    // clean and empty, never error.
+    prestige_->Set(1, {1.0, 0.4});
+    prestige_->Set(2, {0.8, 0.3});
+    engine_ = std::make_unique<ContextSearchEngine>(*tc_, onto_, *assignment_,
+                                                    *prestige_);
+  }
+
+  /// Asserts the full clean-empty contract on one in-process response.
+  static void ExpectCleanEmpty(const SearchResponse& r, const char* what) {
+    EXPECT_TRUE(r.status.ok()) << what << ": " << r.status.ToString();
+    EXPECT_TRUE(r.hits.empty()) << what;
+    EXPECT_FALSE(r.degraded) << what;
+    EXPECT_TRUE(r.skipped_contexts.empty()) << what;
+    EXPECT_TRUE(r.skipped_shards.empty()) << what;
+  }
+
+  static std::vector<std::string> EdgeQueries() {
+    return {
+        "quantum entanglement",  // Matches no context name.
+        "the their own where",   // Analyzes to zero tokens (all stopwords).
+        "",                      // Degenerate empty string.
+        "ribosome assembly",     // Aims at the memberless context.
+    };
+  }
+
+  ontology::Ontology onto_;
+  corpus::Corpus corpus_;
+  std::unique_ptr<corpus::TokenizedCorpus> tc_;
+  std::unique_ptr<ContextAssignment> assignment_;
+  std::unique_ptr<PrestigeScores> prestige_;
+  std::unique_ptr<ContextSearchEngine> engine_;
+};
+
+TEST_F(RoutingEdgeTest, CleanEmptyOnExactAndPrunedPaths) {
+  for (const auto& q : EdgeQueries()) {
+    SearchOptions pruned;
+    pruned.top_k = 10;
+    ExpectCleanEmpty(engine_->SearchEx(q, pruned), q.c_str());
+    SearchOptions exact = pruned;
+    exact.exact_scan = true;
+    ExpectCleanEmpty(engine_->SearchEx(q, exact), q.c_str());
+  }
+}
+
+TEST_F(RoutingEdgeTest, CleanEmptyOnShardedScatterGather) {
+  const std::string base = ::testing::TempDir() + "/routing_edge." +
+                           std::to_string(::getpid()) + ".snap";
+  ASSERT_TRUE(serve::SaveShardedSnapshot(*tc_, onto_, *assignment_,
+                                         *prestige_, corpus_, base, 2)
+                  .ok());
+  serve::ShardedEngine sharded;
+  ASSERT_TRUE(sharded.Open(base, 2).ok());
+  for (const auto& q : EdgeQueries()) {
+    SearchOptions pruned;
+    pruned.top_k = 10;
+    ExpectCleanEmpty(sharded.SearchEx(q, pruned), q.c_str());
+    SearchOptions exact = pruned;
+    exact.exact_scan = true;
+    ExpectCleanEmpty(sharded.SearchEx(q, exact), q.c_str());
+  }
+  for (uint32_t s = 0; s < 2; ++s) {
+    ::unlink(serve::ShardPath(base, s, 2).c_str());
+  }
+}
+
+TEST_F(RoutingEdgeTest, CleanEmptyOnDaemonWirePath) {
+  const std::string path = ::testing::TempDir() + "/routing_edge_daemon." +
+                           std::to_string(::getpid()) + ".snap";
+  serve::SnapshotInputs in;
+  in.tc = tc_.get();
+  in.onto = &onto_;
+  in.assignment = assignment_.get();
+  in.prestige = prestige_.get();
+  in.engine = engine_.get();
+  in.corpus = &corpus_;
+  ASSERT_TRUE(serve::SaveSnapshot(in, path).ok());
+  serve::SnapshotSupervisor supervisor;
+  ASSERT_TRUE(supervisor.Reload(path).ok());
+  serve::Daemon::Options dopts;
+  dopts.port = 0;
+  serve::Daemon daemon(supervisor, dopts);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  timeval tv{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(daemon.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  for (const auto& q : EdgeQueries()) {
+    for (const bool exact : {false, true}) {
+      serve::net::WireRequest req;
+      req.query = q;
+      req.options.top_k = 10;
+      req.options.exact_scan = exact;
+      const std::string frame = serve::net::EncodeSearchRequest(req);
+      size_t off = 0;
+      while (off < frame.size()) {
+        const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off,
+                                 MSG_NOSIGNAL);
+        ASSERT_GT(n, 0);
+        off += static_cast<size_t>(n);
+      }
+      std::string buf;
+      std::optional<serve::net::WireResponse> resp;
+      for (;;) {
+        const serve::net::Frame f =
+            serve::net::NextFrame(buf, serve::net::kDefaultMaxFrameBytes);
+        if (f.state == serve::net::FrameState::kReady) {
+          ASSERT_EQ(f.type, serve::net::kFrameSearchResponse);
+          auto decoded = serve::net::DecodeSearchResponseBody(f.body);
+          ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+          buf.erase(0, f.consumed);
+          resp = std::move(decoded).value();
+          break;
+        }
+        ASSERT_EQ(f.state, serve::net::FrameState::kNeedMore);
+        char tmp[16384];
+        const ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+        ASSERT_GT(n, 0) << "daemon closed or timed out on \"" << q << "\"";
+        buf.append(tmp, static_cast<size_t>(n));
+      }
+      EXPECT_EQ(resp->code, StatusCode::kOk) << q;
+      EXPECT_TRUE(resp->hits.empty()) << q;
+      EXPECT_FALSE(resp->degraded) << q;
+      EXPECT_TRUE(resp->skipped_contexts.empty()) << q;
+      EXPECT_TRUE(resp->skipped_shards.empty()) << q;
+    }
+  }
+  ::close(fd);
+  daemon.Stop();
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace ctxrank::context

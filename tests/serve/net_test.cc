@@ -10,6 +10,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <string>
 
@@ -37,6 +38,7 @@ context::SearchResponse SampleResponse() {
   resp.degraded = true;
   resp.status = Status::OK();
   resp.skipped_contexts = {4, 9};
+  resp.skipped_shards = {1, 3};
   context::SearchHit h1{12, 0.875, 3, 0.5, 1.125};
   // Awkward doubles: denormal, negative zero, and an irrational value
   // whose decimal rendering would not round-trip by accident.
@@ -84,6 +86,7 @@ TEST(FrameTest, ResponseRoundTripsBitwise) {
   EXPECT_EQ(out.code, StatusCode::kOk);
   EXPECT_TRUE(out.degraded);
   EXPECT_EQ(out.skipped_contexts, resp.skipped_contexts);
+  EXPECT_EQ(out.skipped_shards, resp.skipped_shards);
   ASSERT_EQ(out.hits.size(), resp.hits.size());
   for (size_t i = 0; i < out.hits.size(); ++i) {
     EXPECT_EQ(out.hits[i].paper, resp.hits[i].paper);
@@ -96,6 +99,26 @@ TEST(FrameTest, ResponseRoundTripsBitwise) {
     EXPECT_EQ(std::bit_cast<uint64_t>(out.hits[i].match),
               std::bit_cast<uint64_t>(resp.hits[i].match));
   }
+}
+
+TEST(FrameTest, EmptySkippedShardsEncodesAsLegacyZeroWord) {
+  // The skipped-shard count lives in the u32 at body offset 20, which
+  // every pre-sharding encoder wrote as reserved 0 — so a frame with no
+  // skipped shards is byte-compatible with the old format, and old
+  // frames decode as "no skipped shards".
+  context::SearchResponse resp = SampleResponse();
+  resp.skipped_shards.clear();
+  const std::string frame = EncodeSearchResponse(resp);
+  const Frame f = NextFrame(frame, kDefaultMaxFrameBytes);
+  ASSERT_EQ(f.state, FrameState::kReady);
+  ASSERT_GE(f.body.size(), kResponseFixedBytes);
+  uint32_t word = 0;
+  std::memcpy(&word, f.body.data() + 20, sizeof(word));
+  EXPECT_EQ(word, 0u);
+  auto decoded = DecodeSearchResponseBody(f.body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded.value().skipped_shards.empty());
+  EXPECT_EQ(decoded.value().skipped_contexts, resp.skipped_contexts);
 }
 
 TEST(FrameTest, ErrorResponseCarriesStatusMessage) {
@@ -259,12 +282,14 @@ TEST(HttpTest, SearchResponseJsonShape) {
   context::SearchResponse resp;
   resp.hits = {{3, 0.5, 1, 0.25, 0.75}};
   resp.skipped_contexts = {2};
+  resp.skipped_shards = {0, 2};
   resp.degraded = true;
   const std::string json = SearchResponseJson(
       resp, [](corpus::PaperId) { return std::string_view("A \"quoted\""); });
   EXPECT_NE(json.find("\"status\":\"OK\""), std::string::npos);
   EXPECT_NE(json.find("\"degraded\":true"), std::string::npos);
   EXPECT_NE(json.find("\"skipped_contexts\":[2]"), std::string::npos);
+  EXPECT_NE(json.find("\"skipped_shards\":[0,2]"), std::string::npos);
   EXPECT_NE(json.find("\"paper\":3"), std::string::npos);
   EXPECT_NE(json.find("\"title\":\"A \\\"quoted\\\"\""), std::string::npos);
   // No title function → no title field.

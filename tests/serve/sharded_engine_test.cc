@@ -1,0 +1,290 @@
+// ShardedEngine: deterministic context partitioning, shard-set naming,
+// bitwise identity with the monolithic engine across shard counts and
+// search modes, graceful degradation under per-leg faults and failed
+// reloads, staggered bring-up (OpenDetached), and the merged-result
+// cache across reload generations.
+#include "serve/sharded_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "context/search_engine.h"
+#include "eval/experiment.h"
+#include "serve/shard_partition.h"
+
+namespace ctxrank::serve {
+namespace {
+
+using context::ContextSearchEngine;
+using context::SearchOptions;
+
+void ExpectBitIdentical(const std::vector<context::SearchHit>& a,
+                        const std::vector<context::SearchHit>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].paper, b[i].paper) << "hit " << i;
+    EXPECT_EQ(a[i].relevancy, b[i].relevancy) << "hit " << i;
+    EXPECT_EQ(a[i].context, b[i].context) << "hit " << i;
+    EXPECT_EQ(a[i].prestige, b[i].prestige) << "hit " << i;
+    EXPECT_EQ(a[i].match, b[i].match) << "hit " << i;
+  }
+}
+
+TEST(ShardPathTest, NamingIsStableAndCollisionFree) {
+  EXPECT_EQ(ShardPath("corpus.snap", 0, 4), "corpus.snap.shard0-of-4");
+  EXPECT_EQ(ShardPath("corpus.snap", 3, 4), "corpus.snap.shard3-of-4");
+  // Even a 1-shard set keeps the suffix: a shard set never collides with
+  // a monolithic snapshot at the base path.
+  EXPECT_EQ(ShardPath("corpus.snap", 0, 1), "corpus.snap.shard0-of-1");
+}
+
+/// One Small world + reference engine shared by every test in the suite
+/// (a world build costs seconds; the tests are read-only against it).
+class ShardedEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::WorldConfig config = eval::WorldConfig::Small();
+    config.build_pattern_set = false;
+    auto world = eval::World::Build(config);
+    ASSERT_TRUE(world.ok()) << world.status().ToString();
+    world_ = world.value().release();
+    engine_opts_ = new ContextSearchEngine::EngineOptions();
+    engine_opts_->num_threads = 1;
+    engine_opts_->index_min_members = 4;
+    reference_ = new ContextSearchEngine(
+        world_->tc(), world_->onto(), world_->text_set(),
+        world_->text_set_text_scores(), *engine_opts_);
+    queries_ = new std::vector<std::string>();
+    for (ontology::TermId t = 0;
+         t < world_->onto().size() && queries_->size() < 10; t += 3) {
+      queries_->push_back(world_->onto().term(t).name);
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete queries_;
+    delete reference_;
+    delete engine_opts_;
+    delete world_;
+    queries_ = nullptr;
+    reference_ = nullptr;
+    engine_opts_ = nullptr;
+    world_ = nullptr;
+  }
+
+  void TearDown() override { fault::FaultInjector::Instance().Disarm(); }
+
+  /// Saves (once per shard count) and returns the base path of an
+  /// n-shard set built with the reference engine's options.
+  static std::string SavedSet(uint32_t n) {
+    const std::string base =
+        ::testing::TempDir() + "/sharded_engine_test_" + std::to_string(n) +
+        ".snap";
+    static std::vector<uint32_t> saved;
+    for (const uint32_t s : saved) {
+      if (s == n) return base;
+    }
+    const Status st =
+        SaveShardedSnapshot(*world_, base, n, *engine_opts_);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    saved.push_back(n);
+    return base;
+  }
+
+  static eval::World* world_;
+  static ContextSearchEngine::EngineOptions* engine_opts_;
+  static ContextSearchEngine* reference_;
+  static std::vector<std::string>* queries_;
+};
+
+eval::World* ShardedEngineTest::world_ = nullptr;
+ContextSearchEngine::EngineOptions* ShardedEngineTest::engine_opts_ = nullptr;
+ContextSearchEngine* ShardedEngineTest::reference_ = nullptr;
+std::vector<std::string>* ShardedEngineTest::queries_ = nullptr;
+
+TEST_F(ShardedEngineTest, PartitionIsDeterministicAndComplete) {
+  const auto& assignment = world_->text_set();
+  const ShardPartition a = PartitionContexts(assignment, 4);
+  const ShardPartition b = PartitionContexts(assignment, 4);
+  EXPECT_EQ(a.owners, b.owners);
+  EXPECT_EQ(a.member_load, b.member_load);
+
+  ASSERT_EQ(a.owners.size(), assignment.num_terms());
+  ASSERT_EQ(a.paper_masks.size(), 4u);
+  uint64_t memberships = 0, load = 0;
+  for (ontology::TermId t = 0; t < assignment.num_terms(); ++t) {
+    const auto members = assignment.Members(t);
+    if (members.empty()) {
+      EXPECT_EQ(a.owners[t], kNoShardOwner) << "term " << t;
+      continue;
+    }
+    ASSERT_LT(a.owners[t], 4u) << "term " << t;
+    memberships += members.size();
+    // Co-location: every member paper is present on the owning shard.
+    for (const corpus::PaperId p : members) {
+      EXPECT_EQ(a.paper_masks[a.owners[t]][p], 1) << "term " << t;
+    }
+  }
+  for (uint32_t s = 0; s < 4; ++s) load += a.member_load[s];
+  EXPECT_EQ(load, memberships);
+}
+
+TEST_F(ShardedEngineTest, BitwiseIdenticalToMonolithicAcrossShardCounts) {
+  for (const uint32_t n : {1u, 2u, 4u, 8u}) {
+    ShardedEngine sharded;
+    ASSERT_TRUE(sharded.Open(SavedSet(n), n).ok());
+    for (const auto& q : *queries_) {
+      for (const size_t top_k : {size_t{0}, size_t{3}, size_t{10}}) {
+        for (const bool exact : {false, true}) {
+          SearchOptions opts;
+          opts.top_k = top_k;
+          opts.exact_scan = exact;
+          const auto got = sharded.SearchEx(q, opts);
+          ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+          EXPECT_FALSE(got.degraded);
+          EXPECT_TRUE(got.skipped_shards.empty());
+          ExpectBitIdentical(reference_->Search(q, opts), got.hits);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ShardedEngineTest, OpenRejectsZeroShardsAndMissingFiles) {
+  ShardedEngine zero;
+  EXPECT_EQ(zero.Open("whatever", 0).code(), StatusCode::kInvalidArgument);
+  ShardedEngine missing;
+  EXPECT_FALSE(missing.Open(::testing::TempDir() + "/no_such.snap", 2).ok());
+}
+
+TEST_F(ShardedEngineTest, AllLegsFailingDegradesWithoutFailing) {
+  ShardedEngine sharded;
+  ASSERT_TRUE(sharded.Open(SavedSet(4), 4).ok());
+  fault::FaultInjector::Instance().FailFrom("sharded/shard_search", 1);
+  SearchOptions opts;
+  opts.top_k = 10;
+  for (const auto& q : *queries_) {
+    const auto got = sharded.SearchEx(q, opts);
+    ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+    EXPECT_TRUE(got.hits.empty());
+    if (!reference_->Search(q, opts).empty()) {
+      EXPECT_TRUE(got.degraded);
+      EXPECT_FALSE(got.skipped_shards.empty());
+      for (const uint32_t s : got.skipped_shards) EXPECT_LT(s, 4u);
+    }
+  }
+  fault::FaultInjector::Instance().Disarm();
+  // Healthy again: identical to the reference.
+  for (const auto& q : *queries_) {
+    const auto got = sharded.SearchEx(q, opts);
+    ASSERT_TRUE(got.status.ok());
+    EXPECT_TRUE(got.skipped_shards.empty());
+    ExpectBitIdentical(reference_->Search(q, opts), got.hits);
+  }
+}
+
+TEST_F(ShardedEngineTest, RandomLegFaultStormNeverFailsAQuery) {
+  ShardedEngine sharded;
+  ASSERT_TRUE(sharded.Open(SavedSet(4), 4).ok());
+  SearchOptions opts;
+  opts.top_k = 10;
+  for (const uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    fault::FaultInjector::Instance().FailRandom(seed, 0.5);
+    for (const auto& q : *queries_) {
+      const auto got = sharded.SearchEx(q, opts);
+      EXPECT_TRUE(got.status.ok()) << got.status.ToString();
+      // Every skipped shard's contexts must also be accounted for.
+      if (!got.skipped_shards.empty()) {
+        EXPECT_TRUE(got.degraded);
+        EXPECT_FALSE(got.skipped_contexts.empty());
+      }
+    }
+    fault::FaultInjector::Instance().Disarm();
+  }
+}
+
+TEST_F(ShardedEngineTest, FailedReloadKeepsServingLastGoodSnapshots) {
+  ShardedEngine sharded;
+  ASSERT_TRUE(sharded.Open(SavedSet(2), 2).ok());
+  // Permanent (non-retryable) load failure on every shard.
+  fault::FaultInjector::Instance().FailFrom("snapshot/load", 1,
+                                            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(sharded.Reload().ok());
+  fault::FaultInjector::Instance().Disarm();
+  uint64_t failed = 0;
+  for (const auto& s : sharded.stats()) failed += s.failed_reloads;
+  EXPECT_GE(failed, 1u);
+  SearchOptions opts;
+  opts.top_k = 10;
+  for (const auto& q : *queries_) {
+    const auto got = sharded.SearchEx(q, opts);
+    ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+    ExpectBitIdentical(reference_->Search(q, opts), got.hits);
+  }
+  // A clean reload recovers and bumps generations.
+  EXPECT_TRUE(sharded.Reload().ok());
+}
+
+TEST_F(ShardedEngineTest, StaggeredBringUpServesFromFirstLiveShard) {
+  // Shard 0 loads; every later shard's initial load fails permanently.
+  // The engine must still serve (degraded) from shard 0 alone, and a
+  // clean reload must complete the set.
+  fault::FaultInjector::Instance().FailFrom("snapshot/load", 2,
+                                            StatusCode::kInvalidArgument);
+  ShardedEngine sharded;
+  ASSERT_TRUE(sharded.OpenDetached(SavedSet(4), 4).ok());
+  EXPECT_FALSE(sharded.AwaitOpen().ok());
+  fault::FaultInjector::Instance().Disarm();
+  ASSERT_NE(sharded.shard(0), nullptr);
+  EXPECT_EQ(sharded.shard(1), nullptr);
+
+  SearchOptions opts;
+  opts.top_k = 10;
+  bool saw_partial = false;
+  for (const auto& q : *queries_) {
+    const auto got = sharded.SearchEx(q, opts);
+    ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+    saw_partial = saw_partial || !got.skipped_shards.empty();
+  }
+  EXPECT_TRUE(saw_partial);
+
+  ASSERT_TRUE(sharded.Reload().ok());
+  for (const auto& q : *queries_) {
+    const auto got = sharded.SearchEx(q, opts);
+    ASSERT_TRUE(got.status.ok());
+    EXPECT_TRUE(got.skipped_shards.empty());
+    ExpectBitIdentical(reference_->Search(q, opts), got.hits);
+  }
+}
+
+TEST_F(ShardedEngineTest, MergedCacheIsIdenticalAndSurvivesReload) {
+  ShardedEngine::Options options;
+  options.cache_capacity = 64;
+  ShardedEngine sharded(options);
+  ASSERT_TRUE(sharded.Open(SavedSet(4), 4).ok());
+  SearchOptions opts;
+  opts.top_k = 10;
+  for (const auto& q : *queries_) {
+    const auto cold = sharded.SearchEx(q, opts);
+    const auto warm = sharded.SearchEx(q, opts);  // Cache hit path.
+    ASSERT_TRUE(cold.status.ok());
+    ASSERT_TRUE(warm.status.ok());
+    ExpectBitIdentical(cold.hits, warm.hits);
+    ExpectBitIdentical(reference_->Search(q, opts), warm.hits);
+  }
+  // Reload bumps every shard generation, so cached keys go stale rather
+  // than serve a dead snapshot's results.
+  ASSERT_TRUE(sharded.Reload().ok());
+  for (const auto& q : *queries_) {
+    const auto got = sharded.SearchEx(q, opts);
+    ASSERT_TRUE(got.status.ok());
+    ExpectBitIdentical(reference_->Search(q, opts), got.hits);
+  }
+}
+
+}  // namespace
+}  // namespace ctxrank::serve

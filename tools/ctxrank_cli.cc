@@ -18,8 +18,13 @@
 //       Build the serving state and write one mmap-able binary snapshot.
 //   ctxrank snapshot load --snapshot FILE [--query "..."]
 //       Validate + load a snapshot (zero-copy) and print its stats.
-//   ctxrank search --snapshot FILE --query "..."
-//       Serve the query from a snapshot instead of rebuilding the index.
+//   ctxrank snapshot save_shards --data DIR --shards N [--out FILE]
+//       Partition the contexts and write the N-shard snapshot set
+//       FILE.shard<i>-of-<N> for scatter-gather serving.
+//   ctxrank search --snapshot FILE --query "..." [--shards N]
+//       Serve the query from a snapshot instead of rebuilding the index;
+//       with --shards N, scatter-gather over the sharded set (results
+//       bitwise-identical to the monolithic snapshot).
 //   ctxrank serve --snapshot FILE [--watch 1]
 //       Long-running query loop over stdin with snapshot hot-reload:
 //       the supervisor keeps serving the last good snapshot if the file
@@ -62,6 +67,7 @@
 #include "ontology/obo_io.h"
 #include "ontology/ontology_generator.h"
 #include "serve/request_context.h"
+#include "serve/sharded_engine.h"
 #include "serve/snapshot.h"
 #include "serve/supervisor.h"
 
@@ -151,8 +157,8 @@ int Usage() {
                "           [--batch FILE] [--threads N] [--deadline-ms N]\n"
                "           [--trace 1] [--stats text|json] [--admission N]\n"
                "  search   --snapshot FILE --query Q [--top N] [--topk K]\n"
-               "           [--pruning term|block] [--batch FILE]\n"
-               "           [--threads N] [--deadline-ms N]\n"
+               "           [--shards N] [--pruning term|block]\n"
+               "           [--batch FILE] [--threads N] [--deadline-ms N]\n"
                "           [--trace 1] [--stats text|json]\n"
                "  info     --data DIR\n"
                "  analyze  --data DIR [--set text|pattern] "
@@ -161,6 +167,9 @@ int Usage() {
                "           [--function text|citation|pattern] [--out FILE]\n"
                "           [--threads N] [--block-size N]\n"
                "  snapshot load --snapshot FILE [--query Q] [--threads N]\n"
+               "  snapshot save_shards --data DIR --shards N [--out FILE]\n"
+               "           [--set text|pattern] [--function ...]\n"
+               "           [--threads N] [--block-size N]\n"
                "  serve    --snapshot FILE [--watch 1] [--watch-ms N]\n"
                "           [--top N] [--topk K] [--deadline-ms N]\n"
                "           [--retries N] [--backoff-ms N] [--threads N]\n"
@@ -455,6 +464,77 @@ int SearchFromSnapshot(const Args& args, const std::string& snap_path) {
   return 0;
 }
 
+/// `search --snapshot FILE --shards N`: scatter-gather over the sharded
+/// snapshot set FILE.shard<i>-of-<N>. Results are bitwise-identical to
+/// `search --snapshot FILE` against the monolithic snapshot; per-shard
+/// failures degrade (skipped_shards) instead of failing the query.
+int SearchFromShards(const Args& args, const std::string& snap_path,
+                     uint32_t shards) {
+  const std::string query = args.Get("query", "");
+  const std::string batch_file = args.Get("batch", "");
+  const size_t top = static_cast<size_t>(args.GetInt("top", 10));
+  context::SearchOptions options;
+  options.top_k = static_cast<size_t>(args.GetInt("topk", 0));
+  options.deadline_ms = static_cast<uint64_t>(args.GetInt("deadline-ms", 0));
+  options.exact_scan = args.GetInt("exact", 0) != 0;
+  options.pruning = ParsePruning(args);
+
+  serve::ShardedEngine::Options eng_opts;
+  eng_opts.cache_capacity = static_cast<size_t>(args.GetInt("cache", 0));
+  serve::ShardedEngine engine(eng_opts);
+  const Status st = engine.Open(snap_path, shards);
+  if (!st.ok()) return Fail(st);
+  const auto title = [&engine](corpus::PaperId p) {
+    const std::string_view t = engine.TitleOf(p);
+    return t.empty() ? "paper " + std::to_string(p) : std::string(t);
+  };
+  const auto report_shards = [](const context::SearchResponse& response) {
+    if (response.skipped_shards.empty()) return;
+    std::string ids;
+    for (const uint32_t s : response.skipped_shards) {
+      if (!ids.empty()) ids += ',';
+      ids += std::to_string(s);
+    }
+    std::fprintf(stderr, "degraded: shard(s) %s contributed nothing\n",
+                 ids.c_str());
+  };
+
+  if (!batch_file.empty()) {
+    std::ifstream in(batch_file);
+    if (!in) return Fail(Status::NotFound("cannot open " + batch_file));
+    std::vector<std::string> queries;
+    for (std::string line; std::getline(in, line);) {
+      if (!line.empty()) queries.push_back(line);
+    }
+    // Sequential over queries: the scatter inside each query is the
+    // parallelism (one leg per shard on the engine's pool).
+    std::vector<context::SearchResponse> results;
+    results.reserve(queries.size());
+    for (const std::string& q : queries) {
+      results.push_back(engine.SearchEx(q, options));
+      report_shards(results.back());
+    }
+    PrintBatchResults(queries, results, top, title);
+    MaybePrintStats(args);
+    return 0;
+  }
+
+  std::printf("query \"%s\" [%u shards of %s]\n", query.c_str(), shards,
+              snap_path.c_str());
+  const auto response = engine.SearchEx(query, options);
+  ReportDegraded(response, query);
+  report_shards(response);
+  const auto& hits = response.hits;
+  std::printf("%zu results\n", hits.size());
+  for (size_t i = 0; i < hits.size() && i < top; ++i) {
+    std::printf("%3zu. R=%.3f (prestige %.3f, match %.3f)  %s\n", i + 1,
+                hits[i].relevancy, hits[i].prestige, hits[i].match,
+                title(hits[i].paper).c_str());
+  }
+  MaybePrintStats(args);
+  return 0;
+}
+
 int Search(const Args& args) {
   const std::string dir = args.Get("data", "");
   const std::string snap_path = args.Get("snapshot", "");
@@ -464,7 +544,13 @@ int Search(const Args& args) {
       (query.empty() && batch_file.empty())) {
     return Usage();
   }
-  if (!snap_path.empty()) return SearchFromSnapshot(args, snap_path);
+  if (!snap_path.empty()) {
+    const long shards = args.GetInt("shards", 0);
+    if (shards > 0) {
+      return SearchFromShards(args, snap_path, static_cast<uint32_t>(shards));
+    }
+    return SearchFromSnapshot(args, snap_path);
+  }
   const std::string set = args.Get("set", "text");
   const std::string function = args.Get("function", "text");
   const size_t top = static_cast<size_t>(args.GetInt("top", 10));
@@ -665,6 +751,52 @@ int SnapshotSave(const Args& args) {
   return 0;
 }
 
+/// `snapshot save_shards`: like `snapshot save`, but partitions the
+/// contexts and writes the N-shard set BASE.shard<i>-of-<N> for
+/// scatter-gather serving (ctxrankd --shards N / search --shards N).
+int SnapshotSaveShards(const Args& args) {
+  const std::string dir = args.Get("data", "");
+  const long shards = args.GetInt("shards", 0);
+  if (dir.empty() || shards <= 0) return Usage();
+  const std::string set = args.Get("set", "text");
+  const std::string function = args.Get("function", "text");
+  const std::string out =
+      args.Get("out", dir + "/" + set + "_" + function + ".snap");
+  const size_t threads = static_cast<size_t>(args.GetInt("threads", 0));
+
+  auto data = LoadDataset(dir);
+  if (!data.ok()) return Fail(data.status());
+  const corpus::TokenizedCorpus tc(data.value().corpus);
+  auto assignment =
+      context::LoadAssignment(dir + "/" + set + "_assignment.txt");
+  if (!assignment.ok()) return Fail(assignment.status());
+  auto prestige = context::LoadPrestige(dir + "/" + set + "_prestige_" +
+                                        function + ".txt");
+  if (!prestige.ok()) return Fail(prestige.status());
+
+  context::ContextSearchEngine::EngineOptions engine_options;
+  engine_options.num_threads = threads;
+  engine_options.block_size =
+      static_cast<size_t>(args.GetInt("block-size", 128));
+  serve::ShardPartition partition;
+  const Status st = serve::SaveShardedSnapshot(
+      tc, data.value().onto, assignment.value(), prestige.value(),
+      data.value().corpus, out, static_cast<uint32_t>(shards),
+      engine_options, threads, &partition);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %ld shard snapshots at %s.shard<i>-of-%ld\n", shards,
+              out.c_str(), shards);
+  for (uint32_t s = 0; s < partition.num_shards; ++s) {
+    std::printf("  shard %u: %llu contexts, %llu local papers, %llu "
+                "members\n",
+                s,
+                static_cast<unsigned long long>(partition.context_counts[s]),
+                static_cast<unsigned long long>(partition.paper_counts[s]),
+                static_cast<unsigned long long>(partition.member_load[s]));
+  }
+  return 0;
+}
+
 /// `snapshot load`: validates + loads a snapshot and prints what it serves
 /// (plus an optional smoke query).
 int SnapshotLoad(const Args& args) {
@@ -812,6 +944,7 @@ int Main(int argc, char** argv) {
     const Args args(argc, argv, 3);
     if (!args.ok()) return Usage();
     if (sub == "save") return SnapshotSave(args);
+    if (sub == "save_shards") return SnapshotSaveShards(args);
     if (sub == "load") return SnapshotLoad(args);
     return Usage();
   }

@@ -3,10 +3,15 @@
 // binary protocol and minimal HTTP (/search, /metrics, /healthz — see
 // docs/PROTOCOL.md), and serves until SIGINT/SIGTERM.
 //
-//   ctxrankd --snapshot FILE [--host A] [--port N] [--watch 1]
-//            [--watch-ms N] [--threads N] [--inline 1] [--admission N]
-//            [--cache N] [--deadline-ms N] [--topk K] [--max-conns N]
-//            [--idle-ms N] [--max-frame-bytes N]
+//   ctxrankd --snapshot FILE [--shards N] [--host A] [--port N]
+//            [--watch 1] [--watch-ms N] [--threads N] [--inline 1]
+//            [--admission N] [--cache N] [--deadline-ms N] [--topk K]
+//            [--max-conns N] [--idle-ms N] [--max-frame-bytes N]
+//
+// With --shards N the daemon serves a sharded snapshot set (the files
+// FILE.shard<i>-of-<N> written by `ctxrank save_shards`) through
+// serve::ShardedEngine: scatter-gather with per-shard hot reload and
+// graceful per-shard degradation (skipped_shards in responses).
 //
 // Operational behavior (docs/OPERATIONS.md): the initial snapshot load
 // must succeed (there is no last-good to fall back to); after that a
@@ -27,6 +32,7 @@
 
 #include "common/status.h"
 #include "serve/daemon.h"
+#include "serve/sharded_engine.h"
 #include "serve/snapshot.h"
 #include "serve/supervisor.h"
 
@@ -97,6 +103,9 @@ int Usage() {
       stderr,
       "usage: ctxrankd --snapshot FILE [--flag value]...\n"
       "  --snapshot FILE      serving snapshot to load (required)\n"
+      "  --shards N           serve the sharded set FILE.shard<i>-of-<N>\n"
+      "                       (from `ctxrank save_shards`) with scatter-\n"
+      "                       gather; 0 = monolithic (default)\n"
       "  --host A             listen address (default 127.0.0.1)\n"
       "  --port N             TCP port; 0 = ephemeral (default 7878)\n"
       "  --watch 1            watch the snapshot file and hot-reload\n"
@@ -122,31 +131,32 @@ int Usage() {
   return 2;
 }
 
+/// Binds, prints the listening line and blocks until SIGINT/SIGTERM.
+int Serve(serve::Daemon& daemon, const serve::Daemon::Options& opts,
+          size_t num_papers, const std::string& what) {
+  const Status st = daemon.Start();
+  if (!st.ok()) return Fail(st);
+  std::printf("ctxrankd listening on %s:%u (%zu papers, %s)\n",
+              opts.host.c_str(), daemon.port(), num_papers, what.c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_signal.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("ctxrankd: caught signal %d, shutting down\n", g_signal.load());
+  daemon.Stop();
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const Args args(argc, argv);
   if (!args.ok()) return Usage();
   const std::string path = args.Get("snapshot", "");
   if (path.empty()) return Usage();
-
-  serve::SnapshotSupervisor::Options sup_opts;
-  sup_opts.num_threads = static_cast<size_t>(args.GetInt("threads", 0));
-  sup_opts.watch_interval_ms =
-      static_cast<uint64_t>(args.GetInt("watch-ms", 200));
-  const size_t cache = static_cast<size_t>(args.GetInt("cache", 0));
-  if (cache > 0) {
-    sup_opts.on_load = [cache](serve::ServingSnapshot& snap) {
-      snap.mutable_engine().EnableQueryCache(cache);
-    };
-  }
-  serve::SnapshotSupervisor supervisor(sup_opts);
-  // The initial load must succeed — there is no last-good to fall back
-  // to. Later reloads that fail leave this snapshot serving.
-  const Status first = supervisor.Reload(path);
-  if (!first.ok()) return Fail(first);
-  if (args.GetInt("watch", 0) != 0) {
-    const Status st = supervisor.StartWatching(path);
-    if (!st.ok()) return Fail(st);
-  }
+  const long shards = args.GetInt("shards", 0);
+  if (shards < 0) return Usage();
 
   serve::Daemon::Options opts;
   opts.host = args.Get("host", "127.0.0.1");
@@ -163,23 +173,54 @@ int Main(int argc, char** argv) {
       static_cast<uint64_t>(args.GetInt("deadline-ms", 0));
   opts.search.num_threads = 1;  // Parallelism comes from the worker pool.
 
-  serve::Daemon daemon(supervisor, opts);
-  const Status st = daemon.Start();
-  if (!st.ok()) return Fail(st);
-  std::printf("ctxrankd listening on %s:%u (%zu papers, snapshot %s)\n",
-              opts.host.c_str(), daemon.port(),
-              supervisor.current()->num_papers(), path.c_str());
-  std::fflush(stdout);
+  const size_t cache = static_cast<size_t>(args.GetInt("cache", 0));
+  const bool watch = args.GetInt("watch", 0) != 0;
+  const uint64_t watch_ms = static_cast<uint64_t>(args.GetInt("watch-ms", 200));
 
-  std::signal(SIGINT, OnSignal);
-  std::signal(SIGTERM, OnSignal);
-  while (g_signal.load() == 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  if (shards > 0) {
+    serve::ShardedEngine::Options eng_opts;
+    eng_opts.supervisor.watch_interval_ms = watch_ms;
+    // The merged-result cache sits above the scatter (the per-shard
+    // engine caches would never see repeat legs).
+    eng_opts.cache_capacity = cache;
+    serve::ShardedEngine engine(eng_opts);
+    // Initial bring-up must be complete: every shard has to load.
+    const Status first =
+        engine.Open(path, static_cast<uint32_t>(shards));
+    if (!first.ok()) return Fail(first);
+    if (watch) {
+      const Status st = engine.StartWatching();
+      if (!st.ok()) return Fail(st);
+    }
+    serve::Daemon daemon(engine, opts);
+    const int rc = Serve(daemon, opts, engine.shard(0)->num_papers(),
+                         std::to_string(shards) + " shards of " + path);
+    engine.StopWatching();
+    return rc;
   }
-  std::printf("ctxrankd: caught signal %d, shutting down\n", g_signal.load());
-  daemon.Stop();
+
+  serve::SnapshotSupervisor::Options sup_opts;
+  sup_opts.num_threads = static_cast<size_t>(args.GetInt("threads", 0));
+  sup_opts.watch_interval_ms = watch_ms;
+  if (cache > 0) {
+    sup_opts.on_load = [cache](serve::ServingSnapshot& snap) {
+      snap.mutable_engine().EnableQueryCache(cache);
+    };
+  }
+  serve::SnapshotSupervisor supervisor(sup_opts);
+  // The initial load must succeed — there is no last-good to fall back
+  // to. Later reloads that fail leave this snapshot serving.
+  const Status first = supervisor.Reload(path);
+  if (!first.ok()) return Fail(first);
+  if (watch) {
+    const Status st = supervisor.StartWatching(path);
+    if (!st.ok()) return Fail(st);
+  }
+  serve::Daemon daemon(supervisor, opts);
+  const int rc = Serve(daemon, opts, supervisor.current()->num_papers(),
+                       "snapshot " + path);
   supervisor.StopWatching();
-  return 0;
+  return rc;
 }
 
 }  // namespace
