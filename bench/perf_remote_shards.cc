@@ -1,0 +1,363 @@
+// P9 — remote shard serving: the sharded engine fronting a fleet of
+// loopback shard daemons through ShardClient (CTXQ1 legs with retries,
+// failover, hedging). Measures, per shard count:
+//   * warm QPS of the local in-process scatter (the ceiling) vs the
+//     remote scatter over loopback TCP, plus p50/p95 remote latency;
+//   * identity gate — remote merged top-k bitwise identical to the
+//     monolithic engine, pruned and exact, for every query;
+//   * fault storm — random injected connect/send/recv/garble faults
+//     across the client transport; every query must stay OK (failed
+//     legs degrade into skipped_shards), with the retry/failover work
+//     visible as exact ctxrank_shard_client_* metric deltas;
+//   * kill-one-shard — a shard daemon stops mid-run; queries continue
+//     OK and degraded, never failed.
+// Gates (exit status 0 iff all hold): identity at every shard count,
+// zero storm-failed queries, zero kill-failed queries.
+// Writes BENCH_remote.json with --json FILE.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "serve/daemon.h"
+#include "serve/shard_client.h"
+#include "serve/sharded_engine.h"
+#include "serve/supervisor.h"
+
+namespace ctxrank::bench {
+namespace {
+
+constexpr size_t kTopK = 20;
+constexpr uint32_t kShardCounts[] = {1, 2, 4};
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool SameHits(const std::vector<context::SearchHit>& a,
+              const std::vector<context::SearchHit>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].paper != b[i].paper || a[i].relevancy != b[i].relevancy ||
+        a[i].context != b[i].context || a[i].prestige != b[i].prestige ||
+        a[i].match != b[i].match) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t Counter(const char* name) {
+  return obs::MetricsRegistry::Instance().GetCounter(name).Value();
+}
+
+double Percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(p * (sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+struct RemoteRow {
+  uint32_t num_shards = 0;
+  double local_qps = 0.0;   // In-process scatter over the same files.
+  double remote_qps = 0.0;  // Through loopback shard daemons.
+  double remote_p50_us = 0.0;
+  double remote_p95_us = 0.0;
+  bool identity = true;
+  uint64_t storm_queries = 0;
+  uint64_t storm_failed = 0;    // Gate: must stay 0.
+  uint64_t storm_degraded = 0;  // Failed legs surfacing as skipped shards.
+  uint64_t storm_retries = 0;   // Metric delta over the storm window.
+  uint64_t storm_failovers = 0;
+  uint64_t kill_queries = 0;
+  uint64_t kill_failed = 0;  // Gate: must stay 0.
+  uint64_t kill_degraded = 0;
+};
+
+/// One loopback shard fleet: a supervisor + CTXQ1 daemon per shard file.
+struct Fleet {
+  std::vector<std::unique_ptr<serve::SnapshotSupervisor>> supervisors;
+  std::vector<std::unique_ptr<serve::Daemon>> daemons;
+  std::vector<serve::RemoteShardSpec> specs;
+};
+
+bool SpawnFleet(const std::string& base_path, uint32_t n, Fleet* fleet) {
+  for (uint32_t s = 0; s < n; ++s) {
+    auto sup = std::make_unique<serve::SnapshotSupervisor>();
+    if (!sup->Reload(serve::ShardPath(base_path, s, n)).ok()) return false;
+    serve::Daemon::Options opts;
+    opts.port = 0;
+    opts.workers = 2;
+    auto daemon = std::make_unique<serve::Daemon>(*sup, opts);
+    if (!daemon->Start().ok()) return false;
+    serve::RemoteShardSpec spec;
+    spec.primary =
+        serve::ShardClient::Endpoint{"127.0.0.1", daemon->port()};
+    fleet->specs.push_back(std::move(spec));
+    fleet->supervisors.push_back(std::move(sup));
+    fleet->daemons.push_back(std::move(daemon));
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  const eval::WorldConfig config = ParseConfig(argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+  auto world = BuildWorldOrDie(config);
+  const auto queries = eval::GenerateQueries(world->onto(), world->tc(),
+                                             world->text_set());
+
+  context::SearchOptions pruned;
+  pruned.top_k = kTopK;
+  context::SearchOptions exact = pruned;
+  exact.exact_scan = true;
+
+  // Monolithic reference: the identity baseline for every shard count.
+  context::ContextSearchEngine::EngineOptions engine_options;
+  engine_options.num_threads = 0;
+  const context::ContextSearchEngine engine(world->tc(), world->onto(),
+                                            world->text_set(),
+                                            world->text_set_text_scores(),
+                                            engine_options);
+  std::vector<std::vector<context::SearchHit>> ref_pruned, ref_exact;
+  ref_pruned.reserve(queries.size());
+  ref_exact.reserve(queries.size());
+  for (const auto& q : queries) {
+    ref_pruned.push_back(engine.Search(q.text, pruned));
+    ref_exact.push_back(engine.Search(q.text, exact));
+  }
+
+  const std::string base_path = "/tmp/ctxrank_perf_remote.snap";
+  std::vector<RemoteRow> rows;
+  bool identity_all = true;
+  uint64_t storm_failed_total = 0, kill_failed_total = 0;
+
+  for (const uint32_t n : kShardCounts) {
+    RemoteRow row;
+    row.num_shards = n;
+
+    const Status save_status =
+        serve::SaveShardedSnapshot(*world, base_path, n, engine_options);
+    if (!save_status.ok()) {
+      std::fprintf(stderr, "save (%u shards) failed: %s\n", n,
+                   save_status.ToString().c_str());
+      return 1;
+    }
+
+    // Local baseline: the same shard files scattered in-process.
+    {
+      serve::ShardedEngine local{serve::ShardedEngine::Options{}};
+      if (!local.Open(base_path, n).ok()) {
+        std::fprintf(stderr, "local open (%u shards) failed\n", n);
+        return 1;
+      }
+      const auto warm0 = std::chrono::steady_clock::now();
+      uint64_t done = 0;
+      while (MsSince(warm0) < 500.0) {
+        for (const auto& q : queries) {
+          if (!local.SearchEx(q.text, pruned).status.ok()) return 1;
+          ++done;
+        }
+      }
+      row.local_qps = static_cast<double>(done) / (MsSince(warm0) / 1000.0);
+    }
+
+    // Remote fleet: one CTXQ1 daemon per shard on loopback.
+    Fleet fleet;
+    if (!SpawnFleet(base_path, n, &fleet)) {
+      std::fprintf(stderr, "fleet spawn (%u shards) failed\n", n);
+      return 1;
+    }
+    serve::ShardedEngine::Options ropts;
+    ropts.client.backoff.initial_ms = 1;
+    ropts.client.backoff.max_ms = 16;
+    serve::ShardedEngine remote(ropts);
+    const Status open_status =
+        remote.OpenRemote(serve::ShardPath(base_path, 0, n), fleet.specs);
+    if (!open_status.ok()) {
+      std::fprintf(stderr, "remote open (%u shards) failed: %s\n", n,
+                   open_status.ToString().c_str());
+      return 1;
+    }
+
+    // Identity gate: every query, pruned and exact, over the wire.
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const auto rp = remote.SearchEx(queries[i].text, pruned);
+      const auto re = remote.SearchEx(queries[i].text, exact);
+      if (!rp.status.ok() || !re.status.ok() || rp.degraded || re.degraded ||
+          !SameHits(rp.hits, ref_pruned[i]) ||
+          !SameHits(re.hits, ref_exact[i])) {
+        row.identity = false;
+        std::printf("IDENTITY MISMATCH (%u shards) on query \"%s\"\n", n,
+                    queries[i].text.c_str());
+      }
+    }
+    identity_all = identity_all && row.identity;
+
+    // Warm remote QPS + latency percentiles (closed loop, the same drive
+    // as the local baseline, so the delta is the wire + client ladder).
+    std::vector<double> lat_us;
+    const auto warm0 = std::chrono::steady_clock::now();
+    uint64_t done = 0;
+    while (MsSince(warm0) < 500.0) {
+      for (const auto& q : queries) {
+        const auto q0 = std::chrono::steady_clock::now();
+        const auto r = remote.SearchEx(q.text, pruned);
+        lat_us.push_back(MsSince(q0) * 1000.0);
+        if (!r.status.ok()) {
+          std::fprintf(stderr, "warm remote query failed: %s\n",
+                       r.status.ToString().c_str());
+          return 1;
+        }
+        ++done;
+      }
+    }
+    row.remote_qps = static_cast<double>(done) / (MsSince(warm0) / 1000.0);
+    std::sort(lat_us.begin(), lat_us.end());
+    row.remote_p50_us = Percentile(lat_us, 0.50);
+    row.remote_p95_us = Percentile(lat_us, 0.95);
+
+    // Fault storm: random transport faults across the client fault
+    // points. Queries must never fail; the resilience work shows up in
+    // the shard-client metric deltas.
+    auto& injector = fault::FaultInjector::Instance();
+    const uint64_t retries0 = Counter("ctxrank_shard_client_retries_total");
+    const uint64_t failovers0 =
+        Counter("ctxrank_shard_client_failovers_total");
+    for (const uint64_t seed : {31u, 32u, 33u}) {
+      injector.FailRandom(seed, 0.2, StatusCode::kIoError);
+      for (const auto& q : queries) {
+        const auto r = remote.SearchEx(q.text, pruned);
+        ++row.storm_queries;
+        if (!r.status.ok()) ++row.storm_failed;
+        if (r.degraded || !r.skipped_shards.empty()) ++row.storm_degraded;
+      }
+      injector.Disarm();
+    }
+    row.storm_retries =
+        Counter("ctxrank_shard_client_retries_total") - retries0;
+    row.storm_failovers =
+        Counter("ctxrank_shard_client_failovers_total") - failovers0;
+    storm_failed_total += row.storm_failed;
+
+    // Kill one shard daemon mid-run: the engine must keep answering with
+    // that shard degraded into skipped_shards, never a failed query.
+    if (n >= 2) {
+      fleet.daemons[n - 1]->Stop();
+      for (const auto& q : queries) {
+        const auto r = remote.SearchEx(q.text, pruned);
+        ++row.kill_queries;
+        if (!r.status.ok()) ++row.kill_failed;
+        if (r.degraded || !r.skipped_shards.empty()) ++row.kill_degraded;
+      }
+      kill_failed_total += row.kill_failed;
+    }
+
+    for (auto& d : fleet.daemons) d->Stop();
+    for (uint32_t s = 0; s < n; ++s) {
+      std::remove(serve::ShardPath(base_path, s, n).c_str());
+    }
+    rows.push_back(row);
+  }
+
+  const bool storm_ok = storm_failed_total == 0;
+  const bool kill_ok = kill_failed_total == 0;
+  const bool all_ok = identity_all && storm_ok && kill_ok;
+
+  std::printf("P9 — remote shard serving (%zu papers, %zu queries)\n",
+              world->corpus().size(), queries.size());
+  std::printf("  %-7s %10s %10s %10s %10s %9s %8s %8s\n", "shards",
+              "local qps", "remote qps", "p50 us", "p95 us", "identity",
+              "retries", "failover");
+  for (const auto& r : rows) {
+    std::printf("  %-7u %10.1f %10.1f %10.1f %10.1f %9s %8llu %8llu\n",
+                r.num_shards, r.local_qps, r.remote_qps, r.remote_p50_us,
+                r.remote_p95_us, r.identity ? "OK" : "FAIL",
+                static_cast<unsigned long long>(r.storm_retries),
+                static_cast<unsigned long long>(r.storm_failovers));
+  }
+  uint64_t sq = 0, sd = 0, kq = 0, kd = 0;
+  for (const auto& r : rows) {
+    sq += r.storm_queries;
+    sd += r.storm_degraded;
+    kq += r.kill_queries;
+    kd += r.kill_degraded;
+  }
+  std::printf("  storm: %llu queries, %llu failed, %llu degraded (%s)\n",
+              static_cast<unsigned long long>(sq),
+              static_cast<unsigned long long>(storm_failed_total),
+              static_cast<unsigned long long>(sd),
+              storm_ok ? "OK, zero failed" : "FAIL");
+  std::printf("  kill-one-shard: %llu queries, %llu failed, %llu degraded "
+              "(%s)\n",
+              static_cast<unsigned long long>(kq),
+              static_cast<unsigned long long>(kill_failed_total),
+              static_cast<unsigned long long>(kd),
+              kill_ok ? "OK, zero failed" : "FAIL");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n";
+    out << "  \"bench\": \"perf_remote_shards\",\n";
+    char buf[640];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"scale\": \"%s\",\n  \"num_papers\": %zu,\n"
+                  "  \"num_queries\": %zu,\n",
+                  config.corpus.num_papers < 5000 ? "small" : "default",
+                  world->corpus().size(), queries.size());
+    out << buf;
+    out << "  \"shards\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"num_shards\": %u, \"local_qps\": %.1f, "
+          "\"remote_qps\": %.1f, \"remote_p50_us\": %.1f, "
+          "\"remote_p95_us\": %.1f, \"identity\": %s, "
+          "\"storm_queries\": %llu, \"storm_failed\": %llu, "
+          "\"storm_degraded\": %llu, \"storm_retries\": %llu, "
+          "\"storm_failovers\": %llu, \"kill_queries\": %llu, "
+          "\"kill_failed\": %llu, \"kill_degraded\": %llu}%s\n",
+          r.num_shards, r.local_qps, r.remote_qps, r.remote_p50_us,
+          r.remote_p95_us, r.identity ? "true" : "false",
+          static_cast<unsigned long long>(r.storm_queries),
+          static_cast<unsigned long long>(r.storm_failed),
+          static_cast<unsigned long long>(r.storm_degraded),
+          static_cast<unsigned long long>(r.storm_retries),
+          static_cast<unsigned long long>(r.storm_failovers),
+          static_cast<unsigned long long>(r.kill_queries),
+          static_cast<unsigned long long>(r.kill_failed),
+          static_cast<unsigned long long>(r.kill_degraded),
+          i + 1 < rows.size() ? "," : "");
+      out << buf;
+    }
+    out << "  ],\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"gate_identity\": %s,\n"
+                  "  \"gate_storm_zero_failed\": %s,\n"
+                  "  \"gate_kill_zero_failed\": %s,\n"
+                  "  \"ok\": %s\n}\n",
+                  identity_all ? "true" : "false",
+                  storm_ok ? "true" : "false", kill_ok ? "true" : "false",
+                  all_ok ? "true" : "false");
+    out << buf;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ctxrank::bench
+
+int main(int argc, char** argv) { return ctxrank::bench::Run(argc, argv); }

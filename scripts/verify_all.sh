@@ -42,6 +42,7 @@ run_stage "verify_asan"     "${repo_root}/scripts/verify_asan.sh"
 run_stage "verify_tsan"     "${repo_root}/scripts/verify_tsan.sh"
 run_stage "verify_perf"     "${repo_root}/scripts/verify_perf.sh"
 run_stage "verify_daemon"   "${repo_root}/scripts/verify_daemon.sh" "${build_dir}"
+run_stage "verify_remote"   "${repo_root}/scripts/verify_remote.sh" "${build_dir}"
 
 echo
 echo "===== verify_all summary ====="

@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# End-to-end check of remote shard serving: run the shard-client test
+# suite and a perf_remote_shards smoke (identity + storm + kill gates),
+# then drive real processes — save a 2-shard snapshot set, start one
+# ctxrankd per shard plus a replica for shard 1, front them with a
+# gateway ctxrankd --remote-shards, query over HTTP, kill the shard-1
+# primary and assert the replica keeps answers COMPLETE (failover),
+# then kill the replica too and assert queries degrade into
+# skipped_shards without ever failing.
+# Usage: scripts/verify_remote.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+cli="${build_dir}/tools/ctxrank"
+daemon="${build_dir}/tools/ctxrankd"
+
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j --target ctxrank ctxrankd serve_test \
+  perf_remote_shards
+
+echo "== shard client + remote scatter-gather tests =="
+"${build_dir}/tests/serve_test" \
+  --gtest_filter='ShardClientTest*:ParseRemoteShardsTest*'
+
+echo "== perf_remote_shards smoke (identity + storm + kill gates) =="
+"${build_dir}/bench/perf_remote_shards" --small
+
+work="$(mktemp -d)"
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do
+    kill -9 "${pid}" 2>/dev/null || true
+    wait "${pid}" 2>/dev/null || true
+  done
+  rm -rf "${work}"
+}
+trap cleanup EXIT
+
+start_daemon() {
+  # start_daemon NAME ARGS... — starts ctxrankd, waits for its listening
+  # line, and sets ${NAME}_pid / ${NAME}_port.
+  local name="$1"
+  shift
+  "${daemon}" "$@" --port 0 \
+    > "${work}/${name}.out" 2> "${work}/${name}.err" &
+  local pid=$!
+  pids+=("${pid}")
+  local port=""
+  for _ in $(seq 1 100); do
+    if ! kill -0 "${pid}" 2>/dev/null; then
+      echo "ctxrankd (${name}) died during startup:" >&2
+      cat "${work}/${name}.err" >&2
+      exit 1
+    fi
+    port="$(sed -n 's/^ctxrankd listening on [^:]*:\([0-9]*\).*/\1/p' \
+      "${work}/${name}.out")"
+    [[ -n "${port}" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "${port}" ]]; then
+    echo "ctxrankd (${name}) never printed its listening line" >&2
+    exit 1
+  fi
+  eval "${name}_pid=${pid}; ${name}_port=${port}"
+  echo "${name} up on port ${port} (pid ${pid})"
+}
+
+echo "== generate + index + save a 2-shard snapshot set =="
+mkdir -p "${work}/data"
+"${cli}" generate --out "${work}/data" --terms 60 --papers 400 --seed 7
+"${cli}" index --data "${work}/data"
+"${cli}" snapshot save_shards --data "${work}/data" \
+  --out "${work}/serving.snap" --shards 2
+
+echo "== start one shard daemon per shard + a replica for shard 1 =="
+start_daemon shard0 --snapshot "${work}/serving.snap.shard0-of-2"
+start_daemon shard1 --snapshot "${work}/serving.snap.shard1-of-2"
+start_daemon shard1r --snapshot "${work}/serving.snap.shard1-of-2"
+
+echo "== start the gateway with --remote-shards =="
+spec="127.0.0.1:${shard0_port},127.0.0.1:${shard1_port}/127.0.0.1:${shard1r_port}"
+start_daemon gateway --snapshot "${work}/serving.snap.shard0-of-2" \
+  --remote-shards "${spec}" --leg-retries 2 --hedge-us 20000
+
+http_get() {
+  # Minimal HTTP client on /dev/tcp: prints the full response.
+  exec 3<>"/dev/tcp/127.0.0.1/${gateway_port}"
+  printf 'GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n' \
+    "$1" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+
+mapfile -t queries < <(grep '^name:' "${work}/data/ontology.obo" \
+  | sed 's/^name: //' | head -8 | tr ' ' '+')
+
+echo "== healthy fleet: /healthz shows the remote topology =="
+health="$(http_get /healthz)"
+echo "${health}" | grep -q "200 OK"
+echo "${health}" | grep -q '"ok":true'
+echo "${health}" | grep -q '"remote":true'
+echo "${health}" | grep -q '"remote_shards":\[{"shard":0'
+
+echo "== healthy fleet: every query answers complete =="
+for q in "${queries[@]}"; do
+  resp="$(http_get "/search?q=${q}&topk=5")"
+  echo "${resp}" | grep -q '"status":"OK"'
+  if echo "${resp}" | grep -q '"degraded":true'; then
+    echo "healthy fleet answered degraded for '${q}'" >&2
+    exit 1
+  fi
+done
+
+echo "== kill the shard-1 PRIMARY: the replica keeps answers complete =="
+kill -9 "${shard1_pid}"
+wait "${shard1_pid}" 2>/dev/null || true
+for q in "${queries[@]}"; do
+  resp="$(http_get "/search?q=${q}&topk=5")"
+  echo "${resp}" | grep -q '"status":"OK"'
+  if echo "${resp}" | grep -q '"degraded":true'; then
+    echo "failover to the shard-1 replica did not keep '${q}' complete" >&2
+    exit 1
+  fi
+done
+
+echo "== kill the replica too: queries degrade, never fail =="
+kill -9 "${shard1r_pid}"
+wait "${shard1r_pid}" 2>/dev/null || true
+degraded=0
+for q in "${queries[@]}"; do
+  resp="$(http_get "/search?q=${q}&topk=5")"
+  echo "${resp}" | grep -q '"status":"OK"' || {
+    echo "query '${q}' FAILED with shard 1 fully down" >&2
+    exit 1
+  }
+  if echo "${resp}" | grep -q '"skipped_shards":\[1\]'; then
+    degraded=$((degraded + 1))
+  fi
+done
+if [[ "${degraded}" -eq 0 ]]; then
+  echo "no query surfaced skipped_shards with shard 1 fully down" >&2
+  exit 1
+fi
+echo "   (${degraded}/${#queries[@]} queries degraded into skipped_shards)"
+
+echo "== /healthz reports the dead shard client unhealthy =="
+http_get /healthz | grep -q '"healthy":false'
+
+echo "== SIGTERM shuts the gateway down cleanly with exit 0 =="
+kill -TERM "${gateway_pid}"
+rc=0
+wait "${gateway_pid}" || rc=$?
+if [[ "${rc}" -ne 0 ]]; then
+  echo "gateway ctxrankd exited with ${rc} on SIGTERM" >&2
+  exit 1
+fi
+
+echo "Remote shard serving verification passed."

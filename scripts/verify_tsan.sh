@@ -32,4 +32,8 @@ echo "== snapshot supervisor swaps vs concurrent readers under TSan =="
 echo "== daemon reactor/worker/accept thread interactions under TSan =="
 "${build_dir}/tests/serve_test" --gtest_filter='DaemonTest*'
 
+echo "== shard client retries/hedging vs daemon fleet under TSan =="
+"${build_dir}/tests/serve_test" \
+  --gtest_filter='ShardClientTest*:ParseRemoteShardsTest*'
+
 echo "TSan verification passed."

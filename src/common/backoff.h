@@ -1,0 +1,56 @@
+// Capped exponential backoff with deterministic jitter, shared by every
+// retry loop in the system (snapshot reload supervisor, remote shard
+// client). The delay for attempt `a` (0-based) is
+//
+//   min(initial_ms * 2^a, max_ms) + jitter,   jitter in [0, delay/2]
+//
+// where the jitter is drawn from SplitMix64 seeded by (jitter_seed, a
+// per-caller salt, the attempt index) — replicas retrying the same
+// broken resource decorrelate, yet a fixed seed reproduces the exact
+// delay sequence, which is what lets the fault-storm tests assert on
+// timing-dependent behavior.
+#ifndef CTXRANK_COMMON_BACKOFF_H_
+#define CTXRANK_COMMON_BACKOFF_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace ctxrank {
+
+class Backoff {
+ public:
+  struct Options {
+    /// First delay; doubles per attempt up to `max_ms`.
+    uint64_t initial_ms = 10;
+    uint64_t max_ms = 1000;
+    /// Seed for the deterministic jitter added to each delay.
+    uint64_t jitter_seed = 0;
+  };
+
+  /// The full (jittered) delay in milliseconds for `attempt` (0-based).
+  /// `salt` decorrelates independent retry loops sharing one seed — the
+  /// supervisor salts with a hash of the snapshot path, the shard client
+  /// with its shard id.
+  static uint64_t DelayMs(const Options& options, size_t attempt,
+                          uint64_t salt) {
+    // Capped exponential: initial * 2^attempt, saturating at max_ms.
+    uint64_t delay = options.initial_ms;
+    for (size_t i = 0; i < attempt && delay < options.max_ms; ++i) {
+      delay *= 2;
+    }
+    if (delay > options.max_ms) delay = options.max_ms;
+    // Deterministic jitter in [0, delay/2]: decorrelates replicas retrying
+    // the same broken resource while staying reproducible under a fixed
+    // seed.
+    SplitMix64 mix(options.jitter_seed ^ salt ^
+                   (0x9e3779b97f4a7c15ULL * (attempt + 1)));
+    delay += mix.Next() % (delay / 2 + 1);
+    return delay;
+  }
+};
+
+}  // namespace ctxrank
+
+#endif  // CTXRANK_COMMON_BACKOFF_H_

@@ -14,6 +14,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/deadline.h"
+#include "common/fault_injection.h"
 #include "common/metrics.h"
 #include "serve/request_context.h"
 #include "serve/sharded_engine.h"
@@ -32,6 +34,9 @@ struct DaemonMetrics {
   obs::Counter& http_requests;
   obs::Counter& frame_errors;
   obs::Counter& idle_closed;
+  obs::Counter& loris_closed;
+  obs::Counter& pings;
+  obs::Counter& shard_legs;
   obs::Counter& bytes_read;
   obs::Counter& bytes_written;
   obs::Histogram& request_us;
@@ -47,6 +52,9 @@ DaemonMetrics& Metrics() {
       reg.GetCounter("ctxrankd_http_requests_total"),
       reg.GetCounter("ctxrankd_frame_errors_total"),
       reg.GetCounter("ctxrankd_idle_closed_total"),
+      reg.GetCounter("ctxrankd_loris_closed_total"),
+      reg.GetCounter("ctxrankd_pings_total"),
+      reg.GetCounter("ctxrankd_shard_legs_total"),
       reg.GetCounter("ctxrankd_bytes_read_total"),
       reg.GetCounter("ctxrankd_bytes_written_total"),
       reg.GetHistogram("ctxrankd_request_us", obs::LatencyBucketsUs())};
@@ -322,6 +330,16 @@ void Daemon::HandleReadable(const std::shared_ptr<Conn>& conn) {
     // EPOLLIN via EPOLL_CTL_MOD re-reports the readiness edge.
     eof = false;
   }
+  // Slow-loris guard, size axis: unconsumed input past the cap means the
+  // peer is feeding bytes that never complete into frames we accept.
+  const size_t input_cap = options_.max_input_buffer > 0
+                               ? options_.max_input_buffer
+                               : options_.max_frame_bytes + (16u << 10);
+  if (conn->in.size() > input_cap) {
+    Metrics().loris_closed.Increment();
+    CloseConn(conn);
+    return;
+  }
   ParseBuffered(conn);
   if (!conn->open || !eof) return;
   // EOF with work still in flight: finish and flush the responses the
@@ -350,7 +368,10 @@ void Daemon::ParseBuffered(const std::shared_ptr<Conn>& conn) {
     } else if (conn->in.size() >= net::kFrameMagicBytes) {
       conn->proto = Protocol::kBinary;
     } else {
-      return;  // "C".."CTXQ" prefix: need more bytes to decide.
+      // "C".."CTXQ" prefix: need more bytes to decide — but the assembly
+      // clock starts now, or a sub-5-byte trickle never times out.
+      if (conn->partial_since_ms == 0) conn->partial_since_ms = NowMs();
+      return;
     }
   }
   if (conn->proto == Protocol::kBinary) {
@@ -359,6 +380,15 @@ void Daemon::ParseBuffered(const std::shared_ptr<Conn>& conn) {
     ParseHttp(conn);
   }
   if (conn->open) {
+    // Slow-loris guard, time axis: leftover bytes are by construction an
+    // incomplete frame / request head (complete ones were just consumed).
+    // Start the assembly clock on the first partial byte; ScanIdle closes
+    // connections that dribble without ever completing.
+    if (conn->in.empty()) {
+      conn->partial_since_ms = 0;
+    } else if (conn->partial_since_ms == 0) {
+      conn->partial_since_ms = NowMs();
+    }
     UpdateBackpressure(conn);
     MaybeDispatch(conn);
   }
@@ -392,6 +422,56 @@ void Daemon::ParseBinary(const std::shared_ptr<Conn>& conn) {
     }
     const std::string_view body = f.body;
     const uint8_t type = f.type;
+    if (type == net::kFramePing) {
+      // Answered reactor-inline, like /healthz: a saturated worker pool
+      // must not fail the shard client's connection health checks.
+      conn->in.erase(0, f.consumed);
+      Metrics().pings.Increment();
+      net::WirePong pong;
+      pong.ok = BackendHealthy();
+      if (supervisor_ != nullptr) {
+        const auto snap = supervisor_->current();
+        pong.shard_id = snap != nullptr ? snap->shard_id() : 0;
+        pong.generation = supervisor_->generation();
+      }
+      QueueOutput(conn, net::EncodePong(pong), /*close_after=*/false);
+      if (!conn->open) return;
+      continue;
+    }
+    if (type == net::kFrameShardSearchRequest) {
+      if (sharded_ != nullptr) {
+        // A gateway is not a shard: answering a routed leg here would
+        // re-scatter it. The error frame fails the leg cleanly on the
+        // client (kFailedPrecondition is final — no retry storm).
+        conn->in.erase(0, f.consumed);
+        Metrics().frame_errors.Increment();
+        QueueOutput(conn,
+                    EncodeErrorFrame(Status::FailedPrecondition(
+                        "this daemon serves a sharded backend, not a "
+                        "single shard; routed legs are not accepted")),
+                    /*close_after=*/false);
+        if (!conn->open) return;
+        continue;
+      }
+      auto decoded = net::DecodeShardSearchRequestBody(body);
+      conn->in.erase(0, f.consumed);
+      if (!decoded.ok()) {
+        Metrics().frame_errors.Increment();
+        QueueOutput(conn, EncodeErrorFrame(decoded.status()),
+                    /*close_after=*/false);
+        if (!conn->open) return;
+        continue;
+      }
+      net::WireShardRequest shard = std::move(decoded).value();
+      PendingRequest req;
+      req.shard_leg = true;
+      req.budget_us = shard.budget_us;
+      req.contexts = std::move(shard.contexts);
+      req.wire.query = std::move(shard.query);
+      req.wire.options = shard.options;
+      conn->pending.push_back(std::move(req));
+      continue;
+    }
     if (type != net::kFrameSearchRequest) {
       Metrics().frame_errors.Increment();
       conn->in.clear();
@@ -548,6 +628,50 @@ void Daemon::MaybeDispatch(const std::shared_ptr<Conn>& conn) {
 
 void Daemon::RunRequest(const std::shared_ptr<Conn>& conn,
                         PendingRequest req) {
+  if (req.shard_leg) {
+    // A routed scatter leg from a remote coordinator: the routing already
+    // happened there, so this runs the scan-only SearchRouted primitive
+    // against the pinned snapshot, single-threaded (the coordinator's
+    // scatter provides the parallelism) with the deadline re-armed from
+    // the budget that traveled on the wire. Legs bypass the admission
+    // limiter — the coordinator admission-controls the whole query.
+    Metrics().shard_legs.Increment();
+    context::SearchResponse response;
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::shared_ptr<const ServingSnapshot> snap = supervisor_->current();
+    if (snap == nullptr) {
+      response.status =
+          Status::FailedPrecondition("no serving snapshot loaded");
+    } else if (const Status st = fault::MaybeFail("daemon/shard_leg");
+               !st.ok()) {
+      // Injected server-side leg failure. kIoError is the transient
+      // class, so the remote client retries it with backoff.
+      response.status =
+          Status::IoError("injected shard-leg fault: " +
+                          std::string(st.message()));
+    } else {
+      const Deadline deadline =
+          req.budget_us > 0
+              ? Deadline::At(std::chrono::steady_clock::now() +
+                             std::chrono::microseconds(req.budget_us))
+              : Deadline();
+      context::SearchOptions opts = req.wire.options;
+      opts.num_threads = 1;
+      opts.trace = false;
+      response = snap->engine().SearchRouted(req.wire.query, req.contexts,
+                                             opts, deadline);
+    }
+    Metrics().request_us.Observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+    std::string encoded = net::EncodeSearchResponse(response);
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->out += encoded;
+    }
+    return;
+  }
   context::SearchResponse response;
   std::function<std::string_view(corpus::PaperId)> title;
   // Pinned snapshots outlive the JSON render below: any title
@@ -659,21 +783,13 @@ void Daemon::FlushWrites(const std::shared_ptr<Conn>& conn) {
   size_t remaining = 0;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
-    size_t off = 0;
-    while (off < conn->out.size()) {
-      const ssize_t n = ::send(conn->fd, conn->out.data() + off,
-                               conn->out.size() - off, MSG_NOSIGNAL);
-      if (n > 0) {
-        off += static_cast<size_t>(n);
-        Metrics().bytes_written.Increment(static_cast<uint64_t>(n));
-        continue;
-      }
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      if (errno == EINTR) continue;
-      fatal = true;  // Peer is gone (EPIPE/ECONNRESET/...).
-      break;
-    }
-    conn->out.erase(0, off);
+    // Shared hardened write path (net::WriteSome): EINTR resumed, short
+    // writes continued, SIGPIPE suppressed — EPIPE/ECONNRESET surface as
+    // kError instead of killing the process.
+    const net::IoResult r = net::WriteSome(conn->fd, conn->out);
+    Metrics().bytes_written.Increment(static_cast<uint64_t>(r.written));
+    fatal = r.state == net::IoState::kError;
+    conn->out.erase(0, r.written);
     remaining = conn->out.size();
     close_when_drained = conn->close_after_flush;
   }
@@ -752,18 +868,37 @@ void Daemon::CloseConn(const std::shared_ptr<Conn>& conn) {
 }
 
 void Daemon::ScanIdle(uint64_t now_ms) {
-  if (options_.idle_timeout_ms == 0) return;
-  std::vector<std::shared_ptr<Conn>> victims;
+  if (options_.idle_timeout_ms == 0 &&
+      options_.frame_assembly_timeout_ms == 0) {
+    return;
+  }
+  std::vector<std::shared_ptr<Conn>> idle;
+  std::vector<std::shared_ptr<Conn>> loris;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (const auto& [fd, conn] : conns_) {
       if (conn->executing) continue;  // Never idle-close an active query.
-      if (now_ms - conn->last_activity_ms > options_.idle_timeout_ms) {
-        victims.push_back(conn);
+      if (options_.frame_assembly_timeout_ms > 0 &&
+          conn->partial_since_ms > 0 &&
+          now_ms - conn->partial_since_ms >
+              options_.frame_assembly_timeout_ms) {
+        // Slow-loris: a partial frame has been under assembly too long.
+        // A byte-at-a-time dribbler keeps last_activity_ms fresh, so the
+        // idle timeout alone would never fire for it.
+        loris.push_back(conn);
+        continue;
+      }
+      if (options_.idle_timeout_ms > 0 &&
+          now_ms - conn->last_activity_ms > options_.idle_timeout_ms) {
+        idle.push_back(conn);
       }
     }
   }
-  for (const auto& conn : victims) {
+  for (const auto& conn : loris) {
+    Metrics().loris_closed.Increment();
+    CloseConn(conn);
+  }
+  for (const auto& conn : idle) {
     Metrics().idle_closed.Increment();
     CloseConn(conn);
   }
@@ -772,6 +907,11 @@ void Daemon::ScanIdle(uint64_t now_ms) {
 bool Daemon::BackendHealthy() const {
   if (supervisor_ != nullptr) return supervisor_->current() != nullptr;
   if (sharded_->num_shards() == 0) return false;
+  if (sharded_->remote()) {
+    // Remote legs degrade into skipped_shards at query time; the gateway
+    // can serve as soon as its router snapshot is loaded.
+    return sharded_->shard(0) != nullptr;
+  }
   for (uint32_t i = 0; i < sharded_->num_shards(); ++i) {
     if (sharded_->shard(i) == nullptr) return false;
   }
@@ -782,6 +922,42 @@ std::string Daemon::HealthzJson() const {
   const int64_t now_s = std::chrono::duration_cast<std::chrono::seconds>(
                             std::chrono::system_clock::now().time_since_epoch())
                             .count();
+  if (sharded_ != nullptr && sharded_->remote()) {
+    // Remote fleet health: per-shard endpoint, last-known liveness and
+    // resilience counters, so a flapping shard and how hard the client
+    // is working around it are both visible from curl.
+    const auto stats = sharded_->client_stats();
+    std::string shards = "[";
+    for (uint32_t i = 0; i < sharded_->num_shards(); ++i) {
+      const ShardClient* client = sharded_->client(i);
+      if (i > 0) shards += ',';
+      shards += "{\"shard\":" + std::to_string(i);
+      shards += ",\"primary\":\"" +
+                net::JsonEscape(client->primary().ToString()) + "\"";
+      if (client->has_replica()) {
+        shards += ",\"replica\":\"" +
+                  net::JsonEscape(client->replica().ToString()) + "\"";
+      }
+      shards += ",\"healthy\":";
+      shards += client->healthy() ? "true" : "false";
+      shards += ",\"errors\":" + std::to_string(stats[i].errors);
+      shards += ",\"retries\":" + std::to_string(stats[i].retries);
+      shards += ",\"hedges\":" + std::to_string(stats[i].hedges);
+      shards += ",\"failovers\":" + std::to_string(stats[i].failovers);
+      shards += '}';
+    }
+    shards += ']';
+    std::string out = "{\"ok\":";
+    out += BackendHealthy() ? "true" : "false";
+    out += ",\"remote\":true,\"shards\":";
+    out += std::to_string(sharded_->num_shards());
+    out += ",\"router_loaded\":";
+    out += sharded_->shard(0) != nullptr ? "true" : "false";
+    out += ",\"remote_shards\":";
+    out += shards;
+    out += "}";
+    return out;
+  }
   if (sharded_ != nullptr) {
     // Sharded fleet health: overall ok plus per-shard generation and
     // failure counters, so a degraded shard is visible from curl.

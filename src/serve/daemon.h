@@ -83,6 +83,17 @@ class Daemon {
     /// Write-backpressure threshold: once a connection's unflushed
     /// output exceeds this, its reads are paused until the peer drains.
     size_t max_output_buffer = 4u << 20;
+    /// Slow-loris guard, size axis: a connection whose accumulated
+    /// UNCONSUMED input exceeds this is closed (0 = max_frame_bytes +
+    /// 16 KiB, enough for one maximal frame plus a pipelined header).
+    /// Legitimate clients never get near it — complete frames are
+    /// consumed as they arrive.
+    size_t max_input_buffer = 0;
+    /// Slow-loris guard, time axis: a connection holding a PARTIAL frame
+    /// or request head longer than this without completing it is closed
+    /// (0 = never). Trickling one byte per idle-timeout would otherwise
+    /// hold a connection slot indefinitely.
+    uint64_t frame_assembly_timeout_ms = 10000;
     /// Base SearchOptions for HTTP queries (binary requests carry their
     /// own full options fingerprint). URL parameters override topk /
     /// contexts / deadline_ms / exact per request.
@@ -133,6 +144,12 @@ class Daemon {
     net::WireRequest wire;
     bool http = false;
     bool http_keep_alive = true;
+    /// A routed scatter leg (kFrameShardSearchRequest): run SearchRouted
+    /// over `contexts` with a deadline armed from `budget_us` instead of
+    /// the full route-and-search path.
+    bool shard_leg = false;
+    uint64_t budget_us = 0;
+    std::vector<context::ContextMatch> contexts;
   };
 
   /// Per-connection state. Ownership split (enforced by convention, the
@@ -154,6 +171,9 @@ class Daemon {
     bool reading_paused = false;
     uint32_t interest = 0;
     uint64_t last_activity_ms = 0;
+    /// Nonzero while `in` holds an incomplete frame / request head: the
+    /// time assembly started (slow-loris time axis; reset on completion).
+    uint64_t partial_since_ms = 0;
 
     std::mutex mu;
     std::string out;

@@ -1,5 +1,11 @@
 #include "serve/net.h"
 
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 
@@ -22,6 +28,14 @@ constexpr size_t kReqMinContextScore = 48;
 constexpr size_t kReqQueryLen = 56;
 static_assert(kReqQueryLen + 4 == kRequestFixedBytes);
 
+/// The options block (offsets 0..55) is shared between SearchRequest and
+/// ShardSearchRequest bodies; the tails differ.
+constexpr size_t kOptionsBytes = 56;
+constexpr size_t kShardReqBudgetUs = 56;
+constexpr size_t kShardReqNumContexts = 64;
+constexpr size_t kShardReqQueryLen = 68;
+static_assert(kShardReqQueryLen + 4 == kShardRequestFixedBytes);
+
 /// Body layout offsets of a SearchResponse.
 constexpr size_t kRespStatus = 0;
 constexpr size_t kRespFlags = 4;
@@ -41,6 +55,46 @@ void AppendFrameHeader(std::string& out, uint8_t type, uint32_t body_len) {
   StoreLE16(reinterpret_cast<unsigned char*>(flags), 0);
   out.append(flags, sizeof(flags));
   AppendLE32(out, body_len);
+}
+
+/// Appends the 56-byte options block shared by SearchRequest and
+/// ShardSearchRequest bodies.
+void AppendOptionsBlock(std::string& out, const context::SearchOptions& o) {
+  AppendLE32(out, static_cast<uint32_t>(o.top_k));
+  AppendLE32(out, static_cast<uint32_t>(o.max_contexts));
+  AppendLE32(out, static_cast<uint32_t>(o.deadline_ms));
+  uint32_t flags = 0;
+  if (o.exact_scan) flags |= kRequestExactScan;
+  if (o.bypass_cache) flags |= kRequestBypassCache;
+  AppendLE32(out, flags);
+  AppendLE32(out, static_cast<uint32_t>(o.semantic_expansion));
+  AppendLE32(out, 0);  // Reserved.
+  AppendLEDouble(out, o.min_relevancy);
+  AppendLEDouble(out, o.weights.prestige);
+  AppendLEDouble(out, o.weights.matching);
+  AppendLEDouble(out, o.min_context_score);
+}
+
+/// Decodes the shared options block at `p` (kOptionsBytes readable).
+Status DecodeOptionsBlock(const char* p, context::SearchOptions& o) {
+  o.top_k = LoadLE32(p + kReqTopK);
+  o.max_contexts = LoadLE32(p + kReqMaxContexts);
+  o.deadline_ms = LoadLE32(p + kReqDeadlineMs);
+  const uint32_t flags = LoadLE32(p + kReqFlags);
+  if ((flags & ~(kRequestExactScan | kRequestBypassCache)) != 0) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%x", flags);
+    return Status::InvalidArgument(
+        std::string("unknown SearchRequest flag bits 0x") + buf);
+  }
+  o.exact_scan = (flags & kRequestExactScan) != 0;
+  o.bypass_cache = (flags & kRequestBypassCache) != 0;
+  o.semantic_expansion = LoadLE32(p + kReqSemanticExpansion);
+  o.min_relevancy = LoadLEDouble(p + kReqMinRelevancy);
+  o.weights.prestige = LoadLEDouble(p + kReqWeightPrestige);
+  o.weights.matching = LoadLEDouble(p + kReqWeightMatching);
+  o.min_context_score = LoadLEDouble(p + kReqMinContextScore);
+  return Status::OK();
 }
 
 }  // namespace
@@ -64,7 +118,7 @@ Frame NextFrame(std::string_view buf, uint32_t max_frame_bytes) {
       reinterpret_cast<const unsigned char*>(buf.data() + kFrameMagicBytes +
                                              1));
   const uint32_t body_len = LoadLE32(buf.data() + kFrameMagicBytes + 3);
-  if (type != kFrameSearchRequest && type != kFrameSearchResponse) {
+  if (type < kFrameSearchRequest || type > kFramePong) {
     frame.state = FrameState::kBadFrame;
     frame.error = "unknown frame type " + std::to_string(type);
     return frame;
@@ -91,25 +145,12 @@ Frame NextFrame(std::string_view buf, uint32_t max_frame_bytes) {
 }
 
 std::string EncodeSearchRequest(const WireRequest& request) {
-  const context::SearchOptions& o = request.options;
   std::string out;
   out.reserve(kFrameHeaderBytes + kRequestFixedBytes + request.query.size());
   AppendFrameHeader(
       out, kFrameSearchRequest,
       static_cast<uint32_t>(kRequestFixedBytes + request.query.size()));
-  AppendLE32(out, static_cast<uint32_t>(o.top_k));
-  AppendLE32(out, static_cast<uint32_t>(o.max_contexts));
-  AppendLE32(out, static_cast<uint32_t>(o.deadline_ms));
-  uint32_t flags = 0;
-  if (o.exact_scan) flags |= kRequestExactScan;
-  if (o.bypass_cache) flags |= kRequestBypassCache;
-  AppendLE32(out, flags);
-  AppendLE32(out, static_cast<uint32_t>(o.semantic_expansion));
-  AppendLE32(out, 0);  // Reserved.
-  AppendLEDouble(out, o.min_relevancy);
-  AppendLEDouble(out, o.weights.prestige);
-  AppendLEDouble(out, o.weights.matching);
-  AppendLEDouble(out, o.min_context_score);
+  AppendOptionsBlock(out, request.options);
   AppendLE32(out, static_cast<uint32_t>(request.query.size()));
   out.append(request.query);
   return out;
@@ -123,27 +164,7 @@ Result<WireRequest> DecodeSearchRequestBody(std::string_view body) {
   }
   const char* p = body.data();
   WireRequest request;
-  context::SearchOptions& o = request.options;
-  o.top_k = LoadLE32(p + kReqTopK);
-  o.max_contexts = LoadLE32(p + kReqMaxContexts);
-  o.deadline_ms = LoadLE32(p + kReqDeadlineMs);
-  const uint32_t flags = LoadLE32(p + kReqFlags);
-  if ((flags & ~(kRequestExactScan | kRequestBypassCache)) != 0) {
-    return Status::InvalidArgument("unknown SearchRequest flag bits 0x" +
-                                   [&] {
-                                     char buf[16];
-                                     std::snprintf(buf, sizeof(buf), "%x",
-                                                   flags);
-                                     return std::string(buf);
-                                   }());
-  }
-  o.exact_scan = (flags & kRequestExactScan) != 0;
-  o.bypass_cache = (flags & kRequestBypassCache) != 0;
-  o.semantic_expansion = LoadLE32(p + kReqSemanticExpansion);
-  o.min_relevancy = LoadLEDouble(p + kReqMinRelevancy);
-  o.weights.prestige = LoadLEDouble(p + kReqWeightPrestige);
-  o.weights.matching = LoadLEDouble(p + kReqWeightMatching);
-  o.min_context_score = LoadLEDouble(p + kReqMinContextScore);
+  CTXRANK_RETURN_NOT_OK(DecodeOptionsBlock(p, request.options));
   const uint32_t query_len = LoadLE32(p + kReqQueryLen);
   if (body.size() != kRequestFixedBytes + query_len) {
     return Status::InvalidArgument(
@@ -153,6 +174,88 @@ Result<WireRequest> DecodeSearchRequestBody(std::string_view body) {
   }
   request.query.assign(body.substr(kRequestFixedBytes, query_len));
   return request;
+}
+
+std::string EncodeShardSearchRequest(const WireShardRequest& request) {
+  const size_t body_len = kShardRequestFixedBytes +
+                          request.contexts.size() * kContextMatchBytes +
+                          request.query.size();
+  std::string out;
+  out.reserve(kFrameHeaderBytes + body_len);
+  AppendFrameHeader(out, kFrameShardSearchRequest,
+                    static_cast<uint32_t>(body_len));
+  AppendOptionsBlock(out, request.options);
+  AppendLE64(out, request.budget_us);
+  AppendLE32(out, static_cast<uint32_t>(request.contexts.size()));
+  AppendLE32(out, static_cast<uint32_t>(request.query.size()));
+  for (const context::ContextMatch& cm : request.contexts) {
+    AppendLE32(out, cm.term);
+    AppendLEDouble(out, cm.score);
+  }
+  out.append(request.query);
+  return out;
+}
+
+Result<WireShardRequest> DecodeShardSearchRequestBody(std::string_view body) {
+  if (body.size() < kShardRequestFixedBytes) {
+    return Status::InvalidArgument(
+        "ShardSearchRequest body truncated: " + std::to_string(body.size()) +
+        " bytes, need at least " + std::to_string(kShardRequestFixedBytes));
+  }
+  const char* p = body.data();
+  WireShardRequest request;
+  CTXRANK_RETURN_NOT_OK(DecodeOptionsBlock(p, request.options));
+  request.budget_us = LoadLE64(p + kShardReqBudgetUs);
+  const uint32_t num_contexts = LoadLE32(p + kShardReqNumContexts);
+  const uint32_t query_len = LoadLE32(p + kShardReqQueryLen);
+  const uint64_t expected =
+      static_cast<uint64_t>(kShardRequestFixedBytes) +
+      static_cast<uint64_t>(num_contexts) * kContextMatchBytes + query_len;
+  if (body.size() != expected) {
+    return Status::InvalidArgument(
+        "ShardSearchRequest body of " + std::to_string(body.size()) +
+        " bytes does not match declared contents (" +
+        std::to_string(expected) + " expected)");
+  }
+  request.contexts.resize(num_contexts);
+  const char* cursor = p + kShardRequestFixedBytes;
+  for (uint32_t i = 0; i < num_contexts; ++i, cursor += kContextMatchBytes) {
+    request.contexts[i].term = LoadLE32(cursor);
+    request.contexts[i].score = LoadLEDouble(cursor + 4);
+  }
+  request.query.assign(cursor, query_len);
+  return request;
+}
+
+std::string EncodePing() {
+  std::string out;
+  out.reserve(kFrameHeaderBytes);
+  AppendFrameHeader(out, kFramePing, 0);
+  return out;
+}
+
+std::string EncodePong(const WirePong& pong) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + kPongBytes);
+  AppendFrameHeader(out, kFramePong, kPongBytes);
+  AppendLE32(out, pong.ok ? 1 : 0);
+  AppendLE32(out, pong.shard_id);
+  AppendLE64(out, pong.generation);
+  return out;
+}
+
+Result<WirePong> DecodePongBody(std::string_view body) {
+  if (body.size() != kPongBytes) {
+    return Status::InvalidArgument("Pong body of " +
+                                   std::to_string(body.size()) +
+                                   " bytes (want " +
+                                   std::to_string(kPongBytes) + ")");
+  }
+  WirePong pong;
+  pong.ok = LoadLE32(body.data()) != 0;
+  pong.shard_id = LoadLE32(body.data() + 4);
+  pong.generation = LoadLE64(body.data() + 8);
+  return pong;
 }
 
 std::string EncodeSearchResponse(const context::SearchResponse& response) {
@@ -544,6 +647,71 @@ std::string SearchResponseJson(
   }
   out += "]}";
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Hardened socket writes.
+
+IoResult WriteSome(int fd, std::string_view data) {
+  IoResult result;
+  while (result.written < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + result.written,
+                             data.size() - result.written, MSG_NOSIGNAL);
+    if (n > 0) {
+      // Short write: the kernel took part of the buffer — resume from the
+      // new offset rather than reporting progress as an error.
+      result.written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      result.state = IoState::kWouldBlock;
+      return result;
+    }
+    // EPIPE (dead peer, SIGPIPE suppressed by MSG_NOSIGNAL), ECONNRESET,
+    // or a zero-byte send result: the connection is unusable.
+    result.state = IoState::kError;
+    result.error = n < 0 ? errno : EPIPE;
+    return result;
+  }
+  result.state = IoState::kDone;
+  return result;
+}
+
+Status SendAll(int fd, std::string_view data, const Deadline& deadline) {
+  size_t off = 0;
+  for (;;) {
+    const IoResult r = WriteSome(fd, data.substr(off));
+    off += r.written;
+    switch (r.state) {
+      case IoState::kDone:
+        return Status::OK();
+      case IoState::kError:
+        return Status::IoError(std::string("send: ") +
+                               std::strerror(r.error));
+      case IoState::kWouldBlock:
+        break;
+    }
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded("send: deadline expired with " +
+                                      std::to_string(data.size() - off) +
+                                      " bytes unsent");
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int64_t remaining_ms =
+        deadline.armed() ? deadline.remaining_ms() : -1;
+    const int timeout =
+        remaining_ms < 0 ? -1
+                         : static_cast<int>(std::min<int64_t>(remaining_ms,
+                                                              INT32_MAX));
+    const int rc = ::poll(&pfd, 1, timeout);
+    if (rc < 0 && errno != EINTR) {
+      return Status::IoError(std::string("poll: ") + std::strerror(errno));
+    }
+    if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+      return Status::IoError("send: peer closed while writing");
+    }
+  }
 }
 
 }  // namespace ctxrank::serve::net

@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "context/search_engine.h"
 
@@ -41,6 +42,16 @@ inline constexpr size_t kFrameHeaderBytes = 12;
 /// Frame types (header byte 5).
 inline constexpr uint8_t kFrameSearchRequest = 1;
 inline constexpr uint8_t kFrameSearchResponse = 2;
+/// A routed scatter leg (coordinator → shard daemon): global routing has
+/// already happened on the coordinator; the body carries the routed
+/// context subsequence plus the leg's remaining deadline budget. Answered
+/// with an ordinary SearchResponse frame.
+inline constexpr uint8_t kFrameShardSearchRequest = 3;
+/// Connection health probe and its answer (the shard client's keep-alive
+/// pool validates idle connections with these; answered reactor-inline,
+/// like /healthz, so a busy worker pool cannot fail a health check).
+inline constexpr uint8_t kFramePing = 4;
+inline constexpr uint8_t kFramePong = 5;
 
 /// Default cap on a frame body; a peer announcing a larger body is
 /// answered with an error frame and disconnected before any allocation.
@@ -61,6 +72,14 @@ inline constexpr size_t kResponseFixedBytes = 24;
 /// One encoded SearchHit (paper u32, context u32, relevancy/prestige/
 /// match f64).
 inline constexpr size_t kHitBytes = 32;
+/// Fixed-size prefix of a ShardSearchRequest body: the 56-byte options
+/// block shared with SearchRequest, then budget_us u64, num_contexts u32,
+/// query_len u32. Context entries and the query string follow.
+inline constexpr size_t kShardRequestFixedBytes = 72;
+/// One encoded routed context (term u32, score f64 as raw bits).
+inline constexpr size_t kContextMatchBytes = 12;
+/// A Pong body: ok u32, shard_id u32, generation u64.
+inline constexpr size_t kPongBytes = 16;
 
 /// \brief A search request as it travels on the wire: the query string
 /// plus the SearchOptions fields the protocol exposes. Fields without a
@@ -69,6 +88,19 @@ inline constexpr size_t kHitBytes = 32;
 struct WireRequest {
   std::string query;
   context::SearchOptions options;
+};
+
+/// \brief A scatter leg on the wire (kFrameShardSearchRequest): the query
+/// text (the leg re-analyzes it into the shared global term space), the
+/// options fingerprint, the routed context subsequence this shard owns —
+/// scores as raw f64 bits, so the leg scan is bitwise identical to a
+/// local one — and the leg's remaining deadline budget in microseconds
+/// (0 = no deadline; the receiver arms Deadline::At(now + budget)).
+struct WireShardRequest {
+  std::string query;
+  context::SearchOptions options;
+  uint64_t budget_us = 0;
+  std::vector<context::ContextMatch> contexts;
 };
 
 /// \brief A decoded SearchResponse frame. Mirrors context::SearchResponse
@@ -127,6 +159,54 @@ std::string EncodeSearchResponse(const context::SearchResponse& response);
 
 /// Decodes a SearchResponse frame *body*.
 Result<WireResponse> DecodeSearchResponseBody(std::string_view body);
+
+/// Encodes a complete ShardSearchRequest frame (header + body).
+std::string EncodeShardSearchRequest(const WireShardRequest& request);
+
+/// Decodes a ShardSearchRequest frame *body*.
+Result<WireShardRequest> DecodeShardSearchRequestBody(std::string_view body);
+
+/// \brief A decoded Pong frame: the shard daemon's liveness answer.
+struct WirePong {
+  bool ok = false;           ///< Backend has a serving snapshot.
+  uint32_t shard_id = 0;     ///< Shard id of the served snapshot set.
+  uint64_t generation = 0;   ///< Supervisor generation (0 = none loaded).
+};
+
+/// Encodes a complete Ping frame (empty body).
+std::string EncodePing();
+/// Encodes a complete Pong frame.
+std::string EncodePong(const WirePong& pong);
+/// Decodes a Pong frame *body*.
+Result<WirePong> DecodePongBody(std::string_view body);
+
+// ---------------------------------------------------------------------------
+// Hardened socket writes (shared by the daemon reactor and ShardClient).
+
+enum class IoState {
+  kDone,        ///< Everything written.
+  kWouldBlock,  ///< Kernel buffer full (EAGAIN); `written` bytes went out.
+  kError,       ///< Fatal socket error; `error` holds errno (EPIPE, ...).
+};
+
+struct IoResult {
+  IoState state = IoState::kDone;
+  size_t written = 0;
+  int error = 0;
+};
+
+/// Writes as much of `data` to `fd` as the kernel accepts right now.
+/// EINTR is resumed, short writes are continued, and SIGPIPE is
+/// suppressed via MSG_NOSIGNAL so a dead peer surfaces as an EPIPE
+/// IoResult instead of killing the process. Works on blocking and
+/// non-blocking sockets alike (a blocking socket never yields
+/// kWouldBlock).
+IoResult WriteSome(int fd, std::string_view data);
+
+/// Blocking-path companion for client sockets: resumes WriteSome across
+/// kWouldBlock by polling for writability until everything is written or
+/// `deadline` expires (kDeadlineExceeded). kIoError on socket errors.
+Status SendAll(int fd, std::string_view data, const Deadline& deadline);
 
 // ---------------------------------------------------------------------------
 // Minimal HTTP/1.1 (GET-only).

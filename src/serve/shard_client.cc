@@ -1,0 +1,738 @@
+#include "serve/shard_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/stats.h"
+
+namespace ctxrank::serve {
+namespace {
+
+using MonoClock = std::chrono::steady_clock;
+
+/// Fleet-wide shard-client telemetry. The retry/hedge/failover counters
+/// move by exactly one per event, so tests assert exact deltas under
+/// deterministic fault schedules.
+struct ClientMetrics {
+  obs::Counter& requests;
+  obs::Counter& errors;
+  obs::Counter& retries;
+  obs::Counter& hedges;
+  obs::Counter& hedge_wins;
+  obs::Counter& failovers;
+  obs::Counter& dials;
+  obs::Counter& pool_reuses;
+  obs::Counter& pings;
+  obs::Histogram& latency_us;
+};
+
+ClientMetrics& Metrics() {
+  auto& reg = obs::MetricsRegistry::Instance();
+  static ClientMetrics m{
+      reg.GetCounter("ctxrank_shard_client_requests_total"),
+      reg.GetCounter("ctxrank_shard_client_errors_total"),
+      reg.GetCounter("ctxrank_shard_client_retries_total"),
+      reg.GetCounter("ctxrank_shard_client_hedges_total"),
+      reg.GetCounter("ctxrank_shard_client_hedge_wins_total"),
+      reg.GetCounter("ctxrank_shard_client_failovers_total"),
+      reg.GetCounter("ctxrank_shard_client_dials_total"),
+      reg.GetCounter("ctxrank_shard_client_pool_reuse_total"),
+      reg.GetCounter("ctxrank_shard_client_pings_total"),
+      reg.GetHistogram("ctxrank_shard_client_latency_us",
+                       obs::LatencyBucketsUs())};
+  return m;
+}
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          MonoClock::now().time_since_epoch())
+          .count());
+}
+
+/// Microseconds of budget left on an armed deadline (0 = expired). An
+/// unarmed deadline reports 0 too — callers that need "unlimited" check
+/// armed() first.
+uint64_t RemainingUs(const Deadline& deadline) {
+  if (!deadline.armed()) return 0;
+  if (deadline.when() == Deadline::Clock::time_point::max()) return UINT64_MAX;
+  const auto left = deadline.when() - MonoClock::now();
+  if (left.count() <= 0) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(left).count());
+}
+
+/// poll() timeout covering both the deadline and an optional earlier
+/// wake point (the hedge timer), rounded up so a sub-millisecond budget
+/// still sleeps instead of busy-looping.
+int PollTimeoutMs(const Deadline& deadline, bool has_wake,
+                  MonoClock::time_point wake_at) {
+  int64_t us = INT32_MAX;
+  if (deadline.armed() &&
+      deadline.when() != Deadline::Clock::time_point::max()) {
+    us = std::chrono::duration_cast<std::chrono::microseconds>(
+             deadline.when() - MonoClock::now())
+             .count();
+  }
+  if (has_wake) {
+    const int64_t wake_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(wake_at -
+                                                              MonoClock::now())
+            .count();
+    us = std::min(us, wake_us);
+  }
+  if (us <= 0) return 0;
+  return static_cast<int>(std::min<int64_t>((us + 999) / 1000, 60 * 1000));
+}
+
+/// Transport-level failures are all reported as kIoError so the retry
+/// classifier has one rule: kIoError is transient, anything else final.
+bool Transient(const Status& status) {
+  return status.code() == StatusCode::kIoError;
+}
+
+}  // namespace
+
+ShardClient::ShardClient(uint32_t shard, Endpoint primary, Endpoint replica,
+                         Options options)
+    : shard_(shard),
+      primary_(std::move(primary)),
+      replica_(std::move(replica)),
+      options_(std::move(options)) {
+  latency_ring_.resize(128, 0.0);
+}
+
+ShardClient::~ShardClient() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  for (auto& pool : pool_) {
+    for (const PooledConn& pc : pool) ::close(pc.fd);
+    pool.clear();
+  }
+}
+
+ShardClient::Stats ShardClient::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+size_t ShardClient::pooled_connections() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return pool_[0].size() + pool_[1].size();
+}
+
+uint64_t ShardClient::HedgeDelayUs() const {
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    if (latency_count_ < options_.hedge_warmup) return options_.hedge_after_us;
+    samples.assign(latency_ring_.begin(),
+                   latency_ring_.begin() +
+                       std::min(latency_count_, latency_ring_.size()));
+  }
+  const double p = Percentile(std::move(samples), options_.hedge_percentile);
+  const uint64_t us = static_cast<uint64_t>(p < 0 ? 0 : p);
+  return std::clamp(us, options_.hedge_min_us, options_.hedge_max_us);
+}
+
+void ShardClient::RecordLatencyUs(double us) {
+  Metrics().latency_us.Observe(us);
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  latency_ring_[latency_next_] = us;
+  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+  ++latency_count_;
+}
+
+Result<int> ShardClient::Dial(const Endpoint& endpoint,
+                              const Deadline& deadline) {
+  if (!endpoint.valid()) {
+    return Status::InvalidArgument("shard " + std::to_string(shard_) +
+                                   ": no endpoint configured");
+  }
+  // Injected connection refusal (the "primary is down" storm case).
+  if (const Status st = fault::MaybeFail("shard_client/connect"); !st.ok()) {
+    return st;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable shard endpoint \"" +
+                                   endpoint.ToString() + "\"");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    const Status st = Status::IoError("connect " + endpoint.ToString() +
+                                      ": " + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  // Await the nonblocking connect, bounded by connect_timeout_ms and the
+  // request deadline.
+  uint64_t timeout_ms = options_.connect_timeout_ms;
+  if (deadline.armed()) {
+    timeout_ms = std::min<uint64_t>(
+        timeout_ms, (RemainingUs(deadline) + 999) / 1000);
+  }
+  pollfd pfd{fd, POLLOUT, 0};
+  const int rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+  if (rc <= 0) {
+    ::close(fd);
+    return Status::IoError("connect " + endpoint.ToString() +
+                           (rc == 0 ? ": timed out" : ": poll failed"));
+  }
+  int so_error = 0;
+  socklen_t len = sizeof(so_error);
+  ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+  if (so_error != 0) {
+    ::close(fd);
+    return Status::IoError("connect " + endpoint.ToString() + ": " +
+                           std::strerror(so_error));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status ShardClient::SendFrame(int fd, std::string_view encoded,
+                              const Deadline& deadline) {
+  // Injected drop-after-N-bytes: write the allowed prefix (the server
+  // sees a torn frame and waits it out), then report the wire as dead.
+  const size_t allowed =
+      fault::MaybeTruncateIo("shard_client/send", encoded.size());
+  if (allowed < encoded.size()) {
+    (void)net::SendAll(fd, encoded.substr(0, allowed), deadline);
+    return Status::IoError("injected send drop after " +
+                           std::to_string(allowed) + " bytes");
+  }
+  if (const Status st = fault::MaybeFail("shard_client/send"); !st.ok()) {
+    return st;
+  }
+  return net::SendAll(fd, encoded, deadline);
+}
+
+namespace {
+
+enum class ReadOutcome { kNeedMore, kFrame, kFailed };
+
+struct ReadResult {
+  ReadOutcome outcome = ReadOutcome::kNeedMore;
+  std::string_view body;   ///< Valid while leg.buf is unmodified.
+  size_t consumed = 0;
+  Status error;
+};
+
+}  // namespace
+
+/// Drains whatever is readable on `leg` without blocking and scans for
+/// one complete frame of `want_type`. All failures (peer close, reset,
+/// garbled framing, unexpected type) come back as kIoError: from the
+/// retry ladder's point of view the connection is simply dead.
+static ReadResult ReadLeg(int fd, std::string& buf, uint8_t want_type,
+                          uint32_t max_frame_bytes) {
+  ReadResult result;
+  if (const Status st = fault::MaybeFail("shard_client/recv"); !st.ok()) {
+    result.outcome = ReadOutcome::kFailed;
+    result.error = Status::IoError("injected recv failure: " +
+                                   std::string(st.message()));
+    return result;
+  }
+  for (;;) {
+    char chunk[16384];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      const size_t off = buf.size();
+      buf.append(chunk, static_cast<size_t>(n));
+      // Injected frame corruption: flip the first byte of this chunk —
+      // depending on where it lands it tears the magic, the type or the
+      // body, and every case must surface as a transient leg failure,
+      // never as wrong results.
+      if (const Status st = fault::MaybeFail("shard_client/garble");
+          !st.ok()) {
+        buf[off] = static_cast<char>(buf[off] ^ 0xFF);
+      }
+      continue;
+    }
+    if (n == 0) {
+      result.outcome = ReadOutcome::kFailed;
+      result.error = Status::IoError("shard connection closed by peer");
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    result.outcome = ReadOutcome::kFailed;
+    result.error = Status::IoError(std::string("recv: ") +
+                                   std::strerror(errno));
+    return result;
+  }
+  const net::Frame f = net::NextFrame(buf, max_frame_bytes);
+  switch (f.state) {
+    case net::FrameState::kNeedMore:
+      return result;
+    case net::FrameState::kReady:
+      if (f.type != want_type) {
+        result.outcome = ReadOutcome::kFailed;
+        result.error = Status::IoError("unexpected frame type " +
+                                       std::to_string(f.type) + " (want " +
+                                       std::to_string(want_type) + ")");
+        return result;
+      }
+      result.outcome = ReadOutcome::kFrame;
+      result.body = f.body;
+      result.consumed = f.consumed;
+      return result;
+    default:
+      result.outcome = ReadOutcome::kFailed;
+      result.error = Status::IoError("bad response frame: " + f.error);
+      return result;
+  }
+}
+
+Result<std::string> ShardClient::RecvFrame(InFlight& leg, uint8_t want_type,
+                                           const Deadline& deadline) {
+  for (;;) {
+    const ReadResult r =
+        ReadLeg(leg.fd, leg.buf, want_type, options_.max_frame_bytes);
+    if (r.outcome == ReadOutcome::kFailed) return r.error;
+    if (r.outcome == ReadOutcome::kFrame) {
+      std::string body(r.body);
+      leg.buf.erase(0, r.consumed);
+      return body;
+    }
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded("awaiting shard response");
+    }
+    pollfd pfd{leg.fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1,
+                          PollTimeoutMs(deadline, false, {}));
+    if (rc < 0 && errno != EINTR) {
+      return Status::IoError(std::string("poll: ") + std::strerror(errno));
+    }
+  }
+}
+
+Status ShardClient::ValidateConn(int fd, const Deadline& deadline) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.pings;
+  }
+  Metrics().pings.Increment();
+  // Probe bounded by connect_timeout_ms: a health check must stay cheap
+  // even when the request budget is generous.
+  Deadline probe = Deadline::AfterMs(options_.connect_timeout_ms);
+  if (deadline.armed() && RemainingUs(deadline) / 1000 <
+                              options_.connect_timeout_ms) {
+    probe = deadline;
+  }
+  CTXRANK_RETURN_NOT_OK(net::SendAll(fd, net::EncodePing(), probe));
+  InFlight tmp;
+  tmp.fd = fd;
+  auto body = RecvFrame(tmp, net::kFramePong, probe);
+  if (!body.ok()) return body.status();
+  if (!tmp.buf.empty()) {
+    return Status::IoError("stray bytes after PONG");
+  }
+  auto pong = net::DecodePongBody(body.value());
+  if (!pong.ok()) return pong.status();
+  if (!pong.value().ok) {
+    return Status::IoError("shard daemon reports unhealthy backend");
+  }
+  return Status::OK();
+}
+
+Result<ShardClient::InFlight> ShardClient::Checkout(int endpoint_index,
+                                                    const Deadline& deadline) {
+  const Endpoint& endpoint = endpoint_index == 0 ? primary_ : replica_;
+  const uint64_t now_ms = NowMs();
+  for (;;) {
+    PooledConn pc;
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      auto& pool = pool_[endpoint_index];
+      if (pool.empty()) break;
+      pc = pool.back();
+      pool.pop_back();
+    }
+    // A readable idle connection means EOF or stray bytes — either way
+    // it is not reusable.
+    pollfd pfd{pc.fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 0) != 0) {
+      ::close(pc.fd);
+      continue;
+    }
+    if (now_ms - pc.idle_since_ms > options_.ping_idle_ms) {
+      if (!ValidateConn(pc.fd, deadline).ok()) {
+        ::close(pc.fd);
+        continue;
+      }
+    }
+    InFlight leg;
+    leg.fd = pc.fd;
+    leg.on_replica = endpoint_index == 1;
+    leg.pooled = true;
+    return leg;
+  }
+  auto fd = Dial(endpoint, deadline);
+  if (!fd.ok()) return fd.status();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.dials;
+  }
+  Metrics().dials.Increment();
+  InFlight leg;
+  leg.fd = fd.value();
+  leg.on_replica = endpoint_index == 1;
+  leg.pooled = false;
+  return leg;
+}
+
+void ShardClient::Checkin(int endpoint_index, int fd) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  auto& pool = pool_[endpoint_index];
+  pool.push_back(PooledConn{fd, NowMs()});
+  if (pool.size() > options_.pool_capacity) {
+    // Oldest idle connection goes; the freshly used one stays.
+    ::close(pool.front().fd);
+    pool.erase(pool.begin());
+  }
+}
+
+Result<net::WirePong> ShardClient::Ping(const Deadline& deadline) {
+  const Deadline eff = deadline.armed()
+                           ? deadline
+                           : Deadline::AfterMs(options_.request_timeout_ms);
+  auto leg = Checkout(0, eff);
+  if (!leg.ok()) return leg.status();
+  InFlight in = std::move(leg).value();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.pings;
+  }
+  Metrics().pings.Increment();
+  Status sent = net::SendAll(in.fd, net::EncodePing(), eff);
+  if (!sent.ok()) {
+    ::close(in.fd);
+    return sent;
+  }
+  auto body = RecvFrame(in, net::kFramePong, eff);
+  if (!body.ok()) {
+    ::close(in.fd);
+    return body.status();
+  }
+  auto pong = net::DecodePongBody(body.value());
+  if (!pong.ok() || !in.buf.empty()) {
+    ::close(in.fd);
+    return pong.ok() ? Status::IoError("stray bytes after PONG")
+                     : pong.status();
+  }
+  Checkin(0, in.fd);
+  healthy_.store(pong.value().ok, std::memory_order_relaxed);
+  return pong;
+}
+
+Result<net::WireResponse> ShardClient::ShardSearch(
+    std::string_view query, std::span<const context::ContextMatch> contexts,
+    const context::SearchOptions& options, const Deadline& deadline) {
+  ClientMetrics& m = Metrics();
+  m.requests.Increment();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+  }
+  const auto start = MonoClock::now();
+
+  // The wire budget is the caller's real remaining budget (0 = none);
+  // the *client-side* wait is additionally floored by request_timeout_ms
+  // so an unbounded query cannot hang on a stalled daemon.
+  net::WireShardRequest request;
+  request.query.assign(query);
+  request.options = options;
+  request.options.deadline_ms = 0;  // The slice travels as budget_us.
+  request.contexts.assign(contexts.begin(), contexts.end());
+  if (deadline.armed() &&
+      deadline.when() != Deadline::Clock::time_point::max()) {
+    request.budget_us = RemainingUs(deadline);
+    if (request.budget_us == 0) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.errors;
+      m.errors.Increment();
+      return Status::DeadlineExceeded("shard leg budget exhausted");
+    }
+  }
+  const std::string encoded = net::EncodeShardSearchRequest(request);
+  const Deadline eff = deadline.armed()
+                           ? deadline
+                           : Deadline::AfterMs(options_.request_timeout_ms);
+
+  Status last_error = Status::IoError("shard unreachable");
+  for (size_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.retries;
+      }
+      m.retries.Increment();
+      const uint64_t delay_ms =
+          Backoff::DelayMs(options_.backoff, attempt - 1, shard_);
+      const uint64_t budget_ms = RemainingUs(eff) / 1000;
+      if (budget_ms == 0) break;
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min<uint64_t>(delay_ms, budget_ms)));
+      }
+    }
+    if (eff.expired()) {
+      last_error = Status::DeadlineExceeded("shard leg deadline expired");
+      break;
+    }
+    // Injected network stall (slow path between the coordinator and the
+    // shard).
+    fault::MaybeStall("shard_client/stall");
+
+    // --- one attempt: launch on the primary, failing over to the
+    // replica; then await with optional hedging. ---
+    std::vector<InFlight> legs;
+    bool used_failover = false;
+    const auto launch = [&](int endpoint_index) -> Status {
+      auto co = Checkout(endpoint_index, eff);
+      if (!co.ok()) return co.status();
+      InFlight leg = std::move(co).value();
+      const Status sent = SendFrame(leg.fd, encoded, eff);
+      if (!sent.ok()) {
+        ::close(leg.fd);
+        return sent;
+      }
+      legs.push_back(std::move(leg));
+      return Status::OK();
+    };
+    Status primary_up = launch(0);
+    if (!primary_up.ok()) {
+      if (primary_up.code() == StatusCode::kDeadlineExceeded ||
+          !Transient(primary_up)) {
+        last_error = primary_up;
+        if (primary_up.code() == StatusCode::kDeadlineExceeded) break;
+        continue;
+      }
+      last_error = primary_up;
+      if (!has_replica()) continue;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.failovers;
+      }
+      m.failovers.Increment();
+      const Status replica_up = launch(1);
+      if (!replica_up.ok()) {
+        last_error = replica_up;
+        if (replica_up.code() == StatusCode::kDeadlineExceeded) break;
+        continue;
+      }
+      used_failover = true;
+    }
+
+    const bool can_hedge =
+        options_.hedging_enabled && has_replica() && !used_failover;
+    bool hedged = false;
+    MonoClock::time_point hedge_at{};
+    if (can_hedge) {
+      hedge_at = MonoClock::now() +
+                 std::chrono::microseconds(HedgeDelayUs());
+    }
+
+    std::optional<Result<net::WireResponse>> won;
+    InFlight winner;
+    while (!legs.empty()) {
+      if (eff.expired()) break;
+      // Parse anything already buffered, then poll for more.
+      bool progressed = false;
+      for (size_t i = 0; i < legs.size();) {
+        const ReadResult r = ReadLeg(legs[i].fd, legs[i].buf,
+                                     net::kFrameSearchResponse,
+                                     options_.max_frame_bytes);
+        if (r.outcome == ReadOutcome::kFrame) {
+          auto decoded = net::DecodeSearchResponseBody(r.body);
+          if (decoded.ok() &&
+              decoded.value().code != StatusCode::kIoError) {
+            won = std::move(decoded);
+            winner = std::move(legs[i]);
+            winner.buf.erase(0, r.consumed);
+            legs.erase(legs.begin() + i);
+            break;
+          }
+          // Undecodable or server-transient (kIoError) answer: this leg
+          // is spent; the connection may carry nothing further we trust.
+          last_error = decoded.ok()
+                           ? Status::IoError("shard answered kIoError: " +
+                                             decoded.value().message)
+                           : Status::IoError("undecodable shard response: " +
+                                             std::string(
+                                                 decoded.status().message()));
+          ::close(legs[i].fd);
+          legs.erase(legs.begin() + i);
+          progressed = true;
+          continue;
+        }
+        if (r.outcome == ReadOutcome::kFailed) {
+          last_error = r.error;
+          ::close(legs[i].fd);
+          legs.erase(legs.begin() + i);
+          progressed = true;
+          continue;
+        }
+        ++i;
+      }
+      if (won.has_value()) break;
+      if (legs.empty() || progressed) continue;
+
+      // Fire the hedge once its delay elapses with the primary still
+      // silent.
+      if (can_hedge && !hedged && MonoClock::now() >= hedge_at) {
+        hedged = true;
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.hedges;
+        }
+        m.hedges.Increment();
+        // A hedge that cannot launch (replica also down) is not fatal —
+        // the primary leg keeps running.
+        (void)launch(1);
+        continue;
+      }
+
+      pollfd pfds[2];
+      const size_t nfds = std::min<size_t>(legs.size(), 2);
+      for (size_t i = 0; i < nfds; ++i) {
+        pfds[i] = {legs[i].fd, POLLIN, 0};
+      }
+      const int rc = ::poll(pfds, static_cast<nfds_t>(nfds),
+                            PollTimeoutMs(eff, can_hedge && !hedged,
+                                          hedge_at));
+      if (rc < 0 && errno != EINTR) {
+        last_error = Status::IoError(std::string("poll: ") +
+                                     std::strerror(errno));
+        break;
+      }
+    }
+
+    // Losers are cancelled by closing their connection (a response in
+    // flight makes the socket unsafe to pool).
+    for (const InFlight& leg : legs) ::close(leg.fd);
+
+    if (won.has_value()) {
+      if (winner.buf.empty()) {
+        Checkin(winner.on_replica ? 1 : 0, winner.fd);
+      } else {
+        ::close(winner.fd);
+      }
+      if (winner.pooled) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.pool_reuses;
+        m.pool_reuses.Increment();
+      }
+      if (hedged && winner.on_replica) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.hedge_wins;
+        m.hedge_wins.Increment();
+      }
+      healthy_.store(true, std::memory_order_relaxed);
+      RecordLatencyUs(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              MonoClock::now() - start)
+              .count()));
+      return std::move(*won);
+    }
+    if (eff.expired()) {
+      last_error = Status::DeadlineExceeded("shard leg deadline expired");
+      break;
+    }
+    if (!Transient(last_error)) break;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.errors;
+  }
+  m.errors.Increment();
+  healthy_.store(false, std::memory_order_relaxed);
+  return last_error;
+}
+
+// ---------------------------------------------------------------------------
+// --remote-shards parsing.
+
+namespace {
+
+Result<ShardClient::Endpoint> ParseEndpoint(std::string_view text) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == text.size()) {
+    return Status::InvalidArgument("endpoint \"" + std::string(text) +
+                                   "\" is not host:port");
+  }
+  const std::string_view port_text = text.substr(colon + 1);
+  uint32_t port = 0;
+  const auto [ptr, ec] = std::from_chars(
+      port_text.data(), port_text.data() + port_text.size(), port);
+  if (ec != std::errc() || ptr != port_text.data() + port_text.size() ||
+      port == 0 || port > 65535) {
+    return Status::InvalidArgument("endpoint \"" + std::string(text) +
+                                   "\" has an invalid port");
+  }
+  ShardClient::Endpoint endpoint;
+  endpoint.host.assign(text.substr(0, colon));
+  endpoint.port = static_cast<uint16_t>(port);
+  return endpoint;
+}
+
+}  // namespace
+
+Result<std::vector<RemoteShardSpec>> ParseRemoteShards(
+    std::string_view spec) {
+  std::vector<RemoteShardSpec> shards;
+  while (!spec.empty()) {
+    const size_t comma = spec.find(',');
+    std::string_view entry = spec.substr(0, comma);
+    if (entry.empty()) {
+      return Status::InvalidArgument(
+          "--remote-shards: empty shard entry (stray comma?)");
+    }
+    RemoteShardSpec shard;
+    const size_t slash = entry.find('/');
+    auto primary = ParseEndpoint(entry.substr(0, slash));
+    if (!primary.ok()) return primary.status();
+    shard.primary = std::move(primary).value();
+    if (slash != std::string_view::npos) {
+      auto replica = ParseEndpoint(entry.substr(slash + 1));
+      if (!replica.ok()) return replica.status();
+      shard.replica = std::move(replica).value();
+    }
+    shards.push_back(std::move(shard));
+    if (comma == std::string_view::npos) break;
+    spec.remove_prefix(comma + 1);
+  }
+  if (shards.empty()) {
+    return Status::InvalidArgument("--remote-shards: no endpoints given");
+  }
+  return shards;
+}
+
+}  // namespace ctxrank::serve

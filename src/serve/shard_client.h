@@ -1,0 +1,215 @@
+// Resilient CTXQ1 client for one remote shard: the network leg behind
+// ShardedEngine's remote scatter-gather (docs/SHARDING.md, remote
+// topology; retry/hedge semantics in docs/RELIABILITY.md).
+//
+// One ShardClient fronts one shard, addressed by a primary endpoint and
+// an optional replica serving the identical shard file. Per request it
+// runs the full resilience ladder:
+//
+//   * a bounded keep-alive connection pool per endpoint; idle
+//     connections are health-checked with a PING/PONG exchange before
+//     reuse, stale ones redialed;
+//   * capped-exponential-backoff retries (common::Backoff, deterministic
+//     jitter salted by the shard id) for connect failures and transient
+//     transport errors — torn frames, resets, injected faults;
+//   * failover: when the primary cannot be dialed or its send fails, the
+//     attempt continues on the replica instead of burning a retry;
+//   * hedging: while awaiting the primary's response, once the leg
+//     exceeds a latency budget (a percentile of recently observed leg
+//     latencies, clamped, with a fixed fallback until warmed up), the
+//     identical request is sent to the replica; the first complete,
+//     decodable response wins and the loser's connection is closed
+//     (closing is the cancel signal — the protocol has no abort frame);
+//   * every give-up surfaces as a non-OK Result, which the sharded
+//     gather degrades into SearchResponse::skipped_shards — a dead
+//     shard never fails the query.
+//
+// Thread-safe: concurrent legs share the pool under a mutex; a checked-
+// out socket belongs to one request until returned or closed.
+#ifndef CTXRANK_SERVE_SHARD_CLIENT_H_
+#define CTXRANK_SERVE_SHARD_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/deadline.h"
+#include "common/status.h"
+#include "context/search_engine.h"
+#include "serve/net.h"
+
+namespace ctxrank::serve {
+
+class ShardClient {
+ public:
+  struct Endpoint {
+    std::string host;
+    uint16_t port = 0;
+    bool valid() const { return !host.empty() && port != 0; }
+    std::string ToString() const {
+      return host + ":" + std::to_string(port);
+    }
+  };
+
+  struct Options {
+    /// Idle keep-alive connections retained per endpoint.
+    size_t pool_capacity = 2;
+    /// Bound on one TCP connect (also clipped by the request deadline).
+    uint64_t connect_timeout_ms = 250;
+    /// Transient-error retries after the initial attempt.
+    size_t max_retries = 2;
+    /// Retry delay schedule; the salt is the shard id, so a fleet of
+    /// clients sharing one seed still decorrelates.
+    Backoff::Options backoff{.initial_ms = 2, .max_ms = 100,
+                             .jitter_seed = 0};
+    /// Hedge to the replica when the primary is slow (needs a replica).
+    bool hedging_enabled = true;
+    /// Hedge delay until enough latency samples exist.
+    uint64_t hedge_after_us = 20000;
+    /// Adaptive hedge delay: this percentile of the last observed leg
+    /// latencies, clamped to [hedge_min_us, hedge_max_us].
+    double hedge_percentile = 0.95;
+    uint64_t hedge_min_us = 500;
+    uint64_t hedge_max_us = 200000;
+    /// Samples required before the percentile replaces hedge_after_us.
+    size_t hedge_warmup = 32;
+    /// Pooled connections idle longer than this are PING-validated
+    /// before reuse instead of trusted blindly.
+    uint64_t ping_idle_ms = 5000;
+    /// Client-side wait bound applied when the request itself carries no
+    /// deadline — a stalled shard daemon must never hang a query
+    /// forever. Does NOT travel on the wire (budget_us stays 0), so
+    /// results remain bitwise identical to deadline-free local legs.
+    uint64_t request_timeout_ms = 2000;
+    /// Response frame cap (shard responses carry up to top_k hits).
+    uint32_t max_frame_bytes = 16u << 20;
+  };
+
+  /// Exact per-client event counts (the global ctxrank_shard_client_*
+  /// metrics aggregate the same events across clients).
+  struct Stats {
+    uint64_t requests = 0;    ///< ShardSearch calls.
+    uint64_t errors = 0;      ///< ShardSearch calls that gave up.
+    uint64_t retries = 0;     ///< Backoff retries after transient errors.
+    uint64_t hedges = 0;      ///< Hedge legs launched.
+    uint64_t hedge_wins = 0;  ///< Hedge legs that produced the answer.
+    uint64_t failovers = 0;   ///< Attempts moved primary → replica.
+    uint64_t dials = 0;       ///< Fresh TCP connects.
+    uint64_t pool_reuses = 0; ///< Requests served on a pooled connection.
+    uint64_t pings = 0;       ///< PING/PONG validations sent.
+  };
+
+  /// `replica` may be invalid (no replica: failover and hedging disabled).
+  ShardClient(uint32_t shard, Endpoint primary, Endpoint replica,
+              Options options);
+  ~ShardClient();
+
+  ShardClient(const ShardClient&) = delete;
+  ShardClient& operator=(const ShardClient&) = delete;
+
+  /// Runs one routed scatter leg remotely: encodes the context
+  /// subsequence, carries `deadline`'s remaining budget on the wire, and
+  /// applies the retry/failover/hedge ladder. A non-OK result means the
+  /// shard is unreachable or exhausted — the caller degrades it into
+  /// skipped_shards. An OK result holds whatever the shard answered
+  /// (including its own non-kOk status, which the caller inspects).
+  Result<net::WireResponse> ShardSearch(
+      std::string_view query,
+      std::span<const context::ContextMatch> contexts,
+      const context::SearchOptions& options, const Deadline& deadline);
+
+  /// One PING/PONG round trip against the primary (health probes,
+  /// /healthz aggregation). Uses and replenishes the pool.
+  Result<net::WirePong> Ping(const Deadline& deadline);
+
+  uint32_t shard() const { return shard_; }
+  const Endpoint& primary() const { return primary_; }
+  const Endpoint& replica() const { return replica_; }
+  bool has_replica() const { return replica_.valid(); }
+  /// True while the last completed operation succeeded (starts false
+  /// until something succeeds).
+  bool healthy() const { return healthy_.load(std::memory_order_relaxed); }
+  Stats stats() const;
+
+  /// Idle pooled connections right now (tests).
+  size_t pooled_connections() const;
+
+ private:
+  struct PooledConn {
+    int fd = -1;
+    uint64_t idle_since_ms = 0;
+  };
+
+  /// A request in flight on one socket (primary or hedge leg).
+  struct InFlight {
+    int fd = -1;
+    bool on_replica = false;
+    bool pooled = false;     ///< Came from the pool (for reuse metrics).
+    std::string buf;         ///< Accumulated unparsed response bytes.
+  };
+
+  /// Pops a usable pooled connection for `endpoint_index` (0 = primary,
+  /// 1 = replica), PING-validating stale ones, or dials a new one.
+  Result<InFlight> Checkout(int endpoint_index, const Deadline& deadline);
+  /// Returns a clean connection to the pool (closes the oldest beyond
+  /// pool_capacity).
+  void Checkin(int endpoint_index, int fd);
+  /// Fresh nonblocking TCP connect bounded by connect_timeout_ms and the
+  /// deadline.
+  Result<int> Dial(const Endpoint& endpoint, const Deadline& deadline);
+  /// Sends one encoded frame with injected-fault hooks.
+  Status SendFrame(int fd, std::string_view encoded,
+                   const Deadline& deadline);
+  /// Reads until one complete frame of `want_type` arrives in `leg.buf`
+  /// or the deadline/transport fails. On success returns a copy of the
+  /// frame body and erases the consumed bytes from leg.buf (a clean
+  /// exchange leaves it empty).
+  Result<std::string> RecvFrame(InFlight& leg, uint8_t want_type,
+                                const Deadline& deadline);
+  /// One PING/PONG validation on an existing fd.
+  Status ValidateConn(int fd, const Deadline& deadline);
+  /// Current hedge delay in microseconds.
+  uint64_t HedgeDelayUs() const;
+  void RecordLatencyUs(double us);
+
+  const uint32_t shard_;
+  const Endpoint primary_;
+  const Endpoint replica_;
+  const Options options_;
+
+  mutable std::mutex pool_mu_;
+  std::vector<PooledConn> pool_[2];  // [0] primary, [1] replica.
+
+  mutable std::mutex latency_mu_;
+  std::vector<double> latency_ring_;
+  size_t latency_next_ = 0;
+  size_t latency_count_ = 0;
+
+  std::atomic<bool> healthy_{false};
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+/// One shard's addressing in a remote fleet.
+struct RemoteShardSpec {
+  ShardClient::Endpoint primary;
+  ShardClient::Endpoint replica;  // Invalid when the shard has no replica.
+};
+
+/// Parses the --remote-shards syntax: comma-separated shards in shard-id
+/// order, each "host:port" optionally followed by "/replicahost:port":
+///
+///   10.0.0.1:7401,10.0.0.2:7401/10.0.1.2:7401,10.0.0.3:7401
+///
+/// declares a 3-shard fleet whose shard 1 has a replica.
+Result<std::vector<RemoteShardSpec>> ParseRemoteShards(std::string_view spec);
+
+}  // namespace ctxrank::serve
+
+#endif  // CTXRANK_SERVE_SHARD_CLIENT_H_

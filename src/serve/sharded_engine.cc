@@ -179,15 +179,15 @@ Status ShardedEngine::Open(const std::string& base_path, uint32_t num_shards) {
   shards_.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
     shards_.push_back(std::make_unique<SnapshotSupervisor>(options_.supervisor));
+    shard_paths_.push_back(ShardPath(base_path, s, num_shards));
   }
   // Load all shards concurrently — with the default single-threaded
   // per-shard load this is where load-to-first-query scales with N.
   std::vector<Status> statuses(num_shards);
   LegLatch latch(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
-    pool_->Submit([this, s, &statuses, &latch, num_shards] {
-      statuses[s] = shards_[s]->Reload(
-          ShardPath(base_path_, s, num_shards));
+    pool_->Submit([this, s, &statuses, &latch] {
+      statuses[s] = shards_[s]->Reload(shard_paths_[s]);
       latch.Done();
     });
   }
@@ -216,6 +216,7 @@ Status ShardedEngine::OpenDetached(const std::string& base_path,
   shards_.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
     shards_.push_back(std::make_unique<SnapshotSupervisor>(options_.supervisor));
+    shard_paths_.push_back(ShardPath(base_path, s, num_shards));
   }
   // shards_ is complete before the loader starts, so concurrent queries
   // only ever observe supervisors flipping from empty to live, in shard
@@ -223,8 +224,7 @@ Status ShardedEngine::OpenDetached(const std::string& base_path,
   loader_ = std::thread([this, num_shards] {
     Status first;
     for (uint32_t s = 0; s < num_shards; ++s) {
-      const Status st =
-          shards_[s]->Reload(ShardPath(base_path_, s, num_shards));
+      const Status st = shards_[s]->Reload(shard_paths_[s]);
       if (first.ok() && !st.ok()) {
         first = Status(st.code(), "shard " + std::to_string(s) + ": " +
                                       std::string(st.message()));
@@ -242,16 +242,73 @@ Status ShardedEngine::AwaitOpen() {
   return open_status_;
 }
 
+Status ShardedEngine::OpenRemote(const std::string& router_path,
+                                 std::vector<RemoteShardSpec> remotes) {
+  if (!shards_.empty()) {
+    return Status::FailedPrecondition("ShardedEngine::OpenRemote: already open");
+  }
+  if (remotes.empty()) {
+    return Status::InvalidArgument(
+        "ShardedEngine::OpenRemote: no remote shards given");
+  }
+  for (size_t i = 0; i < remotes.size(); ++i) {
+    if (!remotes[i].primary.valid()) {
+      return Status::InvalidArgument("ShardedEngine::OpenRemote: shard " +
+                                     std::to_string(i) +
+                                     " has no primary endpoint");
+    }
+  }
+  base_path_ = router_path;
+  pool_ = std::make_unique<ThreadPool>(ResolveNumThreads(options_.pool_threads));
+  shards_.push_back(std::make_unique<SnapshotSupervisor>(options_.supervisor));
+  shard_paths_.push_back(router_path);
+  CTXRANK_RETURN_NOT_OK(shards_[0]->Reload(router_path));
+  // Any shard file of the set routes identically, but it must BE a file
+  // of a matching set: a mismatched shard count would route contexts to
+  // shards that do not own them.
+  const auto snap = shards_[0]->current();
+  const uint32_t snap_shards = snap->num_shards();
+  if (snap_shards == 0 && remotes.size() != 1) {
+    return Status::InvalidArgument(
+        "ShardedEngine::OpenRemote: router snapshot is monolithic (no "
+        "owners map) but " +
+        std::to_string(remotes.size()) + " remote shards were configured");
+  }
+  if (snap_shards != 0 && snap_shards != remotes.size()) {
+    return Status::InvalidArgument(
+        "ShardedEngine::OpenRemote: router snapshot is part of a " +
+        std::to_string(snap_shards) + "-shard set but " +
+        std::to_string(remotes.size()) + " remote shards were configured");
+  }
+  clients_.reserve(remotes.size());
+  for (size_t i = 0; i < remotes.size(); ++i) {
+    clients_.push_back(std::make_unique<ShardClient>(
+        static_cast<uint32_t>(i), std::move(remotes[i].primary),
+        std::move(remotes[i].replica), options_.client));
+  }
+  // The merged cache cannot observe remote generations; leaving it on
+  // would serve results across remote reloads.
+  cache_.reset();
+  return Status::OK();
+}
+
+std::vector<ShardClient::Stats> ShardedEngine::client_stats() const {
+  std::vector<ShardClient::Stats> out;
+  out.reserve(clients_.size());
+  for (const auto& client : clients_) out.push_back(client->stats());
+  return out;
+}
+
 Status ShardedEngine::Reload() {
   if (shards_.empty()) {
     return Status::FailedPrecondition("ShardedEngine::Reload: not open");
   }
-  const uint32_t n = num_shards();
+  const uint32_t n = static_cast<uint32_t>(shards_.size());
   std::vector<Status> statuses(n);
   LegLatch latch(n);
   for (uint32_t s = 0; s < n; ++s) {
-    pool_->Submit([this, s, n, &statuses, &latch] {
-      statuses[s] = shards_[s]->Reload(ShardPath(base_path_, s, n));
+    pool_->Submit([this, s, &statuses, &latch] {
+      statuses[s] = shards_[s]->Reload(shard_paths_[s]);
       latch.Done();
     });
   }
@@ -271,9 +328,8 @@ Status ShardedEngine::StartWatching() {
   if (shards_.empty()) {
     return Status::FailedPrecondition("ShardedEngine::StartWatching: not open");
   }
-  for (uint32_t s = 0; s < num_shards(); ++s) {
-    CTXRANK_RETURN_NOT_OK(
-        shards_[s]->StartWatching(ShardPath(base_path_, s, num_shards())));
+  for (uint32_t s = 0; s < static_cast<uint32_t>(shards_.size()); ++s) {
+    CTXRANK_RETURN_NOT_OK(shards_[s]->StartWatching(shard_paths_[s]));
   }
   return Status::OK();
 }
@@ -330,13 +386,16 @@ context::SearchResponse ShardedEngine::SearchImpl(
   const auto start = MonoClock::now();
   context::SearchResponse response;
 
-  // Pin every shard's serving snapshot for the whole query: reloads may
-  // swap underneath, but these references keep one consistent generation
-  // per shard alive until the gather is done.
+  // Pin every local shard's serving snapshot for the whole query: reloads
+  // may swap underneath, but these references keep one consistent
+  // generation per shard alive until the gather is done. In remote mode
+  // there is exactly one local supervisor — the router snapshot — and the
+  // legs live behind ShardClients instead.
+  const bool remote = !clients_.empty();
   const uint32_t n = num_shards();
-  std::vector<std::shared_ptr<const ServingSnapshot>> snaps(n);
+  std::vector<std::shared_ptr<const ServingSnapshot>> snaps(shards_.size());
   const ServingSnapshot* router = nullptr;
-  for (uint32_t s = 0; s < n; ++s) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
     snaps[s] = shards_[s]->current();
     if (router == nullptr && snaps[s] != nullptr) router = snaps[s].get();
   }
@@ -429,6 +488,22 @@ context::SearchResponse ShardedEngine::SearchImpl(
     legs.back().shard = s;
   }
   const auto run_leg = [&](Leg& leg) {
+    if (remote) {
+      // The remote client runs the whole resilience ladder (retries,
+      // failover, hedging); a non-OK result here means the shard is
+      // genuinely unreachable and the leg degrades into skipped_shards.
+      auto r = clients_[leg.shard]->ShardSearch(query, buckets[leg.shard],
+                                                leg_options, slice);
+      if (!r.ok() || r.value().code != StatusCode::kOk) {
+        leg.failed = true;
+        return;
+      }
+      net::WireResponse wire = std::move(r).value();
+      leg.response.status = Status::OK();
+      leg.response.hits = std::move(wire.hits);
+      leg.response.skipped_contexts = std::move(wire.skipped_contexts);
+      return;
+    }
     if (snaps[leg.shard] == nullptr) {
       leg.failed = true;
       return;

@@ -37,6 +37,7 @@
 #include "common/lru_cache.h"
 #include "common/thread_pool.h"
 #include "context/search_engine.h"
+#include "serve/shard_client.h"
 #include "serve/shard_partition.h"
 #include "serve/supervisor.h"
 
@@ -100,6 +101,9 @@ class ShardedEngine {
     /// reserve as thousandths of the remaining budget, and its floor.
     uint64_t slice_reserve_permille = 100;
     uint64_t slice_min_reserve_us = 200;
+    /// Applied to every ShardClient in remote mode (OpenRemote): pool
+    /// size, retry/backoff schedule, hedging knobs.
+    ShardClient::Options client;
   };
 
   ShardedEngine();
@@ -132,6 +136,27 @@ class ShardedEngine {
   /// serving). Idempotent; OK when bring-up used blocking Open().
   Status AwaitOpen();
 
+  /// Remote topology: the scatter legs run on remote shard daemons
+  /// (ShardClient, one per entry of `remotes`, in shard-id order) instead
+  /// of local snapshots. `router_path` names ONE local shard file of the
+  /// same set — any one works, since every shard file carries the
+  /// identical global routing index and owners map — which this process
+  /// loads purely to route queries. The merged-result cache is disabled
+  /// in remote mode (remote shard generations are not observable, so a
+  /// cached merge could outlive a remote reload). Callable once, mutually
+  /// exclusive with Open/OpenDetached.
+  Status OpenRemote(const std::string& router_path,
+                    std::vector<RemoteShardSpec> remotes);
+
+  /// True when legs are served by remote shard daemons.
+  bool remote() const { return !clients_.empty(); }
+  /// Remote shard client `i` (nullptr when local or out of range).
+  const ShardClient* client(uint32_t i) const {
+    return i < clients_.size() ? clients_[i].get() : nullptr;
+  }
+  /// Per-client resilience counters (empty when local).
+  std::vector<ShardClient::Stats> client_stats() const;
+
   /// Triggers a reload on every shard, concurrently. Shards that fail
   /// keep serving their last-good snapshot; the first error is returned
   /// (the rest are in per-shard stats()).
@@ -142,7 +167,10 @@ class ShardedEngine {
   void StopWatching();
   void TriggerReload();
 
-  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(
+        clients_.empty() ? shards_.size() : clients_.size());
+  }
   /// The currently served snapshot of shard `i` (nullptr before Open).
   std::shared_ptr<const ServingSnapshot> shard(uint32_t i) const;
   std::vector<SnapshotSupervisor::Stats> stats() const;
@@ -172,7 +200,13 @@ class ShardedEngine {
 
   Options options_;
   std::string base_path_;
+  /// One path per supervisor: ShardPath(base, s, n) in local mode, the
+  /// single router path in remote mode. Reload/StartWatching iterate this
+  /// so both naming schemes share one code path.
+  std::vector<std::string> shard_paths_;
   std::vector<std::unique_ptr<SnapshotSupervisor>> shards_;
+  /// Remote mode only: one resilient client per remote shard.
+  std::vector<std::unique_ptr<ShardClient>> clients_;
   std::unique_ptr<ThreadPool> pool_;
   mutable std::unique_ptr<MergedCache> cache_;
   // Detached-open loader thread + its aggregated result.

@@ -5,9 +5,9 @@
 #include <chrono>
 #include <utility>
 
+#include "common/backoff.h"
 #include "common/fault_injection.h"
 #include "common/metrics.h"
-#include "common/rng.h"
 
 namespace ctxrank::serve {
 namespace {
@@ -68,17 +68,11 @@ SnapshotSupervisor::FileIdentity SnapshotSupervisor::StatIdentity(
 }
 
 bool SnapshotSupervisor::BackoffSleep(size_t attempt, uint64_t salt) {
-  // Capped exponential: initial * 2^attempt, saturating at backoff_max_ms.
-  uint64_t delay = options_.backoff_initial_ms;
-  for (size_t i = 0; i < attempt && delay < options_.backoff_max_ms; ++i) {
-    delay *= 2;
-  }
-  if (delay > options_.backoff_max_ms) delay = options_.backoff_max_ms;
-  // Deterministic jitter in [0, delay/2]: decorrelates replicas retrying
-  // the same broken file while staying reproducible under a fixed seed.
-  SplitMix64 mix(options_.jitter_seed ^ salt ^
-                 (0x9e3779b97f4a7c15ULL * (attempt + 1)));
-  delay += mix.Next() % (delay / 2 + 1);
+  const uint64_t delay =
+      Backoff::DelayMs({.initial_ms = options_.backoff_initial_ms,
+                        .max_ms = options_.backoff_max_ms,
+                        .jitter_seed = options_.jitter_seed},
+                       attempt, salt);
   std::unique_lock<std::mutex> lock(mu_);
   // wait_for returns true when the predicate (shutdown) fired.
   return !wake_.wait_for(lock, std::chrono::milliseconds(delay),

@@ -1,0 +1,71 @@
+#include "common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ctxrank {
+namespace {
+
+TEST(BackoffTest, GrowsExponentiallyUpToCap) {
+  // Jitter adds at most delay/2, so the base is recoverable as a bound:
+  // base <= DelayMs <= 1.5 * base.
+  const Backoff::Options o{.initial_ms = 10, .max_ms = 1000, .jitter_seed = 0};
+  uint64_t expected_base = 10;
+  for (size_t attempt = 0; attempt < 12; ++attempt) {
+    const uint64_t d = Backoff::DelayMs(o, attempt, /*salt=*/0);
+    EXPECT_GE(d, expected_base) << "attempt " << attempt;
+    EXPECT_LE(d, expected_base + expected_base / 2) << "attempt " << attempt;
+    if (expected_base < o.max_ms) expected_base *= 2;
+    if (expected_base > o.max_ms) expected_base = o.max_ms;
+  }
+  // Far past the cap the delay stays within [max, 1.5*max].
+  const uint64_t capped = Backoff::DelayMs(o, 40, /*salt=*/0);
+  EXPECT_GE(capped, o.max_ms);
+  EXPECT_LE(capped, o.max_ms + o.max_ms / 2);
+}
+
+TEST(BackoffTest, DeterministicForFixedSeedAndSalt) {
+  const Backoff::Options o{.initial_ms = 5, .max_ms = 500, .jitter_seed = 42};
+  for (size_t attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(Backoff::DelayMs(o, attempt, 7),
+              Backoff::DelayMs(o, attempt, 7));
+  }
+}
+
+TEST(BackoffTest, SaltDecorrelatesRetryLoops) {
+  // Two "replicas" (different salts) retrying the same resource must not
+  // march in lockstep: at least one attempt in the sequence differs.
+  const Backoff::Options o{.initial_ms = 16, .max_ms = 4096, .jitter_seed = 1};
+  bool any_difference = false;
+  for (size_t attempt = 0; attempt < 8; ++attempt) {
+    if (Backoff::DelayMs(o, attempt, 1) != Backoff::DelayMs(o, attempt, 2)) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(BackoffTest, SeedChangesJitterOnly) {
+  // Different seeds shift the jitter but never move the delay outside
+  // [base, 1.5*base].
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    const Backoff::Options o{.initial_ms = 100, .max_ms = 100000,
+                             .jitter_seed = seed};
+    const uint64_t d = Backoff::DelayMs(o, 2, /*salt=*/3);  // base = 400.
+    EXPECT_GE(d, 400u);
+    EXPECT_LE(d, 600u);
+  }
+}
+
+TEST(BackoffTest, ZeroInitialStaysZero) {
+  // A zero initial delay never grows (0 * 2^a) — callers that want "retry
+  // immediately" get exactly that, deterministically.
+  const Backoff::Options o{.initial_ms = 0, .max_ms = 1000, .jitter_seed = 9};
+  for (size_t attempt = 0; attempt < 5; ++attempt) {
+    EXPECT_EQ(Backoff::DelayMs(o, attempt, 0), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ctxrank

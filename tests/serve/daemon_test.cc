@@ -24,6 +24,7 @@
 #include "common/rng.h"
 #include "context/search_engine.h"
 #include "corpus/tokenized_corpus.h"
+#include "loopback_client.h"
 #include "serve/net.h"
 #include "serve/snapshot.h"
 #include "serve/supervisor.h"
@@ -34,113 +35,6 @@ namespace {
 using context::ContextSearchEngine;
 using corpus::Paper;
 using corpus::PaperId;
-
-/// Blocking loopback test client with a receive timeout, so a daemon bug
-/// fails the test instead of hanging it.
-class Client {
- public:
-  explicit Client(uint16_t port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0) return;
-    timeval tv{5, 0};
-    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-        0) {
-      ::close(fd_);
-      fd_ = -1;
-    }
-  }
-  ~Client() { Close(); }
-
-  Client(const Client&) = delete;
-  Client& operator=(const Client&) = delete;
-
-  bool ok() const { return fd_ >= 0; }
-
-  void Close() {
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = -1;
-  }
-
-  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
-
-  bool Send(std::string_view bytes) {
-    size_t off = 0;
-    while (off < bytes.size()) {
-      const ssize_t n =
-          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
-      if (n <= 0) return false;
-      off += static_cast<size_t>(n);
-    }
-    return true;
-  }
-
-  /// Reads until one complete CTXQ1 response frame decodes (nullopt on
-  /// EOF, timeout, or a framing/decoding error).
-  std::optional<net::WireResponse> ReadResponse() {
-    for (;;) {
-      const net::Frame f = net::NextFrame(buf_, 64u << 20);
-      if (f.state == net::FrameState::kReady) {
-        if (f.type != net::kFrameSearchResponse) return std::nullopt;
-        auto decoded = net::DecodeSearchResponseBody(f.body);
-        buf_.erase(0, f.consumed);
-        if (!decoded.ok()) return std::nullopt;
-        return std::move(decoded).value();
-      }
-      if (f.state != net::FrameState::kNeedMore) return std::nullopt;
-      if (!Fill()) return std::nullopt;
-    }
-  }
-
-  /// Reads one HTTP response (headers + Content-Length body); "" on
-  /// EOF/timeout before a complete response.
-  std::string ReadHttpResponse() {
-    size_t header_end;
-    while ((header_end = buf_.find("\r\n\r\n")) == std::string::npos) {
-      if (!Fill()) return "";
-    }
-    size_t content_length = 0;
-    const size_t cl = buf_.find("Content-Length: ");
-    if (cl != std::string::npos && cl < header_end) {
-      content_length = std::strtoul(buf_.c_str() + cl + 16, nullptr, 10);
-    }
-    const size_t total = header_end + 4 + content_length;
-    while (buf_.size() < total) {
-      if (!Fill()) return "";
-    }
-    std::string response = buf_.substr(0, total);
-    buf_.erase(0, total);
-    return response;
-  }
-
-  /// True when the server closes the connection (EOF) within the receive
-  /// timeout.
-  bool ReadEof() {
-    for (;;) {
-      char tmp[4096];
-      const ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
-      if (n == 0) return true;
-      if (n < 0) return false;  // Timeout — still open.
-      buf_.append(tmp, static_cast<size_t>(n));
-    }
-  }
-
- private:
-  bool Fill() {
-    char tmp[16384];
-    const ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
-    if (n <= 0) return false;
-    buf_.append(tmp, static_cast<size_t>(n));
-    return true;
-  }
-
-  int fd_ = -1;
-  std::string buf_;
-};
 
 class DaemonTest : public ::testing::Test {
  protected:
@@ -568,6 +462,113 @@ TEST_F(DaemonTest, ReloadDuringTrafficLosesNoQueries) {
     ExpectBitwiseEqual(*wire, expected);
   }
   EXPECT_GE(supervisor_.stats().generation, 5u);
+}
+
+TEST_F(DaemonTest, PingAnsweredInlineWithPong) {
+  StartDaemon();
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.Send(net::EncodePing()));
+  const auto frame = client.ReadFrame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->first, net::kFramePong);
+  const auto pong = net::DecodePongBody(frame->second);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_TRUE(pong.value().ok);
+  EXPECT_GE(pong.value().generation, 1u);
+  // The connection stays usable for queries afterwards.
+  const net::WireRequest req = Request("kinase signaling");
+  ASSERT_TRUE(client.Send(net::EncodeSearchRequest(req)));
+  const auto wire = client.ReadResponse();
+  ASSERT_TRUE(wire.has_value());
+  ExpectBitwiseEqual(*wire, Expected(req));
+}
+
+TEST_F(DaemonTest, ShardLegBitwiseIdenticalToLocalRoutedScan) {
+  // A routed scatter leg (kFrameShardSearchRequest) against the daemon
+  // must answer exactly what the same engine answers in-process for the
+  // same routed context subsequence.
+  StartDaemon();
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  const context::SearchOptions opts;
+  for (const char* q : {"kinase signaling", "dna repair", "kinase repair"}) {
+    net::WireShardRequest leg;
+    leg.query = q;
+    leg.options = opts;
+    leg.budget_us = 0;  // No deadline: the leg must run to completion.
+    leg.contexts = engine_->RouteQueryText(q, opts);
+    ASSERT_TRUE(client.Send(net::EncodeShardSearchRequest(leg)));
+    const auto wire = client.ReadResponse();
+    ASSERT_TRUE(wire.has_value()) << q;
+    const context::SearchResponse expected =
+        engine_->SearchRouted(q, leg.contexts, opts, Deadline());
+    ExpectBitwiseEqual(*wire, expected);
+  }
+}
+
+TEST_F(DaemonTest, SlowLorisPartialFrameTimedOut) {
+  // Time axis of the slow-loris guard: a connection trickling a frame
+  // header byte-by-byte and then stalling is closed once the assembly
+  // timeout passes, even though it never goes idle-timeout long.
+  Daemon::Options opts;
+  opts.frame_assembly_timeout_ms = 300;
+  opts.idle_timeout_ms = 60000;
+  StartDaemon(opts);
+  Client loris(daemon_->port());
+  ASSERT_TRUE(loris.ok());
+  ASSERT_TRUE(loris.Send(std::string(net::kFrameMagic, 3)));  // Partial magic.
+  EXPECT_TRUE(loris.ReadEof());
+  // A complete request on a fresh connection still serves.
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  const net::WireRequest req = Request("dna repair");
+  ASSERT_TRUE(client.Send(net::EncodeSearchRequest(req)));
+  const auto wire = client.ReadResponse();
+  ASSERT_TRUE(wire.has_value());
+  ExpectBitwiseEqual(*wire, Expected(req));
+}
+
+TEST_F(DaemonTest, SlowLorisHttpHeaderTrickleTimedOut) {
+  Daemon::Options opts;
+  opts.frame_assembly_timeout_ms = 300;
+  opts.idle_timeout_ms = 60000;
+  StartDaemon(opts);
+  Client loris(daemon_->port());
+  ASSERT_TRUE(loris.ok());
+  // An HTTP request line that never finishes its header block.
+  ASSERT_TRUE(loris.Send("GET /search?q=kinase HTTP/1.1\r\nX-Slow: 1"));
+  EXPECT_TRUE(loris.ReadEof());
+}
+
+TEST_F(DaemonTest, InputBufferCapClosesFloodedConnection) {
+  // Size axis of the slow-loris guard: unconsumed input beyond the cap
+  // (here far below one max frame) closes the connection outright.
+  Daemon::Options opts;
+  opts.max_input_buffer = 64;
+  StartDaemon(opts);
+  Client flood(daemon_->port());
+  ASSERT_TRUE(flood.ok());
+  // A valid header announcing a 4 KiB body (within max_frame_bytes), but
+  // the body never completes — the buffered partial frame exceeds the cap.
+  std::string header(net::kFrameMagic, net::kFrameMagicBytes);
+  header.push_back(static_cast<char>(net::kFrameSearchRequest));
+  header += std::string("\0\0", 2);
+  header += std::string("\0\x10\0\0", 4);  // body_len = 4096.
+  ASSERT_TRUE(flood.Send(header + std::string(200, 'x')));
+  EXPECT_TRUE(flood.ReadEof());
+  // Legitimate traffic (complete frames, consumed as they arrive) is
+  // untouched by a tight cap only when it fits; default-cap daemons serve
+  // the same request fine.
+  Daemon::Options sane;
+  StartDaemon(sane);
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  const net::WireRequest req = Request("kinase signaling");
+  ASSERT_TRUE(client.Send(net::EncodeSearchRequest(req)));
+  const auto wire = client.ReadResponse();
+  ASSERT_TRUE(wire.has_value());
+  ExpectBitwiseEqual(*wire, Expected(req));
 }
 
 TEST_F(DaemonTest, FramingFuzzServerSurvives) {

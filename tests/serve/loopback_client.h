@@ -1,0 +1,142 @@
+// Blocking loopback test client shared by the serve network tests
+// (daemon_test, shard_client_test): sends raw bytes, reads CTXQ1 frames
+// or HTTP responses, and detects EOF — all under a receive timeout so a
+// server bug fails the test instead of hanging it.
+#ifndef CTXRANK_TESTS_SERVE_LOOPBACK_CLIENT_H_
+#define CTXRANK_TESTS_SERVE_LOOPBACK_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "serve/net.h"
+
+namespace ctxrank::serve {
+
+/// Blocking loopback test client with a receive timeout, so a daemon bug
+/// fails the test instead of hanging it.
+class Client {
+ public:
+  explicit Client(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    timeval tv{5, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  bool Send(std::string_view bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads until one complete CTXQ1 frame of any type arrives; nullopt on
+  /// EOF, timeout, or a framing error. Returns (type, body copy).
+  std::optional<std::pair<uint8_t, std::string>> ReadFrame() {
+    for (;;) {
+      const net::Frame f = net::NextFrame(buf_, 64u << 20);
+      if (f.state == net::FrameState::kReady) {
+        std::pair<uint8_t, std::string> out{f.type, std::string(f.body)};
+        buf_.erase(0, f.consumed);
+        return out;
+      }
+      if (f.state != net::FrameState::kNeedMore) return std::nullopt;
+      if (!Fill()) return std::nullopt;
+    }
+  }
+
+  /// Reads until one complete CTXQ1 response frame decodes (nullopt on
+  /// EOF, timeout, or a framing/decoding error).
+  std::optional<net::WireResponse> ReadResponse() {
+    const auto frame = ReadFrame();
+    if (!frame.has_value() || frame->first != net::kFrameSearchResponse) {
+      return std::nullopt;
+    }
+    auto decoded = net::DecodeSearchResponseBody(frame->second);
+    if (!decoded.ok()) return std::nullopt;
+    return std::move(decoded).value();
+  }
+
+  /// Reads one HTTP response (headers + Content-Length body); "" on
+  /// EOF/timeout before a complete response.
+  std::string ReadHttpResponse() {
+    size_t header_end;
+    while ((header_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill()) return "";
+    }
+    size_t content_length = 0;
+    const size_t cl = buf_.find("Content-Length: ");
+    if (cl != std::string::npos && cl < header_end) {
+      content_length = std::strtoul(buf_.c_str() + cl + 16, nullptr, 10);
+    }
+    const size_t total = header_end + 4 + content_length;
+    while (buf_.size() < total) {
+      if (!Fill()) return "";
+    }
+    std::string response = buf_.substr(0, total);
+    buf_.erase(0, total);
+    return response;
+  }
+
+  /// True when the server closes the connection (EOF) within the receive
+  /// timeout.
+  bool ReadEof() {
+    for (;;) {
+      char tmp[4096];
+      const ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;  // Timeout — still open.
+      buf_.append(tmp, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  bool Fill() {
+    char tmp[16384];
+    const ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+    if (n <= 0) return false;
+    buf_.append(tmp, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace ctxrank::serve
+
+#endif  // CTXRANK_TESTS_SERVE_LOOPBACK_CLIENT_H_

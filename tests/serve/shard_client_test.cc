@@ -1,0 +1,621 @@
+// ShardClient + remote ShardedEngine against real in-process shard
+// daemons on loopback: --remote-shards parsing, bitwise identity of the
+// remote scatter-gather with the monolithic engine for N ∈ {1,2,4}
+// daemons, graceful degradation of dead shards into skipped_shards,
+// seed-driven network fault storms with zero failed queries, and the
+// resilience ladder observed as exact per-client and global metric
+// deltas: retries, replica failover, hedging, connection pooling, PING
+// validation, injected stalls.
+#include "serve/shard_client.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "context/search_engine.h"
+#include "corpus/tokenized_corpus.h"
+#include "loopback_client.h"
+#include "serve/daemon.h"
+#include "serve/net.h"
+#include "serve/shard_partition.h"
+#include "serve/sharded_engine.h"
+#include "serve/snapshot.h"
+#include "serve/supervisor.h"
+
+namespace ctxrank::serve {
+namespace {
+
+using context::ContextSearchEngine;
+using context::SearchOptions;
+using corpus::Paper;
+using corpus::PaperId;
+
+uint64_t CounterValue(const std::string& name) {
+  return obs::MetricsRegistry::Instance().GetCounter(name).Value();
+}
+
+void ExpectBitIdentical(const std::vector<context::SearchHit>& a,
+                        const std::vector<context::SearchHit>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].paper, b[i].paper) << "hit " << i;
+    EXPECT_EQ(a[i].context, b[i].context) << "hit " << i;
+    EXPECT_EQ(std::bit_cast<uint64_t>(a[i].relevancy),
+              std::bit_cast<uint64_t>(b[i].relevancy))
+        << "hit " << i;
+    EXPECT_EQ(std::bit_cast<uint64_t>(a[i].prestige),
+              std::bit_cast<uint64_t>(b[i].prestige))
+        << "hit " << i;
+    EXPECT_EQ(std::bit_cast<uint64_t>(a[i].match),
+              std::bit_cast<uint64_t>(b[i].match))
+        << "hit " << i;
+  }
+}
+
+void ExpectWireBitIdentical(const net::WireResponse& wire,
+                            const std::vector<context::SearchHit>& expected) {
+  EXPECT_EQ(wire.code, StatusCode::kOk) << wire.message;
+  ExpectBitIdentical(wire.hits, expected);
+}
+
+// --- ParseRemoteShards -----------------------------------------------------
+
+TEST(ParseRemoteShardsTest, ParsesPrimariesAndReplicas) {
+  auto parsed =
+      ParseRemoteShards("10.0.0.1:7401,10.0.0.2:7401/10.0.1.2:7402");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& shards = parsed.value();
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_EQ(shards[0].primary.ToString(), "10.0.0.1:7401");
+  EXPECT_FALSE(shards[0].replica.valid());
+  EXPECT_EQ(shards[1].primary.ToString(), "10.0.0.2:7401");
+  ASSERT_TRUE(shards[1].replica.valid());
+  EXPECT_EQ(shards[1].replica.ToString(), "10.0.1.2:7402");
+}
+
+TEST(ParseRemoteShardsTest, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"", "hostonly", "host:", ":7401", "a:1,,b:2", "a:0", "a:70000",
+        "a:1/replicanoport", "a:1/b:"}) {
+    const auto parsed = ParseRemoteShards(bad);
+    EXPECT_FALSE(parsed.ok()) << "spec \"" << bad << "\" parsed";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+// --- Fixture: a small multi-context world served by real daemons -----------
+
+/// Every term's name starts with a word unique to that term ("alpha",
+/// "beta", ...) and ends with a word shared pairwise ("signaling",
+/// "repair", ...), so single-word queries route to exactly one context
+/// while broader queries fan out across shards.
+class ShardClientTest : public ::testing::Test {
+ protected:
+  ShardClientTest() {
+    const auto root = onto_.AddTerm("T:0", "biological process");
+    const char* names[] = {"alpha signaling", "beta signaling",
+                           "gamma repair",    "delta repair",
+                           "epsilon folding", "zeta folding",
+                           "eta cycle",       "theta cycle"};
+    for (int i = 0; i < 8; ++i) {
+      const auto t = onto_.AddTerm("T:" + std::to_string(i + 1), names[i]);
+      EXPECT_TRUE(onto_.AddIsA(t, root).ok());
+    }
+    EXPECT_TRUE(onto_.Finalize().ok());
+    auto add = [&](PaperId id, std::string text) {
+      Paper p;
+      p.id = id;
+      p.title = text;
+      p.abstract_text = text;
+      p.body = std::move(text);
+      EXPECT_TRUE(corpus_.Add(std::move(p)).ok());
+    };
+    PaperId next = 0;
+    for (int i = 0; i < 8; ++i) {
+      add(next++, std::string(names[i]) + " pathway study");
+      add(next++, std::string(names[i]) + " mechanism analysis");
+    }
+    tc_ = std::make_unique<corpus::TokenizedCorpus>(corpus_);
+    assignment_ = std::make_unique<context::ContextAssignment>(onto_.size(),
+                                                               corpus_.size());
+    prestige_ = std::make_unique<context::PrestigeScores>(onto_.size());
+    for (int i = 0; i < 8; ++i) {
+      const PaperId a = static_cast<PaperId>(2 * i);
+      assignment_->SetMembers(i + 1, {a, static_cast<PaperId>(a + 1)});
+      prestige_->Set(i + 1, {1.0 - 0.05 * i, 0.45 + 0.03 * i});
+    }
+    reference_ = std::make_unique<ContextSearchEngine>(*tc_, onto_,
+                                                       *assignment_,
+                                                       *prestige_);
+    queries_ = {"signaling",
+                "repair folding",
+                "alpha beta gamma delta",
+                "epsilon zeta eta theta cycle",
+                "signaling repair folding cycle",
+                "alpha",
+                "nothing matches here"};
+  }
+
+  void TearDown() override {
+    fault::FaultInjector::Instance().Disarm();
+    for (const auto& [n, base] : saved_sets_) {
+      for (uint32_t s = 0; s < n; ++s) {
+        ::unlink(ShardPath(base, s, n).c_str());
+      }
+    }
+  }
+
+  /// Saves (once per shard count) the n-shard set and returns its base
+  /// path. Per-process path: ctest runs tests from this binary
+  /// concurrently, and rewriting a snapshot another process has mmapped
+  /// is a SIGBUS.
+  std::string SavedSet(uint32_t n) {
+    const auto it = saved_sets_.find(n);
+    if (it != saved_sets_.end()) return it->second;
+    const std::string base = ::testing::TempDir() + "/shard_client_test." +
+                             std::to_string(::getpid()) + "." +
+                             std::to_string(n) + ".snap";
+    const Status st = SaveShardedSnapshot(*tc_, onto_, *assignment_,
+                                          *prestige_, corpus_, base, n);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    saved_sets_[n] = base;
+    return base;
+  }
+
+  /// N real shard daemons over the n-shard set, each on an ephemeral
+  /// loopback port. Supervisors are declared before daemons so daemons
+  /// stop first on destruction.
+  struct Fleet {
+    std::vector<std::unique_ptr<SnapshotSupervisor>> supervisors;
+    std::vector<std::unique_ptr<Daemon>> daemons;
+    std::vector<RemoteShardSpec> specs;
+  };
+
+  Fleet SpawnFleet(uint32_t n) {
+    Fleet fleet;
+    const std::string base = SavedSet(n);
+    for (uint32_t s = 0; s < n; ++s) {
+      auto sup = std::make_unique<SnapshotSupervisor>();
+      EXPECT_TRUE(sup->Reload(ShardPath(base, s, n)).ok());
+      Daemon::Options opts;
+      opts.port = 0;
+      opts.workers = 2;
+      auto daemon = std::make_unique<Daemon>(*sup, opts);
+      EXPECT_TRUE(daemon->Start().ok());
+      RemoteShardSpec spec;
+      spec.primary = ShardClient::Endpoint{"127.0.0.1", daemon->port()};
+      fleet.specs.push_back(std::move(spec));
+      fleet.supervisors.push_back(std::move(sup));
+      fleet.daemons.push_back(std::move(daemon));
+    }
+    return fleet;
+  }
+
+  /// Client options tuned for tests: millisecond backoff so retry storms
+  /// finish fast, deterministic jitter.
+  static ShardClient::Options FastClientOptions() {
+    ShardClient::Options o;
+    o.backoff.initial_ms = 1;
+    o.backoff.max_ms = 4;
+    o.request_timeout_ms = 3000;
+    return o;
+  }
+
+  ontology::Ontology onto_;
+  corpus::Corpus corpus_;
+  std::unique_ptr<corpus::TokenizedCorpus> tc_;
+  std::unique_ptr<context::ContextAssignment> assignment_;
+  std::unique_ptr<context::PrestigeScores> prestige_;
+  std::unique_ptr<ContextSearchEngine> reference_;
+  std::vector<std::string> queries_;
+  std::map<uint32_t, std::string> saved_sets_;
+};
+
+// --- The acceptance property: remote == monolithic, bitwise ----------------
+
+TEST_F(ShardClientTest, RemoteScatterGatherBitwiseIdenticalToMonolithic) {
+  for (const uint32_t n : {1u, 2u, 4u}) {
+    Fleet fleet = SpawnFleet(n);
+    ShardedEngine::Options eng_opts;
+    eng_opts.client = FastClientOptions();
+    ShardedEngine engine(eng_opts);
+    ASSERT_TRUE(
+        engine.OpenRemote(ShardPath(SavedSet(n), 0, n), fleet.specs).ok());
+    ASSERT_TRUE(engine.remote());
+    ASSERT_EQ(engine.num_shards(), n);
+    for (const auto& q : queries_) {
+      for (const size_t top_k : {size_t{0}, size_t{3}, size_t{10}}) {
+        for (const bool exact : {false, true}) {
+          SearchOptions opts;
+          opts.top_k = top_k;
+          opts.exact_scan = exact;
+          const auto got = engine.SearchEx(q, opts);
+          ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+          EXPECT_FALSE(got.degraded) << q;
+          EXPECT_TRUE(got.skipped_shards.empty()) << q;
+          ExpectBitIdentical(reference_->Search(q, opts), got.hits);
+        }
+      }
+    }
+    for (const auto& s : engine.client_stats()) {
+      EXPECT_EQ(s.errors, 0u);
+      EXPECT_EQ(s.retries, 0u);
+    }
+  }
+}
+
+TEST_F(ShardClientTest, OpenRemoteValidatesShardCountAgainstRouter) {
+  Fleet fleet = SpawnFleet(2);
+  // The 2-shard router snapshot cannot front a 1-remote fleet.
+  ShardedEngine engine;
+  std::vector<RemoteShardSpec> one = {fleet.specs[0]};
+  EXPECT_EQ(engine.OpenRemote(ShardPath(SavedSet(2), 0, 2), one).code(),
+            StatusCode::kInvalidArgument);
+  // Empty remote list is rejected outright.
+  ShardedEngine empty;
+  EXPECT_EQ(empty.OpenRemote(ShardPath(SavedSet(2), 0, 2), {}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- Degradation and fault storms ------------------------------------------
+
+TEST_F(ShardClientTest, DeadShardDegradesIntoSkippedShards) {
+  Fleet fleet = SpawnFleet(2);
+  ShardedEngine::Options eng_opts;
+  eng_opts.client = FastClientOptions();
+  ShardedEngine engine(eng_opts);
+  ASSERT_TRUE(
+      engine.OpenRemote(ShardPath(SavedSet(2), 0, 2), fleet.specs).ok());
+  SearchOptions opts;
+  opts.top_k = 10;
+  // Healthy first, so connections are warm and the failure is the only
+  // variable.
+  const std::string broad = "signaling repair folding cycle";
+  ExpectBitIdentical(reference_->Search(broad, opts),
+                     engine.SearchEx(broad, opts).hits);
+
+  fleet.daemons[1]->Stop();  // Shard 1 dies mid-fleet.
+  const auto got = engine.SearchEx(broad, opts);
+  ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+  EXPECT_TRUE(got.degraded);
+  ASSERT_EQ(got.skipped_shards.size(), 1u);
+  EXPECT_EQ(got.skipped_shards[0], 1u);
+  EXPECT_FALSE(got.skipped_contexts.empty());
+  EXPECT_GE(engine.client_stats()[1].errors, 1u);
+  EXPECT_FALSE(engine.client(1)->healthy());
+
+  // A query routed entirely to the live shard is still answered complete
+  // and bitwise identical: the unique leading word of a shard-0 term's
+  // name selects exactly that context.
+  const ShardPartition part = PartitionContexts(*assignment_, 2);
+  std::string shard0_query;
+  for (ontology::TermId t = 1; t < onto_.size(); ++t) {
+    if (part.owners[t] == 0) {
+      const std::string& name = onto_.term(t).name;
+      shard0_query = name.substr(0, name.find(' '));
+      break;
+    }
+  }
+  ASSERT_FALSE(shard0_query.empty());
+  const auto local = engine.SearchEx(shard0_query, opts);
+  ASSERT_TRUE(local.status.ok());
+  EXPECT_TRUE(local.skipped_shards.empty());
+  EXPECT_FALSE(local.degraded);
+  ExpectBitIdentical(reference_->Search(shard0_query, opts), local.hits);
+}
+
+TEST_F(ShardClientTest, SeededNetworkFaultStormsNeverFailAQuery) {
+  Fleet fleet = SpawnFleet(2);
+  ShardedEngine::Options eng_opts;
+  eng_opts.client = FastClientOptions();
+  ShardedEngine engine(eng_opts);
+  ASSERT_TRUE(
+      engine.OpenRemote(ShardPath(SavedSet(2), 0, 2), fleet.specs).ok());
+  SearchOptions opts;
+  opts.top_k = 10;
+  auto& injector = fault::FaultInjector::Instance();
+  uint64_t total_injected = 0;
+  for (const uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    // Every network fault point — refused connects, dropped sends,
+    // garbled frames, dead recvs, server-side leg failures — fires with
+    // p = 0.2, deterministically per (seed, point, hit index).
+    injector.FailRandom(seed, 0.2);
+    for (const auto& q : queries_) {
+      const auto got = engine.SearchEx(q, opts);
+      // The acceptance bar: zero FAILED queries. Failed legs only ever
+      // surface as skipped_shards.
+      EXPECT_TRUE(got.status.ok()) << "seed " << seed << " query \"" << q
+                                   << "\": " << got.status.ToString();
+      if (!got.skipped_shards.empty()) {
+        EXPECT_TRUE(got.degraded);
+        for (const uint32_t s : got.skipped_shards) EXPECT_LT(s, 2u);
+      }
+    }
+    total_injected += injector.InjectedFailures();
+    injector.Disarm();
+  }
+  EXPECT_GT(total_injected, 0u) << "the storm never actually fired";
+  // Calm after the storm: full recovery to bitwise identity.
+  for (const auto& q : queries_) {
+    const auto got = engine.SearchEx(q, opts);
+    ASSERT_TRUE(got.status.ok());
+    EXPECT_TRUE(got.skipped_shards.empty()) << q;
+    ExpectBitIdentical(reference_->Search(q, opts), got.hits);
+  }
+}
+
+// --- The resilience ladder, one rung at a time, as exact metric deltas -----
+
+TEST_F(ShardClientTest, TransientServerFaultRetriesExactlyOnce) {
+  Fleet fleet = SpawnFleet(1);
+  ShardClient client(0, fleet.specs[0].primary, {}, FastClientOptions());
+  const std::string q = "signaling repair";
+  const SearchOptions opts;
+  const auto contexts = reference_->RouteQueryText(q, opts);
+  ASSERT_FALSE(contexts.empty());
+  const uint64_t retries_before =
+      CounterValue("ctxrank_shard_client_retries_total");
+  // The first shard-leg execution answers kIoError (transient); the
+  // retry must succeed and the event must be visible as exactly one
+  // retry, zero errors.
+  fault::FaultInjector::Instance().FailNth("daemon/shard_leg", 1);
+  const auto result = client.ShardSearch(q, contexts, opts, Deadline());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectWireBitIdentical(result.value(), reference_->Search(q, opts));
+  const ShardClient::Stats stats = client.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.failovers, 0u);
+  EXPECT_TRUE(client.healthy());
+  EXPECT_EQ(CounterValue("ctxrank_shard_client_retries_total"),
+            retries_before + 1);
+}
+
+TEST_F(ShardClientTest, GarbledResponseFrameIsRetriedNeverTrusted) {
+  Fleet fleet = SpawnFleet(1);
+  ShardClient client(0, fleet.specs[0].primary, {}, FastClientOptions());
+  const std::string q = "repair folding";
+  const SearchOptions opts;
+  const auto contexts = reference_->RouteQueryText(q, opts);
+  // The first received chunk gets a byte flipped: the frame is torn, the
+  // leg is transiently dead, and the retry returns the exact answer —
+  // corrupt bytes must never decode into wrong results.
+  fault::FaultInjector::Instance().FailNth("shard_client/garble", 1);
+  const auto result = client.ShardSearch(q, contexts, opts, Deadline());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectWireBitIdentical(result.value(), reference_->Search(q, opts));
+  EXPECT_EQ(client.stats().retries, 1u);
+  EXPECT_EQ(client.stats().errors, 0u);
+}
+
+TEST_F(ShardClientTest, DroppedSendIsRetried) {
+  Fleet fleet = SpawnFleet(1);
+  ShardClient client(0, fleet.specs[0].primary, {}, FastClientOptions());
+  const std::string q = "alpha beta gamma delta";
+  const SearchOptions opts;
+  const auto contexts = reference_->RouteQueryText(q, opts);
+  // The wire dies five bytes into the request frame.
+  fault::FaultInjector::Instance().TruncateIoNth("shard_client/send", 1, 5);
+  const auto result = client.ShardSearch(q, contexts, opts, Deadline());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectWireBitIdentical(result.value(), reference_->Search(q, opts));
+  EXPECT_EQ(client.stats().retries, 1u);
+  EXPECT_EQ(client.stats().errors, 0u);
+}
+
+TEST_F(ShardClientTest, RefusedPrimaryFailsOverToReplicaWithoutRetry) {
+  Fleet fleet = SpawnFleet(1);
+  // Same daemon as both primary and replica; the injected connect
+  // refusal hits only the first dial (the primary), so the attempt moves
+  // to the replica WITHIN the attempt — no retry is burned.
+  ShardClient client(0, fleet.specs[0].primary, fleet.specs[0].primary,
+                     FastClientOptions());
+  const std::string q = "signaling";
+  const SearchOptions opts;
+  const auto contexts = reference_->RouteQueryText(q, opts);
+  const uint64_t failovers_before =
+      CounterValue("ctxrank_shard_client_failovers_total");
+  fault::FaultInjector::Instance().FailNth("shard_client/connect", 1);
+  const auto result = client.ShardSearch(q, contexts, opts, Deadline());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectWireBitIdentical(result.value(), reference_->Search(q, opts));
+  const ShardClient::Stats stats = client.stats();
+  EXPECT_EQ(stats.failovers, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(CounterValue("ctxrank_shard_client_failovers_total"),
+            failovers_before + 1);
+}
+
+TEST_F(ShardClientTest, SlowPrimaryIsHedgedAndTheReplicaWins) {
+  Fleet fleet = SpawnFleet(1);
+  // A listener that never accepts: connects complete via the backlog and
+  // the request frame vanishes into the kernel buffer, but no response
+  // ever comes — the stalled-primary shape, without timing games.
+  const int stuck_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(stuck_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(stuck_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(stuck_fd, 8), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(stuck_fd, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  ShardClient::Endpoint stuck{"127.0.0.1", ntohs(addr.sin_port)};
+
+  ShardClient::Options opts = FastClientOptions();
+  opts.max_retries = 0;         // The answer must come from the hedge.
+  opts.hedge_after_us = 10000;  // Hedge after 10ms of primary silence.
+  opts.request_timeout_ms = 5000;
+  ShardClient client(0, stuck, fleet.specs[0].primary, opts);
+
+  const std::string q = "epsilon zeta eta theta cycle";
+  const SearchOptions search_opts;
+  const auto contexts = reference_->RouteQueryText(q, search_opts);
+  const uint64_t hedges_before =
+      CounterValue("ctxrank_shard_client_hedges_total");
+  const auto result =
+      client.ShardSearch(q, contexts, search_opts, Deadline());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectWireBitIdentical(result.value(), reference_->Search(q, search_opts));
+  const ShardClient::Stats stats = client.stats();
+  EXPECT_EQ(stats.hedges, 1u);
+  EXPECT_EQ(stats.hedge_wins, 1u);
+  EXPECT_EQ(stats.failovers, 0u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(CounterValue("ctxrank_shard_client_hedges_total"),
+            hedges_before + 1);
+  ::close(stuck_fd);
+}
+
+TEST_F(ShardClientTest, InjectedStallDelaysButDoesNotFail) {
+  Fleet fleet = SpawnFleet(1);
+  ShardClient client(0, fleet.specs[0].primary, {}, FastClientOptions());
+  const std::string q = "signaling";
+  const SearchOptions opts;
+  const auto contexts = reference_->RouteQueryText(q, opts);
+  fault::FaultInjector::Instance().StallFrom("shard_client/stall", 1, 60);
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = client.ShardSearch(q, contexts, opts, Deadline());
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(elapsed_ms, 60);
+  EXPECT_EQ(client.stats().retries, 0u);
+  EXPECT_EQ(client.stats().errors, 0u);
+}
+
+// --- Keep-alive pool and PING health checks --------------------------------
+
+TEST_F(ShardClientTest, PingRoundTripReportsShardIdentity) {
+  Fleet fleet = SpawnFleet(1);
+  ShardClient client(0, fleet.specs[0].primary, {}, FastClientOptions());
+  EXPECT_FALSE(client.healthy());  // Nothing succeeded yet.
+  const auto pong = client.Ping(Deadline());
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_TRUE(pong.value().ok);
+  EXPECT_EQ(pong.value().shard_id, 0u);
+  EXPECT_GE(pong.value().generation, 1u);
+  EXPECT_TRUE(client.healthy());
+  EXPECT_EQ(client.pooled_connections(), 1u);
+  EXPECT_EQ(client.stats().pings, 1u);
+}
+
+TEST_F(ShardClientTest, ConnectionPoolReusedAcrossSequentialRequests) {
+  Fleet fleet = SpawnFleet(1);
+  ShardClient client(0, fleet.specs[0].primary, {}, FastClientOptions());
+  const std::string q = "repair folding";
+  const SearchOptions opts;
+  const auto contexts = reference_->RouteQueryText(q, opts);
+  const auto expected = reference_->Search(q, opts);
+  for (int i = 0; i < 3; ++i) {
+    const auto result = client.ShardSearch(q, contexts, opts, Deadline());
+    ASSERT_TRUE(result.ok()) << "request " << i;
+    ExpectWireBitIdentical(result.value(), expected);
+  }
+  const ShardClient::Stats stats = client.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.dials, 1u);        // One TCP connect total...
+  EXPECT_EQ(stats.pool_reuses, 2u);  // ...then the pool serves.
+  EXPECT_EQ(client.pooled_connections(), 1u);
+}
+
+// --- The gateway daemon end to end -----------------------------------------
+
+TEST_F(ShardClientTest, GatewayDaemonServesRemoteFleetOverHttpAndBinary) {
+  Fleet fleet = SpawnFleet(2);
+  ShardedEngine::Options eng_opts;
+  eng_opts.client = FastClientOptions();
+  ShardedEngine engine(eng_opts);
+  ASSERT_TRUE(
+      engine.OpenRemote(ShardPath(SavedSet(2), 0, 2), fleet.specs).ok());
+  Daemon::Options opts;
+  opts.port = 0;
+  opts.workers = 2;
+  Daemon gateway(engine, opts);
+  ASSERT_TRUE(gateway.Start().ok());
+
+  // The daemon sniffs the protocol once per connection, so HTTP and
+  // binary traffic ride separate keep-alive connections, as real
+  // clients do.
+  Client http(gateway.port());
+  Client binary(gateway.port());
+  ASSERT_TRUE(http.ok());
+  ASSERT_TRUE(binary.ok());
+  // Healthy: /healthz reports the remote topology per shard.
+  ASSERT_TRUE(http.Send("GET /healthz HTTP/1.1\r\n\r\n"));
+  std::string r = http.ReadHttpResponse();
+  EXPECT_NE(r.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(r.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(r.find("\"remote\":true"), std::string::npos);
+  EXPECT_NE(r.find("\"remote_shards\":[{\"shard\":0"), std::string::npos);
+
+  // Binary search through the gateway: bitwise identical to monolithic.
+  const std::string broad = "signaling repair folding cycle";
+  net::WireRequest req;
+  req.query = broad;
+  ASSERT_TRUE(binary.Send(net::EncodeSearchRequest(req)));
+  auto wire = binary.ReadResponse();
+  ASSERT_TRUE(wire.has_value());
+  EXPECT_TRUE(wire->skipped_shards.empty());
+  ExpectWireBitIdentical(*wire, reference_->Search(broad, {}));
+
+  // A raw scatter-leg frame against the GATEWAY is refused (final, not
+  // retryable): legs belong on shard daemons, queries on the gateway.
+  net::WireShardRequest leg;
+  leg.query = broad;
+  leg.contexts = reference_->RouteQueryText(broad, {});
+  ASSERT_TRUE(binary.Send(net::EncodeShardSearchRequest(leg)));
+  const auto refused = binary.ReadResponse();
+  ASSERT_TRUE(refused.has_value());
+  EXPECT_EQ(refused->code, StatusCode::kFailedPrecondition);
+
+  // Kill shard 1: both protocols must surface the degradation, never a
+  // failed query.
+  fleet.daemons[1]->Stop();
+  ASSERT_TRUE(binary.Send(net::EncodeSearchRequest(req)));
+  wire = binary.ReadResponse();
+  ASSERT_TRUE(wire.has_value());
+  EXPECT_EQ(wire->code, StatusCode::kOk);
+  EXPECT_TRUE(wire->degraded);
+  ASSERT_EQ(wire->skipped_shards.size(), 1u);
+  EXPECT_EQ(wire->skipped_shards[0], 1u);
+
+  ASSERT_TRUE(http.Send(
+      "GET /search?q=signaling+repair+folding+cycle HTTP/1.1\r\n\r\n"));
+  r = http.ReadHttpResponse();
+  EXPECT_NE(r.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(r.find("\"degraded\":true"), std::string::npos);
+  EXPECT_NE(r.find("\"skipped_shards\":[1]"), std::string::npos);
+
+  // /healthz now shows the dead shard's client as unhealthy with errors.
+  ASSERT_TRUE(http.Send("GET /healthz HTTP/1.1\r\n\r\n"));
+  r = http.ReadHttpResponse();
+  EXPECT_NE(r.find("\"healthy\":false"), std::string::npos);
+  gateway.Stop();
+}
+
+}  // namespace
+}  // namespace ctxrank::serve

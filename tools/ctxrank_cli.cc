@@ -24,7 +24,9 @@
 //   ctxrank search --snapshot FILE --query "..." [--shards N]
 //       Serve the query from a snapshot instead of rebuilding the index;
 //       with --shards N, scatter-gather over the sharded set (results
-//       bitwise-identical to the monolithic snapshot).
+//       bitwise-identical to the monolithic snapshot); with
+//       --remote-shards host:port[/replica],... the legs run on remote
+//       ctxrankd shard daemons through the resilient shard client.
 //   ctxrank serve --snapshot FILE [--watch 1]
 //       Long-running query loop over stdin with snapshot hot-reload:
 //       the supervisor keeps serving the last good snapshot if the file
@@ -157,9 +159,14 @@ int Usage() {
                "           [--batch FILE] [--threads N] [--deadline-ms N]\n"
                "           [--trace 1] [--stats text|json] [--admission N]\n"
                "  search   --snapshot FILE --query Q [--top N] [--topk K]\n"
-               "           [--shards N] [--pruning term|block]\n"
+               "           [--shards N] [--remote-shards SPEC]\n"
+               "           [--pruning term|block]\n"
                "           [--batch FILE] [--threads N] [--deadline-ms N]\n"
                "           [--trace 1] [--stats text|json]\n"
+               "           (SPEC = host:port[/replicahost:port],... per\n"
+               "            shard in shard-id order: legs run on remote\n"
+               "            ctxrankd shard daemons; --snapshot is the\n"
+               "            local routing shard file)\n"
                "  info     --data DIR\n"
                "  analyze  --data DIR [--set text|pattern] "
                "[--min-context N]\n"
@@ -482,8 +489,19 @@ int SearchFromShards(const Args& args, const std::string& snap_path,
   serve::ShardedEngine::Options eng_opts;
   eng_opts.cache_capacity = static_cast<size_t>(args.GetInt("cache", 0));
   serve::ShardedEngine engine(eng_opts);
-  const Status st = engine.Open(snap_path, shards);
+  const std::string remote_spec = args.Get("remote-shards", "");
+  Status st;
+  if (!remote_spec.empty()) {
+    // Remote legs: --snapshot names one local shard file (routing only),
+    // the scatter runs against remote ctxrankd shard daemons.
+    auto remotes = serve::ParseRemoteShards(remote_spec);
+    if (!remotes.ok()) return Fail(remotes.status());
+    st = engine.OpenRemote(snap_path, std::move(remotes).value());
+  } else {
+    st = engine.Open(snap_path, shards);
+  }
   if (!st.ok()) return Fail(st);
+  shards = engine.num_shards();
   const auto title = [&engine](corpus::PaperId p) {
     const std::string_view t = engine.TitleOf(p);
     return t.empty() ? "paper " + std::to_string(p) : std::string(t);
@@ -546,7 +564,7 @@ int Search(const Args& args) {
   }
   if (!snap_path.empty()) {
     const long shards = args.GetInt("shards", 0);
-    if (shards > 0) {
+    if (shards > 0 || !args.Get("remote-shards", "").empty()) {
       return SearchFromShards(args, snap_path, static_cast<uint32_t>(shards));
     }
     return SearchFromSnapshot(args, snap_path);

@@ -3,15 +3,27 @@
 // binary protocol and minimal HTTP (/search, /metrics, /healthz — see
 // docs/PROTOCOL.md), and serves until SIGINT/SIGTERM.
 //
-//   ctxrankd --snapshot FILE [--shards N] [--host A] [--port N]
-//            [--watch 1] [--watch-ms N] [--threads N] [--inline 1]
-//            [--admission N] [--cache N] [--deadline-ms N] [--topk K]
-//            [--max-conns N] [--idle-ms N] [--max-frame-bytes N]
+//   ctxrankd --snapshot FILE [--shards N] [--remote-shards SPEC]
+//            [--host A] [--port N] [--watch 1] [--watch-ms N]
+//            [--threads N] [--inline 1] [--admission N] [--cache N]
+//            [--deadline-ms N] [--topk K] [--max-conns N] [--idle-ms N]
+//            [--max-frame-bytes N] [--loris-ms N] [--max-input-buffer N]
+//            [--hedge-us N] [--no-hedge 1] [--leg-retries N]
 //
 // With --shards N the daemon serves a sharded snapshot set (the files
 // FILE.shard<i>-of-<N> written by `ctxrank save_shards`) through
 // serve::ShardedEngine: scatter-gather with per-shard hot reload and
 // graceful per-shard degradation (skipped_shards in responses).
+//
+// With --remote-shards the daemon is a GATEWAY: --snapshot names one
+// local shard file used purely for routing, and the scatter legs run on
+// remote per-shard ctxrankd daemons over CTXQ1 through the resilient
+// shard client (retries, replica failover, hedging — docs/SHARDING.md,
+// docs/RELIABILITY.md). The SPEC lists shards in shard-id order,
+// "host:port" each, with an optional "/replicahost:port" per shard:
+//
+//   ctxrankd --snapshot base.shard0-of-2
+//            --remote-shards 10.0.0.1:7878/10.0.1.1:7878,10.0.0.2:7878
 //
 // Operational behavior (docs/OPERATIONS.md): the initial snapshot load
 // must succeed (there is no last-good to fall back to); after that a
@@ -106,6 +118,18 @@ int Usage() {
       "  --shards N           serve the sharded set FILE.shard<i>-of-<N>\n"
       "                       (from `ctxrank save_shards`) with scatter-\n"
       "                       gather; 0 = monolithic (default)\n"
+      "  --remote-shards SPEC gateway mode: scatter legs run on remote\n"
+      "                       shard daemons. SPEC = host:port per shard\n"
+      "                       in shard-id order, comma-separated, each\n"
+      "                       optionally /replicahost:port for failover\n"
+      "                       and hedging; --snapshot names ONE local\n"
+      "                       shard file of the same set (routing only)\n"
+      "  --hedge-us N         hedge to the replica after N us of primary\n"
+      "                       silence before latency warmup (default\n"
+      "                       20000; adaptive p95 after warmup)\n"
+      "  --no-hedge 1         disable hedged requests (failover and\n"
+      "                       retries still apply)\n"
+      "  --leg-retries N      per-leg transient-error retries (default 2)\n"
       "  --host A             listen address (default 127.0.0.1)\n"
       "  --port N             TCP port; 0 = ephemeral (default 7878)\n"
       "  --watch 1            watch the snapshot file and hot-reload\n"
@@ -126,6 +150,12 @@ int Usage() {
       "  --idle-ms N          idle connection timeout (default 60000,\n"
       "                       0 = never)\n"
       "  --max-frame-bytes N  binary frame body cap (default 1 MiB)\n"
+      "  --loris-ms N         close a connection whose partial frame /\n"
+      "                       request head is older than N ms (default\n"
+      "                       10000, 0 = off)\n"
+      "  --max-input-buffer N close a connection buffering more than N\n"
+      "                       unparsed input bytes (default\n"
+      "                       max-frame-bytes + 16 KiB)\n"
       "exit codes: 0 ok (clean shutdown), 2 usage, else the ctxrank\n"
       "StatusCode mapping (see ctxrank --help)\n");
   return 2;
@@ -168,6 +198,10 @@ int Main(int argc, char** argv) {
   opts.idle_timeout_ms = static_cast<uint64_t>(args.GetInt("idle-ms", 60000));
   opts.max_frame_bytes =
       static_cast<uint32_t>(args.GetInt("max-frame-bytes", 1 << 20));
+  opts.frame_assembly_timeout_ms =
+      static_cast<uint64_t>(args.GetInt("loris-ms", 10000));
+  opts.max_input_buffer =
+      static_cast<size_t>(args.GetInt("max-input-buffer", 0));
   opts.search.top_k = static_cast<size_t>(args.GetInt("topk", 0));
   opts.search.deadline_ms =
       static_cast<uint64_t>(args.GetInt("deadline-ms", 0));
@@ -176,6 +210,34 @@ int Main(int argc, char** argv) {
   const size_t cache = static_cast<size_t>(args.GetInt("cache", 0));
   const bool watch = args.GetInt("watch", 0) != 0;
   const uint64_t watch_ms = static_cast<uint64_t>(args.GetInt("watch-ms", 200));
+
+  const std::string remote_spec = args.Get("remote-shards", "");
+  if (!remote_spec.empty()) {
+    auto remotes = serve::ParseRemoteShards(remote_spec);
+    if (!remotes.ok()) return Fail(remotes.status());
+    serve::ShardedEngine::Options eng_opts;
+    eng_opts.supervisor.watch_interval_ms = watch_ms;
+    eng_opts.client.hedging_enabled = args.GetInt("no-hedge", 0) == 0;
+    eng_opts.client.hedge_after_us =
+        static_cast<uint64_t>(args.GetInt("hedge-us", 20000));
+    eng_opts.client.max_retries =
+        static_cast<size_t>(args.GetInt("leg-retries", 2));
+    serve::ShardedEngine engine(eng_opts);
+    const Status first =
+        engine.OpenRemote(path, std::move(remotes).value());
+    if (!first.ok()) return Fail(first);
+    if (watch) {
+      const Status st = engine.StartWatching();
+      if (!st.ok()) return Fail(st);
+    }
+    serve::Daemon daemon(engine, opts);
+    const int rc =
+        Serve(daemon, opts, engine.shard(0)->num_papers(),
+              std::to_string(engine.num_shards()) + " remote shards, router " +
+                  path);
+    engine.StopWatching();
+    return rc;
+  }
 
   if (shards > 0) {
     serve::ShardedEngine::Options eng_opts;
