@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # One-shot verification ladder: tier-1 ctest, the ASan/UBSan and TSan
-# focused suites, the SIMD perf-identity gate, and the end-to-end daemon
-# check, each as an independent stage with a pass/fail summary table at
-# the end. A stage failure does not stop later stages — you get the full
+# focused suites, the SIMD perf-identity gate, and the end-to-end
+# daemon, remote-shard, and live-ingest checks, each as an independent
+# stage with a pass/fail summary table at the end. A stage failure does not stop later stages — you get the full
 # picture in one run — but any failure makes the script exit non-zero.
 # Usage: scripts/verify_all.sh [build-dir]
 set -uo pipefail
@@ -43,6 +43,7 @@ run_stage "verify_tsan"     "${repo_root}/scripts/verify_tsan.sh"
 run_stage "verify_perf"     "${repo_root}/scripts/verify_perf.sh"
 run_stage "verify_daemon"   "${repo_root}/scripts/verify_daemon.sh" "${build_dir}"
 run_stage "verify_remote"   "${repo_root}/scripts/verify_remote.sh" "${build_dir}"
+run_stage "verify_ingest"   "${repo_root}/scripts/verify_ingest.sh" "${build_dir}"
 
 echo
 echo "===== verify_all summary ====="

@@ -62,4 +62,12 @@ bool AuthorSimilarity::AreCoauthors(corpus::AuthorId x,
   return coauthor_pairs_.count(PairKey(x, y)) > 0;
 }
 
+void AuthorSimilarity::AddPaper(const corpus::Paper& p) {
+  for (size_t i = 0; i < p.authors.size(); ++i) {
+    for (size_t j = i + 1; j < p.authors.size(); ++j) {
+      coauthor_pairs_.insert(PairKey(p.authors[i], p.authors[j]));
+    }
+  }
+}
+
 }  // namespace ctxrank::context

@@ -39,6 +39,12 @@ class AuthorSimilarity {
   /// True if `x` and `y` have co-authored any paper.
   bool AreCoauthors(corpus::AuthorId x, corpus::AuthorId y) const;
 
+  /// Folds one more paper's co-authorship pairs into the index (live
+  /// ingest). After adding every paper of a corpus extension, the index
+  /// equals one built from the extended corpus. Not thread-safe against
+  /// concurrent queries — callers publish a fresh copy instead.
+  void AddPaper(const corpus::Paper& p);
+
  private:
   static uint64_t PairKey(corpus::AuthorId x, corpus::AuthorId y) {
     if (x > y) std::swap(x, y);

@@ -1,0 +1,170 @@
+#include "context/incremental.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "graph/citation_similarity.h"
+
+namespace ctxrank::context {
+
+std::vector<PaperId> MergedCorpusView::OutNeighbors(PaperId p) const {
+  if (is_delta(p)) return delta_[p - base_tc_->size()].paper.references;
+  return base_graph_->OutNeighbors(p);
+}
+
+std::vector<PaperId> MergedCorpusView::InNeighbors(PaperId p) const {
+  std::vector<PaperId> in;
+  if (!is_delta(p)) in = base_graph_->InNeighbors(p);
+  const auto it = extra_in_->find(p);
+  if (it != extra_in_->end()) {
+    in.insert(in.end(), it->second.begin(), it->second.end());
+  }
+  return in;
+}
+
+std::vector<PaperId> MergedCorpusView::Evidence(TermId term) const {
+  const std::vector<PaperId>& base = base_tc_->corpus().Evidence(term);
+  std::vector<PaperId> merged(base.begin(), base.end());
+  const auto it = extra_evidence_->find(term);
+  if (it != extra_evidence_->end()) {
+    merged.insert(merged.end(), it->second.begin(), it->second.end());
+  }
+  return merged;
+}
+
+double MergedPairSimilarity(const MergedCorpusView& view,
+                            const TextPrestigeOptions& options, PaperId a,
+                            PaperId b) {
+  // Mirrors TextPairSimilarity term for term: section cosines, then the
+  // author channel, then the reference channel — same accumulation order,
+  // same skip conditions.
+  double sim = 0.0;
+  for (int s = 0; s < corpus::kNumTextSections; ++s) {
+    if (options.section_weights[s] == 0.0) continue;
+    sim += options.section_weights[s] *
+           view.SectionVector(a, static_cast<corpus::Section>(s))
+               .Cosine(view.SectionVector(b, static_cast<corpus::Section>(s)));
+  }
+  if (options.author_weight != 0.0) {
+    sim += options.author_weight *
+           view.authors().Similarity(view.paper(a), view.paper(b));
+  }
+  if (options.reference_weight != 0.0) {
+    sim += options.reference_weight *
+           graph::CitationSimilarity(view.OutNeighbors(a), view.InNeighbors(a),
+                                     view.OutNeighbors(b), view.InNeighbors(b),
+                                     options.bib_weight);
+  }
+  return sim;
+}
+
+namespace {
+
+/// PickRepresentative's replica over the merged view: evidence paper
+/// closest to the evidence centroid, same accumulation order and strict
+/// improvement test as assignment_builders.cc.
+PaperId PickMergedRepresentative(const MergedCorpusView& view,
+                                 const std::vector<PaperId>& evidence) {
+  if (evidence.empty()) return corpus::kInvalidPaper;
+  text::SparseVector centroid;
+  for (PaperId p : evidence) {
+    centroid.AddScaled(view.FullVector(p), 1.0);
+  }
+  centroid.L2Normalize();
+  PaperId best = evidence.front();
+  double best_sim = -1.0;
+  for (PaperId p : evidence) {
+    const double sim = centroid.Cosine(view.FullVector(p));
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ContextOverlay ComputeContextOverlay(const MergedCorpusView& view,
+                                     TermId term,
+                                     const TextAssignmentOptions& aopts,
+                                     const TextPrestigeOptions& popts) {
+  ContextOverlay overlay;
+  const std::vector<PaperId> evidence = view.Evidence(term);
+  if (evidence.empty()) return overlay;  // The batch builder's `continue`.
+  overlay.representative = PickMergedRepresentative(view, evidence);
+
+  // Member scan: InvertedIndex::Search(FullVector(rep), threshold) over the
+  // merged corpus accumulates, per document, q_w * d_w in ascending query
+  // term order — exactly SparseVector::Dot — keeps raw dots >= threshold,
+  // and sorts by descending score / ascending paper id. The scan-hit list
+  // is then capped at max_members, the evidence papers appended, and the
+  // whole sorted + uniqued (SetMembers).
+  const text::SparseVector& rep_vec = view.FullVector(overlay.representative);
+  struct Hit {
+    PaperId paper;
+    double score;
+  };
+  std::vector<Hit> hits;
+  const size_t n = view.size();
+  for (PaperId p = 0; p < n; ++p) {
+    const double dot = rep_vec.Dot(view.FullVector(p));
+    if (dot >= aopts.member_threshold) hits.push_back({p, dot});
+  }
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.paper < b.paper;
+  });
+  std::vector<PaperId>& members = overlay.members;
+  for (const Hit& hit : hits) {
+    members.push_back(hit.paper);
+    if (members.size() >= aopts.max_members) break;
+  }
+  members.insert(members.end(), evidence.begin(), evidence.end());
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+
+  // Pre-lift prestige over the sorted member list (ComputeTextPrestige
+  // runs after SetMembers, so its scores align with the sorted order).
+  overlay.raw.reserve(members.size());
+  for (PaperId p : members) {
+    overlay.raw.push_back(
+        MergedPairSimilarity(view, popts, p, overlay.representative));
+  }
+  if (popts.normalize_per_context) MinMaxNormalize(overlay.raw);
+  return overlay;
+}
+
+void LiftWithDescendant(std::span<const PaperId> members,
+                        std::vector<double>& lifted,
+                        std::span<const PaperId> dmembers,
+                        std::span<const double> draw) {
+  size_t i = 0, j = 0;
+  while (i < members.size() && j < dmembers.size()) {
+    if (members[i] == dmembers[j]) {
+      lifted[i] = std::max(lifted[i], draw[j]);
+      ++i;
+      ++j;
+    } else if (members[i] < dmembers[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+}
+
+std::vector<TermId> ThresholdContexts(
+    const corpus::TokenizedCorpus& base_tc,
+    const ContextAssignment& base_assignment, const text::SparseVector& v,
+    double member_threshold) {
+  std::vector<TermId> out;
+  const size_t num_terms = base_assignment.num_terms();
+  for (TermId t = 0; t < num_terms; ++t) {
+    const PaperId rep = base_assignment.Representative(t);
+    if (rep == corpus::kInvalidPaper) continue;
+    if (base_tc.FullVector(rep).Dot(v) >= member_threshold) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace ctxrank::context

@@ -1,0 +1,158 @@
+// Incremental context assignment + lazy prestige over a delta segment
+// (serve::MutableIndex). The mutable index keeps the base generation's
+// serving artifacts frozen and recomputes, per *affected* context and only
+// when a query selects it, exactly what a from-scratch rebuild over
+// [base corpus + delta papers] would have produced for that context:
+// representative, member set, and pre-lift prestige scores. Every replica
+// below mirrors its batch counterpart's floating-point evaluation order
+// (assignment_builders.cc, text_prestige.cc, prestige.cc), which is what
+// makes ingest-then-search bitwise identical to rebuild-then-search — the
+// keystone property this subsystem is tested against.
+#ifndef CTXRANK_CONTEXT_INCREMENTAL_H_
+#define CTXRANK_CONTEXT_INCREMENTAL_H_
+
+#include <array>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "context/assignment_builders.h"
+#include "context/author_similarity.h"
+#include "context/context_assignment.h"
+#include "context/text_prestige.h"
+#include "corpus/tokenized_corpus.h"
+#include "graph/citation_graph.h"
+
+namespace ctxrank::context {
+
+/// One live-ingested paper's immutable artifacts, computed once at ingest
+/// with the frozen base-generation TF-IDF model (TokenizedCorpus
+/// stats_prefix). Paper ids of delta papers start at the base corpus size.
+struct DeltaPaper {
+  corpus::Paper paper;  // Authors sorted+unique; references validated.
+  text::SparseVector full;
+  std::array<text::SparseVector, corpus::kNumTextSections> sections;
+  /// Ontology terms this paper is evidence for (sorted, unique).
+  std::vector<TermId> evidence_terms;
+};
+
+/// \brief Uniform read view over [base + delta]: vectors, papers,
+/// citation adjacency, merged co-authorship, merged evidence. All
+/// referenced objects must outlive the view; the view itself is immutable
+/// and safe for concurrent readers.
+class MergedCorpusView {
+ public:
+  /// `extra_in` maps any paper id to the delta papers citing it;
+  /// `extra_evidence` maps a term to delta evidence papers in ingest
+  /// order. `base_tc` must be corpus-backed (not snapshot-backed).
+  MergedCorpusView(
+      const corpus::TokenizedCorpus& base_tc,
+      const graph::CitationGraph& base_graph,
+      const AuthorSimilarity& merged_authors,
+      std::span<const DeltaPaper> delta,
+      const std::unordered_map<corpus::PaperId, std::vector<corpus::PaperId>>&
+          extra_in,
+      const std::unordered_map<TermId, std::vector<corpus::PaperId>>&
+          extra_evidence)
+      : base_tc_(&base_tc),
+        base_graph_(&base_graph),
+        authors_(&merged_authors),
+        delta_(delta),
+        extra_in_(&extra_in),
+        extra_evidence_(&extra_evidence) {}
+
+  size_t base_papers() const { return base_tc_->size(); }
+  size_t size() const { return base_tc_->size() + delta_.size(); }
+
+  bool is_delta(PaperId p) const { return p >= base_tc_->size(); }
+
+  const text::SparseVector& FullVector(PaperId p) const {
+    return is_delta(p) ? delta_[p - base_tc_->size()].full
+                       : base_tc_->FullVector(p);
+  }
+  const text::SparseVector& SectionVector(PaperId p,
+                                          corpus::Section s) const {
+    return is_delta(p)
+               ? delta_[p - base_tc_->size()]
+                     .sections[static_cast<size_t>(s)]
+               : base_tc_->SectionVector(p, s);
+  }
+  const corpus::Paper& paper(PaperId p) const {
+    return is_delta(p) ? delta_[p - base_tc_->size()].paper
+                       : base_tc_->corpus().paper(p);
+  }
+
+  /// Papers cited by `p` — base adjacency for base papers, the delta
+  /// paper's own reference list otherwise. (Base papers' out-edges never
+  /// change: references only point backward in time.)
+  std::vector<PaperId> OutNeighbors(PaperId p) const;
+  /// Papers citing `p`: base in-edges plus delta citers.
+  std::vector<PaperId> InNeighbors(PaperId p) const;
+
+  const AuthorSimilarity& authors() const { return *authors_; }
+
+  /// Merged evidence: base evidence then delta appends, in ingest order —
+  /// exactly the order a rebuilt corpus's Evidence(term) would carry.
+  std::vector<PaperId> Evidence(TermId term) const;
+
+ private:
+  const corpus::TokenizedCorpus* base_tc_;
+  const graph::CitationGraph* base_graph_;
+  const AuthorSimilarity* authors_;
+  std::span<const DeltaPaper> delta_;
+  const std::unordered_map<corpus::PaperId, std::vector<corpus::PaperId>>*
+      extra_in_;
+  const std::unordered_map<TermId, std::vector<corpus::PaperId>>*
+      extra_evidence_;
+};
+
+/// The §3.2 channel sum over the merged view — the same floating-point
+/// expression as TextPairSimilarity over a rebuilt TokenizedCorpus /
+/// CitationGraph / AuthorSimilarity.
+double MergedPairSimilarity(const MergedCorpusView& view,
+                            const TextPrestigeOptions& options, PaperId a,
+                            PaperId b);
+
+/// One context's recomputed serving state over the merged view.
+struct ContextOverlay {
+  PaperId representative = corpus::kInvalidPaper;
+  /// Sorted unique member list (scan hits capped at max_members, then the
+  /// evidence papers, then sort+unique — BuildTextBasedAssignment's
+  /// SetMembers semantics).
+  std::vector<PaperId> members;
+  /// Pre-lift prestige aligned with `members` (after the optional
+  /// per-context normalization, before the hierarchical max — what
+  /// ApplyHierarchicalMax calls the frozen scores).
+  std::vector<double> raw;
+  bool has_scores() const { return !raw.empty(); }
+};
+
+/// Recomputes representative, members and pre-lift scores of `term`,
+/// replicating BuildTextBasedAssignment + ComputeTextPrestige (minus the
+/// hierarchy lift) bitwise. A term with no merged evidence yields an empty
+/// overlay, exactly like the batch builder's `continue`.
+ContextOverlay ComputeContextOverlay(const MergedCorpusView& view,
+                                     TermId term,
+                                     const TextAssignmentOptions& aopts,
+                                     const TextPrestigeOptions& popts);
+
+/// One descendant's contribution to the §3 hierarchy max:
+/// lifted[i] = max(lifted[i], draw[j]) wherever members[i] == dmembers[j]
+/// (both lists sorted) — ApplyHierarchicalMax's merge walk.
+void LiftWithDescendant(std::span<const PaperId> members,
+                        std::vector<double>& lifted,
+                        std::span<const PaperId> dmembers,
+                        std::span<const double> draw);
+
+/// Contexts whose base representative would admit `v` as a member:
+/// Dot(FullVector(base rep), v) >= member_threshold, the exact comparison
+/// the member scan performs. Sorted ascending. The affectedness analysis
+/// uses this to find every base context a delta paper could join.
+std::vector<TermId> ThresholdContexts(
+    const corpus::TokenizedCorpus& base_tc,
+    const ContextAssignment& base_assignment, const text::SparseVector& v,
+    double member_threshold);
+
+}  // namespace ctxrank::context
+
+#endif  // CTXRANK_CONTEXT_INCREMENTAL_H_

@@ -334,7 +334,7 @@ std::vector<ContextMatch> ContextSearchEngine::SelectContexts(
 
 std::vector<ContextMatch> ContextSearchEngine::SelectContextsFromVector(
     const text::SparseVector& qv, size_t max_contexts, double min_score,
-    size_t num_threads) const {
+    size_t num_threads, std::span<const TermId> extra_selectable) const {
   (void)num_threads;  // Kept for API stability; the sparse scan is so much
                       // faster than the old parallel dense scan that
                       // fanning it out would only add overhead.
@@ -363,7 +363,7 @@ std::vector<ContextMatch> ContextSearchEngine::SelectContextsFromVector(
   const double qnorm = qv.Norm();
   std::vector<ContextMatch> matches;
   for (const TermId t : scored) {
-    if (!ContextSelectable(t)) continue;
+    if (!SelectableWithExtra(t, extra_selectable)) continue;
     const double nnorm = name_norms_[t];
     const double score =
         (qnorm <= 0.0 || nnorm <= 0.0) ? 0.0 : dot[t] / (qnorm * nnorm);
@@ -402,16 +402,17 @@ double ContextSearchEngine::Relevancy(const text::SparseVector& query_vec,
 }
 
 std::vector<ContextMatch> ContextSearchEngine::RouteQuery(
-    const text::SparseVector& qv, const SearchOptions& options) const {
+    const text::SparseVector& qv, const SearchOptions& options,
+    std::span<const TermId> extra_selectable) const {
   std::vector<ContextMatch> contexts = SelectContextsFromVector(
       qv, options.max_contexts, options.min_context_score,
-      options.num_threads);
+      options.num_threads, extra_selectable);
   if (options.semantic_expansion > 0) {
     std::unordered_map<TermId, double> extra;
     for (const ContextMatch& cm : contexts) {
       for (TermId t : ontology::MostSimilarTerms(*onto_, cm.term,
                                                  options.semantic_expansion)) {
-        if (!ContextSelectable(t)) continue;
+        if (!SelectableWithExtra(t, extra_selectable)) continue;
         const double score =
             cm.score * ontology::LinSimilarity(*onto_, cm.term, t);
         auto it = extra.find(t);
@@ -986,9 +987,11 @@ SearchResponse ContextSearchEngine::ScanSelected(
 }
 
 std::vector<ContextMatch> ContextSearchEngine::RouteQueryText(
-    std::string_view query, const SearchOptions& options) const {
+    std::string_view query, const SearchOptions& options,
+    std::span<const TermId> extra_selectable) const {
   const auto ids = tc_->analyzer().AnalyzeToKnownIds(query, tc_->vocabulary());
-  return RouteQuery(tc_->tfidf().TransformQuery(ids), options);
+  return RouteQuery(tc_->tfidf().TransformQuery(ids), options,
+                    extra_selectable);
 }
 
 SearchResponse ContextSearchEngine::SearchRouted(

@@ -19,6 +19,7 @@
 #ifndef CTXRANK_CONTEXT_SEARCH_ENGINE_H_
 #define CTXRANK_CONTEXT_SEARCH_ENGINE_H_
 
+#include <algorithm>
 #include <memory>
 #include <span>
 #include <string>
@@ -231,8 +232,14 @@ class ContextSearchEngine {
   /// order). This is the scatter coordinator's entry point: a
   /// serve::ShardedEngine routes once on any shard's (identical) routing
   /// index and fans the selected contexts out via SearchRouted.
-  std::vector<ContextMatch> RouteQueryText(std::string_view query,
-                                           const SearchOptions& options) const;
+  /// `extra_selectable` (sorted, unique) names contexts that must be
+  /// treated as selectable even though this engine's assignment has no
+  /// members for them — contexts born in a mutable index's delta segment
+  /// (serve::MutableIndex). Empty (the default) preserves the existing
+  /// behavior bitwise.
+  std::vector<ContextMatch> RouteQueryText(
+      std::string_view query, const SearchOptions& options,
+      std::span<const TermId> extra_selectable = {}) const;
 
   /// Scan-only search against an externally routed context list: analyzes
   /// the query and scores exactly `contexts` (in the given order) without
@@ -362,12 +369,13 @@ class ContextSearchEngine {
   /// vector once and routes + scores from it — no double tokenization).
   std::vector<ContextMatch> SelectContextsFromVector(
       const text::SparseVector& qv, size_t max_contexts, double min_score,
-      size_t num_threads) const;
+      size_t num_threads, std::span<const TermId> extra_selectable = {}) const;
 
   /// Context routing shared by both paths: lexical selection + optional
   /// semantic expansion, in deterministic order.
-  std::vector<ContextMatch> RouteQuery(const text::SparseVector& qv,
-                                       const SearchOptions& options) const;
+  std::vector<ContextMatch> RouteQuery(
+      const text::SparseVector& qv, const SearchOptions& options,
+      std::span<const TermId> extra_selectable = {}) const;
 
   /// One query end to end (analysis, cache, scan) against an already
   /// ticking deadline; the worker behind SearchEx and SearchManyEx slots.
@@ -398,6 +406,13 @@ class ContextSearchEngine {
   bool ContextSelectable(TermId t) const {
     return routing_owners_.empty() ? !assignment_->Members(t).empty()
                                    : routing_owners_[t] != kNoShardOwner;
+  }
+
+  /// ContextSelectable extended by a sorted extra-selectable list (delta
+  /// contexts with no base members yet — see RouteQueryText).
+  bool SelectableWithExtra(TermId t, std::span<const TermId> extra) const {
+    return ContextSelectable(t) ||
+           std::binary_search(extra.begin(), extra.end(), t);
   }
 
   /// The brute-force reference path (scores every member). Contexts whose

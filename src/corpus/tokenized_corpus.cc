@@ -5,7 +5,8 @@
 namespace ctxrank::corpus {
 
 TokenizedCorpus::TokenizedCorpus(const Corpus& corpus,
-                                 text::AnalyzerOptions analyzer_options)
+                                 text::AnalyzerOptions analyzer_options,
+                                 size_t stats_prefix)
     : corpus_(&corpus), analyzer_(analyzer_options), num_papers_(corpus.size()) {
   const size_t n = num_papers_;
   // Analyze every section into one flat token array with a CSR offsets
@@ -28,8 +29,10 @@ TokenizedCorpus::TokenizedCorpus(const Corpus& corpus,
     section_offsets_.SetOwned(std::move(offsets));
     tokens_.SetOwned(std::move(tokens));
   }
-  // Fit TF-IDF over full papers.
-  for (PaperId p = 0; p < n; ++p) {
+  // Fit TF-IDF over full papers — or only the frozen stats prefix when a
+  // mutable index pins document-frequency statistics at a base generation.
+  const size_t fit = stats_prefix == 0 ? n : std::min(stats_prefix, n);
+  for (PaperId p = 0; p < fit; ++p) {
     tfidf_.AddDocument(AllTokens(p), vocab_.size());
   }
   full_vectors_.reserve(n);

@@ -37,8 +37,15 @@ class TokenizedCorpus {
  public:
   /// Analyzes every section of every paper in `corpus`. The corpus must
   /// outlive this object (papers are referenced, not copied).
+  ///
+  /// `stats_prefix`, when nonzero, fits the TF-IDF document-frequency
+  /// statistics over only the first `stats_prefix` papers (the frozen base
+  /// generation of a mutable index); every paper is still tokenized and
+  /// vectorized with the frozen model, so a later-ingested paper gets
+  /// exactly the vector the live delta path computed for it.
   explicit TokenizedCorpus(const Corpus& corpus,
-                           text::AnalyzerOptions analyzer_options = {});
+                           text::AnalyzerOptions analyzer_options = {},
+                           size_t stats_prefix = 0);
 
   TokenizedCorpus(TokenizedCorpus&&) = default;
   TokenizedCorpus(const TokenizedCorpus&) = delete;

@@ -43,4 +43,15 @@ double CitationSimilarity(const CitationGraph& graph, PaperId a, PaperId b,
          (1.0 - bib_weight) * CoCitation(graph, a, b);
 }
 
+double NeighborJaccard(std::vector<PaperId> x, std::vector<PaperId> y) {
+  return SortedJaccard(std::move(x), std::move(y));
+}
+
+double CitationSimilarity(std::vector<PaperId> out_a, std::vector<PaperId> in_a,
+                          std::vector<PaperId> out_b, std::vector<PaperId> in_b,
+                          double bib_weight) {
+  return bib_weight * SortedJaccard(std::move(out_a), std::move(out_b)) +
+         (1.0 - bib_weight) * SortedJaccard(std::move(in_a), std::move(in_b));
+}
+
 }  // namespace ctxrank::graph

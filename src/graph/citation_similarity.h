@@ -4,6 +4,8 @@
 #ifndef CTXRANK_GRAPH_CITATION_SIMILARITY_H_
 #define CTXRANK_GRAPH_CITATION_SIMILARITY_H_
 
+#include <vector>
+
 #include "graph/citation_graph.h"
 
 namespace ctxrank::graph {
@@ -23,6 +25,17 @@ double CoCitation(const CitationGraph& graph, PaperId a, PaperId b);
 /// SimReferences(a, b) = bib_weight * coupling + (1 - bib_weight) *
 /// co-citation. `bib_weight` in [0, 1].
 double CitationSimilarity(const CitationGraph& graph, PaperId a, PaperId b,
+                          double bib_weight);
+
+/// Jaccard overlap of two neighbor lists (any order; copies and sorts
+/// internally, exactly like the graph-backed similarities above).
+double NeighborJaccard(std::vector<PaperId> x, std::vector<PaperId> y);
+
+/// List-based SimReferences for callers holding adjacency outside a
+/// CitationGraph (a mutable index's merged base+delta view): same
+/// floating-point expression as the graph overload.
+double CitationSimilarity(std::vector<PaperId> out_a, std::vector<PaperId> in_a,
+                          std::vector<PaperId> out_b, std::vector<PaperId> in_b,
                           double bib_weight);
 
 }  // namespace ctxrank::graph

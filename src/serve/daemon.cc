@@ -17,6 +17,7 @@
 #include "common/deadline.h"
 #include "common/fault_injection.h"
 #include "common/metrics.h"
+#include "serve/mutable_index.h"
 #include "serve/request_context.h"
 #include "serve/sharded_engine.h"
 
@@ -98,6 +99,9 @@ Daemon::Daemon(SnapshotSupervisor& supervisor, Options options)
 
 Daemon::Daemon(ShardedEngine& engine, Options options)
     : sharded_(&engine), options_(std::move(options)) {}
+
+Daemon::Daemon(MutableIndex& index, Options options)
+    : mutable_(&index), options_(std::move(options)) {}
 
 Daemon::~Daemon() { Stop(); }
 
@@ -433,22 +437,56 @@ void Daemon::ParseBinary(const std::shared_ptr<Conn>& conn) {
         const auto snap = supervisor_->current();
         pong.shard_id = snap != nullptr ? snap->shard_id() : 0;
         pong.generation = supervisor_->generation();
+      } else if (mutable_ != nullptr) {
+        pong.generation = mutable_->generation();
       }
       QueueOutput(conn, net::EncodePong(pong), /*close_after=*/false);
       if (!conn->open) return;
       continue;
     }
+    if (type == net::kFrameAddPaperRequest) {
+      conn->in.erase(0, f.consumed);
+      if (mutable_ == nullptr) {
+        // Ingest targets a mutable-index daemon only; a frozen snapshot
+        // or gateway has nowhere to put the paper. kFailedPrecondition
+        // is final on the client — no retry storm.
+        Metrics().frame_errors.Increment();
+        QueueOutput(conn,
+                    EncodeErrorFrame(Status::FailedPrecondition(
+                        "this daemon serves an immutable backend; "
+                        "AddPaper needs ctxrankd --ingest")),
+                    /*close_after=*/false);
+        if (!conn->open) return;
+        continue;
+      }
+      auto decoded = net::DecodeAddPaperRequestBody(body);
+      if (!decoded.ok()) {
+        Metrics().frame_errors.Increment();
+        net::WireAddPaperResponse err;
+        err.code = decoded.status().code();
+        err.message.assign(decoded.status().message());
+        QueueOutput(conn, net::EncodeAddPaperResponse(err),
+                    /*close_after=*/false);
+        if (!conn->open) return;
+        continue;
+      }
+      PendingRequest req;
+      req.add_paper = true;
+      req.paper = std::move(decoded).value();
+      conn->pending.push_back(std::move(req));
+      continue;
+    }
     if (type == net::kFrameShardSearchRequest) {
-      if (sharded_ != nullptr) {
-        // A gateway is not a shard: answering a routed leg here would
-        // re-scatter it. The error frame fails the leg cleanly on the
-        // client (kFailedPrecondition is final — no retry storm).
+      if (sharded_ != nullptr || mutable_ != nullptr) {
+        // A gateway is not a shard, and a mutable index serves whole
+        // queries, not routed legs. The error frame fails the leg
+        // cleanly on the client (kFailedPrecondition is final — no
+        // retry storm).
         conn->in.erase(0, f.consumed);
         Metrics().frame_errors.Increment();
         QueueOutput(conn,
                     EncodeErrorFrame(Status::FailedPrecondition(
-                        "this daemon serves a sharded backend, not a "
-                        "single shard; routed legs are not accepted")),
+                        "this daemon does not serve routed shard legs")),
                     /*close_after=*/false);
         if (!conn->open) return;
         continue;
@@ -548,6 +586,15 @@ void Daemon::ParseHttp(const std::shared_ptr<Conn>& conn) {
                   net::BuildHttpResponse(ok ? 200 : 503, "application/json",
                                          HealthzJson(), keep_alive),
                   !keep_alive);
+    } else if (request.path == "/compact" && mutable_ != nullptr) {
+      // Compaction is heavy (a full base rebuild) — dispatch through the
+      // pending-request machinery so it runs on a worker, not the
+      // reactor.
+      PendingRequest req;
+      req.compact = true;
+      req.http = true;
+      req.http_keep_alive = keep_alive;
+      conn->pending.push_back(std::move(req));
     } else if (request.path == "/search") {
       const std::string_view q = request.Param("q");
       if (q.empty()) {
@@ -638,6 +685,13 @@ void Daemon::RunRequest(const std::shared_ptr<Conn>& conn,
     Metrics().shard_legs.Increment();
     context::SearchResponse response;
     const auto t0 = std::chrono::steady_clock::now();
+    // Generation tag for the response header: read the generation BEFORE
+    // pinning the snapshot and re-check it after the search — when both
+    // reads agree, the pinned snapshot is generation `gen_before` and the
+    // gateway may key its merged-result cache on the tag. A mismatch
+    // means a reload swapped mid-request; stamping 0 ("unknown") keeps
+    // the answer servable but uncacheable.
+    const uint64_t gen_before = supervisor_->generation();
     const std::shared_ptr<const ServingSnapshot> snap = supervisor_->current();
     if (snap == nullptr) {
       response.status =
@@ -665,10 +719,73 @@ void Daemon::RunRequest(const std::shared_ptr<Conn>& conn,
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - t0)
             .count()));
-    std::string encoded = net::EncodeSearchResponse(response);
+    uint16_t generation_tag = 0;
+    if (snap != nullptr && supervisor_->generation() == gen_before) {
+      generation_tag = net::GenerationTag(gen_before);
+    }
+    std::string encoded = net::EncodeSearchResponse(response, generation_tag);
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       conn->out += encoded;
+    }
+    return;
+  }
+  if (req.add_paper) {
+    // Live ingest (mutable backend; ParseBinary guarantees mutable_).
+    const auto t0 = std::chrono::steady_clock::now();
+    MutableIndex::IngestPaper in;
+    in.paper.title = std::move(req.paper.title);
+    in.paper.abstract_text = std::move(req.paper.abstract_text);
+    in.paper.body = std::move(req.paper.body);
+    in.paper.index_terms = std::move(req.paper.index_terms);
+    in.paper.authors.assign(req.paper.authors.begin(),
+                            req.paper.authors.end());
+    in.paper.references.assign(req.paper.references.begin(),
+                               req.paper.references.end());
+    in.evidence_terms.assign(req.paper.evidence_terms.begin(),
+                             req.paper.evidence_terms.end());
+    net::WireAddPaperResponse out;
+    const auto added = mutable_->Ingest(std::move(in));
+    if (added.ok()) {
+      out.paper_id = added.value();
+    } else {
+      out.code = added.status().code();
+      out.message.assign(added.status().message());
+    }
+    out.num_papers = static_cast<uint32_t>(mutable_->num_papers());
+    out.generation = mutable_->generation();
+    Metrics().request_us.Observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+    std::string encoded = net::EncodeAddPaperResponse(out);
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->out += encoded;
+    }
+    return;
+  }
+  if (req.compact) {
+    // HTTP-triggered compaction (mutable backend): fold the delta into a
+    // new base generation on this worker. Queries and ingests proceed
+    // concurrently (Compact republishes atomically at the end).
+    const Status st = mutable_->Compact();
+    std::string json = "{\"ok\":";
+    json += st.ok() ? "true" : "false";
+    if (!st.ok()) {
+      json += ",\"error\":\"" + net::JsonEscape(st.message()) + "\"";
+    }
+    json += ",\"generation\":" + std::to_string(mutable_->generation());
+    json += ",\"papers\":" + std::to_string(mutable_->num_papers());
+    json += ",\"delta_papers\":" + std::to_string(mutable_->delta_papers());
+    json += "}";
+    std::string encoded = net::BuildHttpResponse(
+        st.ok() ? 200 : net::HttpStatusFor(st.code()), "application/json",
+        json, req.http_keep_alive);
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->out += encoded;
+      if (!req.http_keep_alive) conn->close_after_flush = true;
     }
     return;
   }
@@ -694,6 +811,12 @@ void Daemon::RunRequest(const std::shared_ptr<Conn>& conn,
     if (req.http && snap != nullptr && snap->has_titles()) {
       title = [&snap](corpus::PaperId p) { return snap->title(p); };
     }
+  } else if (mutable_ != nullptr) {
+    // Mutable backend: the delta-aware two-leg search behind the same
+    // spine. (No title map — the live index owns its corpus internally.)
+    RequestContext ctx(std::move(req.wire.query), req.wire.options);
+    response = ctx.Run(*mutable_, limiter_.get());
+    Metrics().request_us.Observe(ctx.wall_us());
   } else {
     // Sharded backend: the engine pins each shard's snapshot per query
     // itself, and an all-shards-down fleet answers kFailedPrecondition
@@ -906,6 +1029,8 @@ void Daemon::ScanIdle(uint64_t now_ms) {
 
 bool Daemon::BackendHealthy() const {
   if (supervisor_ != nullptr) return supervisor_->current() != nullptr;
+  // A mutable index is built before the daemon starts — always servable.
+  if (mutable_ != nullptr) return true;
   if (sharded_->num_shards() == 0) return false;
   if (sharded_->remote()) {
     // Remote legs degrade into skipped_shards at query time; the gateway
@@ -922,6 +1047,20 @@ std::string Daemon::HealthzJson() const {
   const int64_t now_s = std::chrono::duration_cast<std::chrono::seconds>(
                             std::chrono::system_clock::now().time_since_epoch())
                             .count();
+  if (mutable_ != nullptr) {
+    // Live-index health: segment sizes and the compaction generation, so
+    // delta growth (compaction debt) is visible from curl.
+    std::string out = "{\"ok\":true,\"mutable\":true,\"generation\":";
+    out += std::to_string(mutable_->generation());
+    out += ",\"papers\":";
+    out += std::to_string(mutable_->num_papers());
+    out += ",\"base_papers\":";
+    out += std::to_string(mutable_->base_papers());
+    out += ",\"delta_papers\":";
+    out += std::to_string(mutable_->delta_papers());
+    out += "}";
+    return out;
+  }
   if (sharded_ != nullptr && sharded_->remote()) {
     // Remote fleet health: per-shard endpoint, last-known liveness and
     // resilience counters, so a flapping shard and how hard the client

@@ -50,6 +50,7 @@
 namespace ctxrank::serve {
 
 class ShardedEngine;
+class MutableIndex;
 
 class Daemon {
  public:
@@ -112,6 +113,12 @@ class Daemon {
   /// outlive the daemon.
   Daemon(ShardedEngine& engine, Options options);
 
+  /// Live-ingest backend: a segmented mutable index (docs/INDEXING.md).
+  /// Adds the CTXQ1 AddPaper frame pair and the HTTP /compact endpoint on
+  /// top of the normal search surface; searches run the delta-aware
+  /// two-leg path. The index must outlive the daemon.
+  Daemon(MutableIndex& index, Options options);
+
   ~Daemon();
 
   Daemon(const Daemon&) = delete;
@@ -150,6 +157,13 @@ class Daemon {
     bool shard_leg = false;
     uint64_t budget_us = 0;
     std::vector<context::ContextMatch> contexts;
+    /// A live ingest (kFrameAddPaperRequest, mutable backend only):
+    /// run MutableIndex::Ingest(paper) and answer AddPaperResponse.
+    bool add_paper = false;
+    net::WireAddPaper paper;
+    /// HTTP GET /compact (mutable backend only): fold the delta segment
+    /// into a new base generation on this worker, answer JSON.
+    bool compact = false;
   };
 
   /// Per-connection state. Ownership split (enforced by convention, the
@@ -217,6 +231,7 @@ class Daemon {
   // Exactly one backend is non-null, fixed at construction.
   SnapshotSupervisor* supervisor_ = nullptr;
   ShardedEngine* sharded_ = nullptr;
+  MutableIndex* mutable_ = nullptr;
   const Options options_;
 
   int listen_fd_ = -1;

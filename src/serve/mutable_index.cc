@@ -1,0 +1,747 @@
+#include "serve/mutable_index.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "context/author_similarity.h"
+#include "corpus/full_text_search.h"
+#include "corpus/tokenized_corpus.h"
+#include "graph/citation_graph.h"
+#include "serve/snapshot.h"
+#include "text/delta_postings.h"
+
+namespace ctxrank::serve {
+namespace {
+
+using context::ContextMatch;
+using context::SearchHit;
+using context::SearchResponse;
+using corpus::PaperId;
+using ontology::TermId;
+
+/// Ingest/compaction lifecycle telemetry. The delta gauge is the live
+/// segment size ("how much is not yet compacted"); the generation gauge
+/// counts completed compactions.
+struct MutableIndexMetrics {
+  obs::Counter& ingest_papers;
+  obs::Counter& ingest_failures;
+  obs::Counter& compaction_runs;
+  obs::Counter& compaction_failures;
+  obs::Counter& compaction_papers_folded;
+  obs::Gauge& delta_papers;
+  obs::Gauge& generation;
+  obs::Histogram& ingest_latency_us;
+  obs::Histogram& compaction_latency_us;
+};
+
+MutableIndexMetrics& Metrics() {
+  auto& reg = obs::MetricsRegistry::Instance();
+  static MutableIndexMetrics m{
+      reg.GetCounter("ctxrank_ingest_papers_total"),
+      reg.GetCounter("ctxrank_ingest_failures_total"),
+      reg.GetCounter("ctxrank_compaction_runs_total"),
+      reg.GetCounter("ctxrank_compaction_failures_total"),
+      reg.GetCounter("ctxrank_compaction_papers_folded_total"),
+      reg.GetGauge("ctxrank_delta_papers"),
+      reg.GetGauge("ctxrank_index_generation"),
+      reg.GetHistogram("ctxrank_ingest_latency_us", obs::LatencyBucketsUs()),
+      reg.GetHistogram("ctxrank_compaction_latency_us",
+                       obs::LatencyBucketsUs())};
+  return m;
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void SortUnique(std::vector<TermId>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+/// The seed set plus every proper ancestor of every seed, sorted unique.
+/// Affectedness must close under ancestors because the §3 hierarchy max
+/// pulls descendant scores upward: a changed context changes the lifted
+/// scores of everything above it.
+std::vector<TermId> AncestorClosure(const ontology::Ontology& onto,
+                                    const std::vector<TermId>& seed) {
+  std::vector<uint8_t> in(onto.size(), 0);
+  std::vector<TermId> stack;
+  stack.reserve(seed.size());
+  for (TermId t : seed) {
+    if (!in[t]) {
+      in[t] = 1;
+      stack.push_back(t);
+    }
+  }
+  std::vector<TermId> out;
+  while (!stack.empty()) {
+    const TermId t = stack.back();
+    stack.pop_back();
+    out.push_back(t);
+    for (TermId p : onto.term(t).parents) {
+      if (!in[p]) {
+        in[p] = 1;
+        stack.push_back(p);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void SortHits(std::vector<SearchHit>& hits) {
+  std::sort(hits.begin(), hits.end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.relevancy != b.relevancy) return a.relevancy > b.relevancy;
+              return a.paper < b.paper;
+            });
+}
+
+}  // namespace
+
+/// One frozen generation's serving artifacts. Heap-allocated once and
+/// never moved: every component references its siblings in place.
+struct MutableIndex::Base {
+  corpus::Corpus corpus;
+  std::unique_ptr<corpus::TokenizedCorpus> tc;
+  std::unique_ptr<corpus::FullTextSearch> search;
+  std::unique_ptr<graph::CitationGraph> graph;
+  std::unique_ptr<context::AuthorSimilarity> authors;
+  std::unique_ptr<context::ContextAssignment> assignment;
+  std::unique_ptr<context::PrestigeScores> prestige;
+  std::unique_ptr<context::ContextSearchEngine> engine;
+  /// Author -> papers listing them (affectedness spread of a brand-new
+  /// co-authorship pair: §3.2's Level-1 channel is corpus-global).
+  std::unordered_map<corpus::AuthorId, std::vector<PaperId>> papers_by_author;
+};
+
+/// One immutable published delta segment state. Record data (papers,
+/// contributions, maps) is copied forward from the previous state on every
+/// ingest; the overlay cache starts empty — memoized serving state is only
+/// valid for exactly this segment content.
+struct MutableIndex::DeltaState {
+  explicit DeltaState(const Base& base) : authors(*base.authors) {}
+
+  /// Lazily computed, memoized per-context serving overlays. One mutex;
+  /// Lifted calls Raw only outside it (never nested). A losing racer
+  /// recomputes an identical (deterministic) overlay and discards it.
+  struct OverlayCache {
+    std::shared_ptr<const context::ContextOverlay> Raw(
+        const context::MergedCorpusView& view, TermId t,
+        const context::TextAssignmentOptions& aopts,
+        const context::TextPrestigeOptions& popts) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = raw.find(t);
+        if (it != raw.end()) return it->second;
+      }
+      auto computed = std::make_shared<const context::ContextOverlay>(
+          context::ComputeContextOverlay(view, t, aopts, popts));
+      std::lock_guard<std::mutex> lock(mu);
+      return raw.emplace(t, std::move(computed)).first->second;
+    }
+
+    /// Post-hierarchy-max scores aligned with Raw(t)->members: the §3 lift
+    /// merges each descendant's RAW (pre-lift) scores, exactly like
+    /// ApplyHierarchicalMax's frozen-copy pass.
+    std::shared_ptr<const std::vector<double>> Lifted(
+        const context::MergedCorpusView& view, const ontology::Ontology& onto,
+        TermId t, const context::TextAssignmentOptions& aopts,
+        const context::TextPrestigeOptions& popts) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = lifted.find(t);
+        if (it != lifted.end()) return it->second;
+      }
+      const std::shared_ptr<const context::ContextOverlay> ov =
+          Raw(view, t, aopts, popts);
+      auto scores = std::make_shared<std::vector<double>>(ov->raw);
+      if (popts.hierarchical_max && ov->has_scores()) {
+        for (TermId d : onto.Descendants(t)) {
+          const auto dov = Raw(view, d, aopts, popts);
+          if (!dov->has_scores()) continue;
+          context::LiftWithDescendant(ov->members, *scores, dov->members,
+                                      dov->raw);
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      return lifted.emplace(t, std::move(scores)).first->second;
+    }
+
+    std::mutex mu;
+    std::unordered_map<TermId, std::shared_ptr<const context::ContextOverlay>>
+        raw;
+    std::unordered_map<TermId, std::shared_ptr<const std::vector<double>>>
+        lifted;
+  };
+
+  /// Un-compacted papers in ingest order; global id = base size + index.
+  std::vector<context::DeltaPaper> papers;
+  /// Per paper: the contexts it can belong to (evidence terms plus every
+  /// base context whose representative admits it) — MemberContexts for
+  /// delta papers in later papers' affectedness analysis.
+  std::vector<std::vector<TermId>> self_contexts;
+  /// Per paper: its ancestor-closed affected-context contribution,
+  /// recomputed against the new base when leftovers replay at compaction.
+  std::vector<std::vector<TermId>> contributions;
+  /// Paper -> delta papers citing it (merged InNeighbors suffix).
+  std::unordered_map<PaperId, std::vector<PaperId>> extra_in;
+  /// Term -> delta evidence papers in ingest order (merged Evidence
+  /// suffix — exactly the order a rebuilt corpus's AddEvidence calls
+  /// would append).
+  std::unordered_map<TermId, std::vector<PaperId>> extra_evidence;
+  /// Base co-authorship plus every delta paper folded in.
+  context::AuthorSimilarity authors;
+  /// Full vectors of the delta papers (match-cosine scoring).
+  text::DeltaPostings postings;
+  /// Union of all contributions, sorted — contexts whose serving state
+  /// must come from overlays. Closed under ancestors.
+  std::vector<TermId> affected;
+  /// Delta-born contexts: no base members, delta evidence present. Routed
+  /// via ContextSearchEngine's extra_selectable hook.
+  std::vector<TermId> extra_selectable;
+  mutable OverlayCache overlays;
+};
+
+MutableIndex::MutableIndex(const ontology::Ontology& onto, Options options,
+                           size_t stats_prefix)
+    : onto_(&onto),
+      options_(std::move(options)),
+      stats_prefix_(stats_prefix) {}
+
+MutableIndex::~MutableIndex() = default;
+
+Result<std::unique_ptr<MutableIndex::Base>> MutableIndex::BuildBase(
+    corpus::Corpus corpus, const ontology::Ontology& onto,
+    const Options& options, size_t stats_prefix) {
+  auto base = std::make_unique<Base>();
+  base->corpus = std::move(corpus);
+  base->tc = std::make_unique<corpus::TokenizedCorpus>(
+      base->corpus, options.analyzer, stats_prefix);
+  base->search = std::make_unique<corpus::FullTextSearch>(*base->tc);
+  base->graph = std::make_unique<graph::CitationGraph>(base->corpus);
+  base->authors = std::make_unique<context::AuthorSimilarity>(
+      base->corpus, options.prestige.author);
+  auto assignment = context::BuildTextBasedAssignment(
+      *base->tc, onto, *base->search, options.assignment);
+  CTXRANK_RETURN_NOT_OK(assignment.status());
+  base->assignment = std::make_unique<context::ContextAssignment>(
+      std::move(assignment).value());
+  // Build parallelism is thread-invariant by contract, so the index-wide
+  // num_threads can drive the prestige fan-out and engine construction.
+  context::TextPrestigeOptions popts = options.prestige;
+  popts.num_threads = options.num_threads;
+  auto prestige = context::ComputeTextPrestige(
+      onto, *base->assignment, *base->tc, *base->graph, *base->authors, popts);
+  CTXRANK_RETURN_NOT_OK(prestige.status());
+  base->prestige =
+      std::make_unique<context::PrestigeScores>(std::move(prestige).value());
+  context::ContextSearchEngine::EngineOptions eopts = options.engine;
+  eopts.num_threads = options.num_threads;
+  base->engine = std::make_unique<context::ContextSearchEngine>(
+      *base->tc, onto, *base->assignment, *base->prestige, eopts);
+  for (PaperId p = 0; p < base->corpus.size(); ++p) {
+    std::vector<corpus::AuthorId> authors = base->corpus.paper(p).authors;
+    std::sort(authors.begin(), authors.end());
+    authors.erase(std::unique(authors.begin(), authors.end()), authors.end());
+    for (corpus::AuthorId a : authors) {
+      base->papers_by_author[a].push_back(p);
+    }
+  }
+  return base;
+}
+
+Result<std::unique_ptr<MutableIndex>> MutableIndex::Build(
+    corpus::Corpus corpus, const ontology::Ontology& onto, Options options) {
+  if (!onto.finalized()) {
+    return Status::FailedPrecondition(
+        "MutableIndex requires a finalized ontology");
+  }
+  const size_t stats_prefix = corpus.size();
+  if (stats_prefix == 0) {
+    return Status::InvalidArgument(
+        "MutableIndex requires a non-empty seed corpus (the TF-IDF "
+        "statistics are frozen at its size)");
+  }
+  auto base = BuildBase(std::move(corpus), onto, options, stats_prefix);
+  CTXRANK_RETURN_NOT_OK(base.status());
+  std::unique_ptr<MutableIndex> index(
+      new MutableIndex(onto, std::move(options), stats_prefix));
+  index->base_ =
+      std::shared_ptr<const Base>(std::move(base).value().release());
+  Metrics().generation.Set(0);
+  Metrics().delta_papers.Set(0);
+  return index;
+}
+
+MutableIndex::View MutableIndex::CurrentView() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return View{base_, delta_};
+}
+
+Result<context::DeltaPaper> MutableIndex::MakeDeltaPaper(
+    const Base& base, size_t delta_count, IngestPaper in) const {
+  const PaperId id =
+      static_cast<PaperId>(base.corpus.size() + delta_count);
+  corpus::Paper paper = std::move(in.paper);
+  paper.id = id;
+  // Same reference invariants Corpus::Add enforces at compaction — reject
+  // now so a bad ingest can never poison the compaction rebuild.
+  std::unordered_set<PaperId> seen;
+  for (PaperId ref : paper.references) {
+    if (ref >= id) {
+      return Status::InvalidArgument(
+          "ingested paper cites unknown paper " + std::to_string(ref) +
+          " (next id is " + std::to_string(id) + ")");
+    }
+    if (!seen.insert(ref).second) {
+      return Status::InvalidArgument("duplicate reference " +
+                                     std::to_string(ref) +
+                                     " in ingested paper");
+    }
+  }
+  std::sort(paper.authors.begin(), paper.authors.end());
+  paper.authors.erase(
+      std::unique(paper.authors.begin(), paper.authors.end()),
+      paper.authors.end());
+  std::vector<TermId> evidence = std::move(in.evidence_terms);
+  for (TermId t : evidence) {
+    if (t >= onto_->size()) {
+      return Status::InvalidArgument("evidence term " + std::to_string(t) +
+                                     " out of ontology range");
+    }
+  }
+  SortUnique(evidence);
+  // Tokenize and vectorize with the frozen model. AnalyzeToKnownIds drops
+  // tokens outside the frozen vocabulary; a rebuild would intern them with
+  // df = 0 and Transform would drop them — identical vectors either way.
+  context::DeltaPaper dp;
+  const text::Analyzer& analyzer = base.tc->analyzer();
+  const text::Vocabulary& vocab = base.tc->vocabulary();
+  std::vector<text::TermId> all;
+  for (int s = 0; s < corpus::kNumTextSections; ++s) {
+    const std::vector<text::TermId> ids = analyzer.AnalyzeToKnownIds(
+        paper.SectionText(static_cast<corpus::Section>(s)), vocab);
+    dp.sections[static_cast<size_t>(s)] = base.tc->tfidf().Transform(ids);
+    all.insert(all.end(), ids.begin(), ids.end());
+  }
+  dp.full = base.tc->tfidf().Transform(all);
+  dp.paper = std::move(paper);
+  dp.evidence_terms = std::move(evidence);
+  return dp;
+}
+
+std::shared_ptr<MutableIndex::DeltaState> MutableIndex::CloneShell(
+    const Base& base, const DeltaState* prev) {
+  auto state = std::make_shared<DeltaState>(base);
+  if (prev != nullptr) {
+    state->papers = prev->papers;
+    state->self_contexts = prev->self_contexts;
+    state->contributions = prev->contributions;
+    state->extra_in = prev->extra_in;
+    state->extra_evidence = prev->extra_evidence;
+    state->authors = prev->authors;
+    state->postings = prev->postings;
+  }
+  return state;
+}
+
+void MutableIndex::AppendRecord(const Base& base, DeltaState& state,
+                                context::DeltaPaper dp) const {
+  const size_t base_n = base.corpus.size();
+  const PaperId new_id = static_cast<PaperId>(base_n + state.papers.size());
+
+  // Brand-new co-authorship pairs, detected before folding the paper in:
+  // a pair that already co-authored changes no Level-1 similarity.
+  std::vector<corpus::AuthorId> pair_authors;
+  const std::vector<corpus::AuthorId>& aus = dp.paper.authors;
+  for (size_t i = 0; i < aus.size(); ++i) {
+    for (size_t j = i + 1; j < aus.size(); ++j) {
+      if (!state.authors.AreCoauthors(aus[i], aus[j])) {
+        pair_authors.push_back(aus[i]);
+        pair_authors.push_back(aus[j]);
+      }
+    }
+  }
+  std::sort(pair_authors.begin(), pair_authors.end());
+  pair_authors.erase(
+      std::unique(pair_authors.begin(), pair_authors.end()),
+      pair_authors.end());
+
+  // Contexts this paper can belong to: its evidence terms plus every base
+  // context whose representative's cosine admits it (the exact member-scan
+  // comparison).
+  std::vector<TermId> self = dp.evidence_terms;
+  {
+    const std::vector<TermId> threshold = context::ThresholdContexts(
+        *base.tc, *base.assignment, dp.full,
+        options_.assignment.member_threshold);
+    self.insert(self.end(), threshold.begin(), threshold.end());
+    SortUnique(self);
+  }
+
+  // Affectedness seed: the paper's own contexts, the contexts of every
+  // paper it cites (their in-neighbor lists — the co-citation channel —
+  // change), and, for brand-new co-author pairs, the contexts of every
+  // paper by either author (their Level-1 similarities change).
+  std::vector<TermId> seed = self;
+  const auto add_member_contexts = [&](PaperId q) {
+    if (q < base_n) {
+      const std::span<const TermId> contexts = base.assignment->ContextsOf(q);
+      seed.insert(seed.end(), contexts.begin(), contexts.end());
+    } else {
+      const std::vector<TermId>& contexts = state.self_contexts[q - base_n];
+      seed.insert(seed.end(), contexts.begin(), contexts.end());
+    }
+  };
+  for (PaperId r : dp.paper.references) add_member_contexts(r);
+  if (!pair_authors.empty()) {
+    for (corpus::AuthorId a : pair_authors) {
+      const auto it = base.papers_by_author.find(a);
+      if (it == base.papers_by_author.end()) continue;
+      for (PaperId q : it->second) add_member_contexts(q);
+    }
+    for (size_t d = 0; d < state.papers.size(); ++d) {
+      const std::vector<corpus::AuthorId>& das = state.papers[d].paper.authors;
+      const bool touched = std::any_of(
+          pair_authors.begin(), pair_authors.end(),
+          [&das](corpus::AuthorId a) {
+            return std::binary_search(das.begin(), das.end(), a);
+          });
+      if (touched) {
+        seed.insert(seed.end(), state.self_contexts[d].begin(),
+                    state.self_contexts[d].end());
+      }
+    }
+  }
+  std::vector<TermId> contribution = AncestorClosure(*onto_, seed);
+
+  for (PaperId r : dp.paper.references) {
+    state.extra_in[r].push_back(new_id);
+  }
+  for (TermId t : dp.evidence_terms) {
+    state.extra_evidence[t].push_back(new_id);
+  }
+  state.postings.Add(dp.full);
+  state.authors.AddPaper(dp.paper);
+  state.self_contexts.push_back(std::move(self));
+  state.contributions.push_back(std::move(contribution));
+  state.papers.push_back(std::move(dp));
+}
+
+void MutableIndex::FinishState(const Base& base, DeltaState& state) {
+  state.affected.clear();
+  for (const std::vector<TermId>& c : state.contributions) {
+    state.affected.insert(state.affected.end(), c.begin(), c.end());
+  }
+  SortUnique(state.affected);
+  state.extra_selectable.clear();
+  for (const auto& [term, papers] : state.extra_evidence) {
+    if (!papers.empty() && base.assignment->Members(term).empty()) {
+      state.extra_selectable.push_back(term);
+    }
+  }
+  std::sort(state.extra_selectable.begin(), state.extra_selectable.end());
+}
+
+Result<PaperId> MutableIndex::Ingest(IngestPaper in) {
+  MutableIndexMetrics& m = Metrics();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  const View view = CurrentView();
+  const Base& base = *view.base;
+  const size_t delta_count =
+      view.delta != nullptr ? view.delta->papers.size() : 0;
+  auto dp = MakeDeltaPaper(base, delta_count, std::move(in));
+  if (!dp.ok()) {
+    m.ingest_failures.Increment();
+    return dp.status();
+  }
+  std::shared_ptr<DeltaState> next = CloneShell(base, view.delta.get());
+  AppendRecord(base, *next, std::move(dp).value());
+  FinishState(base, *next);
+  const PaperId id =
+      static_cast<PaperId>(base.corpus.size() + next->papers.size() - 1);
+  const size_t delta_size = next->papers.size();
+  {
+    std::lock_guard<std::mutex> swap(mu_);
+    delta_ = std::move(next);
+  }
+  m.ingest_papers.Increment();
+  m.delta_papers.Set(static_cast<int64_t>(delta_size));
+  m.ingest_latency_us.Observe(MicrosSince(t0));
+  return id;
+}
+
+SearchResponse MutableIndex::SearchTwoLeg(
+    const View& view, std::string_view query,
+    const context::SearchOptions& options, const Deadline& deadline) const {
+  const Base& base = *view.base;
+  const DeltaState& delta = *view.delta;
+  const size_t base_n = base.tc->size();
+
+  // Route ONCE on the base engine; delta-born contexts become selectable
+  // via the sorted extra list. Identical to routing on a merged rebuild:
+  // the frozen model pins name vectors, norms, and query analysis.
+  const std::vector<ContextMatch> selected =
+      base.engine->RouteQueryText(query, options, delta.extra_selectable);
+
+  // Partition into the base leg (contexts untouched by the delta — the
+  // frozen artifacts, pruned fast path included, are exact for them) and
+  // the overlay leg, remembering each context's global selection rank for
+  // the cross-leg merge.
+  std::vector<ContextMatch> base_leg;
+  std::vector<ContextMatch> overlay_leg;
+  std::unordered_map<TermId, size_t> rank_of;
+  rank_of.reserve(selected.size());
+  for (size_t i = 0; i < selected.size(); ++i) {
+    rank_of.emplace(selected[i].term, i);
+    if (std::binary_search(delta.affected.begin(), delta.affected.end(),
+                           selected[i].term)) {
+      overlay_leg.push_back(selected[i]);
+    } else {
+      base_leg.push_back(selected[i]);
+    }
+  }
+
+  SearchResponse base_resp =
+      base.engine->SearchRouted(query, base_leg, options, deadline);
+
+  // Overlay leg: exact scan over the recomputed per-context serving state,
+  // mirroring ExactScan's per-member expression and skip conditions.
+  const auto ids =
+      base.tc->analyzer().AnalyzeToKnownIds(query, base.tc->vocabulary());
+  const text::SparseVector qv = base.tc->tfidf().TransformQuery(ids);
+  const context::MergedCorpusView merged(*base.tc, *base.graph, delta.authors,
+                                         delta.papers, delta.extra_in,
+                                         delta.extra_evidence);
+  const double wp = options.weights.prestige;
+  const double wm = options.weights.matching;
+  std::vector<SearchHit> overlay_hits;
+  std::vector<TermId> overlay_skipped;
+  std::vector<double> delta_cos;
+  bool have_cos = false;
+  for (const ContextMatch& cm : overlay_leg) {
+    if (deadline.expired()) {
+      overlay_skipped.push_back(cm.term);
+      continue;
+    }
+    const auto overlay = delta.overlays.Raw(merged, cm.term,
+                                            options_.assignment,
+                                            options_.prestige);
+    if (!overlay->has_scores()) continue;
+    const auto lifted = delta.overlays.Lifted(
+        merged, *onto_, cm.term, options_.assignment, options_.prestige);
+    if (!have_cos) {
+      delta_cos = delta.postings.CosineAll(qv);
+      have_cos = true;
+    }
+    for (size_t i = 0; i < overlay->members.size(); ++i) {
+      const PaperId p = overlay->members[i];
+      const double match = p < base_n ? qv.Cosine(base.tc->FullVector(p))
+                                      : delta_cos[p - base_n];
+      const double prestige = i < lifted->size() ? (*lifted)[i] : 0.0;
+      const double r = wp * prestige + wm * match;
+      if (r < options.min_relevancy) continue;
+      overlay_hits.push_back({p, r, cm.term, prestige, match});
+    }
+  }
+
+  // Cross-leg merge: per paper, best relevancy wins; ties go to the lower
+  // global selection rank. Each leg already resolved its internal ties the
+  // same way (first context with the max, in selection order), so this
+  // reproduces the sequential single-engine merge exactly.
+  struct Ranked {
+    SearchHit hit;
+    size_t rank;
+  };
+  std::unordered_map<PaperId, Ranked> per_paper;
+  const auto fold = [&](const SearchHit& hit) {
+    const size_t rank = rank_of.at(hit.context);
+    auto it = per_paper.find(hit.paper);
+    if (it == per_paper.end() ||
+        hit.relevancy > it->second.hit.relevancy ||
+        (hit.relevancy == it->second.hit.relevancy &&
+         rank < it->second.rank)) {
+      per_paper[hit.paper] = Ranked{hit, rank};
+    }
+  };
+  for (const SearchHit& hit : base_resp.hits) fold(hit);
+  for (const SearchHit& hit : overlay_hits) fold(hit);
+
+  SearchResponse response;
+  response.hits.reserve(per_paper.size());
+  for (const auto& [paper, ranked] : per_paper) {
+    response.hits.push_back(ranked.hit);
+  }
+  SortHits(response.hits);
+  if (options.top_k > 0 && response.hits.size() > options.top_k) {
+    response.hits.resize(options.top_k);
+  }
+  response.skipped_contexts = std::move(base_resp.skipped_contexts);
+  response.skipped_contexts.insert(response.skipped_contexts.end(),
+                                   overlay_skipped.begin(),
+                                   overlay_skipped.end());
+  response.degraded = !response.skipped_contexts.empty();
+  return response;
+}
+
+SearchResponse MutableIndex::SearchGuarded(
+    std::string_view query, const context::SearchOptions& options,
+    const Deadline& deadline) const {
+  const View view = CurrentView();
+  if (view.delta == nullptr || view.delta->papers.empty()) {
+    return view.base->engine->SearchGuarded(query, options, deadline);
+  }
+  return SearchTwoLeg(view, query, options, deadline);
+}
+
+SearchResponse MutableIndex::SearchEx(
+    std::string_view query, const context::SearchOptions& options) const {
+  const Deadline deadline = options.deadline_ms > 0
+                                ? Deadline::AfterMs(options.deadline_ms)
+                                : Deadline();
+  return SearchGuarded(query, options, deadline);
+}
+
+Status MutableIndex::Compact() {
+  MutableIndexMetrics& m = Metrics();
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+  const View view = CurrentView();
+  const size_t fold = view.delta != nullptr ? view.delta->papers.size() : 0;
+  if (fold == 0) return Status::OK();  // Empty delta: compaction is a no-op.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto fail = [&m](Status status) {
+    m.compaction_failures.Increment();
+    return status;
+  };
+
+  // Merged corpus: base papers, then the captured delta prefix in ingest
+  // order. Per-term evidence keeps base order first, delta ingest order
+  // after — exactly the merged Evidence() the overlays served from.
+  const Base& old_base = *view.base;
+  const size_t base_n = old_base.corpus.size();
+  corpus::Corpus corpus;
+  for (PaperId p = 0; p < base_n; ++p) {
+    CTXRANK_RETURN_NOT_OK(corpus.Add(old_base.corpus.paper(p)));
+  }
+  size_t num_authors = old_base.corpus.num_authors();
+  for (size_t d = 0; d < fold; ++d) {
+    const corpus::Paper& paper = view.delta->papers[d].paper;
+    CTXRANK_RETURN_NOT_OK(corpus.Add(paper));
+    for (corpus::AuthorId a : paper.authors) {
+      num_authors = std::max(num_authors, static_cast<size_t>(a) + 1);
+    }
+  }
+  corpus.set_num_authors(num_authors);
+  for (TermId t = 0; t < onto_->size(); ++t) {
+    for (PaperId p : old_base.corpus.Evidence(t)) corpus.AddEvidence(t, p);
+  }
+  for (size_t d = 0; d < fold; ++d) {
+    for (TermId t : view.delta->papers[d].evidence_terms) {
+      corpus.AddEvidence(t, static_cast<PaperId>(base_n + d));
+    }
+  }
+
+  // The heavy rebuild runs off every serving lock: queries keep serving
+  // the old view, ingests keep appending to the live delta.
+  {
+    Status s = fault::MaybeFail("mutable_index/compact");
+    if (!s.ok()) return fail(std::move(s));
+  }
+  fault::MaybeStall("mutable_index/compact");
+  auto built = BuildBase(std::move(corpus), *onto_, options_, stats_prefix_);
+  if (!built.ok()) return fail(built.status());
+  const std::shared_ptr<const Base> new_base(
+      std::move(built).value().release());
+
+  if (!options_.snapshot_path.empty()) {
+    SnapshotInputs inputs;
+    inputs.tc = new_base->tc.get();
+    inputs.onto = onto_;
+    inputs.assignment = new_base->assignment.get();
+    inputs.prestige = new_base->prestige.get();
+    inputs.engine = new_base->engine.get();
+    inputs.corpus = &new_base->corpus;
+    const std::string tmp = options_.snapshot_path + ".tmp";
+    Status s = SaveSnapshot(inputs, tmp, options_.num_threads);
+    if (s.ok() &&
+        std::rename(tmp.c_str(), options_.snapshot_path.c_str()) != 0) {
+      s = Status::IoError("rename " + tmp + " -> " + options_.snapshot_path +
+                          " failed");
+    }
+    if (!s.ok()) return fail(std::move(s));
+  }
+
+  // Publish: with ingests paused, replay every paper ingested since the
+  // capture against the new base. Leftover global ids are unchanged (the
+  // compacted prefix moved into the base, so base size grew by exactly
+  // their old delta offset), which keeps stored references and vectors
+  // valid verbatim; contexts and affectedness are recomputed because both
+  // are relative to the base generation.
+  size_t leftover = 0;
+  {
+    std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+    const View current = CurrentView();
+    const size_t total =
+        current.delta != nullptr ? current.delta->papers.size() : 0;
+    std::shared_ptr<DeltaState> replayed;
+    if (total > fold) {
+      replayed = CloneShell(*new_base, nullptr);
+      for (size_t d = fold; d < total; ++d) {
+        AppendRecord(*new_base, *replayed, current.delta->papers[d]);
+      }
+      FinishState(*new_base, *replayed);
+      leftover = total - fold;
+    }
+    {
+      std::lock_guard<std::mutex> swap(mu_);
+      base_ = new_base;
+      delta_ = std::move(replayed);
+    }
+    generation_.fetch_add(1);
+  }
+  m.compaction_runs.Increment();
+  m.compaction_papers_folded.Increment(fold);
+  m.delta_papers.Set(static_cast<int64_t>(leftover));
+  m.generation.Set(static_cast<int64_t>(generation_.load()));
+  m.compaction_latency_us.Observe(MicrosSince(t0));
+  return Status::OK();
+}
+
+size_t MutableIndex::base_papers() const {
+  return CurrentView().base->corpus.size();
+}
+
+size_t MutableIndex::delta_papers() const {
+  const View view = CurrentView();
+  return view.delta != nullptr ? view.delta->papers.size() : 0;
+}
+
+size_t MutableIndex::num_papers() const {
+  const View view = CurrentView();
+  return view.base->corpus.size() +
+         (view.delta != nullptr ? view.delta->papers.size() : 0);
+}
+
+std::vector<TermId> MutableIndex::affected_contexts() const {
+  const View view = CurrentView();
+  return view.delta != nullptr ? view.delta->affected : std::vector<TermId>();
+}
+
+std::vector<TermId> MutableIndex::extra_selectable_contexts() const {
+  const View view = CurrentView();
+  return view.delta != nullptr ? view.delta->extra_selectable
+                               : std::vector<TermId>();
+}
+
+}  // namespace ctxrank::serve

@@ -1,0 +1,210 @@
+// Live index mutation: a Lucene-style segmented mutable index. A frozen
+// base generation (the full batch pipeline: tokenize -> TF-IDF ->
+// assignment -> prestige -> search engine) absorbs new papers into an
+// in-memory delta segment, serves queries over [base + delta] with results
+// BITWISE IDENTICAL to a from-scratch rebuild over the merged corpus, and
+// folds the delta into a new base generation via background compaction.
+//
+// The identity rests on two pillars (docs/INDEXING.md):
+//
+//   * Frozen statistics. TF-IDF document frequencies and N are pinned at
+//     the initial corpus size (`stats_prefix`) forever — across every
+//     compaction. A delta paper's vectors, computed at ingest with the
+//     frozen model, are exactly the vectors a rebuild with the same
+//     stats_prefix produces (tokens outside the frozen vocabulary carry
+//     df = 0 and are dropped either way).
+//   * Affected-context tracking. Each ingested paper contributes a
+//     conservative, ancestor-closed set of contexts whose serving state
+//     (representative, members, prestige) could differ from the base's.
+//     Unaffected contexts serve from the frozen base artifacts unchanged
+//     (the pruned fast path included); affected contexts are recomputed
+//     lazily per published delta state — context::ComputeContextOverlay
+//     replicates the batch builders' floating-point evaluation order — and
+//     memoized until the next ingest or compaction.
+//
+// Queries fan out over two legs: the unaffected subsequence of the routed
+// contexts runs on the base engine (ContextSearchEngine::SearchRouted),
+// the affected subsequence on the delta overlays; the legs merge by
+// per-paper best relevancy with ties resolved by global selection rank,
+// which is provably the single-engine merge order.
+//
+// Thread-safety: queries are lock-free against ingest (they snapshot the
+// current {base, delta} behind shared_ptrs); Ingest calls serialize;
+// Compact runs concurrently with both and republishes atomically,
+// replaying papers ingested mid-compaction against the new base.
+#ifndef CTXRANK_SERVE_MUTABLE_INDEX_H_
+#define CTXRANK_SERVE_MUTABLE_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "context/assignment_builders.h"
+#include "context/incremental.h"
+#include "context/search_engine.h"
+#include "context/text_prestige.h"
+#include "corpus/corpus.h"
+#include "ontology/ontology.h"
+#include "text/analyzer.h"
+
+namespace ctxrank::serve {
+
+class MutableIndex {
+ public:
+  struct Options {
+    text::AnalyzerOptions analyzer;
+    context::TextAssignmentOptions assignment;
+    /// Channel weights etc. for the text prestige pipeline — the only
+    /// prestige function the mutable index supports (citation and pattern
+    /// prestige are corpus-global batch computations with no incremental
+    /// form; rebuild for those).
+    context::TextPrestigeOptions prestige;
+    context::ContextSearchEngine::EngineOptions engine;
+    /// Parallelism for base builds (initial and compaction) and snapshot
+    /// writes: 0 = hardware concurrency. Results are thread-invariant.
+    size_t num_threads = 1;
+    /// When non-empty, every compaction also serializes the new base
+    /// generation here (CTXSNAP1, temp file + atomic rename) — a
+    /// SnapshotSupervisor watching the path hot-swaps onto the new
+    /// generation.
+    std::string snapshot_path;
+  };
+
+  /// One paper to ingest. `paper.id` is ignored (the index assigns the
+  /// next global id); references must point at already-present papers
+  /// (base or delta) and be duplicate-free; the author list is
+  /// canonicalized (sorted, deduplicated) on ingest. `evidence_terms`
+  /// marks the ontology terms this paper is annotation evidence for.
+  struct IngestPaper {
+    corpus::Paper paper;
+    std::vector<ontology::TermId> evidence_terms;
+  };
+
+  /// Builds the initial (generation 0) base over `corpus`. The ontology
+  /// must be finalized and outlive the index. The TF-IDF statistics are
+  /// frozen at corpus.size() forever.
+  static Result<std::unique_ptr<MutableIndex>> Build(corpus::Corpus corpus,
+                                                     const ontology::Ontology& onto,
+                                                     Options options);
+  static Result<std::unique_ptr<MutableIndex>> Build(
+      corpus::Corpus corpus, const ontology::Ontology& onto) {
+    return Build(std::move(corpus), onto, Options());
+  }
+
+  ~MutableIndex();
+  MutableIndex(const MutableIndex&) = delete;
+  MutableIndex& operator=(const MutableIndex&) = delete;
+
+  /// Ingests one paper into the delta segment and publishes a new delta
+  /// state; the paper is searchable the moment this returns. Returns the
+  /// assigned global paper id. Thread-safe (ingests serialize; queries
+  /// never block).
+  Result<corpus::PaperId> Ingest(IngestPaper in);
+
+  /// Full search over [base + delta]; bitwise identical to SearchEx on an
+  /// index rebuilt from the merged corpus with the same frozen
+  /// stats_prefix. With an empty delta this is exactly the base engine's
+  /// guarded search (admission + cache included); with live deltas the
+  /// two-leg path runs uncached and unadmitted (tracing unsupported).
+  context::SearchResponse SearchEx(
+      std::string_view query, const context::SearchOptions& options = {}) const;
+
+  /// SearchEx against an externally armed deadline (the daemon's serving
+  /// spine, serve::RequestContext).
+  context::SearchResponse SearchGuarded(std::string_view query,
+                                        const context::SearchOptions& options,
+                                        const Deadline& deadline) const;
+
+  /// Folds the current delta segment into a freshly built base generation
+  /// (and serializes it to `snapshot_path` when configured). Runs the
+  /// heavy rebuild off every serving lock: queries and ingests proceed
+  /// concurrently; papers ingested mid-compaction are replayed against the
+  /// new base before the atomic publish, so nothing is ever lost or
+  /// double-counted. An empty delta is a no-op. Compactions serialize.
+  Status Compact();
+
+  /// Papers in the frozen base generation / the live delta / total.
+  size_t base_papers() const;
+  size_t delta_papers() const;
+  size_t num_papers() const;
+
+  /// Completed compactions (generation 0 = the initial build).
+  uint64_t generation() const { return generation_.load(); }
+
+  /// The frozen TF-IDF statistics prefix (the initial corpus size, P0).
+  size_t stats_prefix() const { return stats_prefix_; }
+
+  const ontology::Ontology& onto() const { return *onto_; }
+  const Options& options() const { return options_; }
+
+  /// Introspection for tests: the current delta state's affected-context
+  /// set and the delta-born contexts injected into routing (both sorted).
+  std::vector<ontology::TermId> affected_contexts() const;
+  std::vector<ontology::TermId> extra_selectable_contexts() const;
+
+ private:
+  struct Base;        // One frozen generation's serving artifacts.
+  struct DeltaState;  // One immutable published delta segment state.
+
+  /// A consistent {base, delta} pair captured under mu_.
+  struct View {
+    std::shared_ptr<const Base> base;
+    std::shared_ptr<const DeltaState> delta;  // Null = no live delta.
+  };
+
+  MutableIndex(const ontology::Ontology& onto, Options options,
+               size_t stats_prefix);
+
+  static Result<std::unique_ptr<Base>> BuildBase(corpus::Corpus corpus,
+                                                 const ontology::Ontology& onto,
+                                                 const Options& options,
+                                                 size_t stats_prefix);
+
+  View CurrentView() const;
+
+  /// Validates + canonicalizes one ingest and computes the paper's frozen
+  /// artifacts (vectors, evidence terms) with the base generation's model.
+  Result<context::DeltaPaper> MakeDeltaPaper(const Base& base,
+                                             size_t delta_count,
+                                             IngestPaper in) const;
+
+  /// Copies `prev`'s record data (nothing memoized) into a fresh state.
+  static std::shared_ptr<DeltaState> CloneShell(const Base& base,
+                                                const DeltaState* prev);
+
+  /// Appends one paper to a state under construction: affectedness
+  /// contribution, evidence/citation maps, postings, co-authorship fold.
+  void AppendRecord(const Base& base, DeltaState& state,
+                    context::DeltaPaper dp) const;
+
+  /// Recomputes the state-level aggregates (affected, extra_selectable).
+  static void FinishState(const Base& base, DeltaState& state);
+
+  /// The two-leg delta-aware search (view.delta non-null and non-empty).
+  context::SearchResponse SearchTwoLeg(const View& view,
+                                       std::string_view query,
+                                       const context::SearchOptions& options,
+                                       const Deadline& deadline) const;
+
+  const ontology::Ontology* onto_;
+  const Options options_;
+  const size_t stats_prefix_;
+
+  mutable std::mutex mu_;  // Guards base_/delta_ pointer swaps only.
+  std::shared_ptr<const Base> base_;
+  std::shared_ptr<const DeltaState> delta_;
+
+  std::mutex ingest_mu_;   // Serializes ingest read-modify-publish cycles.
+  std::mutex compact_mu_;  // Serializes whole compactions.
+  std::atomic<uint64_t> generation_{0};
+};
+
+}  // namespace ctxrank::serve
+
+#endif  // CTXRANK_SERVE_MUTABLE_INDEX_H_

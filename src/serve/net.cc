@@ -48,11 +48,12 @@ static_assert(kRespNumSkippedShards + 4 == kResponseFixedBytes);
 constexpr uint32_t kMaxStatusCode =
     static_cast<uint32_t>(StatusCode::kResourceExhausted);
 
-void AppendFrameHeader(std::string& out, uint8_t type, uint32_t body_len) {
+void AppendFrameHeader(std::string& out, uint8_t type, uint32_t body_len,
+                       uint16_t header_flags = 0) {
   out.append(kFrameMagic, kFrameMagicBytes);
   out.push_back(static_cast<char>(type));
   char flags[2];
-  StoreLE16(reinterpret_cast<unsigned char*>(flags), 0);
+  StoreLE16(reinterpret_cast<unsigned char*>(flags), header_flags);
   out.append(flags, sizeof(flags));
   AppendLE32(out, body_len);
 }
@@ -118,15 +119,18 @@ Frame NextFrame(std::string_view buf, uint32_t max_frame_bytes) {
       reinterpret_cast<const unsigned char*>(buf.data() + kFrameMagicBytes +
                                              1));
   const uint32_t body_len = LoadLE32(buf.data() + kFrameMagicBytes + 3);
-  if (type < kFrameSearchRequest || type > kFramePong) {
+  if (type < kFrameSearchRequest || type > kFrameAddPaperResponse) {
     frame.state = FrameState::kBadFrame;
     frame.error = "unknown frame type " + std::to_string(type);
     return frame;
   }
-  if (flags != 0) {
+  // The header flags word is a generation tag on SearchResponse frames
+  // (see GenerationTag in net.h) and still reserved-zero everywhere else.
+  if (flags != 0 && type != kFrameSearchResponse) {
     frame.state = FrameState::kBadFrame;
     frame.error = "nonzero frame flags " + std::to_string(flags) +
-                  " (must be 0 in protocol version 1)";
+                  " on frame type " + std::to_string(type) +
+                  " (flags carry data only on SearchResponse)";
     return frame;
   }
   if (body_len > max_frame_bytes) {
@@ -139,6 +143,7 @@ Frame NextFrame(std::string_view buf, uint32_t max_frame_bytes) {
   if (buf.size() < kFrameHeaderBytes + body_len) return frame;  // kNeedMore.
   frame.state = FrameState::kReady;
   frame.type = type;
+  frame.flags = flags;
   frame.body = buf.substr(kFrameHeaderBytes, body_len);
   frame.consumed = kFrameHeaderBytes + body_len;
   return frame;
@@ -258,7 +263,137 @@ Result<WirePong> DecodePongBody(std::string_view body) {
   return pong;
 }
 
-std::string EncodeSearchResponse(const context::SearchResponse& response) {
+std::string EncodeAddPaperRequest(const WireAddPaper& paper) {
+  const size_t body_len =
+      kAddPaperFixedBytes +
+      (paper.authors.size() + paper.references.size() +
+       paper.evidence_terms.size()) * 4 +
+      paper.title.size() + paper.abstract_text.size() + paper.body.size() +
+      paper.index_terms.size();
+  std::string out;
+  out.reserve(kFrameHeaderBytes + body_len);
+  AppendFrameHeader(out, kFrameAddPaperRequest,
+                    static_cast<uint32_t>(body_len));
+  AppendLE32(out, static_cast<uint32_t>(paper.title.size()));
+  AppendLE32(out, static_cast<uint32_t>(paper.abstract_text.size()));
+  AppendLE32(out, static_cast<uint32_t>(paper.body.size()));
+  AppendLE32(out, static_cast<uint32_t>(paper.index_terms.size()));
+  AppendLE32(out, static_cast<uint32_t>(paper.authors.size()));
+  AppendLE32(out, static_cast<uint32_t>(paper.references.size()));
+  AppendLE32(out, static_cast<uint32_t>(paper.evidence_terms.size()));
+  AppendLE32(out, 0);  // Reserved.
+  for (const uint32_t a : paper.authors) AppendLE32(out, a);
+  for (const uint32_t r : paper.references) AppendLE32(out, r);
+  for (const uint32_t t : paper.evidence_terms) AppendLE32(out, t);
+  out.append(paper.title);
+  out.append(paper.abstract_text);
+  out.append(paper.body);
+  out.append(paper.index_terms);
+  return out;
+}
+
+Result<WireAddPaper> DecodeAddPaperRequestBody(std::string_view body) {
+  if (body.size() < kAddPaperFixedBytes) {
+    return Status::InvalidArgument(
+        "AddPaperRequest body truncated: " + std::to_string(body.size()) +
+        " bytes, need at least " + std::to_string(kAddPaperFixedBytes));
+  }
+  const char* p = body.data();
+  const uint32_t title_len = LoadLE32(p);
+  const uint32_t abstract_len = LoadLE32(p + 4);
+  const uint32_t paper_body_len = LoadLE32(p + 8);
+  const uint32_t index_terms_len = LoadLE32(p + 12);
+  const uint32_t num_authors = LoadLE32(p + 16);
+  const uint32_t num_references = LoadLE32(p + 20);
+  const uint32_t num_evidence = LoadLE32(p + 24);
+  if (LoadLE32(p + 28) != 0) {
+    return Status::InvalidArgument(
+        "AddPaperRequest reserved word is nonzero");
+  }
+  const uint64_t expected =
+      static_cast<uint64_t>(kAddPaperFixedBytes) +
+      (static_cast<uint64_t>(num_authors) + num_references + num_evidence) *
+          4 +
+      static_cast<uint64_t>(title_len) + abstract_len + paper_body_len +
+      index_terms_len;
+  if (body.size() != expected) {
+    return Status::InvalidArgument(
+        "AddPaperRequest body of " + std::to_string(body.size()) +
+        " bytes does not match declared contents (" +
+        std::to_string(expected) + " expected)");
+  }
+  WireAddPaper paper;
+  const char* cursor = p + kAddPaperFixedBytes;
+  paper.authors.resize(num_authors);
+  for (uint32_t i = 0; i < num_authors; ++i, cursor += 4) {
+    paper.authors[i] = LoadLE32(cursor);
+  }
+  paper.references.resize(num_references);
+  for (uint32_t i = 0; i < num_references; ++i, cursor += 4) {
+    paper.references[i] = LoadLE32(cursor);
+  }
+  paper.evidence_terms.resize(num_evidence);
+  for (uint32_t i = 0; i < num_evidence; ++i, cursor += 4) {
+    paper.evidence_terms[i] = LoadLE32(cursor);
+  }
+  paper.title.assign(cursor, title_len);
+  cursor += title_len;
+  paper.abstract_text.assign(cursor, abstract_len);
+  cursor += abstract_len;
+  paper.body.assign(cursor, paper_body_len);
+  cursor += paper_body_len;
+  paper.index_terms.assign(cursor, index_terms_len);
+  return paper;
+}
+
+std::string EncodeAddPaperResponse(const WireAddPaperResponse& response) {
+  const size_t body_len = kAddPaperResponseFixedBytes + response.message.size();
+  std::string out;
+  out.reserve(kFrameHeaderBytes + body_len);
+  AppendFrameHeader(out, kFrameAddPaperResponse,
+                    static_cast<uint32_t>(body_len));
+  AppendLE32(out, static_cast<uint32_t>(response.code));
+  AppendLE32(out, response.paper_id);
+  AppendLE32(out, response.num_papers);
+  AppendLE32(out, static_cast<uint32_t>(response.message.size()));
+  AppendLE64(out, response.generation);
+  out.append(response.message);
+  return out;
+}
+
+Result<WireAddPaperResponse> DecodeAddPaperResponseBody(
+    std::string_view body) {
+  if (body.size() < kAddPaperResponseFixedBytes) {
+    return Status::InvalidArgument(
+        "AddPaperResponse body truncated: " + std::to_string(body.size()) +
+        " bytes, need at least " +
+        std::to_string(kAddPaperResponseFixedBytes));
+  }
+  const char* p = body.data();
+  const uint32_t status = LoadLE32(p);
+  if (status > kMaxStatusCode) {
+    return Status::InvalidArgument("unknown status code " +
+                                   std::to_string(status));
+  }
+  const uint32_t message_len = LoadLE32(p + 12);
+  if (body.size() !=
+      static_cast<uint64_t>(kAddPaperResponseFixedBytes) + message_len) {
+    return Status::InvalidArgument(
+        "AddPaperResponse body of " + std::to_string(body.size()) +
+        " bytes does not match declared message length " +
+        std::to_string(message_len));
+  }
+  WireAddPaperResponse response;
+  response.code = static_cast<StatusCode>(status);
+  response.paper_id = LoadLE32(p + 4);
+  response.num_papers = LoadLE32(p + 8);
+  response.generation = LoadLE64(p + 16);
+  response.message.assign(body.substr(kAddPaperResponseFixedBytes));
+  return response;
+}
+
+std::string EncodeSearchResponse(const context::SearchResponse& response,
+                                 uint16_t header_flags) {
   const std::string& message = response.status.message();
   const size_t body_len = kResponseFixedBytes +
                           response.hits.size() * kHitBytes +
@@ -268,7 +403,7 @@ std::string EncodeSearchResponse(const context::SearchResponse& response) {
   std::string out;
   out.reserve(kFrameHeaderBytes + body_len);
   AppendFrameHeader(out, kFrameSearchResponse,
-                    static_cast<uint32_t>(body_len));
+                    static_cast<uint32_t>(body_len), header_flags);
   AppendLE32(out, static_cast<uint32_t>(response.status.code()));
   AppendLE32(out, response.degraded ? kResponseDegraded : 0);
   AppendLE32(out, static_cast<uint32_t>(response.skipped_contexts.size()));

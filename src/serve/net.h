@@ -52,6 +52,12 @@ inline constexpr uint8_t kFrameShardSearchRequest = 3;
 /// like /healthz, so a busy worker pool cannot fail a health check).
 inline constexpr uint8_t kFramePing = 4;
 inline constexpr uint8_t kFramePong = 5;
+/// Live ingest (client → a ctxrankd running a mutable index backend):
+/// the body carries one paper (text sections, authors, references,
+/// evidence terms); answered with an AddPaperResponse frame carrying the
+/// assigned global paper id. See docs/INDEXING.md.
+inline constexpr uint8_t kFrameAddPaperRequest = 6;
+inline constexpr uint8_t kFrameAddPaperResponse = 7;
 
 /// Default cap on a frame body; a peer announcing a larger body is
 /// answered with an error frame and disconnected before any allocation.
@@ -80,6 +86,39 @@ inline constexpr size_t kShardRequestFixedBytes = 72;
 inline constexpr size_t kContextMatchBytes = 12;
 /// A Pong body: ok u32, shard_id u32, generation u64.
 inline constexpr size_t kPongBytes = 16;
+/// Fixed-size prefix of an AddPaperRequest body: title_len u32,
+/// abstract_len u32, body_len u32, index_terms_len u32, num_authors u32,
+/// num_references u32, num_evidence u32, reserved u32. The id arrays
+/// (u32 each) follow, then the four text sections back to back.
+inline constexpr size_t kAddPaperFixedBytes = 32;
+/// An AddPaperResponse body: code u32, paper_id u32, num_papers u32,
+/// message_len u32, generation u64; the message follows.
+inline constexpr size_t kAddPaperResponseFixedBytes = 24;
+
+// ---------------------------------------------------------------------------
+// Response-header generation tags.
+//
+// The u16 `flags` word of the frame header was reserved (always 0)
+// until the sharded gateway needed to know WHICH snapshot generation a
+// shard leg's answer came from: the gateway's merged-result cache keys
+// on its view of each shard's generation, and a remote shard that
+// hot-reloads between probes could otherwise serve behind a stale
+// cached merge. A shard daemon therefore stamps GenerationTag(g) of the
+// snapshot that actually answered into the header flags of every
+// SearchResponse it sends for a ShardSearchRequest. 0 means "unknown"
+// (pre-tag peers, or the daemon observed a reload race mid-search) and
+// disables caching of the merge. Tags are 16-bit ring identifiers, not
+// generation numbers: equal tags mean "almost certainly the same
+// generation", unequal tags mean "definitely different".
+
+/// Folds a 64-bit supervisor generation onto the non-zero u16 ring
+/// 1..65535 (generation 0 — nothing loaded — maps to the reserved
+/// "unknown" tag 0).
+inline constexpr uint16_t GenerationTag(uint64_t generation) {
+  return generation == 0
+             ? uint16_t{0}
+             : static_cast<uint16_t>((generation - 1) % 65535 + 1);
+}
 
 /// \brief A search request as it travels on the wire: the query string
 /// plus the SearchOptions fields the protocol exposes. Fields without a
@@ -117,6 +156,37 @@ struct WireResponse {
   /// frames decode as "no skipped shards"), the ids follow the skipped
   /// context ids.
   std::vector<uint32_t> skipped_shards;
+  /// Shard generation tag carried in the response *frame header* flags,
+  /// not the body — DecodeSearchResponseBody leaves it 0; the transport
+  /// (ShardClient) copies Frame::flags here. 0 = unknown / untagged.
+  uint16_t generation_tag = 0;
+};
+
+/// \brief One paper on the ingest wire (kFrameAddPaperRequest). Mirrors
+/// MutableIndex::IngestPaper: the four text sections, author ids,
+/// reference paper ids, and the ontology terms the paper is annotation
+/// evidence for. The paper id is assigned by the receiving index and
+/// returned in the AddPaperResponse.
+struct WireAddPaper {
+  std::string title;
+  std::string abstract_text;
+  std::string body;
+  std::string index_terms;
+  std::vector<uint32_t> authors;
+  std::vector<uint32_t> references;
+  std::vector<uint32_t> evidence_terms;
+};
+
+/// \brief The ingest answer (kFrameAddPaperResponse).
+struct WireAddPaperResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  /// Assigned global paper id (only meaningful when code == kOk).
+  uint32_t paper_id = 0;
+  /// Total papers now searchable (base + delta).
+  uint32_t num_papers = 0;
+  /// The index's compaction generation at answer time.
+  uint64_t generation = 0;
 };
 
 /// Outcome of scanning a connection buffer for the next frame.
@@ -131,6 +201,10 @@ enum class FrameState {
 struct Frame {
   FrameState state = FrameState::kNeedMore;
   uint8_t type = 0;
+  /// Header flags word. Must be 0 on every frame type except
+  /// kFrameSearchResponse, where it carries the shard generation tag
+  /// (see GenerationTag above); NextFrame rejects the rest as kBadFrame.
+  uint16_t flags = 0;
   /// Body bytes, viewing into the caller's buffer (valid until the caller
   /// mutates it). Only meaningful in kReady.
   std::string_view body;
@@ -154,8 +228,11 @@ Result<WireRequest> DecodeSearchRequestBody(std::string_view body);
 
 /// Encodes a complete SearchResponse frame from an in-process response.
 /// Double fields are stored as raw IEEE-754 bits: encode→decode is a
-/// bitwise round trip.
-std::string EncodeSearchResponse(const context::SearchResponse& response);
+/// bitwise round trip. `header_flags` is stamped into the frame header
+/// (shard daemons pass GenerationTag(generation) on scatter-leg answers;
+/// everything else leaves it 0).
+std::string EncodeSearchResponse(const context::SearchResponse& response,
+                                 uint16_t header_flags = 0);
 
 /// Decodes a SearchResponse frame *body*.
 Result<WireResponse> DecodeSearchResponseBody(std::string_view body);
@@ -172,6 +249,18 @@ struct WirePong {
   uint32_t shard_id = 0;     ///< Shard id of the served snapshot set.
   uint64_t generation = 0;   ///< Supervisor generation (0 = none loaded).
 };
+
+/// Encodes a complete AddPaperRequest frame (header + body).
+std::string EncodeAddPaperRequest(const WireAddPaper& paper);
+
+/// Decodes an AddPaperRequest frame *body*.
+Result<WireAddPaper> DecodeAddPaperRequestBody(std::string_view body);
+
+/// Encodes a complete AddPaperResponse frame (header + body).
+std::string EncodeAddPaperResponse(const WireAddPaperResponse& response);
+
+/// Decodes an AddPaperResponse frame *body*.
+Result<WireAddPaperResponse> DecodeAddPaperResponseBody(std::string_view body);
 
 /// Encodes a complete Ping frame (empty body).
 std::string EncodePing();

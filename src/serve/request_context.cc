@@ -1,5 +1,6 @@
 #include "serve/request_context.h"
 
+#include "serve/mutable_index.h"
 #include "serve/sharded_engine.h"
 
 namespace ctxrank::serve {
@@ -40,6 +41,15 @@ const context::SearchResponse& RequestContext::Run(
 const context::SearchResponse& RequestContext::Run(const ShardedEngine& engine,
                                                    AdmissionLimiter* limiter) {
   response_ = RunOn(engine, query_, options_, deadline_, limiter);
+  wall_us_ = std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - start_)
+                 .count();
+  return response_;
+}
+
+const context::SearchResponse& RequestContext::Run(const MutableIndex& index,
+                                                   AdmissionLimiter* limiter) {
+  response_ = RunOn(index, query_, options_, deadline_, limiter);
   wall_us_ = std::chrono::duration<double, std::micro>(
                  std::chrono::steady_clock::now() - start_)
                  .count();

@@ -29,6 +29,7 @@
 namespace ctxrank::serve {
 
 class ShardedEngine;
+class MutableIndex;
 
 class RequestContext {
  public:
@@ -61,6 +62,12 @@ class RequestContext {
   /// the single ContextSearchEngine, everything else (deadline armed at
   /// construction, admission, shed semantics, wall-time) is identical.
   const context::SearchResponse& Run(const ShardedEngine& engine,
+                                     AdmissionLimiter* limiter = nullptr);
+
+  /// Same spine over a live mutable index (base + delta segments): the
+  /// delta-aware two-leg search replaces the frozen engine, the spine is
+  /// unchanged.
+  const context::SearchResponse& Run(const MutableIndex& index,
                                      AdmissionLimiter* limiter = nullptr);
 
   /// Result of Run() (default-constructed before it).

@@ -38,6 +38,7 @@ struct ClientMetrics {
   obs::Counter& dials;
   obs::Counter& pool_reuses;
   obs::Counter& pings;
+  obs::Counter& dirty_drops;
   obs::Histogram& latency_us;
 };
 
@@ -53,6 +54,7 @@ ClientMetrics& Metrics() {
       reg.GetCounter("ctxrank_shard_client_dials_total"),
       reg.GetCounter("ctxrank_shard_client_pool_reuse_total"),
       reg.GetCounter("ctxrank_shard_client_pings_total"),
+      reg.GetCounter("ctxrank_shard_client_dirty_drops_total"),
       reg.GetHistogram("ctxrank_shard_client_latency_us",
                        obs::LatencyBucketsUs())};
   return m;
@@ -239,6 +241,7 @@ struct ReadResult {
   ReadOutcome outcome = ReadOutcome::kNeedMore;
   std::string_view body;   ///< Valid while leg.buf is unmodified.
   size_t consumed = 0;
+  uint16_t flags = 0;      ///< Frame header flags (generation tag).
   Status error;
 };
 
@@ -300,6 +303,7 @@ static ReadResult ReadLeg(int fd, std::string& buf, uint8_t want_type,
       result.outcome = ReadOutcome::kFrame;
       result.body = f.body;
       result.consumed = f.consumed;
+      result.flags = f.flags;
       return result;
     default:
       result.outcome = ReadOutcome::kFailed;
@@ -357,7 +361,21 @@ Status ShardClient::ValidateConn(int fd, const Deadline& deadline) {
   if (!pong.value().ok) {
     return Status::IoError("shard daemon reports unhealthy backend");
   }
+  StoreGenerationTag(net::GenerationTag(pong.value().generation));
   return Status::OK();
+}
+
+void ShardClient::StoreGenerationTag(uint16_t tag) {
+  last_generation_tag_.store(tag, std::memory_order_relaxed);
+  last_tag_observed_ms_.store(NowMs(), std::memory_order_relaxed);
+}
+
+uint16_t ShardClient::last_generation_tag(uint64_t max_age_ms) const {
+  const uint16_t tag = last_generation_tag_.load(std::memory_order_relaxed);
+  if (tag == 0 || max_age_ms == 0) return tag;
+  const uint64_t observed =
+      last_tag_observed_ms_.load(std::memory_order_relaxed);
+  return NowMs() - observed > max_age_ms ? uint16_t{0} : tag;
 }
 
 Result<ShardClient::InFlight> ShardClient::Checkout(int endpoint_index,
@@ -406,10 +424,30 @@ Result<ShardClient::InFlight> ShardClient::Checkout(int endpoint_index,
   return leg;
 }
 
-void ShardClient::Checkin(int endpoint_index, int fd) {
+void ShardClient::Checkin(int endpoint_index, InFlight leg) {
+  // Pool invariant, enforced here and nowhere else: a pooled connection
+  // is quiescent. A leg that finished with unconsumed input — residual
+  // bytes in its parse buffer (e.g. a garbled loser frame that arrived
+  // after the winner) or bytes still kernel-readable — is in an
+  // undefined mid-frame state; pooling it would poison the next request
+  // on this endpoint. Drop, never pool.
+  bool dirty = !leg.buf.empty();
+  if (!dirty) {
+    pollfd pfd{leg.fd, POLLIN, 0};
+    dirty = ::poll(&pfd, 1, 0) != 0;
+  }
+  if (dirty) {
+    ::close(leg.fd);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.dirty_drops;
+    }
+    Metrics().dirty_drops.Increment();
+    return;
+  }
   std::lock_guard<std::mutex> lock(pool_mu_);
   auto& pool = pool_[endpoint_index];
-  pool.push_back(PooledConn{fd, NowMs()});
+  pool.push_back(PooledConn{leg.fd, NowMs()});
   if (pool.size() > options_.pool_capacity) {
     // Oldest idle connection goes; the freshly used one stays.
     ::close(pool.front().fd);
@@ -445,8 +483,9 @@ Result<net::WirePong> ShardClient::Ping(const Deadline& deadline) {
     return pong.ok() ? Status::IoError("stray bytes after PONG")
                      : pong.status();
   }
-  Checkin(0, in.fd);
+  Checkin(0, std::move(in));
   healthy_.store(pong.value().ok, std::memory_order_relaxed);
+  StoreGenerationTag(net::GenerationTag(pong.value().generation));
   return pong;
 }
 
@@ -572,6 +611,10 @@ Result<net::WireResponse> ShardClient::ShardSearch(
           auto decoded = net::DecodeSearchResponseBody(r.body);
           if (decoded.ok() &&
               decoded.value().code != StatusCode::kIoError) {
+            // Surface the generation tag stamped in the frame header and
+            // remember it as this shard's last observed generation.
+            decoded.value().generation_tag = r.flags;
+            StoreGenerationTag(r.flags);
             won = std::move(decoded);
             winner = std::move(legs[i]);
             winner.buf.erase(0, r.consumed);
@@ -638,17 +681,19 @@ Result<net::WireResponse> ShardClient::ShardSearch(
     for (const InFlight& leg : legs) ::close(leg.fd);
 
     if (won.has_value()) {
-      if (winner.buf.empty()) {
-        Checkin(winner.on_replica ? 1 : 0, winner.fd);
-      } else {
-        ::close(winner.fd);
-      }
-      if (winner.pooled) {
+      const bool winner_pooled = winner.pooled;
+      const bool winner_on_replica = winner.on_replica;
+      // Checkin enforces the quiescence invariant itself: a winner whose
+      // buffer (or socket) still holds bytes — a garbled loser frame
+      // landing after the winning one, pipelined junk from a broken peer
+      // — is dropped, never pooled.
+      Checkin(winner_on_replica ? 1 : 0, std::move(winner));
+      if (winner_pooled) {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.pool_reuses;
         m.pool_reuses.Increment();
       }
-      if (hedged && winner.on_replica) {
+      if (hedged && winner_on_replica) {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.hedge_wins;
         m.hedge_wins.Increment();

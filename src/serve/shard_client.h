@@ -102,6 +102,10 @@ class ShardClient {
     uint64_t dials = 0;       ///< Fresh TCP connects.
     uint64_t pool_reuses = 0; ///< Requests served on a pooled connection.
     uint64_t pings = 0;       ///< PING/PONG validations sent.
+    /// Connections closed at check-in instead of pooled because they
+    /// still carried unconsumed input (buffered or kernel-readable) — a
+    /// mid-frame connection must never reach the keep-alive pool.
+    uint64_t dirty_drops = 0;
   };
 
   /// `replica` may be invalid (no replica: failover and hedging disabled).
@@ -136,6 +140,21 @@ class ShardClient {
   bool healthy() const { return healthy_.load(std::memory_order_relaxed); }
   Stats stats() const;
 
+  /// The shard generation tag (net::GenerationTag semantics) most
+  /// recently observed from this shard — stamped in the header flags of
+  /// a winning SearchResponse, or derived from a PONG's generation. 0
+  /// until the first exchange ("unknown"), which disables merged-result
+  /// caching on the gateway until the shard's generation is known.
+  ///
+  /// `max_age_ms` bounds how long an observation stays trustworthy: an
+  /// observation older than that returns 0 ("unknown") so the caller
+  /// falls back to an uncached search, whose legs re-observe the live
+  /// tag. This is what bounds the gateway's stale-cache window after a
+  /// remote reload — a cache hit runs no leg, so without an age bound a
+  /// reloaded shard's new generation would never be noticed. 0 = no age
+  /// limit.
+  uint16_t last_generation_tag(uint64_t max_age_ms = 0) const;
+
   /// Idle pooled connections right now (tests).
   size_t pooled_connections() const;
 
@@ -156,9 +175,13 @@ class ShardClient {
   /// Pops a usable pooled connection for `endpoint_index` (0 = primary,
   /// 1 = replica), PING-validating stale ones, or dials a new one.
   Result<InFlight> Checkout(int endpoint_index, const Deadline& deadline);
-  /// Returns a clean connection to the pool (closes the oldest beyond
-  /// pool_capacity).
-  void Checkin(int endpoint_index, int fd);
+  /// Returns a finished leg's connection to the pool — or closes it.
+  /// Enforces the pool invariant centrally: a connection with ANY
+  /// unconsumed input (bytes left in leg.buf after the final frame, or
+  /// kernel-readable bytes) is in an undefined mid-frame state and is
+  /// dropped (stats_.dirty_drops), never pooled. Closes the oldest idle
+  /// connection beyond pool_capacity.
+  void Checkin(int endpoint_index, InFlight leg);
   /// Fresh nonblocking TCP connect bounded by connect_timeout_ms and the
   /// deadline.
   Result<int> Dial(const Endpoint& endpoint, const Deadline& deadline);
@@ -190,7 +213,13 @@ class ShardClient {
   size_t latency_next_ = 0;
   size_t latency_count_ = 0;
 
+  /// Records a freshly observed generation tag with its observation time.
+  void StoreGenerationTag(uint16_t tag);
+
   std::atomic<bool> healthy_{false};
+  std::atomic<uint16_t> last_generation_tag_{0};
+  /// NowMs() of the last tag observation (0 = never observed).
+  std::atomic<uint64_t> last_tag_observed_ms_{0};
 
   mutable std::mutex stats_mu_;
   Stats stats_;

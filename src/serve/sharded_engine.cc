@@ -286,9 +286,10 @@ Status ShardedEngine::OpenRemote(const std::string& router_path,
         static_cast<uint32_t>(i), std::move(remotes[i].primary),
         std::move(remotes[i].replica), options_.client));
   }
-  // The merged cache cannot observe remote generations; leaving it on
-  // would serve results across remote reloads.
-  cache_.reset();
+  // The merged cache stays on in remote mode: shard daemons stamp their
+  // snapshot generation tag into the CTXQ1 response header, the clients
+  // remember it, and SearchImpl folds every client's tag into the cache
+  // key — a remote reload changes the tag and orphans stale entries.
   return Status::OK();
 }
 
@@ -408,8 +409,31 @@ context::SearchResponse ShardedEngine::SearchImpl(
   // Merged-result cache: raw query + result-affecting options + per-shard
   // generations (a reload behind any shard invalidates the key). Degraded
   // results are never cached, mirroring the engine-level cache contract.
+  // In remote mode the generations are the clients' last OBSERVED shard
+  // generation tags (propagated in the CTXQ1 response header); a shard
+  // whose tag is still unknown (0) — or whose observation is older than
+  // ping_idle_ms, the same bound that governs pooled-connection trust —
+  // disables the cache for the query: better a miss than a merge that
+  // outlives a remote reload. The resulting uncached scatter re-observes
+  // every shard's live tag, so caching resumes on the next query and the
+  // stale-serve window after a remote reload is bounded by ping_idle_ms.
   std::string key;
-  const bool use_cache = cache_ != nullptr && !options.bypass_cache;
+  bool use_cache = cache_ != nullptr && !options.bypass_cache;
+  std::vector<uint16_t> key_tags;  // Remote: tag folded into the key, by shard.
+  if (use_cache && remote) {
+    // ping_idle_ms == 0 means "trust nothing idle", which for tags reads
+    // as: never cache above remote legs.
+    const uint64_t max_age_ms = options_.client.ping_idle_ms;
+    key_tags.resize(n, 0);
+    for (uint32_t s = 0; s < n; ++s) {
+      key_tags[s] =
+          max_age_ms == 0 ? 0 : clients_[s]->last_generation_tag(max_age_ms);
+      if (key_tags[s] == 0) {
+        use_cache = false;
+        break;
+      }
+    }
+  }
   if (use_cache) {
     key.assign(query);
     key.push_back('\0');
@@ -422,7 +446,11 @@ context::SearchResponse ShardedEngine::SearchImpl(
     AppendF64(key, options.min_relevancy);
     AppendF64(key, options.weights.prestige);
     AppendF64(key, options.weights.matching);
-    for (const auto& shard : shards_) AppendU64(key, shard->generation());
+    if (remote) {
+      for (const uint16_t tag : key_tags) AppendU64(key, tag);
+    } else {
+      for (const auto& shard : shards_) AppendU64(key, shard->generation());
+    }
     if (auto cached = cache_->Get(key)) {
       response.hits = **cached;
       response.status = Status::OK();
@@ -479,6 +507,9 @@ context::SearchResponse ShardedEngine::SearchImpl(
     uint32_t shard = 0;
     context::SearchResponse response;
     bool failed = false;  // Fault/missing-snapshot: no contribution at all.
+    /// Remote mode: the generation tag the answering daemon stamped in
+    /// the response header (0 = unknown / pre-tag peer).
+    uint16_t observed_tag = 0;
   };
   std::vector<Leg> legs;
   legs.reserve(n);
@@ -499,6 +530,7 @@ context::SearchResponse ShardedEngine::SearchImpl(
         return;
       }
       net::WireResponse wire = std::move(r).value();
+      leg.observed_tag = wire.generation_tag;
       leg.response.status = Status::OK();
       leg.response.hits = std::move(wire.hits);
       leg.response.skipped_contexts = std::move(wire.skipped_contexts);
@@ -586,7 +618,22 @@ context::SearchResponse ShardedEngine::SearchImpl(
 
   m.shards_skipped.Increment(response.skipped_shards.size());
   if (response.degraded) m.degraded.Increment();
-  if (use_cache && !response.degraded) {
+  bool cacheable = use_cache && !response.degraded;
+  if (cacheable && remote) {
+    // A remote leg answered by a generation other than the one folded
+    // into the key means a reload raced this query: the merge is valid to
+    // SERVE but must not be cached under the stale key. Tag 0 (the daemon
+    // itself observed a swap mid-search, or a pre-tag peer) is equally
+    // uncacheable.
+    for (const Leg& leg : legs) {
+      if (leg.failed) continue;
+      if (leg.observed_tag == 0 || leg.observed_tag != key_tags[leg.shard]) {
+        cacheable = false;
+        break;
+      }
+    }
+  }
+  if (cacheable) {
     cache_->Put(key, std::make_shared<const std::vector<context::SearchHit>>(
                          response.hits));
   }

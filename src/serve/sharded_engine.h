@@ -141,10 +141,11 @@ class ShardedEngine {
   /// of local snapshots. `router_path` names ONE local shard file of the
   /// same set — any one works, since every shard file carries the
   /// identical global routing index and owners map — which this process
-  /// loads purely to route queries. The merged-result cache is disabled
-  /// in remote mode (remote shard generations are not observable, so a
-  /// cached merge could outlive a remote reload). Callable once, mutually
-  /// exclusive with Open/OpenDetached.
+  /// loads purely to route queries. The merged-result cache keys on the
+  /// clients' last observed shard generation tags (stamped by the shard
+  /// daemons in the CTXQ1 response header), so a remote reload orphans
+  /// stale merges; until every shard's tag is known the cache sits out.
+  /// Callable once, mutually exclusive with Open/OpenDetached.
   Status OpenRemote(const std::string& router_path,
                     std::vector<RemoteShardSpec> remotes);
 

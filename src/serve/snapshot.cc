@@ -907,8 +907,11 @@ Result<std::unique_ptr<ServingSnapshot>> SnapshotAccess::Load(
         "snapshot loading requires a little-endian host");
   }
   // Covers the whole load attempt: a transient failure here is what the
-  // SnapshotSupervisor's retry-with-backoff path exercises.
+  // SnapshotSupervisor's retry-with-backoff path exercises, and a stall
+  // here widens the load window so the supervisor's stat-before/stat-after
+  // identity check can be raced deterministically in tests.
   CTXRANK_RETURN_NOT_OK(fault::MaybeFail("snapshot/load"));
+  fault::MaybeStall("snapshot/load");
   auto mapped = MmapFile::Open(path);
   if (!mapped.ok()) return mapped.status();
   std::unique_ptr<ServingSnapshot> snap(new ServingSnapshot());

@@ -30,6 +30,7 @@ struct SupervisorMetrics {
   obs::Counter& successes;
   obs::Counter& failures;
   obs::Counter& retries;
+  obs::Counter& identity_races;
   obs::Gauge& generation;
   obs::Gauge& last_success_walltime_s;
 };
@@ -41,6 +42,7 @@ SupervisorMetrics& Metrics() {
       reg.GetCounter("ctxrank_snapshot_reload_success_total"),
       reg.GetCounter("ctxrank_snapshot_reload_failures_total"),
       reg.GetCounter("ctxrank_snapshot_reload_retries_total"),
+      reg.GetCounter("ctxrank_snapshot_reload_identity_races_total"),
       reg.GetGauge("ctxrank_snapshot_generation"),
       reg.GetGauge("ctxrank_snapshot_last_success_walltime_s")};
   return m;
@@ -87,7 +89,37 @@ Status SnapshotSupervisor::Reload(const std::string& path) {
   const uint64_t salt = Fnv1a(path);
   Status status;
   for (size_t attempt = 0;; ++attempt) {
+    // Bracket the load with identity stats: mmap reads the file over an
+    // extended window, so a same-inode in-place rewrite (as compaction's
+    // or SaveSnapshot's O_TRUNC path produces) racing the load can yield a
+    // half-old half-new byte stream — or a "validated" snapshot of a file
+    // state that no longer exists. A before/after mismatch discards
+    // whatever Load produced and retries as transient: the file settles,
+    // the retry reads one coherent state.
+    const FileIdentity id_before = StatIdentity(path);
     auto result = ServingSnapshot::Load(path, options_.num_threads);
+    const FileIdentity id_after = StatIdentity(path);
+    const bool identity_stable =
+        id_before.exists && id_after.exists && id_before == id_after;
+    // A successful load of an unstable file is a race (the bytes served
+    // later out of the mapping may not be the bytes that validated). A
+    // failed load only counts as a race when the file demonstrably changed
+    // underneath it — a plain missing file is an ordinary IoError.
+    const bool raced =
+        result.ok() ? !identity_stable
+                    : (id_before.exists && id_after.exists &&
+                       !(id_before == id_after));
+    if (raced) {
+      Metrics().identity_races.Increment();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.identity_races;
+      }
+      if (result.ok()) {
+        result =
+            Status::IoError("snapshot file changed while loading " + path);
+      }
+    }
     if (result.ok()) {
       // Configure before publishing: the hook owns the only reference, so
       // engine setters cannot race an in-flight query.
@@ -115,8 +147,10 @@ Status SnapshotSupervisor::Reload(const std::string& path) {
     // Only I/O errors are worth retrying: the file may be mid-copy or a
     // transient fault. A validation failure (bad magic, checksum mismatch)
     // is permanent for this file state — retrying would reload the same
-    // bytes.
-    const bool transient = status.code() == StatusCode::kIoError;
+    // bytes. Exception: a raced load is transient whatever its code — a
+    // half-old half-new read produces exactly those "permanent" checksum
+    // errors, and the retry reads the settled file.
+    const bool transient = status.code() == StatusCode::kIoError || raced;
     if (!transient || attempt >= options_.max_retries) break;
     Metrics().retries.Increment();
     {

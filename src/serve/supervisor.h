@@ -69,6 +69,12 @@ class SnapshotSupervisor {
     uint64_t failed_reloads = 0;
     /// Transient-failure retry attempts across all reloads.
     uint64_t retries = 0;
+    /// Loads discarded because the file's identity (inode, size, mtime)
+    /// changed while the load was reading it — a same-inode in-place
+    /// rewrite racing the load can hand Load a half-old half-new byte
+    /// stream that still validates per-section. Each race is retried as a
+    /// transient failure against the settled file.
+    uint64_t identity_races = 0;
     /// Status message of the most recent failure ("" if none).
     std::string last_error;
     /// Path of the currently served snapshot ("" if none).

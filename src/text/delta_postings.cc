@@ -1,0 +1,39 @@
+#include "text/delta_postings.h"
+
+namespace ctxrank::text {
+
+size_t DeltaPostings::Add(const SparseVector& vec) {
+  const uint32_t doc = static_cast<uint32_t>(norms_.size());
+  for (const auto& e : vec.entries()) {
+    postings_[e.term].push_back({doc, e.weight});
+  }
+  norms_.push_back(vec.Norm());
+  return doc;
+}
+
+std::vector<double> DeltaPostings::DotAll(const SparseVector& q) const {
+  std::vector<double> acc(norms_.size(), 0.0);
+  // Query entries are sorted ascending by term, so each document's
+  // accumulator receives its contributions in exactly the order a
+  // merge-walk Dot would produce them.
+  for (const auto& qe : q.entries()) {
+    const auto it = postings_.find(qe.term);
+    if (it == postings_.end()) continue;
+    for (const Posting& p : it->second) {
+      acc[p.doc] += qe.weight * p.weight;
+    }
+  }
+  return acc;
+}
+
+std::vector<double> DeltaPostings::CosineAll(const SparseVector& q) const {
+  std::vector<double> cos = DotAll(q);
+  const double qnorm = q.Norm();
+  for (size_t d = 0; d < cos.size(); ++d) {
+    const double dnorm = norms_[d];
+    cos[d] = (qnorm <= 0.0 || dnorm <= 0.0) ? 0.0 : cos[d] / (qnorm * dnorm);
+  }
+  return cos;
+}
+
+}  // namespace ctxrank::text

@@ -1,0 +1,51 @@
+// Append-only postings over a delta segment's document vectors. The
+// mutable index (serve::MutableIndex) scores live-ingested papers through
+// this structure instead of rebuilding an ImpactOrderedIndex per ingest:
+// Add is O(nnz), and DotAll/CosineAll accumulate per-document products in
+// the same ascending-term order SparseVector::Dot walks, so every score is
+// bitwise identical to q.Dot / q.Cosine against the stored vector.
+#ifndef CTXRANK_TEXT_DELTA_POSTINGS_H_
+#define CTXRANK_TEXT_DELTA_POSTINGS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "text/sparse_vector.h"
+
+namespace ctxrank::text {
+
+/// \brief Term -> (local doc, weight) postings over appended sparse
+/// vectors. Construction-then-read like every serving structure: Add all
+/// documents, then query from any thread.
+class DeltaPostings {
+ public:
+  /// Appends `vec` as local document `size()`; returns its index.
+  size_t Add(const SparseVector& vec);
+
+  size_t size() const { return norms_.size(); }
+
+  /// L2 norm of document `doc`'s vector (SparseVector::Norm at Add time).
+  double norm(size_t doc) const { return norms_[doc]; }
+
+  /// Raw dot product of `q` against every document. Per document the
+  /// accumulation order (ascending term, acc += q_w * d_w) matches
+  /// SparseVector::Dot exactly, so slot i == q.Dot(doc_i) bitwise.
+  std::vector<double> DotAll(const SparseVector& q) const;
+
+  /// Cosine per document: dot / (|q| * |doc|), 0 when either norm is <= 0
+  /// — slot i == q.Cosine(doc_i) bitwise.
+  std::vector<double> CosineAll(const SparseVector& q) const;
+
+ private:
+  struct Posting {
+    uint32_t doc;
+    double weight;
+  };
+  std::unordered_map<TermId, std::vector<Posting>> postings_;
+  std::vector<double> norms_;
+};
+
+}  // namespace ctxrank::text
+
+#endif  // CTXRANK_TEXT_DELTA_POSTINGS_H_

@@ -25,6 +25,7 @@
 #include "context/search_engine.h"
 #include "corpus/tokenized_corpus.h"
 #include "loopback_client.h"
+#include "serve/mutable_index.h"
 #include "serve/net.h"
 #include "serve/snapshot.h"
 #include "serve/supervisor.h"
@@ -505,6 +506,133 @@ TEST_F(DaemonTest, ShardLegBitwiseIdenticalToLocalRoutedScan) {
         engine_->SearchRouted(q, leg.contexts, opts, Deadline());
     ExpectBitwiseEqual(*wire, expected);
   }
+}
+
+TEST_F(DaemonTest, ShardLegResponseHeaderCarriesGenerationTag) {
+  // The gateway keys its merged-result cache on the shard generation tag
+  // stamped in the SearchResponse header flags; a search-path body decode
+  // must leave generation_tag 0 (the transport copies Frame::flags).
+  StartDaemon();
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  net::WireShardRequest leg;
+  leg.query = "kinase signaling";
+  leg.contexts = engine_->RouteQueryText(leg.query, leg.options);
+  ASSERT_TRUE(client.Send(net::EncodeShardSearchRequest(leg)));
+  const auto frame = client.ReadRawFrame();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, net::kFrameSearchResponse);
+  EXPECT_EQ(frame->flags, net::GenerationTag(supervisor_.generation()));
+  EXPECT_NE(frame->flags, 0);
+  auto decoded = net::DecodeSearchResponseBody(frame->body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().generation_tag, 0);  // Body carries no tag.
+
+  // A reload bumps the generation; the next leg carries the next tag.
+  ASSERT_TRUE(supervisor_.Reload(snapshot_path_).ok());
+  ASSERT_TRUE(client.Send(net::EncodeShardSearchRequest(leg)));
+  const auto frame2 = client.ReadRawFrame();
+  ASSERT_TRUE(frame2.has_value());
+  EXPECT_EQ(frame2->flags, net::GenerationTag(supervisor_.generation()));
+  EXPECT_NE(frame2->flags, frame->flags);
+}
+
+TEST_F(DaemonTest, AddPaperToImmutableBackendFailsPrecondition) {
+  // Ingest against a frozen-snapshot daemon has nowhere to put the paper:
+  // the daemon answers a final (non-retryable) error frame and keeps the
+  // connection usable for queries.
+  StartDaemon();
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  net::WireAddPaper paper;
+  paper.title = "kinase signaling regulator";
+  ASSERT_TRUE(client.Send(net::EncodeAddPaperRequest(paper)));
+  const auto frame = client.ReadFrame();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->first, net::kFrameSearchResponse);  // Error frame.
+  auto decoded = net::DecodeSearchResponseBody(frame->second);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().code, StatusCode::kFailedPrecondition);
+  // Still serving afterwards.
+  const net::WireRequest req = Request("kinase signaling");
+  ASSERT_TRUE(client.Send(net::EncodeSearchRequest(req)));
+  const auto wire = client.ReadResponse();
+  ASSERT_TRUE(wire.has_value());
+  ExpectBitwiseEqual(*wire, Expected(req));
+}
+
+TEST_F(DaemonTest, MutableBackendIngestCompactHealthzEndToEnd) {
+  // The full live-ingest lifecycle over the wire: AddPaper frame →
+  // immediately searchable (bitwise equal to in-process) → /compact folds
+  // the delta and bumps the generation → results unchanged → healthz
+  // reports the mutable shape.
+  corpus::Corpus seed;
+  for (PaperId p = 0; p < corpus_.size(); ++p) {
+    ASSERT_TRUE(seed.Add(corpus_.paper(p)).ok());
+  }
+  auto index = MutableIndex::Build(std::move(seed), onto_, {});
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  Daemon::Options opts;
+  opts.port = 0;
+  Daemon daemon(*index.value(), opts);
+  ASSERT_TRUE(daemon.Start().ok());
+  Client client(daemon.port());
+  ASSERT_TRUE(client.ok());
+
+  net::WireAddPaper paper;
+  paper.title = "kinase signaling regulator";
+  paper.abstract_text = "kinase signaling regulator";
+  paper.body = "kinase signaling regulator kinase cascade";
+  ASSERT_TRUE(client.Send(net::EncodeAddPaperRequest(paper)));
+  const auto frame = client.ReadFrame();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->first, net::kFrameAddPaperResponse);
+  auto added = net::DecodeAddPaperResponseBody(frame->second);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(added.value().code, StatusCode::kOk);
+  EXPECT_EQ(added.value().paper_id, 4u);
+  EXPECT_EQ(added.value().num_papers, 5u);
+  EXPECT_EQ(added.value().generation, 0u);
+  EXPECT_EQ(index.value()->delta_papers(), 1u);
+
+  // Searchable on the same connection, bitwise equal to in-process.
+  const net::WireRequest req = Request("kinase signaling");
+  ASSERT_TRUE(client.Send(net::EncodeSearchRequest(req)));
+  const auto before = client.ReadResponse();
+  ASSERT_TRUE(before.has_value());
+  ExpectBitwiseEqual(*before,
+                     index.value()->SearchEx(req.query, req.options));
+
+  Client http(daemon.port());
+  ASSERT_TRUE(http.ok());
+  ASSERT_TRUE(http.Send("GET /compact HTTP/1.1\r\n\r\n"));
+  std::string r = http.ReadHttpResponse();
+  EXPECT_NE(r.find("HTTP/1.1 200"), std::string::npos) << r;
+  EXPECT_NE(r.find("\"ok\":true"), std::string::npos) << r;
+  EXPECT_NE(r.find("\"generation\":1"), std::string::npos) << r;
+  EXPECT_NE(r.find("\"delta_papers\":0"), std::string::npos) << r;
+  EXPECT_EQ(index.value()->generation(), 1u);
+  EXPECT_EQ(index.value()->num_papers(), 5u);
+
+  // Compaction must not change what queries see.
+  ASSERT_TRUE(client.Send(net::EncodeSearchRequest(req)));
+  const auto after = client.ReadResponse();
+  ASSERT_TRUE(after.has_value());
+  ASSERT_EQ(after->hits.size(), before->hits.size());
+  for (size_t i = 0; i < after->hits.size(); ++i) {
+    EXPECT_EQ(after->hits[i].paper, before->hits[i].paper);
+    EXPECT_EQ(std::bit_cast<uint64_t>(after->hits[i].relevancy),
+              std::bit_cast<uint64_t>(before->hits[i].relevancy));
+  }
+
+  ASSERT_TRUE(http.Send("GET /healthz HTTP/1.1\r\n\r\n"));
+  r = http.ReadHttpResponse();
+  EXPECT_NE(r.find("\"ok\":true"), std::string::npos) << r;
+  EXPECT_NE(r.find("\"mutable\":true"), std::string::npos) << r;
+  EXPECT_NE(r.find("\"generation\":1"), std::string::npos) << r;
+  EXPECT_NE(r.find("\"papers\":5"), std::string::npos) << r;
+  EXPECT_NE(r.find("\"base_papers\":5"), std::string::npos) << r;
+  EXPECT_NE(r.find("\"delta_papers\":0"), std::string::npos) << r;
 }
 
 TEST_F(DaemonTest, SlowLorisPartialFrameTimedOut) {

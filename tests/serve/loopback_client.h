@@ -79,6 +79,28 @@ class Client {
     }
   }
 
+  /// A complete frame with its header flags word surfaced (the flags
+  /// carry the shard generation tag on search responses).
+  struct RawFrame {
+    uint8_t type = 0;
+    uint16_t flags = 0;
+    std::string body;
+  };
+
+  /// Like ReadFrame, but also returns the header flags word.
+  std::optional<RawFrame> ReadRawFrame() {
+    for (;;) {
+      const net::Frame f = net::NextFrame(buf_, 64u << 20);
+      if (f.state == net::FrameState::kReady) {
+        RawFrame out{f.type, f.flags, std::string(f.body)};
+        buf_.erase(0, f.consumed);
+        return out;
+      }
+      if (f.state != net::FrameState::kNeedMore) return std::nullopt;
+      if (!Fill()) return std::nullopt;
+    }
+  }
+
   /// Reads until one complete CTXQ1 response frame decodes (nullopt on
   /// EOF, timeout, or a framing/decoding error).
   std::optional<net::WireResponse> ReadResponse() {

@@ -1,0 +1,519 @@
+// The mutable index's keystone property: ingest-then-search is BITWISE
+// identical to rebuild-from-scratch-then-search, for every interleaving of
+// ingest batches, compactions, and queries, on the exact and the pruned
+// path, for any thread count. Plus the delta edge cases: all-stopword
+// papers, delta-born contexts, queries racing a compaction, and the
+// empty-delta compaction no-op.
+#include "serve/mutable_index.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "context/assignment_builders.h"
+#include "context/author_similarity.h"
+#include "context/search_engine.h"
+#include "context/text_prestige.h"
+#include "corpus/corpus_generator.h"
+#include "corpus/full_text_search.h"
+#include "corpus/tokenized_corpus.h"
+#include "graph/citation_graph.h"
+#include "ontology/ontology_generator.h"
+
+namespace ctxrank::serve {
+namespace {
+
+using context::SearchOptions;
+using context::SearchResponse;
+using corpus::PaperId;
+using ontology::TermId;
+
+constexpr size_t kSeedPapers = 150;   // P0: the frozen statistics prefix.
+constexpr size_t kTotalPapers = 190;  // 40 papers arrive via live ingest.
+
+/// The generated ground truth every test slices: a full corpus whose first
+/// kSeedPapers become the frozen base and whose tail arrives via Ingest.
+struct World {
+  ontology::Ontology onto;
+  corpus::Corpus full;
+  /// Per paper: the terms it is annotation evidence for.
+  std::vector<std::vector<TermId>> evidence_of;
+  std::vector<std::string> queries;
+};
+
+World* BuildWorld() {
+  auto w = std::make_unique<World>();
+  ontology::OntologyGeneratorOptions oopts;
+  oopts.seed = 11;
+  oopts.max_terms = 40;
+  oopts.max_depth = 5;
+  auto o = ontology::GenerateOntology(oopts);
+  if (!o.ok()) return nullptr;
+  w->onto = std::move(o).value();
+  corpus::CorpusGeneratorOptions copts;
+  copts.seed = 29;
+  copts.num_papers = kTotalPapers;
+  copts.num_authors = 80;
+  copts.evidence_per_term = 3;
+  auto c = corpus::GenerateCorpus(w->onto, copts);
+  if (!c.ok()) return nullptr;
+  w->full = std::move(c).value();
+  w->evidence_of.resize(kTotalPapers);
+  for (TermId t = 0; t < w->onto.size(); ++t) {
+    for (PaperId p : w->full.Evidence(t)) w->evidence_of[p].push_back(t);
+  }
+  // Queries from term names (single- and multi-context) plus a miss.
+  for (TermId t : {TermId{2}, TermId{7}, TermId{15}, TermId{23}, TermId{31}}) {
+    if (t < w->onto.size()) w->queries.push_back(w->onto.term(t).name);
+  }
+  w->queries.push_back(w->onto.term(0).name + " " +
+                       w->onto.term(w->onto.size() - 1).name);
+  w->queries.push_back("zzz nothing matches this query");
+  return w.release();
+}
+
+corpus::Paper Canonical(corpus::Paper p) {
+  std::sort(p.authors.begin(), p.authors.end());
+  p.authors.erase(std::unique(p.authors.begin(), p.authors.end()),
+                  p.authors.end());
+  return p;
+}
+
+/// The merged corpus a rebuild would see after ingesting papers
+/// [kSeedPapers, upto): seed papers verbatim, ingested papers
+/// canonicalized (as Ingest stores them), evidence in seed-then-ingest
+/// order.
+corpus::Corpus MergedCorpus(const World& w, size_t upto) {
+  corpus::Corpus c;
+  for (PaperId p = 0; p < kSeedPapers; ++p) {
+    EXPECT_TRUE(c.Add(w.full.paper(p)).ok());
+  }
+  for (PaperId p = kSeedPapers; p < upto; ++p) {
+    EXPECT_TRUE(c.Add(Canonical(w.full.paper(p))).ok());
+  }
+  c.set_num_authors(w.full.num_authors());
+  for (TermId t = 0; t < w.onto.size(); ++t) {
+    for (PaperId p : w.full.Evidence(t)) {
+      if (p < kSeedPapers) c.AddEvidence(t, p);
+    }
+  }
+  for (PaperId p = kSeedPapers; p < upto; ++p) {
+    for (TermId t : w.evidence_of[p]) c.AddEvidence(t, p);
+  }
+  return c;
+}
+
+/// The from-scratch pipeline over a merged corpus with the SAME frozen
+/// statistics prefix the mutable index pins — the reference every search
+/// must match bitwise.
+struct Reference {
+  corpus::Corpus corpus;
+  std::unique_ptr<corpus::TokenizedCorpus> tc;
+  std::unique_ptr<corpus::FullTextSearch> fts;
+  std::unique_ptr<graph::CitationGraph> graph;
+  std::unique_ptr<context::AuthorSimilarity> authors;
+  std::unique_ptr<context::ContextAssignment> assignment;
+  std::unique_ptr<context::PrestigeScores> prestige;
+  std::unique_ptr<context::ContextSearchEngine> engine;
+};
+
+std::unique_ptr<Reference> BuildReference(const World& w, size_t upto,
+                                          const MutableIndex::Options& opts) {
+  auto r = std::make_unique<Reference>();
+  r->corpus = MergedCorpus(w, upto);
+  r->tc = std::make_unique<corpus::TokenizedCorpus>(r->corpus, opts.analyzer,
+                                                    kSeedPapers);
+  r->fts = std::make_unique<corpus::FullTextSearch>(*r->tc);
+  r->graph = std::make_unique<graph::CitationGraph>(r->corpus);
+  r->authors = std::make_unique<context::AuthorSimilarity>(
+      r->corpus, opts.prestige.author);
+  auto a = context::BuildTextBasedAssignment(*r->tc, w.onto, *r->fts,
+                                             opts.assignment);
+  if (!a.ok()) return nullptr;
+  r->assignment =
+      std::make_unique<context::ContextAssignment>(std::move(a).value());
+  auto p = context::ComputeTextPrestige(w.onto, *r->assignment, *r->tc,
+                                        *r->graph, *r->authors, opts.prestige);
+  if (!p.ok()) return nullptr;
+  r->prestige =
+      std::make_unique<context::PrestigeScores>(std::move(p).value());
+  r->engine = std::make_unique<context::ContextSearchEngine>(
+      *r->tc, w.onto, *r->assignment, *r->prestige, opts.engine);
+  return r;
+}
+
+void ExpectSameResponse(const SearchResponse& got, const SearchResponse& want,
+                        const std::string& label) {
+  EXPECT_TRUE(got.status.ok()) << label;
+  EXPECT_TRUE(want.status.ok()) << label;
+  ASSERT_EQ(got.hits.size(), want.hits.size()) << label;
+  for (size_t i = 0; i < got.hits.size(); ++i) {
+    EXPECT_EQ(got.hits[i].paper, want.hits[i].paper) << label << " hit " << i;
+    EXPECT_EQ(got.hits[i].context, want.hits[i].context)
+        << label << " hit " << i;
+    // Bitwise: the whole point of the frozen-stats + overlay design.
+    EXPECT_EQ(got.hits[i].relevancy, want.hits[i].relevancy)
+        << label << " hit " << i;
+    EXPECT_EQ(got.hits[i].prestige, want.hits[i].prestige)
+        << label << " hit " << i;
+    EXPECT_EQ(got.hits[i].match, want.hits[i].match) << label << " hit " << i;
+  }
+  EXPECT_EQ(got.degraded, want.degraded) << label;
+}
+
+class MutableIndexTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = BuildWorld();
+    ASSERT_NE(world_, nullptr);
+  }
+
+  static MutableIndex::IngestPaper IngestRecord(PaperId p) {
+    return {world_->full.paper(p), world_->evidence_of[p]};
+  }
+
+  /// Seed-prefix index (generation 0, empty delta).
+  static std::unique_ptr<MutableIndex> BuildSeedIndex(
+      MutableIndex::Options opts = {}) {
+    auto idx = MutableIndex::Build(MergedCorpus(*world_, kSeedPapers),
+                                   world_->onto, opts);
+    EXPECT_TRUE(idx.ok()) << idx.status().ToString();
+    return std::move(idx).value();
+  }
+
+  /// Compares every fixture query between the index and a rebuilt
+  /// reference, across the pruned and exact paths and two top_k settings.
+  static void ExpectMatchesRebuild(const MutableIndex& index, size_t upto,
+                                   const std::string& label) {
+    const auto ref = BuildReference(*world_, upto, index.options());
+    ASSERT_NE(ref, nullptr);
+    for (const bool exact : {false, true}) {
+      for (const size_t top_k : {size_t{10}, size_t{0}}) {
+        SearchOptions o;
+        o.exact_scan = exact;
+        o.top_k = top_k;
+        for (const std::string& q : world_->queries) {
+          ExpectSameResponse(index.SearchEx(q, o), ref->engine->SearchEx(q, o),
+                             label + " q=\"" + q + "\" exact=" +
+                                 std::to_string(exact) +
+                                 " top_k=" + std::to_string(top_k));
+        }
+      }
+    }
+  }
+
+  static World* world_;
+};
+
+World* MutableIndexTest::world_ = nullptr;
+
+TEST_F(MutableIndexTest, EmptyDeltaMatchesRebuild) {
+  const auto index = BuildSeedIndex();
+  EXPECT_EQ(index->base_papers(), kSeedPapers);
+  EXPECT_EQ(index->delta_papers(), 0u);
+  ExpectMatchesRebuild(*index, kSeedPapers, "empty delta");
+}
+
+TEST_F(MutableIndexTest, IngestThenSearchEqualsRebuildThenSearch) {
+  const auto index = BuildSeedIndex();
+  for (PaperId p = kSeedPapers; p < kTotalPapers; ++p) {
+    auto id = index->Ingest(IngestRecord(p));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_EQ(id.value(), p);  // Global ids continue the seed sequence.
+  }
+  EXPECT_EQ(index->num_papers(), kTotalPapers);
+  EXPECT_EQ(index->delta_papers(), kTotalPapers - kSeedPapers);
+  ExpectMatchesRebuild(*index, kTotalPapers, "full delta");
+}
+
+TEST_F(MutableIndexTest, SingleIngestMatchesRebuild) {
+  const auto index = BuildSeedIndex();
+  ASSERT_TRUE(index->Ingest(IngestRecord(kSeedPapers)).ok());
+  ExpectMatchesRebuild(*index, kSeedPapers + 1, "one paper");
+}
+
+TEST_F(MutableIndexTest, CompactionPreservesIdentityAcrossGenerations) {
+  const auto index = BuildSeedIndex();
+  const size_t half = kSeedPapers + (kTotalPapers - kSeedPapers) / 2;
+  for (PaperId p = kSeedPapers; p < half; ++p) {
+    ASSERT_TRUE(index->Ingest(IngestRecord(p)).ok());
+  }
+  ASSERT_TRUE(index->Compact().ok());
+  EXPECT_EQ(index->generation(), 1u);
+  EXPECT_EQ(index->base_papers(), half);
+  EXPECT_EQ(index->delta_papers(), 0u);
+  // The statistics prefix survives compaction: still the initial P0.
+  EXPECT_EQ(index->stats_prefix(), kSeedPapers);
+  ExpectMatchesRebuild(*index, half, "after compaction");
+
+  // Ingest into the new generation; vectors still come from the frozen P0
+  // model, so the rebuild reference (always stats_prefix = P0) must match.
+  for (PaperId p = half; p < kTotalPapers; ++p) {
+    ASSERT_TRUE(index->Ingest(IngestRecord(p)).ok());
+  }
+  ExpectMatchesRebuild(*index, kTotalPapers, "delta on generation 1");
+
+  ASSERT_TRUE(index->Compact().ok());
+  EXPECT_EQ(index->generation(), 2u);
+  ExpectMatchesRebuild(*index, kTotalPapers, "after second compaction");
+}
+
+TEST_F(MutableIndexTest, ThreadCountInvariance) {
+  MutableIndex::Options opts;
+  opts.num_threads = 4;
+  const auto index = BuildSeedIndex(opts);
+  for (PaperId p = kSeedPapers; p < kSeedPapers + 10; ++p) {
+    ASSERT_TRUE(index->Ingest(IngestRecord(p)).ok());
+  }
+  // Reference built with the same options but different scan threads; the
+  // response must be bitwise identical regardless.
+  const auto ref = BuildReference(*world_, kSeedPapers + 10, index->options());
+  ASSERT_NE(ref, nullptr);
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    SearchOptions o;
+    o.top_k = 10;
+    o.num_threads = threads;
+    for (const std::string& q : world_->queries) {
+      ExpectSameResponse(index->SearchEx(q, o), ref->engine->SearchEx(q, o),
+                         "threads=" + std::to_string(threads) + " q=" + q);
+    }
+  }
+}
+
+/// Every interleaving of ingest batches, compactions, and queries must
+/// stay bitwise-identical to a rebuild at the same paper count.
+class MutableIndexInterleavingTest
+    : public MutableIndexTest,
+      public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(MutableIndexInterleavingTest, RandomInterleavingMatchesRebuild) {
+  Rng rng(GetParam() * 71 + 5);
+  const auto index = BuildSeedIndex();
+  PaperId next = kSeedPapers;
+  int compactions = 0;
+  while (next < kTotalPapers) {
+    const uint64_t action = rng.NextBounded(3);
+    if (action == 0) {  // Ingest a batch of 1-6 papers.
+      const size_t batch = 1 + rng.NextBounded(6);
+      for (size_t i = 0; i < batch && next < kTotalPapers; ++i, ++next) {
+        ASSERT_TRUE(index->Ingest(IngestRecord(next)).ok());
+      }
+    } else if (action == 1 && compactions < 3) {
+      ASSERT_TRUE(index->Compact().ok());
+      ++compactions;
+    } else {  // Query and compare against the rebuild.
+      const auto ref = BuildReference(*world_, next, index->options());
+      ASSERT_NE(ref, nullptr);
+      SearchOptions o;
+      o.top_k = 10;
+      o.exact_scan = rng.NextBounded(2) == 0;
+      const std::string& q =
+          world_->queries[rng.NextBounded(world_->queries.size())];
+      ExpectSameResponse(index->SearchEx(q, o), ref->engine->SearchEx(q, o),
+                         "interleaving seed " + std::to_string(GetParam()) +
+                             " upto " + std::to_string(next));
+    }
+  }
+  ExpectMatchesRebuild(*index, kTotalPapers,
+                       "final state seed " + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutableIndexInterleavingTest,
+                         ::testing::Values(1, 2, 3));
+
+// --- delta edge cases -------------------------------------------------
+
+TEST_F(MutableIndexTest, AllStopwordPaperIngestsCleanly) {
+  const auto index = BuildSeedIndex();
+  MutableIndex::IngestPaper in;
+  in.paper.title = "the of and";
+  in.paper.abstract_text = "a an the is are was";
+  in.paper.body = "of of of the the and";
+  in.paper.index_terms = "the";
+  in.paper.authors = {1, 2};
+  auto id = index->Ingest(std::move(in));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(id.value(), kSeedPapers);
+  // Its vector is empty, so every query's results match the seed-only
+  // rebuild (the paper can never score) — and compaction folds it without
+  // disturbing anyone else's statistics.
+  ExpectMatchesRebuild(*index, kSeedPapers, "all-stopword paper");
+  ASSERT_TRUE(index->Compact().ok());
+  EXPECT_EQ(index->base_papers(), kSeedPapers + 1);
+  ExpectMatchesRebuild(*index, kSeedPapers, "all-stopword folded");
+}
+
+TEST_F(MutableIndexTest, IngestCreatesBrandNewContext) {
+  const auto index = BuildSeedIndex();
+  // A context with no evidence in the seed: empty in the base assignment.
+  TermId fresh = ontology::kInvalidTerm;
+  for (TermId t = 0; t < world_->onto.size(); ++t) {
+    bool seed_evidence = false;
+    for (PaperId p : world_->full.Evidence(t)) {
+      seed_evidence |= p < kSeedPapers;
+    }
+    if (!seed_evidence) {
+      fresh = t;
+      break;
+    }
+  }
+  if (fresh == ontology::kInvalidTerm) {
+    GTEST_SKIP() << "generator gave every term seed evidence";
+  }
+  MutableIndex::IngestPaper in;
+  const std::string& name = world_->onto.term(fresh).name;
+  in.paper.title = name;
+  in.paper.abstract_text = name + " " + name;
+  in.paper.body = world_->full.paper(3).body;
+  in.paper.authors = {4, 9};
+  in.evidence_terms = {fresh};
+  ASSERT_TRUE(index->Ingest(std::move(in)).ok());
+  // The delta-born context is injected into routing...
+  const auto extra = index->extra_selectable_contexts();
+  EXPECT_TRUE(std::find(extra.begin(), extra.end(), fresh) != extra.end());
+  // ...and a query for its name finds the new paper, exactly as a rebuild
+  // (where the context now has evidence and members) would.
+  SearchOptions o;
+  o.top_k = 10;
+  const SearchResponse got = index->SearchEx(name, o);
+  bool found = false;
+  for (const auto& h : got.hits) found |= h.paper == kSeedPapers;
+  EXPECT_TRUE(found) << "delta paper not returned for its own context";
+  // Full bitwise comparison needs the reference corpus to carry the same
+  // synthetic paper; splice it into the world temporarily.
+  corpus::Corpus merged = MergedCorpus(*world_, kSeedPapers);
+  corpus::Paper synthetic;
+  synthetic.id = static_cast<PaperId>(kSeedPapers);
+  synthetic.title = name;
+  synthetic.abstract_text = name + " " + name;
+  synthetic.body = world_->full.paper(3).body;
+  synthetic.authors = {4, 9};
+  ASSERT_TRUE(merged.Add(std::move(synthetic)).ok());
+  merged.AddEvidence(fresh, static_cast<PaperId>(kSeedPapers));
+  merged.set_num_authors(world_->full.num_authors());
+  Reference ref;
+  ref.corpus = std::move(merged);
+  ref.tc = std::make_unique<corpus::TokenizedCorpus>(
+      ref.corpus, index->options().analyzer, kSeedPapers);
+  ref.fts = std::make_unique<corpus::FullTextSearch>(*ref.tc);
+  ref.graph = std::make_unique<graph::CitationGraph>(ref.corpus);
+  ref.authors = std::make_unique<context::AuthorSimilarity>(
+      ref.corpus, index->options().prestige.author);
+  auto a = context::BuildTextBasedAssignment(*ref.tc, world_->onto, *ref.fts,
+                                             index->options().assignment);
+  ASSERT_TRUE(a.ok());
+  ref.assignment =
+      std::make_unique<context::ContextAssignment>(std::move(a).value());
+  auto p = context::ComputeTextPrestige(world_->onto, *ref.assignment,
+                                        *ref.tc, *ref.graph, *ref.authors,
+                                        index->options().prestige);
+  ASSERT_TRUE(p.ok());
+  ref.prestige =
+      std::make_unique<context::PrestigeScores>(std::move(p).value());
+  ref.engine = std::make_unique<context::ContextSearchEngine>(
+      *ref.tc, world_->onto, *ref.assignment, *ref.prestige,
+      index->options().engine);
+  ExpectSameResponse(got, ref.engine->SearchEx(name, o), "brand-new context");
+}
+
+TEST_F(MutableIndexTest, QueriesServeUnchangedMidCompaction) {
+  const auto index = BuildSeedIndex();
+  for (PaperId p = kSeedPapers; p < kSeedPapers + 8; ++p) {
+    ASSERT_TRUE(index->Ingest(IngestRecord(p)).ok());
+  }
+  const auto ref =
+      BuildReference(*world_, kSeedPapers + 8, index->options());
+  ASSERT_NE(ref, nullptr);
+  SearchOptions o;
+  o.top_k = 10;
+  // Stall the compaction between corpus merge and base rebuild; queries
+  // issued during the stall must keep serving the live view, bitwise.
+  auto& injector = fault::FaultInjector::Instance();
+  injector.StallFrom("mutable_index/compact", 1, 400);
+  std::thread compactor([&] { EXPECT_TRUE(index->Compact().ok()); });
+  for (int i = 0; i < 3; ++i) {
+    for (const std::string& q : world_->queries) {
+      ExpectSameResponse(index->SearchEx(q, o), ref->engine->SearchEx(q, o),
+                         "mid-compaction q=" + q);
+    }
+  }
+  compactor.join();
+  injector.Disarm();
+  EXPECT_EQ(index->generation(), 1u);
+  ExpectMatchesRebuild(*index, kSeedPapers + 8, "post-compaction");
+}
+
+TEST_F(MutableIndexTest, EmptyDeltaCompactionIsNoop) {
+  const auto index = BuildSeedIndex();
+  EXPECT_TRUE(index->Compact().ok());
+  EXPECT_EQ(index->generation(), 0u);  // No generation churn.
+  EXPECT_EQ(index->base_papers(), kSeedPapers);
+  // And after a real compaction drains the delta, compacting again is
+  // still a no-op.
+  ASSERT_TRUE(index->Ingest(IngestRecord(kSeedPapers)).ok());
+  ASSERT_TRUE(index->Compact().ok());
+  EXPECT_EQ(index->generation(), 1u);
+  EXPECT_TRUE(index->Compact().ok());
+  EXPECT_EQ(index->generation(), 1u);
+}
+
+TEST_F(MutableIndexTest, IngestRejectsBadReferencesAndEvidence) {
+  const auto index = BuildSeedIndex();
+  MutableIndex::IngestPaper forward;
+  forward.paper.title = "cites the future";
+  forward.paper.references = {static_cast<PaperId>(kSeedPapers + 5)};
+  EXPECT_FALSE(index->Ingest(std::move(forward)).ok());
+  MutableIndex::IngestPaper dup;
+  dup.paper.title = "duplicate refs";
+  dup.paper.references = {1, 1};
+  EXPECT_FALSE(index->Ingest(std::move(dup)).ok());
+  MutableIndex::IngestPaper bad_term;
+  bad_term.paper.title = "bad evidence";
+  bad_term.evidence_terms = {static_cast<TermId>(world_->onto.size())};
+  EXPECT_FALSE(index->Ingest(std::move(bad_term)).ok());
+  // Failed ingests publish nothing.
+  EXPECT_EQ(index->num_papers(), kSeedPapers);
+}
+
+TEST_F(MutableIndexTest, ConcurrentQueriesNeverFailDuringIngestAndCompaction) {
+  const auto index = BuildSeedIndex();
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> queries{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      SearchOptions o;
+      o.top_k = 10;
+      size_t i = 0;
+      while (!stop.load()) {
+        const auto& q = world_->queries[i++ % world_->queries.size()];
+        const SearchResponse resp = index->SearchEx(q, o);
+        EXPECT_TRUE(resp.status.ok());
+        for (size_t h = 1; h < resp.hits.size(); ++h) {
+          EXPECT_LE(resp.hits[h].relevancy, resp.hits[h - 1].relevancy);
+        }
+        queries.fetch_add(1);
+      }
+    });
+  }
+  for (PaperId p = kSeedPapers; p < kTotalPapers; ++p) {
+    ASSERT_TRUE(index->Ingest(IngestRecord(p)).ok());
+    if ((p - kSeedPapers) % 13 == 12) {
+      ASSERT_TRUE(index->Compact().ok());
+    }
+  }
+  ASSERT_TRUE(index->Compact().ok());
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_GT(queries.load(), 0u);
+  ExpectMatchesRebuild(*index, kTotalPapers, "after concurrent churn");
+}
+
+}  // namespace
+}  // namespace ctxrank::serve

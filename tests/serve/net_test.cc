@@ -212,6 +212,170 @@ TEST(FrameTest, RejectsUnknownRequestFlags) {
   EXPECT_FALSE(DecodeSearchRequestBody(f.body).ok());
 }
 
+WireAddPaper SamplePaper() {
+  WireAddPaper p;
+  p.title = "delta segment semantics";
+  p.abstract_text = "we study live ingest";
+  p.body = "segment merge identity proof";
+  p.index_terms = "ingest compaction";
+  p.authors = {3, 1, 3};  // Canonicalization is the index's job, not the wire's.
+  p.references = {0, 41};
+  p.evidence_terms = {7};
+  return p;
+}
+
+TEST(FrameTest, AddPaperRequestRoundTrips) {
+  const WireAddPaper paper = SamplePaper();
+  const std::string frame = EncodeAddPaperRequest(paper);
+  const Frame f = NextFrame(frame, kDefaultMaxFrameBytes);
+  ASSERT_EQ(f.state, FrameState::kReady);
+  EXPECT_EQ(f.type, kFrameAddPaperRequest);
+  EXPECT_EQ(f.flags, 0u);
+  EXPECT_EQ(f.consumed, frame.size());
+  auto decoded = DecodeAddPaperRequestBody(f.body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const WireAddPaper& out = decoded.value();
+  EXPECT_EQ(out.title, paper.title);
+  EXPECT_EQ(out.abstract_text, paper.abstract_text);
+  EXPECT_EQ(out.body, paper.body);
+  EXPECT_EQ(out.index_terms, paper.index_terms);
+  EXPECT_EQ(out.authors, paper.authors);
+  EXPECT_EQ(out.references, paper.references);
+  EXPECT_EQ(out.evidence_terms, paper.evidence_terms);
+}
+
+TEST(FrameTest, AddPaperRequestEmptySectionsRoundTrip) {
+  WireAddPaper paper;
+  paper.title = "t";  // Everything else empty.
+  const std::string frame = EncodeAddPaperRequest(paper);
+  const Frame f = NextFrame(frame, kDefaultMaxFrameBytes);
+  ASSERT_EQ(f.state, FrameState::kReady);
+  auto decoded = DecodeAddPaperRequestBody(f.body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().title, "t");
+  EXPECT_TRUE(decoded.value().abstract_text.empty());
+  EXPECT_TRUE(decoded.value().authors.empty());
+  EXPECT_TRUE(decoded.value().references.empty());
+  EXPECT_TRUE(decoded.value().evidence_terms.empty());
+}
+
+TEST(FrameTest, AddPaperRequestRejectsCorruptBodies) {
+  EXPECT_FALSE(DecodeAddPaperRequestBody("short").ok());
+  const std::string frame = EncodeAddPaperRequest(SamplePaper());
+  std::string body(frame.substr(kFrameHeaderBytes));
+  // Reserved word (offset 28) must be zero.
+  std::string bad_reserved = body;
+  bad_reserved[28] = 1;
+  EXPECT_FALSE(DecodeAddPaperRequestBody(bad_reserved).ok());
+  // Declared sizes disagreeing with the actual body size.
+  std::string lying = body;
+  lying.push_back('x');
+  EXPECT_FALSE(DecodeAddPaperRequestBody(lying).ok());
+  std::string truncated = body.substr(0, body.size() - 1);
+  EXPECT_FALSE(DecodeAddPaperRequestBody(truncated).ok());
+  // A count chosen so the naive expected-size sum wraps around: the
+  // decoder must reject it without allocating, not read out of bounds.
+  std::string wrap(kAddPaperFixedBytes, '\0');
+  wrap[16] = '\xff';
+  wrap[17] = '\xff';
+  wrap[18] = '\xff';
+  wrap[19] = '\xff';  // num_authors = 2^32 - 1.
+  EXPECT_FALSE(DecodeAddPaperRequestBody(wrap).ok());
+}
+
+TEST(FrameTest, AddPaperResponseRoundTrips) {
+  WireAddPaperResponse ok;
+  ok.code = StatusCode::kOk;
+  ok.paper_id = 202;
+  ok.num_papers = 203;
+  ok.generation = (uint64_t{1} << 33) + 5;
+  const std::string frame = EncodeAddPaperResponse(ok);
+  const Frame f = NextFrame(frame, kDefaultMaxFrameBytes);
+  ASSERT_EQ(f.state, FrameState::kReady);
+  EXPECT_EQ(f.type, kFrameAddPaperResponse);
+  auto decoded = DecodeAddPaperResponseBody(f.body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().code, StatusCode::kOk);
+  EXPECT_EQ(decoded.value().paper_id, 202u);
+  EXPECT_EQ(decoded.value().num_papers, 203u);
+  EXPECT_EQ(decoded.value().generation, ok.generation);
+  EXPECT_TRUE(decoded.value().message.empty());
+
+  WireAddPaperResponse err;
+  err.code = StatusCode::kInvalidArgument;
+  err.message = "reference 99 does not exist";
+  const std::string err_frame = EncodeAddPaperResponse(err);
+  const Frame fe = NextFrame(err_frame, kDefaultMaxFrameBytes);
+  ASSERT_EQ(fe.state, FrameState::kReady);
+  auto edec = DecodeAddPaperResponseBody(fe.body);
+  ASSERT_TRUE(edec.ok());
+  EXPECT_EQ(edec.value().code, StatusCode::kInvalidArgument);
+  EXPECT_EQ(edec.value().message, err.message);
+}
+
+TEST(FrameTest, AddPaperResponseRejectsCorruptBodies) {
+  EXPECT_FALSE(DecodeAddPaperResponseBody("short").ok());
+  WireAddPaperResponse r;
+  r.message = "msg";
+  const std::string frame = EncodeAddPaperResponse(r);
+  std::string body(frame.substr(kFrameHeaderBytes));
+  std::string lying = body;
+  lying.push_back('x');
+  EXPECT_FALSE(DecodeAddPaperResponseBody(lying).ok());
+  // Unknown status code value.
+  std::string bad_code = body;
+  bad_code[0] = '\x7f';
+  EXPECT_FALSE(DecodeAddPaperResponseBody(bad_code).ok());
+}
+
+TEST(FrameTest, GenerationTagFoldsOntoNonZeroRing) {
+  // 0 is reserved for "unknown": no real generation may map onto it, and
+  // consecutive generations must get distinct tags (the reload-detection
+  // property the gateway cache relies on).
+  EXPECT_EQ(GenerationTag(0), 0u);
+  EXPECT_EQ(GenerationTag(1), 1u);
+  EXPECT_EQ(GenerationTag(65535), 65535u);
+  EXPECT_EQ(GenerationTag(65536), 1u);   // Wraps past 0.
+  EXPECT_EQ(GenerationTag(65537), 2u);
+  for (uint64_t g = 1; g < 200000; g += 997) {
+    EXPECT_NE(GenerationTag(g), 0u) << g;
+    EXPECT_NE(GenerationTag(g), GenerationTag(g + 1)) << g;
+  }
+}
+
+TEST(FrameTest, SearchResponseHeaderCarriesGenerationTag) {
+  const context::SearchResponse resp = SampleResponse();
+  const std::string frame = EncodeSearchResponse(resp, GenerationTag(3));
+  const Frame f = NextFrame(frame, kDefaultMaxFrameBytes);
+  ASSERT_EQ(f.state, FrameState::kReady);
+  EXPECT_EQ(f.type, kFrameSearchResponse);
+  EXPECT_EQ(f.flags, 3u);
+  // The tag rides the header only — the body still decodes identically,
+  // and the decoder leaves generation_tag for the transport to fill.
+  auto decoded = DecodeSearchResponseBody(f.body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().generation_tag, 0u);
+  EXPECT_EQ(decoded.value().hits.size(), resp.hits.size());
+}
+
+TEST(FrameTest, NonzeroFlagsRejectedOnEveryOtherType) {
+  // Only SearchResponse may carry header flags; a tag on any other frame
+  // type is a protocol violation (kBadFrame), so a buggy peer cannot
+  // smuggle state through the reserved word.
+  const std::string frames[] = {
+      EncodeSearchRequest(SampleRequest()),
+      EncodeAddPaperRequest(SamplePaper()),
+      EncodeAddPaperResponse(WireAddPaperResponse{}),
+      EncodePing(),
+  };
+  for (const std::string& frame : frames) {
+    std::string tagged = frame;
+    tagged[6] = 1;  // Header flags low byte.
+    EXPECT_EQ(NextFrame(tagged, kDefaultMaxFrameBytes).state,
+              FrameState::kBadFrame);
+  }
+}
+
 TEST(HttpTest, ParsesRequestLineAndParams) {
   const std::string raw =
       "GET /search?q=kinase+signaling&topk=5&x=a%20b HTTP/1.1\r\n"

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -540,6 +541,198 @@ TEST_F(ShardClientTest, ConnectionPoolReusedAcrossSequentialRequests) {
   EXPECT_EQ(stats.dials, 1u);        // One TCP connect total...
   EXPECT_EQ(stats.pool_reuses, 2u);  // ...then the pool serves.
   EXPECT_EQ(client.pooled_connections(), 1u);
+}
+
+// --- Pool-hygiene invariant: dirty connections never reach the pool --------
+
+TEST_F(ShardClientTest, StrayBytesAfterResponseDropConnectionFromPool) {
+  // A byzantine server answers a valid SearchResponse frame followed by
+  // stray garbage in the same write. The response itself decodes and the
+  // request succeeds — but the connection now holds unconsumed input, is
+  // in an undefined mid-frame state, and must be dropped at check-in,
+  // never pooled: a later request reusing it would read the stray bytes
+  // as the front of its own response frame.
+  context::SearchResponse canned;
+  canned.hits = {{1, 0.5, 2, 0.25, 0.75}};
+  std::string reply = net::EncodeSearchResponse(canned, net::GenerationTag(1));
+  reply += "stray";
+
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(
+      ::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listen_fd, 8), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(
+      ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  // Two sequential exchanges, each on a fresh connection (the client must
+  // not reuse the dirtied one). Connections stay open server-side so the
+  // drop decision is the client's alone.
+  std::vector<int> conn_fds;
+  std::thread server([&] {
+    for (int c = 0; c < 2; ++c) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) return;
+      conn_fds.push_back(fd);
+      std::string buf;
+      char chunk[4096];
+      for (;;) {
+        const net::Frame f = net::NextFrame(buf, net::kDefaultMaxFrameBytes);
+        if (f.state == net::FrameState::kReady) break;
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) return;
+        buf.append(chunk, static_cast<size_t>(n));
+      }
+      (void)::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+    }
+  });
+
+  ShardClient client(0,
+                     ShardClient::Endpoint{"127.0.0.1", ntohs(addr.sin_port)},
+                     {}, FastClientOptions());
+  const std::string q = "signaling";
+  const SearchOptions opts;
+  const auto contexts = reference_->RouteQueryText(q, opts);
+  const uint64_t drops_before =
+      CounterValue("ctxrank_shard_client_dirty_drops_total");
+  for (int i = 0; i < 2; ++i) {
+    const auto result = client.ShardSearch(q, contexts, opts, Deadline());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectBitIdentical(result.value().hits, canned.hits);
+    EXPECT_EQ(result.value().generation_tag, net::GenerationTag(1));
+    // The invariant: nothing pooled, the dirty connection counted.
+    EXPECT_EQ(client.pooled_connections(), 0u) << "request " << i;
+    EXPECT_EQ(client.stats().dirty_drops, static_cast<uint64_t>(i + 1));
+  }
+  EXPECT_EQ(client.stats().dials, 2u);  // Each request needed a fresh dial.
+  EXPECT_EQ(client.stats().pool_reuses, 0u);
+  EXPECT_EQ(CounterValue("ctxrank_shard_client_dirty_drops_total"),
+            drops_before + 2);
+  server.join();
+  for (const int fd : conn_fds) ::close(fd);
+  ::close(listen_fd);
+}
+
+// --- Generation tags: observation and cache invalidation -------------------
+
+TEST_F(ShardClientTest, GenerationTagObservedFromPingAndSearch) {
+  Fleet fleet = SpawnFleet(1);
+  ShardClient client(0, fleet.specs[0].primary, {}, FastClientOptions());
+  EXPECT_EQ(client.last_generation_tag(), 0u);  // Nothing observed yet.
+
+  const auto pong = client.Ping(Deadline());
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(client.last_generation_tag(),
+            net::GenerationTag(pong.value().generation));
+
+  const std::string q = "signaling";
+  const SearchOptions opts;
+  const auto contexts = reference_->RouteQueryText(q, opts);
+  auto result = client.ShardSearch(q, contexts, opts, Deadline());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().generation_tag,
+            net::GenerationTag(pong.value().generation));
+
+  // A hot reload bumps the supervisor generation; the next leg observes
+  // the new tag in its response header.
+  const uint64_t gen = fleet.supervisors[0]->generation();
+  ASSERT_TRUE(
+      fleet.supervisors[0]->Reload(ShardPath(SavedSet(1), 0, 1)).ok());
+  result = client.ShardSearch(q, contexts, opts, Deadline());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().generation_tag, net::GenerationTag(gen + 1));
+  EXPECT_EQ(client.last_generation_tag(), net::GenerationTag(gen + 1));
+
+  // The freshness bound: an observation older than max_age_ms reads as
+  // unknown (0); an unlimited read still returns it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  EXPECT_EQ(client.last_generation_tag(1), 0u);
+  EXPECT_EQ(client.last_generation_tag(60000),
+            net::GenerationTag(gen + 1));
+  EXPECT_EQ(client.last_generation_tag(), net::GenerationTag(gen + 1));
+}
+
+TEST_F(ShardClientTest, RemoteReloadInvalidatesMergedCacheByGenerationTag) {
+  // The regression this PR fixes: the gateway's merged-result cache used
+  // to key on LOCAL supervisor generations only, so a remote shard
+  // daemon that hot-reloaded onto a different snapshot kept serving the
+  // gateway's stale cached merges forever. With generation tags in the
+  // key the stale window is bounded by ping_idle_ms, and no query ever
+  // fails during the reload.
+  Fleet fleet = SpawnFleet(1);
+
+  // A second snapshot over the same corpus with shuffled prestige: the
+  // same query must rank differently after the shard daemon reloads.
+  context::PrestigeScores prestige2(onto_.size());
+  for (int i = 0; i < 8; ++i) {
+    prestige2.Set(i + 1, {0.3 + 0.08 * i, 0.9 - 0.07 * i});
+  }
+  const std::string base2 = ::testing::TempDir() + "/shard_client_test." +
+                            std::to_string(::getpid()) + ".reload.snap";
+  ASSERT_TRUE(SaveShardedSnapshot(*tc_, onto_, *assignment_, prestige2,
+                                  corpus_, base2, 1)
+                  .ok());
+  ContextSearchEngine reference2(*tc_, onto_, *assignment_, prestige2);
+
+  ShardedEngine::Options eng_opts;
+  eng_opts.client = FastClientOptions();
+  eng_opts.client.ping_idle_ms = 50;  // Tag-trust window == stale bound.
+  eng_opts.cache_capacity = 8;
+  ShardedEngine engine(eng_opts);
+  ASSERT_TRUE(
+      engine.OpenRemote(ShardPath(SavedSet(1), 0, 1), fleet.specs).ok());
+
+  const std::string q = "signaling repair folding cycle";
+  SearchOptions opts;
+  opts.top_k = 10;
+  const auto before = reference_->Search(q, opts);
+  const auto after = reference2.Search(q, opts);
+  ASSERT_EQ(before.size(), after.size());
+  bool differs = false;
+  for (size_t i = 0; !differs && i < before.size(); ++i) {
+    differs = std::bit_cast<uint64_t>(before[i].relevancy) !=
+              std::bit_cast<uint64_t>(after[i].relevancy);
+  }
+  ASSERT_TRUE(differs) << "reload would be invisible; test is vacuous";
+
+  // Query 1 runs uncached (tag still unknown) and observes the tag;
+  // query 2 misses and populates; query 3 must be a cache hit.
+  const uint64_t hits_before =
+      CounterValue("ctxrank_sharded_cache_hits_total");
+  for (int i = 0; i < 3; ++i) {
+    const auto got = engine.SearchEx(q, opts);
+    ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+    ExpectBitIdentical(before, got.hits);
+  }
+  EXPECT_GE(CounterValue("ctxrank_sharded_cache_hits_total"),
+            hits_before + 1);
+
+  // Hot-reload the REMOTE daemon's snapshot. The gateway is not told.
+  ASSERT_TRUE(fleet.supervisors[0]->Reload(ShardPath(base2, 0, 1)).ok());
+
+  // Under load through the reload: zero failed queries (stale-but-valid
+  // merges are acceptable inside the trust window, failures never).
+  for (int i = 0; i < 5; ++i) {
+    const auto got = engine.SearchEx(q, opts);
+    ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+  }
+
+  // Once the tag observation ages past ping_idle_ms the cache sits out,
+  // the scatter runs against the reloaded shard, and every merge from
+  // then on is the new ranking — the stale entry is unreachable under
+  // the new tag's key.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  for (int i = 0; i < 3; ++i) {
+    const auto got = engine.SearchEx(q, opts);
+    ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+    ExpectBitIdentical(after, got.hits);
+  }
+  ::unlink(ShardPath(base2, 0, 1).c_str());
 }
 
 // --- The gateway daemon end to end -----------------------------------------

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "context/search_engine.h"
 #include "corpus/tokenized_corpus.h"
 #include "serve/snapshot.h"
@@ -215,6 +216,58 @@ TEST_F(SupervisorTest, TransientErrorsExhaustRetriesAndGiveUp) {
   EXPECT_EQ(stats.retries, 2u);  // max_retries from FastOptions.
   EXPECT_EQ(stats.failed_reloads, 1u);
   EXPECT_EQ(supervisor.current(), nullptr);
+}
+
+TEST_F(SupervisorTest, InPlaceRewriteDuringLoadIsDiscardedAsIdentityRace) {
+  // Compaction's O_TRUNC path (and any other same-inode in-place rewrite)
+  // can race a reload: Load maps the file over an extended window, so the
+  // bytes that validate may not be the bytes that survive. The supervisor
+  // brackets the load with stat-identity checks and discards the attempt
+  // as a transient race; the retry then reads one coherent state.
+  const std::string path = Path("sup_race");
+  ASSERT_TRUE(Save(path).ok());
+  SnapshotSupervisor supervisor(FastOptions());
+  ASSERT_TRUE(supervisor.Reload(path).ok());
+  const auto good = supervisor.current();
+  ASSERT_NE(good, nullptr);
+
+  const uint64_t races_before =
+      obs::MetricsRegistry::Instance()
+          .GetCounter("ctxrank_snapshot_reload_identity_races_total")
+          .Value();
+  const std::string bytes = ReadFile(path);
+  ASSERT_FALSE(bytes.empty());
+
+  // Stall the next load (the fault point sits before the mmap, so the
+  // rewrite below races the identity bracket, not the page cache) and
+  // rewrite the snapshot IN PLACE while the load is paused inside the
+  // bracket. Same inode, new mtime: exactly what an unsynchronized
+  // compactor writing over a live snapshot path produces.
+  fault::FaultInjector::Instance().StallFrom("snapshot/load", 1, 150);
+  std::thread reloader([&] {
+    // The raced attempt is discarded and retried; the retry reads the
+    // settled (valid) file, so the reload as a whole still succeeds.
+    EXPECT_TRUE(supervisor.Reload(path).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  reloader.join();
+
+  const auto stats = supervisor.stats();
+  EXPECT_GE(stats.identity_races, 1u);
+  EXPECT_EQ(stats.generation, 2u);
+  EXPECT_GE(obs::MetricsRegistry::Instance()
+                .GetCounter("ctxrank_snapshot_reload_identity_races_total")
+                .Value(),
+            races_before + 1);
+  // The swapped-in snapshot is the coherent post-rewrite state.
+  const auto fresh = supervisor.current();
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_NE(fresh, good);
+  EXPECT_FALSE(fresh->engine().Search("kinase signaling").empty());
 }
 
 TEST_F(SupervisorTest, HotSwapBetweenBlockAndPreBlockSnapshots) {

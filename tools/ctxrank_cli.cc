@@ -31,14 +31,28 @@
 //       Long-running query loop over stdin with snapshot hot-reload:
 //       the supervisor keeps serving the last good snapshot if the file
 //       is replaced with a corrupt one.
+//   ctxrank ingest --title T [--abstract A] [--body B] [--host H]
+//                  [--port N] [--authors 1,2] [--refs 3,4]
+//                  [--evidence 5,6]
+//       Send one paper to a live-ingest ctxrankd (`ctxrankd --ingest`)
+//       over the CTXQ1 AddPaper frame; the paper is searchable the
+//       moment the daemon answers (docs/INDEXING.md).
 //
 // Exit codes map the library's StatusCode so scripts can react to the
 // failure class: 0 ok, 2 usage, 3 invalid argument, 4 not found,
 // 5 already exists, 6 out of range, 7 failed precondition, 8 internal,
 // 9 I/O error, 10 deadline exceeded, 11 resource exhausted.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -68,6 +82,7 @@
 #include "graph/citation_graph.h"
 #include "ontology/obo_io.h"
 #include "ontology/ontology_generator.h"
+#include "serve/net.h"
 #include "serve/request_context.h"
 #include "serve/sharded_engine.h"
 #include "serve/snapshot.h"
@@ -183,6 +198,12 @@ int Usage() {
                "           [--trace 1] [--pruning term|block]\n"
                "           (queries from stdin; :reload :stats :metrics\n"
                "            :metrics json :quit)\n"
+               "  ingest   --title T [--abstract A] [--body B]\n"
+               "           [--index-terms S] [--authors 1,2] [--refs 3,4]\n"
+               "           [--evidence 5,6] [--host H] [--port N]\n"
+               "           [--deadline-ms N]\n"
+               "           (one CTXQ1 AddPaper frame to a ctxrankd running\n"
+               "            --ingest; prints the assigned paper id)\n"
                "common flags:\n"
                "  --threads N      parallelize corpus text synthesis and\n"
                "                   the prestige engines (0 = all cores;\n"
@@ -953,6 +974,116 @@ int Serve(const Args& args) {
   return 0;
 }
 
+/// Parses a comma-separated list of u32 ids ("" → empty). Returns false
+/// on any unparseable field.
+bool ParseIdList(const std::string& csv, std::vector<uint32_t>* out) {
+  out->clear();
+  if (csv.empty()) return true;
+  for (const std::string& field : Split(csv, ',')) {
+    uint64_t v = 0;
+    if (!ParseUint64(field, &v) || v > UINT32_MAX) return false;
+    out->push_back(static_cast<uint32_t>(v));
+  }
+  return true;
+}
+
+/// `ctxrank ingest` — a minimal blocking CTXQ1 client for the AddPaper
+/// frame: connect, send one request, read one response, print the
+/// assigned paper id. Deliberately simple (no pooling, no retries) — the
+/// resilient transport lives in serve::ShardClient; this is the
+/// operator's curl-equivalent for live ingest.
+int Ingest(const Args& args) {
+  namespace net = serve::net;
+  net::WireAddPaper paper;
+  paper.title = args.Get("title", "");
+  if (paper.title.empty()) return Usage();
+  paper.abstract_text = args.Get("abstract", "");
+  paper.body = args.Get("body", "");
+  paper.index_terms = args.Get("index-terms", "");
+  if (!ParseIdList(args.Get("authors", ""), &paper.authors) ||
+      !ParseIdList(args.Get("refs", ""), &paper.references) ||
+      !ParseIdList(args.Get("evidence", ""), &paper.evidence_terms)) {
+    return Fail(Status::InvalidArgument(
+        "--authors/--refs/--evidence must be comma-separated u32 ids"));
+  }
+
+  const std::string host = args.Get("host", "127.0.0.1");
+  const long port = args.GetInt("port", 7878);
+  if (port <= 0 || port > 65535) return Usage();
+  const Deadline deadline =
+      Deadline::AfterMs(static_cast<uint64_t>(args.GetInt("deadline-ms", 5000)));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Fail(Status::IoError(std::string("socket: ") + std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Fail(Status::InvalidArgument("unparseable --host \"" + host +
+                                        "\" (IPv4 literal expected)"));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Status::IoError("connect " + host + ":" +
+                                      std::to_string(port) + ": " +
+                                      std::strerror(errno));
+    ::close(fd);
+    return Fail(st);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  const Status sent = net::SendAll(fd, net::EncodeAddPaperRequest(paper),
+                                   deadline);
+  if (!sent.ok()) {
+    ::close(fd);
+    return Fail(sent);
+  }
+
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    const net::Frame f = net::NextFrame(buf, net::kDefaultMaxFrameBytes);
+    if (f.state == net::FrameState::kReady) {
+      if (f.type != net::kFrameAddPaperResponse) {
+        ::close(fd);
+        return Fail(Status::Internal("unexpected frame type " +
+                                     std::to_string(f.type) +
+                                     " in AddPaper reply"));
+      }
+      auto decoded = net::DecodeAddPaperResponseBody(f.body);
+      ::close(fd);
+      if (!decoded.ok()) return Fail(decoded.status());
+      const net::WireAddPaperResponse& r = decoded.value();
+      if (r.code != StatusCode::kOk) {
+        return Fail(Status(r.code, "daemon rejected ingest: " + r.message));
+      }
+      std::printf("ingested paper %u (%u papers, generation %llu)\n",
+                  r.paper_id, r.num_papers,
+                  static_cast<unsigned long long>(r.generation));
+      return 0;
+    }
+    if (f.state != net::FrameState::kNeedMore) {
+      ::close(fd);
+      return Fail(Status::Internal("bad AddPaper reply frame: " + f.error));
+    }
+    if (deadline.expired()) {
+      ::close(fd);
+      return Fail(Status::DeadlineExceeded("ingest reply timed out"));
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      ::close(fd);
+      return Fail(Status::IoError(
+          n == 0 ? "connection closed before the AddPaper reply"
+                 : std::string("recv: ") + std::strerror(errno)));
+    }
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -972,6 +1103,7 @@ int Main(int argc, char** argv) {
   if (command == "index") return Index(args);
   if (command == "search") return Search(args);
   if (command == "serve") return Serve(args);
+  if (command == "ingest") return Ingest(args);
   if (command == "info") return Info(args);
   if (command == "analyze") return Analyze(args);
   return Usage();

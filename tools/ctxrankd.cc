@@ -9,11 +9,21 @@
 //            [--deadline-ms N] [--topk K] [--max-conns N] [--idle-ms N]
 //            [--max-frame-bytes N] [--loris-ms N] [--max-input-buffer N]
 //            [--hedge-us N] [--no-hedge 1] [--leg-retries N]
+//   ctxrankd --ingest DIR [--compact-snapshot FILE] [--flag value]...
 //
 // With --shards N the daemon serves a sharded snapshot set (the files
 // FILE.shard<i>-of-<N> written by `ctxrank save_shards`) through
 // serve::ShardedEngine: scatter-gather with per-shard hot reload and
 // graceful per-shard degradation (skipped_shards in responses).
+//
+// With --ingest DIR the daemon serves a LIVE MUTABLE index built from
+// DIR/ontology.obo + DIR/corpus.txt (the `ctxrank generate` layout):
+// new papers arrive over the CTXQ1 AddPaper frame (`ctxrank ingest`),
+// become searchable immediately through the delta segment, and GET
+// /compact folds the delta into a new base generation — serialized to
+// --compact-snapshot FILE when given, so a monolithic ctxrankd watching
+// that file hot-swaps onto each compacted generation. See
+// docs/INDEXING.md.
 //
 // With --remote-shards the daemon is a GATEWAY: --snapshot names one
 // local shard file used purely for routing, and the scatter legs run on
@@ -43,7 +53,10 @@
 #include <thread>
 
 #include "common/status.h"
+#include "corpus/corpus_io.h"
+#include "ontology/obo_io.h"
 #include "serve/daemon.h"
+#include "serve/mutable_index.h"
 #include "serve/sharded_engine.h"
 #include "serve/snapshot.h"
 #include "serve/supervisor.h"
@@ -114,7 +127,17 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: ctxrankd --snapshot FILE [--flag value]...\n"
-      "  --snapshot FILE      serving snapshot to load (required)\n"
+      "       ctxrankd --ingest DIR [--flag value]...\n"
+      "  --snapshot FILE      serving snapshot to load (required unless\n"
+      "                       --ingest is given)\n"
+      "  --ingest DIR         live-ingest mode: build a mutable index from\n"
+      "                       DIR/ontology.obo + DIR/corpus.txt (the\n"
+      "                       `ctxrank generate` layout) and accept\n"
+      "                       AddPaper frames (`ctxrank ingest`) plus GET\n"
+      "                       /compact (docs/INDEXING.md)\n"
+      "  --compact-snapshot F with --ingest: every compaction also writes\n"
+      "                       the new base generation to F (CTXSNAP1,\n"
+      "                       atomic rename) for watchers to hot-swap\n"
       "  --shards N           serve the sharded set FILE.shard<i>-of-<N>\n"
       "                       (from `ctxrank save_shards`) with scatter-\n"
       "                       gather; 0 = monolithic (default)\n"
@@ -184,7 +207,8 @@ int Main(int argc, char** argv) {
   const Args args(argc, argv);
   if (!args.ok()) return Usage();
   const std::string path = args.Get("snapshot", "");
-  if (path.empty()) return Usage();
+  const std::string ingest_dir = args.Get("ingest", "");
+  if (path.empty() && ingest_dir.empty()) return Usage();
   const long shards = args.GetInt("shards", 0);
   if (shards < 0) return Usage();
 
@@ -210,6 +234,31 @@ int Main(int argc, char** argv) {
   const size_t cache = static_cast<size_t>(args.GetInt("cache", 0));
   const bool watch = args.GetInt("watch", 0) != 0;
   const uint64_t watch_ms = static_cast<uint64_t>(args.GetInt("watch-ms", 200));
+
+  if (!ingest_dir.empty()) {
+    if (!path.empty() || shards > 0 ||
+        !args.Get("remote-shards", "").empty()) {
+      std::fprintf(stderr,
+                   "ctxrankd: error: --ingest is mutually exclusive with "
+                   "--snapshot / --shards / --remote-shards\n");
+      return Usage();
+    }
+    auto onto = ontology::LoadOboFile(ingest_dir + "/ontology.obo");
+    if (!onto.ok()) return Fail(onto.status());
+    auto corpus = corpus::LoadCorpus(ingest_dir + "/corpus.txt");
+    if (!corpus.ok()) return Fail(corpus.status());
+
+    serve::MutableIndex::Options mi_opts;
+    mi_opts.num_threads = static_cast<size_t>(args.GetInt("threads", 0));
+    mi_opts.snapshot_path = args.Get("compact-snapshot", "");
+    auto index = serve::MutableIndex::Build(std::move(corpus).value(),
+                                            onto.value(), mi_opts);
+    if (!index.ok()) return Fail(index.status());
+
+    serve::Daemon daemon(*index.value(), opts);
+    return Serve(daemon, opts, index.value()->num_papers(),
+                 "mutable index over " + ingest_dir);
+  }
 
   const std::string remote_spec = args.Get("remote-shards", "");
   if (!remote_spec.empty()) {
